@@ -1,0 +1,98 @@
+// Algorithm 1 ablations: how the adaptive renewal heuristic responds to the
+// scale-down policy D, the expected-loss cap tau, node health, and network
+// reliability — the design parameters Section 7.4 fixes at D=4 (g = 25% of
+// G), T_H = 0.9, beta = 0.01, tau = 10% of TG.
+#include <cstdio>
+#include <vector>
+
+#include "lease/renewal.hpp"
+
+using namespace sl::lease;
+
+namespace {
+
+constexpr std::uint64_t kPool = 100'000;
+
+NodeState node_with(double health, double network, std::uint64_t outstanding = 0) {
+  return NodeState{.alpha = 1.0, .health = health, .network = network,
+                   .outstanding = outstanding};
+}
+
+void sweep_d() {
+  std::printf("--- D (default scale-down) sweep: single healthy node ---\n");
+  std::printf("%6s %12s %16s\n", "D", "grant", "renewals/100K");
+  for (double d : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    RenewalParams params;
+    params.D = d;
+    const auto decision = renew_lease(kPool, {node_with(0.95, 1.0)}, 0, params);
+    const double renewals =
+        decision.granted == 0 ? 0.0 : 100'000.0 / static_cast<double>(decision.granted);
+    std::printf("%6.0f %12llu %16.1f\n", d, (unsigned long long)decision.granted,
+                renewals);
+  }
+  std::printf("(larger D = smaller grants = more renewals but less crash loss)\n\n");
+}
+
+void sweep_tau() {
+  std::printf("--- tau (expected-loss cap) sweep: shaky node (h = 0.6) ---\n");
+  std::printf("%8s %12s %14s\n", "tau/TG", "grant", "proj. loss");
+  for (double tau : {0.01, 0.02, 0.05, 0.10, 0.20, 0.50}) {
+    RenewalParams params;
+    params.tau_fraction = tau;
+    const auto decision = renew_lease(kPool, {node_with(0.6, 1.0)}, 0, params);
+    std::printf("%7.0f%% %12llu %14.0f\n", tau * 100.0,
+                (unsigned long long)decision.granted, decision.expected_loss);
+  }
+  std::printf("(a low tau throttles fragile nodes: frequent renewals instead of\n"
+              " large at-risk grants — the trade-off Section 7.4 describes)\n\n");
+}
+
+void sweep_health() {
+  std::printf("--- node-health sweep (network = 1.0) ---\n");
+  std::printf("%8s %12s\n", "health", "grant");
+  for (double h : {1.0, 0.95, 0.9, 0.8, 0.6, 0.4, 0.2}) {
+    RenewalParams params;
+    const auto decision = renew_lease(kPool, {node_with(h, 1.0)}, 0, params);
+    std::printf("%8.2f %12llu\n", h, (unsigned long long)decision.granted);
+  }
+  std::printf("\n");
+}
+
+void sweep_network() {
+  std::printf("--- network-reliability sweep (healthy node, h = 0.95 > T_H) ---\n");
+  std::printf("%8s %12s\n", "n", "grant");
+  for (double n : {1.0, 0.9, 0.7, 0.5, 0.3, 0.1}) {
+    RenewalParams params;
+    const auto decision = renew_lease(kPool, {node_with(0.95, n)}, 0, params);
+    std::printf("%8.2f %12llu\n", n, (unsigned long long)decision.granted);
+  }
+  std::printf("(flaky links earn healthy nodes LARGER grants so they can ride\n"
+              " out disconnections — lines 6-8 of Algorithm 1)\n\n");
+}
+
+void concurrent_section() {
+  std::printf("--- concurrent requesters sharing one license ---\n");
+  std::printf("%6s %12s %16s\n", "C", "grant", "total exposure");
+  for (int c : {1, 2, 4, 8, 16}) {
+    RenewalParams params;
+    std::vector<NodeState> nodes;
+    for (int i = 0; i < c; ++i) nodes.push_back(node_with(0.95, 1.0, kPool / 50));
+    const auto decision =
+        renew_lease(kPool, nodes, static_cast<std::size_t>(c - 1), params);
+    std::printf("%6d %12llu %16.0f\n", c, (unsigned long long)decision.granted,
+                decision.expected_loss);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Algorithm 1 (adaptive GCL renewal) ablations ===\n\n");
+  sweep_d();
+  sweep_tau();
+  sweep_health();
+  sweep_network();
+  concurrent_section();
+  return 0;
+}

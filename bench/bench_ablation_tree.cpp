@@ -1,0 +1,117 @@
+// Lease-tree ablations: commit/restore round-trip costs, the resident-
+// budget sweep behind the Table 6 policy, id-locality effects (Section
+// 5.2.2), and a tree-vs-hash memory comparison ("up to 94% less memory"
+// per Section 5.2.3, since a tree can offload metadata nodes).
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "lease/hash_store.hpp"
+#include "lease/lease_tree.hpp"
+
+using namespace sl;
+using namespace sl::lease;
+
+namespace {
+
+double wall_micros(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void commit_restore_section() {
+  std::printf("--- commit / restore round-trip cost (wall clock) ---\n");
+  std::printf("%10s %14s %14s\n", "leases", "commit-all", "restore-all");
+  for (std::size_t leases : {256, 1'024, 4'096, 16'384}) {
+    UntrustedStore store;
+    LeaseTree tree(7, store);
+    for (LeaseId id = 0; id < leases; ++id) {
+      tree.insert(id, Gcl(LeaseKind::kCountBased, 100));
+    }
+    const double commit_us = wall_micros([&] { tree.commit_all_cold(); });
+    const double restore_us = wall_micros([&] {
+      for (LeaseId id = 0; id < leases; ++id) tree.find(id);
+    });
+    std::printf("%10zu %12.0fus %12.0fus\n", leases, commit_us, restore_us);
+  }
+  std::printf("(each lease seals/validates 308 B under AES-CTR + SHA-256)\n\n");
+}
+
+void budget_sweep_section() {
+  std::printf("--- resident-budget sweep (20K leases inserted) ---\n");
+  std::printf("%12s %14s %14s %14s\n", "budget", "peak resident", "offloaded",
+              "commits");
+  for (std::uint64_t budget_kb : {64, 256, 1'024, 4'096, 16'384}) {
+    UntrustedStore store;
+    LeaseTree tree(9, store);
+    tree.set_resident_budget(budget_kb * 1024);
+    std::uint64_t peak = 0;
+    for (LeaseId id = 0; id < 20'000; ++id) {
+      tree.insert(id, Gcl(LeaseKind::kCountBased, 1));
+      peak = std::max(peak, tree.resident_bytes());
+    }
+    std::printf("%10lluKB %12.0fKB %12.0fKB %14llu\n",
+                (unsigned long long)budget_kb, peak / 1024.0,
+                store.bytes() / 1024.0,
+                (unsigned long long)tree.stats().commits);
+  }
+  std::printf("\n");
+}
+
+void locality_section() {
+  std::printf("--- lease-id locality (Section 5.2.2) ---\n");
+  // Sequential ids share level-3 nodes; scattered ids need one node chain
+  // per lease. Resident bytes diverge accordingly.
+  for (const bool scattered : {false, true}) {
+    UntrustedStore store;
+    LeaseTree tree(11, store);
+    Rng rng(13);
+    for (LeaseId i = 0; i < 2'048; ++i) {
+      const LeaseId id = scattered ? rng.next_u32() : i;
+      tree.insert(id, Gcl(LeaseKind::kCountBased, 1));
+    }
+    std::printf("  %-10s ids: %7.0f KB resident (%llu leases)\n",
+                scattered ? "scattered" : "sequential",
+                tree.resident_bytes() / 1024.0,
+                (unsigned long long)tree.lease_count());
+  }
+  std::printf("(applications should allocate their leases contiguously)\n\n");
+}
+
+void memory_vs_hash_section() {
+  std::printf("--- steady-state secure memory: tree (budgeted) vs hash table ---\n");
+  std::printf("%10s %16s %16s %12s\n", "leases", "tree+budget", "hash table",
+              "saving");
+  for (std::size_t leases : {5'000, 10'000, 50'000}) {
+    UntrustedStore store;
+    LeaseTree tree(15, store);
+    tree.set_resident_budget(1'638'400);
+    HashLeaseStore hash(HashKind::kMurmur);
+    for (LeaseId id = 0; id < leases; ++id) {
+      const Gcl gcl(LeaseKind::kCountBased, 1);
+      tree.insert(id, gcl);
+      hash.insert(id, gcl);
+    }
+    const double tree_kb = tree.resident_bytes() / 1024.0;
+    const double hash_kb = hash.resident_bytes() / 1024.0;
+    std::printf("%10zu %14.0fKB %14.0fKB %11.1f%%\n", leases, tree_kb, hash_kb,
+                (1.0 - tree_kb / hash_kb) * 100.0);
+  }
+  std::printf("(paper: tree-based design saves up to 94%% of the memory\n"
+              " footprint because metadata nodes can be offloaded too)\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Lease-tree ablations ===\n\n");
+  commit_restore_section();
+  budget_sweep_section();
+  locality_section();
+  memory_vs_hash_section();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 8 reproduction: SL-Local lease-allocation throughput under
+// concurrent requesters, same-lease vs different-lease, with and without
+// token batching (10 tokens per local attestation).
+//
+// A discrete-event simulation in virtual time: each of N requester enclaves
+// repeatedly (1) performs a local attestation with SL-Local, (2) acquires
+// the lease's spin lock, and (3) updates the GCL and mints tokens inside
+// the locked section. Attestations of different enclaves proceed in
+// parallel (one hardware thread each, up to the 8-core platform of
+// Table 3); the locked section serializes same-lease requests. Each run
+// lasts 10 simulated seconds, as in the paper.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/sim_clock.hpp"
+
+using namespace sl;
+
+namespace {
+
+constexpr double kRunSeconds = 10.0;
+constexpr double kLocalAttestationUs = 100.0;  // EREPORT + verify
+constexpr double kLeaseUpdateUs = 2.0;         // find + GCL decrement + token
+constexpr int kCores = 8;                      // Table 3 platform
+
+struct SimResult {
+  std::uint64_t allocations = 0;  // successful lease allocations (tokens)
+};
+
+// Simulates N requesters for 10 virtual seconds.
+SimResult simulate(int requesters, bool same_lease, int tokens_per_attestation) {
+  // Per-requester next-free time; the platform runs min(N, cores) of them
+  // truly in parallel — beyond that, attestation slots time-share.
+  std::vector<double> next_free(requesters, 0.0);
+  const double core_share =
+      std::max(1.0, static_cast<double>(requesters) / kCores);
+
+  // Per-lease lock availability time (one lease or one per requester).
+  std::vector<double> lock_free(same_lease ? 1 : requesters, 0.0);
+
+  SimResult result;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int r = 0; r < requesters; ++r) {
+      if (next_free[r] >= kRunSeconds) continue;
+      // Local attestation: parallel across enclaves but time-shared once
+      // the requester count exceeds the core count.
+      const double attest_done =
+          next_free[r] + kLocalAttestationUs * core_share / 1e6;
+      // Locked lease update: serialized per lease.
+      double& lock = lock_free[same_lease ? 0 : r];
+      const double lock_acquired = std::max(attest_done, lock);
+      const double done = lock_acquired + kLeaseUpdateUs / 1e6;
+      lock = done;
+      next_free[r] = done;
+      if (done <= kRunSeconds) {
+        result.allocations += static_cast<std::uint64_t>(tokens_per_attestation);
+        progress = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 8: lease-allocation throughput (10 s simulated runs) ===\n\n");
+  std::printf("local attestation: %.0f us, locked lease update: %.0f us, %d cores\n\n",
+              kLocalAttestationUs, kLeaseUpdateUs, kCores);
+  std::printf("%10s | %16s %16s | %16s %16s\n", "enclaves", "same lease",
+              "diff leases", "same (batch=10)", "diff (batch=10)");
+
+  for (int n : {1, 2, 4, 6, 8, 16, 32}) {
+    const SimResult same1 = simulate(n, true, 1);
+    const SimResult diff1 = simulate(n, false, 1);
+    const SimResult same10 = simulate(n, true, 10);
+    const SimResult diff10 = simulate(n, false, 10);
+    std::printf("%10d | %13llu/s %13llu/s | %13llu/s %13llu/s\n", n,
+                (unsigned long long)(same1.allocations / 10),
+                (unsigned long long)(diff1.allocations / 10),
+                (unsigned long long)(same10.allocations / 10),
+                (unsigned long long)(diff10.allocations / 10));
+  }
+
+  // The headline claims of Section 7.3.
+  const SimResult base = simulate(1, true, 1);
+  const SimResult batched = simulate(1, true, 10);
+  std::printf("\nbatching improvement (1 enclave): %.1fx   [paper: ~10x]\n",
+              static_cast<double>(batched.allocations) /
+                  static_cast<double>(base.allocations));
+  std::printf("attestation share of one allocation: %.1f%%   [paper: ~98%%]\n",
+              kLocalAttestationUs / (kLocalAttestationUs + kLeaseUpdateUs) * 100.0);
+
+  // Batch-size ablation (design-choice sweep).
+  std::printf("\nbatch-size ablation (4 enclaves, same lease):\n");
+  for (int batch : {1, 2, 5, 10, 20, 50, 100}) {
+    const SimResult r = simulate(4, true, batch);
+    std::printf("  batch %3d -> %8llu allocations/s\n", batch,
+                (unsigned long long)(r.allocations / 10));
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Repurposing SecureLease beyond DRM (the paper's concluding remark that
+// the partitioning and lease mechanisms "have a generic scope"): a
+// pay-per-call API gateway that meters tenant quotas with GCLs.
+//
+// Each tenant holds a signed quota "license"; the gateway's SL-Local caches
+// per-tenant sub-quotas so the hot path never touches the billing server,
+// while the pessimistic crash policy keeps the metering trustworthy even
+// when the gateway host is controlled by the tenant.
+//
+// Build & run:  ./build/examples/api_metering
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "lease/sl_local.hpp"
+#include "lease/sl_manager.hpp"
+#include "lease/sl_remote.hpp"
+
+using namespace sl;
+using namespace sl::lease;
+
+namespace {
+
+struct Tenant {
+  std::string name;
+  std::uint64_t quota;
+  std::unique_ptr<SlManager> meter;
+  std::uint64_t served = 0;
+  std::uint64_t throttled = 0;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("SecureLease as an API-metering substrate\n");
+  std::printf("========================================\n\n");
+
+  constexpr std::uint64_t kPlatformSecret = 0xa91;
+  sgx::SgxRuntime runtime;
+  sgx::Platform platform(runtime, /*platform_id=*/4, kPlatformSecret);
+  sgx::AttestationService ias;
+  ias.register_platform(4, kPlatformSecret);
+
+  LicenseAuthority billing(/*vendor_secret=*/0xb111);
+  SlRemote billing_server(billing, ias, SlLocal::expected_measurement());
+
+  net::SimNetwork network(31);
+  network.set_link(1, {.rtt_millis = 12.0, .reliability = 0.995});
+
+  UntrustedStore store;
+  SlLocalOptions options;
+  options.tokens_per_attestation = 50;  // one attestation meters 50 calls
+  SlLocal gateway(runtime, platform, billing_server, network, 1, store, options);
+  if (!gateway.init()) return 1;
+
+  // Three tenants on different plans.
+  std::vector<Tenant> tenants;
+  tenants.push_back({"starter", 1'000, nullptr, 0, 0});
+  tenants.push_back({"pro", 10'000, nullptr, 0, 0});
+  tenants.push_back({"enterprise", 100'000, nullptr, 0, 0});
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const LicenseFile quota =
+        billing.issue(static_cast<LeaseId>(9000 + i), "api/" + tenants[i].name,
+                      LeaseKind::kCountBased, tenants[i].quota);
+    billing_server.provision(quota);
+    tenants[i].meter = std::make_unique<SlManager>(runtime, platform, gateway,
+                                                   tenants[i].name, quota);
+  }
+
+  // Simulate a day of traffic: tenants issue requests in proportion to
+  // their plan, the starter tenant well past its quota.
+  struct Burst {
+    std::size_t tenant;
+    int requests;
+  };
+  const std::vector<Burst> traffic = {
+      {0, 800}, {1, 4'000}, {2, 20'000}, {0, 700},  // starter overruns here
+      {1, 3'000}, {2, 15'000}, {0, 500},
+  };
+  for (const Burst& burst : traffic) {
+    Tenant& tenant = tenants[burst.tenant];
+    for (int i = 0; i < burst.requests; ++i) {
+      if (tenant.meter->authorize_execution()) {
+        tenant.served++;  // ... proxy the API call ...
+      } else {
+        tenant.throttled++;  // 429 Too Many Requests
+      }
+    }
+  }
+
+  std::printf("%-12s %10s %10s %10s %12s\n", "tenant", "quota", "served",
+              "throttled", "quota left");
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    const auto remaining =
+        billing_server.remaining_pool(static_cast<LeaseId>(9000 + i));
+    std::printf("%-12s %10llu %10llu %10llu %12llu\n", tenants[i].name.c_str(),
+                (unsigned long long)tenants[i].quota,
+                (unsigned long long)tenants[i].served,
+                (unsigned long long)tenants[i].throttled,
+                (unsigned long long)remaining.value_or(0));
+  }
+
+  std::uint64_t total_requests = 0;
+  for (const Tenant& tenant : tenants) total_requests += tenant.served + tenant.throttled;
+  std::printf("\ngateway hot-path stats: %llu API requests metered with %llu "
+              "SL-Local calls (batch=50) and %llu billing-server round trips "
+              "(plus 1 RA)\n",
+              (unsigned long long)total_requests,
+              (unsigned long long)gateway.stats().lease_requests,
+              (unsigned long long)gateway.stats().renewals);
+  std::printf("\nThe starter tenant was throttled once its 1,000-call quota ran\n"
+              "dry — enforced inside the enclave, out of reach of the host.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Control-flow-bending attack demo (paper Figures 1, 2 and 6).
+//
+// Runs the same mini-application under three protection schemes and mounts
+// the supervised CFB attack of Section 2.1.1 against each:
+//   software-only AM   -> fully cracked,
+//   AM inside SGX      -> still cracked (the outcome is processed outside),
+//   SecureLease        -> control flow bends, but the key function behind
+//                         the lease gate never runs: the output is garbage.
+//
+// Build & run:  ./build/examples/cfb_attack_demo
+#include <cstdio>
+
+#include "attack/victim.hpp"
+
+using namespace sl::attack;
+
+namespace {
+
+void show(const char* label, const ExecutionResult& result,
+          const VictimApp& app) {
+  std::printf("  %-24s exit=%lld  output=[", label,
+              (long long)result.exit_code);
+  for (std::size_t i = 0; i < result.output.size(); ++i) {
+    std::printf("%s%lld", i ? ", " : "", (long long)result.output[i]);
+  }
+  std::printf("]  %s\n", result.output == app.expected_output
+                             ? "<== FULL PROTECTED OUTPUT"
+                             : (result.output.empty() ? "(aborted)" : "(garbage)"));
+}
+
+void demo(const char* title, Protection protection) {
+  std::printf("%s\n", title);
+  const VictimApp app = build_victim(protection);
+
+  show("licensed run:", run_victim(app, kValidLicense, true), app);
+  show("unlicensed run:", run_victim(app, 0, false), app);
+
+  const ExecutionResult attacked = mount_cfb_attack(app, /*gate_licensed=*/false);
+  show("CFB attack (no license):", attacked, app);
+  if (attacked.enclave_denials > 0) {
+    std::printf("  (the enclave refused %llu key-function calls)\n",
+                (unsigned long long)attacked.enclave_denials);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Control-flow bending vs three protection schemes\n");
+  std::printf("================================================\n\n");
+  std::printf("The attacker runs the victim on a virtual CPU: traces a\n");
+  std::printf("licensed and an unlicensed execution, diffs the branch traces\n");
+  std::printf("to locate the license-check decision, and flips that branch.\n\n");
+
+  demo("[1] software-only authentication module (Figure 1/2):",
+       Protection::kSoftwareOnly);
+  demo("[2] only the AM inside SGX (Figure 6, attack 2):",
+       Protection::kAmInEnclave);
+  demo("[3] SecureLease: AM + key function inside SGX (Section 6.1):",
+       Protection::kSecureLease);
+
+  std::printf("Takeaway: bending control flow cannot conjure the key function's\n");
+  std::printf("logic — without a valid lease the binary is handicapped.\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+#include "attack/mysql_victim.hpp"
+
+namespace sl::attack {
+
+namespace {
+
+// The query parser — MySQL's key function in the paper's partition. A
+// seed-free scramble keeps the victim deterministic.
+std::int64_t parse_query_fn(std::int64_t query) {
+  return (query * 131 + 29) ^ 0x5a5;
+}
+
+std::int64_t auth_fn(std::int64_t license) {
+  return license == kMysqlValidLicense ? 1 : 0;
+}
+
+}  // namespace
+
+MysqlVictim build_mysql_victim(MysqlProtection protection) {
+  MysqlVictim victim;
+  Program& p = victim.program;
+
+  // --- Initialization phase (Figure 6, left column). ----------------------
+  p.label("init_ssl");
+  p.load(2, 3).load(3, 11).mul(2, 3);  // handshake arithmetic stand-in
+  p.label("server_init");
+  p.load(3, 5).add(2, 3);
+  p.label("signal_handlers");
+  p.load(3, 1).xor_(2, 3);
+  p.label("create_threads");
+  p.load(5, 4);  // four worker "threads"
+  p.label("handle_connections");
+  p.load(3, 7).add(2, 3);
+
+  // --- Connection phase. ----------------------------------------------------
+  p.label("prepare_connection");
+  p.load(6, 100);
+  p.label("login_connection");
+  p.load(3, 2).add(6, 3);
+  p.label("check_connection");
+  p.load(3, 1).add(6, 3);
+
+  // --- acl_authenticate (the AM). r1 = user-supplied credentials. ----------
+  p.label("acl_authenticate");
+  if (protection == MysqlProtection::kSoftwareOnly) {
+    // Attack 1's target: the internal decision branch.
+    p.load(9, kMysqlValidLicense);
+    p.cmp_eq(1, 9);
+    p.jne("login_failed");  // the Figure 2 jne
+    p.load(10, 1);          // res = CR_OK
+  } else {
+    // The check runs behind the gate; only the outcome (r10) comes back.
+    p.enclave_call(10, 1, "acl_authenticate");
+  }
+  // Attack 2's target: the outcome is processed OUTSIDE the AM.
+  p.load(9, 1);
+  p.cmp_eq(10, 9);
+  p.jne("login_failed");
+  p.jmp("protected_region");
+
+  p.label("login_failed");
+  p.load(0, 1);
+  p.halt(0);
+
+  // --- Protected region: four queries through the pipeline. -----------------
+  p.label("protected_region");
+  p.load(4, 1'000);  // first query id
+  p.load(6, 4);      // query count
+  p.label("query_loop");
+  // query input: derive the query payload.
+  p.load(7, 3);
+  p.mov(8, 4);
+  p.add(8, 7);
+  // query parser (the key function under SecureLease).
+  if (protection == MysqlProtection::kSecureLease) {
+    p.enclave_call(8, 8, "query_parser");
+  } else {
+    p.load(7, 131);
+    p.mul(8, 7);
+    p.load(7, 29);
+    p.add(8, 7);
+    p.load(7, 0x5a5);
+    p.xor_(8, 7);
+  }
+  // execute query + write data: emit the result.
+  p.load(7, 9);
+  p.add(8, 7);
+  p.out(8);
+  // next query.
+  p.load(7, 17);
+  p.add(4, 7);
+  p.load(7, 1);
+  p.sub(6, 7);
+  p.load(7, 0);
+  p.cmp_eq(6, 7);
+  p.jne("query_loop");
+  p.load(0, 0);
+  p.halt(0);
+  p.finalize();
+
+  for (std::int64_t q = 1'000, i = 0; i < 4; ++i, q += 17) {
+    victim.expected_output.push_back(parse_query_fn(q + 3) + 9);
+  }
+  return victim;
+}
+
+EnclaveGate make_mysql_gate(bool licensed) {
+  return [licensed](const std::string& fn,
+                    std::int64_t arg) -> std::optional<std::int64_t> {
+    if (fn == "acl_authenticate") return auth_fn(arg);
+    if (fn == "query_parser") {
+      if (!licensed) return std::nullopt;
+      return parse_query_fn(arg);
+    }
+    return std::nullopt;
+  };
+}
+
+ExecutionResult run_mysql(const MysqlVictim& victim, std::int64_t license,
+                          bool gate_licensed) {
+  VirtualCpu cpu(victim.program);
+  cpu.set_enclave_gate(make_mysql_gate(gate_licensed));
+  AttackPlan plan;
+  plan.force_registers[1] = license;
+  cpu.set_attack(plan);
+  return cpu.run();
+}
+
+namespace {
+
+ExecutionResult attack_nth_branch(const MysqlVictim& victim, bool gate_licensed,
+                                  std::size_t branch_index) {
+  // Trace an unlicensed run and flip the branch_index-th *conditional*
+  // branch it executed.
+  const ExecutionResult probe = run_mysql(victim, 0, gate_licensed);
+  AttackPlan plan;
+  plan.force_registers[1] = 0;
+  if (branch_index < probe.branch_trace.size()) {
+    plan.flip_branches.insert(probe.branch_trace[branch_index].pc);
+  }
+  VirtualCpu cpu(victim.program);
+  cpu.set_enclave_gate(make_mysql_gate(gate_licensed));
+  cpu.set_attack(plan);
+  return cpu.run();
+}
+
+}  // namespace
+
+ExecutionResult mysql_attack_auth_branch(const MysqlVictim& victim,
+                                         bool gate_licensed) {
+  // The first conditional branch an unlicensed run hits is the AM's
+  // internal decision (software build) or the outcome check (enclave
+  // builds) — either way, flip the first.
+  return attack_nth_branch(victim, gate_licensed, 0);
+}
+
+ExecutionResult mysql_attack_outcome_branch(const MysqlVictim& victim,
+                                            bool gate_licensed) {
+  // The outcome-processing branch is the LAST branch before the abort in
+  // the unlicensed trace.
+  const ExecutionResult probe = run_mysql(victim, 0, gate_licensed);
+  if (probe.branch_trace.empty()) return probe;
+  return attack_nth_branch(victim, gate_licensed, probe.branch_trace.size() - 1);
+}
+
+}  // namespace sl::attack

@@ -1,0 +1,48 @@
+// The Figure 6 victim: a miniature MySQL-shaped server pipeline.
+//
+// Stages follow the paper's diagram: init SSL -> server init -> signal
+// handlers -> create threads -> handle connections -> prepare connection ->
+// login connection -> check connection -> acl_authenticate (the AM) ->
+// protected region (query input -> query parser -> execute query -> write
+// data). Two attack entry points are modelled:
+//   attack 1 — bend acl_authenticate's internal decision branch,
+//   attack 2 — leave the AM alone (it may be in SGX) and bend the branch
+//              that processes its OUTCOME outside the enclave.
+// Under the SecureLease build the query parser is the enclave-gated key
+// function, so both attacks yield a useless server.
+#pragma once
+
+#include "attack/vcpu.hpp"
+
+namespace sl::attack {
+
+enum class MysqlProtection {
+  kSoftwareOnly,   // acl_authenticate is plain code
+  kAmInEnclave,    // acl_authenticate behind the gate; outcome checked outside
+  kSecureLease,    // AM and the query parser behind the gate
+};
+
+struct MysqlVictim {
+  Program program;
+  std::vector<std::int64_t> expected_output;  // results of 4 queries
+};
+
+inline constexpr std::int64_t kMysqlValidLicense = 0xdb5ec;
+
+MysqlVictim build_mysql_victim(MysqlProtection protection);
+
+EnclaveGate make_mysql_gate(bool licensed);
+
+ExecutionResult run_mysql(const MysqlVictim& victim, std::int64_t license,
+                          bool gate_licensed);
+
+// Attack 1 of Figure 6: force acl_authenticate's decision (only meaningful
+// for the software build; for enclave builds the branch is unreachable).
+ExecutionResult mysql_attack_auth_branch(const MysqlVictim& victim,
+                                         bool gate_licensed);
+
+// Attack 2 of Figure 6: flip the outcome-processing branch outside the AM.
+ExecutionResult mysql_attack_outcome_branch(const MysqlVictim& victim,
+                                            bool gate_licensed);
+
+}  // namespace sl::attack

@@ -1,0 +1,203 @@
+#include "attack/vcpu.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace sl::attack {
+
+Program& Program::label(const std::string& name) {
+  require(!labels_.contains(name), "Program: duplicate label " + name);
+  labels_[name] = code_.size();
+  return *this;
+}
+
+Program& Program::instr(Instr instruction) {
+  const bool needs_target = instruction.op == Op::kJmp || instruction.op == Op::kJeq ||
+                            instruction.op == Op::kJne || instruction.op == Op::kCall;
+  if (needs_target) unresolved_.push_back(code_.size());
+  code_.push_back(std::move(instruction));
+  finalized_ = false;
+  return *this;
+}
+
+Program& Program::load(int reg, std::int64_t imm) {
+  return instr({.op = Op::kLoadImm, .a = reg, .imm = imm});
+}
+Program& Program::mov(int dst, int src) { return instr({.op = Op::kMov, .a = dst, .b = src}); }
+Program& Program::add(int dst, int src) { return instr({.op = Op::kAdd, .a = dst, .b = src}); }
+Program& Program::sub(int dst, int src) { return instr({.op = Op::kSub, .a = dst, .b = src}); }
+Program& Program::mul(int dst, int src) { return instr({.op = Op::kMul, .a = dst, .b = src}); }
+Program& Program::xor_(int dst, int src) { return instr({.op = Op::kXor, .a = dst, .b = src}); }
+Program& Program::cmp_eq(int a, int b) { return instr({.op = Op::kCmpEq, .a = a, .b = b}); }
+Program& Program::jmp(const std::string& target) { return instr({.op = Op::kJmp, .target = target}); }
+Program& Program::jeq(const std::string& target) { return instr({.op = Op::kJeq, .target = target}); }
+Program& Program::jne(const std::string& target) { return instr({.op = Op::kJne, .target = target}); }
+Program& Program::call(const std::string& target) { return instr({.op = Op::kCall, .target = target}); }
+Program& Program::ret() { return instr({.op = Op::kRet}); }
+Program& Program::halt(int code_reg) { return instr({.op = Op::kHalt, .a = code_reg}); }
+Program& Program::out(int reg) { return instr({.op = Op::kOut, .a = reg}); }
+Program& Program::enclave_call(int dst, int arg, const std::string& fn) {
+  return instr({.op = Op::kEnclave, .a = dst, .b = arg, .target = fn});
+}
+
+std::size_t Program::address_of(const std::string& lbl) const {
+  auto it = labels_.find(lbl);
+  require(it != labels_.end(), "Program: unknown label " + lbl);
+  return it->second;
+}
+
+void Program::finalize() {
+  for (std::size_t pc : unresolved_) {
+    Instr& instruction = code_[pc];
+    instruction.imm = static_cast<std::int64_t>(address_of(instruction.target));
+  }
+  finalized_ = true;
+}
+
+VirtualCpu::VirtualCpu(const Program& program) : program_(program) {}
+
+ExecutionResult VirtualCpu::run(std::uint64_t max_instructions) {
+  ExecutionResult result;
+  std::array<std::int64_t, 16> regs{};
+  for (const auto& [reg, value] : attack_.force_registers) {
+    require(reg >= 0 && reg < 16, "AttackPlan: bad register");
+    regs[static_cast<std::size_t>(reg)] = value;
+  }
+  std::vector<std::size_t> call_stack;
+  bool flag = false;
+  std::size_t pc = 0;
+  const auto& code = program_.code();
+
+  while (pc < code.size() && result.instructions < max_instructions) {
+    const Instr& in = code[pc];
+    result.instructions++;
+    std::size_t next = pc + 1;
+
+    switch (in.op) {
+      case Op::kLoadImm: regs[in.a] = in.imm; break;
+      case Op::kMov: regs[in.a] = regs[in.b]; break;
+      case Op::kAdd: regs[in.a] += regs[in.b]; break;
+      case Op::kSub: regs[in.a] -= regs[in.b]; break;
+      case Op::kMul: regs[in.a] *= regs[in.b]; break;
+      case Op::kXor: regs[in.a] ^= regs[in.b]; break;
+      case Op::kCmpEq: flag = regs[in.a] == regs[in.b]; break;
+      case Op::kJmp: next = static_cast<std::size_t>(in.imm); break;
+      case Op::kJeq:
+      case Op::kJne: {
+        bool take = (in.op == Op::kJeq) ? flag : !flag;
+        // The CFB superpower: force the branch the other way.
+        if (attack_.flip_branches.contains(pc)) take = !take;
+        result.branch_trace.push_back(BranchEvent{pc, take});
+        if (take) next = static_cast<std::size_t>(in.imm);
+        break;
+      }
+      case Op::kCall:
+        if (attack_.skip_calls.contains(pc)) break;  // attacker no-ops the call
+        call_stack.push_back(next);
+        next = static_cast<std::size_t>(in.imm);
+        break;
+      case Op::kRet:
+        if (call_stack.empty()) {
+          result.halted = true;
+          result.exit_code = regs[0];
+          return result;
+        }
+        next = call_stack.back();
+        call_stack.pop_back();
+        break;
+      case Op::kHalt:
+        result.halted = true;
+        result.exit_code = regs[in.a];
+        return result;
+      case Op::kOut: result.output.push_back(regs[in.a]); break;
+      case Op::kEnclave: {
+        // The virtual CPU cannot look inside the enclave; it can only make
+        // the call and observe the result. Without a valid lease the gate
+        // refuses and the attacker gets nothing useful back.
+        std::optional<std::int64_t> value;
+        if (gate_) value = gate_(in.target, regs[in.b]);
+        if (value.has_value()) {
+          regs[in.a] = *value;
+        } else {
+          result.enclave_denials++;
+          regs[in.a] = 0;  // garbage: the protected logic never ran
+        }
+        break;
+      }
+    }
+    pc = next;
+  }
+  return result;
+}
+
+std::vector<std::size_t> rank_suspect_branches(
+    const std::vector<ExecutionResult>& unlicensed_runs, const Program& program) {
+  // Aggregate per-branch statistics across the runs.
+  struct BranchStats {
+    std::uint64_t observations = 0;
+    std::uint64_t taken = 0;
+    double mean_position = 0.0;  // average index within its trace (0 = early)
+  };
+  std::unordered_map<std::size_t, BranchStats> stats;
+  for (const ExecutionResult& run : unlicensed_runs) {
+    const double trace_size = std::max<std::size_t>(1, run.branch_trace.size());
+    for (std::size_t i = 0; i < run.branch_trace.size(); ++i) {
+      const BranchEvent& event = run.branch_trace[i];
+      BranchStats& s = stats[event.pc];
+      s.observations++;
+      if (event.taken) s.taken++;
+      s.mean_position += static_cast<double>(i) / trace_size;
+    }
+  }
+
+  // Score: deterministic branches (always same way) observed in every run,
+  // sitting early in the trace, near an abort (a HALT within a few
+  // instructions of either successor) are license-check shaped.
+  const auto& code = program.code();
+  auto near_halt = [&](std::size_t pc) {
+    for (std::size_t look = pc; look < std::min(pc + 4, code.size()); ++look) {
+      if (code[look].op == Op::kHalt) return true;
+    }
+    const std::size_t target = static_cast<std::size_t>(code[pc].imm);
+    for (std::size_t look = target; look < std::min(target + 4, code.size()); ++look) {
+      if (code[look].op == Op::kHalt) return true;
+    }
+    return false;
+  };
+
+  std::vector<std::pair<double, std::size_t>> scored;
+  for (const auto& [pc, s] : stats) {
+    const double rate = static_cast<double>(s.taken) / s.observations;
+    const double determinism = std::max(rate, 1.0 - rate);  // 1 = always same
+    const double earliness = 1.0 - s.mean_position / s.observations;
+    double score = determinism + earliness;
+    if (near_halt(pc)) score += 2.0;  // the abort-adjacent signature
+    scored.emplace_back(score, pc);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+
+  std::vector<std::size_t> ranked;
+  ranked.reserve(scored.size());
+  for (const auto& [score, pc] : scored) ranked.push_back(pc);
+  return ranked;
+}
+
+std::optional<std::size_t> find_divergent_branch(const ExecutionResult& licensed,
+                                                 const ExecutionResult& unlicensed) {
+  const std::size_t n =
+      std::min(licensed.branch_trace.size(), unlicensed.branch_trace.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const BranchEvent& a = licensed.branch_trace[i];
+    const BranchEvent& b = unlicensed.branch_trace[i];
+    if (a.pc != b.pc) return b.pc;       // control flow already diverged
+    if (a.taken != b.taken) return b.pc; // the deciding branch
+  }
+  return std::nullopt;
+}
+
+}  // namespace sl::attack

@@ -1,0 +1,143 @@
+// A small virtual CPU for mounting control-flow-bending attacks.
+//
+// The paper's threat model lets the attacker run the victim binary on a
+// virtual CPU (Intel Pin in the paper) with full visibility and control
+// over registers, memory and branches — unbeknownst to the program. This
+// module provides exactly that power over a small register machine:
+// programs are assembled from labeled instructions, and an attacker can
+// flip branch decisions, skip calls, and force register values while the
+// program runs. Enclave-resident functions are the one thing the virtual
+// CPU cannot see into: they execute behind an EnclaveGate that checks for
+// a valid lease token.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace sl::attack {
+
+enum class Op {
+  kLoadImm,  // r[a] = imm
+  kMov,      // r[a] = r[b]
+  kAdd,      // r[a] += r[b]
+  kSub,      // r[a] -= r[b]
+  kMul,      // r[a] *= r[b]
+  kXor,      // r[a] ^= r[b]
+  kCmpEq,    // flag = (r[a] == r[b])
+  kJmp,      // pc = target
+  kJeq,      // if flag, pc = target
+  kJne,      // if !flag, pc = target
+  kCall,     // push pc; pc = target
+  kRet,      // pc = pop
+  kHalt,     // stop (r[a] is the exit code)
+  kOut,      // append r[a] to the output stream
+  kEnclave,  // r[a] = enclave_fn(target)(r[b]) — runs behind the gate
+};
+
+struct Instr {
+  Op op = Op::kHalt;
+  int a = 0;
+  int b = 0;
+  std::int64_t imm = 0;
+  std::string target;  // label or enclave-function name
+};
+
+// Assembler: labeled instruction stream with jump resolution.
+class Program {
+ public:
+  Program& label(const std::string& name);
+  Program& instr(Instr instruction);
+
+  // Convenience emitters.
+  Program& load(int reg, std::int64_t imm);
+  Program& mov(int dst, int src);
+  Program& add(int dst, int src);
+  Program& sub(int dst, int src);
+  Program& mul(int dst, int src);
+  Program& xor_(int dst, int src);
+  Program& cmp_eq(int a, int b);
+  Program& jmp(const std::string& target);
+  Program& jeq(const std::string& target);
+  Program& jne(const std::string& target);
+  Program& call(const std::string& target);
+  Program& ret();
+  Program& halt(int code_reg = 0);
+  Program& out(int reg);
+  Program& enclave_call(int dst, int arg, const std::string& fn);
+
+  const std::vector<Instr>& code() const { return code_; }
+  std::size_t address_of(const std::string& lbl) const;
+  // Resolves all label targets; must be called before execution.
+  void finalize();
+
+ private:
+  std::vector<Instr> code_;
+  std::unordered_map<std::string, std::size_t> labels_;
+  std::vector<std::size_t> unresolved_;
+  bool finalized_ = false;
+};
+
+// A function exported by an enclave: callable only with a valid lease.
+// Returns the function result; the gate decides whether the call is
+// authorized (e.g. by consulting an SL-Manager).
+using EnclaveGate =
+    std::function<std::optional<std::int64_t>(const std::string& fn, std::int64_t arg)>;
+
+// What the attacker tampers with (the virtual-CPU superpowers).
+struct AttackPlan {
+  std::unordered_set<std::size_t> flip_branches;   // invert Jeq/Jne at pc
+  std::unordered_set<std::size_t> skip_calls;      // treat Call at pc as a no-op
+  std::unordered_map<int, std::int64_t> force_registers;  // applied at start
+};
+
+struct BranchEvent {
+  std::size_t pc = 0;
+  bool taken = false;
+};
+
+struct ExecutionResult {
+  bool halted = false;
+  std::int64_t exit_code = -1;
+  std::vector<std::int64_t> output;
+  std::vector<BranchEvent> branch_trace;  // for CFB attack discovery
+  std::uint64_t instructions = 0;
+  std::uint64_t enclave_denials = 0;  // gated calls that were refused
+};
+
+class VirtualCpu {
+ public:
+  explicit VirtualCpu(const Program& program);
+
+  void set_enclave_gate(EnclaveGate gate) { gate_ = std::move(gate); }
+  void set_attack(AttackPlan plan) { attack_ = std::move(plan); }
+
+  // Runs until HALT or the instruction budget is exhausted.
+  ExecutionResult run(std::uint64_t max_instructions = 1'000'000);
+
+ private:
+  const Program& program_;
+  EnclaveGate gate_;
+  AttackPlan attack_;
+};
+
+// Supervised CFB attack discovery (paper Section 2.1.1): compare the branch
+// traces of a licensed and an unlicensed run and return the pc of the first
+// branch that diverges — the license-check decision point.
+std::optional<std::size_t> find_divergent_branch(const ExecutionResult& licensed,
+                                                 const ExecutionResult& unlicensed);
+
+// Unsupervised discovery (Section 2.1.1's second method): with NO licensed
+// trace available, rank candidate authentication branches from unlicensed
+// runs alone. Heuristics: branches close to an early HALT with few
+// instructions executed (license checks abort early) and branches that are
+// always taken the same way score highest. Returns candidate pcs, most
+// suspicious first.
+std::vector<std::size_t> rank_suspect_branches(
+    const std::vector<ExecutionResult>& unlicensed_runs, const Program& program);
+
+}  // namespace sl::attack

@@ -1,0 +1,178 @@
+#include "attack/victim.hpp"
+
+namespace sl::attack {
+
+namespace {
+
+// Query-parsing "key function": a little arithmetic scramble standing in
+// for real parse logic. The enclave-backed builds run this behind the
+// gate; the software build inlines it as virtual-CPU code.
+std::int64_t parse_query(std::int64_t query) {
+  return (query * 37 + 11) ^ 0x2a;
+}
+
+// The authentication decision the AM performs over the supplied license.
+// (In the software build this comparison is visible to the attacker.)
+std::int64_t auth_check(std::int64_t license) {
+  return license == kValidLicense ? 1 : 0;
+}
+
+void emit_protected_region(Program& p, Protection protection) {
+  // Protected region: for three queries, parse and execute, emitting the
+  // result. r4 = query value, r5 = parsed form, r6 = loop counter.
+  p.label("protected");
+  p.load(6, 3);  // three queries
+  p.load(4, 100);
+  p.label("query_loop");
+  if (protection == Protection::kSecureLease) {
+    // Key function inside the enclave: only runs with a valid lease.
+    p.enclave_call(5, 4, "parse_query");
+  } else {
+    // Inline parse: r5 = (r4*37 + 11) ^ 0x2a.
+    p.load(7, 37);
+    p.mov(5, 4);
+    p.mul(5, 7);
+    p.load(7, 11);
+    p.add(5, 7);
+    p.load(7, 0x2a);
+    p.xor_(5, 7);
+  }
+  // "Execute" the query: result = parsed + query, emitted as output.
+  p.mov(8, 5);
+  p.add(8, 4);
+  p.out(8);
+  // Next query.
+  p.load(7, 17);
+  p.add(4, 7);
+  p.load(7, 1);
+  p.sub(6, 7);
+  p.load(7, 0);
+  p.cmp_eq(6, 7);
+  p.jne("query_loop");
+  p.load(0, 0);
+  p.halt(0);
+}
+
+}  // namespace
+
+VictimApp build_victim(Protection protection) {
+  VictimApp app;
+  Program& p = app.program;
+
+  // Initialization phase (init SSL, server init, ... in Figure 6): here a
+  // token bit of setup arithmetic.
+  p.label("init");
+  p.load(2, 7);
+  p.load(3, 5);
+  p.add(2, 3);
+
+  // Authentication module. r1 holds the user-supplied license value.
+  if (protection == Protection::kSoftwareOnly) {
+    // Visible comparison: r9 = expected license; flag = (r1 == r9).
+    p.label("auth");
+    p.load(9, kValidLicense);
+    p.cmp_eq(1, 9);
+    p.jne("abort");  // the jne of Figure 2: flip it and you are in
+    p.jmp("protected");
+  } else {
+    // AM behind the enclave gate: r10 = auth(r1). The attacker cannot bend
+    // the check itself, but the *outcome* is processed out here — skipping
+    // the branch below is attack 2 of Figure 6.
+    p.label("auth");
+    p.enclave_call(10, 1, "auth_check");
+    p.load(9, 1);
+    p.cmp_eq(10, 9);
+    p.jne("abort");
+    p.jmp("protected");
+  }
+
+  p.label("abort");
+  p.load(0, 1);
+  p.halt(0);
+
+  emit_protected_region(p, protection);
+  p.finalize();
+
+  // Expected output of a licensed run: three parsed+executed queries.
+  for (std::int64_t q = 100, i = 0; i < 3; ++i, q += 17) {
+    app.expected_output.push_back(parse_query(q) + q);
+  }
+  return app;
+}
+
+EnclaveGate make_gate(bool licensed) {
+  return [licensed](const std::string& fn, std::int64_t arg) -> std::optional<std::int64_t> {
+    if (fn == "auth_check") {
+      // The AM itself always runs (it must be able to say "no").
+      return auth_check(arg);
+    }
+    if (fn == "parse_query") {
+      // Key function: refuses without a valid lease.
+      if (!licensed) return std::nullopt;
+      return parse_query(arg);
+    }
+    return std::nullopt;
+  };
+}
+
+ExecutionResult run_victim(const VictimApp& app, std::int64_t license_value,
+                           bool gate_licensed) {
+  VirtualCpu cpu(app.program);
+  cpu.set_enclave_gate(make_gate(gate_licensed));
+  AttackPlan plan;
+  plan.force_registers[1] = license_value;
+  cpu.set_attack(plan);
+  return cpu.run();
+}
+
+ExecutionResult mount_unsupervised_cfb_attack(const VictimApp& app,
+                                              bool gate_licensed,
+                                              int max_attempts) {
+  // Step 1: collect traces with assorted invalid licenses (the attacker
+  // has no valid one).
+  std::vector<ExecutionResult> probes;
+  for (std::int64_t guess : {0LL, 1LL, 0x1234LL, -1LL}) {
+    probes.push_back(run_victim(app, guess, gate_licensed));
+  }
+  const std::vector<std::size_t> suspects =
+      rank_suspect_branches(probes, app.program);
+
+  // Step 2: flip suspects best-first until a run escapes the abort path.
+  ExecutionResult best = probes.front();
+  int attempts = 0;
+  for (std::size_t pc : suspects) {
+    if (attempts++ >= max_attempts) break;
+    VirtualCpu cpu(app.program);
+    cpu.set_enclave_gate(make_gate(gate_licensed));
+    AttackPlan plan;
+    plan.force_registers[1] = 0;
+    plan.flip_branches.insert(pc);
+    cpu.set_attack(plan);
+    ExecutionResult attempt = cpu.run();
+    // "Escaped" = produced output the abort path never does.
+    if (!attempt.output.empty()) return attempt;
+    best = std::move(attempt);
+  }
+  return best;
+}
+
+ExecutionResult mount_cfb_attack(const VictimApp& app, bool gate_licensed) {
+  // Step 1 (supervised discovery): trace with and without a valid license.
+  const ExecutionResult licensed = run_victim(app, kValidLicense, /*gate=*/true);
+  const ExecutionResult unlicensed = run_victim(app, 0, gate_licensed);
+
+  AttackPlan plan;
+  plan.force_registers[1] = 0;  // no license
+  const auto decision = find_divergent_branch(licensed, unlicensed);
+  if (decision.has_value()) {
+    // Step 2: flip the deciding branch.
+    plan.flip_branches.insert(*decision);
+  }
+
+  VirtualCpu cpu(app.program);
+  cpu.set_enclave_gate(make_gate(gate_licensed));
+  cpu.set_attack(plan);
+  return cpu.run();
+}
+
+}  // namespace sl::attack

@@ -1,0 +1,58 @@
+// Victim programs for the CFB attack experiments (paper Sections 2.1.1, 6.1).
+//
+// A miniature MySQL-like application assembled for the virtual CPU: an
+// initialization phase, an authentication module that validates a license
+// value, and a protected region (query parse + execute) that produces the
+// program's useful output. Three builds reproduce the paper's narrative:
+//  * kSoftwareOnly  — the AM is plain code; flipping its decision branch
+//                     unlocks the whole program (Figure 1 / Figure 2).
+//  * kAmInEnclave   — only the AM runs behind the enclave gate; the
+//                     attacker cannot tamper with it but can skip it and
+//                     fix up the result register (Figure 6, attack 2).
+//  * kSecureLease   — the AM AND the key function (query parsing) are
+//                     enclave-gated; a bent control flow reaches the
+//                     protected region but the key function yields nothing
+//                     without a valid lease, leaving the program useless.
+#pragma once
+
+#include "attack/vcpu.hpp"
+
+namespace sl::attack {
+
+enum class Protection { kSoftwareOnly, kAmInEnclave, kSecureLease };
+
+struct VictimApp {
+  Program program;
+  // The output the vendor intends licensed users to obtain.
+  std::vector<std::int64_t> expected_output;
+};
+
+// Builds the victim with the given protection scheme. `license_value` is
+// what the user supplies at run time via register 1 (the correct value is
+// kValidLicense).
+VictimApp build_victim(Protection protection);
+
+inline constexpr std::int64_t kValidLicense = 0x5ec2e7;
+
+// The gate used for enclave-backed builds: authorized when `licensed`.
+// Counts denials so tests can assert the handicap.
+EnclaveGate make_gate(bool licensed);
+
+// Runs the victim with the supplied license value and no attack.
+ExecutionResult run_victim(const VictimApp& app, std::int64_t license_value,
+                           bool gate_licensed);
+
+// Mounts the supervised CFB attack of Section 2.1.1: trace a licensed and
+// an unlicensed run, find the deciding branch, flip it, and re-run without
+// a license. Returns the attacked execution.
+ExecutionResult mount_cfb_attack(const VictimApp& app, bool gate_licensed);
+
+// Mounts the unsupervised variant: no licensed trace is available, so the
+// attacker runs the victim with several bogus license values, ranks the
+// suspect branches, and flips candidates (best first, up to `max_attempts`)
+// until an attempt survives past the abort. Returns the best attempt.
+ExecutionResult mount_unsupervised_cfb_attack(const VictimApp& app,
+                                              bool gate_licensed,
+                                              int max_attempts = 4);
+
+}  // namespace sl::attack

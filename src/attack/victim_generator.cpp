@@ -1,0 +1,158 @@
+#include "attack/victim_generator.hpp"
+
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace sl::attack {
+
+namespace {
+
+// The per-stage protected transform; varies with the seed so generated
+// programs compute genuinely different functions.
+std::int64_t stage_fn(std::uint64_t seed, int stage, std::int64_t input) {
+  const std::int64_t a = static_cast<std::int64_t>(
+      3 + splitmix64_key(static_cast<std::uint64_t>(stage) * 2 + 1, seed) % 97);
+  const std::int64_t b = static_cast<std::int64_t>(
+      splitmix64_key(static_cast<std::uint64_t>(stage) * 2 + 2, seed) % 1009);
+  return (input * a + b) ^ (stage * 0x11);
+}
+
+std::string stage_name(int stage) { return "stage" + std::to_string(stage); }
+
+}  // namespace
+
+GeneratedVictim generate_victim(const VictimSpec& spec) {
+  Rng rng(spec.seed);
+  GeneratedVictim victim;
+  victim.seed = spec.seed;
+  victim.license_value =
+      static_cast<std::int64_t>(splitmix64_key(0xace, spec.seed) % 1'000'000 + 1);
+
+  // Decide which stages are enclave-gated under kSecureLease.
+  std::vector<bool> gated(static_cast<std::size_t>(spec.stages), false);
+  if (spec.protection == Protection::kSecureLease) {
+    for (int s = 0; s < spec.stages; ++s) {
+      gated[static_cast<std::size_t>(s)] = rng.next_bool(spec.key_stage_fraction);
+    }
+    // At least one key function, or the partition protects nothing.
+    gated[static_cast<std::size_t>(rng.next_below(
+        static_cast<std::uint64_t>(spec.stages)))] = true;
+    for (bool g : gated) {
+      if (g) victim.gated_stages++;
+    }
+  }
+
+  Program& p = victim.app.program;
+
+  // Init phase: arithmetic noise with its own (harmless) branches so the
+  // attack discovery has decoys to consider.
+  p.label("init");
+  p.load(2, static_cast<std::int64_t>(rng.next_below(50) + 1));
+  for (int i = 0; i < spec.init_ops; ++i) {
+    p.load(3, static_cast<std::int64_t>(rng.next_below(9) + 1));
+    switch (rng.next_below(3)) {
+      case 0: p.add(2, 3); break;
+      case 1: p.mul(2, 3); break;
+      default: p.xor_(2, 3); break;
+    }
+  }
+
+  // Authentication module. r1 = user-supplied license value.
+  p.label("auth");
+  if (spec.protection == Protection::kSoftwareOnly) {
+    p.load(9, victim.license_value);
+    p.cmp_eq(1, 9);
+    p.jne("abort");
+  } else {
+    p.enclave_call(10, 1, "auth_check");
+    p.load(9, 1);
+    p.cmp_eq(10, 9);
+    p.jne("abort");
+  }
+  p.jmp("protected");
+
+  p.label("abort");
+  p.load(0, 1);
+  p.halt(0);
+
+  // Protected region: a pipeline of stages; each stage transforms r4 and
+  // emits `outputs_per_stage` derived values.
+  p.label("protected");
+  const std::int64_t input0 = static_cast<std::int64_t>(rng.next_below(500) + 10);
+  p.load(4, input0);
+  std::int64_t value = input0;
+  for (int s = 0; s < spec.stages; ++s) {
+    if (spec.protection == Protection::kSecureLease &&
+        gated[static_cast<std::size_t>(s)]) {
+      p.enclave_call(4, 4, stage_name(s));
+    } else {
+      // Inline the transform: r4 = (r4*a + b) ^ (s*0x11).
+      const std::int64_t a = static_cast<std::int64_t>(
+          3 + splitmix64_key(static_cast<std::uint64_t>(s) * 2 + 1, spec.seed) % 97);
+      const std::int64_t b = static_cast<std::int64_t>(
+          splitmix64_key(static_cast<std::uint64_t>(s) * 2 + 2, spec.seed) % 1009);
+      p.load(7, a);
+      p.mul(4, 7);
+      p.load(7, b);
+      p.add(4, 7);
+      p.load(7, s * 0x11);
+      p.xor_(4, 7);
+    }
+    value = stage_fn(spec.seed, s, value);
+    for (int o = 0; o < spec.outputs_per_stage; ++o) {
+      p.load(7, o + 1);
+      p.mov(8, 4);
+      p.add(8, 7);
+      p.out(8);
+      victim.app.expected_output.push_back(value + o + 1);
+    }
+  }
+  p.load(0, 0);
+  p.halt(0);
+  p.finalize();
+  return victim;
+}
+
+EnclaveGate make_generated_gate(const GeneratedVictim& victim, bool licensed) {
+  const std::int64_t valid = victim.license_value;
+  const std::uint64_t seed = victim.seed;
+  return [valid, licensed, seed](const std::string& fn,
+                                 std::int64_t arg) -> std::optional<std::int64_t> {
+    if (fn == "auth_check") return arg == valid ? 1 : 0;
+    if (fn.rfind("stage", 0) == 0) {
+      if (!licensed) return std::nullopt;  // no lease, no key function
+      const int stage = std::stoi(fn.substr(5));
+      return stage_fn(seed, stage, arg);
+    }
+    return std::nullopt;
+  };
+}
+
+ExecutionResult run_generated(const GeneratedVictim& victim,
+                              std::int64_t license_value, bool gate_licensed) {
+  VirtualCpu cpu(victim.app.program);
+  cpu.set_enclave_gate(make_generated_gate(victim, gate_licensed));
+  AttackPlan plan;
+  plan.force_registers[1] = license_value;
+  cpu.set_attack(plan);
+  return cpu.run();
+}
+
+ExecutionResult attack_generated(const GeneratedVictim& victim, bool gate_licensed) {
+  const ExecutionResult licensed =
+      run_generated(victim, victim.license_value, /*gate=*/true);
+  const ExecutionResult unlicensed = run_generated(victim, 0, gate_licensed);
+
+  AttackPlan plan;
+  plan.force_registers[1] = 0;
+  const auto decision = find_divergent_branch(licensed, unlicensed);
+  if (decision.has_value()) plan.flip_branches.insert(*decision);
+
+  VirtualCpu cpu(victim.app.program);
+  cpu.set_enclave_gate(make_generated_gate(victim, gate_licensed));
+  cpu.set_attack(plan);
+  return cpu.run();
+}
+
+}  // namespace sl::attack

@@ -1,0 +1,47 @@
+// Randomized victim-program generator for generative security testing.
+//
+// Produces virtual-CPU applications with a configurable shape — an init
+// phase, an authentication module guarding the protected region, and a
+// protected region of several "stages" whose results feed the output —
+// under any of the three protection schemes. The security properties of
+// the paper must hold for EVERY generated program:
+//   * a CFB attack fully cracks kSoftwareOnly and kAmInEnclave builds,
+//   * under kSecureLease the attack never reproduces the protected output.
+#pragma once
+
+#include <cstdint>
+
+#include "attack/victim.hpp"
+
+namespace sl::attack {
+
+struct VictimSpec {
+  std::uint64_t seed = 1;
+  int init_ops = 4;         // arithmetic noise before the AM
+  int stages = 3;           // protected-region pipeline stages
+  int outputs_per_stage = 2;
+  Protection protection = Protection::kSoftwareOnly;
+  // Fraction of stages that are key functions (enclave-gated under
+  // kSecureLease). At least one stage is always gated.
+  double key_stage_fraction = 0.5;
+};
+
+struct GeneratedVictim {
+  VictimApp app;
+  std::int64_t license_value = 0;  // the valid license for this build
+  int gated_stages = 0;            // stages behind the enclave gate
+  std::uint64_t seed = 0;          // generation seed (the gate derives the
+                                   // stage transforms from it)
+};
+
+GeneratedVictim generate_victim(const VictimSpec& spec);
+
+// Gate for a generated victim (knows the per-seed stage functions).
+EnclaveGate make_generated_gate(const GeneratedVictim& victim, bool licensed);
+
+// Convenience runners mirroring victim.hpp's helpers.
+ExecutionResult run_generated(const GeneratedVictim& victim,
+                              std::int64_t license_value, bool gate_licensed);
+ExecutionResult attack_generated(const GeneratedVictim& victim, bool gate_licensed);
+
+}  // namespace sl::attack

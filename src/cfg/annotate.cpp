@@ -1,0 +1,64 @@
+#include "cfg/annotate.hpp"
+
+#include <algorithm>
+
+namespace sl::cfg {
+
+RegionAnnotator::RegionAnnotator(CallGraph& graph) : graph_(graph) {}
+
+void RegionAnnotator::declare_region(const std::string& region, std::uint64_t bytes,
+                                     bool sensitive) {
+  require(!regions_.contains(region), "declare_region: duplicate " + region);
+  Region r;
+  r.bytes = bytes;
+  r.sensitive = sensitive;
+  regions_.emplace(region, std::move(r));
+}
+
+void RegionAnnotator::accesses(const std::string& function, const std::string& region,
+                               bool owns) {
+  auto it = regions_.find(region);
+  require(it != regions_.end(), "accesses: unknown region " + region);
+  const NodeId node = graph_.id_of(function);
+  it->second.touchers.insert(node);
+  if (owns) {
+    require(!it->second.owner.has_value() || *it->second.owner == node,
+            "accesses: region " + region + " already owned");
+    it->second.owner = node;
+  }
+}
+
+std::size_t RegionAnnotator::apply() {
+  std::unordered_set<NodeId> marked;
+  for (auto& [name, region] : regions_) {
+    for (NodeId node : region.touchers) {
+      if (region.sensitive) {
+        graph_.node(node).touches_sensitive_data = true;
+        marked.insert(node);
+      }
+    }
+    if (region.owner.has_value()) {
+      graph_.node(*region.owner).mem_bytes += region.bytes;
+    }
+  }
+  return marked.size();
+}
+
+std::vector<std::string> RegionAnnotator::functions_touching(
+    const std::string& region) const {
+  auto it = regions_.find(region);
+  require(it != regions_.end(), "functions_touching: unknown region " + region);
+  std::vector<std::string> names;
+  names.reserve(it->second.touchers.size());
+  for (NodeId node : it->second.touchers) names.push_back(graph_.node(node).name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::uint64_t RegionAnnotator::region_bytes(const std::string& region) const {
+  auto it = regions_.find(region);
+  require(it != regions_.end(), "region_bytes: unknown region " + region);
+  return it->second.bytes;
+}
+
+}  // namespace sl::cfg

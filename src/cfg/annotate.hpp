@@ -1,0 +1,54 @@
+// Data-region annotation workflow (the Glamdring developer experience).
+//
+// Glamdring's developers annotate DATA STRUCTURES as sensitive, not
+// functions; an information-flow analysis then derives the function set.
+// This helper models that workflow over our call graphs: declare named data
+// regions with sizes, record which functions read/write each region, and
+// derive per-function sensitivity + memory footprints from the declarations.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cfg/graph.hpp"
+
+namespace sl::cfg {
+
+class RegionAnnotator {
+ public:
+  explicit RegionAnnotator(CallGraph& graph);
+
+  // Declares a data region; `sensitive` marks it as IP the vendor protects.
+  void declare_region(const std::string& region, std::uint64_t bytes,
+                      bool sensitive);
+
+  // Records that `function` accesses `region`. `owns` attributes the
+  // region's bytes to this function's footprint (one owner per region —
+  // typically its hottest toucher).
+  void accesses(const std::string& function, const std::string& region,
+                bool owns = false);
+
+  // Applies the declarations: every function touching a sensitive region
+  // gets touches_sensitive_data = true, owners get the region bytes added
+  // to mem_bytes. Returns the number of functions marked sensitive.
+  std::size_t apply();
+
+  // Query helpers (valid after apply()).
+  std::vector<std::string> functions_touching(const std::string& region) const;
+  std::uint64_t region_bytes(const std::string& region) const;
+
+ private:
+  struct Region {
+    std::uint64_t bytes = 0;
+    bool sensitive = false;
+    std::unordered_set<NodeId> touchers;
+    std::optional<NodeId> owner;
+  };
+
+  CallGraph& graph_;
+  std::unordered_map<std::string, Region> regions_;
+};
+
+}  // namespace sl::cfg

@@ -1,0 +1,253 @@
+#include "cfg/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace sl::cfg {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Undirected weighted adjacency with distance = 1/(1+log2(1+calls)).
+struct Adjacency {
+  std::vector<std::vector<std::pair<NodeId, double>>> neighbors;
+};
+
+Adjacency build_adjacency(const CallGraph& graph) {
+  Adjacency adj;
+  adj.neighbors.resize(graph.node_count());
+  for (const Edge& e : graph.edges()) {
+    // sqrt keeps hot edges strongly ordered (log saturates too fast to
+    // separate a 10 K-call boundary edge from a 1 M-call intra-module edge).
+    const double distance = 1.0 / (1.0 + std::sqrt(static_cast<double>(e.call_count)));
+    adj.neighbors[e.from].emplace_back(e.to, distance);
+    adj.neighbors[e.to].emplace_back(e.from, distance);
+  }
+  return adj;
+}
+
+// Single-source shortest path (Dijkstra) over the similarity graph.
+std::vector<double> shortest_paths(const Adjacency& adj, NodeId source) {
+  std::vector<double> dist(adj.neighbors.size(), kInf);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+  dist[source] = 0.0;
+  queue.emplace(0.0, source);
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    for (const auto& [v, w] : adj.neighbors[u]) {
+      if (dist[u] + w < dist[v]) {
+        dist[v] = dist[u] + w;
+        queue.emplace(dist[v], v);
+      }
+    }
+  }
+  return dist;
+}
+
+// Farthest-point seeding: start from the heaviest node, then repeatedly take
+// the node farthest from all chosen seeds. Deterministic.
+std::vector<NodeId> choose_seeds(const CallGraph& graph, const Adjacency& adj,
+                                 std::uint32_t k) {
+  std::vector<NodeId> seeds;
+  NodeId first = 0;
+  std::uint64_t best_weight = 0;
+  for (NodeId n = 0; n < graph.node_count(); ++n) {
+    const std::uint64_t w = graph.node(n).dynamic_instructions();
+    if (w >= best_weight) {
+      best_weight = w;
+      first = n;
+    }
+  }
+  seeds.push_back(first);
+
+  std::vector<double> min_dist = shortest_paths(adj, first);
+  while (seeds.size() < k) {
+    NodeId farthest = 0;
+    double best = -1.0;
+    for (NodeId n = 0; n < graph.node_count(); ++n) {
+      double d = min_dist[n];
+      if (d == kInf) d = 1e9;  // disconnected nodes become their own seeds
+      if (d > best) {
+        best = d;
+        farthest = n;
+      }
+    }
+    if (best <= 0.0) break;  // all nodes coincide with seeds
+    seeds.push_back(farthest);
+    const std::vector<double> d = shortest_paths(adj, farthest);
+    for (NodeId n = 0; n < graph.node_count(); ++n) {
+      min_dist[n] = std::min(min_dist[n], d[n]);
+    }
+  }
+  return seeds;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> Clustering::members() const {
+  std::vector<std::vector<NodeId>> result(k);
+  for (NodeId n = 0; n < assignment.size(); ++n) {
+    result[assignment[n]].push_back(n);
+  }
+  return result;
+}
+
+Clustering cluster_call_graph(const CallGraph& graph, ClusterOptions options) {
+  Clustering result;
+  const std::size_t n = graph.node_count();
+  if (n == 0) return result;
+  const std::uint32_t k =
+      std::max<std::uint32_t>(1, std::min<std::uint32_t>(options.k, static_cast<std::uint32_t>(n)));
+
+  const Adjacency adj = build_adjacency(graph);
+  std::vector<NodeId> medoids = choose_seeds(graph, adj, k);
+
+  std::vector<std::uint32_t> assignment(n, 0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Assignment step: nearest medoid by graph distance.
+    std::vector<std::vector<double>> dist_from_medoid;
+    dist_from_medoid.reserve(medoids.size());
+    for (NodeId m : medoids) dist_from_medoid.push_back(shortest_paths(adj, m));
+
+    bool changed = false;
+    for (NodeId node = 0; node < n; ++node) {
+      std::uint32_t best_cluster = assignment[node];
+      double best = kInf;
+      for (std::uint32_t c = 0; c < medoids.size(); ++c) {
+        if (dist_from_medoid[c][node] < best) {
+          best = dist_from_medoid[c][node];
+          best_cluster = c;
+        }
+      }
+      if (best == kInf) best_cluster = assignment[node];  // unreachable: keep
+      if (assignment[node] != best_cluster) {
+        assignment[node] = best_cluster;
+        changed = true;
+      }
+    }
+
+    // Update step: medoid = member minimizing summed distance to members.
+    std::vector<std::vector<NodeId>> members(medoids.size());
+    for (NodeId node = 0; node < n; ++node) members[assignment[node]].push_back(node);
+    bool medoid_moved = false;
+    for (std::uint32_t c = 0; c < medoids.size(); ++c) {
+      if (members[c].empty()) continue;
+      NodeId best_medoid = medoids[c];
+      double best_cost = kInf;
+      for (NodeId candidate : members[c]) {
+        const std::vector<double> d = shortest_paths(adj, candidate);
+        double cost = 0.0;
+        for (NodeId m : members[c]) {
+          cost += (d[m] == kInf) ? 1e9 : d[m];
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_medoid = candidate;
+        }
+      }
+      if (best_medoid != medoids[c]) {
+        medoids[c] = best_medoid;
+        medoid_moved = true;
+      }
+    }
+
+    if (!changed && !medoid_moved) break;
+  }
+
+  result.assignment = std::move(assignment);
+  result.k = static_cast<std::uint32_t>(medoids.size());
+  return result;
+}
+
+std::uint32_t weak_component_count(const CallGraph& graph) {
+  const std::size_t n = graph.node_count();
+  std::vector<std::vector<NodeId>> adj(n);
+  for (const Edge& e : graph.edges()) {
+    adj[e.from].push_back(e.to);
+    adj[e.to].push_back(e.from);
+  }
+  std::vector<bool> seen(n, false);
+  std::uint32_t components = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (seen[start]) continue;
+    components++;
+    stack.push_back(start);
+    seen[start] = true;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : adj[u]) {
+        if (!seen[v]) {
+          seen[v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+ClusterMetrics evaluate_clustering(const CallGraph& graph, const Clustering& clustering) {
+  ClusterMetrics metrics;
+  std::uint64_t total_weight = 0;
+  for (const Edge& e : graph.edges()) {
+    total_weight += e.call_count;
+    if (clustering.assignment[e.from] == clustering.assignment[e.to]) {
+      metrics.intra_cluster_calls += e.call_count;
+    } else {
+      metrics.inter_cluster_calls += e.call_count;
+    }
+  }
+
+  // Newman modularity Q = sum_c (e_c/m - (a_c/2m)^2) on the undirected view.
+  if (total_weight > 0) {
+    const double m2 = 2.0 * static_cast<double>(total_weight);
+    std::vector<double> internal(clustering.k, 0.0);
+    std::vector<double> degree(clustering.k, 0.0);
+    for (const Edge& e : graph.edges()) {
+      const double w = static_cast<double>(e.call_count);
+      degree[clustering.assignment[e.from]] += w;
+      degree[clustering.assignment[e.to]] += w;
+      if (clustering.assignment[e.from] == clustering.assignment[e.to]) internal[clustering.assignment[e.from]] += w;
+    }
+    double q = 0.0;
+    for (std::uint32_t c = 0; c < clustering.k; ++c) {
+      q += 2.0 * internal[c] / m2 - (degree[c] / m2) * (degree[c] / m2);
+    }
+    metrics.modularity = q;
+  }
+  return metrics;
+}
+
+std::vector<ClusterSummary> summarize_clusters(const CallGraph& graph,
+                                               const Clustering& clustering) {
+  std::vector<ClusterSummary> summaries(clustering.k);
+  for (std::uint32_t c = 0; c < clustering.k; ++c) summaries[c].cluster = c;
+
+  for (NodeId node = 0; node < clustering.assignment.size(); ++node) {
+    ClusterSummary& s = summaries[clustering.assignment[node]];
+    const FunctionInfo& info = graph.node(node);
+    s.mem_bytes += info.mem_bytes;
+    s.code_instructions += info.code_instructions;
+    s.dynamic_instructions += info.dynamic_instructions();
+    s.contains_authentication |= info.in_authentication_module;
+    s.contains_key_function |= info.is_key_function;
+    s.members.push_back(node);
+  }
+  for (const Edge& e : graph.edges()) {
+    if (clustering.assignment[e.from] != clustering.assignment[e.to]) {
+      summaries[clustering.assignment[e.from]].boundary_calls += e.call_count;
+      summaries[clustering.assignment[e.to]].boundary_calls += e.call_count;
+    }
+  }
+  return summaries;
+}
+
+}  // namespace sl::cfg

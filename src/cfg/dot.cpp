@@ -1,0 +1,47 @@
+#include "cfg/dot.hpp"
+
+#include <sstream>
+
+namespace sl::cfg {
+
+namespace {
+const char* kPalette[] = {"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+                          "#cab2d6", "#ffff99", "#1f78b4", "#33a02c"};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+}  // namespace
+
+std::string to_dot(const CallGraph& graph, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph " << options.graph_name << " {\n";
+  os << "  node [shape=ellipse, style=filled];\n";
+
+  if (options.clustering != nullptr) {
+    const auto members = options.clustering->members();
+    for (std::uint32_t c = 0; c < members.size(); ++c) {
+      os << "  subgraph cluster_" << c << " {\n";
+      os << "    label=\"cluster " << c << "\";\n";
+      for (NodeId n : members[c]) {
+        const bool hot = options.highlighted.contains(n);
+        os << "    \"" << graph.node(n).name << "\" [fillcolor=\""
+           << kPalette[c % kPaletteSize] << "\""
+           << (hot ? ", penwidth=3, color=red" : "") << "];\n";
+      }
+      os << "  }\n";
+    }
+  } else {
+    for (NodeId n = 0; n < graph.node_count(); ++n) {
+      const bool hot = options.highlighted.contains(n);
+      os << "  \"" << graph.node(n).name << "\" [fillcolor=\""
+         << (hot ? "#fb9a99" : "#ffffff") << "\"];\n";
+    }
+  }
+
+  for (const Edge& e : graph.edges()) {
+    os << "  \"" << graph.node(e.from).name << "\" -> \"" << graph.node(e.to).name
+       << "\" [label=\"" << e.call_count << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace sl::cfg

@@ -1,0 +1,23 @@
+// Graphviz DOT export for call graphs (used to regenerate Figure 7).
+#pragma once
+
+#include <string>
+#include <unordered_set>
+
+#include "cfg/cluster.hpp"
+#include "cfg/graph.hpp"
+
+namespace sl::cfg {
+
+struct DotOptions {
+  // Optional clustering: nodes of the same cluster share a color and a
+  // Graphviz subgraph.
+  const Clustering* clustering = nullptr;
+  // Nodes to highlight (e.g. the functions a partitioner migrated).
+  std::unordered_set<NodeId> highlighted;
+  std::string graph_name = "callgraph";
+};
+
+std::string to_dot(const CallGraph& graph, const DotOptions& options = {});
+
+}  // namespace sl::cfg

@@ -1,0 +1,75 @@
+#include "cfg/generate.hpp"
+
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace sl::cfg {
+
+CallGraph generate_modular_graph(const ModularGraphSpec& spec) {
+  require(spec.modules > 0 && spec.functions_per_module > 0,
+          "generate_modular_graph: empty spec");
+  Rng rng(spec.seed);
+  CallGraph graph;
+
+  for (std::uint32_t m = 0; m < spec.modules; ++m) {
+    for (std::uint32_t f = 0; f < spec.functions_per_module; ++f) {
+      FunctionInfo info;
+      info.name = "m" + std::to_string(m) + "_f" + std::to_string(f);
+      info.code_instructions = 200 + rng.next_below(2000);
+      info.mem_bytes = 4096 * (1 + rng.next_below(64));
+      info.work_cycles = 100 + rng.next_below(1000);
+      info.invocations = 1 + rng.next_below(10000);
+      graph.add_function(std::move(info));
+    }
+  }
+
+  const auto node_id = [&](std::uint32_t m, std::uint32_t f) {
+    return static_cast<NodeId>(m * spec.functions_per_module + f);
+  };
+
+  for (std::uint32_t m = 0; m < spec.modules; ++m) {
+    for (std::uint32_t f = 0; f < spec.functions_per_module; ++f) {
+      const NodeId from = node_id(m, f);
+      // Intra-module edges.
+      const double p_intra = spec.intra_degree / spec.functions_per_module;
+      for (std::uint32_t g = 0; g < spec.functions_per_module; ++g) {
+        if (g == f) continue;
+        if (rng.next_bool(p_intra)) {
+          graph.add_call(from, node_id(m, g), spec.intra_call_count / 2 +
+                                                  rng.next_below(spec.intra_call_count));
+        }
+      }
+      // Inter-module edges.
+      const double p_inter =
+          spec.modules > 1
+              ? spec.inter_degree / (spec.functions_per_module * (spec.modules - 1))
+              : 0.0;
+      for (std::uint32_t m2 = 0; m2 < spec.modules; ++m2) {
+        if (m2 == m) continue;
+        for (std::uint32_t g = 0; g < spec.functions_per_module; ++g) {
+          if (rng.next_bool(p_inter)) {
+            graph.add_call(from, node_id(m2, g),
+                           1 + rng.next_below(spec.inter_call_count));
+          }
+        }
+      }
+    }
+  }
+
+  // Guarantee weak connectivity: chain one function of each module.
+  for (std::uint32_t m = 1; m < spec.modules; ++m) {
+    graph.add_call(node_id(m - 1, 0), node_id(m, 0), 1);
+  }
+  return graph;
+}
+
+std::uint32_t planted_module(const CallGraph& graph, NodeId node) {
+  const std::string& name = graph.node(node).name;
+  require(!name.empty() && name[0] == 'm', "planted_module: not a generated node");
+  const std::size_t underscore = name.find('_');
+  require(underscore != std::string::npos, "planted_module: malformed name");
+  return static_cast<std::uint32_t>(std::stoul(name.substr(1, underscore - 1)));
+}
+
+}  // namespace sl::cfg

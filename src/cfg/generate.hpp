@@ -1,0 +1,32 @@
+// Synthetic modular call-graph generator.
+//
+// Produces graphs with planted module structure (dense intra-module call
+// edges, sparse inter-module edges), mirroring the modularity observation of
+// paper Section 4.2. Used by clustering tests and partitioner benches.
+#pragma once
+
+#include <cstdint>
+
+#include "cfg/graph.hpp"
+
+namespace sl::cfg {
+
+struct ModularGraphSpec {
+  std::uint32_t modules = 6;
+  std::uint32_t functions_per_module = 12;
+  // Expected number of intra-module callees per function.
+  double intra_degree = 4.0;
+  // Expected number of inter-module callees per function.
+  double inter_degree = 0.5;
+  std::uint64_t intra_call_count = 1000;  // calls per intra edge
+  std::uint64_t inter_call_count = 10;    // calls per inter edge
+  std::uint64_t seed = 42;
+};
+
+// Generates the graph; function `m<i>_f<j>` belongs to planted module i.
+CallGraph generate_modular_graph(const ModularGraphSpec& spec);
+
+// Ground-truth module of a generated node (derived from its name).
+std::uint32_t planted_module(const CallGraph& graph, NodeId node);
+
+}  // namespace sl::cfg

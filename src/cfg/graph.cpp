@@ -1,0 +1,117 @@
+#include "cfg/graph.hpp"
+
+namespace sl::cfg {
+
+NodeId CallGraph::add_function(FunctionInfo info) {
+  require(!by_name_.contains(info.name), "add_function: duplicate name " + info.name);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  by_name_.emplace(info.name, id);
+  nodes_.push_back(std::move(info));
+  out_adj_.emplace_back();
+  in_adj_.emplace_back();
+  return id;
+}
+
+void CallGraph::add_call(NodeId from, NodeId to, std::uint64_t count) {
+  require(from < nodes_.size() && to < nodes_.size(), "add_call: bad node id");
+  // Accumulate onto an existing edge if present.
+  for (std::size_t idx : out_adj_[from]) {
+    if (edges_[idx].to == to) {
+      edges_[idx].call_count += count;
+      return;
+    }
+  }
+  const std::size_t idx = edges_.size();
+  edges_.push_back(Edge{from, to, count});
+  out_adj_[from].push_back(idx);
+  in_adj_[to].push_back(idx);
+}
+
+void CallGraph::add_call(const std::string& from, const std::string& to,
+                         std::uint64_t count) {
+  add_call(id_of(from), id_of(to), count);
+}
+
+const FunctionInfo& CallGraph::node(NodeId id) const {
+  require(id < nodes_.size(), "node: bad id");
+  return nodes_[id];
+}
+
+FunctionInfo& CallGraph::node(NodeId id) {
+  require(id < nodes_.size(), "node: bad id");
+  return nodes_[id];
+}
+
+NodeId CallGraph::id_of(const std::string& name) const {
+  auto it = by_name_.find(name);
+  require(it != by_name_.end(), "id_of: unknown function " + name);
+  return it->second;
+}
+
+std::optional<NodeId> CallGraph::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Edge> CallGraph::out_edges(NodeId id) const {
+  require(id < nodes_.size(), "out_edges: bad id");
+  std::vector<Edge> result;
+  result.reserve(out_adj_[id].size());
+  for (std::size_t idx : out_adj_[id]) result.push_back(edges_[idx]);
+  return result;
+}
+
+std::vector<Edge> CallGraph::in_edges(NodeId id) const {
+  require(id < nodes_.size(), "in_edges: bad id");
+  std::vector<Edge> result;
+  result.reserve(in_adj_[id].size());
+  for (std::size_t idx : in_adj_[id]) result.push_back(edges_[idx]);
+  return result;
+}
+
+std::uint64_t CallGraph::out_degree(NodeId id) const {
+  require(id < nodes_.size(), "out_degree: bad id");
+  return out_adj_[id].size();
+}
+
+std::uint64_t CallGraph::total_dynamic_instructions() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n.dynamic_instructions();
+  return total;
+}
+
+std::uint64_t CallGraph::total_static_instructions() const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n.code_instructions;
+  return total;
+}
+
+std::vector<NodeId> CallGraph::all_nodes() const {
+  std::vector<NodeId> ids(nodes_.size());
+  for (NodeId i = 0; i < nodes_.size(); ++i) ids[i] = i;
+  return ids;
+}
+
+CallGraph CallGraph::induced_subgraph(const std::vector<NodeId>& nodes,
+                                      std::vector<NodeId>& to_parent) const {
+  CallGraph sub;
+  to_parent.clear();
+  std::unordered_map<NodeId, NodeId> to_sub;
+  for (NodeId n : nodes) {
+    require(n < nodes_.size(), "induced_subgraph: bad node id");
+    if (to_sub.contains(n)) continue;
+    to_sub.emplace(n, sub.add_function(nodes_[n]));
+    to_parent.push_back(n);
+  }
+  for (const Edge& e : edges_) {
+    auto from = to_sub.find(e.from);
+    auto to = to_sub.find(e.to);
+    if (from != to_sub.end() && to != to_sub.end()) {
+      sub.add_call(from->second, to->second, e.call_count);
+    }
+  }
+  return sub;
+}
+
+}  // namespace sl::cfg

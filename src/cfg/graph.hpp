@@ -1,0 +1,106 @@
+// Application call graph (the "CFG" of paper Section 4.2).
+//
+// Nodes are functions annotated with the attributes the partitioners need:
+// static code size, data footprint, per-invocation work, and the developer
+// annotations the paper assumes (authentication-module membership, key
+// functions, sensitive-data access for the Glamdring baseline). Directed
+// edges carry dynamic call counts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace sl::cfg {
+
+using NodeId = std::uint32_t;
+
+struct FunctionInfo {
+  std::string name;
+  std::uint64_t code_instructions = 0;  // static size (instruction count)
+  std::uint64_t mem_bytes = 0;          // data footprint when resident
+  std::uint64_t work_cycles = 100;      // compute per invocation
+  std::uint64_t invocations = 1;        // dynamic call count over a full run
+
+  // Enclave-resident footprint when the function is migrated but its shared
+  // data structures stay in untrusted memory (SecureLease's policy,
+  // Section 4.2.1): code + stack + private buffers. Schemes that move the
+  // data inside (Glamdring, full-SGX) use mem_bytes instead.
+  std::uint64_t enclave_state_bytes = 64 * 1024;
+
+  bool in_authentication_module = false;
+  bool is_key_function = false;        // developer annotation (Section 4.2.1)
+  bool touches_sensitive_data = false; // Glamdring taint source/sink
+  // Performs system calls (file/socket/argv access). SGX forbids syscalls
+  // inside an enclave, so SecureLease's packer refuses to migrate clusters
+  // containing such functions; the baselines migrate them anyway and pay
+  // the resulting OCALL traffic.
+  bool does_io = false;
+
+  // Memory-access profile consumed by the execution simulator: how many
+  // page touches the function performs over a full run, and whether those
+  // touches stream through its region or hit it at random.
+  std::uint64_t page_touches = 0;
+  bool random_access = false;
+
+  // Total dynamic instructions attributed to this function over a run.
+  std::uint64_t dynamic_instructions() const {
+    // work_cycles approximates instructions at IPC ~ 1 for our models.
+    return invocations * work_cycles;
+  }
+};
+
+struct Edge {
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint64_t call_count = 0;
+};
+
+class CallGraph {
+ public:
+  // Adds a function; names must be unique. Returns its node id.
+  NodeId add_function(FunctionInfo info);
+
+  // Adds (or accumulates onto) a directed call edge.
+  void add_call(NodeId from, NodeId to, std::uint64_t count);
+  void add_call(const std::string& from, const std::string& to, std::uint64_t count);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  const FunctionInfo& node(NodeId id) const;
+  FunctionInfo& node(NodeId id);
+  NodeId id_of(const std::string& name) const;
+  std::optional<NodeId> find(const std::string& name) const;
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  // Outgoing edges of `id`.
+  std::vector<Edge> out_edges(NodeId id) const;
+  std::vector<Edge> in_edges(NodeId id) const;
+  std::uint64_t out_degree(NodeId id) const;  // number of distinct callees
+
+  // Sum over all functions of dynamic instructions (denominator for
+  // dynamic coverage).
+  std::uint64_t total_dynamic_instructions() const;
+  // Sum of static instruction counts (denominator for static coverage).
+  std::uint64_t total_static_instructions() const;
+
+  std::vector<NodeId> all_nodes() const;
+
+  // Induced subgraph over `nodes`; edges between kept nodes survive with
+  // their counts. `to_parent[i]` maps subgraph node i back to this graph.
+  CallGraph induced_subgraph(const std::vector<NodeId>& nodes,
+                             std::vector<NodeId>& to_parent) const;
+
+ private:
+  std::vector<FunctionInfo> nodes_;
+  std::vector<Edge> edges_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  // Adjacency index into edges_.
+  std::vector<std::vector<std::size_t>> out_adj_;
+  std::vector<std::vector<std::size_t>> in_adj_;
+};
+
+}  // namespace sl::cfg

@@ -1,0 +1,36 @@
+// Byte-buffer helpers shared by the crypto and lease layers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sl {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+// Converts a string to its raw byte representation.
+Bytes to_bytes(std::string_view s);
+
+// Renders bytes as lowercase hex, e.g. {0xde, 0xad} -> "dead".
+std::string to_hex(ByteView data);
+
+// Parses lowercase/uppercase hex produced by to_hex(); throws on odd length
+// or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+// Serializes an unsigned integer little-endian into `out`.
+void put_u32(Bytes& out, std::uint32_t v);
+void put_u64(Bytes& out, std::uint64_t v);
+
+// Reads a little-endian integer at `offset`; throws if out of range.
+std::uint32_t get_u32(ByteView in, std::size_t offset);
+std::uint64_t get_u64(ByteView in, std::size_t offset);
+
+// Constant-time comparison (length leak only); used for MAC/hash checks.
+bool constant_time_equal(ByteView a, ByteView b);
+
+}  // namespace sl

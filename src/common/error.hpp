@@ -1,0 +1,41 @@
+// Error types used across the SecureLease library.
+//
+// Fatal misuse (API contract violations) throws; recoverable protocol-level
+// failures (invalid license, failed attestation, tampered payload) are
+// reported through status enums defined next to the APIs that produce them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sl {
+
+// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A caller violated an API precondition (bad argument, wrong state).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+// An internal invariant did not hold; indicates a bug in this library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+// Throws InvalidArgument when `cond` is false.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw InvalidArgument(what);
+}
+
+// Throws InternalError when `cond` is false.
+inline void ensure(bool cond, const std::string& what) {
+  if (!cond) throw InternalError(what);
+}
+
+}  // namespace sl

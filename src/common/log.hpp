@@ -1,0 +1,45 @@
+// Minimal leveled logging used by the services (SL-Local / SL-Remote).
+//
+// Off by default so tests and benchmarks stay quiet; examples flip the level
+// to Info to narrate the protocol.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sl {
+
+enum class LogLevel { kNone = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+// Process-wide log threshold.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Emits `message` to stderr when `level` is enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_error(const Args&... args) {
+  if (log_level() >= LogLevel::kError) log_message(LogLevel::kError, detail::concat(args...));
+}
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  if (log_level() >= LogLevel::kInfo) log_message(LogLevel::kInfo, detail::concat(args...));
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  if (log_level() >= LogLevel::kDebug) log_message(LogLevel::kDebug, detail::concat(args...));
+}
+
+}  // namespace sl

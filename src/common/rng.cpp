@@ -1,0 +1,79 @@
+#include "common/rng.hpp"
+
+#include "common/error.hpp"
+
+namespace sl {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t splitmix64_key(std::uint64_t index, std::uint64_t seed) {
+  std::uint64_t state = seed ^ (index * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(state) & ~(1ULL << 63);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint32_t Rng::next_u32() {
+  return static_cast<std::uint32_t>(next_u64() >> 32);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  require(bound > 0, "Rng::next_below: bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = bound * ((~std::uint64_t{0}) / bound);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+Bytes Rng::next_bytes(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    std::uint64_t v = next_u64();
+    for (int i = 0; i < 8 && out.size() < n; ++i) {
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  return out;
+}
+
+}  // namespace sl

@@ -1,0 +1,47 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the simulation (network drops, crash
+// injection, key generation in tests) draws from an explicitly seeded Rng so
+// benchmark and test runs are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sl {
+
+// xoshiro256** seeded via SplitMix64. Small, fast, and good enough for
+// simulation; NOT a cryptographic RNG (see crypto::KeyGenerator for keys).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  std::uint64_t next_u64();
+  std::uint32_t next_u32();
+
+  // Uniform in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double next_double();
+
+  // True with probability p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  // Fills `n` random bytes.
+  Bytes next_bytes(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// SplitMix64 step, exposed for seeding/mixing elsewhere.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+// Stateless mix of (index, seed): a deterministic pseudo-random key for
+// index i. Bit 63 is always clear so callers can reserve it for synthetic
+// "definitely absent" keys.
+std::uint64_t splitmix64_key(std::uint64_t index, std::uint64_t seed);
+
+}  // namespace sl

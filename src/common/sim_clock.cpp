@@ -1,0 +1,4 @@
+#include "common/sim_clock.hpp"
+
+// Header-only today; the translation unit anchors the library target and
+// reserves room for future non-inline clock features (e.g. waiters).

@@ -1,0 +1,100 @@
+// SecureLease public API.
+//
+// This facade assembles the whole system of Figure 3 — a client machine
+// with an SGX runtime, SL-Local and per-add-on SL-Managers, a simulated
+// WAN, the IAS-role attestation service, and SL-Remote — and exposes the
+// end-to-end experiment driver used by the Figure 9 benchmark: run a
+// Table 4 workload under a protection scheme (Vanilla / FullSGX / F-LaaS /
+// Glamdring / SecureLease) with its license-check traffic, and report the
+// overhead decomposition (SGX execution, local allocations, lease
+// renewals).
+//
+// Most downstream users only need this header:
+//
+//   sl::core::SecureLeaseSystem system(/*seed=*/42);
+//   auto stats = system.run_workload(entry, sl::partition::Scheme::kSecureLease);
+//
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "lease/sl_local.hpp"
+#include "lease/sl_manager.hpp"
+#include "lease/sl_remote.hpp"
+#include "partition/cost_model.hpp"
+#include "partition/partitioner.hpp"
+#include "workloads/models.hpp"
+
+namespace sl::core {
+
+// Per-workload licensing configuration for the end-to-end runs.
+struct LeaseProfile {
+  std::uint64_t license_checks = 100;
+  double tg_multiplier = 2.0;     // TG = multiplier x license_checks
+  std::uint32_t peers = 4;        // other nodes sharing the license pool
+  std::uint32_t batch = 10;       // tokens per local attestation
+  // Runs an SL-Local session serves before re-attesting; the one-time
+  // remote attestation amortizes across these (SL-Local is long-running).
+  std::uint32_t session_runs = 10;
+};
+
+// Overhead decomposition in simulated seconds (the Figure 9 stack).
+struct EndToEndStats {
+  std::string workload;
+  partition::Scheme scheme = partition::Scheme::kVanilla;
+
+  double vanilla_seconds = 0.0;
+  double sgx_seconds = 0.0;          // partitioned-execution overhead
+  double local_alloc_seconds = 0.0;  // SL-Local attest + tree operations
+  double renewal_seconds = 0.0;      // network renewals + (amortized) RAs
+
+  std::uint64_t license_checks = 0;
+  std::uint64_t local_attestations = 0;
+  std::uint64_t renewals = 0;
+  std::uint64_t remote_attestations = 0;  // per-session, before amortization
+  std::uint64_t denials = 0;
+
+  partition::RunStats partition_stats;
+
+  double total_seconds() const {
+    return vanilla_seconds + sgx_seconds + local_alloc_seconds + renewal_seconds;
+  }
+  double overhead() const {
+    return vanilla_seconds == 0.0 ? 0.0 : total_seconds() / vanilla_seconds - 1.0;
+  }
+};
+
+struct SystemOptions {
+  std::uint64_t seed = 42;
+  sgx::CostModel costs = sgx::default_cost_model();
+  double ra_latency_seconds = 3.5;
+  double rtt_millis = 20.0;
+  double node_health = 0.95;
+  double network_reliability = 0.98;
+};
+
+class SecureLeaseSystem {
+ public:
+  explicit SecureLeaseSystem(SystemOptions options = {});
+
+  // Runs one Table 4 workload end to end under `scheme`. The default lease
+  // profile derives from the entry's license-check count; pass `profile`
+  // to override.
+  EndToEndStats run_workload(const workloads::WorkloadEntry& entry,
+                             partition::Scheme scheme,
+                             std::optional<LeaseProfile> profile = std::nullopt);
+
+  // Derives the default profile for a workload entry (Key-Value gets the
+  // tight pool that makes it the paper's worst F-LaaS case).
+  static LeaseProfile default_profile(const workloads::WorkloadEntry& entry);
+
+  const SystemOptions& options() const { return options_; }
+
+ private:
+  SystemOptions options_;
+};
+
+}  // namespace sl::core

@@ -1,0 +1,199 @@
+#include "crypto/aes128.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace sl::crypto {
+
+namespace {
+
+// The AES S-box and its inverse are generated at startup from the finite
+// field definition (multiplicative inverse in GF(2^8) followed by the affine
+// transform) rather than spelled out as literal tables.
+struct SBoxes {
+  std::array<std::uint8_t, 256> fwd{};
+  std::array<std::uint8_t, 256> inv{};
+};
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t result = 0;
+  while (b) {
+    if (b & 1) result ^= a;
+    const bool hi = a & 0x80;
+    a = static_cast<std::uint8_t>(a << 1);
+    if (hi) a ^= 0x1b;  // x^8 + x^4 + x^3 + x + 1
+    b >>= 1;
+  }
+  return result;
+}
+
+SBoxes make_sboxes() {
+  // Multiplicative inverses via brute force (256*256 is trivial at startup).
+  std::array<std::uint8_t, 256> inverse{};
+  for (int a = 1; a < 256; ++a) {
+    for (int b = 1; b < 256; ++b) {
+      if (gf_mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)) == 1) {
+        inverse[a] = static_cast<std::uint8_t>(b);
+        break;
+      }
+    }
+  }
+  SBoxes boxes;
+  for (int i = 0; i < 256; ++i) {
+    const std::uint8_t x = inverse[i];
+    const std::uint8_t s = static_cast<std::uint8_t>(
+        x ^ static_cast<std::uint8_t>((x << 1) | (x >> 7)) ^
+        static_cast<std::uint8_t>((x << 2) | (x >> 6)) ^
+        static_cast<std::uint8_t>((x << 3) | (x >> 5)) ^
+        static_cast<std::uint8_t>((x << 4) | (x >> 4)) ^ 0x63);
+    boxes.fwd[i] = s;
+    boxes.inv[s] = static_cast<std::uint8_t>(i);
+  }
+  return boxes;
+}
+
+const SBoxes& sboxes() {
+  static const SBoxes boxes = make_sboxes();
+  return boxes;
+}
+
+}  // namespace
+
+Aes128::Aes128(const AesKey& key) {
+  const auto& sbox = sboxes().fwd;
+  std::memcpy(round_keys_.data(), key.data(), 16);
+  std::uint8_t rcon = 1;
+  for (std::size_t i = 16; i < round_keys_.size(); i += 4) {
+    std::uint8_t temp[4];
+    std::memcpy(temp, &round_keys_[i - 4], 4);
+    if (i % 16 == 0) {
+      // RotWord + SubWord + Rcon.
+      const std::uint8_t t0 = temp[0];
+      temp[0] = static_cast<std::uint8_t>(sbox[temp[1]] ^ rcon);
+      temp[1] = sbox[temp[2]];
+      temp[2] = sbox[temp[3]];
+      temp[3] = sbox[t0];
+      rcon = gf_mul(rcon, 2);
+    }
+    for (int j = 0; j < 4; ++j) {
+      round_keys_[i + j] = round_keys_[i - 16 + j] ^ temp[j];
+    }
+  }
+}
+
+AesBlock Aes128::encrypt_block(const AesBlock& in) const {
+  const auto& sbox = sboxes().fwd;
+  AesBlock s = in;
+  auto add_round_key = [&](int round) {
+    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[16 * round + i];
+  };
+  auto sub_bytes = [&] {
+    for (auto& b : s) b = sbox[b];
+  };
+  auto shift_rows = [&] {
+    AesBlock t = s;
+    for (int c = 0; c < 4; ++c) {
+      for (int r = 1; r < 4; ++r) {
+        s[4 * c + r] = t[4 * ((c + r) % 4) + r];
+      }
+    }
+  };
+  auto mix_columns = [&] {
+    for (int c = 0; c < 4; ++c) {
+      std::uint8_t* col = &s[4 * c];
+      const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+      col[0] = gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3;
+      col[1] = a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3;
+      col[2] = a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3);
+      col[3] = gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2);
+    }
+  };
+
+  add_round_key(0);
+  for (int round = 1; round < 10; ++round) {
+    sub_bytes();
+    shift_rows();
+    mix_columns();
+    add_round_key(round);
+  }
+  sub_bytes();
+  shift_rows();
+  add_round_key(10);
+  return s;
+}
+
+AesBlock Aes128::decrypt_block(const AesBlock& in) const {
+  const auto& inv_sbox = sboxes().inv;
+  AesBlock s = in;
+  auto add_round_key = [&](int round) {
+    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[16 * round + i];
+  };
+  auto inv_sub_bytes = [&] {
+    for (auto& b : s) b = inv_sbox[b];
+  };
+  auto inv_shift_rows = [&] {
+    AesBlock t = s;
+    for (int c = 0; c < 4; ++c) {
+      for (int r = 1; r < 4; ++r) {
+        s[4 * ((c + r) % 4) + r] = t[4 * c + r];
+      }
+    }
+  };
+  auto inv_mix_columns = [&] {
+    for (int c = 0; c < 4; ++c) {
+      std::uint8_t* col = &s[4 * c];
+      const std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+      col[0] = gf_mul(a0, 14) ^ gf_mul(a1, 11) ^ gf_mul(a2, 13) ^ gf_mul(a3, 9);
+      col[1] = gf_mul(a0, 9) ^ gf_mul(a1, 14) ^ gf_mul(a2, 11) ^ gf_mul(a3, 13);
+      col[2] = gf_mul(a0, 13) ^ gf_mul(a1, 9) ^ gf_mul(a2, 14) ^ gf_mul(a3, 11);
+      col[3] = gf_mul(a0, 11) ^ gf_mul(a1, 13) ^ gf_mul(a2, 9) ^ gf_mul(a3, 14);
+    }
+  };
+
+  add_round_key(10);
+  for (int round = 9; round >= 1; --round) {
+    inv_shift_rows();
+    inv_sub_bytes();
+    add_round_key(round);
+    inv_mix_columns();
+  }
+  inv_shift_rows();
+  inv_sub_bytes();
+  add_round_key(0);
+  return s;
+}
+
+Bytes aes128_ctr(const AesKey& key, std::uint64_t nonce, ByteView data) {
+  const Aes128 cipher(key);
+  Bytes out;
+  out.reserve(data.size());
+  AesBlock counter{};
+  for (int i = 0; i < 8; ++i) counter[i] = static_cast<std::uint8_t>(nonce >> (8 * i));
+  std::uint64_t block_index = 0;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    for (int i = 0; i < 8; ++i) {
+      counter[8 + i] = static_cast<std::uint8_t>(block_index >> (8 * i));
+    }
+    const AesBlock keystream = cipher.encrypt_block(counter);
+    const std::size_t take = std::min(data.size() - offset, kAesBlockSize);
+    for (std::size_t i = 0; i < take; ++i) {
+      out.push_back(data[offset + i] ^ keystream[i]);
+    }
+    offset += take;
+    ++block_index;
+  }
+  return out;
+}
+
+AesKey expand_lease_key(std::uint64_t key64) {
+  AesKey key{};
+  for (int i = 0; i < 8; ++i) key[i] = static_cast<std::uint8_t>(key64 >> (8 * i));
+  // Fixed domain-separation pad distinguishes lease keys from other uses.
+  static constexpr std::uint8_t kPad[8] = {'S', 'L', 'e', 'a', 's', 'e', '0', '1'};
+  for (int i = 0; i < 8; ++i) key[8 + i] = kPad[i] ^ static_cast<std::uint8_t>(key64 >> (8 * (7 - i)));
+  return key;
+}
+
+}  // namespace sl::crypto

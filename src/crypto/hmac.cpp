@@ -1,0 +1,41 @@
+#include "crypto/hmac.hpp"
+
+#include <array>
+
+namespace sl::crypto {
+
+Sha256Digest hmac_sha256(ByteView key, ByteView data) {
+  static constexpr std::size_t kBlock = 64;
+  std::array<std::uint8_t, kBlock> key_block{};
+  if (key.size() > kBlock) {
+    const Sha256Digest digest = Sha256::hash(key);
+    std::copy(digest.begin(), digest.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+
+  std::array<std::uint8_t, kBlock> ipad{};
+  std::array<std::uint8_t, kBlock> opad{};
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ByteView(ipad.data(), ipad.size()));
+  inner.update(data);
+  const Sha256Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(ByteView(opad.data(), opad.size()));
+  outer.update(ByteView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+bool hmac_verify(ByteView key, ByteView data, const Sha256Digest& tag) {
+  const Sha256Digest expected = hmac_sha256(key, data);
+  return constant_time_equal(ByteView(expected.data(), expected.size()),
+                             ByteView(tag.data(), tag.size()));
+}
+
+}  // namespace sl::crypto

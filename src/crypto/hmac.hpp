@@ -1,0 +1,15 @@
+// HMAC-SHA256 (RFC 2104) for authenticated tokens of execution.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sl::crypto {
+
+// Computes HMAC-SHA256(key, data).
+Sha256Digest hmac_sha256(ByteView key, ByteView data);
+
+// Verifies a tag in constant time.
+bool hmac_verify(ByteView key, ByteView data, const Sha256Digest& tag);
+
+}  // namespace sl::crypto

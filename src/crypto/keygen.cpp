@@ -1,0 +1,37 @@
+#include "crypto/keygen.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sl::crypto {
+
+KeyGenerator::KeyGenerator(std::uint64_t seed) {
+  state_.reserve(8);
+  put_u64(state_, seed);
+}
+
+Bytes KeyGenerator::next_bytes(std::size_t n) {
+  Bytes out;
+  out.reserve(n);
+  while (out.size() < n) {
+    Bytes input = state_;
+    put_u64(input, counter_++);
+    const Sha256Digest digest = Sha256::hash(input);
+    const std::size_t take = std::min(n - out.size(), digest.size());
+    out.insert(out.end(), digest.begin(), digest.begin() + take);
+  }
+  return out;
+}
+
+std::uint64_t KeyGenerator::next_key64() {
+  const Bytes b = next_bytes(8);
+  return get_u64(b, 0);
+}
+
+AesKey KeyGenerator::next_aes_key() {
+  const Bytes b = next_bytes(kAesKeySize);
+  AesKey key{};
+  std::copy(b.begin(), b.end(), key.begin());
+  return key;
+}
+
+}  // namespace sl::crypto

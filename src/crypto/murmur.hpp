@@ -1,0 +1,19 @@
+// MurmurHash3 (public-domain hash by Austin Appleby).
+//
+// This is the hash behind the "MurmurHash" hash-table baseline in Table 1 of
+// the paper (the hash used by common unordered_map implementations).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sl::crypto {
+
+// 32-bit MurmurHash3_x86_32.
+std::uint32_t murmur3_32(ByteView data, std::uint32_t seed = 0);
+
+// 64 bits taken from MurmurHash3_x64_128.
+std::uint64_t murmur3_64(ByteView data, std::uint64_t seed = 0);
+
+}  // namespace sl::crypto

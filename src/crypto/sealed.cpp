@@ -1,0 +1,41 @@
+#include "crypto/sealed.hpp"
+
+#include "crypto/aes128.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sl::crypto {
+
+namespace {
+// CTR nonce for sealed payloads; uniqueness comes from the fresh per-commit
+// key, so a fixed nonce is safe here (each key encrypts exactly one payload).
+constexpr std::uint64_t kSealNonce = 0x534c5f5345414c00ULL;
+}  // namespace
+
+SealedPayload protect(ByteView data, KeyGenerator& keygen) {
+  const Sha256Digest digest = Sha256::hash(data);
+
+  Bytes bundle(data.begin(), data.end());
+  bundle.insert(bundle.end(), digest.begin(), digest.end());
+
+  SealedPayload sealed;
+  sealed.key = keygen.next_key64();
+  sealed.ciphertext = aes128_ctr(expand_lease_key(sealed.key), kSealNonce, bundle);
+  return sealed;
+}
+
+std::optional<Bytes> validate(ByteView ciphertext, std::uint64_t key) {
+  if (ciphertext.size() < kSha256DigestSize) return std::nullopt;
+  const Bytes bundle = aes128_ctr(expand_lease_key(key), kSealNonce, ciphertext);
+
+  const std::size_t data_size = bundle.size() - kSha256DigestSize;
+  const ByteView data(bundle.data(), data_size);
+  const ByteView stored_hash(bundle.data() + data_size, kSha256DigestSize);
+
+  const Sha256Digest expected = Sha256::hash(data);
+  if (!constant_time_equal(stored_hash, ByteView(expected.data(), expected.size()))) {
+    return std::nullopt;
+  }
+  return Bytes(data.begin(), data.end());
+}
+
+}  // namespace sl::crypto

@@ -1,0 +1,30 @@
+// Protect/Validate primitives for offloaded lease data.
+//
+// Direct implementation of the paper's Algorithm 2 (Protect) and Algorithm 3
+// (Validate): hash the plaintext, append the hash, encrypt the bundle under a
+// fresh random key, and on restore decrypt + re-hash + compare. The key lives
+// with the *parent* (lease-tree entry or SL-Remote for the root), which is
+// what yields the freshness chain of Section 5.6.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/keygen.hpp"
+
+namespace sl::crypto {
+
+struct SealedPayload {
+  Bytes ciphertext;
+  std::uint64_t key = 0;  // 64-bit key held by the parent, never stored here
+};
+
+// Algorithm 2: returns <ciphertext, key>; `keygen` supplies RandomKeyGen().
+SealedPayload protect(ByteView data, KeyGenerator& keygen);
+
+// Algorithm 3: returns the plaintext, or nullopt when the hash check fails
+// (tampering or replay with a stale key).
+std::optional<Bytes> validate(ByteView ciphertext, std::uint64_t key);
+
+}  // namespace sl::crypto

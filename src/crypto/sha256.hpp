@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4), implemented from the specification.
+//
+// Used for lease integrity hashes (paper Algorithms 2 and 3), the SHA-based
+// hash-table baseline of Table 1, and the Blockchain workload.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sl::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(ByteView data);
+  Sha256Digest finish();
+
+  // One-shot convenience.
+  static Sha256Digest hash(ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+// Truncated 64-bit digest, convenient for the lease tree's 64-bit hash field.
+std::uint64_t sha256_64(ByteView data);
+
+}  // namespace sl::crypto

@@ -1,0 +1,87 @@
+#include "lease/gateway.hpp"
+
+namespace sl::lease {
+
+// --- DirectGateway ------------------------------------------------------------
+
+DirectGateway::DirectGateway(SlRemote& remote, net::SimNetwork& network,
+                             net::NodeId node, SimClock& clock)
+    : remote_(remote), network_(network), node_(node), clock_(clock) {}
+
+std::optional<SlRemote::InitResult> DirectGateway::init(const sgx::Quote& quote,
+                                                        Slid claimed_slid) {
+  if (!network_.round_trip(node_, clock_)) return std::nullopt;
+  return remote_.init_sl_local(quote, claimed_slid, clock_);
+}
+
+std::optional<SlRemote::RenewResult> DirectGateway::renew(
+    Slid slid, const LicenseFile& license, double health, double network,
+    std::uint64_t consumed) {
+  if (!network_.round_trip(node_, clock_)) return std::nullopt;
+  if (consumed > 0) remote_.report_consumed(slid, license.lease_id, consumed);
+  return remote_.renew(slid, license, health, network);
+}
+
+bool DirectGateway::graceful_shutdown(
+    Slid slid, std::uint64_t root_key,
+    const std::unordered_map<LeaseId, std::uint64_t>& unused) {
+  if (!network_.round_trip(node_, clock_)) return false;
+  remote_.graceful_shutdown(slid, root_key, unused);
+  return true;
+}
+
+bool DirectGateway::attest(const sgx::Quote& quote) {
+  return remote_.attest_only(quote, clock_);
+}
+
+// --- WireGateway -----------------------------------------------------------------
+
+WireGateway::WireGateway(net::RpcClient& rpc) : client_(rpc) {}
+
+std::optional<SlRemote::InitResult> WireGateway::init(const sgx::Quote& quote,
+                                                      Slid claimed_slid) {
+  wire::InitRequest request;
+  request.claimed_slid = claimed_slid;
+  request.quote = quote;
+  const auto response = client_.init(request);
+  if (!response.has_value()) return std::nullopt;
+  SlRemote::InitResult result;
+  result.ok = response->ok;
+  result.slid = response->slid;
+  result.old_backup_key = response->old_backup_key;
+  result.restore_allowed = response->restore_allowed;
+  return result;
+}
+
+std::optional<SlRemote::RenewResult> WireGateway::renew(
+    Slid slid, const LicenseFile& license, double health, double network,
+    std::uint64_t consumed) {
+  wire::RenewRequest request;
+  request.slid = slid;
+  request.license = license;
+  request.health = health;
+  request.network = network;
+  request.consumed = consumed;
+  const auto response = client_.renew(request);
+  if (!response.has_value()) return std::nullopt;
+  SlRemote::RenewResult result;
+  result.ok = response->ok;
+  result.granted = response->granted;
+  return result;
+}
+
+bool WireGateway::graceful_shutdown(
+    Slid slid, std::uint64_t root_key,
+    const std::unordered_map<LeaseId, std::uint64_t>& unused) {
+  wire::ShutdownRequest request;
+  request.slid = slid;
+  request.root_key = root_key;
+  request.unused = unused;
+  return client_.shutdown(request);
+}
+
+bool WireGateway::attest(const sgx::Quote& quote) {
+  return client_.attest(quote);
+}
+
+}  // namespace sl::lease

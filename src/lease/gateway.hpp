@@ -1,0 +1,85 @@
+// SL-Local's view of SL-Remote.
+//
+// SL-Local talks to the server through this narrow interface so the same
+// service logic runs over either transport:
+//  * DirectGateway — in-process dispatch onto an SlRemote instance, with
+//    network latency/reliability charged per call (the default used by the
+//    benchmarks; deterministic and fast);
+//  * WireGateway — full serialization through the wire protocol and the
+//    RPC channel of src/net (what a deployment would do).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "lease/sl_remote.hpp"
+#include "lease/wire.hpp"
+#include "net/network.hpp"
+
+namespace sl::lease {
+
+class RemoteGateway {
+ public:
+  virtual ~RemoteGateway() = default;
+
+  // Transport failures surface as nullopt/false; protocol-level denials
+  // come back inside the result.
+  virtual std::optional<SlRemote::InitResult> init(const sgx::Quote& quote,
+                                                   Slid claimed_slid) = 0;
+  virtual std::optional<SlRemote::RenewResult> renew(Slid slid,
+                                                     const LicenseFile& license,
+                                                     double health, double network,
+                                                     std::uint64_t consumed) = 0;
+  virtual bool graceful_shutdown(
+      Slid slid, std::uint64_t root_key,
+      const std::unordered_map<LeaseId, std::uint64_t>& unused) = 0;
+  // Stand-alone remote attestation (the F-LaaS per-renewal flow).
+  virtual bool attest(const sgx::Quote& quote) = 0;
+};
+
+// In-process dispatch with per-call link simulation.
+class DirectGateway : public RemoteGateway {
+ public:
+  DirectGateway(SlRemote& remote, net::SimNetwork& network, net::NodeId node,
+                SimClock& clock);
+
+  std::optional<SlRemote::InitResult> init(const sgx::Quote& quote,
+                                           Slid claimed_slid) override;
+  std::optional<SlRemote::RenewResult> renew(Slid slid, const LicenseFile& license,
+                                             double health, double network,
+                                             std::uint64_t consumed) override;
+  bool graceful_shutdown(
+      Slid slid, std::uint64_t root_key,
+      const std::unordered_map<LeaseId, std::uint64_t>& unused) override;
+  bool attest(const sgx::Quote& quote) override;
+
+  double link_reliability() const { return network_.link(node_).reliability; }
+
+ private:
+  SlRemote& remote_;
+  net::SimNetwork& network_;
+  net::NodeId node_;
+  SimClock& clock_;
+};
+
+// Serialized transport over the RPC channel.
+class WireGateway : public RemoteGateway {
+ public:
+  // `rpc` must be bound to a server hosting a wire::SlRemoteService.
+  explicit WireGateway(net::RpcClient& rpc);
+
+  std::optional<SlRemote::InitResult> init(const sgx::Quote& quote,
+                                           Slid claimed_slid) override;
+  std::optional<SlRemote::RenewResult> renew(Slid slid, const LicenseFile& license,
+                                             double health, double network,
+                                             std::uint64_t consumed) override;
+  bool graceful_shutdown(
+      Slid slid, std::uint64_t root_key,
+      const std::unordered_map<LeaseId, std::uint64_t>& unused) override;
+  bool attest(const sgx::Quote& quote) override;
+
+ private:
+  wire::SlRemoteClient client_;
+};
+
+}  // namespace sl::lease

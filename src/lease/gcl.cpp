@@ -1,0 +1,98 @@
+#include "lease/gcl.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace sl::lease {
+
+const char* lease_kind_name(LeaseKind kind) {
+  switch (kind) {
+    case LeaseKind::kPerpetual: return "perpetual";
+    case LeaseKind::kTimeBased: return "time-based";
+    case LeaseKind::kExecutionTime: return "execution-time";
+    case LeaseKind::kCountBased: return "count-based";
+  }
+  return "?";
+}
+
+Gcl::Gcl(LeaseKind kind, std::uint64_t count, double interval_seconds)
+    : kind_(kind),
+      count_(kind == LeaseKind::kPerpetual ? 1 : count),
+      interval_seconds_(interval_seconds) {
+  require(interval_seconds > 0.0, "Gcl: interval must be positive");
+}
+
+void Gcl::advance_time(double now_seconds, bool executing) {
+  if (now_seconds <= last_measurement_seconds_) return;
+  const double elapsed = now_seconds - last_measurement_seconds_;
+
+  switch (kind_) {
+    case LeaseKind::kPerpetual:
+    case LeaseKind::kCountBased:
+      break;  // counters unaffected by time
+    case LeaseKind::kTimeBased: {
+      const auto intervals = static_cast<std::uint64_t>(elapsed / interval_seconds_);
+      count_ -= std::min(count_, intervals);
+      // Keep the fractional remainder by moving the watermark in whole
+      // intervals only.
+      last_measurement_seconds_ +=
+          static_cast<double>(intervals) * interval_seconds_;
+      return;
+    }
+    case LeaseKind::kExecutionTime: {
+      if (executing) {
+        const auto intervals = static_cast<std::uint64_t>(elapsed / interval_seconds_);
+        count_ -= std::min(count_, intervals);
+      }
+      break;
+    }
+  }
+  last_measurement_seconds_ = now_seconds;
+}
+
+std::uint64_t Gcl::try_consume(std::uint64_t n) {
+  if (expired()) return 0;
+  switch (kind_) {
+    case LeaseKind::kPerpetual:
+    case LeaseKind::kTimeBased:
+    case LeaseKind::kExecutionTime:
+      // These gate on expiry only; executions are unlimited while valid.
+      return n;
+    case LeaseKind::kCountBased: {
+      // All-or-nothing: a partial grant would leave the caller with fewer
+      // tokens than it asked to batch.
+      if (count_ < n) return 0;
+      count_ -= n;
+      return n;
+    }
+  }
+  return 0;
+}
+
+Bytes Gcl::serialize() const {
+  Bytes out;
+  out.reserve(kSerializedSize);
+  put_u32(out, static_cast<std::uint32_t>(kind_));
+  put_u64(out, count_);
+  // Interval and watermark quantized to milliseconds.
+  put_u32(out, static_cast<std::uint32_t>(interval_seconds_ * 1e3));
+  put_u64(out, static_cast<std::uint64_t>(last_measurement_seconds_ * 1e3));
+  return out;
+}
+
+std::optional<Gcl> Gcl::deserialize(ByteView data) {
+  if (data.size() < kSerializedSize) return std::nullopt;
+  const std::uint32_t kind = get_u32(data, 0);
+  if (kind > static_cast<std::uint32_t>(LeaseKind::kCountBased)) return std::nullopt;
+  Gcl gcl;
+  gcl.kind_ = static_cast<LeaseKind>(kind);
+  gcl.count_ = get_u64(data, 4);
+  gcl.interval_seconds_ = static_cast<double>(get_u32(data, 12)) / 1e3;
+  if (gcl.interval_seconds_ <= 0.0) gcl.interval_seconds_ = 86'400.0;
+  gcl.last_measurement_seconds_ = static_cast<double>(get_u64(data, 16)) / 1e3;
+  return gcl;
+}
+
+}  // namespace sl::lease

@@ -1,0 +1,70 @@
+// Generalized count-based lease (GCL) — paper Section 4.3.
+//
+// One abstraction models every license type a lease manager supports:
+// the lease carries a counter that is decremented when some condition is
+// fulfilled; at zero the lease has expired. Perpetual, wall-time,
+// execution-time and count-based leases all reduce to a counter plus a
+// little extra state (the time of the last measurement).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace sl::lease {
+
+enum class LeaseKind : std::uint8_t {
+  kPerpetual = 0,      // counter is vacuous; 1 = activated, 0 = revoked
+  kTimeBased = 1,      // counter = remaining wall-clock intervals
+  kExecutionTime = 2,  // counter = remaining execution-time intervals
+  kCountBased = 3,     // counter = remaining executions
+};
+
+const char* lease_kind_name(LeaseKind kind);
+
+class Gcl {
+ public:
+  Gcl() = default;
+
+  // `count`: executions for kCountBased, intervals for the time kinds,
+  // ignored (forced to 1) for kPerpetual. `interval_seconds` is the
+  // discretization step for the time-based kinds (paper example: 1 day).
+  Gcl(LeaseKind kind, std::uint64_t count, double interval_seconds = 86'400.0);
+
+  LeaseKind kind() const { return kind_; }
+  std::uint64_t count() const { return count_; }
+  bool expired() const { return count_ == 0; }
+
+  // Advances lease time to `now_seconds` (absolute). Time-based leases
+  // burn one count per elapsed interval — including intervals that passed
+  // while the system was off (Section 4.3). Execution-time leases burn
+  // only when `executing` is true.
+  void advance_time(double now_seconds, bool executing = false);
+
+  // Consumes up to `n` executions; returns how many were granted (always
+  // n or 0 for perpetual/time kinds: they gate on expiry, not count).
+  std::uint64_t try_consume(std::uint64_t n);
+
+  // Revocation = counter := 0 (Section 4.3).
+  void revoke() { count_ = 0; }
+
+  // Restores `n` counts (used by SL-Remote when re-absorbing an unused
+  // sub-GCL on graceful shutdown).
+  void credit(std::uint64_t n) { count_ += n; }
+
+  // Fixed-size (24-byte) serialization embedded in the lease payload.
+  Bytes serialize() const;
+  static std::optional<Gcl> deserialize(ByteView data);
+  static constexpr std::size_t kSerializedSize = 24;
+
+  bool operator==(const Gcl&) const = default;
+
+ private:
+  LeaseKind kind_ = LeaseKind::kCountBased;
+  std::uint64_t count_ = 0;
+  double interval_seconds_ = 86'400.0;
+  double last_measurement_seconds_ = 0.0;  // GCL extra state (Section 4.3)
+};
+
+}  // namespace sl::lease

@@ -1,0 +1,49 @@
+// Hash-table lease stores — the Table 1 baselines.
+//
+// The paper compares the tree-based SL-Local against two hash-table
+// organizations whose find() must first hash the lease identity: one using
+// MurmurHash (the hash behind C++ unordered_map implementations) and one
+// using SHA-256. The tree wins because its lookup is four indexed hops with
+// no hash computation; these classes exist to regenerate that comparison
+// and to demonstrate why offloading metadata is awkward for flat tables.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "lease/gcl.hpp"
+#include "lease/lease_tree.hpp"
+
+namespace sl::lease {
+
+enum class HashKind { kMurmur, kSha256 };
+
+class HashLeaseStore {
+ public:
+  HashLeaseStore(HashKind kind, std::size_t bucket_count = 4096);
+
+  void insert(LeaseId id, const Gcl& gcl);
+  LeaseRecord* find(LeaseId id);
+  bool erase(LeaseId id);
+
+  std::size_t size() const { return size_; }
+  // Resident bytes: bucket array + per-lease records (records cannot be
+  // individually offloaded without rebuilding the table).
+  std::uint64_t resident_bytes() const;
+
+ private:
+  struct Slot {
+    LeaseId id = 0;
+    std::unique_ptr<LeaseRecord> record;
+  };
+
+  std::size_t bucket_of(LeaseId id) const;
+
+  HashKind kind_;
+  std::vector<std::list<Slot>> buckets_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sl::lease

@@ -1,0 +1,431 @@
+#include "lease/lease_tree.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+#include "crypto/sealed.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sl::lease {
+
+// --- LeaseRecord -------------------------------------------------------------
+
+Gcl LeaseRecord::gcl() const {
+  auto parsed = Gcl::deserialize(ByteView(data.data(), Gcl::kSerializedSize));
+  ensure(parsed.has_value(), "LeaseRecord: corrupt GCL payload");
+  return *parsed;
+}
+
+void LeaseRecord::set_gcl(const Gcl& gcl) {
+  const Bytes serialized = gcl.serialize();
+  ensure(serialized.size() <= data.size(), "LeaseRecord: GCL too large");
+  std::copy(serialized.begin(), serialized.end(), data.begin());
+  recompute_hash();
+}
+
+void LeaseRecord::recompute_hash() {
+  hash = crypto::sha256_64(ByteView(data.data(), data.size()));
+}
+
+bool LeaseRecord::hash_valid() const {
+  return hash == crypto::sha256_64(ByteView(data.data(), data.size()));
+}
+
+void LeaseRecord::spin_lock() {
+  std::uint32_t expected = 0;
+  while (!lock.compare_exchange_weak(expected, 1, std::memory_order_acquire)) {
+    expected = 0;
+  }
+}
+
+void LeaseRecord::spin_unlock() { lock.store(0, std::memory_order_release); }
+
+// --- UntrustedStore -----------------------------------------------------------
+
+std::uint64_t UntrustedStore::put(Bytes ciphertext) {
+  const std::uint64_t handle = next_handle_++;
+  blobs_.emplace(handle, std::move(ciphertext));
+  return handle;
+}
+
+void UntrustedStore::overwrite(std::uint64_t handle, Bytes ciphertext) {
+  blobs_[handle] = std::move(ciphertext);
+}
+
+std::optional<Bytes> UntrustedStore::get(std::uint64_t handle) const {
+  auto it = blobs_.find(handle);
+  if (it == blobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+void UntrustedStore::erase(std::uint64_t handle) { blobs_.erase(handle); }
+
+std::uint64_t UntrustedStore::bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [handle, blob] : blobs_) total += blob.size();
+  return total;
+}
+
+// --- LeaseTree -----------------------------------------------------------------
+
+LeaseTree::LeaseTree(std::uint64_t keygen_seed, UntrustedStore& store)
+    : root_(std::make_unique<Node>()), keygen_(keygen_seed), store_(store) {}
+
+LeaseTree::~LeaseTree() {
+  if (root_) free_subtree(root_.get(), 0);
+}
+
+std::size_t LeaseTree::index_at(LeaseId id, int level) {
+  return (id >> (24 - 8 * level)) & 0xff;
+}
+
+void LeaseTree::free_subtree(Node* node, int level) {
+  for (Entry& entry : node->entries) {
+    if (entry.child != nullptr) {
+      free_subtree(entry.child, level + 1);
+      delete entry.child;
+      entry.child = nullptr;
+    }
+    delete entry.leaf;
+    entry.leaf = nullptr;
+  }
+}
+
+LeaseTree::Node* LeaseTree::descend(LeaseId id, bool create, int levels) {
+  Node* node = root_.get();
+  node->last_access = ++access_tick_;
+  for (int level = 0; level < levels; ++level) {
+    Entry& entry = node->entries[index_at(id, level)];
+    if (entry.committed && !restore_entry(entry, level + 1)) return nullptr;
+    if (entry.child == nullptr) {
+      if (!create) return nullptr;
+      entry.child = new Node();
+      node->live_entries++;
+    }
+    node = entry.child;
+    node->last_access = access_tick_;
+  }
+  return node;
+}
+
+void LeaseTree::insert(LeaseId id, const Gcl& gcl) {
+  Node* parent = descend(id, /*create=*/true, kTreeLevels - 1);
+  ensure(parent != nullptr, "LeaseTree::insert: descend failed");
+  Entry& entry = parent->entries[index_at(id, kTreeLevels - 1)];
+  if (entry.committed && !restore_entry(entry, kTreeLevels)) {
+    // Unrecoverable leaf (tampered while offloaded); replace it outright.
+    entry.committed = false;
+    entry.handle = 0;
+  }
+  if (entry.leaf == nullptr) {
+    entry.leaf = new LeaseRecord();
+    parent->live_entries++;
+    lease_count_++;
+  }
+  entry.leaf->set_gcl(gcl);
+  stats_.inserts++;
+  enforce_budget();
+}
+
+LeaseRecord* LeaseTree::find(LeaseId id) {
+  stats_.finds++;
+  Node* parent = descend(id, /*create=*/false, kTreeLevels - 1);
+  if (parent == nullptr) return nullptr;
+  Entry& entry = parent->entries[index_at(id, kTreeLevels - 1)];
+  if (entry.committed && !restore_entry(entry, kTreeLevels)) return nullptr;
+  if (entry.leaf == nullptr) return nullptr;
+  stats_.hits++;
+  // NOTE: the budget is deliberately NOT enforced here — the caller holds a
+  // raw pointer into the leaf until it releases the lock, so eviction only
+  // happens on insert boundaries.
+  return entry.leaf;
+}
+
+bool LeaseTree::erase(LeaseId id) {
+  Node* parent = descend(id, /*create=*/false, kTreeLevels - 1);
+  if (parent == nullptr) return false;
+  Entry& entry = parent->entries[index_at(id, kTreeLevels - 1)];
+  if (entry.committed) {
+    store_.erase(entry.handle);
+    entry.committed = false;
+    entry.handle = 0;
+    parent->live_entries--;
+    return true;
+  }
+  if (entry.leaf == nullptr) return false;
+  delete entry.leaf;
+  entry.leaf = nullptr;
+  parent->live_entries--;
+  lease_count_--;
+  return true;
+}
+
+Bytes LeaseTree::serialize_leaf(const LeaseRecord& leaf) const {
+  Bytes out;
+  out.reserve(8 + leaf.data.size());
+  put_u64(out, leaf.hash);
+  out.insert(out.end(), leaf.data.begin(), leaf.data.end());
+  return out;
+}
+
+Bytes LeaseTree::serialize_node(const Node& node) const {
+  // Committed-node image: every non-empty entry must itself be committed,
+  // so entries serialize as (index, key, handle) triples.
+  Bytes out;
+  std::uint32_t count = 0;
+  for (const Entry& entry : node.entries) {
+    if (!entry.empty()) count++;
+  }
+  put_u32(out, count);
+  for (std::size_t i = 0; i < node.entries.size(); ++i) {
+    const Entry& entry = node.entries[i];
+    if (entry.empty()) continue;
+    ensure(entry.committed, "serialize_node: child not committed");
+    put_u32(out, static_cast<std::uint32_t>(i));
+    put_u64(out, entry.key);
+    put_u64(out, entry.handle);
+  }
+  return out;
+}
+
+bool LeaseTree::deserialize_node(ByteView data, Node& node) {
+  if (data.size() < 4) return false;
+  const std::uint32_t count = get_u32(data, 0);
+  if (data.size() < 4 + static_cast<std::size_t>(count) * 20) return false;
+  std::size_t off = 4;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t index = get_u32(data, off);
+    if (index >= kTreeFanout) return false;
+    Entry& entry = node.entries[index];
+    entry.key = get_u64(data, off + 4);
+    entry.handle = get_u64(data, off + 12);
+    entry.committed = true;
+    node.live_entries++;
+    off += 20;
+  }
+  return true;
+}
+
+bool LeaseTree::restore_entry(Entry& entry, int level) {
+  ensure(entry.committed, "restore_entry: entry not committed");
+  const auto ciphertext = store_.get(entry.handle);
+  if (!ciphertext.has_value()) {
+    stats_.validation_failures++;
+    return false;
+  }
+  const auto plaintext = crypto::validate(*ciphertext, entry.key);
+  if (!plaintext.has_value()) {
+    stats_.validation_failures++;
+    return false;
+  }
+
+  if (level == kTreeLevels) {
+    // Leaf: 8-byte hash + 300-byte data.
+    if (plaintext->size() != 8 + kLeaseDataBytes) {
+      stats_.validation_failures++;
+      return false;
+    }
+    auto leaf = std::make_unique<LeaseRecord>();
+    leaf->hash = get_u64(*plaintext, 0);
+    std::copy(plaintext->begin() + 8, plaintext->end(), leaf->data.begin());
+    if (!leaf->hash_valid()) {
+      stats_.validation_failures++;
+      return false;
+    }
+    entry.leaf = leaf.release();
+    lease_count_++;
+  } else {
+    auto node = std::make_unique<Node>();
+    if (!deserialize_node(*plaintext, *node)) {
+      stats_.validation_failures++;
+      return false;
+    }
+    entry.child = node.release();
+  }
+  store_.erase(entry.handle);
+  entry.committed = false;
+  entry.handle = 0;
+  entry.key = 0;
+  stats_.restores++;
+  return true;
+}
+
+void LeaseTree::commit_entry(Entry& entry, int level) {
+  if (entry.committed || entry.empty()) return;
+
+  Bytes plaintext;
+  if (level == kTreeLevels) {
+    ensure(entry.leaf != nullptr, "commit_entry: no leaf");
+    // Section 5.5: lock the lease before sealing it.
+    entry.leaf->spin_lock();
+    plaintext = serialize_leaf(*entry.leaf);
+    entry.leaf->spin_unlock();
+    delete entry.leaf;
+    entry.leaf = nullptr;
+    lease_count_--;
+  } else {
+    ensure(entry.child != nullptr, "commit_entry: no child");
+    // Children must be committed first so their keys live in this node.
+    for (std::size_t i = 0; i < kTreeFanout; ++i) {
+      commit_entry(entry.child->entries[i], level + 1);
+    }
+    plaintext = serialize_node(*entry.child);
+    delete entry.child;
+    entry.child = nullptr;
+  }
+
+  // Algorithm 2: fresh key every commit => replayed old images never
+  // validate against the new parent key.
+  crypto::SealedPayload sealed = crypto::protect(plaintext, keygen_);
+  entry.key = sealed.key;
+  entry.handle = store_.put(std::move(sealed.ciphertext));
+  entry.committed = true;
+  stats_.commits++;
+}
+
+bool LeaseTree::commit_lease(LeaseId id) {
+  Node* parent = descend(id, /*create=*/false, kTreeLevels - 1);
+  if (parent == nullptr) return false;
+  Entry& entry = parent->entries[index_at(id, kTreeLevels - 1)];
+  if (entry.committed) return true;
+  if (entry.leaf == nullptr) return false;
+  commit_entry(entry, kTreeLevels);
+  return true;
+}
+
+void LeaseTree::commit_all_cold() {
+  // Commit every subtree hanging off the root; the root stays resident as
+  // the in-EPC root of trust.
+  for (Entry& entry : root_->entries) {
+    commit_entry(entry, 1);
+  }
+}
+
+std::uint64_t LeaseTree::shutdown() {
+  commit_all_cold();
+  const Bytes image = serialize_node(*root_);
+  crypto::SealedPayload sealed = crypto::protect(image, keygen_);
+  root_handle_ = store_.put(std::move(sealed.ciphertext));
+  root_ = std::make_unique<Node>();  // EPC copy gone
+  lease_count_ = 0;
+  return sealed.key;
+}
+
+bool LeaseTree::restore(std::uint64_t root_key, std::uint64_t root_handle) {
+  const auto ciphertext = store_.get(root_handle);
+  if (!ciphertext.has_value()) return false;
+  const auto plaintext = crypto::validate(*ciphertext, root_key);
+  if (!plaintext.has_value()) {
+    stats_.validation_failures++;
+    return false;
+  }
+  auto node = std::make_unique<Node>();
+  if (!deserialize_node(*plaintext, *node)) {
+    stats_.validation_failures++;
+    return false;
+  }
+  free_subtree(root_.get(), 0);
+  root_ = std::move(node);
+  store_.erase(root_handle);
+  root_handle_ = 0;
+  lease_count_ = 0;  // leaves fault back in on demand
+  stats_.restores++;
+  return true;
+}
+
+void LeaseTree::set_resident_budget(std::uint64_t bytes) {
+  resident_budget_ = bytes;
+  enforce_budget();
+}
+
+void LeaseTree::collect_leaf_parents(Node* node, int level,
+                                     std::vector<Entry*>& out_entries,
+                                     std::vector<std::uint64_t>& out_access) {
+  // Gathers the level-2 entries pointing at resident level-3 subtrees (a
+  // level-3 node plus its leaves commits as one unit).
+  for (Entry& entry : node->entries) {
+    if (entry.child == nullptr) continue;
+    if (level == kTreeLevels - 2) {
+      out_entries.push_back(&entry);
+      out_access.push_back(entry.child->last_access);
+    } else {
+      collect_leaf_parents(entry.child, level + 1, out_entries, out_access);
+    }
+  }
+}
+
+void LeaseTree::enforce_budget() {
+  if (resident_budget_ == 0) return;
+  if (resident_bytes() <= resident_budget_) return;
+
+  std::vector<Entry*> entries;
+  std::vector<std::uint64_t> access;
+  collect_leaf_parents(root_.get(), 0, entries, access);
+
+  // Evict least-recently-used level-3 subtrees first.
+  std::vector<std::size_t> order(entries.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return access[a] < access[b]; });
+
+  for (std::size_t idx : order) {
+    if (resident_bytes() <= resident_budget_) break;
+    // Never evict the subtree that was touched most recently: the caller
+    // may be about to use it.
+    if (access[idx] == access_tick_) continue;
+    commit_entry(*entries[idx], kTreeLevels - 1);
+  }
+}
+
+std::uint64_t LeaseTree::count_resident(const Node* node, int level) const {
+  std::uint64_t bytes = kNodeBytes;
+  for (const Entry& entry : node->entries) {
+    if (entry.child != nullptr) bytes += count_resident(entry.child, level + 1);
+    if (entry.leaf != nullptr) bytes += kLeaseBytes;
+  }
+  return bytes;
+}
+
+std::uint64_t LeaseTree::resident_bytes() const {
+  return count_resident(root_.get(), 0);
+}
+
+void LeaseTree::enumerate_into(const Node* node, int level, LeaseId prefix,
+                               std::vector<LeaseId>& out) const {
+  UntrustedStore& store = store_;  // committed subtrees are walked via their
+                                   // serialized images without restoring
+  for (std::size_t i = 0; i < kTreeFanout; ++i) {
+    const Entry& entry = node->entries[i];
+    if (entry.empty()) continue;
+    const LeaseId id = prefix | static_cast<LeaseId>(i)
+                                    << (24 - 8 * level);
+    if (level == kTreeLevels - 1) {
+      if (entry.leaf != nullptr || entry.committed) out.push_back(id);
+      continue;
+    }
+    if (entry.child != nullptr) {
+      enumerate_into(entry.child, level + 1, id, out);
+    } else if (entry.committed) {
+      // Decrypt the committed image transiently (keys are in hand) to walk
+      // it; the EPC copy is not reinstated.
+      const auto ciphertext = store.get(entry.handle);
+      if (!ciphertext.has_value()) continue;
+      const auto plaintext = crypto::validate(*ciphertext, entry.key);
+      if (!plaintext.has_value()) continue;
+      Node shadow;
+      if (deserialize_node(*plaintext, shadow)) {
+        enumerate_into(&shadow, level + 1, id, out);
+      }
+    }
+  }
+}
+
+std::vector<LeaseId> LeaseTree::enumerate() const {
+  std::vector<LeaseId> ids;
+  enumerate_into(root_.get(), 0, 0, ids);
+  return ids;
+}
+
+}  // namespace sl::lease

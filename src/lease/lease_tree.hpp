@@ -1,0 +1,176 @@
+// The lease tree (paper Sections 5.2, 5.5, 5.6).
+//
+// Leases live in a 4-level page-table-like radix tree inside the enclave:
+// every node is one 4 KB page of 256 entries (16 B each: a 64-bit key and a
+// 64-bit pointer), and the 32-bit lease id is consumed 8 bits per level.
+// Leaves are 312-byte lease records (32-bit lock, 64-bit hash, 300 B data
+// holding the GCL). Cold subtrees are "committed": hashed, encrypted under
+// a fresh random key stored in the parent entry (Algorithms 2/3), and
+// evicted to untrusted memory — giving ACIF guarantees with the root as
+// the in-EPC root of trust. At shutdown the root itself commits and its key
+// escrows to SL-Remote.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "crypto/keygen.hpp"
+#include "lease/gcl.hpp"
+#include "lease/license.hpp"
+
+namespace sl::lease {
+
+inline constexpr std::size_t kTreeFanout = 256;   // 8 bits per level
+inline constexpr int kTreeLevels = 4;             // 32-bit ids
+inline constexpr std::size_t kNodeBytes = 4096;   // one page per node
+inline constexpr std::size_t kLeaseDataBytes = 300;
+inline constexpr std::size_t kLeaseBytes = 312;   // 4 lock + 8 hash + 300 data
+
+// The 312-byte leaf record. The spin lock serializes concurrent attestation
+// requests for the same lease (sgx_spin_lock in the paper).
+struct LeaseRecord {
+  std::atomic<std::uint32_t> lock{0};
+  std::uint64_t hash = 0;  // 64-bit integrity hash over data
+  std::array<std::uint8_t, kLeaseDataBytes> data{};
+
+  // The GCL lives at the front of `data`; the rest is license metadata.
+  Gcl gcl() const;
+  void set_gcl(const Gcl& gcl);
+  void recompute_hash();
+  bool hash_valid() const;
+
+  void spin_lock();
+  void spin_unlock();
+};
+
+// Untrusted backing store for committed nodes/leases: ciphertexts indexed
+// by an opaque handle. Exposes tampering hooks so tests can mount replay
+// attacks (Section 5.7).
+class UntrustedStore {
+ public:
+  std::uint64_t put(Bytes ciphertext);
+  void overwrite(std::uint64_t handle, Bytes ciphertext);
+  std::optional<Bytes> get(std::uint64_t handle) const;
+  void erase(std::uint64_t handle);
+  std::size_t size() const { return blobs_.size(); }
+  std::uint64_t bytes() const;
+
+ private:
+  std::unordered_map<std::uint64_t, Bytes> blobs_;
+  std::uint64_t next_handle_ = 1;
+};
+
+struct LeaseTreeStats {
+  std::uint64_t finds = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t commits = 0;       // leases/nodes sealed + offloaded
+  std::uint64_t restores = 0;      // decrypt + validate on demand
+  std::uint64_t validation_failures = 0;
+};
+
+class LeaseTree {
+ public:
+  // `keygen_seed` seeds RandomKeyGen() (Algorithm 2); `store` is the
+  // untrusted region that receives committed payloads.
+  LeaseTree(std::uint64_t keygen_seed, UntrustedStore& store);
+  ~LeaseTree();
+
+  LeaseTree(const LeaseTree&) = delete;
+  LeaseTree& operator=(const LeaseTree&) = delete;
+
+  // Inserts (or replaces) the lease for `id`.
+  void insert(LeaseId id, const Gcl& gcl);
+
+  // Finds the lease record, transparently restoring a committed subtree.
+  // Returns nullptr when absent or when a restore fails validation.
+  LeaseRecord* find(LeaseId id);
+
+  // Removes the lease; returns true when present.
+  bool erase(LeaseId id);
+
+  // Commits one lease (Section 5.5): locks it, seals data||hash under a
+  // fresh key stored in the parent entry, moves the ciphertext to the
+  // untrusted store and frees the EPC copy.
+  bool commit_lease(LeaseId id);
+
+  // Commits every cold lease + interior node except the root; used to keep
+  // the EPC footprint flat (Table 6).
+  void commit_all_cold();
+
+  // Budget-driven eviction: when set (> 0), the tree keeps its resident
+  // footprint at or below `bytes` by committing the least-recently-used
+  // level-3 subtrees after inserts/restores. 0 disables the policy.
+  void set_resident_budget(std::uint64_t bytes);
+  std::uint64_t resident_budget() const { return resident_budget_; }
+
+  // Graceful shutdown (Section 5.6): commits everything including the
+  // root; returns the root key (key_R) that must escrow to SL-Remote.
+  std::uint64_t shutdown();
+
+  // Restores a tree from the untrusted store given the escrowed root key
+  // and the root handle returned by shutdown(). Returns false when
+  // validation fails (tampering/replay).
+  bool restore(std::uint64_t root_key, std::uint64_t root_handle);
+  std::uint64_t root_handle() const { return root_handle_; }
+
+  // Enumerates every lease id currently reachable (resident AND committed
+  // subtrees, without faulting them in), in ascending order. Intended for
+  // administrative tooling; O(reachable entries).
+  std::vector<LeaseId> enumerate() const;
+
+  // EPC-resident bytes: interior nodes (4 KB each) + leaf records (312 B).
+  std::uint64_t resident_bytes() const;
+  // Number of lease records currently resident in the EPC (committed
+  // leases are excluded until faulted back in).
+  std::uint64_t lease_count() const { return lease_count_; }
+  const LeaseTreeStats& stats() const { return stats_; }
+
+ private:
+  struct Node;
+  struct Entry {
+    std::uint64_t key = 0;       // decryption key of a committed child
+    Node* child = nullptr;       // resident interior node (levels 0-2)
+    LeaseRecord* leaf = nullptr; // resident lease (level 3)
+    std::uint64_t handle = 0;    // untrusted-store handle when committed
+    bool committed = false;
+    bool empty() const { return child == nullptr && leaf == nullptr && !committed; }
+  };
+  struct Node {
+    std::array<Entry, kTreeFanout> entries{};
+    std::uint16_t live_entries = 0;
+    std::uint64_t last_access = 0;  // recency tick for budget eviction
+  };
+
+  static std::size_t index_at(LeaseId id, int level);
+  Node* descend(LeaseId id, bool create, int levels);
+  bool restore_entry(Entry& entry, int level);
+  void commit_entry(Entry& entry, int level);
+  Bytes serialize_node(const Node& node) const;
+  static bool deserialize_node(ByteView data, Node& node);
+  Bytes serialize_leaf(const LeaseRecord& leaf) const;
+  void free_subtree(Node* node, int level);
+  std::uint64_t count_resident(const Node* node, int level) const;
+  void enforce_budget();
+  void enumerate_into(const Node* node, int level, LeaseId prefix,
+                      std::vector<LeaseId>& out) const;
+  void collect_leaf_parents(Node* node, int level,
+                            std::vector<Entry*>& out_entries,
+                            std::vector<std::uint64_t>& out_access);
+
+  std::unique_ptr<Node> root_;
+  crypto::KeyGenerator keygen_;
+  UntrustedStore& store_;
+  std::uint64_t lease_count_ = 0;
+  std::uint64_t root_handle_ = 0;
+  std::uint64_t resident_budget_ = 0;
+  std::uint64_t access_tick_ = 0;
+  LeaseTreeStats stats_;
+};
+
+}  // namespace sl::lease

@@ -1,0 +1,67 @@
+#include "lease/license.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace sl::lease {
+
+Bytes LicenseFile::signed_payload() const {
+  Bytes payload;
+  put_u32(payload, lease_id);
+  put_u32(payload, static_cast<std::uint32_t>(product.size()));
+  const Bytes name = to_bytes(product);
+  payload.insert(payload.end(), name.begin(), name.end());
+  put_u32(payload, static_cast<std::uint32_t>(kind));
+  put_u64(payload, total_count);
+  put_u64(payload, static_cast<std::uint64_t>(interval_seconds * 1e3));
+  return payload;
+}
+
+Bytes LicenseFile::serialize() const {
+  Bytes out = signed_payload();
+  out.insert(out.end(), signature.begin(), signature.end());
+  return out;
+}
+
+std::optional<LicenseFile> LicenseFile::deserialize(ByteView data) {
+  if (data.size() < 4 + 4) return std::nullopt;
+  LicenseFile file;
+  file.lease_id = get_u32(data, 0);
+  const std::uint32_t name_len = get_u32(data, 4);
+  const std::size_t fixed_tail = 4 + 8 + 8 + crypto::kSha256DigestSize;
+  if (data.size() < 8 + name_len + fixed_tail) return std::nullopt;
+  file.product.assign(reinterpret_cast<const char*>(data.data()) + 8, name_len);
+  std::size_t off = 8 + name_len;
+  const std::uint32_t kind = get_u32(data, off);
+  if (kind > static_cast<std::uint32_t>(LeaseKind::kCountBased)) return std::nullopt;
+  file.kind = static_cast<LeaseKind>(kind);
+  file.total_count = get_u64(data, off + 4);
+  file.interval_seconds = static_cast<double>(get_u64(data, off + 12)) / 1e3;
+  off += 20;
+  std::copy(data.begin() + static_cast<std::ptrdiff_t>(off),
+            data.begin() + static_cast<std::ptrdiff_t>(off + crypto::kSha256DigestSize),
+            file.signature.begin());
+  return file;
+}
+
+LicenseAuthority::LicenseAuthority(std::uint64_t vendor_secret) {
+  put_u64(vendor_key_, vendor_secret);
+}
+
+LicenseFile LicenseAuthority::issue(LeaseId lease_id, std::string product,
+                                    LeaseKind kind, std::uint64_t total_count,
+                                    double interval_seconds) const {
+  LicenseFile file;
+  file.lease_id = lease_id;
+  file.product = std::move(product);
+  file.kind = kind;
+  file.total_count = total_count;
+  file.interval_seconds = interval_seconds;
+  file.signature = crypto::hmac_sha256(vendor_key_, file.signed_payload());
+  return file;
+}
+
+bool LicenseAuthority::validate(const LicenseFile& license) const {
+  return crypto::hmac_verify(vendor_key_, license.signed_payload(), license.signature);
+}
+
+}  // namespace sl::lease

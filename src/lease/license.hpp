@@ -1,0 +1,48 @@
+// License files — the credential a user presents to an SL-Manager.
+//
+// A license binds a product/add-on identifier to a lease specification and
+// is signed by the vendor (HMAC under the vendor key, which SL-Remote also
+// holds). SL-Local forwards unknown licenses to SL-Remote, which validates
+// the signature before issuing GCLs (Figure 3, step 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+#include "lease/gcl.hpp"
+
+namespace sl::lease {
+
+// 32-bit lease id: indexes the lease tree (8 bits per level).
+using LeaseId = std::uint32_t;
+
+struct LicenseFile {
+  LeaseId lease_id = 0;
+  std::string product;         // e.g. "matlab/signal-toolbox"
+  LeaseKind kind = LeaseKind::kCountBased;
+  std::uint64_t total_count = 0;  // TG: total GCLs behind this license
+  double interval_seconds = 86'400.0;
+  crypto::Sha256Digest signature{};  // vendor HMAC over the fields above
+
+  Bytes signed_payload() const;
+  Bytes serialize() const;  // payload + signature
+  static std::optional<LicenseFile> deserialize(ByteView data);
+};
+
+// Vendor-side issuing and validation.
+class LicenseAuthority {
+ public:
+  explicit LicenseAuthority(std::uint64_t vendor_secret);
+
+  LicenseFile issue(LeaseId lease_id, std::string product, LeaseKind kind,
+                    std::uint64_t total_count, double interval_seconds = 86'400.0) const;
+
+  bool validate(const LicenseFile& license) const;
+
+ private:
+  Bytes vendor_key_;
+};
+
+}  // namespace sl::lease

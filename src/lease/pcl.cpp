@@ -1,0 +1,63 @@
+#include "lease/pcl.hpp"
+
+#include "common/log.hpp"
+
+namespace sl::lease {
+
+KeyProvisioningService::KeyProvisioningService(const LicenseAuthority& authority,
+                                               sgx::AttestationService& ias,
+                                               double ra_latency_seconds)
+    : authority_(authority), ias_(ias), ra_latency_seconds_(ra_latency_seconds) {}
+
+void KeyProvisioningService::register_section(const std::string& section,
+                                              sgx::Measurement measurement,
+                                              LeaseId lease, std::uint64_t key) {
+  sections_[section] = SectionRecord{measurement, lease, key};
+}
+
+KeyProvisioningService::KeyResponse KeyProvisioningService::request_key(
+    const std::string& section, const sgx::Quote& quote, const LicenseFile& license,
+    SimClock& clock) {
+  stats_.provision_requests++;
+  KeyResponse response;
+
+  auto it = sections_.find(section);
+  if (it == sections_.end()) {
+    stats_.denials++;
+    return response;
+  }
+  // Step 1: prove the requester is the genuine enclave on a trusted
+  // platform (the "complicated chain of events" of Section 2.3.1).
+  if (!ias_.verify_quote(quote, it->second.measurement, clock, ra_latency_seconds_)) {
+    stats_.denials++;
+    log_error("PCL: remote attestation failed for section ", section);
+    return response;
+  }
+  // Step 2: the user must hold a valid license for the section's lease.
+  if (!authority_.validate(license) || license.lease_id != it->second.lease) {
+    stats_.denials++;
+    log_error("PCL: license rejected for section ", section);
+    return response;
+  }
+  response.ok = true;
+  response.key = it->second.key;
+  stats_.keys_released++;
+  return response;
+}
+
+bool load_protected_section(sgx::SgxRuntime& runtime, sgx::Platform& platform,
+                            KeyProvisioningService& service,
+                            sgx::EnclaveId enclave, const std::string& section,
+                            const LicenseFile& license) {
+  const Bytes challenge = to_bytes("pcl:" + section);
+  const sgx::Quote quote = platform.create_quote(enclave, challenge);
+  const auto response =
+      service.request_key(section, quote, license, runtime.clock());
+  if (!response.ok) return false;
+  // The key travels encrypted and is extracted by hardware inside the
+  // enclave; the simulator models the outcome: the section decrypts only
+  // under the right key.
+  return runtime.enclave(enclave).provision_key(section, response.key);
+}
+
+}  // namespace sl::lease

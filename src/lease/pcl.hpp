@@ -1,0 +1,76 @@
+// Protected code loader flow (paper Section 2.3.1).
+//
+// The vendor ships the application with its key functions ENCRYPTED in the
+// binary. At run time the enclave proves itself to a trusted key server
+// (remote attestation), presents the user's license, and — only if both
+// check out — receives the section key, which the hardware uses to decrypt
+// the code inside the enclave. The paper's observation: this alone cannot
+// implement a lease (decryption is one-time), which is why the decrypted
+// code still embeds SL-Manager lease checks; this module provides the
+// provisioning half of that story.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "lease/license.hpp"
+#include "sgxsim/attestation.hpp"
+
+namespace sl::lease {
+
+struct PclStats {
+  std::uint64_t provision_requests = 0;
+  std::uint64_t keys_released = 0;
+  std::uint64_t denials = 0;
+};
+
+// The vendor's key-provisioning service (runs alongside SL-Remote on
+// trusted infrastructure).
+class KeyProvisioningService {
+ public:
+  KeyProvisioningService(const LicenseAuthority& authority,
+                         sgx::AttestationService& ias,
+                         double ra_latency_seconds = 3.5);
+
+  // Vendor side: registers the key protecting `section` of the application
+  // whose enclave has `measurement`; releasing it requires a valid license
+  // for `lease`.
+  void register_section(const std::string& section, sgx::Measurement measurement,
+                        LeaseId lease, std::uint64_t key);
+
+  struct KeyResponse {
+    bool ok = false;
+    std::uint64_t key = 0;
+  };
+  // Client side: the enclave's quote + the user's license file. Charges the
+  // remote-attestation latency to `clock`. This is a one-time activity per
+  // enclave launch (Section 2.3.1).
+  KeyResponse request_key(const std::string& section, const sgx::Quote& quote,
+                          const LicenseFile& license, SimClock& clock);
+
+  const PclStats& stats() const { return stats_; }
+
+ private:
+  struct SectionRecord {
+    sgx::Measurement measurement{};
+    LeaseId lease = 0;
+    std::uint64_t key = 0;
+  };
+
+  const LicenseAuthority& authority_;
+  sgx::AttestationService& ias_;
+  double ra_latency_seconds_;
+  std::unordered_map<std::string, SectionRecord> sections_;
+  PclStats stats_;
+};
+
+// Convenience driver: runs the full load sequence for one enclave —
+// request the key, provision it into the enclave, return whether the
+// section is now executable.
+bool load_protected_section(sgx::SgxRuntime& runtime, sgx::Platform& platform,
+                            KeyProvisioningService& service,
+                            sgx::EnclaveId enclave, const std::string& section,
+                            const LicenseFile& license);
+
+}  // namespace sl::lease

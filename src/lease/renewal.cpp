@@ -1,0 +1,76 @@
+#include "lease/renewal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace sl::lease {
+
+double expected_loss(const std::vector<NodeState>& nodes) {
+  double loss = 0.0;
+  for (const NodeState& node : nodes) {
+    loss += static_cast<double>(node.outstanding) * (1.0 - node.health);
+  }
+  return loss;
+}
+
+RenewalDecision renew_lease(std::uint64_t total_gcl,
+                            const std::vector<NodeState>& nodes,
+                            std::size_t requester, const RenewalParams& params) {
+  require(requester < nodes.size(), "renew_lease: bad requester index");
+  require(params.D >= 1.0, "renew_lease: D must be >= 1");
+
+  RenewalDecision decision;
+  if (total_gcl == 0) return decision;
+
+  const NodeState& me = nodes[requester];
+  const double C = static_cast<double>(nodes.size());
+  const double TG = static_cast<double>(total_gcl);
+
+  // Line 3: this node's fair share of the pool.
+  const double G_i = me.alpha * TG / std::max(1.0, C);
+  // Line 4: default scale-down policy.
+  double g_i = G_i / params.D;
+  // Line 5: crash penalty.
+  g_i *= me.health;
+  // Lines 6-8: network bonus for healthy nodes, capped at the fair share.
+  if (me.health > params.T_H) {
+    const double n = std::max(me.network, 1e-3);  // a dead link cannot divide by 0
+    g_i = std::min(G_i, g_i / n);
+  }
+
+  // Lines 9-17: bound the expected loss by tau via the per-license scale
+  // factor beta. ExpLoss is evaluated as if this grant were outstanding.
+  const double tau = params.tau_fraction * TG;
+  double beta = params.beta;
+  double loss = expected_loss(nodes) + g_i * (1.0 - me.health);
+  if (loss > tau) {
+    // Scale g_i down until the projected loss is within tau. Each round
+    // shrinks beta by the fractional excess (Line 12) and re-applies it.
+    int rounds = 0;
+    while (loss > tau && g_i >= 1.0 && rounds < 64) {
+      beta = beta * ((loss - tau) / loss);
+      if (beta <= 0.0) beta = 1e-6;
+      g_i = beta * g_i;
+      loss = expected_loss(nodes) + g_i * (1.0 - me.health);
+      rounds++;
+    }
+    if (loss > tau) g_i = 0.0;  // cannot grant without breaching the cap
+  } else {
+    // Line 16: scale up into the unused loss headroom.
+    beta = (tau - loss) / tau;
+    g_i = std::min(G_i, g_i * (1.0 + beta));
+  }
+
+  decision.granted =
+      std::min<std::uint64_t>(total_gcl, static_cast<std::uint64_t>(std::floor(g_i)));
+  decision.beta_used = beta;
+
+  std::vector<NodeState> projected = nodes;
+  projected[requester].outstanding += decision.granted;
+  decision.expected_loss = expected_loss(projected);
+  return decision;
+}
+
+}  // namespace sl::lease

@@ -1,0 +1,51 @@
+// Adaptive GCL renewal (paper Section 5.3, Algorithm 1, Table 2).
+//
+// SL-Remote decides how many executions (the sub-GCL g_i) to pre-distribute
+// to a client node, balancing:
+//  * fairness across C concurrent requesters (weights alpha_i),
+//  * a default scale-down policy D that bounds what one node can hold,
+//  * a crash penalty (low node health h_i shrinks the grant),
+//  * a network bonus for healthy nodes on flaky links (they get more so
+//    they can ride out disconnections), and
+//  * a per-license expected-loss cap tau: because crashes forfeit
+//    outstanding sub-GCLs (the pessimistic replay defence of Section 5.7),
+//    SL-Remote keeps  sum_i g_i * (1 - h_i) <= tau.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sl::lease {
+
+struct RenewalParams {
+  double D = 4.0;      // scale-down: g = G/D (paper evaluates D with g=25% of G)
+  double T_H = 0.9;    // health threshold for the network bonus
+  double beta = 0.01;  // default per-license scale-down factor
+  double tau_fraction = 0.10;  // tau = 10% of the total GCL
+};
+
+// Per-node state SL-Remote tracks (Table 2).
+struct NodeState {
+  double alpha = 1.0;      // weight (normalized across requesters)
+  double health = 1.0;     // h in [0,1]; 1 = never crashes
+  double network = 1.0;    // n in (0,1]; 1 = stable link
+  std::uint64_t outstanding = 0;  // sub-GCL counts currently held
+};
+
+struct RenewalDecision {
+  std::uint64_t granted = 0;  // g_i
+  double expected_loss = 0.0; // post-decision ExpLoss(L) across all nodes
+  double beta_used = 0.0;
+};
+
+// Algorithm 1. `total_gcl` is TG (the license's remaining pool), `nodes`
+// holds every concurrent requester's state, and `requester` indexes the
+// node being served. Grants are clamped to the remaining pool.
+RenewalDecision renew_lease(std::uint64_t total_gcl,
+                            const std::vector<NodeState>& nodes,
+                            std::size_t requester, const RenewalParams& params);
+
+// Equation 1: expected loss of license L given outstanding sub-GCLs.
+double expected_loss(const std::vector<NodeState>& nodes);
+
+}  // namespace sl::lease

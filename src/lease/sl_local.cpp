@@ -1,0 +1,215 @@
+#include "lease/sl_local.hpp"
+
+#include "common/log.hpp"
+#include "lease/gateway.hpp"
+
+namespace sl::lease {
+
+namespace {
+constexpr const char* kEnclaveName = "sl-local-enclave-v1";
+constexpr std::size_t kEnclaveHeapBytes = 8ull * 1024 * 1024;
+}  // namespace
+
+sgx::Measurement SlLocal::expected_measurement() {
+  return sgx::measure(kEnclaveName);
+}
+
+SlLocal::SlLocal(sgx::SgxRuntime& runtime, sgx::Platform& platform,
+                 std::unique_ptr<RemoteGateway> owned_gateway,
+                 RemoteGateway* gateway, double link_reliability,
+                 UntrustedStore& store, SlLocalOptions options)
+    : runtime_(runtime),
+      platform_(platform),
+      owned_gateway_(std::move(owned_gateway)),
+      gateway_(owned_gateway_ != nullptr ? owned_gateway_.get() : gateway),
+      link_reliability_(link_reliability),
+      store_(store),
+      options_(options) {
+  ensure(gateway_ != nullptr, "SlLocal: no gateway");
+  sgx::Enclave& enclave = runtime_.create_enclave(kEnclaveName, kEnclaveHeapBytes);
+  enclave_ = enclave.id();
+  enclave.add_trusted_function("sl_local_init");
+  enclave.add_trusted_function("sl_local_issue_lease");
+  enclave.add_trusted_function("sl_local_shutdown");
+  tree_ = std::make_unique<LeaseTree>(options_.keygen_seed, store_);
+  // Session key for the manager-facing secure channel, derived inside the
+  // enclave at startup.
+  crypto::KeyGenerator keygen(options_.keygen_seed ^ 0x5e55104);
+  session_key_ = keygen.next_key64();
+}
+
+SlLocal::SlLocal(sgx::SgxRuntime& runtime, sgx::Platform& platform, SlRemote& remote,
+                 net::SimNetwork& network, net::NodeId node, UntrustedStore& store,
+                 SlLocalOptions options)
+    : SlLocal(runtime, platform,
+              std::make_unique<DirectGateway>(remote, network, node,
+                                              runtime.clock()),
+              nullptr, network.link(node).reliability, store, options) {}
+
+SlLocal::SlLocal(sgx::SgxRuntime& runtime, sgx::Platform& platform,
+                 RemoteGateway& gateway, double link_reliability,
+                 UntrustedStore& store, SlLocalOptions options)
+    : SlLocal(runtime, platform, nullptr, &gateway, link_reliability, store,
+              options) {}
+
+SlLocal::~SlLocal() = default;
+
+bool SlLocal::init(Slid saved_slid) {
+  Bytes report_data;
+  put_u64(report_data, saved_slid);
+  const sgx::Quote quote = platform_.create_quote(enclave_, report_data);
+  const auto result = gateway_->init(quote, saved_slid);
+  if (!result.has_value()) {
+    log_error("SL-Local: network down during init");
+    return false;
+  }
+  if (!result->ok) return false;
+  slid_ = result->slid;
+
+  if (result->restore_allowed && result->old_backup_key != 0 &&
+      tree_->root_handle() != 0) {
+    // ECALL: restore the saved lease tree under the old-backup-key.
+    bool restored = false;
+    runtime_.ecall(enclave_, "sl_local_init", /*work=*/50'000, kNodeBytes, [&] {
+      restored = tree_->restore(result->old_backup_key, tree_->root_handle());
+    });
+    if (!restored) {
+      log_error("SL-Local: saved state failed validation; starting empty");
+      tree_ = std::make_unique<LeaseTree>(options_.keygen_seed + 1, store_);
+    }
+  }
+  ready_ = true;
+  log_info("SL-Local: ready, SLID=", slid_);
+  return true;
+}
+
+bool SlLocal::renew_from_remote(const LicenseFile& license) {
+  if (options_.renewal_ra_seconds > 0.0) {
+    // F-LaaS baseline: the license service remote-attests the client on
+    // every renewal.
+    Bytes report_data;
+    put_u64(report_data, slid_);
+    const sgx::Quote quote = platform_.create_quote(enclave_, report_data);
+    if (!gateway_->attest(quote)) {
+      stats_.renewal_failures++;
+      return false;
+    }
+  }
+  // Report consumption observed since the last renewal so SL-Remote's
+  // outstanding-exposure view stays accurate (piggybacked on the request).
+  std::uint64_t consumed = 0;
+  auto consumed_it = consumed_unreported_.find(license.lease_id);
+  if (consumed_it != consumed_unreported_.end()) {
+    consumed = consumed_it->second;
+  }
+  const auto result = gateway_->renew(slid_, license, options_.health,
+                                      link_reliability_, consumed);
+  if (!result.has_value() || !result->ok) {
+    stats_.renewal_failures++;
+    return false;
+  }
+  if (consumed_it != consumed_unreported_.end()) consumed_it->second = 0;
+  stats_.renewals++;
+
+  // Install (or top up) the lease in the tree.
+  LeaseRecord* record = tree_->find(license.lease_id);
+  if (record == nullptr) {
+    tree_->insert(license.lease_id, Gcl(license.kind, result->granted,
+                                        license.interval_seconds));
+  } else {
+    record->spin_lock();
+    Gcl gcl = record->gcl();
+    gcl.credit(result->granted);
+    record->set_gcl(gcl);
+    record->spin_unlock();
+  }
+  return true;
+}
+
+std::optional<ExecutionToken> SlLocal::issue_lease(
+    const sgx::Report& manager_report, const sgx::Measurement& manager_identity,
+    const LicenseFile& license) {
+  ensure(ready_, "SlLocal::issue_lease: not initialized");
+  stats_.lease_requests++;
+
+  // Section 5.4: SL-Manager and SL-Local validate each other via local
+  // attestation before any lease is issued.
+  stats_.local_attestations++;
+  if (!platform_.verify_report(manager_report, manager_identity)) {
+    stats_.denials++;
+    return std::nullopt;
+  }
+
+  std::optional<ExecutionToken> token;
+  runtime_.ecall(enclave_, "sl_local_issue_lease", /*work=*/5'000, kLeaseBytes, [&] {
+    LeaseRecord* record = tree_->find(license.lease_id);
+    const std::uint32_t want = options_.tokens_per_attestation;
+
+    auto try_issue = [&](LeaseRecord* rec) -> bool {
+      if (rec == nullptr) return false;
+      rec->spin_lock();
+      Gcl gcl = rec->gcl();
+      gcl.advance_time(runtime_.clock().seconds(), /*executing=*/true);
+      const std::uint64_t granted = gcl.try_consume(want);
+      if (granted > 0) rec->set_gcl(gcl);
+      rec->spin_unlock();
+      if (granted == 0) return false;
+      consumed_unreported_[license.lease_id] += granted;
+      token = issue_token(session_key_, license.lease_id,
+                          static_cast<std::uint32_t>(granted),
+                          static_cast<std::uint64_t>(runtime_.clock().millis()),
+                          token_nonce_++);
+      return true;
+    };
+
+    if (!try_issue(record)) {
+      // Local sub-GCL missing or exhausted: fetch more from SL-Remote
+      // (Figure 3, step 3) and retry once.
+      runtime_.ocall(/*untrusted_work=*/1'000);  // network I/O leaves the enclave
+      if (renew_from_remote(license)) {
+        try_issue(tree_->find(license.lease_id));
+      }
+    }
+  });
+
+  if (token.has_value()) {
+    stats_.tokens_issued += token->executions;
+  } else {
+    stats_.denials++;
+  }
+  return token;
+}
+
+void SlLocal::shutdown() {
+  if (!ready_) return;
+  std::unordered_map<LeaseId, std::uint64_t> unused;
+  std::uint64_t root_key = 0;
+  // No separate consumption report is needed: the unused counts below are
+  // read from the tree (which already excludes locally-consumed tokens),
+  // and SL-Remote treats the rest of the outstanding exposure as consumed.
+  runtime_.ecall(enclave_, "sl_local_shutdown", /*work=*/100'000, kNodeBytes, [&] {
+    for (const auto& [lease, consumed] : consumed_unreported_) {
+      LeaseRecord* record = tree_->find(lease);
+      if (record != nullptr) unused[lease] = record->gcl().count();
+    }
+    root_key = tree_->shutdown();
+  });
+  if (!gateway_->graceful_shutdown(slid_, root_key, unused)) {
+    log_error("SL-Local: could not reach SL-Remote during shutdown; "
+              "next init will be treated as a crash");
+    ready_ = false;
+    return;
+  }
+  consumed_unreported_.clear();
+  ready_ = false;
+  log_info("SL-Local: graceful shutdown, root key escrowed");
+}
+
+void SlLocal::crash() {
+  // No commit, no escrow: the EPC contents evaporate.
+  tree_ = std::make_unique<LeaseTree>(options_.keygen_seed + 17, store_);
+  consumed_unreported_.clear();
+  ready_ = false;
+}
+
+}  // namespace sl::lease

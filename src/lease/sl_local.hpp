@@ -1,0 +1,130 @@
+// SL-Local — the per-machine lease service running inside SGX
+// (paper Sections 4.4, 5.2-5.6).
+//
+// SL-Local holds a snapshot of leases (the lease tree) obtained from
+// SL-Remote and attests executions locally, avoiding the 3-4 s remote
+// attestation on every check. Key behaviours reproduced here:
+//  * init(): read SLID, remote-attest to SL-Remote, restore saved state
+//    with the old-backup-key (Section 5.2.4 / 5.6);
+//  * issue_lease(): local attestation with the requesting SL-Manager, lease
+//    lookup in the tree (spin-locked), GCL decrement, token of execution —
+//    optionally a batch of tokens per attestation (Section 7.3);
+//  * adaptive renewal from SL-Remote when the local sub-GCL runs dry;
+//  * graceful shutdown vs crash (tests drive both paths).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "lease/lease_tree.hpp"
+#include "lease/sl_remote.hpp"
+#include "lease/token.hpp"
+#include "net/network.hpp"
+#include "sgxsim/attestation.hpp"
+#include "sgxsim/runtime.hpp"
+
+namespace sl::lease {
+
+struct SlLocalOptions {
+  // Tokens granted per local attestation (1 = no batching; the paper's
+  // tuned configuration grants 10).
+  std::uint32_t tokens_per_attestation = 10;
+  // Estimated node health reported to SL-Remote.
+  double health = 0.95;
+  std::uint64_t keygen_seed = 0x51ca1;
+  // F-LaaS mode: every renewal requires a fresh remote attestation of this
+  // latency (the baseline's license-as-a-service flow). 0 = SecureLease
+  // behaviour (RA only at init).
+  double renewal_ra_seconds = 0.0;
+};
+
+struct SlLocalStats {
+  std::uint64_t lease_requests = 0;
+  std::uint64_t tokens_issued = 0;
+  std::uint64_t local_attestations = 0;
+  std::uint64_t renewals = 0;
+  std::uint64_t renewal_failures = 0;
+  std::uint64_t denials = 0;
+};
+
+class RemoteGateway;
+
+class SlLocal {
+ public:
+  // `runtime`/`platform` model the local machine; `remote` + `network` are
+  // the server side of Figure 3 (an in-process DirectGateway is created
+  // internally). SL-Local creates its own enclave.
+  SlLocal(sgx::SgxRuntime& runtime, sgx::Platform& platform, SlRemote& remote,
+          net::SimNetwork& network, net::NodeId node, UntrustedStore& store,
+          SlLocalOptions options = {});
+
+  // Gateway-injected variant: all server communication goes through
+  // `gateway` (e.g. a WireGateway speaking the serialized protocol).
+  // `link_reliability` is what SL-Local reports as its network quality.
+  SlLocal(sgx::SgxRuntime& runtime, sgx::Platform& platform,
+          RemoteGateway& gateway, double link_reliability, UntrustedStore& store,
+          SlLocalOptions options = {});
+
+  ~SlLocal();
+
+  // The enclave identity SL-Remote must be provisioned to expect.
+  static sgx::Measurement expected_measurement();
+
+  // Initialization (Section 5.2.4). `saved_slid` comes from the plaintext
+  // SLID file (0 on first boot). Returns false if the network or the
+  // remote attestation failed.
+  bool init(Slid saved_slid = 0);
+  Slid slid() const { return slid_; }
+  bool ready() const { return ready_; }
+
+  // One license-check request from an SL-Manager (Section 5.4). `report`
+  // is the manager's local-attestation report; `license` the user's file.
+  // On success returns a token worth up to tokens_per_attestation runs.
+  std::optional<ExecutionToken> issue_lease(const sgx::Report& manager_report,
+                                            const sgx::Measurement& manager_identity,
+                                            const LicenseFile& license);
+
+  // Session key shared with managers after local attestation (the secure
+  // local channel); managers use it to verify tokens.
+  std::uint64_t session_key() const { return session_key_; }
+
+  // Graceful shutdown: commits the tree, escrows the root key with
+  // SL-Remote, reports unused counts (Section 5.6).
+  void shutdown();
+
+  // Simulated crash: all in-EPC state is lost without escrow (Section 5.7).
+  void crash();
+
+  LeaseTree& tree() { return *tree_; }
+  const SlLocalStats& stats() const { return stats_; }
+  sgx::SgxRuntime& runtime() { return runtime_; }
+
+ private:
+  SlLocal(sgx::SgxRuntime& runtime, sgx::Platform& platform,
+          std::unique_ptr<RemoteGateway> owned_gateway, RemoteGateway* gateway,
+          double link_reliability, UntrustedStore& store, SlLocalOptions options);
+
+  bool renew_from_remote(const LicenseFile& license);
+
+  sgx::SgxRuntime& runtime_;
+  sgx::Platform& platform_;
+  std::unique_ptr<RemoteGateway> owned_gateway_;  // set for the direct ctor
+  RemoteGateway* gateway_ = nullptr;
+  double link_reliability_ = 1.0;
+  UntrustedStore& store_;
+  SlLocalOptions options_;
+
+  sgx::EnclaveId enclave_ = 0;
+  std::unique_ptr<LeaseTree> tree_;
+  Slid slid_ = 0;
+  bool ready_ = false;
+  std::uint64_t session_key_ = 0;
+  std::uint64_t token_nonce_ = 0;
+  // Per-lease local accounting: what remains of the granted sub-GCLs and
+  // what has been consumed since the last report to SL-Remote.
+  std::unordered_map<LeaseId, std::uint64_t> consumed_unreported_;
+  SlLocalStats stats_;
+};
+
+}  // namespace sl::lease

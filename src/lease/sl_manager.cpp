@@ -1,0 +1,55 @@
+#include "lease/sl_manager.hpp"
+
+#include "common/log.hpp"
+
+namespace sl::lease {
+
+SlManager::SlManager(sgx::SgxRuntime& runtime, sgx::Platform& platform, SlLocal& local,
+                     std::string name, LicenseFile license)
+    : runtime_(runtime),
+      platform_(platform),
+      local_(local),
+      name_(std::move(name)),
+      license_(std::move(license)) {
+  sgx::Enclave& enclave =
+      runtime_.create_enclave("sl-manager/" + name_, 1024 * 1024);
+  enclave_ = enclave.id();
+  enclave.add_trusted_function("sl_manager_authorize");
+}
+
+bool SlManager::authorize_execution() {
+  if (cached_executions_ > 0) {
+    cached_executions_--;
+    stats_.executions_granted++;
+    return true;
+  }
+
+  stats_.acquisitions++;
+  // Local attestation: produce a report proving this manager enclave's
+  // identity, then ask SL-Local for a token.
+  Bytes report_data = to_bytes(name_);
+  const sgx::Report report = platform_.create_report(enclave_, report_data);
+  const sgx::Measurement identity = runtime_.enclave(enclave_).measurement();
+
+  bool granted = false;
+  runtime_.ecall(enclave_, "sl_manager_authorize", /*work=*/2'000, 4096, [&] {
+    auto token = local_.issue_lease(report, identity, license_);
+    if (!token.has_value()) return;
+    if (!verify_token(local_.session_key(), *token, license_.lease_id)) {
+      log_error("SL-Manager ", name_, ": token verification failed");
+      return;
+    }
+    cached_executions_ = token->executions;
+    granted = true;
+  });
+
+  if (granted && cached_executions_ > 0) {
+    cached_executions_--;
+    stats_.executions_granted++;
+    return true;
+  }
+  stats_.executions_denied++;
+  return false;
+}
+
+}  // namespace sl::lease

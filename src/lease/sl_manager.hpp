@@ -1,0 +1,53 @@
+// SL-Manager — the in-application authentication manager (paper Section 5.1).
+//
+// An SL-Manager instance lives in the secure region of a partitioned
+// application (one per separately-leased add-on). It collects the user's
+// license file, locally attests with SL-Local, requests tokens of
+// execution, and gates the application's key functions on holding a valid
+// token. Token batching means one attestation can authorize several runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "lease/sl_local.hpp"
+
+namespace sl::lease {
+
+struct SlManagerStats {
+  std::uint64_t acquisitions = 0;      // calls into SL-Local
+  std::uint64_t executions_granted = 0;
+  std::uint64_t executions_denied = 0;
+};
+
+class SlManager {
+ public:
+  // Creates the manager's enclave presence inside `runtime`. `name`
+  // identifies the add-on (distinct managers get distinct enclaves).
+  SlManager(sgx::SgxRuntime& runtime, sgx::Platform& platform, SlLocal& local,
+            std::string name, LicenseFile license);
+
+  // Authorizes one execution of the protected region. Consumes a cached
+  // token execution when available; otherwise performs a local attestation
+  // and asks SL-Local for a fresh (batched) token.
+  bool authorize_execution();
+
+  // True while the manager holds at least one unconsumed token execution.
+  std::uint32_t cached_executions() const { return cached_executions_; }
+
+  const LicenseFile& license() const { return license_; }
+  const SlManagerStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  sgx::SgxRuntime& runtime_;
+  sgx::Platform& platform_;
+  SlLocal& local_;
+  std::string name_;
+  LicenseFile license_;
+  sgx::EnclaveId enclave_ = 0;
+  std::uint32_t cached_executions_ = 0;
+  SlManagerStats stats_;
+};
+
+}  // namespace sl::lease

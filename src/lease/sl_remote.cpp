@@ -1,0 +1,193 @@
+#include "lease/sl_remote.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace sl::lease {
+
+SlRemote::SlRemote(const LicenseAuthority& authority, sgx::AttestationService& ias,
+                   sgx::Measurement expected_sl_local, double ra_latency_seconds)
+    : authority_(authority),
+      ias_(ias),
+      expected_sl_local_(expected_sl_local),
+      ra_latency_seconds_(ra_latency_seconds) {}
+
+void SlRemote::provision(const LicenseFile& license) {
+  require(authority_.validate(license), "provision: invalid license signature");
+  LeasePool pool;
+  pool.license = license;
+  pool.remaining = license.total_count;
+  pools_[license.lease_id] = std::move(pool);
+}
+
+std::optional<std::uint64_t> SlRemote::remaining_pool(LeaseId lease) const {
+  auto it = pools_.find(lease);
+  if (it == pools_.end()) return std::nullopt;
+  return it->second.remaining;
+}
+
+void SlRemote::revoke(LeaseId lease) {
+  auto it = pools_.find(lease);
+  if (it == pools_.end()) return;
+  it->second.remaining = 0;
+  it->second.outstanding.clear();
+  log_info("SL-Remote: revoked lease ", lease);
+}
+
+SlRemote::InitResult SlRemote::init_sl_local(const sgx::Quote& quote,
+                                             Slid claimed_slid, SimClock& clock) {
+  InitResult result;
+  stats_.remote_attestations++;
+  if (!ias_.verify_quote(quote, expected_sl_local_, clock, ra_latency_seconds_)) {
+    log_error("SL-Remote: remote attestation failed");
+    return result;
+  }
+
+  if (claimed_slid == 0 || !locals_.contains(claimed_slid)) {
+    // First initialization: mint an SLID.
+    result.slid = next_slid_++;
+    locals_[result.slid] = LocalRecord{.alive = true};
+    result.ok = true;
+    stats_.registrations++;
+    return result;
+  }
+
+  LocalRecord& record = locals_[claimed_slid];
+  result.slid = claimed_slid;
+  result.ok = true;
+  if (record.graceful) {
+    // Clean restart: hand back the escrowed root key so the lease tree can
+    // be restored (Section 5.6).
+    result.old_backup_key = record.escrowed_root_key;
+    result.restore_allowed = true;
+  } else {
+    // The previous instance crashed (or is being replayed): pessimistic
+    // policy — every outstanding sub-GCL on that SLID is deemed consumed
+    // (Section 5.7).
+    forfeit_outstanding(claimed_slid);
+  }
+  record.alive = true;
+  record.graceful = false;
+  record.escrowed_root_key = 0;
+  return result;
+}
+
+bool SlRemote::attest_only(const sgx::Quote& quote, SimClock& clock) {
+  stats_.remote_attestations++;
+  return ias_.verify_quote(quote, expected_sl_local_, clock, ra_latency_seconds_);
+}
+
+void SlRemote::forfeit_outstanding(Slid slid) {
+  for (auto& [lease, pool] : pools_) {
+    auto it = pool.outstanding.find(slid);
+    if (it != pool.outstanding.end()) {
+      stats_.forfeited_gcls += it->second;
+      pool.outstanding.erase(it);
+    }
+  }
+}
+
+void SlRemote::graceful_shutdown(
+    Slid slid, std::uint64_t root_key,
+    const std::unordered_map<LeaseId, std::uint64_t>& unused) {
+  auto it = locals_.find(slid);
+  require(it != locals_.end(), "graceful_shutdown: unknown SLID");
+  it->second.alive = false;
+  it->second.graceful = true;
+  it->second.escrowed_root_key = root_key;
+
+  // Unused sub-GCL counts flow back into the pools; the rest of the
+  // outstanding exposure is treated as consumed.
+  for (const auto& [lease, count] : unused) {
+    auto pool = pools_.find(lease);
+    if (pool == pools_.end()) continue;
+    auto out = pool->second.outstanding.find(slid);
+    if (out == pool->second.outstanding.end()) continue;
+    const std::uint64_t credited = std::min(count, out->second);
+    pool->second.remaining += credited;
+    stats_.reclaimed_gcls += credited;
+    out->second -= credited;
+  }
+  for (auto& [lease, pool] : pools_) pool.outstanding.erase(slid);
+}
+
+SlRemote::RenewResult SlRemote::renew(Slid slid, const LicenseFile& license,
+                                      double health, double network) {
+  RenewResult result;
+  auto local = locals_.find(slid);
+  if (local == locals_.end() || !local->second.alive) {
+    stats_.renewals_denied++;
+    return result;
+  }
+  if (!authority_.validate(license)) {
+    // Invalid license information: no further executions for this file
+    // (Section 4.4, step 3) — a likely breach attempt.
+    stats_.renewals_denied++;
+    log_error("SL-Remote: invalid license for lease ", license.lease_id);
+    return result;
+  }
+  auto pool_it = pools_.find(license.lease_id);
+  if (pool_it == pools_.end() || pool_it->second.remaining == 0) {
+    stats_.renewals_denied++;
+    return result;
+  }
+  LeasePool& pool = pool_it->second;
+  local->second.health = health;
+  local->second.network = network;
+
+  // Build the concurrent-requesters view for Algorithm 1: every node that
+  // currently holds (or is asking for) this lease.
+  std::vector<NodeState> nodes;
+  std::size_t requester_index = 0;
+  std::vector<Slid> slids;
+  for (const auto& [other_slid, outstanding] : pool.outstanding) {
+    slids.push_back(other_slid);
+  }
+  if (!pool.outstanding.contains(slid)) slids.push_back(slid);
+  for (std::size_t i = 0; i < slids.size(); ++i) {
+    const LocalRecord& rec = locals_[slids[i]];
+    NodeState state;
+    state.alpha = 1.0;  // equal weights; alphas normalize to 1/C in Alg. 1
+    state.health = rec.health;
+    state.network = rec.network;
+    auto out = pool.outstanding.find(slids[i]);
+    state.outstanding = out == pool.outstanding.end() ? 0 : out->second;
+    if (slids[i] == slid) requester_index = i;
+    nodes.push_back(state);
+  }
+
+  const RenewalDecision decision =
+      renew_lease(pool.remaining, nodes, requester_index, params_);
+  if (decision.granted == 0) {
+    stats_.renewals_denied++;
+    return result;
+  }
+  pool.remaining -= decision.granted;
+  pool.outstanding[slid] += decision.granted;
+  stats_.renewals++;
+  result.ok = true;
+  result.granted = decision.granted;
+  return result;
+}
+
+Slid SlRemote::seed_peer(LeaseId lease, std::uint64_t outstanding, double health,
+                         double network) {
+  auto pool = pools_.find(lease);
+  require(pool != pools_.end(), "seed_peer: unknown lease");
+  const Slid slid = next_slid_++;
+  locals_[slid] = LocalRecord{.alive = true, .health = health, .network = network};
+  const std::uint64_t granted = std::min(outstanding, pool->second.remaining);
+  pool->second.remaining -= granted;
+  pool->second.outstanding[slid] = granted;
+  return slid;
+}
+
+void SlRemote::report_consumed(Slid slid, LeaseId lease, std::uint64_t count) {
+  auto pool = pools_.find(lease);
+  if (pool == pools_.end()) return;
+  auto out = pool->second.outstanding.find(slid);
+  if (out == pool->second.outstanding.end()) return;
+  out->second -= std::min(out->second, count);
+}
+
+}  // namespace sl::lease

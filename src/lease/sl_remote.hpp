@@ -1,0 +1,121 @@
+// SL-Remote — the trusted license server (paper Sections 4.4, 5.1).
+//
+// Responsibilities:
+//  * validates licenses issued by the vendor authority;
+//  * registers SL-Local instances: remote-attests them (via the IAS-role
+//    attestation service), assigns SLIDs, and escrows old-backup-keys;
+//  * serves RenewLease requests with the Algorithm 1 heuristic;
+//  * enforces the pessimistic crash policy of Section 5.7: an SL-Local
+//    that re-initializes without a matching graceful-shutdown record
+//    forfeits every outstanding sub-GCL.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "lease/license.hpp"
+#include "lease/renewal.hpp"
+#include "sgxsim/attestation.hpp"
+
+namespace sl::lease {
+
+using Slid = std::uint64_t;
+
+struct SlRemoteStats {
+  std::uint64_t remote_attestations = 0;
+  std::uint64_t registrations = 0;
+  std::uint64_t renewals = 0;
+  std::uint64_t renewals_denied = 0;
+  std::uint64_t forfeited_gcls = 0;   // lost to the pessimistic crash policy
+  std::uint64_t reclaimed_gcls = 0;   // returned on graceful shutdown
+};
+
+class SlRemote {
+ public:
+  SlRemote(const LicenseAuthority& authority, sgx::AttestationService& ias,
+           sgx::Measurement expected_sl_local, double ra_latency_seconds = 3.5);
+
+  // --- License provisioning (vendor side) ---------------------------------
+  // Makes `license` renewable with TG = license.total_count.
+  void provision(const LicenseFile& license);
+  std::optional<std::uint64_t> remaining_pool(LeaseId lease) const;
+  // Revocation: zero the pool; subsequent renewals are denied.
+  void revoke(LeaseId lease);
+
+  // --- SL-Local lifecycle ----------------------------------------------------
+  struct InitResult {
+    bool ok = false;
+    Slid slid = 0;
+    std::uint64_t old_backup_key = 0;  // OBK; 0 on first init or after crash
+    bool restore_allowed = false;      // false => crash was assumed
+  };
+  // `quote` proves the caller is a genuine SL-Local enclave. `claimed_slid`
+  // is 0 for a first init. `clock` is charged the RA latency.
+  InitResult init_sl_local(const sgx::Quote& quote, Slid claimed_slid,
+                           SimClock& clock);
+
+  // Stand-alone remote attestation (no lifecycle side effects); the F-LaaS
+  // baseline performs one of these per renewal.
+  bool attest_only(const sgx::Quote& quote, SimClock& clock);
+
+  // Graceful shutdown: escrows the root key; unused sub-GCL counts are
+  // reported back per lease and re-credited to the pools.
+  void graceful_shutdown(Slid slid, std::uint64_t root_key,
+                         const std::unordered_map<LeaseId, std::uint64_t>& unused);
+
+  // --- Renewal ------------------------------------------------------------------
+  struct RenewResult {
+    bool ok = false;
+    std::uint64_t granted = 0;
+  };
+  // Validates the license, then runs Algorithm 1 over the nodes currently
+  // holding this lease. `health`/`network` are SL-Remote's current estimate
+  // for the requesting node.
+  RenewResult renew(Slid slid, const LicenseFile& license, double health,
+                    double network);
+
+  // Marks `count` sub-GCLs as consumed on the node (SL-Local reports usage
+  // with its next renewal; consumption shrinks the outstanding exposure).
+  void report_consumed(Slid slid, LeaseId lease, std::uint64_t count);
+
+  // Simulation hook: registers a peer node that already holds `outstanding`
+  // sub-GCLs of `lease`, so Algorithm 1 sees C concurrent requesters (the
+  // multi-party shared-license setting of Section 5.3). Returns its SLID.
+  Slid seed_peer(LeaseId lease, std::uint64_t outstanding, double health,
+                 double network);
+
+  RenewalParams& params() { return params_; }
+  const SlRemoteStats& stats() const { return stats_; }
+
+ private:
+  struct LeasePool {
+    LicenseFile license;
+    std::uint64_t remaining = 0;
+    // outstanding sub-GCLs per SLID.
+    std::unordered_map<Slid, std::uint64_t> outstanding;
+  };
+  struct LocalRecord {
+    bool alive = false;
+    bool graceful = false;
+    std::uint64_t escrowed_root_key = 0;
+    double health = 1.0;
+    double network = 1.0;
+  };
+
+  void forfeit_outstanding(Slid slid);
+
+  const LicenseAuthority& authority_;
+  sgx::AttestationService& ias_;
+  sgx::Measurement expected_sl_local_;
+  double ra_latency_seconds_;
+  RenewalParams params_;
+
+  std::unordered_map<LeaseId, LeasePool> pools_;
+  std::unordered_map<Slid, LocalRecord> locals_;
+  Slid next_slid_ = 1;
+  SlRemoteStats stats_;
+};
+
+}  // namespace sl::lease

@@ -1,0 +1,42 @@
+#include "lease/token.hpp"
+
+namespace sl::lease {
+
+Bytes ExecutionToken::mac_payload() const {
+  Bytes payload;
+  put_u32(payload, lease_id);
+  put_u32(payload, executions);
+  put_u64(payload, issued_at_ms);
+  put_u64(payload, nonce);
+  return payload;
+}
+
+namespace {
+Bytes session_key_bytes(std::uint64_t session_key) {
+  Bytes key;
+  put_u64(key, session_key);
+  return key;
+}
+}  // namespace
+
+ExecutionToken issue_token(std::uint64_t session_key, LeaseId lease_id,
+                           std::uint32_t executions, std::uint64_t issued_at_ms,
+                           std::uint64_t nonce) {
+  ExecutionToken token;
+  token.lease_id = lease_id;
+  token.executions = executions;
+  token.issued_at_ms = issued_at_ms;
+  token.nonce = nonce;
+  token.mac = crypto::hmac_sha256(session_key_bytes(session_key), token.mac_payload());
+  return token;
+}
+
+bool verify_token(std::uint64_t session_key, const ExecutionToken& token,
+                  LeaseId expected_lease) {
+  if (token.lease_id != expected_lease) return false;
+  if (token.executions == 0) return false;
+  return crypto::hmac_verify(session_key_bytes(session_key), token.mac_payload(),
+                             token.mac);
+}
+
+}  // namespace sl::lease

@@ -1,0 +1,38 @@
+// Tokens of execution (paper Sections 4.4 and 5.4).
+//
+// SL-Local hands an SL-Manager a MAC-authenticated token after a successful
+// lease check; the token may carry several executions at once (the batching
+// optimization of Section 7.3 — ten tokens per local attestation). The MAC
+// key is the session secret the two enclaves derived during their local
+// attestation, so a token cannot be forged or re-targeted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/hmac.hpp"
+#include "lease/license.hpp"
+
+namespace sl::lease {
+
+struct ExecutionToken {
+  LeaseId lease_id = 0;
+  std::uint32_t executions = 0;   // how many runs this token authorizes
+  std::uint64_t issued_at_ms = 0; // SL-Local virtual time at issue
+  std::uint64_t nonce = 0;        // uniquifies tokens of the same batch
+  crypto::Sha256Digest mac{};
+
+  Bytes mac_payload() const;
+};
+
+// Issues a token under `session_key`.
+ExecutionToken issue_token(std::uint64_t session_key, LeaseId lease_id,
+                           std::uint32_t executions, std::uint64_t issued_at_ms,
+                           std::uint64_t nonce);
+
+// Verifies MAC + lease binding; returns false on any mismatch.
+bool verify_token(std::uint64_t session_key, const ExecutionToken& token,
+                  LeaseId expected_lease);
+
+}  // namespace sl::lease

@@ -1,0 +1,272 @@
+#include "lease/wire.hpp"
+
+namespace sl::lease::wire {
+
+namespace {
+
+void put_digest(Bytes& out, const crypto::Sha256Digest& digest) {
+  out.insert(out.end(), digest.begin(), digest.end());
+}
+
+bool get_digest(ByteView in, std::size_t& offset, crypto::Sha256Digest& digest) {
+  if (offset + digest.size() > in.size()) return false;
+  std::copy(in.begin() + static_cast<std::ptrdiff_t>(offset),
+            in.begin() + static_cast<std::ptrdiff_t>(offset + digest.size()),
+            digest.begin());
+  offset += digest.size();
+  return true;
+}
+
+void put_blob(Bytes& out, ByteView blob) {
+  put_u32(out, static_cast<std::uint32_t>(blob.size()));
+  out.insert(out.end(), blob.begin(), blob.end());
+}
+
+std::optional<Bytes> get_blob(ByteView in, std::size_t& offset) {
+  if (offset + 4 > in.size()) return std::nullopt;
+  const std::uint32_t size = get_u32(in, offset);
+  offset += 4;
+  if (offset + size > in.size()) return std::nullopt;
+  Bytes blob(in.begin() + static_cast<std::ptrdiff_t>(offset),
+             in.begin() + static_cast<std::ptrdiff_t>(offset + size));
+  offset += size;
+  return blob;
+}
+
+// Doubles travel as fixed-point micros.
+void put_fraction(Bytes& out, double value) {
+  put_u64(out, static_cast<std::uint64_t>(value * 1e6));
+}
+
+double get_fraction(ByteView in, std::size_t& offset) {
+  const double value = static_cast<double>(get_u64(in, offset)) / 1e6;
+  offset += 8;
+  return value;
+}
+
+}  // namespace
+
+Bytes serialize_quote(const sgx::Quote& quote) {
+  Bytes out;
+  put_digest(out, quote.report.mrenclave);
+  put_blob(out, quote.report.report_data);
+  put_digest(out, quote.report.mac);
+  put_u64(out, quote.platform_id);
+  put_digest(out, quote.signature);
+  return out;
+}
+
+std::optional<sgx::Quote> deserialize_quote(ByteView data, std::size_t& offset) {
+  sgx::Quote quote;
+  if (!get_digest(data, offset, quote.report.mrenclave)) return std::nullopt;
+  auto report_data = get_blob(data, offset);
+  if (!report_data.has_value()) return std::nullopt;
+  quote.report.report_data = std::move(*report_data);
+  if (!get_digest(data, offset, quote.report.mac)) return std::nullopt;
+  if (offset + 8 > data.size()) return std::nullopt;
+  quote.platform_id = get_u64(data, offset);
+  offset += 8;
+  if (!get_digest(data, offset, quote.signature)) return std::nullopt;
+  return quote;
+}
+
+// --- InitRequest / InitResponse --------------------------------------------------
+
+Bytes InitRequest::serialize() const {
+  Bytes out;
+  put_u64(out, claimed_slid);
+  const Bytes quote_bytes = serialize_quote(quote);
+  out.insert(out.end(), quote_bytes.begin(), quote_bytes.end());
+  return out;
+}
+
+std::optional<InitRequest> InitRequest::deserialize(ByteView data) {
+  if (data.size() < 8) return std::nullopt;
+  InitRequest request;
+  request.claimed_slid = get_u64(data, 0);
+  std::size_t offset = 8;
+  auto quote = deserialize_quote(data, offset);
+  if (!quote.has_value()) return std::nullopt;
+  request.quote = std::move(*quote);
+  return request;
+}
+
+Bytes InitResponse::serialize() const {
+  Bytes out;
+  put_u32(out, ok ? 1 : 0);
+  put_u64(out, slid);
+  put_u64(out, old_backup_key);
+  put_u32(out, restore_allowed ? 1 : 0);
+  return out;
+}
+
+std::optional<InitResponse> InitResponse::deserialize(ByteView data) {
+  if (data.size() < 24) return std::nullopt;
+  InitResponse response;
+  response.ok = get_u32(data, 0) != 0;
+  response.slid = get_u64(data, 4);
+  response.old_backup_key = get_u64(data, 12);
+  response.restore_allowed = get_u32(data, 20) != 0;
+  return response;
+}
+
+// --- RenewRequest / RenewResponse --------------------------------------------------
+
+Bytes RenewRequest::serialize() const {
+  Bytes out;
+  put_u64(out, slid);
+  put_blob(out, license.serialize());
+  put_fraction(out, health);
+  put_fraction(out, network);
+  put_u64(out, consumed);
+  return out;
+}
+
+std::optional<RenewRequest> RenewRequest::deserialize(ByteView data) {
+  if (data.size() < 8) return std::nullopt;
+  RenewRequest request;
+  request.slid = get_u64(data, 0);
+  std::size_t offset = 8;
+  auto license_blob = get_blob(data, offset);
+  if (!license_blob.has_value()) return std::nullopt;
+  auto license = LicenseFile::deserialize(*license_blob);
+  if (!license.has_value()) return std::nullopt;
+  request.license = std::move(*license);
+  if (offset + 24 > data.size()) return std::nullopt;
+  request.health = get_fraction(data, offset);
+  request.network = get_fraction(data, offset);
+  request.consumed = get_u64(data, offset);
+  return request;
+}
+
+Bytes RenewResponse::serialize() const {
+  Bytes out;
+  put_u32(out, ok ? 1 : 0);
+  put_u64(out, granted);
+  return out;
+}
+
+std::optional<RenewResponse> RenewResponse::deserialize(ByteView data) {
+  if (data.size() < 12) return std::nullopt;
+  RenewResponse response;
+  response.ok = get_u32(data, 0) != 0;
+  response.granted = get_u64(data, 4);
+  return response;
+}
+
+// --- ShutdownRequest ------------------------------------------------------------------
+
+Bytes ShutdownRequest::serialize() const {
+  Bytes out;
+  put_u64(out, slid);
+  put_u64(out, root_key);
+  put_u32(out, static_cast<std::uint32_t>(unused.size()));
+  for (const auto& [lease, count] : unused) {
+    put_u32(out, lease);
+    put_u64(out, count);
+  }
+  return out;
+}
+
+std::optional<ShutdownRequest> ShutdownRequest::deserialize(ByteView data) {
+  if (data.size() < 20) return std::nullopt;
+  ShutdownRequest request;
+  request.slid = get_u64(data, 0);
+  request.root_key = get_u64(data, 8);
+  const std::uint32_t count = get_u32(data, 16);
+  std::size_t offset = 20;
+  if (data.size() < offset + static_cast<std::size_t>(count) * 12) return std::nullopt;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const LeaseId lease = get_u32(data, offset);
+    request.unused[lease] = get_u64(data, offset + 4);
+    offset += 12;
+  }
+  return request;
+}
+
+// --- Server adapter ------------------------------------------------------------------------
+
+SlRemoteService::SlRemoteService(SlRemote& remote, net::RpcServer& server,
+                                 SimClock& clock)
+    : remote_(remote), clock_(clock) {
+  server.register_method("sl.init", [this](ByteView payload) -> Bytes {
+    InitResponse response;
+    const auto request = InitRequest::deserialize(payload);
+    if (request.has_value()) {
+      const SlRemote::InitResult result =
+          remote_.init_sl_local(request->quote, request->claimed_slid, clock_);
+      response.ok = result.ok;
+      response.slid = result.slid;
+      response.old_backup_key = result.old_backup_key;
+      response.restore_allowed = result.restore_allowed;
+    }
+    return response.serialize();
+  });
+
+  server.register_method("sl.renew", [this](ByteView payload) -> Bytes {
+    RenewResponse response;
+    const auto request = RenewRequest::deserialize(payload);
+    if (request.has_value()) {
+      if (request->consumed > 0) {
+        remote_.report_consumed(request->slid, request->license.lease_id,
+                                request->consumed);
+      }
+      const SlRemote::RenewResult result = remote_.renew(
+          request->slid, request->license, request->health, request->network);
+      response.ok = result.ok;
+      response.granted = result.granted;
+    }
+    return response.serialize();
+  });
+
+  server.register_method("sl.attest", [this](ByteView payload) -> Bytes {
+    Bytes response;
+    std::size_t offset = 0;
+    const auto quote = deserialize_quote(payload, offset);
+    const bool ok = quote.has_value() && remote_.attest_only(*quote, clock_);
+    put_u32(response, ok ? 1 : 0);
+    return response;
+  });
+
+  server.register_method("sl.shutdown", [this](ByteView payload) -> Bytes {
+    const auto request = ShutdownRequest::deserialize(payload);
+    Bytes response;
+    if (request.has_value()) {
+      remote_.graceful_shutdown(request->slid, request->root_key, request->unused);
+      put_u32(response, 1);
+    } else {
+      put_u32(response, 0);
+    }
+    return response;
+  });
+}
+
+// --- Client stub ----------------------------------------------------------------------------
+
+SlRemoteClient::SlRemoteClient(net::RpcClient& rpc) : rpc_(rpc) {}
+
+std::optional<InitResponse> SlRemoteClient::init(const InitRequest& request) {
+  const net::RpcResult result = rpc_.call("sl.init", request.serialize());
+  if (!result.ok) return std::nullopt;
+  return InitResponse::deserialize(result.payload);
+}
+
+std::optional<RenewResponse> SlRemoteClient::renew(const RenewRequest& request) {
+  const net::RpcResult result = rpc_.call("sl.renew", request.serialize());
+  if (!result.ok) return std::nullopt;
+  return RenewResponse::deserialize(result.payload);
+}
+
+bool SlRemoteClient::attest(const sgx::Quote& quote) {
+  const net::RpcResult result = rpc_.call("sl.attest", serialize_quote(quote));
+  if (!result.ok || result.payload.size() < 4) return false;
+  return get_u32(result.payload, 0) != 0;
+}
+
+bool SlRemoteClient::shutdown(const ShutdownRequest& request) {
+  const net::RpcResult result = rpc_.call("sl.shutdown", request.serialize());
+  if (!result.ok || result.payload.size() < 4) return false;
+  return get_u32(result.payload, 0) != 0;
+}
+
+}  // namespace sl::lease::wire

@@ -1,0 +1,106 @@
+// Wire protocol between SL-Local and SL-Remote (Figure 3's secure channel).
+//
+// Every protocol step is a serialized request/response over the RPC channel
+// of src/net: init (carrying the quote), lease renewal (carrying the license
+// file and node telemetry), consumption reports, and graceful shutdown
+// (escrowing the root key and unused counts). The server adapter exposes an
+// SlRemote instance behind an RpcServer; the client stub gives SL-Local-side
+// code a typed interface. Payloads are length-prefixed little-endian fields
+// (see each message's serialize()); malformed payloads are rejected, never
+// trusted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "lease/sl_remote.hpp"
+#include "net/channel.hpp"
+
+namespace sl::lease::wire {
+
+// --- Messages -----------------------------------------------------------------
+
+struct InitRequest {
+  Slid claimed_slid = 0;
+  sgx::Quote quote;
+
+  Bytes serialize() const;
+  static std::optional<InitRequest> deserialize(ByteView data);
+};
+
+struct InitResponse {
+  bool ok = false;
+  Slid slid = 0;
+  std::uint64_t old_backup_key = 0;
+  bool restore_allowed = false;
+
+  Bytes serialize() const;
+  static std::optional<InitResponse> deserialize(ByteView data);
+};
+
+struct RenewRequest {
+  Slid slid = 0;
+  LicenseFile license;
+  double health = 1.0;
+  double network = 1.0;
+  // Consumption observed since the last report (piggybacked).
+  std::uint64_t consumed = 0;
+
+  Bytes serialize() const;
+  static std::optional<RenewRequest> deserialize(ByteView data);
+};
+
+struct RenewResponse {
+  bool ok = false;
+  std::uint64_t granted = 0;
+
+  Bytes serialize() const;
+  static std::optional<RenewResponse> deserialize(ByteView data);
+};
+
+struct ShutdownRequest {
+  Slid slid = 0;
+  std::uint64_t root_key = 0;
+  std::unordered_map<LeaseId, std::uint64_t> unused;
+
+  Bytes serialize() const;
+  static std::optional<ShutdownRequest> deserialize(ByteView data);
+};
+
+// --- Server adapter --------------------------------------------------------------
+
+// Registers the protocol methods ("sl.init", "sl.renew", "sl.shutdown") on
+// an RpcServer, dispatching into `remote`. The RA latency for init is
+// charged via the clock reference the caller supplies per request — the
+// adapter uses the server-side clock passed at construction.
+class SlRemoteService {
+ public:
+  SlRemoteService(SlRemote& remote, net::RpcServer& server, SimClock& clock);
+
+ private:
+  SlRemote& remote_;
+  SimClock& clock_;
+};
+
+// --- Client stub --------------------------------------------------------------------
+
+class SlRemoteClient {
+ public:
+  explicit SlRemoteClient(net::RpcClient& rpc);
+
+  std::optional<InitResponse> init(const InitRequest& request);
+  std::optional<RenewResponse> renew(const RenewRequest& request);
+  bool shutdown(const ShutdownRequest& request);
+  // Stand-alone remote attestation ("sl.attest").
+  bool attest(const sgx::Quote& quote);
+
+ private:
+  net::RpcClient& rpc_;
+};
+
+// Quote/report (de)serialization shared by the messages.
+Bytes serialize_quote(const sgx::Quote& quote);
+std::optional<sgx::Quote> deserialize_quote(ByteView data, std::size_t& offset);
+
+}  // namespace sl::lease::wire

@@ -1,0 +1,43 @@
+#include "net/channel.hpp"
+
+#include "common/error.hpp"
+
+namespace sl::net {
+
+void RpcServer::register_method(const std::string& method, Handler handler) {
+  require(static_cast<bool>(handler), "register_method: empty handler");
+  handlers_[method] = std::move(handler);
+}
+
+bool RpcServer::has_method(const std::string& method) const {
+  return handlers_.contains(method);
+}
+
+Bytes RpcServer::dispatch(const std::string& method, ByteView request) const {
+  auto it = handlers_.find(method);
+  require(it != handlers_.end(), "dispatch: unknown method " + method);
+  return it->second(request);
+}
+
+RpcClient::RpcClient(SimNetwork& network, NodeId node, RpcServer& server, SimClock& clock)
+    : network_(network), node_(node), server_(server), clock_(clock) {}
+
+bool RpcClient::establish_session() {
+  if (session_established_) return true;
+  // Two round trips: key agreement + confirmation.
+  if (!network_.round_trip(node_, clock_)) return false;
+  if (!network_.round_trip(node_, clock_)) return false;
+  session_established_ = true;
+  return true;
+}
+
+RpcResult RpcClient::call(const std::string& method, ByteView request) {
+  RpcResult result;
+  if (!session_established_ && !establish_session()) return result;
+  if (!network_.round_trip(node_, clock_)) return result;
+  result.payload = server_.dispatch(method, request);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace sl::net

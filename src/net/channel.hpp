@@ -1,0 +1,60 @@
+// Typed message channel used for the SL-Local <-> SL-Remote protocol.
+//
+// Messages are byte payloads with a method tag; the channel serializes the
+// request/response exchange over a SimNetwork link so every protocol step
+// pays realistic latency and can fail. Transport-level encryption stands in
+// for the TLS-like secure channel of Figure 3 (payloads are opaque bytes; we
+// model the handshake cost once per session).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "net/network.hpp"
+
+namespace sl::net {
+
+struct RpcResult {
+  bool ok = false;        // transport success
+  Bytes payload;          // response body when ok
+};
+
+// Server side: registry of method handlers.
+class RpcServer {
+ public:
+  using Handler = std::function<Bytes(ByteView request)>;
+
+  void register_method(const std::string& method, Handler handler);
+  bool has_method(const std::string& method) const;
+
+  // Invoked by the client stub after transport succeeds.
+  Bytes dispatch(const std::string& method, ByteView request) const;
+
+ private:
+  std::unordered_map<std::string, Handler> handlers_;
+};
+
+// Client stub bound to one node's link.
+class RpcClient {
+ public:
+  RpcClient(SimNetwork& network, NodeId node, RpcServer& server, SimClock& clock);
+
+  // One round trip; returns !ok if the link dropped all retries.
+  RpcResult call(const std::string& method, ByteView request);
+
+  // Performs the session handshake (key agreement) once; subsequent calls
+  // are cheap. Returns false if the network is down.
+  bool establish_session();
+  bool session_established() const { return session_established_; }
+
+ private:
+  SimNetwork& network_;
+  NodeId node_;
+  RpcServer& server_;
+  SimClock& clock_;
+  bool session_established_ = false;
+};
+
+}  // namespace sl::net

@@ -1,0 +1,44 @@
+#include "net/network.hpp"
+
+#include "common/error.hpp"
+
+namespace sl::net {
+
+SimNetwork::SimNetwork(std::uint64_t seed) : rng_(seed) {}
+
+void SimNetwork::set_link(NodeId node, LinkProfile profile) {
+  require(profile.reliability >= 0.0 && profile.reliability <= 1.0,
+          "set_link: reliability must be in [0,1]");
+  links_[node] = profile;
+}
+
+const LinkProfile& SimNetwork::link(NodeId node) const {
+  auto it = links_.find(node);
+  require(it != links_.end(), "link: unknown node");
+  return it->second;
+}
+
+bool SimNetwork::round_trip(NodeId node, SimClock& clock, int max_retries) {
+  const LinkProfile& profile = link(node);
+  LinkStats& stats = stats_[node];
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    stats.attempts++;
+    if (rng_.next_bool(profile.reliability)) {
+      clock.advance_millis(profile.rtt_millis);
+      return true;
+    }
+    stats.failures++;
+    clock.advance_millis(profile.timeout_millis);
+  }
+  return false;
+}
+
+const LinkStats& SimNetwork::stats(NodeId node) const { return stats_[node]; }
+
+double SimNetwork::observed_reliability(NodeId node) const {
+  const LinkStats& stats = stats_[node];
+  if (stats.attempts == 0) return 1.0;
+  return 1.0 - static_cast<double>(stats.failures) / static_cast<double>(stats.attempts);
+}
+
+}  // namespace sl::net

@@ -1,0 +1,55 @@
+// Simulated wide-area network between client machines and SL-Remote.
+//
+// The paper's renewal heuristic (Algorithm 1) consumes a per-node network
+// reliability n in [0,1] (0 = dead, 1 = stable). The simulator models each
+// link with a base round-trip latency and that reliability: an RPC attempt
+// fails (and costs a timeout) with probability 1-n, and the caller retries.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+
+namespace sl::net {
+
+using NodeId = std::uint32_t;
+
+struct LinkProfile {
+  double rtt_millis = 20.0;      // round-trip latency of one successful RPC
+  double reliability = 1.0;      // n in [0,1]
+  double timeout_millis = 200.0; // cost of a failed attempt
+};
+
+struct LinkStats {
+  std::uint64_t attempts = 0;
+  std::uint64_t failures = 0;
+};
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(std::uint64_t seed);
+
+  // Configures the link between client `node` and the server.
+  void set_link(NodeId node, LinkProfile profile);
+  const LinkProfile& link(NodeId node) const;
+
+  // Simulates one RPC round trip on `node`'s link, charging latency to
+  // `clock`. Returns false when the attempt failed (per reliability); the
+  // timeout has already been charged. `max_retries` additional attempts are
+  // made before giving up.
+  bool round_trip(NodeId node, SimClock& clock, int max_retries = 3);
+
+  const LinkStats& stats(NodeId node) const;
+  // Measured reliability of the link (successes / attempts); equals the
+  // configured value in expectation — this is what SL-Remote would observe.
+  double observed_reliability(NodeId node) const;
+
+ private:
+  Rng rng_;
+  std::unordered_map<NodeId, LinkProfile> links_;
+  mutable std::unordered_map<NodeId, LinkStats> stats_;
+};
+
+}  // namespace sl::net

@@ -1,0 +1,167 @@
+#include "partition/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "sgxsim/epc.hpp"
+
+namespace sl::partition {
+
+namespace {
+
+std::uint64_t vanilla_cycles_of(const workloads::AppModel& model) {
+  std::uint64_t total = 0;
+  for (cfg::NodeId n : model.graph.all_nodes()) {
+    const auto& info = model.graph.node(n);
+    total += info.invocations * info.work_cycles;
+  }
+  return total;
+}
+
+// Per-function touch stream state for the epoch-interleaved EPC simulation.
+struct TouchStream {
+  std::uint64_t base_page = 0;
+  std::uint64_t region_pages = 0;
+  std::uint64_t touches_per_epoch = 0;
+  std::uint64_t cursor = 0;  // sequential-access position
+  bool random = false;
+};
+
+}  // namespace
+
+double estimate_overhead(const workloads::AppModel& model,
+                         const PartitionResult& partition,
+                         const sgx::CostModel& costs) {
+  const std::uint64_t vanilla = vanilla_cycles_of(model);
+  if (vanilla == 0) return 0.0;
+
+  std::uint64_t extra = 0;
+  for (cfg::NodeId n : partition.migrated) {
+    const auto& info = model.graph.node(n);
+    extra += static_cast<std::uint64_t>(
+        static_cast<double>(info.invocations * info.work_cycles) *
+        costs.enclave_cycle_tax);
+  }
+  for (const cfg::Edge& e : model.graph.edges()) {
+    const bool from_in = partition.contains(e.from);
+    const bool to_in = partition.contains(e.to);
+    if (!from_in && to_in) extra += e.call_count * costs.ecall_cycles;
+    if (from_in && !to_in) extra += e.call_count * costs.ocall_cycles;
+  }
+  return static_cast<double>(extra) / static_cast<double>(vanilla);
+}
+
+RunStats simulate_run(const workloads::AppModel& model, const PartitionResult& partition,
+                      const SimOptions& options) {
+  RunStats stats;
+  stats.workload = model.name;
+  stats.scheme = partition.scheme;
+  stats.vanilla_cycles = vanilla_cycles_of(model);
+  stats.enclave_bytes = partition.enclave_bytes(model);
+  stats.migrated_functions = partition.migrated.size();
+  stats.static_coverage_instr = partition.static_instructions(model);
+  stats.dynamic_coverage_instr = partition.dynamic_instructions(model);
+
+  SimClock clock;
+
+  // --- Work cycles (enclave tax on migrated functions). ---------------------
+  for (cfg::NodeId n : model.graph.all_nodes()) {
+    const auto& info = model.graph.node(n);
+    const std::uint64_t work = info.invocations * info.work_cycles;
+    if (partition.contains(n)) {
+      clock.advance_cycles(static_cast<Cycles>(
+          static_cast<double>(work) * (1.0 + options.costs.enclave_cycle_tax)));
+    } else {
+      clock.advance_cycles(work);
+    }
+  }
+
+  // --- Boundary crossings. ----------------------------------------------------
+  const std::uint64_t crossing_multiplier =
+      partition.scheme == Scheme::kFlaas ? options.flaas_raw_call_multiplier : 1;
+  for (const cfg::Edge& e : model.graph.edges()) {
+    const bool from_in = partition.contains(e.from);
+    const bool to_in = partition.contains(e.to);
+    if (!from_in && to_in) stats.ecalls += e.call_count * crossing_multiplier;
+    if (from_in && !to_in) stats.ocalls += e.call_count * crossing_multiplier;
+  }
+  // Migrated functions that perform syscalls must OCALL per invocation (the
+  // OS is outside the TCB); SecureLease's packer never migrates them, the
+  // baselines do.
+  for (cfg::NodeId n : partition.migrated) {
+    const auto& info = model.graph.node(n);
+    if (info.does_io) stats.ocalls += info.invocations;
+  }
+  clock.advance_cycles(stats.ecalls * options.costs.ecall_cycles);
+  clock.advance_cycles(stats.ocalls * options.costs.ocall_cycles);
+
+  // --- EPC paging. ---------------------------------------------------------------
+  if (!partition.migrated.empty()) {
+    const std::uint64_t touch_multiplier =
+        partition.scheme == Scheme::kFullSgx ? options.full_sgx_touch_multiplier : 1;
+    // Auto-coarsen so the LRU simulation stays bounded.
+    std::uint64_t planned_touches = 0;
+    for (cfg::NodeId n : partition.migrated) {
+      planned_touches += model.graph.node(n).page_touches * touch_multiplier;
+    }
+    std::uint32_t scale = std::max<std::uint32_t>(1, options.page_scale);
+    while (planned_touches / scale > options.max_simulated_touches) scale *= 2;
+    sgx::CostModel scaled = options.costs;
+    scaled.page_size *= scale;
+    scaled.epc_fault_cycles *= scale;
+    scaled.page_crypt_cycles *= scale;
+
+    sgx::EpcManager epc(scaled, clock);
+    Rng rng(options.seed);
+
+    std::vector<TouchStream> streams;
+    std::uint64_t next_base = 0;
+    for (cfg::NodeId n : partition.migrated) {
+      const auto& info = model.graph.node(n);
+      const std::uint64_t region_bytes =
+          partition.data_in_enclave ? info.mem_bytes : info.enclave_state_bytes;
+      const std::uint64_t region_pages =
+          std::max<std::uint64_t>(1, region_bytes / scaled.page_size);
+
+      TouchStream s;
+      s.base_page = next_base;
+      s.region_pages = region_pages;
+      s.random = info.random_access;
+      // Under the keep-data-untrusted policy the calibrated touch counts
+      // target the big shared region; the small enclave state is instead
+      // streamed once per epoch.
+      std::uint64_t total_touches;
+      if (partition.data_in_enclave) {
+        total_touches = info.page_touches * touch_multiplier / scale;
+      } else {
+        total_touches = region_pages * options.epochs;
+      }
+      s.touches_per_epoch = std::max<std::uint64_t>(1, total_touches / options.epochs);
+      next_base += region_pages + 1;  // +1 guard page keeps regions disjoint
+      streams.push_back(s);
+    }
+
+    for (std::uint32_t epoch = 0; epoch < options.epochs; ++epoch) {
+      for (TouchStream& s : streams) {
+        for (std::uint64_t t = 0; t < s.touches_per_epoch; ++t) {
+          std::uint64_t page;
+          if (s.random) {
+            page = s.base_page + rng.next_below(s.region_pages);
+          } else {
+            page = s.base_page + (s.cursor++ % s.region_pages);
+          }
+          epc.touch(/*enclave=*/1, page, 1);
+        }
+      }
+    }
+
+    stats.epc_faults = epc.stats().faults * scale;
+    stats.epc_evictions = epc.stats().evictions * scale;
+    stats.epc_loadbacks = epc.stats().loadbacks * scale;
+  }
+
+  stats.total_cycles = clock.cycles();
+  return stats;
+}
+
+}  // namespace sl::partition

@@ -1,0 +1,227 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+
+#include "partition/cost_model.hpp"
+
+namespace sl::partition {
+
+std::string scheme_name(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kVanilla: return "Vanilla";
+    case Scheme::kFullSgx: return "FullSGX";
+    case Scheme::kSecureLease: return "SecureLease";
+    case Scheme::kGlamdring: return "Glamdring";
+    case Scheme::kFlaas: return "F-LaaS";
+  }
+  return "?";
+}
+
+std::uint64_t PartitionResult::enclave_bytes(const workloads::AppModel& model) const {
+  std::uint64_t total = 0;
+  for (cfg::NodeId n : migrated) {
+    const cfg::FunctionInfo& info = model.graph.node(n);
+    total += data_in_enclave ? info.mem_bytes : info.enclave_state_bytes;
+  }
+  return total;
+}
+
+std::uint64_t PartitionResult::static_instructions(const workloads::AppModel& model) const {
+  std::uint64_t total = 0;
+  for (cfg::NodeId n : migrated) total += model.graph.node(n).code_instructions;
+  return total;
+}
+
+std::uint64_t PartitionResult::dynamic_instructions(
+    const workloads::AppModel& model) const {
+  std::uint64_t total = 0;
+  for (cfg::NodeId n : migrated) total += model.graph.node(n).dynamic_instructions();
+  return total;
+}
+
+std::vector<std::string> PartitionResult::migrated_names(
+    const workloads::AppModel& model) const {
+  std::vector<std::string> names;
+  names.reserve(migrated.size());
+  for (cfg::NodeId n : migrated) names.push_back(model.graph.node(n).name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// --- SecureLease -------------------------------------------------------------
+
+namespace {
+
+cfg::Clustering best_clustering(const cfg::CallGraph& graph,
+                                const SecureLeaseOptions& options) {
+  if (options.k != 0) {
+    return cfg::cluster_call_graph(graph, {.k = options.k});
+  }
+  // Model selection: maximize modularity over a small k range. Ties go to
+  // the smaller k (coarser clusters migrate less often by accident), but a
+  // cluster must never span disconnected components — functions with no
+  // call relationship share no submodule.
+  cfg::Clustering best;
+  double best_q = -2.0;
+  const std::uint32_t lower = cfg::weak_component_count(graph);
+  const std::uint32_t upper = std::max(
+      lower, std::min<std::uint32_t>(options.max_k,
+                                     static_cast<std::uint32_t>(graph.node_count())));
+  for (std::uint32_t k = lower; k <= upper; ++k) {
+    cfg::Clustering candidate = cfg::cluster_call_graph(graph, {.k = k});
+    const double q = cfg::evaluate_clustering(graph, candidate).modularity;
+    if (q > best_q + 1e-9) {
+      best_q = q;
+      best = std::move(candidate);
+    }
+  }
+  if (best.assignment.empty()) best = cfg::cluster_call_graph(graph, {.k = 1});
+  return best;
+}
+
+}  // namespace
+
+SecureLeasePartition partition_securelease(const workloads::AppModel& model,
+                                           const SecureLeaseOptions& options) {
+  SecureLeasePartition out;
+  out.result.scheme = Scheme::kSecureLease;
+  out.result.data_in_enclave = false;
+
+  // The authentication module always migrates.
+  for (cfg::NodeId n : model.authentication_functions()) out.result.migrated.insert(n);
+
+  // The clustering runs over the protected region only (the N nodes of
+  // Section 4.2.1): the IP-bearing functions the developer wants defended.
+  // Functions performing syscalls can never execute inside an enclave, so
+  // they are excluded up front.
+  std::vector<cfg::NodeId> region;
+  for (cfg::NodeId n : model.graph.all_nodes()) {
+    const auto& info = model.graph.node(n);
+    if ((info.touches_sensitive_data || info.is_key_function) &&
+        !info.does_io && !info.in_authentication_module) {
+      region.push_back(n);
+    }
+  }
+  if (region.empty()) return out;
+
+  std::vector<cfg::NodeId> to_parent;
+  const cfg::CallGraph subgraph = model.graph.induced_subgraph(region, to_parent);
+  out.clustering = best_clustering(subgraph, options);
+  const auto summaries = cfg::summarize_clusters(subgraph, out.clustering);
+
+  // Candidate clusters: those containing developer-annotated key functions.
+  std::vector<const cfg::ClusterSummary*> candidates;
+  for (const auto& s : summaries) {
+    if (s.contains_key_function) candidates.push_back(&s);
+  }
+  // Enclave-resident memory of a cluster under SecureLease's keep-data-
+  // untrusted policy.
+  const auto cluster_state_bytes = [&](const cfg::ClusterSummary& s) {
+    std::uint64_t total = 0;
+    for (cfg::NodeId n : s.members) {
+      total += model.graph.node(to_parent[n]).enclave_state_bytes;
+    }
+    return total;
+  };
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const cfg::ClusterSummary* a, const cfg::ClusterSummary* b) {
+              return cluster_state_bytes(*a) < cluster_state_bytes(*b);
+            });
+
+  std::uint64_t used = out.result.enclave_bytes(model);
+  for (const cfg::ClusterSummary* cluster : candidates) {
+    const std::uint64_t bytes = cluster_state_bytes(*cluster);
+    if (used + bytes > options.m_t) continue;
+
+    // Tentatively add the cluster, then check the overhead threshold r_t
+    // with a cheap analytic estimate (no EPC simulation).
+    PartitionResult tentative = out.result;
+    for (cfg::NodeId n : cluster->members) tentative.migrated.insert(to_parent[n]);
+    if (estimate_overhead(model, tentative) > options.r_t) continue;
+
+    out.result.migrated = std::move(tentative.migrated);
+    out.packed.push_back(cluster->cluster);
+    used += bytes;
+  }
+  return out;
+}
+
+// --- Glamdring ----------------------------------------------------------------
+
+PartitionResult partition_glamdring(const workloads::AppModel& model,
+                                    const GlamdringOptions& options) {
+  PartitionResult result;
+  result.scheme = Scheme::kGlamdring;
+  result.data_in_enclave = true;
+
+  for (cfg::NodeId n : model.graph.all_nodes()) {
+    if (model.graph.node(n).touches_sensitive_data) result.migrated.insert(n);
+  }
+
+  if (options.propagate_min_calls > 0) {
+    // Fixpoint taint propagation: a function exchanging at least
+    // `propagate_min_calls` calls with a tainted function becomes tainted
+    // (a call that hot implies the sensitive data flows across it).
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const cfg::Edge& e : model.graph.edges()) {
+        if (e.call_count < options.propagate_min_calls) continue;
+        const bool from_in = result.migrated.contains(e.from);
+        const bool to_in = result.migrated.contains(e.to);
+        if (from_in != to_in) {
+          result.migrated.insert(from_in ? e.to : e.from);
+          changed = true;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+// --- F-LaaS -----------------------------------------------------------------
+
+PartitionResult partition_flaas(const workloads::AppModel& model,
+                                const FlaasOptions& options) {
+  PartitionResult result;
+  result.scheme = Scheme::kFlaas;
+  result.data_in_enclave = false;
+
+  // "Out-degree" per Kumar et al.: the number of calls a function makes —
+  // orchestrators of complicated logic make many.
+  const auto outgoing_calls = [&](cfg::NodeId n) {
+    std::uint64_t total = 0;
+    for (const cfg::Edge& e : model.graph.out_edges(n)) total += e.call_count;
+    return total;
+  };
+  std::vector<cfg::NodeId> nodes = model.graph.all_nodes();
+  std::sort(nodes.begin(), nodes.end(), [&](cfg::NodeId a, cfg::NodeId b) {
+    return outgoing_calls(a) > outgoing_calls(b);
+  });
+  const std::size_t take = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(nodes.size()) *
+                                  options.top_fraction));
+  for (std::size_t i = 0; i < take && i < nodes.size(); ++i) {
+    result.migrated.insert(nodes[i]);
+  }
+  // The license manager must be inside regardless.
+  for (cfg::NodeId n : model.authentication_functions()) result.migrated.insert(n);
+  return result;
+}
+
+PartitionResult partition_full_enclave(const workloads::AppModel& model) {
+  PartitionResult result;
+  result.scheme = Scheme::kFullSgx;
+  result.data_in_enclave = true;
+  for (cfg::NodeId n : model.graph.all_nodes()) result.migrated.insert(n);
+  return result;
+}
+
+PartitionResult partition_vanilla(const workloads::AppModel& model) {
+  (void)model;
+  PartitionResult result;
+  result.scheme = Scheme::kVanilla;
+  return result;
+}
+
+}  // namespace sl::partition

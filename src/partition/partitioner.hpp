@@ -1,0 +1,94 @@
+// Application partitioners (paper Sections 3 and 4.2).
+//
+// Four schemes produce a PartitionResult from an AppModel:
+//  * SecureLeasePartitioner — the paper's contribution: K-means-style
+//    clustering of the call graph, then greedy packing of the clusters that
+//    contain developer-annotated key functions, smallest memory first,
+//    subject to a memory threshold m_t and an overhead threshold r_t
+//    (Section 4.2.1). The AM always migrates. Shared data structures stay
+//    in untrusted memory.
+//  * GlamdringPartitioner — the data-based baseline (Lind et al.):
+//    information-flow closure over sensitive-data annotations; migrated
+//    functions carry their data into the enclave.
+//  * FlaasPartitioner — the code-based baseline (Kumar et al.): migrate
+//    high-out-degree "orchestrator" functions.
+//  * FullEnclavePartitioner — run the whole application inside SGX.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cfg/cluster.hpp"
+#include "workloads/app_model.hpp"
+
+namespace sl::partition {
+
+enum class Scheme { kVanilla, kFullSgx, kSecureLease, kGlamdring, kFlaas };
+
+std::string scheme_name(Scheme scheme);
+
+struct PartitionResult {
+  Scheme scheme = Scheme::kVanilla;
+  std::unordered_set<cfg::NodeId> migrated;
+  // Whether migrated functions' shared data structures move into the EPC
+  // (Glamdring / full-SGX) or stay untrusted (SecureLease, Section 4.2.1).
+  bool data_in_enclave = false;
+
+  // Enclave-resident bytes implied by the partition.
+  std::uint64_t enclave_bytes(const workloads::AppModel& model) const;
+
+  // Coverage metrics as reported in Table 5.
+  std::uint64_t static_instructions(const workloads::AppModel& model) const;
+  std::uint64_t dynamic_instructions(const workloads::AppModel& model) const;
+
+  std::vector<std::string> migrated_names(const workloads::AppModel& model) const;
+  bool contains(cfg::NodeId node) const { return migrated.contains(node); }
+};
+
+// --- SecureLease -----------------------------------------------------------
+
+struct SecureLeaseOptions {
+  std::uint64_t m_t = 92ull * 1024 * 1024;  // EPC-size memory threshold
+  double r_t = 0.60;                        // acceptable overhead threshold
+  // 0 = choose k by maximizing modularity over 2..max_k.
+  std::uint32_t k = 0;
+  std::uint32_t max_k = 12;
+};
+
+struct SecureLeasePartition {
+  PartitionResult result;
+  cfg::Clustering clustering;        // the clustering the packer consumed
+  std::vector<std::uint32_t> packed; // cluster ids chosen for migration
+};
+
+SecureLeasePartition partition_securelease(const workloads::AppModel& model,
+                                           const SecureLeaseOptions& options = {});
+
+// --- Baselines ---------------------------------------------------------------
+
+struct GlamdringOptions {
+  // Propagate taint across call edges with at least this many calls;
+  // 0 disables propagation (annotations already encode the dataflow
+  // closure for the bundled workload models).
+  std::uint64_t propagate_min_calls = 0;
+};
+
+PartitionResult partition_glamdring(const workloads::AppModel& model,
+                                    const GlamdringOptions& options = {});
+
+struct FlaasOptions {
+  // Migrate the top fraction of functions by out-degree.
+  double top_fraction = 0.2;
+};
+
+PartitionResult partition_flaas(const workloads::AppModel& model,
+                                const FlaasOptions& options = {});
+
+PartitionResult partition_full_enclave(const workloads::AppModel& model);
+
+// Empty partition: nothing migrated (vanilla execution).
+PartitionResult partition_vanilla(const workloads::AppModel& model);
+
+}  // namespace sl::partition

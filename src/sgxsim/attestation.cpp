@@ -1,0 +1,82 @@
+#include "sgxsim/attestation.hpp"
+
+namespace sl::sgx {
+
+Platform::Platform(SgxRuntime& runtime, std::uint64_t platform_id,
+                   std::uint64_t platform_secret)
+    : runtime_(runtime), platform_id_(platform_id), platform_secret_(platform_secret) {}
+
+crypto::Sha256Digest Platform::mac_report(const Measurement& m, ByteView data) const {
+  Bytes key;
+  put_u64(key, platform_secret_);
+  Bytes payload(m.begin(), m.end());
+  payload.insert(payload.end(), data.begin(), data.end());
+  return crypto::hmac_sha256(key, payload);
+}
+
+Report Platform::create_report(EnclaveId enclave, ByteView report_data) {
+  const Enclave& e = runtime_.enclave(enclave);
+  runtime_.clock().advance_cycles(runtime_.costs().local_attestation_cycles);
+  Report r;
+  r.mrenclave = e.measurement();
+  r.report_data = Bytes(report_data.begin(), report_data.end());
+  r.mac = mac_report(r.mrenclave, report_data);
+  return r;
+}
+
+bool Platform::verify_report(const Report& report, const Measurement& expected) const {
+  if (report.mrenclave != expected) return false;
+  const crypto::Sha256Digest mac = mac_report(report.mrenclave, report.report_data);
+  return constant_time_equal(ByteView(mac.data(), mac.size()),
+                             ByteView(report.mac.data(), report.mac.size()));
+}
+
+Quote Platform::create_quote(EnclaveId enclave, ByteView report_data) {
+  const Enclave& e = runtime_.enclave(enclave);
+  Quote q;
+  q.report.mrenclave = e.measurement();
+  q.report.report_data = Bytes(report_data.begin(), report_data.end());
+  q.report.mac = mac_report(q.report.mrenclave, report_data);
+  q.platform_id = platform_id_;
+  // Quote signature binds the platform id to the report MAC.
+  Bytes key;
+  put_u64(key, platform_secret_);
+  Bytes payload;
+  put_u64(payload, platform_id_);
+  payload.insert(payload.end(), q.report.mac.begin(), q.report.mac.end());
+  q.signature = crypto::hmac_sha256(key, payload);
+  return q;
+}
+
+void AttestationService::register_platform(std::uint64_t platform_id,
+                                           std::uint64_t platform_secret) {
+  platform_secrets_[platform_id] = platform_secret;
+}
+
+bool AttestationService::verify_quote(const Quote& quote, const Measurement& expected,
+                                      SimClock& clock, double latency_seconds) const {
+  clock.advance_seconds(latency_seconds);
+  auto it = platform_secrets_.find(quote.platform_id);
+  if (it == platform_secrets_.end()) return false;
+  if (quote.report.mrenclave != expected) return false;
+
+  Bytes key;
+  put_u64(key, it->second);
+  // Re-derive the report MAC, then the quote signature over it.
+  Bytes report_payload(quote.report.mrenclave.begin(), quote.report.mrenclave.end());
+  report_payload.insert(report_payload.end(), quote.report.report_data.begin(),
+                        quote.report.report_data.end());
+  const crypto::Sha256Digest mac = crypto::hmac_sha256(key, report_payload);
+  if (!constant_time_equal(ByteView(mac.data(), mac.size()),
+                           ByteView(quote.report.mac.data(), quote.report.mac.size()))) {
+    return false;
+  }
+  Bytes sig_payload;
+  put_u64(sig_payload, quote.platform_id);
+  sig_payload.insert(sig_payload.end(), mac.begin(), mac.end());
+  const crypto::Sha256Digest sig = crypto::hmac_sha256(key, sig_payload);
+  return constant_time_equal(ByteView(sig.data(), sig.size()),
+                             ByteView(quote.signature.data(), quote.signature.size()));
+}
+
+}  // namespace sl::sgx

@@ -1,0 +1,17 @@
+#include "sgxsim/costs.hpp"
+
+namespace sl::sgx {
+
+CostModel default_cost_model() { return CostModel{}; }
+
+CostModel scalable_sgx_cost_model() {
+  CostModel m;
+  m.epc_bytes = 512ull * 1024 * 1024 * 1024;
+  // No MEE integrity tree => cheaper paging and a lower in-enclave tax, but
+  // crossings still cost the same (the ISA is unchanged).
+  m.page_crypt_cycles = 4'000;
+  m.enclave_cycle_tax = 0.08;
+  return m;
+}
+
+}  // namespace sl::sgx

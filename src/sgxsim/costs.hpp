@@ -1,0 +1,51 @@
+// SGX cost model.
+//
+// The simulator charges virtual cycles for every SGX-specific event. The
+// constants come from the paper and the literature it cites:
+//   * ECALL ~= 17,000 cycles (Weisse et al., HotCalls; cited in Section 2.3.2)
+//   * EPC fault service ~= 12,000 cycles (Section 2.3.2); a fault also incurs
+//     an evict + load-back pair of page copies with encryption
+//   * remote attestation 3-4 s (Section 2.3); default 3.5 s
+//   * usable EPC ~= 92 MB out of a 128 MB PRM (Section 2.3)
+// All constants are configurable so the benches can run sensitivity sweeps
+// (e.g. the scalable-SGX discussion of Section 7.5 maps to a large EPC).
+#pragma once
+
+#include <cstddef>
+
+#include "common/sim_clock.hpp"
+
+namespace sl::sgx {
+
+struct CostModel {
+  // Page geometry.
+  std::size_t page_size = 4096;
+  std::size_t epc_bytes = 92ull * 1024 * 1024;  // usable EPC
+
+  // Boundary crossings.
+  Cycles ecall_cycles = 17'000;
+  Cycles ocall_cycles = 14'000;
+
+  // Paging.
+  Cycles epc_fault_cycles = 12'000;   // kernel fault service
+  Cycles page_crypt_cycles = 10'000;  // encrypt/decrypt + copy of a 4 KB page
+
+  // In-enclave execution tax: extra cost per cycle of work executed inside
+  // the enclave (memory-encryption-engine traffic, TLB flushes on OS
+  // interaction). Expressed as a fraction: cost = work * (1 + tax).
+  double enclave_cycle_tax = 0.30;
+
+  // Attestation.
+  Cycles local_attestation_cycles = micros_to_cycles(100.0);  // EREPORT + verify
+  double remote_attestation_seconds = 3.5;                    // via IAS
+
+  std::size_t epc_pages() const { return epc_bytes / page_size; }
+};
+
+// Platform default (client SGX, paper Table 3).
+CostModel default_cost_model();
+
+// Scalable SGX variant (Section 7.5): EPC up to 512 GB, no integrity tree.
+CostModel scalable_sgx_cost_model();
+
+}  // namespace sl::sgx

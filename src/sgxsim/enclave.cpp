@@ -1,0 +1,55 @@
+#include "sgxsim/enclave.hpp"
+
+#include "common/error.hpp"
+
+namespace sl::sgx {
+
+Measurement measure(std::string_view code_identity) {
+  return crypto::Sha256::hash(to_bytes(code_identity));
+}
+
+Enclave::Enclave(EnclaveId id, std::string name, std::size_t heap_bytes)
+    : id_(id),
+      name_(std::move(name)),
+      measurement_(measure(name_)),
+      heap_bytes_(heap_bytes),
+      // Each enclave gets a disjoint page-number region; 2^24 pages = 64 GB
+      // of address space per enclave is ample for the simulation.
+      heap_base_page_(static_cast<std::uint64_t>(id) << 24) {}
+
+void Enclave::add_trusted_function(const std::string& fn) {
+  trusted_functions_.insert(fn);
+}
+
+bool Enclave::has_trusted_function(const std::string& fn) const {
+  return trusted_functions_.contains(fn);
+}
+
+void Enclave::add_encrypted_section(const std::string& section, std::uint64_t key) {
+  encrypted_sections_[section] = EncryptedSection{key, false};
+}
+
+bool Enclave::provision_key(const std::string& section, std::uint64_t key) {
+  auto it = encrypted_sections_.find(section);
+  require(it != encrypted_sections_.end(), "provision_key: unknown section " + section);
+  if (it->second.key != key) return false;
+  it->second.decrypted = true;
+  return true;
+}
+
+bool Enclave::section_decrypted(const std::string& section) const {
+  auto it = encrypted_sections_.find(section);
+  return it != encrypted_sections_.end() && it->second.decrypted;
+}
+
+void Enclave::seal(const std::string& tag, ByteView data) {
+  sealed_storage_[tag] = Bytes(data.begin(), data.end());
+}
+
+std::optional<Bytes> Enclave::unseal(const std::string& tag) const {
+  auto it = sealed_storage_.find(tag);
+  if (it == sealed_storage_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace sl::sgx

@@ -1,0 +1,75 @@
+// Simulated SGX enclave.
+//
+// An enclave has a measurement (hash of its code identity), a page-granular
+// memory layout inside the simulated EPC, optional encrypted code sections
+// (the PCL flow of Section 2.3.1), and sealed storage. The runtime enforces
+// that trusted functions only execute via ECALLs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+#include "sgxsim/epc.hpp"
+
+namespace sl::sgx {
+
+using Measurement = crypto::Sha256Digest;
+
+// Computes MRENCLAVE-style measurement from a code identity string.
+Measurement measure(std::string_view code_identity);
+
+class Enclave {
+ public:
+  Enclave(EnclaveId id, std::string name, std::size_t heap_bytes);
+
+  EnclaveId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Measurement& measurement() const { return measurement_; }
+  std::size_t heap_bytes() const { return heap_bytes_; }
+
+  // --- Trusted function registry -----------------------------------------
+  // Functions registered here may only run inside the enclave; the partition
+  // layer registers migrated functions, the lease layer registers SL-Local's
+  // service entry points.
+  void add_trusted_function(const std::string& fn);
+  bool has_trusted_function(const std::string& fn) const;
+  std::size_t trusted_function_count() const { return trusted_functions_.size(); }
+
+  // --- Encrypted code (protected code loader) ----------------------------
+  // Encrypted sections become executable only after provision_key() with the
+  // correct key (Section 2.3.1: key fetched after remote attestation).
+  void add_encrypted_section(const std::string& section, std::uint64_t key);
+  bool provision_key(const std::string& section, std::uint64_t key);
+  bool section_decrypted(const std::string& section) const;
+
+  // --- Sealed storage -----------------------------------------------------
+  // Data sealed to the enclave identity; survives enclave teardown (stored
+  // encrypted in untrusted memory keyed by the measurement).
+  void seal(const std::string& tag, ByteView data);
+  std::optional<Bytes> unseal(const std::string& tag) const;
+
+  // Page-granular base of this enclave's heap in the EPC address space.
+  std::uint64_t heap_base_page() const { return heap_base_page_; }
+
+ private:
+  EnclaveId id_;
+  std::string name_;
+  Measurement measurement_;
+  std::size_t heap_bytes_;
+  std::uint64_t heap_base_page_;
+
+  std::unordered_set<std::string> trusted_functions_;
+  struct EncryptedSection {
+    std::uint64_t key = 0;
+    bool decrypted = false;
+  };
+  std::unordered_map<std::string, EncryptedSection> encrypted_sections_;
+  std::unordered_map<std::string, Bytes> sealed_storage_;
+};
+
+}  // namespace sl::sgx

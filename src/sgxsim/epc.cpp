@@ -1,0 +1,78 @@
+#include "sgxsim/epc.hpp"
+
+#include "common/error.hpp"
+
+namespace sl::sgx {
+
+EpcManager::EpcManager(const CostModel& costs, SimClock& clock)
+    : costs_(costs), clock_(clock), capacity_pages_(costs.epc_pages()) {
+  require(capacity_pages_ > 0, "EpcManager: EPC must hold at least one page");
+}
+
+void EpcManager::touch(EnclaveId enclave, std::uint64_t first_page, std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    touch_one(PageKey{enclave, first_page + i});
+  }
+}
+
+void EpcManager::touch_bytes(EnclaveId enclave, std::uint64_t region_base_page,
+                             std::uint64_t bytes) {
+  const std::uint64_t pages = (bytes + costs_.page_size - 1) / costs_.page_size;
+  touch(enclave, region_base_page, pages);
+}
+
+void EpcManager::touch_one(PageKey key) {
+  auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    // Hit: move to MRU position.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+
+  // Miss. Distinguish first-touch allocation from a load-back of an evicted
+  // page; both may force an eviction if the EPC is full.
+  const bool was_evicted = evicted_.contains(key);
+  if (was_evicted) {
+    stats_.faults++;
+    stats_.loadbacks++;
+    clock_.advance_cycles(costs_.epc_fault_cycles + costs_.page_crypt_cycles);
+    evicted_.erase(key);
+  } else {
+    stats_.allocations++;
+  }
+
+  if (lru_.size() >= capacity_pages_) evict_lru();
+
+  lru_.push_front(key);
+  resident_.emplace(key, lru_.begin());
+}
+
+void EpcManager::evict_lru() {
+  ensure(!lru_.empty(), "EpcManager::evict_lru: empty LRU");
+  const PageKey victim = lru_.back();
+  lru_.pop_back();
+  resident_.erase(victim);
+  evicted_[victim] = true;
+  stats_.evictions++;
+  clock_.advance_cycles(costs_.page_crypt_cycles);
+}
+
+void EpcManager::remove_enclave(EnclaveId enclave) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->enclave == enclave) {
+      resident_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = evicted_.begin(); it != evicted_.end();) {
+    if (it->first.enclave == enclave) {
+      it = evicted_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace sl::sgx

@@ -1,0 +1,79 @@
+// Enclave Page Cache (EPC) simulation.
+//
+// Models the limited, hardware-managed secure memory of SGX: enclaves
+// register page ranges; touching a non-resident page triggers a fault that
+// evicts an LRU victim (encrypt + copy out) and loads the page back
+// (copy in + decrypt). The manager exposes the same statistics the paper
+// collects from the modified SGX driver (Section 7.1): page allocations,
+// evictions, and load-backs.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/sim_clock.hpp"
+#include "sgxsim/costs.hpp"
+
+namespace sl::sgx {
+
+using EnclaveId = std::uint32_t;
+
+struct EpcStats {
+  std::uint64_t allocations = 0;  // first-touch page allocations
+  std::uint64_t faults = 0;       // accesses to non-resident pages
+  std::uint64_t evictions = 0;    // pages pushed to untrusted memory
+  std::uint64_t loadbacks = 0;    // previously evicted pages brought back
+};
+
+// Identifies a 4 KB page owned by an enclave.
+struct PageKey {
+  EnclaveId enclave = 0;
+  std::uint64_t page = 0;
+  bool operator==(const PageKey&) const = default;
+};
+
+struct PageKeyHash {
+  std::size_t operator()(const PageKey& k) const {
+    return std::hash<std::uint64_t>{}((static_cast<std::uint64_t>(k.enclave) << 40) ^ k.page);
+  }
+};
+
+class EpcManager {
+ public:
+  EpcManager(const CostModel& costs, SimClock& clock);
+
+  // Touches `count` consecutive pages starting at `first_page` for
+  // `enclave`, charging fault/evict/load-back costs to the clock.
+  void touch(EnclaveId enclave, std::uint64_t first_page, std::uint64_t count);
+
+  // Touches the pages covering `bytes` bytes at page-granular region
+  // `region_base_page` (convenience for footprint-driven access).
+  void touch_bytes(EnclaveId enclave, std::uint64_t region_base_page, std::uint64_t bytes);
+
+  // Drops all pages of an enclave (EREMOVE on destroy); no cost charged.
+  void remove_enclave(EnclaveId enclave);
+
+  const EpcStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = EpcStats{}; }
+
+  std::size_t resident_pages() const { return lru_.size(); }
+  std::size_t capacity_pages() const { return capacity_pages_; }
+
+ private:
+  void touch_one(PageKey key);
+  void evict_lru();
+
+  CostModel costs_;
+  SimClock& clock_;
+  std::size_t capacity_pages_;
+
+  // LRU list: front = most recent. Map gives O(1) lookup into the list.
+  std::list<PageKey> lru_;
+  std::unordered_map<PageKey, std::list<PageKey>::iterator, PageKeyHash> resident_;
+  // Pages that were evicted at least once: a re-touch is a load-back.
+  std::unordered_map<PageKey, bool, PageKeyHash> evicted_;
+  EpcStats stats_;
+};
+
+}  // namespace sl::sgx

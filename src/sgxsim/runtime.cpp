@@ -1,0 +1,79 @@
+#include "sgxsim/runtime.hpp"
+
+namespace sl::sgx {
+
+SgxRuntime::SgxRuntime(CostModel costs)
+    : costs_(costs), epc_(std::make_unique<EpcManager>(costs_, clock_)) {}
+
+Enclave& SgxRuntime::create_enclave(const std::string& name, std::size_t heap_bytes) {
+  const EnclaveId id = next_id_++;
+  auto enclave = std::make_unique<Enclave>(id, name, heap_bytes);
+  Enclave& ref = *enclave;
+  enclaves_.emplace(id, std::move(enclave));
+  // EADD/EINIT: initial measurement + page adds for the static image. We
+  // charge one page-crypt per heap page, mirroring enclave build cost.
+  const std::uint64_t pages = (heap_bytes + costs_.page_size - 1) / costs_.page_size;
+  clock_.advance_cycles(pages * costs_.page_crypt_cycles / 4);
+  return ref;
+}
+
+void SgxRuntime::destroy_enclave(EnclaveId id) {
+  require(enclaves_.erase(id) == 1, "destroy_enclave: unknown enclave");
+  epc_->remove_enclave(id);
+}
+
+Enclave& SgxRuntime::enclave(EnclaveId id) {
+  auto it = enclaves_.find(id);
+  require(it != enclaves_.end(), "enclave: unknown enclave id");
+  return *it->second;
+}
+
+const Enclave* SgxRuntime::find_enclave(EnclaveId id) const {
+  auto it = enclaves_.find(id);
+  return it == enclaves_.end() ? nullptr : it->second.get();
+}
+
+void SgxRuntime::run_untrusted(Cycles work) {
+  require(!in_enclave(), "run_untrusted: called from enclave context; use ocall");
+  clock_.advance_cycles(work);
+}
+
+void SgxRuntime::ecall(EnclaveId id, const std::string& fn, Cycles work,
+                       std::uint64_t touched_bytes) {
+  ecall(id, fn, work, touched_bytes, {});
+}
+
+void SgxRuntime::ecall(EnclaveId id, const std::string& fn, Cycles work,
+                       std::uint64_t touched_bytes, const std::function<void()>& body) {
+  Enclave& e = enclave(id);
+  require(e.has_trusted_function(fn),
+          "ecall: '" + fn + "' is not a trusted function of enclave " + e.name());
+
+  transitions_.ecalls++;
+  clock_.advance_cycles(costs_.ecall_cycles);
+
+  domain_stack_.push_back(id);
+  // Touch the working set; may fault/evict.
+  if (touched_bytes > 0) {
+    epc_->touch_bytes(id, e.heap_base_page(), touched_bytes);
+  }
+  clock_.advance_cycles(static_cast<Cycles>(
+      static_cast<double>(work) * (1.0 + costs_.enclave_cycle_tax)));
+  if (body) body();
+  domain_stack_.pop_back();
+}
+
+void SgxRuntime::ocall(Cycles untrusted_work) {
+  require(in_enclave(), "ocall: not inside an enclave");
+  transitions_.ocalls++;
+  clock_.advance_cycles(costs_.ocall_cycles);
+  clock_.advance_cycles(untrusted_work);
+}
+
+void SgxRuntime::reset_stats() {
+  transitions_ = TransitionStats{};
+  epc_->reset_stats();
+  clock_.reset();
+}
+
+}  // namespace sl::sgx

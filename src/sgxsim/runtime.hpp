@@ -1,0 +1,79 @@
+// SGX runtime: enclave lifecycle, ECALL/OCALL accounting, driver statistics.
+//
+// The runtime owns the simulated EPC and the virtual clock. Code "executes"
+// by charging work cycles via run_untrusted()/ecall(); crossings and paging
+// are charged automatically. RAII scopes track the current domain so nested
+// ECALL -> OCALL -> ECALL chains are accounted the way real SGX charges them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/sim_clock.hpp"
+#include "sgxsim/enclave.hpp"
+#include "sgxsim/epc.hpp"
+
+namespace sl::sgx {
+
+struct TransitionStats {
+  std::uint64_t ecalls = 0;
+  std::uint64_t ocalls = 0;
+};
+
+class SgxRuntime {
+ public:
+  explicit SgxRuntime(CostModel costs = default_cost_model());
+
+  // --- Enclave lifecycle ---------------------------------------------------
+  Enclave& create_enclave(const std::string& name, std::size_t heap_bytes);
+  void destroy_enclave(EnclaveId id);
+  Enclave& enclave(EnclaveId id);
+  const Enclave* find_enclave(EnclaveId id) const;
+
+  // --- Execution ------------------------------------------------------------
+  // Charges `work` cycles of untrusted execution.
+  void run_untrusted(Cycles work);
+
+  // Performs an ECALL into `enclave`, touching `touched_bytes` of its heap
+  // and charging `work` enclave cycles (with the enclave tax), then returns.
+  // `fn` must be registered as a trusted function of that enclave.
+  void ecall(EnclaveId enclave, const std::string& fn, Cycles work,
+             std::uint64_t touched_bytes);
+
+  // Like ecall() but runs `body` inside the enclave domain so nested
+  // operations (sealing, nested OCALLs) account correctly.
+  void ecall(EnclaveId enclave, const std::string& fn, Cycles work,
+             std::uint64_t touched_bytes, const std::function<void()>& body);
+
+  // Performs an OCALL from the current enclave back to the untrusted side.
+  void ocall(Cycles untrusted_work);
+
+  // True when the calling context is inside some enclave.
+  bool in_enclave() const { return !domain_stack_.empty(); }
+
+  // --- Accounting ------------------------------------------------------------
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+  EpcManager& epc() { return *epc_; }
+  const EpcManager& epc() const { return *epc_; }
+  const TransitionStats& transitions() const { return transitions_; }
+  const CostModel& costs() const { return costs_; }
+
+  void reset_stats();
+
+ private:
+  CostModel costs_;
+  SimClock clock_;
+  std::unique_ptr<EpcManager> epc_;
+  std::unordered_map<EnclaveId, std::unique_ptr<Enclave>> enclaves_;
+  std::vector<EnclaveId> domain_stack_;  // nested enclave contexts
+  TransitionStats transitions_;
+  EnclaveId next_id_ = 1;
+};
+
+}  // namespace sl::sgx

@@ -1,0 +1,35 @@
+#include "workloads/app_model.hpp"
+
+namespace sl::workloads {
+
+std::vector<cfg::NodeId> AppModel::authentication_functions() const {
+  std::vector<cfg::NodeId> result;
+  for (cfg::NodeId n : graph.all_nodes()) {
+    if (graph.node(n).in_authentication_module) result.push_back(n);
+  }
+  return result;
+}
+
+std::vector<cfg::NodeId> AppModel::key_functions() const {
+  std::vector<cfg::NodeId> result;
+  for (cfg::NodeId n : graph.all_nodes()) {
+    if (graph.node(n).is_key_function) result.push_back(n);
+  }
+  return result;
+}
+
+std::vector<cfg::NodeId> AppModel::sensitive_functions() const {
+  std::vector<cfg::NodeId> result;
+  for (cfg::NodeId n : graph.all_nodes()) {
+    if (graph.node(n).touches_sensitive_data) result.push_back(n);
+  }
+  return result;
+}
+
+std::uint64_t AppModel::total_mem_bytes() const {
+  std::uint64_t total = 0;
+  for (cfg::NodeId n : graph.all_nodes()) total += graph.node(n).mem_bytes;
+  return total;
+}
+
+}  // namespace sl::workloads

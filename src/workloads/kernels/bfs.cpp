@@ -1,0 +1,74 @@
+#include "workloads/kernels/bfs.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace sl::workloads {
+
+BfsGraph generate_bfs_graph(const BfsConfig& config) {
+  require(config.nodes > 0, "generate_bfs_graph: empty graph");
+  Rng rng(config.seed);
+
+  // Preferential-attachment flavoured edge endpoints: sample the target as
+  // min of two uniforms to skew towards low ids (hubs), as in web graphs.
+  std::vector<std::vector<std::uint32_t>> adj(config.nodes);
+  const std::uint64_t edges =
+      static_cast<std::uint64_t>(config.nodes) * config.avg_degree;
+  for (std::uint64_t e = 0; e < edges; ++e) {
+    const std::uint32_t from = static_cast<std::uint32_t>(rng.next_below(config.nodes));
+    const std::uint32_t a = static_cast<std::uint32_t>(rng.next_below(config.nodes));
+    const std::uint32_t b = static_cast<std::uint32_t>(rng.next_below(config.nodes));
+    adj[from].push_back(std::min(a, b));
+  }
+  // Ring edges keep the graph connected so BFS reaches everything.
+  for (std::uint32_t v = 0; v < config.nodes; ++v) {
+    adj[v].push_back((v + 1) % config.nodes);
+  }
+
+  BfsGraph graph;
+  graph.row_offsets.reserve(config.nodes + 1);
+  graph.row_offsets.push_back(0);
+  for (const auto& list : adj) {
+    graph.neighbors.insert(graph.neighbors.end(), list.begin(), list.end());
+    graph.row_offsets.push_back(static_cast<std::uint32_t>(graph.neighbors.size()));
+  }
+  return graph;
+}
+
+BfsResult run_bfs(const BfsGraph& graph, TraceRecorder* recorder) {
+  ScopedCall scope(recorder, "run_bfs");
+  const std::size_t n = graph.row_offsets.size() - 1;
+  std::vector<std::uint32_t> depth(n, ~0u);
+  std::vector<std::uint32_t> frontier;
+  std::vector<std::uint32_t> next;
+  frontier.push_back(0);
+  depth[0] = 0;
+
+  BfsResult result;
+  result.reached = 1;
+  while (!frontier.empty()) {
+    next.clear();
+    for (std::uint32_t u : frontier) {
+      // update(): expand one vertex's out-edges (the key function of the
+      // paper's BFS partition).
+      ScopedCall update_scope(recorder, "update");
+      for (std::uint32_t i = graph.row_offsets[u]; i < graph.row_offsets[u + 1]; ++i) {
+        const std::uint32_t v = graph.neighbors[i];
+        if (depth[v] == ~0u) {
+          depth[v] = depth[u] + 1;
+          result.reached++;
+          result.depth_sum += depth[v];
+          result.max_depth = std::max(result.max_depth, depth[v]);
+          ScopedCall push_scope(recorder, "visit_push");
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return result;
+}
+
+}  // namespace sl::workloads

@@ -1,0 +1,39 @@
+// BFS workload kernel (Table 4: web-crawl graph traversal, Ligra-style).
+//
+// A real breadth-first search over a synthetically generated power-law-ish
+// graph. The kernel is what an application vendor would license: the
+// `update` step (frontier expansion) is the paper's key function for BFS.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/tracing.hpp"
+
+namespace sl::workloads {
+
+struct BfsConfig {
+  std::uint32_t nodes = 100'000;
+  std::uint32_t avg_degree = 23;  // paper uses 1M nodes, 23M edges
+  std::uint64_t seed = 7;
+};
+
+// CSR graph produced by the generator.
+struct BfsGraph {
+  std::vector<std::uint32_t> row_offsets;  // size nodes+1
+  std::vector<std::uint32_t> neighbors;
+};
+
+BfsGraph generate_bfs_graph(const BfsConfig& config);
+
+struct BfsResult {
+  std::uint64_t reached = 0;      // vertices visited
+  std::uint64_t depth_sum = 0;    // sum of BFS depths (checksum)
+  std::uint32_t max_depth = 0;
+};
+
+// Runs BFS from vertex 0. Pass a recorder to obtain a measured call graph
+// (functions: run_bfs / update / visit_push).
+BfsResult run_bfs(const BfsGraph& graph, TraceRecorder* recorder = nullptr);
+
+}  // namespace sl::workloads

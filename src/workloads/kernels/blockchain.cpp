@@ -1,0 +1,80 @@
+#include "workloads/kernels/blockchain.hpp"
+
+#include "common/bytes.hpp"
+
+namespace sl::workloads {
+
+Blockchain::Blockchain(unsigned difficulty_bits) : difficulty_bits_(difficulty_bits) {
+  Block genesis;
+  genesis.data = "genesis";
+  genesis.hash = compute_hash(genesis);
+  blocks_.push_back(std::move(genesis));
+}
+
+crypto::Sha256Digest Blockchain::compute_hash(const Block& block) const {
+  Bytes payload;
+  put_u64(payload, block.index);
+  put_u64(payload, block.nonce);
+  payload.insert(payload.end(), block.prev_hash.begin(), block.prev_hash.end());
+  const Bytes data = to_bytes(block.data);
+  payload.insert(payload.end(), data.begin(), data.end());
+  return crypto::Sha256::hash(payload);
+}
+
+bool Blockchain::meets_difficulty(const crypto::Sha256Digest& digest) const {
+  unsigned zeros = 0;
+  for (std::uint8_t byte : digest) {
+    if (byte == 0) {
+      zeros += 8;
+      continue;
+    }
+    for (int bit = 7; bit >= 0; --bit) {
+      if (byte & (1u << bit)) return zeros >= difficulty_bits_;
+      zeros++;
+    }
+  }
+  return zeros >= difficulty_bits_;
+}
+
+std::uint64_t Blockchain::insert(std::string data) {
+  Block block;
+  block.index = blocks_.size();
+  block.data = std::move(data);
+  block.prev_hash = blocks_.back().hash;
+  // Mine: bump the nonce until the difficulty target is met.
+  for (block.nonce = 0;; ++block.nonce) {
+    block.hash = compute_hash(block);
+    if (meets_difficulty(block.hash)) break;
+  }
+  blocks_.push_back(std::move(block));
+  return blocks_.back().index;
+}
+
+bool Blockchain::validate() const {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const Block& b = blocks_[i];
+    if (compute_hash(b) != b.hash) return false;
+    if (i > 0) {
+      if (b.prev_hash != blocks_[i - 1].hash) return false;
+      if (!meets_difficulty(b.hash)) return false;
+    }
+  }
+  return true;
+}
+
+BlockchainWorkloadResult run_blockchain_workload(const BlockchainWorkloadConfig& config) {
+  Blockchain chain(config.difficulty_bits);
+  for (std::uint64_t i = 0; i < config.chain_length; ++i) {
+    chain.insert("txn-" + std::to_string(i));
+  }
+
+  BlockchainWorkloadResult result;
+  result.valid = chain.validate();
+  std::uint64_t tip = 0;
+  const auto& hash = chain.block(chain.length() - 1).hash;
+  for (int i = 0; i < 8; ++i) tip = (tip << 8) | hash[i];
+  result.tip_hash64 = tip;
+  return result;
+}
+
+}  // namespace sl::workloads

@@ -1,0 +1,61 @@
+// Blockchain workload kernel (Table 4: libcatena-style toy ledger).
+//
+// A hash-linked chain of blocks: each block stores data, its own content
+// hash, and the previous block's hash. insert() and hash() are the paper's
+// key functions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace sl::workloads {
+
+struct Block {
+  std::uint64_t index = 0;
+  std::string data;
+  crypto::Sha256Digest prev_hash{};
+  crypto::Sha256Digest hash{};
+  std::uint64_t nonce = 0;  // simple proof-of-work nonce
+};
+
+class Blockchain {
+ public:
+  // difficulty_bits leading zero bits required of every block hash.
+  explicit Blockchain(unsigned difficulty_bits = 8);
+
+  // Mines and appends a block carrying `data`; returns its index.
+  std::uint64_t insert(std::string data);
+
+  // Recomputes all hashes and checks the links.
+  bool validate() const;
+
+  std::size_t length() const { return blocks_.size(); }
+  const Block& block(std::size_t i) const { return blocks_.at(i); }
+
+  // Deliberate corruption hook for tamper tests.
+  void tamper(std::size_t i, std::string data) { blocks_.at(i).data = std::move(data); }
+
+ private:
+  crypto::Sha256Digest compute_hash(const Block& block) const;
+  bool meets_difficulty(const crypto::Sha256Digest& digest) const;
+
+  unsigned difficulty_bits_;
+  std::vector<Block> blocks_;
+};
+
+struct BlockchainWorkloadConfig {
+  std::uint64_t chain_length = 200;  // paper: 1000
+  unsigned difficulty_bits = 8;
+};
+
+struct BlockchainWorkloadResult {
+  bool valid = false;
+  std::uint64_t tip_hash64 = 0;  // checksum
+};
+
+BlockchainWorkloadResult run_blockchain_workload(const BlockchainWorkloadConfig& config);
+
+}  // namespace sl::workloads

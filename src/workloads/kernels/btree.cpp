@@ -1,0 +1,122 @@
+#include "workloads/kernels/btree.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace sl::workloads {
+
+BTree::BTree() { root_ = create_node(/*leaf=*/true); }
+
+std::unique_ptr<BTree::Node> BTree::create_node(bool leaf) {
+  ScopedCall scope(recorder_, "create");
+  auto node = std::make_unique<Node>();
+  node->leaf = leaf;
+  node_count_++;
+  return node;
+}
+
+void BTree::split_child(Node& parent, std::size_t index) {
+  Node& child = *parent.children[index];
+  auto right = create_node(child.leaf);
+  const std::size_t mid = child.keys.size() / 2;
+  const std::uint64_t median = child.keys[mid];
+
+  if (child.leaf) {
+    // Leaves keep the median in the right sibling (B+-tree style).
+    right->keys.assign(child.keys.begin() + mid, child.keys.end());
+    right->values.assign(child.values.begin() + mid, child.values.end());
+    child.keys.resize(mid);
+    child.values.resize(mid);
+  } else {
+    right->keys.assign(child.keys.begin() + mid + 1, child.keys.end());
+    for (std::size_t i = mid + 1; i <= child.keys.size(); ++i) {
+      right->children.push_back(std::move(child.children[i]));
+    }
+    child.keys.resize(mid);
+    child.children.resize(mid + 1);
+  }
+
+  parent.keys.insert(parent.keys.begin() + index, median);
+  parent.children.insert(parent.children.begin() + index + 1, std::move(right));
+}
+
+void BTree::insert(std::uint64_t key, std::uint64_t value) {
+  ScopedCall scope(recorder_, "insert");
+  if (root_->keys.size() >= kOrder - 1) {
+    auto new_root = create_node(/*leaf=*/false);
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    split_child(*root_, 0);
+    height_++;
+  }
+  insert_nonfull(*root_, key, value);
+  size_++;
+}
+
+void BTree::insert_nonfull(Node& node, std::uint64_t key, std::uint64_t value) {
+  if (node.leaf) {
+    const auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+    const std::size_t pos = static_cast<std::size_t>(it - node.keys.begin());
+    node.keys.insert(it, key);
+    node.values.insert(node.values.begin() + pos, value);
+    return;
+  }
+  const auto it = std::upper_bound(node.keys.begin(), node.keys.end(), key);
+  std::size_t index = static_cast<std::size_t>(it - node.keys.begin());
+  if (node.children[index]->keys.size() >= kOrder - 1) {
+    split_child(node, index);
+    if (key >= node.keys[index]) index++;
+  }
+  insert_nonfull(*node.children[index], key, value);
+}
+
+bool BTree::find_in(const Node& node, std::uint64_t key, std::uint64_t& value) const {
+  if (node.leaf) {
+    ScopedCall scope(recorder_, "leaf");
+    const auto it = std::lower_bound(node.keys.begin(), node.keys.end(), key);
+    if (it != node.keys.end() && *it == key) {
+      value = node.values[static_cast<std::size_t>(it - node.keys.begin())];
+      return true;
+    }
+    return false;
+  }
+  const auto it = std::upper_bound(node.keys.begin(), node.keys.end(), key);
+  return find_in(*node.children[static_cast<std::size_t>(it - node.keys.begin())], key,
+                 value);
+}
+
+bool BTree::find(std::uint64_t key, std::uint64_t& value) const {
+  ScopedCall scope(recorder_, "find");
+  return find_in(*root_, key, value);
+}
+
+BTreeWorkloadResult run_btree_workload(const BTreeWorkloadConfig& config) {
+  Rng rng(config.seed);
+  BTree tree;
+  // Insert a deterministic permuted key set; value = key * 3 as checksum.
+  for (std::uint64_t i = 0; i < config.elements; ++i) {
+    const std::uint64_t key = splitmix64_key(i, config.seed);
+    tree.insert(key, key * 3);
+  }
+
+  BTreeWorkloadResult result;
+  result.height = tree.height();
+  for (std::uint64_t i = 0; i < config.lookups; ++i) {
+    // Half the lookups hit, half miss.
+    std::uint64_t key;
+    if (rng.next_bool(0.5)) {
+      key = splitmix64_key(rng.next_below(config.elements), config.seed);
+    } else {
+      key = rng.next_u64() | 1ull << 63;  // generated keys have that bit free
+    }
+    std::uint64_t value = 0;
+    if (tree.find(key, value)) {
+      result.hits++;
+      result.value_sum += value;
+    }
+  }
+  return result;
+}
+
+}  // namespace sl::workloads

@@ -1,0 +1,69 @@
+// B-Tree workload kernel (Table 4: mitosis-style B-Tree lookups).
+//
+// An actual in-memory B-Tree with configurable fan-out supporting insert
+// and find. The paper's key functions for this workload are find(), leaf
+// search, and node creation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "workloads/tracing.hpp"
+
+namespace sl::workloads {
+
+// B-Tree of 64-bit keys/values, order `kOrder` (max children per node).
+class BTree {
+ public:
+  static constexpr std::size_t kOrder = 16;
+
+  BTree();
+
+  void insert(std::uint64_t key, std::uint64_t value);
+  // Returns true and fills `value` when found.
+  bool find(std::uint64_t key, std::uint64_t& value) const;
+
+  std::size_t size() const { return size_; }
+  std::uint32_t height() const { return height_; }
+  std::size_t node_count() const { return node_count_; }
+
+  // Optional call-trace recording (functions: insert / find / leaf /
+  // create). Null disables.
+  void set_recorder(TraceRecorder* recorder) { recorder_ = recorder; }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<std::uint64_t> keys;
+    std::vector<std::uint64_t> values;          // leaf payloads
+    std::vector<std::unique_ptr<Node>> children; // internal children
+  };
+
+  std::unique_ptr<Node> create_node(bool leaf);
+  void split_child(Node& parent, std::size_t index);
+  void insert_nonfull(Node& node, std::uint64_t key, std::uint64_t value);
+  bool find_in(const Node& node, std::uint64_t key, std::uint64_t& value) const;
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  std::uint32_t height_ = 1;
+  std::size_t node_count_ = 0;
+  TraceRecorder* recorder_ = nullptr;
+};
+
+struct BTreeWorkloadConfig {
+  std::uint64_t elements = 100'000;  // paper: 3M
+  std::uint64_t lookups = 300'000;
+  std::uint64_t seed = 11;
+};
+
+struct BTreeWorkloadResult {
+  std::uint64_t hits = 0;
+  std::uint64_t value_sum = 0;  // checksum
+  std::uint32_t height = 0;
+};
+
+BTreeWorkloadResult run_btree_workload(const BTreeWorkloadConfig& config);
+
+}  // namespace sl::workloads

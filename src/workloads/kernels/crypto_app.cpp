@@ -1,0 +1,31 @@
+#include "workloads/kernels/crypto_app.hpp"
+
+#include "common/rng.hpp"
+#include "crypto/aes128.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sl::workloads {
+
+CryptoAppResult run_crypto_app(const CryptoAppConfig& config) {
+  Rng rng(config.seed);
+  const Bytes plaintext = rng.next_bytes(config.file_bytes);
+
+  crypto::AesKey key{};
+  const Bytes key_material = rng.next_bytes(key.size());
+  std::copy(key_material.begin(), key_material.end(), key.begin());
+  const std::uint64_t nonce = rng.next_u64();
+
+  const Bytes ciphertext = crypto::aes128_ctr(key, nonce, plaintext);
+  const crypto::Sha256Digest tag =
+      crypto::hmac_sha256(ByteView(key.data(), key.size()), ciphertext);
+
+  CryptoAppResult result;
+  result.mac_ok = crypto::hmac_verify(ByteView(key.data(), key.size()), ciphertext, tag);
+  const Bytes decrypted = crypto::aes128_ctr(key, nonce, ciphertext);
+  result.round_trip_ok = decrypted == plaintext;
+  result.plain_hash = crypto::sha256_64(decrypted);
+  return result;
+}
+
+}  // namespace sl::workloads

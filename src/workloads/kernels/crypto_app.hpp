@@ -1,0 +1,28 @@
+// OpenSSL-like workload kernel (Table 4: encryption/decryption library).
+//
+// Uses this repository's own AES-128-CTR + SHA-256 + HMAC to encrypt,
+// authenticate, decrypt, and verify a buffer — the round trip a licensing
+// layer would protect in a crypto library. decrypt() is the paper's key
+// function for this workload.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sl::workloads {
+
+struct CryptoAppConfig {
+  std::size_t file_bytes = 1 << 20;  // paper: 151 MB file
+  std::uint64_t seed = 19;
+};
+
+struct CryptoAppResult {
+  bool round_trip_ok = false;   // decrypt(encrypt(x)) == x
+  bool mac_ok = false;          // HMAC verified
+  std::uint64_t plain_hash = 0; // 64-bit digest of the plaintext (checksum)
+};
+
+CryptoAppResult run_crypto_app(const CryptoAppConfig& config);
+
+}  // namespace sl::workloads

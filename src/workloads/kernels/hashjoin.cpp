@@ -1,0 +1,77 @@
+#include "workloads/kernels/hashjoin.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace sl::workloads {
+
+namespace {
+std::uint64_t next_pow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+std::uint64_t mix(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  return k;
+}
+}  // namespace
+
+JoinHashTable::JoinHashTable(std::uint64_t capacity_hint) {
+  const std::uint64_t capacity = next_pow2(capacity_hint * 2);
+  keys_.assign(capacity, 0);
+  payloads_.assign(capacity, 0);
+}
+
+std::size_t JoinHashTable::slot_of(std::uint64_t key) const {
+  return mix(key) & (keys_.size() - 1);
+}
+
+void JoinHashTable::build(std::uint64_t key, std::uint64_t payload) {
+  require(key != 0, "JoinHashTable: key 0 is reserved for empty slots");
+  std::size_t slot = slot_of(key);
+  while (keys_[slot] != 0 && keys_[slot] != key) {
+    slot = (slot + 1) & (keys_.size() - 1);
+  }
+  keys_[slot] = key;
+  payloads_[slot] = payload;
+}
+
+std::uint64_t JoinHashTable::probe(std::uint64_t key) const {
+  std::size_t slot = slot_of(key);
+  while (keys_[slot] != 0) {
+    if (keys_[slot] == key) return payloads_[slot] + 1;
+    slot = (slot + 1) & (keys_.size() - 1);
+  }
+  return 0;
+}
+
+HashJoinResult run_hashjoin(const HashJoinConfig& config) {
+  JoinHashTable table(config.build_rows);
+  for (std::uint64_t i = 0; i < config.build_rows; ++i) {
+    const std::uint64_t key = splitmix64_key(i, config.seed) | 1;  // nonzero
+    table.build(key, key / 7);
+  }
+
+  Rng rng(config.seed ^ 0xabcdef);
+  HashJoinResult result;
+  for (std::uint64_t i = 0; i < config.probe_rows; ++i) {
+    std::uint64_t key;
+    if (rng.next_bool(config.match_fraction)) {
+      key = splitmix64_key(rng.next_below(config.build_rows), config.seed) | 1;
+    } else {
+      key = (rng.next_u64() | (1ULL << 63)) | 1;  // build keys never set bit 63
+    }
+    const std::uint64_t payload = table.probe(key);
+    if (payload != 0) {
+      result.matches++;
+      result.payload_sum += payload - 1;
+    }
+  }
+  return result;
+}
+
+}  // namespace sl::workloads

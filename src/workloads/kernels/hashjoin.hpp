@@ -1,0 +1,46 @@
+// HashJoin workload kernel (Table 4: equi-join hash-table probe).
+//
+// Build phase hashes the inner relation into an open-addressing table;
+// probe phase streams the outer relation through it. probe() is the paper's
+// key function for this workload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sl::workloads {
+
+struct HashJoinConfig {
+  std::uint64_t build_rows = 200'000;   // paper's table is 1.22 GB
+  std::uint64_t probe_rows = 1'000'000;
+  double match_fraction = 0.5;  // fraction of probes with a build-side match
+  std::uint64_t seed = 13;
+};
+
+// Open-addressing (linear probing) hash table of (key -> payload).
+class JoinHashTable {
+ public:
+  explicit JoinHashTable(std::uint64_t capacity_hint);
+
+  void build(std::uint64_t key, std::uint64_t payload);
+  // Returns payload+1 when found, 0 otherwise (payloads are shifted so a
+  // zero return unambiguously means "no match").
+  std::uint64_t probe(std::uint64_t key) const;
+
+  std::size_t slots() const { return keys_.size(); }
+
+ private:
+  std::size_t slot_of(std::uint64_t key) const;
+
+  std::vector<std::uint64_t> keys_;      // 0 = empty
+  std::vector<std::uint64_t> payloads_;
+};
+
+struct HashJoinResult {
+  std::uint64_t matches = 0;
+  std::uint64_t payload_sum = 0;  // checksum
+};
+
+HashJoinResult run_hashjoin(const HashJoinConfig& config);
+
+}  // namespace sl::workloads

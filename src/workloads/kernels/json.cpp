@@ -1,0 +1,371 @@
+#include "workloads/kernels/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "common/rng.hpp"
+
+namespace sl::workloads {
+
+std::size_t JsonValue::node_count() const {
+  if (is_array()) {
+    std::size_t count = 1;
+    for (const JsonValue& v : as_array()) count += v.node_count();
+    return count;
+  }
+  if (is_object()) {
+    std::size_t count = 1;
+    for (const auto& [key, v] : as_object()) count += v.node_count();
+    return count;
+  }
+  return 1;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, TraceRecorder* recorder)
+      : text_(text), recorder_(recorder) {}
+
+  std::variant<JsonValue, JsonParseError> run() {
+    skip_whitespace();
+    JsonValue value;
+    if (!parse_value(value)) return error_;
+    skip_whitespace();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return value;
+  }
+
+ private:
+  JsonParseError fail(std::string message) {
+    error_ = JsonParseError{std::move(message), pos_};
+    return error_;
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.compare(pos_, literal.size(), literal) == 0) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    // Every value dispatch is one lexer step in the measured call graph.
+    ScopedCall scope(recorder_, "lex_token");
+    skip_whitespace();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': return parse_string_value(out);
+      case 't':
+        if (consume_literal("true")) {
+          out = JsonValue(JsonValue::Storage(true));
+          return true;
+        }
+        fail("bad literal");
+        return false;
+      case 'f':
+        if (consume_literal("false")) {
+          out = JsonValue(JsonValue::Storage(false));
+          return true;
+        }
+        fail("bad literal");
+        return false;
+      case 'n':
+        if (consume_literal("null")) {
+          out = JsonValue(JsonValue::Storage(nullptr));
+          return true;
+        }
+        fail("bad literal");
+        return false;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    consume('{');
+    JsonObject object;
+    skip_whitespace();
+    if (consume('}')) {
+      out = JsonValue(JsonValue::Storage(std::move(object)));
+      return true;
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_whitespace();
+      if (!consume(':')) {
+        fail("expected ':' in object");
+        return false;
+      }
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      object.emplace(std::move(key), std::move(value));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      fail("expected ',' or '}' in object");
+      return false;
+    }
+    out = JsonValue(JsonValue::Storage(std::move(object)));
+    return true;
+  }
+
+  bool parse_array(JsonValue& out) {
+    consume('[');
+    JsonArray array;
+    skip_whitespace();
+    if (consume(']')) {
+      out = JsonValue(JsonValue::Storage(std::move(array)));
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      array.push_back(std::move(value));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      fail("expected ',' or ']' in array");
+      return false;
+    }
+    out = JsonValue(JsonValue::Storage(std::move(array)));
+    return true;
+  }
+
+  bool parse_string_value(JsonValue& out) {
+    std::string s;
+    if (!parse_string(s)) return false;
+    out = JsonValue(JsonValue::Storage(std::move(s)));
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) {
+      fail("expected string");
+      return false;
+    }
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                fail("bad \\u escape");
+                return false;
+              }
+            }
+            // UTF-8 encode the BMP code point (surrogates passed through raw).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+            return false;
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') pos_++;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      pos_++;
+    }
+    if (pos_ == start) {
+      fail("expected value");
+      return false;
+    }
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc{} || ptr != text_.data() + pos_) {
+      fail("bad number");
+      return false;
+    }
+    out = JsonValue(JsonValue::Storage(value));
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  JsonParseError error_;
+  TraceRecorder* recorder_ = nullptr;
+};
+
+void escape_into(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+void dump_into(std::ostringstream& os, const JsonValue& value) {
+  if (value.is_null()) {
+    os << "null";
+  } else if (value.is_bool()) {
+    os << (value.as_bool() ? "true" : "false");
+  } else if (value.is_number()) {
+    os << value.as_number();
+  } else if (value.is_string()) {
+    escape_into(os, value.as_string());
+  } else if (value.is_array()) {
+    os << '[';
+    bool first = true;
+    for (const JsonValue& v : value.as_array()) {
+      if (!first) os << ',';
+      first = false;
+      dump_into(os, v);
+    }
+    os << ']';
+  } else {
+    os << '{';
+    bool first = true;
+    for (const auto& [key, v] : value.as_object()) {
+      if (!first) os << ',';
+      first = false;
+      escape_into(os, key);
+      os << ':';
+      dump_into(os, v);
+    }
+    os << '}';
+  }
+}
+
+std::string random_document(Rng& rng, std::uint32_t approx_bytes) {
+  std::ostringstream os;
+  os << '{';
+  std::size_t emitted = 1;
+  bool first = true;
+  int field = 0;
+  while (emitted < approx_bytes) {
+    if (!first) os << ',';
+    first = false;
+    os << "\"field" << field++ << "\":";
+    switch (rng.next_below(5)) {
+      case 0: os << rng.next_below(100000); break;
+      case 1: os << (rng.next_bool(0.5) ? "true" : "false"); break;
+      case 2: os << "\"str" << rng.next_below(10000) << "\""; break;
+      case 3: {
+        os << '[';
+        const std::uint64_t n = 1 + rng.next_below(6);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          if (i) os << ',';
+          os << rng.next_below(1000);
+        }
+        os << ']';
+        break;
+      }
+      default:
+        os << "{\"nested\":" << rng.next_below(100) << ",\"flag\":null}";
+    }
+    emitted = static_cast<std::size_t>(os.tellp());
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace
+
+std::variant<JsonValue, JsonParseError> parse_json(const std::string& text,
+                                                   TraceRecorder* recorder) {
+  ScopedCall scope(recorder, "parse");
+  Parser parser(text, recorder);
+  return parser.run();
+}
+
+std::string dump_json(const JsonValue& value) {
+  std::ostringstream os;
+  dump_into(os, value);
+  return os.str();
+}
+
+JsonWorkloadResult run_json_workload(const JsonWorkloadConfig& config) {
+  Rng rng(config.seed);
+  JsonWorkloadResult result;
+  for (std::uint32_t d = 0; d < config.documents; ++d) {
+    const std::string doc = random_document(rng, config.approx_bytes);
+    const auto parsed = parse_json(doc);
+    if (std::holds_alternative<JsonValue>(parsed)) {
+      result.parsed++;
+      result.total_nodes += std::get<JsonValue>(parsed).node_count();
+    } else {
+      result.failed++;
+    }
+  }
+  return result;
+}
+
+}  // namespace sl::workloads

@@ -1,0 +1,80 @@
+// JSONParser workload kernel (Table 4: FaaS JSON parsing).
+//
+// A real recursive-descent JSON parser (objects, arrays, strings with
+// escapes, numbers, booleans, null) over an owning value tree. parse() is
+// the paper's key function; each parsed document is one FaaS call and one
+// license check in the Figure 9 experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "workloads/tracing.hpp"
+
+namespace sl::workloads {
+
+class JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+class JsonValue {
+ public:
+  using Storage =
+      std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject>;
+
+  JsonValue() : storage_(nullptr) {}
+  explicit JsonValue(Storage storage) : storage_(std::move(storage)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(storage_); }
+  bool is_bool() const { return std::holds_alternative<bool>(storage_); }
+  bool is_number() const { return std::holds_alternative<double>(storage_); }
+  bool is_string() const { return std::holds_alternative<std::string>(storage_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(storage_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(storage_); }
+
+  bool as_bool() const { return std::get<bool>(storage_); }
+  double as_number() const { return std::get<double>(storage_); }
+  const std::string& as_string() const { return std::get<std::string>(storage_); }
+  const JsonArray& as_array() const { return std::get<JsonArray>(storage_); }
+  const JsonObject& as_object() const { return std::get<JsonObject>(storage_); }
+
+  // Total number of values in this subtree (self included).
+  std::size_t node_count() const;
+
+ private:
+  Storage storage_;
+};
+
+struct JsonParseError {
+  std::string message;
+  std::size_t offset = 0;
+};
+
+// Parses `text`; on failure returns the error with input offset. Pass a
+// recorder to obtain a measured call graph (functions: parse / lex_token).
+std::variant<JsonValue, JsonParseError> parse_json(const std::string& text,
+                                                   TraceRecorder* recorder = nullptr);
+
+// Serializes a value back to compact JSON (round-trip testing).
+std::string dump_json(const JsonValue& value);
+
+struct JsonWorkloadConfig {
+  std::uint32_t documents = 2'000;  // paper: 10 K documents of ~1 KB
+  std::uint32_t approx_bytes = 1'024;
+  std::uint64_t seed = 37;
+};
+
+struct JsonWorkloadResult {
+  std::uint64_t parsed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t total_nodes = 0;
+};
+
+// Generates pseudo-random documents and parses each.
+JsonWorkloadResult run_json_workload(const JsonWorkloadConfig& config);
+
+}  // namespace sl::workloads

@@ -1,0 +1,75 @@
+#include "workloads/kernels/kvstore.hpp"
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/murmur.hpp"
+
+namespace sl::workloads {
+
+KvStore::KvStore(std::size_t bucket_count) : buckets_(bucket_count) {}
+
+std::size_t KvStore::bucket_of(const std::string& key) const {
+  return crypto::murmur3_32(to_bytes(key)) % buckets_.size();
+}
+
+void KvStore::set(const std::string& key, std::string value) {
+  version_++;
+  auto& bucket = buckets_[bucket_of(key)];
+  for (Entry& entry : bucket) {
+    if (entry.key == key) {
+      entry.value = std::move(value);
+      return;
+    }
+  }
+  bucket.push_back(Entry{key, std::move(value)});
+  size_++;
+}
+
+std::optional<std::string> KvStore::get(const std::string& key) const {
+  const auto& bucket = buckets_[bucket_of(key)];
+  for (const Entry& entry : bucket) {
+    if (entry.key == key) return entry.value;
+  }
+  return std::nullopt;
+}
+
+bool KvStore::erase(const std::string& key) {
+  version_++;
+  auto& bucket = buckets_[bucket_of(key)];
+  for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+    if (it->key == key) {
+      bucket.erase(it);
+      size_--;
+      return true;
+    }
+  }
+  return false;
+}
+
+KvWorkloadResult run_kv_workload(const KvWorkloadConfig& config) {
+  Rng rng(config.seed);
+  KvStore store(/*bucket_count=*/config.elements / 4 + 16);
+
+  for (std::uint64_t i = 0; i < config.elements; ++i) {
+    store.set("key-" + std::to_string(i), "value-" + std::to_string(i * 13));
+  }
+
+  KvWorkloadResult result;
+  for (std::uint64_t op = 0; op < config.operations; ++op) {
+    const std::uint64_t idx = rng.next_below(config.elements * 5 / 4);  // ~20% misses
+    const std::string key = "key-" + std::to_string(idx);
+    if (rng.next_bool(config.read_fraction)) {
+      if (store.get(key).has_value()) {
+        result.hits++;
+      } else {
+        result.misses++;
+      }
+    } else {
+      store.set(key, "value-" + std::to_string(op));
+    }
+  }
+  result.final_size = store.size();
+  return result;
+}
+
+}  // namespace sl::workloads

@@ -1,0 +1,55 @@
+// Key-Value store workload kernel (Table 4: FaaS read/write store).
+//
+// A chained-bucket hash store with set/get/erase and per-op versioning.
+// set() is the paper's key function; every store operation is a FaaS call
+// that performs a license check in the Figure 9 experiment.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sl::workloads {
+
+class KvStore {
+ public:
+  explicit KvStore(std::size_t bucket_count = 1024);
+
+  void set(const std::string& key, std::string value);
+  std::optional<std::string> get(const std::string& key) const;
+  bool erase(const std::string& key);
+
+  std::size_t size() const { return size_; }
+  std::uint64_t version() const { return version_; }  // bumps on every write
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+
+  std::size_t bucket_of(const std::string& key) const;
+
+  std::vector<std::list<Entry>> buckets_;
+  std::size_t size_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+struct KvWorkloadConfig {
+  std::uint64_t elements = 50'000;   // paper: 500 K elements, 70 MB
+  std::uint64_t operations = 200'000;
+  double read_fraction = 0.7;
+  std::uint64_t seed = 31;
+};
+
+struct KvWorkloadResult {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t final_size = 0;
+};
+
+KvWorkloadResult run_kv_workload(const KvWorkloadConfig& config);
+
+}  // namespace sl::workloads

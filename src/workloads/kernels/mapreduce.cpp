@@ -1,0 +1,87 @@
+#include "workloads/kernels/mapreduce.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "crypto/murmur.hpp"
+
+namespace sl::workloads {
+
+std::vector<std::string> generate_shards(const MapReduceConfig& config) {
+  Rng rng(config.seed);
+  // Vocabulary of short synthetic words.
+  std::vector<std::string> vocab;
+  vocab.reserve(config.vocabulary);
+  for (std::uint32_t i = 0; i < config.vocabulary; ++i) {
+    vocab.push_back("w" + std::to_string(i));
+  }
+
+  std::vector<std::string> shards;
+  shards.reserve(config.mappers);
+  for (std::uint32_t m = 0; m < config.mappers; ++m) {
+    std::string shard;
+    for (std::uint32_t w = 0; w < config.words_per_shard; ++w) {
+      // Zipf-flavoured pick: min of two uniforms skews towards low ranks.
+      const std::uint64_t a = rng.next_below(config.vocabulary);
+      const std::uint64_t b = rng.next_below(config.vocabulary);
+      shard += vocab[std::min(a, b)];
+      shard += ' ';
+    }
+    shards.push_back(std::move(shard));
+  }
+  return shards;
+}
+
+std::vector<std::string> tokenize(const std::string& shard) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start < shard.size()) {
+    const std::size_t end = shard.find(' ', start);
+    if (end == std::string::npos) {
+      if (start < shard.size()) tokens.push_back(shard.substr(start));
+      break;
+    }
+    if (end > start) tokens.push_back(shard.substr(start, end - start));
+    start = end + 1;
+  }
+  return tokens;
+}
+
+std::unordered_map<std::string, std::uint64_t> word_count(
+    const std::vector<std::string>& tokens) {
+  std::unordered_map<std::string, std::uint64_t> counts;
+  for (const std::string& token : tokens) counts[token]++;
+  return counts;
+}
+
+MapReduceResult run_mapreduce(const MapReduceConfig& config) {
+  const std::vector<std::string> shards = generate_shards(config);
+
+  // Map phase.
+  std::vector<std::vector<std::string>> mapped;
+  mapped.reserve(shards.size());
+  for (const std::string& shard : shards) mapped.push_back(tokenize(shard));
+
+  // Shuffle: route each token to a reducer by word hash.
+  std::vector<std::vector<std::string>> buckets(config.reducers);
+  for (const auto& tokens : mapped) {
+    for (const std::string& token : tokens) {
+      const std::uint32_t h = crypto::murmur3_32(to_bytes(token));
+      buckets[h % config.reducers].push_back(token);
+    }
+  }
+
+  // Reduce phase.
+  MapReduceResult result;
+  for (const auto& bucket : buckets) {
+    const auto counts = word_count(bucket);
+    result.distinct_words += counts.size();
+    for (const auto& [word, count] : counts) {
+      result.total_words += count;
+      result.top_count = std::max(result.top_count, count);
+    }
+  }
+  return result;
+}
+
+}  // namespace sl::workloads

@@ -1,0 +1,43 @@
+// MapReduce workload kernel (Table 4: FaaS word count).
+//
+// A real map/shuffle/reduce pipeline over generated text: mappers tokenize
+// their shard and emit (word, 1), the shuffle partitions by word hash, and
+// reducers sum counts. tokenize() and word_count() are the paper's key
+// functions. Each map/reduce task invocation corresponds to one FaaS call,
+// and hence to one license check in the Figure 9 experiment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sl::workloads {
+
+struct MapReduceConfig {
+  std::uint32_t mappers = 5;   // paper: Map:5, Reduce:2
+  std::uint32_t reducers = 2;
+  std::uint32_t words_per_shard = 20'000;  // paper input: 19 MB of text
+  std::uint32_t vocabulary = 500;
+  std::uint64_t seed = 29;
+};
+
+// Generates `config.mappers` text shards from a Zipf-ish vocabulary.
+std::vector<std::string> generate_shards(const MapReduceConfig& config);
+
+// Map task: splits a shard into tokens.
+std::vector<std::string> tokenize(const std::string& shard);
+
+// Reduce task: sums counts for the words routed to this reducer.
+std::unordered_map<std::string, std::uint64_t> word_count(
+    const std::vector<std::string>& tokens);
+
+struct MapReduceResult {
+  std::uint64_t total_words = 0;
+  std::uint64_t distinct_words = 0;
+  std::uint64_t top_count = 0;  // count of the most frequent word
+};
+
+MapReduceResult run_mapreduce(const MapReduceConfig& config);
+
+}  // namespace sl::workloads

@@ -1,0 +1,59 @@
+#include "workloads/kernels/matmul.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace sl::workloads {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix Matrix::random(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (double& v : m.data_) v = rng.next_double() * 2.0 - 1.0;
+  return m;
+}
+
+Matrix multiply(const Matrix& a, const Matrix& b, std::size_t block) {
+  require(a.cols() == b.rows(), "multiply: dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  const std::size_t n = a.rows(), k_dim = a.cols(), m = b.cols();
+  for (std::size_t i0 = 0; i0 < n; i0 += block) {
+    for (std::size_t k0 = 0; k0 < k_dim; k0 += block) {
+      for (std::size_t j0 = 0; j0 < m; j0 += block) {
+        const std::size_t i_max = std::min(i0 + block, n);
+        const std::size_t k_max = std::min(k0 + block, k_dim);
+        const std::size_t j_max = std::min(j0 + block, m);
+        for (std::size_t i = i0; i < i_max; ++i) {
+          for (std::size_t k = k0; k < k_max; ++k) {
+            const double aik = a.at(i, k);
+            for (std::size_t j = j0; j < j_max; ++j) {
+              c.at(i, j) += aik * b.at(k, j);
+            }
+          }
+        }
+      }
+    }
+  }
+  return c;
+}
+
+MatMulResult run_matmul(const MatMulConfig& config) {
+  const Matrix a = Matrix::random(config.dim, config.dim, config.seed);
+  const Matrix b = Matrix::random(config.dim, config.dim, config.seed ^ 0xbeef);
+  const Matrix c = multiply(a, b);
+
+  MatMulResult result;
+  for (std::size_t i = 0; i < c.rows(); ++i) result.trace += c.at(i, i);
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      result.frobenius_sq += c.at(i, j) * c.at(i, j);
+    }
+  }
+  return result;
+}
+
+}  // namespace sl::workloads

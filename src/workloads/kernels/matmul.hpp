@@ -1,0 +1,46 @@
+// Matrix-multiplication workload kernel (Table 4: FaaS matrix multiply).
+//
+// Cache-blocked dense double-precision multiply. multiply() is the paper's
+// key function; each multiply job is a FaaS call in the Figure 9 experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sl::workloads {
+
+// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols);
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  static Matrix random(std::size_t rows, std::size_t cols, std::uint64_t seed);
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+// Blocked C = A * B; throws on dimension mismatch.
+Matrix multiply(const Matrix& a, const Matrix& b, std::size_t block = 64);
+
+struct MatMulConfig {
+  std::size_t dim = 256;  // paper: 2000 x 2000
+  std::uint64_t seed = 41;
+};
+
+struct MatMulResult {
+  double trace = 0.0;        // checksum
+  double frobenius_sq = 0.0; // checksum
+};
+
+MatMulResult run_matmul(const MatMulConfig& config);
+
+}  // namespace sl::workloads

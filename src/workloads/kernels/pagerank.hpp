@@ -1,0 +1,28 @@
+// PageRank workload kernel (Table 4: Ligra-style rank computation).
+//
+// Standard power iteration with damping on a generated directed graph. The
+// paper's key functions are the map/reduce steps and set_rank.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sl::workloads {
+
+struct PageRankConfig {
+  std::uint32_t nodes = 10'000;     // paper: 10 K nodes, 50 M edges
+  std::uint32_t avg_degree = 50;
+  std::uint32_t iterations = 20;
+  double damping = 0.85;
+  std::uint64_t seed = 17;
+};
+
+struct PageRankResult {
+  std::vector<double> ranks;
+  double rank_sum = 0.0;      // should stay ~1.0
+  std::uint32_t top_node = 0; // highest-ranked vertex
+};
+
+PageRankResult run_pagerank(const PageRankConfig& config);
+
+}  // namespace sl::workloads

@@ -1,0 +1,85 @@
+#include "workloads/kernels/svm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace sl::workloads {
+
+SvmDataset generate_svm_dataset(const SvmConfig& config) {
+  Rng rng(config.seed);
+  SvmDataset data;
+  data.true_weights.resize(config.features);
+  for (auto& w : data.true_weights) w = rng.next_double() * 2.0 - 1.0;
+
+  data.x.resize(config.samples);
+  data.y.resize(config.samples);
+  for (std::uint32_t i = 0; i < config.samples; ++i) {
+    data.x[i].resize(config.features);
+    double dot = 0.0;
+    for (std::uint32_t f = 0; f < config.features; ++f) {
+      data.x[i][f] = rng.next_double() * 2.0 - 1.0;
+      dot += data.x[i][f] * data.true_weights[f];
+    }
+    // 5% label noise keeps the problem non-trivial.
+    int label = dot >= 0.0 ? 1 : -1;
+    if (rng.next_bool(0.05)) label = -label;
+    data.y[i] = label;
+  }
+  return data;
+}
+
+LinearSvm::LinearSvm(std::uint32_t features) : weights_(features, 0.0) {}
+
+void LinearSvm::train(const SvmDataset& data, std::uint32_t epochs, double lambda,
+                      std::uint64_t seed) {
+  require(!data.x.empty(), "LinearSvm::train: empty dataset");
+  Rng rng(seed);
+  std::uint64_t t = 1;
+  for (std::uint32_t epoch = 0; epoch < epochs; ++epoch) {
+    for (std::size_t step = 0; step < data.x.size(); ++step, ++t) {
+      const std::size_t i = rng.next_below(data.x.size());
+      const double eta = 1.0 / (lambda * static_cast<double>(t));
+      double dot = bias_;
+      for (std::size_t f = 0; f < weights_.size(); ++f) dot += weights_[f] * data.x[i][f];
+      const double decay = 1.0 - eta * lambda;
+      for (auto& w : weights_) w *= decay;
+      if (data.y[i] * dot < 1.0) {
+        for (std::size_t f = 0; f < weights_.size(); ++f) {
+          weights_[f] += eta * data.y[i] * data.x[i][f];
+        }
+        bias_ += eta * data.y[i];
+      }
+    }
+  }
+}
+
+double LinearSvm::margin(const std::vector<double>& sample) const {
+  require(sample.size() == weights_.size(), "LinearSvm::margin: feature mismatch");
+  double dot = bias_;
+  for (std::size_t f = 0; f < weights_.size(); ++f) dot += weights_[f] * sample[f];
+  return dot;
+}
+
+int LinearSvm::predict(const std::vector<double>& sample) const {
+  return margin(sample) >= 0.0 ? 1 : -1;
+}
+
+SvmResult run_svm_workload(const SvmConfig& config) {
+  const SvmDataset data = generate_svm_dataset(config);
+  LinearSvm svm(config.features);
+  svm.train(data, config.epochs, config.lambda, config.seed ^ 0x5117);
+
+  SvmResult result;
+  std::uint64_t correct = 0;
+  for (std::size_t i = 0; i < data.x.size(); ++i) {
+    const int prediction = svm.predict(data.x[i]);
+    if (prediction == data.y[i]) correct++;
+    if (prediction > 0) result.positive_predictions++;
+  }
+  result.train_accuracy = static_cast<double>(correct) / static_cast<double>(data.x.size());
+  return result;
+}
+
+}  // namespace sl::workloads

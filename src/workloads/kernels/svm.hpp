@@ -1,0 +1,52 @@
+// SVM workload kernel (Table 4: text/hypertext categorization).
+//
+// Trains a linear SVM by stochastic sub-gradient descent (Pegasos-style
+// hinge loss) on a synthetic linearly-separable-with-noise dataset, then
+// runs inference. predict() is the paper's key function.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sl::workloads {
+
+struct SvmConfig {
+  std::uint32_t samples = 4'000;  // paper: 4000 samples, 128 features
+  std::uint32_t features = 128;
+  std::uint32_t epochs = 10;
+  double lambda = 1e-4;  // regularization
+  std::uint64_t seed = 23;
+};
+
+struct SvmDataset {
+  std::vector<std::vector<double>> x;  // samples x features
+  std::vector<int> y;                  // +1 / -1
+  std::vector<double> true_weights;    // the generating hyperplane
+};
+
+SvmDataset generate_svm_dataset(const SvmConfig& config);
+
+class LinearSvm {
+ public:
+  explicit LinearSvm(std::uint32_t features);
+
+  void train(const SvmDataset& data, std::uint32_t epochs, double lambda,
+             std::uint64_t seed);
+  int predict(const std::vector<double>& sample) const;
+  double margin(const std::vector<double>& sample) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+};
+
+struct SvmResult {
+  double train_accuracy = 0.0;
+  std::uint64_t positive_predictions = 0;
+};
+
+SvmResult run_svm_workload(const SvmConfig& config);
+
+}  // namespace sl::workloads

@@ -1,0 +1,63 @@
+#include "workloads/model_builder.hpp"
+
+#include <algorithm>
+
+namespace sl::workloads {
+
+ModelBuilder::ModelBuilder(std::string app_name, std::string input_description) {
+  model_.name = std::move(app_name);
+  model_.input_description = std::move(input_description);
+}
+
+ModelBuilder& ModelBuilder::module(const std::string& module_name,
+                                   std::vector<FunctionSpec> functions) {
+  require(!functions.empty(), "module: empty module " + module_name);
+  std::vector<cfg::NodeId> ids;
+  ids.reserve(functions.size());
+  for (FunctionSpec& spec : functions) {
+    cfg::FunctionInfo info;
+    info.name = spec.name;
+    info.code_instructions = spec.code_instr;
+    info.mem_bytes = spec.mem_bytes;
+    info.work_cycles = spec.work_cycles;
+    info.invocations = spec.invocations;
+    info.in_authentication_module = spec.am;
+    info.is_key_function = spec.key;
+    info.touches_sensitive_data = spec.sensitive;
+    info.does_io = spec.io;
+    info.page_touches =
+        spec.page_touches > 0 ? spec.page_touches : (spec.mem_bytes + 4095) / 4096;
+    info.random_access = spec.random_access;
+    info.enclave_state_bytes = spec.enclave_state;
+    ids.push_back(model_.graph.add_function(std::move(info)));
+  }
+  // Dense intra-module wiring: chain consecutive functions; the call count
+  // is the callee's invocation count (every invocation arrives via the
+  // module-internal path unless an explicit edge overrides it).
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+    const std::uint64_t count =
+        std::max<std::uint64_t>(1, model_.graph.node(ids[i + 1]).invocations);
+    model_.graph.add_call(ids[i], ids[i + 1], count);
+  }
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::call(const std::string& from, const std::string& to,
+                                 std::uint64_t count) {
+  model_.graph.add_call(from, to, count);
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::entry(const std::string& fn) {
+  model_.entry = fn;
+  return *this;
+}
+
+AppModel ModelBuilder::build() && {
+  require(!model_.entry.empty(), "build: no entry function set");
+  require(model_.graph.find(model_.entry).has_value(),
+          "build: entry function not declared: " + model_.entry);
+  return std::move(model_);
+}
+
+}  // namespace sl::workloads

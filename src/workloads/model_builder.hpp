@@ -1,0 +1,55 @@
+// Helper for assembling workload call-graph models.
+//
+// Workload model files declare functions grouped into modules; the builder
+// wires dense intra-module call chains automatically (mirroring the paper's
+// modularity observation) and lets the workload add explicit cross-module
+// call edges. Keeping the wiring policy in one place makes the eleven
+// workload models short and uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workloads/app_model.hpp"
+
+namespace sl::workloads {
+
+struct FunctionSpec {
+  std::string name;
+  std::uint64_t code_instr = 1000;   // static instruction count
+  std::uint64_t mem_bytes = 4096;    // resident data footprint
+  std::uint64_t work_cycles = 100;   // compute per invocation
+  std::uint64_t invocations = 1;     // dynamic call count per run
+  std::uint64_t page_touches = 0;    // 0 => touch whole region once
+  bool random_access = false;
+  std::uint64_t enclave_state = 64 * 1024;  // footprint when data stays out
+  bool am = false;         // part of the authentication module
+  bool key = false;        // developer-annotated key function
+  bool sensitive = false;  // touches Glamdring-sensitive data
+  bool io = false;         // performs syscalls; cannot migrate under SecureLease
+};
+
+class ModelBuilder {
+ public:
+  ModelBuilder(std::string app_name, std::string input_description);
+
+  // Declares a module; functions are chained with intra-module edges whose
+  // call counts follow the callee's invocation count.
+  ModelBuilder& module(const std::string& module_name,
+                       std::vector<FunctionSpec> functions);
+
+  // Explicit (typically cross-module) call edge.
+  ModelBuilder& call(const std::string& from, const std::string& to,
+                     std::uint64_t count);
+
+  // Marks the entry-point function.
+  ModelBuilder& entry(const std::string& fn);
+
+  AppModel build() &&;
+
+ private:
+  AppModel model_;
+  std::vector<std::pair<std::string, std::string>> pending_intra_;
+};
+
+}  // namespace sl::workloads

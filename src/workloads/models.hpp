@@ -1,0 +1,42 @@
+// Call-graph models for the eleven Table 4 workloads.
+//
+// Each model encodes the workload's module structure (init / authentication
+// module / key-function cluster / remaining protected region / untrusted
+// driver+io) with static sizes, dynamic instruction counts, memory regions,
+// and page-access profiles calibrated to the per-workload characteristics
+// reported in Table 5 of the paper. The partitioners and the execution
+// simulator consume these models; the matching kernels in kernels/ provide
+// the real computation the models describe.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workloads/app_model.hpp"
+
+namespace sl::workloads {
+
+AppModel make_bfs_model();
+AppModel make_btree_model();
+AppModel make_hashjoin_model();
+AppModel make_openssl_model();
+AppModel make_pagerank_model();
+AppModel make_blockchain_model();
+AppModel make_svm_model();
+AppModel make_mapreduce_model();
+AppModel make_keyvalue_model();
+AppModel make_jsonparser_model();
+AppModel make_matmult_model();
+
+struct WorkloadEntry {
+  std::string name;
+  bool faas = false;                   // FaaS workload (Table 4 lower half)
+  std::uint64_t license_checks = 100;  // lease checks per run (Figure 9)
+  std::function<AppModel()> make_model;
+};
+
+// All eleven workloads in Table 4/5 order.
+const std::vector<WorkloadEntry>& all_workloads();
+
+}  // namespace sl::workloads

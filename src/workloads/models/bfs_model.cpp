@@ -1,0 +1,92 @@
+// BFS model (Table 5 row 1).
+//
+// Calibration targets: SecureLease migrates the authentication module plus
+// the frontier-update cluster {update, visit_push, visit_pop} — ~10 K static
+// instructions (27.8% of Glamdring's 36.2 K) covering ~10.9 B of the ~11.6 B
+// dynamic instructions; Glamdring's sensitive-data closure drags in nearly
+// the whole app with a ~200 MB enclave footprint (the CSR graph), while
+// SecureLease keeps the graph untrusted and needs only ~4 MB.
+#include "workloads/models.hpp"
+#include "workloads/model_builder.hpp"
+#include "workloads/models/units.hpp"
+
+namespace sl::workloads {
+
+using namespace units;
+
+AppModel make_bfs_model() {
+  ModelBuilder b("BFS", "Nodes: 1M, Edges: 23M");
+
+  b.module("init",
+           {
+               {.name = "main", .code_instr = 2 * kK, .work_cycles = 5 * kM, .io = true},
+               {.name = "parse_args", .code_instr = 1200, .work_cycles = 100 * kK,
+                .io = true},
+               {.name = "load_graph", .code_instr = 6 * kK, .mem_bytes = 8 * kMB,
+                .work_cycles = 200 * kM, .sensitive = true, .io = true},
+               {.name = "graph_alloc", .code_instr = 2500, .mem_bytes = 2 * kMB,
+                .work_cycles = 10 * kM, .sensitive = true},
+           });
+
+  b.module("auth",
+           {
+               {.name = "check_license", .code_instr = 1200, .mem_bytes = 256 * kKB,
+                .work_cycles = 200 * kK, .enclave_state = 256 * kKB, .am = true,
+                .sensitive = true},
+               {.name = "parse_license", .code_instr = 1000, .mem_bytes = 128 * kKB,
+                .work_cycles = 100 * kK, .enclave_state = 128 * kKB, .am = true,
+                .sensitive = true},
+               {.name = "verify_sig", .code_instr = 1300, .mem_bytes = 128 * kKB,
+                .work_cycles = 300 * kK, .enclave_state = 128 * kKB, .am = true,
+                .sensitive = true},
+           });
+
+  // The key cluster: frontier expansion. `update` owns the 184 MB CSR graph
+  // region; under SecureLease that data stays untrusted (enclave_state is
+  // small), under Glamdring it lives in the EPC and thrashes.
+  b.module("frontier",
+           {
+               {.name = "update", .code_instr = 4 * kK, .mem_bytes = 184 * kMB,
+                .work_cycles = 920 * kK, .invocations = 10 * kK,
+                .page_touches = 700 * kK, .random_access = true,
+                .enclave_state = 2560 * kKB, .key = true, .sensitive = true},
+               {.name = "visit_push", .code_instr = 1500, .mem_bytes = 4 * kMB,
+                .work_cycles = 840, .invocations = 1 * kM, .page_touches = 20 * kK,
+                .enclave_state = 512 * kKB, .sensitive = true},
+               {.name = "visit_pop", .code_instr = 1000, .mem_bytes = 2 * kMB,
+                .work_cycles = 840, .invocations = 1 * kM, .page_touches = 10 * kK,
+                .enclave_state = 512 * kKB, .sensitive = true},
+           });
+
+  // Remaining protected region: migrated by Glamdring only. Internally hot
+  // (edge_iter/bitmap_ops) so it clusters apart from the frontier kernel.
+  b.module("core_rest",
+           {
+               {.name = "bfs_run", .code_instr = 4 * kK, .mem_bytes = 1 * kMB,
+                .work_cycles = 300 * kM, .sensitive = true},
+               {.name = "init_frontier", .code_instr = 2200, .mem_bytes = 1 * kMB,
+                .work_cycles = 1 * kM, .sensitive = true},
+               {.name = "edge_iter", .code_instr = 5 * kK, .mem_bytes = 2 * kMB,
+                .work_cycles = 1000, .invocations = 100 * kK, .sensitive = true},
+               {.name = "bitmap_ops", .code_instr = 3500, .mem_bytes = 2 * kMB,
+                .work_cycles = 500, .invocations = 200 * kK, .sensitive = true},
+               {.name = "compute_stats", .code_instr = 3 * kK, .mem_bytes = 1 * kMB,
+                .work_cycles = 50 * kM, .sensitive = true},
+           });
+
+  b.call("main", "parse_args", 1);
+  b.call("main", "check_license", 1);
+  b.call("main", "load_graph", 1);
+  b.call("load_graph", "graph_alloc", 4);
+  b.call("main", "bfs_run", 1);
+  b.call("bfs_run", "init_frontier", 1);
+  b.call("bfs_run", "update", 10 * kK);      // partition-boundary ECALLs (batched)
+  b.call("bfs_run", "edge_iter", 100 * kK);  // intra core_rest (hot)
+  b.call("edge_iter", "bitmap_ops", 200 * kK);
+  b.call("main", "compute_stats", 1);
+
+  b.entry("main");
+  return std::move(b).build();
+}
+
+}  // namespace sl::workloads

@@ -1,0 +1,82 @@
+// B-Tree model (Table 5 row 2).
+//
+// Targets: SecureLease migrates find()/leaf()/create() plus the AM — 23.4 K
+// static (97.9% of Glamdring's 23.9 K; this workload's protected region IS
+// essentially the index), 23.5 B of 29.6 B dynamic instructions; the 270 MB
+// tree stays untrusted under SecureLease (4 MB enclave) but lives in the
+// EPC under Glamdring (~280 MB, heavy eviction traffic).
+#include "workloads/models.hpp"
+#include "workloads/model_builder.hpp"
+#include "workloads/models/units.hpp"
+
+namespace sl::workloads {
+
+using namespace units;
+
+AppModel make_btree_model() {
+  ModelBuilder b("B-Tree", "Elements: 3M");
+
+  b.module("init",
+           {
+               {.name = "main", .code_instr = 2 * kK, .work_cycles = 5 * kM, .io = true},
+               {.name = "load_data", .code_instr = 3 * kK, .mem_bytes = 4 * kMB,
+                .work_cycles = 20 * kM, .io = true},
+           });
+
+  b.module("auth",
+           {
+               {.name = "check_license", .code_instr = 1200, .mem_bytes = 256 * kKB,
+                .work_cycles = 200 * kK, .enclave_state = 256 * kKB, .am = true,
+                .sensitive = true},
+               {.name = "parse_license", .code_instr = 1000, .mem_bytes = 128 * kKB,
+                .work_cycles = 100 * kK, .enclave_state = 128 * kKB, .am = true,
+                .sensitive = true},
+               {.name = "verify_sig", .code_instr = 1300, .mem_bytes = 128 * kKB,
+                .work_cycles = 300 * kK, .enclave_state = 128 * kKB, .am = true,
+                .sensitive = true},
+           });
+
+  // Key cluster: the index operations. find() owns the 270 MB tree region.
+  b.module("index",
+           {
+               {.name = "find", .code_instr = 8 * kK, .mem_bytes = 270 * kMB,
+                .work_cycles = 1500 * kK, .invocations = 10 * kK,
+                .page_touches = 950 * kK, .random_access = true,
+                .enclave_state = 2 * kMB, .key = true, .sensitive = true},
+               {.name = "leaf", .code_instr = 6 * kK, .mem_bytes = 4 * kMB,
+                .work_cycles = 2000, .invocations = 3 * kM,
+                .page_touches = 50 * kK, .random_access = true,
+                .enclave_state = 768 * kKB, .key = true, .sensitive = true},
+               {.name = "create", .code_instr = 5900, .mem_bytes = 2 * kMB,
+                .work_cycles = 250 * kK, .invocations = 10 * kK,
+                .page_touches = 20 * kK, .enclave_state = 512 * kKB, .key = true,
+                .sensitive = true},
+           });
+
+  b.module("core_rest",
+           {
+               {.name = "insert_driver", .code_instr = 500, .mem_bytes = 8 * kMB,
+                .work_cycles = 6100 * kM, .page_touches = 60 * kK,
+                .sensitive = true, .io = true},
+           });
+
+  b.module("driver",
+           {
+               {.name = "lookup_driver", .code_instr = 2500, .mem_bytes = 1 * kMB,
+                .work_cycles = 3000, .invocations = 10 * kK, .io = true},
+           });
+
+  b.call("main", "check_license", 1);
+  b.call("main", "load_data", 1);
+  b.call("main", "insert_driver", 1);
+  b.call("main", "lookup_driver", 1);
+  b.call("lookup_driver", "find", 10 * kK);   // boundary ECALLs (batched)
+  b.call("find", "leaf", 1500 * kK);          // intra-cluster (hot)
+  b.call("insert_driver", "create", 10 * kK); // boundary ECALLs (batched)
+  b.call("create", "leaf", 1500 * kK);        // intra-cluster (hot)
+
+  b.entry("main");
+  return std::move(b).build();
+}
+
+}  // namespace sl::workloads

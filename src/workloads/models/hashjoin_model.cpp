@@ -1,0 +1,76 @@
+// HashJoin model (Table 5 row 3).
+//
+// Targets: SecureLease migrates probe() + hash helper + AM (10.3 K static,
+// 45% of Glamdring's 22.9 K; 30.2 B of 33 B dynamic). Glamdring keeps the
+// 1.22 GB-class hash table (modelled as 120 MB hot region) inside the EPC
+// and thrashes massively — this is the workload with the worst Glamdring
+// paging behaviour in the paper (millions of evictions).
+#include "workloads/models.hpp"
+#include "workloads/model_builder.hpp"
+#include "workloads/models/units.hpp"
+
+namespace sl::workloads {
+
+using namespace units;
+
+AppModel make_hashjoin_model() {
+  ModelBuilder b("HashJoin", "Data Table Size: 1.22 GB");
+
+  b.module("init",
+           {
+               {.name = "main", .code_instr = 2 * kK, .work_cycles = 5 * kM, .io = true},
+               {.name = "probe_driver", .code_instr = 2 * kK, .mem_bytes = 1 * kMB,
+                .work_cycles = 3000, .invocations = 20 * kK, .io = true},
+           });
+
+  b.module("auth",
+           {
+               {.name = "check_license", .code_instr = 1200, .mem_bytes = 256 * kKB,
+                .work_cycles = 200 * kK, .enclave_state = 256 * kKB, .am = true,
+                .sensitive = true},
+               {.name = "parse_license", .code_instr = 1000, .mem_bytes = 128 * kKB,
+                .work_cycles = 100 * kK, .enclave_state = 128 * kKB, .am = true,
+                .sensitive = true},
+               {.name = "verify_sig", .code_instr = 1300, .mem_bytes = 128 * kKB,
+                .work_cycles = 300 * kK, .enclave_state = 128 * kKB, .am = true,
+                .sensitive = true},
+           });
+
+  // Key cluster: the probe pipeline. probe() owns the hot hash-table region.
+  b.module("probe_mod",
+           {
+               {.name = "probe", .code_instr = 5 * kK, .mem_bytes = 120 * kMB,
+                .work_cycles = 1485 * kK, .invocations = 20 * kK,
+                .page_touches = 25 * kM, .random_access = true,
+                .enclave_state = 3 * kMB, .key = true, .sensitive = true},
+               {.name = "hash_fn", .code_instr = 1800, .mem_bytes = 64 * kKB,
+                .work_cycles = 25, .invocations = 20 * kM,
+                .enclave_state = 64 * kKB, .sensitive = true},
+           });
+
+  b.module("core_rest",
+           {
+               {.name = "build", .code_instr = 4500, .mem_bytes = 6 * kMB,
+                .work_cycles = 2 * kB, .page_touches = 30 * kK, .sensitive = true},
+               {.name = "partition_input", .code_instr = 3200, .mem_bytes = 8 * kMB,
+                .work_cycles = 500 * kM, .sensitive = true},
+               {.name = "radix_prep", .code_instr = 2400, .mem_bytes = 2 * kMB,
+                .work_cycles = 200 * kM, .sensitive = true},
+               {.name = "io_read", .code_instr = 2500, .mem_bytes = 2 * kMB,
+                .work_cycles = 100 * kM, .sensitive = true},
+           });
+
+  b.call("main", "check_license", 1);
+  b.call("main", "io_read", 1);
+  b.call("main", "partition_input", 1);
+  b.call("partition_input", "radix_prep", 2);
+  b.call("main", "build", 1);
+  b.call("main", "probe_driver", 1);
+  b.call("probe_driver", "probe", 20 * kK);  // boundary ECALLs (batched)
+  b.call("probe", "hash_fn", 20 * kM);       // intra-cluster (hot)
+
+  b.entry("main");
+  return std::move(b).build();
+}
+
+}  // namespace sl::workloads

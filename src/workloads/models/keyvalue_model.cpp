@@ -1,0 +1,68 @@
+// Key-Value model (Table 5 row 9, FaaS).
+//
+// Targets: SecureLease and Glamdring migrate essentially the same code
+// (set() dominates; ~118 K static for both), so the whole gap is memory:
+// the 158 MB store stays untrusted under SecureLease (4 MB enclave) but
+// spills the EPC under Glamdring. With 500 K store operations this is the
+// license-check-heaviest workload in the suite.
+#include "workloads/models.hpp"
+#include "workloads/model_builder.hpp"
+#include "workloads/models/units.hpp"
+
+namespace sl::workloads {
+
+using namespace units;
+
+AppModel make_keyvalue_model() {
+  ModelBuilder b("Key-Value", "70MB, 500K elements");
+
+  b.module("init",
+           {
+               {.name = "main", .code_instr = 2 * kK, .work_cycles = 5 * kM, .io = true},
+               {.name = "op_driver", .code_instr = 2 * kK, .mem_bytes = 1 * kMB,
+                .work_cycles = 5000, .invocations = 20 * kK, .io = true},
+           });
+
+  b.module("auth",
+           {
+               {.name = "check_license", .code_instr = 1200, .mem_bytes = 256 * kKB,
+                .work_cycles = 200 * kK, .enclave_state = 256 * kKB, .am = true,
+                .sensitive = true},
+               {.name = "parse_license", .code_instr = 1000, .mem_bytes = 128 * kKB,
+                .work_cycles = 100 * kK, .enclave_state = 128 * kKB, .am = true,
+                .sensitive = true},
+               {.name = "verify_sig", .code_instr = 1300, .mem_bytes = 128 * kKB,
+                .work_cycles = 300 * kK, .enclave_state = 128 * kKB, .am = true,
+                .sensitive = true},
+           });
+
+  // Key cluster: the store engine. set() owns the 158 MB store; hash_slot
+  // is the hot helper keeping the cluster tight.
+  b.module("store",
+           {
+               {.name = "set", .code_instr = 110'800, .mem_bytes = 158 * kMB,
+                .work_cycles = 495 * kK, .invocations = 20 * kK,
+                .page_touches = 2500 * kK, .random_access = true,
+                .enclave_state = 3 * kMB, .key = true, .sensitive = true},
+               {.name = "hash_slot", .code_instr = 3600, .mem_bytes = 256 * kKB,
+                .work_cycles = 50, .invocations = 2 * kM,
+                .enclave_state = 256 * kKB, .sensitive = true},
+           });
+
+  b.module("core_rest",
+           {
+               {.name = "compact", .code_instr = 200, .mem_bytes = 2 * kMB,
+                .work_cycles = 3 * kB, .page_touches = 10 * kK, .sensitive = true},
+           });
+
+  b.call("main", "check_license", 1);
+  b.call("main", "op_driver", 1);
+  b.call("op_driver", "set", 20 * kK);   // boundary ECALLs (batched FaaS ops)
+  b.call("set", "hash_slot", 2 * kM);    // intra-cluster (hot)
+  b.call("main", "compact", 1);
+
+  b.entry("main");
+  return std::move(b).build();
+}
+
+}  // namespace sl::workloads

@@ -1,0 +1,73 @@
+// Matrix-multiplication model (Table 5 row 11, FaaS).
+//
+// Targets: SecureLease migrates multiply() + AM (101 K of Glamdring's
+// 122 K static, 99.85% dynamic). SecureLease keeps an 80 MB tile workspace
+// inside the enclave (fits the EPC, matching the paper's 81 MB) and
+// streams matrices from untrusted memory; Glamdring keeps the full 300 MB
+// of matrices inside and pays steady eviction traffic.
+#include "workloads/models.hpp"
+#include "workloads/model_builder.hpp"
+#include "workloads/models/units.hpp"
+
+namespace sl::workloads {
+
+using namespace units;
+
+AppModel make_matmult_model() {
+  ModelBuilder b("Mat. Mult.", "Dimension: 2000 x 2000");
+
+  b.module("init",
+           {
+               {.name = "main", .code_instr = 2 * kK, .work_cycles = 5 * kM, .io = true},
+               {.name = "job_driver", .code_instr = 1800, .mem_bytes = 1 * kMB,
+                .work_cycles = 3000, .invocations = 20 * kK, .io = true},
+           });
+
+  b.module("auth",
+           {
+               {.name = "check_license", .code_instr = 1200, .mem_bytes = 256 * kKB,
+                .work_cycles = 200 * kK, .enclave_state = 256 * kKB, .am = true,
+                .sensitive = true},
+               {.name = "parse_license", .code_instr = 1000, .mem_bytes = 128 * kKB,
+                .work_cycles = 100 * kK, .enclave_state = 128 * kKB, .am = true,
+                .sensitive = true},
+               {.name = "verify_sig", .code_instr = 1300, .mem_bytes = 128 * kKB,
+                .work_cycles = 300 * kK, .enclave_state = 128 * kKB, .am = true,
+                .sensitive = true},
+           });
+
+  // Key cluster: the blocked multiply kernel; tile_mac is its hot helper.
+  b.module("kernel",
+           {
+               {.name = "multiply", .code_instr = 90 * kK, .mem_bytes = 300 * kMB,
+                .work_cycles = 9575 * kK, .invocations = 20 * kK,
+                .page_touches = 9 * kM, .random_access = false,
+                .enclave_state = 80 * kMB, .key = true, .sensitive = true},
+               {.name = "tile_mac", .code_instr = 7500, .mem_bytes = 1 * kMB,
+                .work_cycles = 100, .invocations = 10 * kM,
+                .enclave_state = 1 * kMB, .sensitive = true},
+           });
+
+  b.module("core_rest",
+           {
+               {.name = "transpose", .code_instr = 8 * kK, .mem_bytes = 8 * kMB,
+                .work_cycles = 100 * kM, .sensitive = true},
+               {.name = "alloc_mats", .code_instr = 6 * kK, .mem_bytes = 8 * kMB,
+                .work_cycles = 50 * kM, .sensitive = true},
+               {.name = "result_copy", .code_instr = 7 * kK, .mem_bytes = 4 * kMB,
+                .work_cycles = 50 * kM, .sensitive = true},
+           });
+
+  b.call("main", "check_license", 1);
+  b.call("main", "alloc_mats", 1);
+  b.call("main", "transpose", 1);
+  b.call("main", "job_driver", 1);
+  b.call("job_driver", "multiply", 20 * kK);  // boundary ECALLs (FaaS jobs)
+  b.call("multiply", "tile_mac", 10 * kM);    // intra-cluster (hot)
+  b.call("main", "result_copy", 1);
+
+  b.entry("main");
+  return std::move(b).build();
+}
+
+}  // namespace sl::workloads

@@ -1,0 +1,75 @@
+// OpenSSL-like crypto-library model (Table 5 row 4).
+//
+// Targets: the cipher code base is huge (hundreds of K instructions), and
+// the key cluster around decrypt() contains nearly all of it: SecureLease
+// migrates 811.9 K of Glamdring's 815.3 K static instructions (99.6%) and
+// 181 B of 189.1 B dynamic. The difference is memory: Glamdring pulls the
+// ~300 MB of file/stream buffers into the EPC, SecureLease streams them
+// from untrusted memory (4 MB enclave state).
+#include "workloads/models.hpp"
+#include "workloads/model_builder.hpp"
+#include "workloads/models/units.hpp"
+
+namespace sl::workloads {
+
+using namespace units;
+
+AppModel make_openssl_model() {
+  ModelBuilder b("OpenSSL", "File Size: 151 MB");
+
+  b.module("init",
+           {
+               {.name = "main", .code_instr = 2 * kK, .work_cycles = 5 * kM, .io = true},
+               {.name = "stream_driver", .code_instr = 2500, .mem_bytes = 1 * kMB,
+                .work_cycles = 5000, .invocations = 20 * kK, .io = true},
+           });
+
+  b.module("auth",
+           {
+               {.name = "check_license", .code_instr = 1100, .mem_bytes = 256 * kKB,
+                .work_cycles = 200 * kK, .enclave_state = 256 * kKB, .am = true,
+                .sensitive = true},
+               {.name = "parse_license", .code_instr = 800, .mem_bytes = 128 * kKB,
+                .work_cycles = 100 * kK, .enclave_state = 128 * kKB, .am = true,
+                .sensitive = true},
+               {.name = "verify_sig", .code_instr = 1000, .mem_bytes = 128 * kKB,
+                .work_cycles = 300 * kK, .enclave_state = 128 * kKB, .am = true,
+                .sensitive = true},
+           });
+
+  // Key cluster: the cipher core. decrypt() owns the large buffer region.
+  b.module("cipher",
+           {
+               {.name = "decrypt", .code_instr = 500 * kK, .mem_bytes = 290 * kMB,
+                .work_cycles = 6 * kM, .invocations = 20 * kK,
+                .page_touches = 20 * kM, .random_access = false,
+                .enclave_state = 2 * kMB, .key = true, .sensitive = true},
+               {.name = "cipher_core", .code_instr = 200 * kK, .mem_bytes = 4 * kMB,
+                .work_cycles = 5000, .invocations = 10 * kM,
+                .enclave_state = 1 * kMB, .sensitive = true},
+               {.name = "block_ops", .code_instr = 109 * kK, .mem_bytes = 2 * kMB,
+                .work_cycles = 1100, .invocations = 10 * kM,
+                .enclave_state = 512 * kKB, .sensitive = true},
+           });
+
+  b.module("core_rest",
+           {
+               {.name = "key_schedule", .code_instr = 1400, .mem_bytes = 1 * kMB,
+                .work_cycles = 3 * kB, .sensitive = true},
+               {.name = "io_buffer", .code_instr = 2 * kK, .mem_bytes = 12 * kMB,
+                .work_cycles = 5100 * kM, .page_touches = 50 * kK,
+                .sensitive = true},
+           });
+
+  b.call("main", "check_license", 1);
+  b.call("main", "key_schedule", 1);
+  b.call("main", "io_buffer", 1);
+  b.call("main", "stream_driver", 1);
+  b.call("stream_driver", "decrypt", 20 * kK);  // boundary ECALLs (batched)
+  b.call("decrypt", "cipher_core", 10 * kM);    // intra-cluster (hot)
+
+  b.entry("main");
+  return std::move(b).build();
+}
+
+}  // namespace sl::workloads

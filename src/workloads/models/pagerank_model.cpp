@@ -1,0 +1,85 @@
+// PageRank model (Table 5 row 5).
+//
+// Targets: SecureLease migrates map()/reduce()/set_rank() + AM (10.5 K of
+// Glamdring's 23.3 K static, 99.1% dynamic coverage). The 50 M-edge graph
+// (~1.3 GB) is by far the largest footprint in the suite: Glamdring's
+// enclave thrashes the EPC hard (paper reports ~2.2 M evictions), while
+// SecureLease leaves the edges untrusted.
+#include "workloads/models.hpp"
+#include "workloads/model_builder.hpp"
+#include "workloads/models/units.hpp"
+
+namespace sl::workloads {
+
+using namespace units;
+
+AppModel make_pagerank_model() {
+  ModelBuilder b("PageRank", "Nodes: 10K, Edges: 50M");
+
+  b.module("init",
+           {
+               {.name = "main", .code_instr = 2 * kK, .work_cycles = 5 * kM, .io = true},
+               {.name = "iterate", .code_instr = 2 * kK, .mem_bytes = 1 * kMB,
+                .work_cycles = 2000, .invocations = 20, .io = true},
+           });
+
+  b.module("auth",
+           {
+               {.name = "check_license", .code_instr = 1200, .mem_bytes = 256 * kKB,
+                .work_cycles = 200 * kK, .enclave_state = 256 * kKB, .am = true,
+                .sensitive = true},
+               {.name = "parse_license", .code_instr = 1000, .mem_bytes = 128 * kKB,
+                .work_cycles = 100 * kK, .enclave_state = 128 * kKB, .am = true,
+                .sensitive = true},
+               {.name = "verify_sig", .code_instr = 1300, .mem_bytes = 128 * kKB,
+                .work_cycles = 300 * kK, .enclave_state = 128 * kKB, .am = true,
+                .sensitive = true},
+           });
+
+  // Key cluster: the rank kernel. map() owns the 1.3 GB edge region.
+  b.module("rank_kernel",
+           {
+               {.name = "map", .code_instr = 3 * kK, .mem_bytes = 1340 * kMB,
+                .work_cycles = 600 * kK, .invocations = 10 * kK,
+                .page_touches = 2200 * kK, .random_access = true,
+                .enclave_state = 2 * kMB, .key = true, .sensitive = true},
+               {.name = "reduce", .code_instr = 2200, .mem_bytes = 4 * kMB,
+                .work_cycles = 200 * kK, .invocations = 10 * kK,
+                .page_touches = 20 * kK, .enclave_state = 1 * kMB, .key = true,
+                .sensitive = true},
+               {.name = "set_rank", .code_instr = 1800, .mem_bytes = 2 * kMB,
+                .work_cycles = 4000, .invocations = 200 * kK,
+                .enclave_state = 512 * kKB, .key = true, .sensitive = true},
+           });
+
+  b.module("core_rest",
+           {
+               {.name = "load_edges", .code_instr = 4 * kK, .mem_bytes = 8 * kMB,
+                .work_cycles = 50 * kM, .sensitive = true},
+               {.name = "init_ranks", .code_instr = 2 * kK, .mem_bytes = 1 * kMB,
+                .work_cycles = 5 * kM, .sensitive = true},
+               {.name = "normalize", .code_instr = 2800, .mem_bytes = 1 * kMB,
+                .work_cycles = 10 * kM, .sensitive = true},
+               {.name = "convergence", .code_instr = 2 * kK, .mem_bytes = 1 * kMB,
+                .work_cycles = 5 * kM, .sensitive = true},
+               {.name = "alloc_graph", .code_instr = 2 * kK, .mem_bytes = 2 * kMB,
+                .work_cycles = 10 * kM, .sensitive = true},
+           });
+
+  b.call("main", "check_license", 1);
+  b.call("main", "load_edges", 1);
+  b.call("load_edges", "alloc_graph", 1);
+  b.call("main", "init_ranks", 1);
+  b.call("main", "iterate", 20);
+  b.call("iterate", "map", 10 * kK);       // boundary ECALLs (batched)
+  b.call("iterate", "reduce", 10 * kK);    // boundary ECALLs (batched)
+  b.call("map", "set_rank", 100 * kK);     // intra-cluster (hot)
+  b.call("reduce", "set_rank", 100 * kK);  // intra-cluster (hot)
+  b.call("iterate", "normalize", 20);
+  b.call("iterate", "convergence", 20);
+
+  b.entry("main");
+  return std::move(b).build();
+}
+
+}  // namespace sl::workloads

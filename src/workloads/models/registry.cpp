@@ -1,0 +1,25 @@
+// Workload registry: the eleven Table 4 workloads in paper order, with the
+// per-run license-check counts used by the Figure 9 end-to-end experiment
+// (the paper reports 10 K checks for JSONParser up to 500 K for Key-Value).
+#include "workloads/models.hpp"
+
+namespace sl::workloads {
+
+const std::vector<WorkloadEntry>& all_workloads() {
+  static const std::vector<WorkloadEntry> entries = {
+      {"BFS", false, 100, make_bfs_model},
+      {"B-Tree", false, 100, make_btree_model},
+      {"HashJoin", false, 100, make_hashjoin_model},
+      {"OpenSSL", false, 300, make_openssl_model},
+      {"PageRank", false, 100, make_pagerank_model},
+      {"Blockchain", false, 1'000, make_blockchain_model},
+      {"SVM", false, 500, make_svm_model},
+      {"MapReduce", true, 35'000, make_mapreduce_model},
+      {"Key-Value", true, 500'000, make_keyvalue_model},
+      {"JSONParser", true, 10'000, make_jsonparser_model},
+      {"Mat. Mult.", true, 20'000, make_matmult_model},
+  };
+  return entries;
+}
+
+}  // namespace sl::workloads

@@ -1,0 +1,78 @@
+// SVM model (Table 5 row 7).
+//
+// Targets: SecureLease migrates predict() + AM (11.58 K of 12.52 K static,
+// 99.4% dynamic coverage). The model weights ARE the vendor's IP, so unlike
+// the data-heavy workloads SecureLease keeps them inside the enclave: its
+// footprint is 85 MB (just under the EPC), vs Glamdring's 110 MB which
+// spills. Glamdring additionally pays OCALLs for the training loop's
+// logging/IO that SecureLease never migrates.
+#include "workloads/models.hpp"
+#include "workloads/model_builder.hpp"
+#include "workloads/models/units.hpp"
+
+namespace sl::workloads {
+
+using namespace units;
+
+AppModel make_svm_model() {
+  ModelBuilder b("SVM", "Data: 4000, Features: 128");
+
+  b.module("init",
+           {
+               {.name = "main", .code_instr = 2 * kK, .work_cycles = 5 * kM, .io = true},
+               {.name = "batch_driver", .code_instr = 1800, .mem_bytes = 1 * kMB,
+                .work_cycles = 4000, .invocations = 20 * kK, .io = true},
+           });
+
+  b.module("auth",
+           {
+               {.name = "check_license", .code_instr = 1200, .mem_bytes = 256 * kKB,
+                .work_cycles = 200 * kK, .enclave_state = 256 * kKB, .am = true,
+                .sensitive = true},
+               {.name = "parse_license", .code_instr = 1000, .mem_bytes = 128 * kKB,
+                .work_cycles = 100 * kK, .enclave_state = 128 * kKB, .am = true,
+                .sensitive = true},
+               {.name = "verify_sig", .code_instr = 1300, .mem_bytes = 128 * kKB,
+                .work_cycles = 300 * kK, .enclave_state = 128 * kKB, .am = true,
+                .sensitive = true},
+           });
+
+  // Key cluster: inference. The 84 MB model stays in the enclave under
+  // BOTH schemes (enclave_state == mem region here — the weights are IP).
+  b.module("inference",
+           {
+               {.name = "predict", .code_instr = 7 * kK, .mem_bytes = 84 * kMB,
+                .work_cycles = 14'660 * kK, .invocations = 20 * kK,
+                .page_touches = 310 * kK, .random_access = true,
+                .enclave_state = 84 * kMB, .key = true, .sensitive = true},
+               {.name = "dot_product", .code_instr = 1080, .mem_bytes = 256 * kKB,
+                .work_cycles = 50, .invocations = 5 * kM,
+                .enclave_state = 256 * kKB, .sensitive = true},
+           });
+
+  b.module("core_rest",
+           {
+               {.name = "train_update", .code_instr = 940, .mem_bytes = 25 * kMB,
+                .work_cycles = 375, .invocations = 4 * kM,
+                .page_touches = 100 * kK, .random_access = true,
+                .sensitive = true},
+           });
+
+  b.module("io",
+           {
+               {.name = "io_log", .code_instr = 800, .mem_bytes = 256 * kKB,
+                .work_cycles = 500, .invocations = 4 * kM, .io = true},
+           });
+
+  b.call("main", "check_license", 1);
+  b.call("main", "train_update", 4 * kM);
+  b.call("train_update", "io_log", 4 * kM);  // OCALL storm under Glamdring
+  b.call("main", "batch_driver", 1);
+  b.call("batch_driver", "predict", 20 * kK);  // boundary ECALLs (batched)
+  b.call("predict", "dot_product", 5 * kM);    // intra-cluster (hot)
+
+  b.entry("main");
+  return std::move(b).build();
+}
+
+}  // namespace sl::workloads

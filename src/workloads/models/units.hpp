@@ -1,0 +1,14 @@
+// Shared unit constants for the workload model tables.
+#pragma once
+
+#include <cstdint>
+
+namespace sl::workloads::units {
+
+inline constexpr std::uint64_t kK = 1'000;                 // thousand instructions
+inline constexpr std::uint64_t kM = 1'000'000;             // million
+inline constexpr std::uint64_t kB = 1'000'000'000;         // billion
+inline constexpr std::uint64_t kKB = 1024;
+inline constexpr std::uint64_t kMB = 1024 * 1024;
+
+}  // namespace sl::workloads::units

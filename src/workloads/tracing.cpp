@@ -1,0 +1,46 @@
+#include "workloads/tracing.hpp"
+
+#include "common/error.hpp"
+
+namespace sl::workloads {
+
+void TraceRecorder::enter(const std::string& fn) {
+  const std::string caller = stack_.empty() ? "<root>" : stack_.back();
+  invocations_[fn]++;
+  if (caller != "<root>") edges_[{caller, fn}]++;
+  stack_.push_back(fn);
+  total_events_++;
+}
+
+void TraceRecorder::exit() {
+  ensure(!stack_.empty(), "TraceRecorder::exit: empty call stack");
+  stack_.pop_back();
+}
+
+cfg::CallGraph TraceRecorder::build_graph() const {
+  cfg::CallGraph graph;
+  for (const auto& [fn, count] : invocations_) {
+    cfg::FunctionInfo info;
+    info.name = fn;
+    info.work_cycles = 1;
+    info.invocations = count;
+    graph.add_function(std::move(info));
+  }
+  for (const auto& [edge, count] : edges_) {
+    graph.add_call(edge.first, edge.second, count);
+  }
+  return graph;
+}
+
+std::uint64_t TraceRecorder::invocations(const std::string& fn) const {
+  auto it = invocations_.find(fn);
+  return it == invocations_.end() ? 0 : it->second;
+}
+
+std::uint64_t TraceRecorder::calls(const std::string& from,
+                                   const std::string& to) const {
+  auto it = edges_.find({from, to});
+  return it == edges_.end() ? 0 : it->second;
+}
+
+}  // namespace sl::workloads

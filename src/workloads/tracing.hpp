@@ -1,0 +1,67 @@
+// Call-trace recording for the real kernels.
+//
+// The Table 5 models are calibrated by hand to the paper's reported
+// characteristics; this module closes the loop with MEASURED call graphs:
+// kernels accept an optional TraceRecorder, mark function entries/exits
+// with RAII scopes, and the recorder assembles a cfg::CallGraph (nodes =
+// functions with invocation counts, edges = caller->callee call counts).
+// Tests then verify the paper's modularity observation — intra-module
+// calls dwarf boundary calls — on graphs produced by real executions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cfg/graph.hpp"
+
+namespace sl::workloads {
+
+class TraceRecorder {
+ public:
+  // Records entry into `fn` from whatever function is currently on top of
+  // the call stack ("<root>" when empty).
+  void enter(const std::string& fn);
+  void exit();
+
+  // Builds the measured call graph. Node work_cycles default to 1 so
+  // dynamic_instructions() == invocations.
+  cfg::CallGraph build_graph() const;
+
+  std::uint64_t invocations(const std::string& fn) const;
+  std::uint64_t calls(const std::string& from, const std::string& to) const;
+  std::uint64_t total_events() const { return total_events_; }
+
+ private:
+  struct PairHash {
+    std::size_t operator()(const std::pair<std::string, std::string>& p) const {
+      return std::hash<std::string>{}(p.first) * 31 ^ std::hash<std::string>{}(p.second);
+    }
+  };
+
+  std::vector<std::string> stack_;
+  std::unordered_map<std::string, std::uint64_t> invocations_;
+  std::unordered_map<std::pair<std::string, std::string>, std::uint64_t, PairHash>
+      edges_;
+  std::uint64_t total_events_ = 0;
+};
+
+// RAII function-scope marker; no-op when `recorder` is null, so traced
+// kernels cost nothing in normal runs.
+class ScopedCall {
+ public:
+  ScopedCall(TraceRecorder* recorder, const char* fn) : recorder_(recorder) {
+    if (recorder_ != nullptr) recorder_->enter(fn);
+  }
+  ~ScopedCall() {
+    if (recorder_ != nullptr) recorder_->exit();
+  }
+  ScopedCall(const ScopedCall&) = delete;
+  ScopedCall& operator=(const ScopedCall&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+};
+
+}  // namespace sl::workloads

@@ -1,0 +1,85 @@
+// Figure 6 reproduction tests: both attack entry points on the MySQL-shaped
+// pipeline, across the three protection builds.
+#include <gtest/gtest.h>
+
+#include "attack/mysql_victim.hpp"
+
+namespace sl::attack {
+namespace {
+
+class MysqlSuite : public ::testing::TestWithParam<MysqlProtection> {};
+
+TEST_P(MysqlSuite, LicensedQueriesSucceed) {
+  const MysqlVictim victim = build_mysql_victim(GetParam());
+  const ExecutionResult result =
+      run_mysql(victim, kMysqlValidLicense, /*gate=*/true);
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.output, victim.expected_output);
+  ASSERT_EQ(result.output.size(), 4u);  // four queries served
+}
+
+TEST_P(MysqlSuite, UnlicensedLoginFails) {
+  const MysqlVictim victim = build_mysql_victim(GetParam());
+  const ExecutionResult result = run_mysql(victim, 0, /*gate=*/false);
+  EXPECT_EQ(result.exit_code, 1);  // login_failed_error path
+  EXPECT_TRUE(result.output.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Builds, MysqlSuite,
+                         ::testing::Values(MysqlProtection::kSoftwareOnly,
+                                           MysqlProtection::kAmInEnclave,
+                                           MysqlProtection::kSecureLease),
+                         [](const ::testing::TestParamInfo<MysqlProtection>& info) {
+                           switch (info.param) {
+                             case MysqlProtection::kSoftwareOnly: return "Software";
+                             case MysqlProtection::kAmInEnclave: return "AmInEnclave";
+                             default: return "SecureLease";
+                           }
+                         });
+
+TEST(MysqlAttack1, BendsAclAuthenticateOnSoftwareBuild) {
+  // Figure 6, attack 1: force the jne inside acl_authenticate.
+  const MysqlVictim victim = build_mysql_victim(MysqlProtection::kSoftwareOnly);
+  const ExecutionResult attacked = mysql_attack_auth_branch(victim, false);
+  EXPECT_EQ(attacked.output, victim.expected_output);  // full query access
+}
+
+TEST(MysqlAttack2, BendsOutcomeBranchWhenAmIsInSgx) {
+  // Figure 6, attack 2: the AM runs untampered inside the enclave and
+  // faithfully returns res != CR_OK, but the branch consuming res lives
+  // outside — flip it.
+  const MysqlVictim victim = build_mysql_victim(MysqlProtection::kAmInEnclave);
+  const ExecutionResult attacked = mysql_attack_outcome_branch(victim, false);
+  EXPECT_EQ(attacked.output, victim.expected_output);
+}
+
+TEST(MysqlAttack, SecureLeaseServerUselessUnderBothAttacks) {
+  const MysqlVictim victim = build_mysql_victim(MysqlProtection::kSecureLease);
+
+  const ExecutionResult via_auth = mysql_attack_auth_branch(victim, false);
+  EXPECT_NE(via_auth.output, victim.expected_output);
+
+  const ExecutionResult via_outcome = mysql_attack_outcome_branch(victim, false);
+  EXPECT_NE(via_outcome.output, victim.expected_output);
+  EXPECT_GT(via_outcome.enclave_denials, 0u);  // parser refused every query
+}
+
+TEST(MysqlAttack, BentFlowStillRunsTheFullPipeline) {
+  // The attack DOES reach the protected region (the bend works); it is the
+  // key function's absence that makes the output garbage.
+  const MysqlVictim victim = build_mysql_victim(MysqlProtection::kSecureLease);
+  const ExecutionResult attacked = mysql_attack_outcome_branch(victim, false);
+  EXPECT_EQ(attacked.exit_code, 0);              // server "ran fine"
+  EXPECT_EQ(attacked.output.size(), 4u);         // four responses emitted
+  EXPECT_EQ(attacked.enclave_denials, 4u);       // all four parses refused
+}
+
+TEST(MysqlAttack, LicensedUserUnaffectedByBentFlow) {
+  const MysqlVictim victim = build_mysql_victim(MysqlProtection::kSecureLease);
+  const ExecutionResult attacked = mysql_attack_outcome_branch(victim, true);
+  // With a valid lease the gate authorizes; bending gains nothing.
+  EXPECT_EQ(attacked.output.size(), 4u);
+}
+
+}  // namespace
+}  // namespace sl::attack

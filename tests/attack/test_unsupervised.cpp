@@ -1,0 +1,70 @@
+// Unsupervised CFB discovery tests: the attacker has no valid license, so
+// the deciding branch must be guessed from unlicensed traces alone.
+#include <gtest/gtest.h>
+
+#include "attack/victim.hpp"
+
+namespace sl::attack {
+namespace {
+
+TEST(UnsupervisedDiscovery, RanksTheAuthBranchFirst) {
+  const VictimApp app = build_victim(Protection::kSoftwareOnly);
+  std::vector<ExecutionResult> probes;
+  for (std::int64_t guess : {0LL, 7LL, 99LL}) {
+    probes.push_back(run_victim(app, guess, false));
+  }
+  const auto suspects = rank_suspect_branches(probes, app.program);
+  ASSERT_FALSE(suspects.empty());
+
+  // Ground truth from the supervised diff.
+  const ExecutionResult licensed = run_victim(app, kValidLicense, true);
+  const auto truth = find_divergent_branch(licensed, probes[0]);
+  ASSERT_TRUE(truth.has_value());
+  // The true auth branch must rank within the top candidates.
+  bool in_top = false;
+  for (std::size_t i = 0; i < std::min<std::size_t>(2, suspects.size()); ++i) {
+    if (suspects[i] == *truth) in_top = true;
+  }
+  EXPECT_TRUE(in_top);
+}
+
+TEST(UnsupervisedDiscovery, EmptyTracesYieldNothing) {
+  Program p;
+  p.halt(0);
+  p.finalize();
+  ExecutionResult no_branches = VirtualCpu(p).run();
+  EXPECT_TRUE(rank_suspect_branches({no_branches}, p).empty());
+}
+
+TEST(UnsupervisedAttack, CracksSoftwareOnlyWithoutALicensedTrace) {
+  const VictimApp app = build_victim(Protection::kSoftwareOnly);
+  const ExecutionResult attacked =
+      mount_unsupervised_cfb_attack(app, /*gate_licensed=*/false);
+  EXPECT_EQ(attacked.output, app.expected_output);
+}
+
+TEST(UnsupervisedAttack, CracksAmInEnclave) {
+  const VictimApp app = build_victim(Protection::kAmInEnclave);
+  const ExecutionResult attacked =
+      mount_unsupervised_cfb_attack(app, /*gate_licensed=*/false);
+  EXPECT_EQ(attacked.output, app.expected_output);
+}
+
+TEST(UnsupervisedAttack, SecureLeaseStillHandicapsTheAttacker) {
+  const VictimApp app = build_victim(Protection::kSecureLease);
+  const ExecutionResult attacked =
+      mount_unsupervised_cfb_attack(app, /*gate_licensed=*/false);
+  // Even with more attempts, the key function never runs.
+  EXPECT_NE(attacked.output, app.expected_output);
+}
+
+TEST(UnsupervisedAttack, BudgetLimitsAttempts) {
+  const VictimApp app = build_victim(Protection::kSoftwareOnly);
+  // Zero attempts: the attacker never flips anything, so the run aborts.
+  const ExecutionResult attacked =
+      mount_unsupervised_cfb_attack(app, false, /*max_attempts=*/0);
+  EXPECT_TRUE(attacked.output.empty());
+}
+
+}  // namespace
+}  // namespace sl::attack

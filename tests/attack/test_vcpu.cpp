@@ -1,0 +1,204 @@
+#include "attack/vcpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sl::attack {
+namespace {
+
+TEST(Vcpu, ArithmeticAndOutput) {
+  Program p;
+  p.load(0, 7).load(1, 5).add(0, 1).out(0);  // 12
+  p.load(2, 3).mul(0, 2).out(0);             // 36
+  p.load(3, 6).sub(0, 3).out(0);             // 30
+  p.load(4, 0xff).xor_(0, 4).out(0);         // 30 ^ 255
+  p.halt(0);
+  p.finalize();
+  const ExecutionResult result = VirtualCpu(p).run();
+  EXPECT_TRUE(result.halted);
+  ASSERT_EQ(result.output.size(), 4u);
+  EXPECT_EQ(result.output[0], 12);
+  EXPECT_EQ(result.output[1], 36);
+  EXPECT_EQ(result.output[2], 30);
+  EXPECT_EQ(result.output[3], 30 ^ 0xff);
+}
+
+TEST(Vcpu, ConditionalBranching) {
+  Program p;
+  p.load(0, 5).load(1, 5).cmp_eq(0, 1).jeq("equal");
+  p.load(2, 0).out(2).halt(2);
+  p.label("equal").load(2, 1).out(2).halt(2);
+  p.finalize();
+  const ExecutionResult result = VirtualCpu(p).run();
+  ASSERT_EQ(result.output.size(), 1u);
+  EXPECT_EQ(result.output[0], 1);
+}
+
+TEST(Vcpu, CallAndReturn) {
+  Program p;
+  p.load(0, 10).call("double_it").out(0).halt(0);
+  p.label("double_it").add(0, 0).ret();
+  p.finalize();
+  const ExecutionResult result = VirtualCpu(p).run();
+  ASSERT_EQ(result.output.size(), 1u);
+  EXPECT_EQ(result.output[0], 20);
+}
+
+TEST(Vcpu, LoopTerminates) {
+  Program p;
+  p.load(0, 0).load(1, 10).load(2, 1);
+  p.label("loop").add(0, 2).cmp_eq(0, 1).jne("loop");
+  p.out(0).halt(0);
+  p.finalize();
+  const ExecutionResult result = VirtualCpu(p).run();
+  EXPECT_EQ(result.output[0], 10);
+  // 10 loop branches recorded.
+  EXPECT_EQ(result.branch_trace.size(), 10u);
+}
+
+TEST(Vcpu, InstructionBudgetStopsRunaway) {
+  Program p;
+  p.label("spin").jmp("spin");
+  p.finalize();
+  const ExecutionResult result = VirtualCpu(p).run(/*max_instructions=*/1'000);
+  EXPECT_FALSE(result.halted);
+  EXPECT_EQ(result.instructions, 1'000u);
+}
+
+TEST(Vcpu, FlipBranchAttackInvertsDecision) {
+  Program p;
+  p.load(0, 1).load(1, 2).cmp_eq(0, 1);  // not equal
+  p.jeq("taken");
+  p.load(2, 100).out(2).halt(2);
+  p.label("taken").load(2, 200).out(2).halt(2);
+  p.finalize();
+
+  const ExecutionResult honest = VirtualCpu(p).run();
+  EXPECT_EQ(honest.output[0], 100);
+
+  VirtualCpu bent(p);
+  AttackPlan plan;
+  plan.flip_branches.insert(3);  // the jeq sits at pc 3
+  bent.set_attack(plan);
+  EXPECT_EQ(bent.run().output[0], 200);
+}
+
+TEST(Vcpu, SkipCallAttackElidesFunction) {
+  Program p;
+  p.load(0, 1).call("abort_fn").out(0).halt(0);
+  p.label("abort_fn").load(0, -1).halt(0);
+  p.finalize();
+
+  const ExecutionResult honest = VirtualCpu(p).run();
+  EXPECT_TRUE(honest.output.empty());  // abort_fn halts with -1
+  EXPECT_EQ(honest.exit_code, -1);
+
+  VirtualCpu bent(p);
+  AttackPlan plan;
+  plan.skip_calls.insert(1);
+  bent.set_attack(plan);
+  const ExecutionResult attacked = bent.run();
+  ASSERT_EQ(attacked.output.size(), 1u);
+  EXPECT_EQ(attacked.output[0], 1);
+}
+
+TEST(Vcpu, ForcedRegistersApplyAtStart) {
+  Program p;
+  p.out(5).halt(0);
+  p.finalize();
+  VirtualCpu cpu(p);
+  AttackPlan plan;
+  plan.force_registers[5] = 1234;
+  cpu.set_attack(plan);
+  EXPECT_EQ(cpu.run().output[0], 1234);
+}
+
+TEST(Vcpu, EnclaveCallGoesThroughGate) {
+  Program p;
+  p.load(1, 21).enclave_call(0, 1, "double").out(0).halt(0);
+  p.finalize();
+  VirtualCpu cpu(p);
+  cpu.set_enclave_gate([](const std::string& fn, std::int64_t arg)
+                           -> std::optional<std::int64_t> {
+    EXPECT_EQ(fn, "double");
+    return arg * 2;
+  });
+  EXPECT_EQ(cpu.run().output[0], 42);
+}
+
+TEST(Vcpu, EnclaveDenialYieldsGarbageAndCounts) {
+  Program p;
+  p.load(1, 21).enclave_call(0, 1, "secret").out(0).halt(0);
+  p.finalize();
+  VirtualCpu cpu(p);
+  cpu.set_enclave_gate([](const std::string&, std::int64_t) {
+    return std::optional<std::int64_t>{};
+  });
+  const ExecutionResult result = cpu.run();
+  EXPECT_EQ(result.output[0], 0);
+  EXPECT_EQ(result.enclave_denials, 1u);
+}
+
+TEST(Vcpu, NoGateMeansDenial) {
+  Program p;
+  p.enclave_call(0, 1, "anything").halt(0);
+  p.finalize();
+  EXPECT_EQ(VirtualCpu(p).run().enclave_denials, 1u);
+}
+
+TEST(Vcpu, DuplicateLabelRejected) {
+  Program p;
+  p.label("x");
+  EXPECT_THROW(p.label("x"), Error);
+}
+
+TEST(Vcpu, UnknownJumpTargetRejectedAtFinalize) {
+  Program p;
+  p.jmp("nowhere");
+  EXPECT_THROW(p.finalize(), Error);
+}
+
+TEST(DivergenceFinder, LocatesDecidingBranch) {
+  // Register 1 carries the "user input", forced via the attack plan.
+  Program p;
+  p.load(9, 7)
+      .cmp_eq(1, 9)
+      .jne("fail")
+      .load(0, 1)
+      .out(0)
+      .halt(0);
+  p.label("fail").load(0, 0).halt(0);
+  p.finalize();
+
+  auto run_with = [&](std::int64_t input) {
+    VirtualCpu cpu(p);
+    AttackPlan plan;
+    plan.force_registers[1] = input;
+    cpu.set_attack(plan);
+    return cpu.run();
+  };
+  const ExecutionResult good = run_with(7);
+  const ExecutionResult bad = run_with(0);
+  const auto divergence = find_divergent_branch(good, bad);
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_EQ(*divergence, 2u);  // the jne
+
+  // Flipping it makes the unlicensed run produce licensed output.
+  VirtualCpu cracked(p);
+  AttackPlan plan;
+  plan.force_registers[1] = 0;
+  plan.flip_branches.insert(*divergence);
+  cracked.set_attack(plan);
+  EXPECT_EQ(cracked.run().output, good.output);
+}
+
+TEST(DivergenceFinder, IdenticalTracesYieldNothing) {
+  ExecutionResult a, b;
+  a.branch_trace = {{1, true}, {5, false}};
+  b.branch_trace = {{1, true}, {5, false}};
+  EXPECT_FALSE(find_divergent_branch(a, b).has_value());
+}
+
+}  // namespace
+}  // namespace sl::attack

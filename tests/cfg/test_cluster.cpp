@@ -1,0 +1,134 @@
+#include "cfg/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cfg/generate.hpp"
+
+namespace sl::cfg {
+namespace {
+
+// Parameterized over planted-module specs: the clusterer should recover the
+// planted structure (paper Section 4.2's modularity observation).
+struct SpecCase {
+  std::uint32_t modules;
+  std::uint32_t functions_per_module;
+  std::uint64_t seed;
+};
+
+class ClusterRecovery : public ::testing::TestWithParam<SpecCase> {};
+
+TEST_P(ClusterRecovery, RecoversPlantedModules) {
+  const SpecCase spec_case = GetParam();
+  ModularGraphSpec spec;
+  spec.modules = spec_case.modules;
+  spec.functions_per_module = spec_case.functions_per_module;
+  spec.seed = spec_case.seed;
+  const CallGraph graph = generate_modular_graph(spec);
+
+  const Clustering clustering =
+      cluster_call_graph(graph, {.k = spec.modules});
+  ASSERT_EQ(clustering.assignment.size(), graph.node_count());
+
+  // Majority agreement: for each planted module, most members share one
+  // cluster label.
+  std::map<std::uint32_t, std::map<std::uint32_t, int>> votes;
+  for (NodeId n = 0; n < graph.node_count(); ++n) {
+    votes[planted_module(graph, n)][clustering.assignment[n]]++;
+  }
+  int correctly_grouped = 0;
+  for (auto& [module, counts] : votes) {
+    int best = 0;
+    for (auto& [cluster, count] : counts) best = std::max(best, count);
+    correctly_grouped += best;
+  }
+  const double purity =
+      static_cast<double>(correctly_grouped) / static_cast<double>(graph.node_count());
+  EXPECT_GT(purity, 0.8) << "modules=" << spec.modules;
+}
+
+INSTANTIATE_TEST_SUITE_P(PlantedSpecs, ClusterRecovery,
+                         ::testing::Values(SpecCase{2, 8, 1}, SpecCase{4, 10, 2},
+                                           SpecCase{6, 12, 3}, SpecCase{8, 6, 4},
+                                           SpecCase{3, 20, 5}));
+
+TEST(Cluster, IntraDominatesInterOnModularGraph) {
+  // The paper's key observation: intra-cluster calls >> inter-cluster calls.
+  ModularGraphSpec spec;
+  const CallGraph graph = generate_modular_graph(spec);
+  const Clustering clustering = cluster_call_graph(graph, {.k = spec.modules});
+  const ClusterMetrics metrics = evaluate_clustering(graph, clustering);
+  EXPECT_GT(metrics.intra_fraction(), 0.9);
+  EXPECT_GT(metrics.modularity, 0.5);
+}
+
+TEST(Cluster, SingleClusterHasZeroModularity) {
+  const CallGraph graph = generate_modular_graph({});
+  const Clustering clustering = cluster_call_graph(graph, {.k = 1});
+  const ClusterMetrics metrics = evaluate_clustering(graph, clustering);
+  EXPECT_EQ(metrics.inter_cluster_calls, 0u);
+  EXPECT_NEAR(metrics.modularity, 0.0, 1e-9);
+}
+
+TEST(Cluster, KClampedToNodeCount) {
+  CallGraph g;
+  g.add_function({.name = "only"});
+  const Clustering clustering = cluster_call_graph(g, {.k = 10});
+  EXPECT_EQ(clustering.k, 1u);
+  EXPECT_EQ(clustering.assignment.size(), 1u);
+}
+
+TEST(Cluster, EmptyGraph) {
+  CallGraph g;
+  const Clustering clustering = cluster_call_graph(g, {.k = 3});
+  EXPECT_TRUE(clustering.assignment.empty());
+}
+
+TEST(Cluster, SummariesAggregateCorrectly) {
+  CallGraph g;
+  g.add_function({.name = "am", .code_instructions = 5, .mem_bytes = 100,
+                  .work_cycles = 2, .invocations = 3,
+                  .in_authentication_module = true});
+  g.add_function({.name = "key", .code_instructions = 7, .mem_bytes = 200,
+                  .work_cycles = 4, .invocations = 5, .is_key_function = true});
+  g.add_call("am", "key", 9);
+  Clustering clustering;
+  clustering.k = 2;
+  clustering.assignment = {0, 1};
+  const auto summaries = summarize_clusters(g, clustering);
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_TRUE(summaries[0].contains_authentication);
+  EXPECT_FALSE(summaries[0].contains_key_function);
+  EXPECT_TRUE(summaries[1].contains_key_function);
+  EXPECT_EQ(summaries[0].mem_bytes, 100u);
+  EXPECT_EQ(summaries[1].dynamic_instructions, 20u);
+  EXPECT_EQ(summaries[0].boundary_calls, 9u);
+  EXPECT_EQ(summaries[1].boundary_calls, 9u);
+}
+
+TEST(Cluster, WeakComponentCount) {
+  CallGraph g;
+  g.add_function({.name = "a"});
+  g.add_function({.name = "b"});
+  g.add_function({.name = "c"});
+  g.add_function({.name = "d"});
+  EXPECT_EQ(weak_component_count(g), 4u);
+  g.add_call("a", "b", 1);
+  EXPECT_EQ(weak_component_count(g), 3u);
+  g.add_call("d", "c", 1);
+  EXPECT_EQ(weak_component_count(g), 2u);
+  g.add_call("b", "c", 1);
+  EXPECT_EQ(weak_component_count(g), 1u);
+}
+
+TEST(Cluster, MembersPartitionTheNodes) {
+  const CallGraph graph = generate_modular_graph({.modules = 4, .seed = 9});
+  const Clustering clustering = cluster_call_graph(graph, {.k = 4});
+  std::size_t total = 0;
+  for (const auto& cluster : clustering.members()) total += cluster.size();
+  EXPECT_EQ(total, graph.node_count());
+}
+
+}  // namespace
+}  // namespace sl::cfg

@@ -1,0 +1,54 @@
+#include "cfg/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cfg/generate.hpp"
+
+namespace sl::cfg {
+namespace {
+
+TEST(Dot, ContainsAllNodesAndEdges) {
+  CallGraph g;
+  g.add_function({.name = "alpha"});
+  g.add_function({.name = "beta"});
+  g.add_call("alpha", "beta", 42);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(dot.find("\"beta\""), std::string::npos);
+  EXPECT_NE(dot.find("\"alpha\" -> \"beta\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"42\""), std::string::npos);
+  EXPECT_NE(dot.find("digraph callgraph"), std::string::npos);
+}
+
+TEST(Dot, ClusteringProducesSubgraphs) {
+  const CallGraph g = generate_modular_graph({.modules = 3, .functions_per_module = 4});
+  const Clustering clustering = cluster_call_graph(g, {.k = 3});
+  DotOptions options;
+  options.clustering = &clustering;
+  const std::string dot = to_dot(g, options);
+  EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_2"), std::string::npos);
+}
+
+TEST(Dot, HighlightedNodesMarked) {
+  CallGraph g;
+  g.add_function({.name = "migrated_fn"});
+  g.add_function({.name = "plain_fn"});
+  DotOptions options;
+  options.highlighted.insert(g.id_of("migrated_fn"));
+  const std::string dot = to_dot(g, options);
+  // Highlighted nodes get the accent fill; plain nodes stay white.
+  EXPECT_NE(dot.find("\"migrated_fn\" [fillcolor=\"#fb9a99\"]"), std::string::npos);
+  EXPECT_NE(dot.find("\"plain_fn\" [fillcolor=\"#ffffff\"]"), std::string::npos);
+}
+
+TEST(Dot, CustomGraphName) {
+  CallGraph g;
+  g.add_function({.name = "f"});
+  DotOptions options;
+  options.graph_name = "openssl_clusters";
+  EXPECT_NE(to_dot(g, options).find("digraph openssl_clusters"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sl::cfg

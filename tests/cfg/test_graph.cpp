@@ -1,0 +1,94 @@
+#include "cfg/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sl::cfg {
+namespace {
+
+CallGraph small_graph() {
+  CallGraph g;
+  g.add_function({.name = "a", .code_instructions = 10, .work_cycles = 5, .invocations = 2});
+  g.add_function({.name = "b", .code_instructions = 20, .work_cycles = 3, .invocations = 4});
+  g.add_function({.name = "c", .code_instructions = 30, .work_cycles = 1, .invocations = 1});
+  g.add_call("a", "b", 100);
+  g.add_call("b", "c", 7);
+  return g;
+}
+
+TEST(Graph, AddAndLookupByName) {
+  CallGraph g = small_graph();
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.node(g.id_of("b")).code_instructions, 20u);
+  EXPECT_TRUE(g.find("c").has_value());
+  EXPECT_FALSE(g.find("zz").has_value());
+  EXPECT_THROW(g.id_of("zz"), Error);
+}
+
+TEST(Graph, DuplicateNameRejected) {
+  CallGraph g = small_graph();
+  EXPECT_THROW(g.add_function({.name = "a"}), Error);
+}
+
+TEST(Graph, EdgesAccumulateCounts) {
+  CallGraph g = small_graph();
+  g.add_call("a", "b", 50);
+  const auto out = g.out_edges(g.id_of("a"));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].call_count, 150u);
+}
+
+TEST(Graph, InAndOutEdges) {
+  CallGraph g = small_graph();
+  EXPECT_EQ(g.out_degree(g.id_of("a")), 1u);
+  EXPECT_EQ(g.out_degree(g.id_of("c")), 0u);
+  const auto in = g.in_edges(g.id_of("c"));
+  ASSERT_EQ(in.size(), 1u);
+  EXPECT_EQ(in[0].from, g.id_of("b"));
+}
+
+TEST(Graph, DynamicInstructionTotals) {
+  CallGraph g = small_graph();
+  // a: 2*5 + b: 4*3 + c: 1*1 = 23.
+  EXPECT_EQ(g.total_dynamic_instructions(), 23u);
+  EXPECT_EQ(g.total_static_instructions(), 60u);
+}
+
+TEST(Graph, BadNodeIdThrows) {
+  CallGraph g = small_graph();
+  EXPECT_THROW(g.node(99), Error);
+  EXPECT_THROW(g.add_call(0, 99, 1), Error);
+  EXPECT_THROW(g.out_edges(99), Error);
+}
+
+TEST(Graph, InducedSubgraphKeepsInternalEdges) {
+  CallGraph g = small_graph();
+  std::vector<NodeId> to_parent;
+  const CallGraph sub =
+      g.induced_subgraph({g.id_of("a"), g.id_of("b")}, to_parent);
+  EXPECT_EQ(sub.node_count(), 2u);
+  ASSERT_EQ(to_parent.size(), 2u);
+  EXPECT_EQ(g.node(to_parent[0]).name, sub.node(0).name);
+  // a->b survives, b->c does not.
+  ASSERT_EQ(sub.edges().size(), 1u);
+  EXPECT_EQ(sub.edges()[0].call_count, 100u);
+}
+
+TEST(Graph, InducedSubgraphDeduplicates) {
+  CallGraph g = small_graph();
+  std::vector<NodeId> to_parent;
+  const CallGraph sub = g.induced_subgraph({0, 0, 1}, to_parent);
+  EXPECT_EQ(sub.node_count(), 2u);
+}
+
+TEST(Graph, EmptySubgraph) {
+  CallGraph g = small_graph();
+  std::vector<NodeId> to_parent;
+  const CallGraph sub = g.induced_subgraph({}, to_parent);
+  EXPECT_EQ(sub.node_count(), 0u);
+  EXPECT_TRUE(sub.edges().empty());
+}
+
+}  // namespace
+}  // namespace sl::cfg

@@ -1,0 +1,87 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sl {
+namespace {
+
+TEST(Bytes, ToBytesRoundTrip) {
+  const Bytes b = to_bytes("hello");
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(b[0], 'h');
+  EXPECT_EQ(b[4], 'o');
+}
+
+TEST(Bytes, ToHexKnownValues) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_EQ(to_hex(Bytes{0x00}), "00");
+  EXPECT_EQ(to_hex(Bytes{0xde, 0xad, 0xbe, 0xef}), "deadbeef");
+  EXPECT_EQ(to_hex(Bytes{0x0f, 0xf0}), "0ff0");
+}
+
+TEST(Bytes, FromHexRoundTrip) {
+  const Bytes original{0x01, 0x23, 0x45, 0x67, 0x89, 0xab, 0xcd, 0xef};
+  EXPECT_EQ(from_hex(to_hex(original)), original);
+}
+
+TEST(Bytes, FromHexAcceptsUppercase) {
+  EXPECT_EQ(from_hex("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(Bytes, FromHexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), InvalidArgument);
+}
+
+TEST(Bytes, FromHexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), InvalidArgument);
+}
+
+TEST(Bytes, PutGetU32) {
+  Bytes b;
+  put_u32(b, 0x12345678u);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x78);  // little-endian
+  EXPECT_EQ(get_u32(b, 0), 0x12345678u);
+}
+
+TEST(Bytes, PutGetU64) {
+  Bytes b;
+  put_u64(b, 0x0123456789abcdefULL);
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(get_u64(b, 0), 0x0123456789abcdefULL);
+}
+
+TEST(Bytes, GetOutOfRangeThrows) {
+  Bytes b{1, 2, 3};
+  EXPECT_THROW(get_u32(b, 0), InvalidArgument);
+  EXPECT_THROW(get_u64(b, 0), InvalidArgument);
+  put_u64(b, 1);
+  EXPECT_NO_THROW(get_u32(b, 3));
+  EXPECT_THROW(get_u64(b, 4), InvalidArgument);
+}
+
+TEST(Bytes, GetAtOffset) {
+  Bytes b;
+  put_u32(b, 1);
+  put_u32(b, 2);
+  put_u64(b, 3);
+  EXPECT_EQ(get_u32(b, 0), 1u);
+  EXPECT_EQ(get_u32(b, 4), 2u);
+  EXPECT_EQ(get_u64(b, 8), 3u);
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a{1, 2, 3};
+  const Bytes b{1, 2, 3};
+  const Bytes c{1, 2, 4};
+  const Bytes d{1, 2};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+  EXPECT_TRUE(constant_time_equal(Bytes{}, Bytes{}));
+}
+
+}  // namespace
+}  // namespace sl

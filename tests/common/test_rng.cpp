@@ -1,0 +1,104 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace sl {
+namespace {
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) same++;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 17ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), InvalidArgument);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBoolExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+    EXPECT_FALSE(rng.next_bool(-0.5));
+    EXPECT_TRUE(rng.next_bool(1.5));
+  }
+}
+
+TEST(Rng, NextBoolFrequencyTracksP) {
+  Rng rng(13);
+  int heads = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.next_bool(0.3)) heads++;
+  }
+  const double freq = static_cast<double>(heads) / n;
+  EXPECT_NEAR(freq, 0.3, 0.02);
+}
+
+TEST(Rng, NextBytesLengthAndDeterminism) {
+  Rng a(21), b(21);
+  const Bytes x = a.next_bytes(37);
+  const Bytes y = b.next_bytes(37);
+  EXPECT_EQ(x.size(), 37u);
+  EXPECT_EQ(x, y);
+}
+
+TEST(Rng, UniformityRoughCheck) {
+  Rng rng(31);
+  std::array<int, 8> buckets{};
+  const int n = 80'000;
+  for (int i = 0; i < n; ++i) buckets[rng.next_below(8)]++;
+  for (int count : buckets) {
+    EXPECT_NEAR(count, n / 8, n / 80);  // within 10%
+  }
+}
+
+TEST(SplitMix, KeyClearsBit63) {
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(splitmix64_key(i, 99) >> 63, 0u);
+  }
+}
+
+TEST(SplitMix, KeysAreDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10'000; ++i) seen.insert(splitmix64_key(i, 5));
+  EXPECT_EQ(seen.size(), 10'000u);
+}
+
+TEST(SplitMix, StatelessAndSeedDependent) {
+  EXPECT_EQ(splitmix64_key(7, 1), splitmix64_key(7, 1));
+  EXPECT_NE(splitmix64_key(7, 1), splitmix64_key(7, 2));
+}
+
+}  // namespace
+}  // namespace sl

@@ -1,0 +1,50 @@
+#include "common/sim_clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sl {
+namespace {
+
+TEST(SimClock, StartsAtZero) {
+  SimClock clock;
+  EXPECT_EQ(clock.cycles(), 0u);
+  EXPECT_DOUBLE_EQ(clock.seconds(), 0.0);
+}
+
+TEST(SimClock, AdvanceCyclesAccumulates) {
+  SimClock clock;
+  clock.advance_cycles(100);
+  clock.advance_cycles(250);
+  EXPECT_EQ(clock.cycles(), 350u);
+}
+
+TEST(SimClock, MicrosConversionAt2p9GHz) {
+  SimClock clock;
+  clock.advance_micros(1.0);
+  EXPECT_EQ(clock.cycles(), static_cast<Cycles>(2.9e3));
+  EXPECT_NEAR(clock.micros(), 1.0, 1e-9);
+}
+
+TEST(SimClock, SecondsMillisMicrosConsistent) {
+  SimClock clock;
+  clock.advance_seconds(2.0);
+  EXPECT_NEAR(clock.millis(), 2000.0, 1e-6);
+  EXPECT_NEAR(clock.micros(), 2e6, 1.0);
+}
+
+TEST(SimClock, Reset) {
+  SimClock clock;
+  clock.advance_seconds(1.0);
+  clock.reset();
+  EXPECT_EQ(clock.cycles(), 0u);
+}
+
+TEST(SimClock, CyclesToMicrosHelpers) {
+  EXPECT_NEAR(cycles_to_micros(2'900'000), 1000.0, 1e-6);
+  EXPECT_EQ(micros_to_cycles(1000.0), 2'900'000u);
+  // Round trip within quantization.
+  EXPECT_NEAR(cycles_to_micros(micros_to_cycles(123.4)), 123.4, 1e-6);
+}
+
+}  // namespace
+}  // namespace sl

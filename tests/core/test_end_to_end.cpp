@@ -1,0 +1,139 @@
+// End-to-end runs through the SecureLeaseSystem facade (the Figure 9 path).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "core/securelease.hpp"
+
+namespace sl::core {
+namespace {
+
+const workloads::WorkloadEntry& entry_named(const std::string& name) {
+  for (const auto& entry : workloads::all_workloads()) {
+    if (entry.name == name) return entry;
+  }
+  throw Error("unknown workload " + name);
+}
+
+TEST(EndToEnd, VanillaHasNoOverhead) {
+  SecureLeaseSystem system;
+  const EndToEndStats stats =
+      system.run_workload(entry_named("BFS"), partition::Scheme::kVanilla);
+  EXPECT_DOUBLE_EQ(stats.overhead(), 0.0);
+  EXPECT_EQ(stats.license_checks, 0u);
+}
+
+TEST(EndToEnd, SchemeOrderingOnBfs) {
+  // SecureLease < Glamdring < F-LaaS in total time (Figure 9's ordering on
+  // the memory-heavy workloads).
+  SecureLeaseSystem system;
+  const auto& entry = entry_named("BFS");
+  const auto sl = system.run_workload(entry, partition::Scheme::kSecureLease);
+  const auto gl = system.run_workload(entry, partition::Scheme::kGlamdring);
+  const auto fl = system.run_workload(entry, partition::Scheme::kFlaas);
+  EXPECT_LT(sl.total_seconds(), gl.total_seconds());
+  EXPECT_LT(gl.total_seconds(), fl.total_seconds());
+}
+
+TEST(EndToEnd, NoDenialsUnderDefaultProfiles) {
+  SecureLeaseSystem system;
+  for (const auto& entry : workloads::all_workloads()) {
+    const auto stats =
+        system.run_workload(entry, partition::Scheme::kSecureLease);
+    EXPECT_EQ(stats.denials, 0u) << entry.name;
+    EXPECT_EQ(stats.license_checks, entry.license_checks) << entry.name;
+  }
+}
+
+TEST(EndToEnd, SecureLeaseDoesOneRemoteAttestationPerSession) {
+  SecureLeaseSystem system;
+  const auto stats =
+      system.run_workload(entry_named("Key-Value"), partition::Scheme::kSecureLease);
+  EXPECT_EQ(stats.remote_attestations, 1u);
+  EXPECT_GT(stats.renewals, 1u);
+}
+
+TEST(EndToEnd, FlaasRemoteAttestsEveryRenewal) {
+  SecureLeaseSystem system;
+  const auto stats =
+      system.run_workload(entry_named("Key-Value"), partition::Scheme::kFlaas);
+  EXPECT_EQ(stats.remote_attestations, stats.renewals + 1);  // + the init RA
+}
+
+TEST(EndToEnd, RemoteAttestationReductionIsLarge) {
+  // Section 7.4: ~99% fewer remote attestations across the suite (per
+  // SL-Local session; sessions serve several runs).
+  SecureLeaseSystem system;
+  double flaas_ras = 0.0;
+  double sl_ras = 0.0;
+  for (const auto& entry : workloads::all_workloads()) {
+    const LeaseProfile profile = SecureLeaseSystem::default_profile(entry);
+    const auto fl = system.run_workload(entry, partition::Scheme::kFlaas);
+    const auto sl = system.run_workload(entry, partition::Scheme::kSecureLease);
+    flaas_ras += static_cast<double>(fl.remote_attestations) * profile.session_runs;
+    sl_ras += static_cast<double>(sl.remote_attestations);
+  }
+  const double reduction = 1.0 - sl_ras / flaas_ras;
+  EXPECT_GT(reduction, 0.95);
+}
+
+TEST(EndToEnd, LocalAllocationTinyVersusRenewal) {
+  // The Figure 9 annotation: local allocation is a small fraction of the
+  // lease-renewal time under SecureLease.
+  SecureLeaseSystem system;
+  const auto stats =
+      system.run_workload(entry_named("Key-Value"), partition::Scheme::kSecureLease);
+  EXPECT_LT(stats.local_alloc_seconds, 0.10 * stats.renewal_seconds);
+}
+
+TEST(EndToEnd, SecureLeaseBeatsFlaasByLargeMargin) {
+  // Headline: 66.34% average improvement over F-LaaS.
+  SecureLeaseSystem system;
+  double improvement_sum = 0.0;
+  int count = 0;
+  for (const auto& entry : workloads::all_workloads()) {
+    const auto sl = system.run_workload(entry, partition::Scheme::kSecureLease);
+    const auto fl = system.run_workload(entry, partition::Scheme::kFlaas);
+    improvement_sum += 1.0 - sl.total_seconds() / fl.total_seconds();
+    count++;
+  }
+  const double average = improvement_sum / count;
+  EXPECT_GT(average, 0.45);
+  EXPECT_LT(average, 0.90);
+}
+
+TEST(EndToEnd, FullSgxWorstOnHashJoin) {
+  // Section 2.3.2: running HashJoin entirely inside SGX is catastrophic.
+  SecureLeaseSystem system;
+  const auto& entry = entry_named("HashJoin");
+  const auto full = system.run_workload(entry, partition::Scheme::kFullSgx);
+  const auto sl = system.run_workload(entry, partition::Scheme::kSecureLease);
+  EXPECT_GT(full.partition_stats.slowdown(), 100.0);  // the paper's >300x regime
+  EXPECT_GT(full.partition_stats.overhead(), 100 * sl.partition_stats.overhead());
+}
+
+TEST(EndToEnd, CustomProfileOverrides) {
+  SecureLeaseSystem system;
+  LeaseProfile profile;
+  profile.license_checks = 50;
+  profile.batch = 5;
+  const auto stats = system.run_workload(entry_named("BFS"),
+                                         partition::Scheme::kSecureLease, profile);
+  EXPECT_EQ(stats.license_checks, 50u);
+  EXPECT_EQ(stats.local_attestations, 10u);  // 50 / 5
+}
+
+TEST(EndToEnd, BreakdownComponentsNonNegative) {
+  SecureLeaseSystem system;
+  for (auto scheme : {partition::Scheme::kSecureLease, partition::Scheme::kGlamdring,
+                      partition::Scheme::kFlaas}) {
+    const auto stats = system.run_workload(entry_named("JSONParser"), scheme);
+    EXPECT_GE(stats.sgx_seconds, 0.0);
+    EXPECT_GE(stats.local_alloc_seconds, 0.0);
+    EXPECT_GE(stats.renewal_seconds, 0.0);
+    EXPECT_GT(stats.vanilla_seconds, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace sl::core

@@ -1,0 +1,102 @@
+#include "crypto/aes128.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace sl::crypto {
+namespace {
+
+AesKey key_from_hex(const std::string& hex) {
+  const Bytes raw = from_hex(hex);
+  AesKey key{};
+  std::copy(raw.begin(), raw.end(), key.begin());
+  return key;
+}
+
+AesBlock block_from_hex(const std::string& hex) {
+  const Bytes raw = from_hex(hex);
+  AesBlock block{};
+  std::copy(raw.begin(), raw.end(), block.begin());
+  return block;
+}
+
+// FIPS-197 Appendix C.1 reference vector.
+TEST(Aes128, Fips197Vector) {
+  const Aes128 cipher(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  const AesBlock plain = block_from_hex("00112233445566778899aabbccddeeff");
+  const AesBlock cipher_text = cipher.encrypt_block(plain);
+  EXPECT_EQ(to_hex(ByteView(cipher_text.data(), cipher_text.size())),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(Aes128, DecryptInvertsEncrypt) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    AesKey key{};
+    const Bytes key_bytes = rng.next_bytes(key.size());
+    std::copy(key_bytes.begin(), key_bytes.end(), key.begin());
+    const Aes128 cipher(key);
+    AesBlock block{};
+    const Bytes block_bytes = rng.next_bytes(block.size());
+    std::copy(block_bytes.begin(), block_bytes.end(), block.begin());
+    EXPECT_EQ(cipher.decrypt_block(cipher.encrypt_block(block)), block);
+  }
+}
+
+TEST(Aes128, EncryptionChangesData) {
+  const Aes128 cipher(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  const AesBlock zero{};
+  EXPECT_NE(cipher.encrypt_block(zero), zero);
+}
+
+TEST(Aes128, DifferentKeysDifferentCiphertext) {
+  const AesBlock plain = block_from_hex("00112233445566778899aabbccddeeff");
+  const Aes128 a(key_from_hex("000102030405060708090a0b0c0d0e0f"));
+  const Aes128 b(key_from_hex("100102030405060708090a0b0c0d0e0f"));
+  EXPECT_NE(a.encrypt_block(plain), b.encrypt_block(plain));
+}
+
+TEST(AesCtr, RoundTripVariousLengths) {
+  const AesKey key = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  Rng rng(5);
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 4096u}) {
+    const Bytes plain = rng.next_bytes(len);
+    const Bytes cipher_text = aes128_ctr(key, 0x1234, plain);
+    EXPECT_EQ(cipher_text.size(), len);
+    EXPECT_EQ(aes128_ctr(key, 0x1234, cipher_text), plain) << "len=" << len;
+  }
+}
+
+TEST(AesCtr, CiphertextDiffersFromPlaintext) {
+  const AesKey key = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes plain(64, 0);
+  EXPECT_NE(aes128_ctr(key, 1, plain), plain);
+}
+
+TEST(AesCtr, NonceMatters) {
+  const AesKey key = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const Bytes plain(32, 0xaa);
+  EXPECT_NE(aes128_ctr(key, 1, plain), aes128_ctr(key, 2, plain));
+}
+
+TEST(AesCtr, WrongKeyGarbles) {
+  const AesKey key = key_from_hex("2b7e151628aed2a6abf7158809cf4f3c");
+  const AesKey other = key_from_hex("2b7e151628aed2a6abf7158809cf4f3d");
+  const Bytes plain = to_bytes("attack at dawn, bring the license");
+  EXPECT_NE(aes128_ctr(other, 9, aes128_ctr(key, 9, plain)), plain);
+}
+
+TEST(ExpandLeaseKey, DeterministicAndDistinct) {
+  EXPECT_EQ(expand_lease_key(42), expand_lease_key(42));
+  EXPECT_NE(expand_lease_key(42), expand_lease_key(43));
+}
+
+TEST(ExpandLeaseKey, EmbedsLowBytes) {
+  const AesKey key = expand_lease_key(0x0102030405060708ULL);
+  EXPECT_EQ(key[0], 0x08);  // little-endian low byte first
+  EXPECT_EQ(key[7], 0x01);
+}
+
+}  // namespace
+}  // namespace sl::crypto

@@ -1,0 +1,70 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sl::crypto {
+namespace {
+
+std::string hex_of(const Sha256Digest& d) {
+  return to_hex(ByteView(d.data(), d.size()));
+}
+
+// RFC 4231 test case 1.
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hex_of(hmac_sha256(key, to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(hex_of(hmac_sha256(to_bytes("Jefe"),
+                               to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20-byte 0xaa key, 50-byte 0xdd data.
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(hex_of(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, KeyLongerThanBlockIsHashed) {
+  const Bytes long_key(131, 0xaa);
+  const Bytes short_key(64, 0xaa);
+  const Bytes data = to_bytes("payload");
+  EXPECT_NE(hmac_sha256(long_key, data), hmac_sha256(short_key, data));
+  // Deterministic for the same inputs.
+  EXPECT_EQ(hmac_sha256(long_key, data), hmac_sha256(long_key, data));
+}
+
+TEST(Hmac, VerifyAcceptsCorrectTag) {
+  const Bytes key = to_bytes("vendor-key");
+  const Bytes data = to_bytes("license payload");
+  EXPECT_TRUE(hmac_verify(key, data, hmac_sha256(key, data)));
+}
+
+TEST(Hmac, VerifyRejectsTamperedData) {
+  const Bytes key = to_bytes("vendor-key");
+  const Sha256Digest tag = hmac_sha256(key, to_bytes("license payload"));
+  EXPECT_FALSE(hmac_verify(key, to_bytes("license payloaf"), tag));
+}
+
+TEST(Hmac, VerifyRejectsWrongKey) {
+  const Bytes data = to_bytes("license payload");
+  const Sha256Digest tag = hmac_sha256(to_bytes("vendor-key"), data);
+  EXPECT_FALSE(hmac_verify(to_bytes("attacker-key"), data, tag));
+}
+
+TEST(Hmac, VerifyRejectsFlippedTagBit) {
+  const Bytes key = to_bytes("k");
+  const Bytes data = to_bytes("d");
+  Sha256Digest tag = hmac_sha256(key, data);
+  tag[0] ^= 1;
+  EXPECT_FALSE(hmac_verify(key, data, tag));
+}
+
+}  // namespace
+}  // namespace sl::crypto

@@ -1,0 +1,68 @@
+#include "crypto/murmur.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sl::crypto {
+namespace {
+
+// Canonical MurmurHash3_x86_32 reference values.
+TEST(Murmur, EmptyInputSeedZero) {
+  EXPECT_EQ(murmur3_32(Bytes{}, 0), 0u);
+}
+
+TEST(Murmur, EmptyInputSeedOne) {
+  EXPECT_EQ(murmur3_32(Bytes{}, 1), 0x514e28b7u);
+}
+
+TEST(Murmur, KnownStringVector) {
+  // murmur3_32("test", 0) is a widely published reference value.
+  EXPECT_EQ(murmur3_32(to_bytes("test"), 0), 0xba6bd213u);
+}
+
+TEST(Murmur, Deterministic) {
+  const Bytes data = to_bytes("lease-identity-0042");
+  EXPECT_EQ(murmur3_32(data, 7), murmur3_32(data, 7));
+  EXPECT_EQ(murmur3_64(data, 7), murmur3_64(data, 7));
+}
+
+TEST(Murmur, SeedChangesHash) {
+  const Bytes data = to_bytes("lease");
+  EXPECT_NE(murmur3_32(data, 1), murmur3_32(data, 2));
+  EXPECT_NE(murmur3_64(data, 1), murmur3_64(data, 2));
+}
+
+TEST(Murmur, TailLengthsAllHandled) {
+  // Exercise every tail-switch arm of both variants.
+  std::set<std::uint64_t> seen;
+  for (std::size_t len = 0; len <= 17; ++len) {
+    const Bytes data(len, 0x42);
+    seen.insert(murmur3_64(data));
+    murmur3_32(data);  // must not crash / read out of bounds
+  }
+  EXPECT_EQ(seen.size(), 18u);  // all lengths hash differently
+}
+
+TEST(Murmur, AvalancheOnSingleBitFlip) {
+  Bytes a = to_bytes("abcdefgh12345678");
+  Bytes b = a;
+  b[0] ^= 1;
+  const std::uint32_t ha = murmur3_32(a);
+  const std::uint32_t hb = murmur3_32(b);
+  // Expect roughly half the output bits to flip; require at least 8.
+  EXPECT_GE(__builtin_popcount(ha ^ hb), 8);
+}
+
+TEST(Murmur, DistributionRoughlyUniform) {
+  std::array<int, 16> buckets{};
+  for (std::uint32_t i = 0; i < 16'000; ++i) {
+    Bytes data;
+    put_u32(data, i);
+    buckets[murmur3_32(data) % 16]++;
+  }
+  for (int count : buckets) EXPECT_NEAR(count, 1000, 150);
+}
+
+}  // namespace
+}  // namespace sl::crypto

@@ -1,0 +1,71 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sl::crypto {
+namespace {
+
+std::string hex_of(const Sha256Digest& d) {
+  return to_hex(ByteView(d.data(), d.size()));
+}
+
+// FIPS 180-4 / NIST CAVP reference vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_of(Sha256::hash(Bytes{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_of(Sha256::hash(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex_of(Sha256::hash(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 ctx;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(hex_of(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes data = to_bytes("the quick brown fox jumps over the lazy dog!!");
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Sha256 ctx;
+    ctx.update(ByteView(data.data(), split));
+    ctx.update(ByteView(data.data() + split, data.size() - split));
+    EXPECT_EQ(ctx.finish(), Sha256::hash(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, BlockBoundaryLengths) {
+  // Lengths around the 64-byte block and the 56-byte padding threshold.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 127u, 128u}) {
+    const Bytes data(len, 0x5a);
+    Sha256 a;
+    a.update(data);
+    EXPECT_EQ(a.finish(), Sha256::hash(data)) << "len=" << len;
+  }
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256::hash(to_bytes("a")), Sha256::hash(to_bytes("b")));
+  EXPECT_NE(Sha256::hash(to_bytes("")), Sha256::hash(Bytes{0}));
+}
+
+TEST(Sha256, Truncated64BitDigest) {
+  // First 8 bytes of SHA-256("abc"), big-endian.
+  EXPECT_EQ(sha256_64(to_bytes("abc")), 0xba7816bf8f01cfeaULL);
+  EXPECT_NE(sha256_64(to_bytes("abc")), sha256_64(to_bytes("abd")));
+}
+
+}  // namespace
+}  // namespace sl::crypto

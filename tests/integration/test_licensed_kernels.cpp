@@ -1,0 +1,128 @@
+// Integration: the REAL workload kernels gated behind SL-Managers — the
+// actual computation only happens when a token of execution was granted,
+// and the lease accounting matches the work performed.
+#include <gtest/gtest.h>
+
+#include "lease/sl_local.hpp"
+#include "lease/sl_manager.hpp"
+#include "lease/sl_remote.hpp"
+#include "workloads/kernels/json.hpp"
+#include "workloads/kernels/matmul.hpp"
+#include "workloads/kernels/svm.hpp"
+
+namespace sl {
+namespace {
+
+using namespace lease;
+
+struct LicensedKernelFixture : public ::testing::Test {
+  static constexpr std::uint64_t kPlatformSecret = 0x7357;
+
+  sgx::SgxRuntime runtime;
+  sgx::Platform platform{runtime, /*platform_id=*/8, kPlatformSecret};
+  sgx::AttestationService ias;
+  LicenseAuthority vendor{0x4242};
+  SlRemote remote{vendor, ias, SlLocal::expected_measurement()};
+  net::SimNetwork network{55};
+  UntrustedStore store;
+  std::unique_ptr<SlLocal> local;
+
+  LicensedKernelFixture() {
+    ias.register_platform(8, kPlatformSecret);
+    network.set_link(1, {.rtt_millis = 10.0, .reliability = 1.0});
+    SlLocalOptions options;
+    options.tokens_per_attestation = 10;
+    local = std::make_unique<SlLocal>(runtime, platform, remote, network, 1,
+                                      store, options);
+  }
+
+  LicenseFile provision(LeaseId id, std::uint64_t count) {
+    const LicenseFile license =
+        vendor.issue(id, "kernel-" + std::to_string(id), LeaseKind::kCountBased,
+                     count);
+    remote.provision(license);
+    return license;
+  }
+};
+
+TEST_F(LicensedKernelFixture, JsonParsingMeteredPerDocument) {
+  // A FaaS JSON service: each parsed document consumes one execution.
+  const LicenseFile license = provision(800, 300);
+  ASSERT_TRUE(local->init());
+  SlManager manager(runtime, platform, *local, "json-faas", license);
+
+  workloads::JsonWorkloadConfig config{.documents = 1, .approx_bytes = 256,
+                                       .seed = 3};
+  std::uint64_t parsed = 0, refused = 0;
+  for (int doc = 0; doc < 500; ++doc) {
+    if (!manager.authorize_execution()) {
+      refused++;
+      continue;  // no token: the kernel never runs
+    }
+    config.seed = static_cast<std::uint64_t>(doc);
+    const workloads::JsonWorkloadResult result = workloads::run_json_workload(config);
+    parsed += result.parsed;
+  }
+  // The pool allowed at most 300 parses; everything beyond was refused.
+  EXPECT_LE(parsed, 300u);
+  EXPECT_EQ(parsed + refused, 500u);
+  EXPECT_GT(refused, 0u);
+}
+
+TEST_F(LicensedKernelFixture, MatrixJobsProduceResultsOnlyWithTokens) {
+  const LicenseFile license = provision(801, 50);
+  ASSERT_TRUE(local->init());
+  SlManager manager(runtime, platform, *local, "matmul-faas", license);
+
+  int jobs_run = 0;
+  double checksum = 0.0;
+  for (int job = 0; job < 80; ++job) {
+    if (!manager.authorize_execution()) continue;
+    const workloads::MatMulResult result =
+        workloads::run_matmul({.dim = 16, .seed = static_cast<std::uint64_t>(job)});
+    checksum += result.trace;
+    jobs_run++;
+  }
+  EXPECT_LE(jobs_run, 50);
+  EXPECT_GT(jobs_run, 0);
+  EXPECT_NE(checksum, 0.0);
+}
+
+TEST_F(LicensedKernelFixture, InferenceServiceSurvivesRestart) {
+  // Train once, then serve inference across an SL-Local shutdown/restore.
+  const LicenseFile license = provision(802, 1'000);
+  ASSERT_TRUE(local->init());
+  const Slid slid = local->slid();
+
+  const workloads::SvmConfig config{.samples = 500, .features = 16, .epochs = 4,
+                                    .seed = 9};
+  const workloads::SvmDataset data = workloads::generate_svm_dataset(config);
+  workloads::LinearSvm svm(config.features);
+  svm.train(data, config.epochs, config.lambda, 123);
+
+  int served = 0;
+  {
+    SlManager manager(runtime, platform, *local, "svm-serve", license);
+    for (int i = 0; i < 100; ++i) {
+      if (manager.authorize_execution()) {
+        svm.predict(data.x[static_cast<std::size_t>(i) % data.x.size()]);
+        served++;
+      }
+    }
+  }
+  EXPECT_EQ(served, 100);
+
+  local->shutdown();
+  ASSERT_TRUE(local->init(slid));
+  SlManager manager(runtime, platform, *local, "svm-serve-2", license);
+  for (int i = 0; i < 100; ++i) {
+    if (manager.authorize_execution()) {
+      svm.predict(data.x[static_cast<std::size_t>(i) % data.x.size()]);
+      served++;
+    }
+  }
+  EXPECT_EQ(served, 200);
+}
+
+}  // namespace
+}  // namespace sl

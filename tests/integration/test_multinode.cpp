@@ -1,0 +1,187 @@
+// Multi-node integration: several client machines, each with its own SGX
+// platform and SL-Local, sharing one license pool through a single
+// SL-Remote — the "tens of users on a university machine" / multi-party
+// setting of Sections 2.2 and 5.3.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lease/sl_local.hpp"
+#include "lease/sl_manager.hpp"
+#include "lease/sl_remote.hpp"
+
+namespace sl::lease {
+namespace {
+
+struct ClientMachine {
+  std::unique_ptr<sgx::SgxRuntime> runtime;
+  std::unique_ptr<sgx::Platform> platform;
+  std::unique_ptr<UntrustedStore> store;
+  std::unique_ptr<SlLocal> local;
+};
+
+struct MultiNodeFixture : public ::testing::Test {
+  sgx::AttestationService ias;
+  LicenseAuthority vendor{0xfeed};
+  SlRemote remote{vendor, ias, SlLocal::expected_measurement()};
+  net::SimNetwork network{77};
+  // unique_ptr elements: references returned by add_machine() must survive
+  // later vector growth.
+  std::vector<std::unique_ptr<ClientMachine>> machines;
+
+  ClientMachine& add_machine(double reliability = 1.0, double health = 0.95) {
+    const auto index = static_cast<std::uint32_t>(machines.size());
+    const std::uint64_t secret = 0x1000 + index;
+    ias.register_platform(index + 1, secret);
+    network.set_link(index + 1, {.rtt_millis = 20.0, .reliability = reliability});
+
+    auto machine = std::make_unique<ClientMachine>();
+    machine->runtime = std::make_unique<sgx::SgxRuntime>();
+    machine->platform =
+        std::make_unique<sgx::Platform>(*machine->runtime, index + 1, secret);
+    machine->store = std::make_unique<UntrustedStore>();
+    SlLocalOptions options;
+    options.health = health;
+    options.keygen_seed = 0xaa00 + index;
+    machine->local = std::make_unique<SlLocal>(*machine->runtime, *machine->platform,
+                                               remote, network, index + 1,
+                                               *machine->store, options);
+    machines.push_back(std::move(machine));
+    return *machines.back();
+  }
+};
+
+TEST_F(MultiNodeFixture, EachMachineGetsItsOwnSlid) {
+  for (int i = 0; i < 4; ++i) add_machine();
+  std::set<Slid> slids;
+  for (auto& machine_ptr : machines) {
+    ClientMachine& machine = *machine_ptr;
+    ASSERT_TRUE(machine.local->init());
+    slids.insert(machine.local->slid());
+  }
+  EXPECT_EQ(slids.size(), 4u);
+  EXPECT_EQ(remote.stats().registrations, 4u);
+}
+
+TEST_F(MultiNodeFixture, SharedPoolIsConserved) {
+  constexpr std::uint64_t kPool = 10'000;
+  const LicenseFile license =
+      vendor.issue(600, "shared/toolbox", LeaseKind::kCountBased, kPool);
+  remote.provision(license);
+
+  for (int i = 0; i < 4; ++i) add_machine();
+  std::uint64_t total_granted = 0;
+  for (auto& machine_ptr : machines) {
+    ClientMachine& machine = *machine_ptr;
+    ASSERT_TRUE(machine.local->init());
+    SlManager manager(*machine.runtime, *machine.platform, *machine.local,
+                      "toolbox", license);
+    for (int run = 0; run < 1'000; ++run) {
+      if (manager.authorize_execution()) total_granted++;
+    }
+  }
+  // Conservation: executions granted + pool remaining + outstanding local
+  // caches can never exceed the provisioned pool.
+  EXPECT_LE(total_granted, kPool);
+  EXPECT_GT(total_granted, 0u);
+}
+
+TEST_F(MultiNodeFixture, LaterRequestersGetSmallerGrants) {
+  // As outstanding exposure accumulates across nodes, Algorithm 1's
+  // concurrent-share and loss terms shrink subsequent grants.
+  constexpr std::uint64_t kPool = 100'000;
+  const LicenseFile license =
+      vendor.issue(601, "shared/x", LeaseKind::kCountBased, kPool);
+  remote.provision(license);
+
+  std::vector<std::uint64_t> grants;
+  for (int i = 0; i < 4; ++i) {
+    ClientMachine& machine = add_machine();
+    ASSERT_TRUE(machine.local->init());
+    SlManager manager(*machine.runtime, *machine.platform, *machine.local,
+                      "x", license);
+    const std::uint64_t pool_before = *remote.remaining_pool(601);
+    ASSERT_TRUE(manager.authorize_execution());
+    grants.push_back(pool_before - *remote.remaining_pool(601));
+  }
+  EXPECT_GT(grants.front(), grants.back());
+}
+
+TEST_F(MultiNodeFixture, OneMachineCrashDoesNotAffectOthers) {
+  const LicenseFile license =
+      vendor.issue(602, "shared/y", LeaseKind::kCountBased, 50'000);
+  remote.provision(license);
+
+  ClientMachine& stable = add_machine();
+  ClientMachine& crashy = add_machine();
+  ASSERT_TRUE(stable.local->init());
+  ASSERT_TRUE(crashy.local->init());
+
+  SlManager stable_mgr(*stable.runtime, *stable.platform, *stable.local, "y",
+                       license);
+  SlManager crashy_mgr(*crashy.runtime, *crashy.platform, *crashy.local, "y",
+                       license);
+  ASSERT_TRUE(stable_mgr.authorize_execution());
+  ASSERT_TRUE(crashy_mgr.authorize_execution());
+
+  const Slid crashy_slid = crashy.local->slid();
+  crashy.local->crash();
+  ASSERT_TRUE(crashy.local->init(crashy_slid));
+  EXPECT_GT(remote.stats().forfeited_gcls, 0u);
+
+  // The stable machine keeps serving from its local cache.
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(stable_mgr.authorize_execution());
+}
+
+TEST_F(MultiNodeFixture, UnhealthyNodeGetsSmallerGrantThanHealthyPeer) {
+  const LicenseFile license =
+      vendor.issue(603, "shared/z", LeaseKind::kCountBased, 100'000);
+  remote.provision(license);
+
+  ClientMachine& healthy = add_machine(/*reliability=*/1.0, /*health=*/0.99);
+  ClientMachine& fragile = add_machine(/*reliability=*/1.0, /*health=*/0.55);
+  ASSERT_TRUE(healthy.local->init());
+  ASSERT_TRUE(fragile.local->init());
+
+  SlManager healthy_mgr(*healthy.runtime, *healthy.platform, *healthy.local,
+                        "z", license);
+  const std::uint64_t before_healthy = *remote.remaining_pool(603);
+  ASSERT_TRUE(healthy_mgr.authorize_execution());
+  const std::uint64_t healthy_grant = before_healthy - *remote.remaining_pool(603);
+
+  SlManager fragile_mgr(*fragile.runtime, *fragile.platform, *fragile.local,
+                        "z", license);
+  const std::uint64_t before_fragile = *remote.remaining_pool(603);
+  ASSERT_TRUE(fragile_mgr.authorize_execution());
+  const std::uint64_t fragile_grant = before_fragile - *remote.remaining_pool(603);
+
+  EXPECT_LT(fragile_grant, healthy_grant);
+}
+
+TEST_F(MultiNodeFixture, GracefulShutdownsReturnCountsForPeers) {
+  constexpr std::uint64_t kPool = 1'000;
+  const LicenseFile license =
+      vendor.issue(604, "shared/w", LeaseKind::kCountBased, kPool);
+  remote.provision(license);
+
+  ClientMachine& first = add_machine();
+  ASSERT_TRUE(first.local->init());
+  {
+    SlManager manager(*first.runtime, *first.platform, *first.local, "w",
+                      license);
+    ASSERT_TRUE(manager.authorize_execution());
+  }
+  const std::uint64_t mid_pool = *remote.remaining_pool(604);
+  first.local->shutdown();
+  EXPECT_GT(*remote.remaining_pool(604), mid_pool);  // counts reclaimed
+
+  // A new machine can now consume what the first returned.
+  ClientMachine& second = add_machine();
+  ASSERT_TRUE(second.local->init());
+  SlManager manager(*second.runtime, *second.platform, *second.local, "w",
+                    license);
+  EXPECT_TRUE(manager.authorize_execution());
+}
+
+}  // namespace
+}  // namespace sl::lease

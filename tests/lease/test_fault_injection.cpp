@@ -1,0 +1,115 @@
+// Fault-injection tests: SL-Local under degraded and failing networks.
+#include <gtest/gtest.h>
+
+#include "lease/sl_local.hpp"
+#include "lease/sl_manager.hpp"
+#include "lease/sl_remote.hpp"
+
+namespace sl::lease {
+namespace {
+
+struct FaultFixture : public ::testing::Test {
+  static constexpr std::uint64_t kPlatformSecret = 0xfa17;
+  static constexpr net::NodeId kNode = 1;
+
+  sgx::SgxRuntime runtime;
+  sgx::Platform platform{runtime, /*platform_id=*/12, kPlatformSecret};
+  sgx::AttestationService ias;
+  LicenseAuthority vendor{0x8888};
+  SlRemote remote{vendor, ias, SlLocal::expected_measurement()};
+  net::SimNetwork network{4242};
+  UntrustedStore store;
+
+  FaultFixture() { ias.register_platform(12, kPlatformSecret); }
+
+  LicenseFile provision(LeaseId id, std::uint64_t total) {
+    const LicenseFile license =
+        vendor.issue(id, "fault-" + std::to_string(id), LeaseKind::kCountBased,
+                     total);
+    remote.provision(license);
+    return license;
+  }
+};
+
+TEST_F(FaultFixture, FlakyLinkStillServesFromLocalCache) {
+  // A 60%-reliable link: once the first renewal lands, the local sub-GCL
+  // carries the workload with no further network dependence.
+  network.set_link(kNode, {.rtt_millis = 30.0, .reliability = 0.6,
+                           .timeout_millis = 120.0});
+  const LicenseFile license = provision(30, 10'000);
+  SlLocal local(runtime, platform, remote, network, kNode, store, {});
+  // init retries internally via the link's retry budget; with p=0.6 and
+  // 4 attempts the chance of total failure is ~2.5% — retry the init a few
+  // times as a real service would.
+  bool up = false;
+  for (int attempt = 0; attempt < 5 && !up; ++attempt) up = local.init();
+  ASSERT_TRUE(up);
+
+  SlManager manager(runtime, platform, local, "flaky", license);
+  int granted = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (manager.authorize_execution()) granted++;
+  }
+  // The occasional failed renewal may drop some requests, but the cache
+  // must carry the vast majority.
+  EXPECT_GT(granted, 450);
+}
+
+TEST_F(FaultFixture, RenewalFailureIsCountedAndRetriedLater) {
+  network.set_link(kNode, {.rtt_millis = 10.0, .reliability = 1.0});
+  const LicenseFile license = provision(31, 10'000);
+  SlLocalOptions options;
+  options.tokens_per_attestation = 1;
+  SlLocal local(runtime, platform, remote, network, kNode, store, options);
+  ASSERT_TRUE(local.init());
+
+  // Kill the network before the first lease check: the renewal fails and
+  // the check is denied.
+  network.set_link(kNode, {.reliability = 0.0});
+  SlManager manager(runtime, platform, local, "fault", license);
+  EXPECT_FALSE(manager.authorize_execution());
+  EXPECT_GT(local.stats().renewal_failures, 0u);
+
+  // Network heals: the next check renews and succeeds.
+  network.set_link(kNode, {.rtt_millis = 10.0, .reliability = 1.0});
+  EXPECT_TRUE(manager.authorize_execution());
+}
+
+TEST_F(FaultFixture, ShutdownWithDeadNetworkBecomesACrash) {
+  network.set_link(kNode, {.rtt_millis = 10.0, .reliability = 1.0});
+  const LicenseFile license = provision(32, 1'000);
+  SlLocal local(runtime, platform, remote, network, kNode, store, {});
+  ASSERT_TRUE(local.init());
+  const Slid slid = local.slid();
+  SlManager manager(runtime, platform, local, "fault", license);
+  ASSERT_TRUE(manager.authorize_execution());
+
+  // The escrow round trip cannot reach SL-Remote.
+  network.set_link(kNode, {.reliability = 0.0});
+  local.shutdown();
+  EXPECT_FALSE(local.ready());
+
+  // On the next init SL-Remote has no graceful record: pessimistic policy.
+  network.set_link(kNode, {.rtt_millis = 10.0, .reliability = 1.0});
+  ASSERT_TRUE(local.init(slid));
+  EXPECT_GT(remote.stats().forfeited_gcls, 0u);
+}
+
+TEST_F(FaultFixture, DeniedChecksDoNotConsumePool) {
+  // Denials during an outage must not burn license counts.
+  network.set_link(kNode, {.rtt_millis = 10.0, .reliability = 1.0});
+  const LicenseFile license = provision(33, 1'000);
+  SlLocalOptions options;
+  options.tokens_per_attestation = 1;
+  SlLocal local(runtime, platform, remote, network, kNode, store, options);
+  ASSERT_TRUE(local.init());
+  const std::uint64_t pool_before = *remote.remaining_pool(33);
+
+  network.set_link(kNode, {.reliability = 0.0});
+  SlManager manager(runtime, platform, local, "fault", license);
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(manager.authorize_execution());
+  EXPECT_EQ(*remote.remaining_pool(33), pool_before);
+}
+
+}  // namespace
+}  // namespace sl::lease

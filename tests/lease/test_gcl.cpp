@@ -1,0 +1,133 @@
+#include "lease/gcl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sl::lease {
+namespace {
+
+TEST(Gcl, CountBasedConsumesExactly) {
+  Gcl gcl(LeaseKind::kCountBased, 10);
+  EXPECT_EQ(gcl.try_consume(3), 3u);
+  EXPECT_EQ(gcl.count(), 7u);
+  EXPECT_EQ(gcl.try_consume(7), 7u);
+  EXPECT_TRUE(gcl.expired());
+  EXPECT_EQ(gcl.try_consume(1), 0u);
+}
+
+TEST(Gcl, CountBasedAllOrNothing) {
+  Gcl gcl(LeaseKind::kCountBased, 5);
+  EXPECT_EQ(gcl.try_consume(6), 0u);  // partial grants refused
+  EXPECT_EQ(gcl.count(), 5u);         // nothing consumed
+  EXPECT_EQ(gcl.try_consume(5), 5u);
+}
+
+TEST(Gcl, PerpetualNeverExpiresByUse) {
+  Gcl gcl(LeaseKind::kPerpetual, 999);  // count forced to 1 (activated)
+  EXPECT_EQ(gcl.count(), 1u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gcl.try_consume(10), 10u);
+  EXPECT_FALSE(gcl.expired());
+}
+
+TEST(Gcl, RevokeZeroesAnyKind) {
+  for (LeaseKind kind : {LeaseKind::kPerpetual, LeaseKind::kTimeBased,
+                         LeaseKind::kExecutionTime, LeaseKind::kCountBased}) {
+    Gcl gcl(kind, 30);
+    gcl.revoke();
+    EXPECT_TRUE(gcl.expired()) << lease_kind_name(kind);
+    EXPECT_EQ(gcl.try_consume(1), 0u);
+  }
+}
+
+TEST(Gcl, TimeBasedBurnsIntervals) {
+  // 30-day evaluation license, 1-day intervals (the paper's example).
+  Gcl gcl(LeaseKind::kTimeBased, 30, /*interval_seconds=*/86'400.0);
+  gcl.advance_time(86'400.0 * 3);
+  EXPECT_EQ(gcl.count(), 27u);
+  EXPECT_EQ(gcl.try_consume(1), 1u);  // still valid: unlimited runs until expiry
+}
+
+TEST(Gcl, TimeBasedBurnsOfflineTimeToo) {
+  // "If the system stays off for some time, the GCL is appropriately
+  // updated the next time it turns on" (Section 4.3).
+  Gcl gcl(LeaseKind::kTimeBased, 30, 86'400.0);
+  gcl.advance_time(86'400.0 * 100);  // long outage
+  EXPECT_TRUE(gcl.expired());
+}
+
+TEST(Gcl, TimeBasedKeepsFractionalRemainder) {
+  Gcl gcl(LeaseKind::kTimeBased, 10, 100.0);
+  gcl.advance_time(150.0);  // 1.5 intervals: burn 1, carry 0.5
+  EXPECT_EQ(gcl.count(), 9u);
+  gcl.advance_time(210.0);  // now 2.1 intervals total: burn 1 more
+  EXPECT_EQ(gcl.count(), 8u);
+}
+
+TEST(Gcl, TimeNeverRunsBackwards) {
+  Gcl gcl(LeaseKind::kTimeBased, 10, 100.0);
+  gcl.advance_time(500.0);
+  EXPECT_EQ(gcl.count(), 5u);
+  gcl.advance_time(100.0);  // stale timestamp ignored
+  EXPECT_EQ(gcl.count(), 5u);
+}
+
+TEST(Gcl, ExecutionTimeOnlyBurnsWhileExecuting) {
+  Gcl gcl(LeaseKind::kExecutionTime, 10, 100.0);
+  gcl.advance_time(5'000.0, /*executing=*/false);  // idle time is free
+  EXPECT_EQ(gcl.count(), 10u);
+  gcl.advance_time(5'300.0, /*executing=*/true);  // 3 intervals of execution
+  EXPECT_EQ(gcl.count(), 7u);
+}
+
+TEST(Gcl, CreditRestoresCounts) {
+  Gcl gcl(LeaseKind::kCountBased, 2);
+  gcl.try_consume(2);
+  EXPECT_TRUE(gcl.expired());
+  gcl.credit(5);
+  EXPECT_EQ(gcl.count(), 5u);
+  EXPECT_FALSE(gcl.expired());
+}
+
+class GclSerializeSuite : public ::testing::TestWithParam<LeaseKind> {};
+
+TEST_P(GclSerializeSuite, SerializeRoundTrip) {
+  Gcl gcl(GetParam(), 12'345, 3'600.0);
+  gcl.advance_time(10'000.0, true);
+  const Bytes serialized = gcl.serialize();
+  EXPECT_EQ(serialized.size(), Gcl::kSerializedSize);
+  const auto restored = Gcl::deserialize(serialized);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, gcl);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, GclSerializeSuite,
+                         ::testing::Values(LeaseKind::kPerpetual,
+                                           LeaseKind::kTimeBased,
+                                           LeaseKind::kExecutionTime,
+                                           LeaseKind::kCountBased));
+
+TEST(Gcl, DeserializeRejectsShortInput) {
+  EXPECT_FALSE(Gcl::deserialize(Bytes(Gcl::kSerializedSize - 1, 0)).has_value());
+}
+
+TEST(Gcl, DeserializeRejectsBadKind) {
+  Bytes data(Gcl::kSerializedSize, 0);
+  data[0] = 99;
+  EXPECT_FALSE(Gcl::deserialize(data).has_value());
+}
+
+TEST(Gcl, KindNamesUnique) {
+  EXPECT_STREQ(lease_kind_name(LeaseKind::kPerpetual), "perpetual");
+  EXPECT_STREQ(lease_kind_name(LeaseKind::kCountBased), "count-based");
+  EXPECT_STRNE(lease_kind_name(LeaseKind::kTimeBased),
+               lease_kind_name(LeaseKind::kExecutionTime));
+}
+
+TEST(Gcl, BadIntervalRejected) {
+  EXPECT_THROW(Gcl(LeaseKind::kTimeBased, 1, 0.0), Error);
+  EXPECT_THROW(Gcl(LeaseKind::kTimeBased, 1, -5.0), Error);
+}
+
+}  // namespace
+}  // namespace sl::lease

@@ -1,0 +1,53 @@
+#include "lease/hash_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sl::lease {
+namespace {
+
+class HashStoreSuite : public ::testing::TestWithParam<HashKind> {};
+
+TEST_P(HashStoreSuite, InsertFindErase) {
+  HashLeaseStore store(GetParam(), 64);
+  for (LeaseId id = 1; id <= 500; ++id) {
+    store.insert(id, Gcl(LeaseKind::kCountBased, id));
+  }
+  EXPECT_EQ(store.size(), 500u);
+  for (LeaseId id = 1; id <= 500; ++id) {
+    LeaseRecord* record = store.find(id);
+    ASSERT_NE(record, nullptr) << id;
+    EXPECT_EQ(record->gcl().count(), id);
+  }
+  EXPECT_EQ(store.find(501), nullptr);
+  EXPECT_TRUE(store.erase(250));
+  EXPECT_EQ(store.find(250), nullptr);
+  EXPECT_FALSE(store.erase(250));
+  EXPECT_EQ(store.size(), 499u);
+}
+
+TEST_P(HashStoreSuite, InsertReplaces) {
+  HashLeaseStore store(GetParam());
+  store.insert(1, Gcl(LeaseKind::kCountBased, 5));
+  store.insert(1, Gcl(LeaseKind::kCountBased, 9));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.find(1)->gcl().count(), 9u);
+}
+
+TEST_P(HashStoreSuite, ResidentBytesGrowWithLeases) {
+  HashLeaseStore store(GetParam());
+  const std::uint64_t empty = store.resident_bytes();
+  for (LeaseId id = 1; id <= 100; ++id) {
+    store.insert(id, Gcl(LeaseKind::kCountBased, 1));
+  }
+  EXPECT_GE(store.resident_bytes(), empty + 100 * kLeaseBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothHashes, HashStoreSuite,
+                         ::testing::Values(HashKind::kMurmur, HashKind::kSha256),
+                         [](const ::testing::TestParamInfo<HashKind>& info) {
+                           return info.param == HashKind::kMurmur ? "Murmur"
+                                                                  : "Sha256";
+                         });
+
+}  // namespace
+}  // namespace sl::lease

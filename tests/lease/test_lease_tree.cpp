@@ -1,0 +1,300 @@
+#include "lease/lease_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sl::lease {
+namespace {
+
+struct TreeFixture : public ::testing::Test {
+  UntrustedStore store;
+  LeaseTree tree{/*keygen_seed=*/123, store};
+};
+
+TEST_F(TreeFixture, InsertThenFind) {
+  tree.insert(345, Gcl(LeaseKind::kCountBased, 10));
+  LeaseRecord* record = tree.find(345);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->gcl().count(), 10u);
+  EXPECT_EQ(tree.lease_count(), 1u);
+}
+
+TEST_F(TreeFixture, FindMissingReturnsNull) {
+  tree.insert(1, Gcl(LeaseKind::kCountBased, 1));
+  EXPECT_EQ(tree.find(2), nullptr);
+  EXPECT_EQ(tree.find(0xffffffffu), nullptr);
+}
+
+TEST_F(TreeFixture, IdsDifferingAtEachLevel) {
+  // Ids picked so that every 8-bit index level distinguishes some pair.
+  const std::vector<LeaseId> ids = {0x00000000, 0x00000001, 0x00000100,
+                                    0x00010000, 0x01000000, 0xff0a0b0c};
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    tree.insert(ids[i], Gcl(LeaseKind::kCountBased, 100 + i));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    LeaseRecord* record = tree.find(ids[i]);
+    ASSERT_NE(record, nullptr) << std::hex << ids[i];
+    EXPECT_EQ(record->gcl().count(), 100 + i);
+  }
+  EXPECT_EQ(tree.lease_count(), ids.size());
+}
+
+TEST_F(TreeFixture, InsertReplacesExisting) {
+  tree.insert(9, Gcl(LeaseKind::kCountBased, 5));
+  tree.insert(9, Gcl(LeaseKind::kCountBased, 50));
+  EXPECT_EQ(tree.find(9)->gcl().count(), 50u);
+  EXPECT_EQ(tree.lease_count(), 1u);
+}
+
+TEST_F(TreeFixture, EraseRemovesLease) {
+  tree.insert(7, Gcl(LeaseKind::kCountBased, 1));
+  EXPECT_TRUE(tree.erase(7));
+  EXPECT_EQ(tree.find(7), nullptr);
+  EXPECT_FALSE(tree.erase(7));
+  EXPECT_EQ(tree.lease_count(), 0u);
+}
+
+TEST_F(TreeFixture, SpatialLocalitySharesLeafNode) {
+  // Leases 0..255 differ only in the last 8 bits: one level-3 node serves
+  // them all (the locality property of Section 5.2.2).
+  for (LeaseId id = 0; id < 256; ++id) {
+    tree.insert(id, Gcl(LeaseKind::kCountBased, id + 1));
+  }
+  // 4 interior nodes (root + one per level) + 256 leaf records.
+  EXPECT_EQ(tree.resident_bytes(), 4 * kNodeBytes + 256 * kLeaseBytes);
+}
+
+TEST_F(TreeFixture, CommitEvictsLeaseToUntrustedStore) {
+  tree.insert(11, Gcl(LeaseKind::kCountBased, 42));
+  const std::uint64_t resident_before = tree.resident_bytes();
+  ASSERT_TRUE(tree.commit_lease(11));
+  EXPECT_EQ(tree.resident_bytes(), resident_before - kLeaseBytes);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(tree.lease_count(), 0u);
+}
+
+TEST_F(TreeFixture, CommittedLeaseRestoresOnFind) {
+  tree.insert(11, Gcl(LeaseKind::kCountBased, 42));
+  ASSERT_TRUE(tree.commit_lease(11));
+  LeaseRecord* record = tree.find(11);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->gcl().count(), 42u);
+  EXPECT_EQ(store.size(), 0u);  // ciphertext consumed on restore
+  EXPECT_EQ(tree.stats().restores, 1u);
+}
+
+TEST_F(TreeFixture, CommitMissingLeaseFails) {
+  EXPECT_FALSE(tree.commit_lease(1));
+  tree.insert(1, Gcl(LeaseKind::kCountBased, 1));
+  EXPECT_FALSE(tree.commit_lease(2));
+}
+
+TEST_F(TreeFixture, CommitIsIdempotent) {
+  tree.insert(3, Gcl(LeaseKind::kCountBased, 9));
+  EXPECT_TRUE(tree.commit_lease(3));
+  EXPECT_TRUE(tree.commit_lease(3));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST_F(TreeFixture, TamperedOffloadedLeaseDetected) {
+  tree.insert(21, Gcl(LeaseKind::kCountBased, 7));
+  ASSERT_TRUE(tree.commit_lease(21));
+  // Flip a byte of the only blob in the untrusted store.
+  // (handle 1 is the first allocation)
+  auto blob = store.get(1);
+  ASSERT_TRUE(blob.has_value());
+  (*blob)[0] ^= 0xff;
+  store.overwrite(1, *blob);
+  EXPECT_EQ(tree.find(21), nullptr);
+  EXPECT_GE(tree.stats().validation_failures, 1u);
+}
+
+TEST_F(TreeFixture, ReplayedStaleImageDetected) {
+  // Section 5.7: commit, restore (consume), decrement, re-commit, then
+  // replay the OLD ciphertext. The parent now holds a fresh key, so the
+  // stale image must fail validation.
+  tree.insert(33, Gcl(LeaseKind::kCountBased, 10));
+  ASSERT_TRUE(tree.commit_lease(33));
+  const auto old_image = store.get(1);
+  ASSERT_TRUE(old_image.has_value());
+
+  LeaseRecord* record = tree.find(33);  // restore
+  ASSERT_NE(record, nullptr);
+  Gcl gcl = record->gcl();
+  EXPECT_EQ(gcl.try_consume(4), 4u);
+  record->set_gcl(gcl);
+  ASSERT_TRUE(tree.commit_lease(33));  // fresh key, handle 2
+
+  // Attacker overwrites the new ciphertext with the pre-decrement one.
+  store.overwrite(2, *old_image);
+  EXPECT_EQ(tree.find(33), nullptr);
+  EXPECT_GE(tree.stats().validation_failures, 1u);
+}
+
+TEST_F(TreeFixture, CommitAllColdKeepsRootOnly) {
+  for (LeaseId id : {0x00000001u, 0x00010002u, 0x7f000003u}) {
+    tree.insert(id, Gcl(LeaseKind::kCountBased, 5));
+  }
+  tree.commit_all_cold();
+  EXPECT_EQ(tree.resident_bytes(), kNodeBytes);  // just the root page
+  EXPECT_EQ(tree.lease_count(), 0u);
+  // Everything still reachable.
+  for (LeaseId id : {0x00000001u, 0x00010002u, 0x7f000003u}) {
+    ASSERT_NE(tree.find(id), nullptr) << std::hex << id;
+  }
+}
+
+TEST_F(TreeFixture, ShutdownRestoreRoundTrip) {
+  for (LeaseId id = 100; id < 140; ++id) {
+    tree.insert(id, Gcl(LeaseKind::kCountBased, id));
+  }
+  const std::uint64_t root_key = tree.shutdown();
+  const std::uint64_t root_handle = tree.root_handle();
+  EXPECT_NE(root_handle, 0u);
+  EXPECT_EQ(tree.lease_count(), 0u);
+
+  ASSERT_TRUE(tree.restore(root_key, root_handle));
+  for (LeaseId id = 100; id < 140; ++id) {
+    LeaseRecord* record = tree.find(id);
+    ASSERT_NE(record, nullptr) << id;
+    EXPECT_EQ(record->gcl().count(), id);
+  }
+}
+
+TEST_F(TreeFixture, RestoreWithWrongRootKeyFails) {
+  tree.insert(5, Gcl(LeaseKind::kCountBased, 5));
+  const std::uint64_t root_key = tree.shutdown();
+  EXPECT_FALSE(tree.restore(root_key ^ 1, tree.root_handle()));
+}
+
+TEST_F(TreeFixture, RestoreWithBogusHandleFails) {
+  tree.insert(5, Gcl(LeaseKind::kCountBased, 5));
+  const std::uint64_t root_key = tree.shutdown();
+  EXPECT_FALSE(tree.restore(root_key, 0xdeadbeef));
+}
+
+TEST_F(TreeFixture, LeaseRecordHashDetectsCorruption) {
+  LeaseRecord record;
+  record.set_gcl(Gcl(LeaseKind::kCountBased, 3));
+  EXPECT_TRUE(record.hash_valid());
+  record.data[100] ^= 1;
+  EXPECT_FALSE(record.hash_valid());
+}
+
+TEST_F(TreeFixture, SpinLockSerializesConcurrentDecrements) {
+  tree.insert(50, Gcl(LeaseKind::kCountBased, 40'000));
+  LeaseRecord* record = tree.find(50);
+  ASSERT_NE(record, nullptr);
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([record] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        record->spin_lock();
+        Gcl gcl = record->gcl();
+        gcl.try_consume(1);
+        record->set_gcl(gcl);
+        record->spin_unlock();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(record->gcl().count(), 0u);
+  EXPECT_TRUE(record->hash_valid());
+}
+
+TEST_F(TreeFixture, ResidentBudgetKeepsFootprintFlat) {
+  // Table 6 behaviour: with a budget set, inserting tens of thousands of
+  // leases must not grow the EPC footprint past the budget (plus one
+  // insertion's slack for the subtree being populated).
+  const std::uint64_t budget = 256 * 1024;
+  tree.set_resident_budget(budget);
+  std::uint64_t peak = 0;
+  for (LeaseId id = 0; id < 20'000; ++id) {
+    tree.insert(id, Gcl(LeaseKind::kCountBased, id + 1));
+    peak = std::max(peak, tree.resident_bytes());
+  }
+  // Slack: one hot level-3 subtree (4 KB node + up to 256 leases).
+  EXPECT_LE(peak, budget + kNodeBytes + 256 * kLeaseBytes);
+  EXPECT_GT(store.size(), 0u);  // evicted subtrees landed untrusted
+}
+
+TEST_F(TreeFixture, BudgetEvictionPreservesEveryLease) {
+  tree.set_resident_budget(128 * 1024);
+  for (LeaseId id = 0; id < 5'000; ++id) {
+    tree.insert(id, Gcl(LeaseKind::kCountBased, id + 7));
+  }
+  for (LeaseId id = 0; id < 5'000; ++id) {
+    LeaseRecord* record = tree.find(id);
+    ASSERT_NE(record, nullptr) << id;
+    EXPECT_EQ(record->gcl().count(), id + 7);
+  }
+}
+
+TEST_F(TreeFixture, BudgetEvictsLeastRecentlyUsedSubtreeFirst) {
+  // Two distant subtrees; touching the first keeps it resident while the
+  // budget squeezes out the second.
+  for (LeaseId id = 0; id < 200; ++id) {
+    tree.insert(id, Gcl(LeaseKind::kCountBased, 1));              // subtree A
+    tree.insert(0x01000000u + id, Gcl(LeaseKind::kCountBased, 1));  // subtree B
+  }
+  const std::uint64_t commits_before = tree.stats().commits;
+  tree.find(5);  // A is now the most recent
+  tree.set_resident_budget(tree.resident_bytes() - kLeaseBytes);
+  EXPECT_GT(tree.stats().commits, commits_before);
+  // A's leaves are still resident (no restore needed to find them).
+  const std::uint64_t restores_before = tree.stats().restores;
+  EXPECT_NE(tree.find(6), nullptr);
+  EXPECT_EQ(tree.stats().restores, restores_before);
+}
+
+TEST_F(TreeFixture, ZeroBudgetDisablesEviction) {
+  tree.set_resident_budget(0);
+  for (LeaseId id = 0; id < 1'000; ++id) {
+    tree.insert(id, Gcl(LeaseKind::kCountBased, 1));
+  }
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST_F(TreeFixture, EnumerateListsAllLeasesSorted) {
+  const std::vector<LeaseId> ids = {5, 3, 0x00010000u, 0x7f000001u, 200};
+  for (LeaseId id : ids) tree.insert(id, Gcl(LeaseKind::kCountBased, 1));
+  const std::vector<LeaseId> found = tree.enumerate();
+  EXPECT_EQ(found, (std::vector<LeaseId>{3, 5, 200, 0x00010000u, 0x7f000001u}));
+}
+
+TEST_F(TreeFixture, EnumerateSeesCommittedSubtreesWithoutRestoring) {
+  for (LeaseId id = 0; id < 300; ++id) {
+    tree.insert(id, Gcl(LeaseKind::kCountBased, 1));
+  }
+  tree.commit_all_cold();
+  const std::uint64_t resident_before = tree.resident_bytes();
+  const std::vector<LeaseId> found = tree.enumerate();
+  EXPECT_EQ(found.size(), 300u);
+  // Enumeration walked committed images transiently: nothing faulted in.
+  EXPECT_EQ(tree.resident_bytes(), resident_before);
+}
+
+TEST_F(TreeFixture, EnumerateEmptyTree) {
+  EXPECT_TRUE(tree.enumerate().empty());
+}
+
+TEST(UntrustedStore, PutGetEraseByteAccounting) {
+  UntrustedStore store;
+  const std::uint64_t h1 = store.put(Bytes(100, 1));
+  const std::uint64_t h2 = store.put(Bytes(50, 2));
+  EXPECT_NE(h1, h2);
+  EXPECT_EQ(store.bytes(), 150u);
+  ASSERT_TRUE(store.get(h1).has_value());
+  store.erase(h1);
+  EXPECT_FALSE(store.get(h1).has_value());
+  EXPECT_EQ(store.bytes(), 50u);
+}
+
+}  // namespace
+}  // namespace sl::lease

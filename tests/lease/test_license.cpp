@@ -1,0 +1,74 @@
+#include "lease/license.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sl::lease {
+namespace {
+
+TEST(License, IssueValidatesUnderSameAuthority) {
+  LicenseAuthority vendor(0x1111);
+  const LicenseFile license =
+      vendor.issue(42, "matlab/signal-toolbox", LeaseKind::kCountBased, 1'000);
+  EXPECT_TRUE(vendor.validate(license));
+  EXPECT_EQ(license.lease_id, 42u);
+  EXPECT_EQ(license.total_count, 1'000u);
+}
+
+TEST(License, OtherAuthorityRejects) {
+  LicenseAuthority vendor(0x1111);
+  LicenseAuthority impostor(0x2222);
+  const LicenseFile license = vendor.issue(1, "addon", LeaseKind::kCountBased, 10);
+  EXPECT_FALSE(impostor.validate(license));
+}
+
+TEST(License, TamperedFieldsRejected) {
+  LicenseAuthority vendor(0x1111);
+  LicenseFile license = vendor.issue(1, "addon", LeaseKind::kCountBased, 10);
+
+  LicenseFile more_runs = license;
+  more_runs.total_count = 1'000'000;  // a cracked "unlimited" license
+  EXPECT_FALSE(vendor.validate(more_runs));
+
+  LicenseFile other_product = license;
+  other_product.product = "premium-addon";
+  EXPECT_FALSE(vendor.validate(other_product));
+
+  LicenseFile perpetual = license;
+  perpetual.kind = LeaseKind::kPerpetual;
+  EXPECT_FALSE(vendor.validate(perpetual));
+}
+
+TEST(License, SerializeRoundTrip) {
+  LicenseAuthority vendor(0x3333);
+  const LicenseFile license =
+      vendor.issue(7, "vscode/extension-pack", LeaseKind::kTimeBased, 30, 86'400.0);
+  const auto restored = LicenseFile::deserialize(license.serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->lease_id, license.lease_id);
+  EXPECT_EQ(restored->product, license.product);
+  EXPECT_EQ(restored->kind, license.kind);
+  EXPECT_EQ(restored->total_count, license.total_count);
+  EXPECT_DOUBLE_EQ(restored->interval_seconds, license.interval_seconds);
+  EXPECT_TRUE(vendor.validate(*restored));
+}
+
+TEST(License, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(LicenseFile::deserialize(Bytes{}).has_value());
+  EXPECT_FALSE(LicenseFile::deserialize(Bytes(7, 0xff)).has_value());
+  // Name length pointing past the end.
+  Bytes bogus;
+  put_u32(bogus, 1);
+  put_u32(bogus, 100'000);
+  EXPECT_FALSE(LicenseFile::deserialize(bogus).has_value());
+}
+
+TEST(License, EmptyProductNameSupported) {
+  LicenseAuthority vendor(0x4444);
+  const LicenseFile license = vendor.issue(9, "", LeaseKind::kCountBased, 5);
+  const auto restored = LicenseFile::deserialize(license.serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(vendor.validate(*restored));
+}
+
+}  // namespace
+}  // namespace sl::lease

@@ -1,0 +1,101 @@
+// Protected-code-loader flow tests (paper Section 2.3.1).
+#include <gtest/gtest.h>
+
+#include "lease/pcl.hpp"
+#include "sgxsim/runtime.hpp"
+
+namespace sl::lease {
+namespace {
+
+struct PclFixture : public ::testing::Test {
+  static constexpr std::uint64_t kPlatformSecret = 0x9c1;
+  static constexpr std::uint64_t kSectionKey = 0xc0dec0de;
+
+  sgx::SgxRuntime runtime;
+  sgx::Platform platform{runtime, /*platform_id=*/5, kPlatformSecret};
+  sgx::AttestationService ias;
+  LicenseAuthority vendor{0xabcd};
+  KeyProvisioningService service{vendor, ias, /*ra=*/3.5};
+  LicenseFile license = vendor.issue(70, "app/pro-features", LeaseKind::kCountBased, 100);
+
+  PclFixture() { ias.register_platform(5, kPlatformSecret); }
+
+  sgx::EnclaveId make_app_enclave() {
+    sgx::Enclave& enclave = runtime.create_enclave("licensed-app-v3", 1 << 20);
+    enclave.add_encrypted_section("pro_features", kSectionKey);
+    service.register_section("pro_features", enclave.measurement(),
+                             license.lease_id, kSectionKey);
+    return enclave.id();
+  }
+};
+
+TEST_F(PclFixture, ValidLicenseUnlocksSection) {
+  const sgx::EnclaveId enclave = make_app_enclave();
+  EXPECT_FALSE(runtime.enclave(enclave).section_decrypted("pro_features"));
+  EXPECT_TRUE(load_protected_section(runtime, platform, service, enclave,
+                                     "pro_features", license));
+  EXPECT_TRUE(runtime.enclave(enclave).section_decrypted("pro_features"));
+  EXPECT_EQ(service.stats().keys_released, 1u);
+}
+
+TEST_F(PclFixture, ProvisioningChargesRemoteAttestationLatency) {
+  const sgx::EnclaveId enclave = make_app_enclave();
+  const double before = runtime.clock().seconds();
+  load_protected_section(runtime, platform, service, enclave, "pro_features",
+                         license);
+  EXPECT_GE(runtime.clock().seconds() - before, 3.5);
+}
+
+TEST_F(PclFixture, TamperedLicenseDenied) {
+  const sgx::EnclaveId enclave = make_app_enclave();
+  LicenseFile forged = license;
+  forged.total_count = 1'000'000;
+  EXPECT_FALSE(load_protected_section(runtime, platform, service, enclave,
+                                      "pro_features", forged));
+  EXPECT_FALSE(runtime.enclave(enclave).section_decrypted("pro_features"));
+  EXPECT_EQ(service.stats().denials, 1u);
+}
+
+TEST_F(PclFixture, LicenseForOtherLeaseDenied) {
+  const sgx::EnclaveId enclave = make_app_enclave();
+  const LicenseFile other =
+      vendor.issue(71, "app/other-addon", LeaseKind::kCountBased, 100);
+  EXPECT_FALSE(load_protected_section(runtime, platform, service, enclave,
+                                      "pro_features", other));
+}
+
+TEST_F(PclFixture, WrongEnclaveIdentityDenied) {
+  make_app_enclave();
+  // An impostor enclave (different measurement) asks for the key.
+  sgx::Enclave& impostor = runtime.create_enclave("cracked-app", 1 << 20);
+  impostor.add_encrypted_section("pro_features", 0);  // guess
+  EXPECT_FALSE(load_protected_section(runtime, platform, service, impostor.id(),
+                                      "pro_features", license));
+}
+
+TEST_F(PclFixture, UntrustedPlatformDenied) {
+  const sgx::EnclaveId enclave = make_app_enclave();
+  sgx::Platform rogue(runtime, /*platform_id=*/5, /*secret=*/0xbad);
+  EXPECT_FALSE(load_protected_section(runtime, rogue, service, enclave,
+                                      "pro_features", license));
+}
+
+TEST_F(PclFixture, UnknownSectionDenied) {
+  const sgx::EnclaveId enclave = make_app_enclave();
+  EXPECT_FALSE(load_protected_section(runtime, platform, service, enclave,
+                                      "nonexistent", license));
+}
+
+TEST_F(PclFixture, DecryptionIsOneTimePerLaunch) {
+  // The paper's point: PCL decryption cannot expire — once unlocked, the
+  // section stays executable, which is why leases must live INSIDE the
+  // secure code (SL-Manager), not in the loader.
+  const sgx::EnclaveId enclave = make_app_enclave();
+  ASSERT_TRUE(load_protected_section(runtime, platform, service, enclave,
+                                     "pro_features", license));
+  // Vendor-side revocation after the fact does not re-lock the section.
+  EXPECT_TRUE(runtime.enclave(enclave).section_decrypted("pro_features"));
+}
+
+}  // namespace
+}  // namespace sl::lease

@@ -1,0 +1,174 @@
+// Algorithm 1 (adaptive GCL renewal) property tests.
+#include "lease/renewal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "common/rng.hpp"
+
+namespace sl::lease {
+namespace {
+
+NodeState healthy_node(std::uint64_t outstanding = 0) {
+  return NodeState{.alpha = 1.0, .health = 1.0, .network = 1.0,
+                   .outstanding = outstanding};
+}
+
+TEST(Renewal, GrantNeverExceedsPool) {
+  RenewalParams params;
+  const std::vector<NodeState> nodes = {healthy_node()};
+  for (std::uint64_t pool : {0ull, 1ull, 10ull, 1'000ull, 1'000'000ull}) {
+    const RenewalDecision decision = renew_lease(pool, nodes, 0, params);
+    EXPECT_LE(decision.granted, pool) << "pool=" << pool;
+  }
+}
+
+TEST(Renewal, ZeroPoolGrantsNothing) {
+  const RenewalDecision decision =
+      renew_lease(0, {healthy_node()}, 0, RenewalParams{});
+  EXPECT_EQ(decision.granted, 0u);
+}
+
+TEST(Renewal, DefaultPolicyScalesDown) {
+  // A perfectly healthy single node on a perfect link gets at most its
+  // share scaled by D (plus the loss-headroom bonus, capped at G_i).
+  RenewalParams params;
+  params.D = 4.0;
+  const RenewalDecision decision =
+      renew_lease(1'000, {healthy_node()}, 0, params);
+  EXPECT_GT(decision.granted, 0u);
+  EXPECT_LE(decision.granted, 1'000u);  // never more than G_i
+}
+
+TEST(Renewal, LargerDGrantsLess) {
+  const std::vector<NodeState> nodes = {healthy_node()};
+  RenewalParams small_d;
+  small_d.D = 2.0;
+  RenewalParams large_d;
+  large_d.D = 16.0;
+  EXPECT_GT(renew_lease(10'000, nodes, 0, small_d).granted,
+            renew_lease(10'000, nodes, 0, large_d).granted);
+}
+
+TEST(Renewal, CrashPenaltyShrinksGrant) {
+  // Lower health => smaller grant (Line 5 of Algorithm 1).
+  RenewalParams params;
+  params.tau_fraction = 1.0;  // disable the loss cap to isolate the penalty
+  NodeState healthy = healthy_node();
+  NodeState shaky = healthy_node();
+  shaky.health = 0.5;
+  const auto grant_healthy = renew_lease(10'000, {healthy}, 0, params).granted;
+  const auto grant_shaky = renew_lease(10'000, {shaky}, 0, params).granted;
+  EXPECT_LT(grant_shaky, grant_healthy);
+}
+
+TEST(Renewal, NetworkBonusOnlyForHealthyNodes) {
+  RenewalParams params;
+  params.T_H = 0.9;
+  params.tau_fraction = 1.0;
+
+  NodeState healthy_flaky;  // healthy node, poor link => bonus
+  healthy_flaky.health = 0.95;
+  healthy_flaky.network = 0.5;
+  NodeState healthy_stable;
+  healthy_stable.health = 0.95;
+  healthy_stable.network = 1.0;
+  EXPECT_GT(renew_lease(10'000, {healthy_flaky}, 0, params).granted,
+            renew_lease(10'000, {healthy_stable}, 0, params).granted);
+
+  NodeState shaky_flaky;  // unhealthy node gets no bonus
+  shaky_flaky.health = 0.5;
+  shaky_flaky.network = 0.5;
+  NodeState shaky_stable;
+  shaky_stable.health = 0.5;
+  shaky_stable.network = 1.0;
+  EXPECT_EQ(renew_lease(10'000, {shaky_flaky}, 0, params).granted,
+            renew_lease(10'000, {shaky_stable}, 0, params).granted);
+}
+
+TEST(Renewal, NetworkBonusCappedAtFairShare) {
+  RenewalParams params;
+  params.D = 2.0;
+  params.T_H = 0.5;
+  params.tau_fraction = 1.0;
+  NodeState node;
+  node.health = 1.0;
+  node.network = 0.01;  // enormous 1/n bonus, must clamp to G_i
+  const RenewalDecision decision = renew_lease(1'000, {node}, 0, params);
+  EXPECT_LE(decision.granted, 1'000u);
+}
+
+TEST(Renewal, ConcurrentRequestersShareThePool) {
+  RenewalParams params;
+  const std::vector<NodeState> alone = {healthy_node()};
+  const std::vector<NodeState> crowd = {healthy_node(100), healthy_node(100),
+                                        healthy_node(100), healthy_node()};
+  EXPECT_GT(renew_lease(10'000, alone, 0, params).granted,
+            renew_lease(10'000, crowd, 3, params).granted);
+}
+
+TEST(Renewal, ExpectedLossFormula) {
+  std::vector<NodeState> nodes(2);
+  nodes[0].health = 0.9;
+  nodes[0].outstanding = 100;
+  nodes[1].health = 0.5;
+  nodes[1].outstanding = 40;
+  // 100*0.1 + 40*0.5 = 30.
+  EXPECT_NEAR(expected_loss(nodes), 30.0, 1e-9);
+}
+
+// Property sweep: the tau bound must hold across randomized node mixes.
+class RenewalLossBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RenewalLossBound, ExpectedLossStaysUnderTau) {
+  Rng rng(GetParam());
+  RenewalParams params;
+  params.tau_fraction = 0.10;
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t pool = 1'000 + rng.next_below(1'000'000);
+    const double tau = params.tau_fraction * static_cast<double>(pool);
+    std::vector<NodeState> nodes(1 + rng.next_below(8));
+    for (NodeState& node : nodes) {
+      node.health = 0.3 + 0.7 * rng.next_double();
+      node.network = 0.2 + 0.8 * rng.next_double();
+      // Existing outstanding exposure kept under tau so a grant is possible.
+      node.outstanding = rng.next_below(static_cast<std::uint64_t>(tau / 4) + 1);
+    }
+    const std::size_t requester = rng.next_below(nodes.size());
+    const RenewalDecision decision = renew_lease(pool, nodes, requester, params);
+    // The bound: projected loss including this grant stays under tau
+    // (within 1 count of rounding).
+    EXPECT_LE(decision.expected_loss, tau + 1.0)
+        << "trial=" << trial << " pool=" << pool;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RenewalLossBound,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Renewal, BadRequesterIndexThrows) {
+  EXPECT_THROW(renew_lease(10, {healthy_node()}, 1, RenewalParams{}), Error);
+}
+
+TEST(Renewal, BadDRejected) {
+  RenewalParams params;
+  params.D = 0.5;
+  EXPECT_THROW(renew_lease(10, {healthy_node()}, 0, params), Error);
+}
+
+TEST(Renewal, UnhealthySaturatedPoolGrantsZero) {
+  // The pool's loss budget is already exhausted by other nodes: a fragile
+  // requester must be denied rather than breach tau.
+  RenewalParams params;
+  params.tau_fraction = 0.01;
+  std::vector<NodeState> nodes(2);
+  nodes[0].health = 0.5;
+  nodes[0].outstanding = 10'000;  // loss 5000 >> tau = 100
+  nodes[1].health = 0.5;
+  const RenewalDecision decision = renew_lease(10'000, nodes, 1, params);
+  EXPECT_EQ(decision.granted, 0u);
+}
+
+}  // namespace
+}  // namespace sl::lease

@@ -1,0 +1,280 @@
+// Integration tests across SL-Remote / SL-Local / SL-Manager (Figure 3).
+#include <gtest/gtest.h>
+
+#include "lease/sl_local.hpp"
+#include "lease/sl_manager.hpp"
+#include "lease/sl_remote.hpp"
+
+namespace sl::lease {
+namespace {
+
+struct SystemFixture : public ::testing::Test {
+  static constexpr std::uint64_t kPlatformSecret = 0x5ec;
+  static constexpr net::NodeId kNode = 1;
+
+  sgx::SgxRuntime runtime;
+  sgx::Platform platform{runtime, /*platform_id=*/9, kPlatformSecret};
+  sgx::AttestationService ias;
+  LicenseAuthority vendor{0x7777};
+  SlRemote remote{vendor, ias, SlLocal::expected_measurement(), /*ra=*/3.5};
+  net::SimNetwork network{99};
+  UntrustedStore store;
+
+  SystemFixture() {
+    ias.register_platform(9, kPlatformSecret);
+    network.set_link(kNode, {.rtt_millis = 20.0, .reliability = 1.0});
+  }
+
+  LicenseFile provision(LeaseId id, std::uint64_t total,
+                        LeaseKind kind = LeaseKind::kCountBased) {
+    const LicenseFile license = vendor.issue(id, "addon-" + std::to_string(id),
+                                             kind, total);
+    remote.provision(license);
+    return license;
+  }
+
+  SlLocal make_local(SlLocalOptions options = {}) {
+    return SlLocal(runtime, platform, remote, network, kNode, store, options);
+  }
+};
+
+TEST_F(SystemFixture, InitRegistersAndAssignsSlid) {
+  SlLocal local = make_local();
+  EXPECT_FALSE(local.ready());
+  ASSERT_TRUE(local.init());
+  EXPECT_TRUE(local.ready());
+  EXPECT_NE(local.slid(), 0u);
+  EXPECT_EQ(remote.stats().registrations, 1u);
+  EXPECT_EQ(remote.stats().remote_attestations, 1u);
+}
+
+TEST_F(SystemFixture, InitChargesRemoteAttestationLatency) {
+  SlLocal local = make_local();
+  const double before = runtime.clock().seconds();
+  ASSERT_TRUE(local.init());
+  EXPECT_GE(runtime.clock().seconds() - before, 3.5);
+}
+
+TEST_F(SystemFixture, InitFailsOnDeadNetwork) {
+  network.set_link(kNode, {.reliability = 0.0});
+  SlLocal local = make_local();
+  EXPECT_FALSE(local.init());
+}
+
+TEST_F(SystemFixture, ManagerAcquiresTokensEndToEnd) {
+  const LicenseFile license = provision(10, 1'000);
+  SlLocal local = make_local();
+  ASSERT_TRUE(local.init());
+  SlManager manager(runtime, platform, local, "demo", license);
+
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(manager.authorize_execution()) << i;
+  }
+  EXPECT_EQ(manager.stats().executions_granted, 50u);
+  EXPECT_EQ(manager.stats().executions_denied, 0u);
+}
+
+TEST_F(SystemFixture, TokenBatchingReducesAttestations) {
+  const LicenseFile license = provision(11, 10'000);
+  SlLocalOptions options;
+  options.tokens_per_attestation = 10;
+  SlLocal local = make_local(options);
+  ASSERT_TRUE(local.init());
+  SlManager manager(runtime, platform, local, "demo", license);
+
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(manager.authorize_execution());
+  // 100 executions / 10 per batch = 10 attestation round trips.
+  EXPECT_EQ(local.stats().local_attestations, 10u);
+  EXPECT_EQ(local.stats().tokens_issued, 100u);
+}
+
+TEST_F(SystemFixture, NoBatchingMeansOneAttestationPerExecution) {
+  const LicenseFile license = provision(12, 10'000);
+  SlLocalOptions options;
+  options.tokens_per_attestation = 1;
+  SlLocal local = make_local(options);
+  ASSERT_TRUE(local.init());
+  SlManager manager(runtime, platform, local, "demo", license);
+  for (int i = 0; i < 25; ++i) ASSERT_TRUE(manager.authorize_execution());
+  EXPECT_EQ(local.stats().local_attestations, 25u);
+}
+
+TEST_F(SystemFixture, RenewalHappensOnlyWhenSubGclExhausts) {
+  const LicenseFile license = provision(13, 1'000);
+  SlLocal local = make_local();
+  ASSERT_TRUE(local.init());
+  SlManager manager(runtime, platform, local, "demo", license);
+
+  ASSERT_TRUE(manager.authorize_execution());
+  const std::uint64_t renewals_after_first = local.stats().renewals;
+  EXPECT_EQ(renewals_after_first, 1u);  // first check pulled the sub-GCL
+
+  // Plenty of local budget: more executions trigger no further renewals.
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(manager.authorize_execution());
+  EXPECT_EQ(local.stats().renewals, renewals_after_first);
+  // And crucially no further remote attestations (the 99% saving).
+  EXPECT_EQ(remote.stats().remote_attestations, 1u);
+}
+
+TEST_F(SystemFixture, InvalidLicenseDenied) {
+  provision(14, 1'000);
+  SlLocal local = make_local();
+  ASSERT_TRUE(local.init());
+  LicenseFile forged = vendor.issue(14, "addon-14", LeaseKind::kCountBased, 1'000);
+  forged.total_count = 999'999;  // tampered after signing
+  SlManager manager(runtime, platform, local, "demo", forged);
+  EXPECT_FALSE(manager.authorize_execution());
+  EXPECT_GT(remote.stats().renewals_denied, 0u);
+}
+
+TEST_F(SystemFixture, UnprovisionedLicenseDenied) {
+  const LicenseFile license = vendor.issue(77, "ghost", LeaseKind::kCountBased, 10);
+  SlLocal local = make_local();
+  ASSERT_TRUE(local.init());
+  SlManager manager(runtime, platform, local, "demo", license);
+  EXPECT_FALSE(manager.authorize_execution());
+}
+
+TEST_F(SystemFixture, PoolExhaustionEventuallyDenies) {
+  const LicenseFile license = provision(15, 20);  // tiny pool
+  SlLocalOptions options;
+  options.tokens_per_attestation = 1;
+  SlLocal local = make_local(options);
+  ASSERT_TRUE(local.init());
+  SlManager manager(runtime, platform, local, "demo", license);
+
+  int granted = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (manager.authorize_execution()) granted++;
+  }
+  EXPECT_LE(granted, 20);
+  EXPECT_GT(granted, 0);
+  EXPECT_GT(manager.stats().executions_denied, 0u);
+}
+
+TEST_F(SystemFixture, RevocationStopsFurtherGrants) {
+  const LicenseFile license = provision(16, 10'000);
+  SlLocalOptions options;
+  options.tokens_per_attestation = 5;
+  SlLocal local = make_local(options);
+  ASSERT_TRUE(local.init());
+  SlManager manager(runtime, platform, local, "demo", license);
+  ASSERT_TRUE(manager.authorize_execution());
+
+  remote.revoke(license.lease_id);
+  // The locally cached sub-GCL may still serve a few executions, but once
+  // it drains every renewal is denied.
+  int granted_after_revoke = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    if (!manager.authorize_execution()) break;
+    granted_after_revoke++;
+  }
+  EXPECT_LT(granted_after_revoke, 100'000);
+  EXPECT_GT(remote.stats().renewals_denied, 0u);
+}
+
+TEST_F(SystemFixture, GracefulShutdownRestoresState) {
+  const LicenseFile license = provision(17, 1'000);
+  SlLocal local = make_local();
+  ASSERT_TRUE(local.init());
+  const Slid slid = local.slid();
+  SlManager manager(runtime, platform, local, "demo", license);
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(manager.authorize_execution());
+
+  local.shutdown();
+  EXPECT_FALSE(local.ready());
+
+  // Reboot with the saved SLID: SL-Remote hands back the escrowed root key
+  // and the lease tree restores.
+  ASSERT_TRUE(local.init(slid));
+  EXPECT_EQ(local.slid(), slid);
+  SlManager manager2(runtime, platform, local, "demo2", license);
+  EXPECT_TRUE(manager2.authorize_execution());
+}
+
+TEST_F(SystemFixture, GracefulShutdownReclaimsUnusedCounts) {
+  const LicenseFile license = provision(18, 1'000);
+  SlLocal local = make_local();
+  ASSERT_TRUE(local.init());
+  SlManager manager(runtime, platform, local, "demo", license);
+  ASSERT_TRUE(manager.authorize_execution());  // grants a sub-GCL > 10
+
+  const std::uint64_t pool_before = remote.remaining_pool(license.lease_id).value();
+  local.shutdown();
+  const std::uint64_t pool_after = remote.remaining_pool(license.lease_id).value();
+  EXPECT_GT(pool_after, pool_before);  // unused counts flowed back
+  EXPECT_GT(remote.stats().reclaimed_gcls, 0u);
+}
+
+TEST_F(SystemFixture, CrashForfeitsOutstandingLeases) {
+  // The replay-attack economics of Section 5.7: crashing instead of
+  // shutting down gracefully burns the outstanding sub-GCL.
+  const LicenseFile license = provision(19, 1'000);
+  SlLocal local = make_local();
+  ASSERT_TRUE(local.init());
+  const Slid slid = local.slid();
+  SlManager manager(runtime, platform, local, "demo", license);
+  ASSERT_TRUE(manager.authorize_execution());
+
+  const std::uint64_t pool_after_grant =
+      remote.remaining_pool(license.lease_id).value();
+  local.crash();
+  ASSERT_TRUE(local.init(slid));  // re-init without graceful record
+
+  EXPECT_GT(remote.stats().forfeited_gcls, 0u);
+  // Nothing flowed back into the pool.
+  EXPECT_EQ(remote.remaining_pool(license.lease_id).value(), pool_after_grant);
+}
+
+TEST_F(SystemFixture, CrashLoopCannotMintFreeExecutions) {
+  // Total executions across repeated crash/restart cycles can never exceed
+  // the provisioned pool: the attack the pessimistic policy defeats.
+  const LicenseFile license = provision(20, 200);
+  SlLocalOptions options;
+  options.tokens_per_attestation = 1;
+  SlLocal local = make_local(options);
+  ASSERT_TRUE(local.init());
+  const Slid slid = local.slid();
+
+  std::uint64_t total_granted = 0;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    SlManager manager(runtime, platform, local, "demo" + std::to_string(cycle),
+                      license);
+    for (int i = 0; i < 100; ++i) {
+      if (manager.authorize_execution()) total_granted++;
+    }
+    local.crash();
+    ASSERT_TRUE(local.init(slid));
+  }
+  EXPECT_LE(total_granted, 200u);
+}
+
+TEST_F(SystemFixture, ForeignManagerReportRejected) {
+  // A report MAC'd under another platform's secret must not validate.
+  const LicenseFile license = provision(21, 100);
+  SlLocal local = make_local();
+  ASSERT_TRUE(local.init());
+
+  sgx::Platform rogue(runtime, /*platform_id=*/9, /*secret=*/0xbad);
+  sgx::Enclave& fake = runtime.create_enclave("fake-manager", 4096);
+  const sgx::Report report = rogue.create_report(fake.id(), to_bytes("x"));
+  EXPECT_FALSE(local.issue_lease(report, fake.measurement(), license).has_value());
+  EXPECT_GT(local.stats().denials, 0u);
+}
+
+TEST_F(SystemFixture, TimeBasedLicenseExpiresWithClock) {
+  const LicenseFile license =
+      provision(22, 10, LeaseKind::kTimeBased);  // 10 day-intervals
+  SlLocal local = make_local();
+  ASSERT_TRUE(local.init());
+  SlManager manager(runtime, platform, local, "demo", license);
+  ASSERT_TRUE(manager.authorize_execution());
+
+  // Fast-forward past the lease's lifetime; the next check must fail.
+  runtime.clock().advance_seconds(86'400.0 * 20);
+  SlManager late(runtime, platform, local, "late", license);
+  EXPECT_FALSE(late.authorize_execution());
+}
+
+}  // namespace
+}  // namespace sl::lease

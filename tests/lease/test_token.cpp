@@ -1,0 +1,49 @@
+#include "lease/token.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sl::lease {
+namespace {
+
+TEST(Token, IssueVerifyRoundTrip) {
+  const ExecutionToken token = issue_token(0xabc123, 7, 10, 1000, 1);
+  EXPECT_TRUE(verify_token(0xabc123, token, 7));
+}
+
+TEST(Token, WrongSessionKeyRejected) {
+  const ExecutionToken token = issue_token(111, 7, 10, 1000, 1);
+  EXPECT_FALSE(verify_token(222, token, 7));
+}
+
+TEST(Token, WrongLeaseRejected) {
+  const ExecutionToken token = issue_token(111, 7, 10, 1000, 1);
+  EXPECT_FALSE(verify_token(111, token, 8));
+}
+
+TEST(Token, ZeroExecutionsRejected) {
+  ExecutionToken token = issue_token(111, 7, 10, 1000, 1);
+  token.executions = 0;
+  EXPECT_FALSE(verify_token(111, token, 7));
+}
+
+TEST(Token, InflatedExecutionsRejected) {
+  // An attacker bumping the batched-execution count breaks the MAC.
+  ExecutionToken token = issue_token(111, 7, 10, 1000, 1);
+  token.executions = 1'000'000;
+  EXPECT_FALSE(verify_token(111, token, 7));
+}
+
+TEST(Token, RetargetedLeaseRejected) {
+  ExecutionToken token = issue_token(111, 7, 10, 1000, 1);
+  token.lease_id = 9;  // re-point the token at a pricier add-on
+  EXPECT_FALSE(verify_token(111, token, 9));
+}
+
+TEST(Token, NoncesDistinguishBatches) {
+  const ExecutionToken a = issue_token(111, 7, 10, 1000, 1);
+  const ExecutionToken b = issue_token(111, 7, 10, 1000, 2);
+  EXPECT_NE(a.mac, b.mac);
+}
+
+}  // namespace
+}  // namespace sl::lease

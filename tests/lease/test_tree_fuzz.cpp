@@ -1,0 +1,150 @@
+// Randomized property tests: the lease tree against a reference model
+// (std::map) under long interleaved sequences of insert / find / erase /
+// commit / restore / budget operations.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "lease/lease_tree.hpp"
+
+namespace sl::lease {
+namespace {
+
+class TreeFuzzSuite : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeFuzzSuite, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  UntrustedStore store;
+  LeaseTree tree(GetParam() ^ 0x17ee, store);
+  std::map<LeaseId, std::uint64_t> reference;  // id -> GCL count
+
+  // Ids from a small pool so operations collide often; a few distant ids
+  // exercise deep tree paths.
+  auto random_id = [&]() -> LeaseId {
+    switch (rng.next_below(4)) {
+      case 0: return static_cast<LeaseId>(rng.next_below(64));
+      case 1: return 0x00010000u + static_cast<LeaseId>(rng.next_below(64));
+      case 2: return 0x7f000000u + static_cast<LeaseId>(rng.next_below(64));
+      default: return static_cast<LeaseId>(rng.next_u32());
+    }
+  };
+
+  for (int step = 0; step < 4'000; ++step) {
+    const LeaseId id = random_id();
+    switch (rng.next_below(6)) {
+      case 0: {  // insert / replace
+        const std::uint64_t count = 1 + rng.next_below(1'000);
+        tree.insert(id, Gcl(LeaseKind::kCountBased, count));
+        reference[id] = count;
+        break;
+      }
+      case 1: {  // find + compare
+        LeaseRecord* record = tree.find(id);
+        auto it = reference.find(id);
+        if (it == reference.end()) {
+          EXPECT_EQ(record, nullptr) << "step " << step << " id " << id;
+        } else {
+          ASSERT_NE(record, nullptr) << "step " << step << " id " << id;
+          EXPECT_EQ(record->gcl().count(), it->second);
+        }
+        break;
+      }
+      case 2: {  // erase
+        const bool tree_had = tree.erase(id);
+        const bool ref_had = reference.erase(id) > 0;
+        EXPECT_EQ(tree_had, ref_had) << "step " << step << " id " << id;
+        break;
+      }
+      case 3: {  // consume via the record (decrement both sides)
+        LeaseRecord* record = tree.find(id);
+        auto it = reference.find(id);
+        if (record != nullptr && it != reference.end() && it->second > 0) {
+          record->spin_lock();
+          Gcl gcl = record->gcl();
+          if (gcl.try_consume(1) == 1) it->second -= 1;
+          record->set_gcl(gcl);
+          record->spin_unlock();
+        }
+        break;
+      }
+      case 4:  // commit one lease (must be transparent to later finds)
+        tree.commit_lease(id);
+        break;
+      default:  // occasionally commit everything cold
+        if (rng.next_below(50) == 0) tree.commit_all_cold();
+        break;
+    }
+  }
+
+  // Final full sweep: every reference lease present with the right count.
+  for (const auto& [id, count] : reference) {
+    LeaseRecord* record = tree.find(id);
+    ASSERT_NE(record, nullptr) << "id " << id;
+    EXPECT_EQ(record->gcl().count(), count) << "id " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeFuzzSuite,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class TreeShutdownFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TreeShutdownFuzz, SurvivesShutdownRestoreCycles) {
+  Rng rng(GetParam());
+  UntrustedStore store;
+  LeaseTree tree(GetParam() ^ 0xdead, store);
+  std::map<LeaseId, std::uint64_t> reference;
+
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    // Mutate.
+    for (int i = 0; i < 300; ++i) {
+      const LeaseId id = static_cast<LeaseId>(rng.next_below(500)) * 7919u;
+      const std::uint64_t count = 1 + rng.next_below(100);
+      tree.insert(id, Gcl(LeaseKind::kCountBased, count));
+      reference[id] = count;
+    }
+    // Shutdown + restore (the Section 5.6 cycle).
+    const std::uint64_t root_key = tree.shutdown();
+    ASSERT_TRUE(tree.restore(root_key, tree.root_handle())) << "cycle " << cycle;
+    // Spot-check a sample.
+    int checked = 0;
+    for (const auto& [id, count] : reference) {
+      if (checked++ % 17 != 0) continue;
+      LeaseRecord* record = tree.find(id);
+      ASSERT_NE(record, nullptr) << "cycle " << cycle << " id " << id;
+      EXPECT_EQ(record->gcl().count(), count);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeShutdownFuzz, ::testing::Values(11, 12, 13));
+
+TEST(TreeFuzz, BudgetedTreeMatchesReference) {
+  Rng rng(99);
+  UntrustedStore store;
+  LeaseTree tree(0xb06e7, store);
+  tree.set_resident_budget(64 * 1024);
+  std::map<LeaseId, std::uint64_t> reference;
+
+  for (int step = 0; step < 3'000; ++step) {
+    const LeaseId id = static_cast<LeaseId>(rng.next_below(2'000));
+    if (rng.next_bool(0.7)) {
+      const std::uint64_t count = 1 + rng.next_below(50);
+      tree.insert(id, Gcl(LeaseKind::kCountBased, count));
+      reference[id] = count;
+    } else {
+      LeaseRecord* record = tree.find(id);
+      auto it = reference.find(id);
+      if (it == reference.end()) {
+        EXPECT_EQ(record, nullptr);
+      } else {
+        ASSERT_NE(record, nullptr) << "id " << id;
+        EXPECT_EQ(record->gcl().count(), it->second);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sl::lease

@@ -1,0 +1,217 @@
+// Wire-protocol tests: message round trips, malformed-payload rejection,
+// and a full SL-Local-style session driven through the RPC channel.
+#include <gtest/gtest.h>
+
+#include "lease/wire.hpp"
+#include "sgxsim/runtime.hpp"
+
+namespace sl::lease::wire {
+namespace {
+
+sgx::Quote sample_quote(sgx::SgxRuntime& runtime, sgx::Platform& platform) {
+  sgx::Enclave& enclave = runtime.create_enclave("wire-test-enclave", 4096);
+  return platform.create_quote(enclave.id(), to_bytes("challenge"));
+}
+
+TEST(WireMessages, InitRequestRoundTrip) {
+  sgx::SgxRuntime runtime;
+  sgx::Platform platform(runtime, 1, 0xaaaa);
+  InitRequest request;
+  request.claimed_slid = 42;
+  request.quote = sample_quote(runtime, platform);
+
+  const auto restored = InitRequest::deserialize(request.serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->claimed_slid, 42u);
+  EXPECT_EQ(restored->quote.report.mrenclave, request.quote.report.mrenclave);
+  EXPECT_EQ(restored->quote.report.report_data, request.quote.report.report_data);
+  EXPECT_EQ(restored->quote.signature, request.quote.signature);
+  EXPECT_EQ(restored->quote.platform_id, request.quote.platform_id);
+}
+
+TEST(WireMessages, InitResponseRoundTrip) {
+  InitResponse response;
+  response.ok = true;
+  response.slid = 7;
+  response.old_backup_key = 0xdeadbeefcafeULL;
+  response.restore_allowed = true;
+  const auto restored = InitResponse::deserialize(response.serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->ok);
+  EXPECT_EQ(restored->slid, 7u);
+  EXPECT_EQ(restored->old_backup_key, 0xdeadbeefcafeULL);
+  EXPECT_TRUE(restored->restore_allowed);
+}
+
+TEST(WireMessages, RenewRequestRoundTrip) {
+  LicenseAuthority vendor(0x1234);
+  RenewRequest request;
+  request.slid = 9;
+  request.license = vendor.issue(33, "addon/x", LeaseKind::kCountBased, 500);
+  request.health = 0.87;
+  request.network = 0.42;
+  request.consumed = 123;
+
+  const auto restored = RenewRequest::deserialize(request.serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->slid, 9u);
+  EXPECT_EQ(restored->license.lease_id, 33u);
+  EXPECT_EQ(restored->license.product, "addon/x");
+  EXPECT_TRUE(vendor.validate(restored->license));  // signature survives
+  EXPECT_NEAR(restored->health, 0.87, 1e-6);
+  EXPECT_NEAR(restored->network, 0.42, 1e-6);
+  EXPECT_EQ(restored->consumed, 123u);
+}
+
+TEST(WireMessages, ShutdownRequestRoundTrip) {
+  ShutdownRequest request;
+  request.slid = 3;
+  request.root_key = 0xfeed;
+  request.unused = {{10, 100}, {20, 7}, {30, 0}};
+  const auto restored = ShutdownRequest::deserialize(request.serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->unused, request.unused);
+  EXPECT_EQ(restored->root_key, 0xfeedu);
+}
+
+TEST(WireMessages, MalformedPayloadsRejected) {
+  EXPECT_FALSE(InitRequest::deserialize(Bytes{}).has_value());
+  EXPECT_FALSE(InitRequest::deserialize(Bytes(10, 0xff)).has_value());
+  EXPECT_FALSE(InitResponse::deserialize(Bytes(23, 0)).has_value());
+  EXPECT_FALSE(RenewRequest::deserialize(Bytes(7, 0)).has_value());
+  // Blob length lying about the payload size.
+  Bytes lying;
+  put_u64(lying, 1);            // slid
+  put_u32(lying, 1'000'000);    // license blob "length"
+  EXPECT_FALSE(RenewRequest::deserialize(lying).has_value());
+  EXPECT_FALSE(RenewResponse::deserialize(Bytes(11, 0)).has_value());
+  // Shutdown with an unused-count that overruns the payload.
+  Bytes shutdown_lying;
+  put_u64(shutdown_lying, 1);
+  put_u64(shutdown_lying, 2);
+  put_u32(shutdown_lying, 1'000);
+  EXPECT_FALSE(ShutdownRequest::deserialize(shutdown_lying).has_value());
+}
+
+// --- Full session over the RPC channel ------------------------------------------
+
+struct WireSessionFixture : public ::testing::Test {
+  static constexpr std::uint64_t kPlatformSecret = 0x33;
+
+  sgx::SgxRuntime runtime;
+  sgx::Platform platform{runtime, /*platform_id=*/2, kPlatformSecret};
+  sgx::AttestationService ias;
+  LicenseAuthority vendor{0x9999};
+  SlRemote remote{vendor, ias, sgx::measure("wire-local"), /*ra=*/3.5};
+
+  net::SimNetwork network{11};
+  net::RpcServer server;
+  SimClock server_clock;
+  SlRemoteService service{remote, server, server_clock};
+
+  SimClock client_clock;
+  net::RpcClient rpc{network, /*node=*/1, server, client_clock};
+  SlRemoteClient client{rpc};
+
+  WireSessionFixture() {
+    ias.register_platform(2, kPlatformSecret);
+    network.set_link(1, {.rtt_millis = 15.0, .reliability = 1.0});
+  }
+
+  sgx::Quote local_quote() {
+    sgx::Enclave& enclave = runtime.create_enclave("wire-local", 4096);
+    return platform.create_quote(enclave.id(), to_bytes("init"));
+  }
+};
+
+TEST_F(WireSessionFixture, InitOverTheWire) {
+  InitRequest request;
+  request.quote = local_quote();
+  const auto response = client.init(request);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_TRUE(response->ok);
+  EXPECT_NE(response->slid, 0u);
+  // Transport latency charged to the client clock, RA to the server clock.
+  EXPECT_GT(client_clock.millis(), 0.0);
+  EXPECT_GE(server_clock.seconds(), 3.5);
+}
+
+TEST_F(WireSessionFixture, RenewOverTheWire) {
+  const LicenseFile license = vendor.issue(55, "wire/addon", LeaseKind::kCountBased, 1'000);
+  remote.provision(license);
+
+  InitRequest init_request;
+  init_request.quote = local_quote();
+  const auto init_response = client.init(init_request);
+  ASSERT_TRUE(init_response.has_value() && init_response->ok);
+
+  RenewRequest renew_request;
+  renew_request.slid = init_response->slid;
+  renew_request.license = license;
+  renew_request.health = 0.95;
+  renew_request.network = 1.0;
+  const auto renew_response = client.renew(renew_request);
+  ASSERT_TRUE(renew_response.has_value());
+  EXPECT_TRUE(renew_response->ok);
+  EXPECT_GT(renew_response->granted, 0u);
+  EXPECT_LT(*remote.remaining_pool(55), 1'000u);
+}
+
+TEST_F(WireSessionFixture, TamperedLicenseRejectedOverTheWire) {
+  LicenseFile license = vendor.issue(56, "wire/addon2", LeaseKind::kCountBased, 100);
+  remote.provision(license);
+  InitRequest init_request;
+  init_request.quote = local_quote();
+  const auto init_response = client.init(init_request);
+  ASSERT_TRUE(init_response.has_value());
+
+  license.total_count = 1'000'000;  // forged in flight
+  RenewRequest renew_request;
+  renew_request.slid = init_response->slid;
+  renew_request.license = license;
+  const auto renew_response = client.renew(renew_request);
+  ASSERT_TRUE(renew_response.has_value());
+  EXPECT_FALSE(renew_response->ok);
+}
+
+TEST_F(WireSessionFixture, ShutdownEscrowsOverTheWire) {
+  const LicenseFile license = vendor.issue(57, "wire/addon3", LeaseKind::kCountBased, 1'000);
+  remote.provision(license);
+  InitRequest init_request;
+  init_request.quote = local_quote();
+  const auto init_response = client.init(init_request);
+  ASSERT_TRUE(init_response.has_value());
+
+  RenewRequest renew_request;
+  renew_request.slid = init_response->slid;
+  renew_request.license = license;
+  const auto renew_response = client.renew(renew_request);
+  ASSERT_TRUE(renew_response.has_value() && renew_response->ok);
+
+  ShutdownRequest shutdown_request;
+  shutdown_request.slid = init_response->slid;
+  shutdown_request.root_key = 0xabc;
+  shutdown_request.unused[57] = renew_response->granted;  // nothing consumed
+  EXPECT_TRUE(client.shutdown(shutdown_request));
+  // The unused grant flowed back into the pool.
+  EXPECT_EQ(*remote.remaining_pool(57), 1'000u);
+
+  // Re-init with the same SLID gets the escrowed key back.
+  InitRequest reinit;
+  reinit.claimed_slid = init_response->slid;
+  reinit.quote = local_quote();
+  const auto reinit_response = client.init(reinit);
+  ASSERT_TRUE(reinit_response.has_value());
+  EXPECT_TRUE(reinit_response->restore_allowed);
+  EXPECT_EQ(reinit_response->old_backup_key, 0xabcu);
+}
+
+TEST_F(WireSessionFixture, DeadNetworkFailsGracefully) {
+  network.set_link(1, {.reliability = 0.0});
+  InitRequest request;
+  request.quote = local_quote();
+  EXPECT_FALSE(client.init(request).has_value());
+}
+
+}  // namespace
+}  // namespace sl::lease::wire

@@ -1,0 +1,108 @@
+#include "net/channel.hpp"
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sl::net {
+namespace {
+
+TEST(Network, PerfectLinkAlwaysSucceeds) {
+  SimNetwork network(1);
+  network.set_link(1, {.rtt_millis = 10, .reliability = 1.0});
+  SimClock clock;
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(network.round_trip(1, clock));
+  EXPECT_NEAR(clock.millis(), 1000.0, 1e-6);
+  EXPECT_EQ(network.stats(1).failures, 0u);
+}
+
+TEST(Network, DeadLinkAlwaysFails) {
+  SimNetwork network(2);
+  network.set_link(1, {.rtt_millis = 10, .reliability = 0.0, .timeout_millis = 50});
+  SimClock clock;
+  EXPECT_FALSE(network.round_trip(1, clock, /*max_retries=*/2));
+  // Three attempts, all timing out.
+  EXPECT_NEAR(clock.millis(), 150.0, 1e-6);
+  EXPECT_EQ(network.stats(1).attempts, 3u);
+  EXPECT_EQ(network.stats(1).failures, 3u);
+}
+
+TEST(Network, FlakyLinkRetriesThenSucceeds) {
+  SimNetwork network(3);
+  network.set_link(1, {.rtt_millis = 5, .reliability = 0.5, .timeout_millis = 20});
+  SimClock clock;
+  int successes = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (network.round_trip(1, clock, /*max_retries=*/5)) successes++;
+  }
+  // With 6 attempts at p=0.5 virtually everything succeeds.
+  EXPECT_GE(successes, 190);
+  EXPECT_NEAR(network.observed_reliability(1), 0.5, 0.08);
+}
+
+TEST(Network, UnknownLinkThrows) {
+  SimNetwork network(4);
+  SimClock clock;
+  EXPECT_THROW(network.round_trip(9, clock), Error);
+}
+
+TEST(Network, BadReliabilityRejected) {
+  SimNetwork network(5);
+  EXPECT_THROW(network.set_link(1, {.reliability = 1.5}), Error);
+  EXPECT_THROW(network.set_link(1, {.reliability = -0.1}), Error);
+}
+
+TEST(Rpc, DispatchReachesHandler) {
+  SimNetwork network(6);
+  network.set_link(1, {.rtt_millis = 2, .reliability = 1.0});
+  RpcServer server;
+  server.register_method("echo", [](ByteView request) {
+    return Bytes(request.begin(), request.end());
+  });
+  SimClock clock;
+  RpcClient client(network, 1, server, clock);
+  const RpcResult result = client.call("echo", to_bytes("ping"));
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.payload, to_bytes("ping"));
+}
+
+TEST(Rpc, SessionHandshakeCostsTwoRoundTrips) {
+  SimNetwork network(7);
+  network.set_link(1, {.rtt_millis = 10, .reliability = 1.0});
+  RpcServer server;
+  server.register_method("noop", [](ByteView) { return Bytes{}; });
+  SimClock clock;
+  RpcClient client(network, 1, server, clock);
+  client.call("noop", {});
+  EXPECT_NEAR(clock.millis(), 30.0, 1e-6);  // 2 handshake + 1 call
+  client.call("noop", {});
+  EXPECT_NEAR(clock.millis(), 40.0, 1e-6);  // handshake amortized
+}
+
+TEST(Rpc, DeadNetworkFailsTransport) {
+  SimNetwork network(8);
+  network.set_link(1, {.reliability = 0.0});
+  RpcServer server;
+  server.register_method("noop", [](ByteView) { return Bytes{}; });
+  SimClock clock;
+  RpcClient client(network, 1, server, clock);
+  EXPECT_FALSE(client.call("noop", {}).ok);
+}
+
+TEST(Rpc, UnknownMethodThrows) {
+  SimNetwork network(9);
+  network.set_link(1, {.reliability = 1.0});
+  RpcServer server;
+  SimClock clock;
+  RpcClient client(network, 1, server, clock);
+  EXPECT_THROW(client.call("missing", {}), Error);
+}
+
+TEST(Rpc, EmptyHandlerRejected) {
+  RpcServer server;
+  EXPECT_THROW(server.register_method("bad", nullptr), Error);
+}
+
+}  // namespace
+}  // namespace sl::net

@@ -1,0 +1,221 @@
+#include "partition/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workloads/model_builder.hpp"
+
+namespace sl::partition {
+namespace {
+
+// A tiny synthetic app for exact-arithmetic checks.
+workloads::AppModel tiny_model() {
+  workloads::ModelBuilder b("tiny", "synthetic");
+  b.module("outside",
+           {
+               {.name = "main", .code_instr = 10, .mem_bytes = 4096,
+                .work_cycles = 1'000, .invocations = 1, .io = true},
+           });
+  b.module("inside",
+           {
+               {.name = "kernel", .code_instr = 20, .mem_bytes = 8192,
+                .work_cycles = 100, .invocations = 50, .enclave_state = 4096,
+                .key = true, .sensitive = true},
+               {.name = "helper", .code_instr = 5, .mem_bytes = 4096,
+                .work_cycles = 10, .invocations = 500, .enclave_state = 4096,
+                .sensitive = true},
+           });
+  // The "inside" module auto-chain already wires kernel -> helper with the
+  // helper's 500 invocations; only the cross-module edge is explicit.
+  b.call("main", "kernel", 50);
+  b.entry("main");
+  return std::move(b).build();
+}
+
+PartitionResult migrate_inside(const workloads::AppModel& model, bool data_in) {
+  PartitionResult part;
+  part.scheme = data_in ? Scheme::kGlamdring : Scheme::kSecureLease;
+  part.data_in_enclave = data_in;
+  part.migrated.insert(model.graph.id_of("kernel"));
+  part.migrated.insert(model.graph.id_of("helper"));
+  return part;
+}
+
+TEST(CostModel, VanillaHasZeroOverhead) {
+  const auto model = tiny_model();
+  const auto stats = simulate_run(model, partition_vanilla(model));
+  EXPECT_EQ(stats.total_cycles, stats.vanilla_cycles);
+  EXPECT_DOUBLE_EQ(stats.overhead(), 0.0);
+  EXPECT_EQ(stats.ecalls, 0u);
+  EXPECT_EQ(stats.epc_faults, 0u);
+}
+
+TEST(CostModel, VanillaCyclesAreInvocationWeightedWork) {
+  const auto model = tiny_model();
+  const auto stats = simulate_run(model, partition_vanilla(model));
+  // 1*1000 + 50*100 + 500*10 = 11000.
+  EXPECT_EQ(stats.vanilla_cycles, 11'000u);
+}
+
+TEST(CostModel, BoundaryCallsBecomeEcalls) {
+  const auto model = tiny_model();
+  const auto stats = simulate_run(model, migrate_inside(model, false));
+  EXPECT_EQ(stats.ecalls, 50u);  // main -> kernel crossings
+  EXPECT_EQ(stats.ocalls, 0u);   // kernel -> helper stays inside
+}
+
+TEST(CostModel, ReverseBoundaryCallsBecomeOcalls) {
+  const auto model = tiny_model();
+  PartitionResult part;
+  part.scheme = Scheme::kSecureLease;
+  part.migrated.insert(model.graph.id_of("kernel"));  // helper stays outside
+  const auto stats = simulate_run(model, part);
+  EXPECT_EQ(stats.ecalls, 50u);
+  EXPECT_EQ(stats.ocalls, 500u);  // kernel -> helper now crosses out
+}
+
+TEST(CostModel, EnclaveTaxAppliedToMigratedWorkOnly) {
+  const auto model = tiny_model();
+  SimOptions options;
+  options.costs.ecall_cycles = 0;
+  options.costs.ocall_cycles = 0;
+  options.costs.page_crypt_cycles = 0;
+  options.costs.epc_fault_cycles = 0;
+  options.costs.enclave_cycle_tax = 0.5;
+  const auto stats = simulate_run(model, migrate_inside(model, false), options);
+  // Migrated work = 50*100 + 500*10 = 10000; tax adds 5000.
+  EXPECT_EQ(stats.total_cycles, stats.vanilla_cycles + 5'000);
+}
+
+TEST(CostModel, NoFaultsWhenFootprintFitsEpc) {
+  const auto model = tiny_model();
+  const auto stats = simulate_run(model, migrate_inside(model, true));
+  EXPECT_EQ(stats.epc_faults, 0u);
+  EXPECT_EQ(stats.epc_evictions, 0u);
+}
+
+TEST(CostModel, FaultsWhenFootprintExceedsEpc) {
+  workloads::ModelBuilder b("big", "synthetic");
+  b.module("outside", {{.name = "main", .work_cycles = 1'000, .io = true}});
+  b.module("inside", {{.name = "hog", .mem_bytes = 32ull << 20,
+                       .work_cycles = 1'000, .invocations = 1'000,
+                       .page_touches = 200'000, .random_access = true,
+                       .key = true, .sensitive = true}});
+  b.call("main", "hog", 10);
+  b.entry("main");
+  const auto model = std::move(b).build();
+
+  SimOptions options;
+  options.costs.epc_bytes = 8ull << 20;  // 8 MB EPC vs 32 MB region
+  options.page_scale = 1;
+  PartitionResult part;
+  part.scheme = Scheme::kGlamdring;
+  part.data_in_enclave = true;
+  part.migrated.insert(model.graph.id_of("hog"));
+  const auto stats = simulate_run(model, part, options);
+  EXPECT_GT(stats.epc_evictions, 50'000u);
+  EXPECT_GT(stats.epc_faults, 50'000u);
+  EXPECT_GT(stats.total_cycles, stats.vanilla_cycles * 2);
+}
+
+TEST(CostModel, SecureLeasePolicyAvoidsFaultsOnBigData) {
+  // Same hog, but data stays untrusted: the 4 KB enclave state never
+  // pressures the EPC.
+  workloads::ModelBuilder b("big2", "synthetic");
+  b.module("outside", {{.name = "main", .work_cycles = 1'000, .io = true}});
+  b.module("inside", {{.name = "hog", .mem_bytes = 32ull << 20,
+                       .work_cycles = 1'000, .invocations = 1'000,
+                       .page_touches = 200'000, .random_access = true,
+                       .enclave_state = 4096, .key = true, .sensitive = true}});
+  b.call("main", "hog", 10);
+  b.entry("main");
+  const auto model = std::move(b).build();
+
+  SimOptions options;
+  options.costs.epc_bytes = 8ull << 20;
+  options.page_scale = 1;
+  PartitionResult part;
+  part.scheme = Scheme::kSecureLease;
+  part.data_in_enclave = false;
+  part.migrated.insert(model.graph.id_of("hog"));
+  const auto stats = simulate_run(model, part, options);
+  EXPECT_EQ(stats.epc_faults, 0u);
+}
+
+TEST(CostModel, PageScalePreservesChargedCyclesApproximately) {
+  workloads::ModelBuilder b("scaled", "synthetic");
+  b.module("outside", {{.name = "main", .work_cycles = 1'000, .io = true}});
+  b.module("inside", {{.name = "hog", .mem_bytes = 64ull << 20,
+                       .work_cycles = 100, .invocations = 10,
+                       .page_touches = 400'000, .random_access = true,
+                       .key = true, .sensitive = true}});
+  b.call("main", "hog", 10);
+  b.entry("main");
+  const auto model = std::move(b).build();
+
+  PartitionResult part;
+  part.scheme = Scheme::kGlamdring;
+  part.data_in_enclave = true;
+  part.migrated.insert(model.graph.id_of("hog"));
+
+  SimOptions exact;
+  exact.costs.epc_bytes = 16ull << 20;
+  exact.page_scale = 1;
+  SimOptions scaled = exact;
+  scaled.page_scale = 16;
+
+  const auto exact_stats = simulate_run(model, part, exact);
+  const auto scaled_stats = simulate_run(model, part, scaled);
+  ASSERT_GT(exact_stats.epc_faults, 0u);
+  const double cycle_ratio = static_cast<double>(scaled_stats.total_cycles) /
+                             static_cast<double>(exact_stats.total_cycles);
+  EXPECT_NEAR(cycle_ratio, 1.0, 0.15);
+  const double fault_ratio = static_cast<double>(scaled_stats.epc_faults) /
+                             static_cast<double>(exact_stats.epc_faults);
+  EXPECT_NEAR(fault_ratio, 1.0, 0.15);
+}
+
+TEST(CostModel, EstimateTracksSimulationWithoutEpc) {
+  const auto model = tiny_model();
+  const auto part = migrate_inside(model, false);
+  SimOptions options;  // footprint fits: no EPC cost either way
+  const auto stats = simulate_run(model, part, options);
+  const double estimate = estimate_overhead(model, part, options.costs);
+  EXPECT_NEAR(estimate, stats.overhead(), 0.02);
+}
+
+TEST(CostModel, CoverageMetricsFilled) {
+  const auto model = tiny_model();
+  const auto stats = simulate_run(model, migrate_inside(model, false));
+  EXPECT_EQ(stats.static_coverage_instr, 25u);  // kernel 20 + helper 5
+  EXPECT_EQ(stats.dynamic_coverage_instr, 10'000u);
+  EXPECT_EQ(stats.migrated_functions, 2u);
+}
+
+TEST(CostModel, ScalableSgxReducesOverhead) {
+  workloads::ModelBuilder b("scal", "synthetic");
+  b.module("outside", {{.name = "main", .work_cycles = 1'000, .io = true}});
+  b.module("inside", {{.name = "hog", .mem_bytes = 256ull << 20,
+                       .work_cycles = 10'000, .invocations = 10'000,
+                       .page_touches = 2'000'000, .random_access = true,
+                       .key = true, .sensitive = true}});
+  b.call("main", "hog", 10);
+  b.entry("main");
+  const auto model = std::move(b).build();
+
+  PartitionResult part;
+  part.scheme = Scheme::kGlamdring;
+  part.data_in_enclave = true;
+  part.migrated.insert(model.graph.id_of("hog"));
+
+  SimOptions classic;  // 92 MB EPC: 256 MB region thrashes
+  SimOptions scalable;
+  scalable.costs = sgx::scalable_sgx_cost_model();
+  const auto classic_stats = simulate_run(model, part, classic);
+  const auto scalable_stats = simulate_run(model, part, scalable);
+  EXPECT_GT(classic_stats.epc_faults, 0u);
+  EXPECT_EQ(scalable_stats.epc_faults, 0u);
+  EXPECT_LT(scalable_stats.overhead(), classic_stats.overhead());
+}
+
+}  // namespace
+}  // namespace sl::partition

@@ -1,0 +1,228 @@
+#include "partition/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "partition/cost_model.hpp"
+
+#include "workloads/models.hpp"
+
+namespace sl::partition {
+namespace {
+
+bool migrated(const workloads::AppModel& model, const PartitionResult& part,
+              const std::string& fn) {
+  return part.contains(model.graph.id_of(fn));
+}
+
+// --- SecureLease partitioner -----------------------------------------------
+
+TEST(SecureLeasePartitioner, BfsMigratesAmAndFrontierCluster) {
+  const auto model = workloads::make_bfs_model();
+  const auto part = partition_securelease(model);
+  for (const char* fn : {"check_license", "parse_license", "verify_sig", "update",
+                         "visit_push", "visit_pop"}) {
+    EXPECT_TRUE(migrated(model, part.result, fn)) << fn;
+  }
+  for (const char* fn : {"main", "bfs_run", "load_graph", "edge_iter"}) {
+    EXPECT_FALSE(migrated(model, part.result, fn)) << fn;
+  }
+}
+
+TEST(SecureLeasePartitioner, BtreeMigratesIndexOperations) {
+  const auto model = workloads::make_btree_model();
+  const auto part = partition_securelease(model);
+  for (const char* fn : {"find", "leaf", "create"}) {
+    EXPECT_TRUE(migrated(model, part.result, fn)) << fn;
+  }
+  EXPECT_FALSE(migrated(model, part.result, "insert_driver"));
+  EXPECT_FALSE(migrated(model, part.result, "lookup_driver"));
+}
+
+TEST(SecureLeasePartitioner, NeverMigratesIoFunctions) {
+  for (const auto& entry : workloads::all_workloads()) {
+    const auto model = entry.make_model();
+    const auto part = partition_securelease(model);
+    for (cfg::NodeId n : part.result.migrated) {
+      EXPECT_FALSE(model.graph.node(n).does_io)
+          << entry.name << ": " << model.graph.node(n).name;
+    }
+  }
+}
+
+TEST(SecureLeasePartitioner, AlwaysMigratesAuthenticationModule) {
+  for (const auto& entry : workloads::all_workloads()) {
+    const auto model = entry.make_model();
+    const auto part = partition_securelease(model);
+    for (cfg::NodeId n : model.authentication_functions()) {
+      EXPECT_TRUE(part.result.contains(n)) << entry.name;
+    }
+  }
+}
+
+TEST(SecureLeasePartitioner, RespectsMemoryThreshold) {
+  for (const auto& entry : workloads::all_workloads()) {
+    const auto model = entry.make_model();
+    SecureLeaseOptions options;
+    const auto part = partition_securelease(model, options);
+    EXPECT_LE(part.result.enclave_bytes(model), options.m_t) << entry.name;
+  }
+}
+
+TEST(SecureLeasePartitioner, TinyMemoryThresholdBlocksClusters) {
+  const auto model = workloads::make_bfs_model();
+  SecureLeaseOptions options;
+  options.m_t = 2 * 1024 * 1024;  // below the frontier cluster's state
+  const auto part = partition_securelease(model, options);
+  // Only the AM fits.
+  EXPECT_FALSE(migrated(model, part.result, "update"));
+  EXPECT_TRUE(migrated(model, part.result, "check_license"));
+}
+
+TEST(SecureLeasePartitioner, TinyOverheadThresholdBlocksClusters) {
+  const auto model = workloads::make_bfs_model();
+  SecureLeaseOptions options;
+  options.r_t = 0.01;  // nothing can be migrated this cheaply
+  const auto part = partition_securelease(model, options);
+  EXPECT_FALSE(migrated(model, part.result, "update"));
+}
+
+TEST(SecureLeasePartitioner, KeepsSharedDataUntrusted) {
+  const auto model = workloads::make_bfs_model();
+  const auto part = partition_securelease(model);
+  EXPECT_FALSE(part.result.data_in_enclave);
+  // BFS enclave footprint is ~4 MB, far below the 184 MB graph.
+  EXPECT_LT(part.result.enclave_bytes(model), 8ull * 1024 * 1024);
+}
+
+TEST(SecureLeasePartitioner, StaticCoverageBelowGlamdring) {
+  for (const auto& entry : workloads::all_workloads()) {
+    const auto model = entry.make_model();
+    const auto sl = partition_securelease(model);
+    const auto gl = partition_glamdring(model);
+    EXPECT_LE(sl.result.static_instructions(model), gl.static_instructions(model))
+        << entry.name;
+  }
+}
+
+TEST(SecureLeasePartitioner, HighDynamicCoverage) {
+  // Table 5: SecureLease keeps >= ~78% of Glamdring's dynamic coverage.
+  for (const auto& entry : workloads::all_workloads()) {
+    const auto model = entry.make_model();
+    const auto sl = partition_securelease(model);
+    const auto gl = partition_glamdring(model);
+    const double ratio =
+        static_cast<double>(sl.result.dynamic_instructions(model)) /
+        static_cast<double>(gl.dynamic_instructions(model));
+    EXPECT_GT(ratio, 0.70) << entry.name;
+    EXPECT_LE(ratio, 1.0) << entry.name;
+  }
+}
+
+// --- Glamdring baseline ---------------------------------------------------------
+
+TEST(GlamdringPartitioner, MigratesExactlyTheSensitiveClosure) {
+  const auto model = workloads::make_bfs_model();
+  const auto part = partition_glamdring(model);
+  for (cfg::NodeId n : model.graph.all_nodes()) {
+    EXPECT_EQ(part.contains(n), model.graph.node(n).touches_sensitive_data)
+        << model.graph.node(n).name;
+  }
+  EXPECT_TRUE(part.data_in_enclave);
+}
+
+TEST(GlamdringPartitioner, TaintPropagationFixpoint) {
+  workloads::AppModel model;
+  model.name = "synthetic";
+  model.entry = "a";
+  auto& g = model.graph;
+  g.add_function({.name = "a", .touches_sensitive_data = true});
+  g.add_function({.name = "b"});
+  g.add_function({.name = "c"});
+  g.add_function({.name = "d"});
+  g.add_call("a", "b", 1000);  // hot: data flows
+  g.add_call("b", "c", 1000);  // transitively tainted
+  g.add_call("c", "d", 5);     // cold: below threshold
+
+  const auto part =
+      partition_glamdring(model, {.propagate_min_calls = 100});
+  EXPECT_TRUE(part.contains(g.id_of("a")));
+  EXPECT_TRUE(part.contains(g.id_of("b")));
+  EXPECT_TRUE(part.contains(g.id_of("c")));
+  EXPECT_FALSE(part.contains(g.id_of("d")));
+}
+
+TEST(GlamdringPartitioner, PropagationOffByDefault) {
+  workloads::AppModel model;
+  model.name = "synthetic";
+  model.entry = "a";
+  auto& g = model.graph;
+  g.add_function({.name = "a", .touches_sensitive_data = true});
+  g.add_function({.name = "b"});
+  g.add_call("a", "b", 1'000'000);
+  const auto part = partition_glamdring(model);
+  EXPECT_FALSE(part.contains(g.id_of("b")));
+}
+
+// --- F-LaaS baseline --------------------------------------------------------------
+
+TEST(FlaasPartitioner, PicksHighCallVolumeOrchestrators) {
+  const auto model = workloads::make_bfs_model();
+  const auto part = partition_flaas(model, {.top_fraction = 0.15});
+  // update() makes 1M calls (to visit_push) — the highest call volume in
+  // the BFS model — so the out-degree heuristic grabs it.
+  EXPECT_TRUE(migrated(model, part, "update"));
+  EXPECT_FALSE(part.data_in_enclave);
+}
+
+TEST(FlaasPartitioner, CutsThroughHotEdges) {
+  // The baseline's defining flaw: migrating the caller of a hot edge
+  // without its callee turns the edge into a crossing storm.
+  const auto model = workloads::make_hashjoin_model();
+  const auto part = partition_flaas(model, {.top_fraction = 0.1});
+  const auto stats = simulate_run(model, part);
+  EXPECT_GT(stats.slowdown(), 50.0);  // the paper's "up to 2000x" regime
+}
+
+TEST(FlaasPartitioner, AlwaysIncludesAm) {
+  const auto model = workloads::make_bfs_model();
+  const auto part = partition_flaas(model, {.top_fraction = 0.05});
+  for (cfg::NodeId n : model.authentication_functions()) {
+    EXPECT_TRUE(part.contains(n));
+  }
+}
+
+// --- Full enclave / vanilla -----------------------------------------------------------
+
+TEST(FullEnclavePartitioner, MigratesEverything) {
+  const auto model = workloads::make_hashjoin_model();
+  const auto part = partition_full_enclave(model);
+  EXPECT_EQ(part.migrated.size(), model.graph.node_count());
+  EXPECT_TRUE(part.data_in_enclave);
+  EXPECT_EQ(part.static_instructions(model), model.graph.total_static_instructions());
+}
+
+TEST(VanillaPartitioner, MigratesNothing) {
+  const auto model = workloads::make_hashjoin_model();
+  const auto part = partition_vanilla(model);
+  EXPECT_TRUE(part.migrated.empty());
+  EXPECT_EQ(part.enclave_bytes(model), 0u);
+}
+
+TEST(PartitionResult, MigratedNamesSorted) {
+  const auto model = workloads::make_bfs_model();
+  const auto part = partition_securelease(model);
+  const auto names = part.result.migrated_names(model);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_EQ(names.size(), part.result.migrated.size());
+}
+
+TEST(SchemeNames, AllDistinct) {
+  EXPECT_EQ(scheme_name(Scheme::kVanilla), "Vanilla");
+  EXPECT_EQ(scheme_name(Scheme::kFullSgx), "FullSGX");
+  EXPECT_EQ(scheme_name(Scheme::kSecureLease), "SecureLease");
+  EXPECT_EQ(scheme_name(Scheme::kGlamdring), "Glamdring");
+  EXPECT_EQ(scheme_name(Scheme::kFlaas), "F-LaaS");
+}
+
+}  // namespace
+}  // namespace sl::partition

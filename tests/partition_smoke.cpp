@@ -1,0 +1,44 @@
+// Developer smoke harness: prints the Table 5 quantities for every workload
+// so model calibration can be checked at a glance. Kept as a plain binary
+// (not a gtest) because its output is meant for eyeballing.
+#include <cstdio>
+
+#include "partition/cost_model.hpp"
+#include "partition/partitioner.hpp"
+#include "workloads/models.hpp"
+
+using namespace sl;
+
+int main() {
+  std::printf("%-12s %10s %10s %8s %8s %8s %8s %9s %9s %7s\n", "workload", "SL_stat",
+              "GL_stat", "SL_dynB", "GL_dynB", "SL_MB", "GL_MB", "GL_evict", "SL_ov",
+              "impr");
+  for (const auto& entry : workloads::all_workloads()) {
+    const workloads::AppModel model = entry.make_model();
+
+    const auto sl_part = partition::partition_securelease(model);
+    const auto gl_part = partition::partition_glamdring(model);
+
+    const auto sl_stats = partition::simulate_run(model, sl_part.result);
+    const auto gl_stats = partition::simulate_run(model, gl_part);
+
+    const double impr = 1.0 - sl_stats.slowdown() / gl_stats.slowdown();
+    std::printf("%-12s %10llu %10llu %8.2f %8.2f %8.1f %8.1f %9llu %8.1f%% %6.1f%%\n",
+                model.name.c_str(),
+                (unsigned long long)sl_stats.static_coverage_instr,
+                (unsigned long long)gl_stats.static_coverage_instr,
+                sl_stats.dynamic_coverage_instr / 1e9,
+                gl_stats.dynamic_coverage_instr / 1e9,
+                sl_stats.enclave_bytes / 1048576.0, gl_stats.enclave_bytes / 1048576.0,
+                (unsigned long long)gl_stats.epc_evictions,
+                sl_stats.overhead() * 100.0, impr * 100.0);
+    std::printf("             migrated:");
+    for (const auto& name : sl_part.result.migrated_names(model)) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("  | GL_ov %.1f%% SL_ecalls %llu GL_ocalls %llu\n",
+                gl_stats.overhead() * 100.0, (unsigned long long)sl_stats.ecalls,
+                (unsigned long long)gl_stats.ocalls);
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "sgxsim/attestation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sl::sgx {
+namespace {
+
+struct AttestationFixture : public ::testing::Test {
+  SgxRuntime runtime;
+  Platform platform{runtime, /*platform_id=*/7, /*platform_secret=*/0xcafe};
+  AttestationService ias;
+
+  AttestationFixture() { ias.register_platform(7, 0xcafe); }
+
+  Enclave& make_enclave(const std::string& name) {
+    return runtime.create_enclave(name, 4096);
+  }
+};
+
+TEST_F(AttestationFixture, LocalReportVerifies) {
+  Enclave& e = make_enclave("prover");
+  const Report report = platform.create_report(e.id(), to_bytes("nonce"));
+  EXPECT_TRUE(platform.verify_report(report, e.measurement()));
+}
+
+TEST_F(AttestationFixture, LocalReportChargesAttestationCost) {
+  Enclave& e = make_enclave("prover");
+  const Cycles before = runtime.clock().cycles();
+  platform.create_report(e.id(), to_bytes("nonce"));
+  EXPECT_EQ(runtime.clock().cycles() - before,
+            runtime.costs().local_attestation_cycles);
+}
+
+TEST_F(AttestationFixture, WrongMeasurementRejected) {
+  Enclave& e = make_enclave("prover");
+  const Report report = platform.create_report(e.id(), to_bytes("nonce"));
+  EXPECT_FALSE(platform.verify_report(report, measure("someone-else")));
+}
+
+TEST_F(AttestationFixture, TamperedReportDataRejected) {
+  Enclave& e = make_enclave("prover");
+  Report report = platform.create_report(e.id(), to_bytes("nonce"));
+  report.report_data.push_back(0xff);
+  EXPECT_FALSE(platform.verify_report(report, e.measurement()));
+}
+
+TEST_F(AttestationFixture, ForgedMacRejected) {
+  Enclave& e = make_enclave("prover");
+  Report report = platform.create_report(e.id(), to_bytes("nonce"));
+  report.mac[3] ^= 0x80;
+  EXPECT_FALSE(platform.verify_report(report, e.measurement()));
+}
+
+TEST_F(AttestationFixture, QuoteVerifiesRemotely) {
+  Enclave& e = make_enclave("prover");
+  const Quote quote = platform.create_quote(e.id(), to_bytes("challenge"));
+  SimClock clock;
+  EXPECT_TRUE(ias.verify_quote(quote, e.measurement(), clock, 3.5));
+}
+
+TEST_F(AttestationFixture, QuoteVerificationChargesLatency) {
+  Enclave& e = make_enclave("prover");
+  const Quote quote = platform.create_quote(e.id(), to_bytes("challenge"));
+  SimClock clock;
+  ias.verify_quote(quote, e.measurement(), clock, 3.5);
+  EXPECT_NEAR(clock.seconds(), 3.5, 1e-9);
+}
+
+TEST_F(AttestationFixture, UnknownPlatformRejected) {
+  Enclave& e = make_enclave("prover");
+  Quote quote = platform.create_quote(e.id(), to_bytes("challenge"));
+  quote.platform_id = 999;
+  SimClock clock;
+  EXPECT_FALSE(ias.verify_quote(quote, e.measurement(), clock, 3.5));
+}
+
+TEST_F(AttestationFixture, QuoteMeasurementMismatchRejected) {
+  Enclave& e = make_enclave("prover");
+  const Quote quote = platform.create_quote(e.id(), to_bytes("challenge"));
+  SimClock clock;
+  EXPECT_FALSE(ias.verify_quote(quote, measure("impostor"), clock, 3.5));
+}
+
+TEST_F(AttestationFixture, QuoteSignatureTamperRejected) {
+  Enclave& e = make_enclave("prover");
+  Quote quote = platform.create_quote(e.id(), to_bytes("challenge"));
+  quote.signature[0] ^= 1;
+  SimClock clock;
+  EXPECT_FALSE(ias.verify_quote(quote, e.measurement(), clock, 3.5));
+}
+
+TEST_F(AttestationFixture, ReportFromOtherPlatformSecretRejected) {
+  // A platform whose secret IAS does not know cannot produce valid quotes.
+  Platform rogue(runtime, /*platform_id=*/7, /*platform_secret=*/0xbad);
+  Enclave& e = make_enclave("prover");
+  const Quote quote = rogue.create_quote(e.id(), to_bytes("challenge"));
+  SimClock clock;
+  EXPECT_FALSE(ias.verify_quote(quote, e.measurement(), clock, 3.5));
+}
+
+}  // namespace
+}  // namespace sl::sgx

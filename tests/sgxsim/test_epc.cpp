@@ -1,0 +1,133 @@
+#include "sgxsim/epc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace sl::sgx {
+namespace {
+
+CostModel tiny_epc(std::size_t pages) {
+  CostModel costs;
+  costs.epc_bytes = pages * costs.page_size;
+  return costs;
+}
+
+TEST(Epc, FirstTouchIsAllocationNotFault) {
+  SimClock clock;
+  EpcManager epc(tiny_epc(8), clock);
+  epc.touch(1, 0, 4);
+  EXPECT_EQ(epc.stats().allocations, 4u);
+  EXPECT_EQ(epc.stats().faults, 0u);
+  EXPECT_EQ(epc.stats().evictions, 0u);
+}
+
+TEST(Epc, RepeatTouchOfResidentPageIsFree) {
+  SimClock clock;
+  EpcManager epc(tiny_epc(8), clock);
+  epc.touch(1, 0, 4);
+  const Cycles before = clock.cycles();
+  epc.touch(1, 0, 4);
+  EXPECT_EQ(clock.cycles(), before);
+  EXPECT_EQ(epc.stats().allocations, 4u);
+}
+
+TEST(Epc, OverflowEvictsLru) {
+  SimClock clock;
+  EpcManager epc(tiny_epc(4), clock);
+  epc.touch(1, 0, 4);   // fill
+  epc.touch(1, 100, 1); // evict the LRU page (page 0)
+  EXPECT_EQ(epc.stats().evictions, 1u);
+  EXPECT_EQ(epc.resident_pages(), 4u);
+  // Touching page 0 again is now a fault + load-back.
+  epc.touch(1, 0, 1);
+  EXPECT_EQ(epc.stats().faults, 1u);
+  EXPECT_EQ(epc.stats().loadbacks, 1u);
+}
+
+TEST(Epc, LruOrderRespectsRecency) {
+  SimClock clock;
+  EpcManager epc(tiny_epc(2), clock);
+  epc.touch(1, 0, 1);
+  epc.touch(1, 1, 1);
+  epc.touch(1, 0, 1);  // page 0 becomes MRU
+  epc.touch(1, 2, 1);  // must evict page 1, not page 0
+  epc.touch(1, 0, 1);  // still resident => no fault
+  EXPECT_EQ(epc.stats().faults, 0u);
+  epc.touch(1, 1, 1);  // evicted => fault
+  EXPECT_EQ(epc.stats().faults, 1u);
+}
+
+TEST(Epc, FaultChargesCycles) {
+  SimClock clock;
+  CostModel costs = tiny_epc(1);
+  EpcManager epc(costs, clock);
+  epc.touch(1, 0, 1);
+  const Cycles after_alloc = clock.cycles();
+  epc.touch(1, 1, 1);  // evict page 0
+  EXPECT_EQ(clock.cycles() - after_alloc, costs.page_crypt_cycles);
+  const Cycles after_evict = clock.cycles();
+  epc.touch(1, 0, 1);  // fault + loadback + evict page 1
+  EXPECT_EQ(clock.cycles() - after_evict,
+            costs.epc_fault_cycles + 2 * costs.page_crypt_cycles);
+}
+
+TEST(Epc, EnclavesShareTheEpc) {
+  SimClock clock;
+  EpcManager epc(tiny_epc(4), clock);
+  epc.touch(1, 0, 3);
+  epc.touch(2, 0, 3);  // same page numbers, different enclave => distinct
+  EXPECT_EQ(epc.stats().allocations, 6u);
+  EXPECT_EQ(epc.stats().evictions, 2u);
+}
+
+TEST(Epc, RemoveEnclaveFreesPages) {
+  SimClock clock;
+  EpcManager epc(tiny_epc(4), clock);
+  epc.touch(1, 0, 4);
+  epc.remove_enclave(1);
+  EXPECT_EQ(epc.resident_pages(), 0u);
+  // Fresh touches are allocations again, not load-backs.
+  epc.touch(2, 0, 4);
+  EXPECT_EQ(epc.stats().loadbacks, 0u);
+}
+
+TEST(Epc, TouchBytesRoundsUpToPages) {
+  SimClock clock;
+  EpcManager epc(tiny_epc(64), clock);
+  epc.touch_bytes(1, 0, 1);  // 1 byte => 1 page
+  EXPECT_EQ(epc.stats().allocations, 1u);
+  epc.touch_bytes(1, 100, 4097);  // => 2 pages
+  EXPECT_EQ(epc.stats().allocations, 3u);
+}
+
+TEST(Epc, StreamingOverCapacityThrashes) {
+  SimClock clock;
+  EpcManager epc(tiny_epc(16), clock);
+  // Two sequential sweeps over 32 pages with a 16-page EPC: the second
+  // sweep misses on every page (classic LRU worst case).
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (std::uint64_t p = 0; p < 32; ++p) epc.touch(1, p, 1);
+  }
+  EXPECT_EQ(epc.stats().allocations, 32u);
+  EXPECT_EQ(epc.stats().faults, 32u);
+}
+
+TEST(Epc, ResetStatsKeepsResidency) {
+  SimClock clock;
+  EpcManager epc(tiny_epc(8), clock);
+  epc.touch(1, 0, 4);
+  epc.reset_stats();
+  EXPECT_EQ(epc.stats().allocations, 0u);
+  EXPECT_EQ(epc.resident_pages(), 4u);
+}
+
+TEST(Epc, ZeroCapacityRejected) {
+  SimClock clock;
+  CostModel costs;
+  costs.epc_bytes = 0;
+  EXPECT_THROW(EpcManager(costs, clock), Error);
+}
+
+}  // namespace
+}  // namespace sl::sgx

@@ -1,0 +1,127 @@
+#include "sgxsim/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sl::sgx {
+namespace {
+
+TEST(Runtime, CreateEnclaveAssignsIdsAndMeasurement) {
+  SgxRuntime runtime;
+  Enclave& a = runtime.create_enclave("enclave-a", 1 << 20);
+  Enclave& b = runtime.create_enclave("enclave-b", 1 << 20);
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_NE(a.measurement(), b.measurement());
+  EXPECT_EQ(a.measurement(), measure("enclave-a"));
+}
+
+TEST(Runtime, EcallRequiresTrustedFunction) {
+  SgxRuntime runtime;
+  Enclave& e = runtime.create_enclave("e", 4096);
+  EXPECT_THROW(runtime.ecall(e.id(), "not_registered", 100, 0), Error);
+  e.add_trusted_function("fn");
+  EXPECT_NO_THROW(runtime.ecall(e.id(), "fn", 100, 0));
+}
+
+TEST(Runtime, EcallChargesCrossingAndTaxedWork) {
+  SgxRuntime runtime;
+  Enclave& e = runtime.create_enclave("e", 4096);
+  e.add_trusted_function("fn");
+  const Cycles before = runtime.clock().cycles();
+  runtime.ecall(e.id(), "fn", 10'000, 0);
+  const Cycles charged = runtime.clock().cycles() - before;
+  const CostModel& costs = runtime.costs();
+  EXPECT_EQ(charged, costs.ecall_cycles +
+                         static_cast<Cycles>(10'000 * (1.0 + costs.enclave_cycle_tax)));
+  EXPECT_EQ(runtime.transitions().ecalls, 1u);
+}
+
+TEST(Runtime, OcallOnlyInsideEnclave) {
+  SgxRuntime runtime;
+  Enclave& e = runtime.create_enclave("e", 4096);
+  e.add_trusted_function("fn");
+  EXPECT_THROW(runtime.ocall(10), Error);
+  runtime.ecall(e.id(), "fn", 100, 0, [&] {
+    EXPECT_TRUE(runtime.in_enclave());
+    runtime.ocall(10);
+  });
+  EXPECT_FALSE(runtime.in_enclave());
+  EXPECT_EQ(runtime.transitions().ocalls, 1u);
+}
+
+TEST(Runtime, NestedEcallsTrackDomainStack) {
+  SgxRuntime runtime;
+  Enclave& a = runtime.create_enclave("a", 4096);
+  Enclave& b = runtime.create_enclave("b", 4096);
+  a.add_trusted_function("fa");
+  b.add_trusted_function("fb");
+  runtime.ecall(a.id(), "fa", 10, 0, [&] {
+    runtime.ecall(b.id(), "fb", 10, 0, [&] { EXPECT_TRUE(runtime.in_enclave()); });
+    EXPECT_TRUE(runtime.in_enclave());
+  });
+  EXPECT_FALSE(runtime.in_enclave());
+  EXPECT_EQ(runtime.transitions().ecalls, 2u);
+}
+
+TEST(Runtime, RunUntrustedRejectedInsideEnclave) {
+  SgxRuntime runtime;
+  Enclave& e = runtime.create_enclave("e", 4096);
+  e.add_trusted_function("fn");
+  runtime.ecall(e.id(), "fn", 1, 0, [&] {
+    EXPECT_THROW(runtime.run_untrusted(5), Error);
+  });
+}
+
+TEST(Runtime, EcallTouchesEpcPages) {
+  CostModel costs;
+  costs.epc_bytes = 16 * costs.page_size;
+  SgxRuntime runtime(costs);
+  Enclave& e = runtime.create_enclave("e", 4096);
+  e.add_trusted_function("fn");
+  runtime.ecall(e.id(), "fn", 1, 8 * costs.page_size);
+  EXPECT_EQ(runtime.epc().stats().allocations, 8u);
+}
+
+TEST(Runtime, DestroyEnclaveRemovesIt) {
+  SgxRuntime runtime;
+  Enclave& e = runtime.create_enclave("e", 4096);
+  const EnclaveId id = e.id();
+  runtime.destroy_enclave(id);
+  EXPECT_EQ(runtime.find_enclave(id), nullptr);
+  EXPECT_THROW(runtime.destroy_enclave(id), Error);
+}
+
+TEST(Enclave, EncryptedSectionsNeedTheRightKey) {
+  SgxRuntime runtime;
+  Enclave& e = runtime.create_enclave("pcl", 4096);
+  e.add_encrypted_section("licensed_logic", /*key=*/0xfeed);
+  EXPECT_FALSE(e.section_decrypted("licensed_logic"));
+  EXPECT_FALSE(e.provision_key("licensed_logic", 0xdead));
+  EXPECT_FALSE(e.section_decrypted("licensed_logic"));
+  EXPECT_TRUE(e.provision_key("licensed_logic", 0xfeed));
+  EXPECT_TRUE(e.section_decrypted("licensed_logic"));
+  EXPECT_THROW(e.provision_key("unknown", 1), Error);
+}
+
+TEST(Enclave, SealUnsealRoundTrip) {
+  SgxRuntime runtime;
+  Enclave& e = runtime.create_enclave("sealer", 4096);
+  e.seal("state", to_bytes("persisted"));
+  const auto restored = e.unseal("state");
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, to_bytes("persisted"));
+  EXPECT_FALSE(e.unseal("missing").has_value());
+}
+
+TEST(Runtime, ResetStatsClearsEverything) {
+  SgxRuntime runtime;
+  Enclave& e = runtime.create_enclave("e", 4096);
+  e.add_trusted_function("fn");
+  runtime.ecall(e.id(), "fn", 100, 4096);
+  runtime.reset_stats();
+  EXPECT_EQ(runtime.transitions().ecalls, 0u);
+  EXPECT_EQ(runtime.clock().cycles(), 0u);
+  EXPECT_EQ(runtime.epc().stats().allocations, 0u);
+}
+
+}  // namespace
+}  // namespace sl::sgx

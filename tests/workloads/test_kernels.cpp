@@ -1,0 +1,383 @@
+// Correctness tests for the eleven real workload kernels.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "workloads/kernels/bfs.hpp"
+#include "workloads/kernels/blockchain.hpp"
+#include "workloads/kernels/btree.hpp"
+#include "workloads/kernels/crypto_app.hpp"
+#include "workloads/kernels/hashjoin.hpp"
+#include "workloads/kernels/json.hpp"
+#include "workloads/kernels/kvstore.hpp"
+#include "workloads/kernels/mapreduce.hpp"
+#include "workloads/kernels/matmul.hpp"
+#include "workloads/kernels/pagerank.hpp"
+#include "workloads/kernels/svm.hpp"
+
+namespace sl::workloads {
+namespace {
+
+// --- BFS ----------------------------------------------------------------------
+
+TEST(BfsKernel, ReachesEveryVertex) {
+  BfsConfig config{.nodes = 5'000, .avg_degree = 8, .seed = 1};
+  const BfsResult result = run_bfs(generate_bfs_graph(config));
+  EXPECT_EQ(result.reached, config.nodes);  // ring edges guarantee connectivity
+  EXPECT_GT(result.depth_sum, 0u);
+  EXPECT_GT(result.max_depth, 0u);
+}
+
+TEST(BfsKernel, Deterministic) {
+  BfsConfig config{.nodes = 2'000, .avg_degree = 5, .seed = 2};
+  const BfsResult a = run_bfs(generate_bfs_graph(config));
+  const BfsResult b = run_bfs(generate_bfs_graph(config));
+  EXPECT_EQ(a.depth_sum, b.depth_sum);
+}
+
+TEST(BfsKernel, GraphShapeMatchesConfig) {
+  BfsConfig config{.nodes = 1'000, .avg_degree = 10, .seed = 3};
+  const BfsGraph graph = generate_bfs_graph(config);
+  EXPECT_EQ(graph.row_offsets.size(), config.nodes + 1);
+  // avg_degree random edges + 1 ring edge per node.
+  EXPECT_EQ(graph.neighbors.size(), config.nodes * (config.avg_degree + 1ull));
+}
+
+// --- B-Tree ---------------------------------------------------------------------
+
+TEST(BTreeKernel, InsertThenFindAll) {
+  BTree tree;
+  for (std::uint64_t i = 0; i < 5'000; ++i) tree.insert(i * 7 + 1, i);
+  EXPECT_EQ(tree.size(), 5'000u);
+  for (std::uint64_t i = 0; i < 5'000; ++i) {
+    std::uint64_t value = 0;
+    ASSERT_TRUE(tree.find(i * 7 + 1, value)) << i;
+    EXPECT_EQ(value, i);
+  }
+}
+
+TEST(BTreeKernel, MissesReportAbsent) {
+  BTree tree;
+  for (std::uint64_t i = 0; i < 1'000; ++i) tree.insert(i * 2, i);
+  std::uint64_t value = 0;
+  for (std::uint64_t i = 0; i < 1'000; ++i) EXPECT_FALSE(tree.find(i * 2 + 1, value));
+}
+
+TEST(BTreeKernel, HeightGrowsLogarithmically) {
+  BTree tree;
+  for (std::uint64_t i = 0; i < 100'000; ++i) tree.insert(i, i);
+  // order-16 tree: height should be ~log_8(1e5) ~= 6, certainly < 12.
+  EXPECT_GE(tree.height(), 4u);
+  EXPECT_LT(tree.height(), 12u);
+}
+
+TEST(BTreeKernel, ReverseAndRandomInsertOrdersAgree) {
+  BTree forward, backward;
+  for (std::uint64_t i = 0; i < 2'000; ++i) forward.insert(i, i * 3);
+  for (std::uint64_t i = 2'000; i-- > 0;) backward.insert(i, i * 3);
+  for (std::uint64_t i = 0; i < 2'000; ++i) {
+    std::uint64_t a = 0, b = 0;
+    ASSERT_TRUE(forward.find(i, a));
+    ASSERT_TRUE(backward.find(i, b));
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(BTreeKernel, WorkloadHitsAboutHalf) {
+  const BTreeWorkloadResult result =
+      run_btree_workload({.elements = 20'000, .lookups = 10'000, .seed = 4});
+  EXPECT_NEAR(static_cast<double>(result.hits), 5'000.0, 500.0);
+}
+
+// --- HashJoin -------------------------------------------------------------------
+
+TEST(HashJoinKernel, ProbeFindsBuiltKeys) {
+  JoinHashTable table(100);
+  for (std::uint64_t k = 1; k <= 100; ++k) table.build(k, k * 10);
+  for (std::uint64_t k = 1; k <= 100; ++k) EXPECT_EQ(table.probe(k), k * 10 + 1);
+  EXPECT_EQ(table.probe(500), 0u);
+}
+
+TEST(HashJoinKernel, ZeroKeyRejected) {
+  JoinHashTable table(10);
+  EXPECT_THROW(table.build(0, 1), Error);
+}
+
+TEST(HashJoinKernel, MatchFractionRespected) {
+  const HashJoinResult result = run_hashjoin(
+      {.build_rows = 10'000, .probe_rows = 50'000, .match_fraction = 0.5, .seed = 5});
+  EXPECT_NEAR(static_cast<double>(result.matches), 25'000.0, 1'500.0);
+}
+
+TEST(HashJoinKernel, AllMatchesWhenFractionOne) {
+  const HashJoinResult result = run_hashjoin(
+      {.build_rows = 1'000, .probe_rows = 5'000, .match_fraction = 1.0, .seed = 6});
+  EXPECT_EQ(result.matches, 5'000u);
+}
+
+// --- OpenSSL-like ----------------------------------------------------------------
+
+TEST(CryptoAppKernel, RoundTripAndMac) {
+  const CryptoAppResult result = run_crypto_app({.file_bytes = 1 << 16, .seed = 7});
+  EXPECT_TRUE(result.round_trip_ok);
+  EXPECT_TRUE(result.mac_ok);
+  EXPECT_NE(result.plain_hash, 0u);
+}
+
+TEST(CryptoAppKernel, DeterministicChecksum) {
+  const CryptoAppResult a = run_crypto_app({.file_bytes = 4096, .seed = 8});
+  const CryptoAppResult b = run_crypto_app({.file_bytes = 4096, .seed = 8});
+  EXPECT_EQ(a.plain_hash, b.plain_hash);
+  const CryptoAppResult c = run_crypto_app({.file_bytes = 4096, .seed = 9});
+  EXPECT_NE(a.plain_hash, c.plain_hash);
+}
+
+// --- PageRank ---------------------------------------------------------------------
+
+TEST(PageRankKernel, RanksSumToOne) {
+  const PageRankResult result =
+      run_pagerank({.nodes = 2'000, .avg_degree = 10, .iterations = 25, .seed = 10});
+  EXPECT_NEAR(result.rank_sum, 1.0, 1e-6);
+}
+
+TEST(PageRankKernel, HubsRankHigher) {
+  // Targets are skewed towards low ids, so the top node should be low-id.
+  const PageRankResult result =
+      run_pagerank({.nodes = 5'000, .avg_degree = 20, .iterations = 30, .seed = 11});
+  EXPECT_LT(result.top_node, 500u);
+}
+
+TEST(PageRankKernel, AllRanksPositive) {
+  const PageRankResult result = run_pagerank({.nodes = 500, .seed = 12});
+  for (double r : result.ranks) EXPECT_GT(r, 0.0);
+}
+
+// --- Blockchain --------------------------------------------------------------------
+
+TEST(BlockchainKernel, ChainValidates) {
+  const BlockchainWorkloadResult result =
+      run_blockchain_workload({.chain_length = 30, .difficulty_bits = 6});
+  EXPECT_TRUE(result.valid);
+  EXPECT_NE(result.tip_hash64, 0u);
+}
+
+TEST(BlockchainKernel, TamperDetected) {
+  Blockchain chain(/*difficulty_bits=*/4);
+  for (int i = 0; i < 10; ++i) chain.insert("txn-" + std::to_string(i));
+  ASSERT_TRUE(chain.validate());
+  chain.tamper(5, "forged transaction");
+  EXPECT_FALSE(chain.validate());
+}
+
+TEST(BlockchainKernel, LinksChainHashes) {
+  Blockchain chain(4);
+  chain.insert("a");
+  chain.insert("b");
+  EXPECT_EQ(chain.block(2).prev_hash, chain.block(1).hash);
+  EXPECT_EQ(chain.block(1).prev_hash, chain.block(0).hash);
+}
+
+TEST(BlockchainKernel, MiningMeetsDifficulty) {
+  Blockchain chain(/*difficulty_bits=*/10);
+  chain.insert("mined");
+  const auto& hash = chain.block(1).hash;
+  // 10 leading zero bits => first byte zero, second byte < 0x40.
+  EXPECT_EQ(hash[0], 0);
+  EXPECT_LT(hash[1], 0x40);
+}
+
+// --- SVM ---------------------------------------------------------------------------
+
+TEST(SvmKernel, LearnsSeparableData) {
+  const SvmResult result = run_svm_workload({.samples = 2'000, .features = 32,
+                                             .epochs = 8, .seed = 13});
+  // 5% label noise bounds achievable accuracy; the learner should get most
+  // of the rest.
+  EXPECT_GT(result.train_accuracy, 0.85);
+}
+
+TEST(SvmKernel, PredictsBothClasses) {
+  const SvmResult result = run_svm_workload({.samples = 1'000, .features = 16,
+                                             .epochs = 5, .seed = 14});
+  EXPECT_GT(result.positive_predictions, 100u);
+  EXPECT_LT(result.positive_predictions, 900u);
+}
+
+TEST(SvmKernel, MarginFeatureMismatchThrows) {
+  LinearSvm svm(8);
+  EXPECT_THROW(svm.margin(std::vector<double>(7, 0.0)), Error);
+}
+
+// --- MapReduce -----------------------------------------------------------------------
+
+TEST(MapReduceKernel, TokenizeSplitsOnSpaces) {
+  const auto tokens = tokenize("alpha beta  gamma ");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "alpha");
+  EXPECT_EQ(tokens[2], "gamma");
+}
+
+TEST(MapReduceKernel, WordCountSums) {
+  const auto counts = word_count({"a", "b", "a", "a"});
+  EXPECT_EQ(counts.at("a"), 3u);
+  EXPECT_EQ(counts.at("b"), 1u);
+}
+
+TEST(MapReduceKernel, TotalWordsConserved) {
+  MapReduceConfig config{.mappers = 3, .reducers = 2, .words_per_shard = 5'000,
+                         .vocabulary = 100, .seed = 15};
+  const MapReduceResult result = run_mapreduce(config);
+  EXPECT_EQ(result.total_words,
+            static_cast<std::uint64_t>(config.mappers) * config.words_per_shard);
+  EXPECT_GT(result.top_count, result.total_words / config.vocabulary);
+}
+
+TEST(MapReduceKernel, DistinctWordsBoundedByVocabulary) {
+  MapReduceConfig config{.mappers = 2, .reducers = 2, .words_per_shard = 10'000,
+                         .vocabulary = 50, .seed = 16};
+  const MapReduceResult result = run_mapreduce(config);
+  // Each word lands in exactly one reducer, so distinct <= vocabulary.
+  EXPECT_LE(result.distinct_words, 50u);
+  EXPECT_GT(result.distinct_words, 30u);
+}
+
+// --- Key-Value -------------------------------------------------------------------------
+
+TEST(KvKernel, SetGetErase) {
+  KvStore store(16);
+  store.set("k1", "v1");
+  store.set("k2", "v2");
+  EXPECT_EQ(store.get("k1").value(), "v1");
+  store.set("k1", "v1b");
+  EXPECT_EQ(store.get("k1").value(), "v1b");
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.erase("k1"));
+  EXPECT_FALSE(store.erase("k1"));
+  EXPECT_FALSE(store.get("k1").has_value());
+}
+
+TEST(KvKernel, VersionBumpsOnWrites) {
+  KvStore store;
+  const std::uint64_t v0 = store.version();
+  store.set("a", "1");
+  store.erase("a");
+  store.get("a");
+  EXPECT_EQ(store.version(), v0 + 2);  // get does not bump
+}
+
+TEST(KvKernel, WorkloadHitRate) {
+  const KvWorkloadResult result = run_kv_workload(
+      {.elements = 10'000, .operations = 50'000, .read_fraction = 1.0, .seed = 17});
+  // Keys drawn from [0, 1.25*elements): ~80% hit rate.
+  const double hit_rate = static_cast<double>(result.hits) /
+                          static_cast<double>(result.hits + result.misses);
+  EXPECT_NEAR(hit_rate, 0.8, 0.05);
+}
+
+// --- JSON ----------------------------------------------------------------------------------
+
+TEST(JsonKernel, ParsesScalars) {
+  EXPECT_TRUE(std::get<JsonValue>(parse_json("42")).is_number());
+  EXPECT_TRUE(std::get<JsonValue>(parse_json("true")).as_bool());
+  EXPECT_TRUE(std::get<JsonValue>(parse_json("null")).is_null());
+  EXPECT_EQ(std::get<JsonValue>(parse_json("\"hi\"")).as_string(), "hi");
+  EXPECT_DOUBLE_EQ(std::get<JsonValue>(parse_json("-2.5e2")).as_number(), -250.0);
+}
+
+TEST(JsonKernel, ParsesNestedStructures) {
+  const auto parsed = parse_json(R"({"a": [1, 2, {"b": null}], "c": "x"})");
+  ASSERT_TRUE(std::holds_alternative<JsonValue>(parsed));
+  const JsonValue& value = std::get<JsonValue>(parsed);
+  ASSERT_TRUE(value.is_object());
+  const JsonArray& array = value.as_object().at("a").as_array();
+  ASSERT_EQ(array.size(), 3u);
+  EXPECT_TRUE(array[2].as_object().at("b").is_null());
+  EXPECT_EQ(value.node_count(), 7u);
+}
+
+TEST(JsonKernel, StringEscapes) {
+  const auto parsed = parse_json(R"("line\nbreak\t\"quoted\" A")");
+  ASSERT_TRUE(std::holds_alternative<JsonValue>(parsed));
+  EXPECT_EQ(std::get<JsonValue>(parsed).as_string(), "line\nbreak\t\"quoted\" A");
+}
+
+TEST(JsonKernel, UnicodeEscapeUtf8) {
+  const auto parsed = parse_json(R"("é€")");  // e-acute, euro sign
+  ASSERT_TRUE(std::holds_alternative<JsonValue>(parsed));
+  EXPECT_EQ(std::get<JsonValue>(parsed).as_string(), "\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonKernel, ErrorsCarryOffsets) {
+  const auto parsed = parse_json("{\"a\": }");
+  ASSERT_TRUE(std::holds_alternative<JsonParseError>(parsed));
+  EXPECT_EQ(std::get<JsonParseError>(parsed).offset, 6u);
+}
+
+TEST(JsonKernel, RejectsMalformedInputs) {
+  for (const char* bad : {"", "{", "[1,", "tru", "\"unterminated", "{\"a\" 1}",
+                          "[1 2]", "01x", "{\"a\":1} trailing"}) {
+    EXPECT_TRUE(std::holds_alternative<JsonParseError>(parse_json(bad)))
+        << "input: " << bad;
+  }
+}
+
+TEST(JsonKernel, DumpParseRoundTrip) {
+  const std::string source = R"({"arr":[1,2.5,true,null],"name":"x","obj":{"k":-3}})";
+  const auto first = parse_json(source);
+  ASSERT_TRUE(std::holds_alternative<JsonValue>(first));
+  const std::string dumped = dump_json(std::get<JsonValue>(first));
+  const auto second = parse_json(dumped);
+  ASSERT_TRUE(std::holds_alternative<JsonValue>(second));
+  EXPECT_EQ(dump_json(std::get<JsonValue>(second)), dumped);
+}
+
+TEST(JsonKernel, WorkloadParsesEverything) {
+  const JsonWorkloadResult result =
+      run_json_workload({.documents = 200, .approx_bytes = 512, .seed = 18});
+  EXPECT_EQ(result.parsed, 200u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_GT(result.total_nodes, 200u * 5);
+}
+
+// --- MatMul -----------------------------------------------------------------------------------
+
+TEST(MatMulKernel, IdentityIsNeutral) {
+  Matrix identity(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) identity.at(i, i) = 1.0;
+  const Matrix a = Matrix::random(8, 8, 19);
+  const Matrix product = multiply(a, identity);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(product.at(i, j), a.at(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(MatMulKernel, MatchesNaiveReference) {
+  const Matrix a = Matrix::random(17, 23, 20);
+  const Matrix b = Matrix::random(23, 9, 21);
+  const Matrix blocked = multiply(a, b, /*block=*/4);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double expected = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) expected += a.at(i, k) * b.at(k, j);
+      EXPECT_NEAR(blocked.at(i, j), expected, 1e-9);
+    }
+  }
+}
+
+TEST(MatMulKernel, DimensionMismatchThrows) {
+  const Matrix a(3, 4);
+  const Matrix b(5, 3);
+  EXPECT_THROW(multiply(a, b), Error);
+}
+
+TEST(MatMulKernel, WorkloadChecksumsStable) {
+  const MatMulResult x = run_matmul({.dim = 32, .seed = 22});
+  const MatMulResult y = run_matmul({.dim = 32, .seed = 22});
+  EXPECT_DOUBLE_EQ(x.trace, y.trace);
+  EXPECT_GT(x.frobenius_sq, 0.0);
+}
+
+}  // namespace
+}  // namespace sl::workloads

@@ -1,0 +1,146 @@
+// Structural tests over the eleven workload call-graph models (TEST_P).
+#include <gtest/gtest.h>
+
+#include "workloads/models.hpp"
+
+namespace sl::workloads {
+namespace {
+
+class ModelSuite : public ::testing::TestWithParam<WorkloadEntry> {};
+
+TEST_P(ModelSuite, EntryFunctionExists) {
+  const AppModel model = GetParam().make_model();
+  EXPECT_FALSE(model.entry.empty());
+  EXPECT_TRUE(model.graph.find(model.entry).has_value());
+}
+
+TEST_P(ModelSuite, HasAuthenticationModule) {
+  const AppModel model = GetParam().make_model();
+  const auto am = model.authentication_functions();
+  EXPECT_GE(am.size(), 3u);  // every model carries a 3-function AM
+  for (cfg::NodeId n : am) {
+    // The license file is sensitive data, so Glamdring migrates the AM too.
+    EXPECT_TRUE(model.graph.node(n).touches_sensitive_data);
+    EXPECT_FALSE(model.graph.node(n).does_io);
+  }
+}
+
+TEST_P(ModelSuite, HasAnnotatedKeyFunctions) {
+  const AppModel model = GetParam().make_model();
+  const auto keys = model.key_functions();
+  EXPECT_GE(keys.size(), 1u);
+  for (cfg::NodeId n : keys) {
+    EXPECT_TRUE(model.graph.node(n).touches_sensitive_data);
+    EXPECT_GT(model.graph.node(n).code_instructions, 0u);
+  }
+}
+
+TEST_P(ModelSuite, EntryDoesIoAndNeverMigrates) {
+  const AppModel model = GetParam().make_model();
+  const auto& entry = model.graph.node(model.graph.id_of(model.entry));
+  EXPECT_TRUE(entry.does_io);
+  EXPECT_FALSE(entry.touches_sensitive_data && entry.is_key_function);
+}
+
+TEST_P(ModelSuite, DynamicInstructionsInPaperRange) {
+  const AppModel model = GetParam().make_model();
+  const std::uint64_t dyn = model.graph.total_dynamic_instructions();
+  // Table 5 dynamic footprints range from ~9 B to ~295 B instructions.
+  EXPECT_GT(dyn, 5'000'000'000ull);
+  EXPECT_LT(dyn, 400'000'000'000ull);
+}
+
+TEST_P(ModelSuite, EveryFunctionReachableFromEntry) {
+  const AppModel model = GetParam().make_model();
+  // Undirected reachability: a model must not contain stranded functions.
+  std::vector<std::vector<cfg::NodeId>> adj(model.graph.node_count());
+  for (const cfg::Edge& e : model.graph.edges()) {
+    adj[e.from].push_back(e.to);
+    adj[e.to].push_back(e.from);
+  }
+  std::vector<bool> seen(model.graph.node_count(), false);
+  std::vector<cfg::NodeId> stack{model.graph.id_of(model.entry)};
+  seen[stack[0]] = true;
+  while (!stack.empty()) {
+    const cfg::NodeId u = stack.back();
+    stack.pop_back();
+    for (cfg::NodeId v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  for (cfg::NodeId n = 0; n < model.graph.node_count(); ++n) {
+    EXPECT_TRUE(seen[n]) << "stranded function: " << model.graph.node(n).name;
+  }
+}
+
+TEST_P(ModelSuite, KeyClusterEdgesHotterThanBoundary) {
+  // The modularity property the partitioner relies on: calls between two
+  // protected non-IO functions dwarf calls crossing into the key cluster
+  // from drivers.
+  const AppModel model = GetParam().make_model();
+  std::uint64_t max_into_key_from_io = 0;
+  std::uint64_t max_intra_protected = 0;
+  for (const cfg::Edge& e : model.graph.edges()) {
+    const auto& from = model.graph.node(e.from);
+    const auto& to = model.graph.node(e.to);
+    if (to.is_key_function && from.does_io) {
+      max_into_key_from_io = std::max(max_into_key_from_io, e.call_count);
+    }
+    if (from.touches_sensitive_data && to.touches_sensitive_data &&
+        !from.does_io && !to.does_io && !from.in_authentication_module) {
+      max_intra_protected = std::max(max_intra_protected, e.call_count);
+    }
+  }
+  if (max_into_key_from_io > 0) {
+    EXPECT_GE(max_intra_protected, 10 * max_into_key_from_io);
+  }
+}
+
+TEST_P(ModelSuite, MemoryRegionsNonTrivial) {
+  const AppModel model = GetParam().make_model();
+  EXPECT_GT(model.total_mem_bytes(), 1024u * 1024u);
+  for (cfg::NodeId n : model.graph.all_nodes()) {
+    const auto& info = model.graph.node(n);
+    EXPECT_GT(info.enclave_state_bytes, 0u) << info.name;
+    EXPECT_GT(info.page_touches, 0u) << info.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, ModelSuite, ::testing::ValuesIn(all_workloads()),
+    [](const ::testing::TestParamInfo<WorkloadEntry>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(ModelRegistry, ElevenWorkloadsInPaperOrder) {
+  const auto& entries = all_workloads();
+  ASSERT_EQ(entries.size(), 11u);
+  EXPECT_EQ(entries.front().name, "BFS");
+  EXPECT_EQ(entries.back().name, "Mat. Mult.");
+}
+
+TEST(ModelRegistry, FaasWorkloadsFlagged) {
+  int faas = 0;
+  for (const auto& entry : all_workloads()) {
+    if (entry.faas) faas++;
+  }
+  EXPECT_EQ(faas, 4);  // MapReduce, Key-Value, JSONParser, Mat. Mult.
+}
+
+TEST(ModelRegistry, LicenseCheckCountsMatchPaperRange) {
+  // Paper: 10 K checks (JSONParser) up to 500 K (Key-Value).
+  for (const auto& entry : all_workloads()) {
+    if (entry.name == "JSONParser") EXPECT_EQ(entry.license_checks, 10'000u);
+    if (entry.name == "Key-Value") EXPECT_EQ(entry.license_checks, 500'000u);
+  }
+}
+
+}  // namespace
+}  // namespace sl::workloads

@@ -1,0 +1,146 @@
+// Measured-call-graph tests: the trace recorder + instrumented kernels must
+// produce graphs exhibiting the paper's modularity observation on REAL
+// executions (intra-module calls >> boundary calls), and the clusterer must
+// separate the kernel module from the driver on measured data.
+#include <gtest/gtest.h>
+
+#include "cfg/cluster.hpp"
+#include "workloads/kernels/bfs.hpp"
+#include "workloads/kernels/btree.hpp"
+#include "workloads/kernels/json.hpp"
+#include "workloads/tracing.hpp"
+
+namespace sl::workloads {
+namespace {
+
+TEST(TraceRecorder, RecordsInvocationsAndEdges) {
+  TraceRecorder recorder;
+  {
+    ScopedCall a(&recorder, "outer");
+    {
+      ScopedCall b(&recorder, "inner");
+    }
+    {
+      ScopedCall c(&recorder, "inner");
+    }
+  }
+  EXPECT_EQ(recorder.invocations("outer"), 1u);
+  EXPECT_EQ(recorder.invocations("inner"), 2u);
+  EXPECT_EQ(recorder.calls("outer", "inner"), 2u);
+  EXPECT_EQ(recorder.calls("inner", "outer"), 0u);
+}
+
+TEST(TraceRecorder, RootCallsCarryNoEdge) {
+  TraceRecorder recorder;
+  {
+    ScopedCall a(&recorder, "main_like");
+  }
+  EXPECT_EQ(recorder.invocations("main_like"), 1u);
+  EXPECT_TRUE(recorder.build_graph().edges().empty());
+}
+
+TEST(TraceRecorder, NullRecorderIsFree) {
+  // ScopedCall with nullptr must be a no-op (kernels in normal runs).
+  ScopedCall a(nullptr, "anything");
+  SUCCEED();
+}
+
+TEST(TraceRecorder, GraphMatchesCounts) {
+  TraceRecorder recorder;
+  {
+    ScopedCall a(&recorder, "f");
+    for (int i = 0; i < 7; ++i) ScopedCall b(&recorder, "g");
+  }
+  const cfg::CallGraph graph = recorder.build_graph();
+  EXPECT_EQ(graph.node_count(), 2u);
+  EXPECT_EQ(graph.node(graph.id_of("g")).invocations, 7u);
+  ASSERT_EQ(graph.edges().size(), 1u);
+  EXPECT_EQ(graph.edges()[0].call_count, 7u);
+}
+
+TEST(MeasuredBfs, UpdatePerVertexAndPushPerVisit) {
+  const BfsConfig config{.nodes = 2'000, .avg_degree = 6, .seed = 5};
+  const BfsGraph graph = generate_bfs_graph(config);
+  TraceRecorder recorder;
+  const BfsResult result = run_bfs(graph, &recorder);
+
+  // update() runs once per expanded vertex; every vertex is reached and
+  // expanded exactly once on this connected graph.
+  EXPECT_EQ(recorder.invocations("update"), config.nodes);
+  // visit_push() runs once per newly-visited vertex (all but the root).
+  EXPECT_EQ(recorder.invocations("visit_push"), result.reached - 1);
+  EXPECT_EQ(recorder.calls("run_bfs", "update"), config.nodes);
+  EXPECT_EQ(recorder.calls("update", "visit_push"), result.reached - 1);
+}
+
+TEST(MeasuredBfs, TracingDoesNotChangeResults) {
+  const BfsConfig config{.nodes = 1'000, .avg_degree = 5, .seed = 6};
+  const BfsGraph graph = generate_bfs_graph(config);
+  TraceRecorder recorder;
+  const BfsResult traced = run_bfs(graph, &recorder);
+  const BfsResult plain = run_bfs(graph);
+  EXPECT_EQ(traced.depth_sum, plain.depth_sum);
+  EXPECT_EQ(traced.reached, plain.reached);
+}
+
+TEST(MeasuredBTree, FindFansOutToLeafSearches) {
+  BTree tree;
+  TraceRecorder recorder;
+  tree.set_recorder(&recorder);
+  for (std::uint64_t i = 0; i < 5'000; ++i) tree.insert(i, i);
+  std::uint64_t value = 0;
+  for (std::uint64_t i = 0; i < 1'000; ++i) tree.find(i * 3, value);
+
+  EXPECT_EQ(recorder.invocations("insert"), 5'000u);
+  EXPECT_EQ(recorder.invocations("find"), 1'000u);
+  // Every find descends to exactly one leaf.
+  EXPECT_EQ(recorder.calls("find", "leaf"), 1'000u);
+  // Node creation happens under inserts (splits).
+  EXPECT_GT(recorder.calls("insert", "create"), 100u);
+}
+
+TEST(MeasuredJson, ParseDominatedByLexerCalls) {
+  TraceRecorder recorder;
+  const std::string doc = R"({"a":[1,2,3],"b":{"c":true,"d":"x"},"e":null})";
+  for (int i = 0; i < 50; ++i) {
+    const auto parsed = parse_json(doc, &recorder);
+    ASSERT_TRUE(std::holds_alternative<JsonValue>(parsed));
+  }
+  EXPECT_EQ(recorder.invocations("parse"), 50u);
+  // One lex step per JSON value: the document holds 9 values (the root
+  // object, the array + its 3 numbers, the nested object + its 2 scalars,
+  // and the null).
+  EXPECT_EQ(recorder.invocations("lex_token"), 450u);
+  // The modularity observation on measured data: the intra-module edges
+  // (parse->lex and lex->lex) dwarf everything else.
+  EXPECT_GE(recorder.calls("parse", "lex_token") +
+                recorder.calls("lex_token", "lex_token"),
+            9 * recorder.invocations("parse"));
+}
+
+TEST(MeasuredGraphs, ClustererSeparatesKernelFromDriver) {
+  // Compose a measured B-Tree trace under a synthetic driver and verify the
+  // clusterer groups the index operations together, apart from the driver.
+  TraceRecorder recorder;
+  BTree tree;
+  tree.set_recorder(&recorder);
+  {
+    ScopedCall driver(&recorder, "lookup_driver");
+    for (std::uint64_t i = 0; i < 2'000; ++i) tree.insert(i, i);
+    std::uint64_t value = 0;
+    for (std::uint64_t i = 0; i < 2'000; ++i) tree.find(i, value);
+  }
+  const cfg::CallGraph graph = recorder.build_graph();
+  const cfg::Clustering clustering = cfg::cluster_call_graph(graph, {.k = 2});
+  const auto cluster_of = [&](const char* fn) {
+    return clustering.assignment[graph.id_of(fn)];
+  };
+  // find and leaf belong together (the 1:1 hot edge binds them)...
+  EXPECT_EQ(cluster_of("find"), cluster_of("leaf"));
+  // ...and the measured intra fraction is high.
+  const cfg::ClusterMetrics metrics = cfg::evaluate_clustering(graph, clustering);
+  EXPECT_GT(metrics.intra_fraction(), 0.5);
+}
+
+}  // namespace
+}  // namespace sl::workloads

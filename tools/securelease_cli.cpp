@@ -1,0 +1,269 @@
+// securelease — command-line front end for the library.
+//
+//   securelease list                      list bundled workloads
+//   securelease inspect <workload>        show the call-graph model
+//   securelease partition <workload>      run the SecureLease partitioner
+//   securelease simulate <workload> [scheme]
+//                                         cost-simulate a partitioned run
+//                                         (scheme: vanilla|fullsgx|securelease|
+//                                          glamdring|flaas; default securelease)
+//   securelease e2e <workload> [scheme]   end-to-end run incl. lease traffic
+//   securelease attack [protection]       mount the CFB attack demo
+//                                         (software|enclave-am|securelease)
+//   securelease dot <workload> <out.dot>  write the clustered call graph
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "attack/victim.hpp"
+#include "cfg/dot.hpp"
+#include "core/securelease.hpp"
+
+using namespace sl;
+
+namespace {
+
+const workloads::WorkloadEntry* find_workload(const std::string& name) {
+  for (const auto& entry : workloads::all_workloads()) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+int cmd_list() {
+  std::printf("%-12s %6s %14s  %s\n", "workload", "faas", "license checks",
+              "input (Table 4)");
+  for (const auto& entry : workloads::all_workloads()) {
+    const workloads::AppModel model = entry.make_model();
+    std::printf("%-12s %6s %14llu  %s\n", entry.name.c_str(),
+                entry.faas ? "yes" : "no",
+                (unsigned long long)entry.license_checks,
+                model.input_description.c_str());
+  }
+  return 0;
+}
+
+int cmd_inspect(const std::string& name) {
+  const auto* entry = find_workload(name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s' (try 'securelease list')\n",
+                 name.c_str());
+    return 1;
+  }
+  const workloads::AppModel model = entry->make_model();
+  std::printf("%s — %s\n", model.name.c_str(), model.input_description.c_str());
+  std::printf("entry: %s   functions: %zu   edges: %zu\n", model.entry.c_str(),
+              model.graph.node_count(), model.graph.edges().size());
+  std::printf("total: %.2f B dynamic instructions, %.1f K static, %.1f MB data\n\n",
+              model.graph.total_dynamic_instructions() / 1e9,
+              model.graph.total_static_instructions() / 1e3,
+              model.total_mem_bytes() / 1048576.0);
+  std::printf("%-16s %9s %9s %10s %9s  flags\n", "function", "static",
+              "dyn(M)", "mem", "calls");
+  for (cfg::NodeId n : model.graph.all_nodes()) {
+    const auto& info = model.graph.node(n);
+    std::string flags;
+    if (info.in_authentication_module) flags += " AM";
+    if (info.is_key_function) flags += " KEY";
+    if (info.touches_sensitive_data) flags += " sensitive";
+    if (info.does_io) flags += " io";
+    std::printf("%-16s %9llu %9.1f %9.1fM %9llu %s\n", info.name.c_str(),
+                (unsigned long long)info.code_instructions,
+                info.dynamic_instructions() / 1e6, info.mem_bytes / 1048576.0,
+                (unsigned long long)info.invocations, flags.c_str());
+  }
+  return 0;
+}
+
+int cmd_partition(const std::string& name) {
+  const auto* entry = find_workload(name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+    return 1;
+  }
+  const workloads::AppModel model = entry->make_model();
+  const auto part = partition::partition_securelease(model);
+  std::printf("SecureLease partition of %s\n", model.name.c_str());
+  std::printf("clusters found: %u, packed: %zu\n", part.clustering.k,
+              part.packed.size());
+  std::printf("migrated (%zu functions, %.1f MB enclave):\n",
+              part.result.migrated.size(),
+              part.result.enclave_bytes(model) / 1048576.0);
+  for (const auto& fn : part.result.migrated_names(model)) {
+    std::printf("  %s\n", fn.c_str());
+  }
+  std::printf("static coverage: %.1f K   dynamic coverage: %.2f B (%.1f%% of app)\n",
+              part.result.static_instructions(model) / 1e3,
+              part.result.dynamic_instructions(model) / 1e9,
+              100.0 * part.result.dynamic_instructions(model) /
+                  model.graph.total_dynamic_instructions());
+  return 0;
+}
+
+partition::Scheme parse_scheme(const std::string& name, bool& ok) {
+  ok = true;
+  if (name == "vanilla") return partition::Scheme::kVanilla;
+  if (name == "fullsgx") return partition::Scheme::kFullSgx;
+  if (name == "securelease") return partition::Scheme::kSecureLease;
+  if (name == "glamdring") return partition::Scheme::kGlamdring;
+  if (name == "flaas") return partition::Scheme::kFlaas;
+  ok = false;
+  return partition::Scheme::kVanilla;
+}
+
+int cmd_simulate(const std::string& name, const std::string& scheme_name) {
+  const auto* entry = find_workload(name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+    return 1;
+  }
+  bool ok = false;
+  const partition::Scheme scheme = parse_scheme(scheme_name, ok);
+  if (!ok) {
+    std::fprintf(stderr, "unknown scheme '%s'\n", scheme_name.c_str());
+    return 1;
+  }
+  const workloads::AppModel model = entry->make_model();
+  partition::PartitionResult part;
+  switch (scheme) {
+    case partition::Scheme::kVanilla: part = partition::partition_vanilla(model); break;
+    case partition::Scheme::kFullSgx: part = partition::partition_full_enclave(model); break;
+    case partition::Scheme::kSecureLease:
+      part = partition::partition_securelease(model).result;
+      break;
+    case partition::Scheme::kGlamdring: part = partition::partition_glamdring(model); break;
+    case partition::Scheme::kFlaas: part = partition::partition_flaas(model); break;
+  }
+  const auto stats = partition::simulate_run(model, part);
+  std::printf("%s under %s:\n", model.name.c_str(),
+              partition::scheme_name(scheme).c_str());
+  std::printf("  vanilla: %.2f s   total: %.2f s   slowdown: %.2fx\n",
+              cycles_to_micros(stats.vanilla_cycles) / 1e6,
+              cycles_to_micros(stats.total_cycles) / 1e6, stats.slowdown());
+  std::printf("  ECALLs: %llu   OCALLs: %llu   EPC faults: %llu   evictions: %llu\n",
+              (unsigned long long)stats.ecalls, (unsigned long long)stats.ocalls,
+              (unsigned long long)stats.epc_faults,
+              (unsigned long long)stats.epc_evictions);
+  std::printf("  enclave: %.1f MB, %llu functions\n",
+              stats.enclave_bytes / 1048576.0,
+              (unsigned long long)stats.migrated_functions);
+  return 0;
+}
+
+int cmd_e2e(const std::string& name, const std::string& scheme_name) {
+  const auto* entry = find_workload(name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+    return 1;
+  }
+  bool ok = false;
+  const partition::Scheme scheme = parse_scheme(scheme_name, ok);
+  if (!ok) {
+    std::fprintf(stderr, "unknown scheme '%s'\n", scheme_name.c_str());
+    return 1;
+  }
+  core::SecureLeaseSystem system;
+  const core::EndToEndStats stats = system.run_workload(*entry, scheme);
+  std::printf("%s end-to-end under %s:\n", entry->name.c_str(),
+              partition::scheme_name(scheme).c_str());
+  std::printf("  vanilla %.2fs + sgx %.2fs + local-alloc %.4fs + renewal %.2fs "
+              "=> overhead %.1f%%\n",
+              stats.vanilla_seconds, stats.sgx_seconds, stats.local_alloc_seconds,
+              stats.renewal_seconds, stats.overhead() * 100.0);
+  std::printf("  checks %llu, LAs %llu, renewals %llu, RAs %llu, denials %llu\n",
+              (unsigned long long)stats.license_checks,
+              (unsigned long long)stats.local_attestations,
+              (unsigned long long)stats.renewals,
+              (unsigned long long)stats.remote_attestations,
+              (unsigned long long)stats.denials);
+  return 0;
+}
+
+int cmd_attack(const std::string& protection_name) {
+  attack::Protection protection = attack::Protection::kSecureLease;
+  if (protection_name == "software") {
+    protection = attack::Protection::kSoftwareOnly;
+  } else if (protection_name == "enclave-am") {
+    protection = attack::Protection::kAmInEnclave;
+  } else if (protection_name != "securelease" && !protection_name.empty()) {
+    std::fprintf(stderr, "unknown protection '%s'\n", protection_name.c_str());
+    return 1;
+  }
+  const attack::VictimApp app = attack::build_victim(protection);
+  const attack::ExecutionResult attacked =
+      attack::mount_cfb_attack(app, /*gate_licensed=*/false);
+  const bool cracked = attacked.output == app.expected_output;
+  std::printf("CFB attack vs %s: %s\n", protection_name.empty() ? "securelease"
+                                                                : protection_name.c_str(),
+              cracked ? "CRACKED (full protected output)"
+                      : "handicapped (garbage output)");
+  if (attacked.enclave_denials > 0) {
+    std::printf("enclave refused %llu key-function calls\n",
+                (unsigned long long)attacked.enclave_denials);
+  }
+  return cracked ? 2 : 0;
+}
+
+int cmd_dot(const std::string& name, const std::string& path) {
+  const auto* entry = find_workload(name);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "unknown workload '%s'\n", name.c_str());
+    return 1;
+  }
+  const workloads::AppModel model = entry->make_model();
+  const auto part = partition::partition_securelease(model);
+  const cfg::Clustering clustering = cfg::cluster_call_graph(model.graph, {.k = 5});
+  cfg::DotOptions options;
+  options.clustering = &clustering;
+  options.graph_name = "app";
+  for (cfg::NodeId n : part.result.migrated) options.highlighted.insert(n);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << cfg::to_dot(model.graph, options);
+  std::printf("wrote %s (migrated nodes highlighted)\n", path.c_str());
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "securelease <command> [args]\n"
+      "  list                         list bundled workloads\n"
+      "  inspect <workload>           show the call-graph model\n"
+      "  partition <workload>         run the SecureLease partitioner\n"
+      "  simulate <workload> [scheme] cost-simulate (vanilla|fullsgx|securelease|glamdring|flaas)\n"
+      "  e2e <workload> [scheme]      end-to-end incl. lease traffic\n"
+      "  attack [protection]          CFB attack (software|enclave-am|securelease)\n"
+      "  dot <workload> <out.dot>     write clustered call graph\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "inspect" && argc >= 3) return cmd_inspect(argv[2]);
+    if (command == "partition" && argc >= 3) return cmd_partition(argv[2]);
+    if (command == "simulate" && argc >= 3) {
+      return cmd_simulate(argv[2], argc >= 4 ? argv[3] : "securelease");
+    }
+    if (command == "e2e" && argc >= 3) {
+      return cmd_e2e(argv[2], argc >= 4 ? argv[3] : "securelease");
+    }
+    if (command == "attack") return cmd_attack(argc >= 3 ? argv[2] : "");
+    if (command == "dot" && argc >= 4) return cmd_dot(argv[2], argv[3]);
+  } catch (const Error& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+  usage();
+  return 1;
+}
