@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_renewal.dir/bench_ablation_renewal.cpp.o"
+  "CMakeFiles/bench_ablation_renewal.dir/bench_ablation_renewal.cpp.o.d"
+  "bench_ablation_renewal"
+  "bench_ablation_renewal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_renewal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

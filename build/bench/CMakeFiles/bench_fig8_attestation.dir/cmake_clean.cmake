@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_attestation.dir/bench_fig8_attestation.cpp.o"
+  "CMakeFiles/bench_fig8_attestation.dir/bench_fig8_attestation.cpp.o.d"
+  "bench_fig8_attestation"
+  "bench_fig8_attestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table1_lookup.cpp" "bench/CMakeFiles/bench_table1_lookup.dir/bench_table1_lookup.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_lookup.dir/bench_table1_lookup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lease/CMakeFiles/sl_lease.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgxsim/CMakeFiles/sl_sgxsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sl_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_metering.dir/api_metering.cpp.o"
+  "CMakeFiles/api_metering.dir/api_metering.cpp.o.d"
+  "api_metering"
+  "api_metering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_metering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cfb_attack_demo.dir/cfb_attack_demo.cpp.o"
+  "CMakeFiles/cfb_attack_demo.dir/cfb_attack_demo.cpp.o.d"
+  "cfb_attack_demo"
+  "cfb_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cfb_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_licensing.dir/faas_licensing.cpp.o"
+  "CMakeFiles/faas_licensing.dir/faas_licensing.cpp.o.d"
+  "faas_licensing"
+  "faas_licensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_licensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plugin_store.dir/plugin_store.cpp.o"
+  "CMakeFiles/plugin_store.dir/plugin_store.cpp.o.d"
+  "plugin_store"
+  "plugin_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plugin_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

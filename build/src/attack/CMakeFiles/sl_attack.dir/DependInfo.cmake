@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/mysql_victim.cpp" "src/attack/CMakeFiles/sl_attack.dir/mysql_victim.cpp.o" "gcc" "src/attack/CMakeFiles/sl_attack.dir/mysql_victim.cpp.o.d"
+  "/root/repo/src/attack/vcpu.cpp" "src/attack/CMakeFiles/sl_attack.dir/vcpu.cpp.o" "gcc" "src/attack/CMakeFiles/sl_attack.dir/vcpu.cpp.o.d"
+  "/root/repo/src/attack/victim.cpp" "src/attack/CMakeFiles/sl_attack.dir/victim.cpp.o" "gcc" "src/attack/CMakeFiles/sl_attack.dir/victim.cpp.o.d"
+  "/root/repo/src/attack/victim_generator.cpp" "src/attack/CMakeFiles/sl_attack.dir/victim_generator.cpp.o" "gcc" "src/attack/CMakeFiles/sl_attack.dir/victim_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_attack.dir/mysql_victim.cpp.o"
+  "CMakeFiles/sl_attack.dir/mysql_victim.cpp.o.d"
+  "CMakeFiles/sl_attack.dir/vcpu.cpp.o"
+  "CMakeFiles/sl_attack.dir/vcpu.cpp.o.d"
+  "CMakeFiles/sl_attack.dir/victim.cpp.o"
+  "CMakeFiles/sl_attack.dir/victim.cpp.o.d"
+  "CMakeFiles/sl_attack.dir/victim_generator.cpp.o"
+  "CMakeFiles/sl_attack.dir/victim_generator.cpp.o.d"
+  "libsl_attack.a"
+  "libsl_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

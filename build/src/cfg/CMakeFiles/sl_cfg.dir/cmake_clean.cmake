@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_cfg.dir/annotate.cpp.o"
+  "CMakeFiles/sl_cfg.dir/annotate.cpp.o.d"
+  "CMakeFiles/sl_cfg.dir/cluster.cpp.o"
+  "CMakeFiles/sl_cfg.dir/cluster.cpp.o.d"
+  "CMakeFiles/sl_cfg.dir/dot.cpp.o"
+  "CMakeFiles/sl_cfg.dir/dot.cpp.o.d"
+  "CMakeFiles/sl_cfg.dir/generate.cpp.o"
+  "CMakeFiles/sl_cfg.dir/generate.cpp.o.d"
+  "CMakeFiles/sl_cfg.dir/graph.cpp.o"
+  "CMakeFiles/sl_cfg.dir/graph.cpp.o.d"
+  "libsl_cfg.a"
+  "libsl_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

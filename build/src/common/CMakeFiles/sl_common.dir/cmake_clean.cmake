@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_common.dir/bytes.cpp.o"
+  "CMakeFiles/sl_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/sl_common.dir/log.cpp.o"
+  "CMakeFiles/sl_common.dir/log.cpp.o.d"
+  "CMakeFiles/sl_common.dir/rng.cpp.o"
+  "CMakeFiles/sl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/sl_common.dir/sim_clock.cpp.o"
+  "CMakeFiles/sl_common.dir/sim_clock.cpp.o.d"
+  "libsl_common.a"
+  "libsl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/securelease.cpp" "src/core/CMakeFiles/sl_core.dir/securelease.cpp.o" "gcc" "src/core/CMakeFiles/sl_core.dir/securelease.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lease/CMakeFiles/sl_lease.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sl_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sl_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/sl_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgxsim/CMakeFiles/sl_sgxsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/sl_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

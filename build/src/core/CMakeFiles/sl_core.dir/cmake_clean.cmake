@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_core.dir/securelease.cpp.o"
+  "CMakeFiles/sl_core.dir/securelease.cpp.o.d"
+  "libsl_core.a"
+  "libsl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

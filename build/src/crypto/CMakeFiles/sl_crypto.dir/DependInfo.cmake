@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cpp" "src/crypto/CMakeFiles/sl_crypto.dir/aes128.cpp.o" "gcc" "src/crypto/CMakeFiles/sl_crypto.dir/aes128.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/sl_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/sl_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/keygen.cpp" "src/crypto/CMakeFiles/sl_crypto.dir/keygen.cpp.o" "gcc" "src/crypto/CMakeFiles/sl_crypto.dir/keygen.cpp.o.d"
+  "/root/repo/src/crypto/murmur.cpp" "src/crypto/CMakeFiles/sl_crypto.dir/murmur.cpp.o" "gcc" "src/crypto/CMakeFiles/sl_crypto.dir/murmur.cpp.o.d"
+  "/root/repo/src/crypto/sealed.cpp" "src/crypto/CMakeFiles/sl_crypto.dir/sealed.cpp.o" "gcc" "src/crypto/CMakeFiles/sl_crypto.dir/sealed.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/sl_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/sl_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

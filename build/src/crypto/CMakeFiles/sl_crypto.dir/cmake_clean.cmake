@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_crypto.dir/aes128.cpp.o"
+  "CMakeFiles/sl_crypto.dir/aes128.cpp.o.d"
+  "CMakeFiles/sl_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/sl_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/sl_crypto.dir/keygen.cpp.o"
+  "CMakeFiles/sl_crypto.dir/keygen.cpp.o.d"
+  "CMakeFiles/sl_crypto.dir/murmur.cpp.o"
+  "CMakeFiles/sl_crypto.dir/murmur.cpp.o.d"
+  "CMakeFiles/sl_crypto.dir/sealed.cpp.o"
+  "CMakeFiles/sl_crypto.dir/sealed.cpp.o.d"
+  "CMakeFiles/sl_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/sl_crypto.dir/sha256.cpp.o.d"
+  "libsl_crypto.a"
+  "libsl_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lease/gateway.cpp" "src/lease/CMakeFiles/sl_lease.dir/gateway.cpp.o" "gcc" "src/lease/CMakeFiles/sl_lease.dir/gateway.cpp.o.d"
+  "/root/repo/src/lease/gcl.cpp" "src/lease/CMakeFiles/sl_lease.dir/gcl.cpp.o" "gcc" "src/lease/CMakeFiles/sl_lease.dir/gcl.cpp.o.d"
+  "/root/repo/src/lease/hash_store.cpp" "src/lease/CMakeFiles/sl_lease.dir/hash_store.cpp.o" "gcc" "src/lease/CMakeFiles/sl_lease.dir/hash_store.cpp.o.d"
+  "/root/repo/src/lease/lease_tree.cpp" "src/lease/CMakeFiles/sl_lease.dir/lease_tree.cpp.o" "gcc" "src/lease/CMakeFiles/sl_lease.dir/lease_tree.cpp.o.d"
+  "/root/repo/src/lease/license.cpp" "src/lease/CMakeFiles/sl_lease.dir/license.cpp.o" "gcc" "src/lease/CMakeFiles/sl_lease.dir/license.cpp.o.d"
+  "/root/repo/src/lease/pcl.cpp" "src/lease/CMakeFiles/sl_lease.dir/pcl.cpp.o" "gcc" "src/lease/CMakeFiles/sl_lease.dir/pcl.cpp.o.d"
+  "/root/repo/src/lease/renewal.cpp" "src/lease/CMakeFiles/sl_lease.dir/renewal.cpp.o" "gcc" "src/lease/CMakeFiles/sl_lease.dir/renewal.cpp.o.d"
+  "/root/repo/src/lease/sl_local.cpp" "src/lease/CMakeFiles/sl_lease.dir/sl_local.cpp.o" "gcc" "src/lease/CMakeFiles/sl_lease.dir/sl_local.cpp.o.d"
+  "/root/repo/src/lease/sl_manager.cpp" "src/lease/CMakeFiles/sl_lease.dir/sl_manager.cpp.o" "gcc" "src/lease/CMakeFiles/sl_lease.dir/sl_manager.cpp.o.d"
+  "/root/repo/src/lease/sl_remote.cpp" "src/lease/CMakeFiles/sl_lease.dir/sl_remote.cpp.o" "gcc" "src/lease/CMakeFiles/sl_lease.dir/sl_remote.cpp.o.d"
+  "/root/repo/src/lease/token.cpp" "src/lease/CMakeFiles/sl_lease.dir/token.cpp.o" "gcc" "src/lease/CMakeFiles/sl_lease.dir/token.cpp.o.d"
+  "/root/repo/src/lease/wire.cpp" "src/lease/CMakeFiles/sl_lease.dir/wire.cpp.o" "gcc" "src/lease/CMakeFiles/sl_lease.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgxsim/CMakeFiles/sl_sgxsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sl_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_lease.dir/gateway.cpp.o"
+  "CMakeFiles/sl_lease.dir/gateway.cpp.o.d"
+  "CMakeFiles/sl_lease.dir/gcl.cpp.o"
+  "CMakeFiles/sl_lease.dir/gcl.cpp.o.d"
+  "CMakeFiles/sl_lease.dir/hash_store.cpp.o"
+  "CMakeFiles/sl_lease.dir/hash_store.cpp.o.d"
+  "CMakeFiles/sl_lease.dir/lease_tree.cpp.o"
+  "CMakeFiles/sl_lease.dir/lease_tree.cpp.o.d"
+  "CMakeFiles/sl_lease.dir/license.cpp.o"
+  "CMakeFiles/sl_lease.dir/license.cpp.o.d"
+  "CMakeFiles/sl_lease.dir/pcl.cpp.o"
+  "CMakeFiles/sl_lease.dir/pcl.cpp.o.d"
+  "CMakeFiles/sl_lease.dir/renewal.cpp.o"
+  "CMakeFiles/sl_lease.dir/renewal.cpp.o.d"
+  "CMakeFiles/sl_lease.dir/sl_local.cpp.o"
+  "CMakeFiles/sl_lease.dir/sl_local.cpp.o.d"
+  "CMakeFiles/sl_lease.dir/sl_manager.cpp.o"
+  "CMakeFiles/sl_lease.dir/sl_manager.cpp.o.d"
+  "CMakeFiles/sl_lease.dir/sl_remote.cpp.o"
+  "CMakeFiles/sl_lease.dir/sl_remote.cpp.o.d"
+  "CMakeFiles/sl_lease.dir/token.cpp.o"
+  "CMakeFiles/sl_lease.dir/token.cpp.o.d"
+  "CMakeFiles/sl_lease.dir/wire.cpp.o"
+  "CMakeFiles/sl_lease.dir/wire.cpp.o.d"
+  "libsl_lease.a"
+  "libsl_lease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_lease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

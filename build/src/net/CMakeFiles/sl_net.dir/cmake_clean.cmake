@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_net.dir/channel.cpp.o"
+  "CMakeFiles/sl_net.dir/channel.cpp.o.d"
+  "CMakeFiles/sl_net.dir/network.cpp.o"
+  "CMakeFiles/sl_net.dir/network.cpp.o.d"
+  "libsl_net.a"
+  "libsl_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

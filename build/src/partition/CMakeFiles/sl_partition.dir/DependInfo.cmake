@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/cost_model.cpp" "src/partition/CMakeFiles/sl_partition.dir/cost_model.cpp.o" "gcc" "src/partition/CMakeFiles/sl_partition.dir/cost_model.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/partition/CMakeFiles/sl_partition.dir/partitioner.cpp.o" "gcc" "src/partition/CMakeFiles/sl_partition.dir/partitioner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/sl_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sl_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgxsim/CMakeFiles/sl_sgxsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sl_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

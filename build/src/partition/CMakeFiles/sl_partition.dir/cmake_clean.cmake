@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_partition.dir/cost_model.cpp.o"
+  "CMakeFiles/sl_partition.dir/cost_model.cpp.o.d"
+  "CMakeFiles/sl_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/sl_partition.dir/partitioner.cpp.o.d"
+  "libsl_partition.a"
+  "libsl_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgxsim/attestation.cpp" "src/sgxsim/CMakeFiles/sl_sgxsim.dir/attestation.cpp.o" "gcc" "src/sgxsim/CMakeFiles/sl_sgxsim.dir/attestation.cpp.o.d"
+  "/root/repo/src/sgxsim/costs.cpp" "src/sgxsim/CMakeFiles/sl_sgxsim.dir/costs.cpp.o" "gcc" "src/sgxsim/CMakeFiles/sl_sgxsim.dir/costs.cpp.o.d"
+  "/root/repo/src/sgxsim/enclave.cpp" "src/sgxsim/CMakeFiles/sl_sgxsim.dir/enclave.cpp.o" "gcc" "src/sgxsim/CMakeFiles/sl_sgxsim.dir/enclave.cpp.o.d"
+  "/root/repo/src/sgxsim/epc.cpp" "src/sgxsim/CMakeFiles/sl_sgxsim.dir/epc.cpp.o" "gcc" "src/sgxsim/CMakeFiles/sl_sgxsim.dir/epc.cpp.o.d"
+  "/root/repo/src/sgxsim/runtime.cpp" "src/sgxsim/CMakeFiles/sl_sgxsim.dir/runtime.cpp.o" "gcc" "src/sgxsim/CMakeFiles/sl_sgxsim.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sl_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

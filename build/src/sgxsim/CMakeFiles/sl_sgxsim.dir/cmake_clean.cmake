@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sl_sgxsim.dir/attestation.cpp.o"
+  "CMakeFiles/sl_sgxsim.dir/attestation.cpp.o.d"
+  "CMakeFiles/sl_sgxsim.dir/costs.cpp.o"
+  "CMakeFiles/sl_sgxsim.dir/costs.cpp.o.d"
+  "CMakeFiles/sl_sgxsim.dir/enclave.cpp.o"
+  "CMakeFiles/sl_sgxsim.dir/enclave.cpp.o.d"
+  "CMakeFiles/sl_sgxsim.dir/epc.cpp.o"
+  "CMakeFiles/sl_sgxsim.dir/epc.cpp.o.d"
+  "CMakeFiles/sl_sgxsim.dir/runtime.cpp.o"
+  "CMakeFiles/sl_sgxsim.dir/runtime.cpp.o.d"
+  "libsl_sgxsim.a"
+  "libsl_sgxsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sl_sgxsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

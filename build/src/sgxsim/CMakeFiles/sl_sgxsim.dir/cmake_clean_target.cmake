@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsl_sgxsim.a"
+)

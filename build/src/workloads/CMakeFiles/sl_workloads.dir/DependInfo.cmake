@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/app_model.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/app_model.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/app_model.cpp.o.d"
+  "/root/repo/src/workloads/kernels/bfs.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/bfs.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/bfs.cpp.o.d"
+  "/root/repo/src/workloads/kernels/blockchain.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/blockchain.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/blockchain.cpp.o.d"
+  "/root/repo/src/workloads/kernels/btree.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/btree.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/btree.cpp.o.d"
+  "/root/repo/src/workloads/kernels/crypto_app.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/crypto_app.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/crypto_app.cpp.o.d"
+  "/root/repo/src/workloads/kernels/hashjoin.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/hashjoin.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/hashjoin.cpp.o.d"
+  "/root/repo/src/workloads/kernels/json.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/json.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/json.cpp.o.d"
+  "/root/repo/src/workloads/kernels/kvstore.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/kvstore.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/kvstore.cpp.o.d"
+  "/root/repo/src/workloads/kernels/mapreduce.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/mapreduce.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/mapreduce.cpp.o.d"
+  "/root/repo/src/workloads/kernels/matmul.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/matmul.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/matmul.cpp.o.d"
+  "/root/repo/src/workloads/kernels/pagerank.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/pagerank.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/pagerank.cpp.o.d"
+  "/root/repo/src/workloads/kernels/svm.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/svm.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/kernels/svm.cpp.o.d"
+  "/root/repo/src/workloads/model_builder.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/model_builder.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/model_builder.cpp.o.d"
+  "/root/repo/src/workloads/models/bfs_model.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/models/bfs_model.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/models/bfs_model.cpp.o.d"
+  "/root/repo/src/workloads/models/blockchain_model.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/models/blockchain_model.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/models/blockchain_model.cpp.o.d"
+  "/root/repo/src/workloads/models/btree_model.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/models/btree_model.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/models/btree_model.cpp.o.d"
+  "/root/repo/src/workloads/models/hashjoin_model.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/models/hashjoin_model.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/models/hashjoin_model.cpp.o.d"
+  "/root/repo/src/workloads/models/jsonparser_model.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/models/jsonparser_model.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/models/jsonparser_model.cpp.o.d"
+  "/root/repo/src/workloads/models/keyvalue_model.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/models/keyvalue_model.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/models/keyvalue_model.cpp.o.d"
+  "/root/repo/src/workloads/models/mapreduce_model.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/models/mapreduce_model.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/models/mapreduce_model.cpp.o.d"
+  "/root/repo/src/workloads/models/matmult_model.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/models/matmult_model.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/models/matmult_model.cpp.o.d"
+  "/root/repo/src/workloads/models/openssl_model.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/models/openssl_model.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/models/openssl_model.cpp.o.d"
+  "/root/repo/src/workloads/models/pagerank_model.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/models/pagerank_model.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/models/pagerank_model.cpp.o.d"
+  "/root/repo/src/workloads/models/registry.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/models/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/models/registry.cpp.o.d"
+  "/root/repo/src/workloads/models/svm_model.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/models/svm_model.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/models/svm_model.cpp.o.d"
+  "/root/repo/src/workloads/tracing.cpp" "src/workloads/CMakeFiles/sl_workloads.dir/tracing.cpp.o" "gcc" "src/workloads/CMakeFiles/sl_workloads.dir/tracing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/sl_cfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_smoke.dir/partition_smoke.cpp.o"
+  "CMakeFiles/partition_smoke.dir/partition_smoke.cpp.o.d"
+  "partition_smoke"
+  "partition_smoke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

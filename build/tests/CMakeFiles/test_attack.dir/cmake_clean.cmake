@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack.dir/attack/test_cfb.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/test_cfb.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/test_generated.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/test_generated.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/test_mysql_victim.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/test_mysql_victim.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/test_unsupervised.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/test_unsupervised.cpp.o.d"
+  "CMakeFiles/test_attack.dir/attack/test_vcpu.cpp.o"
+  "CMakeFiles/test_attack.dir/attack/test_vcpu.cpp.o.d"
+  "test_attack"
+  "test_attack.pdb"
+  "test_attack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfg.dir/cfg/test_annotate.cpp.o"
+  "CMakeFiles/test_cfg.dir/cfg/test_annotate.cpp.o.d"
+  "CMakeFiles/test_cfg.dir/cfg/test_cluster.cpp.o"
+  "CMakeFiles/test_cfg.dir/cfg/test_cluster.cpp.o.d"
+  "CMakeFiles/test_cfg.dir/cfg/test_dot.cpp.o"
+  "CMakeFiles/test_cfg.dir/cfg/test_dot.cpp.o.d"
+  "CMakeFiles/test_cfg.dir/cfg/test_graph.cpp.o"
+  "CMakeFiles/test_cfg.dir/cfg/test_graph.cpp.o.d"
+  "test_cfg"
+  "test_cfg.pdb"
+  "test_cfg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

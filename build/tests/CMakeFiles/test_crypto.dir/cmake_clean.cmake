@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crypto.dir/crypto/test_aes128.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_aes128.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_hmac.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_hmac.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_murmur.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_murmur.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_sealed.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_sealed.cpp.o.d"
+  "CMakeFiles/test_crypto.dir/crypto/test_sha256.cpp.o"
+  "CMakeFiles/test_crypto.dir/crypto/test_sha256.cpp.o.d"
+  "test_crypto"
+  "test_crypto.pdb"
+  "test_crypto[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

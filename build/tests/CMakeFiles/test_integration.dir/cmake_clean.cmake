@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_crash_economics.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_crash_economics.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_licensed_kernels.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_licensed_kernels.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_multinode.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_multinode.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_repro_table5.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_repro_table5.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_wired_stack.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_wired_stack.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

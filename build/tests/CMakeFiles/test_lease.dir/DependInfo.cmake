@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lease/test_concurrency.cpp" "tests/CMakeFiles/test_lease.dir/lease/test_concurrency.cpp.o" "gcc" "tests/CMakeFiles/test_lease.dir/lease/test_concurrency.cpp.o.d"
+  "/root/repo/tests/lease/test_fault_injection.cpp" "tests/CMakeFiles/test_lease.dir/lease/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/test_lease.dir/lease/test_fault_injection.cpp.o.d"
+  "/root/repo/tests/lease/test_gcl.cpp" "tests/CMakeFiles/test_lease.dir/lease/test_gcl.cpp.o" "gcc" "tests/CMakeFiles/test_lease.dir/lease/test_gcl.cpp.o.d"
+  "/root/repo/tests/lease/test_hash_store.cpp" "tests/CMakeFiles/test_lease.dir/lease/test_hash_store.cpp.o" "gcc" "tests/CMakeFiles/test_lease.dir/lease/test_hash_store.cpp.o.d"
+  "/root/repo/tests/lease/test_lease_tree.cpp" "tests/CMakeFiles/test_lease.dir/lease/test_lease_tree.cpp.o" "gcc" "tests/CMakeFiles/test_lease.dir/lease/test_lease_tree.cpp.o.d"
+  "/root/repo/tests/lease/test_license.cpp" "tests/CMakeFiles/test_lease.dir/lease/test_license.cpp.o" "gcc" "tests/CMakeFiles/test_lease.dir/lease/test_license.cpp.o.d"
+  "/root/repo/tests/lease/test_pcl.cpp" "tests/CMakeFiles/test_lease.dir/lease/test_pcl.cpp.o" "gcc" "tests/CMakeFiles/test_lease.dir/lease/test_pcl.cpp.o.d"
+  "/root/repo/tests/lease/test_renewal.cpp" "tests/CMakeFiles/test_lease.dir/lease/test_renewal.cpp.o" "gcc" "tests/CMakeFiles/test_lease.dir/lease/test_renewal.cpp.o.d"
+  "/root/repo/tests/lease/test_sl_system.cpp" "tests/CMakeFiles/test_lease.dir/lease/test_sl_system.cpp.o" "gcc" "tests/CMakeFiles/test_lease.dir/lease/test_sl_system.cpp.o.d"
+  "/root/repo/tests/lease/test_token.cpp" "tests/CMakeFiles/test_lease.dir/lease/test_token.cpp.o" "gcc" "tests/CMakeFiles/test_lease.dir/lease/test_token.cpp.o.d"
+  "/root/repo/tests/lease/test_tree_fuzz.cpp" "tests/CMakeFiles/test_lease.dir/lease/test_tree_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_lease.dir/lease/test_tree_fuzz.cpp.o.d"
+  "/root/repo/tests/lease/test_wire.cpp" "tests/CMakeFiles/test_lease.dir/lease/test_wire.cpp.o" "gcc" "tests/CMakeFiles/test_lease.dir/lease/test_wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lease/CMakeFiles/sl_lease.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/sl_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/sl_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/sl_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sl_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sgxsim/CMakeFiles/sl_sgxsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/sl_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/sl_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lease.dir/lease/test_concurrency.cpp.o"
+  "CMakeFiles/test_lease.dir/lease/test_concurrency.cpp.o.d"
+  "CMakeFiles/test_lease.dir/lease/test_fault_injection.cpp.o"
+  "CMakeFiles/test_lease.dir/lease/test_fault_injection.cpp.o.d"
+  "CMakeFiles/test_lease.dir/lease/test_gcl.cpp.o"
+  "CMakeFiles/test_lease.dir/lease/test_gcl.cpp.o.d"
+  "CMakeFiles/test_lease.dir/lease/test_hash_store.cpp.o"
+  "CMakeFiles/test_lease.dir/lease/test_hash_store.cpp.o.d"
+  "CMakeFiles/test_lease.dir/lease/test_lease_tree.cpp.o"
+  "CMakeFiles/test_lease.dir/lease/test_lease_tree.cpp.o.d"
+  "CMakeFiles/test_lease.dir/lease/test_license.cpp.o"
+  "CMakeFiles/test_lease.dir/lease/test_license.cpp.o.d"
+  "CMakeFiles/test_lease.dir/lease/test_pcl.cpp.o"
+  "CMakeFiles/test_lease.dir/lease/test_pcl.cpp.o.d"
+  "CMakeFiles/test_lease.dir/lease/test_renewal.cpp.o"
+  "CMakeFiles/test_lease.dir/lease/test_renewal.cpp.o.d"
+  "CMakeFiles/test_lease.dir/lease/test_sl_system.cpp.o"
+  "CMakeFiles/test_lease.dir/lease/test_sl_system.cpp.o.d"
+  "CMakeFiles/test_lease.dir/lease/test_token.cpp.o"
+  "CMakeFiles/test_lease.dir/lease/test_token.cpp.o.d"
+  "CMakeFiles/test_lease.dir/lease/test_tree_fuzz.cpp.o"
+  "CMakeFiles/test_lease.dir/lease/test_tree_fuzz.cpp.o.d"
+  "CMakeFiles/test_lease.dir/lease/test_wire.cpp.o"
+  "CMakeFiles/test_lease.dir/lease/test_wire.cpp.o.d"
+  "test_lease"
+  "test_lease.pdb"
+  "test_lease[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

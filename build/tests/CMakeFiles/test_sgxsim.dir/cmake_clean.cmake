@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sgxsim.dir/sgxsim/test_attestation.cpp.o"
+  "CMakeFiles/test_sgxsim.dir/sgxsim/test_attestation.cpp.o.d"
+  "CMakeFiles/test_sgxsim.dir/sgxsim/test_epc.cpp.o"
+  "CMakeFiles/test_sgxsim.dir/sgxsim/test_epc.cpp.o.d"
+  "CMakeFiles/test_sgxsim.dir/sgxsim/test_epc_sharing.cpp.o"
+  "CMakeFiles/test_sgxsim.dir/sgxsim/test_epc_sharing.cpp.o.d"
+  "CMakeFiles/test_sgxsim.dir/sgxsim/test_runtime.cpp.o"
+  "CMakeFiles/test_sgxsim.dir/sgxsim/test_runtime.cpp.o.d"
+  "test_sgxsim"
+  "test_sgxsim.pdb"
+  "test_sgxsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sgxsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

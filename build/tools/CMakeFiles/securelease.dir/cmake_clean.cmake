@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/securelease.dir/securelease_cli.cpp.o"
+  "CMakeFiles/securelease.dir/securelease_cli.cpp.o.d"
+  "securelease"
+  "securelease.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/securelease.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
