@@ -1,0 +1,40 @@
+#include "analysis/auditor.hpp"
+
+#include "analysis/checks.hpp"
+
+namespace sl::analysis {
+
+AuditReport audit_graph(const cfg::CallGraph& graph, cfg::NodeId entry,
+                        const partition::PartitionResult& partition,
+                        const std::string& app_name,
+                        const AuditOptions& options) {
+  const bool gated = options.lease_gated_keys.value_or(
+      partition.scheme == partition::Scheme::kSecureLease);
+  const AuditContext ctx(graph, entry, partition, gated);
+
+  AuditReport report;
+  report.app = app_name;
+  report.scheme =
+      options.scheme_label.value_or(partition::scheme_name(partition.scheme));
+  report.entry = graph.node(entry).name;
+  report.function_count = graph.node_count();
+  report.migrated_count = partition.migrated.size();
+
+  for (auto& f : run_check_skip(ctx)) report.findings.push_back(std::move(f));
+  for (auto& f : run_return_forge(ctx)) report.findings.push_back(std::move(f));
+  for (auto& f : run_interface_width(ctx, &report.ecall_surface)) {
+    report.findings.push_back(std::move(f));
+  }
+  for (auto& f : run_sensitive_egress(ctx)) report.findings.push_back(std::move(f));
+  sort_findings(report.findings);
+  return report;
+}
+
+AuditReport audit_partition(const workloads::AppModel& model,
+                            const partition::PartitionResult& partition,
+                            const AuditOptions& options) {
+  return audit_graph(model.graph, model.graph.id_of(model.entry), partition,
+                     model.name, options);
+}
+
+}  // namespace sl::analysis

@@ -1,0 +1,42 @@
+// Partition security auditor — static CFB-reachability analysis.
+//
+// Takes a call graph plus a partition result and proves (or refutes) the
+// paper's central claim for that concrete partition: no control-flow-bending
+// attack mounted from untrusted code can obtain protected work without a
+// valid license. Four independent passes (checks.hpp) produce findings with
+// severity, status, and evidence paths; report.hpp renders them as text,
+// JSON, or an annotated DOT overlay.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/finding.hpp"
+#include "partition/partitioner.hpp"
+#include "workloads/app_model.hpp"
+
+namespace sl::analysis {
+
+struct AuditOptions {
+  // Whether migrated key functions validate a lease on every invocation
+  // (SecureLease's runtime guarantee, Section 4.1). When unset, inferred
+  // from the partition's scheme: true only for Scheme::kSecureLease.
+  std::optional<bool> lease_gated_keys;
+  // Human-readable scheme label for the report header. Defaults to the
+  // partition scheme's name; override when auditing a hand-built partition
+  // whose protection has no Scheme value (e.g. the victims' "enclave-AM").
+  std::optional<std::string> scheme_label;
+};
+
+// Audit an arbitrary annotated call graph (e.g. parsed from DOT).
+AuditReport audit_graph(const cfg::CallGraph& graph, cfg::NodeId entry,
+                        const partition::PartitionResult& partition,
+                        const std::string& app_name,
+                        const AuditOptions& options = {});
+
+// Audit a workload model under a partition of it.
+AuditReport audit_partition(const workloads::AppModel& model,
+                            const partition::PartitionResult& partition,
+                            const AuditOptions& options = {});
+
+}  // namespace sl::analysis

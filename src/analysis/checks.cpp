@@ -1,0 +1,380 @@
+#include "analysis/checks.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace sl::analysis {
+
+namespace {
+
+std::string join_names(const cfg::CallGraph& graph,
+                       const std::vector<cfg::NodeId>& path) {
+  std::string out;
+  for (cfg::NodeId n : path) {
+    if (!out.empty()) out += " -> ";
+    out += graph.node(n).name;
+  }
+  return out;
+}
+
+std::vector<std::string> path_names(const cfg::CallGraph& graph,
+                                    const std::vector<cfg::NodeId>& path) {
+  std::vector<std::string> names;
+  names.reserve(path.size());
+  for (cfg::NodeId n : path) names.push_back(graph.node(n).name);
+  return names;
+}
+
+// A node the partition is supposed to keep out of unauthorized hands:
+// developer-annotated key functions, and sensitive functions the partition
+// placed inside the enclave (untrusted sensitive functions are the egress
+// pass's business).
+bool protected_target(const AuditContext& ctx, cfg::NodeId n) {
+  const cfg::FunctionInfo& info = ctx.graph().node(n);
+  if (ctx.guard(n)) return false;  // authorizes its own invocation
+  if (info.is_key_function) return true;
+  return info.touches_sensitive_data && ctx.migrated(n);
+}
+
+std::vector<cfg::NodeId> sorted_by_name(const AuditContext& ctx,
+                                        std::vector<cfg::NodeId> nodes) {
+  std::sort(nodes.begin(), nodes.end(), [&](cfg::NodeId a, cfg::NodeId b) {
+    return ctx.name(a) < ctx.name(b);
+  });
+  return nodes;
+}
+
+}  // namespace
+
+// --- context -----------------------------------------------------------------
+
+AuditContext::AuditContext(const cfg::CallGraph& graph, cfg::NodeId entry,
+                           const partition::PartitionResult& partition,
+                           bool lease_gated_keys)
+    : graph_(graph),
+      entry_(entry),
+      partition_(partition),
+      lease_gated_keys_(lease_gated_keys) {
+  for (cfg::NodeId n : partition_.migrated) {
+    const cfg::FunctionInfo& info = graph_.node(n);
+    if (info.in_authentication_module ||
+        (lease_gated_keys_ && info.is_key_function)) {
+      guards_.insert(n);
+    }
+  }
+}
+
+bool AuditContext::internally_guarded(cfg::NodeId enclave_entry) const {
+  const auto cached = internally_guarded_cache_.find(enclave_entry);
+  if (cached != internally_guarded_cache_.end()) return cached->second;
+  const NodeSet subtree =
+      reachable_within(graph_, enclave_entry, partition_.migrated, /*stop=*/{});
+  bool guarded = false;
+  for (cfg::NodeId n : subtree) {
+    if (n != enclave_entry && guard(n)) {
+      guarded = true;
+      break;
+    }
+  }
+  internally_guarded_cache_.emplace(enclave_entry, guarded);
+  return guarded;
+}
+
+std::vector<cfg::NodeId> AuditContext::ecall_surface() const {
+  NodeSet surface;
+  for (const cfg::Edge& e : graph_.edges()) {
+    if (!migrated(e.from) && migrated(e.to)) surface.insert(e.to);
+  }
+  if (migrated(entry_)) surface.insert(entry_);
+  std::vector<cfg::NodeId> out(surface.begin(), surface.end());
+  std::sort(out.begin(), out.end(), [&](cfg::NodeId a, cfg::NodeId b) {
+    return name(a) < name(b);
+  });
+  return out;
+}
+
+// --- attacker reachability ---------------------------------------------------
+
+std::vector<cfg::NodeId> AttackReach::path_to(cfg::NodeId node) const {
+  std::vector<cfg::NodeId> path;
+  if (!parent.contains(node)) return path;
+  for (cfg::NodeId at = node;; at = parent.at(at)) {
+    path.push_back(at);
+    if (parent.at(at) == at) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+AttackReach attack_reachability(const AuditContext& ctx, cfg::NodeId start) {
+  AttackReach out;
+  // Guards never execute unauthorized; an internally-guarded migrated start
+  // is assumed dominated by its in-subtree check.
+  if (ctx.guard(start)) return out;
+  if (ctx.migrated(start) && ctx.internally_guarded(start)) return out;
+
+  out.parent.emplace(start, start);
+  out.reached.insert(start);
+  std::deque<cfg::NodeId> queue{start};
+  while (!queue.empty()) {
+    const cfg::NodeId at = queue.front();
+    queue.pop_front();
+    const bool at_untrusted = !ctx.migrated(at);
+    for (const cfg::Edge& e : ctx.graph().out_edges(at)) {
+      const cfg::NodeId next = e.to;
+      if (out.reached.contains(next)) continue;
+      if (ctx.guard(next)) continue;
+      if (ctx.migrated(next)) {
+        // Boundary crossing: from untrusted code the attacker enters the
+        // enclave through `next`'s ECALL stub — blocked when a guard sits
+        // in the subtree behind it. In-enclave edges progress freely.
+        if (at_untrusted && ctx.internally_guarded(next)) continue;
+      }
+      out.parent.emplace(next, at);
+      out.reached.insert(next);
+      queue.push_back(next);
+    }
+  }
+  return out;
+}
+
+// --- pass 1: check-skip ------------------------------------------------------
+
+std::vector<Finding> run_check_skip(const AuditContext& ctx) {
+  std::vector<Finding> findings;
+  const AttackReach reach = attack_reachability(ctx, ctx.entry());
+  for (cfg::NodeId n : sorted_by_name(ctx, ctx.graph().all_nodes())) {
+    if (!protected_target(ctx, n)) continue;
+    const cfg::FunctionInfo& info = ctx.graph().node(n);
+    const Severity severity =
+        info.is_key_function ? Severity::kCritical : Severity::kHigh;
+    if (reach.reached.contains(n)) {
+      const auto path = reach.path_to(n);
+      Finding f;
+      f.check = CheckId::kCheckSkip;
+      f.severity = severity;
+      f.status = Status::kConfirmed;
+      f.function = info.name;
+      f.message = std::string(info.is_key_function ? "key function"
+                                                   : "sensitive function") +
+                  " '" + info.name +
+                  "' executes without any authorization gate on the path: " +
+                  join_names(ctx.graph(), path);
+      f.evidence_path = path_names(ctx.graph(), path);
+      findings.push_back(std::move(f));
+    } else if (!ctx.migrated(n)) {
+      // Not on any path from the entry, but untrusted code is directly
+      // invocable under the virtual-CPU threat model.
+      Finding f;
+      f.check = CheckId::kCheckSkip;
+      f.severity = severity;
+      f.status = Status::kConfirmed;
+      f.function = info.name;
+      f.message = std::string(info.is_key_function ? "key function"
+                                                   : "sensitive function") +
+                  " '" + info.name +
+                  "' lives in untrusted memory and is directly invocable by "
+                  "the attacker (no gate can intervene)";
+      f.evidence_path = {info.name};
+      findings.push_back(std::move(f));
+    }
+  }
+  return findings;
+}
+
+// --- pass 2: return-forge ----------------------------------------------------
+
+std::vector<Finding> run_return_forge(const AuditContext& ctx) {
+  std::vector<Finding> findings;
+
+  // Forgeable protected work from the perspective of a decision consumer
+  // `u`: anything attacker-reachable from u that the enclave should refuse.
+  const auto forgeable_target =
+      [&](cfg::NodeId u) -> std::optional<std::vector<cfg::NodeId>> {
+    const AttackReach reach = attack_reachability(ctx, u);
+    std::optional<std::vector<cfg::NodeId>> best;
+    for (cfg::NodeId t : sorted_by_name(
+             ctx, {reach.reached.begin(), reach.reached.end()})) {
+      if (!protected_target(ctx, t)) continue;
+      auto path = reach.path_to(t);
+      if (!best.has_value() || path.size() < best->size()) best = std::move(path);
+    }
+    return best;
+  };
+
+  // Variant A (Figure 6 attack 2): the AM runs in the enclave, but its
+  // boolean verdict returns to an untrusted caller which then gates the
+  // protected work — the attacker bends the consumer, not the check.
+  NodeSet reported_consumers;
+  for (const cfg::Edge& e : ctx.graph().edges()) {
+    if (ctx.migrated(e.from) || !ctx.guard(e.to)) continue;
+    if (!ctx.graph().node(e.to).in_authentication_module) continue;
+    if (reported_consumers.contains(e.from)) continue;
+    const auto target = forgeable_target(e.from);
+    if (!target.has_value()) continue;
+    reported_consumers.insert(e.from);
+    Finding f;
+    f.check = CheckId::kReturnForge;
+    f.severity = Severity::kCritical;
+    f.status = Status::kConfirmed;
+    f.function = ctx.name(e.from);
+    f.message = "authorization decision of enclave AM '" + ctx.name(e.to) +
+                "' returns to untrusted '" + ctx.name(e.from) +
+                "'; forging the verdict unlocks: " +
+                join_names(ctx.graph(), *target);
+    f.evidence_path = path_names(ctx.graph(), *target);
+    findings.push_back(std::move(f));
+  }
+
+  // Variant B (Figure 6 attack 1): the AM itself executes untrusted — its
+  // internal decision branch is bendable in place. Flipping the branch makes
+  // it return "authorized", so the unlocked work is whatever the AM itself
+  // or its (untrusted) callers gate.
+  for (cfg::NodeId n : sorted_by_name(ctx, ctx.graph().all_nodes())) {
+    const cfg::FunctionInfo& info = ctx.graph().node(n);
+    if (!info.in_authentication_module || ctx.migrated(n)) continue;
+    auto target = forgeable_target(n);
+    for (const cfg::Edge& e : ctx.graph().in_edges(n)) {
+      if (target.has_value()) break;
+      if (!ctx.migrated(e.from)) target = forgeable_target(e.from);
+    }
+    if (!target.has_value()) continue;
+    Finding f;
+    f.check = CheckId::kReturnForge;
+    f.severity = Severity::kCritical;
+    f.status = Status::kConfirmed;
+    f.function = info.name;
+    f.message = "authentication module '" + info.name +
+                "' executes in untrusted memory; bending its decision branch "
+                "unlocks: " + join_names(ctx.graph(), *target);
+    f.evidence_path = path_names(ctx.graph(), *target);
+    findings.push_back(std::move(f));
+  }
+  return findings;
+}
+
+// --- pass 3: interface-width -------------------------------------------------
+
+std::vector<Finding> run_interface_width(const AuditContext& ctx,
+                                         std::vector<EcallEntry>* surface) {
+  std::vector<Finding> findings;
+  if (surface != nullptr) surface->clear();
+
+  for (cfg::NodeId e : ctx.ecall_surface()) {
+    const bool is_guard = ctx.guard(e);
+    const bool internal = !is_guard && ctx.internally_guarded(e);
+    const NodeSet subtree =
+        reachable_within(ctx.graph(), e, ctx.partition().migrated, /*stop=*/{});
+
+    if (surface != nullptr) {
+      EcallEntry entry;
+      entry.function = ctx.name(e);
+      entry.guard = is_guard;
+      entry.internally_guarded = internal;
+      entry.reachable_enclave_functions = subtree.size();
+      NodeSet callers;
+      for (const cfg::Edge& edge : ctx.graph().in_edges(e)) {
+        if (!ctx.migrated(edge.from)) callers.insert(edge.from);
+      }
+      for (cfg::NodeId c : sorted_by_name(ctx, {callers.begin(), callers.end()})) {
+        entry.untrusted_callers.push_back(ctx.name(c));
+      }
+      surface->push_back(std::move(entry));
+    }
+
+    if (is_guard) continue;
+
+    // Protected callees the host can drive through this entry; guards in
+    // the subtree terminate unauthorized exploration.
+    const NodeSet reach = reachable_within(ctx.graph(), e,
+                                           ctx.partition().migrated,
+                                           ctx.guards());
+    std::vector<cfg::NodeId> exposed;
+    for (cfg::NodeId t : reach) {
+      const cfg::FunctionInfo& info = ctx.graph().node(t);
+      if (info.is_key_function || info.touches_sensitive_data) exposed.push_back(t);
+    }
+    if (exposed.empty()) continue;
+    exposed = sorted_by_name(ctx, std::move(exposed));
+
+    std::string exposed_names;
+    for (cfg::NodeId t : exposed) {
+      if (!exposed_names.empty()) exposed_names += ", ";
+      exposed_names += ctx.name(t);
+    }
+    Finding f;
+    f.check = CheckId::kInterfaceWidth;
+    f.function = ctx.name(e);
+    if (internal) {
+      // A guard exists somewhere behind the entry; assumed to dominate
+      // (enclave CFI), so this is informational only.
+      f.severity = Severity::kInfo;
+      f.status = Status::kAdvisory;
+      f.message = "enclave entry '" + ctx.name(e) +
+                  "' exposes protected callees (" + exposed_names +
+                  ") but a guard in its subtree is assumed to dominate them";
+    } else {
+      f.severity = Severity::kHigh;
+      f.status = Status::kConfirmed;
+      const auto path = find_path_within(ctx.graph(), e, exposed.front(),
+                                         ctx.partition().migrated, ctx.guards());
+      f.message = "unauthenticated enclave entry '" + ctx.name(e) +
+                  "' lets the host drive protected callee(s) without any "
+                  "license check: " + exposed_names;
+      f.evidence_path = path_names(ctx.graph(), path);
+      if (f.evidence_path.empty()) f.evidence_path = {ctx.name(e)};
+    }
+    findings.push_back(std::move(f));
+  }
+  return findings;
+}
+
+// --- pass 4: sensitive-data egress -------------------------------------------
+
+std::vector<Finding> run_sensitive_egress(const AuditContext& ctx) {
+  std::vector<Finding> findings;
+  for (cfg::NodeId n : sorted_by_name(ctx, ctx.graph().all_nodes())) {
+    const cfg::FunctionInfo& info = ctx.graph().node(n);
+    if (!info.touches_sensitive_data) continue;
+    if (!ctx.migrated(n)) {
+      Finding f;
+      f.check = CheckId::kSensitiveEgress;
+      f.function = info.name;
+      if (ctx.partition().data_in_enclave) {
+        // The scheme promises in-enclave data, yet left this function (and
+        // the region it touches) in untrusted memory.
+        f.severity = Severity::kHigh;
+        f.status = Status::kConfirmed;
+        f.message = "partition claims in-enclave data, but sensitive function '" +
+                    info.name + "' and its region stay in untrusted memory";
+      } else {
+        f.severity = Severity::kWarning;
+        f.status = Status::kAdvisory;
+        f.message = "sensitive function '" + info.name +
+                    "' runs untrusted; its region is exposed to the host "
+                    "(data-outside schemes trade this for execution control)";
+      }
+      findings.push_back(std::move(f));
+      continue;
+    }
+    // Migrated sensitive function whose sensitive callee stayed outside:
+    // the region crosses the boundary on every OCALL.
+    for (const cfg::Edge& e : ctx.graph().out_edges(n)) {
+      if (ctx.migrated(e.to)) continue;
+      if (!ctx.graph().node(e.to).touches_sensitive_data) continue;
+      Finding f;
+      f.check = CheckId::kSensitiveEgress;
+      f.severity = Severity::kMedium;
+      f.status = Status::kAdvisory;
+      f.function = info.name;
+      f.message = "sensitive region flows out of the enclave: '" + info.name +
+                  "' (inside) calls sensitive '" + ctx.name(e.to) +
+                  "' (outside) " + std::to_string(e.call_count) + " times";
+      f.evidence_path = {info.name, ctx.name(e.to)};
+      findings.push_back(std::move(f));
+    }
+  }
+  return findings;
+}
+
+}  // namespace sl::analysis

@@ -1,0 +1,101 @@
+// The four static CFB-vulnerability passes of the partition auditor.
+//
+// Attacker model (paper Section 2): the adversary runs the victim on a
+// virtual CPU with total control over untrusted code — branches can be
+// flipped, calls skipped, any untrusted function invoked directly, and any
+// ECALL stub the partition generates can be called with chosen arguments.
+// Enclave-resident code has control-flow integrity: once execution crosses
+// the boundary, it follows the program, and *guard* functions (the AM, plus
+// lease-gated key functions under SecureLease's runtime) refuse to work
+// without a valid license/lease.
+//
+// Each pass is independent and returns findings; the auditor (auditor.hpp)
+// assembles them into a report.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/finding.hpp"
+#include "analysis/reachability.hpp"
+#include "cfg/graph.hpp"
+#include "partition/partitioner.hpp"
+
+namespace sl::analysis {
+
+// Everything the passes need, precomputed once per audit.
+class AuditContext {
+ public:
+  AuditContext(const cfg::CallGraph& graph, cfg::NodeId entry,
+               const partition::PartitionResult& partition,
+               bool lease_gated_keys);
+
+  const cfg::CallGraph& graph() const { return graph_; }
+  cfg::NodeId entry() const { return entry_; }
+  const partition::PartitionResult& partition() const { return partition_; }
+  bool lease_gated_keys() const { return lease_gated_keys_; }
+
+  bool migrated(cfg::NodeId n) const { return partition_.migrated.contains(n); }
+  // Guards authorize their own invocation at run time: migrated AM members
+  // always, migrated key functions only when the scheme gates them.
+  bool guard(cfg::NodeId n) const { return guards_.contains(n); }
+  const NodeSet& guards() const { return guards_; }
+  const std::string& name(cfg::NodeId n) const { return graph_.node(n).name; }
+
+  // The entry's in-enclave call subtree contains a guard; under enclave
+  // control-flow integrity the check cannot be bent around once entered, so
+  // the auditor assumes it dominates the subtree (documented assumption).
+  bool internally_guarded(cfg::NodeId enclave_entry) const;
+
+  // Effective ECALL surface: migrated functions with at least one untrusted
+  // caller, plus the program entry when it migrates. Sorted by name.
+  std::vector<cfg::NodeId> ecall_surface() const;
+
+ private:
+  const cfg::CallGraph& graph_;
+  cfg::NodeId entry_;
+  const partition::PartitionResult& partition_;
+  bool lease_gated_keys_;
+  NodeSet guards_;
+  mutable std::unordered_map<cfg::NodeId, bool> internally_guarded_cache_;
+};
+
+// Unauthorized-execution reachability from `start` under the attacker
+// model: untrusted nodes expand freely (attacker-bent control flow),
+// migrated non-guard nodes are enterable from untrusted code only when not
+// internally guarded (boundary crossing via their ECALL stub) and expand
+// through in-enclave edges; guards are never entered.
+struct AttackReach {
+  NodeSet reached;
+  std::unordered_map<cfg::NodeId, cfg::NodeId> parent;
+
+  // Path start -> node (inclusive); empty when not reached.
+  std::vector<cfg::NodeId> path_to(cfg::NodeId node) const;
+};
+
+AttackReach attack_reachability(const AuditContext& ctx, cfg::NodeId start);
+
+// Pass 1 — check-skip: a protected function (key function, or migrated
+// sensitive function) executes along an attacker-feasible path that never
+// crosses a guard. The classic CFB skip of paper Section 2.1.1.
+std::vector<Finding> run_check_skip(const AuditContext& ctx);
+
+// Pass 2 — return-forge: an authorization decision whose result is
+// consumed by untrusted code that gates access to work the enclave does not
+// independently protect (paper Section 3 / Figure 6 attack 2); also flags
+// AM members left entirely untrusted (Figure 2 / Figure 6 attack 1).
+std::vector<Finding> run_return_forge(const AuditContext& ctx);
+
+// Pass 3 — interface-width: enumerates the ECALL surface and flags entry
+// points that expose protected callees to the host without any
+// authorization on the in-enclave path.
+std::vector<Finding> run_interface_width(const AuditContext& ctx,
+                                         std::vector<EcallEntry>* surface);
+
+// Pass 4 — sensitive-data egress: sensitive functions left outside the
+// enclave partition, and sensitive regions flowing across the boundary.
+std::vector<Finding> run_sensitive_egress(const AuditContext& ctx);
+
+}  // namespace sl::analysis

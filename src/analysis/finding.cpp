@@ -1,0 +1,73 @@
+#include "analysis/finding.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace sl::analysis {
+
+std::string check_name(CheckId check) {
+  switch (check) {
+    case CheckId::kCheckSkip: return "check-skip";
+    case CheckId::kReturnForge: return "return-forge";
+    case CheckId::kInterfaceWidth: return "interface-width";
+    case CheckId::kSensitiveEgress: return "sensitive-egress";
+  }
+  return "?";
+}
+
+std::string severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kMedium: return "medium";
+    case Severity::kHigh: return "high";
+    case Severity::kCritical: return "critical";
+  }
+  return "?";
+}
+
+std::string status_name(Status status) {
+  switch (status) {
+    case Status::kAdvisory: return "ADVISORY";
+    case Status::kConfirmed: return "CONFIRMED";
+  }
+  return "?";
+}
+
+std::uint64_t AuditReport::count(Severity severity) const {
+  std::uint64_t total = 0;
+  for (const Finding& f : findings) {
+    if (f.severity == severity) ++total;
+  }
+  return total;
+}
+
+std::uint64_t AuditReport::confirmed_count() const {
+  std::uint64_t total = 0;
+  for (const Finding& f : findings) {
+    if (f.status == Status::kConfirmed) ++total;
+  }
+  return total;
+}
+
+Severity AuditReport::worst_severity() const {
+  Severity worst = Severity::kInfo;
+  for (const Finding& f : findings) {
+    if (static_cast<int>(f.severity) > static_cast<int>(worst)) worst = f.severity;
+  }
+  return worst;
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::make_tuple(-static_cast<int>(a.severity),
+                                     static_cast<int>(a.check), a.function,
+                                     a.message) <
+                     std::make_tuple(-static_cast<int>(b.severity),
+                                     static_cast<int>(b.check), b.function,
+                                     b.message);
+            });
+}
+
+}  // namespace sl::analysis

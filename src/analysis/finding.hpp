@@ -1,0 +1,86 @@
+// Vulnerability findings produced by the partition security auditor.
+//
+// A Finding records one control-flow-bending (CFB) exposure a static check
+// discovered in a partitioned call graph: which check fired, how bad it is,
+// whether the check holds a concrete witness (CONFIRMED) or reports a
+// heuristic concern (ADVISORY), and the evidence path through the graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cfg/graph.hpp"
+
+namespace sl::analysis {
+
+// The four static passes (docs/ANALYSIS.md describes each in detail).
+enum class CheckId {
+  kCheckSkip,        // protected function reachable while skipping every gate
+  kReturnForge,      // authorization decision returns to untrusted code
+  kInterfaceWidth,   // unauthenticated ECALL entry exposes protected callees
+  kSensitiveEgress,  // sensitive data resides in / flows to untrusted memory
+};
+
+enum class Severity { kInfo, kWarning, kMedium, kHigh, kCritical };
+
+// CONFIRMED findings carry a concrete witness (a path or edge in the graph
+// that realizes the attack precondition); ADVISORY findings flag policy
+// concerns that need no path to hold.
+enum class Status { kAdvisory, kConfirmed };
+
+std::string check_name(CheckId check);
+std::string severity_name(Severity severity);
+std::string status_name(Status status);
+
+struct Finding {
+  CheckId check = CheckId::kCheckSkip;
+  Severity severity = Severity::kInfo;
+  Status status = Status::kAdvisory;
+  // The function the finding is about (attack target, forgeable decision
+  // site, or exposed entry point depending on the check).
+  std::string function;
+  std::string message;
+  // Witness: function names along the attack path (empty for advisories).
+  std::vector<std::string> evidence_path;
+};
+
+// One enclave entry point of the effective ECALL surface the partition
+// induces: a migrated function with at least one untrusted caller (plus the
+// program entry when it migrates).
+struct EcallEntry {
+  std::string function;
+  // The entry authorizes callers itself (AM member, or a lease-gated key
+  // function under schemes that gate keys at run time).
+  bool guard = false;
+  // A guard exists somewhere in the entry's in-enclave call subtree; with
+  // enclave control-flow integrity the check cannot be skipped once the
+  // boundary is crossed.
+  bool internally_guarded = false;
+  std::vector<std::string> untrusted_callers;
+  // Enclave functions the host can drive through this entry.
+  std::uint64_t reachable_enclave_functions = 0;
+};
+
+struct AuditReport {
+  std::string app;
+  std::string scheme;
+  std::string entry;
+  std::uint64_t function_count = 0;
+  std::uint64_t migrated_count = 0;
+
+  std::vector<EcallEntry> ecall_surface;
+  // Sorted most severe first (then by check, then by function name).
+  std::vector<Finding> findings;
+
+  bool clean() const { return findings.empty(); }
+  std::uint64_t count(Severity severity) const;
+  std::uint64_t confirmed_count() const;
+  Severity worst_severity() const;  // kInfo when clean
+};
+
+// Canonical ordering applied to every report (stable output for golden
+// tests): severity descending, then check id, then subject function.
+void sort_findings(std::vector<Finding>& findings);
+
+}  // namespace sl::analysis

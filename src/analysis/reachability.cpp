@@ -1,0 +1,103 @@
+#include "analysis/reachability.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace sl::analysis {
+
+namespace {
+
+// Breadth-first search with a per-node admission predicate. Returns the
+// predecessor map; `to` (if any) short-circuits the search.
+template <typename Admit, typename Expand>
+std::unordered_map<cfg::NodeId, cfg::NodeId> bfs(const cfg::CallGraph& graph,
+                                                 cfg::NodeId from,
+                                                 Admit admit, Expand expand) {
+  std::unordered_map<cfg::NodeId, cfg::NodeId> parent;
+  if (!admit(from)) return parent;
+  parent.emplace(from, from);
+  std::deque<cfg::NodeId> queue{from};
+  while (!queue.empty()) {
+    const cfg::NodeId at = queue.front();
+    queue.pop_front();
+    if (!expand(at)) continue;
+    for (const cfg::Edge& e : graph.out_edges(at)) {
+      if (parent.contains(e.to) || !admit(e.to)) continue;
+      parent.emplace(e.to, at);
+      queue.push_back(e.to);
+    }
+  }
+  return parent;
+}
+
+std::vector<cfg::NodeId> unwind(
+    const std::unordered_map<cfg::NodeId, cfg::NodeId>& parent,
+    cfg::NodeId from, cfg::NodeId to) {
+  std::vector<cfg::NodeId> path;
+  if (!parent.contains(to)) return path;
+  for (cfg::NodeId at = to;; at = parent.at(at)) {
+    path.push_back(at);
+    if (at == from) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::vector<cfg::NodeId> find_path_avoiding(const cfg::CallGraph& graph,
+                                            cfg::NodeId from, cfg::NodeId to,
+                                            const NodeSet& avoid) {
+  const auto admit = [&](cfg::NodeId n) {
+    return n == from || n == to || !avoid.contains(n);
+  };
+  const auto expand = [&](cfg::NodeId n) {
+    // An avoided endpoint may start the path but never continue it.
+    return n == from ? !avoid.contains(from) || from == to : n != to;
+  };
+  // `from` in the avoid set cannot be traversed through; it can still BE
+  // the source, but then no edge may leave it — handled by expand above.
+  if (avoid.contains(from) && from != to) return {};
+  return unwind(bfs(graph, from, admit, expand), from, to);
+}
+
+NodeSet reachable_avoiding(const cfg::CallGraph& graph, cfg::NodeId from,
+                           const NodeSet& avoid) {
+  const auto admit = [&](cfg::NodeId n) { return !avoid.contains(n); };
+  const auto expand = [](cfg::NodeId) { return true; };
+  NodeSet out;
+  for (const auto& [node, ignored] : bfs(graph, from, admit, expand)) {
+    (void)ignored;
+    out.insert(node);
+  }
+  return out;
+}
+
+NodeSet reachable_within(const cfg::CallGraph& graph, cfg::NodeId from,
+                         const NodeSet& within, const NodeSet& stop) {
+  const auto admit = [&](cfg::NodeId n) { return within.contains(n); };
+  const auto expand = [&](cfg::NodeId n) {
+    return n == from || !stop.contains(n);
+  };
+  NodeSet out;
+  for (const auto& [node, ignored] : bfs(graph, from, admit, expand)) {
+    (void)ignored;
+    out.insert(node);
+  }
+  return out;
+}
+
+std::vector<cfg::NodeId> find_path_within(const cfg::CallGraph& graph,
+                                          cfg::NodeId from, cfg::NodeId to,
+                                          const NodeSet& within,
+                                          const NodeSet& stop) {
+  const auto admit = [&](cfg::NodeId n) { return within.contains(n); };
+  const auto expand = [&](cfg::NodeId n) {
+    if (n == to && n != from) return false;
+    return n == from || !stop.contains(n);
+  };
+  return unwind(bfs(graph, from, admit, expand), from, to);
+}
+
+}  // namespace sl::analysis

@@ -1,0 +1,45 @@
+// Reachability primitives for the partition auditor.
+//
+// All queries run over the directed call graph; "avoiding" a node set means
+// paths may not pass THROUGH those nodes (a path may still end on one). The
+// attacker model behind these helpers: control flow at untrusted functions
+// is fully bendable, control flow inside the enclave has integrity.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "cfg/graph.hpp"
+
+namespace sl::analysis {
+
+using NodeSet = std::unordered_set<cfg::NodeId>;
+
+// Shortest path (by hop count) from `from` to `to` that never passes
+// through a node of `avoid` (endpoints exempt). Empty when unreachable.
+std::vector<cfg::NodeId> find_path_avoiding(const cfg::CallGraph& graph,
+                                            cfg::NodeId from, cfg::NodeId to,
+                                            const NodeSet& avoid);
+
+// Every node reachable from `from` without passing through `avoid` nodes
+// (nodes of `avoid` are themselves never entered). Includes `from` unless
+// `from` is avoided.
+NodeSet reachable_avoiding(const cfg::CallGraph& graph, cfg::NodeId from,
+                           const NodeSet& avoid);
+
+// Reachability restricted to a node subset: traversal only enters nodes of
+// `within`, and stops at (does not expand) nodes of `stop` — though stopped
+// nodes ARE recorded as reached. Used for in-enclave reachability where
+// guard nodes terminate unauthorized exploration.
+NodeSet reachable_within(const cfg::CallGraph& graph, cfg::NodeId from,
+                         const NodeSet& within, const NodeSet& stop);
+
+// Shortest path from `from` to `to` where every intermediate hop must be in
+// `within` and must not be in `stop` (endpoints exempt from `stop`; both
+// endpoints must be in `within`). Empty when unreachable.
+std::vector<cfg::NodeId> find_path_within(const cfg::CallGraph& graph,
+                                          cfg::NodeId from, cfg::NodeId to,
+                                          const NodeSet& within,
+                                          const NodeSet& stop);
+
+}  // namespace sl::analysis

@@ -1,0 +1,198 @@
+#include "analysis/report.hpp"
+
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace sl::analysis {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void json_string_array(std::ostringstream& os, const std::vector<std::string>& v) {
+  os << "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << '"' << json_escape(v[i]) << '"';
+  }
+  os << "]";
+}
+
+}  // namespace
+
+std::string to_text(const AuditReport& report) {
+  std::ostringstream os;
+  os << "audit of " << report.app << " under " << report.scheme << " ("
+     << report.migrated_count << "/" << report.function_count
+     << " functions migrated, entry " << report.entry << ")\n";
+
+  os << "ECALL surface: " << report.ecall_surface.size() << " entry point"
+     << (report.ecall_surface.size() == 1 ? "" : "s") << "\n";
+  for (const EcallEntry& e : report.ecall_surface) {
+    os << "  " << e.function << "  ["
+       << (e.guard ? "guard"
+                   : (e.internally_guarded ? "internally guarded" : "UNGUARDED"))
+       << "]  reaches " << e.reachable_enclave_functions
+       << " enclave function" << (e.reachable_enclave_functions == 1 ? "" : "s");
+    if (!e.untrusted_callers.empty()) {
+      os << "  callers:";
+      for (const std::string& c : e.untrusted_callers) os << " " << c;
+    }
+    os << "\n";
+  }
+
+  if (report.clean()) {
+    os << "findings: none — partition is CFB-clean under the audited model\n";
+    return os.str();
+  }
+
+  os << "findings: " << report.findings.size() << " ("
+     << report.confirmed_count() << " confirmed, worst severity "
+     << severity_name(report.worst_severity()) << ")\n";
+  for (const Finding& f : report.findings) {
+    os << "  [" << severity_name(f.severity) << "/" << status_name(f.status)
+       << "] " << check_name(f.check) << " @ " << f.function << "\n"
+       << "      " << f.message << "\n";
+  }
+  return os.str();
+}
+
+std::string to_json(const AuditReport& report) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"app\": \"" << json_escape(report.app) << "\",\n";
+  os << "  \"scheme\": \"" << json_escape(report.scheme) << "\",\n";
+  os << "  \"entry\": \"" << json_escape(report.entry) << "\",\n";
+  os << "  \"functions\": " << report.function_count << ",\n";
+  os << "  \"migrated\": " << report.migrated_count << ",\n";
+
+  os << "  \"ecall_surface\": [";
+  for (std::size_t i = 0; i < report.ecall_surface.size(); ++i) {
+    const EcallEntry& e = report.ecall_surface[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"function\": \"" << json_escape(e.function) << "\", \"guard\": "
+       << (e.guard ? "true" : "false") << ", \"internally_guarded\": "
+       << (e.internally_guarded ? "true" : "false")
+       << ", \"reachable_enclave_functions\": " << e.reachable_enclave_functions
+       << ", \"untrusted_callers\": ";
+    json_string_array(os, e.untrusted_callers);
+    os << "}";
+  }
+  os << (report.ecall_surface.empty() ? "" : "\n  ") << "],\n";
+
+  os << "  \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const Finding& f = report.findings[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\n";
+    os << "      \"check\": \"" << check_name(f.check) << "\",\n";
+    os << "      \"severity\": \"" << severity_name(f.severity) << "\",\n";
+    os << "      \"status\": \"" << status_name(f.status) << "\",\n";
+    os << "      \"function\": \"" << json_escape(f.function) << "\",\n";
+    os << "      \"message\": \"" << json_escape(f.message) << "\",\n";
+    os << "      \"evidence_path\": ";
+    json_string_array(os, f.evidence_path);
+    os << "\n    }";
+  }
+  os << (report.findings.empty() ? "" : "\n  ") << "],\n";
+
+  os << "  \"summary\": {\"total\": " << report.findings.size()
+     << ", \"confirmed\": " << report.confirmed_count()
+     << ", \"critical\": " << report.count(Severity::kCritical)
+     << ", \"high\": " << report.count(Severity::kHigh)
+     << ", \"medium\": " << report.count(Severity::kMedium)
+     << ", \"warning\": " << report.count(Severity::kWarning)
+     << ", \"info\": " << report.count(Severity::kInfo)
+     << ", \"clean\": " << (report.clean() ? "true" : "false") << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot_overlay(const AuditReport& report,
+                           const cfg::CallGraph& graph,
+                           const partition::PartitionResult& partition) {
+  // Worst severity per flagged function.
+  std::unordered_map<std::string, Severity> flagged;
+  for (const Finding& f : report.findings) {
+    const auto it = flagged.find(f.function);
+    if (it == flagged.end() ||
+        static_cast<int>(f.severity) > static_cast<int>(it->second)) {
+      flagged[f.function] = f.severity;
+    }
+  }
+  // Evidence-path edges, drawn in red.
+  std::map<std::pair<std::string, std::string>, bool> hot_edges;
+  for (const Finding& f : report.findings) {
+    for (std::size_t i = 1; i < f.evidence_path.size(); ++i) {
+      hot_edges[{f.evidence_path[i - 1], f.evidence_path[i]}] = true;
+    }
+  }
+
+  const auto severity_fill = [](Severity s) {
+    switch (s) {
+      case Severity::kCritical: return "#e31a1c";
+      case Severity::kHigh: return "#ff7f00";
+      case Severity::kMedium: return "#fdbf6f";
+      case Severity::kWarning: return "#ffff99";
+      case Severity::kInfo: return "#f0f0f0";
+    }
+    return "#ffffff";
+  };
+
+  std::ostringstream os;
+  os << "digraph audit {\n";
+  os << "  label=\"audit: " << report.app << " / " << report.scheme << " — "
+     << report.findings.size() << " finding(s), "
+     << report.confirmed_count() << " confirmed\";\n";
+  os << "  node [shape=ellipse, style=filled];\n";
+  for (cfg::NodeId n = 0; n < graph.node_count(); ++n) {
+    const cfg::FunctionInfo& info = graph.node(n);
+    const bool migrated = partition.migrated.contains(n);
+    std::string fill = migrated ? "#deebf7" : "#ffffff";
+    std::string extra;
+    const auto hit = flagged.find(info.name);
+    if (hit != flagged.end()) {
+      fill = severity_fill(hit->second);
+      if (hit->second == Severity::kCritical) extra += ", fontcolor=white";
+    }
+    if (migrated) extra += ", shape=box, penwidth=2";
+    os << "  \"" << info.name << "\" [fillcolor=\"" << fill << "\"" << extra
+       << ", sl_migrated=\"" << (migrated ? 1 : 0) << "\", sl_am=\""
+       << (info.in_authentication_module ? 1 : 0) << "\", sl_key=\""
+       << (info.is_key_function ? 1 : 0) << "\", sl_sensitive=\""
+       << (info.touches_sensitive_data ? 1 : 0) << "\", sl_io=\""
+       << (info.does_io ? 1 : 0) << "\"];\n";
+  }
+  for (const cfg::Edge& e : graph.edges()) {
+    const std::string from = graph.node(e.from).name;
+    const std::string to = graph.node(e.to).name;
+    const bool hot = hot_edges.contains({from, to});
+    os << "  \"" << from << "\" -> \"" << to << "\" [label=\"" << e.call_count
+       << "\"" << (hot ? ", color=red, penwidth=2" : "") << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace sl::analysis

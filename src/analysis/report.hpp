@@ -1,0 +1,25 @@
+// Rendering for audit reports: human text, machine-readable JSON, and an
+// annotated Graphviz overlay of the partitioned graph with findings.
+#pragma once
+
+#include <string>
+
+#include "analysis/finding.hpp"
+#include "partition/partitioner.hpp"
+
+namespace sl::analysis {
+
+std::string to_text(const AuditReport& report);
+
+// Deterministic, stably-ordered JSON (used by the golden-file tests).
+std::string to_json(const AuditReport& report);
+
+// DOT overlay: migrated nodes boxed, guards marked, flagged functions
+// filled by their worst severity, the first evidence path of each finding
+// drawn in red. Emits sl_* annotation attributes so the overlay round-trips
+// through cfg::parse_dot.
+std::string to_dot_overlay(const AuditReport& report,
+                           const cfg::CallGraph& graph,
+                           const partition::PartitionResult& partition);
+
+}  // namespace sl::analysis

@@ -25,6 +25,7 @@ std::string stage_name(int stage) { return "stage" + std::to_string(stage); }
 GeneratedVictim generate_victim(const VictimSpec& spec) {
   Rng rng(spec.seed);
   GeneratedVictim victim;
+  victim.spec = spec;
   victim.seed = spec.seed;
   victim.license_value =
       static_cast<std::int64_t>(splitmix64_key(0xace, spec.seed) % 1'000'000 + 1);
@@ -42,6 +43,7 @@ GeneratedVictim generate_victim(const VictimSpec& spec) {
       if (g) victim.gated_stages++;
     }
   }
+  victim.stage_gated = gated;
 
   Program& p = victim.app.program;
 

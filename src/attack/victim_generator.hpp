@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "attack/victim.hpp"
 
@@ -28,8 +29,11 @@ struct VictimSpec {
 
 struct GeneratedVictim {
   VictimApp app;
+  VictimSpec spec;                 // the spec this victim was generated from
   std::int64_t license_value = 0;  // the valid license for this build
   int gated_stages = 0;            // stages behind the enclave gate
+  std::vector<bool> stage_gated;   // per-stage: behind the enclave gate?
+                                   // (all false outside kSecureLease)
   std::uint64_t seed = 0;          // generation seed (the gate derives the
                                    // stage transforms from it)
 };

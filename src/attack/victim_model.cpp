@@ -1,0 +1,249 @@
+#include "attack/victim_model.hpp"
+
+namespace sl::attack {
+
+namespace {
+
+using cfg::FunctionInfo;
+
+FunctionInfo fn(std::string name, std::uint64_t invocations,
+                std::uint64_t work_cycles) {
+  FunctionInfo info;
+  info.name = std::move(name);
+  info.code_instructions = 500;
+  info.mem_bytes = 16 * 1024;
+  info.enclave_state_bytes = 16 * 1024;
+  info.invocations = invocations;
+  info.work_cycles = work_cycles;
+  return info;
+}
+
+FunctionInfo am_fn(std::string name, std::uint64_t invocations,
+                   std::uint64_t work_cycles) {
+  FunctionInfo info = fn(std::move(name), invocations, work_cycles);
+  info.in_authentication_module = true;
+  info.touches_sensitive_data = true;  // credentials / ACL tables
+  return info;
+}
+
+FunctionInfo key_fn(std::string name, std::uint64_t invocations,
+                    std::uint64_t work_cycles) {
+  FunctionInfo info = fn(std::move(name), invocations, work_cycles);
+  info.is_key_function = true;
+  return info;
+}
+
+FunctionInfo io_fn(std::string name, std::uint64_t invocations,
+                   std::uint64_t work_cycles) {
+  FunctionInfo info = fn(std::move(name), invocations, work_cycles);
+  info.does_io = true;
+  return info;
+}
+
+partition::PartitionResult partition_of(
+    const workloads::AppModel& model, partition::Scheme scheme,
+    const std::vector<std::string>& migrated_names) {
+  partition::PartitionResult result;
+  result.scheme = scheme;
+  result.data_in_enclave = false;
+  for (const std::string& name : migrated_names) {
+    result.migrated.insert(model.graph.id_of(name));
+  }
+  return result;
+}
+
+}  // namespace
+
+// --- small victim ------------------------------------------------------------
+
+workloads::AppModel victim_app_model() {
+  workloads::AppModel model;
+  model.name = "CFB-victim";
+  model.input_description = "Figure 1 victim: license check + 3 queries";
+  model.entry = "main";
+  cfg::CallGraph& g = model.graph;
+
+  g.add_function(io_fn("main", 1, 10'000));
+  g.add_function(fn("init", 1, 5'000));
+  g.add_function(am_fn("check_license", 1, 20'000));
+  g.add_function(fn("query_driver", 1, 3'000));
+  g.add_function(key_fn("parse_query", 3, 30'000));
+  g.add_function(fn("execute_query", 3, 40'000));
+  g.add_function(io_fn("emit_output", 3, 5'000));
+
+  g.add_call("main", "init", 1);
+  g.add_call("main", "check_license", 1);
+  g.add_call("main", "query_driver", 1);
+  g.add_call("query_driver", "parse_query", 3);
+  g.add_call("query_driver", "execute_query", 3);
+  g.add_call("execute_query", "emit_output", 3);
+  return model;
+}
+
+partition::PartitionResult victim_partition(Protection protection) {
+  const workloads::AppModel model = victim_app_model();
+  switch (protection) {
+    case Protection::kSoftwareOnly:
+      return partition_of(model, partition::Scheme::kVanilla, {});
+    case Protection::kAmInEnclave:
+      return partition_of(model, partition::Scheme::kFlaas, {"check_license"});
+    case Protection::kSecureLease:
+      return partition_of(model, partition::Scheme::kSecureLease,
+                          {"check_license", "parse_query"});
+  }
+  return partition_of(model, partition::Scheme::kVanilla, {});
+}
+
+// --- MySQL victim ------------------------------------------------------------
+
+workloads::AppModel mysql_victim_model() {
+  workloads::AppModel model;
+  model.name = "MySQL-victim";
+  model.input_description = "Figure 6 victim: 4 connections x 4 queries";
+  model.entry = "main";
+  cfg::CallGraph& g = model.graph;
+
+  // Initialization phase.
+  g.add_function(io_fn("main", 1, 20'000));
+  g.add_function(fn("init_ssl", 1, 30'000));
+  g.add_function(fn("server_init", 1, 25'000));
+  g.add_function(fn("signal_handlers", 1, 2'000));
+  g.add_function(fn("create_threads", 1, 8'000));
+  g.add_function(io_fn("handle_connections", 4, 100'000));
+
+  // Connection phase.
+  g.add_function(fn("prepare_connection", 4, 15'000));
+  g.add_function(fn("login_connection", 4, 10'000));
+  g.add_function(fn("check_connection", 4, 12'000));
+
+  // The authentication module: acl_authenticate and its helpers read the
+  // user/password tables — Glamdring-sensitive data.
+  g.add_function(am_fn("acl_authenticate", 4, 20'000));
+  g.add_function(am_fn("acl_check_user", 4, 10'000));
+  g.add_function(am_fn("user_table_load", 1, 30'000));
+
+  // Protected region: the query pipeline. The parser is the paper's MySQL
+  // key function; it does NOT touch Glamdring-sensitive data — exactly why
+  // a data-based partition leaves it outside.
+  g.add_function(fn("query_input", 16, 8'000));
+  g.add_function(key_fn("parse_query", 16, 50'000));
+  g.add_function(fn("execute_query", 16, 200'000));
+  g.add_function(io_fn("write_data", 16, 50'000));
+
+  g.add_call("main", "init_ssl", 1);
+  g.add_call("main", "server_init", 1);
+  g.add_call("main", "signal_handlers", 1);
+  g.add_call("main", "create_threads", 1);
+  g.add_call("main", "handle_connections", 1);
+  g.add_call("server_init", "user_table_load", 1);
+  g.add_call("handle_connections", "prepare_connection", 4);
+  g.add_call("prepare_connection", "login_connection", 4);
+  g.add_call("login_connection", "check_connection", 4);
+  g.add_call("check_connection", "acl_authenticate", 4);
+  g.add_call("acl_authenticate", "acl_check_user", 4);
+  // The verdict returns to check_connection, which dispatches queries.
+  g.add_call("check_connection", "query_input", 4);
+  g.add_call("query_input", "parse_query", 16);
+  g.add_call("parse_query", "execute_query", 16);
+  g.add_call("execute_query", "write_data", 16);
+  return model;
+}
+
+partition::PartitionResult mysql_victim_partition(MysqlProtection protection) {
+  const workloads::AppModel model = mysql_victim_model();
+  const std::vector<std::string> am = {"acl_authenticate", "acl_check_user",
+                                       "user_table_load"};
+  switch (protection) {
+    case MysqlProtection::kSoftwareOnly:
+      return partition_of(model, partition::Scheme::kVanilla, {});
+    case MysqlProtection::kAmInEnclave:
+      return partition_of(model, partition::Scheme::kFlaas, am);
+    case MysqlProtection::kSecureLease: {
+      std::vector<std::string> migrated = am;
+      migrated.push_back("parse_query");
+      return partition_of(model, partition::Scheme::kSecureLease, migrated);
+    }
+  }
+  return partition_of(model, partition::Scheme::kVanilla, {});
+}
+
+// --- generated victims -------------------------------------------------------
+
+workloads::AppModel generated_victim_model(const GeneratedVictim& victim) {
+  workloads::AppModel model;
+  model.name = "generated-victim-" + std::to_string(victim.seed);
+  model.input_description = std::to_string(victim.spec.stages) +
+                            "-stage generated pipeline";
+  model.entry = "main";
+  cfg::CallGraph& g = model.graph;
+
+  g.add_function(fn("main", 1, 5'000));
+  g.add_function(fn("init", 1, 2'000));
+  g.add_function(am_fn("check_license", 1, 10'000));
+  const bool securelease = victim.spec.protection == Protection::kSecureLease;
+  for (int s = 0; s < victim.spec.stages; ++s) {
+    FunctionInfo info = fn("stage" + std::to_string(s),
+                           static_cast<std::uint64_t>(victim.spec.outputs_per_stage),
+                           20'000);
+    // Under kSecureLease the developer annotated exactly the gated stages;
+    // under the other builds the vendor wants the whole pipeline protected
+    // (the build just fails to protect any of it).
+    info.is_key_function =
+        securelease ? victim.stage_gated[static_cast<std::size_t>(s)] : true;
+    g.add_function(std::move(info));
+  }
+  g.add_function(io_fn("emit_output", 1, 1'000));
+
+  g.add_call("main", "init", 1);
+  g.add_call("main", "check_license", 1);
+  if (victim.spec.stages > 0) {
+    g.add_call("main", "stage0", 1);
+    for (int s = 0; s + 1 < victim.spec.stages; ++s) {
+      g.add_call("stage" + std::to_string(s), "stage" + std::to_string(s + 1), 1);
+    }
+    g.add_call("stage" + std::to_string(victim.spec.stages - 1), "emit_output", 1);
+  } else {
+    g.add_call("main", "emit_output", 1);
+  }
+  return model;
+}
+
+partition::PartitionResult generated_victim_partition(const GeneratedVictim& victim) {
+  const workloads::AppModel model = generated_victim_model(victim);
+  switch (victim.spec.protection) {
+    case Protection::kSoftwareOnly:
+      return partition_of(model, partition::Scheme::kVanilla, {});
+    case Protection::kAmInEnclave:
+      return partition_of(model, partition::Scheme::kFlaas, {"check_license"});
+    case Protection::kSecureLease: {
+      std::vector<std::string> migrated = {"check_license"};
+      for (int s = 0; s < victim.spec.stages; ++s) {
+        if (victim.stage_gated[static_cast<std::size_t>(s)]) {
+          migrated.push_back("stage" + std::to_string(s));
+        }
+      }
+      return partition_of(model, partition::Scheme::kSecureLease, migrated);
+    }
+  }
+  return partition_of(model, partition::Scheme::kVanilla, {});
+}
+
+std::string protection_label(Protection protection) {
+  switch (protection) {
+    case Protection::kSoftwareOnly: return "software-only";
+    case Protection::kAmInEnclave: return "enclave-AM";
+    case Protection::kSecureLease: return "SecureLease";
+  }
+  return "?";
+}
+
+std::string protection_label(MysqlProtection protection) {
+  switch (protection) {
+    case MysqlProtection::kSoftwareOnly: return "software-only";
+    case MysqlProtection::kAmInEnclave: return "enclave-AM";
+    case MysqlProtection::kSecureLease: return "SecureLease";
+  }
+  return "?";
+}
+
+}  // namespace sl::attack

@@ -1,0 +1,52 @@
+// Call-graph models of the attack victims, for the static auditor.
+//
+// The CFB attack experiments run vCPU *programs* (victim.hpp,
+// mysql_victim.hpp, victim_generator.hpp); the partition auditor analyzes
+// *call graphs*. This module provides the bridge: for every victim build it
+// derives (a) an annotated AppModel mirroring the program's function
+// structure and (b) the PartitionResult the protection scheme implies —
+// so the dynamic attack outcome can be cross-validated against the static
+// findings (tests/analysis/test_cross_validation.cpp):
+//
+//   attack cracks the build  ==>  the auditor flags its partition.
+//
+// The MySQL victim model is also a proper AppModel the real partitioners
+// accept, so `partition_glamdring` / `partition_securelease` can be run on
+// it and audited (the ISSUE's Glamdring-vs-SecureLease acceptance check).
+#pragma once
+
+#include "attack/mysql_victim.hpp"
+#include "attack/victim.hpp"
+#include "attack/victim_generator.hpp"
+#include "partition/partitioner.hpp"
+#include "workloads/app_model.hpp"
+
+namespace sl::attack {
+
+// --- the small Figure 1/2 victim (victim.hpp) -------------------------------
+
+workloads::AppModel victim_app_model();
+// The migrated set the given protection build implies: software-only
+// migrates nothing, enclave-AM migrates the AM, SecureLease adds the
+// parser key function.
+partition::PartitionResult victim_partition(Protection protection);
+
+// --- the Figure 6 MySQL victim (mysql_victim.hpp) ---------------------------
+
+workloads::AppModel mysql_victim_model();
+partition::PartitionResult mysql_victim_partition(MysqlProtection protection);
+
+// --- generated victims (victim_generator.hpp) -------------------------------
+
+// Model of a generated victim. Key-function annotations follow the build:
+// under kSecureLease exactly the gated stages are annotated (the developer
+// chose them); under the other protections every stage is annotated (the
+// vendor wants the pipeline protected — the build just fails to protect it).
+workloads::AppModel generated_victim_model(const GeneratedVictim& victim);
+partition::PartitionResult generated_victim_partition(const GeneratedVictim& victim);
+
+// Human-readable label for a protection build (used in audit reports).
+std::string protection_label(Protection protection);
+std::string protection_label(MysqlProtection protection);
+
+}  // namespace sl::attack

@@ -8,6 +8,16 @@ namespace {
 const char* kPalette[] = {"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
                           "#cab2d6", "#ffff99", "#1f78b4", "#33a02c"};
 constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+void emit_annotations(std::ostream& os, const FunctionInfo& info, bool migrated) {
+  os << ", sl_migrated=\"" << (migrated ? 1 : 0) << "\""
+     << ", sl_am=\"" << (info.in_authentication_module ? 1 : 0) << "\""
+     << ", sl_key=\"" << (info.is_key_function ? 1 : 0) << "\""
+     << ", sl_sensitive=\"" << (info.touches_sensitive_data ? 1 : 0) << "\""
+     << ", sl_io=\"" << (info.does_io ? 1 : 0) << "\""
+     << ", sl_work=\"" << info.work_cycles << "\""
+     << ", sl_inv=\"" << info.invocations << "\"";
+}
 }  // namespace
 
 std::string to_dot(const CallGraph& graph, const DotOptions& options) {
@@ -24,7 +34,9 @@ std::string to_dot(const CallGraph& graph, const DotOptions& options) {
         const bool hot = options.highlighted.contains(n);
         os << "    \"" << graph.node(n).name << "\" [fillcolor=\""
            << kPalette[c % kPaletteSize] << "\""
-           << (hot ? ", penwidth=3, color=red" : "") << "];\n";
+           << (hot ? ", penwidth=3, color=red" : "");
+        if (options.emit_annotations) emit_annotations(os, graph.node(n), hot);
+        os << "];\n";
       }
       os << "  }\n";
     }
@@ -32,7 +44,9 @@ std::string to_dot(const CallGraph& graph, const DotOptions& options) {
     for (NodeId n = 0; n < graph.node_count(); ++n) {
       const bool hot = options.highlighted.contains(n);
       os << "  \"" << graph.node(n).name << "\" [fillcolor=\""
-         << (hot ? "#fb9a99" : "#ffffff") << "\"];\n";
+         << (hot ? "#fb9a99" : "#ffffff") << "\"";
+      if (options.emit_annotations) emit_annotations(os, graph.node(n), hot);
+      os << "];\n";
     }
   }
 

@@ -16,6 +16,10 @@ struct DotOptions {
   // Nodes to highlight (e.g. the functions a partitioner migrated).
   std::unordered_set<NodeId> highlighted;
   std::string graph_name = "callgraph";
+  // Also emit the sl_* annotation attributes (AM/key/sensitive/io flags,
+  // work and invocation counts) so cfg::parse_dot round-trips the graph
+  // without needing copy_annotations_by_name.
+  bool emit_annotations = false;
 };
 
 std::string to_dot(const CallGraph& graph, const DotOptions& options = {});

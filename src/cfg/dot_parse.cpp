@@ -1,0 +1,195 @@
+#include "cfg/dot_parse.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace sl::cfg {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::string unquote(const std::string& s) {
+  if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+    return s.substr(1, s.size() - 2);
+  }
+  return s;
+}
+
+// Extracts the quoted identifier starting at `pos` (which must point at a
+// '"'); advances `pos` past the closing quote.
+std::string read_quoted(const std::string& line, std::size_t& pos) {
+  require(pos < line.size() && line[pos] == '"', "dot: expected quoted name: " + line);
+  const std::size_t close = line.find('"', pos + 1);
+  require(close != std::string::npos, "dot: unbalanced quote: " + line);
+  std::string name = line.substr(pos + 1, close - pos - 1);
+  pos = close + 1;
+  return name;
+}
+
+// Parses `key=value, key=value, ...` from the bracketed attribute list of a
+// statement; values may be quoted. Commas inside quoted values are not
+// supported (the emitters never produce them).
+std::unordered_map<std::string, std::string> parse_attrs(const std::string& line) {
+  std::unordered_map<std::string, std::string> attrs;
+  const std::size_t open = line.find('[');
+  if (open == std::string::npos) return attrs;
+  const std::size_t close = line.rfind(']');
+  require(close != std::string::npos && close > open,
+          "dot: unbalanced attribute list: " + line);
+  std::string body = line.substr(open + 1, close - open - 1);
+  std::stringstream ss(body);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) continue;
+    attrs[trim(item.substr(0, eq))] = unquote(trim(item.substr(eq + 1)));
+  }
+  return attrs;
+}
+
+bool flag_set(const std::unordered_map<std::string, std::string>& attrs,
+              const std::string& key) {
+  const auto it = attrs.find(key);
+  return it != attrs.end() && it->second == "1";
+}
+
+std::uint64_t parse_u64(const std::string& s, std::uint64_t fallback) {
+  try {
+    return std::stoull(s);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+class Parser {
+ public:
+  ParsedDot run(const std::string& text) {
+    std::stringstream ss(text);
+    std::string line;
+    while (std::getline(ss, line)) handle(trim(line));
+    require(saw_header_, "dot: no digraph header found");
+    return std::move(result_);
+  }
+
+ private:
+  void handle(const std::string& line) {
+    if (line.empty() || line.starts_with("//") || line.starts_with("#")) return;
+    if (line.starts_with("digraph")) {
+      saw_header_ = true;
+      std::stringstream ss(line);
+      std::string kw;
+      ss >> kw >> result_.name;
+      if (result_.name == "{") result_.name.clear();
+      return;
+    }
+    if (line.starts_with("subgraph")) {
+      const std::size_t at = line.find("cluster_");
+      if (at != std::string::npos) {
+        in_cluster_ = true;
+        cluster_ = static_cast<std::uint32_t>(
+            parse_u64(line.substr(at + 8), 0));
+      }
+      return;
+    }
+    if (line.starts_with("}")) {
+      in_cluster_ = false;
+      return;
+    }
+    // Default-attribute statements and labels: `node [...]`, `label="..."`.
+    if (!line.starts_with("\"")) return;
+
+    std::size_t pos = 0;
+    const std::string from = read_quoted(line, pos);
+    const std::size_t arrow = line.find("->", pos);
+    if (arrow != std::string::npos) {
+      std::size_t to_pos = line.find('"', arrow);
+      require(to_pos != std::string::npos, "dot: edge without target: " + line);
+      const std::string to = read_quoted(line, to_pos);
+      const auto attrs = parse_attrs(line);
+      const auto label = attrs.find("label");
+      const std::uint64_t count =
+          label == attrs.end() ? 1 : parse_u64(label->second, 1);
+      result_.graph.add_call(ensure_node(from), ensure_node(to), count);
+      return;
+    }
+    declare_node(from, parse_attrs(line));
+  }
+
+  NodeId ensure_node(const std::string& name) {
+    if (const auto id = result_.graph.find(name)) return *id;
+    FunctionInfo info;
+    info.name = name;
+    return result_.graph.add_function(std::move(info));
+  }
+
+  void declare_node(const std::string& name,
+                    const std::unordered_map<std::string, std::string>& attrs) {
+    const NodeId id = ensure_node(name);
+    FunctionInfo& info = result_.graph.node(id);
+    info.in_authentication_module |= flag_set(attrs, "sl_am");
+    info.is_key_function |= flag_set(attrs, "sl_key");
+    info.touches_sensitive_data |= flag_set(attrs, "sl_sensitive");
+    info.does_io |= flag_set(attrs, "sl_io");
+    if (const auto it = attrs.find("sl_work"); it != attrs.end()) {
+      info.work_cycles = parse_u64(it->second, info.work_cycles);
+    }
+    if (const auto it = attrs.find("sl_inv"); it != attrs.end()) {
+      info.invocations = parse_u64(it->second, info.invocations);
+    }
+
+    const auto penwidth = attrs.find("penwidth");
+    const auto color = attrs.find("color");
+    const bool hot = flag_set(attrs, "sl_migrated") ||
+                     (penwidth != attrs.end() && penwidth->second == "3") ||
+                     (color != attrs.end() && color->second == "red");
+    if (hot) result_.highlighted.insert(id);
+    if (in_cluster_) result_.cluster_of[id] = cluster_;
+  }
+
+  ParsedDot result_;
+  bool saw_header_ = false;
+  bool in_cluster_ = false;
+  std::uint32_t cluster_ = 0;
+};
+
+}  // namespace
+
+ParsedDot parse_dot(const std::string& text) { return Parser{}.run(text); }
+
+ParsedDot parse_dot_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot read dot file: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return parse_dot(os.str());
+}
+
+std::size_t copy_annotations_by_name(CallGraph& dst, const CallGraph& src) {
+  std::size_t annotated = 0;
+  for (NodeId s = 0; s < src.node_count(); ++s) {
+    const FunctionInfo& from = src.node(s);
+    const auto d = dst.find(from.name);
+    if (!d.has_value()) continue;
+    FunctionInfo& to = dst.node(*d);
+    to.in_authentication_module = from.in_authentication_module;
+    to.is_key_function = from.is_key_function;
+    to.touches_sensitive_data = from.touches_sensitive_data;
+    to.does_io = from.does_io;
+    to.work_cycles = from.work_cycles;
+    to.invocations = from.invocations;
+    ++annotated;
+  }
+  return annotated;
+}
+
+}  // namespace sl::cfg

@@ -1,0 +1,51 @@
+// Graphviz DOT import for call graphs.
+//
+// Parses the DOT dialect this repo emits (cfg::to_dot and the auditor's
+// overlay writer): node declarations with attribute lists, optional
+// `subgraph cluster_N` grouping, and `"a" -> "b" [label="N"]` edges whose
+// label is the dynamic call count. This is what lets the `audit` CLI
+// subcommand consume the checked-in Figure 7 graphs (fig7_glamdring.dot,
+// fig7_securelease.dot) and re-audit any exported overlay.
+//
+// Recognized node attributes:
+//   * `penwidth=3` / `color=red`    — the to_dot highlight convention; the
+//                                     node joins `highlighted` (= migrated).
+//   * `sl_migrated="1"`             — explicit migrated flag (overlay files).
+//   * `sl_am`, `sl_key`, `sl_sensitive`, `sl_io` — the developer annotations
+//     of FunctionInfo, as "0"/"1".
+//   * `sl_work`, `sl_inv`           — work_cycles / invocations.
+// Unknown attributes (fillcolor, label, ...) are ignored.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cfg/graph.hpp"
+
+namespace sl::cfg {
+
+struct ParsedDot {
+  CallGraph graph;
+  std::string name;  // digraph name
+  // Nodes marked migrated (highlight convention or sl_migrated="1").
+  std::unordered_set<NodeId> highlighted;
+  // Cluster membership for nodes declared inside `subgraph cluster_N`.
+  std::unordered_map<NodeId, std::uint32_t> cluster_of;
+};
+
+// Parses DOT text. Throws sl::Error on malformed input (unbalanced quotes,
+// missing edge endpoints, no digraph header).
+ParsedDot parse_dot(const std::string& text);
+
+// Reads and parses a .dot file. Throws sl::Error if unreadable.
+ParsedDot parse_dot_file(const std::string& path);
+
+// Copies the annotation fields (in_authentication_module, is_key_function,
+// touches_sensitive_data, does_io, work_cycles, invocations) from `src` onto
+// same-named nodes of `dst`. Plain DOT exports carry no annotations, so a
+// parsed figure graph can borrow them from the workload model it was
+// rendered from. Returns the number of nodes annotated.
+std::size_t copy_annotations_by_name(CallGraph& dst, const CallGraph& src);
+
+}  // namespace sl::cfg

@@ -25,7 +25,7 @@
 
 namespace sl::partition {
 
-enum class Scheme { kVanilla, kFullSgx, kSecureLease, kGlamdring, kFlaas };
+enum class Scheme : std::uint8_t { kVanilla, kFullSgx, kSecureLease, kGlamdring, kFlaas };
 
 std::string scheme_name(Scheme scheme);
 

@@ -1,0 +1,268 @@
+// Unit tests for the four static CFB passes over hand-built graphs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/checks.hpp"
+
+namespace sl::analysis {
+namespace {
+
+cfg::FunctionInfo fn(const std::string& name, bool am = false, bool key = false,
+                     bool sensitive = false) {
+  cfg::FunctionInfo info;
+  info.name = name;
+  info.in_authentication_module = am;
+  info.touches_sensitive_data = sensitive || am;
+  info.is_key_function = key;
+  return info;
+}
+
+// main -> check (AM); main -> driver -> key_fn (key) -> helper (sensitive);
+// the shape of every victim in this repo.
+cfg::CallGraph pipeline() {
+  cfg::CallGraph g;
+  g.add_function(fn("main"));
+  g.add_function(fn("check", /*am=*/true));
+  g.add_function(fn("driver"));
+  g.add_function(fn("key_fn", false, /*key=*/true));
+  g.add_function(fn("helper", false, false, /*sensitive=*/true));
+  g.add_call("main", "check", 1);
+  g.add_call("main", "driver", 1);
+  g.add_call("driver", "key_fn", 8);
+  g.add_call("key_fn", "helper", 8);
+  return g;
+}
+
+partition::PartitionResult make_part(const cfg::CallGraph& g,
+                                     partition::Scheme scheme,
+                                     const std::vector<std::string>& names,
+                                     bool data_in_enclave = false) {
+  partition::PartitionResult p;
+  p.scheme = scheme;
+  p.data_in_enclave = data_in_enclave;
+  for (const auto& n : names) p.migrated.insert(g.id_of(n));
+  return p;
+}
+
+bool has_finding(const std::vector<Finding>& findings, CheckId check,
+                 const std::string& function, Status status) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.check == check && f.function == function && f.status == status;
+  });
+}
+
+TEST(AuditContext, GuardsAreMigratedAmAndGatedKeys) {
+  const cfg::CallGraph g = pipeline();
+  const auto part = make_part(g, partition::Scheme::kSecureLease,
+                              {"check", "key_fn"});
+  const AuditContext gated(g, g.id_of("main"), part, /*lease_gated_keys=*/true);
+  EXPECT_TRUE(gated.guard(g.id_of("check")));
+  EXPECT_TRUE(gated.guard(g.id_of("key_fn")));
+
+  const AuditContext ungated(g, g.id_of("main"), part, /*lease_gated_keys=*/false);
+  EXPECT_TRUE(ungated.guard(g.id_of("check")));
+  EXPECT_FALSE(ungated.guard(g.id_of("key_fn")));  // key without lease gating
+
+  // Unmigrated AM members never guard anything.
+  const auto none = make_part(g, partition::Scheme::kVanilla, {});
+  const AuditContext vanilla(g, g.id_of("main"), none, false);
+  EXPECT_FALSE(vanilla.guard(g.id_of("check")));
+}
+
+TEST(AuditContext, InternallyGuardedSeesGuardInEnclaveSubtree) {
+  const cfg::CallGraph g = pipeline();
+  // Everything migrated (full SGX): main's in-enclave subtree holds the AM.
+  const auto part = make_part(g, partition::Scheme::kFullSgx,
+                              {"main", "check", "driver", "key_fn", "helper"},
+                              /*data_in_enclave=*/true);
+  const AuditContext ctx(g, g.id_of("main"), part, false);
+  EXPECT_TRUE(ctx.internally_guarded(g.id_of("main")));
+  // key_fn's subtree (key_fn -> helper) holds no guard.
+  EXPECT_FALSE(ctx.internally_guarded(g.id_of("key_fn")));
+}
+
+TEST(AttackReachability, GuardsAndGuardedEntriesBlockTheAttacker) {
+  const cfg::CallGraph g = pipeline();
+  const auto part = make_part(g, partition::Scheme::kSecureLease,
+                              {"check", "key_fn"});
+  const AuditContext ctx(g, g.id_of("main"), part, true);
+  const AttackReach reach = attack_reachability(ctx, g.id_of("main"));
+  EXPECT_TRUE(reach.reached.contains(g.id_of("driver")));
+  EXPECT_FALSE(reach.reached.contains(g.id_of("check")));   // guard
+  EXPECT_FALSE(reach.reached.contains(g.id_of("key_fn")));  // guard
+  EXPECT_FALSE(reach.reached.contains(g.id_of("helper")));  // behind the guard
+}
+
+TEST(AttackReachability, UngatedEnclaveEntryIsCrossable) {
+  const cfg::CallGraph g = pipeline();
+  // Glamdring-style: key_fn/helper migrated but keys not lease-gated.
+  const auto part = make_part(g, partition::Scheme::kGlamdring,
+                              {"check", "key_fn", "helper"},
+                              /*data_in_enclave=*/true);
+  const AuditContext ctx(g, g.id_of("main"), part, false);
+  const AttackReach reach = attack_reachability(ctx, g.id_of("main"));
+  // key_fn has no guard in its subtree: its ECALL stub is an open door.
+  EXPECT_TRUE(reach.reached.contains(g.id_of("key_fn")));
+  EXPECT_TRUE(reach.reached.contains(g.id_of("helper")));
+  const auto path = reach.path_to(g.id_of("helper"));
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(g.node(path.front()).name, "main");
+  EXPECT_EQ(g.node(path.back()).name, "helper");
+}
+
+TEST(CheckSkip, FlagsUnguardedKeyFunctionWithPath) {
+  const cfg::CallGraph g = pipeline();
+  const auto part = make_part(g, partition::Scheme::kVanilla, {});
+  const AuditContext ctx(g, g.id_of("main"), part, false);
+  const auto findings = run_check_skip(ctx);
+  ASSERT_TRUE(has_finding(findings, CheckId::kCheckSkip, "key_fn",
+                          Status::kConfirmed));
+  const auto it = std::find_if(findings.begin(), findings.end(), [](const auto& f) {
+    return f.function == "key_fn";
+  });
+  EXPECT_EQ(it->severity, Severity::kCritical);
+  ASSERT_FALSE(it->evidence_path.empty());
+  EXPECT_EQ(it->evidence_path.front(), "main");
+  EXPECT_EQ(it->evidence_path.back(), "key_fn");
+}
+
+TEST(CheckSkip, SecureLeasePartitionIsClean) {
+  const cfg::CallGraph g = pipeline();
+  const auto part = make_part(g, partition::Scheme::kSecureLease,
+                              {"check", "key_fn"});
+  const AuditContext ctx(g, g.id_of("main"), part, true);
+  EXPECT_TRUE(run_check_skip(ctx).empty());
+}
+
+TEST(CheckSkip, FlagsDisconnectedUntrustedKeyFunction) {
+  cfg::CallGraph g;
+  g.add_function(fn("main"));
+  g.add_function(fn("orphan_key", false, /*key=*/true));
+  const auto part = make_part(g, partition::Scheme::kVanilla, {});
+  const AuditContext ctx(g, g.id_of("main"), part, false);
+  const auto findings = run_check_skip(ctx);
+  // Not on any path from main, but directly invocable by the attacker.
+  EXPECT_TRUE(has_finding(findings, CheckId::kCheckSkip, "orphan_key",
+                          Status::kConfirmed));
+}
+
+TEST(ReturnForge, FlagsVerdictConsumedByUntrustedCaller) {
+  const cfg::CallGraph g = pipeline();
+  // AM in the enclave, everything else outside (the F-LaaS shape).
+  const auto part = make_part(g, partition::Scheme::kFlaas, {"check"});
+  const AuditContext ctx(g, g.id_of("main"), part, false);
+  const auto findings = run_return_forge(ctx);
+  ASSERT_TRUE(has_finding(findings, CheckId::kReturnForge, "main",
+                          Status::kConfirmed));
+  EXPECT_EQ(findings.front().severity, Severity::kCritical);
+}
+
+TEST(ReturnForge, FlagsUntrustedAmItself) {
+  const cfg::CallGraph g = pipeline();
+  const auto part = make_part(g, partition::Scheme::kVanilla, {});
+  const AuditContext ctx(g, g.id_of("main"), part, false);
+  const auto findings = run_return_forge(ctx);
+  // The AM's own decision branch is bendable; the unlocked work is what its
+  // caller main gates (driver -> key_fn).
+  EXPECT_TRUE(has_finding(findings, CheckId::kReturnForge, "check",
+                          Status::kConfirmed));
+}
+
+TEST(ReturnForge, SilentWhenEnclaveIndependentlyGuardsTheWork) {
+  const cfg::CallGraph g = pipeline();
+  const auto part = make_part(g, partition::Scheme::kSecureLease,
+                              {"check", "key_fn"});
+  const AuditContext ctx(g, g.id_of("main"), part, true);
+  // Forging check's verdict reaches driver but key_fn refuses to work.
+  EXPECT_TRUE(run_return_forge(ctx).empty());
+}
+
+TEST(InterfaceWidth, EnumeratesSurfaceAndFlagsOpenEntries) {
+  const cfg::CallGraph g = pipeline();
+  const auto part = make_part(g, partition::Scheme::kGlamdring,
+                              {"check", "key_fn", "helper"},
+                              /*data_in_enclave=*/true);
+  const AuditContext ctx(g, g.id_of("main"), part, false);
+  std::vector<EcallEntry> surface;
+  const auto findings = run_interface_width(ctx, &surface);
+  ASSERT_EQ(surface.size(), 2u);  // check and key_fn have untrusted callers
+  EXPECT_EQ(surface[0].function, "check");
+  EXPECT_TRUE(surface[0].guard);
+  EXPECT_EQ(surface[1].function, "key_fn");
+  EXPECT_FALSE(surface[1].guard);
+  EXPECT_FALSE(surface[1].internally_guarded);
+  EXPECT_EQ(surface[1].untrusted_callers, std::vector<std::string>{"driver"});
+  EXPECT_TRUE(has_finding(findings, CheckId::kInterfaceWidth, "key_fn",
+                          Status::kConfirmed));
+}
+
+TEST(InterfaceWidth, InternallyGuardedEntryIsAdvisoryOnly) {
+  // main -> entry (migrated, not a guard) -> gate (AM) -> secret (sensitive).
+  cfg::CallGraph g;
+  g.add_function(fn("main"));
+  g.add_function(fn("entry"));
+  g.add_function(fn("gate", /*am=*/true));
+  g.add_function(fn("secret", false, false, /*sensitive=*/true));
+  g.add_call("main", "entry", 1);
+  g.add_call("entry", "gate", 1);
+  g.add_call("gate", "secret", 1);
+  const auto part = make_part(g, partition::Scheme::kSecureLease,
+                              {"entry", "gate", "secret"});
+  const AuditContext ctx(g, g.id_of("main"), part, true);
+  std::vector<EcallEntry> surface;
+  const auto findings = run_interface_width(ctx, &surface);
+  ASSERT_EQ(surface.size(), 1u);
+  EXPECT_TRUE(surface[0].internally_guarded);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.status, Status::kAdvisory);
+    EXPECT_EQ(f.severity, Severity::kInfo);
+  }
+}
+
+TEST(SensitiveEgress, WarnsOnUntrustedSensitiveFunctions) {
+  const cfg::CallGraph g = pipeline();
+  const auto part = make_part(g, partition::Scheme::kSecureLease,
+                              {"check", "key_fn"});
+  const AuditContext ctx(g, g.id_of("main"), part, true);
+  const auto findings = run_sensitive_egress(ctx);
+  ASSERT_TRUE(has_finding(findings, CheckId::kSensitiveEgress, "helper",
+                          Status::kAdvisory));
+}
+
+TEST(SensitiveEgress, DataInEnclaveSchemesGetConfirmedFinding) {
+  const cfg::CallGraph g = pipeline();
+  // Claims data lives inside, yet helper (sensitive) stays out.
+  const auto part = make_part(g, partition::Scheme::kGlamdring, {"check"},
+                              /*data_in_enclave=*/true);
+  const AuditContext ctx(g, g.id_of("main"), part, false);
+  const auto findings = run_sensitive_egress(ctx);
+  const auto it = std::find_if(findings.begin(), findings.end(), [](const auto& f) {
+    return f.function == "helper";
+  });
+  ASSERT_NE(it, findings.end());
+  EXPECT_EQ(it->status, Status::kConfirmed);
+  EXPECT_EQ(it->severity, Severity::kHigh);
+}
+
+TEST(SensitiveEgress, FlagsSensitiveRegionFlowingOutOfEnclave) {
+  // inside (migrated, sensitive) calls outside (untrusted, sensitive).
+  cfg::CallGraph g;
+  g.add_function(fn("main"));
+  g.add_function(fn("inside", false, false, /*sensitive=*/true));
+  g.add_function(fn("outside", false, false, /*sensitive=*/true));
+  g.add_call("main", "inside", 1);
+  g.add_call("inside", "outside", 7);
+  const auto part = make_part(g, partition::Scheme::kSecureLease, {"inside"});
+  const AuditContext ctx(g, g.id_of("main"), part, true);
+  const auto findings = run_sensitive_egress(ctx);
+  const auto it = std::find_if(findings.begin(), findings.end(), [](const auto& f) {
+    return f.function == "inside";
+  });
+  ASSERT_NE(it, findings.end());
+  EXPECT_EQ(it->severity, Severity::kMedium);
+  EXPECT_NE(it->message.find("7 times"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sl::analysis

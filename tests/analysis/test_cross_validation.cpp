@@ -1,0 +1,144 @@
+// Cross-validation of the DYNAMIC attack simulator against the STATIC
+// auditor: every victim build the CFB simulator cracks must be flagged by at
+// least one confirmed static finding, and every build the simulator fails
+// against must audit with zero confirmed findings. This ties the two halves
+// of the repo together — the auditor predicts exactly what the attack
+// demonstrates.
+#include <gtest/gtest.h>
+
+#include "analysis/auditor.hpp"
+#include "analysis/report.hpp"
+#include "attack/mysql_victim.hpp"
+#include "attack/victim.hpp"
+#include "attack/victim_generator.hpp"
+#include "attack/victim_model.hpp"
+
+namespace sl::analysis {
+namespace {
+
+// Audits a victim build and returns the report (scheme label for messages).
+AuditReport audit_build(const workloads::AppModel& model,
+                        const partition::PartitionResult& part,
+                        const std::string& label) {
+  AuditOptions options;
+  options.scheme_label = label;
+  return audit_partition(model, part, options);
+}
+
+void expect_flagged(const AuditReport& report) {
+  EXPECT_GT(report.confirmed_count(), 0u)
+      << "attack cracked this build but the auditor saw nothing:\n"
+      << to_text(report);
+}
+
+void expect_clean(const AuditReport& report) {
+  EXPECT_EQ(report.confirmed_count(), 0u)
+      << "attack failed against this build but the auditor flagged it:\n"
+      << to_text(report);
+}
+
+TEST(CrossValidation, SmallVictimAllProtections) {
+  for (const attack::Protection protection :
+       {attack::Protection::kSoftwareOnly, attack::Protection::kAmInEnclave,
+        attack::Protection::kSecureLease}) {
+    const attack::VictimApp app = attack::build_victim(protection);
+    const attack::ExecutionResult attacked =
+        attack::mount_cfb_attack(app, /*gate_licensed=*/false);
+    const bool cracked = attacked.output == app.expected_output;
+
+    const AuditReport report =
+        audit_build(attack::victim_app_model(), attack::victim_partition(protection),
+                    attack::protection_label(protection));
+    if (cracked) {
+      expect_flagged(report);
+    } else {
+      expect_clean(report);
+    }
+    // The paper's claim, both dynamically and statically: only the
+    // SecureLease build survives.
+    EXPECT_EQ(cracked, protection != attack::Protection::kSecureLease)
+        << attack::protection_label(protection);
+  }
+}
+
+TEST(CrossValidation, MysqlVictimBothFigureSixAttacks) {
+  for (const attack::MysqlProtection protection :
+       {attack::MysqlProtection::kSoftwareOnly,
+        attack::MysqlProtection::kAmInEnclave,
+        attack::MysqlProtection::kSecureLease}) {
+    const attack::MysqlVictim victim = attack::build_mysql_victim(protection);
+    const bool cracked_auth =
+        attack::mysql_attack_auth_branch(victim, false).output ==
+        victim.expected_output;
+    const bool cracked_outcome =
+        attack::mysql_attack_outcome_branch(victim, false).output ==
+        victim.expected_output;
+    const bool cracked = cracked_auth || cracked_outcome;
+
+    const AuditReport report = audit_build(
+        attack::mysql_victim_model(), attack::mysql_victim_partition(protection),
+        attack::protection_label(protection));
+    if (cracked) {
+      expect_flagged(report);
+    } else {
+      expect_clean(report);
+    }
+    EXPECT_EQ(cracked, protection != attack::MysqlProtection::kSecureLease)
+        << attack::protection_label(protection);
+  }
+}
+
+TEST(CrossValidation, GeneratedVictimsAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    for (const attack::Protection protection :
+         {attack::Protection::kSoftwareOnly, attack::Protection::kAmInEnclave,
+          attack::Protection::kSecureLease}) {
+      attack::VictimSpec spec;
+      spec.seed = seed;
+      spec.stages = 2 + static_cast<int>(seed % 4);
+      spec.protection = protection;
+      const attack::GeneratedVictim victim = attack::generate_victim(spec);
+      const attack::ExecutionResult attacked =
+          attack::attack_generated(victim, /*gate_licensed=*/false);
+      const bool cracked = attacked.output == victim.app.expected_output;
+
+      const AuditReport report = audit_build(
+          attack::generated_victim_model(victim),
+          attack::generated_victim_partition(victim),
+          attack::protection_label(protection));
+      if (cracked) {
+        expect_flagged(report);
+      } else {
+        expect_clean(report);
+      }
+    }
+  }
+}
+
+// The victim models must stay faithful to the victim programs: the decided
+// gated stages of a generated victim match the key/migrated annotations.
+TEST(CrossValidation, GeneratedModelMirrorsGatedStages) {
+  attack::VictimSpec spec;
+  spec.seed = 42;
+  spec.stages = 5;
+  spec.protection = attack::Protection::kSecureLease;
+  const attack::GeneratedVictim victim = attack::generate_victim(spec);
+  ASSERT_EQ(victim.stage_gated.size(), 5u);
+  EXPECT_GE(victim.gated_stages, 1);
+
+  const workloads::AppModel model = attack::generated_victim_model(victim);
+  const auto part = attack::generated_victim_partition(victim);
+  int gated = 0;
+  for (int s = 0; s < spec.stages; ++s) {
+    const cfg::NodeId n = model.graph.id_of("stage" + std::to_string(s));
+    EXPECT_EQ(model.graph.node(n).is_key_function,
+              static_cast<bool>(victim.stage_gated[static_cast<std::size_t>(s)]));
+    EXPECT_EQ(part.migrated.contains(n),
+              static_cast<bool>(victim.stage_gated[static_cast<std::size_t>(s)]));
+    if (victim.stage_gated[static_cast<std::size_t>(s)]) ++gated;
+  }
+  EXPECT_EQ(gated, victim.gated_stages);
+}
+
+}  // namespace
+}  // namespace sl::analysis

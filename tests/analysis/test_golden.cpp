@@ -1,0 +1,95 @@
+// Golden-file tests: auditing the checked-in Figure 7 graphs must produce
+// byte-identical JSON reports (tests/analysis/golden/*.json), and the two
+// partitions must land on opposite sides of the verdict — Glamdring's MySQL
+// data partition flagged, SecureLease's clean.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "analysis/auditor.hpp"
+#include "analysis/report.hpp"
+#include "attack/victim_model.hpp"
+#include "cfg/dot_parse.hpp"
+#include "partition/partitioner.hpp"
+#include "workloads/models.hpp"
+
+#ifndef SL_SOURCE_DIR
+#error "SL_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace sl::analysis {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// Mirrors what `securelease audit <file>.dot --scheme <s>` does: highlighted
+// nodes are the migrated set, annotations come from the matching workload.
+AuditReport audit_fig7(const std::string& file, partition::Scheme scheme) {
+  cfg::ParsedDot parsed =
+      cfg::parse_dot_file(std::string(SL_SOURCE_DIR) + "/" + file);
+  cfg::copy_annotations_by_name(parsed.graph,
+                                workloads::make_openssl_model().graph);
+  partition::PartitionResult part;
+  part.scheme = scheme;
+  part.migrated = parsed.highlighted;
+  part.data_in_enclave = scheme == partition::Scheme::kGlamdring ||
+                         scheme == partition::Scheme::kFullSgx;
+  return audit_graph(parsed.graph, parsed.graph.id_of("main"), part,
+                     parsed.name);
+}
+
+TEST(Golden, Fig7GlamdringAuditJson) {
+  const AuditReport report =
+      audit_fig7("fig7_glamdring.dot", partition::Scheme::kGlamdring);
+  const std::string expected =
+      read_file(std::string(SL_SOURCE_DIR) +
+                "/tests/analysis/golden/fig7_glamdring_audit.json");
+  EXPECT_EQ(to_json(report), expected);
+}
+
+TEST(Golden, Fig7SecureLeaseAuditJson) {
+  const AuditReport report =
+      audit_fig7("fig7_securelease.dot", partition::Scheme::kSecureLease);
+  const std::string expected =
+      read_file(std::string(SL_SOURCE_DIR) +
+                "/tests/analysis/golden/fig7_securelease_audit.json");
+  EXPECT_EQ(to_json(report), expected);
+}
+
+TEST(Golden, Fig7VerdictsDiverge) {
+  const AuditReport glamdring =
+      audit_fig7("fig7_glamdring.dot", partition::Scheme::kGlamdring);
+  const AuditReport securelease =
+      audit_fig7("fig7_securelease.dot", partition::Scheme::kSecureLease);
+  EXPECT_GT(glamdring.confirmed_count(), 0u);
+  EXPECT_EQ(glamdring.worst_severity(), Severity::kCritical);
+  EXPECT_EQ(securelease.confirmed_count(), 0u);
+}
+
+// The negative test of the ISSUE: run the REAL partitioners over the MySQL
+// victim call graph — Glamdring's output is flagged, SecureLease's is clean.
+TEST(Golden, MysqlVictimRealPartitionersDiverge) {
+  const workloads::AppModel model = attack::mysql_victim_model();
+
+  const auto glamdring = partition::partition_glamdring(model);
+  const AuditReport flagged = audit_partition(model, glamdring);
+  EXPECT_GT(flagged.confirmed_count(), 0u);
+  EXPECT_EQ(flagged.worst_severity(), Severity::kCritical);
+
+  const auto securelease = partition::partition_securelease(model);
+  // The real packer must pick up the parser key function.
+  EXPECT_TRUE(
+      securelease.result.migrated.contains(model.graph.id_of("parse_query")));
+  const AuditReport clean = audit_partition(model, securelease.result);
+  EXPECT_EQ(clean.findings.size(), 0u) << to_text(clean);
+}
+
+}  // namespace
+}  // namespace sl::analysis

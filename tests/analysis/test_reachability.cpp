@@ -1,0 +1,97 @@
+// Unit tests for the auditor's reachability primitives.
+#include <gtest/gtest.h>
+
+#include "analysis/reachability.hpp"
+
+namespace sl::analysis {
+namespace {
+
+cfg::FunctionInfo fn(const std::string& name) {
+  cfg::FunctionInfo info;
+  info.name = name;
+  return info;
+}
+
+// a -> b -> c -> d, plus shortcut a -> e -> d.
+cfg::CallGraph diamond() {
+  cfg::CallGraph g;
+  for (const char* name : {"a", "b", "c", "d", "e"}) g.add_function(fn(name));
+  g.add_call("a", "b", 1);
+  g.add_call("b", "c", 1);
+  g.add_call("c", "d", 1);
+  g.add_call("a", "e", 1);
+  g.add_call("e", "d", 1);
+  return g;
+}
+
+TEST(Reachability, FindsShortestPath) {
+  const cfg::CallGraph g = diamond();
+  const auto path = find_path_avoiding(g, g.id_of("a"), g.id_of("d"), {});
+  ASSERT_EQ(path.size(), 3u);  // a -> e -> d beats a -> b -> c -> d
+  EXPECT_EQ(g.node(path[0]).name, "a");
+  EXPECT_EQ(g.node(path[1]).name, "e");
+  EXPECT_EQ(g.node(path[2]).name, "d");
+}
+
+TEST(Reachability, AvoidReroutesThroughLongerPath) {
+  const cfg::CallGraph g = diamond();
+  const auto path =
+      find_path_avoiding(g, g.id_of("a"), g.id_of("d"), {g.id_of("e")});
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(g.node(path[1]).name, "b");
+}
+
+TEST(Reachability, AvoidBothRoutesMeansUnreachable) {
+  const cfg::CallGraph g = diamond();
+  const auto path = find_path_avoiding(g, g.id_of("a"), g.id_of("d"),
+                                       {g.id_of("e"), g.id_of("c")});
+  EXPECT_TRUE(path.empty());
+}
+
+TEST(Reachability, ReachableAvoidingExcludesAvoidedNodes) {
+  const cfg::CallGraph g = diamond();
+  const NodeSet reached =
+      reachable_avoiding(g, g.id_of("a"), {g.id_of("b"), g.id_of("e")});
+  EXPECT_TRUE(reached.contains(g.id_of("a")));
+  EXPECT_FALSE(reached.contains(g.id_of("b")));
+  EXPECT_FALSE(reached.contains(g.id_of("c")));
+  EXPECT_FALSE(reached.contains(g.id_of("d")));
+  EXPECT_FALSE(reached.contains(g.id_of("e")));
+}
+
+TEST(Reachability, AvoidedStartReachesNothing) {
+  const cfg::CallGraph g = diamond();
+  const NodeSet reached = reachable_avoiding(g, g.id_of("a"), {g.id_of("a")});
+  EXPECT_TRUE(reached.empty());
+}
+
+TEST(Reachability, WithinRestrictsTraversal) {
+  const cfg::CallGraph g = diamond();
+  const NodeSet within = {g.id_of("a"), g.id_of("b"), g.id_of("c")};
+  const NodeSet reached = reachable_within(g, g.id_of("a"), within, {});
+  EXPECT_EQ(reached.size(), 3u);
+  EXPECT_FALSE(reached.contains(g.id_of("d")));  // only reachable via e or c->d
+}
+
+TEST(Reachability, StopNodesAreReachedButNotExpanded) {
+  const cfg::CallGraph g = diamond();
+  const NodeSet within = {g.id_of("a"), g.id_of("b"), g.id_of("c"), g.id_of("d")};
+  const NodeSet reached =
+      reachable_within(g, g.id_of("a"), within, {g.id_of("b")});
+  EXPECT_TRUE(reached.contains(g.id_of("b")));   // recorded
+  EXPECT_FALSE(reached.contains(g.id_of("c")));  // but not expanded past
+}
+
+TEST(Reachability, FindPathWithinRespectsStops) {
+  const cfg::CallGraph g = diamond();
+  const NodeSet all = {g.id_of("a"), g.id_of("b"), g.id_of("c"), g.id_of("d"),
+                       g.id_of("e")};
+  EXPECT_EQ(find_path_within(g, g.id_of("a"), g.id_of("d"), all, {}).size(), 3u);
+  // Stopping both intermediates leaves no route (endpoints exempt).
+  EXPECT_TRUE(find_path_within(g, g.id_of("a"), g.id_of("d"), all,
+                               {g.id_of("e"), g.id_of("c")})
+                  .empty());
+}
+
+}  // namespace
+}  // namespace sl::analysis

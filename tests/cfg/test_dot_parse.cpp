@@ -1,0 +1,124 @@
+// Tests for the DOT importer and the writer/parser round trip.
+#include <gtest/gtest.h>
+
+#include "cfg/dot.hpp"
+#include "cfg/dot_parse.hpp"
+#include "common/error.hpp"
+
+namespace sl::cfg {
+namespace {
+
+FunctionInfo fn(const std::string& name) {
+  FunctionInfo info;
+  info.name = name;
+  return info;
+}
+
+TEST(DotParse, ParsesNodesEdgesAndHighlights) {
+  const std::string text = R"(digraph demo {
+  node [shape=ellipse, style=filled];
+  "a" [fillcolor="#ffffff"];
+  "b" [fillcolor="#fb9a99", penwidth=3, color=red];
+  "a" -> "b" [label="42"];
+  "b" -> "c" [label="7"];
+})";
+  const ParsedDot parsed = parse_dot(text);
+  EXPECT_EQ(parsed.name, "demo");
+  EXPECT_EQ(parsed.graph.node_count(), 3u);  // c auto-declared by its edge
+  EXPECT_EQ(parsed.graph.edges().size(), 2u);
+  EXPECT_TRUE(parsed.highlighted.contains(parsed.graph.id_of("b")));
+  EXPECT_FALSE(parsed.highlighted.contains(parsed.graph.id_of("a")));
+  const auto out = parsed.graph.out_edges(parsed.graph.id_of("a"));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].call_count, 42u);
+}
+
+TEST(DotParse, ReadsClustersAndAnnotations) {
+  const std::string text = R"(digraph g {
+  subgraph cluster_0 {
+    label="cluster 0";
+    "am" [fillcolor="#a6cee3", sl_am="1", sl_sensitive="1"];
+  }
+  subgraph cluster_3 {
+    "key" [sl_key="1", sl_migrated="1", sl_work="5000", sl_inv="16"];
+  }
+  "am" -> "key" [label="4"];
+})";
+  const ParsedDot parsed = parse_dot(text);
+  const NodeId am = parsed.graph.id_of("am");
+  const NodeId key = parsed.graph.id_of("key");
+  EXPECT_TRUE(parsed.graph.node(am).in_authentication_module);
+  EXPECT_TRUE(parsed.graph.node(am).touches_sensitive_data);
+  EXPECT_TRUE(parsed.graph.node(key).is_key_function);
+  EXPECT_EQ(parsed.graph.node(key).work_cycles, 5000u);
+  EXPECT_EQ(parsed.graph.node(key).invocations, 16u);
+  EXPECT_TRUE(parsed.highlighted.contains(key));
+  EXPECT_EQ(parsed.cluster_of.at(am), 0u);
+  EXPECT_EQ(parsed.cluster_of.at(key), 3u);
+}
+
+TEST(DotParse, RejectsGarbage) {
+  EXPECT_THROW(parse_dot("not a dot file at all"), Error);       // no header
+  EXPECT_THROW(parse_dot("digraph g {\n\"unbalanced\n}"), Error);  // open quote
+  EXPECT_THROW(parse_dot("digraph g {\n\"a\" -> x;\n}"), Error);  // bare target
+  EXPECT_THROW(parse_dot_file("/nonexistent/file.dot"), Error);
+}
+
+TEST(DotParse, RoundTripsThroughWriterWithAnnotations) {
+  CallGraph g;
+  FunctionInfo a = fn("alpha");
+  a.in_authentication_module = true;
+  a.touches_sensitive_data = true;
+  a.work_cycles = 123;
+  FunctionInfo b = fn("beta");
+  b.is_key_function = true;
+  b.invocations = 9;
+  FunctionInfo c = fn("gamma");
+  c.does_io = true;
+  g.add_function(a);
+  g.add_function(b);
+  g.add_function(c);
+  g.add_call("alpha", "beta", 3);
+  g.add_call("beta", "gamma", 5);
+
+  DotOptions options;
+  options.graph_name = "rt";
+  options.emit_annotations = true;
+  options.highlighted = {g.id_of("beta")};
+  const ParsedDot parsed = parse_dot(to_dot(g, options));
+
+  ASSERT_EQ(parsed.graph.node_count(), 3u);
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    const FunctionInfo& want = g.node(n);
+    const FunctionInfo& got = parsed.graph.node(parsed.graph.id_of(want.name));
+    EXPECT_EQ(got.in_authentication_module, want.in_authentication_module);
+    EXPECT_EQ(got.is_key_function, want.is_key_function);
+    EXPECT_EQ(got.touches_sensitive_data, want.touches_sensitive_data);
+    EXPECT_EQ(got.does_io, want.does_io);
+    EXPECT_EQ(got.work_cycles, want.work_cycles);
+    EXPECT_EQ(got.invocations, want.invocations);
+  }
+  EXPECT_EQ(parsed.highlighted.size(), 1u);
+  EXPECT_TRUE(parsed.highlighted.contains(parsed.graph.id_of("beta")));
+  EXPECT_EQ(parsed.graph.edges().size(), 2u);
+}
+
+TEST(DotParse, CopyAnnotationsByName) {
+  CallGraph src;
+  FunctionInfo a = fn("a");
+  a.is_key_function = true;
+  a.work_cycles = 777;
+  src.add_function(a);
+  src.add_function(fn("only_in_src"));
+
+  CallGraph dst;
+  dst.add_function(fn("a"));
+  dst.add_function(fn("only_in_dst"));
+  EXPECT_EQ(copy_annotations_by_name(dst, src), 1u);
+  EXPECT_TRUE(dst.node(dst.id_of("a")).is_key_function);
+  EXPECT_EQ(dst.node(dst.id_of("a")).work_cycles, 777u);
+  EXPECT_FALSE(dst.node(dst.id_of("only_in_dst")).is_key_function);
+}
+
+}  // namespace
+}  // namespace sl::cfg

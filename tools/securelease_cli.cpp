@@ -11,22 +11,42 @@
 //   securelease attack [protection]       mount the CFB attack demo
 //                                         (software|enclave-am|securelease)
 //   securelease dot <workload> <out.dot>  write the clustered call graph
+//   securelease audit <target> [options]  static CFB-vulnerability audit of a
+//                                         partition (see usage() for targets
+//                                         and flags); exits 2 when a CONFIRMED
+//                                         finding is reported
 #include <cstdio>
+#include <cctype>
 #include <cstring>
 #include <fstream>
 #include <string>
 
+#include "analysis/auditor.hpp"
+#include "analysis/report.hpp"
 #include "attack/victim.hpp"
+#include "attack/victim_model.hpp"
 #include "cfg/dot.hpp"
+#include "cfg/dot_parse.hpp"
 #include "core/securelease.hpp"
 
 using namespace sl;
 
 namespace {
 
+bool iequals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
 const workloads::WorkloadEntry* find_workload(const std::string& name) {
   for (const auto& entry : workloads::all_workloads()) {
-    if (entry.name == name) return &entry;
+    if (iequals(entry.name, name)) return &entry;
   }
   return nullptr;
 }
@@ -112,6 +132,20 @@ partition::Scheme parse_scheme(const std::string& name, bool& ok) {
   return partition::Scheme::kVanilla;
 }
 
+// Partition `model` under `scheme`, dispatching to the right partitioner.
+partition::PartitionResult make_partition(const workloads::AppModel& model,
+                                          partition::Scheme scheme) {
+  switch (scheme) {
+    case partition::Scheme::kVanilla: return partition::partition_vanilla(model);
+    case partition::Scheme::kFullSgx: return partition::partition_full_enclave(model);
+    case partition::Scheme::kSecureLease:
+      return partition::partition_securelease(model).result;
+    case partition::Scheme::kGlamdring: return partition::partition_glamdring(model);
+    case partition::Scheme::kFlaas: return partition::partition_flaas(model);
+  }
+  return partition::partition_vanilla(model);
+}
+
 int cmd_simulate(const std::string& name, const std::string& scheme_name) {
   const auto* entry = find_workload(name);
   if (entry == nullptr) {
@@ -125,16 +159,7 @@ int cmd_simulate(const std::string& name, const std::string& scheme_name) {
     return 1;
   }
   const workloads::AppModel model = entry->make_model();
-  partition::PartitionResult part;
-  switch (scheme) {
-    case partition::Scheme::kVanilla: part = partition::partition_vanilla(model); break;
-    case partition::Scheme::kFullSgx: part = partition::partition_full_enclave(model); break;
-    case partition::Scheme::kSecureLease:
-      part = partition::partition_securelease(model).result;
-      break;
-    case partition::Scheme::kGlamdring: part = partition::partition_glamdring(model); break;
-    case partition::Scheme::kFlaas: part = partition::partition_flaas(model); break;
-  }
+  const partition::PartitionResult part = make_partition(model, scheme);
   const auto stats = partition::simulate_run(model, part);
   std::printf("%s under %s:\n", model.name.c_str(),
               partition::scheme_name(scheme).c_str());
@@ -228,6 +253,157 @@ int cmd_dot(const std::string& name, const std::string& path) {
   return 0;
 }
 
+// --- audit ------------------------------------------------------------------
+
+struct AuditArgs {
+  std::string target;                    // workload | victim | mysql-victim | *.dot
+  std::string scheme = "securelease";    // workload / .dot targets
+  std::string protection = "securelease";  // victim targets
+  std::string entry = "main";            // .dot targets
+  std::string annotations;               // workload to borrow annotations from
+  std::string dot_out;                   // optional overlay path
+  bool json = false;
+};
+
+int emit_audit(const analysis::AuditReport& report, const cfg::CallGraph& graph,
+               const partition::PartitionResult& part, const AuditArgs& args) {
+  std::fputs((args.json ? analysis::to_json(report) : analysis::to_text(report)).c_str(),
+             stdout);
+  if (!args.dot_out.empty()) {
+    std::ofstream out(args.dot_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", args.dot_out.c_str());
+      return 1;
+    }
+    out << analysis::to_dot_overlay(report, graph, part);
+    std::fprintf(stderr, "wrote overlay %s\n", args.dot_out.c_str());
+  }
+  return report.confirmed_count() > 0 ? 2 : 0;
+}
+
+int audit_dot_file(const AuditArgs& args) {
+  bool ok = false;
+  const partition::Scheme scheme = parse_scheme(args.scheme, ok);
+  if (!ok) {
+    std::fprintf(stderr, "unknown scheme '%s'\n", args.scheme.c_str());
+    return 1;
+  }
+  cfg::ParsedDot parsed = cfg::parse_dot_file(args.target);
+
+  // Plain exports carry no sl_* annotations; borrow them from the workload
+  // model named by --annotations, or from the one matching the digraph name.
+  const std::string source =
+      !args.annotations.empty() ? args.annotations : parsed.name;
+  if (const auto* entry = find_workload(source)) {
+    cfg::copy_annotations_by_name(parsed.graph, entry->make_model().graph);
+    std::fprintf(stderr, "annotations: %s model\n", source.c_str());
+  } else if (!args.annotations.empty()) {
+    std::fprintf(stderr, "unknown workload '%s'\n", args.annotations.c_str());
+    return 1;
+  }
+
+  const auto entry_id = parsed.graph.find(args.entry);
+  if (!entry_id.has_value()) {
+    std::fprintf(stderr, "entry function '%s' not in %s\n", args.entry.c_str(),
+                 args.target.c_str());
+    return 1;
+  }
+
+  // A graph with no AM/key/sensitive annotations audits vacuously clean —
+  // warn so a missing --annotations flag is not mistaken for a secure
+  // partition.
+  bool annotated = false;
+  for (cfg::NodeId n : parsed.graph.all_nodes()) {
+    const auto& info = parsed.graph.node(n);
+    if (info.in_authentication_module || info.is_key_function ||
+        info.touches_sensitive_data) {
+      annotated = true;
+      break;
+    }
+  }
+  if (!annotated) {
+    std::fprintf(stderr,
+                 "warning: no AM/key/sensitive annotations in %s — nothing is "
+                 "protected, so the audit is vacuous (use --annotations <w>)\n",
+                 args.target.c_str());
+  }
+
+  partition::PartitionResult part;
+  part.scheme = scheme;
+  part.migrated = parsed.highlighted;
+  // Schemes that partition by data residence move it inside with the code.
+  part.data_in_enclave = scheme == partition::Scheme::kGlamdring ||
+                         scheme == partition::Scheme::kFullSgx;
+  const analysis::AuditReport report = analysis::audit_graph(
+      parsed.graph, *entry_id, part,
+      parsed.name.empty() ? args.target : parsed.name);
+  return emit_audit(report, parsed.graph, part, args);
+}
+
+int audit_victim(const AuditArgs& args) {
+  workloads::AppModel model;
+  partition::PartitionResult part;
+  analysis::AuditOptions options;
+  if (args.target == "victim") {
+    attack::Protection protection = attack::Protection::kSecureLease;
+    if (args.protection == "software") {
+      protection = attack::Protection::kSoftwareOnly;
+    } else if (args.protection == "enclave-am") {
+      protection = attack::Protection::kAmInEnclave;
+    } else if (args.protection != "securelease") {
+      std::fprintf(stderr, "unknown protection '%s'\n", args.protection.c_str());
+      return 1;
+    }
+    model = attack::victim_app_model();
+    part = attack::victim_partition(protection);
+    options.scheme_label = attack::protection_label(protection);
+  } else {
+    attack::MysqlProtection protection = attack::MysqlProtection::kSecureLease;
+    if (args.protection == "software") {
+      protection = attack::MysqlProtection::kSoftwareOnly;
+    } else if (args.protection == "enclave-am") {
+      protection = attack::MysqlProtection::kAmInEnclave;
+    } else if (args.protection != "securelease") {
+      std::fprintf(stderr, "unknown protection '%s'\n", args.protection.c_str());
+      return 1;
+    }
+    model = attack::mysql_victim_model();
+    part = attack::mysql_victim_partition(protection);
+    options.scheme_label = attack::protection_label(protection);
+  }
+  const analysis::AuditReport report =
+      analysis::audit_partition(model, part, options);
+  return emit_audit(report, model.graph, part, args);
+}
+
+int cmd_audit(const AuditArgs& args) {
+  if (args.target.size() > 4 &&
+      args.target.compare(args.target.size() - 4, 4, ".dot") == 0) {
+    return audit_dot_file(args);
+  }
+  if (args.target == "victim" || args.target == "mysql-victim") {
+    return audit_victim(args);
+  }
+  const auto* entry = find_workload(args.target);
+  if (entry == nullptr) {
+    std::fprintf(stderr,
+                 "unknown audit target '%s' (workload, victim, mysql-victim, "
+                 "or a .dot file)\n",
+                 args.target.c_str());
+    return 1;
+  }
+  bool ok = false;
+  const partition::Scheme scheme = parse_scheme(args.scheme, ok);
+  if (!ok) {
+    std::fprintf(stderr, "unknown scheme '%s'\n", args.scheme.c_str());
+    return 1;
+  }
+  const workloads::AppModel model = entry->make_model();
+  const partition::PartitionResult part = make_partition(model, scheme);
+  const analysis::AuditReport report = analysis::audit_partition(model, part);
+  return emit_audit(report, model.graph, part, args);
+}
+
 void usage() {
   std::printf(
       "securelease <command> [args]\n"
@@ -237,7 +413,19 @@ void usage() {
       "  simulate <workload> [scheme] cost-simulate (vanilla|fullsgx|securelease|glamdring|flaas)\n"
       "  e2e <workload> [scheme]      end-to-end incl. lease traffic\n"
       "  attack [protection]          CFB attack (software|enclave-am|securelease)\n"
-      "  dot <workload> <out.dot>     write clustered call graph\n");
+      "  dot <workload> <out.dot>     write clustered call graph\n"
+      "  audit <target> [options]     static CFB-vulnerability audit; exits 2\n"
+      "                               on a CONFIRMED finding\n"
+      "    target: a workload, 'victim', 'mysql-victim', or a .dot file\n"
+      "            (highlighted nodes = migrated)\n"
+      "    --scheme <s>        partitioner for workload/.dot targets\n"
+      "                        (vanilla|fullsgx|securelease|glamdring|flaas)\n"
+      "    --protection <p>    victim build (software|enclave-am|securelease)\n"
+      "    --entry <fn>        entry function for .dot targets (default main)\n"
+      "    --annotations <w>   borrow AM/key/sensitive flags from workload w\n"
+      "                        (.dot targets; default: match digraph name)\n"
+      "    --json              machine-readable report on stdout\n"
+      "    --dot <out.dot>     write annotated findings overlay\n");
 }
 
 }  // namespace
@@ -260,6 +448,30 @@ int main(int argc, char** argv) {
     }
     if (command == "attack") return cmd_attack(argc >= 3 ? argv[2] : "");
     if (command == "dot" && argc >= 4) return cmd_dot(argv[2], argv[3]);
+    if (command == "audit" && argc >= 3) {
+      AuditArgs args;
+      args.target = argv[2];
+      for (int i = 3; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--json") {
+          args.json = true;
+        } else if (i + 1 < argc && flag == "--scheme") {
+          args.scheme = argv[++i];
+        } else if (i + 1 < argc && flag == "--protection") {
+          args.protection = argv[++i];
+        } else if (i + 1 < argc && flag == "--entry") {
+          args.entry = argv[++i];
+        } else if (i + 1 < argc && flag == "--annotations") {
+          args.annotations = argv[++i];
+        } else if (i + 1 < argc && flag == "--dot") {
+          args.dot_out = argv[++i];
+        } else {
+          std::fprintf(stderr, "unknown audit option '%s'\n", flag.c_str());
+          return 1;
+        }
+      }
+      return cmd_audit(args);
+    }
   } catch (const Error& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
