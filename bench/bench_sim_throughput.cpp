@@ -1,0 +1,160 @@
+// Deterministic-simulation throughput: how fast the DST harness replays
+// multi-node fault scenarios (wall-clock), and how much simulated lease
+// traffic that covers. Two measurements:
+//  1. generated-scenario sweep — the randomized mixed-fault scenarios the
+//     test suite replays by the hundreds (tests/sim/);
+//  2. a renewal-heavy synthetic scenario — one node hammering a count-based
+//     license so every batch of work forces an SL-Remote renewal, isolating
+//     the engine + lease-stack cost per simulated renewal.
+//
+// Usage: bench_sim_throughput [out.json]
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "sim/engine.hpp"
+#include "sim/scenario.hpp"
+
+using namespace sl;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct SweepResult {
+  std::uint64_t scenarios = 0;
+  std::uint64_t events = 0;
+  std::uint64_t executions = 0;
+  std::uint64_t renewals = 0;
+  std::uint64_t failures = 0;
+  double wall_seconds = 0.0;
+};
+
+SweepResult sweep_generated(std::uint64_t seeds) {
+  SweepResult out;
+  const auto start = Clock::now();
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const sim::ScenarioSpec spec = sim::generate_scenario(seed);
+    const sim::SimulationResult result = sim::run_scenario(spec);
+    out.scenarios++;
+    out.events += result.stats.events_executed;
+    out.executions += result.stats.executions_granted;
+    out.renewals += result.stats.renewals;
+    if (!result.passed) out.failures++;
+  }
+  out.wall_seconds = seconds_since(start);
+  return out;
+}
+
+// One node cycling work -> graceful shutdown -> restart: the shutdown
+// reports the unused sub-GCL back to SL-Remote (Section 5.6), so each
+// generation's first work batch forces a fresh renewal — sustained renewal
+// + remote-attestation pressure without draining the pool.
+SweepResult renewal_heavy(std::uint64_t cycles) {
+  sim::ScenarioSpec spec;
+  spec.seed = 0x5eca1e;
+  sim::LicenseSpec license;
+  license.kind = lease::LeaseKind::kCountBased;
+  license.total_count = 50'000'000;  // the pool never dries up
+  spec.licenses.push_back(license);
+  sim::NodeSpec node;
+  node.rtt_millis = 10.0;
+  node.reliability = 1.0;
+  node.health = 0.95;
+  node.tokens_per_attestation = 10;
+  node.licenses.push_back(0);
+  spec.nodes.push_back(node);
+  for (std::uint64_t i = 0; i < cycles; ++i) {
+    spec.schedule.push_back({sim::EventKind::kWork, 0, 0, /*amount=*/50, 0.0});
+    spec.schedule.push_back({sim::EventKind::kShutdown, 0, 0, 0, 0.0});
+    spec.schedule.push_back({sim::EventKind::kRestart, 0, 0, 0, 0.0});
+  }
+
+  SweepResult out;
+  const auto start = Clock::now();
+  const sim::SimulationResult result = sim::run_scenario(spec);
+  out.wall_seconds = seconds_since(start);
+  out.scenarios = 1;
+  out.events = result.stats.events_executed;
+  out.executions = result.stats.executions_granted;
+  out.renewals = result.stats.renewals;
+  if (!result.passed) out.failures++;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== DST harness throughput ===\n\n");
+
+  const std::uint64_t kSeeds = 200;
+  const SweepResult sweep = sweep_generated(kSeeds);
+  std::printf("generated sweep: %llu scenarios (%llu events, %llu oracle "
+              "failures) in %.2fs\n",
+              (unsigned long long)sweep.scenarios,
+              (unsigned long long)sweep.events, (unsigned long long)sweep.failures,
+              sweep.wall_seconds);
+  std::printf("  %.0f scenarios/s, %.0f events/s, %.0f simulated renewals/s\n\n",
+              sweep.scenarios / sweep.wall_seconds,
+              sweep.events / sweep.wall_seconds,
+              sweep.renewals / sweep.wall_seconds);
+
+  const SweepResult heavy = renewal_heavy(700);
+  std::printf("renewal-heavy: %llu events -> %llu executions, %llu "
+              "renewals in %.2fs\n",
+              (unsigned long long)heavy.events,
+              (unsigned long long)heavy.executions,
+              (unsigned long long)heavy.renewals, heavy.wall_seconds);
+  std::printf("  %.0f simulated renewals/s, %.0f authorizations/s\n",
+              heavy.renewals / heavy.wall_seconds,
+              heavy.executions / heavy.wall_seconds);
+
+  if (argc >= 2) {
+    std::ofstream out(argv[1]);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    char buffer[1024];
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\n"
+                  "  \"bench\": \"sim_throughput\",\n"
+                  "  \"generated_sweep\": {\n"
+                  "    \"scenarios\": %llu,\n"
+                  "    \"events\": %llu,\n"
+                  "    \"oracle_failures\": %llu,\n"
+                  "    \"wall_seconds\": %.3f,\n"
+                  "    \"scenarios_per_sec\": %.1f,\n"
+                  "    \"events_per_sec\": %.1f,\n"
+                  "    \"renewals_per_sec\": %.1f\n"
+                  "  },\n"
+                  "  \"renewal_heavy\": {\n"
+                  "    \"work_events\": %llu,\n"
+                  "    \"executions\": %llu,\n"
+                  "    \"renewals\": %llu,\n"
+                  "    \"wall_seconds\": %.3f,\n"
+                  "    \"renewals_per_sec\": %.1f,\n"
+                  "    \"authorizations_per_sec\": %.1f\n"
+                  "  }\n"
+                  "}\n",
+                  (unsigned long long)sweep.scenarios,
+                  (unsigned long long)sweep.events,
+                  (unsigned long long)sweep.failures, sweep.wall_seconds,
+                  sweep.scenarios / sweep.wall_seconds,
+                  sweep.events / sweep.wall_seconds,
+                  sweep.renewals / sweep.wall_seconds,
+                  (unsigned long long)heavy.events,
+                  (unsigned long long)heavy.executions,
+                  (unsigned long long)heavy.renewals, heavy.wall_seconds,
+                  heavy.renewals / heavy.wall_seconds,
+                  heavy.executions / heavy.wall_seconds);
+    out << buffer;
+    std::printf("\nwrote %s\n", argv[1]);
+  }
+  return sweep.failures == 0 && heavy.failures == 0 ? 0 : 1;
+}

@@ -49,6 +49,15 @@ class Gcl {
   // Revocation = counter := 0 (Section 4.3).
   void revoke() { count_ = 0; }
 
+  // Removes and returns every remaining count. Graceful-shutdown path
+  // (Section 5.6): the counts are reported back to SL-Remote's pool, so
+  // the escrowed tree image must not retain a spendable copy.
+  std::uint64_t take_all() {
+    const std::uint64_t taken = count_;
+    count_ = 0;
+    return taken;
+  }
+
   // Restores `n` counts (used by SL-Remote when re-absorbing an unused
   // sub-GCL on graceful shutdown).
   void credit(std::uint64_t n) { count_ += n; }

@@ -62,6 +62,14 @@ std::optional<Bytes> UntrustedStore::get(std::uint64_t handle) const {
 
 void UntrustedStore::erase(std::uint64_t handle) { blobs_.erase(handle); }
 
+std::vector<std::uint64_t> UntrustedStore::handles() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(blobs_.size());
+  for (const auto& [handle, blob] : blobs_) out.push_back(handle);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 std::uint64_t UntrustedStore::bytes() const {
   std::uint64_t total = 0;
   for (const auto& [handle, blob] : blobs_) total += blob.size();

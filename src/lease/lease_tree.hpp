@@ -59,6 +59,9 @@ class UntrustedStore {
   void erase(std::uint64_t handle);
   std::size_t size() const { return blobs_.size(); }
   std::uint64_t bytes() const;
+  // Live handles in ascending order (deterministic pick for tampering
+  // hooks, independent of hash-map iteration order).
+  std::vector<std::uint64_t> handles() const;
 
  private:
   std::unordered_map<std::uint64_t, Bytes> blobs_;

@@ -28,9 +28,12 @@ std::optional<LicenseFile> LicenseFile::deserialize(ByteView data) {
   file.lease_id = get_u32(data, 0);
   const std::uint32_t name_len = get_u32(data, 4);
   const std::size_t fixed_tail = 4 + 8 + 8 + crypto::kSha256DigestSize;
-  if (data.size() < 8 + name_len + fixed_tail) return std::nullopt;
-  file.product.assign(reinterpret_cast<const char*>(data.data()) + 8, name_len);
-  std::size_t off = 8 + name_len;
+  // Widen name_len before summing: a crafted length near 2^32 would wrap the
+  // 32-bit sum, defeat the bound check, and drive assign() out of bounds.
+  const std::size_t name_size = name_len;
+  if (data.size() < 8 + name_size + fixed_tail) return std::nullopt;
+  file.product.assign(reinterpret_cast<const char*>(data.data()) + 8, name_size);
+  std::size_t off = 8 + name_size;
   const std::uint32_t kind = get_u32(data, off);
   if (kind > static_cast<std::uint32_t>(LeaseKind::kCountBased)) return std::nullopt;
   file.kind = static_cast<LeaseKind>(kind);

@@ -190,7 +190,13 @@ void SlLocal::shutdown() {
   runtime_.ecall(enclave_, "sl_local_shutdown", /*work=*/100'000, kNodeBytes, [&] {
     for (const auto& [lease, consumed] : consumed_unreported_) {
       LeaseRecord* record = tree_->find(lease);
-      if (record != nullptr) unused[lease] = record->gcl().count();
+      if (record == nullptr) continue;
+      // The reported counts flow back into SL-Remote's pool, so the tree
+      // must not escrow a spendable copy: a restore would otherwise hold
+      // counts the server already re-credited (double-spend).
+      Gcl gcl = record->gcl();
+      unused[lease] = gcl.take_all();
+      record->set_gcl(gcl);
     }
     root_key = tree_->shutdown();
   });

@@ -1,5 +1,7 @@
 #include "lease/sl_remote.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/log.hpp"
 
@@ -17,6 +19,7 @@ void SlRemote::provision(const LicenseFile& license) {
   LeasePool pool;
   pool.license = license;
   pool.remaining = license.total_count;
+  pool.provisioned = license.total_count;
   pools_[license.lease_id] = std::move(pool);
 }
 
@@ -29,6 +32,13 @@ std::optional<std::uint64_t> SlRemote::remaining_pool(LeaseId lease) const {
 void SlRemote::revoke(LeaseId lease) {
   auto it = pools_.find(lease);
   if (it == pools_.end()) return;
+  // The pool and every outstanding sub-GCL move to the revoked bucket;
+  // already-distributed counts cannot be clawed back from client caches,
+  // but the ledger records them as written off.
+  it->second.revoked += it->second.remaining;
+  for (const auto& [slid, count] : it->second.outstanding) {
+    it->second.revoked += count;
+  }
   it->second.remaining = 0;
   it->second.outstanding.clear();
   log_info("SL-Remote: revoked lease ", lease);
@@ -82,6 +92,7 @@ void SlRemote::forfeit_outstanding(Slid slid) {
     auto it = pool.outstanding.find(slid);
     if (it != pool.outstanding.end()) {
       stats_.forfeited_gcls += it->second;
+      pool.forfeited += it->second;
       pool.outstanding.erase(it);
     }
   }
@@ -108,7 +119,13 @@ void SlRemote::graceful_shutdown(
     stats_.reclaimed_gcls += credited;
     out->second -= credited;
   }
-  for (auto& [lease, pool] : pools_) pool.outstanding.erase(slid);
+  for (auto& [lease, pool] : pools_) {
+    auto out = pool.outstanding.find(slid);
+    if (out == pool.outstanding.end()) continue;
+    // Whatever was not reported unused settles as consumed.
+    pool.consumed += out->second;
+    pool.outstanding.erase(out);
+  }
 }
 
 SlRemote::RenewResult SlRemote::renew(Slid slid, const LicenseFile& license,
@@ -187,7 +204,31 @@ void SlRemote::report_consumed(Slid slid, LeaseId lease, std::uint64_t count) {
   if (pool == pools_.end()) return;
   auto out = pool->second.outstanding.find(slid);
   if (out == pool->second.outstanding.end()) return;
-  out->second -= std::min(out->second, count);
+  const std::uint64_t settled = std::min(out->second, count);
+  out->second -= settled;
+  pool->second.consumed += settled;
+}
+
+std::optional<LeaseLedger> SlRemote::ledger(LeaseId lease) const {
+  auto it = pools_.find(lease);
+  if (it == pools_.end()) return std::nullopt;
+  const LeasePool& pool = it->second;
+  LeaseLedger ledger;
+  ledger.provisioned = pool.provisioned;
+  ledger.pool = pool.remaining;
+  for (const auto& [slid, count] : pool.outstanding) ledger.outstanding += count;
+  ledger.consumed = pool.consumed;
+  ledger.forfeited = pool.forfeited;
+  ledger.revoked = pool.revoked;
+  return ledger;
+}
+
+std::vector<LeaseId> SlRemote::provisioned_leases() const {
+  std::vector<LeaseId> leases;
+  leases.reserve(pools_.size());
+  for (const auto& [lease, pool] : pools_) leases.push_back(lease);
+  std::sort(leases.begin(), leases.end());
+  return leases;
 }
 
 }  // namespace sl::lease

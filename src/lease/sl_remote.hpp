@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "lease/license.hpp"
 #include "lease/renewal.hpp"
@@ -30,6 +31,23 @@ struct SlRemoteStats {
   std::uint64_t renewals_denied = 0;
   std::uint64_t forfeited_gcls = 0;   // lost to the pessimistic crash policy
   std::uint64_t reclaimed_gcls = 0;   // returned on graceful shutdown
+};
+
+// Per-lease double-entry view of the GCL pool (Sections 5.5, 5.7). Every
+// provisioned count is, at any instant, in exactly one bucket; the
+// simulation oracles assert balanced() after every event.
+struct LeaseLedger {
+  std::uint64_t provisioned = 0;  // TG at provision time
+  std::uint64_t pool = 0;         // undistributed (includes re-credits)
+  std::uint64_t outstanding = 0;  // sub-GCLs held by live SL-Locals
+  std::uint64_t consumed = 0;     // reported consumed or settled at shutdown
+  std::uint64_t forfeited = 0;    // pessimistic crash policy (Section 5.7)
+  std::uint64_t revoked = 0;      // zeroed by an explicit revocation
+
+  std::uint64_t accounted() const {
+    return pool + outstanding + consumed + forfeited + revoked;
+  }
+  bool balanced() const { return accounted() == provisioned; }
 };
 
 class SlRemote {
@@ -89,12 +107,24 @@ class SlRemote {
   RenewalParams& params() { return params_; }
   const SlRemoteStats& stats() const { return stats_; }
 
+  // --- Oracle accessors -----------------------------------------------------
+  // Conservation ledger for one lease; nullopt when never provisioned.
+  std::optional<LeaseLedger> ledger(LeaseId lease) const;
+  // Every lease id ever provisioned, ascending (deterministic iteration for
+  // traces and oracles regardless of hash-map order).
+  std::vector<LeaseId> provisioned_leases() const;
+
  private:
   struct LeasePool {
     LicenseFile license;
     std::uint64_t remaining = 0;
     // outstanding sub-GCLs per SLID.
     std::unordered_map<Slid, std::uint64_t> outstanding;
+    // Ledger buckets (remaining is the "pool" bucket).
+    std::uint64_t provisioned = 0;
+    std::uint64_t consumed = 0;
+    std::uint64_t forfeited = 0;
+    std::uint64_t revoked = 0;
   };
   struct LocalRecord {
     bool alive = false;

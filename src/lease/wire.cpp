@@ -1,5 +1,9 @@
 #include "lease/wire.hpp"
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 namespace sl::lease::wire {
 
 namespace {
@@ -33,9 +37,11 @@ std::optional<Bytes> get_blob(ByteView in, std::size_t& offset) {
   return blob;
 }
 
-// Doubles travel as fixed-point micros.
+// Doubles travel as fixed-point micros, rounded to nearest: truncation made
+// serialize(deserialize(x)) drift by one micro when value*1e6 reconstructed
+// just below the original integer.
 void put_fraction(Bytes& out, double value) {
-  put_u64(out, static_cast<std::uint64_t>(value * 1e6));
+  put_u64(out, static_cast<std::uint64_t>(value * 1e6 + 0.5));
 }
 
 double get_fraction(ByteView in, std::size_t& offset) {
@@ -161,7 +167,12 @@ Bytes ShutdownRequest::serialize() const {
   put_u64(out, slid);
   put_u64(out, root_key);
   put_u32(out, static_cast<std::uint32_t>(unused.size()));
-  for (const auto& [lease, count] : unused) {
+  // Deterministic encoding: hash-map iteration order varies with insertion
+  // history, so sort by lease id — equal messages serialize identically.
+  std::vector<std::pair<LeaseId, std::uint64_t>> entries(unused.begin(),
+                                                         unused.end());
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [lease, count] : entries) {
     put_u32(out, lease);
     put_u64(out, count);
   }

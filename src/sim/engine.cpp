@@ -1,0 +1,338 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "crypto/murmur.hpp"
+#include "lease/sl_local.hpp"
+#include "lease/sl_manager.hpp"
+#include "lease/sl_remote.hpp"
+#include "net/network.hpp"
+#include "sgxsim/attestation.hpp"
+#include "sgxsim/runtime.hpp"
+
+namespace sl::sim {
+
+namespace {
+
+std::string format(const char* fmt, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  return buffer;
+}
+
+net::LinkProfile link_profile(const NodeSpec& node, double reliability) {
+  net::LinkProfile profile;
+  profile.rtt_millis = node.rtt_millis;
+  profile.reliability = reliability;
+  profile.timeout_millis = 200.0;
+  return profile;
+}
+
+}  // namespace
+
+// One simulated client machine: its own SGX runtime (and virtual clock),
+// attestation platform, untrusted store, SL-Local enclave and one SL-Manager
+// per licensed add-on. The SlLocal object persists across crash/restart —
+// crash() models the power loss, init() the reboot.
+struct SimulationEngine::Node {
+  std::unique_ptr<sgx::SgxRuntime> runtime;
+  std::unique_ptr<sgx::Platform> platform;
+  std::unique_ptr<lease::UntrustedStore> store;
+  std::unique_ptr<lease::SlLocal> local;
+  // Parallel to NodeSpec::licenses; rebuilt on every successful (re)boot.
+  std::vector<std::unique_ptr<lease::SlManager>> managers;
+  lease::Slid saved_slid = 0;  // the plaintext SLID file (Section 5.2.4)
+  bool up = false;
+  Cycles last_cycles = 0;  // monotone-time oracle state
+};
+
+struct SimulationEngine::World {
+  sgx::AttestationService ias;
+  lease::LicenseAuthority vendor;
+  lease::SlRemote remote;
+  net::SimNetwork network;
+  std::vector<lease::LicenseFile> licenses;
+  std::vector<std::unique_ptr<Node>> nodes;
+
+  explicit World(const ScenarioSpec& spec)
+      : vendor(splitmix64_key(1, spec.seed) | 1),
+        remote(vendor, ias, lease::SlLocal::expected_measurement()),
+        network(spec.seed) {
+    for (std::size_t i = 0; i < spec.licenses.size(); ++i) {
+      const LicenseSpec& ls = spec.licenses[i];
+      licenses.push_back(vendor.issue(
+          ScenarioSpec::lease_id(static_cast<std::uint32_t>(i)),
+          ScenarioSpec::product(static_cast<std::uint32_t>(i)), ls.kind,
+          ls.total_count, ls.interval_seconds));
+      remote.provision(licenses.back());
+    }
+    for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
+      const NodeSpec& ns = spec.nodes[i];
+      const std::uint64_t platform_id = i + 1;
+      const std::uint64_t platform_secret =
+          splitmix64_key(0x200 + i, spec.seed) | 1;
+      ias.register_platform(platform_id, platform_secret);
+      network.set_link(static_cast<net::NodeId>(platform_id),
+                       link_profile(ns, ns.reliability));
+
+      auto node = std::make_unique<Node>();
+      node->runtime = std::make_unique<sgx::SgxRuntime>();
+      node->platform = std::make_unique<sgx::Platform>(*node->runtime, platform_id,
+                                                       platform_secret);
+      node->store = std::make_unique<lease::UntrustedStore>();
+      lease::SlLocalOptions options;
+      options.tokens_per_attestation = ns.tokens_per_attestation;
+      options.health = ns.health;
+      options.keygen_seed = splitmix64_key(0x300 + i, spec.seed) | 1;
+      node->local = std::make_unique<lease::SlLocal>(
+          *node->runtime, *node->platform, remote, network,
+          static_cast<net::NodeId>(platform_id), *node->store, options);
+      nodes.push_back(std::move(node));
+    }
+  }
+};
+
+SimulationEngine::SimulationEngine(ScenarioSpec spec, EngineOptions options)
+    : spec_(std::move(spec)), options_(options) {}
+
+SimulationEngine::~SimulationEngine() = default;
+
+void SimulationEngine::boot_node(std::uint32_t index, std::string& line) {
+  Node& node = *world_->nodes[index];
+  line = format("boot node=%u", index);
+  if (!node.local->init(node.saved_slid)) {
+    line += format(" -> init-failed t=%.3fs", node.runtime->clock().seconds());
+    return;
+  }
+  node.saved_slid = node.local->slid();
+  node.up = true;
+  for (std::uint32_t lic : spec_.nodes[index].licenses) {
+    node.managers.push_back(std::make_unique<lease::SlManager>(
+        *node.runtime, *node.platform, *node.local, ScenarioSpec::product(lic),
+        world_->licenses[lic]));
+  }
+  line += format(" -> ok slid=%llu t=%.3fs",
+                 static_cast<unsigned long long>(node.saved_slid),
+                 node.runtime->clock().seconds());
+}
+
+void SimulationEngine::retire_managers(Node& node) {
+  // Application processes die with the machine; their grant totals feed the
+  // cross-generation double-spend oracle.
+  for (const auto& manager : node.managers) {
+    retired_executions_[manager->license().lease_id] +=
+        manager->stats().executions_granted;
+  }
+  node.managers.clear();
+}
+
+void SimulationEngine::execute(const ScenarioEvent& event,
+                               std::size_t event_index, std::string& line) {
+  Node& node = *world_->nodes[event.node];
+  const net::NodeId node_id = static_cast<net::NodeId>(event.node + 1);
+  const auto skip = [&](const char* why) {
+    line += format(" -> skipped(%s)", why);
+    stats_.events_skipped++;
+  };
+
+  switch (event.kind) {
+    case EventKind::kWork: {
+      if (!node.up || !node.local->ready()) return skip("down");
+      const auto& mix = spec_.nodes[event.node].licenses;
+      const auto pos = std::find(mix.begin(), mix.end(), event.index);
+      if (pos == mix.end()) return skip("no-license");
+      lease::SlManager& manager =
+          *node.managers[static_cast<std::size_t>(pos - mix.begin())];
+      std::uint64_t granted = 0;
+      for (std::uint64_t run = 0; run < event.amount; ++run) {
+        if (manager.authorize_execution()) granted++;
+      }
+      stats_.executions_granted += granted;
+      stats_.executions_denied += event.amount - granted;
+      line += format(" -> granted=%llu denied=%llu t=%.3fs",
+                     static_cast<unsigned long long>(granted),
+                     static_cast<unsigned long long>(event.amount - granted),
+                     node.runtime->clock().seconds());
+      break;
+    }
+    case EventKind::kCrash: {
+      if (!node.up) return skip("down");
+      retire_managers(node);
+      node.local->crash();
+      node.up = false;
+      stats_.crashes++;
+      line += " -> down";
+      break;
+    }
+    case EventKind::kRestart: {
+      if (node.up) return skip("up");
+      std::string boot;
+      boot_node(event.node, boot);
+      stats_.restarts++;
+      // boot_node already rendered "boot node=N -> ..."; keep the suffix.
+      line += boot.substr(boot.find(" ->"));
+      break;
+    }
+    case EventKind::kShutdown: {
+      if (!node.up) return skip("down");
+      retire_managers(node);
+      node.local->shutdown();
+      node.up = false;
+      stats_.shutdowns++;
+      line += format(" -> down escrow=%llu",
+                     static_cast<unsigned long long>(
+                         node.local->tree().root_handle()));
+      break;
+    }
+    case EventKind::kPartition: {
+      world_->network.set_link(
+          node_id, link_profile(spec_.nodes[event.node], event.value));
+      line += " -> applied";
+      break;
+    }
+    case EventKind::kHeal: {
+      const double base = spec_.nodes[event.node].reliability;
+      world_->network.set_link(node_id,
+                               link_profile(spec_.nodes[event.node], base));
+      line += format(" -> rel=%.3f", base);
+      break;
+    }
+    case EventKind::kRevoke: {
+      world_->remote.revoke(ScenarioSpec::lease_id(event.index));
+      stats_.revocations++;
+      line += " -> pool=0";
+      break;
+    }
+    case EventKind::kClockSkew: {
+      node.runtime->clock().advance_seconds(event.value);
+      line += format(" -> t=%.3fs", node.runtime->clock().seconds());
+      break;
+    }
+    case EventKind::kCommit: {
+      if (!node.up || !node.local->ready()) return skip("down");
+      node.local->tree().commit_all_cold();
+      line += format(" -> resident=%lluB store=%zu",
+                     static_cast<unsigned long long>(
+                         node.local->tree().resident_bytes()),
+                     node.store->size());
+      break;
+    }
+    case EventKind::kTamper: {
+      if (!node.up || !node.local->ready()) return skip("down");
+      lease::LeaseTree& tree = node.local->tree();
+      const std::vector<lease::LeaseId> ids = tree.enumerate();
+      if (ids.empty()) return skip("no-leases");
+      // Commit one specific lease so its ciphertext is the newest blob in
+      // the store, then corrupt exactly that blob. The integrity oracle's
+      // find() walk must surface it as a validation failure.
+      const lease::LeaseId victim = ids[event_index % ids.size()];
+      if (tree.find(victim) == nullptr || !tree.commit_lease(victim)) {
+        return skip("not-committable");
+      }
+      const std::vector<std::uint64_t> handles = node.store->handles();
+      const std::uint64_t handle = handles.back();
+      Bytes blob = *node.store->get(handle);
+      for (std::uint8_t& byte : blob) byte ^= 0xA5;
+      node.store->overwrite(handle, std::move(blob));
+      line += format(" -> lease=%u handle=%llu", victim,
+                     static_cast<unsigned long long>(handle));
+      break;
+    }
+  }
+  stats_.events_executed++;
+}
+
+void SimulationEngine::evaluate_oracles(std::size_t event_index,
+                                        std::vector<OracleFinding>& failures) {
+  if (auto err = check_conservation(world_->remote)) {
+    failures.push_back({kOracleConservation, *err, event_index});
+  }
+
+  std::map<lease::LeaseId, std::uint64_t> executions = retired_executions_;
+  for (const auto& node : world_->nodes) {
+    for (const auto& manager : node->managers) {
+      executions[manager->license().lease_id] +=
+          manager->stats().executions_granted;
+    }
+  }
+  std::vector<lease::LeaseId> count_based;
+  for (std::size_t i = 0; i < spec_.licenses.size(); ++i) {
+    if (spec_.licenses[i].kind == lease::LeaseKind::kCountBased) {
+      count_based.push_back(
+          ScenarioSpec::lease_id(static_cast<std::uint32_t>(i)));
+    }
+  }
+  if (auto err = check_double_spend(world_->remote, executions, count_based)) {
+    failures.push_back({kOracleDoubleSpend, *err, event_index});
+  }
+
+  for (std::size_t i = 0; i < world_->nodes.size(); ++i) {
+    Node& node = *world_->nodes[i];
+    if (node.up && node.local->ready()) {
+      if (auto err = check_tree_integrity(node.local->tree())) {
+        failures.push_back({kOracleTreeIntegrity,
+                            format("node %zu: ", i) + *err, event_index});
+      }
+    }
+    const Cycles current = node.runtime->clock().cycles();
+    const std::string clock_name = format("node %zu clock", i);
+    if (auto err =
+            check_monotone_time(clock_name.c_str(), node.last_cycles, current)) {
+      failures.push_back({kOracleMonotoneTime, *err, event_index});
+    }
+    node.last_cycles = current;
+    stats_.max_virtual_seconds =
+        std::max(stats_.max_virtual_seconds, node.runtime->clock().seconds());
+  }
+}
+
+SimulationResult SimulationEngine::run() {
+  world_ = std::make_unique<World>(spec_);
+  SimulationResult result;
+
+  for (std::uint32_t i = 0; i < spec_.nodes.size(); ++i) {
+    std::string line;
+    boot_node(i, line);
+    result.trace.push_back("[pre] " + line);
+  }
+  evaluate_oracles(0, result.failures);
+
+  for (std::size_t i = 0; i < spec_.schedule.size(); ++i) {
+    if (options_.stop_on_first_failure && !result.failures.empty()) break;
+    std::string line = describe(spec_.schedule[i]);
+    execute(spec_.schedule[i], i, line);
+    result.trace.push_back(format("[%03zu] ", i) + line);
+    evaluate_oracles(i, result.failures);
+  }
+
+  const lease::SlRemoteStats& remote_stats = world_->remote.stats();
+  stats_.renewals = remote_stats.renewals;
+  stats_.renewals_denied = remote_stats.renewals_denied;
+  stats_.forfeited_gcls = remote_stats.forfeited_gcls;
+  stats_.reclaimed_gcls = remote_stats.reclaimed_gcls;
+
+  result.stats = stats_;
+  result.passed = result.failures.empty();
+  for (const lease::LeaseId lease : world_->remote.provisioned_leases()) {
+    result.ledgers.emplace_back(lease, *world_->remote.ledger(lease));
+  }
+  std::uint64_t fingerprint = spec_.seed;
+  for (const std::string& line : result.trace) {
+    fingerprint = crypto::murmur3_64(to_bytes(line), fingerprint);
+  }
+  result.trace_fingerprint = fingerprint;
+  return result;
+}
+
+SimulationResult run_scenario(const ScenarioSpec& spec, EngineOptions options) {
+  SimulationEngine engine(spec, options);
+  return engine.run();
+}
+
+}  // namespace sl::sim

@@ -1,0 +1,92 @@
+// Event-driven scenario engine for deterministic simulation testing.
+//
+// The engine instantiates a ScenarioSpec as a real multi-node deployment —
+// one SL-Remote behind the simulated WAN, and per node an SgxRuntime,
+// Platform, UntrustedStore, SL-Local and one SL-Manager per licensed
+// add-on — then replays the fault schedule event by event. After every
+// event it evaluates the four invariant oracles (oracles.hpp) and appends
+// a deterministic trace line; the murmur3 fingerprint of the trace is the
+// bit-for-bit replay check (`securelease simulate --seed N` twice must
+// print identical fingerprints).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/oracles.hpp"
+#include "sim/scenario.hpp"
+
+namespace sl::sim {
+
+struct EngineOptions {
+  // Halt the schedule at the first oracle failure (what the shrinker and
+  // the CLI want); false replays the whole schedule regardless.
+  bool stop_on_first_failure = true;
+};
+
+struct SimulationStats {
+  std::uint64_t executions_granted = 0;
+  std::uint64_t executions_denied = 0;
+  std::uint64_t renewals = 0;          // served by SL-Remote
+  std::uint64_t renewals_denied = 0;
+  std::uint64_t forfeited_gcls = 0;
+  std::uint64_t reclaimed_gcls = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t shutdowns = 0;
+  std::uint64_t revocations = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_skipped = 0;    // e.g. work scheduled on a down node
+  double max_virtual_seconds = 0.0;    // furthest node clock
+};
+
+struct SimulationResult {
+  bool passed = false;                     // no oracle failure surfaced
+  std::vector<std::string> trace;          // one line per executed event
+  std::vector<OracleFinding> failures;
+  SimulationStats stats;
+  std::uint64_t trace_fingerprint = 0;     // murmur3_64 over the trace
+  // Final conservation ledgers, ascending by lease id.
+  std::vector<std::pair<lease::LeaseId, lease::LeaseLedger>> ledgers;
+};
+
+class SimulationEngine {
+ public:
+  explicit SimulationEngine(ScenarioSpec spec, EngineOptions options = {});
+  ~SimulationEngine();
+
+  SimulationEngine(const SimulationEngine&) = delete;
+  SimulationEngine& operator=(const SimulationEngine&) = delete;
+
+  // Builds the world, replays the schedule, returns the verdict. One-shot.
+  SimulationResult run();
+
+ private:
+  struct Node;
+
+  void boot_node(std::uint32_t index, std::string& line);
+  void retire_managers(Node& node);
+  void execute(const ScenarioEvent& event, std::size_t event_index,
+               std::string& line);
+  void evaluate_oracles(std::size_t event_index,
+                        std::vector<OracleFinding>& failures);
+
+  ScenarioSpec spec_;
+  EngineOptions options_;
+
+  struct World;
+  std::unique_ptr<World> world_;
+
+  // Executions granted per lease across every manager generation (live
+  // managers are folded in on crash/shutdown and at the end of the run).
+  std::map<lease::LeaseId, std::uint64_t> retired_executions_;
+  SimulationStats stats_;
+};
+
+// Convenience wrapper: build, run, destroy.
+SimulationResult run_scenario(const ScenarioSpec& spec, EngineOptions options = {});
+
+}  // namespace sl::sim

@@ -1,0 +1,87 @@
+#include "sim/oracles.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace sl::sim {
+
+namespace {
+
+std::string format(const char* fmt, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  return buffer;
+}
+
+}  // namespace
+
+std::optional<std::string> check_conservation(const lease::SlRemote& remote) {
+  for (const lease::LeaseId lease : remote.provisioned_leases()) {
+    const auto ledger = remote.ledger(lease);
+    if (!ledger.has_value()) continue;
+    if (!ledger->balanced()) {
+      return format(
+          "lease %u: provisioned=%llu but pool=%llu + outstanding=%llu + "
+          "consumed=%llu + forfeited=%llu + revoked=%llu = %llu",
+          lease, (unsigned long long)ledger->provisioned,
+          (unsigned long long)ledger->pool,
+          (unsigned long long)ledger->outstanding,
+          (unsigned long long)ledger->consumed,
+          (unsigned long long)ledger->forfeited,
+          (unsigned long long)ledger->revoked,
+          (unsigned long long)ledger->accounted());
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_double_spend(
+    const lease::SlRemote& remote,
+    const std::map<lease::LeaseId, std::uint64_t>& executions,
+    const std::vector<lease::LeaseId>& count_based) {
+  for (const lease::LeaseId lease : count_based) {
+    const auto ledger = remote.ledger(lease);
+    if (!ledger.has_value()) continue;
+    auto it = executions.find(lease);
+    const std::uint64_t granted = it == executions.end() ? 0 : it->second;
+    if (granted > ledger->provisioned) {
+      return format("lease %u: %llu executions granted exceed the %llu "
+                    "provisioned GCLs",
+                    lease, (unsigned long long)granted,
+                    (unsigned long long)ledger->provisioned);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_tree_integrity(lease::LeaseTree& tree) {
+  const std::uint64_t failures_before = tree.stats().validation_failures;
+  for (const lease::LeaseId id : tree.enumerate()) {
+    lease::LeaseRecord* record = tree.find(id);
+    if (record == nullptr) {
+      return format("lease %u: reachable in the tree but failed to restore "
+                    "(validation failures %llu -> %llu)",
+                    id, (unsigned long long)failures_before,
+                    (unsigned long long)tree.stats().validation_failures);
+    }
+    if (!record->hash_valid()) {
+      return format("lease %u: resident record fails its integrity hash", id);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_monotone_time(const char* clock_name,
+                                               Cycles previous, Cycles current) {
+  if (current < previous) {
+    return format("%s: virtual time moved backwards (%llu -> %llu cycles)",
+                  clock_name, (unsigned long long)previous,
+                  (unsigned long long)current);
+  }
+  return std::nullopt;
+}
+
+}  // namespace sl::sim

@@ -1,0 +1,62 @@
+// Invariant oracles for the deterministic simulation harness.
+//
+// Four paper-derived invariants are checked after every scheduled event:
+//  1. GCL conservation (Section 5.5): for every lease, provisioned ==
+//     pool + outstanding + consumed + forfeited + revoked — SL-Remote's
+//     double-entry ledger never creates or leaks counts.
+//  2. No double-spend (Section 5.7): across every SL-Local generation
+//     (including crashed and replayed ones), a count-based license never
+//     grants more executions than were provisioned — the pessimistic
+//     crash policy makes replay at worst lossy, never profitable.
+//  3. Lease-tree integrity (Sections 5.5/5.6): every lease reachable in a
+//     live SL-Local's tree restores and validates (encrypt-and-hash);
+//     tampered untrusted blobs must be detected, not silently accepted.
+//  4. Monotone virtual time: every node's SimClock and the server clock
+//     only move forward.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lease/lease_tree.hpp"
+#include "lease/sl_remote.hpp"
+
+namespace sl::sim {
+
+inline constexpr const char* kOracleConservation = "gcl-conservation";
+inline constexpr const char* kOracleDoubleSpend = "double-spend";
+inline constexpr const char* kOracleTreeIntegrity = "tree-integrity";
+inline constexpr const char* kOracleMonotoneTime = "monotone-time";
+
+struct OracleFinding {
+  std::string oracle;       // one of the kOracle* names
+  std::string detail;       // deterministic human-readable diagnosis
+  std::size_t event_index;  // schedule position that surfaced it
+};
+
+// --- Pure checks (unit-testable without an engine) --------------------------
+
+// Invariant 1 over every provisioned lease. Returns the first imbalance.
+std::optional<std::string> check_conservation(const lease::SlRemote& remote);
+
+// Invariant 2. `executions` maps lease id -> executions granted across all
+// manager generations; `count_based` lists the lease ids the bound applies
+// to (time/perpetual kinds gate on expiry, not counts).
+std::optional<std::string> check_double_spend(
+    const lease::SlRemote& remote,
+    const std::map<lease::LeaseId, std::uint64_t>& executions,
+    const std::vector<lease::LeaseId>& count_based);
+
+// Invariant 3 for one SL-Local lease tree. Faults committed subtrees back
+// in (find()), so a tampered blob surfaces as a validation failure.
+std::optional<std::string> check_tree_integrity(lease::LeaseTree& tree);
+
+// Invariant 4. `previous` is the cycle reading at the last check; callers
+// update it with the returned current value.
+std::optional<std::string> check_monotone_time(const char* clock_name,
+                                               Cycles previous, Cycles current);
+
+}  // namespace sl::sim

@@ -1,0 +1,256 @@
+#include "sim/scenario.hpp"
+
+#include <cstdio>
+
+#include "common/rng.hpp"
+
+namespace sl::sim {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kWork: return "work";
+    case EventKind::kCrash: return "crash";
+    case EventKind::kRestart: return "restart";
+    case EventKind::kShutdown: return "shutdown";
+    case EventKind::kPartition: return "partition";
+    case EventKind::kHeal: return "heal";
+    case EventKind::kRevoke: return "revoke";
+    case EventKind::kClockSkew: return "clock-skew";
+    case EventKind::kCommit: return "commit";
+    case EventKind::kTamper: return "tamper";
+  }
+  return "?";
+}
+
+std::string ScenarioSpec::product(std::uint32_t index) {
+  return "sim/addon-" + std::to_string(index);
+}
+
+namespace {
+
+// Picks an index with state[i] == wanted; returns false when none matches.
+bool pick_state(Rng& rng, const std::vector<bool>& state, bool wanted,
+                std::uint32_t& out) {
+  std::vector<std::uint32_t> candidates;
+  for (std::uint32_t i = 0; i < state.size(); ++i) {
+    if (state[i] == wanted) candidates.push_back(i);
+  }
+  if (candidates.empty()) return false;
+  out = candidates[rng.next_below(candidates.size())];
+  return true;
+}
+
+std::uint32_t range(Rng& rng, std::uint32_t lo, std::uint32_t hi) {
+  return lo + static_cast<std::uint32_t>(rng.next_below(hi - lo + 1));
+}
+
+}  // namespace
+
+ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorLimits& limits) {
+  Rng rng(seed ^ 0x5eca1e5eed0ULL);
+  ScenarioSpec spec;
+  spec.seed = seed;
+
+  const std::uint32_t node_count = range(rng, limits.min_nodes, limits.max_nodes);
+  const std::uint32_t license_count =
+      range(rng, limits.min_licenses, limits.max_licenses);
+
+  for (std::uint32_t i = 0; i < license_count; ++i) {
+    LicenseSpec license;
+    const double roll = rng.next_double();
+    if (roll < 0.70) {
+      license.kind = lease::LeaseKind::kCountBased;
+      license.total_count = 500 + rng.next_below(4'500);
+    } else if (roll < 0.85) {
+      license.kind = lease::LeaseKind::kTimeBased;
+      license.total_count = 50 + rng.next_below(200);
+      license.interval_seconds = 3'600.0;
+    } else if (roll < 0.95) {
+      license.kind = lease::LeaseKind::kExecutionTime;
+      license.total_count = 50 + rng.next_below(200);
+      license.interval_seconds = 3'600.0;
+    } else {
+      license.kind = lease::LeaseKind::kPerpetual;
+      license.total_count = 1;
+    }
+    spec.licenses.push_back(license);
+  }
+
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    NodeSpec node;
+    node.rtt_millis = 5.0 + static_cast<double>(rng.next_below(55));
+    node.reliability = 0.75 + 0.25 * rng.next_double();
+    node.health = 0.55 + 0.44 * rng.next_double();
+    const std::uint32_t batch_roll = static_cast<std::uint32_t>(rng.next_below(3));
+    node.tokens_per_attestation = batch_roll == 0 ? 1 : (batch_roll == 1 ? 5 : 10);
+    // Every node holds at least one license; larger mixes are common.
+    for (std::uint32_t lic = 0; lic < license_count; ++lic) {
+      if (lic == i % license_count || rng.next_bool(0.5)) {
+        node.licenses.push_back(lic);
+      }
+    }
+    spec.nodes.push_back(node);
+  }
+
+  const std::uint32_t event_count = range(rng, limits.min_events, limits.max_events);
+  std::vector<bool> up(node_count, true);
+  std::vector<bool> partitioned(node_count, false);
+
+  while (spec.schedule.size() < event_count) {
+    if (limits.tamper_probability > 0.0 &&
+        rng.next_bool(limits.tamper_probability)) {
+      // Plant a commit+tamper pair: committing offloads ciphertexts to the
+      // untrusted store, tampering corrupts one of them.
+      std::uint32_t victim = 0;
+      if (pick_state(rng, up, true, victim)) {
+        spec.schedule.push_back({EventKind::kCommit, victim, 0, 0, 0.0});
+        spec.schedule.push_back({EventKind::kTamper, victim, 0, 0, 0.0});
+        continue;
+      }
+    }
+
+    // Weighted fault mix; inapplicable picks degrade to work/restart so the
+    // schedule is always well-formed.
+    const std::uint64_t roll = rng.next_below(100);
+    EventKind kind = EventKind::kWork;
+    if (roll < 55) kind = EventKind::kWork;
+    else if (roll < 61) kind = EventKind::kCrash;
+    else if (roll < 69) kind = EventKind::kRestart;
+    else if (roll < 74) kind = EventKind::kShutdown;
+    else if (roll < 81) kind = EventKind::kPartition;
+    else if (roll < 89) kind = EventKind::kHeal;
+    else if (roll < 91) kind = EventKind::kRevoke;
+    else if (roll < 96) kind = EventKind::kClockSkew;
+    else kind = EventKind::kCommit;
+
+    ScenarioEvent event;
+    std::uint32_t node = 0;
+    switch (kind) {
+      case EventKind::kCrash:
+      case EventKind::kShutdown:
+        if (!pick_state(rng, up, true, node)) kind = EventKind::kRestart;
+        break;
+      case EventKind::kHeal:
+        if (!pick_state(rng, partitioned, true, node)) kind = EventKind::kWork;
+        break;
+      case EventKind::kPartition:
+        if (!pick_state(rng, partitioned, false, node)) kind = EventKind::kWork;
+        break;
+      default:
+        break;
+    }
+    if (kind == EventKind::kRestart && !pick_state(rng, up, false, node)) {
+      kind = EventKind::kWork;
+    }
+    if (kind == EventKind::kWork || kind == EventKind::kClockSkew ||
+        kind == EventKind::kCommit) {
+      node = static_cast<std::uint32_t>(rng.next_below(node_count));
+    }
+
+    event.kind = kind;
+    event.node = node;
+    switch (kind) {
+      case EventKind::kWork: {
+        const auto& mix = spec.nodes[node].licenses;
+        event.index = mix[rng.next_below(mix.size())];
+        event.amount = 1 + rng.next_below(limits.max_work_runs);
+        break;
+      }
+      case EventKind::kCrash:
+        up[node] = false;
+        break;
+      case EventKind::kShutdown:
+        up[node] = false;
+        break;
+      case EventKind::kRestart:
+        up[node] = true;  // optimistic; the engine tolerates failed re-inits
+        break;
+      case EventKind::kPartition:
+        partitioned[node] = true;
+        event.value = rng.next_bool(0.5) ? 0.0 : 0.2;  // hard or lossy
+        break;
+      case EventKind::kHeal:
+        partitioned[node] = false;
+        break;
+      case EventKind::kRevoke:
+        event.index = static_cast<std::uint32_t>(rng.next_below(license_count));
+        break;
+      case EventKind::kClockSkew:
+        event.value = static_cast<double>(1 + rng.next_below(7'200));
+        break;
+      case EventKind::kCommit:
+      case EventKind::kTamper:
+        break;
+    }
+    spec.schedule.push_back(event);
+  }
+  return spec;
+}
+
+std::string describe(const ScenarioEvent& event) {
+  char buffer[128];
+  switch (event.kind) {
+    case EventKind::kWork:
+      std::snprintf(buffer, sizeof(buffer), "work node=%u lic=%u runs=%llu",
+                    event.node, event.index,
+                    static_cast<unsigned long long>(event.amount));
+      break;
+    case EventKind::kPartition:
+      std::snprintf(buffer, sizeof(buffer), "partition node=%u rel=%.3f",
+                    event.node, event.value);
+      break;
+    case EventKind::kClockSkew:
+      std::snprintf(buffer, sizeof(buffer), "clock-skew node=%u secs=%.0f",
+                    event.node, event.value);
+      break;
+    case EventKind::kRevoke:
+      std::snprintf(buffer, sizeof(buffer), "revoke lic=%u", event.index);
+      break;
+    default:
+      std::snprintf(buffer, sizeof(buffer), "%s node=%u",
+                    event_kind_name(event.kind), event.node);
+      break;
+  }
+  return buffer;
+}
+
+std::string describe(const ScenarioSpec& spec) {
+  std::string out;
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "scenario seed=%llu nodes=%zu licenses=%zu events=%zu\n",
+                static_cast<unsigned long long>(spec.seed), spec.nodes.size(),
+                spec.licenses.size(), spec.schedule.size());
+  out += buffer;
+  for (std::size_t i = 0; i < spec.licenses.size(); ++i) {
+    const LicenseSpec& license = spec.licenses[i];
+    std::snprintf(buffer, sizeof(buffer),
+                  "  license %zu: id=%u kind=%s total=%llu interval=%.0fs\n", i,
+                  ScenarioSpec::lease_id(static_cast<std::uint32_t>(i)),
+                  lease::lease_kind_name(license.kind),
+                  static_cast<unsigned long long>(license.total_count),
+                  license.interval_seconds);
+    out += buffer;
+  }
+  for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
+    const NodeSpec& node = spec.nodes[i];
+    std::string mix;
+    for (std::uint32_t lic : node.licenses) {
+      if (!mix.empty()) mix += ",";
+      mix += std::to_string(lic);
+    }
+    std::snprintf(buffer, sizeof(buffer),
+                  "  node %zu: rtt=%.0fms rel=%.3f health=%.3f batch=%u lics=%s\n",
+                  i, node.rtt_millis, node.reliability, node.health,
+                  node.tokens_per_attestation, mix.c_str());
+    out += buffer;
+  }
+  for (std::size_t i = 0; i < spec.schedule.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer), "  [%03zu] %s\n", i,
+                  describe(spec.schedule[i]).c_str());
+    out += buffer;
+  }
+  return out;
+}
+
+}  // namespace sl::sim

@@ -1,0 +1,93 @@
+// Deterministic simulation-testing (DST) scenarios.
+//
+// A ScenarioSpec is a complete, replayable description of a multi-node
+// SecureLease deployment plus a schedule of injected faults: client
+// crash/restart, graceful shutdown, network partition, clock skew,
+// mid-run revocation, EPC-pressure commits and untrusted-store tampering.
+// Everything derives from a 64-bit seed, so a failing schedule is a
+// one-integer reproducer (`securelease simulate --seed N`). The engine in
+// engine.hpp replays a spec bit-for-bit and checks the invariant oracles
+// of oracles.hpp after every event.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lease/license.hpp"
+
+namespace sl::sim {
+
+enum class EventKind : std::uint8_t {
+  kWork = 0,      // node performs `amount` license checks against a license
+  kCrash,         // abrupt power loss: in-EPC state evaporates (Section 5.7)
+  kRestart,       // reboot; SL-Local re-inits with the saved SLID file
+  kShutdown,      // graceful shutdown: escrow + unused re-credit (Section 5.6)
+  kPartition,     // link reliability drops to `value` (0 = hard partition)
+  kHeal,          // link restored to the node's base profile
+  kRevoke,        // vendor revokes license `index` at SL-Remote
+  kClockSkew,     // node's virtual clock jumps `value` seconds forward
+  kCommit,        // EPC pressure: SL-Local commits every cold subtree
+  kTamper,        // untrusted OS corrupts one committed blob on the node
+};
+
+const char* event_kind_name(EventKind kind);
+
+struct ScenarioEvent {
+  EventKind kind = EventKind::kWork;
+  std::uint32_t node = 0;    // ignored by kRevoke
+  std::uint32_t index = 0;   // license index for kWork / kRevoke
+  std::uint64_t amount = 0;  // license checks for kWork
+  double value = 0.0;        // reliability for kPartition, seconds for kClockSkew
+};
+
+struct NodeSpec {
+  double rtt_millis = 20.0;
+  double reliability = 0.98;           // base link quality (healed state)
+  double health = 0.95;                // reported to SL-Remote (Algorithm 1)
+  std::uint32_t tokens_per_attestation = 10;
+  std::vector<std::uint32_t> licenses; // indices into ScenarioSpec::licenses
+};
+
+struct LicenseSpec {
+  lease::LeaseKind kind = lease::LeaseKind::kCountBased;
+  std::uint64_t total_count = 1'000;   // TG behind the license
+  double interval_seconds = 86'400.0;  // discretization for the time kinds
+};
+
+struct ScenarioSpec {
+  std::uint64_t seed = 0;  // seeds the network, key generators and tampering
+  std::vector<NodeSpec> nodes;
+  std::vector<LicenseSpec> licenses;
+  std::vector<ScenarioEvent> schedule;
+
+  // Lease id / product name a license index maps to (shared by the
+  // generator, the engine and the oracles).
+  static lease::LeaseId lease_id(std::uint32_t index) { return 100 + index; }
+  static std::string product(std::uint32_t index);
+};
+
+// Bounds for the random-scenario generator. Defaults stay small enough
+// that hundreds of scenarios run in seconds (also under ASan).
+struct GeneratorLimits {
+  std::uint32_t min_nodes = 2, max_nodes = 5;
+  std::uint32_t min_licenses = 1, max_licenses = 3;
+  std::uint32_t min_events = 20, max_events = 60;
+  std::uint64_t max_work_runs = 30;
+  // Probability that a schedule slot plants a kCommit+kTamper pair. Zero by
+  // default: tampering is a detected attack, not a correctness failure, so
+  // pass-rate suites keep it off and the shrinker tests switch it on.
+  double tamper_probability = 0.0;
+};
+
+// Expands `seed` into a full scenario: node count, link profiles, license
+// mix and a well-formed fault schedule (crash only while up, restart only
+// while down, heal only while partitioned, ...).
+ScenarioSpec generate_scenario(std::uint64_t seed,
+                               const GeneratorLimits& limits = {});
+
+// Deterministic one-line renders (used by traces, tests and the CLI).
+std::string describe(const ScenarioEvent& event);
+std::string describe(const ScenarioSpec& spec);
+
+}  // namespace sl::sim

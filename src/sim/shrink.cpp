@@ -1,0 +1,104 @@
+#include "sim/shrink.hpp"
+
+#include <algorithm>
+
+namespace sl::sim {
+
+namespace {
+
+// Replays `spec` (halting at the first failure) and reports whether it
+// fails with the same oracle as `signature`. On a match, `best` is updated.
+bool fails_same(const ScenarioSpec& spec, const std::string& signature,
+                ShrinkResult& best, std::uint64_t max_probes) {
+  if (best.probes >= max_probes) return false;
+  best.probes++;
+  SimulationResult result = run_scenario(spec);
+  if (result.passed || result.failures[0].oracle != signature) return false;
+  best.spec = spec;
+  best.result = std::move(result);
+  return true;
+}
+
+ScenarioSpec without_range(const ScenarioSpec& spec, std::size_t start,
+                           std::size_t count) {
+  ScenarioSpec candidate = spec;
+  candidate.schedule.erase(candidate.schedule.begin() + start,
+                           candidate.schedule.begin() + start + count);
+  return candidate;
+}
+
+}  // namespace
+
+std::optional<ShrinkResult> shrink_scenario(const ScenarioSpec& spec,
+                                            ShrinkOptions options) {
+  ShrinkResult best;
+  best.original_events = spec.schedule.size();
+  best.probes = 1;
+  best.spec = spec;
+  best.result = run_scenario(spec);
+  if (best.result.passed) return std::nullopt;
+  best.oracle = best.result.failures[0].oracle;
+  const std::string signature = best.oracle;
+
+  // Phase 1: everything after the first failing event is irrelevant.
+  {
+    ScenarioSpec truncated = spec;
+    const std::size_t keep =
+        std::min(best.result.failures[0].event_index + 1, spec.schedule.size());
+    truncated.schedule.resize(keep);
+    if (!fails_same(truncated, signature, best, options.max_probes)) {
+      // The failure surfaced during boot (or depends on later events in a
+      // way truncation broke); keep the full schedule.
+    }
+  }
+
+  // Phase 2: ddmin chunk removal, halving the chunk size until single
+  // events are removed one by one.
+  std::size_t chunk = std::max<std::size_t>(1, best.spec.schedule.size() / 2);
+  while (true) {
+    bool removed_any = false;
+    std::size_t start = 0;
+    while (start < best.spec.schedule.size()) {
+      const std::size_t count =
+          std::min(chunk, best.spec.schedule.size() - start);
+      if (count == best.spec.schedule.size()) break;  // never empty it fully
+      if (fails_same(without_range(best.spec, start, count), signature, best,
+                     options.max_probes)) {
+        removed_any = true;  // best.spec shrank; retry the same offset
+      } else {
+        start += count;
+      }
+    }
+    if (chunk == 1 && !removed_any) break;
+    if (best.probes >= options.max_probes) break;
+    chunk = std::max<std::size_t>(1, chunk / 2);
+  }
+
+  // Phase 3: halve work amounts while the failure persists.
+  for (std::size_t i = 0; i < best.spec.schedule.size(); ++i) {
+    while (best.spec.schedule[i].kind == EventKind::kWork &&
+           best.spec.schedule[i].amount > 1) {
+      ScenarioSpec candidate = best.spec;
+      candidate.schedule[i].amount /= 2;
+      if (!fails_same(candidate, signature, best, options.max_probes)) break;
+    }
+  }
+
+  // Phase 4: drop trailing nodes no remaining event references.
+  while (best.spec.nodes.size() > 1) {
+    const std::uint32_t last =
+        static_cast<std::uint32_t>(best.spec.nodes.size() - 1);
+    const bool referenced = std::any_of(
+        best.spec.schedule.begin(), best.spec.schedule.end(),
+        [&](const ScenarioEvent& e) { return e.node == last; });
+    if (referenced) break;
+    ScenarioSpec candidate = best.spec;
+    candidate.nodes.pop_back();
+    if (!fails_same(candidate, signature, best, options.max_probes)) break;
+  }
+
+  best.shrunk_events = best.spec.schedule.size();
+  return best;
+}
+
+}  // namespace sl::sim

@@ -1,0 +1,38 @@
+// Schedule shrinking for failing scenarios (delta debugging).
+//
+// Given a scenario whose replay violates an oracle, shrink_scenario()
+// searches for a smaller schedule that still violates the *same* oracle:
+// truncate at the first failure, ddmin-style chunk removal over the event
+// list, work-amount halving, and trailing-node pruning. Every candidate is
+// re-run through the deterministic engine, so the result is a genuine
+// minimal reproducer, not a heuristic guess.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/engine.hpp"
+#include "sim/scenario.hpp"
+
+namespace sl::sim {
+
+struct ShrinkOptions {
+  // Upper bound on engine replays; shrinking stops (keeping the best
+  // schedule so far) when exhausted.
+  std::uint64_t max_probes = 400;
+};
+
+struct ShrinkResult {
+  ScenarioSpec spec;        // minimized scenario, still failing
+  SimulationResult result;  // the minimized scenario's failing run
+  std::string oracle;       // the preserved failure signature
+  std::size_t original_events = 0;
+  std::size_t shrunk_events = 0;
+  std::uint64_t probes = 0;  // engine replays spent
+};
+
+// Returns nullopt when `spec` does not fail (nothing to shrink).
+std::optional<ShrinkResult> shrink_scenario(const ScenarioSpec& spec,
+                                            ShrinkOptions options = {});
+
+}  // namespace sl::sim

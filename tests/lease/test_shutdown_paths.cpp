@@ -1,0 +1,229 @@
+// Shutdown-path accounting: graceful re-credit vs crash forfeiture.
+//
+// These tests pin the exact ledger arithmetic of SlRemote::graceful_shutdown
+// and the pessimistic crash policy (paper Sections 5.6, 5.7): after either
+// path, SlRemoteStats and the per-lease LeaseLedger buckets must reconcile to
+// the token counts SL-Local actually issued — no count may leak, duplicate,
+// or vanish. Also covers the restore_allowed == false branch of init and the
+// take_all() regression (shutdown must not escrow counts the server already
+// re-credited).
+#include <gtest/gtest.h>
+
+#include "lease/sl_local.hpp"
+#include "lease/sl_manager.hpp"
+#include "lease/sl_remote.hpp"
+
+namespace sl::lease {
+namespace {
+
+struct ShutdownFixture : public ::testing::Test {
+  static constexpr std::uint64_t kPlatformSecret = 0x5ec;
+  static constexpr net::NodeId kNode = 1;
+
+  sgx::SgxRuntime runtime;
+  sgx::Platform platform{runtime, /*platform_id=*/9, kPlatformSecret};
+  sgx::AttestationService ias;
+  LicenseAuthority vendor{0x7777};
+  SlRemote remote{vendor, ias, SlLocal::expected_measurement(), /*ra=*/3.5};
+  net::SimNetwork network{99};
+  UntrustedStore store;
+
+  ShutdownFixture() {
+    ias.register_platform(9, kPlatformSecret);
+    network.set_link(kNode, {.rtt_millis = 20.0, .reliability = 1.0});
+  }
+
+  LicenseFile provision(LeaseId id, std::uint64_t total,
+                        LeaseKind kind = LeaseKind::kCountBased) {
+    const LicenseFile license = vendor.issue(id, "addon-" + std::to_string(id),
+                                             kind, total);
+    remote.provision(license);
+    return license;
+  }
+
+  SlLocal make_local(SlLocalOptions options = {}) {
+    return SlLocal(runtime, platform, remote, network, kNode, store, options);
+  }
+};
+
+}  // namespace
+
+TEST_F(ShutdownFixture, GracefulShutdownReconcilesStatsWithTheLedger) {
+  const LicenseFile license = provision(30, 1'000);
+  SlLocal local = make_local();
+  ASSERT_TRUE(local.init());
+  SlManager manager(runtime, platform, local, "demo", license);
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(manager.authorize_execution());
+
+  const LeaseLedger before = remote.ledger(30).value();
+  const std::uint64_t issued = local.stats().tokens_issued;
+  ASSERT_TRUE(before.balanced());
+  ASSERT_GE(before.outstanding, issued);
+
+  local.shutdown();
+
+  // The unconsumed slice of the outstanding sub-GCL flows back to the pool;
+  // the issued slice settles as consumed. Exactly; no rounding, no leakage.
+  const LeaseLedger after = remote.ledger(30).value();
+  EXPECT_TRUE(after.balanced());
+  EXPECT_EQ(after.outstanding, 0u);
+  EXPECT_EQ(after.consumed, issued);
+  EXPECT_EQ(after.forfeited, 0u);
+  EXPECT_EQ(after.pool, before.pool + (before.outstanding - issued));
+  EXPECT_EQ(remote.stats().reclaimed_gcls, before.outstanding - issued);
+  EXPECT_EQ(remote.stats().forfeited_gcls, 0u);
+}
+
+TEST_F(ShutdownFixture, CrashForfeitsExactlyTheOutstandingExposure) {
+  const LicenseFile license = provision(31, 1'000);
+  SlLocal local = make_local();
+  ASSERT_TRUE(local.init());
+  const Slid slid = local.slid();
+  SlManager manager(runtime, platform, local, "demo", license);
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(manager.authorize_execution());
+
+  const LeaseLedger before = remote.ledger(31).value();
+  ASSERT_GT(before.outstanding, 0u);
+
+  local.crash();
+  ASSERT_TRUE(local.init(slid));
+
+  // Pessimistic policy: the whole outstanding exposure — including the part
+  // that was genuinely consumed but never reported — moves to forfeited.
+  const LeaseLedger after = remote.ledger(31).value();
+  EXPECT_TRUE(after.balanced());
+  EXPECT_EQ(after.outstanding, 0u);
+  EXPECT_EQ(after.forfeited, before.outstanding);
+  EXPECT_EQ(after.consumed, 0u);
+  EXPECT_EQ(after.pool, before.pool);
+  EXPECT_EQ(remote.stats().forfeited_gcls, before.outstanding);
+  EXPECT_EQ(remote.stats().reclaimed_gcls, 0u);
+}
+
+TEST_F(ShutdownFixture, InitResultRestoreAllowedTracksGracefulRecords) {
+  // Drive SlRemote::init_sl_local directly to pin both branches of the
+  // restore_allowed decision. The quote must carry SL-Local's measurement.
+  sgx::Enclave& enclave = runtime.create_enclave("sl-local-enclave-v1", 4096);
+  ASSERT_EQ(enclave.measurement(), SlLocal::expected_measurement());
+  const sgx::Quote quote = platform.create_quote(enclave.id(), to_bytes("init"));
+
+  const SlRemote::InitResult first =
+      remote.init_sl_local(quote, 0, runtime.clock());
+  ASSERT_TRUE(first.ok);
+  EXPECT_FALSE(first.restore_allowed);
+  EXPECT_EQ(first.old_backup_key, 0u);
+
+  // Graceful record on file: the re-init gets the escrowed key back.
+  remote.graceful_shutdown(first.slid, /*root_key=*/0xdead10cc, {});
+  const SlRemote::InitResult clean =
+      remote.init_sl_local(quote, first.slid, runtime.clock());
+  ASSERT_TRUE(clean.ok);
+  EXPECT_TRUE(clean.restore_allowed);
+  EXPECT_EQ(clean.old_backup_key, 0xdead10ccu);
+
+  // No graceful record this time (the instance just vanished): the re-init
+  // is treated as a crash — restore denied, no key handed out.
+  const SlRemote::InitResult assumed_crash =
+      remote.init_sl_local(quote, first.slid, runtime.clock());
+  ASSERT_TRUE(assumed_crash.ok);
+  EXPECT_FALSE(assumed_crash.restore_allowed);
+  EXPECT_EQ(assumed_crash.old_backup_key, 0u);
+}
+
+TEST_F(ShutdownFixture, ShutdownOverDeadNetworkBecomesACrashOnNextInit) {
+  const LicenseFile license = provision(32, 1'000);
+  SlLocal local = make_local();
+  ASSERT_TRUE(local.init());
+  const Slid slid = local.slid();
+  SlManager manager(runtime, platform, local, "demo", license);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(manager.authorize_execution());
+  const LeaseLedger before = remote.ledger(32).value();
+
+  // The escrow RPC never arrives; SL-Local must still go down, and without a
+  // graceful record the next init falls under the pessimistic policy.
+  network.set_link(kNode, {.reliability = 0.0});
+  local.shutdown();
+  EXPECT_FALSE(local.ready());
+  EXPECT_EQ(remote.stats().reclaimed_gcls, 0u);
+
+  network.set_link(kNode, {.rtt_millis = 20.0, .reliability = 1.0});
+  ASSERT_TRUE(local.init(slid));
+  const LeaseLedger after = remote.ledger(32).value();
+  EXPECT_TRUE(after.balanced());
+  EXPECT_EQ(after.forfeited, before.outstanding);
+  EXPECT_EQ(after.outstanding, 0u);
+
+  // The node keeps working afterwards — on a fresh sub-GCL from the pool.
+  SlManager manager2(runtime, platform, local, "demo2", license);
+  EXPECT_TRUE(manager2.authorize_execution());
+  EXPECT_TRUE(remote.ledger(32).value().balanced());
+}
+
+TEST_F(ShutdownFixture, RestoredTreeHoldsNoSpendableCounts) {
+  // Regression for Gcl::take_all() in SlLocal::shutdown: the unused counts
+  // reported back (and re-credited by the server) must be drained from the
+  // escrowed tree image, or a restore would double-spend them.
+  const LicenseFile license = provision(33, 1'000);
+  SlLocal local = make_local();
+  ASSERT_TRUE(local.init());
+  const Slid slid = local.slid();
+  SlManager manager(runtime, platform, local, "demo", license);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(manager.authorize_execution());
+
+  local.shutdown();
+  ASSERT_TRUE(local.init(slid));
+
+  LeaseRecord* record = local.tree().find(33);
+  ASSERT_NE(record, nullptr);  // the tree itself restored fine
+  EXPECT_EQ(record->gcl().count(), 0u) << "escrowed counts survived shutdown";
+}
+
+TEST_F(ShutdownFixture, ShutdownRestoreLoopCannotMintFreeExecutions) {
+  // End-to-end version of the same regression: across many graceful
+  // shutdown/restore cycles, total executions can never exceed the
+  // provisioned pool, and every count ends up in exactly one bucket.
+  const LicenseFile license = provision(34, 100);
+  SlLocalOptions options;
+  options.tokens_per_attestation = 1;
+  SlLocal local = make_local(options);
+  ASSERT_TRUE(local.init());
+  const Slid slid = local.slid();
+
+  std::uint64_t total_granted = 0;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    SlManager manager(runtime, platform, local, "m" + std::to_string(cycle),
+                      license);
+    for (int i = 0; i < 50; ++i) {
+      if (manager.authorize_execution()) total_granted++;
+    }
+    local.shutdown();
+    ASSERT_TRUE(local.init(slid));
+  }
+  EXPECT_LE(total_granted, 100u);
+  EXPECT_GT(total_granted, 0u);
+
+  const LeaseLedger ledger = remote.ledger(34).value();
+  EXPECT_TRUE(ledger.balanced());
+  EXPECT_EQ(ledger.consumed, total_granted);
+  EXPECT_EQ(ledger.forfeited, 0u);
+  EXPECT_EQ(ledger.outstanding, 0u);
+  EXPECT_EQ(ledger.pool, 100u - total_granted);
+}
+
+TEST_F(ShutdownFixture, QuiescentShutdownLeavesLedgersUntouched) {
+  provision(35, 500);
+  SlLocal local = make_local();
+  ASSERT_TRUE(local.init());
+  const LeaseLedger before = remote.ledger(35).value();
+
+  local.shutdown();
+  local.shutdown();  // second call is a no-op (not ready)
+
+  const LeaseLedger after = remote.ledger(35).value();
+  EXPECT_TRUE(after.balanced());
+  EXPECT_EQ(after.pool, before.pool);
+  EXPECT_EQ(after.consumed, 0u);
+  EXPECT_EQ(remote.stats().reclaimed_gcls, 0u);
+}
+
+}  // namespace sl::lease

@@ -1,0 +1,313 @@
+// Property/fuzz coverage for the wire protocol (lease/wire.cpp).
+//
+// Three families, all driven by a seeded Rng so failures replay exactly:
+//   1. round trips — serialize/deserialize/serialize is byte-identical (or,
+//      for the unordered-map-bearing ShutdownRequest, re-serialization is
+//      stable and semantically equal);
+//   2. truncation — every strict prefix of a valid message is rejected;
+//   3. corruption — random bit flips and raw random blobs never crash or
+//      read out of bounds (run under SECURELEASE_SANITIZE=ON in CI).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "lease/license.hpp"
+#include "lease/wire.hpp"
+
+namespace sl::lease::wire {
+namespace {
+
+constexpr std::uint64_t kFuzzSeed = 0xf022ed51;
+constexpr int kRounds = 200;
+
+crypto::Sha256Digest random_digest(Rng& rng) {
+  crypto::Sha256Digest digest;
+  const Bytes bytes = rng.next_bytes(digest.size());
+  std::copy(bytes.begin(), bytes.end(), digest.begin());
+  return digest;
+}
+
+sgx::Quote random_quote(Rng& rng) {
+  sgx::Quote quote;
+  quote.report.mrenclave = random_digest(rng);
+  quote.report.report_data = rng.next_bytes(rng.next_below(64));
+  quote.report.mac = random_digest(rng);
+  quote.platform_id = rng.next_u64();
+  quote.signature = random_digest(rng);
+  return quote;
+}
+
+LicenseFile random_license(Rng& rng) {
+  LicenseAuthority vendor(rng.next_u64());
+  const auto kind = static_cast<LeaseKind>(rng.next_below(3));
+  return vendor.issue(static_cast<LeaseId>(rng.next_u32()),
+                      "fuzz/" + to_hex(rng.next_bytes(rng.next_below(16))),
+                      kind, rng.next_u64());
+}
+
+InitRequest random_init_request(Rng& rng) {
+  InitRequest request;
+  request.claimed_slid = rng.next_u64();
+  request.quote = random_quote(rng);
+  return request;
+}
+
+RenewRequest random_renew_request(Rng& rng) {
+  RenewRequest request;
+  request.slid = rng.next_u64();
+  request.license = random_license(rng);
+  request.health = rng.next_double();
+  request.network = rng.next_double();
+  request.consumed = rng.next_u64();
+  return request;
+}
+
+ShutdownRequest random_shutdown_request(Rng& rng) {
+  ShutdownRequest request;
+  request.slid = rng.next_u64();
+  request.root_key = rng.next_u64();
+  const std::uint64_t entries = rng.next_below(8);
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    request.unused[static_cast<LeaseId>(rng.next_u32())] = rng.next_u64();
+  }
+  return request;
+}
+
+// Deserialization must fail gracefully on hostile input: std::nullopt is the
+// contract, an exception is tolerated, UB (what ASan watches for) is not.
+template <typename Message>
+bool rejects(ByteView data) {
+  try {
+    return !Message::deserialize(data).has_value();
+  } catch (const std::exception&) {
+    return true;
+  }
+}
+
+// Flips a random bit-pattern into a random byte of `bytes`.
+void corrupt(Bytes& bytes, Rng& rng) {
+  if (bytes.empty()) return;
+  bytes[rng.next_below(bytes.size())] ^=
+      static_cast<std::uint8_t>(1 + rng.next_below(255));
+}
+
+// Attempts a full parse without caring about the verdict; only crashes and
+// sanitizer reports can fail this.
+template <typename Message>
+void parse_must_not_crash(ByteView data) {
+  try {
+    (void)Message::deserialize(data);
+  } catch (const std::exception&) {
+    // Out-of-range reads surfacing as exceptions are an acceptable rejection.
+  }
+}
+
+}  // namespace
+
+// --- Round trips -------------------------------------------------------------
+
+TEST(WireFuzz, InitRequestRoundTripIsByteIdentical) {
+  Rng rng(kFuzzSeed);
+  for (int round = 0; round < kRounds; ++round) {
+    const InitRequest request = random_init_request(rng);
+    const Bytes first = request.serialize();
+    const auto parsed = InitRequest::deserialize(first);
+    ASSERT_TRUE(parsed.has_value()) << "round " << round;
+    EXPECT_EQ(parsed->claimed_slid, request.claimed_slid);
+    EXPECT_EQ(parsed->quote.platform_id, request.quote.platform_id);
+    EXPECT_EQ(parsed->quote.report.report_data, request.quote.report.report_data);
+    EXPECT_EQ(parsed->serialize(), first) << "round " << round;
+  }
+}
+
+TEST(WireFuzz, InitResponseRoundTripIsByteIdentical) {
+  Rng rng(kFuzzSeed + 1);
+  for (int round = 0; round < kRounds; ++round) {
+    InitResponse response;
+    response.ok = rng.next_bool(0.5);
+    response.slid = rng.next_u64();
+    response.old_backup_key = rng.next_u64();
+    response.restore_allowed = rng.next_bool(0.5);
+    const Bytes first = response.serialize();
+    const auto parsed = InitResponse::deserialize(first);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->ok, response.ok);
+    EXPECT_EQ(parsed->slid, response.slid);
+    EXPECT_EQ(parsed->old_backup_key, response.old_backup_key);
+    EXPECT_EQ(parsed->restore_allowed, response.restore_allowed);
+    EXPECT_EQ(parsed->serialize(), first);
+  }
+}
+
+TEST(WireFuzz, RenewRequestRoundTripIsByteIdentical) {
+  Rng rng(kFuzzSeed + 2);
+  for (int round = 0; round < kRounds; ++round) {
+    const RenewRequest request = random_renew_request(rng);
+    const Bytes first = request.serialize();
+    const auto parsed = RenewRequest::deserialize(first);
+    ASSERT_TRUE(parsed.has_value()) << "round " << round;
+    EXPECT_EQ(parsed->slid, request.slid);
+    EXPECT_EQ(parsed->license.lease_id, request.license.lease_id);
+    EXPECT_EQ(parsed->license.product, request.license.product);
+    EXPECT_EQ(parsed->consumed, request.consumed);
+    // health/network travel as fixed-point micros: quantized, not lossy-free.
+    EXPECT_NEAR(parsed->health, request.health, 1e-6);
+    EXPECT_NEAR(parsed->network, request.network, 1e-6);
+    EXPECT_EQ(parsed->serialize(), first) << "round " << round;
+  }
+}
+
+TEST(WireFuzz, RenewResponseRoundTripIsByteIdentical) {
+  Rng rng(kFuzzSeed + 3);
+  for (int round = 0; round < kRounds; ++round) {
+    RenewResponse response;
+    response.ok = rng.next_bool(0.5);
+    response.granted = rng.next_u64();
+    const Bytes first = response.serialize();
+    const auto parsed = RenewResponse::deserialize(first);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->ok, response.ok);
+    EXPECT_EQ(parsed->granted, response.granted);
+    EXPECT_EQ(parsed->serialize(), first);
+  }
+}
+
+TEST(WireFuzz, ShutdownRequestRoundTripIsByteIdentical) {
+  // The unused-counts field lives in an unordered_map; the sorted encoding
+  // makes the message deterministic regardless of insertion history, so the
+  // round trip is byte-identical like every other message.
+  Rng rng(kFuzzSeed + 4);
+  for (int round = 0; round < kRounds; ++round) {
+    const ShutdownRequest request = random_shutdown_request(rng);
+    const Bytes first = request.serialize();
+    const auto parsed = ShutdownRequest::deserialize(first);
+    ASSERT_TRUE(parsed.has_value()) << "round " << round;
+    EXPECT_EQ(parsed->slid, request.slid);
+    EXPECT_EQ(parsed->root_key, request.root_key);
+    EXPECT_EQ(parsed->unused, request.unused);
+    EXPECT_EQ(parsed->serialize(), first) << "round " << round;
+  }
+}
+
+// --- Truncation --------------------------------------------------------------
+
+TEST(WireFuzz, EveryStrictPrefixOfEveryMessageIsRejected) {
+  Rng rng(kFuzzSeed + 5);
+  for (int round = 0; round < 20; ++round) {
+    const Bytes init = random_init_request(rng).serialize();
+    const Bytes renew = random_renew_request(rng).serialize();
+    const Bytes shutdown = random_shutdown_request(rng).serialize();
+    for (std::size_t len = 0; len < init.size(); ++len) {
+      EXPECT_TRUE(rejects<InitRequest>(ByteView(init.data(), len)))
+          << "prefix " << len << "/" << init.size();
+    }
+    for (std::size_t len = 0; len < renew.size(); ++len) {
+      EXPECT_TRUE(rejects<RenewRequest>(ByteView(renew.data(), len)))
+          << "prefix " << len << "/" << renew.size();
+    }
+    // ShutdownRequest prefixes that still cover the header parse as a message
+    // with fewer map entries only if the count field matches; our count field
+    // sits in the header, so any prefix shorter than the promised payload
+    // must be rejected.
+    for (std::size_t len = 0; len < shutdown.size(); ++len) {
+      EXPECT_TRUE(rejects<ShutdownRequest>(ByteView(shutdown.data(), len)))
+          << "prefix " << len << "/" << shutdown.size();
+    }
+  }
+}
+
+TEST(WireFuzz, FixedSizeResponsePrefixesAreRejected) {
+  InitResponse init;
+  init.ok = true;
+  init.slid = 7;
+  RenewResponse renew;
+  renew.ok = true;
+  renew.granted = 9;
+  const Bytes init_bytes = init.serialize();
+  const Bytes renew_bytes = renew.serialize();
+  for (std::size_t len = 0; len < init_bytes.size(); ++len) {
+    EXPECT_TRUE(rejects<InitResponse>(ByteView(init_bytes.data(), len)));
+  }
+  for (std::size_t len = 0; len < renew_bytes.size(); ++len) {
+    EXPECT_TRUE(rejects<RenewResponse>(ByteView(renew_bytes.data(), len)));
+  }
+}
+
+// --- Corruption / hostile input ----------------------------------------------
+
+TEST(WireFuzz, RandomlyCorruptedMessagesNeverCrash) {
+  Rng rng(kFuzzSeed + 6);
+  for (int round = 0; round < kRounds; ++round) {
+    Bytes init = random_init_request(rng).serialize();
+    Bytes renew = random_renew_request(rng).serialize();
+    Bytes shutdown = random_shutdown_request(rng).serialize();
+    const std::uint64_t flips = 1 + rng.next_below(8);
+    for (std::uint64_t i = 0; i < flips; ++i) {
+      corrupt(init, rng);
+      corrupt(renew, rng);
+      corrupt(shutdown, rng);
+    }
+    parse_must_not_crash<InitRequest>(init);
+    parse_must_not_crash<RenewRequest>(renew);
+    parse_must_not_crash<ShutdownRequest>(shutdown);
+  }
+}
+
+TEST(WireFuzz, RandomBlobsNeverCrashAnyParser) {
+  Rng rng(kFuzzSeed + 7);
+  for (int round = 0; round < kRounds; ++round) {
+    const Bytes blob = rng.next_bytes(rng.next_below(512));
+    parse_must_not_crash<InitRequest>(blob);
+    parse_must_not_crash<InitResponse>(blob);
+    parse_must_not_crash<RenewRequest>(blob);
+    parse_must_not_crash<RenewResponse>(blob);
+    parse_must_not_crash<ShutdownRequest>(blob);
+    std::size_t offset = 0;
+    try {
+      (void)deserialize_quote(blob, offset);
+    } catch (const std::exception&) {
+    }
+    try {
+      (void)LicenseFile::deserialize(blob);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST(WireFuzz, OverflowingLicenseNameLengthIsRejectedNotRead) {
+  // Regression for the widened bound check in LicenseFile::deserialize: a
+  // name length near 2^32 used to wrap the 32-bit sum in the size check and
+  // read gigabytes past the buffer.
+  Rng rng(kFuzzSeed + 8);
+  Bytes evil = random_license(rng).serialize();
+  // Patch the length field (offset 4, little-endian u32) to 0xFFFFFFFF.
+  for (std::size_t i = 4; i < 8; ++i) evil[i] = 0xFF;
+  EXPECT_TRUE(rejects<RenewRequest>(evil));  // as embedded payload: too short
+  try {
+    EXPECT_FALSE(LicenseFile::deserialize(evil).has_value());
+  } catch (const std::exception&) {
+  }
+}
+
+TEST(WireFuzz, TamperedLicensePayloadFailsVendorValidation) {
+  // Corruption inside the license body parses fine structurally but must be
+  // caught by the authority's signature check — parsing is not trust.
+  Rng rng(kFuzzSeed + 9);
+  LicenseAuthority vendor(0xbeef);
+  for (int round = 0; round < 50; ++round) {
+    const LicenseFile good = vendor.issue(
+        static_cast<LeaseId>(1 + rng.next_below(1000)), "fuzz/tampered",
+        LeaseKind::kCountBased, 1 + rng.next_u32());
+    ASSERT_TRUE(vendor.validate(good));
+    Bytes bytes = good.serialize();
+    // Flip a byte of the signed payload (not the trailing signature).
+    bytes[rng.next_below(bytes.size() - crypto::kSha256DigestSize)] ^= 0x01;
+    const auto parsed = LicenseFile::deserialize(bytes);
+    if (!parsed.has_value()) continue;  // structural rejection is fine too
+    EXPECT_FALSE(vendor.validate(*parsed)) << "round " << round;
+  }
+}
+
+}  // namespace sl::lease::wire

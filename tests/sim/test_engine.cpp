@@ -1,0 +1,179 @@
+// Simulation engine: event semantics, oracle wiring, ledger settlement.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/scenario.hpp"
+
+using namespace sl;
+using namespace sl::sim;
+
+namespace {
+
+// One node, one count-based license: the base spec the event tests extend.
+ScenarioSpec base_spec(std::uint64_t total = 1'000) {
+  ScenarioSpec spec;
+  spec.seed = 77;
+  LicenseSpec license;
+  license.kind = lease::LeaseKind::kCountBased;
+  license.total_count = total;
+  spec.licenses.push_back(license);
+  NodeSpec node;
+  node.rtt_millis = 10.0;
+  node.reliability = 1.0;
+  node.health = 0.95;
+  node.tokens_per_attestation = 5;
+  node.licenses.push_back(0);
+  spec.nodes.push_back(node);
+  return spec;
+}
+
+ScenarioEvent work(std::uint32_t node, std::uint32_t lic, std::uint64_t runs) {
+  return {EventKind::kWork, node, lic, runs, 0.0};
+}
+
+ScenarioEvent simple(EventKind kind, std::uint32_t node) {
+  return {kind, node, 0, 0, 0.0};
+}
+
+}  // namespace
+
+TEST(Engine, GeneratedScenarioRunsCleanAndBalanced) {
+  const ScenarioSpec spec = generate_scenario(42);
+  const SimulationResult result = run_scenario(spec);
+  EXPECT_TRUE(result.passed) << (result.failures.empty()
+                                     ? "?"
+                                     : result.failures[0].detail);
+  EXPECT_EQ(result.trace.size(), spec.nodes.size() + spec.schedule.size());
+  EXPECT_NE(result.trace_fingerprint, 0u);
+  ASSERT_EQ(result.ledgers.size(), spec.licenses.size());
+  for (const auto& [lease, ledger] : result.ledgers) {
+    EXPECT_TRUE(ledger.balanced()) << "lease " << lease;
+  }
+}
+
+TEST(Engine, WorkGrantsExecutionsAgainstThePool) {
+  ScenarioSpec spec = base_spec();
+  spec.schedule.push_back(work(0, 0, 20));
+  const SimulationResult result = run_scenario(spec);
+  ASSERT_TRUE(result.passed);
+  EXPECT_EQ(result.stats.executions_granted, 20u);
+  EXPECT_EQ(result.stats.executions_denied, 0u);
+  ASSERT_EQ(result.ledgers.size(), 1u);
+  const lease::LeaseLedger& ledger = result.ledgers[0].second;
+  EXPECT_EQ(ledger.provisioned, 1'000u);
+  EXPECT_GT(ledger.outstanding, 0u);  // the sub-GCL still sits on the node
+  EXPECT_TRUE(ledger.balanced());
+}
+
+TEST(Engine, CrashForfeitsOutstandingOnNextInit) {
+  ScenarioSpec spec = base_spec();
+  spec.schedule.push_back(work(0, 0, 20));
+  spec.schedule.push_back(simple(EventKind::kCrash, 0));
+  spec.schedule.push_back(simple(EventKind::kRestart, 0));
+  const SimulationResult result = run_scenario(spec);
+  ASSERT_TRUE(result.passed);
+  EXPECT_EQ(result.stats.crashes, 1u);
+  EXPECT_EQ(result.stats.restarts, 1u);
+  EXPECT_GT(result.stats.forfeited_gcls, 0u);
+  const lease::LeaseLedger& ledger = result.ledgers[0].second;
+  EXPECT_GT(ledger.forfeited, 0u);
+  EXPECT_EQ(ledger.outstanding, 0u);
+  EXPECT_TRUE(ledger.balanced());
+}
+
+TEST(Engine, GracefulShutdownReclaimsAndRestartRenewsFreshly) {
+  ScenarioSpec spec = base_spec();
+  spec.schedule.push_back(work(0, 0, 20));
+  spec.schedule.push_back(simple(EventKind::kShutdown, 0));
+  spec.schedule.push_back(simple(EventKind::kRestart, 0));
+  spec.schedule.push_back(work(0, 0, 20));
+  const SimulationResult result = run_scenario(spec);
+  ASSERT_TRUE(result.passed) << result.failures[0].detail;
+  EXPECT_EQ(result.stats.shutdowns, 1u);
+  EXPECT_GT(result.stats.reclaimed_gcls, 0u);
+  EXPECT_EQ(result.stats.executions_granted, 40u);
+  const lease::LeaseLedger& ledger = result.ledgers[0].second;
+  EXPECT_EQ(ledger.forfeited, 0u);
+  EXPECT_TRUE(ledger.balanced());
+}
+
+TEST(Engine, TamperOnCommittedStateTripsTheIntegrityOracle) {
+  ScenarioSpec spec = base_spec();
+  spec.schedule.push_back(work(0, 0, 5));
+  spec.schedule.push_back(simple(EventKind::kCommit, 0));
+  spec.schedule.push_back(simple(EventKind::kTamper, 0));
+  const SimulationResult result = run_scenario(spec);
+  EXPECT_FALSE(result.passed);
+  ASSERT_FALSE(result.failures.empty());
+  EXPECT_EQ(result.failures[0].oracle, kOracleTreeIntegrity);
+  EXPECT_EQ(result.failures[0].event_index, 2u);
+}
+
+TEST(Engine, RevocationWritesOffThePoolAndStopsRenewals) {
+  ScenarioSpec spec = base_spec();
+  spec.schedule.push_back({EventKind::kRevoke, 0, 0, 0, 0.0});
+  spec.schedule.push_back(work(0, 0, 10));
+  const SimulationResult result = run_scenario(spec);
+  ASSERT_TRUE(result.passed);
+  EXPECT_EQ(result.stats.revocations, 1u);
+  EXPECT_EQ(result.stats.executions_granted, 0u);
+  EXPECT_EQ(result.stats.executions_denied, 10u);
+  const lease::LeaseLedger& ledger = result.ledgers[0].second;
+  EXPECT_EQ(ledger.revoked, 1'000u);
+  EXPECT_TRUE(ledger.balanced());
+}
+
+TEST(Engine, EventsOnDownNodesAreSkippedDeterministically) {
+  ScenarioSpec spec = base_spec();
+  spec.schedule.push_back(simple(EventKind::kCrash, 0));
+  spec.schedule.push_back(work(0, 0, 10));
+  spec.schedule.push_back(simple(EventKind::kCrash, 0));
+  spec.schedule.push_back(simple(EventKind::kShutdown, 0));
+  const SimulationResult result = run_scenario(spec);
+  ASSERT_TRUE(result.passed);
+  EXPECT_EQ(result.stats.events_skipped, 3u);
+  EXPECT_EQ(result.stats.crashes, 1u);
+  EXPECT_EQ(result.stats.shutdowns, 0u);
+}
+
+TEST(Engine, HardPartitionDeniesWorkUntilHealed) {
+  ScenarioSpec spec = base_spec();
+  spec.schedule.push_back({EventKind::kPartition, 0, 0, 0, 0.0});
+  spec.schedule.push_back(work(0, 0, 10));
+  spec.schedule.push_back(simple(EventKind::kHeal, 0));
+  spec.schedule.push_back(work(0, 0, 10));
+  const SimulationResult result = run_scenario(spec);
+  ASSERT_TRUE(result.passed) << result.failures[0].detail;
+  // The partitioned batch cannot renew; the healed batch succeeds.
+  EXPECT_EQ(result.stats.executions_denied, 10u);
+  EXPECT_EQ(result.stats.executions_granted, 10u);
+  EXPECT_TRUE(result.ledgers[0].second.balanced());
+}
+
+TEST(Engine, ClockSkewAdvancesVirtualTimeMonotonically) {
+  ScenarioSpec spec = base_spec();
+  spec.schedule.push_back({EventKind::kClockSkew, 0, 0, 0, 7'200.0});
+  spec.schedule.push_back(work(0, 0, 5));
+  const SimulationResult result = run_scenario(spec);
+  ASSERT_TRUE(result.passed);
+  EXPECT_GT(result.stats.max_virtual_seconds, 7'200.0);
+}
+
+TEST(Engine, StopOnFirstFailureHaltsTheSchedule) {
+  ScenarioSpec spec = base_spec();
+  spec.schedule.push_back(work(0, 0, 5));
+  spec.schedule.push_back(simple(EventKind::kTamper, 0));
+  spec.schedule.push_back(work(0, 0, 5));
+  spec.schedule.push_back(work(0, 0, 5));
+
+  const SimulationResult halted = run_scenario(spec);
+  EXPECT_FALSE(halted.passed);
+  // boot + work + tamper, then the schedule halts.
+  EXPECT_EQ(halted.trace.size(), 3u);
+
+  EngineOptions options;
+  options.stop_on_first_failure = false;
+  const SimulationResult full = run_scenario(spec, options);
+  EXPECT_FALSE(full.passed);
+  EXPECT_EQ(full.trace.size(), 5u);
+}

@@ -1,0 +1,130 @@
+// Invariant oracles as pure checks, driven against real SL-Remote and
+// lease-tree instances (no engine).
+#include <gtest/gtest.h>
+
+#include "lease/lease_tree.hpp"
+#include "lease/license.hpp"
+#include "lease/sl_local.hpp"
+#include "lease/sl_remote.hpp"
+#include "sim/oracles.hpp"
+
+using namespace sl;
+using namespace sl::sim;
+
+namespace {
+
+constexpr std::uint64_t kVendorSecret = 0xfeedface;
+
+struct RemoteFixture {
+  sgx::AttestationService ias;
+  lease::LicenseAuthority vendor{kVendorSecret};
+  lease::SlRemote remote{vendor, ias, lease::SlLocal::expected_measurement()};
+  lease::LicenseFile license = vendor.issue(
+      100, "oracle/addon", lease::LeaseKind::kCountBased, 1'000);
+};
+
+}  // namespace
+
+TEST(ConservationOracle, BalancedAfterProvisionRenewConsumeRevoke) {
+  RemoteFixture fx;
+  fx.remote.provision(fx.license);
+  EXPECT_FALSE(check_conservation(fx.remote).has_value());
+
+  // seed_peer moves pool -> outstanding.
+  const lease::Slid peer = fx.remote.seed_peer(100, 250, 0.9, 0.9);
+  EXPECT_FALSE(check_conservation(fx.remote).has_value());
+
+  // report_consumed moves outstanding -> consumed.
+  fx.remote.report_consumed(peer, 100, 100);
+  EXPECT_FALSE(check_conservation(fx.remote).has_value());
+
+  // revoke writes off pool + outstanding.
+  fx.remote.revoke(100);
+  EXPECT_FALSE(check_conservation(fx.remote).has_value());
+  const auto ledger = fx.remote.ledger(100);
+  ASSERT_TRUE(ledger.has_value());
+  EXPECT_TRUE(ledger->balanced());
+  EXPECT_EQ(ledger->consumed, 100u);
+  EXPECT_EQ(ledger->revoked, 900u);  // 750 pool + 150 residual outstanding
+  EXPECT_EQ(ledger->pool, 0u);
+  EXPECT_EQ(ledger->outstanding, 0u);
+}
+
+TEST(ConservationOracle, LedgerAccessorsEnumerateDeterministically) {
+  RemoteFixture fx;
+  fx.remote.provision(fx.license);
+  fx.remote.provision(
+      fx.vendor.issue(102, "oracle/z", lease::LeaseKind::kCountBased, 10));
+  fx.remote.provision(
+      fx.vendor.issue(101, "oracle/y", lease::LeaseKind::kPerpetual, 1));
+  const std::vector<lease::LeaseId> leases = fx.remote.provisioned_leases();
+  ASSERT_EQ(leases.size(), 3u);
+  EXPECT_EQ(leases[0], 100u);
+  EXPECT_EQ(leases[1], 101u);
+  EXPECT_EQ(leases[2], 102u);
+  EXPECT_FALSE(fx.remote.ledger(999).has_value());
+}
+
+TEST(DoubleSpendOracle, FiresOnlyWhenGrantsExceedProvision) {
+  RemoteFixture fx;
+  fx.remote.provision(fx.license);  // provisioned = 1000
+
+  std::map<lease::LeaseId, std::uint64_t> executions;
+  const std::vector<lease::LeaseId> count_based = {100};
+
+  executions[100] = 1'000;  // exactly the provision: legal
+  EXPECT_FALSE(check_double_spend(fx.remote, executions, count_based));
+
+  executions[100] = 1'001;  // one over: the crash policy was circumvented
+  const auto finding = check_double_spend(fx.remote, executions, count_based);
+  ASSERT_TRUE(finding.has_value());
+  EXPECT_NE(finding->find("1001"), std::string::npos);
+
+  // Time/perpetual kinds are exempt (they gate on expiry, not counts).
+  EXPECT_FALSE(check_double_spend(fx.remote, executions, {}));
+}
+
+TEST(TreeIntegrityOracle, PassesOnHealthyTreeAndDetectsTampering) {
+  lease::UntrustedStore store;
+  lease::LeaseTree tree(0x5eed, store);
+  tree.insert(100, lease::Gcl(lease::LeaseKind::kCountBased, 50));
+  tree.insert(101, lease::Gcl(lease::LeaseKind::kCountBased, 60));
+  EXPECT_FALSE(check_tree_integrity(tree).has_value());
+
+  // Commit one lease, then flip bits in its ciphertext: the oracle's
+  // find() walk must surface the validation failure.
+  ASSERT_TRUE(tree.commit_lease(100));
+  const std::vector<std::uint64_t> handles = store.handles();
+  ASSERT_FALSE(handles.empty());
+  Bytes blob = *store.get(handles.back());
+  for (std::uint8_t& byte : blob) byte ^= 0xA5;
+  store.overwrite(handles.back(), std::move(blob));
+
+  const auto finding = check_tree_integrity(tree);
+  ASSERT_TRUE(finding.has_value());
+  EXPECT_NE(finding->find("lease 100"), std::string::npos);
+}
+
+TEST(TreeIntegrityOracle, CommittedButUntamperedSubtreesRestoreCleanly) {
+  lease::UntrustedStore store;
+  lease::LeaseTree tree(0x5eed, store);
+  for (lease::LeaseId id = 100; id < 110; ++id) {
+    tree.insert(id, lease::Gcl(lease::LeaseKind::kCountBased, id));
+  }
+  tree.commit_all_cold();
+  EXPECT_FALSE(check_tree_integrity(tree).has_value());
+  // The walk faulted everything back in; counts survive intact.
+  for (lease::LeaseId id = 100; id < 110; ++id) {
+    lease::LeaseRecord* record = tree.find(id);
+    ASSERT_NE(record, nullptr);
+    EXPECT_EQ(record->gcl().count(), id);
+  }
+}
+
+TEST(MonotoneTimeOracle, DetectsBackwardMotionOnly) {
+  EXPECT_FALSE(check_monotone_time("clock", 100, 100).has_value());
+  EXPECT_FALSE(check_monotone_time("clock", 100, 250).has_value());
+  const auto finding = check_monotone_time("node 3 clock", 250, 100);
+  ASSERT_TRUE(finding.has_value());
+  EXPECT_NE(finding->find("node 3 clock"), std::string::npos);
+}

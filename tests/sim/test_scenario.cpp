@@ -1,0 +1,101 @@
+// Scenario generator: determinism, limit compliance, well-formedness.
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+using namespace sl;
+using namespace sl::sim;
+
+TEST(Scenario, GeneratorIsDeterministic) {
+  for (std::uint64_t seed : {1ull, 42ull, 999ull, 0xdeadbeefull}) {
+    const ScenarioSpec a = generate_scenario(seed);
+    const ScenarioSpec b = generate_scenario(seed);
+    EXPECT_EQ(describe(a), describe(b)) << "seed " << seed;
+  }
+}
+
+TEST(Scenario, DifferentSeedsProduceDifferentScenarios) {
+  EXPECT_NE(describe(generate_scenario(1)), describe(generate_scenario(2)));
+  EXPECT_NE(describe(generate_scenario(42)), describe(generate_scenario(43)));
+}
+
+TEST(Scenario, RespectsGeneratorLimits) {
+  const GeneratorLimits limits;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const ScenarioSpec spec = generate_scenario(seed, limits);
+    EXPECT_EQ(spec.seed, seed);
+    ASSERT_GE(spec.nodes.size(), limits.min_nodes);
+    ASSERT_LE(spec.nodes.size(), limits.max_nodes);
+    ASSERT_GE(spec.licenses.size(), limits.min_licenses);
+    ASSERT_LE(spec.licenses.size(), limits.max_licenses);
+    ASSERT_GE(spec.schedule.size(), limits.min_events);
+    ASSERT_LE(spec.schedule.size(), limits.max_events);
+    for (const NodeSpec& node : spec.nodes) {
+      ASSERT_FALSE(node.licenses.empty());
+      for (std::uint32_t lic : node.licenses) {
+        ASSERT_LT(lic, spec.licenses.size());
+      }
+    }
+  }
+}
+
+TEST(Scenario, EventsAreWellFormed) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const ScenarioSpec spec = generate_scenario(seed);
+    for (const ScenarioEvent& event : spec.schedule) {
+      ASSERT_LT(event.node, spec.nodes.size());
+      switch (event.kind) {
+        case EventKind::kWork: {
+          const auto& mix = spec.nodes[event.node].licenses;
+          ASSERT_NE(std::find(mix.begin(), mix.end(), event.index), mix.end())
+              << "work scheduled against a license the node does not hold";
+          ASSERT_GE(event.amount, 1u);
+          ASSERT_LE(event.amount, GeneratorLimits{}.max_work_runs);
+          break;
+        }
+        case EventKind::kRevoke:
+          ASSERT_LT(event.index, spec.licenses.size());
+          break;
+        case EventKind::kPartition:
+          ASSERT_GE(event.value, 0.0);
+          ASSERT_LT(event.value, 1.0);
+          break;
+        case EventKind::kClockSkew:
+          ASSERT_GE(event.value, 1.0);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+TEST(Scenario, TamperEventsAlwaysFollowACommitOnTheSameNode) {
+  GeneratorLimits limits;
+  limits.tamper_probability = 0.3;
+  bool found_any = false;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ScenarioSpec spec = generate_scenario(seed, limits);
+    for (std::size_t i = 0; i < spec.schedule.size(); ++i) {
+      if (spec.schedule[i].kind != EventKind::kTamper) continue;
+      found_any = true;
+      ASSERT_GT(i, 0u);
+      EXPECT_EQ(spec.schedule[i - 1].kind, EventKind::kCommit);
+      EXPECT_EQ(spec.schedule[i - 1].node, spec.schedule[i].node);
+    }
+  }
+  EXPECT_TRUE(found_any);
+}
+
+TEST(Scenario, DescribeRendersStableStrings) {
+  ScenarioEvent work{EventKind::kWork, 2, 1, 12, 0.0};
+  EXPECT_EQ(describe(work), "work node=2 lic=1 runs=12");
+  ScenarioEvent partition{EventKind::kPartition, 0, 0, 0, 0.2};
+  EXPECT_EQ(describe(partition), "partition node=0 rel=0.200");
+  ScenarioEvent skew{EventKind::kClockSkew, 1, 0, 0, 3600.0};
+  EXPECT_EQ(describe(skew), "clock-skew node=1 secs=3600");
+  ScenarioEvent revoke{EventKind::kRevoke, 0, 2, 0, 0.0};
+  EXPECT_EQ(describe(revoke), "revoke lic=2");
+  ScenarioEvent crash{EventKind::kCrash, 3, 0, 0, 0.0};
+  EXPECT_EQ(describe(crash), "crash node=3");
+}

@@ -1,0 +1,83 @@
+// Schedule shrinking: minimal reproducers from failing scenarios.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/scenario.hpp"
+#include "sim/shrink.hpp"
+
+using namespace sl;
+using namespace sl::sim;
+
+namespace {
+
+// A generated scenario that fails (tampering enabled), found by scanning a
+// deterministic seed range.
+ScenarioSpec failing_tamper_scenario() {
+  GeneratorLimits limits;
+  limits.tamper_probability = 0.1;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    ScenarioSpec spec = generate_scenario(seed, limits);
+    if (!run_scenario(spec).passed) return spec;
+  }
+  ADD_FAILURE() << "no failing tamper scenario in seeds 1..60";
+  return generate_scenario(1, limits);
+}
+
+}  // namespace
+
+TEST(Shrink, PassingScenarioHasNothingToShrink) {
+  EXPECT_FALSE(shrink_scenario(generate_scenario(42)).has_value());
+}
+
+TEST(Shrink, MinimizesAFailingTamperScheduleToItsCore) {
+  const ScenarioSpec spec = failing_tamper_scenario();
+  const auto shrunk = shrink_scenario(spec);
+  ASSERT_TRUE(shrunk.has_value());
+
+  EXPECT_EQ(shrunk->oracle, kOracleTreeIntegrity);
+  EXPECT_EQ(shrunk->original_events, spec.schedule.size());
+  EXPECT_LE(shrunk->shrunk_events, shrunk->original_events);
+  EXPECT_LE(shrunk->spec.schedule.size(), 4u)
+      << "a tamper failure reduces to (at most) a work/commit/tamper core:\n"
+      << describe(shrunk->spec);
+
+  // The minimized spec must still fail the same oracle when replayed.
+  const SimulationResult replay = run_scenario(shrunk->spec);
+  ASSERT_FALSE(replay.passed);
+  EXPECT_EQ(replay.failures[0].oracle, kOracleTreeIntegrity);
+  EXPECT_EQ(replay.trace_fingerprint, shrunk->result.trace_fingerprint);
+
+  // Every event left is load-bearing: removing any one makes it pass or
+  // changes the failure — 1-minimality of ddmin.
+  for (std::size_t i = 0; i < shrunk->spec.schedule.size(); ++i) {
+    ScenarioSpec probe = shrunk->spec;
+    probe.schedule.erase(probe.schedule.begin() + i);
+    const SimulationResult r = run_scenario(probe);
+    EXPECT_TRUE(r.passed || r.failures[0].oracle != kOracleTreeIntegrity)
+        << "event " << i << " is removable — shrink was not minimal";
+  }
+}
+
+TEST(Shrink, ShrinkingIsDeterministic) {
+  const ScenarioSpec spec = failing_tamper_scenario();
+  const auto a = shrink_scenario(spec);
+  const auto b = shrink_scenario(spec);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->shrunk_events, b->shrunk_events);
+  EXPECT_EQ(a->probes, b->probes);
+  EXPECT_EQ(a->result.trace_fingerprint, b->result.trace_fingerprint);
+  EXPECT_EQ(describe(a->spec), describe(b->spec));
+}
+
+TEST(Shrink, ProbeBudgetIsRespected) {
+  const ScenarioSpec spec = failing_tamper_scenario();
+  ShrinkOptions options;
+  options.max_probes = 5;
+  const auto shrunk = shrink_scenario(spec, options);
+  ASSERT_TRUE(shrunk.has_value());
+  EXPECT_LE(shrunk->probes, 5u);
+  // Even under a tiny budget the result still reproduces the failure.
+  EXPECT_FALSE(shrunk->result.passed);
+  EXPECT_EQ(shrunk->result.failures[0].oracle, shrunk->oracle);
+}

@@ -7,6 +7,10 @@
 //                                         cost-simulate a partitioned run
 //                                         (scheme: vanilla|fullsgx|securelease|
 //                                          glamdring|flaas; default securelease)
+//   securelease simulate --seed <N> [--trace] [--tamper] [--shrink]
+//                                         deterministic multi-node fault
+//                                         simulation with invariant oracles;
+//                                         exits 3 on a violation
 //   securelease e2e <workload> [scheme]   end-to-end run incl. lease traffic
 //   securelease attack [protection]       mount the CFB attack demo
 //                                         (software|enclave-am|securelease)
@@ -17,6 +21,7 @@
 //                                         finding is reported
 #include <cstdio>
 #include <cctype>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -28,6 +33,8 @@
 #include "cfg/dot.hpp"
 #include "cfg/dot_parse.hpp"
 #include "core/securelease.hpp"
+#include "sim/engine.hpp"
+#include "sim/shrink.hpp"
 
 using namespace sl;
 
@@ -404,6 +411,98 @@ int cmd_audit(const AuditArgs& args) {
   return emit_audit(report, model.graph, part, args);
 }
 
+// --- simulate --seed (deterministic simulation testing) ---------------------
+
+void print_simulation(const sim::ScenarioSpec& spec,
+                      const sim::SimulationResult& result, bool trace) {
+  std::printf("scenario seed=%llu nodes=%zu licenses=%zu events=%zu\n",
+              (unsigned long long)spec.seed, spec.nodes.size(),
+              spec.licenses.size(), spec.schedule.size());
+  if (trace) {
+    for (const auto& line : result.trace) std::printf("%s\n", line.c_str());
+  }
+  const auto& stats = result.stats;
+  std::printf("stats: granted=%llu denied=%llu renewals=%llu(+%llu denied) "
+              "crashes=%llu restarts=%llu shutdowns=%llu revocations=%llu "
+              "skipped=%llu t_max=%.1fs\n",
+              (unsigned long long)stats.executions_granted,
+              (unsigned long long)stats.executions_denied,
+              (unsigned long long)stats.renewals,
+              (unsigned long long)stats.renewals_denied,
+              (unsigned long long)stats.crashes,
+              (unsigned long long)stats.restarts,
+              (unsigned long long)stats.shutdowns,
+              (unsigned long long)stats.revocations,
+              (unsigned long long)stats.events_skipped,
+              stats.max_virtual_seconds);
+  for (const auto& [lease, ledger] : result.ledgers) {
+    std::printf("ledger lease=%u: provisioned=%llu pool=%llu outstanding=%llu "
+                "consumed=%llu forfeited=%llu revoked=%llu [%s]\n",
+                lease, (unsigned long long)ledger.provisioned,
+                (unsigned long long)ledger.pool,
+                (unsigned long long)ledger.outstanding,
+                (unsigned long long)ledger.consumed,
+                (unsigned long long)ledger.forfeited,
+                (unsigned long long)ledger.revoked,
+                ledger.balanced() ? "balanced" : "IMBALANCED");
+  }
+  for (const auto& failure : result.failures) {
+    std::printf("FAILED oracle=%s at event %zu: %s\n", failure.oracle.c_str(),
+                failure.event_index, failure.detail.c_str());
+  }
+  std::printf("trace fingerprint: %016llx\n",
+              (unsigned long long)result.trace_fingerprint);
+  std::printf("verdict: %s\n", result.passed ? "PASS" : "FAIL");
+}
+
+// `securelease simulate --seed N [--shrink] [--trace] [--tamper]`: replay
+// the generated scenario for seed N and evaluate the invariant oracles.
+// Exits 0 on PASS, 3 on an oracle failure (distinct from audit's 2).
+int cmd_simulate_dst(int argc, char** argv) {
+  unsigned long long seed = 0;
+  bool shrink = false, trace = false, tamper = false;
+  bool have_seed = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+      have_seed = true;
+    } else if (flag == "--shrink") {
+      shrink = true;
+    } else if (flag == "--trace") {
+      trace = true;
+    } else if (flag == "--tamper") {
+      tamper = true;
+    } else {
+      std::fprintf(stderr, "unknown simulate option '%s'\n", flag.c_str());
+      return 1;
+    }
+  }
+  if (!have_seed) {
+    std::fprintf(stderr, "simulate: --seed <N> is required in DST mode\n");
+    return 1;
+  }
+  sim::GeneratorLimits limits;
+  if (tamper) limits.tamper_probability = 0.1;
+  const sim::ScenarioSpec spec = sim::generate_scenario(seed, limits);
+  const sim::SimulationResult result = sim::run_scenario(spec);
+  print_simulation(spec, result, trace);
+  if (result.passed) return 0;
+  if (shrink) {
+    const auto shrunk = sim::shrink_scenario(spec);
+    if (shrunk.has_value()) {
+      std::printf("\nshrunk %zu -> %zu events (%llu probes), oracle=%s\n",
+                  shrunk->original_events, shrunk->shrunk_events,
+                  (unsigned long long)shrunk->probes, shrunk->oracle.c_str());
+      std::fputs(sim::describe(shrunk->spec).c_str(), stdout);
+      for (const auto& line : shrunk->result.trace) {
+        std::printf("%s\n", line.c_str());
+      }
+    }
+  }
+  return 3;
+}
+
 void usage() {
   std::printf(
       "securelease <command> [args]\n"
@@ -411,6 +510,12 @@ void usage() {
       "  inspect <workload>           show the call-graph model\n"
       "  partition <workload>         run the SecureLease partitioner\n"
       "  simulate <workload> [scheme] cost-simulate (vanilla|fullsgx|securelease|glamdring|flaas)\n"
+      "  simulate --seed <N> [opts]   deterministic multi-node fault simulation;\n"
+      "                               replays the seeded scenario and checks the\n"
+      "                               invariant oracles; exits 3 on a violation\n"
+      "    --trace             print the per-event trace\n"
+      "    --tamper            inject untrusted-store tampering events\n"
+      "    --shrink            on failure, ddmin-minimize the schedule\n"
       "  e2e <workload> [scheme]      end-to-end incl. lease traffic\n"
       "  attack [protection]          CFB attack (software|enclave-am|securelease)\n"
       "  dot <workload> <out.dot>     write clustered call graph\n"
@@ -441,6 +546,7 @@ int main(int argc, char** argv) {
     if (command == "inspect" && argc >= 3) return cmd_inspect(argv[2]);
     if (command == "partition" && argc >= 3) return cmd_partition(argv[2]);
     if (command == "simulate" && argc >= 3) {
+      if (std::strncmp(argv[2], "--", 2) == 0) return cmd_simulate_dst(argc, argv);
       return cmd_simulate(argv[2], argc >= 4 ? argv[3] : "securelease");
     }
     if (command == "e2e" && argc >= 3) {
