@@ -1,0 +1,113 @@
+// Sharded SL-Remote scaling: closed-loop renewal throughput and virtual
+// latency vs. shard count.
+//
+// Runs the deterministic load generator (src/lease/loadgen.hpp) at shard
+// counts 1/2/4/8 with an identical workload (same seed, clients, tenant
+// licenses), prints a scaling table, and writes BENCH_remote.json. The
+// acceptance gate is monotone throughput from 1 -> 2 -> 4 shards: routing
+// the same request stream across more independent shards must shorten the
+// critical path (the furthest shard clock), or the sharding layer is
+// charging overhead without buying parallelism.
+//
+// Usage: bench_remote_load [out.json]
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lease/loadgen.hpp"
+
+using namespace sl;
+
+int main(int argc, char** argv) {
+  std::printf("=== sharded SL-Remote load scaling ===\n\n");
+
+  lease::LoadgenConfig base;
+  base.clients = 64;
+  base.licenses = 32;  // tenants spread across shards; 2 clients per license
+  base.rounds = 50;
+  base.seed = 7;
+
+  const std::vector<std::size_t> shard_counts = {1, 2, 4, 8};
+  std::vector<lease::LoadgenMetrics> runs;
+  std::printf("%7s %10s %9s %9s %12s %10s %10s\n", "shards", "processed",
+              "granted", "batches", "vtime(s)", "thr(/vs)", "p99(us)");
+  for (const std::size_t shards : shard_counts) {
+    lease::LoadgenConfig config = base;
+    config.shards = shards;
+    runs.push_back(lease::run_loadgen(config));
+    const lease::LoadgenMetrics& m = runs.back();
+    std::printf("%7zu %10llu %9llu %9llu %12.6f %10.1f %10.1f\n", shards,
+                (unsigned long long)m.processed, (unsigned long long)m.granted,
+                (unsigned long long)m.batches, m.virtual_seconds, m.throughput,
+                m.p99_micros);
+  }
+
+  // A second look at the batcher: the same 4-shard workload with coalescing
+  // disabled pays one commit per renewal.
+  lease::LoadgenConfig serial = base;
+  serial.shards = 4;
+  serial.batching = false;
+  const lease::LoadgenMetrics unbatched = lease::run_loadgen(serial);
+  const lease::LoadgenMetrics& batched = runs[2];
+  std::printf("\nbatching at 4 shards: %llu commits vs %llu unbatched "
+              "(%.2fx fewer), throughput %.1f vs %.1f renewals/vsec\n",
+              (unsigned long long)batched.batches,
+              (unsigned long long)unbatched.batches,
+              batched.batches > 0 ? static_cast<double>(unbatched.batches) /
+                                        static_cast<double>(batched.batches)
+                                  : 0.0,
+              batched.throughput, unbatched.throughput);
+
+  bool ok = true;
+  for (const lease::LoadgenMetrics& m : runs) {
+    if (!m.ledgers_balanced) {
+      std::fprintf(stderr, "FAIL: ledger imbalance at %zu shards\n",
+                   m.config.shards);
+      ok = false;
+    }
+    if (m.overloaded > 0) {
+      std::fprintf(stderr, "FAIL: %llu Overloaded responses at %zu shards\n",
+                   (unsigned long long)m.overloaded, m.config.shards);
+      ok = false;
+    }
+  }
+  const bool monotone = runs[0].throughput < runs[1].throughput &&
+                        runs[1].throughput < runs[2].throughput;
+  if (!monotone) {
+    std::fprintf(stderr,
+                 "FAIL: throughput not monotone 1 -> 2 -> 4 shards "
+                 "(%.1f, %.1f, %.1f)\n",
+                 runs[0].throughput, runs[1].throughput, runs[2].throughput);
+    ok = false;
+  } else {
+    std::printf("scaling 1 -> 4 shards: %.2fx\n",
+                runs[2].throughput / runs[0].throughput);
+  }
+
+  const std::string out_path = argc >= 2 ? argv[1] : "";
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"remote_load\",\n  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      out << "    " << lease::loadgen_json(runs[i])
+          << (i + 1 < runs.size() ? ",\n" : ",\n");
+    }
+    out << "    " << lease::loadgen_json(unbatched) << "\n  ],\n";
+    char tail[128];
+    std::snprintf(tail, sizeof(tail),
+                  "  \"monotone_1_to_4\": %s,\n"
+                  "  \"scaling_1_to_4\": %.3f\n}\n",
+                  monotone ? "true" : "false",
+                  runs[0].throughput > 0.0
+                      ? runs[2].throughput / runs[0].throughput
+                      : 0.0);
+    out << tail;
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return ok ? 0 : 1;
+}

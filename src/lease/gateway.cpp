@@ -64,6 +64,10 @@ std::optional<SlRemote::RenewResult> WireGateway::renew(
   request.consumed = consumed;
   const auto response = client_.renew(request);
   if (!response.has_value()) return std::nullopt;
+  // Overloaded means the shard queue rejected the request before processing
+  // it (the consumption report was NOT applied) — same as a transport
+  // failure from the caller's perspective: retry later.
+  if (response->overloaded) return std::nullopt;
   SlRemote::RenewResult result;
   result.ok = response->ok;
   result.granted = response->granted;

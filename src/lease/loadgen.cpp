@@ -1,0 +1,152 @@
+#include "lease/loadgen.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+#include "lease/shard_router.hpp"
+#include "lease/sl_local.hpp"
+#include "sgxsim/attestation.hpp"
+
+namespace sl::lease {
+
+namespace {
+
+double percentile(std::vector<Cycles>& latencies, double p) {
+  if (latencies.empty()) return 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  const std::size_t index = static_cast<std::size_t>(
+      p * static_cast<double>(latencies.size() - 1) + 0.5);
+  return cycles_to_micros(latencies[std::min(index, latencies.size() - 1)]);
+}
+
+}  // namespace
+
+LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
+  sgx::AttestationService ias;
+  const LicenseAuthority vendor(splitmix64_key(1, config.seed) | 1);
+
+  ShardConfig shard_config;
+  shard_config.queue_capacity = config.queue_capacity;
+  shard_config.batching = config.batching;
+  ShardRouter router(vendor, ias, SlLocal::expected_measurement(),
+                     std::max<std::size_t>(1, config.shards), shard_config);
+
+  // One tenant per license; clients round-robin over tenants so the shard
+  // owning a license sees several concurrent requesters for it.
+  const std::size_t tenants = std::max<std::size_t>(1, config.licenses);
+  std::vector<LicenseFile> licenses;
+  licenses.reserve(tenants);
+  for (std::size_t t = 0; t < tenants; ++t) {
+    licenses.push_back(vendor.issue(
+        static_cast<LeaseId>(1000 + t), "loadgen/" + std::to_string(t),
+        LeaseKind::kCountBased, config.license_total));
+    router.provision(/*customer=*/t + 1, licenses.back());
+  }
+
+  Rng rng(config.seed);
+  struct Client {
+    std::size_t tenant = 0;
+    double health = 1.0;
+    double network = 1.0;
+    std::uint64_t pending_consume = 0;  // previous grant, reported next round
+  };
+  std::vector<Client> clients(std::max<std::size_t>(1, config.clients));
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    clients[c].tenant = c % tenants;
+    clients[c].health = 0.85 + 0.15 * rng.next_double();
+    clients[c].network = 0.7 + 0.3 * rng.next_double();
+    router.register_client(clients[c].tenant + 1, c, clients[c].health,
+                           clients[c].network);
+  }
+
+  LoadgenMetrics metrics;
+  metrics.config = config;
+  std::vector<Cycles> latencies;
+  latencies.reserve(clients.size() * config.rounds);
+
+  for (std::uint64_t round = 0; round < config.rounds; ++round) {
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      Client& client = clients[c];
+      const std::uint64_t ticket = round * clients.size() + c;
+      if (router.submit(client.tenant + 1, c, licenses[client.tenant],
+                        client.pending_consume, ticket)) {
+        metrics.submitted++;
+        client.pending_consume = 0;  // the report rode along
+      } else {
+        // Backpressure: retry next round, keeping the consumption report.
+        metrics.overloaded++;
+      }
+    }
+    for (const ShardRouter::Completion& done : router.drain_all()) {
+      metrics.processed++;
+      latencies.push_back(done.outcome.latency);
+      Client& client = clients[done.outcome.ticket % clients.size()];
+      if (done.outcome.status == RenewStatus::kGranted) {
+        metrics.granted++;
+        client.pending_consume = done.outcome.granted;
+      } else {
+        metrics.denied++;
+      }
+    }
+  }
+
+  metrics.batches = router.aggregate_shard_stats().batches;
+  metrics.virtual_seconds = router.virtual_seconds();
+  metrics.throughput = metrics.virtual_seconds > 0.0
+                           ? static_cast<double>(metrics.processed) /
+                                 metrics.virtual_seconds
+                           : 0.0;
+  metrics.p50_micros = percentile(latencies, 0.50);
+  metrics.p99_micros = percentile(latencies, 0.99);
+  metrics.ledgers_balanced = true;
+  for (const auto& [lease, ledger] : router.ledgers()) {
+    if (!ledger.balanced()) metrics.ledgers_balanced = false;
+  }
+  metrics.state_digest = router.state_digest();
+  return metrics;
+}
+
+std::string loadgen_json(const LoadgenMetrics& m) {
+  char buffer[1024];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "{\n"
+      "      \"shards\": %zu,\n"
+      "      \"clients\": %zu,\n"
+      "      \"licenses\": %zu,\n"
+      "      \"rounds\": %llu,\n"
+      "      \"seed\": %llu,\n"
+      "      \"batching\": %s,\n"
+      "      \"submitted\": %llu,\n"
+      "      \"overloaded\": %llu,\n"
+      "      \"processed\": %llu,\n"
+      "      \"granted\": %llu,\n"
+      "      \"denied\": %llu,\n"
+      "      \"batches\": %llu,\n"
+      "      \"virtual_seconds\": %.6f,\n"
+      "      \"throughput_renewals_per_vsec\": %.1f,\n"
+      "      \"p50_micros\": %.1f,\n"
+      "      \"p99_micros\": %.1f,\n"
+      "      \"ledgers_balanced\": %s,\n"
+      "      \"state_digest\": \"%016llx\"\n"
+      "    }",
+      m.config.shards, m.config.clients, m.config.licenses,
+      static_cast<unsigned long long>(m.config.rounds),
+      static_cast<unsigned long long>(m.config.seed),
+      m.config.batching ? "true" : "false",
+      static_cast<unsigned long long>(m.submitted),
+      static_cast<unsigned long long>(m.overloaded),
+      static_cast<unsigned long long>(m.processed),
+      static_cast<unsigned long long>(m.granted),
+      static_cast<unsigned long long>(m.denied),
+      static_cast<unsigned long long>(m.batches), m.virtual_seconds,
+      m.throughput, m.p50_micros, m.p99_micros,
+      m.ledgers_balanced ? "true" : "false",
+      static_cast<unsigned long long>(m.state_digest));
+  return buffer;
+}
+
+}  // namespace sl::lease

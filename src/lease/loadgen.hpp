@@ -1,0 +1,61 @@
+// Closed-loop load generator for the sharded SL-Remote.
+//
+// M clients, split across a set of tenants (customers) each owning one
+// count-based license, drive the shard router in rounds: every client
+// submits one renewal per round, piggybacking the grant it received in the
+// previous round as its consumption report, then the router drains every
+// shard. The loop is closed — a client has at most one request in flight —
+// so the offered load is bounded by the client count and an `Overloaded`
+// rejection feeds back as a retry in the next round instead of unbounded
+// queue growth.
+//
+// All timing is virtual (the per-shard SimClock cost model), so results are
+// deterministic for a fixed seed. Throughput is total processed renewals
+// divided by the *furthest* shard clock: N shards model N cores, so a
+// balanced routing across more shards shortens the critical path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sl::lease {
+
+struct LoadgenConfig {
+  std::size_t shards = 1;
+  std::size_t clients = 64;
+  // Tenants, each owning one count-based license. Several clients share a
+  // tenant (clients round-robin over tenants), so same-license renewals
+  // arrive concurrently and the batcher has something to coalesce.
+  std::size_t licenses = 16;
+  std::uint64_t rounds = 50;
+  std::uint64_t seed = 1;
+  // Large pool: the generator measures server throughput, not pool drain.
+  std::uint64_t license_total = 1'000'000'000;
+  std::size_t queue_capacity = 128;
+  bool batching = true;
+};
+
+struct LoadgenMetrics {
+  LoadgenConfig config;
+  std::uint64_t submitted = 0;   // accepted into a shard queue
+  std::uint64_t overloaded = 0;  // rejected by backpressure
+  std::uint64_t processed = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t denied = 0;
+  std::uint64_t batches = 0;     // tree commits across all shards
+  double virtual_seconds = 0.0;  // furthest shard clock
+  double throughput = 0.0;       // processed / virtual_seconds
+  double p50_micros = 0.0;       // virtual renewal latency percentiles
+  double p99_micros = 0.0;
+  bool ledgers_balanced = false; // conservation across every shard
+  std::uint64_t state_digest = 0;
+};
+
+// Runs the closed loop to completion. Deterministic for a fixed config.
+LoadgenMetrics run_loadgen(const LoadgenConfig& config);
+
+// One JSON object (no trailing newline) describing the run; the bench and
+// the CLI embed it in BENCH_remote.json.
+std::string loadgen_json(const LoadgenMetrics& metrics);
+
+}  // namespace sl::lease

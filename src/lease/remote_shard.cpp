@@ -1,0 +1,152 @@
+#include "lease/remote_shard.hpp"
+
+#include <utility>
+
+#include "crypto/murmur.hpp"
+
+namespace sl::lease {
+
+const char* renew_status_name(RenewStatus status) {
+  switch (status) {
+    case RenewStatus::kGranted: return "granted";
+    case RenewStatus::kDenied: return "denied";
+    case RenewStatus::kOverloaded: return "overloaded";
+  }
+  return "?";
+}
+
+RemoteShard::RemoteShard(const LicenseAuthority& authority,
+                         sgx::AttestationService& ias,
+                         sgx::Measurement expected_sl_local, ShardConfig config)
+    : remote_(authority, ias, expected_sl_local, config.ra_latency_seconds),
+      tree_(config.keygen_seed, store_),
+      config_(config) {}
+
+void RemoteShard::provision(const LicenseFile& license) {
+  remote_.provision(license);
+  // Durable pool image: the record mirrors the remaining pool as a plain
+  // counter (the server never advances lease time — clients do).
+  tree_.insert(license.lease_id,
+               Gcl(LeaseKind::kCountBased, license.total_count));
+  commit_lease_record(license.lease_id);
+}
+
+void RemoteShard::revoke(LeaseId lease) {
+  remote_.revoke(lease);
+  LeaseRecord* record = tree_.find(lease);
+  if (record != nullptr) {
+    record->set_gcl(Gcl(LeaseKind::kCountBased, 0));
+    commit_lease_record(lease);
+  }
+}
+
+bool RemoteShard::enqueue(PendingRenew request) {
+  if (queue_.size() >= config_.queue_capacity) {
+    stats_.overloads++;
+    return false;
+  }
+  queue_.push_back(std::move(request));
+  stats_.enqueued++;
+  return true;
+}
+
+void RemoteShard::commit_lease_record(LeaseId lease) {
+  // Section 5.5: seal data||hash under a fresh key and move the ciphertext
+  // to the untrusted store. find() faults it back in transparently.
+  if (tree_.find(lease) != nullptr) tree_.commit_lease(lease);
+}
+
+std::vector<RenewOutcome> RemoteShard::drain() {
+  const Cycles drain_start = clock_.cycles();
+  std::vector<RenewOutcome> outcomes;
+  outcomes.reserve(queue_.size());
+
+  // Group FIFO: within a license requests keep submission order, so the
+  // Algorithm 1 decisions are exactly those of serial processing; across
+  // licenses groups run in first-appearance order (decisions for different
+  // licenses are independent, so cross-license order cannot matter).
+  std::vector<std::pair<LeaseId, std::vector<PendingRenew>>> groups;
+  while (!queue_.empty()) {
+    PendingRenew request = std::move(queue_.front());
+    queue_.pop_front();
+    const LeaseId lease = request.license.lease_id;
+    if (config_.batching) {
+      bool placed = false;
+      for (auto& [group_lease, members] : groups) {
+        if (group_lease == lease) {
+          members.push_back(std::move(request));
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) groups.emplace_back(lease, std::vector<PendingRenew>{std::move(request)});
+    } else {
+      groups.emplace_back(lease, std::vector<PendingRenew>{std::move(request)});
+    }
+  }
+
+  for (auto& [lease, members] : groups) {
+    const std::size_t first_outcome = outcomes.size();
+    for (PendingRenew& request : members) {
+      if (request.consumed > 0) {
+        remote_.report_consumed(request.slid, lease, request.consumed);
+      }
+      const SlRemote::RenewResult result = remote_.renew(
+          request.slid, request.license, request.health, request.network);
+      clock_.advance_cycles(config_.cycles_per_renewal);
+      stats_.busy_cycles += config_.cycles_per_renewal;
+      stats_.processed++;
+      RenewOutcome outcome;
+      outcome.ticket = request.ticket;
+      outcome.status = result.ok ? RenewStatus::kGranted : RenewStatus::kDenied;
+      outcome.granted = result.granted;
+      (result.ok ? stats_.granted : stats_.denied)++;
+      outcomes.push_back(outcome);
+    }
+
+    // One encrypt-and-hash commit for the whole group — the amortization the
+    // batcher buys. The record content depends only on the post-group pool,
+    // so K coalesced renewals and K serial renewals produce the same record
+    // (and the same integrity hash); only the commit count differs.
+    const auto remaining = remote_.remaining_pool(lease);
+    LeaseRecord* record = tree_.find(lease);
+    const Gcl pool_gcl(LeaseKind::kCountBased, remaining.value_or(0));
+    if (record == nullptr) {
+      tree_.insert(lease, pool_gcl);
+    } else {
+      record->set_gcl(pool_gcl);
+    }
+    commit_lease_record(lease);
+    clock_.advance_cycles(config_.cycles_per_commit);
+    stats_.busy_cycles += config_.cycles_per_commit;
+    stats_.batches++;
+
+    const Cycles completed = clock_.cycles();
+    for (std::size_t i = first_outcome; i < outcomes.size(); ++i) {
+      outcomes[i].completed_at = completed;
+      outcomes[i].latency = completed - drain_start;
+    }
+  }
+  return outcomes;
+}
+
+std::uint64_t RemoteShard::state_digest() {
+  std::uint64_t digest = 0x5ea1d;
+  for (const LeaseId lease : remote_.provisioned_leases()) {
+    const auto ledger = remote_.ledger(lease);
+    Bytes buffer;
+    put_u32(buffer, lease);
+    put_u64(buffer, ledger->provisioned);
+    put_u64(buffer, ledger->pool);
+    put_u64(buffer, ledger->outstanding);
+    put_u64(buffer, ledger->consumed);
+    put_u64(buffer, ledger->forfeited);
+    put_u64(buffer, ledger->revoked);
+    LeaseRecord* record = tree_.find(lease);
+    put_u64(buffer, record != nullptr ? record->hash : 0);
+    digest = crypto::murmur3_64(buffer, digest);
+  }
+  return digest;
+}
+
+}  // namespace sl::lease

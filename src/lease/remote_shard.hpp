@@ -1,0 +1,135 @@
+// One shard of the multi-tenant SL-Remote service.
+//
+// The paper's SL-Remote (sl_remote.hpp) serves one client stack at a time;
+// a production deployment must absorb renewal traffic from many tenants at
+// once. A RemoteShard wraps one SlRemote instance with the three things the
+// serial server lacks:
+//  * its own virtual-cycle clock — server-side work (Algorithm 1, ledger
+//    updates, tree commits) is charged here, so N shards model N cores and
+//    the load generator can report throughput/latency vs. shard count;
+//  * a server-side lease tree (Section 5.5's encrypt-and-hash structure)
+//    holding the durable per-lease pool image, committed after every
+//    renewal batch — the cost the batcher amortizes;
+//  * a bounded request queue with explicit backpressure: enqueue() returns
+//    false when the queue is full and the caller surfaces an Overloaded
+//    wire response instead of letting the backlog grow without bound.
+//
+// The renewal batcher in drain() coalesces concurrent RenewRequests for the
+// same license into one tree commit. Coalescing must not change paper
+// semantics: requests of one license are processed in FIFO order, so the
+// Algorithm 1 decisions are exactly those of serial execution, and the
+// committed record content (hence its integrity hash) is identical — only
+// the number of encrypt-and-hash commits shrinks. The batching-equivalence
+// test (tests/lease/test_batching_equivalence.cpp) pins this down.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/sim_clock.hpp"
+#include "lease/lease_tree.hpp"
+#include "lease/sl_remote.hpp"
+
+namespace sl::lease {
+
+struct ShardConfig {
+  // Bounded pending-renewal queue; enqueue() past this is an overload.
+  std::size_t queue_capacity = 128;
+  // Coalesce same-license renewals into one tree commit per drain().
+  bool batching = true;
+  // Virtual-cycle cost model for server-side work, charged to the shard
+  // clock: per-renewal validation + Algorithm 1 + ledger update, and the
+  // per-commit encrypt-and-hash of the durable lease record (Section 5.5).
+  Cycles cycles_per_renewal = 40'000;
+  Cycles cycles_per_commit = 120'000;
+  // RA latency the wrapped SlRemote charges clients at init (Section 5.1).
+  double ra_latency_seconds = 3.5;
+  // Seeds the shard's server-side tree key generator.
+  std::uint64_t keygen_seed = 0xd15c0;
+};
+
+enum class RenewStatus : std::uint8_t {
+  kGranted = 0,
+  kDenied = 1,
+  kOverloaded = 2,  // backpressure: the shard queue was full
+};
+
+const char* renew_status_name(RenewStatus status);
+
+// One queued renewal. `ticket` is a caller-chosen id used to match the
+// outcome back to the submitting client.
+struct PendingRenew {
+  std::uint64_t ticket = 0;
+  Slid slid = 0;
+  LicenseFile license;
+  double health = 1.0;
+  double network = 1.0;
+  std::uint64_t consumed = 0;  // piggybacked consumption report
+};
+
+struct RenewOutcome {
+  std::uint64_t ticket = 0;
+  RenewStatus status = RenewStatus::kDenied;
+  std::uint64_t granted = 0;
+  Cycles completed_at = 0;  // shard clock when the request's batch committed
+  Cycles latency = 0;       // completed_at - drain start
+};
+
+struct ShardStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t overloads = 0;  // rejected at the bounded queue
+  std::uint64_t processed = 0;
+  std::uint64_t batches = 0;    // tree commits (one per coalesced group)
+  std::uint64_t granted = 0;
+  std::uint64_t denied = 0;
+  Cycles busy_cycles = 0;       // total server-side work charged
+};
+
+class RemoteShard {
+ public:
+  RemoteShard(const LicenseAuthority& authority, sgx::AttestationService& ias,
+              sgx::Measurement expected_sl_local, ShardConfig config = {});
+
+  SlRemote& remote() { return remote_; }
+  const SlRemote& remote() const { return remote_; }
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+  const ShardConfig& config() const { return config_; }
+  const ShardStats& stats() const { return stats_; }
+  std::size_t pending() const { return queue_.size(); }
+
+  // Provisions the license on the wrapped SlRemote and installs the durable
+  // pool record in the server-side tree.
+  void provision(const LicenseFile& license);
+  void revoke(LeaseId lease);
+
+  // Bounded-queue admission. Returns false (and counts an overload) when the
+  // queue is at capacity — the caller must answer Overloaded, not block.
+  bool enqueue(PendingRenew request);
+
+  // Processes every queued request. With batching on, requests are grouped
+  // by license (FIFO within a license, first-appearance order across
+  // licenses) and each group pays one tree commit; with batching off every
+  // request commits individually. Outcomes preserve submission tickets.
+  std::vector<RenewOutcome> drain();
+
+  // Deterministic digest of the shard's durable state: per-lease ledger
+  // buckets and the committed record's integrity hash, chained in ascending
+  // lease order. Equal digests mean equal grant history and equal durable
+  // tree content — the batching-equivalence check.
+  std::uint64_t state_digest();
+
+ private:
+  void commit_lease_record(LeaseId lease);
+
+  SlRemote remote_;
+  UntrustedStore store_;
+  LeaseTree tree_;
+  SimClock clock_;
+  ShardConfig config_;
+  std::deque<PendingRenew> queue_;
+  ShardStats stats_;
+};
+
+}  // namespace sl::lease

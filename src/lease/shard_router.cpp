@@ -1,0 +1,288 @@
+#include "lease/shard_router.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "crypto/murmur.hpp"
+
+namespace sl::lease {
+
+namespace {
+// Seed of the routing hash. Changing it rebalances every deployment, so it
+// is part of the wire contract and pinned by the differential tests.
+constexpr std::uint64_t kRouteSeed = 0x40075e11;
+}  // namespace
+
+ShardRouter::ShardRouter(const LicenseAuthority& authority,
+                         sgx::AttestationService& ias,
+                         sgx::Measurement expected_sl_local,
+                         std::size_t shard_count, ShardConfig config) {
+  require(shard_count >= 1, "ShardRouter: shard_count must be >= 1");
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    // Shards share no key material: each tree keygen gets a distinct seed.
+    ShardConfig shard_config = config;
+    shard_config.keygen_seed = config.keygen_seed + i;
+    shards_.push_back(std::make_unique<RemoteShard>(authority, ias,
+                                                    expected_sl_local,
+                                                    shard_config));
+  }
+}
+
+std::size_t ShardRouter::shard_of(CustomerId customer, LeaseId lease,
+                                  std::size_t shard_count) {
+  Bytes buffer;
+  put_u64(buffer, customer);
+  put_u32(buffer, lease);
+  return static_cast<std::size_t>(crypto::murmur3_64(buffer, kRouteSeed) %
+                                  shard_count);
+}
+
+std::size_t ShardRouter::shard_of(CustomerId customer, LeaseId lease) const {
+  return shard_of(customer, lease, shards_.size());
+}
+
+std::size_t ShardRouter::home_shard(CustomerId customer) const {
+  Bytes buffer;
+  put_u64(buffer, customer);
+  return static_cast<std::size_t>(crypto::murmur3_64(buffer, kRouteSeed) %
+                                  shards_.size());
+}
+
+void ShardRouter::provision(CustomerId customer, const LicenseFile& license) {
+  shards_[shard_of(customer, license.lease_id)]->provision(license);
+}
+
+void ShardRouter::revoke(CustomerId customer, LeaseId lease) {
+  shards_[shard_of(customer, lease)]->revoke(lease);
+}
+
+void ShardRouter::register_client(CustomerId customer, ClientId client,
+                                  double health, double network) {
+  ClientState& state = clients_[{customer, client}];
+  state.health = health;
+  state.network = network;
+}
+
+Slid ShardRouter::slid_for(CustomerId customer, ClientId client,
+                           std::size_t shard) {
+  auto it = clients_.find({customer, client});
+  require(it != clients_.end(), "ShardRouter: client not registered");
+  ClientState& state = it->second;
+  auto slid = state.slids.find(shard);
+  if (slid != state.slids.end()) return slid->second;
+  const Slid minted =
+      shards_[shard]->remote().register_peer(state.health, state.network);
+  state.slids[shard] = minted;
+  return minted;
+}
+
+bool ShardRouter::submit(CustomerId customer, ClientId client,
+                         const LicenseFile& license, std::uint64_t consumed,
+                         std::uint64_t ticket) {
+  const std::size_t shard = shard_of(customer, license.lease_id);
+  PendingRenew request;
+  request.ticket = ticket;
+  request.slid = slid_for(customer, client, shard);
+  request.license = license;
+  const ClientState& state = clients_.at({customer, client});
+  request.health = state.health;
+  request.network = state.network;
+  request.consumed = consumed;
+  return shards_[shard]->enqueue(std::move(request));
+}
+
+std::vector<ShardRouter::Completion> ShardRouter::drain_all() {
+  std::vector<Completion> completions;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    for (const RenewOutcome& outcome : shards_[i]->drain()) {
+      completions.push_back(Completion{i, outcome});
+    }
+  }
+  return completions;
+}
+
+SlRemote::RenewResult ShardRouter::renew_now(std::size_t shard, Slid slid,
+                                             const LicenseFile& license,
+                                             double health, double network,
+                                             std::uint64_t consumed) {
+  RemoteShard& owner = *shards_[shard];
+  // The synchronous path must not interleave with queued router traffic:
+  // flush any backlog so the drain below processes exactly this request.
+  if (owner.pending() > 0) owner.drain();
+  PendingRenew request;
+  request.slid = slid;
+  request.license = license;
+  request.health = health;
+  request.network = network;
+  request.consumed = consumed;
+  SlRemote::RenewResult result;
+  if (!owner.enqueue(std::move(request))) return result;
+  const std::vector<RenewOutcome> outcomes = owner.drain();
+  if (!outcomes.empty()) {
+    result.ok = outcomes.back().status == RenewStatus::kGranted;
+    result.granted = outcomes.back().granted;
+  }
+  return result;
+}
+
+std::optional<LeaseLedger> ShardRouter::ledger(CustomerId customer,
+                                               LeaseId lease) const {
+  return shards_[shard_of(customer, lease)]->remote().ledger(lease);
+}
+
+std::vector<std::pair<LeaseId, LeaseLedger>> ShardRouter::ledgers() const {
+  std::vector<std::pair<LeaseId, LeaseLedger>> merged;
+  for (const auto& shard : shards_) {
+    for (const LeaseId lease : shard->remote().provisioned_leases()) {
+      merged.emplace_back(lease, *shard->remote().ledger(lease));
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return merged;
+}
+
+SlRemoteStats ShardRouter::aggregate_stats() const {
+  SlRemoteStats total;
+  for (const auto& shard : shards_) {
+    const SlRemoteStats& s = shard->remote().stats();
+    total.remote_attestations += s.remote_attestations;
+    total.registrations += s.registrations;
+    total.renewals += s.renewals;
+    total.renewals_denied += s.renewals_denied;
+    total.forfeited_gcls += s.forfeited_gcls;
+    total.reclaimed_gcls += s.reclaimed_gcls;
+  }
+  return total;
+}
+
+ShardStats ShardRouter::aggregate_shard_stats() const {
+  ShardStats total;
+  for (const auto& shard : shards_) {
+    const ShardStats& s = shard->stats();
+    total.enqueued += s.enqueued;
+    total.overloads += s.overloads;
+    total.processed += s.processed;
+    total.batches += s.batches;
+    total.granted += s.granted;
+    total.denied += s.denied;
+    total.busy_cycles += s.busy_cycles;
+  }
+  return total;
+}
+
+double ShardRouter::virtual_seconds() const {
+  double furthest = 0.0;
+  for (const auto& shard : shards_) {
+    furthest = std::max(furthest, shard->clock().seconds());
+  }
+  return furthest;
+}
+
+std::uint64_t ShardRouter::state_digest() {
+  std::uint64_t digest = kRouteSeed;
+  for (const auto& shard : shards_) {
+    Bytes buffer;
+    put_u64(buffer, shard->state_digest());
+    digest = crypto::murmur3_64(buffer, digest);
+  }
+  return digest;
+}
+
+// --- ShardGateway -----------------------------------------------------------
+
+ShardGateway::ShardGateway(ShardRouter& router, ShardRouter::CustomerId customer,
+                           net::SimNetwork& network, net::NodeId node,
+                           SimClock& clock)
+    : router_(router),
+      customer_(customer),
+      network_(network),
+      node_(node),
+      clock_(clock) {}
+
+std::optional<SlRemote::InitResult> ShardGateway::init(const sgx::Quote& quote,
+                                                       Slid claimed_slid) {
+  if (!network_.round_trip(node_, clock_)) return std::nullopt;
+  const std::size_t home = router_.home_shard(customer_);
+  const SlRemote::InitResult result =
+      router_.shard(home).remote().init_sl_local(quote, claimed_slid, clock_);
+  if (!result.ok) return result;
+  admission_quote_ = quote;
+  slids_[home] = result.slid;
+  // Replay the (re-)init on every other shard already holding state for this
+  // node, so the pessimistic crash policy (Section 5.7) forfeits outstanding
+  // sub-GCLs there too. Internal replication on the private clock; ascending
+  // shard order for determinism.
+  for (std::size_t shard = 0; shard < router_.shard_count(); ++shard) {
+    if (shard == home) continue;
+    auto it = slids_.find(shard);
+    if (it == slids_.end()) continue;
+    router_.shard(shard).remote().init_sl_local(quote, it->second,
+                                                replica_clock_);
+  }
+  return result;
+}
+
+Slid ShardGateway::shard_slid(std::size_t shard) {
+  auto it = slids_.find(shard);
+  if (it != slids_.end()) return it->second;
+  if (!admission_quote_.has_value()) return 0;
+  const SlRemote::InitResult result = router_.shard(shard).remote().init_sl_local(
+      *admission_quote_, 0, replica_clock_);
+  if (!result.ok) return 0;
+  slids_[shard] = result.slid;
+  return result.slid;
+}
+
+std::optional<SlRemote::RenewResult> ShardGateway::renew(
+    Slid slid, const LicenseFile& license, double health, double network,
+    std::uint64_t consumed) {
+  if (!network_.round_trip(node_, clock_)) return std::nullopt;
+  const std::size_t shard = router_.shard_of(customer_, license.lease_id);
+  Slid local_slid = slid;
+  if (shard != router_.home_shard(customer_)) {
+    local_slid = shard_slid(shard);
+    // Never admitted on the owning shard: the server denies, exactly as the
+    // serial SL-Remote denies an unknown SLID.
+    if (local_slid == 0) return SlRemote::RenewResult{};
+  }
+  return router_.renew_now(shard, local_slid, license, health, network,
+                           consumed);
+}
+
+bool ShardGateway::graceful_shutdown(
+    Slid slid, std::uint64_t root_key,
+    const std::unordered_map<LeaseId, std::uint64_t>& unused) {
+  if (!network_.round_trip(node_, clock_)) return false;
+  const std::size_t home = router_.home_shard(customer_);
+  // Split the unused-count report by owning shard; every shard where this
+  // node is registered gets the graceful mark (and the escrowed root key),
+  // so a later clean restart is graceful service-wide.
+  std::unordered_map<std::size_t, std::unordered_map<LeaseId, std::uint64_t>>
+      by_shard;
+  for (const auto& [lease, count] : unused) {
+    by_shard[router_.shard_of(customer_, lease)][lease] = count;
+  }
+  for (std::size_t shard = 0; shard < router_.shard_count(); ++shard) {
+    auto it = slids_.find(shard);
+    if (it == slids_.end()) continue;
+    const Slid use = shard == home ? slid : it->second;
+    auto split = by_shard.find(shard);
+    router_.shard(shard).remote().graceful_shutdown(
+        use, root_key,
+        split == by_shard.end() ? std::unordered_map<LeaseId, std::uint64_t>{}
+                                : split->second);
+  }
+  return true;
+}
+
+bool ShardGateway::attest(const sgx::Quote& quote) {
+  return router_.shard(router_.home_shard(customer_))
+      .remote()
+      .attest_only(quote, clock_);
+}
+
+}  // namespace sl::lease

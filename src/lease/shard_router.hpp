@@ -1,0 +1,150 @@
+// Shard router — the front door of the multi-tenant SL-Remote service.
+//
+// Licenses are routed to one of N RemoteShards by a stable hash of
+// (customer, license): a lease's pool, outstanding map and durable record
+// live on exactly one shard, so per-lease conservation and the Algorithm 1
+// concurrent-requesters view are untouched by sharding (nodes sharing a
+// multi-party license belong to the same customer and therefore hash to the
+// same shard). Routing requires lease ids to be unique across customers —
+// the vendor authority already issues them that way.
+//
+// Two client surfaces:
+//  * the router-level API (register_client/submit/drain_all) used by the
+//    closed-loop load generator and the differential tests — telemetry-only
+//    registration, explicit backpressure, batched drains;
+//  * ShardGateway, a RemoteGateway implementation that lets an unmodified
+//    SL-Local stack run against the sharded server inside the simulation
+//    engine: remote attestation happens once against the customer's home
+//    shard, and admission is replicated to other shards internally (no
+//    client-visible latency), so a 1-shard deployment behaves exactly like
+//    the paper's serial SL-Remote.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "lease/gateway.hpp"
+#include "lease/remote_shard.hpp"
+
+namespace sl::lease {
+
+class ShardRouter {
+ public:
+  using CustomerId = std::uint64_t;
+  using ClientId = std::uint64_t;
+
+  ShardRouter(const LicenseAuthority& authority, sgx::AttestationService& ias,
+              sgx::Measurement expected_sl_local, std::size_t shard_count,
+              ShardConfig config = {});
+
+  // Stable routing hash; identical across runs, platforms and shard objects.
+  static std::size_t shard_of(CustomerId customer, LeaseId lease,
+                              std::size_t shard_count);
+  std::size_t shard_of(CustomerId customer, LeaseId lease) const;
+  // Lifecycle (init/escrow) shard for a customer's nodes.
+  std::size_t home_shard(CustomerId customer) const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  RemoteShard& shard(std::size_t index) { return *shards_[index]; }
+  const RemoteShard& shard(std::size_t index) const { return *shards_[index]; }
+
+  void provision(CustomerId customer, const LicenseFile& license);
+  void revoke(CustomerId customer, LeaseId lease);
+
+  // Telemetry-only registration for router-level clients (the load
+  // generator and tests); per-shard SLIDs are minted lazily on first use.
+  void register_client(CustomerId customer, ClientId client, double health,
+                       double network);
+
+  // Routes and enqueues one renewal. Returns false when the owning shard's
+  // queue is full (the Overloaded wire response); nothing is queued then and
+  // the piggybacked consumption report is NOT applied.
+  bool submit(CustomerId customer, ClientId client, const LicenseFile& license,
+              std::uint64_t consumed, std::uint64_t ticket);
+
+  struct Completion {
+    std::size_t shard = 0;
+    RenewOutcome outcome;
+  };
+  // Drains every shard (ascending index; deterministic) and returns the
+  // flattened completions.
+  std::vector<Completion> drain_all();
+
+  // Synchronous single renewal on one shard (the gateway path): enqueue +
+  // immediate drain, i.e. a batch of one.
+  SlRemote::RenewResult renew_now(std::size_t shard, Slid slid,
+                                  const LicenseFile& license, double health,
+                                  double network, std::uint64_t consumed);
+
+  std::optional<LeaseLedger> ledger(CustomerId customer, LeaseId lease) const;
+  // Every provisioned lease across all shards, ascending (each lease lives
+  // on exactly one shard, so the merge has no duplicates).
+  std::vector<std::pair<LeaseId, LeaseLedger>> ledgers() const;
+
+  SlRemoteStats aggregate_stats() const;
+  ShardStats aggregate_shard_stats() const;
+  // Furthest shard clock — the virtual wall time of the parallel service.
+  double virtual_seconds() const;
+  // Chained per-shard state digests (ascending shard index).
+  std::uint64_t state_digest();
+
+ private:
+  struct ClientState {
+    double health = 1.0;
+    double network = 1.0;
+    std::unordered_map<std::size_t, Slid> slids;  // shard -> SLID
+  };
+
+  Slid slid_for(CustomerId customer, ClientId client, std::size_t shard);
+
+  std::vector<std::unique_ptr<RemoteShard>> shards_;
+  // Ordered map: deterministic iteration for digests and diagnostics.
+  std::map<std::pair<CustomerId, ClientId>, ClientState> clients_;
+};
+
+// RemoteGateway adapter: one SL-Local's view of the sharded service.
+//
+// Remote attestation runs once, against the customer's home shard, charging
+// the client clock as the serial server would. Registration on other shards
+// is internal replication (admission control re-verifies the cached quote
+// but charges a private clock), so client-visible timing with shard_count=1
+// is bit-for-bit the DirectGateway behavior. Crash/restart semantics hold
+// per shard: a non-graceful re-init is propagated to every shard holding
+// state for the node, forfeiting its outstanding sub-GCLs there
+// (Section 5.7); graceful shutdown splits the unused-count report by owning
+// shard and escrows the root key with the home shard.
+class ShardGateway : public RemoteGateway {
+ public:
+  ShardGateway(ShardRouter& router, ShardRouter::CustomerId customer,
+               net::SimNetwork& network, net::NodeId node, SimClock& clock);
+
+  std::optional<SlRemote::InitResult> init(const sgx::Quote& quote,
+                                           Slid claimed_slid) override;
+  std::optional<SlRemote::RenewResult> renew(Slid slid, const LicenseFile& license,
+                                             double health, double network,
+                                             std::uint64_t consumed) override;
+  bool graceful_shutdown(
+      Slid slid, std::uint64_t root_key,
+      const std::unordered_map<LeaseId, std::uint64_t>& unused) override;
+  bool attest(const sgx::Quote& quote) override;
+
+ private:
+  // Lazy admission: mints this node's SLID on `shard` by re-verifying the
+  // cached init quote (internal, no client-visible latency). Returns 0 when
+  // the node never completed an init.
+  Slid shard_slid(std::size_t shard);
+
+  ShardRouter& router_;
+  ShardRouter::CustomerId customer_;
+  net::SimNetwork& network_;
+  net::NodeId node_;
+  SimClock& clock_;          // client clock: RA latency + link round trips
+  SimClock replica_clock_;   // internal replication; never client-visible
+  std::optional<sgx::Quote> admission_quote_;
+  std::unordered_map<std::size_t, Slid> slids_;  // shard -> SLID
+};
+
+}  // namespace sl::lease

@@ -199,6 +199,13 @@ Slid SlRemote::seed_peer(LeaseId lease, std::uint64_t outstanding, double health
   return slid;
 }
 
+Slid SlRemote::register_peer(double health, double network) {
+  const Slid slid = next_slid_++;
+  locals_[slid] = LocalRecord{.alive = true, .health = health, .network = network};
+  stats_.registrations++;
+  return slid;
+}
+
 void SlRemote::report_consumed(Slid slid, LeaseId lease, std::uint64_t count) {
   auto pool = pools_.find(lease);
   if (pool == pools_.end()) return;

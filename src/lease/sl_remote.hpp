@@ -48,6 +48,8 @@ struct LeaseLedger {
     return pool + outstanding + consumed + forfeited + revoked;
   }
   bool balanced() const { return accounted() == provisioned; }
+
+  bool operator==(const LeaseLedger&) const = default;
 };
 
 class SlRemote {
@@ -103,6 +105,12 @@ class SlRemote {
   // multi-party shared-license setting of Section 5.3). Returns its SLID.
   Slid seed_peer(LeaseId lease, std::uint64_t outstanding, double health,
                  double network);
+
+  // Registers a node without remote attestation and mints its SLID. Used by
+  // the shard router for clients admitted at the routing layer (the load
+  // generator and the differential tests), where RA already happened against
+  // the customer's home shard.
+  Slid register_peer(double health, double network);
 
   RenewalParams& params() { return params_; }
   const SlRemoteStats& stats() const { return stats_; }

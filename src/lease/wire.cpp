@@ -149,14 +149,16 @@ Bytes RenewResponse::serialize() const {
   Bytes out;
   put_u32(out, ok ? 1 : 0);
   put_u64(out, granted);
+  put_u32(out, overloaded ? 1 : 0);
   return out;
 }
 
 std::optional<RenewResponse> RenewResponse::deserialize(ByteView data) {
-  if (data.size() < 12) return std::nullopt;
+  if (data.size() < 16) return std::nullopt;
   RenewResponse response;
   response.ok = get_u32(data, 0) != 0;
   response.granted = get_u64(data, 4);
+  response.overloaded = get_u32(data, 12) != 0;
   return response;
 }
 

@@ -54,6 +54,10 @@ struct RenewRequest {
 struct RenewResponse {
   bool ok = false;
   std::uint64_t granted = 0;
+  // Backpressure from a sharded deployment: the owning shard's bounded
+  // queue was full and the request was never processed — retry later.
+  // The serial server adapter always answers false.
+  bool overloaded = false;
 
   Bytes serialize() const;
   static std::optional<RenewResponse> deserialize(ByteView data);

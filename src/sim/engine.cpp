@@ -6,6 +6,7 @@
 
 #include "common/rng.hpp"
 #include "crypto/murmur.hpp"
+#include "lease/shard_router.hpp"
 #include "lease/sl_local.hpp"
 #include "lease/sl_manager.hpp"
 #include "lease/sl_remote.hpp"
@@ -44,6 +45,10 @@ struct SimulationEngine::Node {
   std::unique_ptr<sgx::SgxRuntime> runtime;
   std::unique_ptr<sgx::Platform> platform;
   std::unique_ptr<lease::UntrustedStore> store;
+  // The node's view of the (possibly sharded) SL-Remote service. Persists
+  // across crash/restart — it models the server-side admission state and
+  // the network path, not enclave memory.
+  std::unique_ptr<lease::ShardGateway> gateway;
   std::unique_ptr<lease::SlLocal> local;
   // Parallel to NodeSpec::licenses; rebuilt on every successful (re)boot.
   std::vector<std::unique_ptr<lease::SlManager>> managers;
@@ -52,17 +57,23 @@ struct SimulationEngine::Node {
   Cycles last_cycles = 0;  // monotone-time oracle state
 };
 
+// Every scenario node belongs to the same customer: the multi-party
+// shared-license setting of Section 5.3, where concurrent requesters of one
+// license must meet on its owning shard.
+constexpr lease::ShardRouter::CustomerId kSimCustomer = 0;
+
 struct SimulationEngine::World {
   sgx::AttestationService ias;
   lease::LicenseAuthority vendor;
-  lease::SlRemote remote;
+  lease::ShardRouter router;
   net::SimNetwork network;
   std::vector<lease::LicenseFile> licenses;
   std::vector<std::unique_ptr<Node>> nodes;
 
   explicit World(const ScenarioSpec& spec)
       : vendor(splitmix64_key(1, spec.seed) | 1),
-        remote(vendor, ias, lease::SlLocal::expected_measurement()),
+        router(vendor, ias, lease::SlLocal::expected_measurement(),
+               std::max<std::uint32_t>(1, spec.shard_count)),
         network(spec.seed) {
     for (std::size_t i = 0; i < spec.licenses.size(); ++i) {
       const LicenseSpec& ls = spec.licenses[i];
@@ -70,7 +81,7 @@ struct SimulationEngine::World {
           ScenarioSpec::lease_id(static_cast<std::uint32_t>(i)),
           ScenarioSpec::product(static_cast<std::uint32_t>(i)), ls.kind,
           ls.total_count, ls.interval_seconds));
-      remote.provision(licenses.back());
+      router.provision(kSimCustomer, licenses.back());
     }
     for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
       const NodeSpec& ns = spec.nodes[i];
@@ -86,13 +97,16 @@ struct SimulationEngine::World {
       node->platform = std::make_unique<sgx::Platform>(*node->runtime, platform_id,
                                                        platform_secret);
       node->store = std::make_unique<lease::UntrustedStore>();
+      node->gateway = std::make_unique<lease::ShardGateway>(
+          router, kSimCustomer, network, static_cast<net::NodeId>(platform_id),
+          node->runtime->clock());
       lease::SlLocalOptions options;
       options.tokens_per_attestation = ns.tokens_per_attestation;
       options.health = ns.health;
       options.keygen_seed = splitmix64_key(0x300 + i, spec.seed) | 1;
       node->local = std::make_unique<lease::SlLocal>(
-          *node->runtime, *node->platform, remote, network,
-          static_cast<net::NodeId>(platform_id), *node->store, options);
+          *node->runtime, *node->platform, *node->gateway, ns.reliability,
+          *node->store, options);
       nodes.push_back(std::move(node));
     }
   }
@@ -204,7 +218,7 @@ void SimulationEngine::execute(const ScenarioEvent& event,
       break;
     }
     case EventKind::kRevoke: {
-      world_->remote.revoke(ScenarioSpec::lease_id(event.index));
+      world_->router.revoke(kSimCustomer, ScenarioSpec::lease_id(event.index));
       stats_.revocations++;
       line += " -> pool=0";
       break;
@@ -250,10 +264,6 @@ void SimulationEngine::execute(const ScenarioEvent& event,
 
 void SimulationEngine::evaluate_oracles(std::size_t event_index,
                                         std::vector<OracleFinding>& failures) {
-  if (auto err = check_conservation(world_->remote)) {
-    failures.push_back({kOracleConservation, *err, event_index});
-  }
-
   std::map<lease::LeaseId, std::uint64_t> executions = retired_executions_;
   for (const auto& node : world_->nodes) {
     for (const auto& manager : node->managers) {
@@ -268,8 +278,19 @@ void SimulationEngine::evaluate_oracles(std::size_t event_index,
           ScenarioSpec::lease_id(static_cast<std::uint32_t>(i)));
     }
   }
-  if (auto err = check_double_spend(world_->remote, executions, count_based)) {
-    failures.push_back({kOracleDoubleSpend, *err, event_index});
+  // Conservation and double-spend hold shard-locally: every lease lives on
+  // exactly one shard, and check_double_spend skips leases a shard never
+  // provisioned.
+  const bool sharded = world_->router.shard_count() > 1;
+  for (std::size_t s = 0; s < world_->router.shard_count(); ++s) {
+    const lease::SlRemote& remote = world_->router.shard(s).remote();
+    const std::string prefix = sharded ? format("shard %zu: ", s) : "";
+    if (auto err = check_conservation(remote)) {
+      failures.push_back({kOracleConservation, prefix + *err, event_index});
+    }
+    if (auto err = check_double_spend(remote, executions, count_based)) {
+      failures.push_back({kOracleDoubleSpend, prefix + *err, event_index});
+    }
   }
 
   for (std::size_t i = 0; i < world_->nodes.size(); ++i) {
@@ -311,7 +332,7 @@ SimulationResult SimulationEngine::run() {
     evaluate_oracles(i, result.failures);
   }
 
-  const lease::SlRemoteStats& remote_stats = world_->remote.stats();
+  const lease::SlRemoteStats remote_stats = world_->router.aggregate_stats();
   stats_.renewals = remote_stats.renewals;
   stats_.renewals_denied = remote_stats.renewals_denied;
   stats_.forfeited_gcls = remote_stats.forfeited_gcls;
@@ -319,9 +340,7 @@ SimulationResult SimulationEngine::run() {
 
   result.stats = stats_;
   result.passed = result.failures.empty();
-  for (const lease::LeaseId lease : world_->remote.provisioned_leases()) {
-    result.ledgers.emplace_back(lease, *world_->remote.ledger(lease));
-  }
+  result.ledgers = world_->router.ledgers();
   std::uint64_t fingerprint = spec_.seed;
   for (const std::string& line : result.trace) {
     fingerprint = crypto::murmur3_64(to_bytes(line), fingerprint);

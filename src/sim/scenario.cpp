@@ -222,6 +222,10 @@ std::string describe(const ScenarioSpec& spec) {
                 static_cast<unsigned long long>(spec.seed), spec.nodes.size(),
                 spec.licenses.size(), spec.schedule.size());
   out += buffer;
+  if (spec.shard_count > 1) {
+    std::snprintf(buffer, sizeof(buffer), "  shards=%u\n", spec.shard_count);
+    out += buffer;
+  }
   for (std::size_t i = 0; i < spec.licenses.size(); ++i) {
     const LicenseSpec& license = spec.licenses[i];
     std::snprintf(buffer, sizeof(buffer),

@@ -57,6 +57,10 @@ struct LicenseSpec {
 
 struct ScenarioSpec {
   std::uint64_t seed = 0;  // seeds the network, key generators and tampering
+  // SL-Remote shard count (1 = the paper's serial server). The engine routes
+  // every node through the shard router either way; >1 exercises the
+  // sharded deployment under the same fault schedules.
+  std::uint32_t shard_count = 1;
   std::vector<NodeSpec> nodes;
   std::vector<LicenseSpec> licenses;
   std::vector<ScenarioEvent> schedule;

@@ -1,0 +1,193 @@
+// Batching-equivalence oracle (ISSUE 3): coalescing K concurrent renewals
+// of one license into a single tree commit must be semantically invisible.
+// The batched shard, the unbatched shard, and a strictly serial
+// one-request-per-drain shard must all produce the same grant decisions,
+// the same ledgers and the same committed record content (state digest,
+// which folds in the durable record's integrity hash) — only the number of
+// encrypt-and-hash commits may differ.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lease/remote_shard.hpp"
+#include "lease/sl_local.hpp"
+#include "sgxsim/attestation.hpp"
+
+using namespace sl;
+using namespace sl::lease;
+
+namespace {
+
+constexpr std::uint64_t kPinnedSeeds[] = {11, 23, 47};
+constexpr LeaseId kLease = 700;
+constexpr LeaseId kOtherLease = 701;
+
+struct Fixture {
+  sgx::AttestationService ias;
+  LicenseAuthority vendor;
+  RemoteShard shard;
+  LicenseFile license;
+  LicenseFile other_license;
+  std::vector<Slid> slids;
+
+  Fixture(std::uint64_t seed, bool batching, std::size_t peers)
+      : vendor(splitmix64_key(1, seed) | 1),
+        shard(vendor, ias, SlLocal::expected_measurement(),
+              [&] {
+                ShardConfig config;
+                config.batching = batching;
+                config.queue_capacity = 4096;
+                return config;
+              }()) {
+    license = vendor.issue(kLease, "batch/0", LeaseKind::kCountBased, 50'000);
+    other_license =
+        vendor.issue(kOtherLease, "batch/1", LeaseKind::kCountBased, 50'000);
+    shard.provision(license);
+    shard.provision(other_license);
+    Rng rng(seed);
+    for (std::size_t i = 0; i < peers; ++i) {
+      slids.push_back(shard.remote().register_peer(
+          0.8 + 0.2 * rng.next_double(), 0.7 + 0.3 * rng.next_double()));
+    }
+  }
+
+  PendingRenew request(std::uint64_t ticket, std::size_t peer,
+                       const LicenseFile& file, std::uint64_t consumed = 0) {
+    PendingRenew r;
+    r.ticket = ticket;
+    r.slid = slids[peer];
+    r.license = file;
+    r.consumed = consumed;
+    return r;
+  }
+};
+
+// Drives `rounds` rounds of K concurrent same-license renewals; mode 0 =
+// batched drain, 1 = unbatched drain, 2 = serial (drain after every single
+// enqueue — the pre-batching server behavior).
+std::vector<RenewOutcome> drive(Fixture& fx, int mode, std::uint64_t rounds,
+                                std::size_t k) {
+  std::vector<RenewOutcome> all;
+  std::vector<std::uint64_t> consumed(fx.slids.size(), 0);
+  std::uint64_t ticket = 0;
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t peer = i % fx.slids.size();
+      EXPECT_TRUE(fx.shard.enqueue(
+          fx.request(ticket++, peer, fx.license, consumed[peer])))
+          << "mode " << mode;
+      consumed[peer] = 0;
+      if (mode == 2) {
+        for (const RenewOutcome& out : fx.shard.drain()) all.push_back(out);
+      }
+    }
+    if (mode != 2) {
+      for (const RenewOutcome& out : fx.shard.drain()) all.push_back(out);
+    }
+    // Closed loop: each peer's next report is its latest grant this round.
+    for (auto it = all.end() - static_cast<std::ptrdiff_t>(k); it != all.end();
+         ++it) {
+      if (it->status == RenewStatus::kGranted) {
+        consumed[it->ticket % fx.slids.size()] = it->granted;
+      }
+    }
+  }
+  return all;
+}
+
+void expect_same_decisions(const std::vector<RenewOutcome>& a,
+                           const std::vector<RenewOutcome>& b,
+                           const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ticket, b[i].ticket) << context << " index " << i;
+    EXPECT_EQ(a[i].status, b[i].status) << context << " index " << i;
+    EXPECT_EQ(a[i].granted, b[i].granted) << context << " index " << i;
+  }
+}
+
+}  // namespace
+
+TEST(BatchingEquivalence, CoalescedEqualsSerialDecisionsAndDigest) {
+  for (const std::uint64_t seed : kPinnedSeeds) {
+    const std::uint64_t rounds = 8;
+    const std::size_t k = 6;
+    Fixture batched(seed, /*batching=*/true, /*peers=*/3);
+    Fixture unbatched(seed, /*batching=*/false, /*peers=*/3);
+    Fixture serial(seed, /*batching=*/true, /*peers=*/3);
+
+    const auto batched_out = drive(batched, 0, rounds, k);
+    const auto unbatched_out = drive(unbatched, 1, rounds, k);
+    const auto serial_out = drive(serial, 2, rounds, k);
+
+    const std::string context = "seed " + std::to_string(seed);
+    expect_same_decisions(batched_out, unbatched_out, context + " vs unbatched");
+    expect_same_decisions(batched_out, serial_out, context + " vs serial");
+
+    // Same durable state: ledgers + committed record hashes.
+    EXPECT_EQ(batched.shard.state_digest(), unbatched.shard.state_digest())
+        << context;
+    EXPECT_EQ(batched.shard.state_digest(), serial.shard.state_digest())
+        << context;
+
+    // The whole point of the batcher: one commit per K-request group
+    // (provisioning commits are not counted as batches).
+    EXPECT_EQ(batched.shard.stats().batches, rounds) << context;
+    EXPECT_EQ(serial.shard.stats().batches, rounds * k) << context;
+    EXPECT_EQ(unbatched.shard.stats().batches, rounds * k) << context;
+    EXPECT_EQ(batched.shard.stats().processed, rounds * k) << context;
+  }
+}
+
+TEST(BatchingEquivalence, MixedLicensesGroupPerLicense) {
+  Fixture fx(23, /*batching=*/true, /*peers=*/4);
+  // 4 renewals of lease A and 3 of lease B interleaved in one drain: two
+  // groups, two commits, FIFO order preserved within each license.
+  ASSERT_TRUE(fx.shard.enqueue(fx.request(0, 0, fx.license)));
+  ASSERT_TRUE(fx.shard.enqueue(fx.request(1, 1, fx.other_license)));
+  ASSERT_TRUE(fx.shard.enqueue(fx.request(2, 2, fx.license)));
+  ASSERT_TRUE(fx.shard.enqueue(fx.request(3, 3, fx.other_license)));
+  ASSERT_TRUE(fx.shard.enqueue(fx.request(4, 0, fx.license)));
+  ASSERT_TRUE(fx.shard.enqueue(fx.request(5, 1, fx.other_license)));
+  ASSERT_TRUE(fx.shard.enqueue(fx.request(6, 2, fx.license)));
+
+  const std::uint64_t batches_before = fx.shard.stats().batches;
+  const std::vector<RenewOutcome> outcomes = fx.shard.drain();
+  ASSERT_EQ(outcomes.size(), 7u);
+  EXPECT_EQ(fx.shard.stats().batches - batches_before, 2u);
+
+  // Group order is first-appearance: all lease-A outcomes (tickets 0,2,4,6)
+  // before all lease-B outcomes (1,3,5).
+  const std::vector<std::uint64_t> expected = {0, 2, 4, 6, 1, 3, 5};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(outcomes[i].ticket, expected[i]) << "index " << i;
+  }
+}
+
+TEST(BatchingEquivalence, OverloadedQueueRejectsBeyondCapacity) {
+  sgx::AttestationService ias;
+  const LicenseAuthority vendor(splitmix64_key(1, 47) | 1);
+  ShardConfig config;
+  config.queue_capacity = 3;
+  RemoteShard shard(vendor, ias, SlLocal::expected_measurement(), config);
+  const LicenseFile license =
+      vendor.issue(kLease, "batch/0", LeaseKind::kCountBased, 1'000);
+  shard.provision(license);
+  const Slid slid = shard.remote().register_peer(1.0, 1.0);
+
+  PendingRenew r;
+  r.slid = slid;
+  r.license = license;
+  EXPECT_TRUE(shard.enqueue(r));
+  EXPECT_TRUE(shard.enqueue(r));
+  EXPECT_TRUE(shard.enqueue(r));
+  EXPECT_FALSE(shard.enqueue(r));  // capacity 3: the 4th is shed
+  EXPECT_EQ(shard.stats().overloads, 1u);
+  EXPECT_EQ(shard.pending(), 3u);
+
+  // The shed request was never processed: draining serves exactly 3.
+  EXPECT_EQ(shard.drain().size(), 3u);
+  EXPECT_TRUE(shard.enqueue(r));  // capacity freed
+}

@@ -1,0 +1,200 @@
+// Property-based GCL tests (ISSUE 3): random operation sequences checked
+// against a plain-integer model. The GCL is the unit of value everything
+// else conserves (ledger double-entry, escrow, sharding), so its own
+// arithmetic must be airtight: conservation across credit/consume/take_all/
+// revoke, non-negativity, exact serialize round-trips, and the time-kind
+// burn law (floor(elapsed / interval), never negative, never re-minting).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "lease/gcl.hpp"
+
+using namespace sl;
+using namespace sl::lease;
+
+namespace {
+
+constexpr std::uint64_t kPinnedSeeds[] = {11, 23, 47};
+
+}  // namespace
+
+TEST(GclProperties, CountBasedMatchesIntegerModel) {
+  for (const std::uint64_t seed : kPinnedSeeds) {
+    Rng rng(seed);
+    const std::uint64_t initial = 1 + rng.next_below(10'000);
+    Gcl gcl(LeaseKind::kCountBased, initial);
+
+    // Double-entry model: every count is in exactly one bucket.
+    std::uint64_t model = initial;
+    std::uint64_t credited = 0;
+    std::uint64_t consumed = 0;
+    std::uint64_t taken = 0;
+    std::uint64_t revoked = 0;
+
+    for (int step = 0; step < 2'000; ++step) {
+      switch (rng.next_below(5)) {
+        case 0: {  // credit
+          const std::uint64_t n = rng.next_below(500);
+          gcl.credit(n);
+          model += n;
+          credited += n;
+          break;
+        }
+        case 1:
+        case 2: {  // try_consume: all-or-nothing
+          const std::uint64_t n = rng.next_below(800);
+          const std::uint64_t got = gcl.try_consume(n);
+          if (model >= n && n > 0) {
+            EXPECT_EQ(got, n) << "seed " << seed << " step " << step;
+            model -= n;
+            consumed += n;
+          } else if (n > 0) {
+            EXPECT_EQ(got, 0u) << "seed " << seed << " step " << step;
+          }
+          break;
+        }
+        case 3: {  // take_all (graceful-shutdown escrow path)
+          const std::uint64_t got = gcl.take_all();
+          EXPECT_EQ(got, model) << "seed " << seed << " step " << step;
+          taken += got;
+          model = 0;
+          break;
+        }
+        case 4: {  // time passing never touches a count-based lease
+          gcl.advance_time(static_cast<double>(step) * 1'000.0,
+                           rng.next_bool(0.5));
+          break;
+        }
+      }
+      ASSERT_EQ(gcl.count(), model) << "seed " << seed << " step " << step;
+      ASSERT_EQ(gcl.expired(), model == 0) << "seed " << seed;
+      // Conservation: nothing minted, nothing destroyed.
+      ASSERT_EQ(initial + credited, consumed + taken + revoked + model)
+          << "seed " << seed << " step " << step;
+    }
+
+    // Final revocation closes the books.
+    revoked += gcl.count();
+    gcl.revoke();
+    model = 0;
+    EXPECT_TRUE(gcl.expired());
+    EXPECT_EQ(gcl.try_consume(1), 0u);
+    EXPECT_EQ(initial + credited, consumed + taken + revoked) << "seed " << seed;
+  }
+}
+
+TEST(GclProperties, SerializeRoundTripIsExact) {
+  for (const std::uint64_t seed : kPinnedSeeds) {
+    Rng rng(seed);
+    for (int i = 0; i < 200; ++i) {
+      const auto kind = static_cast<LeaseKind>(rng.next_below(4));
+      // Interval and watermark are quantized to whole milliseconds on the
+      // wire; whole-second values survive that quantization exactly, so the
+      // round-trip must be bit-identical (operator== compares all state).
+      const double interval = static_cast<double>(1 + rng.next_below(86'400));
+      Gcl gcl(kind, rng.next_below(1'000'000), interval);
+      gcl.advance_time(static_cast<double>(rng.next_below(1'000'000)),
+                       rng.next_bool(0.5));
+      gcl.try_consume(rng.next_below(100));
+
+      const Bytes wire = gcl.serialize();
+      ASSERT_EQ(wire.size(), Gcl::kSerializedSize);
+      const auto back = Gcl::deserialize(wire);
+      ASSERT_TRUE(back.has_value()) << "seed " << seed << " case " << i;
+      EXPECT_EQ(*back, gcl) << "seed " << seed << " case " << i;
+
+      // Strict prefixes must be rejected, never zero-filled.
+      for (std::size_t len = 0; len < wire.size(); ++len) {
+        EXPECT_FALSE(
+            Gcl::deserialize(ByteView(wire.data(), len)).has_value())
+            << "prefix " << len;
+      }
+    }
+  }
+  // Unknown kind tag is rejected.
+  Bytes bogus = Gcl(LeaseKind::kCountBased, 5).serialize();
+  bogus[0] = 0x7f;
+  EXPECT_FALSE(Gcl::deserialize(bogus).has_value());
+}
+
+TEST(GclProperties, TimeBasedBurnFollowsFloorLaw) {
+  for (const std::uint64_t seed : kPinnedSeeds) {
+    Rng rng(seed);
+    const std::uint64_t initial = 1 + rng.next_below(200);
+    const double interval = static_cast<double>(1 + rng.next_below(100));
+    Gcl gcl(LeaseKind::kTimeBased, initial, interval);
+
+    double now = 0.0;
+    std::uint64_t previous = gcl.count();
+    for (int step = 0; step < 500; ++step) {
+      // Random forward (or occasionally backward — must be a no-op) steps.
+      if (rng.next_bool(0.1)) {
+        gcl.advance_time(now - rng.next_double() * interval);
+      } else {
+        now += rng.next_double() * 3.0 * interval;
+        gcl.advance_time(now);
+      }
+      // Burn law: exactly floor(now / interval) intervals consumed in
+      // total, saturating at zero. The watermark advances in whole
+      // intervals, so fractional elapsed time is never lost or double
+      // counted across calls.
+      const auto burned = static_cast<std::uint64_t>(now / interval);
+      const std::uint64_t expected = initial - std::min(initial, burned);
+      ASSERT_EQ(gcl.count(), expected)
+          << "seed " << seed << " step " << step << " now " << now;
+      ASSERT_LE(gcl.count(), previous) << "count must never grow";
+      previous = gcl.count();
+    }
+  }
+}
+
+TEST(GclProperties, ExecutionTimeBurnsOnlyWhileExecuting) {
+  for (const std::uint64_t seed : kPinnedSeeds) {
+    Rng rng(seed);
+    const double interval = 10.0;
+    Gcl gcl(LeaseKind::kExecutionTime, 50, interval);
+
+    double now = 0.0;
+    std::uint64_t previous = gcl.count();
+    for (int step = 0; step < 300; ++step) {
+      now += rng.next_double() * 2.0 * interval;
+      const bool executing = rng.next_bool(0.5);
+      gcl.advance_time(now, executing);
+      if (!executing) {
+        // Idle wall time never burns an execution-time lease.
+        ASSERT_EQ(gcl.count(), previous) << "seed " << seed << " step " << step;
+      } else {
+        ASSERT_LE(gcl.count(), previous) << "seed " << seed << " step " << step;
+      }
+      previous = gcl.count();
+    }
+    // While valid it gates on expiry only: consumption is unmetered.
+    if (!gcl.expired()) EXPECT_EQ(gcl.try_consume(7), 7u);
+  }
+}
+
+TEST(GclProperties, ExpiryGatesEveryKind) {
+  Gcl perpetual(LeaseKind::kPerpetual, 0);  // count forced to 1
+  EXPECT_FALSE(perpetual.expired());
+  EXPECT_EQ(perpetual.try_consume(1'000), 1'000u);
+  perpetual.revoke();
+  EXPECT_TRUE(perpetual.expired());
+  EXPECT_EQ(perpetual.try_consume(1), 0u);
+
+  Gcl timed(LeaseKind::kTimeBased, 3, 1.0);
+  timed.advance_time(2.5);
+  EXPECT_EQ(timed.count(), 1u);
+  EXPECT_EQ(timed.try_consume(9), 9u);  // still valid: expiry-gated
+  timed.advance_time(10.0);
+  EXPECT_TRUE(timed.expired());
+  EXPECT_EQ(timed.try_consume(1), 0u);
+
+  Gcl counted(LeaseKind::kCountBased, 2);
+  EXPECT_EQ(counted.try_consume(3), 0u);  // all-or-nothing
+  EXPECT_EQ(counted.try_consume(2), 2u);
+  EXPECT_TRUE(counted.expired());
+  EXPECT_EQ(counted.try_consume(1), 0u);
+}

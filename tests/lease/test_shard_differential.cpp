@@ -1,0 +1,205 @@
+// Differential oracle for the sharded SL-Remote: the same seeded request
+// trace replayed through an N-shard router and through the 1-shard reference
+// must produce identical grant/deny decisions, identical per-license
+// ledgers (so identical remaining counts) and conserve every provisioned
+// GCL. Sharding is a placement decision — it must never change paper
+// semantics, only where a lease's state lives.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lease/shard_router.hpp"
+#include "lease/sl_local.hpp"
+#include "sgxsim/attestation.hpp"
+
+using namespace sl;
+using namespace sl::lease;
+
+namespace {
+
+constexpr std::uint64_t kPinnedSeeds[] = {11, 23, 47};
+
+struct TraceParams {
+  std::uint64_t seed = 1;
+  std::size_t shards = 1;
+  std::size_t clients = 12;
+  std::size_t tenants = 5;  // each owns one license; clients round-robin
+  std::uint64_t rounds = 20;
+  std::uint64_t license_total = 100'000;
+  std::size_t queue_capacity = 1024;
+  // Revoke tenant 0's license at the start of this round (-1 = never).
+  int revoke_round = -1;
+};
+
+struct TraceResult {
+  // ticket -> (status, granted): the client-visible decision stream.
+  std::map<std::uint64_t, std::pair<RenewStatus, std::uint64_t>> outcomes;
+  std::vector<std::pair<LeaseId, LeaseLedger>> ledgers;
+  std::uint64_t accepted = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t processed = 0;
+};
+
+TraceResult run_trace(const TraceParams& p) {
+  sgx::AttestationService ias;
+  const LicenseAuthority vendor(splitmix64_key(1, p.seed) | 1);
+  ShardConfig config;
+  config.queue_capacity = p.queue_capacity;
+  ShardRouter router(vendor, ias, SlLocal::expected_measurement(), p.shards,
+                     config);
+
+  std::vector<LicenseFile> licenses;
+  for (std::size_t t = 0; t < p.tenants; ++t) {
+    licenses.push_back(vendor.issue(static_cast<LeaseId>(500 + t),
+                                    "diff/" + std::to_string(t),
+                                    LeaseKind::kCountBased, p.license_total));
+    router.provision(/*customer=*/t + 1, licenses.back());
+  }
+
+  struct Client {
+    std::size_t tenant = 0;
+    std::uint64_t pending_consume = 0;
+  };
+  Rng rng(p.seed);
+  std::vector<Client> clients(p.clients);
+  for (std::size_t c = 0; c < clients.size(); ++c) {
+    clients[c].tenant = c % p.tenants;
+    router.register_client(clients[c].tenant + 1, c,
+                           0.8 + 0.2 * rng.next_double(),
+                           0.7 + 0.3 * rng.next_double());
+  }
+
+  TraceResult result;
+  for (std::uint64_t round = 0; round < p.rounds; ++round) {
+    if (p.revoke_round >= 0 &&
+        round == static_cast<std::uint64_t>(p.revoke_round)) {
+      router.revoke(/*customer=*/1, licenses[0].lease_id);
+    }
+    for (std::size_t c = 0; c < clients.size(); ++c) {
+      Client& client = clients[c];
+      const std::uint64_t ticket = round * clients.size() + c;
+      if (router.submit(client.tenant + 1, c, licenses[client.tenant],
+                        client.pending_consume, ticket)) {
+        result.accepted++;
+        client.pending_consume = 0;
+      } else {
+        result.overloaded++;
+      }
+    }
+    for (const ShardRouter::Completion& done : router.drain_all()) {
+      result.processed++;
+      result.outcomes[done.outcome.ticket] = {done.outcome.status,
+                                              done.outcome.granted};
+      if (done.outcome.status == RenewStatus::kGranted) {
+        clients[done.outcome.ticket % clients.size()].pending_consume =
+            done.outcome.granted;
+      }
+    }
+  }
+  result.ledgers = router.ledgers();
+  return result;
+}
+
+void expect_equal_ledgers(
+    const std::vector<std::pair<LeaseId, LeaseLedger>>& reference,
+    const std::vector<std::pair<LeaseId, LeaseLedger>>& sharded,
+    const std::string& context) {
+  ASSERT_EQ(reference.size(), sharded.size()) << context;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const auto& [lease, ref] = reference[i];
+    const auto& [got_lease, got] = sharded[i];
+    EXPECT_EQ(lease, got_lease) << context;
+    EXPECT_EQ(ref.provisioned, got.provisioned) << context << " lease " << lease;
+    EXPECT_EQ(ref.pool, got.pool) << context << " lease " << lease;
+    EXPECT_EQ(ref.outstanding, got.outstanding) << context << " lease " << lease;
+    EXPECT_EQ(ref.consumed, got.consumed) << context << " lease " << lease;
+    EXPECT_EQ(ref.forfeited, got.forfeited) << context << " lease " << lease;
+    EXPECT_EQ(ref.revoked, got.revoked) << context << " lease " << lease;
+    EXPECT_TRUE(got.balanced()) << context << " lease " << lease;
+  }
+}
+
+}  // namespace
+
+TEST(ShardDifferential, ShardedMatchesSerialReference) {
+  for (const std::uint64_t seed : kPinnedSeeds) {
+    TraceParams params;
+    params.seed = seed;
+    const TraceResult reference = run_trace(params);
+    ASSERT_EQ(reference.overloaded, 0u) << "seed " << seed;
+    ASSERT_EQ(reference.processed, reference.accepted) << "seed " << seed;
+
+    for (const std::size_t shards : {2u, 4u, 8u}) {
+      TraceParams sharded_params = params;
+      sharded_params.shards = shards;
+      const TraceResult sharded = run_trace(sharded_params);
+      const std::string context =
+          "seed " + std::to_string(seed) + " shards " + std::to_string(shards);
+      EXPECT_EQ(sharded.overloaded, 0u) << context;
+      EXPECT_EQ(sharded.outcomes, reference.outcomes) << context;
+      expect_equal_ledgers(reference.ledgers, sharded.ledgers, context);
+    }
+  }
+}
+
+TEST(ShardDifferential, MidTraceRevocationStaysEquivalent) {
+  for (const std::uint64_t seed : kPinnedSeeds) {
+    TraceParams params;
+    params.seed = seed;
+    params.revoke_round = static_cast<int>(params.rounds / 2);
+    const TraceResult reference = run_trace(params);
+
+    // The revocation must actually bite: tenant 0's ledger ends with a
+    // non-empty revoked bucket and an empty pool.
+    ASSERT_FALSE(reference.ledgers.empty());
+    EXPECT_GT(reference.ledgers.front().second.revoked, 0u) << "seed " << seed;
+    EXPECT_EQ(reference.ledgers.front().second.pool, 0u) << "seed " << seed;
+
+    for (const std::size_t shards : {2u, 4u, 8u}) {
+      TraceParams sharded_params = params;
+      sharded_params.shards = shards;
+      const TraceResult sharded = run_trace(sharded_params);
+      const std::string context =
+          "seed " + std::to_string(seed) + " shards " + std::to_string(shards);
+      EXPECT_EQ(sharded.outcomes, reference.outcomes) << context;
+      expect_equal_ledgers(reference.ledgers, sharded.ledgers, context);
+    }
+  }
+}
+
+TEST(ShardDifferential, ReplayIsDeterministic) {
+  for (const std::uint64_t seed : kPinnedSeeds) {
+    for (const std::size_t shards : {1u, 4u}) {
+      TraceParams params;
+      params.seed = seed;
+      params.shards = shards;
+      const TraceResult first = run_trace(params);
+      const TraceResult second = run_trace(params);
+      EXPECT_EQ(first.outcomes, second.outcomes)
+          << "seed " << seed << " shards " << shards;
+      expect_equal_ledgers(first.ledgers, second.ledgers,
+                           "determinism seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(ShardDifferential, BackpressureRejectsWithoutLeakingCounts) {
+  TraceParams params;
+  params.seed = 23;
+  params.shards = 2;
+  params.clients = 24;
+  params.queue_capacity = 4;  // far below the per-round offered load
+  const TraceResult result = run_trace(params);
+
+  EXPECT_GT(result.overloaded, 0u);
+  // Every accepted request was processed; every rejected one left no trace.
+  EXPECT_EQ(result.processed, result.accepted);
+  EXPECT_EQ(result.outcomes.size(), result.accepted);
+  for (const auto& [lease, ledger] : result.ledgers) {
+    EXPECT_TRUE(ledger.balanced()) << "lease " << lease;
+  }
+}

@@ -2,6 +2,9 @@
 // one of which must satisfy all four invariant oracles.
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "sim/engine.hpp"
 #include "sim/scenario.hpp"
 
@@ -44,6 +47,42 @@ TEST(RandomScenarios, TamperingScenariosOnlyEverTripTheIntegrityOracle) {
   }
   // Most tampered schedules must actually be detected.
   EXPECT_GT(detections, 10u);
+}
+
+TEST(RandomScenarios, ShardedServersSatisfyAllOraclesToo) {
+  // The same mixed-fault schedules replayed against a 2- and 8-shard
+  // SL-Remote: sharding is a placement decision, so every oracle that holds
+  // at 1 shard must hold at N, and the client-visible ledgers must agree
+  // exactly across shard counts.
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const ScenarioSpec base = generate_scenario(seed);
+    std::vector<std::pair<lease::LeaseId, lease::LeaseLedger>> reference;
+    for (const std::uint32_t shards : {1u, 2u, 8u}) {
+      ScenarioSpec spec = base;
+      spec.shard_count = shards;
+      const SimulationResult result = run_scenario(spec);
+      ASSERT_TRUE(result.passed)
+          << "seed " << seed << " shards " << shards << " violated "
+          << result.failures[0].oracle << ": " << result.failures[0].detail
+          << "\n" << describe(spec);
+      for (const auto& [lease, ledger] : result.ledgers) {
+        ASSERT_TRUE(ledger.balanced())
+            << "seed " << seed << " shards " << shards << " lease " << lease;
+      }
+      if (shards == 1) {
+        reference = result.ledgers;
+      } else {
+        ASSERT_EQ(result.ledgers.size(), reference.size())
+            << "seed " << seed << " shards " << shards;
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+          EXPECT_EQ(result.ledgers[i].first, reference[i].first);
+          EXPECT_EQ(result.ledgers[i].second, reference[i].second)
+              << "seed " << seed << " shards " << shards << " lease "
+              << reference[i].first;
+        }
+      }
+    }
+  }
 }
 
 TEST(RandomScenarios, LargerScenariosStayBalancedToo) {

@@ -33,6 +33,7 @@
 #include "cfg/dot.hpp"
 #include "cfg/dot_parse.hpp"
 #include "core/securelease.hpp"
+#include "lease/loadgen.hpp"
 #include "sim/engine.hpp"
 #include "sim/shrink.hpp"
 
@@ -503,6 +504,86 @@ int cmd_simulate_dst(int argc, char** argv) {
   return 3;
 }
 
+// --- loadgen (sharded SL-Remote closed-loop load generator) ------------------
+
+// `securelease loadgen --shards N --clients M --seed S [opts]`: run the
+// closed-loop renewal workload against an N-shard SL-Remote and report
+// virtual-time throughput/latency. Exits 4 when --fail-on-overload is set
+// and any request was rejected by backpressure (the CI smoke gate).
+int cmd_loadgen(int argc, char** argv) {
+  lease::LoadgenConfig config;
+  std::string json_path;
+  bool fail_on_overload = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--shards" && i + 1 < argc) {
+      config.shards = std::strtoull(argv[++i], nullptr, 0);
+    } else if (flag == "--clients" && i + 1 < argc) {
+      config.clients = std::strtoull(argv[++i], nullptr, 0);
+    } else if (flag == "--seed" && i + 1 < argc) {
+      config.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (flag == "--rounds" && i + 1 < argc) {
+      config.rounds = std::strtoull(argv[++i], nullptr, 0);
+    } else if (flag == "--licenses" && i + 1 < argc) {
+      config.licenses = std::strtoull(argv[++i], nullptr, 0);
+    } else if (flag == "--capacity" && i + 1 < argc) {
+      config.queue_capacity = std::strtoull(argv[++i], nullptr, 0);
+    } else if (flag == "--no-batching") {
+      config.batching = false;
+    } else if (flag == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (flag == "--fail-on-overload") {
+      fail_on_overload = true;
+    } else {
+      std::fprintf(stderr, "unknown loadgen option '%s'\n", flag.c_str());
+      return 1;
+    }
+  }
+  if (config.shards == 0 || config.clients == 0 || config.rounds == 0) {
+    std::fprintf(stderr, "loadgen: --shards/--clients/--rounds must be >= 1\n");
+    return 1;
+  }
+  const lease::LoadgenMetrics m = lease::run_loadgen(config);
+  std::printf("loadgen: shards=%zu clients=%zu licenses=%zu rounds=%llu "
+              "seed=%llu batching=%s\n",
+              config.shards, config.clients, config.licenses,
+              (unsigned long long)config.rounds,
+              (unsigned long long)config.seed,
+              config.batching ? "on" : "off");
+  std::printf("  processed=%llu (granted=%llu denied=%llu) overloaded=%llu "
+              "batches=%llu\n",
+              (unsigned long long)m.processed, (unsigned long long)m.granted,
+              (unsigned long long)m.denied, (unsigned long long)m.overloaded,
+              (unsigned long long)m.batches);
+  std::printf("  virtual time %.6fs -> %.1f renewals/vsec, latency p50=%.1fus "
+              "p99=%.1fus\n",
+              m.virtual_seconds, m.throughput, m.p50_micros, m.p99_micros);
+  std::printf("  ledgers: %s   state digest: %016llx\n",
+              m.ledgers_balanced ? "balanced" : "IMBALANCED",
+              (unsigned long long)m.state_digest);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\n  \"bench\": \"remote_load\",\n  \"runs\": [\n    "
+        << lease::loadgen_json(m) << "\n  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!m.ledgers_balanced) {
+    std::fprintf(stderr, "loadgen: conservation ledger imbalance\n");
+    return 4;
+  }
+  if (fail_on_overload && m.overloaded > 0) {
+    std::fprintf(stderr,
+                 "loadgen: %llu Overloaded responses at nominal load\n",
+                 (unsigned long long)m.overloaded);
+    return 4;
+  }
+  return 0;
+}
+
 void usage() {
   std::printf(
       "securelease <command> [args]\n"
@@ -516,6 +597,18 @@ void usage() {
       "    --trace             print the per-event trace\n"
       "    --tamper            inject untrusted-store tampering events\n"
       "    --shrink            on failure, ddmin-minimize the schedule\n"
+      "  loadgen [opts]               closed-loop load against the sharded\n"
+      "                               SL-Remote; exits 4 on overload with\n"
+      "                               --fail-on-overload or ledger imbalance\n"
+      "    --shards <N>        shard count (default 1)\n"
+      "    --clients <M>       closed-loop clients (default 64)\n"
+      "    --licenses <L>      tenant licenses (default 16)\n"
+      "    --rounds <R>        rounds (default 50)\n"
+      "    --seed <S>          workload seed (default 1)\n"
+      "    --capacity <Q>      per-shard queue capacity (default 128)\n"
+      "    --no-batching       one tree commit per renewal\n"
+      "    --json <path>       write BENCH_remote.json-style output\n"
+      "    --fail-on-overload  exit 4 if any request was rejected\n"
       "  e2e <workload> [scheme]      end-to-end incl. lease traffic\n"
       "  attack [protection]          CFB attack (software|enclave-am|securelease)\n"
       "  dot <workload> <out.dot>     write clustered call graph\n"
@@ -552,6 +645,7 @@ int main(int argc, char** argv) {
     if (command == "e2e" && argc >= 3) {
       return cmd_e2e(argv[2], argc >= 4 ? argv[3] : "securelease");
     }
+    if (command == "loadgen") return cmd_loadgen(argc, argv);
     if (command == "attack") return cmd_attack(argc >= 3 ? argv[2] : "");
     if (command == "dot" && argc >= 4) return cmd_dot(argv[2], argv[3]);
     if (command == "audit" && argc >= 3) {
