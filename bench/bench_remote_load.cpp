@@ -59,7 +59,33 @@ int main(int argc, char** argv) {
                                   : 0.0,
               batched.throughput, unbatched.throughput);
 
+  // Durability cost: the same 4-shard workload with the sealed write-ahead
+  // journal, group commit and checkpointing enabled. The acceptance gate is
+  // throughput within 1.5x of the in-memory shard — the group commit must
+  // amortize the per-record seal + sync cost.
+  lease::LoadgenConfig durable = base;
+  durable.shards = 4;
+  durable.journaling = true;
+  const lease::LoadgenMetrics journaled = lease::run_loadgen(durable);
+  const double overhead = journaled.throughput > 0.0
+                              ? batched.throughput / journaled.throughput
+                              : 0.0;
+  std::printf("\njournaling at 4 shards: %.1f vs %.1f renewals/vsec "
+              "(%.2fx overhead), %llu checkpoints\n",
+              journaled.throughput, batched.throughput, overhead,
+              (unsigned long long)journaled.checkpoints);
+
   bool ok = true;
+  if (overhead <= 0.0 || overhead > 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: journaling overhead %.2fx exceeds the 1.5x budget\n",
+                 overhead);
+    ok = false;
+  }
+  if (!journaled.ledgers_balanced) {
+    std::fprintf(stderr, "FAIL: ledger imbalance with journaling\n");
+    ok = false;
+  }
   for (const lease::LoadgenMetrics& m : runs) {
     if (!m.ledgers_balanced) {
       std::fprintf(stderr, "FAIL: ledger imbalance at %zu shards\n",
@@ -97,15 +123,19 @@ int main(int argc, char** argv) {
       out << "    " << lease::loadgen_json(runs[i])
           << (i + 1 < runs.size() ? ",\n" : ",\n");
     }
-    out << "    " << lease::loadgen_json(unbatched) << "\n  ],\n";
-    char tail[128];
+    out << "    " << lease::loadgen_json(unbatched) << ",\n";
+    out << "    " << lease::loadgen_json(journaled) << "\n  ],\n";
+    char tail[192];
     std::snprintf(tail, sizeof(tail),
                   "  \"monotone_1_to_4\": %s,\n"
-                  "  \"scaling_1_to_4\": %.3f\n}\n",
+                  "  \"scaling_1_to_4\": %.3f,\n"
+                  "  \"journal_overhead_4_shards\": %.3f,\n"
+                  "  \"journal_within_1_5x\": %s\n}\n",
                   monotone ? "true" : "false",
                   runs[0].throughput > 0.0
                       ? runs[2].throughput / runs[0].throughput
-                      : 0.0);
+                      : 0.0,
+                  overhead, overhead > 0.0 && overhead <= 1.5 ? "true" : "false");
     out << tail;
     std::printf("wrote %s\n", out_path.c_str());
   }

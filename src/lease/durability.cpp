@@ -1,0 +1,215 @@
+#include "lease/durability.hpp"
+
+#include <bit>
+
+namespace sl::lease {
+
+namespace {
+
+// Hard parser bounds: a length prefix past these is corruption, never data.
+constexpr std::size_t kMaxLicenseBytes = 4096;
+constexpr std::size_t kMaxBatchEntries = 65'536;
+constexpr std::size_t kMaxEscrowEntries = 65'536;
+constexpr std::size_t kRenewEntryBytes = 8 + 8 + 8 + 1 + 8 + 8 + 8;
+constexpr std::size_t kEscrowEntryBytes = 4 + 8;
+
+void put_double(Bytes& out, double value) {
+  put_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+bool fits(ByteView data, std::size_t offset, std::size_t need) {
+  return offset <= data.size() && data.size() - offset >= need;
+}
+
+}  // namespace
+
+const char* wal_record_type_name(WalRecordType type) {
+  switch (type) {
+    case WalRecordType::kGenesis: return "genesis";
+    case WalRecordType::kProvision: return "provision";
+    case WalRecordType::kRenewBatch: return "renew-batch";
+    case WalRecordType::kRevoke: return "revoke";
+    case WalRecordType::kAdmission: return "admission";
+    case WalRecordType::kEscrow: return "escrow";
+    case WalRecordType::kIntent: return "intent";
+  }
+  return "?";
+}
+
+Bytes WalRecord::serialize() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u64(out, post_digest);
+  switch (type) {
+    case WalRecordType::kGenesis:
+      put_u64(out, generation);
+      break;
+    case WalRecordType::kProvision:
+      put_u32(out, lease);
+      put_u32(out, static_cast<std::uint32_t>(license.size()));
+      out.insert(out.end(), license.begin(), license.end());
+      break;
+    case WalRecordType::kRenewBatch:
+      put_u32(out, lease);
+      put_u32(out, static_cast<std::uint32_t>(entries.size()));
+      for (const WalRenewEntry& entry : entries) {
+        put_u64(out, entry.slid);
+        put_u64(out, entry.request_id);
+        put_u64(out, entry.consumed);
+        out.push_back(entry.status);
+        put_u64(out, entry.granted);
+        put_double(out, entry.health);
+        put_double(out, entry.network);
+      }
+      break;
+    case WalRecordType::kRevoke:
+      put_u32(out, lease);
+      break;
+    case WalRecordType::kAdmission:
+      out.push_back(static_cast<std::uint8_t>(admission));
+      put_u64(out, slid);
+      put_double(out, health);
+      put_double(out, network);
+      break;
+    case WalRecordType::kEscrow:
+      put_u64(out, slid);
+      put_u64(out, root_key);
+      put_u32(out, static_cast<std::uint32_t>(unused.size()));
+      for (const auto& [unused_lease, count] : unused) {
+        put_u32(out, unused_lease);
+        put_u64(out, count);
+      }
+      break;
+    case WalRecordType::kIntent:
+      put_u32(out, lease);
+      put_u64(out, ticket);
+      put_u64(out, slid);
+      put_u64(out, request_id);
+      put_u64(out, consumed);
+      break;
+  }
+  return out;
+}
+
+std::optional<WalRecord> WalRecord::deserialize(ByteView data) {
+  if (!fits(data, 0, 1 + 8)) return std::nullopt;
+  WalRecord record;
+  const std::uint8_t raw_type = data[0];
+  if (raw_type > static_cast<std::uint8_t>(WalRecordType::kIntent)) {
+    return std::nullopt;
+  }
+  record.type = static_cast<WalRecordType>(raw_type);
+  record.post_digest = get_u64(data, 1);
+  std::size_t offset = 9;
+
+  const auto read_u32 = [&](std::uint32_t& out) {
+    if (!fits(data, offset, 4)) return false;
+    out = get_u32(data, offset);
+    offset += 4;
+    return true;
+  };
+  const auto read_u64 = [&](std::uint64_t& out) {
+    if (!fits(data, offset, 8)) return false;
+    out = get_u64(data, offset);
+    offset += 8;
+    return true;
+  };
+  const auto read_u8 = [&](std::uint8_t& out) {
+    if (!fits(data, offset, 1)) return false;
+    out = data[offset];
+    offset += 1;
+    return true;
+  };
+  const auto read_double = [&](double& out) {
+    std::uint64_t bits = 0;
+    if (!read_u64(bits)) return false;
+    out = std::bit_cast<double>(bits);
+    return true;
+  };
+
+  switch (record.type) {
+    case WalRecordType::kGenesis:
+      if (!read_u64(record.generation)) return std::nullopt;
+      break;
+    case WalRecordType::kProvision: {
+      std::uint32_t len = 0;
+      if (!read_u32(record.lease) || !read_u32(len)) return std::nullopt;
+      if (len > kMaxLicenseBytes || !fits(data, offset, len)) {
+        return std::nullopt;
+      }
+      record.license.assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                            data.begin() +
+                                static_cast<std::ptrdiff_t>(offset + len));
+      offset += len;
+      break;
+    }
+    case WalRecordType::kRenewBatch: {
+      std::uint32_t count = 0;
+      if (!read_u32(record.lease) || !read_u32(count)) return std::nullopt;
+      if (count > kMaxBatchEntries ||
+          !fits(data, offset, static_cast<std::size_t>(count) *
+                                  kRenewEntryBytes)) {
+        return std::nullopt;
+      }
+      record.entries.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        WalRenewEntry entry;
+        if (!read_u64(entry.slid) || !read_u64(entry.request_id) ||
+            !read_u64(entry.consumed) || !read_u8(entry.status) ||
+            !read_u64(entry.granted) || !read_double(entry.health) ||
+            !read_double(entry.network)) {
+          return std::nullopt;
+        }
+        record.entries.push_back(entry);
+      }
+      break;
+    }
+    case WalRecordType::kRevoke:
+      if (!read_u32(record.lease)) return std::nullopt;
+      break;
+    case WalRecordType::kAdmission: {
+      std::uint8_t kind = 0;
+      if (!read_u8(kind) ||
+          kind > static_cast<std::uint8_t>(WalAdmissionKind::kGracefulReinit)) {
+        return std::nullopt;
+      }
+      record.admission = static_cast<WalAdmissionKind>(kind);
+      if (!read_u64(record.slid) || !read_double(record.health) ||
+          !read_double(record.network)) {
+        return std::nullopt;
+      }
+      break;
+    }
+    case WalRecordType::kEscrow: {
+      std::uint32_t count = 0;
+      if (!read_u64(record.slid) || !read_u64(record.root_key) ||
+          !read_u32(count)) {
+        return std::nullopt;
+      }
+      if (count > kMaxEscrowEntries ||
+          !fits(data, offset, static_cast<std::size_t>(count) *
+                                  kEscrowEntryBytes)) {
+        return std::nullopt;
+      }
+      record.unused.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        std::uint32_t unused_lease = 0;
+        std::uint64_t amount = 0;
+        if (!read_u32(unused_lease) || !read_u64(amount)) return std::nullopt;
+        record.unused.emplace_back(unused_lease, amount);
+      }
+      break;
+    }
+    case WalRecordType::kIntent:
+      if (!read_u32(record.lease) || !read_u64(record.ticket) ||
+          !read_u64(record.slid) || !read_u64(record.request_id) ||
+          !read_u64(record.consumed)) {
+        return std::nullopt;
+      }
+      break;
+  }
+  if (offset != data.size()) return std::nullopt;  // trailing garbage
+  return record;
+}
+
+}  // namespace sl::lease

@@ -1,0 +1,98 @@
+// Typed write-ahead-journal records for one SL-Remote shard.
+//
+// Every ledger mutation a RemoteShard applies is journaled as one of these
+// records (sealed and hash-chained by storage::Journal) before the shard
+// acknowledges it. Records log logical operations *with their outcomes*
+// (e.g. the granted count of each renewal), so recovery replays ledger
+// arithmetic exactly instead of re-running the Algorithm 1 heuristic — the
+// recovered state is bit-identical to the committed state by construction,
+// which is what the recovery oracle asserts.
+//
+// Record payloads are little-endian with explicit length prefixes and hard
+// bounds; deserialize() never trusts a length it did not check (the wire
+// fuzz suite drives this parser too). Doubles round-trip via their IEEE-754
+// bit patterns — telemetry must replay exactly, not through a lossy
+// fixed-point encoding.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "lease/license.hpp"
+#include "lease/sl_remote.hpp"
+
+namespace sl::lease {
+
+enum class WalRecordType : std::uint8_t {
+  // First record after every truncation: names the checkpoint generation to
+  // load and the state digest recovery must start from.
+  kGenesis = 0,
+  kProvision = 1,    // license provisioned on this shard
+  kRenewBatch = 2,   // one drained renewal group (the group commit unit)
+  kRevoke = 3,       // pool zeroed
+  kAdmission = 4,    // SLID minted / re-initialized (crash policy outcome)
+  kEscrow = 5,       // graceful shutdown: root key escrow + unused credits
+  // Appended (unsynced) at enqueue time: marks an accepted-but-uncommitted
+  // request. Carries no state change; a recovery that finds intents with no
+  // matching batch record applies the pessimistic policy — the request is
+  // dropped and the client must retry. These form the journal's mangle-able
+  // tail under the crash fault model.
+  kIntent = 6,
+};
+
+const char* wal_record_type_name(WalRecordType type);
+
+enum class WalAdmissionKind : std::uint8_t {
+  kFirst = 0,           // fresh SLID minted after remote attestation
+  kPeer = 1,            // router-level telemetry admission (register_peer)
+  kCrashReinit = 2,     // Section 5.7: outstanding sub-GCLs forfeited
+  kGracefulReinit = 3,  // Section 5.6: clean restart, no forfeiture
+};
+
+struct WalRenewEntry {
+  Slid slid = 0;
+  std::uint64_t request_id = 0;  // 0 = non-idempotent (router traffic)
+  std::uint64_t consumed = 0;    // piggybacked consumption applied
+  std::uint8_t status = 0;       // RenewStatus as committed (granted/denied)
+  std::uint64_t granted = 0;
+  double health = 1.0;           // telemetry as recorded on the local record
+  double network = 1.0;
+
+  bool operator==(const WalRenewEntry&) const = default;
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kGenesis;
+  // Shard state digest after applying this record; replay verifies it.
+  std::uint64_t post_digest = 0;
+
+  // kGenesis
+  std::uint64_t generation = 0;
+
+  // kProvision (serialized LicenseFile) / kRenewBatch / kRevoke
+  LeaseId lease = 0;
+  Bytes license;
+  std::vector<WalRenewEntry> entries;
+
+  // kAdmission / kEscrow
+  WalAdmissionKind admission = WalAdmissionKind::kFirst;
+  Slid slid = 0;
+  double health = 1.0;
+  double network = 1.0;
+  std::uint64_t root_key = 0;
+  // kEscrow: unused counts credited back, sorted by lease id.
+  std::vector<std::pair<LeaseId, std::uint64_t>> unused;
+
+  // kIntent
+  std::uint64_t ticket = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t consumed = 0;
+
+  Bytes serialize() const;
+  static std::optional<WalRecord> deserialize(ByteView data);
+};
+
+}  // namespace sl::lease

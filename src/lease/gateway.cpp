@@ -16,7 +16,9 @@ std::optional<SlRemote::InitResult> DirectGateway::init(const sgx::Quote& quote,
 
 std::optional<SlRemote::RenewResult> DirectGateway::renew(
     Slid slid, const LicenseFile& license, double health, double network,
-    std::uint64_t consumed) {
+    std::uint64_t consumed, std::uint64_t request_id) {
+  // The serial in-process server has no idempotency table.
+  (void)request_id;
   if (!network_.round_trip(node_, clock_)) return std::nullopt;
   if (consumed > 0) remote_.report_consumed(slid, license.lease_id, consumed);
   return remote_.renew(slid, license, health, network);
@@ -55,13 +57,14 @@ std::optional<SlRemote::InitResult> WireGateway::init(const sgx::Quote& quote,
 
 std::optional<SlRemote::RenewResult> WireGateway::renew(
     Slid slid, const LicenseFile& license, double health, double network,
-    std::uint64_t consumed) {
+    std::uint64_t consumed, std::uint64_t request_id) {
   wire::RenewRequest request;
   request.slid = slid;
   request.license = license;
   request.health = health;
   request.network = network;
   request.consumed = consumed;
+  request.request_id = request_id;
   const auto response = client_.renew(request);
   if (!response.has_value()) return std::nullopt;
   // Overloaded means the shard queue rejected the request before processing

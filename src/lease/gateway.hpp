@@ -26,10 +26,15 @@ class RemoteGateway {
   // come back inside the result.
   virtual std::optional<SlRemote::InitResult> init(const sgx::Quote& quote,
                                                    Slid claimed_slid) = 0;
+  // `request_id` (nonzero) makes the renewal idempotent on servers that
+  // keep an idempotency table (the sharded durable deployment); a retry
+  // with the same id returns the recorded outcome instead of double-
+  // burning the pool. 0 opts out (the serial server ignores it).
   virtual std::optional<SlRemote::RenewResult> renew(Slid slid,
                                                      const LicenseFile& license,
                                                      double health, double network,
-                                                     std::uint64_t consumed) = 0;
+                                                     std::uint64_t consumed,
+                                                     std::uint64_t request_id = 0) = 0;
   virtual bool graceful_shutdown(
       Slid slid, std::uint64_t root_key,
       const std::unordered_map<LeaseId, std::uint64_t>& unused) = 0;
@@ -47,7 +52,8 @@ class DirectGateway : public RemoteGateway {
                                            Slid claimed_slid) override;
   std::optional<SlRemote::RenewResult> renew(Slid slid, const LicenseFile& license,
                                              double health, double network,
-                                             std::uint64_t consumed) override;
+                                             std::uint64_t consumed,
+                                             std::uint64_t request_id = 0) override;
   bool graceful_shutdown(
       Slid slid, std::uint64_t root_key,
       const std::unordered_map<LeaseId, std::uint64_t>& unused) override;
@@ -72,7 +78,8 @@ class WireGateway : public RemoteGateway {
                                            Slid claimed_slid) override;
   std::optional<SlRemote::RenewResult> renew(Slid slid, const LicenseFile& license,
                                              double health, double network,
-                                             std::uint64_t consumed) override;
+                                             std::uint64_t consumed,
+                                             std::uint64_t request_id = 0) override;
   bool graceful_shutdown(
       Slid slid, std::uint64_t root_key,
       const std::unordered_map<LeaseId, std::uint64_t>& unused) override;

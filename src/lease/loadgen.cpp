@@ -31,6 +31,7 @@ LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
   ShardConfig shard_config;
   shard_config.queue_capacity = config.queue_capacity;
   shard_config.batching = config.batching;
+  shard_config.durability.journaling = config.journaling;
   ShardRouter router(vendor, ias, SlLocal::expected_measurement(),
                      std::max<std::size_t>(1, config.shards), shard_config);
 
@@ -93,7 +94,9 @@ LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
     }
   }
 
-  metrics.batches = router.aggregate_shard_stats().batches;
+  const ShardStats shard_stats = router.aggregate_shard_stats();
+  metrics.batches = shard_stats.batches;
+  metrics.checkpoints = shard_stats.checkpoints;
   metrics.virtual_seconds = router.virtual_seconds();
   metrics.throughput = metrics.virtual_seconds > 0.0
                            ? static_cast<double>(metrics.processed) /
@@ -120,12 +123,14 @@ std::string loadgen_json(const LoadgenMetrics& m) {
       "      \"rounds\": %llu,\n"
       "      \"seed\": %llu,\n"
       "      \"batching\": %s,\n"
+      "      \"journaling\": %s,\n"
       "      \"submitted\": %llu,\n"
       "      \"overloaded\": %llu,\n"
       "      \"processed\": %llu,\n"
       "      \"granted\": %llu,\n"
       "      \"denied\": %llu,\n"
       "      \"batches\": %llu,\n"
+      "      \"checkpoints\": %llu,\n"
       "      \"virtual_seconds\": %.6f,\n"
       "      \"throughput_renewals_per_vsec\": %.1f,\n"
       "      \"p50_micros\": %.1f,\n"
@@ -137,12 +142,14 @@ std::string loadgen_json(const LoadgenMetrics& m) {
       static_cast<unsigned long long>(m.config.rounds),
       static_cast<unsigned long long>(m.config.seed),
       m.config.batching ? "true" : "false",
+      m.config.journaling ? "true" : "false",
       static_cast<unsigned long long>(m.submitted),
       static_cast<unsigned long long>(m.overloaded),
       static_cast<unsigned long long>(m.processed),
       static_cast<unsigned long long>(m.granted),
       static_cast<unsigned long long>(m.denied),
-      static_cast<unsigned long long>(m.batches), m.virtual_seconds,
+      static_cast<unsigned long long>(m.batches),
+      static_cast<unsigned long long>(m.checkpoints), m.virtual_seconds,
       m.throughput, m.p50_micros, m.p99_micros,
       m.ledgers_balanced ? "true" : "false",
       static_cast<unsigned long long>(m.state_digest));

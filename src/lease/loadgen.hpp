@@ -33,6 +33,10 @@ struct LoadgenConfig {
   std::uint64_t license_total = 1'000'000'000;
   std::size_t queue_capacity = 128;
   bool batching = true;
+  // Crash-consistent shards: sealed write-ahead journal + group commit +
+  // checkpointing (docs/DURABILITY.md). Charges the storage cost model to
+  // the shard clocks, so throughput reflects the durability overhead.
+  bool journaling = false;
 };
 
 struct LoadgenMetrics {
@@ -43,6 +47,7 @@ struct LoadgenMetrics {
   std::uint64_t granted = 0;
   std::uint64_t denied = 0;
   std::uint64_t batches = 0;     // tree commits across all shards
+  std::uint64_t checkpoints = 0; // journal truncations (journaling runs)
   double virtual_seconds = 0.0;  // furthest shard clock
   double throughput = 0.0;       // processed / virtual_seconds
   double p50_micros = 0.0;       // virtual renewal latency percentiles

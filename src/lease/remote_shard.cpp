@@ -1,10 +1,28 @@
 #include "lease/remote_shard.hpp"
 
+#include <algorithm>
 #include <utility>
 
+#include "common/error.hpp"
+#include "common/rng.hpp"
 #include "crypto/murmur.hpp"
 
 namespace sl::lease {
+
+namespace {
+
+constexpr std::uint32_t kCheckpointVersion = 1;
+
+void add_stats(SlRemoteStats& into, const SlRemoteStats& delta) {
+  into.remote_attestations += delta.remote_attestations;
+  into.registrations += delta.registrations;
+  into.renewals += delta.renewals;
+  into.renewals_denied += delta.renewals_denied;
+  into.forfeited_gcls += delta.forfeited_gcls;
+  into.reclaimed_gcls += delta.reclaimed_gcls;
+}
+
+}  // namespace
 
 const char* renew_status_name(RenewStatus status) {
   switch (status) {
@@ -18,32 +36,162 @@ const char* renew_status_name(RenewStatus status) {
 RemoteShard::RemoteShard(const LicenseAuthority& authority,
                          sgx::AttestationService& ias,
                          sgx::Measurement expected_sl_local, ShardConfig config)
-    : remote_(authority, ias, expected_sl_local, config.ra_latency_seconds),
-      tree_(config.keygen_seed, store_),
-      config_(config) {}
+    : authority_(authority),
+      ias_(ias),
+      expected_sl_local_(expected_sl_local),
+      remote_(std::make_unique<SlRemote>(authority, ias, expected_sl_local,
+                                         config.ra_latency_seconds)),
+      tree_(std::make_unique<LeaseTree>(config.keygen_seed, store_)),
+      config_(config) {
+  if (config_.durability.journaling) {
+    if (config_.durability.master_key == 0) {
+      config_.durability.master_key =
+          splitmix64_key(0x77a1, config_.keygen_seed) | 1;
+    }
+    storage::JournalConfig journal_config;
+    journal_config.master_key = config_.durability.master_key;
+    journal_config.profile = config_.durability.profile;
+    journal_config.faults = config_.durability.faults;
+    journal_config.device_seed = config_.durability.device_seed;
+    journal_ = std::make_unique<storage::Journal>(journal_config);
+    journal_->attach_clock(&clock_);
+    checkpoints_ = std::make_unique<storage::CheckpointStore>(
+        config_.durability.master_key ^ 0xc4c4c4c4ULL,
+        config_.durability.profile, config_.durability.faults,
+        config_.durability.device_seed ^ 0x51075107ULL);
+    checkpoints_->attach_clock(&clock_);
+    // Generation 0 has no checkpoint: its genesis means "start from empty".
+    WalRecord genesis;
+    genesis.type = WalRecordType::kGenesis;
+    genesis.generation = 0;
+    genesis.post_digest = state_digest();
+    journal_->reset(genesis.serialize());
+  }
+  committed_digest_ = state_digest();
+}
+
+SlRemoteStats RemoteShard::lifetime_remote_stats() const {
+  SlRemoteStats total = carried_remote_stats_;
+  add_stats(total, remote_->stats());
+  return total;
+}
 
 void RemoteShard::provision(const LicenseFile& license) {
-  remote_.provision(license);
+  require(up_, "provision: shard is down");
+  remote_->provision(license);
   // Durable pool image: the record mirrors the remaining pool as a plain
   // counter (the server never advances lease time — clients do).
-  tree_.insert(license.lease_id,
-               Gcl(LeaseKind::kCountBased, license.total_count));
-  commit_lease_record(license.lease_id);
+  sync_lease_record(license.lease_id);
+  if (journal_) {
+    WalRecord record;
+    record.type = WalRecordType::kProvision;
+    record.lease = license.lease_id;
+    record.license = license.serialize();
+    journal_append(std::move(record));
+    journal_commit();
+  }
 }
 
 void RemoteShard::revoke(LeaseId lease) {
-  remote_.revoke(lease);
-  LeaseRecord* record = tree_.find(lease);
-  if (record != nullptr) {
-    record->set_gcl(Gcl(LeaseKind::kCountBased, 0));
-    commit_lease_record(lease);
+  require(up_, "revoke: shard is down");
+  if (!remote_->ledger(lease).has_value()) return;
+  remote_->revoke(lease);
+  sync_lease_record(lease);
+  if (journal_) {
+    WalRecord record;
+    record.type = WalRecordType::kRevoke;
+    record.lease = lease;
+    journal_append(std::move(record));
+    journal_commit();
+  }
+}
+
+SlRemote::InitResult RemoteShard::admit(const sgx::Quote& quote,
+                                        Slid claimed_slid, SimClock& clock) {
+  require(up_, "admit: shard is down");
+  const SlRemote::InitResult result =
+      remote_->init_sl_local(quote, claimed_slid, clock);
+  if (!result.ok) return result;
+  // A new client generation restarts its request-id sequence; answering it
+  // from the previous generation's idempotency record would be wrong.
+  dedup_.erase(result.slid);
+  if (journal_) {
+    WalRecord record;
+    record.type = WalRecordType::kAdmission;
+    record.slid = result.slid;
+    if (claimed_slid == 0 || result.slid != claimed_slid) {
+      record.admission = WalAdmissionKind::kFirst;
+    } else if (result.restore_allowed) {
+      record.admission = WalAdmissionKind::kGracefulReinit;
+    } else {
+      record.admission = WalAdmissionKind::kCrashReinit;
+    }
+    journal_append(std::move(record));
+    journal_commit();
+  }
+  return result;
+}
+
+Slid RemoteShard::admit_peer(double health, double network) {
+  require(up_, "admit_peer: shard is down");
+  const Slid slid = remote_->register_peer(health, network);
+  dedup_.erase(slid);
+  if (journal_) {
+    WalRecord record;
+    record.type = WalRecordType::kAdmission;
+    record.admission = WalAdmissionKind::kPeer;
+    record.slid = slid;
+    record.health = health;
+    record.network = network;
+    journal_append(std::move(record));
+    journal_commit();
+  }
+  return slid;
+}
+
+void RemoteShard::escrow(
+    Slid slid, std::uint64_t root_key,
+    const std::unordered_map<LeaseId, std::uint64_t>& unused) {
+  require(up_, "escrow: shard is down");
+  remote_->graceful_shutdown(slid, root_key, unused);
+  // Unused-credit refunds changed pools: keep the durable tree mirroring
+  // them, or the post-recovery rebuild would disagree with the live tree.
+  for (const auto& [lease, count] : unused) {
+    (void)count;
+    if (remote_->ledger(lease).has_value()) sync_lease_record(lease);
+  }
+  if (journal_) {
+    WalRecord record;
+    record.type = WalRecordType::kEscrow;
+    record.slid = slid;
+    record.root_key = root_key;
+    record.unused.assign(unused.begin(), unused.end());
+    std::sort(record.unused.begin(), record.unused.end());
+    journal_append(std::move(record));
+    journal_commit();
   }
 }
 
 bool RemoteShard::enqueue(PendingRenew request) {
+  if (!up_) {
+    stats_.down_rejections++;
+    return false;
+  }
   if (queue_.size() >= config_.queue_capacity) {
     stats_.overloads++;
     return false;
+  }
+  if (journal_) {
+    // Unsynced on purpose: the intent marks an accepted-but-unacknowledged
+    // request. Losing it in a crash loses nothing that was promised.
+    WalRecord record;
+    record.type = WalRecordType::kIntent;
+    record.lease = request.license.lease_id;
+    record.ticket = request.ticket;
+    record.slid = request.slid;
+    record.request_id = request.request_id;
+    record.consumed = request.consumed;
+    journal_append(std::move(record));
   }
   queue_.push_back(std::move(request));
   stats_.enqueued++;
@@ -53,10 +201,23 @@ bool RemoteShard::enqueue(PendingRenew request) {
 void RemoteShard::commit_lease_record(LeaseId lease) {
   // Section 5.5: seal data||hash under a fresh key and move the ciphertext
   // to the untrusted store. find() faults it back in transparently.
-  if (tree_.find(lease) != nullptr) tree_.commit_lease(lease);
+  if (tree_->find(lease) != nullptr) tree_->commit_lease(lease);
+}
+
+void RemoteShard::sync_lease_record(LeaseId lease) {
+  const Gcl pool_gcl(LeaseKind::kCountBased,
+                     remote_->remaining_pool(lease).value_or(0));
+  LeaseRecord* record = tree_->find(lease);
+  if (record == nullptr) {
+    tree_->insert(lease, pool_gcl);
+  } else {
+    record->set_gcl(pool_gcl);
+  }
+  commit_lease_record(lease);
 }
 
 std::vector<RenewOutcome> RemoteShard::drain() {
+  require(up_, "drain: shard is down");
   const Cycles drain_start = clock_.cycles();
   std::vector<RenewOutcome> outcomes;
   outcomes.reserve(queue_.size());
@@ -87,11 +248,26 @@ std::vector<RenewOutcome> RemoteShard::drain() {
 
   for (auto& [lease, members] : groups) {
     const std::size_t first_outcome = outcomes.size();
+    std::vector<WalRenewEntry> batch_entries;
     for (PendingRenew& request : members) {
-      if (request.consumed > 0) {
-        remote_.report_consumed(request.slid, lease, request.consumed);
+      // Idempotency: a retry of an already-committed request returns the
+      // recorded outcome — the pool must not be burned twice.
+      if (request.request_id != 0) {
+        auto hit = dedup_.find(request.slid);
+        if (hit != dedup_.end() && hit->second.request_id == request.request_id) {
+          RenewOutcome replayed;
+          replayed.ticket = request.ticket;
+          replayed.status = hit->second.status;
+          replayed.granted = hit->second.granted;
+          stats_.deduped++;
+          outcomes.push_back(replayed);
+          continue;
+        }
       }
-      const SlRemote::RenewResult result = remote_.renew(
+      if (request.consumed > 0) {
+        remote_->report_consumed(request.slid, lease, request.consumed);
+      }
+      const SlRemote::RenewResult result = remote_->renew(
           request.slid, request.license, request.health, request.network);
       clock_.advance_cycles(config_.cycles_per_renewal);
       stats_.busy_cycles += config_.cycles_per_renewal;
@@ -101,6 +277,21 @@ std::vector<RenewOutcome> RemoteShard::drain() {
       outcome.status = result.ok ? RenewStatus::kGranted : RenewStatus::kDenied;
       outcome.granted = result.granted;
       (result.ok ? stats_.granted : stats_.denied)++;
+      if (request.request_id != 0) {
+        dedup_[request.slid] =
+            DedupEntry{request.request_id, outcome.status, outcome.granted};
+      }
+      if (journal_) {
+        WalRenewEntry entry;
+        entry.slid = request.slid;
+        entry.request_id = request.request_id;
+        entry.consumed = request.consumed;
+        entry.status = static_cast<std::uint8_t>(outcome.status);
+        entry.granted = outcome.granted;
+        entry.health = request.health;
+        entry.network = request.network;
+        batch_entries.push_back(entry);
+      }
       outcomes.push_back(outcome);
     }
 
@@ -108,18 +299,18 @@ std::vector<RenewOutcome> RemoteShard::drain() {
     // batcher buys. The record content depends only on the post-group pool,
     // so K coalesced renewals and K serial renewals produce the same record
     // (and the same integrity hash); only the commit count differs.
-    const auto remaining = remote_.remaining_pool(lease);
-    LeaseRecord* record = tree_.find(lease);
-    const Gcl pool_gcl(LeaseKind::kCountBased, remaining.value_or(0));
-    if (record == nullptr) {
-      tree_.insert(lease, pool_gcl);
-    } else {
-      record->set_gcl(pool_gcl);
-    }
-    commit_lease_record(lease);
+    sync_lease_record(lease);
     clock_.advance_cycles(config_.cycles_per_commit);
     stats_.busy_cycles += config_.cycles_per_commit;
     stats_.batches++;
+
+    if (journal_ && !batch_entries.empty()) {
+      WalRecord record;
+      record.type = WalRecordType::kRenewBatch;
+      record.lease = lease;
+      record.entries = std::move(batch_entries);
+      journal_append(std::move(record));
+    }
 
     const Cycles completed = clock_.cycles();
     for (std::size_t i = first_outcome; i < outcomes.size(); ++i) {
@@ -127,13 +318,294 @@ std::vector<RenewOutcome> RemoteShard::drain() {
       outcomes[i].latency = completed - drain_start;
     }
   }
+
+  // Group commit: one sync covers every batch record (and the intents that
+  // preceded them). Only after it may the outcomes be acknowledged.
+  if (journal_ && !groups.empty()) {
+    journal_commit();
+    maybe_checkpoint();
+  }
   return outcomes;
+}
+
+void RemoteShard::journal_append(WalRecord record) {
+  if (!journal_) return;
+  record.post_digest = state_digest();
+  if (!journal_->append(record.serialize()).has_value()) {
+    // Full device. The snapshot captures everything applied so far —
+    // including this record's effect — so dropping the record is safe.
+    checkpoint();
+    stats_.forced_checkpoints++;
+  }
+}
+
+void RemoteShard::journal_commit() {
+  if (!journal_) return;
+  journal_->sync();
+  committed_digest_ = state_digest();
+}
+
+void RemoteShard::maybe_checkpoint() {
+  if (journal_ == nullptr) return;
+  if (journal_->durable_bytes() > config_.durability.checkpoint_every_bytes) {
+    checkpoint();
+  }
+}
+
+void RemoteShard::checkpoint() {
+  require(journal_ != nullptr, "checkpoint: journaling disabled");
+  require(up_, "checkpoint: shard is down");
+  generation_++;
+  checkpoints_->write(generation_, snapshot());
+  WalRecord genesis;
+  genesis.type = WalRecordType::kGenesis;
+  genesis.generation = generation_;
+  genesis.post_digest = state_digest();
+  journal_->reset(genesis.serialize());
+  committed_digest_ = state_digest();
+  stats_.checkpoints++;
+}
+
+void RemoteShard::crash() {
+  require(up_, "crash: shard is already down");
+  add_stats(carried_remote_stats_, remote_->stats());
+  if (journal_ != nullptr) {
+    journal_->crash();
+    checkpoints_->crash();
+  }
+  // In-flight requests die with the process; clients observe a timeout and
+  // must retry against the recovered shard (their request ids dedup).
+  queue_.clear();
+  dedup_.clear();
+  up_ = false;
+}
+
+RecoveryReport RemoteShard::recover() {
+  require(!up_, "recover: shard is up");
+  RecoveryReport report;
+  report.committed_digest = committed_digest_;
+
+  remote_ = std::make_unique<SlRemote>(authority_, ias_, expected_sl_local_,
+                                       config_.ra_latency_seconds);
+  remote_->reset_stats();
+  dedup_.clear();
+  generation_ = 0;
+
+  if (journal_ == nullptr) {
+    // No durability: a crash loses everything (the PR 3 in-memory shard).
+    rebuild_tree();
+    committed_digest_ = state_digest();
+    report.ok = true;
+    report.digest_match = true;
+    report.recovered_digest = committed_digest_;
+    report.detail = "journaling disabled; state reset";
+    up_ = true;
+    return report;
+  }
+
+  const std::uint64_t synced_seq = journal_->synced_seq();
+  const storage::ReplayResult replayed = journal_->replay();
+  report.tail_truncated = replayed.tail_truncated;
+  report.truncated_bytes = replayed.truncated_bytes;
+  report.detail = replayed.stop_reason;
+
+  if (replayed.records.empty()) {
+    report.lost_committed = synced_seq > 0;
+    report.detail = "no valid journal records (" + replayed.stop_reason + ")";
+    return report;
+  }
+
+  std::uint64_t last_digest = 0;
+  std::uint64_t last_seq = 0;
+  std::uint64_t trailing_intents = 0;
+  bool structural_ok = true;
+  std::size_t index = 0;
+  for (const storage::JournalRecord& frame : replayed.records) {
+    const std::optional<WalRecord> record = WalRecord::deserialize(frame.payload);
+    if (!record.has_value()) {
+      structural_ok = false;
+      report.detail = "undecodable journal record";
+      break;
+    }
+    if (index == 0) {
+      if (record->type != WalRecordType::kGenesis) {
+        structural_ok = false;
+        report.detail = "journal does not start with a genesis record";
+        break;
+      }
+      generation_ = record->generation;
+      if (generation_ > 0) {
+        const std::optional<Bytes> blob = checkpoints_->load(generation_);
+        if (!blob.has_value() || !restore_snapshot(*blob)) {
+          structural_ok = false;
+          report.detail = "checkpoint missing or damaged";
+          break;
+        }
+      }
+    } else if (!apply_record(*record)) {
+      structural_ok = false;
+      report.detail =
+          std::string("replay failed at ") + wal_record_type_name(record->type);
+      break;
+    }
+    trailing_intents =
+        record->type == WalRecordType::kIntent ? trailing_intents + 1 : 0;
+    last_digest = record->post_digest;
+    last_seq = frame.seq;
+    index++;
+  }
+  report.records_replayed = index;
+  report.intents_dropped = trailing_intents;
+  report.generation = generation_;
+  report.lost_committed = last_seq < synced_seq;
+  if (!structural_ok) return report;
+
+  rebuild_tree();
+  remote_->reset_stats();
+  journal_->resume_from(replayed);
+
+  const std::uint64_t digest = state_digest();
+  report.recovered_digest = digest;
+  // Two equalities must hold: the rebuilt state matches the last replayed
+  // record's stamp, and — because every acknowledged mutation was synced and
+  // unsynced intents carry no state — it matches the pre-crash committed
+  // digest too.
+  report.digest_match =
+      digest == last_digest && digest == report.committed_digest;
+  report.ok = true;
+  committed_digest_ = digest;
+  up_ = true;
+  return report;
+}
+
+bool RemoteShard::apply_record(const WalRecord& record) {
+  try {
+    switch (record.type) {
+      case WalRecordType::kGenesis:
+        return false;  // only valid as the first record
+      case WalRecordType::kProvision: {
+        const std::optional<LicenseFile> license =
+            LicenseFile::deserialize(record.license);
+        if (!license.has_value()) return false;
+        remote_->provision(*license);
+        return true;
+      }
+      case WalRecordType::kRenewBatch:
+        for (const WalRenewEntry& entry : record.entries) {
+          remote_->apply_renewal(entry.slid, record.lease, entry.consumed,
+                                 entry.granted, entry.health, entry.network);
+          if (entry.request_id != 0) {
+            dedup_[entry.slid] =
+                DedupEntry{entry.request_id,
+                           static_cast<RenewStatus>(entry.status), entry.granted};
+          }
+        }
+        return true;
+      case WalRecordType::kRevoke:
+        remote_->revoke(record.lease);
+        return true;
+      case WalRecordType::kAdmission:
+        switch (record.admission) {
+          case WalAdmissionKind::kFirst:
+          case WalAdmissionKind::kPeer:
+            remote_->apply_register(record.slid, record.health, record.network);
+            break;
+          case WalAdmissionKind::kCrashReinit:
+            remote_->apply_crash_reinit(record.slid);
+            break;
+          case WalAdmissionKind::kGracefulReinit:
+            remote_->apply_graceful_reinit(record.slid);
+            break;
+        }
+        dedup_.erase(record.slid);
+        return true;
+      case WalRecordType::kEscrow: {
+        std::unordered_map<LeaseId, std::uint64_t> unused;
+        for (const auto& [lease, count] : record.unused) unused[lease] = count;
+        remote_->graceful_shutdown(record.slid, record.root_key, unused);
+        return true;
+      }
+      case WalRecordType::kIntent:
+        // Pessimistic policy: an intent with no committed batch after it is
+        // an in-flight request that died with the server.
+        return true;
+    }
+  } catch (const Error&) {
+    return false;
+  }
+  return false;
+}
+
+void RemoteShard::rebuild_tree() {
+  tree_.reset();
+  store_ = UntrustedStore{};
+  tree_ = std::make_unique<LeaseTree>(
+      splitmix64_key(generation_ ^ 0x7ee5, config_.keygen_seed) | 1, store_);
+  // Record content is a pure function of the recovered pool, and the 64-bit
+  // integrity hash is a pure function of record content — so the rebuilt
+  // tree digests identically to the pre-crash tree.
+  for (const LeaseId lease : remote_->provisioned_leases()) {
+    sync_lease_record(lease);
+  }
+}
+
+Bytes RemoteShard::snapshot() const {
+  Bytes out;
+  put_u32(out, kCheckpointVersion);
+  const Bytes remote_state = remote_->serialize_state();
+  put_u32(out, static_cast<std::uint32_t>(remote_state.size()));
+  out.insert(out.end(), remote_state.begin(), remote_state.end());
+  put_u32(out, static_cast<std::uint32_t>(dedup_.size()));
+  for (const auto& [slid, entry] : dedup_) {  // std::map: ascending SLID
+    put_u64(out, slid);
+    put_u64(out, entry.request_id);
+    out.push_back(static_cast<std::uint8_t>(entry.status));
+    put_u64(out, entry.granted);
+  }
+  return out;
+}
+
+bool RemoteShard::restore_snapshot(ByteView data) {
+  std::size_t offset = 0;
+  const auto fits = [&](std::size_t need) {
+    return offset <= data.size() && data.size() - offset >= need;
+  };
+  if (!fits(8)) return false;
+  if (get_u32(data, offset) != kCheckpointVersion) return false;
+  offset += 4;
+  const std::uint32_t remote_len = get_u32(data, offset);
+  offset += 4;
+  if (!fits(remote_len)) return false;
+  if (!remote_->restore_state(data.subspan(offset, remote_len))) return false;
+  offset += remote_len;
+  if (!fits(4)) return false;
+  const std::uint32_t dedup_count = get_u32(data, offset);
+  offset += 4;
+  dedup_.clear();
+  for (std::uint32_t i = 0; i < dedup_count; ++i) {
+    if (!fits(8 + 8 + 1 + 8)) return false;
+    const Slid slid = get_u64(data, offset);
+    offset += 8;
+    DedupEntry entry;
+    entry.request_id = get_u64(data, offset);
+    offset += 8;
+    const std::uint8_t status = data[offset];
+    offset += 1;
+    if (status > static_cast<std::uint8_t>(RenewStatus::kOverloaded)) {
+      return false;
+    }
+    entry.status = static_cast<RenewStatus>(status);
+    entry.granted = get_u64(data, offset);
+    offset += 8;
+    dedup_[slid] = entry;
+  }
+  return offset == data.size();
 }
 
 std::uint64_t RemoteShard::state_digest() {
   std::uint64_t digest = 0x5ea1d;
-  for (const LeaseId lease : remote_.provisioned_leases()) {
-    const auto ledger = remote_.ledger(lease);
+  for (const LeaseId lease : remote_->provisioned_leases()) {
+    const auto ledger = remote_->ledger(lease);
     Bytes buffer;
     put_u32(buffer, lease);
     put_u64(buffer, ledger->provisioned);
@@ -142,7 +614,7 @@ std::uint64_t RemoteShard::state_digest() {
     put_u64(buffer, ledger->consumed);
     put_u64(buffer, ledger->forfeited);
     put_u64(buffer, ledger->revoked);
-    LeaseRecord* record = tree_.find(lease);
+    LeaseRecord* record = tree_->find(lease);
     put_u64(buffer, record != nullptr ? record->hash : 0);
     digest = crypto::murmur3_64(buffer, digest);
   }

@@ -21,17 +21,43 @@
 // committed record content (hence its integrity hash) is identical — only
 // the number of encrypt-and-hash commits shrinks. The batching-equivalence
 // test (tests/lease/test_batching_equivalence.cpp) pins this down.
+//
+// With durability enabled the shard is crash-consistent (docs/DURABILITY.md):
+// every ledger mutation is journaled as a sealed hash-chained record before
+// it is acknowledged, the group commit syncs once per drain, a checkpointer
+// snapshots state and truncates the journal, and crash()/recover() model a
+// server power loss with seeded storage-fault injection on the unsynced
+// journal tail. Renewals carry client request ids deduplicated across
+// recovery, so a retried renewal is never double-burned.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/sim_clock.hpp"
+#include "lease/durability.hpp"
 #include "lease/lease_tree.hpp"
 #include "lease/sl_remote.hpp"
+#include "storage/journal.hpp"
 
 namespace sl::lease {
+
+// Durability knobs for one shard. Disabled by default: the in-memory shard
+// of PR 3 remains available for microbenchmarks and differential baselines.
+struct ShardDurability {
+  bool journaling = false;
+  storage::StorageProfile profile;
+  storage::FaultConfig faults;      // crash-time model for the journal tail
+  std::uint64_t device_seed = 0xd15cdeadULL;
+  // Seals journal records and checkpoints; 0 derives one from keygen_seed.
+  std::uint64_t master_key = 0;
+  // Journal size that triggers an automatic checkpoint after a drain.
+  std::uint64_t checkpoint_every_bytes = 64 * 1024;
+};
 
 struct ShardConfig {
   // Bounded pending-renewal queue; enqueue() past this is an overload.
@@ -47,6 +73,7 @@ struct ShardConfig {
   double ra_latency_seconds = 3.5;
   // Seeds the shard's server-side tree key generator.
   std::uint64_t keygen_seed = 0xd15c0;
+  ShardDurability durability;
 };
 
 enum class RenewStatus : std::uint8_t {
@@ -58,7 +85,9 @@ enum class RenewStatus : std::uint8_t {
 const char* renew_status_name(RenewStatus status);
 
 // One queued renewal. `ticket` is a caller-chosen id used to match the
-// outcome back to the submitting client.
+// outcome back to the submitting client. `request_id` (when nonzero) makes
+// the request idempotent: a retry with the same id returns the recorded
+// outcome instead of burning the pool again.
 struct PendingRenew {
   std::uint64_t ticket = 0;
   Slid slid = 0;
@@ -66,6 +95,7 @@ struct PendingRenew {
   double health = 1.0;
   double network = 1.0;
   std::uint64_t consumed = 0;  // piggybacked consumption report
+  std::uint64_t request_id = 0;
 };
 
 struct RenewOutcome {
@@ -79,11 +109,35 @@ struct RenewOutcome {
 struct ShardStats {
   std::uint64_t enqueued = 0;
   std::uint64_t overloads = 0;  // rejected at the bounded queue
+  std::uint64_t down_rejections = 0;  // rejected because the shard is down
   std::uint64_t processed = 0;
+  std::uint64_t deduped = 0;    // answered from the idempotency table
   std::uint64_t batches = 0;    // tree commits (one per coalesced group)
   std::uint64_t granted = 0;
   std::uint64_t denied = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t forced_checkpoints = 0;  // triggered by a full journal device
   Cycles busy_cycles = 0;       // total server-side work charged
+};
+
+// Verdict of one recover() run; check_recovery() in sim/oracles.hpp turns it
+// into an oracle finding.
+struct RecoveryReport {
+  bool ok = false;              // structural recovery succeeded
+  // Recovered state digest equals both the last journaled post-digest and
+  // the digest at the last completed sync (the committed prefix).
+  bool digest_match = false;
+  // The replayed journal ends before the synced frontier: acknowledged
+  // state was lost — the one thing that must never happen.
+  bool lost_committed = false;
+  bool tail_truncated = false;  // hash chain cut off a torn/corrupt tail
+  std::uint64_t truncated_bytes = 0;
+  std::uint64_t records_replayed = 0;
+  std::uint64_t intents_dropped = 0;  // in-flight requests forfeited
+  std::uint64_t recovered_digest = 0;
+  std::uint64_t committed_digest = 0;
+  std::uint64_t generation = 0;
+  std::string detail;           // diagnosis when !ok (or the stop reason)
 };
 
 class RemoteShard {
@@ -91,28 +145,68 @@ class RemoteShard {
   RemoteShard(const LicenseAuthority& authority, sgx::AttestationService& ias,
               sgx::Measurement expected_sl_local, ShardConfig config = {});
 
-  SlRemote& remote() { return remote_; }
-  const SlRemote& remote() const { return remote_; }
+  SlRemote& remote() { return *remote_; }
+  const SlRemote& remote() const { return *remote_; }
   SimClock& clock() { return clock_; }
   const SimClock& clock() const { return clock_; }
   const ShardConfig& config() const { return config_; }
   const ShardStats& stats() const { return stats_; }
   std::size_t pending() const { return queue_.size(); }
+  bool up() const { return up_; }
+
+  // Server-side stats across shard restarts: replayed operations are not
+  // double-counted (recovery resets the live counters and re-adds the
+  // totals carried over from the crashed incarnation).
+  SlRemoteStats lifetime_remote_stats() const;
 
   // Provisions the license on the wrapped SlRemote and installs the durable
   // pool record in the server-side tree.
   void provision(const LicenseFile& license);
   void revoke(LeaseId lease);
 
-  // Bounded-queue admission. Returns false (and counts an overload) when the
+  // --- Journaled lifecycle wrappers ----------------------------------------
+  // Client admission (init_sl_local) with the admission outcome journaled;
+  // also invalidates the SLID's idempotency entry — a new client generation
+  // must never be answered from a previous one's dedup record.
+  SlRemote::InitResult admit(const sgx::Quote& quote, Slid claimed_slid,
+                             SimClock& clock);
+  // Router-level telemetry admission (register_peer), journaled.
+  Slid admit_peer(double health, double network);
+  // Graceful shutdown: root-key escrow + unused credits, journaled.
+  void escrow(Slid slid, std::uint64_t root_key,
+              const std::unordered_map<LeaseId, std::uint64_t>& unused);
+
+  // Bounded-queue admission. Returns false when the shard is down or the
   // queue is at capacity — the caller must answer Overloaded, not block.
+  // With journaling on, an accepted request appends an (unsynced) intent
+  // record: the journal tail that a crash may tear.
   bool enqueue(PendingRenew request);
 
   // Processes every queued request. With batching on, requests are grouped
   // by license (FIFO within a license, first-appearance order across
   // licenses) and each group pays one tree commit; with batching off every
   // request commits individually. Outcomes preserve submission tickets.
+  // With journaling on, each group appends one renewal-batch record and the
+  // whole drain syncs once (group commit) before outcomes are returned —
+  // an acknowledged outcome is always durable.
   std::vector<RenewOutcome> drain();
+
+  // --- Durability ------------------------------------------------------------
+  // Snapshots the full shard state into the checkpoint store and truncates
+  // the journal down to a genesis record naming the new generation.
+  void checkpoint();
+  // Power loss: applies the storage fault model to the unsynced journal
+  // tail, drops the queue and marks the shard down.
+  void crash();
+  // Restart: verifies the hash chain, truncates at the first torn/corrupt
+  // record, rebuilds state from checkpoint + replay, drops in-flight
+  // intents (pessimistic policy) and brings the shard back up.
+  RecoveryReport recover();
+
+  std::uint64_t committed_digest() const { return committed_digest_; }
+  std::uint64_t generation() const { return generation_; }
+  const storage::Journal* journal() const { return journal_.get(); }
+  storage::Journal* journal() { return journal_.get(); }
 
   // Deterministic digest of the shard's durable state: per-lease ledger
   // buckets and the committed record's integrity hash, chained in ascending
@@ -121,15 +215,49 @@ class RemoteShard {
   std::uint64_t state_digest();
 
  private:
-  void commit_lease_record(LeaseId lease);
+  struct DedupEntry {
+    std::uint64_t request_id = 0;
+    RenewStatus status = RenewStatus::kDenied;
+    std::uint64_t granted = 0;
+  };
 
-  SlRemote remote_;
+  void commit_lease_record(LeaseId lease);
+  // Rewrites the durable tree record to mirror the current pool and commits
+  // it — every pool-changing path goes through this, so the rebuilt
+  // post-recovery tree is bit-identical to the live one.
+  void sync_lease_record(LeaseId lease);
+  // Appends one record (post-digest stamped here). A full journal forces a
+  // checkpoint instead: the snapshot captures the already-applied state.
+  void journal_append(WalRecord record);
+  // Group-commit barrier + committed-digest bookkeeping.
+  void journal_commit();
+  void maybe_checkpoint();
+  Bytes snapshot() const;
+  bool restore_snapshot(ByteView data);
+  bool apply_record(const WalRecord& record);
+  void rebuild_tree();
+
+  const LicenseAuthority& authority_;
+  sgx::AttestationService& ias_;
+  sgx::Measurement expected_sl_local_;
+  std::unique_ptr<SlRemote> remote_;
   UntrustedStore store_;
-  LeaseTree tree_;
+  std::unique_ptr<LeaseTree> tree_;
   SimClock clock_;
   ShardConfig config_;
   std::deque<PendingRenew> queue_;
   ShardStats stats_;
+  SlRemoteStats carried_remote_stats_;
+
+  std::unique_ptr<storage::Journal> journal_;
+  std::unique_ptr<storage::CheckpointStore> checkpoints_;
+  // request_id idempotency table: last request per SLID (clients retry
+  // serially). Journaled inside renewal-batch records and checkpointed, so
+  // it survives recovery.
+  std::map<Slid, DedupEntry> dedup_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t committed_digest_ = 0;
+  bool up_ = true;
 };
 
 }  // namespace sl::lease

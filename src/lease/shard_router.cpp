@@ -22,9 +22,11 @@ ShardRouter::ShardRouter(const LicenseAuthority& authority,
   require(shard_count >= 1, "ShardRouter: shard_count must be >= 1");
   shards_.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i) {
-    // Shards share no key material: each tree keygen gets a distinct seed.
+    // Shards share no key material: each tree keygen gets a distinct seed,
+    // and each journal device its own fault-injection stream.
     ShardConfig shard_config = config;
     shard_config.keygen_seed = config.keygen_seed + i;
+    shard_config.durability.device_seed = config.durability.device_seed + i;
     shards_.push_back(std::make_unique<RemoteShard>(authority, ias,
                                                     expected_sl_local,
                                                     shard_config));
@@ -74,7 +76,7 @@ Slid ShardRouter::slid_for(CustomerId customer, ClientId client,
   auto slid = state.slids.find(shard);
   if (slid != state.slids.end()) return slid->second;
   const Slid minted =
-      shards_[shard]->remote().register_peer(state.health, state.network);
+      shards_[shard]->admit_peer(state.health, state.network);
   state.slids[shard] = minted;
   return minted;
 }
@@ -83,6 +85,11 @@ bool ShardRouter::submit(CustomerId customer, ClientId client,
                          const LicenseFile& license, std::uint64_t consumed,
                          std::uint64_t ticket) {
   const std::size_t shard = shard_of(customer, license.lease_id);
+  if (!shards_[shard]->up()) {
+    // No SLID can be minted on a down shard; hand enqueue an empty request
+    // so the arrival is counted as a down-rejection like any other.
+    return shards_[shard]->enqueue(PendingRenew{});
+  }
   PendingRenew request;
   request.ticket = ticket;
   request.slid = slid_for(customer, client, shard);
@@ -97,6 +104,7 @@ bool ShardRouter::submit(CustomerId customer, ClientId client,
 std::vector<ShardRouter::Completion> ShardRouter::drain_all() {
   std::vector<Completion> completions;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!shards_[i]->up()) continue;  // a crashed shard drains nothing
     for (const RenewOutcome& outcome : shards_[i]->drain()) {
       completions.push_back(Completion{i, outcome});
     }
@@ -107,8 +115,11 @@ std::vector<ShardRouter::Completion> ShardRouter::drain_all() {
 SlRemote::RenewResult ShardRouter::renew_now(std::size_t shard, Slid slid,
                                              const LicenseFile& license,
                                              double health, double network,
-                                             std::uint64_t consumed) {
+                                             std::uint64_t consumed,
+                                             std::uint64_t request_id) {
   RemoteShard& owner = *shards_[shard];
+  SlRemote::RenewResult result;
+  if (!owner.up()) return result;  // callers treat a down shard as denial
   // The synchronous path must not interleave with queued router traffic:
   // flush any backlog so the drain below processes exactly this request.
   if (owner.pending() > 0) owner.drain();
@@ -118,7 +129,7 @@ SlRemote::RenewResult ShardRouter::renew_now(std::size_t shard, Slid slid,
   request.health = health;
   request.network = network;
   request.consumed = consumed;
-  SlRemote::RenewResult result;
+  request.request_id = request_id;
   if (!owner.enqueue(std::move(request))) return result;
   const std::vector<RenewOutcome> outcomes = owner.drain();
   if (!outcomes.empty()) {
@@ -148,7 +159,7 @@ std::vector<std::pair<LeaseId, LeaseLedger>> ShardRouter::ledgers() const {
 SlRemoteStats ShardRouter::aggregate_stats() const {
   SlRemoteStats total;
   for (const auto& shard : shards_) {
-    const SlRemoteStats& s = shard->remote().stats();
+    const SlRemoteStats s = shard->lifetime_remote_stats();
     total.remote_attestations += s.remote_attestations;
     total.registrations += s.registrations;
     total.renewals += s.renewals;
@@ -165,10 +176,14 @@ ShardStats ShardRouter::aggregate_shard_stats() const {
     const ShardStats& s = shard->stats();
     total.enqueued += s.enqueued;
     total.overloads += s.overloads;
+    total.down_rejections += s.down_rejections;
     total.processed += s.processed;
+    total.deduped += s.deduped;
     total.batches += s.batches;
     total.granted += s.granted;
     total.denied += s.denied;
+    total.checkpoints += s.checkpoints;
+    total.forced_checkpoints += s.forced_checkpoints;
     total.busy_cycles += s.busy_cycles;
   }
   return total;
@@ -207,21 +222,24 @@ std::optional<SlRemote::InitResult> ShardGateway::init(const sgx::Quote& quote,
                                                        Slid claimed_slid) {
   if (!network_.round_trip(node_, clock_)) return std::nullopt;
   const std::size_t home = router_.home_shard(customer_);
+  // A crashed home shard is indistinguishable from an unreachable server.
+  if (!router_.shard(home).up()) return std::nullopt;
   const SlRemote::InitResult result =
-      router_.shard(home).remote().init_sl_local(quote, claimed_slid, clock_);
+      router_.shard(home).admit(quote, claimed_slid, clock_);
   if (!result.ok) return result;
   admission_quote_ = quote;
   slids_[home] = result.slid;
   // Replay the (re-)init on every other shard already holding state for this
   // node, so the pessimistic crash policy (Section 5.7) forfeits outstanding
   // sub-GCLs there too. Internal replication on the private clock; ascending
-  // shard order for determinism.
+  // shard order for determinism. A down shard misses the replay; its next
+  // admission of this node happens through shard_slid() after recovery.
   for (std::size_t shard = 0; shard < router_.shard_count(); ++shard) {
     if (shard == home) continue;
     auto it = slids_.find(shard);
     if (it == slids_.end()) continue;
-    router_.shard(shard).remote().init_sl_local(quote, it->second,
-                                                replica_clock_);
+    if (!router_.shard(shard).up()) continue;
+    router_.shard(shard).admit(quote, it->second, replica_clock_);
   }
   return result;
 }
@@ -230,8 +248,9 @@ Slid ShardGateway::shard_slid(std::size_t shard) {
   auto it = slids_.find(shard);
   if (it != slids_.end()) return it->second;
   if (!admission_quote_.has_value()) return 0;
-  const SlRemote::InitResult result = router_.shard(shard).remote().init_sl_local(
-      *admission_quote_, 0, replica_clock_);
+  if (!router_.shard(shard).up()) return 0;
+  const SlRemote::InitResult result =
+      router_.shard(shard).admit(*admission_quote_, 0, replica_clock_);
   if (!result.ok) return 0;
   slids_[shard] = result.slid;
   return result.slid;
@@ -239,9 +258,12 @@ Slid ShardGateway::shard_slid(std::size_t shard) {
 
 std::optional<SlRemote::RenewResult> ShardGateway::renew(
     Slid slid, const LicenseFile& license, double health, double network,
-    std::uint64_t consumed) {
+    std::uint64_t consumed, std::uint64_t request_id) {
   if (!network_.round_trip(node_, clock_)) return std::nullopt;
   const std::size_t shard = router_.shard_of(customer_, license.lease_id);
+  // A crashed owning shard looks like a dropped request: the client times
+  // out, backs off, and retries with the same request id.
+  if (!router_.shard(shard).up()) return std::nullopt;
   Slid local_slid = slid;
   if (shard != router_.home_shard(customer_)) {
     local_slid = shard_slid(shard);
@@ -250,7 +272,7 @@ std::optional<SlRemote::RenewResult> ShardGateway::renew(
     if (local_slid == 0) return SlRemote::RenewResult{};
   }
   return router_.renew_now(shard, local_slid, license, health, network,
-                           consumed);
+                           consumed, request_id);
 }
 
 bool ShardGateway::graceful_shutdown(
@@ -258,6 +280,9 @@ bool ShardGateway::graceful_shutdown(
     const std::unordered_map<LeaseId, std::uint64_t>& unused) {
   if (!network_.round_trip(node_, clock_)) return false;
   const std::size_t home = router_.home_shard(customer_);
+  // The escrow endpoint is the home shard; with it down the shutdown cannot
+  // be recorded and the client must treat it as unreachable-server.
+  if (!router_.shard(home).up()) return false;
   // Split the unused-count report by owning shard; every shard where this
   // node is registered gets the graceful mark (and the escrowed root key),
   // so a later clean restart is graceful service-wide.
@@ -269,9 +294,14 @@ bool ShardGateway::graceful_shutdown(
   for (std::size_t shard = 0; shard < router_.shard_count(); ++shard) {
     auto it = slids_.find(shard);
     if (it == slids_.end()) continue;
+    // A down shard never hears about the graceful shutdown: when it
+    // recovers, this node is still marked alive there, and its next init is
+    // treated as a crash — outstanding sub-GCLs on that shard forfeit
+    // (Section 5.7's pessimistic policy, now per shard).
+    if (!router_.shard(shard).up()) continue;
     const Slid use = shard == home ? slid : it->second;
     auto split = by_shard.find(shard);
-    router_.shard(shard).remote().graceful_shutdown(
+    router_.shard(shard).escrow(
         use, root_key,
         split == by_shard.end() ? std::unordered_map<LeaseId, std::uint64_t>{}
                                 : split->second);
@@ -280,9 +310,9 @@ bool ShardGateway::graceful_shutdown(
 }
 
 bool ShardGateway::attest(const sgx::Quote& quote) {
-  return router_.shard(router_.home_shard(customer_))
-      .remote()
-      .attest_only(quote, clock_);
+  RemoteShard& home = router_.shard(router_.home_shard(customer_));
+  if (!home.up()) return false;
+  return home.remote().attest_only(quote, clock_);
 }
 
 }  // namespace sl::lease

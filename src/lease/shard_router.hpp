@@ -74,10 +74,13 @@ class ShardRouter {
   std::vector<Completion> drain_all();
 
   // Synchronous single renewal on one shard (the gateway path): enqueue +
-  // immediate drain, i.e. a batch of one.
+  // immediate drain, i.e. a batch of one. `request_id` (nonzero) is the
+  // client's idempotency id, deduplicated by the shard across retries and
+  // crash recovery.
   SlRemote::RenewResult renew_now(std::size_t shard, Slid slid,
                                   const LicenseFile& license, double health,
-                                  double network, std::uint64_t consumed);
+                                  double network, std::uint64_t consumed,
+                                  std::uint64_t request_id = 0);
 
   std::optional<LeaseLedger> ledger(CustomerId customer, LeaseId lease) const;
   // Every provisioned lease across all shards, ascending (each lease lives
@@ -125,7 +128,8 @@ class ShardGateway : public RemoteGateway {
                                            Slid claimed_slid) override;
   std::optional<SlRemote::RenewResult> renew(Slid slid, const LicenseFile& license,
                                              double health, double network,
-                                             std::uint64_t consumed) override;
+                                             std::uint64_t consumed,
+                                             std::uint64_t request_id = 0) override;
   bool graceful_shutdown(
       Slid slid, std::uint64_t root_key,
       const std::unordered_map<LeaseId, std::uint64_t>& unused) override;

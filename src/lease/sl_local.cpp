@@ -1,6 +1,7 @@
 #include "lease/sl_local.hpp"
 
 #include "common/log.hpp"
+#include "common/rng.hpp"
 #include "lease/gateway.hpp"
 
 namespace sl::lease {
@@ -8,6 +9,9 @@ namespace sl::lease {
 namespace {
 constexpr const char* kEnclaveName = "sl-local-enclave-v1";
 constexpr std::size_t kEnclaveHeapBytes = 8ull * 1024 * 1024;
+// Transport attempts per logical renewal (each attempt is itself a
+// round_trip with the link's own retry/backoff policy underneath).
+constexpr int kRenewAttempts = 2;
 }  // namespace
 
 sgx::Measurement SlLocal::expected_measurement() {
@@ -78,6 +82,9 @@ bool SlLocal::init(Slid saved_slid) {
       tree_ = std::make_unique<LeaseTree>(options_.keygen_seed + 1, store_);
     }
   }
+  boot_nonce_ =
+      splitmix64_key(runtime_.clock().cycles() ^ slid_, options_.keygen_seed) | 1;
+  renew_counter_ = 0;
   ready_ = true;
   log_info("SL-Local: ready, SLID=", slid_);
   return true;
@@ -102,8 +109,16 @@ bool SlLocal::renew_from_remote(const LicenseFile& license) {
   if (consumed_it != consumed_unreported_.end()) {
     consumed = consumed_it->second;
   }
-  const auto result = gateway_->renew(slid_, license, options_.health,
-                                      link_reliability_, consumed);
+  // One id per logical renewal: a transport-level retry reuses it, so a
+  // request whose response was lost is answered from the server's
+  // idempotency table instead of burning the pool twice.
+  const std::uint64_t request_id = boot_nonce_ + ++renew_counter_;
+  std::optional<SlRemote::RenewResult> result;
+  for (int attempt = 0; attempt < kRenewAttempts; ++attempt) {
+    result = gateway_->renew(slid_, license, options_.health,
+                             link_reliability_, consumed, request_id);
+    if (result.has_value()) break;  // reached the server (granted or denied)
+  }
   if (!result.has_value() || !result->ok) {
     stats_.renewal_failures++;
     return false;

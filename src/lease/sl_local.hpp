@@ -119,6 +119,12 @@ class SlLocal {
   std::unique_ptr<LeaseTree> tree_;
   Slid slid_ = 0;
   bool ready_ = false;
+  // Idempotent renewals: request ids are scoped to one boot (a nonce drawn
+  // at init from the virtual clock) so a post-crash incarnation can never
+  // collide with its predecessor's ids; the server additionally clears its
+  // idempotency record on re-admission.
+  std::uint64_t boot_nonce_ = 0;
+  std::uint64_t renew_counter_ = 0;
   std::uint64_t session_key_ = 0;
   std::uint64_t token_nonce_ = 0;
   // Per-lease local accounting: what remains of the granted sub-GCLs and

@@ -1,6 +1,7 @@
 #include "lease/sl_remote.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -214,6 +215,149 @@ void SlRemote::report_consumed(Slid slid, LeaseId lease, std::uint64_t count) {
   const std::uint64_t settled = std::min(out->second, count);
   out->second -= settled;
   pool->second.consumed += settled;
+}
+
+void SlRemote::apply_register(Slid slid, double health, double network) {
+  locals_[slid] = LocalRecord{.alive = true, .health = health, .network = network};
+  if (slid >= next_slid_) next_slid_ = slid + 1;
+  stats_.registrations++;
+}
+
+void SlRemote::apply_crash_reinit(Slid slid) {
+  forfeit_outstanding(slid);
+  LocalRecord& record = locals_[slid];
+  record.alive = true;
+  record.graceful = false;
+  record.escrowed_root_key = 0;
+  if (slid >= next_slid_) next_slid_ = slid + 1;
+}
+
+void SlRemote::apply_graceful_reinit(Slid slid) {
+  LocalRecord& record = locals_[slid];
+  record.alive = true;
+  record.graceful = false;
+  record.escrowed_root_key = 0;
+  if (slid >= next_slid_) next_slid_ = slid + 1;
+}
+
+void SlRemote::apply_renewal(Slid slid, LeaseId lease, std::uint64_t consumed,
+                             std::uint64_t granted, double health,
+                             double network) {
+  if (consumed > 0) report_consumed(slid, lease, consumed);
+  auto local = locals_.find(slid);
+  if (local != locals_.end()) {
+    local->second.health = health;
+    local->second.network = network;
+  }
+  if (granted == 0) return;
+  auto pool = pools_.find(lease);
+  ensure(pool != pools_.end() && pool->second.remaining >= granted,
+         "apply_renewal: journaled grant exceeds recovered pool");
+  pool->second.remaining -= granted;
+  pool->second.outstanding[slid] += granted;
+  stats_.renewals++;
+}
+
+Bytes SlRemote::serialize_state() const {
+  Bytes out;
+  put_u64(out, next_slid_);
+
+  const std::vector<LeaseId> leases = provisioned_leases();
+  put_u32(out, static_cast<std::uint32_t>(leases.size()));
+  for (const LeaseId lease : leases) {
+    const LeasePool& pool = pools_.at(lease);
+    put_u32(out, lease);
+    const Bytes license = pool.license.serialize();
+    put_u32(out, static_cast<std::uint32_t>(license.size()));
+    out.insert(out.end(), license.begin(), license.end());
+    put_u64(out, pool.remaining);
+    put_u64(out, pool.provisioned);
+    put_u64(out, pool.consumed);
+    put_u64(out, pool.forfeited);
+    put_u64(out, pool.revoked);
+    std::vector<std::pair<Slid, std::uint64_t>> outstanding(
+        pool.outstanding.begin(), pool.outstanding.end());
+    std::sort(outstanding.begin(), outstanding.end());
+    put_u32(out, static_cast<std::uint32_t>(outstanding.size()));
+    for (const auto& [slid, count] : outstanding) {
+      put_u64(out, slid);
+      put_u64(out, count);
+    }
+  }
+
+  std::vector<Slid> slids;
+  slids.reserve(locals_.size());
+  for (const auto& [slid, record] : locals_) slids.push_back(slid);
+  std::sort(slids.begin(), slids.end());
+  put_u32(out, static_cast<std::uint32_t>(slids.size()));
+  for (const Slid slid : slids) {
+    const LocalRecord& record = locals_.at(slid);
+    put_u64(out, slid);
+    out.push_back(record.alive ? 1 : 0);
+    out.push_back(record.graceful ? 1 : 0);
+    put_u64(out, record.escrowed_root_key);
+    put_u64(out, std::bit_cast<std::uint64_t>(record.health));
+    put_u64(out, std::bit_cast<std::uint64_t>(record.network));
+  }
+  return out;
+}
+
+bool SlRemote::restore_state(ByteView data) {
+  const auto fits = [&](std::size_t offset, std::size_t need) {
+    return offset <= data.size() && data.size() - offset >= need;
+  };
+  pools_.clear();
+  locals_.clear();
+  std::size_t offset = 0;
+  if (!fits(offset, 12)) return false;
+  next_slid_ = get_u64(data, offset);
+  offset += 8;
+  const std::uint32_t pool_count = get_u32(data, offset);
+  offset += 4;
+  for (std::uint32_t i = 0; i < pool_count; ++i) {
+    if (!fits(offset, 8)) return false;
+    const LeaseId lease = get_u32(data, offset);
+    const std::uint32_t license_len = get_u32(data, offset + 4);
+    offset += 8;
+    if (license_len > 4096 || !fits(offset, license_len)) return false;
+    auto license = LicenseFile::deserialize(
+        ByteView(data.data() + offset, license_len));
+    if (!license.has_value()) return false;
+    offset += license_len;
+    if (!fits(offset, 5 * 8 + 4)) return false;
+    LeasePool pool;
+    pool.license = std::move(*license);
+    pool.remaining = get_u64(data, offset);
+    pool.provisioned = get_u64(data, offset + 8);
+    pool.consumed = get_u64(data, offset + 16);
+    pool.forfeited = get_u64(data, offset + 24);
+    pool.revoked = get_u64(data, offset + 32);
+    offset += 40;
+    const std::uint32_t out_count = get_u32(data, offset);
+    offset += 4;
+    if (!fits(offset, static_cast<std::size_t>(out_count) * 16)) return false;
+    for (std::uint32_t j = 0; j < out_count; ++j) {
+      pool.outstanding[get_u64(data, offset)] = get_u64(data, offset + 8);
+      offset += 16;
+    }
+    pools_[lease] = std::move(pool);
+  }
+  if (!fits(offset, 4)) return false;
+  const std::uint32_t local_count = get_u32(data, offset);
+  offset += 4;
+  if (!fits(offset, static_cast<std::size_t>(local_count) * 34)) return false;
+  for (std::uint32_t i = 0; i < local_count; ++i) {
+    const Slid slid = get_u64(data, offset);
+    LocalRecord record;
+    record.alive = data[offset + 8] != 0;
+    record.graceful = data[offset + 9] != 0;
+    record.escrowed_root_key = get_u64(data, offset + 10);
+    record.health = std::bit_cast<double>(get_u64(data, offset + 18));
+    record.network = std::bit_cast<double>(get_u64(data, offset + 26));
+    offset += 34;
+    locals_[slid] = record;
+  }
+  return offset == data.size();
 }
 
 std::optional<LeaseLedger> SlRemote::ledger(LeaseId lease) const {

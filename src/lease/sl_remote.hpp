@@ -114,6 +114,34 @@ class SlRemote {
 
   RenewalParams& params() { return params_; }
   const SlRemoteStats& stats() const { return stats_; }
+  // Zeroes the counters. Recovery replay re-drives the mutation paths, so a
+  // recovering shard resets them afterwards and re-adds the carried totals.
+  void reset_stats() { stats_ = SlRemoteStats{}; }
+
+  // --- Recovery appliers (write-ahead-journal replay) ----------------------
+  // Replay applies journaled *outcomes* directly: same ledger arithmetic as
+  // the live paths, but no attestation, no Algorithm 1 re-run, and explicit
+  // SLIDs (the journal is the allocator of record). See durability.hpp.
+
+  // Re-registers `slid` exactly as journaled and advances the SLID allocator
+  // past it.
+  void apply_register(Slid slid, double health, double network);
+  // Re-init without a graceful record: Section 5.7 forfeiture, then alive.
+  void apply_crash_reinit(Slid slid);
+  // Re-init with a graceful record: alive again, escrow cleared.
+  void apply_graceful_reinit(Slid slid);
+  // One journaled renewal outcome: consumption report, telemetry update and
+  // (when granted > 0) the pool -> outstanding transfer.
+  void apply_renewal(Slid slid, LeaseId lease, std::uint64_t consumed,
+                     std::uint64_t granted, double health, double network);
+
+  // --- Checkpoint snapshot ---------------------------------------------------
+  // Deterministic serialization of pools, local records and the SLID
+  // allocator (sorted iteration; stats are observability-only and excluded).
+  Bytes serialize_state() const;
+  // Replaces the full state from serialize_state() output; false on a
+  // malformed snapshot (state is unspecified then — callers fail recovery).
+  bool restore_state(ByteView data);
 
   // --- Oracle accessors -----------------------------------------------------
   // Conservation ledger for one lease; nullopt when never provisioned.

@@ -125,6 +125,7 @@ Bytes RenewRequest::serialize() const {
   put_fraction(out, health);
   put_fraction(out, network);
   put_u64(out, consumed);
+  put_u64(out, request_id);
   return out;
 }
 
@@ -142,6 +143,14 @@ std::optional<RenewRequest> RenewRequest::deserialize(ByteView data) {
   request.health = get_fraction(data, offset);
   request.network = get_fraction(data, offset);
   request.consumed = get_u64(data, offset);
+  offset += 8;
+  // Optional trailing idempotency id (old-format frames end here). Anything
+  // other than exactly zero or eight trailing bytes is garbage.
+  if (data.size() - offset == 8) {
+    request.request_id = get_u64(data, offset);
+    offset += 8;
+  }
+  if (offset != data.size()) return std::nullopt;
   return request;
 }
 

@@ -46,6 +46,9 @@ struct RenewRequest {
   double network = 1.0;
   // Consumption observed since the last report (piggybacked).
   std::uint64_t consumed = 0;
+  // Client-chosen idempotency id (0 = none). Appended to the frame; absent
+  // on old-format frames, which decode with request_id = 0.
+  std::uint64_t request_id = 0;
 
   Bytes serialize() const;
   static std::optional<RenewRequest> deserialize(ByteView data);

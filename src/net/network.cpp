@@ -1,5 +1,7 @@
 #include "net/network.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace sl::net {
@@ -22,13 +24,27 @@ bool SimNetwork::round_trip(NodeId node, SimClock& clock, int max_retries) {
   const LinkProfile& profile = link(node);
   LinkStats& stats = stats_[node];
   for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff with jitter before every retry. The jitter draw
+      // happens only on this failure path, so a perfectly reliable link
+      // consumes exactly the same rng stream as before backoff existed.
+      double wait = profile.backoff_base_millis;
+      for (int k = 1; k < attempt; ++k) wait *= profile.backoff_factor;
+      wait = std::min(wait, profile.backoff_max_millis);
+      wait *= 0.5 + 0.5 * rng_.next_double();
+      clock.advance_millis(wait);
+      stats.backoffs++;
+      stats.total_backoff_millis += wait;
+    }
     stats.attempts++;
     if (rng_.next_bool(profile.reliability)) {
       clock.advance_millis(profile.rtt_millis);
+      stats.record_attempt(profile.rtt_millis);
       return true;
     }
     stats.failures++;
     clock.advance_millis(profile.timeout_millis);
+    stats.record_attempt(profile.timeout_millis);
   }
   return false;
 }

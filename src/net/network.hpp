@@ -3,9 +3,12 @@
 // The paper's renewal heuristic (Algorithm 1) consumes a per-node network
 // reliability n in [0,1] (0 = dead, 1 = stable). The simulator models each
 // link with a base round-trip latency and that reliability: an RPC attempt
-// fails (and costs a timeout) with probability 1-n, and the caller retries.
+// fails (and costs a timeout) with probability 1-n, and the caller retries
+// with exponential backoff and seeded jitter — retry storms against a
+// recovering server are as unrealistic in simulation as in production.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <unordered_map>
 
@@ -20,11 +23,35 @@ struct LinkProfile {
   double rtt_millis = 20.0;      // round-trip latency of one successful RPC
   double reliability = 1.0;      // n in [0,1]
   double timeout_millis = 200.0; // cost of a failed attempt
+  // Exponential backoff between retries: the k-th retry waits
+  // min(base * factor^(k-1), max), scaled by a seeded jitter in [0.5, 1).
+  // No backoff (and no jitter draw) happens before the first attempt or
+  // after the last, so a reliability=1.0 link is bit-identical to the old
+  // fixed-retry behavior.
+  double backoff_base_millis = 50.0;
+  double backoff_factor = 2.0;
+  double backoff_max_millis = 2'000.0;
 };
+
+// Size of the per-link ring of recent attempt latencies.
+inline constexpr std::size_t kAttemptLatencyWindow = 64;
 
 struct LinkStats {
   std::uint64_t attempts = 0;
   std::uint64_t failures = 0;
+  std::uint64_t backoffs = 0;          // retry waits charged
+  double total_latency_millis = 0.0;   // rtt + timeouts across all attempts
+  double total_backoff_millis = 0.0;   // jittered waits across all retries
+  // Ring buffer of the most recent per-attempt latencies (rtt for a
+  // success, timeout for a failure; backoff waits are not attempts).
+  std::array<double, kAttemptLatencyWindow> attempt_latencies{};
+  std::uint64_t attempt_latency_count = 0;  // total recorded (ring wraps)
+
+  void record_attempt(double millis) {
+    attempt_latencies[attempt_latency_count % kAttemptLatencyWindow] = millis;
+    attempt_latency_count++;
+    total_latency_millis += millis;
+  }
 };
 
 class SimNetwork {

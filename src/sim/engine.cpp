@@ -35,6 +35,16 @@ net::LinkProfile link_profile(const NodeSpec& node, double reliability) {
   return profile;
 }
 
+lease::ShardConfig shard_config(const ScenarioSpec& spec) {
+  lease::ShardConfig config;
+  if (spec.server_journaling) {
+    config.durability.journaling = true;
+    config.durability.faults = spec.storage_faults;
+    config.durability.device_seed = splitmix64_key(0xd15c, spec.seed);
+  }
+  return config;
+}
+
 }  // namespace
 
 // One simulated client machine: its own SGX runtime (and virtual clock),
@@ -73,7 +83,8 @@ struct SimulationEngine::World {
   explicit World(const ScenarioSpec& spec)
       : vendor(splitmix64_key(1, spec.seed) | 1),
         router(vendor, ias, lease::SlLocal::expected_measurement(),
-               std::max<std::uint32_t>(1, spec.shard_count)),
+               std::max<std::uint32_t>(1, spec.shard_count),
+               shard_config(spec)),
         network(spec.seed) {
     for (std::size_t i = 0; i < spec.licenses.size(); ++i) {
       const LicenseSpec& ls = spec.licenses[i];
@@ -148,6 +159,12 @@ void SimulationEngine::retire_managers(Node& node) {
 
 void SimulationEngine::execute(const ScenarioEvent& event,
                                std::size_t event_index, std::string& line) {
+  // Server-side kinds carry a shard index in event.node, so they must not
+  // dereference the client-node table below.
+  if (event.kind >= EventKind::kServerLoad) {
+    execute_server(event, line);
+    return;
+  }
   Node& node = *world_->nodes[event.node];
   const net::NodeId node_id = static_cast<net::NodeId>(event.node + 1);
   const auto skip = [&](const char* why) {
@@ -218,7 +235,14 @@ void SimulationEngine::execute(const ScenarioEvent& event,
       break;
     }
     case EventKind::kRevoke: {
-      world_->router.revoke(kSimCustomer, ScenarioSpec::lease_id(event.index));
+      const lease::LeaseId lease = ScenarioSpec::lease_id(event.index);
+      // The vendor cannot reach a crashed shard; the revocation is lost, not
+      // queued — it would need its own durable inbox to survive.
+      if (!world_->router.shard(world_->router.shard_of(kSimCustomer, lease))
+               .up()) {
+        return skip("shard-down");
+      }
+      world_->router.revoke(kSimCustomer, lease);
       stats_.revocations++;
       line += " -> pool=0";
       break;
@@ -258,6 +282,97 @@ void SimulationEngine::execute(const ScenarioEvent& event,
                      static_cast<unsigned long long>(handle));
       break;
     }
+    case EventKind::kServerLoad:
+    case EventKind::kServerDrain:
+    case EventKind::kServerCrash:
+    case EventKind::kServerRestart:
+    case EventKind::kServerCheckpoint:
+      break;  // dispatched to execute_server above; unreachable
+  }
+  stats_.events_executed++;
+}
+
+void SimulationEngine::execute_server(const ScenarioEvent& event,
+                                      std::string& line) {
+  lease::ShardRouter& router = world_->router;
+  const std::size_t shard =
+      static_cast<std::size_t>(event.node) % router.shard_count();
+  const auto skip = [&](const char* why) {
+    line += format(" -> skipped(%s)", why);
+    stats_.events_skipped++;
+  };
+
+  switch (event.kind) {
+    case EventKind::kServerLoad: {
+      // Synthetic router-level traffic: queued (not drained) renewals are
+      // exactly the unsynced intent tail a later kServerCrash mangles.
+      const std::uint32_t lic =
+          event.index % static_cast<std::uint32_t>(world_->licenses.size());
+      const lease::LicenseFile& license = world_->licenses[lic];
+      const lease::ShardRouter::ClientId client = 10'000 + lic;
+      if (!synthetic_registered_[lic]) {
+        router.register_client(kSimCustomer, client, 0.9, 0.9);
+        synthetic_registered_[lic] = true;
+      }
+      std::uint64_t accepted = 0;
+      for (std::uint64_t i = 0; i < event.amount; ++i) {
+        if (router.submit(kSimCustomer, client, license, 0,
+                          ++synthetic_ticket_)) {
+          accepted++;
+        }
+      }
+      stats_.synthetic_renewals += accepted;
+      line += format(" -> queued=%llu/%llu",
+                     static_cast<unsigned long long>(accepted),
+                     static_cast<unsigned long long>(event.amount));
+      break;
+    }
+    case EventKind::kServerDrain: {
+      const auto completions = router.drain_all();
+      std::uint64_t granted = 0;
+      for (const auto& completion : completions) {
+        if (completion.outcome.status == lease::RenewStatus::kGranted) {
+          granted++;
+        }
+      }
+      line += format(" -> completed=%zu granted=%llu", completions.size(),
+                     static_cast<unsigned long long>(granted));
+      break;
+    }
+    case EventKind::kServerCrash: {
+      if (!router.shard(shard).up()) return skip("down");
+      router.shard(shard).crash();
+      stats_.server_crashes++;
+      line += " -> down";
+      break;
+    }
+    case EventKind::kServerRestart: {
+      if (router.shard(shard).up()) return skip("up");
+      const lease::RecoveryReport report = router.shard(shard).recover();
+      stats_.server_restarts++;
+      if (report.tail_truncated) stats_.recovery_truncations++;
+      stats_.recovery_intents_dropped += report.intents_dropped;
+      line += format(
+          " -> ok=%d replayed=%llu truncated=%lluB dropped=%llu gen=%llu",
+          report.ok ? 1 : 0,
+          static_cast<unsigned long long>(report.records_replayed),
+          static_cast<unsigned long long>(report.truncated_bytes),
+          static_cast<unsigned long long>(report.intents_dropped),
+          static_cast<unsigned long long>(report.generation));
+      pending_recoveries_.emplace_back(shard, report);
+      break;
+    }
+    case EventKind::kServerCheckpoint: {
+      if (!router.shard(shard).up()) return skip("down");
+      if (router.shard(shard).journal() == nullptr) return skip("no-journal");
+      router.shard(shard).checkpoint();
+      stats_.server_checkpoints++;
+      line += format(" -> gen=%llu", static_cast<unsigned long long>(
+                                         router.shard(shard).generation()));
+      break;
+    }
+    default:
+      return skip("not-server");
   }
   stats_.events_executed++;
 }
@@ -293,6 +408,15 @@ void SimulationEngine::evaluate_oracles(std::size_t event_index,
     }
   }
 
+  // Every recovery since the last pass is checked exactly once.
+  for (const auto& [shard, report] : pending_recoveries_) {
+    if (auto err = check_recovery(report)) {
+      failures.push_back(
+          {kOracleRecovery, format("shard %zu: ", shard) + *err, event_index});
+    }
+  }
+  pending_recoveries_.clear();
+
   for (std::size_t i = 0; i < world_->nodes.size(); ++i) {
     Node& node = *world_->nodes[i];
     if (node.up && node.local->ready()) {
@@ -315,6 +439,7 @@ void SimulationEngine::evaluate_oracles(std::size_t event_index,
 
 SimulationResult SimulationEngine::run() {
   world_ = std::make_unique<World>(spec_);
+  synthetic_registered_.assign(spec_.licenses.size(), false);
   SimulationResult result;
 
   for (std::uint32_t i = 0; i < spec_.nodes.size(); ++i) {
@@ -337,6 +462,9 @@ SimulationResult SimulationEngine::run() {
   stats_.renewals_denied = remote_stats.renewals_denied;
   stats_.forfeited_gcls = remote_stats.forfeited_gcls;
   stats_.reclaimed_gcls = remote_stats.reclaimed_gcls;
+  const lease::ShardStats shard_stats = world_->router.aggregate_shard_stats();
+  stats_.deduped_renewals = shard_stats.deduped;
+  stats_.shard_checkpoints = shard_stats.checkpoints;
 
   result.stats = stats_;
   result.passed = result.failures.empty();

@@ -4,7 +4,7 @@
 // one SL-Remote behind the simulated WAN, and per node an SgxRuntime,
 // Platform, UntrustedStore, SL-Local and one SL-Manager per licensed
 // add-on — then replays the fault schedule event by event. After every
-// event it evaluates the four invariant oracles (oracles.hpp) and appends
+// event it evaluates the invariant oracles (oracles.hpp) and appends
 // a deterministic trace line; the murmur3 fingerprint of the trace is the
 // bit-for-bit replay check (`securelease simulate --seed N` twice must
 // print identical fingerprints).
@@ -38,6 +38,15 @@ struct SimulationStats {
   std::uint64_t restarts = 0;
   std::uint64_t shutdowns = 0;
   std::uint64_t revocations = 0;
+  // Server-side durability events (kServer* kinds).
+  std::uint64_t server_crashes = 0;
+  std::uint64_t server_restarts = 0;
+  std::uint64_t server_checkpoints = 0;    // explicit events only
+  std::uint64_t synthetic_renewals = 0;    // queued by kServerLoad
+  std::uint64_t recovery_truncations = 0;  // torn/corrupt tails cut off
+  std::uint64_t recovery_intents_dropped = 0;
+  std::uint64_t deduped_renewals = 0;      // answered from idempotency tables
+  std::uint64_t shard_checkpoints = 0;     // incl. automatic + forced
   std::uint64_t events_executed = 0;
   std::uint64_t events_skipped = 0;    // e.g. work scheduled on a down node
   double max_virtual_seconds = 0.0;    // furthest node clock
@@ -71,6 +80,8 @@ class SimulationEngine {
   void retire_managers(Node& node);
   void execute(const ScenarioEvent& event, std::size_t event_index,
                std::string& line);
+  // kServer* kinds (event.node is a shard index, not a client node).
+  void execute_server(const ScenarioEvent& event, std::string& line);
   void evaluate_oracles(std::size_t event_index,
                         std::vector<OracleFinding>& failures);
 
@@ -83,6 +94,13 @@ class SimulationEngine {
   // Executions granted per lease across every manager generation (live
   // managers are folded in on crash/shutdown and at the end of the run).
   std::map<lease::LeaseId, std::uint64_t> retired_executions_;
+  // Recovery reports produced since the last oracle pass; each is checked
+  // (and consumed) by the recovery oracle. First element is the shard index.
+  std::vector<std::pair<std::size_t, lease::RecoveryReport>> pending_recoveries_;
+  // kServerLoad bookkeeping: synthetic router clients (ids 10000+license)
+  // registered lazily, monotone tickets to match completions.
+  std::vector<bool> synthetic_registered_;
+  std::uint64_t synthetic_ticket_ = 0;
   SimulationStats stats_;
 };
 

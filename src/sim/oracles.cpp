@@ -84,4 +84,23 @@ std::optional<std::string> check_monotone_time(const char* clock_name,
   return std::nullopt;
 }
 
+std::optional<std::string> check_recovery(const lease::RecoveryReport& report) {
+  if (!report.ok) {
+    return format("recovery failed structurally: %s", report.detail.c_str());
+  }
+  if (report.lost_committed) {
+    return format("acknowledged state lost: replay ended before the synced "
+                  "frontier (%s)", report.detail.c_str());
+  }
+  if (!report.digest_match) {
+    return format("recovered digest %016llx != committed digest %016llx "
+                  "(replayed=%llu, %s)",
+                  (unsigned long long)report.recovered_digest,
+                  (unsigned long long)report.committed_digest,
+                  (unsigned long long)report.records_replayed,
+                  report.detail.c_str());
+  }
+  return std::nullopt;
+}
+
 }  // namespace sl::sim

@@ -1,6 +1,6 @@
 // Invariant oracles for the deterministic simulation harness.
 //
-// Four paper-derived invariants are checked after every scheduled event:
+// Five invariants are checked after every scheduled event:
 //  1. GCL conservation (Section 5.5): for every lease, provisioned ==
 //     pool + outstanding + consumed + forfeited + revoked — SL-Remote's
 //     double-entry ledger never creates or leaks counts.
@@ -13,6 +13,9 @@
 //     tampered untrusted blobs must be detected, not silently accepted.
 //  4. Monotone virtual time: every node's SimClock and the server clock
 //     only move forward.
+//  5. Crash-consistent recovery (docs/DURABILITY.md): a restarted shard's
+//     rebuilt state matches the committed journal prefix exactly — no
+//     acknowledged mutation lost, no torn tail replayed.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +25,7 @@
 #include <vector>
 
 #include "lease/lease_tree.hpp"
+#include "lease/remote_shard.hpp"
 #include "lease/sl_remote.hpp"
 
 namespace sl::sim {
@@ -30,6 +34,7 @@ inline constexpr const char* kOracleConservation = "gcl-conservation";
 inline constexpr const char* kOracleDoubleSpend = "double-spend";
 inline constexpr const char* kOracleTreeIntegrity = "tree-integrity";
 inline constexpr const char* kOracleMonotoneTime = "monotone-time";
+inline constexpr const char* kOracleRecovery = "recovery";
 
 struct OracleFinding {
   std::string oracle;       // one of the kOracle* names
@@ -58,5 +63,11 @@ std::optional<std::string> check_tree_integrity(lease::LeaseTree& tree);
 // update it with the returned current value.
 std::optional<std::string> check_monotone_time(const char* clock_name,
                                                Cycles previous, Cycles current);
+
+// Invariant 5 (durability, docs/DURABILITY.md): a shard restart must
+// structurally recover, its rebuilt state digest must equal both the last
+// replayed record's post-digest and the pre-crash committed digest, and no
+// acknowledged (synced) record may be missing from the replayed prefix.
+std::optional<std::string> check_recovery(const lease::RecoveryReport& report);
 
 }  // namespace sl::sim

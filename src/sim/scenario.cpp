@@ -1,5 +1,6 @@
 #include "sim/scenario.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/rng.hpp"
@@ -18,6 +19,11 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kClockSkew: return "clock-skew";
     case EventKind::kCommit: return "commit";
     case EventKind::kTamper: return "tamper";
+    case EventKind::kServerLoad: return "server-load";
+    case EventKind::kServerDrain: return "server-drain";
+    case EventKind::kServerCrash: return "server-crash";
+    case EventKind::kServerRestart: return "server-restart";
+    case EventKind::kServerCheckpoint: return "server-checkpoint";
   }
   return "?";
 }
@@ -54,6 +60,13 @@ ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorLimits& limits
   const std::uint32_t node_count = range(rng, limits.min_nodes, limits.max_nodes);
   const std::uint32_t license_count =
       range(rng, limits.min_licenses, limits.max_licenses);
+  // Both draws below are gated on non-default limits so every pre-existing
+  // seed expands to a bit-identical scenario when the knobs stay off.
+  if (limits.max_shards > 1) {
+    spec.shard_count = range(rng, limits.min_shards, limits.max_shards);
+  }
+  spec.server_journaling = limits.server_fault_probability > 0.0;
+  spec.storage_faults = limits.storage;
 
   for (std::uint32_t i = 0; i < license_count; ++i) {
     LicenseSpec license;
@@ -95,8 +108,46 @@ ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorLimits& limits
   const std::uint32_t event_count = range(rng, limits.min_events, limits.max_events);
   std::vector<bool> up(node_count, true);
   std::vector<bool> partitioned(node_count, false);
+  std::vector<bool> shard_up(std::max<std::uint32_t>(1, spec.shard_count), true);
 
   while (spec.schedule.size() < event_count) {
+    if (limits.server_fault_probability > 0.0 &&
+        rng.next_bool(limits.server_fault_probability)) {
+      // Server-side slot: load 30 / drain 20 / crash 20 / restart 15 /
+      // checkpoint 15. Inapplicable picks (no shard in the wanted state)
+      // degrade to a drain so the schedule stays well-formed.
+      ScenarioEvent event;
+      event.kind = EventKind::kServerDrain;
+      std::uint32_t shard = 0;
+      const std::uint64_t sroll = rng.next_below(100);
+      if (sroll < 30) {
+        event.kind = EventKind::kServerLoad;
+        event.index = static_cast<std::uint32_t>(rng.next_below(license_count));
+        event.amount = 1 + rng.next_below(8);
+      } else if (sroll < 50) {
+        // drain (already set)
+      } else if (sroll < 70) {
+        if (pick_state(rng, shard_up, true, shard)) {
+          event.kind = EventKind::kServerCrash;
+          event.node = shard;
+          shard_up[shard] = false;
+        }
+      } else if (sroll < 85) {
+        if (pick_state(rng, shard_up, false, shard)) {
+          event.kind = EventKind::kServerRestart;
+          event.node = shard;
+          shard_up[shard] = true;
+        }
+      } else {
+        if (pick_state(rng, shard_up, true, shard)) {
+          event.kind = EventKind::kServerCheckpoint;
+          event.node = shard;
+        }
+      }
+      spec.schedule.push_back(event);
+      continue;
+    }
+
     if (limits.tamper_probability > 0.0 &&
         rng.next_bool(limits.tamper_probability)) {
       // Plant a commit+tamper pair: committing offloads ciphertexts to the
@@ -180,9 +231,26 @@ ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorLimits& limits
         break;
       case EventKind::kCommit:
       case EventKind::kTamper:
+      default:  // server kinds are produced by the branch above, not here
         break;
     }
     spec.schedule.push_back(event);
+  }
+
+  if (limits.server_fault_probability > 0.0) {
+    // Every down shard recovers at the end (so each crash's recovery is
+    // oracled), then a final drain flushes any queued synthetic renewals.
+    for (std::uint32_t s = 0; s < shard_up.size(); ++s) {
+      if (shard_up[s]) continue;
+      ScenarioEvent restart;
+      restart.kind = EventKind::kServerRestart;
+      restart.node = s;
+      spec.schedule.push_back(restart);
+      shard_up[s] = true;
+    }
+    ScenarioEvent drain;
+    drain.kind = EventKind::kServerDrain;
+    spec.schedule.push_back(drain);
   }
   return spec;
 }
@@ -206,6 +274,20 @@ std::string describe(const ScenarioEvent& event) {
     case EventKind::kRevoke:
       std::snprintf(buffer, sizeof(buffer), "revoke lic=%u", event.index);
       break;
+    case EventKind::kServerLoad:
+      std::snprintf(buffer, sizeof(buffer), "server-load lic=%u renewals=%llu",
+                    event.index,
+                    static_cast<unsigned long long>(event.amount));
+      break;
+    case EventKind::kServerDrain:
+      std::snprintf(buffer, sizeof(buffer), "server-drain");
+      break;
+    case EventKind::kServerCrash:
+    case EventKind::kServerRestart:
+    case EventKind::kServerCheckpoint:
+      std::snprintf(buffer, sizeof(buffer), "%s shard=%u",
+                    event_kind_name(event.kind), event.node);
+      break;
     default:
       std::snprintf(buffer, sizeof(buffer), "%s node=%u",
                     event_kind_name(event.kind), event.node);
@@ -224,6 +306,16 @@ std::string describe(const ScenarioSpec& spec) {
   out += buffer;
   if (spec.shard_count > 1) {
     std::snprintf(buffer, sizeof(buffer), "  shards=%u\n", spec.shard_count);
+    out += buffer;
+  }
+  if (spec.server_journaling) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "  journaling=on faults: tail=%.2f torn=%.2f reorder=%.2f "
+                  "flip=%.2f\n",
+                  spec.storage_faults.tail_survive_probability,
+                  spec.storage_faults.torn_write_probability,
+                  spec.storage_faults.reorder_probability,
+                  spec.storage_faults.flip_probability);
     out += buffer;
   }
   for (std::size_t i = 0; i < spec.licenses.size(); ++i) {

@@ -3,7 +3,9 @@
 // A ScenarioSpec is a complete, replayable description of a multi-node
 // SecureLease deployment plus a schedule of injected faults: client
 // crash/restart, graceful shutdown, network partition, clock skew,
-// mid-run revocation, EPC-pressure commits and untrusted-store tampering.
+// mid-run revocation, EPC-pressure commits, untrusted-store tampering,
+// and server-side shard crashes with storage-fault injection on the
+// journal tail (kServer* kinds).
 // Everything derives from a 64-bit seed, so a failing schedule is a
 // one-integer reproducer (`securelease simulate --seed N`). The engine in
 // engine.hpp replays a spec bit-for-bit and checks the invariant oracles
@@ -15,6 +17,7 @@
 #include <vector>
 
 #include "lease/license.hpp"
+#include "storage/block_device.hpp"
 
 namespace sl::sim {
 
@@ -29,6 +32,13 @@ enum class EventKind : std::uint8_t {
   kClockSkew,     // node's virtual clock jumps `value` seconds forward
   kCommit,        // EPC pressure: SL-Local commits every cold subtree
   kTamper,        // untrusted OS corrupts one committed blob on the node
+  // Server-side faults (the durability harness of docs/DURABILITY.md).
+  // `node` carries the shard index for the per-shard kinds below.
+  kServerLoad,    // queue `amount` synthetic renewals for license `index`
+  kServerDrain,   // drain every up shard's renewal queue (group commit)
+  kServerCrash,   // shard power loss: unsynced journal tail mangled
+  kServerRestart, // shard recovery: checkpoint + journal replay, oracled
+  kServerCheckpoint, // snapshot shard state and truncate its journal
 };
 
 const char* event_kind_name(EventKind kind);
@@ -61,6 +71,11 @@ struct ScenarioSpec {
   // every node through the shard router either way; >1 exercises the
   // sharded deployment under the same fault schedules.
   std::uint32_t shard_count = 1;
+  // Crash-consistent shards: every shard journals to a simulated block
+  // device and kServerCrash applies `storage_faults` to the unsynced tail.
+  // Off by default so non-durability scenarios replay bit-for-bit as before.
+  bool server_journaling = false;
+  storage::FaultConfig storage_faults;
   std::vector<NodeSpec> nodes;
   std::vector<LicenseSpec> licenses;
   std::vector<ScenarioEvent> schedule;
@@ -82,6 +97,16 @@ struct GeneratorLimits {
   // default: tampering is a detected attack, not a correctness failure, so
   // pass-rate suites keep it off and the shrinker tests switch it on.
   double tamper_probability = 0.0;
+  // Probability that a schedule slot is a server-side event (load, drain,
+  // crash, restart, checkpoint). Zero keeps the generator's rng stream —
+  // and therefore every existing seed's scenario — bit-identical. Any
+  // nonzero value turns shard journaling on in the generated spec.
+  double server_fault_probability = 0.0;
+  // Shard-count range. Draws happen only when max_shards > 1 (same
+  // stream-preservation rule as above).
+  std::uint32_t min_shards = 1, max_shards = 1;
+  // Storage fault model copied into ScenarioSpec::storage_faults.
+  storage::FaultConfig storage;
 };
 
 // Expands `seed` into a full scenario: node count, link profiles, license

@@ -1,0 +1,92 @@
+#include "storage/block_device.hpp"
+
+#include <utility>
+
+namespace sl::storage {
+
+BlockDevice::BlockDevice(StorageProfile profile, FaultConfig faults,
+                         std::uint64_t seed)
+    : profile_(profile), faults_(faults), rng_(seed ^ 0xb10cdef1ceULL) {}
+
+void BlockDevice::charge(Cycles cycles) {
+  if (clock_ != nullptr) clock_->advance_cycles(cycles);
+}
+
+std::uint64_t BlockDevice::pending_bytes() const {
+  std::uint64_t total = 0;
+  for (const Bytes& write : pending_) total += write.size();
+  return total;
+}
+
+bool BlockDevice::append(ByteView bytes) {
+  if (profile_.capacity_bytes > 0 &&
+      durable_.size() + pending_bytes() + bytes.size() >
+          profile_.capacity_bytes) {
+    stats_.append_failures++;
+    return false;
+  }
+  charge(profile_.cycles_per_append +
+         static_cast<Cycles>(profile_.cycles_per_byte *
+                             static_cast<double>(bytes.size())));
+  pending_.emplace_back(bytes.begin(), bytes.end());
+  stats_.appends++;
+  stats_.bytes_appended += bytes.size();
+  return true;
+}
+
+void BlockDevice::sync() {
+  charge(profile_.cycles_per_sync);
+  for (Bytes& write : pending_) {
+    durable_.insert(durable_.end(), write.begin(), write.end());
+  }
+  pending_.clear();
+  stats_.syncs++;
+}
+
+void BlockDevice::crash() {
+  stats_.crashes++;
+  // Walk the write cache in submission order. Once a write is lost, later
+  // writes only persist when the device reorders; once a write is torn,
+  // nothing later can be on the medium (the torn write IS the frontier).
+  bool frontier_open = true;
+  for (const Bytes& write : pending_) {
+    if (!frontier_open) {
+      stats_.writes_lost++;
+      continue;
+    }
+    if (!rng_.next_bool(faults_.tail_survive_probability)) {
+      stats_.writes_lost++;
+      if (!rng_.next_bool(faults_.reorder_probability)) frontier_open = false;
+      continue;
+    }
+    if (!write.empty() && rng_.next_bool(faults_.torn_write_probability)) {
+      const std::size_t kept =
+          static_cast<std::size_t>(rng_.next_below(write.size()));
+      durable_.insert(durable_.end(), write.begin(), write.begin() + kept);
+      stats_.writes_torn++;
+      frontier_open = false;
+      continue;
+    }
+    const std::size_t start = durable_.size();
+    durable_.insert(durable_.end(), write.begin(), write.end());
+    if (!write.empty() && rng_.next_bool(faults_.flip_probability)) {
+      const std::size_t victim =
+          start + static_cast<std::size_t>(rng_.next_below(write.size()));
+      durable_[victim] ^= static_cast<std::uint8_t>(1 + rng_.next_below(255));
+      stats_.bytes_flipped++;
+    }
+  }
+  pending_.clear();
+}
+
+void BlockDevice::truncate_to(std::uint64_t bytes) {
+  if (bytes < durable_.size()) durable_.resize(bytes);
+  pending_.clear();
+}
+
+void BlockDevice::reset() {
+  durable_.clear();
+  pending_.clear();
+}
+
+}  // namespace sl::storage

@@ -1,0 +1,100 @@
+// Simulated block storage for the durability layer.
+//
+// A BlockDevice models an append-oriented device with an explicit sync
+// barrier, the abstraction every write-ahead journal is built on:
+//  * append() stages bytes in the volatile write cache (pending);
+//  * sync() is the fsync barrier — pending bytes become durable;
+//  * crash() models power loss: durable bytes survive intact, while each
+//    pending (unsynced) write is subjected to a seeded fault model — lost
+//    outright, torn mid-write, persisted out of order relative to a lost
+//    predecessor, or persisted with a flipped byte.
+// All costs are virtual cycles charged to an attached SimClock, so storage
+// performance is as deterministic as the rest of the simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+
+namespace sl::storage {
+
+struct StorageProfile {
+  // Fixed cost of staging one write plus a per-byte copy cost.
+  Cycles cycles_per_append = 2'000;
+  double cycles_per_byte = 2.0;
+  // Cost of the sync barrier (the fsync the group commit amortizes).
+  Cycles cycles_per_sync = 80'000;
+  // Durable capacity; appends past it fail (full disk). 0 = unbounded.
+  std::uint64_t capacity_bytes = 0;
+};
+
+// Crash-time fault model applied to *unsynced* writes only: the device
+// honours completed sync barriers (a device that lies about fsync cannot
+// support acknowledged durability at all), but anything still in the write
+// cache at power loss is fair game.
+struct FaultConfig {
+  // An unsynced write persists anyway (reached the medium before the cut).
+  double tail_survive_probability = 0.0;
+  // A surviving write is torn: only a strict prefix reaches the medium.
+  double torn_write_probability = 0.0;
+  // After a lost write, later writes may still persist (write reordering).
+  double reorder_probability = 0.0;
+  // A surviving unsynced write gets one byte flipped (medium corruption).
+  double flip_probability = 0.0;
+};
+
+struct DeviceStats {
+  std::uint64_t appends = 0;
+  std::uint64_t append_failures = 0;  // full disk
+  std::uint64_t syncs = 0;
+  std::uint64_t bytes_appended = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t writes_lost = 0;    // unsynced writes dropped at crash
+  std::uint64_t writes_torn = 0;    // unsynced writes partially persisted
+  std::uint64_t bytes_flipped = 0;  // corruption injected into survivors
+};
+
+class BlockDevice {
+ public:
+  BlockDevice(StorageProfile profile, FaultConfig faults, std::uint64_t seed);
+
+  // Storage work is charged here; null detaches (no charging).
+  void attach_clock(SimClock* clock) { clock_ = clock; }
+
+  // Stages one write. Returns false (and charges nothing durable) when the
+  // durable image plus pending writes would exceed capacity.
+  bool append(ByteView bytes);
+  // The fsync barrier: every pending write becomes durable, in order.
+  void sync();
+  // Power loss: applies the fault model to pending writes, clears them.
+  void crash();
+  // Truncates the durable image to `bytes` and drops pending writes (used
+  // by recovery to discard a detected torn tail) .
+  void truncate_to(std::uint64_t bytes);
+  // Atomic rotation: clears the durable image and the write cache (the
+  // journal checkpointer's truncate step).
+  void reset();
+
+  const Bytes& contents() const { return durable_; }
+  std::uint64_t durable_bytes() const { return durable_.size(); }
+  std::uint64_t pending_bytes() const;
+  std::size_t pending_writes() const { return pending_.size(); }
+  const StorageProfile& profile() const { return profile_; }
+  const DeviceStats& stats() const { return stats_; }
+
+ private:
+  void charge(Cycles cycles);
+
+  StorageProfile profile_;
+  FaultConfig faults_;
+  Rng rng_;
+  SimClock* clock_ = nullptr;
+  Bytes durable_;
+  std::vector<Bytes> pending_;
+  DeviceStats stats_;
+};
+
+}  // namespace sl::storage

@@ -1,0 +1,241 @@
+#include "storage/journal.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "crypto/aes128.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sl::storage {
+
+namespace {
+
+// Frame header: u32 cipher_len + u64 seq + u64 chain.
+constexpr std::size_t kFrameHeader = 4 + 8 + 8;
+// A sealed bundle is payload || SHA-256, so never shorter than the digest.
+constexpr std::size_t kMinCipher = crypto::kSha256DigestSize;
+// Sanity bound; a length prefix past this is corruption, not a record.
+constexpr std::size_t kMaxCipher = 1u << 20;
+
+constexpr std::uint64_t kJournalNonce = 0x4a4f55524e414c00ULL;    // "JOURNAL"
+constexpr std::uint64_t kCheckpointNonce = 0x434b50545f534c00ULL; // "CKPT_SL"
+
+std::uint64_t record_key(std::uint64_t master, std::uint64_t seq) {
+  return splitmix64_key(seq, master) | 1;
+}
+
+std::uint64_t checkpoint_key(std::uint64_t master, std::uint64_t generation) {
+  return splitmix64_key(generation ^ 0xc0de0000ULL, master) | 1;
+}
+
+std::uint64_t base_chain(std::uint64_t master) {
+  return splitmix64_key(0x6ea15eedULL, master);
+}
+
+// Section 5.5 Protect under a caller-supplied key: hash-then-encrypt, so any
+// damage to the ciphertext fails the inner hash on open.
+Bytes seal_with_key(ByteView payload, std::uint64_t key, std::uint64_t nonce) {
+  const crypto::Sha256Digest digest = crypto::Sha256::hash(payload);
+  Bytes bundle(payload.begin(), payload.end());
+  bundle.insert(bundle.end(), digest.begin(), digest.end());
+  return crypto::aes128_ctr(crypto::expand_lease_key(key), nonce, bundle);
+}
+
+std::optional<Bytes> open_with_key(ByteView ciphertext, std::uint64_t key,
+                                   std::uint64_t nonce) {
+  if (ciphertext.size() < crypto::kSha256DigestSize) return std::nullopt;
+  const Bytes bundle =
+      crypto::aes128_ctr(crypto::expand_lease_key(key), nonce, ciphertext);
+  const std::size_t data_size = bundle.size() - crypto::kSha256DigestSize;
+  const ByteView data(bundle.data(), data_size);
+  const ByteView stored(bundle.data() + data_size, crypto::kSha256DigestSize);
+  const crypto::Sha256Digest expected = crypto::Sha256::hash(data);
+  if (!constant_time_equal(stored, ByteView(expected.data(), expected.size()))) {
+    return std::nullopt;
+  }
+  return Bytes(data.begin(), data.end());
+}
+
+// Keyed: without the master key an adversary cannot recompute chain values,
+// so frames can neither be spliced out of the middle (later chains would
+// need fixing up) nor appended with a forged seq jump.
+std::uint64_t chain_step(std::uint64_t master, std::uint64_t prev,
+                         std::uint64_t seq, ByteView ciphertext) {
+  Bytes buffer;
+  put_u64(buffer, master);
+  put_u64(buffer, prev);
+  put_u64(buffer, seq);
+  buffer.insert(buffer.end(), ciphertext.begin(), ciphertext.end());
+  const crypto::Sha256Digest digest = crypto::Sha256::hash(buffer);
+  return get_u64(ByteView(digest.data(), digest.size()), 0);
+}
+
+}  // namespace
+
+Journal::Journal(JournalConfig config)
+    : config_(config),
+      device_(config.profile, config.faults, config.device_seed),
+      chain_(base_chain(config.master_key)) {}
+
+Bytes Journal::seal_frame(std::uint64_t seq, ByteView payload) {
+  const Bytes ciphertext = seal_with_key(
+      payload, record_key(config_.master_key, seq), kJournalNonce ^ seq);
+  Bytes frame;
+  put_u32(frame, static_cast<std::uint32_t>(ciphertext.size()));
+  put_u64(frame, seq);
+  put_u64(frame, chain_step(config_.master_key, chain_, seq, ciphertext));
+  frame.insert(frame.end(), ciphertext.begin(), ciphertext.end());
+  return frame;
+}
+
+std::optional<std::uint64_t> Journal::append(ByteView payload) {
+  const std::uint64_t seq = next_seq_;
+  const Bytes frame = seal_frame(seq, payload);
+  if (!device_.append(frame)) return std::nullopt;
+  // Commit the cursors only once the device took the frame.
+  chain_ = get_u64(frame, 12);
+  staged_seq_ = seq;
+  next_seq_ = seq + 1;
+  return seq;
+}
+
+void Journal::sync() {
+  device_.sync();
+  synced_seq_ = staged_seq_;
+}
+
+void Journal::crash() { device_.crash(); }
+
+void Journal::reset(ByteView genesis_payload) {
+  device_.reset();
+  chain_ = base_chain(config_.master_key);
+  const auto seq = append(genesis_payload);
+  ensure(seq.has_value(), "Journal::reset: genesis record did not fit");
+  sync();
+}
+
+ReplayResult Journal::replay() const {
+  ReplayResult result;
+  const Bytes& image = device_.contents();
+  const ByteView view(image.data(), image.size());
+  std::uint64_t chain = base_chain(config_.master_key);
+  std::uint64_t expected_seq = 0;
+  std::size_t offset = 0;
+  result.final_chain = chain;
+
+  while (true) {
+    const std::size_t remaining = image.size() - offset;
+    if (remaining == 0) break;
+    if (remaining < kFrameHeader) {
+      result.stop_reason = "short-frame";
+      break;
+    }
+    const std::uint32_t len = get_u32(view, offset);
+    if (len < kMinCipher || len > kMaxCipher ||
+        len > remaining - kFrameHeader) {
+      result.stop_reason = "bad-length";
+      break;
+    }
+    const std::uint64_t seq = get_u64(view, offset + 4);
+    const std::uint64_t chain_field = get_u64(view, offset + 12);
+    const ByteView ciphertext(image.data() + offset + kFrameHeader, len);
+    const std::uint64_t expect =
+        chain_step(config_.master_key, chain, seq, ciphertext);
+    if (expect != chain_field) {
+      // Also catches duplicated or reordered frames: the chain binds every
+      // frame to its predecessor's chain value and its own seq.
+      result.stop_reason = "chain-mismatch";
+      break;
+    }
+    if (expected_seq != 0 && seq < expected_seq) {
+      // Rollback: a frame numbered at or below its predecessor. Forward
+      // jumps are legitimate — append() consumes sequence numbers for
+      // frames a crash later destroys, and resume_from() never reuses them
+      // (a reused seq would repeat a seal key/nonce pair), so the writer
+      // resumes past the hole. The chain field binds the jump to the real
+      // predecessor, which a forger without the key cannot reproduce.
+      result.stop_reason = "seq-gap";
+      break;
+    }
+    auto payload = open_with_key(
+        ciphertext, record_key(config_.master_key, seq), kJournalNonce ^ seq);
+    if (!payload.has_value()) {
+      result.stop_reason = "seal-invalid";
+      break;
+    }
+    result.records.push_back(JournalRecord{seq, std::move(*payload)});
+    chain = expect;
+    expected_seq = seq + 1;
+    offset += kFrameHeader + len;
+    result.valid_bytes = offset;
+    result.final_chain = chain;
+  }
+
+  result.truncated_bytes = image.size() - result.valid_bytes;
+  result.tail_truncated = result.truncated_bytes > 0;
+  return result;
+}
+
+void Journal::resume_from(const ReplayResult& replay) {
+  device_.truncate_to(replay.valid_bytes);
+  chain_ = replay.final_chain;
+  if (!replay.records.empty()) {
+    const std::uint64_t last = replay.records.back().seq;
+    staged_seq_ = last;
+    synced_seq_ = last;
+    next_seq_ = std::max(next_seq_, last + 1);
+  } else {
+    staged_seq_ = 0;
+    synced_seq_ = 0;
+  }
+}
+
+// --- CheckpointStore --------------------------------------------------------
+
+CheckpointStore::CheckpointStore(std::uint64_t master_key,
+                                 StorageProfile profile, FaultConfig faults,
+                                 std::uint64_t seed)
+    : master_key_(master_key) {
+  slots_.emplace_back(profile, faults, seed);
+  slots_.emplace_back(profile, faults, seed + 1);
+}
+
+void CheckpointStore::attach_clock(SimClock* clock) {
+  for (BlockDevice& slot : slots_) slot.attach_clock(clock);
+}
+
+void CheckpointStore::write(std::uint64_t generation, ByteView state) {
+  BlockDevice& device = slots_[generation % 2];
+  const Bytes ciphertext =
+      seal_with_key(state, checkpoint_key(master_key_, generation),
+                    kCheckpointNonce ^ generation);
+  Bytes frame;
+  put_u32(frame, static_cast<std::uint32_t>(ciphertext.size()));
+  put_u64(frame, generation);
+  frame.insert(frame.end(), ciphertext.begin(), ciphertext.end());
+  device.reset();
+  ensure(device.append(frame), "CheckpointStore: snapshot did not fit");
+  device.sync();
+}
+
+std::optional<Bytes> CheckpointStore::load(std::uint64_t generation) const {
+  const BlockDevice& device = slots_[generation % 2];
+  const Bytes& image = device.contents();
+  const ByteView view(image.data(), image.size());
+  if (image.size() < 12) return std::nullopt;
+  const std::uint32_t len = get_u32(view, 0);
+  if (len < kMinCipher || len > kMaxCipher || len != image.size() - 12) {
+    return std::nullopt;
+  }
+  if (get_u64(view, 4) != generation) return std::nullopt;
+  const ByteView ciphertext(image.data() + 12, len);
+  return open_with_key(ciphertext, checkpoint_key(master_key_, generation),
+                       kCheckpointNonce ^ generation);
+}
+
+void CheckpointStore::crash() {
+  for (BlockDevice& slot : slots_) slot.crash();
+}
+
+}  // namespace sl::storage

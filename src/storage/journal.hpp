@@ -1,0 +1,131 @@
+// Sealed, hash-chained write-ahead journal over a BlockDevice.
+//
+// Record framing (all little-endian):
+//     [u32 cipher_len][u64 seq][u64 chain][ciphertext]
+// The ciphertext is the Section 5.5 Protect bundle — plaintext payload with
+// its SHA-256 appended, AES-128-CTR encrypted — under a per-record key
+// derived from the journal master key and the sequence number, so the
+// untrusted medium never sees ledger contents and any bit damage fails the
+// hash check on open (encrypt-then-detect). `chain` is the first 8 bytes of
+// SHA-256(master_key || prev_chain || seq || ciphertext): a torn tail, a
+// duplicated or replayed frame, or a reordered frame breaks the chain and
+// replay truncates at the first invalid record instead of trusting it.
+// Keying the chain means an adversary holding the image cannot splice a
+// middle frame out and recompute the successors' chain fields.
+//
+// Sequence numbers increase monotonically across the journal's whole life,
+// surviving checkpoint truncation (reset() keeps the counter), so a stale
+// pre-checkpoint frame can never be replayed into a newer generation.
+//
+// CheckpointStore keeps two alternating slots (generation parity) of sealed
+// state snapshots; the journal's first record after a truncation names the
+// generation, making the journal the single source of truth for which slot
+// recovery must load.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/sim_clock.hpp"
+#include "storage/block_device.hpp"
+
+namespace sl::storage {
+
+struct JournalConfig {
+  std::uint64_t master_key = 0x5ea1ed;  // seals every record
+  StorageProfile profile;
+  FaultConfig faults;
+  std::uint64_t device_seed = 0x10ad;
+};
+
+struct JournalRecord {
+  std::uint64_t seq = 0;
+  Bytes payload;  // decrypted, integrity-checked plaintext
+};
+
+struct ReplayResult {
+  std::vector<JournalRecord> records;
+  std::uint64_t valid_bytes = 0;      // length of the verified prefix
+  std::uint64_t truncated_bytes = 0;  // bytes after the first invalid frame
+  bool tail_truncated = false;        // truncated_bytes > 0
+  std::uint64_t final_chain = 0;      // chain value after the last valid frame
+  // "end" for a clean parse; otherwise why the scan stopped: "short-frame",
+  // "bad-length", "seal-invalid", "chain-mismatch", or "seq-gap" (a frame
+  // numbered at or below its predecessor; forward jumps are legal — they
+  // are seqs consumed by frames a crash destroyed, see resume_from()).
+  std::string stop_reason = "end";
+};
+
+class Journal {
+ public:
+  explicit Journal(JournalConfig config);
+
+  void attach_clock(SimClock* clock) { device_.attach_clock(clock); }
+
+  // Stages one sealed record in the device write cache. Returns the frame's
+  // sequence number, or nullopt on a full disk (nothing staged).
+  std::optional<std::uint64_t> append(ByteView payload);
+  // Group-commit barrier: everything appended so far becomes durable and
+  // the synced frontier advances to the last staged sequence number.
+  void sync();
+  // Power loss (delegates to the device fault model). The in-memory cursors
+  // survive — they model what the service had acknowledged, which is
+  // exactly what the recovery oracle checks the replay against.
+  void crash();
+  // Checkpoint truncation: atomically replaces the whole journal with one
+  // sealed genesis record (durable on return). Sequence numbering continues.
+  void reset(ByteView genesis_payload);
+
+  // Parses and verifies the durable image. Pure read; no state change.
+  ReplayResult replay() const;
+  // Adopts a replay verdict after a crash: truncates the device to the
+  // verified prefix and resumes the chain/sequence cursors from it.
+  void resume_from(const ReplayResult& replay);
+
+  std::uint64_t next_seq() const { return next_seq_; }
+  // Last sequence number covered by a completed sync (0 = none).
+  std::uint64_t synced_seq() const { return synced_seq_; }
+  std::uint64_t durable_bytes() const { return device_.durable_bytes(); }
+  std::uint64_t pending_bytes() const { return device_.pending_bytes(); }
+  BlockDevice& device() { return device_; }
+  const BlockDevice& device() const { return device_; }
+
+ private:
+  Bytes seal_frame(std::uint64_t seq, ByteView payload);
+
+  JournalConfig config_;
+  BlockDevice device_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t staged_seq_ = 0;  // last appended (possibly unsynced)
+  std::uint64_t synced_seq_ = 0;
+  std::uint64_t chain_ = 0;
+};
+
+// Double-slot sealed snapshot store. write() always syncs before returning:
+// a checkpoint is only ever referenced by a journal genesis record written
+// *after* it, so an un-synced checkpoint must never be loadable.
+class CheckpointStore {
+ public:
+  CheckpointStore(std::uint64_t master_key, StorageProfile profile,
+                  FaultConfig faults, std::uint64_t seed);
+
+  void attach_clock(SimClock* clock);
+
+  // Seals `state` into slot generation%2 (overwriting it) and syncs.
+  void write(std::uint64_t generation, ByteView state);
+  // Opens the slot for `generation`; nullopt when missing, sealed under a
+  // different generation, or damaged.
+  std::optional<Bytes> load(std::uint64_t generation) const;
+
+  void crash();
+  BlockDevice& slot(std::size_t index) { return slots_[index % 2]; }
+
+ private:
+  std::uint64_t master_key_;
+  std::vector<BlockDevice> slots_;
+};
+
+}  // namespace sl::storage

@@ -1,0 +1,299 @@
+// Crash/recovery contract of the journaled RemoteShard (docs/DURABILITY.md):
+// recovered state is bit-identical to the committed state, acknowledged
+// renewals survive, in-flight intents are dropped pessimistically, request
+// ids deduplicate across a restart, and a ShardGateway client's escrow is
+// reconciled after the shard comes back.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "lease/shard_router.hpp"
+#include "lease/sl_local.hpp"
+#include "lease/sl_manager.hpp"
+#include "sgxsim/attestation.hpp"
+
+namespace sl::lease {
+namespace {
+
+ShardConfig journaled_config(storage::FaultConfig faults = {}) {
+  ShardConfig config;
+  config.durability.journaling = true;
+  config.durability.faults = faults;
+  return config;
+}
+
+struct ShardFixture : public ::testing::Test {
+  sgx::AttestationService ias;
+  LicenseAuthority vendor{0x7777};
+
+  LicenseFile issue(LeaseId id, std::uint64_t total) {
+    return vendor.issue(id, "recovery-" + std::to_string(id),
+                        LeaseKind::kCountBased, total);
+  }
+
+  PendingRenew request(std::uint64_t ticket, Slid slid,
+                       const LicenseFile& license, std::uint64_t consumed = 0,
+                       std::uint64_t request_id = 0) {
+    PendingRenew renew;
+    renew.ticket = ticket;
+    renew.slid = slid;
+    renew.license = license;
+    renew.consumed = consumed;
+    renew.request_id = request_id;
+    return renew;
+  }
+};
+
+TEST_F(ShardFixture, RecoveryRebuildsCommittedStateExactly) {
+  RemoteShard shard(vendor, ias, SlLocal::expected_measurement(),
+                    journaled_config());
+  const LicenseFile license = issue(100, 10'000);
+  shard.provision(license);
+  const Slid a = shard.admit_peer(1.0, 1.0);
+  const Slid b = shard.admit_peer(0.9, 0.8);
+  ASSERT_TRUE(shard.enqueue(request(1, a, license)));
+  ASSERT_TRUE(shard.enqueue(request(2, b, license)));
+  const auto outcomes = shard.drain();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].status, RenewStatus::kGranted);
+
+  const std::uint64_t committed = shard.committed_digest();
+  const LeaseLedger before = *shard.remote().ledger(license.lease_id);
+
+  shard.crash();
+  EXPECT_FALSE(shard.up());
+  const RecoveryReport report = shard.recover();
+  EXPECT_TRUE(report.ok) << report.detail;
+  EXPECT_TRUE(report.digest_match);
+  EXPECT_FALSE(report.lost_committed);
+  EXPECT_EQ(report.intents_dropped, 0u);
+  EXPECT_EQ(report.recovered_digest, committed);
+  EXPECT_TRUE(shard.up());
+  EXPECT_EQ(*shard.remote().ledger(license.lease_id), before);
+  EXPECT_TRUE(shard.remote().ledger(license.lease_id)->balanced());
+
+  // The recovered shard keeps serving.
+  ASSERT_TRUE(shard.enqueue(request(3, a, license)));
+  EXPECT_EQ(shard.drain().size(), 1u);
+}
+
+TEST_F(ShardFixture, UnsyncedIntentsAreDroppedPessimistically) {
+  // Let the unsynced tail survive the crash intact: the replay then sees
+  // the intent records — and must still drop the in-flight requests, since
+  // no committed batch follows them.
+  storage::FaultConfig faults;
+  faults.tail_survive_probability = 1.0;
+  RemoteShard shard(vendor, ias, SlLocal::expected_measurement(),
+                    journaled_config(faults));
+  const LicenseFile license = issue(101, 5'000);
+  shard.provision(license);
+  const Slid slid = shard.admit_peer(1.0, 1.0);
+  const LeaseLedger committed = *shard.remote().ledger(license.lease_id);
+
+  ASSERT_TRUE(shard.enqueue(request(1, slid, license)));
+  ASSERT_TRUE(shard.enqueue(request(2, slid, license)));
+  shard.crash();  // before any drain: both requests are in-flight intents
+  const RecoveryReport report = shard.recover();
+  EXPECT_TRUE(report.ok) << report.detail;
+  EXPECT_TRUE(report.digest_match);
+  EXPECT_EQ(report.intents_dropped, 2u);
+  // Intents carry no state: the ledger is exactly the committed one.
+  EXPECT_EQ(*shard.remote().ledger(license.lease_id), committed);
+  EXPECT_EQ(shard.pending(), 0u);
+}
+
+TEST_F(ShardFixture, RequestIdsDeduplicateAcrossRecovery) {
+  RemoteShard shard(vendor, ias, SlLocal::expected_measurement(),
+                    journaled_config());
+  const LicenseFile license = issue(102, 8'000);
+  shard.provision(license);
+  const Slid slid = shard.admit_peer(1.0, 1.0);
+
+  ASSERT_TRUE(shard.enqueue(request(1, slid, license, 0, /*request_id=*/77)));
+  const auto first = shard.drain();
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(first[0].status, RenewStatus::kGranted);
+  const std::uint64_t granted = first[0].granted;
+  const LeaseLedger after_grant = *shard.remote().ledger(license.lease_id);
+
+  shard.crash();
+  ASSERT_TRUE(shard.recover().ok);
+
+  // The client saw a timeout, not the grant, and retries the same request
+  // id. The recovered dedup table must answer from the journaled outcome —
+  // burning the pool twice would break conservation.
+  ASSERT_TRUE(shard.enqueue(request(2, slid, license, 0, /*request_id=*/77)));
+  const auto retry = shard.drain();
+  ASSERT_EQ(retry.size(), 1u);
+  EXPECT_EQ(retry[0].status, RenewStatus::kGranted);
+  EXPECT_EQ(retry[0].granted, granted);
+  EXPECT_EQ(shard.stats().deduped, 1u);
+  EXPECT_EQ(*shard.remote().ledger(license.lease_id), after_grant);
+
+  // A *new* request id is fresh work, not a replay.
+  ASSERT_TRUE(shard.enqueue(request(3, slid, license, 0, /*request_id=*/78)));
+  const auto fresh = shard.drain();
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(shard.stats().deduped, 1u);
+  EXPECT_LT(shard.remote().ledger(license.lease_id)->pool, after_grant.pool);
+}
+
+TEST_F(ShardFixture, RecoveryLoadsTheCheckpointAndReplaysTheTail) {
+  RemoteShard shard(vendor, ias, SlLocal::expected_measurement(),
+                    journaled_config());
+  const LicenseFile license = issue(103, 20'000);
+  shard.provision(license);
+  const Slid slid = shard.admit_peer(1.0, 1.0);
+  ASSERT_TRUE(shard.enqueue(request(1, slid, license)));
+  shard.drain();
+
+  shard.checkpoint();  // snapshot + journal truncation
+  EXPECT_EQ(shard.generation(), 1u);
+
+  // Post-checkpoint mutations live only in the (short) journal tail.
+  ASSERT_TRUE(shard.enqueue(request(2, slid, license, /*consumed=*/3)));
+  shard.drain();
+  const LeaseLedger before = *shard.remote().ledger(license.lease_id);
+
+  shard.crash();
+  const RecoveryReport report = shard.recover();
+  EXPECT_TRUE(report.ok) << report.detail;
+  EXPECT_TRUE(report.digest_match);
+  EXPECT_EQ(report.generation, 1u);
+  EXPECT_EQ(*shard.remote().ledger(license.lease_id), before);
+}
+
+TEST_F(ShardFixture, DoubleCrashCycleDoesNotFalselyReportLoss) {
+  // Regression: the first crash destroys unsynced intent frames whose seq
+  // numbers were already consumed, so post-recovery appends sit past a seq
+  // hole. The second recovery must walk the hole, not truncate at it and
+  // claim acknowledged state was lost.
+  RemoteShard shard(vendor, ias, SlLocal::expected_measurement(),
+                    journaled_config());
+  const LicenseFile license = issue(104, 10'000);
+  shard.provision(license);
+  const Slid slid = shard.admit_peer(1.0, 1.0);
+  ASSERT_TRUE(shard.enqueue(request(1, slid, license)));
+  shard.drain();
+
+  ASSERT_TRUE(shard.enqueue(request(2, slid, license)));  // unsynced intent
+  shard.crash();
+  const RecoveryReport first = shard.recover();
+  ASSERT_TRUE(first.ok) << first.detail;
+  ASSERT_FALSE(first.lost_committed);
+
+  ASSERT_TRUE(shard.enqueue(request(3, slid, license)));  // past the seq hole
+  shard.drain();
+  const LeaseLedger before = *shard.remote().ledger(license.lease_id);
+
+  shard.crash();
+  const RecoveryReport second = shard.recover();
+  EXPECT_TRUE(second.ok) << second.detail;
+  EXPECT_FALSE(second.lost_committed) << second.detail;
+  EXPECT_TRUE(second.digest_match);
+  EXPECT_EQ(*shard.remote().ledger(license.lease_id), before);
+}
+
+// --- ShardGateway escrow reconciliation --------------------------------------
+
+struct GatewayFixture : public ::testing::Test {
+  static constexpr std::uint64_t kPlatformSecret = 0x5ec;
+  static constexpr net::NodeId kNode = 1;
+  static constexpr ShardRouter::CustomerId kCustomer = 1;
+
+  sgx::SgxRuntime runtime;
+  sgx::Platform platform{runtime, /*platform_id=*/9, kPlatformSecret};
+  sgx::AttestationService ias;
+  LicenseAuthority vendor{0x7777};
+  ShardRouter router{vendor, ias, SlLocal::expected_measurement(),
+                     /*shard_count=*/2, journaled_config()};
+  net::SimNetwork network{99};
+  UntrustedStore store;
+  ShardGateway gateway{router, kCustomer, network, kNode, runtime.clock()};
+
+  GatewayFixture() {
+    ias.register_platform(9, kPlatformSecret);
+    network.set_link(kNode, {.rtt_millis = 20.0, .reliability = 1.0});
+  }
+
+  LicenseFile provision(LeaseId id, std::uint64_t total) {
+    const LicenseFile license =
+        vendor.issue(id, "gw-" + std::to_string(id), LeaseKind::kCountBased,
+                     total);
+    router.provision(kCustomer, license);
+    return license;
+  }
+
+  SlLocal make_local(SlLocalOptions options = {}) {
+    return SlLocal(runtime, platform, gateway, /*reliability=*/1.0, store,
+                   options);
+  }
+
+  void restart_all_shards() {
+    for (std::size_t i = 0; i < router.shard_count(); ++i) {
+      router.shard(i).crash();
+      const RecoveryReport report = router.shard(i).recover();
+      ASSERT_TRUE(report.ok) << "shard " << i << ": " << report.detail;
+      ASSERT_TRUE(report.digest_match) << "shard " << i;
+    }
+  }
+};
+
+TEST_F(GatewayFixture, EscrowedShutdownSurvivesShardRestart) {
+  const LicenseFile license = provision(200, 1'000);
+  SlLocal local = make_local();
+  ASSERT_TRUE(local.init());
+  const Slid slid = local.slid();
+  SlManager manager(runtime, platform, local, "demo", license);
+  ASSERT_TRUE(manager.authorize_execution());  // holds a sub-GCL
+
+  // Graceful shutdown escrows the root key and credits unused counts back.
+  local.shutdown();
+  const LeaseLedger escrowed = *router.ledger(kCustomer, license.lease_id);
+  EXPECT_EQ(escrowed.outstanding, 0u);
+  EXPECT_TRUE(escrowed.balanced());
+
+  // Every shard dies and recovers; the escrow must be reconciled from the
+  // journal, not lost with the process.
+  restart_all_shards();
+  EXPECT_EQ(*router.ledger(kCustomer, license.lease_id), escrowed);
+
+  // A graceful re-init against the recovered service restores the saved
+  // state instead of applying the pessimistic crash policy.
+  ASSERT_TRUE(local.init(slid));
+  const LeaseLedger after = *router.ledger(kCustomer, license.lease_id);
+  EXPECT_EQ(after.forfeited, 0u);
+  EXPECT_TRUE(after.balanced());
+  // And the restored client keeps executing against the same pool.
+  SlManager again(runtime, platform, local, "demo2", license);
+  EXPECT_TRUE(again.authorize_execution());
+}
+
+TEST_F(GatewayFixture, CrashReinitStillForfeitsAfterShardRestart) {
+  // Section 5.7 economics must survive a server restart: a client that
+  // crashed (no escrow) re-initializes against the *recovered* shard and
+  // still forfeits its outstanding sub-GCLs.
+  const LicenseFile license = provision(201, 1'000);
+  SlLocal local = make_local();
+  ASSERT_TRUE(local.init());
+  const Slid slid = local.slid();
+  SlManager manager(runtime, platform, local, "demo", license);
+  ASSERT_TRUE(manager.authorize_execution());
+  const LeaseLedger granted = *router.ledger(kCustomer, license.lease_id);
+  ASSERT_GT(granted.outstanding, 0u);
+
+  local.crash();
+  restart_all_shards();
+  EXPECT_EQ(*router.ledger(kCustomer, license.lease_id), granted);
+
+  ASSERT_TRUE(local.init(slid));  // no graceful record: pessimistic policy
+  const LeaseLedger after = *router.ledger(kCustomer, license.lease_id);
+  EXPECT_GT(after.forfeited, 0u);
+  EXPECT_EQ(after.outstanding, 0u);
+  EXPECT_EQ(after.pool, granted.pool);  // nothing flowed back
+  EXPECT_TRUE(after.balanced());
+}
+
+}  // namespace
+}  // namespace sl::lease

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "common/rng.hpp"
+#include "lease/durability.hpp"
 #include "lease/license.hpp"
 #include "lease/wire.hpp"
 
@@ -61,6 +62,7 @@ RenewRequest random_renew_request(Rng& rng) {
   request.health = rng.next_double();
   request.network = rng.next_double();
   request.consumed = rng.next_u64();
+  request.request_id = rng.next_u64();
   return request;
 }
 
@@ -155,7 +157,25 @@ TEST(WireFuzz, RenewRequestRoundTripIsByteIdentical) {
     // health/network travel as fixed-point micros: quantized, not lossy-free.
     EXPECT_NEAR(parsed->health, request.health, 1e-6);
     EXPECT_NEAR(parsed->network, request.network, 1e-6);
+    EXPECT_EQ(parsed->request_id, request.request_id);
     EXPECT_EQ(parsed->serialize(), first) << "round " << round;
+  }
+}
+
+TEST(WireFuzz, OldFormatRenewRequestDecodesWithZeroRequestId) {
+  // Compatibility pin: the idempotency id is a trailing optional field, so
+  // a frame from a client that predates it (exactly 8 bytes shorter) still
+  // parses — with request_id = 0, the non-idempotent marker.
+  Rng rng(kFuzzSeed + 10);
+  for (int round = 0; round < 50; ++round) {
+    const RenewRequest request = random_renew_request(rng);
+    const Bytes full = request.serialize();
+    const ByteView old_format(full.data(), full.size() - 8);
+    const auto parsed = RenewRequest::deserialize(old_format);
+    ASSERT_TRUE(parsed.has_value()) << "round " << round;
+    EXPECT_EQ(parsed->slid, request.slid);
+    EXPECT_EQ(parsed->consumed, request.consumed);
+    EXPECT_EQ(parsed->request_id, 0u);
   }
 }
 
@@ -203,7 +223,12 @@ TEST(WireFuzz, EveryStrictPrefixOfEveryMessageIsRejected) {
       EXPECT_TRUE(rejects<InitRequest>(ByteView(init.data(), len)))
           << "prefix " << len << "/" << init.size();
     }
+    // One prefix of a RenewRequest is legal by design: the old-format
+    // boundary exactly 8 bytes short, which parses with request_id = 0
+    // (see OldFormatRenewRequestDecodesWithZeroRequestId). Every other
+    // strict prefix must still be rejected.
     for (std::size_t len = 0; len < renew.size(); ++len) {
+      if (len == renew.size() - 8) continue;
       EXPECT_TRUE(rejects<RenewRequest>(ByteView(renew.data(), len)))
           << "prefix " << len << "/" << renew.size();
     }
@@ -289,6 +314,131 @@ TEST(WireFuzz, OverflowingLicenseNameLengthIsRejectedNotRead) {
     EXPECT_FALSE(LicenseFile::deserialize(evil).has_value());
   } catch (const std::exception&) {
   }
+}
+
+// --- Write-ahead-journal records (lease/durability.cpp) ----------------------
+//
+// WalRecord::deserialize parses what a crashed disk hands back after the
+// seal check; it gets the same treatment as the wire parsers.
+
+WalRecord random_wal_record(Rng& rng) {
+  WalRecord record;
+  record.type = static_cast<WalRecordType>(rng.next_below(7));
+  record.post_digest = rng.next_u64();
+  switch (record.type) {
+    case WalRecordType::kGenesis:
+      record.generation = rng.next_u64();
+      break;
+    case WalRecordType::kProvision:
+      record.lease = static_cast<LeaseId>(rng.next_u32());
+      record.license = rng.next_bytes(rng.next_below(256));
+      break;
+    case WalRecordType::kRenewBatch: {
+      record.lease = static_cast<LeaseId>(rng.next_u32());
+      const std::uint64_t count = rng.next_below(6);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        WalRenewEntry entry;
+        entry.slid = rng.next_u64();
+        entry.request_id = rng.next_u64();
+        entry.consumed = rng.next_u64();
+        entry.status = static_cast<std::uint8_t>(rng.next_below(3));
+        entry.granted = rng.next_u64();
+        entry.health = rng.next_double();
+        entry.network = rng.next_double();
+        record.entries.push_back(entry);
+      }
+      break;
+    }
+    case WalRecordType::kRevoke:
+      record.lease = static_cast<LeaseId>(rng.next_u32());
+      break;
+    case WalRecordType::kAdmission:
+      record.admission = static_cast<WalAdmissionKind>(rng.next_below(4));
+      record.slid = rng.next_u64();
+      record.health = rng.next_double();
+      record.network = rng.next_double();
+      break;
+    case WalRecordType::kEscrow: {
+      record.slid = rng.next_u64();
+      record.root_key = rng.next_u64();
+      const std::uint64_t count = rng.next_below(6);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        record.unused.emplace_back(static_cast<LeaseId>(rng.next_u32()),
+                                   rng.next_u64());
+      }
+      break;
+    }
+    case WalRecordType::kIntent:
+      record.lease = static_cast<LeaseId>(rng.next_u32());
+      record.ticket = rng.next_u64();
+      record.slid = rng.next_u64();
+      record.request_id = rng.next_u64();
+      record.consumed = rng.next_u64();
+      break;
+  }
+  return record;
+}
+
+TEST(WireFuzz, WalRecordRoundTripIsByteIdentical) {
+  Rng rng(kFuzzSeed + 11);
+  for (int round = 0; round < kRounds; ++round) {
+    const WalRecord record = random_wal_record(rng);
+    const Bytes first = record.serialize();
+    const auto parsed = WalRecord::deserialize(first);
+    ASSERT_TRUE(parsed.has_value())
+        << "round " << round << " type " << wal_record_type_name(record.type);
+    EXPECT_EQ(parsed->type, record.type);
+    EXPECT_EQ(parsed->post_digest, record.post_digest);
+    EXPECT_EQ(parsed->lease, record.lease);
+    EXPECT_EQ(parsed->license, record.license);
+    EXPECT_EQ(parsed->entries, record.entries);
+    EXPECT_EQ(parsed->unused, record.unused);
+    EXPECT_EQ(parsed->serialize(), first) << "round " << round;
+  }
+}
+
+TEST(WireFuzz, WalRecordStrictPrefixesAndExtensionsAreRejected) {
+  Rng rng(kFuzzSeed + 12);
+  for (int round = 0; round < 30; ++round) {
+    const Bytes bytes = random_wal_record(rng).serialize();
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      EXPECT_TRUE(rejects<WalRecord>(ByteView(bytes.data(), len)))
+          << "round " << round << " prefix " << len << "/" << bytes.size();
+    }
+    // Trailing garbage is rejected too — a record is the whole payload.
+    Bytes extended = bytes;
+    extended.push_back(0x00);
+    EXPECT_TRUE(rejects<WalRecord>(extended)) << "round " << round;
+  }
+}
+
+TEST(WireFuzz, CorruptedWalRecordsNeverCrash) {
+  Rng rng(kFuzzSeed + 13);
+  for (int round = 0; round < kRounds; ++round) {
+    Bytes bytes = random_wal_record(rng).serialize();
+    const std::uint64_t flips = 1 + rng.next_below(8);
+    for (std::uint64_t i = 0; i < flips; ++i) corrupt(bytes, rng);
+    parse_must_not_crash<WalRecord>(bytes);
+  }
+}
+
+TEST(WireFuzz, RandomBlobsNeverCrashWalRecordParser) {
+  Rng rng(kFuzzSeed + 14);
+  for (int round = 0; round < kRounds; ++round) {
+    parse_must_not_crash<WalRecord>(rng.next_bytes(rng.next_below(512)));
+  }
+}
+
+TEST(WireFuzz, WalBatchCountOverflowIsRejectedNotRead) {
+  // A batch count near 2^32 must be caught by the hard bound before the
+  // per-entry loop multiplies it into a giant read.
+  WalRecord record;
+  record.type = WalRecordType::kRenewBatch;
+  record.lease = 5;
+  Bytes evil = record.serialize();
+  // Count field sits after type(1) + post_digest(8) + lease(4).
+  for (std::size_t i = 13; i < 17; ++i) evil[i] = 0xFF;
+  EXPECT_TRUE(rejects<WalRecord>(evil));
 }
 
 TEST(WireFuzz, TamperedLicensePayloadFailsVendorValidation) {

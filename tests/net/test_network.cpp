@@ -13,8 +13,13 @@ TEST(Network, PerfectLinkAlwaysSucceeds) {
   network.set_link(1, {.rtt_millis = 10, .reliability = 1.0});
   SimClock clock;
   for (int i = 0; i < 100; ++i) EXPECT_TRUE(network.round_trip(1, clock));
+  // Regression pin: a reliability=1.0 link never backs off, never draws
+  // jitter, and costs exactly n * rtt — bit-identical to the fixed-retry
+  // behavior before exponential backoff existed.
   EXPECT_NEAR(clock.millis(), 1000.0, 1e-6);
   EXPECT_EQ(network.stats(1).failures, 0u);
+  EXPECT_EQ(network.stats(1).backoffs, 0u);
+  EXPECT_EQ(network.stats(1).total_backoff_millis, 0.0);
 }
 
 TEST(Network, DeadLinkAlwaysFails) {
@@ -22,10 +27,64 @@ TEST(Network, DeadLinkAlwaysFails) {
   network.set_link(1, {.rtt_millis = 10, .reliability = 0.0, .timeout_millis = 50});
   SimClock clock;
   EXPECT_FALSE(network.round_trip(1, clock, /*max_retries=*/2));
-  // Three attempts, all timing out.
-  EXPECT_NEAR(clock.millis(), 150.0, 1e-6);
+  // Three attempts, all timing out, plus two jittered backoff waits:
+  // 50*[0.5,1) before the first retry and 100*[0.5,1) before the second.
   EXPECT_EQ(network.stats(1).attempts, 3u);
   EXPECT_EQ(network.stats(1).failures, 3u);
+  EXPECT_EQ(network.stats(1).backoffs, 2u);
+  const double backoff = network.stats(1).total_backoff_millis;
+  EXPECT_GE(backoff, 75.0);
+  EXPECT_LT(backoff, 150.0);
+  EXPECT_NEAR(clock.millis(), 150.0 + backoff, 1e-6);
+}
+
+TEST(Network, BackoffGrowsExponentiallyAndCaps) {
+  SimNetwork network(12);
+  network.set_link(1, {.rtt_millis = 10,
+                       .reliability = 0.0,
+                       .timeout_millis = 40,
+                       .backoff_base_millis = 100,
+                       .backoff_factor = 2.0,
+                       .backoff_max_millis = 300});
+  SimClock clock;
+  EXPECT_FALSE(network.round_trip(1, clock, /*max_retries=*/4));
+  // Waits before retries 1..4: 100, 200, then 300 twice (capped), each
+  // scaled by jitter in [0.5, 1).
+  EXPECT_EQ(network.stats(1).backoffs, 4u);
+  const double backoff = network.stats(1).total_backoff_millis;
+  EXPECT_GE(backoff, 0.5 * (100 + 200 + 300 + 300));
+  EXPECT_LT(backoff, 100 + 200 + 300 + 300);
+}
+
+TEST(Network, AttemptLatenciesRecordRttAndTimeouts) {
+  SimNetwork network(13);
+  network.set_link(1, {.rtt_millis = 10, .reliability = 0.0, .timeout_millis = 50});
+  network.set_link(2, {.rtt_millis = 7, .reliability = 1.0});
+  SimClock clock;
+  network.round_trip(1, clock, /*max_retries=*/1);
+  network.round_trip(2, clock, /*max_retries=*/0);
+  // The ring holds per-attempt costs only: timeouts for the dead link, the
+  // rtt for the perfect one. Backoff waits are not attempts.
+  const LinkStats& dead = network.stats(1);
+  ASSERT_EQ(dead.attempt_latency_count, 2u);
+  EXPECT_EQ(dead.attempt_latencies[0], 50.0);
+  EXPECT_EQ(dead.attempt_latencies[1], 50.0);
+  EXPECT_EQ(dead.total_latency_millis, 100.0);
+  const LinkStats& perfect = network.stats(2);
+  ASSERT_EQ(perfect.attempt_latency_count, 1u);
+  EXPECT_EQ(perfect.attempt_latencies[0], 7.0);
+}
+
+TEST(Network, AttemptLatencyRingWraps) {
+  SimNetwork network(14);
+  network.set_link(1, {.rtt_millis = 3, .reliability = 1.0});
+  SimClock clock;
+  for (std::size_t i = 0; i < kAttemptLatencyWindow + 5; ++i) {
+    network.round_trip(1, clock);
+  }
+  const LinkStats& stats = network.stats(1);
+  EXPECT_EQ(stats.attempt_latency_count, kAttemptLatencyWindow + 5);
+  for (double latency : stats.attempt_latencies) EXPECT_EQ(latency, 3.0);
 }
 
 TEST(Network, FlakyLinkRetriesThenSucceeds) {

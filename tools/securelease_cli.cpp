@@ -436,6 +436,19 @@ void print_simulation(const sim::ScenarioSpec& spec,
               (unsigned long long)stats.revocations,
               (unsigned long long)stats.events_skipped,
               stats.max_virtual_seconds);
+  if (stats.server_crashes + stats.server_restarts + stats.synthetic_renewals >
+      0) {
+    std::printf("server: crashes=%llu restarts=%llu truncations=%llu "
+                "intents_dropped=%llu deduped=%llu checkpoints=%llu "
+                "synthetic=%llu\n",
+                (unsigned long long)stats.server_crashes,
+                (unsigned long long)stats.server_restarts,
+                (unsigned long long)stats.recovery_truncations,
+                (unsigned long long)stats.recovery_intents_dropped,
+                (unsigned long long)stats.deduped_renewals,
+                (unsigned long long)stats.shard_checkpoints,
+                (unsigned long long)stats.synthetic_renewals);
+  }
   for (const auto& [lease, ledger] : result.ledgers) {
     std::printf("ledger lease=%u: provisioned=%llu pool=%llu outstanding=%llu "
                 "consumed=%llu forfeited=%llu revoked=%llu [%s]\n",
@@ -462,6 +475,7 @@ void print_simulation(const sim::ScenarioSpec& spec,
 int cmd_simulate_dst(int argc, char** argv) {
   unsigned long long seed = 0;
   bool shrink = false, trace = false, tamper = false;
+  bool crash_shards = false, storage_faults = false, recovery_check = false;
   bool have_seed = false;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -474,6 +488,12 @@ int cmd_simulate_dst(int argc, char** argv) {
       trace = true;
     } else if (flag == "--tamper") {
       tamper = true;
+    } else if (flag == "--crash-shards") {
+      crash_shards = true;
+    } else if (flag == "--storage-faults") {
+      storage_faults = true;
+    } else if (flag == "--recovery-check") {
+      recovery_check = true;
     } else {
       std::fprintf(stderr, "unknown simulate option '%s'\n", flag.c_str());
       return 1;
@@ -485,9 +505,34 @@ int cmd_simulate_dst(int argc, char** argv) {
   }
   sim::GeneratorLimits limits;
   if (tamper) limits.tamper_probability = 0.1;
+  if (storage_faults || recovery_check) crash_shards = true;
+  if (crash_shards) {
+    // Server-side fault schedule: journaled shards, crash/recover events.
+    limits.server_fault_probability = 0.25;
+    limits.min_shards = 1;
+    limits.max_shards = 4;
+  }
+  if (storage_faults) {
+    // Lossy crash model for the unsynced journal tail.
+    limits.storage.tail_survive_probability = 0.5;
+    limits.storage.torn_write_probability = 0.3;
+    limits.storage.reorder_probability = 0.25;
+    limits.storage.flip_probability = 0.2;
+  }
   const sim::ScenarioSpec spec = sim::generate_scenario(seed, limits);
   const sim::SimulationResult result = sim::run_scenario(spec);
   print_simulation(spec, result, trace);
+  if (recovery_check) {
+    for (const auto& failure : result.failures) {
+      if (failure.oracle == sim::kOracleRecovery) {
+        std::fprintf(stderr, "recovery-check: oracle violation at event %zu\n",
+                     failure.event_index);
+        return 3;
+      }
+    }
+    std::printf("recovery-check: %llu restarts, all digests matched\n",
+                (unsigned long long)result.stats.server_restarts);
+  }
   if (result.passed) return 0;
   if (shrink) {
     const auto shrunk = sim::shrink_scenario(spec);
@@ -530,6 +575,8 @@ int cmd_loadgen(int argc, char** argv) {
       config.queue_capacity = std::strtoull(argv[++i], nullptr, 0);
     } else if (flag == "--no-batching") {
       config.batching = false;
+    } else if (flag == "--journal") {
+      config.journaling = true;
     } else if (flag == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (flag == "--fail-on-overload") {
@@ -545,11 +592,12 @@ int cmd_loadgen(int argc, char** argv) {
   }
   const lease::LoadgenMetrics m = lease::run_loadgen(config);
   std::printf("loadgen: shards=%zu clients=%zu licenses=%zu rounds=%llu "
-              "seed=%llu batching=%s\n",
+              "seed=%llu batching=%s journaling=%s\n",
               config.shards, config.clients, config.licenses,
               (unsigned long long)config.rounds,
               (unsigned long long)config.seed,
-              config.batching ? "on" : "off");
+              config.batching ? "on" : "off",
+              config.journaling ? "on" : "off");
   std::printf("  processed=%llu (granted=%llu denied=%llu) overloaded=%llu "
               "batches=%llu\n",
               (unsigned long long)m.processed, (unsigned long long)m.granted,
@@ -596,6 +644,11 @@ void usage() {
       "                               invariant oracles; exits 3 on a violation\n"
       "    --trace             print the per-event trace\n"
       "    --tamper            inject untrusted-store tampering events\n"
+      "    --crash-shards      journaled shards + server crash/recovery events\n"
+      "    --storage-faults    lossy crash model for the unsynced journal tail\n"
+      "                        (implies --crash-shards)\n"
+      "    --recovery-check    exit 3 on any recovery-oracle violation\n"
+      "                        (implies --crash-shards)\n"
       "    --shrink            on failure, ddmin-minimize the schedule\n"
       "  loadgen [opts]               closed-loop load against the sharded\n"
       "                               SL-Remote; exits 4 on overload with\n"
@@ -607,6 +660,8 @@ void usage() {
       "    --seed <S>          workload seed (default 1)\n"
       "    --capacity <Q>      per-shard queue capacity (default 128)\n"
       "    --no-batching       one tree commit per renewal\n"
+      "    --journal           crash-consistent shards (sealed WAL + group\n"
+      "                        commit + checkpoints)\n"
       "    --json <path>       write BENCH_remote.json-style output\n"
       "    --fail-on-overload  exit 4 if any request was rejected\n"
       "  e2e <workload> [scheme]      end-to-end incl. lease traffic\n"
