@@ -15,12 +15,28 @@
 #include <string>
 #include <vector>
 
+#include "common/sim_clock.hpp"
 #include "lease/loadgen.hpp"
+#include "obs/metrics.hpp"
 
 using namespace sl;
 
 int main(int argc, char** argv) {
   std::printf("=== sharded SL-Remote load scaling ===\n\n");
+
+  // Whole-bench registry snapshot: every per-run number below comes out of
+  // the same metrics registry (run_loadgen reads deltas of it), so the sum
+  // over runs must equal the bench-wide registry delta exactly. A mismatch
+  // means a shard stopped publishing or double-counted — fail loudly.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const std::uint64_t base_processed =
+      registry.counter_sum("sl_lease_renewals_processed_total");
+  const std::uint64_t base_journal_appends =
+      registry.counter_sum("sl_storage_journal_appends_total");
+  const std::uint64_t base_journal_syncs =
+      registry.counter_sum("sl_storage_journal_syncs_total");
+  const obs::HistogramSnapshot base_latency =
+      registry.histogram_sum("sl_lease_renew_latency_cycles");
 
   lease::LoadgenConfig base;
   base.clients = 64;
@@ -75,7 +91,37 @@ int main(int argc, char** argv) {
               journaled.throughput, batched.throughput, overhead,
               (unsigned long long)journaled.checkpoints);
 
+  // Registry accounting over the whole bench.
+  std::uint64_t expected_processed = unbatched.processed + journaled.processed;
+  for (const lease::LoadgenMetrics& m : runs) expected_processed += m.processed;
+  const std::uint64_t registry_processed =
+      registry.counter_sum("sl_lease_renewals_processed_total") -
+      base_processed;
+  const obs::HistogramSnapshot bench_latency =
+      registry.histogram_sum("sl_lease_renew_latency_cycles")
+          .delta(base_latency);
+  std::printf("\nregistry: %llu renewals processed (%llu journal appends, "
+              "%llu syncs), bench-wide latency p50=%.1fus p99=%.1fus\n",
+              (unsigned long long)registry_processed,
+              (unsigned long long)(registry.counter_sum(
+                                       "sl_storage_journal_appends_total") -
+                                   base_journal_appends),
+              (unsigned long long)(registry.counter_sum(
+                                       "sl_storage_journal_syncs_total") -
+                                   base_journal_syncs),
+              cycles_to_micros(static_cast<Cycles>(bench_latency.quantile(0.50))),
+              cycles_to_micros(static_cast<Cycles>(bench_latency.quantile(0.99))));
+
   bool ok = true;
+#if SL_OBS_ENABLED
+  if (registry_processed != expected_processed) {
+    std::fprintf(stderr,
+                 "FAIL: registry processed delta %llu != sum over runs %llu\n",
+                 (unsigned long long)registry_processed,
+                 (unsigned long long)expected_processed);
+    ok = false;
+  }
+#endif
   if (overhead <= 0.0 || overhead > 1.5) {
     std::fprintf(stderr,
                  "FAIL: journaling overhead %.2fx exceeds the 1.5x budget\n",

@@ -7,12 +7,19 @@
 //     license so every batch of work forces an SL-Remote renewal, isolating
 //     the engine + lease-stack cost per simulated renewal.
 //
+// A third measurement gates the observability layer itself: the generated
+// sweep runs twice, once with the metric helpers live and once with the
+// runtime kill switch off (obs::set_runtime_enabled(false)), and the
+// wall-clock ratio is the instrumentation overhead. The budget is 3%
+// (docs/OBSERVABILITY.md); the bench warns past it and fails past 10%.
+//
 // Usage: bench_sim_throughput [out.json]
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/scenario.hpp"
 
@@ -92,6 +99,14 @@ SweepResult renewal_heavy(std::uint64_t cycles) {
 int main(int argc, char** argv) {
   std::printf("=== DST harness throughput ===\n\n");
 
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const std::uint64_t base_events =
+      registry.histogram_sum("sl_sim_event_cycles").count;
+  const std::uint64_t base_ecalls =
+      registry.counter_sum("sl_sgx_ecalls_total");
+  const std::uint64_t base_oracle_checks =
+      registry.counter_sum("sl_sim_oracle_checks_total");
+
   const std::uint64_t kSeeds = 200;
   const SweepResult sweep = sweep_generated(kSeeds);
   std::printf("generated sweep: %llu scenarios (%llu events, %llu oracle "
@@ -99,10 +114,20 @@ int main(int argc, char** argv) {
               (unsigned long long)sweep.scenarios,
               (unsigned long long)sweep.events, (unsigned long long)sweep.failures,
               sweep.wall_seconds);
-  std::printf("  %.0f scenarios/s, %.0f events/s, %.0f simulated renewals/s\n\n",
+  std::printf("  %.0f scenarios/s, %.0f events/s, %.0f simulated renewals/s\n",
               sweep.scenarios / sweep.wall_seconds,
               sweep.events / sweep.wall_seconds,
               sweep.renewals / sweep.wall_seconds);
+  std::printf("  registry: %llu events timed, %llu ecalls, %llu oracle "
+              "checks\n\n",
+              (unsigned long long)(registry.histogram_sum("sl_sim_event_cycles")
+                                       .count -
+                                   base_events),
+              (unsigned long long)(registry.counter_sum("sl_sgx_ecalls_total") -
+                                   base_ecalls),
+              (unsigned long long)(registry.counter_sum(
+                                       "sl_sim_oracle_checks_total") -
+                                   base_oracle_checks));
 
   const SweepResult heavy = renewal_heavy(700);
   std::printf("renewal-heavy: %llu events -> %llu executions, %llu "
@@ -113,6 +138,30 @@ int main(int argc, char** argv) {
   std::printf("  %.0f simulated renewals/s, %.0f authorizations/s\n",
               heavy.renewals / heavy.wall_seconds,
               heavy.executions / heavy.wall_seconds);
+
+  // Instrumentation overhead A/B: the identical sweep with the runtime
+  // kill switch off. Handles stay resolved; only the increments vanish.
+  obs::set_runtime_enabled(false);
+  const SweepResult cold = sweep_generated(kSeeds);
+  obs::set_runtime_enabled(true);
+  const double overhead_pct =
+      cold.wall_seconds > 0.0
+          ? (sweep.wall_seconds / cold.wall_seconds - 1.0) * 100.0
+          : 0.0;
+  std::printf("\nobservability overhead: %.2fs enabled vs %.2fs disabled "
+              "=> %.1f%% (budget 3%%)\n",
+              sweep.wall_seconds, cold.wall_seconds, overhead_pct);
+  bool overhead_ok = true;
+  if (overhead_pct > 10.0) {
+    std::fprintf(stderr, "FAIL: observability overhead %.1f%% > 10%%\n",
+                 overhead_pct);
+    overhead_ok = false;
+  } else if (overhead_pct > 3.0) {
+    std::fprintf(stderr,
+                 "WARN: observability overhead %.1f%% over the 3%% budget "
+                 "(wall-clock noise or a hot-path registry lookup?)\n",
+                 overhead_pct);
+  }
 
   if (argc >= 2) {
     std::ofstream out(argv[1]);
@@ -140,7 +189,8 @@ int main(int argc, char** argv) {
                   "    \"wall_seconds\": %.3f,\n"
                   "    \"renewals_per_sec\": %.1f,\n"
                   "    \"authorizations_per_sec\": %.1f\n"
-                  "  }\n"
+                  "  },\n"
+                  "  \"observability_overhead_percent\": %.2f\n"
                   "}\n",
                   (unsigned long long)sweep.scenarios,
                   (unsigned long long)sweep.events,
@@ -152,9 +202,9 @@ int main(int argc, char** argv) {
                   (unsigned long long)heavy.executions,
                   (unsigned long long)heavy.renewals, heavy.wall_seconds,
                   heavy.renewals / heavy.wall_seconds,
-                  heavy.executions / heavy.wall_seconds);
+                  heavy.executions / heavy.wall_seconds, overhead_pct);
     out << buffer;
     std::printf("\nwrote %s\n", argv[1]);
   }
-  return sweep.failures == 0 && heavy.failures == 0 ? 0 : 1;
+  return sweep.failures == 0 && heavy.failures == 0 && overhead_ok ? 0 : 1;
 }

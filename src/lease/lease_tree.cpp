@@ -79,7 +79,19 @@ std::uint64_t UntrustedStore::bytes() const {
 // --- LeaseTree -----------------------------------------------------------------
 
 LeaseTree::LeaseTree(std::uint64_t keygen_seed, UntrustedStore& store)
-    : root_(std::make_unique<Node>()), keygen_(keygen_seed), store_(store) {}
+    : root_(std::make_unique<Node>()), keygen_(keygen_seed), store_(store) {
+  obs_commits_ = obs::get_counter("sl_lease_tree_commits_total",
+                                  "Tree entries sealed to the untrusted store");
+  obs_restores_ = obs::get_counter(
+      "sl_lease_tree_restores_total",
+      "Committed tree entries validated and faulted back in");
+  obs_offloads_ = obs::get_counter(
+      "sl_lease_tree_offloads_total",
+      "Subtrees evicted by the resident-budget enforcer");
+  obs_validation_failures_ = obs::get_counter(
+      "sl_lease_tree_validation_failures_total",
+      "Tree entries that failed decrypt-and-validate");
+}
 
 LeaseTree::~LeaseTree() {
   if (root_) free_subtree(root_.get(), 0);
@@ -221,11 +233,13 @@ bool LeaseTree::restore_entry(Entry& entry, int level) {
   const auto ciphertext = store_.get(entry.handle);
   if (!ciphertext.has_value()) {
     stats_.validation_failures++;
+    obs::inc(obs_validation_failures_);
     return false;
   }
   const auto plaintext = crypto::validate(*ciphertext, entry.key);
   if (!plaintext.has_value()) {
     stats_.validation_failures++;
+    obs::inc(obs_validation_failures_);
     return false;
   }
 
@@ -233,6 +247,7 @@ bool LeaseTree::restore_entry(Entry& entry, int level) {
     // Leaf: 8-byte hash + 300-byte data.
     if (plaintext->size() != 8 + kLeaseDataBytes) {
       stats_.validation_failures++;
+      obs::inc(obs_validation_failures_);
       return false;
     }
     auto leaf = std::make_unique<LeaseRecord>();
@@ -240,6 +255,7 @@ bool LeaseTree::restore_entry(Entry& entry, int level) {
     std::copy(plaintext->begin() + 8, plaintext->end(), leaf->data.begin());
     if (!leaf->hash_valid()) {
       stats_.validation_failures++;
+      obs::inc(obs_validation_failures_);
       return false;
     }
     entry.leaf = leaf.release();
@@ -248,6 +264,7 @@ bool LeaseTree::restore_entry(Entry& entry, int level) {
     auto node = std::make_unique<Node>();
     if (!deserialize_node(*plaintext, *node)) {
       stats_.validation_failures++;
+      obs::inc(obs_validation_failures_);
       return false;
     }
     entry.child = node.release();
@@ -257,6 +274,7 @@ bool LeaseTree::restore_entry(Entry& entry, int level) {
   entry.handle = 0;
   entry.key = 0;
   stats_.restores++;
+  obs::inc(obs_restores_);
   return true;
 }
 
@@ -291,6 +309,7 @@ void LeaseTree::commit_entry(Entry& entry, int level) {
   entry.handle = store_.put(std::move(sealed.ciphertext));
   entry.committed = true;
   stats_.commits++;
+  obs::inc(obs_commits_);
 }
 
 bool LeaseTree::commit_lease(LeaseId id) {
@@ -327,11 +346,13 @@ bool LeaseTree::restore(std::uint64_t root_key, std::uint64_t root_handle) {
   const auto plaintext = crypto::validate(*ciphertext, root_key);
   if (!plaintext.has_value()) {
     stats_.validation_failures++;
+    obs::inc(obs_validation_failures_);
     return false;
   }
   auto node = std::make_unique<Node>();
   if (!deserialize_node(*plaintext, *node)) {
     stats_.validation_failures++;
+    obs::inc(obs_validation_failures_);
     return false;
   }
   free_subtree(root_.get(), 0);
@@ -340,6 +361,7 @@ bool LeaseTree::restore(std::uint64_t root_key, std::uint64_t root_handle) {
   root_handle_ = 0;
   lease_count_ = 0;  // leaves fault back in on demand
   stats_.restores++;
+  obs::inc(obs_restores_);
   return true;
 }
 
@@ -384,6 +406,7 @@ void LeaseTree::enforce_budget() {
     // may be about to use it.
     if (access[idx] == access_tick_) continue;
     commit_entry(*entries[idx], kTreeLevels - 1);
+    obs::inc(obs_offloads_);
   }
 }
 

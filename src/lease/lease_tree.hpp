@@ -22,6 +22,7 @@
 #include "crypto/keygen.hpp"
 #include "lease/gcl.hpp"
 #include "lease/license.hpp"
+#include "obs/metrics.hpp"
 
 namespace sl::lease {
 
@@ -174,6 +175,11 @@ class LeaseTree {
   std::uint64_t resident_budget_ = 0;
   std::uint64_t access_tick_ = 0;
   LeaseTreeStats stats_;
+  // Metric handles, resolved once at construction (null when compiled out).
+  obs::Counter* obs_commits_ = nullptr;
+  obs::Counter* obs_restores_ = nullptr;
+  obs::Counter* obs_offloads_ = nullptr;
+  obs::Counter* obs_validation_failures_ = nullptr;
 };
 
 }  // namespace sl::lease

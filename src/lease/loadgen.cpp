@@ -8,12 +8,15 @@
 #include "common/sim_clock.hpp"
 #include "lease/shard_router.hpp"
 #include "lease/sl_local.hpp"
+#include "obs/metrics.hpp"
 #include "sgxsim/attestation.hpp"
 
 namespace sl::lease {
 
 namespace {
 
+#if !SL_OBS_ENABLED
+// Exact-sort percentile, used only when the metrics layer is compiled out.
 double percentile(std::vector<Cycles>& latencies, double p) {
   if (latencies.empty()) return 0.0;
   std::sort(latencies.begin(), latencies.end());
@@ -21,10 +24,34 @@ double percentile(std::vector<Cycles>& latencies, double p) {
       p * static_cast<double>(latencies.size() - 1) + 0.5);
   return cycles_to_micros(latencies[std::min(index, latencies.size() - 1)]);
 }
+#endif
 
 }  // namespace
 
 LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
+#if SL_OBS_ENABLED
+  // The registry is the single source of truth for the run's numbers
+  // (docs/OBSERVABILITY.md): snapshot before, delta after. The shared
+  // process-wide registry may already hold history from earlier runs in the
+  // same binary; the delta isolates exactly this run.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  const std::uint64_t base_enqueued =
+      registry.counter_sum("sl_lease_renewals_enqueued_total");
+  const std::uint64_t base_overloads =
+      registry.counter_sum("sl_lease_backpressure_drops_total");
+  const std::uint64_t base_processed =
+      registry.counter_sum("sl_lease_renewals_processed_total");
+  const std::uint64_t base_granted =
+      registry.counter_sum("sl_lease_renewals_granted_total");
+  const std::uint64_t base_denied =
+      registry.counter_sum("sl_lease_renewals_denied_total");
+  const std::uint64_t base_batches =
+      registry.counter_sum("sl_lease_batch_commits_total");
+  const std::uint64_t base_checkpoints =
+      registry.counter_sum("sl_lease_checkpoints_total");
+  const obs::HistogramSnapshot base_latency =
+      registry.histogram_sum("sl_lease_renew_latency_cycles");
+#endif
   sgx::AttestationService ias;
   const LicenseAuthority vendor(splitmix64_key(1, config.seed) | 1);
 
@@ -65,8 +92,10 @@ LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
 
   LoadgenMetrics metrics;
   metrics.config = config;
+#if !SL_OBS_ENABLED
   std::vector<Cycles> latencies;
   latencies.reserve(clients.size() * config.rounds);
+#endif
 
   for (std::uint64_t round = 0; round < config.rounds; ++round) {
     for (std::size_t c = 0; c < clients.size(); ++c) {
@@ -74,36 +103,64 @@ LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
       const std::uint64_t ticket = round * clients.size() + c;
       if (router.submit(client.tenant + 1, c, licenses[client.tenant],
                         client.pending_consume, ticket)) {
-        metrics.submitted++;
         client.pending_consume = 0;  // the report rode along
-      } else {
-        // Backpressure: retry next round, keeping the consumption report.
-        metrics.overloaded++;
       }
+      // Backpressure rejections retry next round, keeping the report.
     }
     for (const ShardRouter::Completion& done : router.drain_all()) {
-      metrics.processed++;
+#if !SL_OBS_ENABLED
       latencies.push_back(done.outcome.latency);
+#endif
       Client& client = clients[done.outcome.ticket % clients.size()];
       if (done.outcome.status == RenewStatus::kGranted) {
-        metrics.granted++;
         client.pending_consume = done.outcome.granted;
-      } else {
-        metrics.denied++;
       }
     }
   }
 
+#if SL_OBS_ENABLED
+  // Every count below comes from the registry (as a delta over this run),
+  // so BENCH_remote.json and `securelease stats` can never disagree.
+  metrics.submitted =
+      registry.counter_sum("sl_lease_renewals_enqueued_total") - base_enqueued;
+  metrics.overloaded =
+      registry.counter_sum("sl_lease_backpressure_drops_total") -
+      base_overloads;
+  metrics.processed =
+      registry.counter_sum("sl_lease_renewals_processed_total") -
+      base_processed;
+  metrics.granted =
+      registry.counter_sum("sl_lease_renewals_granted_total") - base_granted;
+  metrics.denied =
+      registry.counter_sum("sl_lease_renewals_denied_total") - base_denied;
+  metrics.batches =
+      registry.counter_sum("sl_lease_batch_commits_total") - base_batches;
+  metrics.checkpoints =
+      registry.counter_sum("sl_lease_checkpoints_total") - base_checkpoints;
+  const obs::HistogramSnapshot latency =
+      registry.histogram_sum("sl_lease_renew_latency_cycles")
+          .delta(base_latency);
+  metrics.p50_micros = cycles_to_micros(
+      static_cast<Cycles>(latency.quantile(0.50)));
+  metrics.p99_micros = cycles_to_micros(
+      static_cast<Cycles>(latency.quantile(0.99)));
+#else
   const ShardStats shard_stats = router.aggregate_shard_stats();
+  metrics.submitted = shard_stats.enqueued;
+  metrics.overloaded = shard_stats.overloads;
+  metrics.processed = shard_stats.processed;
+  metrics.granted = shard_stats.granted;
+  metrics.denied = shard_stats.denied;
   metrics.batches = shard_stats.batches;
   metrics.checkpoints = shard_stats.checkpoints;
+  metrics.p50_micros = percentile(latencies, 0.50);
+  metrics.p99_micros = percentile(latencies, 0.99);
+#endif
   metrics.virtual_seconds = router.virtual_seconds();
   metrics.throughput = metrics.virtual_seconds > 0.0
                            ? static_cast<double>(metrics.processed) /
                                  metrics.virtual_seconds
                            : 0.0;
-  metrics.p50_micros = percentile(latencies, 0.50);
-  metrics.p99_micros = percentile(latencies, 0.99);
   metrics.ledgers_balanced = true;
   for (const auto& [lease, ledger] : router.ledgers()) {
     if (!ledger.balanced()) metrics.ledgers_balanced = false;

@@ -43,6 +43,47 @@ RemoteShard::RemoteShard(const LicenseAuthority& authority,
                                          config.ra_latency_seconds)),
       tree_(std::make_unique<LeaseTree>(config.keygen_seed, store_)),
       config_(config) {
+  const obs::Labels shard_label = {{"shard", config_.obs_shard}};
+  obs_enqueued_ = obs::get_counter("sl_lease_renewals_enqueued_total",
+                                   "Renewals accepted into the shard queue",
+                                   shard_label);
+  obs_overloads_ = obs::get_counter(
+      "sl_lease_backpressure_drops_total",
+      "Renewals rejected at the bounded queue (backpressure)", shard_label);
+  obs_down_rejections_ =
+      obs::get_counter("sl_lease_down_rejections_total",
+                       "Renewals rejected because the shard was down",
+                       shard_label);
+  obs_processed_ = obs::get_counter("sl_lease_renewals_processed_total",
+                                    "Renewals processed through Algorithm 1",
+                                    shard_label);
+  obs_deduped_ = obs::get_counter(
+      "sl_lease_renewals_deduped_total",
+      "Renewals answered from the idempotency table", shard_label);
+  obs_batches_ = obs::get_counter(
+      "sl_lease_batch_commits_total",
+      "Tree commits (one per coalesced license group)", shard_label);
+  obs_granted_ = obs::get_counter("sl_lease_renewals_granted_total",
+                                  "Renewals granted", shard_label);
+  obs_denied_ = obs::get_counter("sl_lease_renewals_denied_total",
+                                 "Renewals denied", shard_label);
+  obs_checkpoints_ = obs::get_counter("sl_lease_checkpoints_total",
+                                      "Checkpoint truncations", shard_label);
+  obs_forced_checkpoints_ = obs::get_counter(
+      "sl_lease_forced_checkpoints_total",
+      "Checkpoints forced by a full journal device", shard_label);
+  obs_busy_cycles_ = obs::get_counter("sl_lease_busy_cycles_total",
+                                      "Server-side work charged, in cycles",
+                                      shard_label);
+  obs_journaled_renewals_ = obs::get_counter(
+      "sl_lease_journaled_renewals_total",
+      "Renewal entries written into journal batch records", shard_label);
+  obs_recoveries_ = obs::get_counter("sl_lease_recoveries_total",
+                                     "Crash recoveries attempted", shard_label);
+  obs_renew_latency_ = obs::get_histogram(
+      "sl_lease_renew_latency_cycles",
+      "Renewal latency (drain start to batch commit) in virtual cycles",
+      shard_label);
   if (config_.durability.journaling) {
     if (config_.durability.master_key == 0) {
       config_.durability.master_key =
@@ -175,10 +216,12 @@ void RemoteShard::escrow(
 bool RemoteShard::enqueue(PendingRenew request) {
   if (!up_) {
     stats_.down_rejections++;
+    obs::inc(obs_down_rejections_);
     return false;
   }
   if (queue_.size() >= config_.queue_capacity) {
     stats_.overloads++;
+    obs::inc(obs_overloads_);
     return false;
   }
   if (journal_) {
@@ -195,6 +238,7 @@ bool RemoteShard::enqueue(PendingRenew request) {
   }
   queue_.push_back(std::move(request));
   stats_.enqueued++;
+  obs::inc(obs_enqueued_);
   return true;
 }
 
@@ -260,6 +304,7 @@ std::vector<RenewOutcome> RemoteShard::drain() {
           replayed.status = hit->second.status;
           replayed.granted = hit->second.granted;
           stats_.deduped++;
+          obs::inc(obs_deduped_);
           outcomes.push_back(replayed);
           continue;
         }
@@ -272,11 +317,14 @@ std::vector<RenewOutcome> RemoteShard::drain() {
       clock_.advance_cycles(config_.cycles_per_renewal);
       stats_.busy_cycles += config_.cycles_per_renewal;
       stats_.processed++;
+      obs::inc(obs_busy_cycles_, config_.cycles_per_renewal);
+      obs::inc(obs_processed_);
       RenewOutcome outcome;
       outcome.ticket = request.ticket;
       outcome.status = result.ok ? RenewStatus::kGranted : RenewStatus::kDenied;
       outcome.granted = result.granted;
       (result.ok ? stats_.granted : stats_.denied)++;
+      obs::inc(result.ok ? obs_granted_ : obs_denied_);
       if (request.request_id != 0) {
         dedup_[request.slid] =
             DedupEntry{request.request_id, outcome.status, outcome.granted};
@@ -303,8 +351,11 @@ std::vector<RenewOutcome> RemoteShard::drain() {
     clock_.advance_cycles(config_.cycles_per_commit);
     stats_.busy_cycles += config_.cycles_per_commit;
     stats_.batches++;
+    obs::inc(obs_busy_cycles_, config_.cycles_per_commit);
+    obs::inc(obs_batches_);
 
     if (journal_ && !batch_entries.empty()) {
+      obs::inc(obs_journaled_renewals_, batch_entries.size());
       WalRecord record;
       record.type = WalRecordType::kRenewBatch;
       record.lease = lease;
@@ -316,6 +367,7 @@ std::vector<RenewOutcome> RemoteShard::drain() {
     for (std::size_t i = first_outcome; i < outcomes.size(); ++i) {
       outcomes[i].completed_at = completed;
       outcomes[i].latency = completed - drain_start;
+      obs::observe(obs_renew_latency_, outcomes[i].latency);
     }
   }
 
@@ -324,6 +376,16 @@ std::vector<RenewOutcome> RemoteShard::drain() {
   if (journal_ && !groups.empty()) {
     journal_commit();
     maybe_checkpoint();
+  }
+  if (!groups.empty() && obs::TraceRecorder::global().enabled()) {
+    obs::TraceRecorder::global().record(obs::TraceSpan{
+        "lease.drain",
+        "lease",
+        drain_start,
+        clock_.cycles(),
+        {{"shard", config_.obs_shard},
+         {"groups", std::to_string(groups.size())},
+         {"outcomes", std::to_string(outcomes.size())}}});
   }
   return outcomes;
 }
@@ -336,6 +398,7 @@ void RemoteShard::journal_append(WalRecord record) {
     // including this record's effect — so dropping the record is safe.
     checkpoint();
     stats_.forced_checkpoints++;
+    obs::inc(obs_forced_checkpoints_);
   }
 }
 
@@ -364,6 +427,7 @@ void RemoteShard::checkpoint() {
   journal_->reset(genesis.serialize());
   committed_digest_ = state_digest();
   stats_.checkpoints++;
+  obs::inc(obs_checkpoints_);
 }
 
 void RemoteShard::crash() {
@@ -382,8 +446,23 @@ void RemoteShard::crash() {
 
 RecoveryReport RemoteShard::recover() {
   require(!up_, "recover: shard is up");
+  obs::inc(obs_recoveries_);
+  const Cycles recover_start = clock_.cycles();
   RecoveryReport report;
   report.committed_digest = committed_digest_;
+  const auto finish = [&](RecoveryReport r) {
+    if (obs::TraceRecorder::global().enabled()) {
+      obs::TraceRecorder::global().record(obs::TraceSpan{
+          "lease.recover",
+          "lease",
+          recover_start,
+          clock_.cycles(),
+          {{"shard", config_.obs_shard},
+           {"ok", r.ok ? "true" : "false"},
+           {"records", std::to_string(r.records_replayed)}}});
+    }
+    return r;
+  };
 
   remote_ = std::make_unique<SlRemote>(authority_, ias_, expected_sl_local_,
                                        config_.ra_latency_seconds);
@@ -400,7 +479,7 @@ RecoveryReport RemoteShard::recover() {
     report.recovered_digest = committed_digest_;
     report.detail = "journaling disabled; state reset";
     up_ = true;
-    return report;
+    return finish(report);
   }
 
   const std::uint64_t synced_seq = journal_->synced_seq();
@@ -412,7 +491,7 @@ RecoveryReport RemoteShard::recover() {
   if (replayed.records.empty()) {
     report.lost_committed = synced_seq > 0;
     report.detail = "no valid journal records (" + replayed.stop_reason + ")";
-    return report;
+    return finish(report);
   }
 
   std::uint64_t last_digest = 0;
@@ -458,7 +537,7 @@ RecoveryReport RemoteShard::recover() {
   report.intents_dropped = trailing_intents;
   report.generation = generation_;
   report.lost_committed = last_seq < synced_seq;
-  if (!structural_ok) return report;
+  if (!structural_ok) return finish(report);
 
   rebuild_tree();
   remote_->reset_stats();
@@ -475,7 +554,7 @@ RecoveryReport RemoteShard::recover() {
   report.ok = true;
   committed_digest_ = digest;
   up_ = true;
-  return report;
+  return finish(report);
 }
 
 bool RemoteShard::apply_record(const WalRecord& record) {

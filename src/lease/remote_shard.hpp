@@ -42,6 +42,8 @@
 #include "lease/durability.hpp"
 #include "lease/lease_tree.hpp"
 #include "lease/sl_remote.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "storage/journal.hpp"
 
 namespace sl::lease {
@@ -73,6 +75,9 @@ struct ShardConfig {
   double ra_latency_seconds = 3.5;
   // Seeds the shard's server-side tree key generator.
   std::uint64_t keygen_seed = 0xd15c0;
+  // Value of the {shard="..."} label on this shard's metric series; the
+  // ShardRouter sets it to the shard index.
+  std::string obs_shard = "0";
   ShardDurability durability;
 };
 
@@ -258,6 +263,24 @@ class RemoteShard {
   std::uint64_t generation_ = 0;
   std::uint64_t committed_digest_ = 0;
   bool up_ = true;
+
+  // Metric handles, resolved once at construction with this shard's label
+  // (null when compiled out). Mirrors ShardStats field-for-field so the
+  // conservation tests can assert registry == aggregated ShardStats.
+  obs::Counter* obs_enqueued_ = nullptr;
+  obs::Counter* obs_overloads_ = nullptr;
+  obs::Counter* obs_down_rejections_ = nullptr;
+  obs::Counter* obs_processed_ = nullptr;
+  obs::Counter* obs_deduped_ = nullptr;
+  obs::Counter* obs_batches_ = nullptr;
+  obs::Counter* obs_granted_ = nullptr;
+  obs::Counter* obs_denied_ = nullptr;
+  obs::Counter* obs_checkpoints_ = nullptr;
+  obs::Counter* obs_forced_checkpoints_ = nullptr;
+  obs::Counter* obs_busy_cycles_ = nullptr;
+  obs::Counter* obs_journaled_renewals_ = nullptr;
+  obs::Counter* obs_recoveries_ = nullptr;
+  obs::Histogram* obs_renew_latency_ = nullptr;
 };
 
 }  // namespace sl::lease

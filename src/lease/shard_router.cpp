@@ -27,6 +27,7 @@ ShardRouter::ShardRouter(const LicenseAuthority& authority,
     ShardConfig shard_config = config;
     shard_config.keygen_seed = config.keygen_seed + i;
     shard_config.durability.device_seed = config.durability.device_seed + i;
+    shard_config.obs_shard = std::to_string(i);
     shards_.push_back(std::make_unique<RemoteShard>(authority, ias,
                                                     expected_sl_local,
                                                     shard_config));

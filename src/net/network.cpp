@@ -6,7 +6,20 @@
 
 namespace sl::net {
 
-SimNetwork::SimNetwork(std::uint64_t seed) : rng_(seed) {}
+SimNetwork::SimNetwork(std::uint64_t seed) : rng_(seed) {
+  obs_attempts_ = obs::get_counter("sl_net_attempts_total",
+                                   "RPC round-trip attempts on all links");
+  obs_failures_ = obs::get_counter("sl_net_failures_total",
+                                   "RPC attempts that timed out");
+  obs_backoffs_ = obs::get_counter("sl_net_backoffs_total",
+                                   "Retry backoff waits charged");
+  obs_latency_dropped_ = obs::get_counter(
+      "sl_net_attempt_latency_dropped_total",
+      "Per-attempt latencies overwritten by the bounded LinkStats ring");
+  obs_attempt_latency_ = obs::get_histogram(
+      "sl_net_attempt_latency_cycles",
+      "Per-attempt latency (rtt or timeout) in virtual cycles");
+}
 
 void SimNetwork::set_link(NodeId node, LinkProfile profile) {
   require(profile.reliability >= 0.0 && profile.reliability <= 1.0,
@@ -35,16 +48,25 @@ bool SimNetwork::round_trip(NodeId node, SimClock& clock, int max_retries) {
       clock.advance_millis(wait);
       stats.backoffs++;
       stats.total_backoff_millis += wait;
+      obs::inc(obs_backoffs_);
     }
     stats.attempts++;
+    obs::inc(obs_attempts_);
+    // The ring wraps past kAttemptLatencyWindow entries; count overwrites.
+    if (stats.attempt_latency_count >= kAttemptLatencyWindow) {
+      obs::inc(obs_latency_dropped_);
+    }
     if (rng_.next_bool(profile.reliability)) {
       clock.advance_millis(profile.rtt_millis);
       stats.record_attempt(profile.rtt_millis);
+      obs::observe(obs_attempt_latency_, micros_to_cycles(profile.rtt_millis * 1e3));
       return true;
     }
     stats.failures++;
+    obs::inc(obs_failures_);
     clock.advance_millis(profile.timeout_millis);
     stats.record_attempt(profile.timeout_millis);
+    obs::observe(obs_attempt_latency_, micros_to_cycles(profile.timeout_millis * 1e3));
   }
   return false;
 }

@@ -14,6 +14,7 @@
 
 #include "common/rng.hpp"
 #include "common/sim_clock.hpp"
+#include "obs/metrics.hpp"
 
 namespace sl::net {
 
@@ -52,6 +53,15 @@ struct LinkStats {
     attempt_latency_count++;
     total_latency_millis += millis;
   }
+
+  // Latencies overwritten by the ring wrapping: the window is bounded by
+  // design, and long loadgen runs surface the overwrite count as the
+  // sl_net_attempt_latency_dropped_total metric rather than growing memory.
+  std::uint64_t dropped() const {
+    return attempt_latency_count > kAttemptLatencyWindow
+               ? attempt_latency_count - kAttemptLatencyWindow
+               : 0;
+  }
 };
 
 class SimNetwork {
@@ -77,6 +87,12 @@ class SimNetwork {
   Rng rng_;
   std::unordered_map<NodeId, LinkProfile> links_;
   mutable std::unordered_map<NodeId, LinkStats> stats_;
+  // Metric handles, resolved once at construction (null when compiled out).
+  obs::Counter* obs_attempts_ = nullptr;
+  obs::Counter* obs_failures_ = nullptr;
+  obs::Counter* obs_backoffs_ = nullptr;
+  obs::Counter* obs_latency_dropped_ = nullptr;
+  obs::Histogram* obs_attempt_latency_ = nullptr;
 };
 
 }  // namespace sl::net

@@ -1,0 +1,397 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace sl::obs {
+
+namespace {
+
+std::atomic<bool> g_runtime_enabled{true};
+
+Labels sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string format_u64(std::uint64_t v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%llu", (unsigned long long)v);
+  return buffer;
+}
+
+std::string format_i64(std::int64_t v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%lld", (long long)v);
+  return buffer;
+}
+
+// `{k="v",...}` or "" for the unlabeled series.
+std::string prometheus_labels(const Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + escape_prometheus_label(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+// Labels rendered as a JSON object.
+std::string json_labels(const Labels& labels) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + escape_json(labels[i].first) + "\":\"" +
+           escape_json(labels[i].second) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+int histogram_bucket(std::uint64_t value) {
+  if (value <= 1) return 0;
+  // Smallest i with value <= 2^i.
+  const int width = std::bit_width(value - 1);
+  return width > 62 ? kHistogramBuckets - 1 : width;
+}
+
+std::uint64_t histogram_upper_bound(int bucket) {
+  if (bucket >= kHistogramBuckets - 1) return UINT64_MAX;  // +Inf
+  return 1ull << bucket;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  for (int i = 0; i < kHistogramBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+HistogramSnapshot HistogramSnapshot::delta(const HistogramSnapshot& earlier) const {
+  HistogramSnapshot out;
+  require(count >= earlier.count && sum >= earlier.sum,
+          "HistogramSnapshot::delta: earlier snapshot is newer");
+  out.count = count - earlier.count;
+  out.sum = sum - earlier.sum;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    require(buckets[i] >= earlier.buckets[i],
+            "HistogramSnapshot::delta: earlier snapshot is newer");
+    out.buckets[i] = buckets[i] - earlier.buckets[i];
+  }
+  return out;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based), nearest-rank with midpoint.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count - 1) + 0.5) + 1);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (cumulative + buckets[i] >= rank) {
+      const double lower =
+          i == 0 ? 0.0 : static_cast<double>(histogram_upper_bound(i - 1));
+      // The +Inf bucket has no finite upper edge; report its lower edge.
+      if (i == kHistogramBuckets - 1) return lower;
+      const double upper = static_cast<double>(histogram_upper_bound(i));
+      const double within =
+          static_cast<double>(rank - cumulative) / static_cast<double>(buckets[i]);
+      return lower + (upper - lower) * within;
+    }
+    cumulative += buckets[i];
+  }
+  return static_cast<double>(histogram_upper_bound(kHistogramBuckets - 2));
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot out;
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    out.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::zero() {
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+const char* metric_kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+MetricsRegistry::Series& MetricsRegistry::series(const std::string& name,
+                                                 const std::string& help,
+                                                 Labels labels, MetricKind kind) {
+  Labels key_labels = sorted(std::move(labels));
+  std::lock_guard<std::mutex> lock(mutex_);
+  const SeriesKey key{name, key_labels};
+  auto it = series_.find(key);
+  if (it != series_.end()) {
+    require(it->second->kind == kind,
+            "metric '" + name + "' re-registered with a different kind");
+    return *it->second;
+  }
+  auto entry = std::make_unique<Series>();
+  entry->name = name;
+  entry->help = help;
+  entry->labels = std::move(key_labels);
+  entry->kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter: entry->counter = std::make_unique<Counter>(); break;
+    case MetricKind::kGauge: entry->gauge = std::make_unique<Gauge>(); break;
+    case MetricKind::kHistogram:
+      entry->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  Series& ref = *entry;
+  series_.emplace(key, std::move(entry));
+  return ref;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name, const std::string& help,
+                                  Labels labels) {
+  return series(name, help, std::move(labels), MetricKind::kCounter).counter.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              Labels labels) {
+  return series(name, help, std::move(labels), MetricKind::kGauge).gauge.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help, Labels labels) {
+  return series(name, help, std::move(labels), MetricKind::kHistogram)
+      .histogram.get();
+}
+
+std::uint64_t MetricsRegistry::counter_sum(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, entry] : series_) {
+    if (key.first == name && entry->kind == MetricKind::kCounter) {
+      total += entry->counter->value();
+    }
+  }
+  return total;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name,
+                                             const Labels& labels) const {
+  const Labels key_labels = sorted(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = series_.find(SeriesKey{name, key_labels});
+  if (it == series_.end() || it->second->kind != MetricKind::kCounter) return 0;
+  return it->second->counter->value();
+}
+
+HistogramSnapshot MetricsRegistry::histogram_sum(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSnapshot total;
+  for (const auto& [key, entry] : series_) {
+    if (key.first == name && entry->kind == MetricKind::kHistogram) {
+      total.merge(entry->histogram->snapshot());
+    }
+  }
+  return total;
+}
+
+HistogramSnapshot MetricsRegistry::histogram_value(const std::string& name,
+                                                   const Labels& labels) const {
+  const Labels key_labels = sorted(labels);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = series_.find(SeriesKey{name, key_labels});
+  if (it == series_.end() || it->second->kind != MetricKind::kHistogram) return {};
+  return it->second->histogram->snapshot();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"metrics\": [";
+  bool first = true;
+  for (const auto& [key, entry] : series_) {
+    std::string body;
+    switch (entry->kind) {
+      case MetricKind::kCounter: {
+        const std::uint64_t value = entry->counter->value();
+        if (value == 0) continue;  // untouched: omit for golden determinism
+        body = "\"value\": " + format_u64(value);
+        break;
+      }
+      case MetricKind::kGauge: {
+        const std::int64_t value = entry->gauge->value();
+        if (value == 0) continue;
+        body = "\"value\": " + format_i64(value);
+        break;
+      }
+      case MetricKind::kHistogram: {
+        const HistogramSnapshot snap = entry->histogram->snapshot();
+        if (snap.count == 0) continue;
+        body = "\"count\": " + format_u64(snap.count) +
+               ", \"sum\": " + format_u64(snap.sum) + ", \"buckets\": [";
+        bool first_bucket = true;
+        for (int i = 0; i < kHistogramBuckets; ++i) {
+          if (snap.buckets[i] == 0) continue;
+          if (!first_bucket) body += ", ";
+          first_bucket = false;
+          const bool inf = i == kHistogramBuckets - 1;
+          body += "[" + (inf ? std::string("\"+Inf\"")
+                             : format_u64(histogram_upper_bound(i))) +
+                  ", " + format_u64(snap.buckets[i]) + "]";
+        }
+        body += "]";
+        break;
+      }
+    }
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"name\": \"" + escape_json(entry->name) + "\", \"type\": \"" +
+           metric_kind_name(entry->kind) + "\", \"labels\": " +
+           json_labels(entry->labels) + ", " + body + "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  std::string current_name;
+  for (const auto& [key, entry] : series_) {
+    // Skip untouched series (see header).
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        if (entry->counter->value() == 0) continue;
+        break;
+      case MetricKind::kGauge:
+        if (entry->gauge->value() == 0) continue;
+        break;
+      case MetricKind::kHistogram:
+        if (entry->histogram->count() == 0) continue;
+        break;
+    }
+    if (entry->name != current_name) {
+      current_name = entry->name;
+      std::string help = entry->help;
+      // HELP text: escape backslash and newline per the exposition format.
+      std::string escaped;
+      for (char c : help) {
+        if (c == '\\') escaped += "\\\\";
+        else if (c == '\n') escaped += "\\n";
+        else escaped += c;
+      }
+      out += "# HELP " + entry->name + " " + escaped + "\n";
+      out += "# TYPE " + entry->name + " " + metric_kind_name(entry->kind) + "\n";
+    }
+    const std::string labels = prometheus_labels(entry->labels);
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        out += entry->name + labels + " " + format_u64(entry->counter->value()) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += entry->name + labels + " " + format_i64(entry->gauge->value()) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        const HistogramSnapshot snap = entry->histogram->snapshot();
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i < kHistogramBuckets; ++i) {
+          cumulative += snap.buckets[i];
+          // Compact exposition: only emit a bucket line when the cumulative
+          // count changes (plus the mandatory +Inf bucket).
+          const bool last = i == kHistogramBuckets - 1;
+          if (snap.buckets[i] == 0 && !last) continue;
+          Labels bucket_labels = entry->labels;
+          bucket_labels.emplace_back(
+              "le", last ? "+Inf" : format_u64(histogram_upper_bound(i)));
+          out += entry->name + "_bucket" + prometheus_labels(bucket_labels) +
+                 " " + format_u64(cumulative) + "\n";
+        }
+        out += entry->name + "_sum" + labels + " " + format_u64(snap.sum) + "\n";
+        out += entry->name + "_count" + labels + " " + format_u64(snap.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::zero_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, entry] : series_) {
+    switch (entry->kind) {
+      case MetricKind::kCounter: entry->counter->zero(); break;
+      case MetricKind::kGauge: entry->gauge->zero(); break;
+      case MetricKind::kHistogram: entry->histogram->zero(); break;
+    }
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry instance;
+  return instance;
+}
+
+void set_runtime_enabled(bool enabled) {
+  g_runtime_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool runtime_enabled() {
+  return g_runtime_enabled.load(std::memory_order_relaxed);
+}
+
+std::string escape_json(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string escape_prometheus_label(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+}  // namespace sl::obs

@@ -1,0 +1,237 @@
+// Deterministic observability: the metrics half (see trace.hpp for spans).
+//
+// Every number in the paper's evaluation is an accounting identity — counts
+// of ECALLs, OCALLs, EPC faults, renewals and commits multiplied by
+// per-event virtual-cycle costs — so the metrics layer is built on the same
+// substrate: counters, gauges and virtual-cycle histograms whose values are
+// pure functions of the deterministic simulation. Nothing here ever reads a
+// wall clock; snapshots of the registry are bit-identical across runs of
+// the same seed, which is what makes metrics usable as test oracles
+// (tests/obs/test_golden_metrics.cpp).
+//
+// Design rules:
+//  * Hot paths hold raw Counter*/Histogram* handles resolved once at
+//    construction (or a function-local static) — never a per-event registry
+//    lookup.
+//  * Compiled out (-DSECURELEASE_OBSERVABILITY=OFF => SL_OBS_ENABLED=0) the
+//    helpers below are empty inline functions and get_counter() et al.
+//    return nullptr: zero registry lookups, zero increments, zero branches
+//    survive in optimized hot paths.
+//  * Histograms use fixed log-2 buckets (upper bounds 2^0 .. 2^62, +Inf) so
+//    the exposition is platform-independent: no float boundaries, no
+//    locale, no iteration-order dependence (registry is an ordered map).
+//  * Values are relaxed atomics: the lease tree and GCL are exercised from
+//    real threads in the concurrency tests, and a torn counter would be a
+//    nondeterminism source.
+//
+// Exposition omits metrics that were never touched (count/value still
+// zero): in-process suites share one global registry, and a golden snapshot
+// must not depend on which unrelated test registered a metric earlier.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef SL_OBS_ENABLED
+#define SL_OBS_ENABLED 1
+#endif
+
+namespace sl::obs {
+
+// Ordered label set; registration sorts by key, so {a=1,b=2} and {b=2,a=1}
+// name the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void zero() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void zero() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+// Log-2 bucket geometry: bucket i (i < 63) counts observations v with
+// v <= 2^i (and v > 2^(i-1) for i > 0); bucket 63 is the +Inf overflow.
+inline constexpr int kHistogramBuckets = 64;
+
+// Index of the bucket an observation lands in.
+int histogram_bucket(std::uint64_t value);
+// Upper bound of bucket i (2^i); UINT64_MAX stands in for +Inf (i == 63).
+std::uint64_t histogram_upper_bound(int bucket);
+
+// Value-type copy of a histogram, closed under merge and delta — the benches
+// subtract a before-run snapshot from an after-run one so concurrent history
+// in the shared registry never leaks into a run's numbers.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;  // virtual cycles (or whatever unit was observed)
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  void merge(const HistogramSnapshot& other);
+  // this - earlier, element-wise; requires earlier <= this.
+  HistogramSnapshot delta(const HistogramSnapshot& earlier) const;
+  // Quantile estimate (q in [0,1]) by linear interpolation inside the
+  // bucket; deterministic, returns 0 when empty.
+  double quantile(double q) const;
+  double mean() const { return count > 0 ? static_cast<double>(sum) / static_cast<double>(count) : 0.0; }
+};
+
+class Histogram {
+ public:
+  void observe(std::uint64_t value) {
+    buckets_[histogram_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+  HistogramSnapshot snapshot() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  void zero();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+const char* metric_kind_name(MetricKind kind);
+
+// Process-wide metric registry. Metric objects are never freed or moved
+// once registered — zero_all() zeroes values in place — so raw handles held
+// by long-lived components (an SgxRuntime, a RemoteShard) stay valid across
+// test-suite resets.
+class MetricsRegistry {
+ public:
+  // Registers (or finds) a series. The first registration's help string
+  // wins; kind mismatches on an existing name throw.
+  Counter* counter(const std::string& name, const std::string& help,
+                   Labels labels = {});
+  Gauge* gauge(const std::string& name, const std::string& help,
+               Labels labels = {});
+  Histogram* histogram(const std::string& name, const std::string& help,
+                       Labels labels = {});
+
+  // --- Aggregation (bench + test surface) -----------------------------------
+  // Sum of a counter across every label set (0 when absent).
+  std::uint64_t counter_sum(const std::string& name) const;
+  // One specific series (0 when absent).
+  std::uint64_t counter_value(const std::string& name, const Labels& labels) const;
+  // Merge of a histogram across every label set.
+  HistogramSnapshot histogram_sum(const std::string& name) const;
+  HistogramSnapshot histogram_value(const std::string& name,
+                                    const Labels& labels) const;
+
+  // --- Exposition -----------------------------------------------------------
+  // Deterministic JSON document: series sorted by (name, labels); untouched
+  // series omitted. All numbers are integers.
+  std::string to_json() const;
+  // Prometheus text exposition format (one HELP/TYPE block per name,
+  // cumulative histogram buckets, escaped help and label values).
+  std::string to_prometheus() const;
+
+  // Zeroes every registered value, keeping registrations (and therefore
+  // every cached handle) intact. The reset used between golden runs.
+  void zero_all();
+
+  // The process-wide instance.
+  static MetricsRegistry& global();
+
+ private:
+  struct Series {
+    std::string name;
+    std::string help;
+    Labels labels;
+    MetricKind kind = MetricKind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  using SeriesKey = std::pair<std::string, Labels>;
+
+  Series& series(const std::string& name, const std::string& help,
+                 Labels labels, MetricKind kind);
+
+  mutable std::mutex mutex_;
+  std::map<SeriesKey, std::unique_ptr<Series>> series_;
+};
+
+// Runtime kill switch for the inc()/observe() helpers below. On by default;
+// bench_sim_throughput flips it off for an A/B measurement of the
+// instrumentation overhead. Registration is unaffected.
+void set_runtime_enabled(bool enabled);
+bool runtime_enabled();
+
+// --- Hot-path helpers --------------------------------------------------------
+// Components call these with cached handles; with SL_OBS_ENABLED=0 every one
+// of them compiles to an empty inline function and the registration helpers
+// return nullptr, so instrumented code needs no #if at the call site.
+
+#if SL_OBS_ENABLED
+
+inline Counter* get_counter(const std::string& name, const std::string& help,
+                            Labels labels = {}) {
+  return MetricsRegistry::global().counter(name, help, std::move(labels));
+}
+inline Gauge* get_gauge(const std::string& name, const std::string& help,
+                        Labels labels = {}) {
+  return MetricsRegistry::global().gauge(name, help, std::move(labels));
+}
+inline Histogram* get_histogram(const std::string& name, const std::string& help,
+                                Labels labels = {}) {
+  return MetricsRegistry::global().histogram(name, help, std::move(labels));
+}
+inline void inc(Counter* counter, std::uint64_t n = 1) {
+  if (counter != nullptr && runtime_enabled()) counter->add(n);
+}
+inline void set(Gauge* gauge, std::int64_t v) {
+  if (gauge != nullptr && runtime_enabled()) gauge->set(v);
+}
+inline void observe(Histogram* histogram, std::uint64_t value) {
+  if (histogram != nullptr && runtime_enabled()) histogram->observe(value);
+}
+
+#else  // SL_OBS_ENABLED == 0: observability compiled out.
+
+inline Counter* get_counter(const std::string&, const std::string&, Labels = {}) {
+  return nullptr;
+}
+inline Gauge* get_gauge(const std::string&, const std::string&, Labels = {}) {
+  return nullptr;
+}
+inline Histogram* get_histogram(const std::string&, const std::string&, Labels = {}) {
+  return nullptr;
+}
+inline void inc(Counter*, std::uint64_t = 1) {}
+inline void set(Gauge*, std::int64_t) {}
+inline void observe(Histogram*, std::uint64_t) {}
+
+#endif  // SL_OBS_ENABLED
+
+// JSON string escaping shared by the exposition and the trace writer.
+std::string escape_json(const std::string& text);
+// Prometheus label-value escaping (backslash, double quote, newline).
+std::string escape_prometheus_label(const std::string& text);
+
+}  // namespace sl::obs

@@ -1,0 +1,273 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/bytes.hpp"
+#include "crypto/murmur.hpp"
+
+namespace sl::obs {
+
+namespace {
+
+std::string format_u64(std::uint64_t v) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%llu", (unsigned long long)v);
+  return buffer;
+}
+
+// --- Minimal strict parser for the span JSON shape ---------------------------
+// The reader accepts exactly what span_to_json produces (plus insignificant
+// whitespace between tokens): {"name":s,"layer":s,"start":n,"end":n,
+// "attrs":{k:v,...}}. A hand-rolled parser keeps the round-trip property
+// testable without a JSON dependency.
+
+struct Cursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t')) {
+      pos++;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      pos++;
+      return true;
+    }
+    return false;
+  }
+};
+
+bool parse_string(Cursor& cursor, std::string& out) {
+  if (!cursor.eat('"')) return false;
+  out.clear();
+  while (cursor.pos < cursor.text.size()) {
+    const char c = cursor.text[cursor.pos++];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (cursor.pos >= cursor.text.size()) return false;
+    const char escape = cursor.text[cursor.pos++];
+    switch (escape) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (cursor.pos + 4 > cursor.text.size()) return false;
+        unsigned value = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = cursor.text[cursor.pos++];
+          value <<= 4;
+          if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+          else return false;
+        }
+        // The writer only emits \u00XX for control bytes; reject the rest.
+        if (value > 0xFF) return false;
+        out += static_cast<char>(value);
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false;  // unterminated
+}
+
+bool parse_u64(Cursor& cursor, std::uint64_t& out) {
+  cursor.skip_ws();
+  const std::size_t start = cursor.pos;
+  std::uint64_t value = 0;
+  while (cursor.pos < cursor.text.size() && cursor.text[cursor.pos] >= '0' &&
+         cursor.text[cursor.pos] <= '9') {
+    const std::uint64_t digit =
+        static_cast<std::uint64_t>(cursor.text[cursor.pos] - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // overflow
+    value = value * 10 + digit;
+    cursor.pos++;
+  }
+  if (cursor.pos == start) return false;
+  out = value;
+  return true;
+}
+
+bool parse_key(Cursor& cursor, const char* expected) {
+  std::string key;
+  if (!parse_string(cursor, key)) return false;
+  if (key != expected) return false;
+  return cursor.eat(':');
+}
+
+}  // namespace
+
+std::string span_to_json(const TraceSpan& span) {
+  std::string out = "{\"name\":\"";
+  out += escape_json(span.name);
+  out += "\",\"layer\":\"";
+  out += escape_json(span.layer);
+  out += "\",\"start\":";
+  out += format_u64(span.start);
+  out += ",\"end\":";
+  out += format_u64(span.end);
+  out += ",\"attrs\":{";
+  for (std::size_t i = 0; i < span.attrs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"";
+    out += escape_json(span.attrs[i].first);
+    out += "\":\"";
+    out += escape_json(span.attrs[i].second);
+    out += "\"";
+  }
+  out += "}}";
+  return out;
+}
+
+std::optional<TraceSpan> span_from_json(const std::string& line) {
+  Cursor cursor{line};
+  TraceSpan span;
+  if (!cursor.eat('{')) return std::nullopt;
+  if (!parse_key(cursor, "name") || !parse_string(cursor, span.name)) {
+    return std::nullopt;
+  }
+  if (!cursor.eat(',') || !parse_key(cursor, "layer") ||
+      !parse_string(cursor, span.layer)) {
+    return std::nullopt;
+  }
+  if (!cursor.eat(',') || !parse_key(cursor, "start") ||
+      !parse_u64(cursor, span.start)) {
+    return std::nullopt;
+  }
+  if (!cursor.eat(',') || !parse_key(cursor, "end") ||
+      !parse_u64(cursor, span.end)) {
+    return std::nullopt;
+  }
+  if (!cursor.eat(',') || !parse_key(cursor, "attrs") || !cursor.eat('{')) {
+    return std::nullopt;
+  }
+  cursor.skip_ws();
+  if (cursor.pos < cursor.text.size() && cursor.text[cursor.pos] == '}') {
+    cursor.pos++;
+  } else {
+    while (true) {
+      std::string key, value;
+      if (!parse_string(cursor, key) || !cursor.eat(':') ||
+          !parse_string(cursor, value)) {
+        return std::nullopt;
+      }
+      span.attrs.emplace_back(std::move(key), std::move(value));
+      if (cursor.eat(',')) continue;
+      if (cursor.eat('}')) break;
+      return std::nullopt;
+    }
+  }
+  if (!cursor.eat('}')) return std::nullopt;
+  cursor.skip_ws();
+  if (cursor.pos != line.size()) return std::nullopt;  // trailing garbage
+  return span;
+}
+
+std::vector<TraceSpan> parse_jsonl(const std::string& text,
+                                   std::size_t* malformed) {
+  std::vector<TraceSpan> spans;
+  std::size_t bad = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    const std::size_t stop = end == std::string::npos ? text.size() : end;
+    if (stop > start) {
+      const std::string line = text.substr(start, stop - start);
+      if (auto span = span_from_json(line)) {
+        spans.push_back(std::move(*span));
+      } else {
+        bad++;
+      }
+    }
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  if (malformed != nullptr) *malformed = bad;
+  return spans;
+}
+
+void TraceRecorder::enable(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cap_ = cap;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  dropped_ = 0;
+}
+
+void TraceRecorder::record(TraceSpan span) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= cap_) {
+    dropped_++;
+    return;
+  }
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> TraceRecorder::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::size_t TraceRecorder::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::uint64_t TraceRecorder::fingerprint() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t fingerprint = spans_.size();
+  for (const TraceSpan& span : spans_) {
+    fingerprint = crypto::murmur3_64(to_bytes(span_to_json(span)), fingerprint);
+  }
+  return fingerprint;
+}
+
+std::string TraceRecorder::to_jsonl() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const TraceSpan& span : spans_) {
+    out += span_to_json(span);
+    out += '\n';
+  }
+  return out;
+}
+
+bool TraceRecorder::write_jsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_jsonl();
+  return static_cast<bool>(out);
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder instance;
+  return instance;
+}
+
+}  // namespace sl::obs

@@ -1,0 +1,80 @@
+// Deterministic observability: the tracing half (see metrics.hpp).
+//
+// A TraceSpan is one unit of named work stamped with the sgxsim virtual
+// clock — never wall-clock — so a trace for a fixed seed is bit-identical
+// across runs, machines and build modes. Spans are written as JSONL (one
+// JSON object per line) and the recorder keeps a murmur3-chained
+// fingerprint of the serialized lines, which the golden-metrics tests and
+// the CI determinism gate compare across replays.
+//
+// The global recorder is disabled by default: record() returns after one
+// relaxed atomic load, so leaving instrumentation in hot layers costs a
+// branch. `securelease simulate/loadgen --trace-out FILE` enables it for
+// the run and writes the JSONL file at the end. The span buffer is bounded
+// (spans past the cap are dropped and counted) — a loadgen run cannot grow
+// memory without bound by tracing.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace sl::obs {
+
+struct TraceSpan {
+  std::string name;    // e.g. "sim.event", "lease.drain"
+  std::string layer;   // subsystem: "sim", "lease", "storage", ...
+  std::uint64_t start = 0;  // virtual cycles at span begin
+  std::uint64_t end = 0;    // virtual cycles at span end
+  Labels attrs;             // ordered key/value attributes
+
+  bool operator==(const TraceSpan&) const = default;
+};
+
+// One span as a single JSON line (no trailing newline).
+std::string span_to_json(const TraceSpan& span);
+// Strict inverse of span_to_json: returns nullopt on any malformed input.
+std::optional<TraceSpan> span_from_json(const std::string& line);
+// Parses a JSONL document; malformed lines are skipped and counted into
+// `malformed` when non-null. Blank lines are ignored.
+std::vector<TraceSpan> parse_jsonl(const std::string& text,
+                                   std::size_t* malformed = nullptr);
+
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultCap = 1 << 20;
+
+  void enable(std::size_t cap = kDefaultCap);
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void clear();
+
+  // Appends a span (drops + counts when at capacity). No-op when disabled.
+  void record(TraceSpan span);
+
+  std::vector<TraceSpan> spans() const;
+  std::size_t span_count() const;
+  std::uint64_t dropped() const;
+
+  // murmur3_64 chain over the serialized lines, seeded with the span count.
+  std::uint64_t fingerprint() const;
+  // Whole trace as JSONL (one span per line, trailing newline per line).
+  std::string to_jsonl() const;
+  // Writes to_jsonl() to `path`; false when the file cannot be opened.
+  bool write_jsonl(const std::string& path) const;
+
+  static TraceRecorder& global();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::size_t cap_ = kDefaultCap;
+  std::vector<TraceSpan> spans_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace sl::obs

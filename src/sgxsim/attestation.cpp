@@ -1,5 +1,7 @@
 #include "sgxsim/attestation.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace sl::sgx {
 
 Platform::Platform(SgxRuntime& runtime, std::uint64_t platform_id,
@@ -15,6 +17,11 @@ crypto::Sha256Digest Platform::mac_report(const Measurement& m, ByteView data) c
 }
 
 Report Platform::create_report(EnclaveId enclave, ByteView report_data) {
+  // Attestation is a cold path (hundreds of microseconds to seconds of
+  // virtual time); a function-local static handle is cheap enough here.
+  static obs::Counter* reports = obs::get_counter(
+      "sl_sgx_attestation_reports_total", "Local attestation reports created");
+  obs::inc(reports);
   const Enclave& e = runtime_.enclave(enclave);
   runtime_.clock().advance_cycles(runtime_.costs().local_attestation_cycles);
   Report r;
@@ -32,6 +39,9 @@ bool Platform::verify_report(const Report& report, const Measurement& expected) 
 }
 
 Quote Platform::create_quote(EnclaveId enclave, ByteView report_data) {
+  static obs::Counter* quotes = obs::get_counter(
+      "sl_sgx_attestation_quotes_total", "Remote attestation quotes created");
+  obs::inc(quotes);
   const Enclave& e = runtime_.enclave(enclave);
   Quote q;
   q.report.mrenclave = e.measurement();
@@ -55,10 +65,20 @@ void AttestationService::register_platform(std::uint64_t platform_id,
 
 bool AttestationService::verify_quote(const Quote& quote, const Measurement& expected,
                                       SimClock& clock, double latency_seconds) const {
+  static obs::Counter* verified = obs::get_counter(
+      "sl_sgx_attestation_verifications_total",
+      "Remote attestation quote verifications", {{"result", "ok"}});
+  static obs::Counter* rejected = obs::get_counter(
+      "sl_sgx_attestation_verifications_total",
+      "Remote attestation quote verifications", {{"result", "rejected"}});
+  const auto verdict = [&](bool ok) {
+    obs::inc(ok ? verified : rejected);
+    return ok;
+  };
   clock.advance_seconds(latency_seconds);
   auto it = platform_secrets_.find(quote.platform_id);
-  if (it == platform_secrets_.end()) return false;
-  if (quote.report.mrenclave != expected) return false;
+  if (it == platform_secrets_.end()) return verdict(false);
+  if (quote.report.mrenclave != expected) return verdict(false);
 
   Bytes key;
   put_u64(key, it->second);
@@ -69,14 +89,15 @@ bool AttestationService::verify_quote(const Quote& quote, const Measurement& exp
   const crypto::Sha256Digest mac = crypto::hmac_sha256(key, report_payload);
   if (!constant_time_equal(ByteView(mac.data(), mac.size()),
                            ByteView(quote.report.mac.data(), quote.report.mac.size()))) {
-    return false;
+    return verdict(false);
   }
   Bytes sig_payload;
   put_u64(sig_payload, quote.platform_id);
   sig_payload.insert(sig_payload.end(), mac.begin(), mac.end());
   const crypto::Sha256Digest sig = crypto::hmac_sha256(key, sig_payload);
-  return constant_time_equal(ByteView(sig.data(), sig.size()),
-                             ByteView(quote.signature.data(), quote.signature.size()));
+  return verdict(constant_time_equal(
+      ByteView(sig.data(), sig.size()),
+      ByteView(quote.signature.data(), quote.signature.size())));
 }
 
 }  // namespace sl::sgx

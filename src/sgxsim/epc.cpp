@@ -7,6 +7,14 @@ namespace sl::sgx {
 EpcManager::EpcManager(const CostModel& costs, SimClock& clock)
     : costs_(costs), clock_(clock), capacity_pages_(costs.epc_pages()) {
   require(capacity_pages_ > 0, "EpcManager: EPC must hold at least one page");
+  obs_allocations_ = obs::get_counter("sl_sgx_epc_allocations_total",
+                                      "First-touch EPC page allocations");
+  obs_faults_ = obs::get_counter("sl_sgx_epc_faults_total",
+                                 "EPC faults (accesses to non-resident pages)");
+  obs_evictions_ = obs::get_counter("sl_sgx_epc_evictions_total",
+                                    "EPC pages evicted to untrusted memory");
+  obs_loadbacks_ = obs::get_counter("sl_sgx_epc_loadbacks_total",
+                                    "Evicted EPC pages brought back in");
 }
 
 void EpcManager::touch(EnclaveId enclave, std::uint64_t first_page, std::uint64_t count) {
@@ -35,10 +43,13 @@ void EpcManager::touch_one(PageKey key) {
   if (was_evicted) {
     stats_.faults++;
     stats_.loadbacks++;
+    obs::inc(obs_faults_);
+    obs::inc(obs_loadbacks_);
     clock_.advance_cycles(costs_.epc_fault_cycles + costs_.page_crypt_cycles);
     evicted_.erase(key);
   } else {
     stats_.allocations++;
+    obs::inc(obs_allocations_);
   }
 
   if (lru_.size() >= capacity_pages_) evict_lru();
@@ -54,6 +65,7 @@ void EpcManager::evict_lru() {
   resident_.erase(victim);
   evicted_[victim] = true;
   stats_.evictions++;
+  obs::inc(obs_evictions_);
   clock_.advance_cycles(costs_.page_crypt_cycles);
 }
 

@@ -13,6 +13,7 @@
 #include <unordered_map>
 
 #include "common/sim_clock.hpp"
+#include "obs/metrics.hpp"
 #include "sgxsim/costs.hpp"
 
 namespace sl::sgx {
@@ -74,6 +75,11 @@ class EpcManager {
   // Pages that were evicted at least once: a re-touch is a load-back.
   std::unordered_map<PageKey, bool, PageKeyHash> evicted_;
   EpcStats stats_;
+  // Metric handles, resolved once at construction (null when compiled out).
+  obs::Counter* obs_allocations_ = nullptr;
+  obs::Counter* obs_faults_ = nullptr;
+  obs::Counter* obs_evictions_ = nullptr;
+  obs::Counter* obs_loadbacks_ = nullptr;
 };
 
 }  // namespace sl::sgx

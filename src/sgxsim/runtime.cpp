@@ -3,7 +3,14 @@
 namespace sl::sgx {
 
 SgxRuntime::SgxRuntime(CostModel costs)
-    : costs_(costs), epc_(std::make_unique<EpcManager>(costs_, clock_)) {}
+    : costs_(costs), epc_(std::make_unique<EpcManager>(costs_, clock_)) {
+  obs_ecalls_ = obs::get_counter("sl_sgx_ecalls_total",
+                                 "ECALL transitions across all runtimes");
+  obs_ocalls_ = obs::get_counter("sl_sgx_ocalls_total",
+                                 "OCALL transitions across all runtimes");
+  obs_enclaves_created_ = obs::get_counter(
+      "sl_sgx_enclaves_created_total", "Enclaves created (EADD/EINIT)");
+}
 
 Enclave& SgxRuntime::create_enclave(const std::string& name, std::size_t heap_bytes) {
   const EnclaveId id = next_id_++;
@@ -14,6 +21,7 @@ Enclave& SgxRuntime::create_enclave(const std::string& name, std::size_t heap_by
   // charge one page-crypt per heap page, mirroring enclave build cost.
   const std::uint64_t pages = (heap_bytes + costs_.page_size - 1) / costs_.page_size;
   clock_.advance_cycles(pages * costs_.page_crypt_cycles / 4);
+  obs::inc(obs_enclaves_created_);
   return ref;
 }
 
@@ -50,6 +58,7 @@ void SgxRuntime::ecall(EnclaveId id, const std::string& fn, Cycles work,
           "ecall: '" + fn + "' is not a trusted function of enclave " + e.name());
 
   transitions_.ecalls++;
+  obs::inc(obs_ecalls_);
   clock_.advance_cycles(costs_.ecall_cycles);
 
   domain_stack_.push_back(id);
@@ -66,6 +75,7 @@ void SgxRuntime::ecall(EnclaveId id, const std::string& fn, Cycles work,
 void SgxRuntime::ocall(Cycles untrusted_work) {
   require(in_enclave(), "ocall: not inside an enclave");
   transitions_.ocalls++;
+  obs::inc(obs_ocalls_);
   clock_.advance_cycles(costs_.ocall_cycles);
   clock_.advance_cycles(untrusted_work);
 }

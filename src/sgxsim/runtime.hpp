@@ -15,6 +15,7 @@
 
 #include "common/error.hpp"
 #include "common/sim_clock.hpp"
+#include "obs/metrics.hpp"
 #include "sgxsim/enclave.hpp"
 #include "sgxsim/epc.hpp"
 
@@ -74,6 +75,10 @@ class SgxRuntime {
   std::vector<EnclaveId> domain_stack_;  // nested enclave contexts
   TransitionStats transitions_;
   EnclaveId next_id_ = 1;
+  // Metric handles, resolved once at construction (null when compiled out).
+  obs::Counter* obs_ecalls_ = nullptr;
+  obs::Counter* obs_ocalls_ = nullptr;
+  obs::Counter* obs_enclaves_created_ = nullptr;
 };
 
 }  // namespace sl::sgx

@@ -11,12 +11,49 @@
 #include "lease/sl_manager.hpp"
 #include "lease/sl_remote.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sgxsim/attestation.hpp"
 #include "sgxsim/runtime.hpp"
 
 namespace sl::sim {
 
 namespace {
+
+// Records one "sim.event" span on the clock the event was charged to, plus
+// an event-duration histogram sample, when the destructor runs. Skipped
+// events record too (duration 0) — the trace is a complete event log.
+class EventSpanGuard {
+ public:
+  EventSpanGuard(const SimClock& clock, const ScenarioEvent& event,
+                 std::size_t event_index)
+      : clock_(clock), event_(event), event_index_(event_index),
+        start_(clock.cycles()) {}
+
+  ~EventSpanGuard() {
+    const Cycles end = clock_.cycles();
+    static obs::Histogram* event_cycles = obs::get_histogram(
+        "sl_sim_event_cycles",
+        "Virtual cycles charged per scenario event, by the executing clock");
+    obs::observe(event_cycles, end - start_);
+    if (obs::TraceRecorder::global().enabled()) {
+      obs::TraceRecorder::global().record(obs::TraceSpan{
+          "sim.event",
+          "sim",
+          start_,
+          end,
+          {{"kind", event_kind_name(event_.kind)},
+           {"node", std::to_string(event_.node)},
+           {"index", std::to_string(event_index_)}}});
+    }
+  }
+
+ private:
+  const SimClock& clock_;
+  const ScenarioEvent& event_;
+  std::size_t event_index_;
+  Cycles start_;
+};
 
 std::string format(const char* fmt, ...) {
   char buffer[256];
@@ -162,10 +199,14 @@ void SimulationEngine::execute(const ScenarioEvent& event,
   // Server-side kinds carry a shard index in event.node, so they must not
   // dereference the client-node table below.
   if (event.kind >= EventKind::kServerLoad) {
+    const std::size_t shard =
+        static_cast<std::size_t>(event.node) % world_->router.shard_count();
+    EventSpanGuard span(world_->router.shard(shard).clock(), event, event_index);
     execute_server(event, line);
     return;
   }
   Node& node = *world_->nodes[event.node];
+  EventSpanGuard span(node.runtime->clock(), event, event_index);
   const net::NodeId node_id = static_cast<net::NodeId>(event.node + 1);
   const auto skip = [&](const char* why) {
     line += format(" -> skipped(%s)", why);
@@ -379,6 +420,8 @@ void SimulationEngine::execute_server(const ScenarioEvent& event,
 
 void SimulationEngine::evaluate_oracles(std::size_t event_index,
                                         std::vector<OracleFinding>& failures) {
+  const std::size_t failures_before = failures.size();
+  const std::uint64_t checks_before = stats_.oracle_checks;
   std::map<lease::LeaseId, std::uint64_t> executions = retired_executions_;
   for (const auto& node : world_->nodes) {
     for (const auto& manager : node->managers) {
@@ -400,6 +443,7 @@ void SimulationEngine::evaluate_oracles(std::size_t event_index,
   for (std::size_t s = 0; s < world_->router.shard_count(); ++s) {
     const lease::SlRemote& remote = world_->router.shard(s).remote();
     const std::string prefix = sharded ? format("shard %zu: ", s) : "";
+    stats_.oracle_checks += 2;
     if (auto err = check_conservation(remote)) {
       failures.push_back({kOracleConservation, prefix + *err, event_index});
     }
@@ -410,6 +454,7 @@ void SimulationEngine::evaluate_oracles(std::size_t event_index,
 
   // Every recovery since the last pass is checked exactly once.
   for (const auto& [shard, report] : pending_recoveries_) {
+    stats_.oracle_checks++;
     if (auto err = check_recovery(report)) {
       failures.push_back(
           {kOracleRecovery, format("shard %zu: ", shard) + *err, event_index});
@@ -420,6 +465,7 @@ void SimulationEngine::evaluate_oracles(std::size_t event_index,
   for (std::size_t i = 0; i < world_->nodes.size(); ++i) {
     Node& node = *world_->nodes[i];
     if (node.up && node.local->ready()) {
+      stats_.oracle_checks++;
       if (auto err = check_tree_integrity(node.local->tree())) {
         failures.push_back({kOracleTreeIntegrity,
                             format("node %zu: ", i) + *err, event_index});
@@ -427,6 +473,7 @@ void SimulationEngine::evaluate_oracles(std::size_t event_index,
     }
     const Cycles current = node.runtime->clock().cycles();
     const std::string clock_name = format("node %zu clock", i);
+    stats_.oracle_checks++;
     if (auto err =
             check_monotone_time(clock_name.c_str(), node.last_cycles, current)) {
       failures.push_back({kOracleMonotoneTime, *err, event_index});
@@ -434,6 +481,17 @@ void SimulationEngine::evaluate_oracles(std::size_t event_index,
     node.last_cycles = current;
     stats_.max_virtual_seconds =
         std::max(stats_.max_virtual_seconds, node.runtime->clock().seconds());
+  }
+
+  stats_.oracle_failures += failures.size() - failures_before;
+  static obs::Counter* oracle_checks = obs::get_counter(
+      "sl_sim_oracle_checks_total", "Individual oracle evaluations");
+  obs::inc(oracle_checks, stats_.oracle_checks - checks_before);
+  // Failures are rare; a labeled registry lookup per finding is fine.
+  for (std::size_t f = failures_before; f < failures.size(); ++f) {
+    obs::inc(obs::get_counter("sl_sim_oracle_failures_total",
+                              "Oracle findings by oracle name",
+                              {{"oracle", failures[f].oracle}}));
   }
 }
 
@@ -465,6 +523,11 @@ SimulationResult SimulationEngine::run() {
   const lease::ShardStats shard_stats = world_->router.aggregate_shard_stats();
   stats_.deduped_renewals = shard_stats.deduped;
   stats_.shard_checkpoints = shard_stats.checkpoints;
+  for (const auto& node : world_->nodes) {
+    stats_.client_ecalls += node->runtime->transitions().ecalls;
+    stats_.client_ocalls += node->runtime->transitions().ocalls;
+    stats_.client_epc_faults += node->runtime->epc().stats().faults;
+  }
 
   result.stats = stats_;
   result.passed = result.failures.empty();

@@ -49,6 +49,14 @@ struct SimulationStats {
   std::uint64_t shard_checkpoints = 0;     // incl. automatic + forced
   std::uint64_t events_executed = 0;
   std::uint64_t events_skipped = 0;    // e.g. work scheduled on a down node
+  // SGX transition tallies summed over every client node's runtime at the
+  // end of the run. The cross-layer conservation test asserts the metrics
+  // registry's sl_sgx_* deltas equal these sums exactly.
+  std::uint64_t client_ecalls = 0;
+  std::uint64_t client_ocalls = 0;
+  std::uint64_t client_epc_faults = 0;
+  std::uint64_t oracle_checks = 0;     // individual oracle evaluations
+  std::uint64_t oracle_failures = 0;
   double max_virtual_seconds = 0.0;    // furthest node clock
 };
 

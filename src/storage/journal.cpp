@@ -76,7 +76,19 @@ std::uint64_t chain_step(std::uint64_t master, std::uint64_t prev,
 Journal::Journal(JournalConfig config)
     : config_(config),
       device_(config.profile, config.faults, config.device_seed),
-      chain_(base_chain(config.master_key)) {}
+      chain_(base_chain(config.master_key)) {
+  obs_appends_ = obs::get_counter("sl_storage_journal_appends_total",
+                                  "Sealed frames staged in the journal");
+  obs_append_bytes_ = obs::get_counter("sl_storage_journal_append_bytes_total",
+                                       "Framed bytes staged in the journal");
+  obs_full_rejections_ =
+      obs::get_counter("sl_storage_journal_full_rejections_total",
+                       "Appends rejected by a full device");
+  obs_syncs_ = obs::get_counter("sl_storage_journal_syncs_total",
+                                "Group-commit sync barriers");
+  obs_truncations_ = obs::get_counter("sl_storage_journal_truncations_total",
+                                      "Checkpoint truncations (reset)");
+}
 
 Bytes Journal::seal_frame(std::uint64_t seq, ByteView payload) {
   const Bytes ciphertext = seal_with_key(
@@ -92,7 +104,12 @@ Bytes Journal::seal_frame(std::uint64_t seq, ByteView payload) {
 std::optional<std::uint64_t> Journal::append(ByteView payload) {
   const std::uint64_t seq = next_seq_;
   const Bytes frame = seal_frame(seq, payload);
-  if (!device_.append(frame)) return std::nullopt;
+  if (!device_.append(frame)) {
+    obs::inc(obs_full_rejections_);
+    return std::nullopt;
+  }
+  obs::inc(obs_appends_);
+  obs::inc(obs_append_bytes_, frame.size());
   // Commit the cursors only once the device took the frame.
   chain_ = get_u64(frame, 12);
   staged_seq_ = seq;
@@ -103,11 +120,13 @@ std::optional<std::uint64_t> Journal::append(ByteView payload) {
 void Journal::sync() {
   device_.sync();
   synced_seq_ = staged_seq_;
+  obs::inc(obs_syncs_);
 }
 
 void Journal::crash() { device_.crash(); }
 
 void Journal::reset(ByteView genesis_payload) {
+  obs::inc(obs_truncations_);
   device_.reset();
   chain_ = base_chain(config_.master_key);
   const auto seq = append(genesis_payload);
@@ -174,6 +193,11 @@ ReplayResult Journal::replay() const {
 
   result.truncated_bytes = image.size() - result.valid_bytes;
   result.tail_truncated = result.truncated_bytes > 0;
+  // Replay is a cold recovery path; a labeled registry lookup per verdict
+  // is acceptable here.
+  obs::inc(obs::get_counter("sl_storage_replay_verdicts_total",
+                            "Journal replays by terminating verdict",
+                            {{"reason", result.stop_reason}}));
   return result;
 }
 
@@ -199,6 +223,10 @@ CheckpointStore::CheckpointStore(std::uint64_t master_key,
     : master_key_(master_key) {
   slots_.emplace_back(profile, faults, seed);
   slots_.emplace_back(profile, faults, seed + 1);
+  obs_writes_ = obs::get_counter("sl_storage_checkpoint_writes_total",
+                                 "Sealed checkpoint snapshots written");
+  obs_write_bytes_ = obs::get_counter("sl_storage_checkpoint_bytes_total",
+                                      "Checkpoint snapshot bytes written");
 }
 
 void CheckpointStore::attach_clock(SimClock* clock) {
@@ -217,21 +245,31 @@ void CheckpointStore::write(std::uint64_t generation, ByteView state) {
   device.reset();
   ensure(device.append(frame), "CheckpointStore: snapshot did not fit");
   device.sync();
+  obs::inc(obs_writes_);
+  obs::inc(obs_write_bytes_, frame.size());
 }
 
 std::optional<Bytes> CheckpointStore::load(std::uint64_t generation) const {
+  // Cold recovery path: labeled lookup per verdict is acceptable.
+  const auto verdict = [](std::optional<Bytes> result) {
+    obs::inc(obs::get_counter(
+        "sl_storage_checkpoint_loads_total", "Checkpoint slot loads by result",
+        {{"result", result.has_value() ? "ok" : "failed"}}));
+    return result;
+  };
   const BlockDevice& device = slots_[generation % 2];
   const Bytes& image = device.contents();
   const ByteView view(image.data(), image.size());
-  if (image.size() < 12) return std::nullopt;
+  if (image.size() < 12) return verdict(std::nullopt);
   const std::uint32_t len = get_u32(view, 0);
   if (len < kMinCipher || len > kMaxCipher || len != image.size() - 12) {
-    return std::nullopt;
+    return verdict(std::nullopt);
   }
-  if (get_u64(view, 4) != generation) return std::nullopt;
+  if (get_u64(view, 4) != generation) return verdict(std::nullopt);
   const ByteView ciphertext(image.data() + 12, len);
-  return open_with_key(ciphertext, checkpoint_key(master_key_, generation),
-                       kCheckpointNonce ^ generation);
+  return verdict(open_with_key(ciphertext,
+                               checkpoint_key(master_key_, generation),
+                               kCheckpointNonce ^ generation));
 }
 
 void CheckpointStore::crash() {

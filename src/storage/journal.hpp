@@ -30,6 +30,7 @@
 
 #include "common/bytes.hpp"
 #include "common/sim_clock.hpp"
+#include "obs/metrics.hpp"
 #include "storage/block_device.hpp"
 
 namespace sl::storage {
@@ -102,6 +103,12 @@ class Journal {
   std::uint64_t staged_seq_ = 0;  // last appended (possibly unsynced)
   std::uint64_t synced_seq_ = 0;
   std::uint64_t chain_ = 0;
+  // Metric handles, resolved once at construction (null when compiled out).
+  obs::Counter* obs_appends_ = nullptr;
+  obs::Counter* obs_append_bytes_ = nullptr;
+  obs::Counter* obs_full_rejections_ = nullptr;
+  obs::Counter* obs_syncs_ = nullptr;
+  obs::Counter* obs_truncations_ = nullptr;
 };
 
 // Double-slot sealed snapshot store. write() always syncs before returning:
@@ -126,6 +133,8 @@ class CheckpointStore {
  private:
   std::uint64_t master_key_;
   std::vector<BlockDevice> slots_;
+  obs::Counter* obs_writes_ = nullptr;
+  obs::Counter* obs_write_bytes_ = nullptr;
 };
 
 }  // namespace sl::storage

@@ -1,0 +1,137 @@
+// Golden-metrics determinism fortress (ctest label: observability).
+//
+// The metrics registry and the span recorder are pure functions of the
+// deterministic simulation: for a fixed seed, two fresh replays must
+// produce a bit-identical registry snapshot (JSON exposition) and an
+// identical span fingerprint. Twenty pinned seeds cover the mixed-fault
+// generator including server crash/recovery schedules.
+//
+// Two representative seeds are additionally pinned against golden files
+// (tests/obs/golden/seed_*.json) so a cost-model or instrumentation change
+// that silently shifts any metric fails review visibly. Regenerate with:
+//   SL_UPDATE_GOLDEN=1 ./build/tests/test_obs \
+//     --gtest_filter='GoldenMetrics.*'
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+#include "sim/scenario.hpp"
+
+#ifndef SL_SOURCE_DIR
+#error "SL_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace sl::sim {
+namespace {
+
+// The scenario family `securelease stats` runs: journaled shards with
+// server faults, touching the sgxsim, lease, storage and sim layers.
+ScenarioSpec rich_scenario(std::uint64_t seed) {
+  GeneratorLimits limits;
+  limits.server_fault_probability = 0.25;
+  limits.min_shards = 1;
+  limits.max_shards = 4;
+  return generate_scenario(seed, limits);
+}
+
+struct Observation {
+  std::string registry_json;
+  std::uint64_t span_fingerprint = 0;
+  std::size_t span_count = 0;
+  std::uint64_t trace_fingerprint = 0;  // engine trace lines
+};
+
+// One fresh replay: reset the shared registry + recorder, run, snapshot.
+Observation observe(std::uint64_t seed) {
+  obs::MetricsRegistry::global().zero_all();
+  obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+  recorder.clear();
+  recorder.enable();
+  const SimulationResult result = run_scenario(rich_scenario(seed));
+  recorder.disable();
+  Observation out;
+  out.registry_json = obs::MetricsRegistry::global().to_json();
+  out.span_fingerprint = recorder.fingerprint();
+  out.span_count = recorder.span_count();
+  out.trace_fingerprint = result.trace_fingerprint;
+  return out;
+}
+
+TEST(GoldenMetrics, TwentySeedsBitIdenticalAcrossReplays) {
+#if !SL_OBS_ENABLED
+  GTEST_SKIP() << "instrumentation compiled out (SECURELEASE_OBSERVABILITY=OFF)";
+#endif
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Observation first = observe(seed);
+    const Observation second = observe(seed);
+    EXPECT_EQ(first.registry_json, second.registry_json) << "seed " << seed;
+    EXPECT_EQ(first.span_fingerprint, second.span_fingerprint)
+        << "seed " << seed;
+    EXPECT_EQ(first.span_count, second.span_count) << "seed " << seed;
+    EXPECT_EQ(first.trace_fingerprint, second.trace_fingerprint)
+        << "seed " << seed;
+    // A non-trivial scenario must actually exercise the instrumentation.
+    EXPECT_GT(first.span_count, 0u) << "seed " << seed;
+    EXPECT_NE(first.registry_json.find("sl_sgx_ecalls_total"),
+              std::string::npos)
+        << "seed " << seed;
+  }
+}
+
+TEST(GoldenMetrics, SpanJsonlRoundTripsLossless) {
+  obs::MetricsRegistry::global().zero_all();
+  obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+  recorder.clear();
+  recorder.enable();
+  (void)run_scenario(rich_scenario(7));
+  recorder.disable();
+  std::size_t malformed = 0;
+  const auto parsed = obs::parse_jsonl(recorder.to_jsonl(), &malformed);
+  EXPECT_EQ(malformed, 0u);
+  const auto spans = recorder.spans();
+  ASSERT_EQ(parsed.size(), spans.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(parsed[i], spans[i]) << "span " << i;
+  }
+}
+
+std::string golden_path(std::uint64_t seed) {
+  return std::string(SL_SOURCE_DIR) + "/tests/obs/golden/seed_" +
+         std::to_string(seed) + ".json";
+}
+
+void check_golden(std::uint64_t seed) {
+#if !SL_OBS_ENABLED
+  GTEST_SKIP() << "instrumentation compiled out (SECURELEASE_OBSERVABILITY=OFF)";
+#endif
+  const Observation got = observe(seed);
+  const std::string path = golden_path(seed);
+  if (std::getenv("SL_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got.registry_json;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "cannot read " << path
+                         << " (regenerate with SL_UPDATE_GOLDEN=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(got.registry_json, expected.str())
+      << "metrics drifted for seed " << seed
+      << "; if the cost model changed intentionally, regenerate with "
+         "SL_UPDATE_GOLDEN=1";
+}
+
+TEST(GoldenMetrics, Seed7MatchesGoldenFile) { check_golden(7); }
+TEST(GoldenMetrics, Seed42MatchesGoldenFile) { check_golden(42); }
+
+}  // namespace
+}  // namespace sl::sim

@@ -1,0 +1,156 @@
+// Cross-layer metric conservation (ctest label: observability).
+//
+// The registry is only trustworthy as a test oracle if its numbers obey the
+// same accounting identities the simulation itself is built on. A 200-seed
+// mixed-fault sweep checks, after every run:
+//  * SGX layer: the registry's ecall/ocall/EPC-fault totals equal the sums
+//    of every client SgxRuntime's own transition tally (only engine nodes
+//    own runtimes, so the two ledgers must agree exactly);
+//  * lease layer: every processed renewal is either granted or denied; the
+//    latency histogram holds one sample per acknowledged outcome (processed
+//    + deduped replays); journaled entries never exceed processed;
+//  * sim layer: one virtual-cycle sample per scheduled event (executed or
+//    skipped), and the oracle-check counter matches the engine's tally.
+// A loadgen pass pins the batcher and journal identities tighter: with the
+// WAL on, acked renewals == journaled entries; with batching off, commits
+// == renewals; the batching run's (processed - batches) is the commit count
+// the coalescer saved.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "lease/loadgen.hpp"
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+#include "sim/scenario.hpp"
+
+namespace sl::sim {
+namespace {
+
+TEST(MetricConservation, TwoHundredSeedSweep) {
+#if !SL_OBS_ENABLED
+  GTEST_SKIP() << "instrumentation compiled out (SECURELEASE_OBSERVABILITY=OFF)";
+#endif
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    // Odd seeds run the plain mixed-fault generator, even seeds add
+    // journaled shards with server crash/recovery, so both the in-memory
+    // and the durable accounting paths are swept.
+    GeneratorLimits limits;
+    if (seed % 2 == 0) {
+      limits.server_fault_probability = 0.25;
+      limits.min_shards = 1;
+      limits.max_shards = 4;
+    }
+    registry.zero_all();
+    const SimulationResult result =
+        run_scenario(generate_scenario(seed, limits));
+    const SimulationStats& stats = result.stats;
+
+    // SGX transitions: registry vs the runtimes' own ledgers.
+    EXPECT_EQ(registry.counter_sum("sl_sgx_ecalls_total"), stats.client_ecalls)
+        << "seed " << seed;
+    EXPECT_EQ(registry.counter_sum("sl_sgx_ocalls_total"), stats.client_ocalls)
+        << "seed " << seed;
+    EXPECT_EQ(registry.counter_sum("sl_sgx_epc_faults_total"),
+              stats.client_epc_faults)
+        << "seed " << seed;
+
+    // Lease layer identities.
+    const std::uint64_t processed =
+        registry.counter_sum("sl_lease_renewals_processed_total");
+    const std::uint64_t granted =
+        registry.counter_sum("sl_lease_renewals_granted_total");
+    const std::uint64_t denied =
+        registry.counter_sum("sl_lease_renewals_denied_total");
+    const std::uint64_t deduped =
+        registry.counter_sum("sl_lease_renewals_deduped_total");
+    EXPECT_EQ(granted + denied, processed) << "seed " << seed;
+    EXPECT_EQ(
+        registry.histogram_sum("sl_lease_renew_latency_cycles").count,
+        processed + deduped)
+        << "seed " << seed;
+    EXPECT_LE(registry.counter_sum("sl_lease_journaled_renewals_total"),
+              processed)
+        << "seed " << seed;
+    EXPECT_EQ(registry.counter_sum("sl_lease_recoveries_total"),
+              stats.server_restarts)
+        << "seed " << seed;
+
+    // Sim layer: one timing sample per scheduled event that reached the
+    // engine, and the oracle pass bookkeeping.
+    EXPECT_EQ(registry.histogram_sum("sl_sim_event_cycles").count,
+              stats.events_executed + stats.events_skipped)
+        << "seed " << seed;
+    EXPECT_EQ(registry.counter_sum("sl_sim_oracle_checks_total"),
+              stats.oracle_checks)
+        << "seed " << seed;
+    EXPECT_EQ(registry.counter_sum("sl_sim_oracle_failures_total"),
+              stats.oracle_failures)
+        << "seed " << seed;
+  }
+}
+
+TEST(MetricConservation, JournalCoversEveryAckedRenewal) {
+#if !SL_OBS_ENABLED
+  GTEST_SKIP() << "instrumentation compiled out (SECURELEASE_OBSERVABILITY=OFF)";
+#endif
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  registry.zero_all();
+  lease::LoadgenConfig config;
+  config.shards = 2;
+  config.clients = 32;
+  config.licenses = 8;
+  config.rounds = 20;
+  config.seed = 11;
+  config.journaling = true;
+  const lease::LoadgenMetrics m = lease::run_loadgen(config);
+  ASSERT_GT(m.processed, 0u);
+  // With the WAL on, every acknowledged renewal rode in exactly one
+  // group-commit batch record.
+  EXPECT_EQ(registry.counter_sum("sl_lease_journaled_renewals_total"),
+            m.processed);
+  // A group commit syncs at least one journal append; the sync counter can
+  // never exceed appends.
+  EXPECT_LE(registry.counter_sum("sl_storage_journal_syncs_total"),
+            registry.counter_sum("sl_storage_journal_appends_total"));
+  EXPECT_GT(registry.counter_sum("sl_storage_journal_appends_total"), 0u);
+}
+
+TEST(MetricConservation, BatcherCommitAccounting) {
+#if !SL_OBS_ENABLED
+  GTEST_SKIP() << "instrumentation compiled out (SECURELEASE_OBSERVABILITY=OFF)";
+#endif
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  lease::LoadgenConfig config;
+  config.shards = 2;
+  config.clients = 32;
+  config.licenses = 4;  // few licenses => deep coalescing groups
+  config.rounds = 20;
+  config.seed = 11;
+
+  // Batching off: the coalescer is bypassed, so commits == renewals.
+  registry.zero_all();
+  config.batching = false;
+  const lease::LoadgenMetrics serial = lease::run_loadgen(config);
+  EXPECT_EQ(registry.counter_sum("sl_lease_batch_commits_total"),
+            serial.processed);
+
+  // Batching on over the identical workload: (in - out) commits saved.
+  registry.zero_all();
+  config.batching = true;
+  const lease::LoadgenMetrics batched = lease::run_loadgen(config);
+  const std::uint64_t coalesced_in =
+      registry.counter_sum("sl_lease_renewals_processed_total");
+  const std::uint64_t coalesced_out =
+      registry.counter_sum("sl_lease_batch_commits_total");
+  EXPECT_EQ(coalesced_in, batched.processed);
+  EXPECT_EQ(batched.processed, serial.processed);  // same workload
+  EXPECT_LE(coalesced_out, coalesced_in);
+  const std::uint64_t commits_saved = coalesced_in - coalesced_out;
+  EXPECT_GT(commits_saved, 0u) << "coalescer never merged a group";
+  EXPECT_EQ(commits_saved, serial.processed - coalesced_out);
+}
+
+}  // namespace
+}  // namespace sl::sim

@@ -1,0 +1,313 @@
+// Unit tests for the observability substrate (src/obs/): histogram bucket
+// geometry at the edges, registry exposition (JSON validity, Prometheus
+// escaping, untouched-series omission), and a deterministic fuzz of the
+// trace JSONL round trip — span_from_json must be a strict inverse of
+// span_to_json and never crash on mutated input.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace sl::obs {
+namespace {
+
+// --- histogram geometry ------------------------------------------------------
+
+TEST(Histogram, BucketEdges) {
+  // Bucket 0 holds 0 and 1 (upper bound 2^0).
+  EXPECT_EQ(histogram_bucket(0), 0);
+  EXPECT_EQ(histogram_bucket(1), 0);
+  EXPECT_EQ(histogram_bucket(2), 1);
+  EXPECT_EQ(histogram_bucket(3), 2);
+  EXPECT_EQ(histogram_bucket(4), 2);
+  EXPECT_EQ(histogram_bucket(5), 3);
+  // Powers of two land exactly on their own bound, one above spills over.
+  for (int i = 1; i <= 62; ++i) {
+    const std::uint64_t bound = 1ull << i;
+    EXPECT_EQ(histogram_bucket(bound), i) << "2^" << i;
+    EXPECT_EQ(histogram_bucket(bound - 1), bound - 1 <= (1ull << (i - 1)) ? i - 1 : i);
+  }
+  // Past 2^62: the +Inf overflow bucket.
+  EXPECT_EQ(histogram_bucket((1ull << 62) + 1), kHistogramBuckets - 1);
+  EXPECT_EQ(histogram_bucket(UINT64_MAX), kHistogramBuckets - 1);
+  EXPECT_EQ(histogram_upper_bound(kHistogramBuckets - 1), UINT64_MAX);
+  EXPECT_EQ(histogram_upper_bound(0), 1u);
+  EXPECT_EQ(histogram_upper_bound(10), 1024u);
+}
+
+TEST(Histogram, ObserveExtremesAndSnapshot) {
+  Histogram h;
+  h.observe(0);
+  h.observe(UINT64_MAX);
+  h.observe(1024);
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  // Sum wraps modulo 2^64 by design (relaxed uint64 accumulator).
+  EXPECT_EQ(snap.sum, 0u + UINT64_MAX + 1024u);
+  EXPECT_EQ(snap.buckets[0], 1u);
+  EXPECT_EQ(snap.buckets[10], 1u);
+  EXPECT_EQ(snap.buckets[kHistogramBuckets - 1], 1u);
+}
+
+TEST(Histogram, QuantileEmptyAndSingle) {
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  Histogram h;
+  h.observe(100);  // bucket 7: (64, 128]
+  const HistogramSnapshot snap = h.snapshot();
+  const double p50 = snap.quantile(0.5);
+  EXPECT_GT(p50, 64.0);
+  EXPECT_LE(p50, 128.0);
+  // The +Inf bucket reports its lower edge instead of infinity.
+  Histogram inf;
+  inf.observe(UINT64_MAX);
+  EXPECT_EQ(inf.snapshot().quantile(0.99),
+            static_cast<double>(1ull << 62));
+}
+
+TEST(Histogram, MergeAndDelta) {
+  Histogram a;
+  a.observe(3);
+  a.observe(300);
+  const HistogramSnapshot before = a.snapshot();
+  a.observe(7);
+  const HistogramSnapshot after = a.snapshot();
+  const HistogramSnapshot d = after.delta(before);
+  EXPECT_EQ(d.count, 1u);
+  EXPECT_EQ(d.sum, 7u);
+  HistogramSnapshot merged = before;
+  merged.merge(d);
+  EXPECT_EQ(merged.count, after.count);
+  EXPECT_EQ(merged.sum, after.sum);
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST(Registry, HandlesStableAcrossZeroAll) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  Counter* c = registry.counter("test_registry_stable_total", "test");
+  c->add(5);
+  EXPECT_EQ(registry.counter_sum("test_registry_stable_total"), 5u);
+  registry.zero_all();
+  EXPECT_EQ(registry.counter_sum("test_registry_stable_total"), 0u);
+  // Same handle still valid and wired to the same series.
+  c->add(2);
+  EXPECT_EQ(registry.counter_sum("test_registry_stable_total"), 2u);
+  EXPECT_EQ(registry.counter("test_registry_stable_total", "test"), c);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.counter("test_registry_kind_total", "test");
+  EXPECT_THROW(registry.gauge("test_registry_kind_total", "test"), Error);
+}
+
+TEST(Registry, UntouchedSeriesOmitted) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.counter("test_registry_untouched_total", "never incremented");
+  EXPECT_EQ(registry.to_json().find("test_registry_untouched_total"),
+            std::string::npos);
+  EXPECT_EQ(registry.to_prometheus().find("test_registry_untouched_total"),
+            std::string::npos);
+}
+
+TEST(Registry, CounterSumAcrossLabels) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.counter("test_registry_labeled_total", "t", {{"shard", "0"}})->add(3);
+  registry.counter("test_registry_labeled_total", "t", {{"shard", "1"}})->add(4);
+  EXPECT_EQ(registry.counter_sum("test_registry_labeled_total"), 7u);
+  EXPECT_EQ(registry.counter_value("test_registry_labeled_total",
+                                   {{"shard", "1"}}),
+            4u);
+  // Label order doesn't matter: registration sorts by key.
+  registry
+      .counter("test_registry_two_labels_total", "t",
+               {{"b", "2"}, {"a", "1"}})
+      ->add(1);
+  EXPECT_EQ(registry.counter_value("test_registry_two_labels_total",
+                                   {{"a", "1"}, {"b", "2"}}),
+            1u);
+}
+
+TEST(Registry, PrometheusEscaping) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry
+      .counter("test_registry_escape_total", "help with \\ backslash\nand newline",
+               {{"path", "a\\b \"quoted\"\nline"}})
+      ->add(1);
+  const std::string out = registry.to_prometheus();
+  EXPECT_NE(out.find("# HELP test_registry_escape_total help with \\\\ "
+                     "backslash\\nand newline\n"),
+            std::string::npos);
+  EXPECT_NE(
+      out.find("test_registry_escape_total{path=\"a\\\\b \\\"quoted\\\"\\nline\"} 1"),
+      std::string::npos);
+}
+
+TEST(Registry, PrometheusHistogramCumulativeBuckets) {
+  MetricsRegistry& registry = MetricsRegistry::global();
+  Histogram* h = registry.histogram("test_registry_hist_cycles", "t");
+  h->observe(1);
+  h->observe(3);
+  h->observe(3);
+  const std::string out = registry.to_prometheus();
+  EXPECT_NE(out.find("test_registry_hist_cycles_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("test_registry_hist_cycles_bucket{le=\"4\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("test_registry_hist_cycles_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("test_registry_hist_cycles_sum 7\n"), std::string::npos);
+  EXPECT_NE(out.find("test_registry_hist_cycles_count 3\n"), std::string::npos);
+}
+
+TEST(Registry, RuntimeKillSwitch) {
+#if !SL_OBS_ENABLED
+  GTEST_SKIP() << "helpers are compiled out (SECURELEASE_OBSERVABILITY=OFF)";
+#endif
+  MetricsRegistry& registry = MetricsRegistry::global();
+  Counter* c = registry.counter("test_registry_killswitch_total", "t");
+  const std::uint64_t before = c->value();
+  set_runtime_enabled(false);
+  inc(c);
+  EXPECT_EQ(c->value(), before);
+  set_runtime_enabled(true);
+  inc(c);
+  EXPECT_EQ(c->value(), before + 1);
+}
+
+// --- trace spans -------------------------------------------------------------
+
+TEST(Trace, RoundTripBasics) {
+  const TraceSpan span{"sim.event", "sim", 12, 900,
+                       {{"kind", "work"}, {"node", "3"}}};
+  const std::string line = span_to_json(span);
+  const auto parsed = span_from_json(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, span);
+}
+
+TEST(Trace, RoundTripEscapesAndExtremes) {
+  const TraceSpan span{"a\"b\\c\nd\te\x01f", "layer/with \"stuff\"", 0,
+                       UINT64_MAX,
+                       {{"k\n1", "v\\1"}, {"", ""}}};
+  const auto parsed = span_from_json(span_to_json(span));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, span);
+}
+
+TEST(Trace, RejectsMalformed) {
+  EXPECT_FALSE(span_from_json("").has_value());
+  EXPECT_FALSE(span_from_json("{}").has_value());
+  EXPECT_FALSE(span_from_json("not json").has_value());
+  // Trailing garbage after a valid object.
+  const std::string valid = span_to_json({"n", "l", 1, 2, {}});
+  EXPECT_TRUE(span_from_json(valid).has_value());
+  EXPECT_FALSE(span_from_json(valid + "x").has_value());
+  // Overflowing u64.
+  EXPECT_FALSE(span_from_json("{\"name\":\"n\",\"layer\":\"l\",\"start\":"
+                              "99999999999999999999,\"end\":0,\"attrs\":{}}")
+                   .has_value());
+}
+
+TEST(Trace, ParseJsonlSkipsAndCounts) {
+  const std::string a = span_to_json({"a", "l", 1, 2, {}});
+  const std::string b = span_to_json({"b", "l", 3, 4, {{"x", "y"}}});
+  std::size_t malformed = 0;
+  const auto spans =
+      parse_jsonl(a + "\n\n" + "garbage\n" + b + "\n", &malformed);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "a");
+  EXPECT_EQ(spans[1].attrs.size(), 1u);
+  EXPECT_EQ(malformed, 1u);
+}
+
+// Deterministic fuzz: random spans (random byte strings in every text
+// field, extreme cycle stamps) must survive the round trip exactly, and
+// single-byte mutations of the serialized line must either parse to some
+// span or be rejected — never crash or hang.
+TEST(Trace, FuzzRoundTripAndMutation) {
+  Rng rng(0xf00d);
+  auto random_text = [&rng](std::size_t max_len) {
+    const std::size_t len = rng.next_below(max_len + 1);
+    std::string out;
+    for (std::size_t i = 0; i < len; ++i) {
+      out.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    return out;
+  };
+  for (int iter = 0; iter < 500; ++iter) {
+    TraceSpan span;
+    span.name = random_text(12);
+    span.layer = random_text(8);
+    span.start = rng.next_bool(0.2) ? UINT64_MAX - rng.next_below(3)
+                                    : rng.next_u64() >> rng.next_below(64);
+    span.end = rng.next_u64() >> rng.next_below(64);
+    const std::size_t attrs = rng.next_below(4);
+    for (std::size_t a = 0; a < attrs; ++a) {
+      span.attrs.emplace_back(random_text(6), random_text(10));
+    }
+    const std::string line = span_to_json(span);
+    const auto parsed = span_from_json(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    EXPECT_EQ(*parsed, span) << line;
+
+    // Mutate one byte; the parser must stay total.
+    std::string mutated = line;
+    mutated[rng.next_below(mutated.size())] =
+        static_cast<char>(rng.next_below(256));
+    const auto reparsed = span_from_json(mutated);
+    if (reparsed.has_value()) {
+      // Accepted mutations must themselves round-trip cleanly.
+      EXPECT_EQ(span_from_json(span_to_json(*reparsed)), *reparsed);
+    }
+  }
+}
+
+TEST(Trace, RecorderCapDropsAndCounts) {
+  TraceRecorder recorder;
+  recorder.enable(/*cap=*/2);
+  recorder.record({"a", "l", 0, 1, {}});
+  recorder.record({"b", "l", 1, 2, {}});
+  recorder.record({"c", "l", 2, 3, {}});
+  EXPECT_EQ(recorder.span_count(), 2u);
+  EXPECT_EQ(recorder.dropped(), 1u);
+  recorder.disable();
+  recorder.record({"d", "l", 3, 4, {}});
+  EXPECT_EQ(recorder.span_count(), 2u);
+}
+
+// The per-attempt latency window is a bounded ring (a long loadgen run must
+// not grow memory); overwrites are surfaced via dropped() and the
+// sl_net_attempt_latency_dropped_total metric rather than silently lost.
+TEST(NetObs, AttemptLatencyRingBoundedWithDropCount) {
+  net::LinkStats stats;
+  for (int i = 0; i < 100; ++i) stats.record_attempt(1.0 + i);
+  EXPECT_EQ(stats.attempt_latency_count, 100u);
+  EXPECT_EQ(stats.dropped(), 100u - net::kAttemptLatencyWindow);
+  // Below the window nothing is dropped.
+  net::LinkStats small;
+  small.record_attempt(1.0);
+  EXPECT_EQ(small.dropped(), 0u);
+}
+
+TEST(Trace, FingerprintSensitivity) {
+  TraceRecorder a;
+  a.enable();
+  a.record({"x", "l", 0, 5, {}});
+  TraceRecorder b;
+  b.enable();
+  b.record({"x", "l", 0, 5, {}});
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.record({"y", "l", 5, 6, {}});
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+}  // namespace
+}  // namespace sl::obs

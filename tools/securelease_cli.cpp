@@ -34,6 +34,8 @@
 #include "cfg/dot_parse.hpp"
 #include "core/securelease.hpp"
 #include "lease/loadgen.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/shrink.hpp"
 
@@ -469,6 +471,32 @@ void print_simulation(const sim::ScenarioSpec& spec,
   std::printf("verdict: %s\n", result.passed ? "PASS" : "FAIL");
 }
 
+// Enables the global span recorder for a run; `finish(path)` writes the
+// JSONL file and prints the deterministic trace fingerprint.
+struct TraceOutScope {
+  explicit TraceOutScope(bool active) : active_(active) {
+    if (active_) {
+      obs::TraceRecorder::global().clear();
+      obs::TraceRecorder::global().enable();
+    }
+  }
+  int finish(const std::string& path) {
+    if (!active_) return 0;
+    obs::TraceRecorder& recorder = obs::TraceRecorder::global();
+    recorder.disable();
+    if (!recorder.write_jsonl(path)) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu spans, %llu dropped, span fingerprint %016llx)\n",
+                path.c_str(), recorder.span_count(),
+                (unsigned long long)recorder.dropped(),
+                (unsigned long long)recorder.fingerprint());
+    return 0;
+  }
+  bool active_;
+};
+
 // `securelease simulate --seed N [--shrink] [--trace] [--tamper]`: replay
 // the generated scenario for seed N and evaluate the invariant oracles.
 // Exits 0 on PASS, 3 on an oracle failure (distinct from audit's 2).
@@ -477,6 +505,7 @@ int cmd_simulate_dst(int argc, char** argv) {
   bool shrink = false, trace = false, tamper = false;
   bool crash_shards = false, storage_faults = false, recovery_check = false;
   bool have_seed = false;
+  std::string trace_out;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--seed" && i + 1 < argc) {
@@ -486,6 +515,8 @@ int cmd_simulate_dst(int argc, char** argv) {
       shrink = true;
     } else if (flag == "--trace") {
       trace = true;
+    } else if (flag == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
     } else if (flag == "--tamper") {
       tamper = true;
     } else if (flag == "--crash-shards") {
@@ -520,7 +551,10 @@ int cmd_simulate_dst(int argc, char** argv) {
     limits.storage.flip_probability = 0.2;
   }
   const sim::ScenarioSpec spec = sim::generate_scenario(seed, limits);
+  TraceOutScope spans(!trace_out.empty());
   const sim::SimulationResult result = sim::run_scenario(spec);
+  // Write before --shrink replays mutate the recorder's view of the run.
+  if (const int rc = spans.finish(trace_out); rc != 0) return rc;
   print_simulation(spec, result, trace);
   if (recovery_check) {
     for (const auto& failure : result.failures) {
@@ -558,6 +592,7 @@ int cmd_simulate_dst(int argc, char** argv) {
 int cmd_loadgen(int argc, char** argv) {
   lease::LoadgenConfig config;
   std::string json_path;
+  std::string trace_out;
   bool fail_on_overload = false;
   for (int i = 2; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -579,6 +614,8 @@ int cmd_loadgen(int argc, char** argv) {
       config.journaling = true;
     } else if (flag == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (flag == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
     } else if (flag == "--fail-on-overload") {
       fail_on_overload = true;
     } else {
@@ -590,7 +627,9 @@ int cmd_loadgen(int argc, char** argv) {
     std::fprintf(stderr, "loadgen: --shards/--clients/--rounds must be >= 1\n");
     return 1;
   }
+  TraceOutScope spans(!trace_out.empty());
   const lease::LoadgenMetrics m = lease::run_loadgen(config);
+  if (const int rc = spans.finish(trace_out); rc != 0) return rc;
   std::printf("loadgen: shards=%zu clients=%zu licenses=%zu rounds=%llu "
               "seed=%llu batching=%s journaling=%s\n",
               config.shards, config.clients, config.licenses,
@@ -632,6 +671,55 @@ int cmd_loadgen(int argc, char** argv) {
   return 0;
 }
 
+// --- stats (metrics registry exposition) -------------------------------------
+
+// `securelease stats [--seed N] [--loadgen] [--prometheus]`: run a seeded
+// deterministic workload to populate the process-wide metrics registry, then
+// print the registry — JSON by default, Prometheus text format with
+// --prometheus. For a fixed seed the output is bit-identical across runs
+// (docs/OBSERVABILITY.md).
+int cmd_stats(int argc, char** argv) {
+  unsigned long long seed = 1;
+  bool prometheus = false;
+  bool loadgen = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (flag == "--prometheus") {
+      prometheus = true;
+    } else if (flag == "--loadgen") {
+      loadgen = true;
+    } else {
+      std::fprintf(stderr, "unknown stats option '%s'\n", flag.c_str());
+      return 1;
+    }
+  }
+#if !SL_OBS_ENABLED
+  std::fprintf(stderr,
+               "warning: built with SECURELEASE_OBSERVABILITY=OFF — the "
+               "registry is empty\n");
+#endif
+  if (loadgen) {
+    lease::LoadgenConfig config;
+    config.seed = seed;
+    config.journaling = true;
+    (void)lease::run_loadgen(config);
+  } else {
+    // Journaled shards with server faults touch every instrumented layer:
+    // sgxsim, lease, storage and sim.
+    sim::GeneratorLimits limits;
+    limits.server_fault_probability = 0.25;
+    limits.min_shards = 1;
+    limits.max_shards = 4;
+    (void)sim::run_scenario(sim::generate_scenario(seed, limits));
+  }
+  const obs::MetricsRegistry& registry = obs::MetricsRegistry::global();
+  std::fputs((prometheus ? registry.to_prometheus() : registry.to_json()).c_str(),
+             stdout);
+  return 0;
+}
+
 void usage() {
   std::printf(
       "securelease <command> [args]\n"
@@ -649,6 +737,8 @@ void usage() {
       "                        (implies --crash-shards)\n"
       "    --recovery-check    exit 3 on any recovery-oracle violation\n"
       "                        (implies --crash-shards)\n"
+      "    --trace-out <file>  record virtual-clock spans, write JSONL;\n"
+      "                        bit-identical for a fixed seed\n"
       "    --shrink            on failure, ddmin-minimize the schedule\n"
       "  loadgen [opts]               closed-loop load against the sharded\n"
       "                               SL-Remote; exits 4 on overload with\n"
@@ -663,7 +753,13 @@ void usage() {
       "    --journal           crash-consistent shards (sealed WAL + group\n"
       "                        commit + checkpoints)\n"
       "    --json <path>       write BENCH_remote.json-style output\n"
+      "    --trace-out <file>  record virtual-clock spans, write JSONL\n"
       "    --fail-on-overload  exit 4 if any request was rejected\n"
+      "  stats [opts]                 run a seeded workload, print the metrics\n"
+      "                               registry (deterministic per seed)\n"
+      "    --seed <N>          workload seed (default 1)\n"
+      "    --loadgen           populate via loadgen instead of simulate\n"
+      "    --prometheus        Prometheus text format instead of JSON\n"
       "  e2e <workload> [scheme]      end-to-end incl. lease traffic\n"
       "  attack [protection]          CFB attack (software|enclave-am|securelease)\n"
       "  dot <workload> <out.dot>     write clustered call graph\n"
@@ -701,6 +797,7 @@ int main(int argc, char** argv) {
       return cmd_e2e(argv[2], argc >= 4 ? argv[3] : "securelease");
     }
     if (command == "loadgen") return cmd_loadgen(argc, argv);
+    if (command == "stats") return cmd_stats(argc, argv);
     if (command == "attack") return cmd_attack(argc >= 3 ? argv[2] : "");
     if (command == "dot" && argc >= 4) return cmd_dot(argv[2], argv[3]);
     if (command == "audit" && argc >= 3) {
