@@ -1,0 +1,273 @@
+#include "analysis/detlint/detlint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/envelope.hpp"
+
+namespace sl::analysis::detlint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_source_file(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+// Extracts the accepted (rule, file, symbol) triples from a baseline file.
+// The format is the narrow JSON this repo emits itself, so a targeted
+// scanner is enough: every object in the "accepted" array carries exactly
+// those three string fields, in order.
+bool parse_baseline(const std::string& json, std::set<std::string>* keys) {
+  const std::size_t accepted = json.find("\"accepted\"");
+  if (accepted == std::string::npos) return false;
+  std::size_t at = accepted;
+  while (true) {
+    at = json.find("\"rule\"", at);
+    if (at == std::string::npos) break;
+    std::vector<std::string> values;
+    std::size_t cursor = at;
+    for (const char* field : {"\"rule\"", "\"file\"", "\"symbol\""}) {
+      cursor = json.find(field, cursor);
+      if (cursor == std::string::npos) return false;
+      cursor = json.find(':', cursor);
+      if (cursor == std::string::npos) return false;
+      const std::size_t open = json.find('"', cursor);
+      if (open == std::string::npos) return false;
+      std::size_t close = open + 1;
+      while (close < json.size() && json[close] != '"') {
+        if (json[close] == '\\') ++close;
+        ++close;
+      }
+      if (close >= json.size()) return false;
+      values.push_back(json.substr(open + 1, close - open - 1));
+      cursor = close + 1;
+    }
+    keys->insert(values[0] + "|" + values[1] + "|" + values[2]);
+    at = cursor;
+  }
+  return true;
+}
+
+std::string json_string_array(const std::vector<std::string>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + json_escape(values[i]) + "\"";
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+std::string finding_key(const LintFinding& finding) {
+  const std::string& subject =
+      finding.symbol.empty() ? finding.function : finding.symbol;
+  return finding.rule + "|" + finding.file + "|" + subject;
+}
+
+LintResult run_lint(const LintOptions& options) {
+  LintResult result;
+  std::error_code ec;
+  if (!fs::is_directory(options.root, ec)) {
+    result.ok = false;
+    result.error = "not a directory: " + options.root;
+    return result;
+  }
+
+  // Deterministic scan order: collected then sorted root-relative paths.
+  std::vector<fs::path> files;
+  for (fs::recursive_directory_iterator it(options.root, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_regular_file(ec) && is_source_file(it->path())) {
+      files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  Model model;
+  for (const fs::path& path : files) {
+    std::string text;
+    if (!read_file(path.string(), &text)) {
+      result.ok = false;
+      result.error = "cannot read " + path.string();
+      return result;
+    }
+    const std::string rel =
+        fs::relative(path, options.root, ec).generic_string();
+    scan_file(model, options.label + "/" + rel, text);
+  }
+
+  result.report.root = options.label;
+  run_rules(model, result.report);
+
+  if (!options.baseline_path.empty()) {
+    std::string text;
+    if (read_file(options.baseline_path, &text) &&
+        parse_baseline(text, &result.accepted_keys)) {
+      result.baseline_loaded = true;
+    } else {
+      result.ok = false;
+      result.error = "cannot load baseline " + options.baseline_path;
+      return result;
+    }
+  }
+  for (const LintFinding& f : result.report.findings) {
+    const std::string key = finding_key(f);
+    if (!result.accepted_keys.contains(key)) result.new_keys.push_back(key);
+  }
+  return result;
+}
+
+std::string to_json(const LintResult& result) {
+  const LintReport& report = result.report;
+  std::ostringstream os;
+  os << envelope_header("securelease-lint");
+  os << "  \"root\": \"" << json_escape(report.root) << "\",\n";
+  os << "  \"files_scanned\": " << report.files_scanned << ",\n";
+  os << "  \"functions\": " << report.function_count << ",\n";
+
+  os << "  \"shared_state\": [";
+  for (std::size_t i = 0; i < report.shared_state.size(); ++i) {
+    const SharedStateEntry& e = report.shared_state[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"symbol\": \"" << json_escape(e.decl.symbol) << "\", "
+       << "\"kind\": \"" << e.decl.kind << "\", "
+       << "\"type\": \"" << json_escape(e.decl.type) << "\", "
+       << "\"file\": \"" << json_escape(e.decl.file) << "\", "
+       << "\"line\": " << e.decl.line << ", "
+       << "\"classification\": \"" << e.classification << "\", "
+       << "\"detail\": \"" << json_escape(e.detail) << "\"}";
+  }
+  os << (report.shared_state.empty() ? "],\n" : "\n  ],\n");
+
+  os << "  \"findings\": [";
+  for (std::size_t i = 0; i < report.findings.size(); ++i) {
+    const LintFinding& f = report.findings[i];
+    const bool accepted = result.accepted_keys.contains(finding_key(f));
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\n";
+    os << "      \"rule\": \"" << f.rule << "\",\n";
+    os << "      \"severity\": \"" << severity_name(f.severity) << "\",\n";
+    os << "      \"file\": \"" << json_escape(f.file) << "\",\n";
+    os << "      \"line\": " << f.line << ",\n";
+    os << "      \"function\": \"" << json_escape(f.function) << "\",\n";
+    os << "      \"symbol\": \"" << json_escape(f.symbol) << "\",\n";
+    os << "      \"message\": \"" << json_escape(f.message) << "\",\n";
+    os << "      \"evidence\": " << json_string_array(f.evidence) << ",\n";
+    os << "      \"baseline\": " << (accepted ? "true" : "false") << "\n";
+    os << "    }";
+  }
+  os << (report.findings.empty() ? "],\n" : "\n  ],\n");
+
+  std::size_t guarded = 0, gated = 0, unguarded = 0;
+  for (const SharedStateEntry& e : report.shared_state) {
+    if (e.classification == "guarded") ++guarded;
+    if (e.classification == "gated") ++gated;
+    if (e.classification == "unguarded") ++unguarded;
+  }
+  os << "  \"summary\": {\n";
+  os << "    \"total\": " << report.findings.size() << ",\n";
+  os << "    \"new\": " << result.new_keys.size() << ",\n";
+  os << "    \"baseline_accepted\": "
+     << (report.findings.size() - result.new_keys.size()) << ",\n";
+  os << "    \"suppressed\": " << report.suppressed << ",\n";
+  os << "    \"shared_state_guarded\": " << guarded << ",\n";
+  os << "    \"shared_state_gated\": " << gated << ",\n";
+  os << "    \"shared_state_unguarded\": " << unguarded << ",\n";
+  os << "    \"clean\": " << (result.new_keys.empty() ? "true" : "false")
+     << "\n";
+  os << "  }\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_text(const LintResult& result) {
+  const LintReport& report = result.report;
+  std::ostringstream os;
+  os << "detlint: " << report.files_scanned << " files, "
+     << report.function_count << " functions under " << report.root << "/\n";
+
+  os << "\nshared-state inventory (" << report.shared_state.size()
+     << " mutable globals/statics):\n";
+  for (const SharedStateEntry& e : report.shared_state) {
+    os << "  [" << e.classification << "] " << e.decl.symbol << " ("
+       << e.decl.kind << ", " << e.decl.type << ") at " << e.decl.file << ":"
+       << e.decl.line << " — " << e.detail << "\n";
+  }
+
+  if (report.findings.empty()) {
+    os << "\nno findings";
+  } else {
+    os << "\n" << report.findings.size() << " finding(s):\n";
+    for (const LintFinding& f : report.findings) {
+      const bool accepted = result.accepted_keys.contains(finding_key(f));
+      os << "  " << f.file << ":" << f.line << ": [" << f.rule << "/"
+         << severity_name(f.severity) << "]"
+         << (accepted ? " (baseline)" : " (NEW)") << " " << f.message << "\n";
+      if (!f.evidence.empty()) {
+        os << "      via";
+        for (const std::string& hop : f.evidence) os << " -> " << hop;
+        os << "\n";
+      }
+    }
+  }
+  os << "\n"
+     << (result.report.suppressed > 0
+             ? std::to_string(result.report.suppressed) + " suppressed; "
+             : std::string())
+     << result.new_keys.size() << " new finding(s)"
+     << (result.baseline_loaded ? " vs baseline" : "") << "\n";
+  return os.str();
+}
+
+std::string baseline_json(const LintReport& report) {
+  // One accepted entry per distinct key, sorted for stable diffs.
+  std::set<std::string> keys;
+  std::ostringstream os;
+  os << envelope_header("securelease-lint-baseline");
+  os << "  \"findings\": [],\n";
+  os << "  \"accepted\": [";
+  bool first = true;
+  for (const LintFinding& f : report.findings) {
+    if (!keys.insert(finding_key(f)).second) continue;
+    const std::string& subject = f.symbol.empty() ? f.function : f.symbol;
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"rule\": \"" << f.rule << "\", \"file\": \""
+       << json_escape(f.file) << "\", \"symbol\": \"" << json_escape(subject)
+       << "\"}";
+  }
+  os << (first ? "]\n" : "\n  ]\n");
+  os << "}\n";
+  return os.str();
+}
+
+std::string find_repo_root(const std::string& start) {
+  std::error_code ec;
+  fs::path dir = fs::absolute(start, ec);
+  for (int depth = 0; depth < 32 && !dir.empty(); ++depth) {
+    if (fs::exists(dir / "ROADMAP.md", ec) && fs::is_directory(dir / "src", ec)) {
+      return dir.string();
+    }
+    const fs::path parent = dir.parent_path();
+    if (parent == dir) break;
+    dir = parent;
+  }
+  return std::string();
+}
+
+}  // namespace sl::analysis::detlint

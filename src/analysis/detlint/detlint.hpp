@@ -1,0 +1,57 @@
+// detlint driver: scans a source tree, evaluates the determinism and
+// thread-readiness rules (rules.hpp), renders reports in the shared
+// analysis envelope (analysis/envelope.hpp), and compares findings against
+// a checked-in baseline.
+//
+// Baseline workflow: tools/detlint_baseline.json records the accepted
+// findings as (rule, file, symbol) triples — no line numbers, so ordinary
+// edits do not invalidate it. `securelease lint` exits 3 only when a
+// finding NOT in the baseline appears; regenerating the file is
+// `securelease lint --write-baseline tools/detlint_baseline.json`.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/detlint/rules.hpp"
+
+namespace sl::analysis::detlint {
+
+struct LintOptions {
+  std::string root;           // directory scanned recursively
+  std::string label = "src";  // path prefix findings report
+  std::string baseline_path;  // empty: everything counts as new
+};
+
+struct LintResult {
+  LintReport report;
+  bool ok = true;  // scan and baseline I/O succeeded
+  std::string error;
+  bool baseline_loaded = false;
+  std::set<std::string> accepted_keys;   // from the baseline file
+  std::vector<std::string> new_keys;     // findings not in the baseline
+};
+
+// Stable identity of a finding across line drift: "rule|file|symbol"
+// (falling back to the enclosing function when the symbol is empty).
+std::string finding_key(const LintFinding& finding);
+
+// Scans options.root and evaluates every rule. Never throws; I/O problems
+// set result.ok = false with an explanation.
+LintResult run_lint(const LintOptions& options);
+
+// Reports. JSON uses the shared envelope (schema_version/tool/findings) with
+// tool name "securelease-lint"; both orderings are deterministic.
+std::string to_json(const LintResult& result);
+std::string to_text(const LintResult& result);
+
+// Serialized baseline accepting every finding of `report`.
+std::string baseline_json(const LintReport& report);
+
+// Walks up from `start` (default: the current directory) to the repository
+// root, identified by ROADMAP.md next to a src/ directory. Empty when not
+// found.
+std::string find_repo_root(const std::string& start = ".");
+
+}  // namespace sl::analysis::detlint

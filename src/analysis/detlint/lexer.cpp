@@ -1,0 +1,210 @@
+#include "analysis/detlint/lexer.hpp"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace sl::analysis::detlint {
+
+bool is_keyword(const std::string& word) {
+  static const std::unordered_set<std::string> kKeywords = {
+      "alignas",   "alignof",  "auto",     "bool",      "break",
+      "case",      "catch",    "char",     "class",     "const",
+      "constexpr", "continue", "decltype", "default",   "delete",
+      "do",        "double",   "else",     "enum",      "explicit",
+      "extern",    "false",    "float",    "for",       "friend",
+      "goto",      "if",       "inline",   "int",       "long",
+      "mutable",   "namespace","new",      "noexcept",  "nullptr",
+      "operator",  "override", "private",  "protected", "public",
+      "return",    "short",    "signed",   "sizeof",    "static",
+      "struct",    "switch",   "template", "this",      "throw",
+      "true",      "try",      "typedef",  "typename",  "union",
+      "unsigned",  "using",    "virtual",  "void",      "volatile",
+      "while",     "final",    "co_await", "co_return", "co_yield",
+      "consteval", "constinit","requires", "concept",   "static_assert",
+  };
+  return kKeywords.contains(word);
+}
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  // Stack of open preprocessor conditionals; `true` frames gate on
+  // SL_OBS_ENABLED. A token is obs_gated when any open frame is true.
+  std::vector<bool> pp_stack;
+  int gated_frames = 0;
+
+  const auto push = [&](TokenKind kind, std::string text, int at_line) {
+    out.push_back({kind, std::move(text), at_line, gated_frames > 0});
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: '#' at the start of a (logical) line.
+    if (c == '#') {
+      const int at = line;
+      std::string text;
+      while (i < n && source[i] != '\n') {
+        if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n') {
+          text += ' ';
+          ++line;
+          i += 2;
+          continue;
+        }
+        text += source[i];
+        ++i;
+      }
+      // Track the conditional stack for obs gating.
+      const auto starts_with = [&](const char* prefix) {
+        return text.rfind(prefix, 0) == 0;
+      };
+      if (starts_with("#if") || starts_with("# if")) {
+        const bool gated = text.find("SL_OBS_ENABLED") != std::string::npos;
+        pp_stack.push_back(gated);
+        if (gated) ++gated_frames;
+      } else if (starts_with("#endif") || starts_with("# endif")) {
+        if (!pp_stack.empty()) {
+          if (pp_stack.back()) --gated_frames;
+          pp_stack.pop_back();
+        }
+      }
+      push(TokenKind::kDirective, std::move(text), at);
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const int at = line;
+      i += 2;
+      std::string text;
+      while (i < n && source[i] != '\n') text += source[i++];
+      push(TokenKind::kComment, std::move(text), at);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const int at = line;
+      i += 2;
+      std::string text;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') ++line;
+        text += source[i++];
+      }
+      i = i + 2 <= n ? i + 2 : n;
+      push(TokenKind::kComment, std::move(text), at);
+      continue;
+    }
+
+    // Raw string literal R"delim(...)delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      std::size_t d = i + 2;
+      std::string delim;
+      while (d < n && source[d] != '(' && source[d] != '"' && delim.size() < 16) {
+        delim += source[d++];
+      }
+      if (d < n && source[d] == '(') {
+        const int at = line;
+        const std::string close = ")" + delim + "\"";
+        const std::size_t end = source.find(close, d + 1);
+        std::string text = source.substr(d + 1, end == std::string::npos
+                                                    ? std::string::npos
+                                                    : end - d - 1);
+        for (char t : text) {
+          if (t == '\n') ++line;
+        }
+        i = end == std::string::npos ? n : end + close.size();
+        push(TokenKind::kString, std::move(text), at);
+        continue;
+      }
+    }
+
+    // String / char literals.
+    if (c == '"' || c == '\'') {
+      const int at = line;
+      const char quote = c;
+      ++i;
+      std::string text;
+      while (i < n && source[i] != quote) {
+        if (source[i] == '\\' && i + 1 < n) {
+          text += source[i];
+          text += source[i + 1];
+          i += 2;
+          continue;
+        }
+        if (source[i] == '\n') ++line;  // unterminated; keep scanning
+        text += source[i++];
+      }
+      if (i < n) ++i;  // closing quote
+      push(quote == '"' ? TokenKind::kString : TokenKind::kChar,
+           std::move(text), at);
+      continue;
+    }
+
+    // Identifiers and keywords.
+    if (ident_start(c)) {
+      const int at = line;
+      std::string text;
+      while (i < n && ident_char(source[i])) text += source[i++];
+      push(TokenKind::kIdentifier, std::move(text), at);
+      continue;
+    }
+
+    // Numbers (good enough: digits, dots, exponents, suffixes, hex, and
+    // digit separators — `100'000` must not open a char literal).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const int at = line;
+      std::string text;
+      while (i < n && (ident_char(source[i]) || source[i] == '.' ||
+                       (source[i] == '\'' && i + 1 < n &&
+                        ident_char(source[i + 1])) ||
+                       ((source[i] == '+' || source[i] == '-') && !text.empty() &&
+                        (text.back() == 'e' || text.back() == 'E' ||
+                         text.back() == 'p' || text.back() == 'P')))) {
+        text += source[i++];
+      }
+      push(TokenKind::kNumber, std::move(text), at);
+      continue;
+    }
+
+    // Combined punctuators the scanner depends on. `>` stays single so
+    // template-argument scanning can balance '>>' as two closers.
+    if (c == ':' && i + 1 < n && source[i + 1] == ':') {
+      push(TokenKind::kPunct, "::", line);
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && source[i + 1] == '>') {
+      push(TokenKind::kPunct, "->", line);
+      i += 2;
+      continue;
+    }
+
+    push(TokenKind::kPunct, std::string(1, c), line);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace sl::analysis::detlint

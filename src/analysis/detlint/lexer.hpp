@@ -1,0 +1,42 @@
+// Lightweight C++ tokenizer for the determinism & thread-readiness linter.
+//
+// This is deliberately not a compiler front end: detlint analyzes the
+// repository's own sources, which follow one style, so a line-tracking
+// token stream plus a scope heuristic (model.hpp) is enough to find the
+// declaration-level facts the rules need. Comments are kept as tokens
+// (suppression markers live in them) and preprocessor conditionals are
+// tracked so declarations inside `#if SL_OBS_ENABLED` regions can be
+// classified as compile-out-gated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sl::analysis::detlint {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kString,     // string literal (including raw strings), text excludes quotes
+  kChar,       // character literal
+  kPunct,      // single punctuator, or one of the combined ones: :: ->
+  kComment,    // // or /* */ comment, text excludes the markers
+  kDirective,  // whole preprocessor line (continuations folded), incl. '#'
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string text;
+  int line = 1;
+  // Token lies inside a preprocessor conditional whose condition mentions
+  // SL_OBS_ENABLED (the observability compile-out gate).
+  bool obs_gated = false;
+};
+
+// Tokenizes `source`. Never throws; unrecognized bytes become single-char
+// punct tokens so the scanner always makes progress.
+std::vector<Token> lex(const std::string& source);
+
+bool is_keyword(const std::string& word);
+
+}  // namespace sl::analysis::detlint

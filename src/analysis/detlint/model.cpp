@@ -1,0 +1,837 @@
+#include "analysis/detlint/model.hpp"
+
+#include <algorithm>
+
+namespace sl::analysis::detlint {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+bool is_code(const Token& t) {
+  return t.kind != TokenKind::kComment && t.kind != TokenKind::kDirective;
+}
+
+bool is_ident(const Token& t) {
+  return t.kind == TokenKind::kIdentifier && !is_keyword(t.text);
+}
+
+bool punct_is(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+bool ident_is(const Token& t, const char* text) {
+  return t.kind == TokenKind::kIdentifier && t.text == text;
+}
+
+// Joins type tokens readably: no spaces around '::' or before template and
+// declarator punctuation.
+std::string join_type(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& p : parts) {
+    const bool tight = p == "::" || p == "<" || p == ">" || p == "," ||
+                       p == "*" || p == "&";
+    const bool prev_tight =
+        !out.empty() && (out.back() == ':' || out.back() == '<');
+    if (!out.empty() && !tight && !prev_tight) out += ' ';
+    out += p;
+  }
+  return out;
+}
+
+// --- Per-file scanner --------------------------------------------------------
+
+class Scanner {
+ public:
+  Scanner(Model& model, std::size_t file_index)
+      : model_(model),
+        file_index_(file_index),
+        path_(model.files[file_index].path),
+        t_(model.files[file_index].tokens),
+        n_(model.files[file_index].tokens.size()) {}
+
+  void run() {
+    collect_suppressions();
+    scan_scope(0, n_, kNone);
+    collect_unordered_decls();
+    collect_pointer_keys();
+    collect_banned_uses();
+  }
+
+ private:
+  // First code token at or after `i`.
+  std::size_t next_code(std::size_t i) const {
+    while (i < n_ && !is_code(t_[i])) ++i;
+    return i;
+  }
+
+  // Index just past the token matching the opener at `open` ('(', '{', '[').
+  std::size_t match_group(std::size_t open) const {
+    const std::string& o = t_[open].text;
+    const char* close = o == "(" ? ")" : o == "{" ? "}" : "]";
+    int depth = 0;
+    for (std::size_t i = open; i < n_; ++i) {
+      // Only punctuators balance: a string/char literal like `"}"` must not.
+      if (punct_is(t_[i], o.c_str())) {
+        ++depth;
+      } else if (punct_is(t_[i], close)) {
+        if (--depth == 0) return i + 1;
+      }
+    }
+    return n_;
+  }
+
+  // Index just past the '>' matching '<' at `open`, or kNone when the scan
+  // runs into a statement boundary (then '<' was a comparison, not a
+  // template-argument list).
+  std::size_t match_angles(std::size_t open) const {
+    int depth = 0;
+    std::size_t steps = 0;
+    for (std::size_t i = open; i < n_ && steps < 512; ++i, ++steps) {
+      if (t_[i].kind != TokenKind::kPunct) continue;
+      const std::string& x = t_[i].text;
+      if (x == "<") {
+        ++depth;
+      } else if (x == ">") {
+        if (--depth == 0) return i + 1;
+      } else if (x == ";" || x == "{" || x == "}") {
+        return kNone;
+      }
+    }
+    return kNone;
+  }
+
+  void collect_suppressions() {
+    for (std::size_t idx = 0; idx < n_; ++idx) {
+      const Token& tok = t_[idx];
+      if (tok.kind != TokenKind::kComment) continue;
+      std::size_t at = tok.text.find("detlint:allow(");
+      if (at == std::string::npos) continue;
+      at += sizeof("detlint:allow(") - 1;
+      const std::size_t end = tok.text.find(')', at);
+      if (end == std::string::npos) continue;
+      // The marker covers its own line and the next code line, skipping any
+      // continuation comments in between (multi-line reasons).
+      int target = tok.line + 1;
+      for (std::size_t j = idx + 1; j < n_; ++j) {
+        if (t_[j].kind == TokenKind::kComment && t_[j].line >= target) {
+          target = t_[j].line + 1;
+        } else if (t_[j].kind != TokenKind::kComment) {
+          break;
+        }
+      }
+      std::string rule;
+      for (std::size_t i = at; i <= end; ++i) {
+        const char c = i < end ? tok.text[i] : ',';
+        if (c == ',' || c == ')') {
+          if (!rule.empty()) {
+            model_.suppressions[path_][tok.line].insert(rule);
+            model_.suppressions[path_][target].insert(rule);
+            rule.clear();
+          }
+        } else if (c != ' ') {
+          rule += c;
+        }
+      }
+    }
+  }
+
+  // --- Scope walk ------------------------------------------------------------
+
+  // Scans declarations in [begin, end). `record_index` indexes
+  // model_.records for the enclosing struct/class (kNone at namespace
+  // scope); it is passed explicitly so nested record definitions cannot
+  // redirect the outer record's members.
+  void scan_scope(std::size_t begin, std::size_t end, std::size_t record_index) {
+    std::size_t i = next_code(begin);
+    while (i < end) {
+      const Token& tok = t_[i];
+      if (!is_code(tok)) {
+        ++i;
+        continue;
+      }
+      if (punct_is(tok, ";") || punct_is(tok, "}")) {
+        ++i;
+      } else if (ident_is(tok, "namespace")) {
+        std::size_t j = next_code(i + 1);
+        while (j < end && (is_ident(t_[j]) || punct_is(t_[j], "::"))) {
+          j = next_code(j + 1);
+        }
+        if (j < end && punct_is(t_[j], "{")) {
+          const std::size_t close = match_group(j);
+          scan_scope(j + 1, close - 1, kNone);
+          i = close;
+        } else if (j < end && punct_is(t_[j], "=")) {
+          i = skip_statement(j, end);  // namespace alias: `namespace fs = ...;`
+        } else {
+          i = j + 1;
+        }
+      } else if (ident_is(tok, "struct") || ident_is(tok, "class") ||
+                 ident_is(tok, "union")) {
+        i = scan_record(i, end);
+      } else if (ident_is(tok, "enum")) {
+        std::size_t j = next_code(i + 1);
+        if (j < end && (ident_is(t_[j], "class") || ident_is(t_[j], "struct"))) {
+          j = next_code(j + 1);
+        }
+        if (j < end && is_ident(t_[j])) {
+          model_.enum_names.insert(t_[j].text);
+        }
+        while (j < end && !punct_is(t_[j], "{") && !punct_is(t_[j], ";")) {
+          j = next_code(j + 1);
+        }
+        i = (j < end && punct_is(t_[j], "{")) ? match_group(j) : j + 1;
+      } else if (ident_is(tok, "using") || ident_is(tok, "typedef")) {
+        i = scan_alias(i, end);
+      } else if (ident_is(tok, "template")) {
+        const std::size_t j = next_code(i + 1);
+        std::size_t past = kNone;
+        if (j < end && punct_is(t_[j], "<")) past = match_angles(j);
+        i = past == kNone ? j + 1 : past;
+      } else if (ident_is(tok, "extern")) {
+        const std::size_t j = next_code(i + 1);
+        if (j < end && t_[j].kind == TokenKind::kString) {
+          const std::size_t k = next_code(j + 1);
+          if (k < end && punct_is(t_[k], "{")) {
+            const std::size_t close = match_group(k);
+            scan_scope(k + 1, close - 1, record_index);
+            i = close;
+            continue;
+          }
+        }
+        i = skip_statement(i, end);  // extern declaration, not a definition
+      } else if (ident_is(tok, "public") || ident_is(tok, "private") ||
+                 ident_is(tok, "protected")) {
+        const std::size_t j = next_code(i + 1);
+        i = (j < end && punct_is(t_[j], ":")) ? j + 1 : i + 1;
+      } else if (ident_is(tok, "friend") || ident_is(tok, "static_assert")) {
+        i = skip_statement(i, end);
+      } else if (punct_is(tok, "{")) {
+        // Unrecognized block at declaration scope: scan its contents too.
+        const std::size_t close = match_group(i);
+        scan_scope(i + 1, close - 1, record_index);
+        i = close;
+      } else {
+        i = scan_statement(i, end, record_index);
+      }
+    }
+  }
+
+  std::size_t skip_statement(std::size_t i, std::size_t end) const {
+    while (i < end) {
+      if (!is_code(t_[i])) {
+        ++i;
+      } else if (punct_is(t_[i], ";")) {
+        return i + 1;
+      } else if (punct_is(t_[i], "(") || punct_is(t_[i], "{") ||
+                 punct_is(t_[i], "[")) {
+        i = match_group(i);
+      } else if (punct_is(t_[i], "}")) {
+        return i;
+      } else {
+        ++i;
+      }
+    }
+    return i;
+  }
+
+  std::size_t scan_alias(std::size_t i, std::size_t end) {
+    // `using NAME = <type>;` — recorded so the rules can resolve scalar and
+    // unordered aliases; `using namespace` / `using a::b;` are skipped.
+    const std::size_t j = next_code(i + 1);
+    if (j < end && is_ident(t_[j])) {
+      const std::size_t k = next_code(j + 1);
+      if (k < end && punct_is(t_[k], "=")) {
+        std::vector<std::string> type;
+        std::size_t m = next_code(k + 1);
+        while (m < end && !punct_is(t_[m], ";")) {
+          if (is_code(t_[m])) type.push_back(t_[m].text);
+          ++m;
+        }
+        model_.aliases[t_[j].text] = join_type(type);
+        return m + 1;
+      }
+    }
+    return skip_statement(i, end);
+  }
+
+  std::size_t scan_record(std::size_t i, std::size_t end) {
+    std::size_t j = next_code(i + 1);
+    while (j < end && punct_is(t_[j], "[")) j = next_code(match_group(j));
+    if (j >= end || !is_ident(t_[j])) return skip_statement(i, end);
+    const std::string name = t_[j].text;
+    const int line = t_[j].line;
+    j = next_code(j + 1);
+    if (j < end && ident_is(t_[j], "final")) j = next_code(j + 1);
+    if (j < end && punct_is(t_[j], ";")) return j + 1;  // forward declaration
+    while (j < end && !punct_is(t_[j], "{") && !punct_is(t_[j], ";")) {
+      if (punct_is(t_[j], "<")) {
+        const std::size_t past = match_angles(j);
+        j = past == kNone ? j + 1 : past;
+        continue;
+      }
+      j = next_code(j + 1);
+    }
+    if (j >= end || !punct_is(t_[j], "{")) return j + 1;
+    const std::size_t close = match_group(j);
+    model_.records.push_back({name, path_, line, {}, {}});
+    scan_scope(j + 1, close - 1, model_.records.size() - 1);
+    // `};` terminator (any `} instance;` declarator is ignored).
+    std::size_t k = next_code(close);
+    while (k < end && !punct_is(t_[k], ";") && !punct_is(t_[k], "}")) {
+      k = next_code(k + 1);
+    }
+    return (k < end && punct_is(t_[k], ";")) ? k + 1 : k;
+  }
+
+  // A statement at declaration scope: a function definition, a method
+  // declaration, or a variable/member declaration.
+  std::size_t scan_statement(std::size_t i, std::size_t end,
+                             std::size_t record_index) {
+    // Pass 1: look for a function-definition head `name ( ... ) ... {`.
+    bool saw_equals = false;
+    std::size_t j = i;
+    while (j < end) {
+      if (!is_code(t_[j])) {
+        ++j;
+        continue;
+      }
+      const Token& tok = t_[j];
+      if (punct_is(tok, ";")) break;
+      if (punct_is(tok, "}")) return j;
+      if (punct_is(tok, "=")) {
+        saw_equals = true;
+        ++j;
+        continue;
+      }
+      if (punct_is(tok, "{")) break;  // brace initializer, no candidate found
+      if (punct_is(tok, "[")) {
+        j = match_group(j);
+        continue;
+      }
+      if (punct_is(tok, "<")) {
+        const std::size_t past = match_angles(j);
+        j = past == kNone ? j + 1 : past;
+        continue;
+      }
+      if (punct_is(tok, "(")) {
+        j = match_group(j);
+        continue;
+      }
+      if (is_ident(tok) && !saw_equals) {
+        const std::size_t after = next_code(j + 1);
+        if (after < end && punct_is(t_[after], "(")) {
+          const std::size_t past_params = match_group(after);
+          const Trailer verdict = validate_trailer(past_params, end);
+          if (verdict.body_open != kNone) {
+            return register_function(j, verdict.body_open, record_index);
+          }
+          if (verdict.decl_end != kNone) {
+            // A declaration (`...);` / `...) = default;`): record method
+            // names so wire structs are recognized from headers.
+            if (record_index != kNone) {
+              model_.records[record_index].methods.push_back(tok.text);
+            }
+            return verdict.decl_end;
+          }
+          j = past_params;  // not a function head; keep scanning
+          continue;
+        }
+      }
+      ++j;
+    }
+    // Pass 2: variable / member declaration.
+    return scan_variable(i, end, record_index);
+  }
+
+  struct Trailer {
+    std::size_t body_open = kNone;  // '{' opening a definition body
+    std::size_t decl_end = kNone;   // one past ';' of a pure declaration
+  };
+
+  // After a parameter list, decides between a definition (finds the body
+  // '{'), a pure declaration (finds ';' or '= default;'), or neither.
+  Trailer validate_trailer(std::size_t m, std::size_t end) const {
+    Trailer v;
+    m = next_code(m);
+    while (m < end) {
+      const Token& tok = t_[m];
+      if (punct_is(tok, "{")) {
+        v.body_open = m;
+        return v;
+      }
+      if (punct_is(tok, ";")) {
+        v.decl_end = m + 1;
+        return v;
+      }
+      if (punct_is(tok, "=")) {  // = default / = delete / = 0
+        while (m < end && !punct_is(t_[m], ";")) m = next_code(m + 1);
+        v.decl_end = m < end ? m + 1 : end;
+        return v;
+      }
+      if (punct_is(tok, ":")) return validate_init_list(m + 1, end);
+      if (ident_is(tok, "noexcept") || ident_is(tok, "throw")) {
+        m = next_code(m + 1);
+        if (m < end && punct_is(t_[m], "(")) m = match_group(m);
+        m = next_code(m);
+        continue;
+      }
+      if (punct_is(tok, "<")) {
+        const std::size_t past = match_angles(m);
+        if (past == kNone) return v;
+        m = next_code(past);
+        continue;
+      }
+      if (tok.kind == TokenKind::kIdentifier || punct_is(tok, "::") ||
+          punct_is(tok, "*") || punct_is(tok, "&") || punct_is(tok, "->")) {
+        m = next_code(m + 1);
+        continue;
+      }
+      return v;  // anything else: not a function header
+    }
+    return v;
+  }
+
+  // Constructor member-initializer list: `: a_(x), b_{y} {`.
+  Trailer validate_init_list(std::size_t m, std::size_t end) const {
+    Trailer v;
+    m = next_code(m);
+    while (m < end) {
+      const Token& tok = t_[m];
+      if (punct_is(tok, "(") || punct_is(tok, "{")) {
+        const std::size_t past = match_group(m);
+        const std::size_t after = next_code(past);
+        if (after < end && punct_is(t_[after], ",")) {
+          m = next_code(after + 1);
+          continue;
+        }
+        if (after < end && punct_is(t_[after], "{")) {
+          v.body_open = after;
+          return v;
+        }
+        return v;
+      }
+      if (tok.kind == TokenKind::kIdentifier || punct_is(tok, "::")) {
+        m = next_code(m + 1);
+        continue;
+      }
+      if (punct_is(tok, "<")) {
+        const std::size_t past = match_angles(m);
+        if (past == kNone) return v;
+        m = next_code(past);
+        continue;
+      }
+      return v;
+    }
+    return v;
+  }
+
+  std::size_t register_function(std::size_t name_idx, std::size_t body_open,
+                                std::size_t record_index) {
+    Function fn;
+    fn.name = t_[name_idx].text;
+    fn.qualified = fn.name;
+    // Walk back over `Qualifier::` chains.
+    std::size_t q = name_idx;
+    while (q >= 2 && punct_is(t_[q - 1], "::") && is_ident(t_[q - 2])) {
+      fn.qualified = t_[q - 2].text + "::" + fn.qualified;
+      q -= 2;
+    }
+    if (record_index != kNone && fn.qualified == fn.name) {
+      fn.qualified = model_.records[record_index].name + "::" + fn.name;
+      model_.records[record_index].methods.push_back(fn.name);
+    }
+    fn.file = path_;
+    fn.line = t_[name_idx].line;
+    fn.file_index = file_index_;
+    fn.body_begin = body_open;
+    fn.body_end = match_group(body_open);
+    analyze_body(fn);
+    const std::size_t past = fn.body_end;
+    model_.functions.push_back(std::move(fn));
+    return past;
+  }
+
+  // --- Function bodies -------------------------------------------------------
+
+  void analyze_body(Function& fn) {
+    std::size_t i = fn.body_begin + 1;
+    while (i + 1 < fn.body_end) {
+      const Token& tok = t_[i];
+      if (!is_code(tok)) {
+        ++i;
+        continue;
+      }
+      if (ident_is(tok, "static")) {
+        i = scan_static_local(i, fn);
+        continue;
+      }
+      if (ident_is(tok, "for")) {
+        const std::size_t open = next_code(i + 1);
+        if (open < fn.body_end && punct_is(t_[open], "(")) {
+          scan_range_for(open, fn);
+        }
+        ++i;
+        continue;
+      }
+      if (is_ident(tok)) {
+        const std::size_t after = next_code(i + 1);
+        if (after < fn.body_end && punct_is(t_[after], "(")) {
+          // Exclude `Type name(...)` declarations: the token before a call
+          // is never a plain (non-keyword) identifier.
+          std::size_t prev = i;
+          while (prev > fn.body_begin && !is_code(t_[prev - 1])) --prev;
+          const bool decl_like = prev > fn.body_begin && is_ident(t_[prev - 1]);
+          if (!decl_like) fn.calls.push_back(tok.text);
+        }
+      }
+      ++i;
+    }
+  }
+
+  std::size_t scan_static_local(std::size_t i, Function& fn) {
+    // `static <type> name [= ...|{...}|(...)];` inside a body.
+    std::vector<std::string> type;
+    std::string name;
+    int line = t_[i].line;
+    bool is_const = false;
+    const bool gated = t_[i].obs_gated;
+    std::size_t j = next_code(i + 1);
+    while (j < fn.body_end) {
+      const Token& tok = t_[j];
+      if (punct_is(tok, ";") || punct_is(tok, "=") || punct_is(tok, "{") ||
+          punct_is(tok, "(")) {
+        break;
+      }
+      if (ident_is(tok, "const") || ident_is(tok, "constexpr")) {
+        is_const = true;
+      } else if (punct_is(tok, "<")) {
+        const std::size_t past = match_angles(j);
+        if (past == kNone) break;
+        if (!name.empty()) {
+          type.push_back(name);
+          name.clear();
+        }
+        for (std::size_t k = j; k < past; ++k) {
+          if (is_code(t_[k])) type.push_back(t_[k].text);
+        }
+        j = past;
+        continue;
+      } else if (is_ident(tok)) {
+        if (!name.empty()) type.push_back(name);
+        name = tok.text;
+        line = tok.line;
+      } else if (tok.kind == TokenKind::kIdentifier || punct_is(tok, "::") ||
+                 punct_is(tok, "*") || punct_is(tok, "&")) {
+        if (!name.empty()) {
+          type.push_back(name);
+          name.clear();
+        }
+        type.push_back(tok.text);
+      } else {
+        break;  // anything exotic: give up on this static
+      }
+      j = next_code(j + 1);
+    }
+    if (!name.empty() && !is_const) {
+      model_.shared_state.push_back({fn.name + "::" + name, join_type(type),
+                                     path_, line, "static-local", gated});
+    }
+    return skip_statement(i, fn.body_end);
+  }
+
+  void scan_range_for(std::size_t open, Function& fn) {
+    const std::size_t close = match_group(open);
+    int depth = 0;
+    std::size_t colon = kNone;
+    for (std::size_t i = open; i < close; ++i) {
+      if (!is_code(t_[i])) continue;
+      if (punct_is(t_[i], "(")) ++depth;
+      if (punct_is(t_[i], ")")) --depth;
+      if (depth == 1 && punct_is(t_[i], ";")) return;  // classic for
+      if (depth == 1 && punct_is(t_[i], ":")) {
+        colon = i;
+        break;
+      }
+    }
+    if (colon == kNone) return;
+    RangeFor rf;
+    rf.function = fn.name;
+    rf.file = path_;
+    rf.line = t_[colon].line;
+    for (std::size_t i = colon + 1; i + 1 < close; ++i) {
+      if (is_code(t_[i]) && is_ident(t_[i])) rf.idents.push_back(t_[i].text);
+    }
+    if (!rf.idents.empty()) model_.range_fors.push_back(std::move(rf));
+  }
+
+  // --- Linear passes ---------------------------------------------------------
+
+  std::string enclosing_function(std::size_t idx) const {
+    std::string best;
+    std::size_t best_begin = 0;
+    for (const Function& fn : model_.functions) {
+      if (fn.file_index != file_index_) continue;
+      if (fn.body_begin <= idx && idx < fn.body_end &&
+          fn.body_begin >= best_begin) {
+        best = fn.name;
+        best_begin = fn.body_begin;
+      }
+    }
+    return best;
+  }
+
+  void collect_unordered_decls() {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (!is_code(t_[i])) continue;
+      if (!ident_is(t_[i], "unordered_map") &&
+          !ident_is(t_[i], "unordered_set")) {
+        continue;
+      }
+      std::size_t j = next_code(i + 1);
+      if (j < n_ && punct_is(t_[j], "<")) {
+        const std::size_t past = match_angles(j);
+        if (past == kNone) continue;
+        j = next_code(past);
+      }
+      while (j < n_ && (punct_is(t_[j], "&") || punct_is(t_[j], "*") ||
+                        ident_is(t_[j], "const"))) {
+        j = next_code(j + 1);
+      }
+      if (j < n_ && is_ident(t_[j])) {
+        const std::size_t after = next_code(j + 1);
+        if (after < n_ && punct_is(t_[after], "(")) {
+          model_.unordered_returning.insert(t_[j].text);
+        } else {
+          model_.unordered_names.insert(t_[j].text);
+        }
+      }
+    }
+  }
+
+  void collect_pointer_keys() {
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (!is_code(t_[i]) || t_[i].kind != TokenKind::kIdentifier) continue;
+      const std::string& name = t_[i].text;
+      if (name != "map" && name != "set" && name != "unordered_map" &&
+          name != "unordered_set" && name != "less" && name != "hash") {
+        continue;
+      }
+      const std::size_t open = next_code(i + 1);
+      if (open >= n_ || !punct_is(t_[open], "<")) continue;
+      // First template argument: up to ',' or the matching '>' at depth 1.
+      int depth = 0;
+      std::vector<std::string> arg;
+      bool closed = false;
+      bool bailed = false;
+      for (std::size_t j = open; j < n_ && !closed && !bailed; ++j) {
+        if (!is_code(t_[j])) continue;
+        const std::string& x = t_[j].text;
+        if (x == "<") {
+          ++depth;
+          if (depth == 1) continue;
+        } else if (x == ">") {
+          if (--depth == 0) {
+            closed = true;
+            continue;
+          }
+        } else if (x == ";" || x == "{" || x == "}") {
+          bailed = true;  // comparison operator, not a template
+          continue;
+        } else if (x == "," && depth == 1) {
+          closed = true;
+          continue;
+        }
+        arg.push_back(x);
+      }
+      if (!closed || arg.empty() || arg.back() != "*") continue;
+      model_.pointer_keys.push_back(
+          {name, join_type(arg), enclosing_function(i), path_, t_[i].line});
+    }
+  }
+
+  void collect_banned_uses() {
+    static const std::set<std::string> kClock = {
+        "system_clock",  "steady_clock", "high_resolution_clock",
+        "clock_gettime", "gettimeofday", "timespec_get",
+        "localtime",     "gmtime",       "mktime",
+        "strftime",      "utc_clock",    "file_clock",
+    };
+    static const std::set<std::string> kClockCallOnly = {"time", "clock"};
+    static const std::set<std::string> kRandom = {
+        "random_device", "srand", "rand_r", "drand48", "lrand48", "mrand48",
+    };
+    static const std::set<std::string> kRandomCallOnly = {"rand"};
+
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (!is_code(t_[i]) || t_[i].kind != TokenKind::kIdentifier) continue;
+      const std::string& name = t_[i].text;
+      const bool clock_hit = kClock.contains(name);
+      const bool random_hit = kRandom.contains(name);
+      const bool clock_call = kClockCallOnly.contains(name);
+      const bool random_call = kRandomCallOnly.contains(name);
+      if (!clock_hit && !random_hit && !clock_call && !random_call) continue;
+      if (clock_call || random_call) {
+        // Only a direct call counts: `time(...)` / `std::rand()`, but not a
+        // member named `time` (`x.time(...)`), an accessor declaration
+        // (`SimClock& clock()`), or a plain variable of that name.
+        const std::size_t after = next_code(i + 1);
+        if (after >= n_ || !punct_is(t_[after], "(")) continue;
+        std::size_t prev = i;
+        while (prev > 0 && !is_code(t_[prev - 1])) --prev;
+        if (prev > 0 &&
+            (punct_is(t_[prev - 1], ".") || punct_is(t_[prev - 1], "->") ||
+             punct_is(t_[prev - 1], "&") || punct_is(t_[prev - 1], "*") ||
+             is_ident(t_[prev - 1]))) {
+          continue;
+        }
+      }
+      const BannedUse use{name, enclosing_function(i), path_, t_[i].line};
+      if (clock_hit || clock_call) {
+        model_.clock_uses.push_back(use);
+      } else {
+        model_.random_uses.push_back(use);
+      }
+    }
+  }
+
+  // --- Variable / member declarations ----------------------------------------
+
+  std::size_t scan_variable(std::size_t i, std::size_t end,
+                            std::size_t record_index) {
+    const std::size_t stmt_end = skip_statement(i, end);
+    // Collect top-level token indices of the statement (outside any nested
+    // (), [], {} or template-argument group). Group openers are themselves
+    // top-level so brace initializers stay visible.
+    std::vector<std::size_t> top;
+    int paren = 0, brace = 0, bracket = 0, angle = 0;
+    for (std::size_t j = i; j < stmt_end; ++j) {
+      if (!is_code(t_[j])) continue;
+      if (t_[j].kind != TokenKind::kPunct) {
+        if (paren == 0 && brace == 0 && bracket == 0 && angle == 0) {
+          top.push_back(j);
+        }
+        continue;
+      }
+      const std::string& x = t_[j].text;
+      if (x == ")") {
+        --paren;
+        continue;
+      }
+      if (x == "}") {
+        --brace;
+        continue;
+      }
+      if (x == "]") {
+        --bracket;
+        continue;
+      }
+      if (x == ">" && angle > 0) {
+        --angle;
+        continue;
+      }
+      const bool top_level =
+          paren == 0 && brace == 0 && bracket == 0 && angle == 0;
+      if (top_level) top.push_back(j);
+      if (x == "(") {
+        ++paren;
+      } else if (x == "{") {
+        ++brace;
+      } else if (x == "[") {
+        ++bracket;
+      } else if (x == "<" && top_level) {
+        const std::size_t past = match_angles(j);
+        if (past != kNone && past <= stmt_end) ++angle;
+      }
+    }
+    if (top.empty()) return stmt_end;
+
+    bool is_static = false, is_const = false, initialized = false;
+    std::size_t name_idx = kNone;
+    std::size_t init_at = kNone;
+    for (const std::size_t pos : top) {
+      const Token& tok = t_[pos];
+      if (ident_is(tok, "static")) is_static = true;
+      if (name_idx == kNone &&
+          (ident_is(tok, "const") || ident_is(tok, "constexpr") ||
+           ident_is(tok, "constinit"))) {
+        is_const = true;
+      }
+      if (punct_is(tok, "=") || punct_is(tok, "{")) {
+        if (init_at == kNone) init_at = pos;
+        initialized = true;
+      }
+      if (is_ident(tok) && init_at == kNone) name_idx = pos;
+    }
+    if (name_idx == kNone) return stmt_end;
+    // A '(' right after the name would be a rejected function candidate
+    // (e.g. `operator==(...)` noise): not a variable.
+    const std::size_t after_name = next_code(name_idx + 1);
+    if (after_name < stmt_end && punct_is(t_[after_name], "(")) return stmt_end;
+
+    // Type text: everything before the name, storage qualifiers stripped.
+    std::vector<std::string> type;
+    for (std::size_t j = top.front(); j < name_idx; ++j) {
+      if (!is_code(t_[j])) continue;
+      if (ident_is(t_[j], "static") || ident_is(t_[j], "inline") ||
+          ident_is(t_[j], "mutable") || ident_is(t_[j], "extern")) {
+        continue;
+      }
+      type.push_back(t_[j].text);
+    }
+    const std::string type_text = join_type(type);
+    const std::string name = t_[name_idx].text;
+    const int line = t_[name_idx].line;
+    const bool gated = t_[name_idx].obs_gated;
+
+    if (record_index != kNone) {
+      model_.records[record_index].members.push_back(
+          {type_text, name, line, initialized, is_static, is_const});
+      if (is_static && !is_const) {
+        model_.shared_state.push_back(
+            {model_.records[record_index].name + "::" + name, type_text, path_,
+             line, "static-member", gated});
+      }
+    } else if (!is_const) {
+      model_.shared_state.push_back(
+          {name, type_text, path_, line, "global", gated});
+    }
+    return stmt_end;
+  }
+
+  Model& model_;
+  const std::size_t file_index_;
+  const std::string path_;
+  const std::vector<Token>& t_;
+  const std::size_t n_;
+};
+
+}  // namespace
+
+bool Record::has_method(const std::string& method) const {
+  return std::find(methods.begin(), methods.end(), method) != methods.end();
+}
+
+bool Model::is_suppressed(const std::string& rule, const std::string& file,
+                          int line) const {
+  const auto by_file = suppressions.find(file);
+  if (by_file == suppressions.end()) return false;
+  const auto by_line = by_file->second.find(line);
+  if (by_line == by_file->second.end()) return false;
+  return by_line->second.contains(rule) || by_line->second.contains("*");
+}
+
+const Record* Model::find_record(const std::string& name) const {
+  for (const Record& r : records) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+void scan_file(Model& model, const std::string& path, const std::string& text) {
+  model.files.push_back({path, lex(text)});
+  Scanner scanner(model, model.files.size() - 1);
+  scanner.run();
+}
+
+}  // namespace sl::analysis::detlint

@@ -1,0 +1,143 @@
+// Declaration & scope model for detlint.
+//
+// Built from the token streams of every scanned file, the model records the
+// facts the rules (rules.hpp) consume:
+//
+//  * function definitions with their body token spans — the nodes of the
+//    file-level call graph;
+//  * call sites (identifier followed by '(') inside bodies — its edges;
+//  * record (struct/class) definitions with their data members and method
+//    names — wire-struct detection and internal-synchronization inference;
+//  * mutable namespace-scope variables, mutable static locals and mutable
+//    static data members — the shared-state inventory;
+//  * names declared with an unordered container type, and functions
+//    returning one — the unordered-iteration rule's alphabet;
+//  * range-for loops with the base identifier they iterate;
+//  * suppression comments: `// detlint:allow(<rule>[, <rule>]) reason`
+//    applies to findings on its own line and the following line.
+//
+// The scanner is a heuristic, not a parser: it tracks brace depth and a
+// namespace/record/function context stack, which is accurate for this
+// codebase's style and degrades to "missing facts", never crashes, on code
+// it does not understand.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/detlint/lexer.hpp"
+
+namespace sl::analysis::detlint {
+
+struct Member {
+  std::string type;  // joined type tokens, e.g. "std::uint64_t"
+  std::string name;
+  int line = 1;
+  bool initialized = false;  // has "= ..." or "{...}" initializer
+  bool is_static = false;
+  bool is_const = false;
+};
+
+struct Record {
+  std::string name;
+  std::string file;
+  int line = 1;
+  std::vector<Member> members;
+  std::vector<std::string> methods;  // declared/defined method names
+
+  bool has_method(const std::string& method) const;
+};
+
+struct Function {
+  std::string name;       // unqualified
+  std::string qualified;  // as written, e.g. "Journal::replay"
+  std::string file;
+  int line = 1;
+  std::size_t file_index = 0;
+  // Token span of the body (indices into the owning file's token vector,
+  // half-open, brackets the outer braces).
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  std::vector<std::string> calls;  // callee identifiers, in order
+};
+
+struct RangeFor {
+  // All identifiers in the iterated expression (`for (auto& x : <expr>)`);
+  // the rule flags the loop when any of them names an unordered container
+  // or a function returning one.
+  std::vector<std::string> idents;
+  std::string function;  // enclosing function (unqualified), "" at file scope
+  std::string file;
+  int line = 1;
+};
+
+// One mutable global/static: the thread-readiness inventory unit.
+struct SharedState {
+  std::string symbol;  // qualified where scope is known, e.g. "Engine::hits"
+  std::string type;    // joined type tokens
+  std::string file;
+  int line = 1;
+  std::string kind;    // "global" | "static-local" | "static-member"
+  bool obs_gated = false;  // declared under #if SL_OBS_ENABLED
+};
+
+// Banned-identifier use site (wall clock / randomness), resolved to its
+// enclosing function by the scanner.
+struct BannedUse {
+  std::string identifier;
+  std::string function;
+  std::string file;
+  int line = 1;
+};
+
+// Container keyed by a pointer type (map/set/unordered_map/unordered_set/
+// less/hash with a T* first template argument).
+struct PointerKeyUse {
+  std::string container;  // e.g. "map"
+  std::string key_type;   // joined tokens of the first template argument
+  std::string function;
+  std::string file;
+  int line = 1;
+};
+
+struct SourceFile {
+  std::string path;  // relative to the scan root
+  std::vector<Token> tokens;
+};
+
+struct Model {
+  std::vector<SourceFile> files;
+  std::vector<Function> functions;
+  std::vector<Record> records;
+  std::vector<SharedState> shared_state;
+  std::vector<RangeFor> range_fors;
+  std::vector<BannedUse> clock_uses;
+  std::vector<BannedUse> random_uses;
+  std::vector<PointerKeyUse> pointer_keys;
+
+  // Names (variables, members, parameters) declared with an unordered
+  // container type anywhere in the corpus, and functions returning one.
+  std::set<std::string> unordered_names;
+  std::set<std::string> unordered_returning;
+
+  // `using NAME = <type>;` aliases (namespace and record scope) and enum
+  // names, for scalar/unordered type resolution in the rules.
+  std::map<std::string, std::string> aliases;
+  std::set<std::string> enum_names;
+
+  // file -> line -> rule ids allowed on that line.
+  std::map<std::string, std::map<int, std::set<std::string>>> suppressions;
+
+  bool is_suppressed(const std::string& rule, const std::string& file,
+                     int line) const;
+  const Record* find_record(const std::string& name) const;
+};
+
+// Scans one file into the model. `path` should be root-relative; it is the
+// path findings report.
+void scan_file(Model& model, const std::string& path, const std::string& text);
+
+}  // namespace sl::analysis::detlint

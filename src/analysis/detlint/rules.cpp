@@ -1,0 +1,393 @@
+#include "analysis/detlint/rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "analysis/reachability.hpp"
+#include "cfg/graph.hpp"
+
+namespace sl::analysis::detlint {
+
+namespace {
+
+bool is_code(const Token& t) {
+  return t.kind != TokenKind::kComment && t.kind != TokenKind::kDirective;
+}
+
+bool is_plain_ident(const Token& t) {
+  return t.kind == TokenKind::kIdentifier && !is_keyword(t.text);
+}
+
+std::string to_lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+// Splits a joined type string into identifier words ("std::vector<int>" ->
+// {"std", "vector", "int"}).
+std::vector<std::string> type_words(const std::string& type) {
+  std::vector<std::string> words;
+  std::string cur;
+  for (const char c : type) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      cur += c;
+    } else if (!cur.empty()) {
+      words.push_back(cur);
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) words.push_back(cur);
+  return words;
+}
+
+bool is_builtin_scalar_word(const std::string& w) {
+  static const std::set<std::string> kBuiltin = {
+      "bool",   "char",  "short",    "int",       "long",
+      "signed", "float", "double",   "size_t",    "ptrdiff_t",
+      "wchar_t", "char8_t", "char16_t", "char32_t",
+      "uintptr_t", "intptr_t", "intmax_t", "uintmax_t",
+  };
+  if (kBuiltin.contains(w)) return true;
+  // u?int(8|16|32|64)(_least\d+|_fast\d+)?_t
+  std::string rest = w;
+  if (rest.rfind("uint", 0) == 0) {
+    rest = rest.substr(4);
+  } else if (rest.rfind("int", 0) == 0) {
+    rest = rest.substr(3);
+  } else {
+    return false;
+  }
+  if (rest.size() < 3 || rest.substr(rest.size() - 2) != "_t") return false;
+  rest = rest.substr(0, rest.size() - 2);
+  if (rest.rfind("_least", 0) == 0) rest = rest.substr(6);
+  if (rest.rfind("_fast", 0) == 0) rest = rest.substr(5);
+  return rest == "8" || rest == "16" || rest == "32" || rest == "64";
+}
+
+// A type is scalar when, modulo `std`/`const` qualifiers, every word is a
+// builtin arithmetic type, a sized integer, a corpus enum, or an alias that
+// resolves to one. (`std::vector<std::uint8_t>` fails on "vector".)
+bool is_scalar_type(const Model& model, const std::string& type, int depth) {
+  if (depth > 4) return false;
+  std::size_t checked = 0;
+  for (const std::string& w : type_words(type)) {
+    if (w == "std" || w == "const" || w == "unsigned") continue;
+    ++checked;
+    if (is_builtin_scalar_word(w)) continue;
+    if (model.enum_names.contains(w)) continue;
+    const auto alias = model.aliases.find(w);
+    if (alias != model.aliases.end() &&
+        is_scalar_type(model, alias->second, depth + 1)) {
+      continue;
+    }
+    return false;
+  }
+  return checked > 0 || type.find("unsigned") != std::string::npos;
+}
+
+bool type_contains_any(const std::string& type,
+                       const std::vector<std::string>& needles) {
+  for (const std::string& n : needles) {
+    if (type.find(n) != std::string::npos) return true;
+  }
+  return false;
+}
+
+bool is_sync_type(const std::string& type) {
+  return type_contains_any(type, {"atomic", "mutex", "once_flag",
+                                  "condition_variable", "latch", "barrier",
+                                  "semaphore"});
+}
+
+// True when a record of this type synchronizes internally (owns a mutex or
+// atomic member), e.g. the MetricsRegistry / TraceRecorder singletons.
+bool is_internally_synchronized(const Model& model, const std::string& type,
+                                std::string* via) {
+  for (const std::string& w : type_words(type)) {
+    const Record* record = model.find_record(w);
+    if (record == nullptr) continue;
+    for (const Member& m : record->members) {
+      if (is_sync_type(m.type)) {
+        *via = record->name + " owns " + m.type + " " + m.name;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool is_obs_handle(const std::string& type) {
+  return type_contains_any(type, {"Counter", "Gauge", "Histogram"});
+}
+
+void classify_shared_state(const Model& model, LintReport& report) {
+  for (const SharedState& decl : model.shared_state) {
+    SharedStateEntry entry;
+    entry.decl = decl;
+    std::string via;
+    if (is_sync_type(decl.type)) {
+      entry.classification = "guarded";
+      entry.detail = "synchronized type";
+    } else if (is_internally_synchronized(model, decl.type, &via)) {
+      entry.classification = "guarded";
+      entry.detail = "internally synchronized: " + via;
+    } else if (decl.obs_gated) {
+      entry.classification = "gated";
+      entry.detail = "declared under #if SL_OBS_ENABLED";
+    } else if (is_obs_handle(decl.type)) {
+      entry.classification = "gated";
+      entry.detail = "observability handle; inert unless SL_OBS_ENABLED";
+    } else {
+      entry.classification = "unguarded";
+      entry.detail = "no synchronization or compile-out gate found";
+    }
+    report.shared_state.push_back(std::move(entry));
+  }
+  std::sort(report.shared_state.begin(), report.shared_state.end(),
+            [](const SharedStateEntry& a, const SharedStateEntry& b) {
+              return std::tie(a.decl.file, a.decl.line, a.decl.symbol) <
+                     std::tie(b.decl.file, b.decl.line, b.decl.symbol);
+            });
+}
+
+// Adds alias-typed declarations (`NodeSet visited;` where `using NodeSet =
+// std::unordered_set<...>`) to the unordered name sets.
+void resolve_unordered_aliases(const Model& model,
+                               std::set<std::string>& names,
+                               std::set<std::string>& returning) {
+  std::set<std::string> unordered_types;
+  for (const auto& [alias, underlying] : model.aliases) {
+    if (underlying.find("unordered_map") != std::string::npos ||
+        underlying.find("unordered_set") != std::string::npos) {
+      unordered_types.insert(alias);
+    }
+  }
+  if (unordered_types.empty()) return;
+  for (const SourceFile& file : model.files) {
+    const auto& t = file.tokens;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      if (!is_code(t[i]) || !is_plain_ident(t[i])) continue;
+      if (!unordered_types.contains(t[i].text)) continue;
+      std::size_t j = i + 1;
+      while (j < t.size() && !is_code(t[j])) ++j;
+      // Skip reference/pointer declarators.
+      while (j < t.size() && t[j].kind == TokenKind::kPunct &&
+             (t[j].text == "&" || t[j].text == "*")) {
+        ++j;
+        while (j < t.size() && !is_code(t[j])) ++j;
+      }
+      if (j >= t.size() || !is_plain_ident(t[j])) continue;
+      std::size_t k = j + 1;
+      while (k < t.size() && !is_code(t[k])) ++k;
+      if (k < t.size() && t[k].kind == TokenKind::kPunct && t[k].text == "(") {
+        returning.insert(t[j].text);
+      } else {
+        names.insert(t[j].text);
+      }
+    }
+  }
+}
+
+struct Reach {
+  cfg::CallGraph graph;
+  NodeSet reachable;
+  // reached node -> a serialization entry that reaches it.
+  std::unordered_map<cfg::NodeId, cfg::NodeId> via_entry;
+};
+
+Reach build_reachability(const Model& model) {
+  Reach r;
+  std::set<std::string> names;
+  for (const Function& fn : model.functions) names.insert(fn.name);
+  for (const std::string& name : names) {
+    cfg::FunctionInfo info;
+    info.name = name;
+    r.graph.add_function(std::move(info));
+  }
+  for (const Function& fn : model.functions) {
+    for (const std::string& callee : fn.calls) {
+      if (callee != fn.name && names.contains(callee)) {
+        r.graph.add_call(fn.name, callee, 1);
+      }
+    }
+  }
+  const NodeSet avoid;  // transitive closure avoids nothing
+  for (const std::string& name : names) {
+    if (!is_serialization_entry(name)) continue;
+    const cfg::NodeId entry = r.graph.id_of(name);
+    for (const cfg::NodeId node : reachable_avoiding(r.graph, entry, avoid)) {
+      if (r.reachable.insert(node).second) r.via_entry[node] = entry;
+    }
+  }
+  return r;
+}
+
+void add_finding(const Model& model, LintReport& report, LintFinding finding) {
+  if (model.is_suppressed(finding.rule, finding.file, finding.line)) {
+    ++report.suppressed;
+    return;
+  }
+  report.findings.push_back(std::move(finding));
+}
+
+}  // namespace
+
+std::vector<std::string> all_rules() {
+  return {kRuleWallClock,       kRuleUnseededRandom,
+          kRuleUnorderedIteration, kRulePointerOrdering,
+          kRuleUninitWireMember,   kRuleUnguardedSharedState};
+}
+
+bool is_serialization_entry(const std::string& name) {
+  const std::string lower = to_lower(name);
+  // "serialize" counts unless every occurrence is part of "deserialize":
+  // parsers consume bytes, they do not expose iteration order.
+  for (std::size_t at = lower.find("serialize"); at != std::string::npos;
+       at = lower.find("serialize", at + 1)) {
+    if (at < 2 || lower.compare(at - 2, 2, "de") != 0) return true;
+  }
+  for (const char* needle : {"digest", "fingerprint", "to_json",
+                             "to_prometheus", "to_text", "to_dot", "jsonl"}) {
+    if (lower.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void run_rules(const Model& model, LintReport& report) {
+  report.files_scanned = model.files.size();
+  report.function_count = model.functions.size();
+
+  classify_shared_state(model, report);
+
+  // --- wall-clock / unseeded-random ------------------------------------------
+  for (const BannedUse& use : model.clock_uses) {
+    LintFinding f;
+    f.rule = kRuleWallClock;
+    f.severity = Severity::kHigh;
+    f.file = use.file;
+    f.line = use.line;
+    f.function = use.function;
+    f.symbol = use.identifier;
+    f.message = "wall-clock API `" + use.identifier +
+                "` breaks deterministic replay; thread virtual time through "
+                "SimClock instead";
+    add_finding(model, report, std::move(f));
+  }
+  for (const BannedUse& use : model.random_uses) {
+    LintFinding f;
+    f.rule = kRuleUnseededRandom;
+    f.severity = Severity::kHigh;
+    f.file = use.file;
+    f.line = use.line;
+    f.function = use.function;
+    f.symbol = use.identifier;
+    f.message = "nondeterministic randomness `" + use.identifier +
+                "` is not replayable; draw from the seeded common/rng "
+                "generator instead";
+    add_finding(model, report, std::move(f));
+  }
+
+  // --- unordered-iteration ----------------------------------------------------
+  std::set<std::string> unordered_names = model.unordered_names;
+  std::set<std::string> unordered_returning = model.unordered_returning;
+  resolve_unordered_aliases(model, unordered_names, unordered_returning);
+  const Reach reach = build_reachability(model);
+  const NodeSet avoid;
+  for (const RangeFor& rf : model.range_fors) {
+    std::string matched;
+    for (const std::string& ident : rf.idents) {
+      if (unordered_names.contains(ident) ||
+          unordered_returning.contains(ident)) {
+        matched = ident;
+        break;
+      }
+    }
+    if (matched.empty() || rf.function.empty()) continue;
+    const auto node = reach.graph.find(rf.function);
+    if (!node.has_value() || !reach.reachable.contains(*node)) continue;
+    LintFinding f;
+    f.rule = kRuleUnorderedIteration;
+    f.severity = Severity::kMedium;
+    f.file = rf.file;
+    f.line = rf.line;
+    f.function = rf.function;
+    f.symbol = matched;
+    const cfg::NodeId entry = reach.via_entry.at(*node);
+    for (const cfg::NodeId hop :
+         find_path_avoiding(reach.graph, entry, *node, avoid)) {
+      f.evidence.push_back(reach.graph.node(hop).name);
+    }
+    f.message = "iteration order of `" + matched +
+                "` escapes through serialization entry `" +
+                reach.graph.node(entry).name +
+                "`; iterate a sorted copy or switch to an ordered container";
+    add_finding(model, report, std::move(f));
+  }
+
+  // --- pointer-ordering -------------------------------------------------------
+  for (const PointerKeyUse& use : model.pointer_keys) {
+    LintFinding f;
+    f.rule = kRulePointerOrdering;
+    f.severity = Severity::kMedium;
+    f.file = use.file;
+    f.line = use.line;
+    f.function = use.function;
+    f.symbol = use.key_type;
+    f.message = "`" + use.container + "` keyed by pointer type `" +
+                use.key_type +
+                "` orders/hashes by address, which varies across runs; key "
+                "by a stable id instead";
+    add_finding(model, report, std::move(f));
+  }
+
+  // --- uninit-wire-member -----------------------------------------------------
+  for (const Record& record : model.records) {
+    if (!record.has_method("serialize") && !record.has_method("deserialize")) {
+      continue;
+    }
+    for (const Member& m : record.members) {
+      if (m.initialized || m.is_static || m.is_const) continue;
+      if (!is_scalar_type(model, m.type, 0)) continue;
+      LintFinding f;
+      f.rule = kRuleUninitWireMember;
+      f.severity = Severity::kHigh;
+      f.file = record.file;
+      f.line = m.line;
+      f.symbol = record.name + "::" + m.name;
+      f.message = "wire struct member `" + record.name + "::" + m.name +
+                  "` (" + m.type +
+                  ") has no initializer; partially-filled messages would "
+                  "serialize indeterminate bytes";
+      add_finding(model, report, std::move(f));
+    }
+  }
+
+  // --- unguarded-shared-state -------------------------------------------------
+  for (const SharedStateEntry& entry : report.shared_state) {
+    if (entry.classification != "unguarded") continue;
+    LintFinding f;
+    f.rule = kRuleUnguardedSharedState;
+    f.severity = Severity::kWarning;
+    f.file = entry.decl.file;
+    f.line = entry.decl.line;
+    f.symbol = entry.decl.symbol;
+    f.message = "mutable " + entry.decl.kind + " `" + entry.decl.symbol +
+                "` (" + entry.decl.type +
+                ") is unsynchronized; it must be guarded, sharded, or gated "
+                "before the thread-per-shard backend lands";
+    add_finding(model, report, std::move(f));
+  }
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const LintFinding& a, const LintFinding& b) {
+              return std::tie(a.rule, a.file, a.line, a.symbol) <
+                     std::tie(b.rule, b.file, b.line, b.symbol);
+            });
+}
+
+}  // namespace sl::analysis::detlint

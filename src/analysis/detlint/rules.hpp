@@ -1,0 +1,82 @@
+// Determinism & thread-readiness rules evaluated over a detlint Model.
+//
+// Determinism family (protects the DST guarantee: identical seeds replay
+// bit-identically):
+//   wall-clock           real-time clock APIs anywhere in src/
+//   unseeded-random      rand()/random_device-style nondeterminism
+//   unordered-iteration  range-for over an unordered container inside a
+//                        function transitively reachable from a
+//                        serialization/digest/exposition entry point
+//                        (file-level call graph + the PR-1 reachability
+//                        engine provide the transitive closure)
+//   pointer-ordering     ordered/hashed containers keyed by pointer values
+//   uninit-wire-member   uninitialized scalar members of wire/WAL structs
+//                        (records that declare serialize/deserialize)
+//
+// Thread-readiness family (the shared-state worklist for the thread-per-
+// shard backend, ROADMAP item 1):
+//   unguarded-shared-state  a mutable global/static that is neither
+//                           synchronized, internally synchronized, nor
+//                           compiled out with SL_OBS_ENABLED
+//
+// Every mutable global/static is additionally reported (whatever its
+// classification) in the shared-state inventory.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/detlint/model.hpp"
+#include "analysis/finding.hpp"
+
+namespace sl::analysis::detlint {
+
+inline constexpr const char* kRuleWallClock = "wall-clock";
+inline constexpr const char* kRuleUnseededRandom = "unseeded-random";
+inline constexpr const char* kRuleUnorderedIteration = "unordered-iteration";
+inline constexpr const char* kRulePointerOrdering = "pointer-ordering";
+inline constexpr const char* kRuleUninitWireMember = "uninit-wire-member";
+inline constexpr const char* kRuleUnguardedSharedState = "unguarded-shared-state";
+
+// All rule ids, in catalog order (docs/ANALYSIS.md).
+std::vector<std::string> all_rules();
+
+struct LintFinding {
+  std::string rule;
+  Severity severity = Severity::kWarning;
+  std::string file;
+  int line = 1;
+  std::string function;  // enclosing function, "" at file scope
+  std::string symbol;    // subject symbol (member, global, identifier)
+  std::string message;
+  // For unordered-iteration: serialization entry -> ... -> function.
+  std::vector<std::string> evidence;
+};
+
+// One classified row of the thread-readiness inventory.
+struct SharedStateEntry {
+  SharedState decl;
+  std::string classification;  // "guarded" | "gated" | "unguarded"
+  std::string detail;          // why it got that classification
+};
+
+struct LintReport {
+  std::string root;  // label findings' paths are relative to, e.g. "src"
+  std::size_t files_scanned = 0;
+  std::size_t function_count = 0;
+  std::vector<SharedStateEntry> shared_state;
+  std::vector<LintFinding> findings;  // sorted: rule, file, line, symbol
+  std::size_t suppressed = 0;         // findings silenced by detlint:allow
+
+  bool clean() const { return findings.empty(); }
+};
+
+// True when `name` looks like a serialization/digest/exposition entry point
+// (the sources whose iteration order escapes into externally visible bytes).
+bool is_serialization_entry(const std::string& name);
+
+// Evaluates every rule over `model`, filling report.findings (sorted) and
+// report.shared_state (sorted by file, line, symbol).
+void run_rules(const Model& model, LintReport& report);
+
+}  // namespace sl::analysis::detlint

@@ -1,0 +1,114 @@
+#include "analysis/envelope.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace sl::analysis {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string envelope_header(const std::string& tool) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema_version\": " << kReportSchemaVersion << ",\n";
+  os << "  \"tool\": \"" << json_escape(tool) << "\",\n";
+  return os.str();
+}
+
+namespace {
+
+// Position just past `key` (a full '"name":' pattern) or npos.
+std::size_t find_key(const std::string& json, const std::string& key) {
+  const std::string pattern = "\"" + key + "\":";
+  const std::size_t at = json.find(pattern);
+  return at == std::string::npos ? std::string::npos : at + pattern.size();
+}
+
+void skip_spaces(const std::string& json, std::size_t& at) {
+  while (at < json.size() &&
+         (json[at] == ' ' || json[at] == '\n' || json[at] == '\t')) {
+    ++at;
+  }
+}
+
+// Advances past a string literal starting at `at` (which must be '"').
+bool skip_string(const std::string& json, std::size_t& at) {
+  if (at >= json.size() || json[at] != '"') return false;
+  for (++at; at < json.size(); ++at) {
+    if (json[at] == '\\') {
+      ++at;
+    } else if (json[at] == '"') {
+      ++at;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<EnvelopeInfo> parse_envelope(const std::string& json) {
+  EnvelopeInfo info;
+
+  std::size_t at = find_key(json, "schema_version");
+  if (at == std::string::npos) return std::nullopt;
+  skip_spaces(json, at);
+  if (at >= json.size() || json[at] < '0' || json[at] > '9') return std::nullopt;
+  while (at < json.size() && json[at] >= '0' && json[at] <= '9') {
+    info.schema_version = info.schema_version * 10 + (json[at] - '0');
+    ++at;
+  }
+
+  at = find_key(json, "tool");
+  if (at == std::string::npos) return std::nullopt;
+  skip_spaces(json, at);
+  const std::size_t open = at;
+  if (!skip_string(json, at)) return std::nullopt;
+  info.tool = json.substr(open + 1, at - open - 2);
+
+  at = find_key(json, "findings");
+  if (at == std::string::npos) return std::nullopt;
+  skip_spaces(json, at);
+  if (at >= json.size() || json[at] != '[') return std::nullopt;
+  ++at;
+  int depth = 0;  // brace/bracket depth inside the findings array
+  for (; at < json.size(); ++at) {
+    const char c = json[at];
+    if (c == '"') {
+      if (!skip_string(json, at)) return std::nullopt;
+      --at;  // the loop increment re-advances past the closing quote
+    } else if (c == '{' || c == '[') {
+      if (c == '{' && depth == 0) ++info.finding_count;
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (depth == 0) {
+        if (c == ']') return info;  // end of the findings array
+        return std::nullopt;
+      }
+      --depth;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace sl::analysis

@@ -1,0 +1,47 @@
+// Shared JSON report envelope for the static-analysis tools.
+//
+// `securelease audit` (partition security, report.hpp) and `securelease
+// lint` (determinism & thread-readiness, detlint/) emit the same outer
+// document shape so downstream tooling parses both uniformly:
+//
+//   {
+//     "schema_version": 1,
+//     "tool": "<tool name>",
+//     ... tool-specific fields ...
+//     "findings": [ ... ],
+//     "summary": { ... }
+//   }
+//
+// parse_envelope() is the minimal structural reader the round-trip tests
+// (and CI scripts) use: it extracts the version, the tool name, and the
+// number of findings without depending on either tool's field layout.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace sl::analysis {
+
+inline constexpr int kReportSchemaVersion = 1;
+
+// JSON string escaping shared by both report writers.
+std::string json_escape(const std::string& s);
+
+// Opening of the envelope document: '{' plus the schema_version and tool
+// fields, ready for the tool-specific body to follow.
+std::string envelope_header(const std::string& tool);
+
+struct EnvelopeInfo {
+  int schema_version = 0;
+  std::string tool;
+  std::size_t finding_count = 0;
+};
+
+// Structural parse of an envelope document. Returns nullopt when the
+// schema_version or tool field is missing or the findings array is absent
+// or unbalanced. String contents are skipped correctly, so braces inside
+// finding messages do not confuse the count.
+std::optional<EnvelopeInfo> parse_envelope(const std::string& json);
+
+}  // namespace sl::analysis

@@ -4,31 +4,11 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "analysis/envelope.hpp"
+
 namespace sl::analysis {
 
 namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 void json_string_array(std::ostringstream& os, const std::vector<std::string>& v) {
   os << "[";
@@ -80,7 +60,7 @@ std::string to_text(const AuditReport& report) {
 
 std::string to_json(const AuditReport& report) {
   std::ostringstream os;
-  os << "{\n";
+  os << envelope_header("securelease-audit");
   os << "  \"app\": \"" << json_escape(report.app) << "\",\n";
   os << "  \"scheme\": \"" << json_escape(report.scheme) << "\",\n";
   os << "  \"entry\": \"" << json_escape(report.entry) << "\",\n";

@@ -75,6 +75,8 @@ Bytes WalRecord::serialize() const {
       put_u64(out, slid);
       put_u64(out, root_key);
       put_u32(out, static_cast<std::uint32_t>(unused.size()));
+      // detlint:allow(unordered-iteration) sorted vector field (see
+      // durability.hpp); name-collides with the map in sl_local.cpp
       for (const auto& [unused_lease, count] : unused) {
         put_u32(out, unused_lease);
         put_u64(out, count);

@@ -279,6 +279,7 @@ Bytes SlRemote::serialize_state() const {
         pool.outstanding.begin(), pool.outstanding.end());
     std::sort(outstanding.begin(), outstanding.end());
     put_u32(out, static_cast<std::uint32_t>(outstanding.size()));
+    // detlint:allow(unordered-iteration) sorted vector copy, not the map
     for (const auto& [slid, count] : outstanding) {
       put_u64(out, slid);
       put_u64(out, count);
@@ -287,9 +288,12 @@ Bytes SlRemote::serialize_state() const {
 
   std::vector<Slid> slids;
   slids.reserve(locals_.size());
+  // detlint:allow(unordered-iteration) keys are collected then sorted below
   for (const auto& [slid, record] : locals_) slids.push_back(slid);
   std::sort(slids.begin(), slids.end());
   put_u32(out, static_cast<std::uint32_t>(slids.size()));
+  // detlint:allow(unordered-iteration) sorted vector; name-collides with
+  // the unordered shard map in shard_router.hpp
   for (const Slid slid : slids) {
     const LocalRecord& record = locals_.at(slid);
     put_u64(out, slid);
@@ -367,6 +371,7 @@ std::optional<LeaseLedger> SlRemote::ledger(LeaseId lease) const {
   LeaseLedger ledger;
   ledger.provisioned = pool.provisioned;
   ledger.pool = pool.remaining;
+  // detlint:allow(unordered-iteration) order-independent sum
   for (const auto& [slid, count] : pool.outstanding) ledger.outstanding += count;
   ledger.consumed = pool.consumed;
   ledger.forfeited = pool.forfeited;
@@ -377,6 +382,7 @@ std::optional<LeaseLedger> SlRemote::ledger(LeaseId lease) const {
 std::vector<LeaseId> SlRemote::provisioned_leases() const {
   std::vector<LeaseId> leases;
   leases.reserve(pools_.size());
+  // detlint:allow(unordered-iteration) keys are collected then sorted below
   for (const auto& [lease, pool] : pools_) leases.push_back(lease);
   std::sort(leases.begin(), leases.end());
   return leases;

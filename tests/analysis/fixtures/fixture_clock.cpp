@@ -1,0 +1,13 @@
+// detlint fixture: wall-clock rule. Scanned by test_detlint, never built.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long wall_now() {
+  const auto tp = std::chrono::system_clock::now();  // wall-clock fires here
+  (void)tp;
+  return static_cast<long>(time(nullptr));  // and here (direct call form)
+}
+
+}  // namespace fixture

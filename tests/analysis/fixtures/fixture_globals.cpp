@@ -1,0 +1,24 @@
+// detlint fixture: unguarded-shared-state rule and the thread-readiness
+// classifications. Scanned by test_detlint, never built.
+#include <atomic>
+#include <mutex>
+
+namespace fixture {
+
+int g_unguarded_hits = 0;           // unguarded-shared-state fires here
+std::atomic<int> g_atomic_hits{0};  // guarded: synchronized type
+std::mutex g_lock;                  // guarded: synchronized type
+const int kLimit = 16;              // immutable: not shared state at all
+
+#if SL_OBS_ENABLED
+int g_gated_samples = 0;  // gated: compiled out without the obs build
+#endif
+
+int bump() {
+  static int calls = 0;        // unguarded-shared-state fires here too
+  static const int kStep = 1;  // const static local: excluded
+  calls += kStep;
+  return ++g_unguarded_hits;
+}
+
+}  // namespace fixture

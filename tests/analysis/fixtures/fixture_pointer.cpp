@@ -1,0 +1,21 @@
+// detlint fixture: pointer-ordering rule. Scanned by test_detlint, never
+// built. The map is keyed by Widget*, so iteration order follows allocation
+// addresses.
+#include <map>
+
+namespace fixture {
+
+struct Widget {
+  int id = 0;
+};
+
+int sum_by_address(const std::map<Widget*, int>& scores) {  // fires here
+  int total = 0;
+  for (const auto& [widget, score] : scores) {
+    (void)widget;
+    total += score;
+  }
+  return total;
+}
+
+}  // namespace fixture

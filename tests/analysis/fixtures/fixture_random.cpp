@@ -1,0 +1,12 @@
+// detlint fixture: unseeded-random rule. Scanned by test_detlint, never built.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int roll() {
+  std::random_device entropy;  // unseeded-random fires here
+  return std::rand() + static_cast<int>(entropy());  // and here
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// detlint fixture: suppression comments. The rand() call below would fire
+// unseeded-random, but the allow marker on the preceding line silences it.
+#include <cstdlib>
+
+namespace fixture {
+
+int seeded_roll() {
+  // detlint:allow(unseeded-random) fixture exercising the suppression syntax
+  return std::rand();
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// detlint fixture: unordered-iteration rule. The loop in dump() is
+// transitively reachable from serialize(), so it fires; the identical loop
+// in debug_walk() is reachable from no serialization entry, so it must not.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Inventory {
+  std::unordered_map<std::string, int> counts;
+
+  int dump(std::string* out) const {
+    int total = 0;
+    for (const auto& [name, n] : counts) {  // fires: serialize -> dump
+      *out += name;
+      total += n;
+    }
+    return total;
+  }
+
+  std::string serialize() const {
+    std::string out;
+    dump(&out);
+    return out;
+  }
+};
+
+int debug_walk(const Inventory& inv) {
+  int total = 0;
+  for (const auto& [name, n] : inv.counts) {  // must NOT fire: unreachable
+    total += n + static_cast<int>(name.size());
+  }
+  return total;
+}
+
+}  // namespace fixture

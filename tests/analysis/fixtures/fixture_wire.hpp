@@ -1,0 +1,22 @@
+// detlint fixture: uninit-wire-member rule. Packet has serialize/deserialize
+// methods, so it is a wire struct; payload_bytes lacks an initializer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+using PacketId = std::uint32_t;
+
+struct Packet {
+  PacketId id = 0;
+  std::uint64_t payload_bytes;  // uninit-wire-member fires here
+  bool ack = false;
+  std::vector<std::uint8_t> body;  // non-scalar: zero-length by default, ok
+
+  std::vector<std::uint8_t> serialize() const;
+  static Packet deserialize(const std::vector<std::uint8_t>& data);
+};
+
+}  // namespace fixture

@@ -1,0 +1,347 @@
+// detlint test fortress: lexer units, one seeded fixture per rule (each
+// rule must fire — and the unreachable unordered loop must not), the
+// suppression syntax, the golden JSON report over the fixture tree, the
+// baseline workflow, and the self-scan gate: the repository's own src/ must
+// be clean modulo tools/detlint_baseline.json.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "analysis/detlint/detlint.hpp"
+#include "analysis/detlint/lexer.hpp"
+#include "analysis/detlint/model.hpp"
+#include "analysis/envelope.hpp"
+
+#ifndef SL_SOURCE_DIR
+#error "SL_SOURCE_DIR must point at the repository root"
+#endif
+
+namespace sl::analysis::detlint {
+namespace {
+
+std::string fixtures_dir() {
+  return std::string(SL_SOURCE_DIR) + "/tests/analysis/fixtures";
+}
+
+LintResult lint_fixtures() {
+  LintOptions options;
+  options.root = fixtures_dir();
+  options.label = "fixtures";
+  return run_lint(options);
+}
+
+std::vector<LintFinding> findings_for(const LintResult& result,
+                                      const std::string& rule) {
+  std::vector<LintFinding> out;
+  for (const LintFinding& f : result.report.findings) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+// --- lexer -------------------------------------------------------------------
+
+TEST(DetlintLexer, TokenizesIdentifiersPunctuationAndLines) {
+  const auto tokens = lex("int a = b::c->d;\nreturn a;");
+  std::vector<std::string> texts;
+  for (const auto& t : tokens) texts.push_back(t.text);
+  const std::vector<std::string> expected = {"int", "a", "=",      "b", "::",
+                                             "c",   "->", "d",     ";", "return",
+                                             "a",   ";"};
+  EXPECT_EQ(texts, expected);
+  EXPECT_EQ(tokens.front().line, 1);
+  EXPECT_EQ(tokens.back().line, 2);
+}
+
+TEST(DetlintLexer, KeepsCommentsAndDirectives) {
+  const auto tokens = lex("#include <x>\n// note\n/* block */ y");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDirective);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[1].text, " note");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[3].text, "y");
+}
+
+TEST(DetlintLexer, TracksObsGatedRegions) {
+  const auto tokens =
+      lex("int a;\n#if SL_OBS_ENABLED\nint b;\n#endif\nint c;");
+  bool saw_a = false, saw_b = false, saw_c = false;
+  for (const auto& t : tokens) {
+    if (t.text == "a") { saw_a = true; EXPECT_FALSE(t.obs_gated); }
+    if (t.text == "b") { saw_b = true; EXPECT_TRUE(t.obs_gated); }
+    if (t.text == "c") { saw_c = true; EXPECT_FALSE(t.obs_gated); }
+  }
+  EXPECT_TRUE(saw_a && saw_b && saw_c);
+}
+
+TEST(DetlintLexer, RawStringsAndEscapesDoNotConfuseBraces) {
+  const auto tokens = lex("auto s = R\"(a { b)\"; auto t = \"x\\\"{\";");
+  int braces = 0;
+  for (const auto& t : tokens) {
+    if (t.kind == TokenKind::kPunct && t.text == "{") ++braces;
+  }
+  EXPECT_EQ(braces, 0);
+}
+
+// --- model -------------------------------------------------------------------
+
+TEST(DetlintModel, FindsFunctionsRecordsAndCalls) {
+  Model model;
+  scan_file(model, "t.cpp",
+            "namespace n {\n"
+            "struct Point { int x = 0; int y; bool ok() const; };\n"
+            "int helper(int v) { return v + 1; }\n"
+            "int outer() { return helper(2); }\n"
+            "}\n");
+  ASSERT_EQ(model.records.size(), 1u);
+  EXPECT_EQ(model.records[0].name, "Point");
+  ASSERT_EQ(model.records[0].members.size(), 2u);
+  EXPECT_TRUE(model.records[0].members[0].initialized);
+  EXPECT_FALSE(model.records[0].members[1].initialized);
+  EXPECT_TRUE(model.records[0].has_method("ok"));
+
+  ASSERT_EQ(model.functions.size(), 2u);
+  EXPECT_EQ(model.functions[0].name, "helper");
+  EXPECT_EQ(model.functions[1].name, "outer");
+  EXPECT_EQ(model.functions[1].calls,
+            (std::vector<std::string>{"helper"}));
+}
+
+TEST(DetlintModel, SuppressionCoversOwnAndNextLine) {
+  Model model;
+  scan_file(model, "t.cpp",
+            "// detlint:allow(wall-clock) reason\n"
+            "int x;\n");
+  EXPECT_TRUE(model.is_suppressed("wall-clock", "t.cpp", 1));
+  EXPECT_TRUE(model.is_suppressed("wall-clock", "t.cpp", 2));
+  EXPECT_FALSE(model.is_suppressed("wall-clock", "t.cpp", 3));
+  EXPECT_FALSE(model.is_suppressed("unseeded-random", "t.cpp", 2));
+}
+
+TEST(DetlintRules, SerializationEntryPredicate) {
+  EXPECT_TRUE(is_serialization_entry("serialize"));
+  EXPECT_TRUE(is_serialization_entry("serialize_quote"));
+  EXPECT_TRUE(is_serialization_entry("to_json"));
+  EXPECT_TRUE(is_serialization_entry("to_prometheus"));
+  EXPECT_TRUE(is_serialization_entry("write_jsonl"));
+  EXPECT_TRUE(is_serialization_entry("state_digest"));
+  EXPECT_FALSE(is_serialization_entry("deserialize"));
+  EXPECT_FALSE(is_serialization_entry("deserialize_quote"));
+  EXPECT_FALSE(is_serialization_entry("renew_lease"));
+}
+
+// --- fixture scans: every rule must fire -------------------------------------
+
+TEST(DetlintFixtures, EveryRuleFires) {
+  const LintResult result = lint_fixtures();
+  ASSERT_TRUE(result.ok) << result.error;
+  std::set<std::string> fired;
+  for (const LintFinding& f : result.report.findings) fired.insert(f.rule);
+  for (const std::string& rule : all_rules()) {
+    EXPECT_TRUE(fired.contains(rule)) << "rule never fired: " << rule;
+  }
+}
+
+TEST(DetlintFixtures, WallClockFindings) {
+  const auto found = findings_for(lint_fixtures(), kRuleWallClock);
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0].file, "fixtures/fixture_clock.cpp");
+  EXPECT_EQ(found[0].symbol, "system_clock");
+  EXPECT_EQ(found[1].symbol, "time");
+  EXPECT_EQ(found[1].function, "wall_now");
+}
+
+TEST(DetlintFixtures, UnseededRandomFindingsAndSuppression) {
+  const LintResult result = lint_fixtures();
+  const auto found = findings_for(result, kRuleUnseededRandom);
+  ASSERT_EQ(found.size(), 2u);  // random_device + rand; suppressed one absent
+  for (const LintFinding& f : found) {
+    EXPECT_EQ(f.file, "fixtures/fixture_random.cpp");
+  }
+  EXPECT_GE(result.report.suppressed, 1u);
+}
+
+TEST(DetlintFixtures, UnorderedIterationNeedsReachability) {
+  const auto found = findings_for(lint_fixtures(), kRuleUnorderedIteration);
+  ASSERT_EQ(found.size(), 1u) << "only the serialize-reachable loop fires";
+  EXPECT_EQ(found[0].file, "fixtures/fixture_unordered.cpp");
+  EXPECT_EQ(found[0].function, "dump");
+  EXPECT_EQ(found[0].symbol, "counts");
+  ASSERT_GE(found[0].evidence.size(), 2u);
+  EXPECT_EQ(found[0].evidence.front(), "serialize");
+  EXPECT_EQ(found[0].evidence.back(), "dump");
+}
+
+TEST(DetlintFixtures, PointerOrderingFinding) {
+  const auto found = findings_for(lint_fixtures(), kRulePointerOrdering);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].file, "fixtures/fixture_pointer.cpp");
+  EXPECT_EQ(found[0].symbol, "Widget*");
+}
+
+TEST(DetlintFixtures, UninitWireMemberFinding) {
+  const auto found = findings_for(lint_fixtures(), kRuleUninitWireMember);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].file, "fixtures/fixture_wire.hpp");
+  EXPECT_EQ(found[0].symbol, "Packet::payload_bytes");
+}
+
+TEST(DetlintFixtures, SharedStateClassification) {
+  const LintResult result = lint_fixtures();
+  const auto classification_of = [&](const std::string& symbol) {
+    for (const SharedStateEntry& e : result.report.shared_state) {
+      if (e.decl.symbol == symbol) return e.classification;
+    }
+    return std::string("ABSENT");
+  };
+  EXPECT_EQ(classification_of("g_unguarded_hits"), "unguarded");
+  EXPECT_EQ(classification_of("bump::calls"), "unguarded");
+  EXPECT_EQ(classification_of("g_atomic_hits"), "guarded");
+  EXPECT_EQ(classification_of("g_lock"), "guarded");
+  EXPECT_EQ(classification_of("g_gated_samples"), "gated");
+  EXPECT_EQ(classification_of("kLimit"), "ABSENT");
+  EXPECT_EQ(classification_of("bump::kStep"), "ABSENT");
+
+  const auto found = findings_for(result, kRuleUnguardedSharedState);
+  EXPECT_EQ(found.size(), 2u);
+}
+
+// --- golden JSON over the fixture tree ---------------------------------------
+
+TEST(DetlintFixtures, GoldenJsonReport) {
+  const std::string path =
+      std::string(SL_SOURCE_DIR) + "/tests/analysis/golden/detlint_fixtures.json";
+  const std::string actual = to_json(lint_fixtures());
+  if (std::getenv("SL_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with SL_UPDATE_GOLDEN=1 to create)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str());
+}
+
+// --- baseline workflow -------------------------------------------------------
+
+TEST(DetlintBaseline, AcceptedFindingsDoNotCountAsNew) {
+  const LintResult unbaselined = lint_fixtures();
+  ASSERT_TRUE(unbaselined.ok);
+  ASSERT_FALSE(unbaselined.report.findings.empty());
+  EXPECT_EQ(unbaselined.new_keys.size(), unbaselined.report.findings.size());
+
+  const std::string path = testing::TempDir() + "detlint_fixture_baseline.json";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good());
+    out << baseline_json(unbaselined.report);
+  }
+  LintOptions options;
+  options.root = fixtures_dir();
+  options.label = "fixtures";
+  options.baseline_path = path;
+  const LintResult baselined = run_lint(options);
+  ASSERT_TRUE(baselined.ok) << baselined.error;
+  EXPECT_TRUE(baselined.baseline_loaded);
+  EXPECT_TRUE(baselined.new_keys.empty())
+      << "first new key: " << baselined.new_keys.front();
+  EXPECT_EQ(baselined.report.findings.size(),
+            unbaselined.report.findings.size());
+}
+
+TEST(DetlintBaseline, MissingBaselineFileIsAnError) {
+  LintOptions options;
+  options.root = fixtures_dir();
+  options.label = "fixtures";
+  options.baseline_path = testing::TempDir() + "does_not_exist.json";
+  const LintResult result = run_lint(options);
+  EXPECT_FALSE(result.ok);
+}
+
+// --- shared envelope round-trip ----------------------------------------------
+
+TEST(Envelope, LintReportParsesBack) {
+  const LintResult result = lint_fixtures();
+  const auto info = parse_envelope(to_json(result));
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->schema_version, kReportSchemaVersion);
+  EXPECT_EQ(info->tool, "securelease-lint");
+  EXPECT_EQ(info->finding_count, result.report.findings.size());
+}
+
+TEST(Envelope, RejectsNonEnvelopeDocuments) {
+  EXPECT_FALSE(parse_envelope("{}").has_value());
+  EXPECT_FALSE(parse_envelope("{\"schema_version\": 1}").has_value());
+}
+
+// --- self-scan: src/ must be clean modulo the checked-in baseline ------------
+
+TEST(DetlintSelfScan, SrcIsCleanModuloBaseline) {
+  LintOptions options;
+  options.root = std::string(SL_SOURCE_DIR) + "/src";
+  options.label = "src";
+  options.baseline_path =
+      std::string(SL_SOURCE_DIR) + "/tools/detlint_baseline.json";
+  const LintResult result = run_lint(options);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(result.baseline_loaded);
+  std::string newly;
+  for (const std::string& key : result.new_keys) newly += "\n  " + key;
+  EXPECT_TRUE(result.new_keys.empty())
+      << "new detlint findings vs tools/detlint_baseline.json:" << newly
+      << "\nfix them or regenerate with `securelease lint --write-baseline`";
+}
+
+TEST(DetlintSelfScan, HardDeterminismRulesNeverBaselined) {
+  // The baseline may accept unordered-iteration or shared-state debt, but a
+  // wall clock or nondeterministic RNG in src/ is never acceptable.
+  LintOptions options;
+  options.root = std::string(SL_SOURCE_DIR) + "/src";
+  options.label = "src";
+  const LintResult result = run_lint(options);
+  ASSERT_TRUE(result.ok) << result.error;
+  for (const LintFinding& f : result.report.findings) {
+    EXPECT_NE(f.rule, kRuleWallClock) << f.file << ":" << f.line;
+    EXPECT_NE(f.rule, kRuleUnseededRandom) << f.file << ":" << f.line;
+  }
+}
+
+TEST(DetlintSelfScan, ThreadReadinessInventoryCoversKnownState) {
+  LintOptions options;
+  options.root = std::string(SL_SOURCE_DIR) + "/src";
+  options.label = "src";
+  const LintResult result = run_lint(options);
+  ASSERT_TRUE(result.ok) << result.error;
+  const auto entry_for = [&](const std::string& symbol)
+      -> const SharedStateEntry* {
+    for (const SharedStateEntry& e : result.report.shared_state) {
+      if (e.decl.symbol == symbol) return &e;
+    }
+    return nullptr;
+  };
+  // The obs runtime toggle and the log level are atomics: guarded.
+  const SharedStateEntry* runtime = entry_for("g_runtime_enabled");
+  ASSERT_NE(runtime, nullptr);
+  EXPECT_EQ(runtime->classification, "guarded");
+  const SharedStateEntry* level = entry_for("g_level");
+  ASSERT_NE(level, nullptr);
+  EXPECT_EQ(level->classification, "guarded");
+  // Every inventory row carries a classification.
+  for (const SharedStateEntry& e : result.report.shared_state) {
+    EXPECT_TRUE(e.classification == "guarded" || e.classification == "gated" ||
+                e.classification == "unguarded")
+        << e.decl.symbol;
+  }
+}
+
+}  // namespace
+}  // namespace sl::analysis::detlint

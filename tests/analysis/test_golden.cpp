@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "analysis/auditor.hpp"
+#include "analysis/envelope.hpp"
 #include "analysis/report.hpp"
 #include "attack/victim_model.hpp"
 #include "cfg/dot_parse.hpp"
@@ -61,6 +62,18 @@ TEST(Golden, Fig7SecureLeaseAuditJson) {
       read_file(std::string(SL_SOURCE_DIR) +
                 "/tests/analysis/golden/fig7_securelease_audit.json");
   EXPECT_EQ(to_json(report), expected);
+}
+
+// Audit reports share the versioned JSON envelope with `securelease lint`;
+// the structural reader must round-trip tool name and finding count.
+TEST(Golden, Fig7AuditEnvelopeRoundTrip) {
+  const AuditReport report =
+      audit_fig7("fig7_glamdring.dot", partition::Scheme::kGlamdring);
+  const auto info = parse_envelope(to_json(report));
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->schema_version, kReportSchemaVersion);
+  EXPECT_EQ(info->tool, "securelease-audit");
+  EXPECT_EQ(info->finding_count, report.findings.size());
 }
 
 TEST(Golden, Fig7VerdictsDiverge) {

@@ -26,8 +26,8 @@ INSTANTIATE_TEST_SUITE_P(AllProtections, LicensedRuns,
                          ::testing::Values(Protection::kSoftwareOnly,
                                            Protection::kAmInEnclave,
                                            Protection::kSecureLease),
-                         [](const ::testing::TestParamInfo<Protection>& info) {
-                           switch (info.param) {
+                         [](const ::testing::TestParamInfo<Protection>& param_info) {
+                           switch (param_info.param) {
                              case Protection::kSoftwareOnly: return "SoftwareOnly";
                              case Protection::kAmInEnclave: return "AmInEnclave";
                              default: return "SecureLease";

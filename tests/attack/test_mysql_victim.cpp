@@ -29,8 +29,8 @@ INSTANTIATE_TEST_SUITE_P(Builds, MysqlSuite,
                          ::testing::Values(MysqlProtection::kSoftwareOnly,
                                            MysqlProtection::kAmInEnclave,
                                            MysqlProtection::kSecureLease),
-                         [](const ::testing::TestParamInfo<MysqlProtection>& info) {
-                           switch (info.param) {
+                         [](const ::testing::TestParamInfo<MysqlProtection>& param_info) {
+                           switch (param_info.param) {
                              case MysqlProtection::kSoftwareOnly: return "Software";
                              case MysqlProtection::kAmInEnclave: return "AmInEnclave";
                              default: return "SecureLease";

@@ -109,8 +109,8 @@ TEST_P(Table5Suite, PerformanceImprovementShape) {
 
 INSTANTIATE_TEST_SUITE_P(
     PaperRows, Table5Suite, ::testing::ValuesIn(kRows),
-    [](const ::testing::TestParamInfo<Table5Row>& info) {
-      std::string name = info.param.workload;
+    [](const ::testing::TestParamInfo<Table5Row>& param_info) {
+      std::string name = param_info.param.workload;
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

@@ -172,7 +172,9 @@ TEST(GclProperties, ExecutionTimeBurnsOnlyWhileExecuting) {
       previous = gcl.count();
     }
     // While valid it gates on expiry only: consumption is unmetered.
-    if (!gcl.expired()) EXPECT_EQ(gcl.try_consume(7), 7u);
+    if (!gcl.expired()) {
+      EXPECT_EQ(gcl.try_consume(7), 7u);
+    }
   }
 }
 

@@ -44,8 +44,8 @@ TEST_P(HashStoreSuite, ResidentBytesGrowWithLeases) {
 
 INSTANTIATE_TEST_SUITE_P(BothHashes, HashStoreSuite,
                          ::testing::Values(HashKind::kMurmur, HashKind::kSha256),
-                         [](const ::testing::TestParamInfo<HashKind>& info) {
-                           return info.param == HashKind::kMurmur ? "Murmur"
+                         [](const ::testing::TestParamInfo<HashKind>& param_info) {
+                           return param_info.param == HashKind::kMurmur ? "Murmur"
                                                                   : "Sha256";
                          });
 

@@ -9,8 +9,7 @@
 // Two representative seeds are additionally pinned against golden files
 // (tests/obs/golden/seed_*.json) so a cost-model or instrumentation change
 // that silently shifts any metric fails review visibly. Regenerate with:
-//   SL_UPDATE_GOLDEN=1 ./build/tests/test_obs \
-//     --gtest_filter='GoldenMetrics.*'
+//   SL_UPDATE_GOLDEN=1 ./build/tests/test_obs --gtest_filter='GoldenMetrics.*'
 #include <gtest/gtest.h>
 
 #include <cstdint>

@@ -111,8 +111,8 @@ TEST_P(ModelSuite, MemoryRegionsNonTrivial) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, ModelSuite, ::testing::ValuesIn(all_workloads()),
-    [](const ::testing::TestParamInfo<WorkloadEntry>& info) {
-      std::string name = info.param.name;
+    [](const ::testing::TestParamInfo<WorkloadEntry>& param_info) {
+      std::string name = param_info.param.name;
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }
@@ -137,8 +137,12 @@ TEST(ModelRegistry, FaasWorkloadsFlagged) {
 TEST(ModelRegistry, LicenseCheckCountsMatchPaperRange) {
   // Paper: 10 K checks (JSONParser) up to 500 K (Key-Value).
   for (const auto& entry : all_workloads()) {
-    if (entry.name == "JSONParser") EXPECT_EQ(entry.license_checks, 10'000u);
-    if (entry.name == "Key-Value") EXPECT_EQ(entry.license_checks, 500'000u);
+    if (entry.name == "JSONParser") {
+      EXPECT_EQ(entry.license_checks, 10'000u);
+    }
+    if (entry.name == "Key-Value") {
+      EXPECT_EQ(entry.license_checks, 500'000u);
+    }
   }
 }
 

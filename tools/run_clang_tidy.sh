@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Run clang-tidy (config: .clang-tidy) over the first-party sources using the
+# compile database exported by CMake. Skips gracefully when clang-tidy is not
+# installed so local gcc-only environments are not blocked; CI installs a
+# pinned clang-tidy and treats findings as failures.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir] [clang-tidy-binary]
+set -eu
+
+build_dir="${1:-build}"
+tidy="${2:-clang-tidy}"
+
+if ! command -v "$tidy" > /dev/null 2>&1; then
+  echo "run_clang_tidy: $tidy not found; skipping (install clang-tidy to run locally)"
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "run_clang_tidy: $build_dir/compile_commands.json missing;" \
+       "configure with cmake first (CMAKE_EXPORT_COMPILE_COMMANDS is on by default)" >&2
+  exit 1
+fi
+
+"$tidy" --version
+
+# Every first-party translation unit in the compile database; third-party
+# code (e.g. fetched googletest) lives outside these roots.
+files=$(git ls-files 'src/*.cpp' 'tools/*.cpp' 'examples/*.cpp')
+
+status=0
+for f in $files; do
+  echo "== clang-tidy $f"
+  "$tidy" -p "$build_dir" --quiet "$f" || status=1
+done
+exit $status

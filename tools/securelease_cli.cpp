@@ -19,6 +19,9 @@
 //                                         partition (see usage() for targets
 //                                         and flags); exits 2 when a CONFIRMED
 //                                         finding is reported
+//   securelease lint [options]            determinism & thread-readiness lint
+//                                         of the repo's own sources; exits 3
+//                                         on findings not in the baseline
 #include <cstdio>
 #include <cctype>
 #include <cstdlib>
@@ -27,6 +30,7 @@
 #include <string>
 
 #include "analysis/auditor.hpp"
+#include "analysis/detlint/detlint.hpp"
 #include "analysis/report.hpp"
 #include "attack/victim.hpp"
 #include "attack/victim_model.hpp"
@@ -671,6 +675,79 @@ int cmd_loadgen(int argc, char** argv) {
   return 0;
 }
 
+// --- lint (determinism & thread-readiness linter) ----------------------------
+
+// `securelease lint [--json] [--root DIR] [--baseline FILE | --no-baseline]
+// [--write-baseline FILE]`: run detlint over the repository's own sources.
+// Exits 0 when every finding is suppressed or baseline-accepted, 3 when a
+// new finding appears (the CI gate), 1 on I/O errors.
+int cmd_lint(int argc, char** argv) {
+  bool json = false;
+  bool no_baseline = false;
+  std::string root_dir;
+  std::string baseline;
+  std::string write_baseline;
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--json") {
+      json = true;
+    } else if (flag == "--no-baseline") {
+      no_baseline = true;
+    } else if (flag == "--root" && i + 1 < argc) {
+      root_dir = argv[++i];
+    } else if (flag == "--baseline" && i + 1 < argc) {
+      baseline = argv[++i];
+    } else if (flag == "--write-baseline" && i + 1 < argc) {
+      write_baseline = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown lint option '%s'\n", flag.c_str());
+      return 1;
+    }
+  }
+
+  analysis::detlint::LintOptions options;
+  if (root_dir.empty()) {
+    const std::string repo = analysis::detlint::find_repo_root();
+    if (repo.empty()) {
+      std::fprintf(stderr,
+                   "lint: not inside the repository (no ROADMAP.md found); "
+                   "pass --root <dir>\n");
+      return 1;
+    }
+    options.root = repo + "/src";
+    if (baseline.empty() && !no_baseline) {
+      const std::string candidate = repo + "/tools/detlint_baseline.json";
+      if (std::ifstream(candidate).good()) baseline = candidate;
+    }
+  } else {
+    options.root = root_dir;
+  }
+  if (!no_baseline) options.baseline_path = baseline;
+
+  const analysis::detlint::LintResult result =
+      analysis::detlint::run_lint(options);
+  if (!result.ok) {
+    std::fprintf(stderr, "lint: %s\n", result.error.c_str());
+    return 1;
+  }
+  if (!write_baseline.empty()) {
+    std::ofstream out(write_baseline);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", write_baseline.c_str());
+      return 1;
+    }
+    out << analysis::detlint::baseline_json(result.report);
+    std::fprintf(stderr, "wrote %s (%zu accepted finding(s))\n",
+                 write_baseline.c_str(), result.report.findings.size());
+    return 0;
+  }
+  std::fputs((json ? analysis::detlint::to_json(result)
+                   : analysis::detlint::to_text(result))
+                 .c_str(),
+             stdout);
+  return result.new_keys.empty() ? 0 : 3;
+}
+
 // --- stats (metrics registry exposition) -------------------------------------
 
 // `securelease stats [--seed N] [--loadgen] [--prometheus]`: run a seeded
@@ -774,7 +851,16 @@ void usage() {
       "    --annotations <w>   borrow AM/key/sensitive flags from workload w\n"
       "                        (.dot targets; default: match digraph name)\n"
       "    --json              machine-readable report on stdout\n"
-      "    --dot <out.dot>     write annotated findings overlay\n");
+      "    --dot <out.dot>     write annotated findings overlay\n"
+      "  lint [options]               determinism & thread-readiness lint of\n"
+      "                               the repository's own sources; exits 3\n"
+      "                               when a finding is not in the baseline\n"
+      "    --json              machine-readable report on stdout\n"
+      "    --root <dir>        directory to scan (default: <repo>/src)\n"
+      "    --baseline <file>   accepted findings (default:\n"
+      "                        tools/detlint_baseline.json when present)\n"
+      "    --no-baseline       every finding counts as new\n"
+      "    --write-baseline <file>  accept current findings and exit\n");
 }
 
 }  // namespace
@@ -797,6 +883,7 @@ int main(int argc, char** argv) {
       return cmd_e2e(argv[2], argc >= 4 ? argv[3] : "securelease");
     }
     if (command == "loadgen") return cmd_loadgen(argc, argv);
+    if (command == "lint") return cmd_lint(argc, argv);
     if (command == "stats") return cmd_stats(argc, argv);
     if (command == "attack") return cmd_attack(argc >= 3 ? argv[2] : "");
     if (command == "dot" && argc >= 4) return cmd_dot(argv[2], argv[3]);
