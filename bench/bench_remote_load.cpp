@@ -9,10 +9,22 @@
 // critical path (the furthest shard clock), or the sharding layer is
 // charging overhead without buying parallelism.
 //
+// The same workloads are then re-run on the thread-per-shard backend
+// (docs/THREADING.md). Two gates apply there:
+//  * equivalence (unconditional): the thread backend's final state digest
+//    and ledger balance must match the deterministic run for the same seed
+//    and shard count — parallel execution may not change a single ledger
+//    bit;
+//  * wall-clock scaling (only when the machine has >= 8 hardware threads):
+//    wall throughput must rise monotonically 1 -> 8 shards. On smaller
+//    hosts the threads time-slice one core and the gate would measure the
+//    scheduler, not the engine, so it is reported but not enforced.
+//
 // Usage: bench_remote_load [out.json]
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/sim_clock.hpp"
@@ -75,6 +87,28 @@ int main(int argc, char** argv) {
                                   : 0.0,
               batched.throughput, unbatched.throughput);
 
+  // The thread-per-shard engine on the identical workloads. Virtual time is
+  // unchanged by construction (same per-shard call sequences on the same
+  // clocks); the new axis is wall time, and the safety gate is the digest.
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::vector<lease::LoadgenMetrics> thread_runs;
+  std::printf("\n--- threads backend (%u hardware threads) ---\n", hw_threads);
+  std::printf("%7s %10s %12s %10s %8s\n", "shards", "processed", "wall(s)",
+              "thr(/ws)", "digest");
+  bool digests_match = true;
+  for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+    lease::LoadgenConfig config = base;
+    config.shards = shard_counts[i];
+    config.backend = core::Backend::kThreads;
+    thread_runs.push_back(lease::run_loadgen(config));
+    const lease::LoadgenMetrics& m = thread_runs.back();
+    const bool match = m.state_digest == runs[i].state_digest;
+    digests_match = digests_match && match;
+    std::printf("%7zu %10llu %12.6f %10.1f %8s\n", shard_counts[i],
+                (unsigned long long)m.processed, m.wall_seconds,
+                m.wall_throughput, match ? "match" : "DIVERGED");
+  }
+
   // Durability cost: the same 4-shard workload with the sealed write-ahead
   // journal, group commit and checkpointing enabled. The acceptance gate is
   // throughput within 1.5x of the in-memory shard — the group commit must
@@ -91,9 +125,12 @@ int main(int argc, char** argv) {
               journaled.throughput, batched.throughput, overhead,
               (unsigned long long)journaled.checkpoints);
 
-  // Registry accounting over the whole bench.
+  // Registry accounting over the whole bench. The thread backend publishes
+  // to the same per-shard counters, so its runs are part of the sum.
   std::uint64_t expected_processed = unbatched.processed + journaled.processed;
   for (const lease::LoadgenMetrics& m : runs) expected_processed += m.processed;
+  for (const lease::LoadgenMetrics& m : thread_runs)
+    expected_processed += m.processed;
   const std::uint64_t registry_processed =
       registry.counter_sum("sl_lease_renewals_processed_total") -
       base_processed;
@@ -144,6 +181,52 @@ int main(int argc, char** argv) {
       ok = false;
     }
   }
+  // The equivalence gate is unconditional: a digest divergence means the
+  // parallel engine changed lease state, which no amount of speedup excuses.
+  for (std::size_t i = 0; i < thread_runs.size(); ++i) {
+    const lease::LoadgenMetrics& m = thread_runs[i];
+    if (m.state_digest != runs[i].state_digest) {
+      std::fprintf(stderr,
+                   "FAIL: threads backend digest %016llx != deterministic "
+                   "%016llx at %zu shards (seed %llu)\n",
+                   (unsigned long long)m.state_digest,
+                   (unsigned long long)runs[i].state_digest, m.config.shards,
+                   (unsigned long long)m.config.seed);
+      ok = false;
+    }
+    if (!m.ledgers_balanced) {
+      std::fprintf(stderr, "FAIL: threads backend ledger imbalance at %zu "
+                   "shards\n", m.config.shards);
+      ok = false;
+    }
+    if (m.overloaded > 0) {
+      std::fprintf(stderr,
+                   "FAIL: %llu Overloaded responses on threads backend at "
+                   "%zu shards\n",
+                   (unsigned long long)m.overloaded, m.config.shards);
+      ok = false;
+    }
+  }
+  const bool wall_gate_applies = hw_threads >= 8;
+  const bool wall_monotone =
+      thread_runs[0].wall_throughput < thread_runs[1].wall_throughput &&
+      thread_runs[1].wall_throughput < thread_runs[2].wall_throughput &&
+      thread_runs[2].wall_throughput < thread_runs[3].wall_throughput;
+  if (wall_gate_applies && !wall_monotone) {
+    std::fprintf(stderr,
+                 "FAIL: wall throughput not monotone 1 -> 8 shards "
+                 "(%.1f, %.1f, %.1f, %.1f) on %u hardware threads\n",
+                 thread_runs[0].wall_throughput, thread_runs[1].wall_throughput,
+                 thread_runs[2].wall_throughput, thread_runs[3].wall_throughput,
+                 hw_threads);
+    ok = false;
+  } else if (!wall_gate_applies) {
+    std::printf("wall scaling gate skipped: %u hardware threads (< 8)\n",
+                hw_threads);
+  } else {
+    std::printf("wall scaling 1 -> 8 shards: %.2fx\n",
+                thread_runs[3].wall_throughput / thread_runs[0].wall_throughput);
+  }
   const bool monotone = runs[0].throughput < runs[1].throughput &&
                         runs[1].throughput < runs[2].throughput;
   if (!monotone) {
@@ -170,18 +253,35 @@ int main(int argc, char** argv) {
           << (i + 1 < runs.size() ? ",\n" : ",\n");
     }
     out << "    " << lease::loadgen_json(unbatched) << ",\n";
-    out << "    " << lease::loadgen_json(journaled) << "\n  ],\n";
-    char tail[192];
+    out << "    " << lease::loadgen_json(journaled) << ",\n";
+    for (std::size_t i = 0; i < thread_runs.size(); ++i) {
+      out << "    " << lease::loadgen_json(thread_runs[i])
+          << (i + 1 < thread_runs.size() ? ",\n" : "\n");
+    }
+    out << "  ],\n";
+    char tail[384];
     std::snprintf(tail, sizeof(tail),
                   "  \"monotone_1_to_4\": %s,\n"
                   "  \"scaling_1_to_4\": %.3f,\n"
                   "  \"journal_overhead_4_shards\": %.3f,\n"
-                  "  \"journal_within_1_5x\": %s\n}\n",
+                  "  \"journal_within_1_5x\": %s,\n"
+                  "  \"hardware_threads\": %u,\n"
+                  "  \"threads_digests_match\": %s,\n"
+                  "  \"wall_monotone_1_to_8\": %s,\n"
+                  "  \"wall_gate_enforced\": %s,\n"
+                  "  \"wall_scaling_1_to_8\": %.3f\n}\n",
                   monotone ? "true" : "false",
                   runs[0].throughput > 0.0
                       ? runs[2].throughput / runs[0].throughput
                       : 0.0,
-                  overhead, overhead > 0.0 && overhead <= 1.5 ? "true" : "false");
+                  overhead, overhead > 0.0 && overhead <= 1.5 ? "true" : "false",
+                  hw_threads, digests_match ? "true" : "false",
+                  wall_monotone ? "true" : "false",
+                  wall_gate_applies ? "true" : "false",
+                  thread_runs[0].wall_throughput > 0.0
+                      ? thread_runs[3].wall_throughput /
+                            thread_runs[0].wall_throughput
+                      : 0.0);
     out << tail;
     std::printf("wrote %s\n", out_path.c_str());
   }

@@ -101,7 +101,7 @@ bool type_contains_any(const std::string& type,
 bool is_sync_type(const std::string& type) {
   return type_contains_any(type, {"atomic", "mutex", "once_flag",
                                   "condition_variable", "latch", "barrier",
-                                  "semaphore"});
+                                  "semaphore", "jthread"});
 }
 
 // True when a record of this type synchronizes internally (owns a mutex or

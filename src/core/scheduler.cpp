@@ -1,0 +1,20 @@
+#include "core/scheduler.hpp"
+
+#include "common/error.hpp"
+#include "lease/thread_backend.hpp"
+
+namespace sl::core {
+
+std::unique_ptr<Scheduler> make_scheduler(Backend backend,
+                                          lease::ShardRouter& router) {
+  switch (backend) {
+    case Backend::kDeterministic:
+      return std::make_unique<DeterministicScheduler>(router);
+    case Backend::kThreads:
+      return std::make_unique<lease::ThreadScheduler>(router);
+  }
+  ensure(false, "make_scheduler: unknown backend");
+  return nullptr;
+}
+
+}  // namespace sl::core

@@ -1,0 +1,168 @@
+// Execution scheduler — the seam between "what the sharded service does"
+// and "what carries it out".
+//
+// A ShardRouter owns N RemoteShards and defines the request semantics:
+// routing, bounded queues, batched drains, ledgers, state digests. A
+// Scheduler decides who runs those shards:
+//
+//  * DeterministicScheduler (here, header-only): the PR 3-6 behavior —
+//    every shard executes on the calling thread, in ascending shard order,
+//    on virtual clocks. The DST, golden metrics and trace fingerprints run
+//    on this backend and stay bit-identical.
+//  * ThreadScheduler (lease/thread_backend.hpp): one OS thread per shard
+//    behind a bounded lock-free MPSC ring, drained in phase-locked epochs.
+//    Wall-clock parallel, and — because each shard worker executes exactly
+//    the call sequence the deterministic backend would — per-shard ledgers,
+//    state digests and conservation totals are bit-identical for the same
+//    workload (tests/lease/test_backend_differential.cpp).
+//
+// The contract both backends share (docs/THREADING.md):
+//  * register_client() calls complete before the first submit();
+//  * submit()/renew_now() and drain_all() alternate in phases — callers
+//    never submit while a drain is in flight (the closed-loop load
+//    generator and the gateway path are naturally phased this way);
+//  * submit() returns false on backpressure (owning shard at capacity) or
+//    a down shard, and nothing is queued;
+//  * drain_all() returns completions grouped by ascending shard index, in
+//    per-shard drain order.
+//
+// This header is intentionally header-only: sl_lease implements
+// ThreadScheduler against it without linking sl_core (which itself links
+// sl_lease). The make_scheduler() factory lives in core/scheduler.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "lease/shard_router.hpp"
+
+namespace sl::core {
+
+enum class Backend {
+  kDeterministic = 0,  // single-threaded, virtual cycles (the simulator)
+  kThreads = 1,        // thread-per-shard, wall clock + virtual cycles
+};
+
+inline const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kDeterministic: return "deterministic";
+    case Backend::kThreads: return "threads";
+  }
+  return "?";
+}
+
+inline std::optional<Backend> backend_from_name(std::string_view name) {
+  if (name == "deterministic" || name == "sim") return Backend::kDeterministic;
+  if (name == "threads" || name == "thread") return Backend::kThreads;
+  return std::nullopt;
+}
+
+// Scheduler-level rejection counters. The deterministic backend rejects
+// inside RemoteShard (visible in ShardStats); the thread backend rejects at
+// its submission rings before a shard ever sees the request, so these keep
+// the !SL_OBS_ENABLED accounting exact. Both backends increment the same
+// per-shard registry counters, so metrics totals agree regardless.
+struct SchedulerStats {
+  std::uint64_t ring_rejections = 0;  // backpressure at the MPSC rings
+  std::uint64_t down_rejections = 0;  // submits routed to a down shard
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  virtual Backend backend() const = 0;
+
+  // Telemetry-only registration; per-shard SLIDs are minted lazily on first
+  // use, in submission order on the owning shard (both backends).
+  virtual void register_client(lease::ShardRouter::CustomerId customer,
+                               lease::ShardRouter::ClientId client,
+                               double health, double network) = 0;
+
+  // Routes and queues one renewal. False => rejected (backpressure or down
+  // shard); the piggybacked consumption report was NOT applied.
+  virtual bool submit(lease::ShardRouter::CustomerId customer,
+                      lease::ShardRouter::ClientId client,
+                      const lease::LicenseFile& license,
+                      std::uint64_t consumed, std::uint64_t ticket) = 0;
+
+  // Executes every shard's pending batch and returns the completions.
+  virtual std::vector<lease::ShardRouter::Completion> drain_all() = 0;
+
+  // Synchronous single renewal on one shard (the gateway path): flushes the
+  // shard's backlog, then processes exactly this request as a batch of one.
+  virtual lease::SlRemote::RenewResult renew_now(
+      std::size_t shard, lease::Slid slid, const lease::LicenseFile& license,
+      double health, double network, std::uint64_t consumed,
+      std::uint64_t request_id = 0) = 0;
+
+  // Wall-clock seconds spent executing shard work (drain epochs). The
+  // deterministic backend reports 0 — its only meaningful time axis is the
+  // virtual router_.virtual_seconds().
+  virtual double wall_seconds() const = 0;
+
+  virtual SchedulerStats scheduler_stats() const = 0;
+
+  lease::ShardRouter& router() { return router_; }
+  const lease::ShardRouter& router() const { return router_; }
+
+ protected:
+  explicit Scheduler(lease::ShardRouter& router) : router_(router) {}
+
+  lease::ShardRouter& router_;
+};
+
+// The simulator backend: pure delegation to the router on the calling
+// thread. Zero behavior change against PR 3-6 — the methods ARE the router
+// calls the loadgen and tests used to make directly.
+class DeterministicScheduler final : public Scheduler {
+ public:
+  explicit DeterministicScheduler(lease::ShardRouter& router)
+      : Scheduler(router) {}
+
+  Backend backend() const override { return Backend::kDeterministic; }
+
+  void register_client(lease::ShardRouter::CustomerId customer,
+                       lease::ShardRouter::ClientId client, double health,
+                       double network) override {
+    router_.register_client(customer, client, health, network);
+  }
+
+  bool submit(lease::ShardRouter::CustomerId customer,
+              lease::ShardRouter::ClientId client,
+              const lease::LicenseFile& license, std::uint64_t consumed,
+              std::uint64_t ticket) override {
+    return router_.submit(customer, client, license, consumed, ticket);
+  }
+
+  std::vector<lease::ShardRouter::Completion> drain_all() override {
+    return router_.drain_all();
+  }
+
+  lease::SlRemote::RenewResult renew_now(std::size_t shard, lease::Slid slid,
+                                         const lease::LicenseFile& license,
+                                         double health, double network,
+                                         std::uint64_t consumed,
+                                         std::uint64_t request_id) override {
+    return router_.renew_now(shard, slid, license, health, network, consumed,
+                             request_id);
+  }
+
+  double wall_seconds() const override { return 0.0; }
+
+  SchedulerStats scheduler_stats() const override { return {}; }
+};
+
+// Constructs the requested backend over `router`. The thread backend sizes
+// its rings to the router's shard queue capacity, preserving the exact
+// backpressure threshold.
+std::unique_ptr<Scheduler> make_scheduler(Backend backend,
+                                          lease::ShardRouter& router);
+
+}  // namespace sl::core

@@ -1,0 +1,74 @@
+#include "lease/arena.hpp"
+
+#include <new>
+
+#include "common/error.hpp"
+
+namespace sl::lease {
+
+SlabArena::SlabArena(std::size_t cell_size, std::size_t cell_align,
+                     std::size_t cells_per_slab)
+    : cell_size_(cell_size),
+      cell_align_(cell_align),
+      cells_per_slab_(cells_per_slab) {
+  require(cell_size_ >= sizeof(FreeCell),
+          "SlabArena: cell too small for free-list threading");
+  require(cells_per_slab_ >= 1, "SlabArena: need at least one cell per slab");
+  if (cell_align_ < alignof(FreeCell)) cell_align_ = alignof(FreeCell);
+  // Round the stride up so consecutive cells stay aligned.
+  cell_size_ = (cell_size_ + cell_align_ - 1) / cell_align_ * cell_align_;
+  stats_.cells_per_slab = cells_per_slab_;
+}
+
+SlabArena::~SlabArena() {
+  for (void* slab : slabs_) {
+    ::operator delete(slab, std::align_val_t(cell_align_));
+  }
+}
+
+void SlabArena::add_slab() {
+  if (next_slab_ == slabs_.size()) {
+    // No recycled slab available (see reset()): grow.
+    slabs_.push_back(::operator new(cell_size_ * cells_per_slab_,
+                                    std::align_val_t(cell_align_)));
+    stats_.slabs = slabs_.size();
+  }
+  bump_ = static_cast<std::byte*>(slabs_[next_slab_]);
+  bump_left_ = cells_per_slab_;
+  ++next_slab_;
+}
+
+void* SlabArena::allocate() {
+  ++stats_.allocated;
+  ++stats_.live;
+  if (free_list_ != nullptr) {
+    ++stats_.reused;
+    FreeCell* cell = free_list_;
+    free_list_ = cell->next;
+    return cell;
+  }
+  if (bump_left_ == 0) add_slab();
+  void* cell = bump_;
+  bump_ += cell_size_;
+  --bump_left_;
+  return cell;
+}
+
+void SlabArena::deallocate(void* ptr) {
+  require(ptr != nullptr, "SlabArena: deallocate(nullptr)");
+  require(stats_.live > 0, "SlabArena: more frees than allocations");
+  --stats_.live;
+  auto* cell = static_cast<FreeCell*>(ptr);
+  cell->next = free_list_;
+  free_list_ = cell;
+}
+
+void SlabArena::reset() {
+  free_list_ = nullptr;
+  stats_.live = 0;
+  next_slab_ = 0;
+  bump_ = nullptr;
+  bump_left_ = 0;
+}
+
+}  // namespace sl::lease

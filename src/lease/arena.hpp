@@ -1,0 +1,98 @@
+// Slab arena for lease-tree nodes.
+//
+// Each shard owns one SlabArena per node kind (interior Node, leaf
+// LeaseRecord). A slab is a contiguous chunk of fixed-size cells; frees push
+// onto a LIFO free list so the hot renewal path reuses cache-warm cells, and
+// `reset()` rewinds the arena without returning slabs to the OS — the
+// steady-state renewal loop performs zero heap allocations once the tree has
+// reached its working-set size.
+//
+// Not thread-safe by design: the thread backend gives every shard worker its
+// own arenas (no cross-shard sharing, verified in
+// tests/lease/test_thread_primitives.cpp), which is what makes a mutex-free
+// allocator sound here. Objects placed in an arena must be trivially
+// destructible — deallocate() recycles storage without running destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sl::lease {
+
+struct ArenaStats {
+  std::uint64_t slabs = 0;           // chunks obtained from the heap
+  std::uint64_t cells_per_slab = 0;  // fixed at construction
+  std::uint64_t allocated = 0;       // total allocate() calls
+  std::uint64_t reused = 0;          // allocations served from the free list
+  std::uint64_t live = 0;            // allocate() minus deallocate()
+};
+
+class SlabArena {
+ public:
+  SlabArena(std::size_t cell_size, std::size_t cell_align,
+            std::size_t cells_per_slab = 64);
+  ~SlabArena();
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  // Raw storage for one cell; grows by a slab when both the free list and
+  // the bump region are exhausted.
+  void* allocate();
+
+  // Returns a cell to the free list. `ptr` must come from this arena.
+  void deallocate(void* ptr);
+
+  // Forget every live object and make all cells available again without
+  // releasing slab memory. Only valid when the caller owns (and has
+  // abandoned) everything allocated here — the per-shard tree teardown path.
+  void reset();
+
+  const ArenaStats& stats() const { return stats_; }
+  std::size_t cell_size() const { return cell_size_; }
+
+ private:
+  void add_slab();
+
+  struct FreeCell {
+    FreeCell* next;
+  };
+
+  std::size_t cell_size_;
+  std::size_t cell_align_;
+  std::size_t cells_per_slab_;
+  std::vector<void*> slabs_;
+  std::size_t next_slab_ = 0;   // first slab not yet consumed by the bump
+  std::byte* bump_ = nullptr;   // next unused cell in the current slab
+  std::size_t bump_left_ = 0;   // cells remaining in the bump region
+  FreeCell* free_list_ = nullptr;
+  ArenaStats stats_;
+};
+
+// Typed convenience: placement-construct a T in `arena`.
+template <typename T, typename... Args>
+T* arena_new(SlabArena& arena, Args&&... args) {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "SlabArena recycles storage without running destructors");
+  return new (arena.allocate()) T(std::forward<Args>(args)...);
+}
+
+// The pair of arenas a LeaseTree draws from. Owned by the shard so the tree
+// can be torn down and rebuilt (recovery) while the slabs stay warm.
+struct TreeArenas {
+  SlabArena nodes;
+  SlabArena leaves;
+  TreeArenas(std::size_t node_size, std::size_t node_align,
+             std::size_t leaf_size, std::size_t leaf_align)
+      : nodes(node_size, node_align), leaves(leaf_size, leaf_align) {}
+  // Recycle all cells (tree teardown + rebuild, e.g. crash recovery).
+  void reset() {
+    nodes.reset();
+    leaves.reset();
+  }
+};
+
+}  // namespace sl::lease

@@ -78,8 +78,10 @@ std::uint64_t UntrustedStore::bytes() const {
 
 // --- LeaseTree -----------------------------------------------------------------
 
-LeaseTree::LeaseTree(std::uint64_t keygen_seed, UntrustedStore& store)
-    : root_(std::make_unique<Node>()), keygen_(keygen_seed), store_(store) {
+LeaseTree::LeaseTree(std::uint64_t keygen_seed, UntrustedStore& store,
+                     TreeArenas* arenas)
+    : keygen_(keygen_seed), store_(store), arenas_(arenas) {
+  root_ = alloc_node();
   obs_commits_ = obs::get_counter("sl_lease_tree_commits_total",
                                   "Tree entries sealed to the untrusted store");
   obs_restores_ = obs::get_counter(
@@ -94,34 +96,72 @@ LeaseTree::LeaseTree(std::uint64_t keygen_seed, UntrustedStore& store)
 }
 
 LeaseTree::~LeaseTree() {
-  if (root_) free_subtree(root_.get(), 0);
+  if (root_ != nullptr) {
+    free_subtree(root_, 0);
+    free_node(root_);
+    root_ = nullptr;
+  }
+}
+
+std::unique_ptr<TreeArenas> LeaseTree::make_arenas() {
+  return std::make_unique<TreeArenas>(sizeof(Node), alignof(Node),
+                                      sizeof(LeaseRecord),
+                                      alignof(LeaseRecord));
 }
 
 std::size_t LeaseTree::index_at(LeaseId id, int level) {
   return (id >> (24 - 8 * level)) & 0xff;
 }
 
+LeaseTree::Node* LeaseTree::alloc_node() {
+  if (arenas_ != nullptr) return arena_new<Node>(arenas_->nodes);
+  return new Node();
+}
+
+void LeaseTree::free_node(Node* node) {
+  if (node == nullptr) return;
+  if (arenas_ != nullptr) {
+    arenas_->nodes.deallocate(node);
+  } else {
+    delete node;
+  }
+}
+
+LeaseRecord* LeaseTree::alloc_leaf() {
+  if (arenas_ != nullptr) return arena_new<LeaseRecord>(arenas_->leaves);
+  return new LeaseRecord();
+}
+
+void LeaseTree::free_leaf(LeaseRecord* leaf) {
+  if (leaf == nullptr) return;
+  if (arenas_ != nullptr) {
+    arenas_->leaves.deallocate(leaf);
+  } else {
+    delete leaf;
+  }
+}
+
 void LeaseTree::free_subtree(Node* node, int level) {
   for (Entry& entry : node->entries) {
     if (entry.child != nullptr) {
       free_subtree(entry.child, level + 1);
-      delete entry.child;
+      free_node(entry.child);
       entry.child = nullptr;
     }
-    delete entry.leaf;
+    free_leaf(entry.leaf);
     entry.leaf = nullptr;
   }
 }
 
 LeaseTree::Node* LeaseTree::descend(LeaseId id, bool create, int levels) {
-  Node* node = root_.get();
+  Node* node = root_;
   node->last_access = ++access_tick_;
   for (int level = 0; level < levels; ++level) {
     Entry& entry = node->entries[index_at(id, level)];
     if (entry.committed && !restore_entry(entry, level + 1)) return nullptr;
     if (entry.child == nullptr) {
       if (!create) return nullptr;
-      entry.child = new Node();
+      entry.child = alloc_node();
       node->live_entries++;
     }
     node = entry.child;
@@ -140,7 +180,7 @@ void LeaseTree::insert(LeaseId id, const Gcl& gcl) {
     entry.handle = 0;
   }
   if (entry.leaf == nullptr) {
-    entry.leaf = new LeaseRecord();
+    entry.leaf = alloc_leaf();
     parent->live_entries++;
     lease_count_++;
   }
@@ -175,7 +215,7 @@ bool LeaseTree::erase(LeaseId id) {
     return true;
   }
   if (entry.leaf == nullptr) return false;
-  delete entry.leaf;
+  free_leaf(entry.leaf);
   entry.leaf = nullptr;
   parent->live_entries--;
   lease_count_--;
@@ -250,24 +290,26 @@ bool LeaseTree::restore_entry(Entry& entry, int level) {
       obs::inc(obs_validation_failures_);
       return false;
     }
-    auto leaf = std::make_unique<LeaseRecord>();
+    LeaseRecord* leaf = alloc_leaf();
     leaf->hash = get_u64(*plaintext, 0);
     std::copy(plaintext->begin() + 8, plaintext->end(), leaf->data.begin());
     if (!leaf->hash_valid()) {
+      free_leaf(leaf);
       stats_.validation_failures++;
       obs::inc(obs_validation_failures_);
       return false;
     }
-    entry.leaf = leaf.release();
+    entry.leaf = leaf;
     lease_count_++;
   } else {
-    auto node = std::make_unique<Node>();
+    Node* node = alloc_node();
     if (!deserialize_node(*plaintext, *node)) {
+      free_node(node);
       stats_.validation_failures++;
       obs::inc(obs_validation_failures_);
       return false;
     }
-    entry.child = node.release();
+    entry.child = node;
   }
   store_.erase(entry.handle);
   entry.committed = false;
@@ -288,7 +330,7 @@ void LeaseTree::commit_entry(Entry& entry, int level) {
     entry.leaf->spin_lock();
     plaintext = serialize_leaf(*entry.leaf);
     entry.leaf->spin_unlock();
-    delete entry.leaf;
+    free_leaf(entry.leaf);
     entry.leaf = nullptr;
     lease_count_--;
   } else {
@@ -298,7 +340,7 @@ void LeaseTree::commit_entry(Entry& entry, int level) {
       commit_entry(entry.child->entries[i], level + 1);
     }
     plaintext = serialize_node(*entry.child);
-    delete entry.child;
+    free_node(entry.child);
     entry.child = nullptr;
   }
 
@@ -335,7 +377,8 @@ std::uint64_t LeaseTree::shutdown() {
   const Bytes image = serialize_node(*root_);
   crypto::SealedPayload sealed = crypto::protect(image, keygen_);
   root_handle_ = store_.put(std::move(sealed.ciphertext));
-  root_ = std::make_unique<Node>();  // EPC copy gone
+  free_node(root_);
+  root_ = alloc_node();  // EPC copy gone
   lease_count_ = 0;
   return sealed.key;
 }
@@ -349,14 +392,16 @@ bool LeaseTree::restore(std::uint64_t root_key, std::uint64_t root_handle) {
     obs::inc(obs_validation_failures_);
     return false;
   }
-  auto node = std::make_unique<Node>();
+  Node* node = alloc_node();
   if (!deserialize_node(*plaintext, *node)) {
+    free_node(node);
     stats_.validation_failures++;
     obs::inc(obs_validation_failures_);
     return false;
   }
-  free_subtree(root_.get(), 0);
-  root_ = std::move(node);
+  free_subtree(root_, 0);
+  free_node(root_);
+  root_ = node;
   store_.erase(root_handle);
   root_handle_ = 0;
   lease_count_ = 0;  // leaves fault back in on demand
@@ -392,7 +437,7 @@ void LeaseTree::enforce_budget() {
 
   std::vector<Entry*> entries;
   std::vector<std::uint64_t> access;
-  collect_leaf_parents(root_.get(), 0, entries, access);
+  collect_leaf_parents(root_, 0, entries, access);
 
   // Evict least-recently-used level-3 subtrees first.
   std::vector<std::size_t> order(entries.size());
@@ -420,7 +465,7 @@ std::uint64_t LeaseTree::count_resident(const Node* node, int level) const {
 }
 
 std::uint64_t LeaseTree::resident_bytes() const {
-  return count_resident(root_.get(), 0);
+  return count_resident(root_, 0);
 }
 
 void LeaseTree::enumerate_into(const Node* node, int level, LeaseId prefix,
@@ -455,7 +500,7 @@ void LeaseTree::enumerate_into(const Node* node, int level, LeaseId prefix,
 
 std::vector<LeaseId> LeaseTree::enumerate() const {
   std::vector<LeaseId> ids;
-  enumerate_into(root_.get(), 0, 0, ids);
+  enumerate_into(root_, 0, 0, ids);
   return ids;
 }
 

@@ -20,6 +20,7 @@
 
 #include "common/bytes.hpp"
 #include "crypto/keygen.hpp"
+#include "lease/arena.hpp"
 #include "lease/gcl.hpp"
 #include "lease/license.hpp"
 #include "obs/metrics.hpp"
@@ -81,9 +82,18 @@ struct LeaseTreeStats {
 class LeaseTree {
  public:
   // `keygen_seed` seeds RandomKeyGen() (Algorithm 2); `store` is the
-  // untrusted region that receives committed payloads.
-  LeaseTree(std::uint64_t keygen_seed, UntrustedStore& store);
+  // untrusted region that receives committed payloads. When `arenas` is
+  // non-null, interior nodes and lease records are placed in its slabs
+  // instead of the heap — the steady-state renewal path then allocates
+  // nothing. The arenas must outlive the tree and must not be shared with
+  // another tree on a different thread (SlabArena is not thread-safe).
+  LeaseTree(std::uint64_t keygen_seed, UntrustedStore& store,
+            TreeArenas* arenas = nullptr);
   ~LeaseTree();
+
+  // Arenas correctly sized for this tree's node kinds (Node is private, so
+  // callers cannot compute the cell sizes themselves).
+  static std::unique_ptr<TreeArenas> make_arenas();
 
   LeaseTree(const LeaseTree&) = delete;
   LeaseTree& operator=(const LeaseTree&) = delete;
@@ -152,6 +162,10 @@ class LeaseTree {
   };
 
   static std::size_t index_at(LeaseId id, int level);
+  Node* alloc_node();
+  void free_node(Node* node);
+  LeaseRecord* alloc_leaf();
+  void free_leaf(LeaseRecord* leaf);
   Node* descend(LeaseId id, bool create, int levels);
   bool restore_entry(Entry& entry, int level);
   void commit_entry(Entry& entry, int level);
@@ -167,9 +181,10 @@ class LeaseTree {
                             std::vector<Entry*>& out_entries,
                             std::vector<std::uint64_t>& out_access);
 
-  std::unique_ptr<Node> root_;
+  Node* root_ = nullptr;  // arena- or heap-owned; released via free_node()
   crypto::KeyGenerator keygen_;
   UntrustedStore& store_;
+  TreeArenas* arenas_ = nullptr;
   std::uint64_t lease_count_ = 0;
   std::uint64_t root_handle_ = 0;
   std::uint64_t resident_budget_ = 0;

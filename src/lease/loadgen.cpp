@@ -6,8 +6,10 @@
 
 #include "common/rng.hpp"
 #include "common/sim_clock.hpp"
+#include "core/scheduler.hpp"
 #include "lease/shard_router.hpp"
 #include "lease/sl_local.hpp"
+#include "lease/thread_backend.hpp"
 #include "obs/metrics.hpp"
 #include "sgxsim/attestation.hpp"
 
@@ -62,6 +64,15 @@ LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
   ShardRouter router(vendor, ias, SlLocal::expected_measurement(),
                      std::max<std::size_t>(1, config.shards), shard_config);
 
+  // Constructed directly (not via core::make_scheduler): sl_lease cannot
+  // link sl_core, and both backends live in headers reachable from here.
+  std::unique_ptr<core::Scheduler> scheduler;
+  if (config.backend == core::Backend::kThreads) {
+    scheduler = std::make_unique<ThreadScheduler>(router);
+  } else {
+    scheduler = std::make_unique<core::DeterministicScheduler>(router);
+  }
+
   // One tenant per license; clients round-robin over tenants so the shard
   // owning a license sees several concurrent requesters for it.
   const std::size_t tenants = std::max<std::size_t>(1, config.licenses);
@@ -86,8 +97,8 @@ LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
     clients[c].tenant = c % tenants;
     clients[c].health = 0.85 + 0.15 * rng.next_double();
     clients[c].network = 0.7 + 0.3 * rng.next_double();
-    router.register_client(clients[c].tenant + 1, c, clients[c].health,
-                           clients[c].network);
+    scheduler->register_client(clients[c].tenant + 1, c, clients[c].health,
+                               clients[c].network);
   }
 
   LoadgenMetrics metrics;
@@ -101,13 +112,13 @@ LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
     for (std::size_t c = 0; c < clients.size(); ++c) {
       Client& client = clients[c];
       const std::uint64_t ticket = round * clients.size() + c;
-      if (router.submit(client.tenant + 1, c, licenses[client.tenant],
-                        client.pending_consume, ticket)) {
+      if (scheduler->submit(client.tenant + 1, c, licenses[client.tenant],
+                            client.pending_consume, ticket)) {
         client.pending_consume = 0;  // the report rode along
       }
       // Backpressure rejections retry next round, keeping the report.
     }
-    for (const ShardRouter::Completion& done : router.drain_all()) {
+    for (const ShardRouter::Completion& done : scheduler->drain_all()) {
 #if !SL_OBS_ENABLED
       latencies.push_back(done.outcome.latency);
 #endif
@@ -145,9 +156,13 @@ LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
   metrics.p99_micros = cycles_to_micros(
       static_cast<Cycles>(latency.quantile(0.99)));
 #else
+  // The thread backend rejects at its submission rings before a shard sees
+  // the request, so scheduler-level rejections are added on top of the
+  // shard-level ones (exactly one of the two is nonzero per backend).
+  const core::SchedulerStats sched_stats = scheduler->scheduler_stats();
   const ShardStats shard_stats = router.aggregate_shard_stats();
   metrics.submitted = shard_stats.enqueued;
-  metrics.overloaded = shard_stats.overloads;
+  metrics.overloaded = shard_stats.overloads + sched_stats.ring_rejections;
   metrics.processed = shard_stats.processed;
   metrics.granted = shard_stats.granted;
   metrics.denied = shard_stats.denied;
@@ -161,6 +176,11 @@ LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
                            ? static_cast<double>(metrics.processed) /
                                  metrics.virtual_seconds
                            : 0.0;
+  metrics.wall_seconds = scheduler->wall_seconds();
+  metrics.wall_throughput =
+      metrics.wall_seconds > 0.0
+          ? static_cast<double>(metrics.processed) / metrics.wall_seconds
+          : 0.0;
   metrics.ledgers_balanced = true;
   for (const auto& [lease, ledger] : router.ledgers()) {
     if (!ledger.balanced()) metrics.ledgers_balanced = false;
@@ -170,10 +190,11 @@ LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
 }
 
 std::string loadgen_json(const LoadgenMetrics& m) {
-  char buffer[1024];
+  char buffer[1280];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\n"
+      "      \"backend\": \"%s\",\n"
       "      \"shards\": %zu,\n"
       "      \"clients\": %zu,\n"
       "      \"licenses\": %zu,\n"
@@ -190,12 +211,15 @@ std::string loadgen_json(const LoadgenMetrics& m) {
       "      \"checkpoints\": %llu,\n"
       "      \"virtual_seconds\": %.6f,\n"
       "      \"throughput_renewals_per_vsec\": %.1f,\n"
+      "      \"wall_seconds\": %.6f,\n"
+      "      \"throughput_renewals_per_wsec\": %.1f,\n"
       "      \"p50_micros\": %.1f,\n"
       "      \"p99_micros\": %.1f,\n"
       "      \"ledgers_balanced\": %s,\n"
       "      \"state_digest\": \"%016llx\"\n"
       "    }",
-      m.config.shards, m.config.clients, m.config.licenses,
+      core::backend_name(m.config.backend), m.config.shards,
+      m.config.clients, m.config.licenses,
       static_cast<unsigned long long>(m.config.rounds),
       static_cast<unsigned long long>(m.config.seed),
       m.config.batching ? "true" : "false",
@@ -207,7 +231,8 @@ std::string loadgen_json(const LoadgenMetrics& m) {
       static_cast<unsigned long long>(m.denied),
       static_cast<unsigned long long>(m.batches),
       static_cast<unsigned long long>(m.checkpoints), m.virtual_seconds,
-      m.throughput, m.p50_micros, m.p99_micros,
+      m.throughput, m.wall_seconds, m.wall_throughput, m.p50_micros,
+      m.p99_micros,
       m.ledgers_balanced ? "true" : "false",
       static_cast<unsigned long long>(m.state_digest));
   return buffer;

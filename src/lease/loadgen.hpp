@@ -18,9 +18,15 @@
 #include <cstdint>
 #include <string>
 
+#include "core/scheduler.hpp"
+
 namespace sl::lease {
 
 struct LoadgenConfig {
+  // Execution backend: the deterministic simulator (virtual cycles, bit-
+  // reproducible) or the thread-per-shard engine (real cores, wall clock;
+  // same ledgers and digests for the same seed — docs/THREADING.md).
+  core::Backend backend = core::Backend::kDeterministic;
   std::size_t shards = 1;
   std::size_t clients = 64;
   // Tenants, each owning one count-based license. Several clients share a
@@ -50,6 +56,10 @@ struct LoadgenMetrics {
   std::uint64_t checkpoints = 0; // journal truncations (journaling runs)
   double virtual_seconds = 0.0;  // furthest shard clock
   double throughput = 0.0;       // processed / virtual_seconds
+  // Wall-clock numbers; nonzero only on the threads backend (the
+  // deterministic simulator's only meaningful axis is virtual time).
+  double wall_seconds = 0.0;     // real time inside drain epochs
+  double wall_throughput = 0.0;  // processed / wall_seconds
   double p50_micros = 0.0;       // virtual renewal latency percentiles
   double p99_micros = 0.0;
   bool ledgers_balanced = false; // conservation across every shard

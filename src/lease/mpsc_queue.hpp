@@ -1,0 +1,119 @@
+// Bounded lock-free multi-producer/single-consumer queue.
+//
+// The hand-off structure between renewal producers (the load generator's
+// client threads, the scheduler's submit path) and a shard's worker thread
+// in the thread-per-shard backend (docs/THREADING.md). Design follows the
+// classic bounded MPMC ring of per-cell sequence numbers (Vyukov): each cell
+// carries an atomic sequence that encodes whether it is free for the
+// producer of ticket `pos` or holds the value for the consumer of ticket
+// `pos`, so producers claim cells with one CAS and neither side ever takes a
+// lock. Restricted here to one consumer, which lets the pop side use plain
+// loads on `tail_`.
+//
+// Ordering guarantees the differential tests rely on:
+//  * per-producer FIFO: one thread's pushes are CAS-ordered on `head_`, so
+//    they occupy ascending cells and pop in submission order;
+//  * bounded: `try_push` fails (backpressure, never blocks) when `capacity`
+//    items are in flight — the thread backend sizes the ring to the shard's
+//    queue capacity so ring rejects model the Overloaded wire response;
+//  * no loss or duplication: a cell's sequence admits exactly one producer
+//    claim and one consumer claim per lap (test_thread_primitives.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace sl::lease {
+
+template <typename T>
+class MpscQueue {
+ public:
+  // Capacity is rounded up to a power of two (masking beats modulo on the
+  // hot path); at least 2.
+  explicit MpscQueue(std::size_t capacity) {
+    require(capacity >= 1, "MpscQueue: capacity must be >= 1");
+    std::size_t rounded = 2;
+    while (rounded < capacity) rounded <<= 1;
+    mask_ = rounded - 1;
+    cells_ = std::make_unique<Cell[]>(rounded);
+    for (std::size_t i = 0; i < rounded; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Multi-producer push; false when the ring is full. Never blocks.
+  bool try_push(T&& item) {
+    Cell* cell = nullptr;
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::uint64_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::int64_t dif =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        // Cell is free for ticket `pos`: claim it.
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        // The consumer has not recycled this cell yet: ring is full.
+        return false;
+      } else {
+        // Another producer claimed `pos`; reload and retry.
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(item);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Single-consumer pop; false when empty (or when the next cell's producer
+  // has claimed but not yet published — the consumer simply retries later).
+  bool try_pop(T& out) {
+    const std::uint64_t pos = tail_;  // single consumer: no atomicity needed
+    Cell& cell = cells_[pos & mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos + 1) <
+        0) {
+      return false;
+    }
+    out = std::move(cell.value);
+    cell.value = T{};  // drop payload references eagerly
+    cell.seq.store(pos + mask_ + 1, std::memory_order_release);
+    tail_ = pos + 1;
+    return true;
+  }
+
+  // Producer-side estimate; exact when no push/pop is in flight.
+  std::size_t approx_size() const {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_;
+    return head >= tail ? static_cast<std::size_t>(head - tail) : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  // Producers and the consumer touch disjoint cache lines.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::uint64_t tail_ = 0;
+};
+
+}  // namespace sl::lease

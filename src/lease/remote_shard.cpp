@@ -41,7 +41,9 @@ RemoteShard::RemoteShard(const LicenseAuthority& authority,
       expected_sl_local_(expected_sl_local),
       remote_(std::make_unique<SlRemote>(authority, ias, expected_sl_local,
                                          config.ra_latency_seconds)),
-      tree_(std::make_unique<LeaseTree>(config.keygen_seed, store_)),
+      arenas_(LeaseTree::make_arenas()),
+      tree_(std::make_unique<LeaseTree>(config.keygen_seed, store_,
+                                        arenas_.get())),
       config_(config) {
   const obs::Labels shard_label = {{"shard", config_.obs_shard}};
   obs_enqueued_ = obs::get_counter("sl_lease_renewals_enqueued_total",
@@ -618,8 +620,10 @@ bool RemoteShard::apply_record(const WalRecord& record) {
 void RemoteShard::rebuild_tree() {
   tree_.reset();
   store_ = UntrustedStore{};
+  arenas_->reset();  // every pre-crash node was abandoned with the tree
   tree_ = std::make_unique<LeaseTree>(
-      splitmix64_key(generation_ ^ 0x7ee5, config_.keygen_seed) | 1, store_);
+      splitmix64_key(generation_ ^ 0x7ee5, config_.keygen_seed) | 1, store_,
+      arenas_.get());
   // Record content is a pure function of the recovered pool, and the 64-bit
   // integrity hash is a pure function of record content — so the rebuilt
   // tree digests identically to the pre-crash tree.

@@ -247,6 +247,10 @@ class RemoteShard {
   sgx::Measurement expected_sl_local_;
   std::unique_ptr<SlRemote> remote_;
   UntrustedStore store_;
+  // Declared before tree_: the tree's nodes live in these slabs, so the
+  // arenas must be destroyed after it. One pair per shard — never shared
+  // across shards (SlabArena is single-threaded by design).
+  std::unique_ptr<TreeArenas> arenas_;
   std::unique_ptr<LeaseTree> tree_;
   SimClock clock_;
   ShardConfig config_;

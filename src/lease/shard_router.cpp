@@ -5,6 +5,7 @@
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "core/scheduler.hpp"
 #include "crypto/murmur.hpp"
 
 namespace sl::lease {
@@ -271,6 +272,10 @@ std::optional<SlRemote::RenewResult> ShardGateway::renew(
     // Never admitted on the owning shard: the server denies, exactly as the
     // serial SL-Remote denies an unknown SLID.
     if (local_slid == 0) return SlRemote::RenewResult{};
+  }
+  if (scheduler_ != nullptr) {
+    return scheduler_->renew_now(shard, local_slid, license, health, network,
+                                 consumed, request_id);
   }
   return router_.renew_now(shard, local_slid, license, health, network,
                            consumed, request_id);

@@ -29,6 +29,10 @@
 #include "lease/gateway.hpp"
 #include "lease/remote_shard.hpp"
 
+namespace sl::core {
+class Scheduler;  // core/scheduler.hpp; break the include cycle
+}
+
 namespace sl::lease {
 
 class ShardRouter {
@@ -124,6 +128,14 @@ class ShardGateway : public RemoteGateway {
   ShardGateway(ShardRouter& router, ShardRouter::CustomerId customer,
                net::SimNetwork& network, net::NodeId node, SimClock& clock);
 
+  // Routes this gateway's renewals through `scheduler` instead of calling
+  // the router directly — with a ThreadScheduler attached, each renewal
+  // executes on the owning shard's worker thread (a targeted epoch). Null
+  // restores the direct path. The scheduler must wrap the same router.
+  void attach_scheduler(core::Scheduler* scheduler) {
+    scheduler_ = scheduler;
+  }
+
   std::optional<SlRemote::InitResult> init(const sgx::Quote& quote,
                                            Slid claimed_slid) override;
   std::optional<SlRemote::RenewResult> renew(Slid slid, const LicenseFile& license,
@@ -142,6 +154,7 @@ class ShardGateway : public RemoteGateway {
   Slid shard_slid(std::size_t shard);
 
   ShardRouter& router_;
+  core::Scheduler* scheduler_ = nullptr;  // optional execution backend
   ShardRouter::CustomerId customer_;
   net::SimNetwork& network_;
   net::NodeId node_;

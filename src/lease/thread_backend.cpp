@@ -1,0 +1,237 @@
+#include "lease/thread_backend.hpp"
+
+#include <chrono>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace sl::lease {
+
+ThreadScheduler::ThreadScheduler(ShardRouter& router)
+    : core::Scheduler(router),
+      capacity_(router.shard(0).config().queue_capacity) {
+  const std::size_t shards = router.shard_count();
+  lanes_.reserve(shards);
+  obs_backpressure_.reserve(shards);
+  obs_down_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    // +1 physical headroom: at most one renew_now message rides the ring on
+    // top of the `capacity_` reserved submission slots.
+    lanes_.push_back(std::make_unique<Lane>(capacity_ + 1));
+    const obs::Labels shard_label = {{"shard", std::to_string(i)}};
+    obs_backpressure_.push_back(obs::get_counter(
+        "sl_lease_backpressure_drops_total",
+        "Renewals rejected at the bounded queue (backpressure)", shard_label));
+    obs_down_.push_back(
+        obs::get_counter("sl_lease_down_rejections_total",
+                         "Renewals rejected because the shard was down",
+                         shard_label));
+  }
+  // Workers start only after every lane exists: a worker indexes lanes_.
+  for (std::size_t i = 0; i < shards; ++i) {
+    lanes_[i]->worker = std::jthread([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadScheduler::~ThreadScheduler() {
+  for (auto& lane : lanes_) {
+    {
+      std::lock_guard<std::mutex> lk(lane->m);
+      lane->stop = true;
+    }
+    lane->wake.notify_one();
+  }
+  // Lane::worker is its last member, so each jthread joins before the rest
+  // of its lane is destroyed.
+  lanes_.clear();
+}
+
+void ThreadScheduler::register_client(ShardRouter::CustomerId customer,
+                                      ShardRouter::ClientId client,
+                                      double health, double network) {
+  clients_[{customer, client}] = ClientInfo{health, network};
+}
+
+bool ThreadScheduler::submit(ShardRouter::CustomerId customer,
+                             ShardRouter::ClientId client,
+                             const LicenseFile& license,
+                             std::uint64_t consumed, std::uint64_t ticket) {
+  const std::size_t shard =
+      ShardRouter::shard_of(customer, license.lease_id, lanes_.size());
+  Lane& lane = *lanes_[shard];
+  if (!router_.shard(shard).up()) {
+    down_rejections_.fetch_add(1, std::memory_order_relaxed);
+    obs::inc(obs_down_[shard]);
+    return false;
+  }
+  const auto info = clients_.find({customer, client});
+  require(info != clients_.end(), "ThreadScheduler: client not registered");
+
+  // Exact capacity reservation: the ring's physical size is rounded up, so
+  // the atomic occupancy count is what enforces the deterministic backend's
+  // backpressure threshold bit-for-bit.
+  std::uint64_t occupancy = lane.inflight.load(std::memory_order_relaxed);
+  for (;;) {
+    if (occupancy >= capacity_) {
+      ring_rejections_.fetch_add(1, std::memory_order_relaxed);
+      obs::inc(obs_backpressure_[shard]);
+      return false;
+    }
+    if (lane.inflight.compare_exchange_weak(occupancy, occupancy + 1,
+                                            std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+
+  Msg msg;
+  msg.kind = MsgKind::kRenew;
+  msg.ticket = ticket;
+  msg.customer = customer;
+  msg.client = client;
+  msg.license = license;
+  msg.health = info->second.health;
+  msg.network = info->second.network;
+  msg.consumed = consumed;
+  const bool pushed = lane.ring.try_push(std::move(msg));
+  ensure(pushed, "ThreadScheduler: ring rejected a reserved slot");
+  return true;
+}
+
+std::vector<ShardRouter::Completion> ThreadScheduler::drain_all() {
+  using Clock = std::chrono::steady_clock;  // detlint:allow(wall-clock) wall-clock scaling is the point of this backend
+  const Clock::time_point started = Clock::now();
+  for (auto& lane : lanes_) open_epoch(*lane);
+  for (auto& lane : lanes_) await_epoch(*lane);
+  wall_seconds_ += std::chrono::duration<double>(Clock::now() - started).count();
+
+  std::vector<ShardRouter::Completion> completions;
+  for (auto& lane : lanes_) {
+    for (ShardRouter::Completion& done : lane->completions) {
+      completions.push_back(std::move(done));
+    }
+    lane->completions.clear();
+  }
+  return completions;
+}
+
+SlRemote::RenewResult ThreadScheduler::renew_now(
+    std::size_t shard, Slid slid, const LicenseFile& license, double health,
+    double network, std::uint64_t consumed, std::uint64_t request_id) {
+  require(shard < lanes_.size(), "ThreadScheduler: shard out of range");
+  Lane& lane = *lanes_[shard];
+  if (!router_.shard(shard).up()) return {};  // parity: down shard == denial
+
+  lane.renew_result = SlRemote::RenewResult{};
+  Msg msg;
+  msg.kind = MsgKind::kRenewNow;
+  msg.slid = slid;
+  msg.license = license;
+  msg.health = health;
+  msg.network = network;
+  msg.consumed = consumed;
+  msg.request_id = request_id;
+  const bool pushed = lane.ring.try_push(std::move(msg));
+  ensure(pushed, "ThreadScheduler: renew_now headroom slot unavailable");
+
+  using Clock = std::chrono::steady_clock;  // detlint:allow(wall-clock) gateway-path epoch timing
+  const Clock::time_point started = Clock::now();
+  open_epoch(lane);
+  await_epoch(lane);
+  wall_seconds_ += std::chrono::duration<double>(Clock::now() - started).count();
+  return lane.renew_result;
+}
+
+core::SchedulerStats ThreadScheduler::scheduler_stats() const {
+  core::SchedulerStats stats;
+  stats.ring_rejections = ring_rejections_.load(std::memory_order_relaxed);
+  stats.down_rejections = down_rejections_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ThreadScheduler::open_epoch(Lane& lane) {
+  {
+    std::lock_guard<std::mutex> lk(lane.m);
+    ++lane.epoch;
+  }
+  lane.wake.notify_one();
+}
+
+void ThreadScheduler::await_epoch(Lane& lane) {
+  std::unique_lock<std::mutex> lk(lane.m);
+  lane.done.wait(lk, [&] { return lane.completed == lane.epoch; });
+}
+
+void ThreadScheduler::worker_loop(std::size_t shard) {
+  Lane& lane = *lanes_[shard];
+  for (;;) {
+    std::uint64_t target = 0;
+    {
+      std::unique_lock<std::mutex> lk(lane.m);
+      lane.wake.wait(lk,
+                     [&] { return lane.stop || lane.epoch > lane.completed; });
+      if (lane.epoch == lane.completed) return;  // stop requested while idle
+      target = lane.epoch;
+    }
+    run_epoch(shard, lane);
+    {
+      std::lock_guard<std::mutex> lk(lane.m);
+      lane.completed = target;
+    }
+    lane.done.notify_all();
+  }
+}
+
+void ThreadScheduler::run_epoch(std::size_t shard, Lane& lane) {
+  RemoteShard& owner = router_.shard(shard);
+  Msg msg;
+  while (lane.ring.try_pop(msg)) {
+    if (msg.kind == MsgKind::kRenew) {
+      lane.inflight.fetch_sub(1, std::memory_order_relaxed);
+      PendingRenew request;
+      request.ticket = msg.ticket;
+      const auto key = std::make_pair(msg.customer, msg.client);
+      auto minted = lane.slids.find(key);
+      if (minted == lane.slids.end()) {
+        // First use mints the SLID — ring FIFO makes this the submission
+        // order, which is exactly the deterministic router's mint order.
+        minted = lane.slids
+                     .emplace(key, owner.admit_peer(msg.health, msg.network))
+                     .first;
+      }
+      request.slid = minted->second;
+      request.license = std::move(msg.license);
+      request.health = msg.health;
+      request.network = msg.network;
+      request.consumed = msg.consumed;
+      const bool accepted = owner.enqueue(std::move(request));
+      ensure(accepted, "thread backend: shard queue overflowed its ring bound");
+    } else {
+      // Gateway batch-of-one, mirroring ShardRouter::renew_now: flush the
+      // backlog (its outcomes are discarded there too), then drain exactly
+      // this request.
+      if (owner.pending() > 0) owner.drain();
+      PendingRenew request;
+      request.slid = msg.slid;
+      request.license = std::move(msg.license);
+      request.health = msg.health;
+      request.network = msg.network;
+      request.consumed = msg.consumed;
+      request.request_id = msg.request_id;
+      SlRemote::RenewResult result;
+      if (owner.enqueue(std::move(request))) {
+        const std::vector<RenewOutcome> outcomes = owner.drain();
+        if (!outcomes.empty()) {
+          result.ok = outcomes.back().status == RenewStatus::kGranted;
+          result.granted = outcomes.back().granted;
+        }
+      }
+      lane.renew_result = result;
+    }
+  }
+  if (!owner.up()) return;  // a crashed shard drains nothing (router parity)
+  for (RenewOutcome& outcome : owner.drain()) {
+    lane.completions.push_back(ShardRouter::Completion{shard, outcome});
+  }
+}
+
+}  // namespace sl::lease

@@ -1,0 +1,157 @@
+// Thread-per-shard execution backend (ROADMAP item 1, docs/THREADING.md).
+//
+// Each RemoteShard gets a dedicated OS thread (its *worker*) and a bounded
+// lock-free MPSC submission ring. Execution is *phase-locked*: workers park
+// between drains, so the calling thread may freely provision licenses, read
+// ledgers or take digests between phases; drain_all() opens one epoch on
+// every lane at once — each worker pops its ring in FIFO order, feeds the
+// requests through RemoteShard::enqueue()/drain() exactly as the
+// deterministic backend would, and buffers the completions — then the
+// caller joins the epoch barrier and collects completions in ascending
+// shard order.
+//
+// Because a shard worker executes the same call sequence on the same
+// per-shard state as DeterministicScheduler (just on another core), every
+// deterministic artifact — per-lease ledgers, state digests, virtual
+// clocks, batch groups, journal contents — is bit-identical between the
+// backends for the same phased workload. That equivalence is the spine of
+// tests/lease/test_backend_differential.cpp and the digest gate in
+// bench_remote_load. What the thread backend does NOT support: mid-run
+// crash()/recover() events (the DST keeps those on the deterministic
+// backend) and submissions concurrent with an open epoch.
+//
+// Thread-safety map:
+//  * submit() is safe from many producer threads between epochs: it touches
+//    only the lane's atomic occupancy counter, the MPSC ring and the
+//    immutable client registry;
+//  * all RemoteShard state is worker-owned during an epoch; the epoch
+//    mutex/condvar handshake gives the caller acquire/release visibility of
+//    everything the worker wrote (and vice versa);
+//  * the obs registry and trace recorder are internally synchronized, so
+//    concurrent per-shard instrumentation is safe (span *order* across
+//    shards is scheduling-dependent — trace fingerprints are only
+//    meaningful on the deterministic backend).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "lease/mpsc_queue.hpp"
+#include "lease/shard_router.hpp"
+#include "obs/metrics.hpp"
+
+namespace sl::lease {
+
+class ThreadScheduler final : public core::Scheduler {
+ public:
+  // Rings are sized to the router's shard queue capacity, so the
+  // backpressure threshold is exactly the deterministic backend's.
+  explicit ThreadScheduler(ShardRouter& router);
+  ~ThreadScheduler() override;
+
+  core::Backend backend() const override { return core::Backend::kThreads; }
+
+  void register_client(ShardRouter::CustomerId customer,
+                       ShardRouter::ClientId client, double health,
+                       double network) override;
+
+  bool submit(ShardRouter::CustomerId customer, ShardRouter::ClientId client,
+              const LicenseFile& license, std::uint64_t consumed,
+              std::uint64_t ticket) override;
+
+  std::vector<ShardRouter::Completion> drain_all() override;
+
+  SlRemote::RenewResult renew_now(std::size_t shard, Slid slid,
+                                  const LicenseFile& license, double health,
+                                  double network, std::uint64_t consumed,
+                                  std::uint64_t request_id = 0) override;
+
+  double wall_seconds() const override { return wall_seconds_; }
+
+  core::SchedulerStats scheduler_stats() const override;
+
+ private:
+  enum class MsgKind : std::uint8_t {
+    kRenew = 0,     // router-level submission; SLID minted by the worker
+    kRenewNow = 1,  // gateway-path batch-of-one with an explicit SLID
+  };
+
+  struct Msg {
+    MsgKind kind = MsgKind::kRenew;
+    std::uint64_t ticket = 0;
+    ShardRouter::CustomerId customer = 0;
+    ShardRouter::ClientId client = 0;
+    Slid slid = 0;
+    LicenseFile license;
+    double health = 1.0;
+    double network = 1.0;
+    std::uint64_t consumed = 0;
+    std::uint64_t request_id = 0;
+  };
+
+  // One shard's worker-side state. Everything below `m` is written by the
+  // worker during an epoch and read by the caller only after the epoch
+  // barrier (release on `completed`, acquire on the wait).
+  struct Lane {
+    explicit Lane(std::size_t ring_capacity) : ring(ring_capacity) {}
+
+    MpscQueue<Msg> ring;
+    // Logical occupancy for an exact capacity bound (the physical ring is
+    // rounded up to a power of two and holds headroom for renew_now).
+    std::atomic<std::uint64_t> inflight{0};
+
+    std::mutex m;
+    std::condition_variable wake;  // caller -> worker: epoch opened / stop
+    std::condition_variable done;  // worker -> caller: epoch complete
+    std::uint64_t epoch = 0;
+    std::uint64_t completed = 0;
+    bool stop = false;
+
+    std::vector<ShardRouter::Completion> completions;
+    SlRemote::RenewResult renew_result;
+
+    // Worker-owned lazy SLID mint, first-use order (matches the
+    // deterministic router's slid_for).
+    std::map<std::pair<ShardRouter::CustomerId, ShardRouter::ClientId>, Slid>
+        slids;
+
+    // Last member: joins (via jthread) before the fields above are torn
+    // down. Started by the ThreadScheduler constructor.
+    std::jthread worker;
+  };
+
+  void worker_loop(std::size_t shard);
+  void run_epoch(std::size_t shard, Lane& lane);
+  void open_epoch(Lane& lane);
+  void await_epoch(Lane& lane);
+
+  struct ClientInfo {
+    double health = 1.0;
+    double network = 1.0;
+  };
+
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  // Immutable while requests are in flight: registration happens before the
+  // first submit (the Scheduler contract), so producer reads need no lock.
+  std::map<std::pair<ShardRouter::CustomerId, ShardRouter::ClientId>,
+           ClientInfo>
+      clients_;
+  std::atomic<std::uint64_t> ring_rejections_{0};
+  std::atomic<std::uint64_t> down_rejections_{0};
+  double wall_seconds_ = 0.0;  // caller-thread only
+  // Per-shard handles onto the same registry series RemoteShard increments,
+  // so registry totals match the deterministic backend's.
+  std::vector<obs::Counter*> obs_backpressure_;
+  std::vector<obs::Counter*> obs_down_;
+};
+
+}  // namespace sl::lease

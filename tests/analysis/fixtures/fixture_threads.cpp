@@ -1,0 +1,24 @@
+// detlint fixture: the guard patterns the thread-per-shard backend leans
+// on (docs/THREADING.md) must classify as guarded, not pollute the
+// unguarded inventory. Scanned by test_detlint, never built.
+#include <atomic>
+#include <thread>
+
+namespace fixture {
+
+// The thread backend's scheduler-level rejection counters: lock-free
+// atomics shared across producer threads.
+std::atomic<unsigned long long> g_ring_rejections{0};
+
+// A worker handle is its own synchronization (join-on-destruction plus the
+// stop token's internal state): guarded via the jthread sync type.
+std::jthread g_reaper;
+
+unsigned long long park() {
+  // Epoch counter pattern: a static-local atomic is guarded even though a
+  // plain static local would fire unguarded-shared-state.
+  static std::atomic<unsigned long long> epochs{0};
+  return epochs.fetch_add(1) + g_ring_rejections.load();
+}
+
+}  // namespace fixture

@@ -211,6 +211,31 @@ TEST(DetlintFixtures, SharedStateClassification) {
   EXPECT_EQ(found.size(), 2u);
 }
 
+TEST(DetlintFixtures, ThreadBackendGuardPatternsClassifyGuarded) {
+  // The guard idioms the thread-per-shard backend is built from
+  // (fixture_threads.cpp): shared atomics, a jthread handle, and the
+  // static-local atomic epoch counter all land in the inventory as guarded
+  // — none of them may fire unguarded-shared-state.
+  const LintResult result = lint_fixtures();
+  const auto entry_for = [&](const std::string& symbol)
+      -> const SharedStateEntry* {
+    for (const SharedStateEntry& e : result.report.shared_state) {
+      if (e.decl.symbol == symbol) return &e;
+    }
+    return nullptr;
+  };
+  for (const std::string symbol :
+       {"g_ring_rejections", "g_reaper", "park::epochs"}) {
+    const SharedStateEntry* entry = entry_for(symbol);
+    ASSERT_NE(entry, nullptr) << symbol << " missing from the inventory";
+    EXPECT_EQ(entry->classification, "guarded") << symbol;
+  }
+  for (const LintFinding& f :
+       findings_for(result, kRuleUnguardedSharedState)) {
+    EXPECT_NE(f.file, "fixtures/fixture_threads.cpp") << f.symbol;
+  }
+}
+
 // --- golden JSON over the fixture tree ---------------------------------------
 
 TEST(DetlintFixtures, GoldenJsonReport) {
@@ -341,6 +366,28 @@ TEST(DetlintSelfScan, ThreadReadinessInventoryCoversKnownState) {
                 e.classification == "unguarded")
         << e.decl.symbol;
   }
+}
+
+TEST(DetlintSelfScan, UnguardedInventoryStaysEmpty) {
+  // The thread-readiness gate, hardened now that src/ hosts a real
+  // multi-threaded engine: every mutable global or static local in the
+  // production tree must be guarded (or gated behind SL_OBS_ENABLED).
+  // A new unguarded entry means someone added cross-thread state without
+  // synchronization — fix the code, do not baseline it.
+  LintOptions options;
+  options.root = std::string(SL_SOURCE_DIR) + "/src";
+  options.label = "src";
+  const LintResult result = run_lint(options);
+  ASSERT_TRUE(result.ok) << result.error;
+  std::string unguarded;
+  for (const SharedStateEntry& e : result.report.shared_state) {
+    if (e.classification == "unguarded") {
+      unguarded += "\n  " + e.decl.symbol + " (" + e.decl.type + ") at " +
+                   e.decl.file + ":" + std::to_string(e.decl.line);
+    }
+  }
+  EXPECT_TRUE(unguarded.empty())
+      << "unguarded shared state in src/:" << unguarded;
 }
 
 }  // namespace

@@ -1,0 +1,245 @@
+// Unit tests for the thread backend's building blocks: the bounded
+// lock-free MPSC ring (lease/mpsc_queue.hpp) and the per-shard slab arena
+// (lease/arena.hpp). These are the two pieces the differential harness
+// cannot see directly — it proves end-to-end ledger equivalence, while the
+// tests here pin the local invariants that equivalence rests on: FIFO per
+// producer, exact boundedness, no lost or duplicated items, and arenas that
+// recycle without bleeding across shards.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "lease/arena.hpp"
+#include "lease/lease_tree.hpp"
+#include "lease/mpsc_queue.hpp"
+
+namespace sl::lease {
+namespace {
+
+struct Item {
+  std::uint32_t producer = 0;
+  std::uint32_t seq = 0;
+};
+
+TEST(MpscQueue, SingleThreadedFifo) {
+  MpscQueue<Item> queue(8);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(queue.try_push(Item{0, i}));
+  }
+  Item out;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out.seq, i);
+  }
+  EXPECT_FALSE(queue.try_pop(out));
+}
+
+TEST(MpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpscQueue<int>(5).capacity(), 8u);
+  EXPECT_EQ(MpscQueue<int>(64).capacity(), 64u);
+  EXPECT_EQ(MpscQueue<int>(65).capacity(), 128u);
+}
+
+TEST(MpscQueue, BoundedBackpressureNeverBlocks) {
+  MpscQueue<Item> queue(4);  // physical capacity 4
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.try_push(Item{0, i}));
+  }
+  // Full ring: pushes fail immediately instead of blocking or overwriting.
+  EXPECT_FALSE(queue.try_push(Item{0, 99}));
+  EXPECT_FALSE(queue.try_push(Item{0, 100}));
+  EXPECT_EQ(queue.approx_size(), 4u);
+
+  // Draining one cell re-admits exactly one push, and FIFO order survives
+  // the rejected attempts (nothing from the failed pushes leaked in).
+  Item out;
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out.seq, 0u);
+  ASSERT_TRUE(queue.try_push(Item{0, 4}));
+  EXPECT_FALSE(queue.try_push(Item{0, 101}));
+  for (std::uint32_t expect = 1; expect <= 4; ++expect) {
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out.seq, expect);
+  }
+}
+
+TEST(MpscQueue, FifoPerProducerUnderContention) {
+  // N producers race a small ring (forcing wrap-around and backpressure
+  // retries) while the consumer drains concurrently. Every producer's items
+  // must arrive in that producer's push order, with nothing lost or
+  // duplicated.
+  constexpr std::uint32_t kProducers = 4;
+  constexpr std::uint32_t kPerProducer = 20'000;
+  MpscQueue<Item> queue(16);
+
+  std::vector<std::vector<std::uint32_t>> seen(kProducers);
+  std::thread consumer([&] {
+    std::uint64_t received = 0;
+    Item out;
+    while (received < std::uint64_t{kProducers} * kPerProducer) {
+      if (queue.try_pop(out)) {
+        seen[out.producer].push_back(out.seq);
+        ++received;
+      } else {
+        std::this_thread::yield();  // keep single-core hosts live
+      }
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+        while (!queue.try_push(Item{p, i})) {
+          // Backpressure: yield until the consumer frees a cell (a plain
+          // spin starves the consumer for a whole quantum on one core).
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  consumer.join();
+
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    ASSERT_EQ(seen[p].size(), kPerProducer) << "producer " << p;
+    for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+      ASSERT_EQ(seen[p][i], i) << "producer " << p << " position " << i;
+    }
+  }
+  Item out;
+  EXPECT_FALSE(queue.try_pop(out));  // everything accounted for
+}
+
+TEST(MpscQueue, NoLossAcrossManyLaps) {
+  // One producer, one consumer, ring far smaller than the item count: the
+  // sequence numbers lap the ring thousands of times and the monotone
+  // ticket check would catch any recycled-cell bug.
+  MpscQueue<std::uint64_t> queue(2);
+  constexpr std::uint64_t kItems = 100'000;
+  std::thread consumer([&] {
+    std::uint64_t expect = 1;
+    std::uint64_t value = 0;
+    while (expect <= kItems) {
+      if (queue.try_pop(value)) {
+        ASSERT_EQ(value, expect);
+        ++expect;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint64_t i = 1; i <= kItems; ++i) {
+    while (!queue.try_push(std::uint64_t{i})) {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+}
+
+TEST(SlabArena, BumpThenFreeListReuse) {
+  SlabArena arena(/*cell_size=*/32, /*cell_align=*/8, /*cells_per_slab=*/4);
+  void* a = arena.allocate();
+  void* b = arena.allocate();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(arena.stats().slabs, 1u);
+  EXPECT_EQ(arena.stats().live, 2u);
+
+  // LIFO free list: the most recently freed (cache-warm) cell comes back
+  // first, and reuse is visible in the stats.
+  arena.deallocate(b);
+  arena.deallocate(a);
+  EXPECT_EQ(arena.stats().live, 0u);
+  void* c = arena.allocate();
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(arena.stats().reused, 1u);
+  void* d = arena.allocate();
+  EXPECT_EQ(d, b);
+  EXPECT_EQ(arena.stats().reused, 2u);
+}
+
+TEST(SlabArena, GrowsBySlabAndResetKeepsMemory) {
+  SlabArena arena(/*cell_size=*/16, /*cell_align=*/8, /*cells_per_slab=*/4);
+  std::set<void*> cells;
+  for (int i = 0; i < 10; ++i) cells.insert(arena.allocate());
+  EXPECT_EQ(cells.size(), 10u);  // all distinct
+  EXPECT_EQ(arena.stats().slabs, 3u);
+
+  // reset() rewinds without releasing: re-allocating the same working set
+  // must revisit the same slabs and obtain no new memory from the heap.
+  arena.reset();
+  EXPECT_EQ(arena.stats().live, 0u);
+  std::set<void*> again;
+  for (int i = 0; i < 10; ++i) again.insert(arena.allocate());
+  EXPECT_EQ(arena.stats().slabs, 3u);
+  EXPECT_EQ(cells, again);
+}
+
+TEST(SlabArena, ArenaNewConstructsInPlace) {
+  struct Node {
+    std::uint64_t key;
+    std::uint32_t depth;
+  };
+  SlabArena arena(sizeof(Node), alignof(Node));
+  Node* node = arena_new<Node>(arena, Node{42, 7});
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->key, 42u);
+  EXPECT_EQ(node->depth, 7u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(node) % alignof(Node), 0u);
+  arena.deallocate(node);
+}
+
+TEST(SlabArena, PerShardArenasDoNotShareCells) {
+  // The thread backend's soundness argument for a mutex-free allocator:
+  // every shard owns its own TreeArenas, so two shards' allocations can
+  // never alias. Model two shards and check cell disjointness directly.
+  TreeArenas shard0(32, 8, 64, 8);
+  TreeArenas shard1(32, 8, 64, 8);
+  std::set<void*> cells0, cells1;
+  for (int i = 0; i < 200; ++i) {
+    cells0.insert(shard0.nodes.allocate());
+    cells0.insert(shard0.leaves.allocate());
+    cells1.insert(shard1.nodes.allocate());
+    cells1.insert(shard1.leaves.allocate());
+  }
+  std::vector<void*> overlap;
+  std::set_intersection(cells0.begin(), cells0.end(), cells1.begin(),
+                        cells1.end(), std::back_inserter(overlap));
+  EXPECT_TRUE(overlap.empty());
+}
+
+TEST(SlabArena, LeaseTreeRunsOnArenas) {
+  // End-to-end through the real consumer: a LeaseTree drawing nodes and
+  // leaves from arenas behaves exactly like the heap-backed tree, and
+  // erases recycle cells (reuse counter moves) instead of touching the heap.
+  auto arenas = LeaseTree::make_arenas();
+  UntrustedStore store;
+  LeaseTree tree(/*keygen_seed=*/7, store, arenas.get());
+  for (LeaseId id = 0; id < 64; ++id) {
+    tree.insert(id, Gcl(LeaseKind::kCountBased, 1'000 + id));
+  }
+  for (LeaseId id = 0; id < 64; ++id) {
+    LeaseRecord* record = tree.find(id);
+    ASSERT_NE(record, nullptr);
+    EXPECT_EQ(record->gcl().count(), 1'000u + id);
+  }
+  const std::uint64_t live_before = arenas->leaves.stats().live;
+  for (LeaseId id = 0; id < 32; ++id) tree.erase(id);
+  EXPECT_EQ(arenas->leaves.stats().live, live_before - 32);
+  const std::uint64_t reused_before = arenas->leaves.stats().reused;
+  for (LeaseId id = 100; id < 132; ++id) {
+    tree.insert(id, Gcl(LeaseKind::kCountBased, 5));
+  }
+  EXPECT_GT(arenas->leaves.stats().reused, reused_before);
+  for (LeaseId id = 100; id < 132; ++id) {
+    ASSERT_NE(tree.find(id), nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace sl::lease

@@ -28,6 +28,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "analysis/auditor.hpp"
 #include "analysis/detlint/detlint.hpp"
@@ -36,6 +37,7 @@
 #include "attack/victim_model.hpp"
 #include "cfg/dot.hpp"
 #include "cfg/dot_parse.hpp"
+#include "core/scheduler.hpp"
 #include "core/securelease.hpp"
 #include "lease/loadgen.hpp"
 #include "obs/metrics.hpp"
@@ -602,6 +604,16 @@ int cmd_loadgen(int argc, char** argv) {
     const std::string flag = argv[i];
     if (flag == "--shards" && i + 1 < argc) {
       config.shards = std::strtoull(argv[++i], nullptr, 0);
+    } else if (flag == "--backend" && i + 1 < argc) {
+      const auto backend = core::backend_from_name(argv[++i]);
+      if (!backend.has_value()) {
+        std::fprintf(stderr,
+                     "loadgen: unknown backend '%s' "
+                     "(expected deterministic|threads)\n",
+                     argv[i]);
+        return 1;
+      }
+      config.backend = *backend;
     } else if (flag == "--clients" && i + 1 < argc) {
       config.clients = std::strtoull(argv[++i], nullptr, 0);
     } else if (flag == "--seed" && i + 1 < argc) {
@@ -634,9 +646,10 @@ int cmd_loadgen(int argc, char** argv) {
   TraceOutScope spans(!trace_out.empty());
   const lease::LoadgenMetrics m = lease::run_loadgen(config);
   if (const int rc = spans.finish(trace_out); rc != 0) return rc;
-  std::printf("loadgen: shards=%zu clients=%zu licenses=%zu rounds=%llu "
-              "seed=%llu batching=%s journaling=%s\n",
-              config.shards, config.clients, config.licenses,
+  std::printf("loadgen: backend=%s shards=%zu clients=%zu licenses=%zu "
+              "rounds=%llu seed=%llu batching=%s journaling=%s\n",
+              core::backend_name(config.backend), config.shards,
+              config.clients, config.licenses,
               (unsigned long long)config.rounds,
               (unsigned long long)config.seed,
               config.batching ? "on" : "off",
@@ -649,6 +662,11 @@ int cmd_loadgen(int argc, char** argv) {
   std::printf("  virtual time %.6fs -> %.1f renewals/vsec, latency p50=%.1fus "
               "p99=%.1fus\n",
               m.virtual_seconds, m.throughput, m.p50_micros, m.p99_micros);
+  if (m.wall_seconds > 0.0) {
+    std::printf("  wall time %.6fs -> %.1f renewals/sec on %u hardware threads\n",
+                m.wall_seconds, m.wall_throughput,
+                std::thread::hardware_concurrency());
+  }
   std::printf("  ledgers: %s   state digest: %016llx\n",
               m.ledgers_balanced ? "balanced" : "IMBALANCED",
               (unsigned long long)m.state_digest);
@@ -821,6 +839,9 @@ void usage() {
       "                               SL-Remote; exits 4 on overload with\n"
       "                               --fail-on-overload or ledger imbalance\n"
       "    --shards <N>        shard count (default 1)\n"
+      "    --backend <b>       execution backend: deterministic (virtual\n"
+      "                        cycles, default) or threads (one OS thread\n"
+      "                        per shard; adds wall-clock renewals/sec)\n"
       "    --clients <M>       closed-loop clients (default 64)\n"
       "    --licenses <L>      tenant licenses (default 16)\n"
       "    --rounds <R>        rounds (default 50)\n"
