@@ -125,9 +125,31 @@ int main(int argc, char** argv) {
               journaled.throughput, batched.throughput, overhead,
               (unsigned long long)journaled.checkpoints);
 
+  // Replication cost (docs/REPLICATION.md): the same journaled workload
+  // with an f=1 replica group per shard and a mid-run leader failover on
+  // every shard. A renewal now commits only after the leader sync plus one
+  // follower ack, and halfway through the run each shard pays an election
+  // plus a journal re-install. The acceptance gate is throughput within
+  // 2.0x of the journaled-only baseline.
+  lease::LoadgenConfig replica_cfg = durable;
+  replica_cfg.replicas = 3;
+  replica_cfg.kill_leader = true;
+  const lease::LoadgenMetrics replicated = lease::run_loadgen(replica_cfg);
+  const double replication_overhead =
+      replicated.throughput > 0.0
+          ? journaled.throughput / replicated.throughput
+          : 0.0;
+  std::printf("replication f=1 at 4 shards: %.1f vs %.1f renewals/vsec "
+              "(%.2fx overhead vs journaled), %llu failovers, "
+              "%llu quorum stalls\n",
+              replicated.throughput, journaled.throughput,
+              replication_overhead, (unsigned long long)replicated.failovers,
+              (unsigned long long)replicated.quorum_stalls);
+
   // Registry accounting over the whole bench. The thread backend publishes
   // to the same per-shard counters, so its runs are part of the sum.
-  std::uint64_t expected_processed = unbatched.processed + journaled.processed;
+  std::uint64_t expected_processed =
+      unbatched.processed + journaled.processed + replicated.processed;
   for (const lease::LoadgenMetrics& m : runs) expected_processed += m.processed;
   for (const lease::LoadgenMetrics& m : thread_runs)
     expected_processed += m.processed;
@@ -167,6 +189,25 @@ int main(int argc, char** argv) {
   }
   if (!journaled.ledgers_balanced) {
     std::fprintf(stderr, "FAIL: ledger imbalance with journaling\n");
+    ok = false;
+  }
+  if (replication_overhead <= 0.0 || replication_overhead > 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: replication overhead %.2fx vs journaled exceeds the "
+                 "2.0x budget\n",
+                 replication_overhead);
+    ok = false;
+  }
+  if (!replicated.ledgers_balanced) {
+    std::fprintf(stderr, "FAIL: ledger imbalance with replication\n");
+    ok = false;
+  }
+  if (replicated.failovers != replicated.config.shards) {
+    std::fprintf(stderr,
+                 "FAIL: %llu failovers completed, expected one per shard "
+                 "(%zu)\n",
+                 (unsigned long long)replicated.failovers,
+                 replicated.config.shards);
     ok = false;
   }
   for (const lease::LoadgenMetrics& m : runs) {
@@ -254,17 +295,21 @@ int main(int argc, char** argv) {
     }
     out << "    " << lease::loadgen_json(unbatched) << ",\n";
     out << "    " << lease::loadgen_json(journaled) << ",\n";
+    out << "    " << lease::loadgen_json(replicated) << ",\n";
     for (std::size_t i = 0; i < thread_runs.size(); ++i) {
       out << "    " << lease::loadgen_json(thread_runs[i])
           << (i + 1 < thread_runs.size() ? ",\n" : "\n");
     }
     out << "  ],\n";
-    char tail[384];
+    char tail[640];
     std::snprintf(tail, sizeof(tail),
                   "  \"monotone_1_to_4\": %s,\n"
                   "  \"scaling_1_to_4\": %.3f,\n"
                   "  \"journal_overhead_4_shards\": %.3f,\n"
                   "  \"journal_within_1_5x\": %s,\n"
+                  "  \"replication_overhead_4_shards\": %.3f,\n"
+                  "  \"replication_within_2x\": %s,\n"
+                  "  \"replication_failovers\": %llu,\n"
                   "  \"hardware_threads\": %u,\n"
                   "  \"threads_digests_match\": %s,\n"
                   "  \"wall_monotone_1_to_8\": %s,\n"
@@ -275,6 +320,11 @@ int main(int argc, char** argv) {
                       ? runs[2].throughput / runs[0].throughput
                       : 0.0,
                   overhead, overhead > 0.0 && overhead <= 1.5 ? "true" : "false",
+                  replication_overhead,
+                  replication_overhead > 0.0 && replication_overhead <= 2.0
+                      ? "true"
+                      : "false",
+                  (unsigned long long)replicated.failovers,
                   hw_threads, digests_match ? "true" : "false",
                   wall_monotone ? "true" : "false",
                   wall_gate_applies ? "true" : "false",

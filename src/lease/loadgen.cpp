@@ -60,7 +60,8 @@ LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
   ShardConfig shard_config;
   shard_config.queue_capacity = config.queue_capacity;
   shard_config.batching = config.batching;
-  shard_config.durability.journaling = config.journaling;
+  shard_config.durability.journaling = config.journaling || config.replicas > 0;
+  shard_config.durability.replicas = config.replicas;
   ShardRouter router(vendor, ias, SlLocal::expected_measurement(),
                      std::max<std::size_t>(1, config.shards), shard_config);
 
@@ -109,6 +110,19 @@ LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
 #endif
 
   for (std::uint64_t round = 0; round < config.rounds; ++round) {
+    if (config.kill_leader && config.replicas > 0 &&
+        round == config.rounds / 2) {
+      // Halfway point: depose every shard's leader and promote the longest
+      // verified follower. The loop keeps running against the new leaders,
+      // so the cost (and correctness) of failover lands inside the run.
+      for (std::size_t s = 0; s < router.shard_count(); ++s) {
+        RemoteShard& shard = router.shard(s);
+        if (!shard.up() || !shard.replication_enabled()) continue;
+        if (!shard.replica_group()->election_quorum_available()) continue;
+        const FailoverReport report = shard.fail_over();
+        if (report.ok) metrics.failovers++;
+      }
+    }
     for (std::size_t c = 0; c < clients.size(); ++c) {
       Client& client = clients[c];
       const std::uint64_t ticket = round * clients.size() + c;
@@ -171,6 +185,7 @@ LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
   metrics.p50_micros = percentile(latencies, 0.50);
   metrics.p99_micros = percentile(latencies, 0.99);
 #endif
+  metrics.quorum_stalls = router.aggregate_shard_stats().quorum_stalls;
   metrics.virtual_seconds = router.virtual_seconds();
   metrics.throughput = metrics.virtual_seconds > 0.0
                            ? static_cast<double>(metrics.processed) /
@@ -190,7 +205,7 @@ LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
 }
 
 std::string loadgen_json(const LoadgenMetrics& m) {
-  char buffer[1280];
+  char buffer[1536];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\n"
@@ -202,6 +217,8 @@ std::string loadgen_json(const LoadgenMetrics& m) {
       "      \"seed\": %llu,\n"
       "      \"batching\": %s,\n"
       "      \"journaling\": %s,\n"
+      "      \"replicas\": %u,\n"
+      "      \"kill_leader\": %s,\n"
       "      \"submitted\": %llu,\n"
       "      \"overloaded\": %llu,\n"
       "      \"processed\": %llu,\n"
@@ -209,6 +226,8 @@ std::string loadgen_json(const LoadgenMetrics& m) {
       "      \"denied\": %llu,\n"
       "      \"batches\": %llu,\n"
       "      \"checkpoints\": %llu,\n"
+      "      \"failovers\": %llu,\n"
+      "      \"quorum_stalls\": %llu,\n"
       "      \"virtual_seconds\": %.6f,\n"
       "      \"throughput_renewals_per_vsec\": %.1f,\n"
       "      \"wall_seconds\": %.6f,\n"
@@ -223,14 +242,17 @@ std::string loadgen_json(const LoadgenMetrics& m) {
       static_cast<unsigned long long>(m.config.rounds),
       static_cast<unsigned long long>(m.config.seed),
       m.config.batching ? "true" : "false",
-      m.config.journaling ? "true" : "false",
+      m.config.journaling || m.config.replicas > 0 ? "true" : "false",
+      m.config.replicas, m.config.kill_leader ? "true" : "false",
       static_cast<unsigned long long>(m.submitted),
       static_cast<unsigned long long>(m.overloaded),
       static_cast<unsigned long long>(m.processed),
       static_cast<unsigned long long>(m.granted),
       static_cast<unsigned long long>(m.denied),
       static_cast<unsigned long long>(m.batches),
-      static_cast<unsigned long long>(m.checkpoints), m.virtual_seconds,
+      static_cast<unsigned long long>(m.checkpoints),
+      static_cast<unsigned long long>(m.failovers),
+      static_cast<unsigned long long>(m.quorum_stalls), m.virtual_seconds,
       m.throughput, m.wall_seconds, m.wall_throughput, m.p50_micros,
       m.p99_micros,
       m.ledgers_balanced ? "true" : "false",

@@ -43,6 +43,14 @@ struct LoadgenConfig {
   // checkpointing (docs/DURABILITY.md). Charges the storage cost model to
   // the shard clocks, so throughput reflects the durability overhead.
   bool journaling = false;
+  // Replica-group size per shard (2f+1 incl. the leader; 0 = replication
+  // off). Nonzero implies journaling: a renewal is acked only after the
+  // leader sync plus f follower acks (docs/REPLICATION.md).
+  std::uint32_t replicas = 0;
+  // Fail over every shard's leader halfway through the run (requires
+  // replicas > 0): elect the longest verified follower, bump the epoch and
+  // keep serving. Measures failover cost under load.
+  bool kill_leader = false;
 };
 
 struct LoadgenMetrics {
@@ -54,6 +62,8 @@ struct LoadgenMetrics {
   std::uint64_t denied = 0;
   std::uint64_t batches = 0;     // tree commits across all shards
   std::uint64_t checkpoints = 0; // journal truncations (journaling runs)
+  std::uint64_t failovers = 0;   // leader elections (--kill-leader runs)
+  std::uint64_t quorum_stalls = 0;  // drains deferred below replica quorum
   double virtual_seconds = 0.0;  // furthest shard clock
   double throughput = 0.0;       // processed / virtual_seconds
   // Wall-clock numbers; nonzero only on the threads backend (the

@@ -13,6 +13,17 @@ namespace {
 
 constexpr std::uint32_t kCheckpointVersion = 1;
 
+// Numeric shard id for replication frame addressing; obs_shard is the shard
+// index rendered by the router ("0", "1", ...), anything else maps to 0.
+std::uint32_t parse_shard_id(const std::string& obs_shard) {
+  std::uint32_t id = 0;
+  for (const char c : obs_shard) {
+    if (c < '0' || c > '9') return 0;
+    id = id * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  return id;
+}
+
 void add_stats(SlRemoteStats& into, const SlRemoteStats& delta) {
   into.remote_attestations += delta.remote_attestations;
   into.registrations += delta.registrations;
@@ -82,6 +93,13 @@ RemoteShard::RemoteShard(const LicenseAuthority& authority,
       "Renewal entries written into journal batch records", shard_label);
   obs_recoveries_ = obs::get_counter("sl_lease_recoveries_total",
                                      "Crash recoveries attempted", shard_label);
+  obs_quorum_stalls_ = obs::get_counter(
+      "sl_lease_quorum_stalls_total",
+      "Drains deferred because the replica quorum was unavailable",
+      shard_label);
+  obs_failovers_ = obs::get_counter(
+      "sl_lease_failovers_total",
+      "Leader failovers (election + promoted replica install)", shard_label);
   obs_renew_latency_ = obs::get_histogram(
       "sl_lease_renew_latency_cycles",
       "Renewal latency (drain start to batch commit) in virtual cycles",
@@ -109,6 +127,20 @@ RemoteShard::RemoteShard(const LicenseAuthority& authority,
     genesis.generation = 0;
     genesis.post_digest = state_digest();
     journal_->reset(genesis.serialize());
+    if (config_.durability.replicas > 0) {
+      replication::GroupConfig group_config;
+      group_config.replicas = config_.durability.replicas;
+      group_config.master_key = config_.durability.master_key;
+      group_config.shard = parse_shard_id(config_.obs_shard);
+      group_config.obs_shard = config_.obs_shard;
+      group_ = std::make_unique<replication::ReplicaGroup>(group_config,
+                                                           journal_.get());
+      // Followers start from the genesis record, not from an empty log.
+      group_->replicate();
+    }
+  } else {
+    require(config_.durability.replicas == 0,
+            "ShardDurability: replication requires journaling");
   }
   committed_digest_ = state_digest();
 }
@@ -264,6 +296,14 @@ void RemoteShard::sync_lease_record(LeaseId lease) {
 
 std::vector<RenewOutcome> RemoteShard::drain() {
   require(up_, "drain: shard is down");
+  if (group_ != nullptr && !group_->quorum_available()) {
+    // Too few replicas to make a renewal durable: defer rather than ack
+    // something a failover could lose. Requests stay queued; callers gate on
+    // accepting() so this is a defense-in-depth backstop, not the normal path.
+    stats_.quorum_stalls++;
+    obs::inc(obs_quorum_stalls_);
+    return {};
+  }
   const Cycles drain_start = clock_.cycles();
   std::vector<RenewOutcome> outcomes;
   outcomes.reserve(queue_.size());
@@ -407,6 +447,7 @@ void RemoteShard::journal_append(WalRecord record) {
 void RemoteShard::journal_commit() {
   if (!journal_) return;
   journal_->sync();
+  if (group_ != nullptr) group_->replicate();
   committed_digest_ = state_digest();
 }
 
@@ -421,12 +462,16 @@ void RemoteShard::checkpoint() {
   require(journal_ != nullptr, "checkpoint: journaling disabled");
   require(up_, "checkpoint: shard is down");
   generation_++;
-  checkpoints_->write(generation_, snapshot());
+  const Bytes snap = snapshot();
+  checkpoints_->write(generation_, snap);
   WalRecord genesis;
   genesis.type = WalRecordType::kGenesis;
   genesis.generation = generation_;
   genesis.post_digest = state_digest();
   journal_->reset(genesis.serialize());
+  if (group_ != nullptr) {
+    group_->on_reset(generation_, snap, journal_->device().contents());
+  }
   committed_digest_ = state_digest();
   stats_.checkpoints++;
   obs::inc(obs_checkpoints_);
@@ -556,7 +601,127 @@ RecoveryReport RemoteShard::recover() {
   report.ok = true;
   committed_digest_ = digest;
   up_ = true;
+  if (group_ != nullptr) {
+    // A new leader incarnation gets a new fencing term, even when it is the
+    // same node recovering: any append sealed under the old epoch that is
+    // still in flight must be rejectable by the quorum.
+    journal_->set_epoch(journal_->epoch() + 1);
+    group_->fence(journal_->epoch());
+    group_->replicate();
+  }
   return finish(report);
+}
+
+void RemoteShard::replica_crash(std::size_t index) {
+  require(group_ != nullptr, "replica_crash: replication disabled");
+  group_->crash_follower(index);
+}
+
+void RemoteShard::replica_restart(std::size_t index) {
+  require(group_ != nullptr, "replica_restart: replication disabled");
+  group_->restart_follower(index);
+}
+
+FailoverReport RemoteShard::fail_over() {
+  require(group_ != nullptr, "fail_over: replication disabled");
+  require(up_, "fail_over: leader is already down");
+  FailoverReport report;
+  report.old_epoch = journal_->epoch();
+  report.committed_digest = committed_digest_;
+  if (!group_->election_quorum_available()) {
+    report.detail = "no election quorum (need f+1 up followers)";
+    return report;
+  }
+  obs::inc(obs_failovers_);
+
+  // Depose the leader. Its device image is kept so a later
+  // stale_append() can resurrect it and probe the fence.
+  stale_leader_ = StaleLeader{journal_->epoch(), journal_->device().contents()};
+  add_stats(carried_remote_stats_, remote_->stats());
+  queue_.clear();
+  dedup_.clear();
+  up_ = false;
+
+  const std::optional<replication::ElectionResult> elected = group_->elect();
+  ensure(elected.has_value(), "fail_over: quorum available but no candidates");
+  report.elected = elected->winner;
+  report.elected_seq = elected->seq;
+  const replication::ReplicaLog& winner = group_->follower(elected->winner);
+
+  // Promote the winner: its verified log becomes this shard's journal image
+  // and its snapshot backs its generation in the checkpoint store. Then the
+  // standard crash-recovery path replays it — the same digest checks that
+  // guard a local restart now guard the promotion.
+  journal_->device().reset();
+  if (!winner.log().empty()) {
+    ensure(journal_->device().append(
+               ByteView(winner.log().data(), winner.log().size())),
+           "fail_over: promoted log exceeds device capacity");
+  }
+  journal_->device().sync();
+  if (winner.generation() > 0) {
+    checkpoints_->write(
+        winner.generation(),
+        ByteView(winner.snapshot().data(), winner.snapshot().size()));
+  }
+
+  const RecoveryReport recovery = recover();
+  report.ok = recovery.ok;
+  report.digest_match = recovery.digest_match;
+  report.lost_committed = recovery.lost_committed;
+  report.records_replayed = recovery.records_replayed;
+  report.recovered_digest = recovery.recovered_digest;
+  report.detail = recovery.detail;
+  report.new_epoch = journal_->epoch();
+  return report;
+}
+
+StaleAppendReport RemoteShard::stale_append() {
+  require(group_ != nullptr, "stale_append: replication disabled");
+  StaleAppendReport report;
+  if (!stale_leader_.has_value()) return report;
+  report.attempted = true;
+  report.stale_epoch = stale_leader_->epoch;
+  report.delivered = group_->up_followers();
+
+  // Resurrect the deposed leader on its own private journal: replay its
+  // saved image, then seal one more record under the stale epoch and try to
+  // replicate it. Every up follower has been fenced past that epoch, so the
+  // quorum must reject the append — that is the whole point of the fence.
+  storage::JournalConfig ghost_config;
+  ghost_config.master_key = config_.durability.master_key;
+  ghost_config.profile = config_.durability.profile;
+  ghost_config.device_seed = config_.durability.device_seed ^ 0x57a1eULL;
+  storage::Journal ghost(ghost_config);
+  ghost.device().reset();
+  if (!stale_leader_->image.empty()) {
+    ensure(ghost.device().append(ByteView(stale_leader_->image.data(),
+                                          stale_leader_->image.size())),
+           "stale_append: saved leader image exceeds device capacity");
+  }
+  ghost.device().sync();
+  ghost.resume_from(ghost.replay());
+
+  const std::uint64_t before = ghost.durable_bytes();
+  WalRecord heartbeat;
+  heartbeat.type = WalRecordType::kIntent;
+  if (ghost.append(heartbeat.serialize()).has_value()) {
+    ghost.sync();
+  }
+  const Bytes& image = ghost.device().contents();
+
+  replication::ReplicationFrame frame;
+  frame.type = replication::FrameType::kAppend;
+  frame.epoch = ghost.epoch();
+  frame.shard = group_->shard_id();
+  frame.replica = 0;
+  frame.seq = ghost.synced_seq();
+  frame.chain = ghost.chain();
+  frame.payload.assign(image.begin() + static_cast<std::ptrdiff_t>(before),
+                       image.end());
+  report.accepted = group_->deliver_stale(frame.serialize());
+  report.stale_epoch = frame.epoch;
+  return report;
 }
 
 bool RemoteShard::apply_record(const WalRecord& record) {

@@ -35,6 +35,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,7 @@
 #include "lease/sl_remote.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "replication/group.hpp"
 #include "storage/journal.hpp"
 
 namespace sl::lease {
@@ -59,6 +61,9 @@ struct ShardDurability {
   std::uint64_t master_key = 0;
   // Journal size that triggers an automatic checkpoint after a drain.
   std::uint64_t checkpoint_every_bytes = 64 * 1024;
+  // WAL replication (docs/REPLICATION.md): total copies including this
+  // shard, 2f+1 (0 = off, 3 = tolerate one failure). Requires journaling.
+  std::uint32_t replicas = 0;
 };
 
 struct ShardConfig {
@@ -122,6 +127,7 @@ struct ShardStats {
   std::uint64_t denied = 0;
   std::uint64_t checkpoints = 0;
   std::uint64_t forced_checkpoints = 0;  // triggered by a full journal device
+  std::uint64_t quorum_stalls = 0;  // drains deferred below replica quorum
   Cycles busy_cycles = 0;       // total server-side work charged
 };
 
@@ -145,6 +151,34 @@ struct RecoveryReport {
   std::string detail;           // diagnosis when !ok (or the stop reason)
 };
 
+// Verdict of one fail_over() run; check_replication() in sim/oracles.hpp
+// turns it into an oracle finding. The two safety properties: ok +
+// digest_match + !lost_committed mean no acked renewal was lost by the
+// leader change, and new_epoch > old_epoch means every post-failover record
+// is fenced against the deposed leader.
+struct FailoverReport {
+  bool ok = false;
+  bool digest_match = false;    // recovered digest == pre-failover committed
+  bool lost_committed = false;  // elected prefix ended before the acked seq
+  std::uint64_t old_epoch = 0;
+  std::uint64_t new_epoch = 0;
+  std::size_t elected = 0;      // winning follower index (0-based)
+  std::uint64_t elected_seq = 0;
+  std::uint64_t records_replayed = 0;
+  std::uint64_t recovered_digest = 0;
+  std::uint64_t committed_digest = 0;
+  std::string detail;
+};
+
+// Verdict of one stale-leader resurrection probe: every up follower must
+// reject the deposed leader's fenced-out append.
+struct StaleAppendReport {
+  bool attempted = false;   // a deposed leader image existed to resurrect
+  std::size_t delivered = 0;
+  std::size_t accepted = 0;  // must be 0 — oracle input
+  std::uint64_t stale_epoch = 0;
+};
+
 class RemoteShard {
  public:
   RemoteShard(const LicenseAuthority& authority, sgx::AttestationService& ias,
@@ -158,6 +192,11 @@ class RemoteShard {
   const ShardStats& stats() const { return stats_; }
   std::size_t pending() const { return queue_.size(); }
   bool up() const { return up_; }
+  // Up AND able to commit: with replication on, a shard below follower
+  // quorum must not acknowledge work, so callers treat it as unreachable.
+  bool accepting() const {
+    return up_ && (group_ == nullptr || group_->quorum_available());
+  }
 
   // Server-side stats across shard restarts: replayed operations are not
   // double-counted (recovery resets the live counters and re-adds the
@@ -213,6 +252,26 @@ class RemoteShard {
   const storage::Journal* journal() const { return journal_.get(); }
   storage::Journal* journal() { return journal_.get(); }
 
+  // --- Replication (docs/REPLICATION.md) -----------------------------------
+  bool replication_enabled() const { return group_ != nullptr; }
+  const replication::ReplicaGroup* replica_group() const { return group_.get(); }
+  replication::ReplicaGroup* replica_group() { return group_.get(); }
+  // Current fencing epoch (0 when journaling or replication is off).
+  std::uint64_t epoch() const { return journal_ ? journal_->epoch() : 0; }
+
+  void replica_crash(std::size_t index);
+  void replica_restart(std::size_t index);
+  // Leader loss with failover: the live leader is deposed (its image saved
+  // for a later stale_append() resurrection), the longest verified chain
+  // among the up followers is elected and installed, the fencing epoch is
+  // bumped and sealed into every subsequent record, and the followers are
+  // fenced. Requires an election quorum (f+1 up followers).
+  FailoverReport fail_over();
+  // Resurrects the most recently deposed leader: it appends a heartbeat to
+  // its own (stale) journal image and offers the frame to every up
+  // follower, all of which must reject it as fenced out.
+  StaleAppendReport stale_append();
+
   // Deterministic digest of the shard's durable state: per-lease ledger
   // buckets and the committed record's integrity hash, chained in ascending
   // lease order. Equal digests mean equal grant history and equal durable
@@ -260,6 +319,16 @@ class RemoteShard {
 
   std::unique_ptr<storage::Journal> journal_;
   std::unique_ptr<storage::CheckpointStore> checkpoints_;
+  // Declared after journal_ (it holds a raw pointer to it) and destroyed
+  // before it.
+  std::unique_ptr<replication::ReplicaGroup> group_;
+  // The deposed leader's durable image and epoch, saved at fail_over() so a
+  // stale_append() can later resurrect it against the fenced group.
+  struct StaleLeader {
+    std::uint64_t epoch = 0;
+    Bytes image;
+  };
+  std::optional<StaleLeader> stale_leader_;
   // request_id idempotency table: last request per SLID (clients retry
   // serially). Journaled inside renewal-batch records and checkpointed, so
   // it survives recovery.
@@ -284,6 +353,8 @@ class RemoteShard {
   obs::Counter* obs_busy_cycles_ = nullptr;
   obs::Counter* obs_journaled_renewals_ = nullptr;
   obs::Counter* obs_recoveries_ = nullptr;
+  obs::Counter* obs_quorum_stalls_ = nullptr;
+  obs::Counter* obs_failovers_ = nullptr;
   obs::Histogram* obs_renew_latency_ = nullptr;
 };
 

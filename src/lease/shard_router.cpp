@@ -87,7 +87,7 @@ bool ShardRouter::submit(CustomerId customer, ClientId client,
                          const LicenseFile& license, std::uint64_t consumed,
                          std::uint64_t ticket) {
   const std::size_t shard = shard_of(customer, license.lease_id);
-  if (!shards_[shard]->up()) {
+  if (!shards_[shard]->accepting()) {
     // No SLID can be minted on a down shard; hand enqueue an empty request
     // so the arrival is counted as a down-rejection like any other.
     return shards_[shard]->enqueue(PendingRenew{});
@@ -106,7 +106,7 @@ bool ShardRouter::submit(CustomerId customer, ClientId client,
 std::vector<ShardRouter::Completion> ShardRouter::drain_all() {
   std::vector<Completion> completions;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
-    if (!shards_[i]->up()) continue;  // a crashed shard drains nothing
+    if (!shards_[i]->accepting()) continue;  // a crashed shard drains nothing
     for (const RenewOutcome& outcome : shards_[i]->drain()) {
       completions.push_back(Completion{i, outcome});
     }
@@ -121,7 +121,7 @@ SlRemote::RenewResult ShardRouter::renew_now(std::size_t shard, Slid slid,
                                              std::uint64_t request_id) {
   RemoteShard& owner = *shards_[shard];
   SlRemote::RenewResult result;
-  if (!owner.up()) return result;  // callers treat a down shard as denial
+  if (!owner.accepting()) return result;  // callers treat a down shard as denial
   // The synchronous path must not interleave with queued router traffic:
   // flush any backlog so the drain below processes exactly this request.
   if (owner.pending() > 0) owner.drain();
@@ -186,6 +186,7 @@ ShardStats ShardRouter::aggregate_shard_stats() const {
     total.denied += s.denied;
     total.checkpoints += s.checkpoints;
     total.forced_checkpoints += s.forced_checkpoints;
+    total.quorum_stalls += s.quorum_stalls;
     total.busy_cycles += s.busy_cycles;
   }
   return total;
@@ -225,7 +226,7 @@ std::optional<SlRemote::InitResult> ShardGateway::init(const sgx::Quote& quote,
   if (!network_.round_trip(node_, clock_)) return std::nullopt;
   const std::size_t home = router_.home_shard(customer_);
   // A crashed home shard is indistinguishable from an unreachable server.
-  if (!router_.shard(home).up()) return std::nullopt;
+  if (!router_.shard(home).accepting()) return std::nullopt;
   const SlRemote::InitResult result =
       router_.shard(home).admit(quote, claimed_slid, clock_);
   if (!result.ok) return result;
@@ -240,7 +241,7 @@ std::optional<SlRemote::InitResult> ShardGateway::init(const sgx::Quote& quote,
     if (shard == home) continue;
     auto it = slids_.find(shard);
     if (it == slids_.end()) continue;
-    if (!router_.shard(shard).up()) continue;
+    if (!router_.shard(shard).accepting()) continue;
     router_.shard(shard).admit(quote, it->second, replica_clock_);
   }
   return result;
@@ -250,7 +251,7 @@ Slid ShardGateway::shard_slid(std::size_t shard) {
   auto it = slids_.find(shard);
   if (it != slids_.end()) return it->second;
   if (!admission_quote_.has_value()) return 0;
-  if (!router_.shard(shard).up()) return 0;
+  if (!router_.shard(shard).accepting()) return 0;
   const SlRemote::InitResult result =
       router_.shard(shard).admit(*admission_quote_, 0, replica_clock_);
   if (!result.ok) return 0;
@@ -265,7 +266,7 @@ std::optional<SlRemote::RenewResult> ShardGateway::renew(
   const std::size_t shard = router_.shard_of(customer_, license.lease_id);
   // A crashed owning shard looks like a dropped request: the client times
   // out, backs off, and retries with the same request id.
-  if (!router_.shard(shard).up()) return std::nullopt;
+  if (!router_.shard(shard).accepting()) return std::nullopt;
   Slid local_slid = slid;
   if (shard != router_.home_shard(customer_)) {
     local_slid = shard_slid(shard);
@@ -288,7 +289,7 @@ bool ShardGateway::graceful_shutdown(
   const std::size_t home = router_.home_shard(customer_);
   // The escrow endpoint is the home shard; with it down the shutdown cannot
   // be recorded and the client must treat it as unreachable-server.
-  if (!router_.shard(home).up()) return false;
+  if (!router_.shard(home).accepting()) return false;
   // Split the unused-count report by owning shard; every shard where this
   // node is registered gets the graceful mark (and the escrowed root key),
   // so a later clean restart is graceful service-wide.
@@ -304,7 +305,7 @@ bool ShardGateway::graceful_shutdown(
     // recovers, this node is still marked alive there, and its next init is
     // treated as a crash — outstanding sub-GCLs on that shard forfeit
     // (Section 5.7's pessimistic policy, now per shard).
-    if (!router_.shard(shard).up()) continue;
+    if (!router_.shard(shard).accepting()) continue;
     const Slid use = shard == home ? slid : it->second;
     auto split = by_shard.find(shard);
     router_.shard(shard).escrow(
@@ -317,7 +318,7 @@ bool ShardGateway::graceful_shutdown(
 
 bool ShardGateway::attest(const sgx::Quote& quote) {
   RemoteShard& home = router_.shard(router_.home_shard(customer_));
-  if (!home.up()) return false;
+  if (!home.accepting()) return false;
   return home.remote().attest_only(quote, clock_);
 }
 

@@ -59,7 +59,7 @@ bool ThreadScheduler::submit(ShardRouter::CustomerId customer,
   const std::size_t shard =
       ShardRouter::shard_of(customer, license.lease_id, lanes_.size());
   Lane& lane = *lanes_[shard];
-  if (!router_.shard(shard).up()) {
+  if (!router_.shard(shard).accepting()) {
     down_rejections_.fetch_add(1, std::memory_order_relaxed);
     obs::inc(obs_down_[shard]);
     return false;
@@ -119,7 +119,7 @@ SlRemote::RenewResult ThreadScheduler::renew_now(
     double network, std::uint64_t consumed, std::uint64_t request_id) {
   require(shard < lanes_.size(), "ThreadScheduler: shard out of range");
   Lane& lane = *lanes_[shard];
-  if (!router_.shard(shard).up()) return {};  // parity: down shard == denial
+  if (!router_.shard(shard).accepting()) return {};  // parity: down shard == denial
 
   lane.renew_result = SlRemote::RenewResult{};
   Msg msg;
@@ -228,7 +228,7 @@ void ThreadScheduler::run_epoch(std::size_t shard, Lane& lane) {
       lane.renew_result = result;
     }
   }
-  if (!owner.up()) return;  // a crashed shard drains nothing (router parity)
+  if (!owner.accepting()) return;  // a crashed shard drains nothing (router parity)
   for (RenewOutcome& outcome : owner.drain()) {
     lane.completions.push_back(ShardRouter::Completion{shard, outcome});
   }

@@ -1,0 +1,69 @@
+#include "replication/frame.hpp"
+
+namespace sl::replication {
+
+namespace {
+
+// Fixed part: type + epoch + shard + replica + seq + chain + payload_len.
+constexpr std::size_t kFrameHeader = 1 + 8 + 4 + 4 + 8 + 8 + 4;
+// A replication payload is at most one journal device image; anything past
+// this bound is corruption, not a frame.
+constexpr std::size_t kMaxPayload = 4u << 20;
+
+}  // namespace
+
+const char* frame_type_name(FrameType type) {
+  switch (type) {
+    case FrameType::kAppend: return "append";
+    case FrameType::kAck: return "ack";
+    case FrameType::kFence: return "fence";
+    case FrameType::kElect: return "elect";
+    case FrameType::kReset: return "reset";
+  }
+  return "?";
+}
+
+Bytes ReplicationFrame::serialize() const {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(type));
+  put_u64(out, epoch);
+  put_u32(out, shard);
+  put_u32(out, replica);
+  put_u64(out, seq);
+  put_u64(out, chain);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<ReplicationFrame> ReplicationFrame::deserialize(ByteView data) {
+  if (data.size() < kFrameHeader) return std::nullopt;
+  std::size_t offset = 0;
+  ReplicationFrame frame;
+  const std::uint8_t type = data[offset];
+  offset += 1;
+  if (type < static_cast<std::uint8_t>(FrameType::kAppend) ||
+      type > static_cast<std::uint8_t>(FrameType::kReset)) {
+    return std::nullopt;
+  }
+  frame.type = static_cast<FrameType>(type);
+  frame.epoch = get_u64(data, offset);
+  offset += 8;
+  frame.shard = get_u32(data, offset);
+  offset += 4;
+  frame.replica = get_u32(data, offset);
+  offset += 4;
+  frame.seq = get_u64(data, offset);
+  offset += 8;
+  frame.chain = get_u64(data, offset);
+  offset += 8;
+  const std::uint32_t payload_len = get_u32(data, offset);
+  offset += 4;
+  if (payload_len > kMaxPayload) return std::nullopt;
+  if (payload_len != data.size() - offset) return std::nullopt;  // no garbage
+  frame.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                       data.end());
+  return frame;
+}
+
+}  // namespace sl::replication

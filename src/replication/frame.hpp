@@ -1,0 +1,49 @@
+// Wire frames of the shard-WAL replication protocol (docs/REPLICATION.md).
+//
+// Every leader<->replica exchange is a serialized ReplicationFrame, even
+// in-process: the bytes a follower verifies are exactly the bytes the fuzz
+// suite mangles, so there is no unfuzzed "trusted internal" path.
+//
+// Layout (little-endian):
+//     [u8 type][u64 epoch][u32 shard][u32 replica]
+//     [u64 seq][u64 chain][u32 payload_len][payload]
+// `epoch` is the sender's fencing term — the first thing a receiver checks.
+// For kAppend the payload is a run of raw sealed journal frames; the
+// receiver re-verifies the hash chain itself, so the outer frame carries
+// authority (epoch, addressing) while the chain carries integrity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+
+namespace sl::replication {
+
+enum class FrameType : std::uint8_t {
+  kAppend = 1,  // leader -> follower: sealed journal frames to append
+  kAck = 2,     // follower -> leader: durable up to (seq, chain)
+  kFence = 3,   // new leader -> follower: adopt a higher fencing epoch
+  kElect = 4,   // candidate -> electorate: my verified cursor is (seq, chain)
+  kReset = 5,   // leader -> follower: checkpoint truncation (see replica.cpp)
+};
+
+const char* frame_type_name(FrameType type);
+
+struct ReplicationFrame {
+  FrameType type = FrameType::kAppend;
+  std::uint64_t epoch = 0;    // sender's fencing term
+  std::uint32_t shard = 0;
+  std::uint32_t replica = 0;  // sender id for kAck/kElect, addressee otherwise
+  std::uint64_t seq = 0;      // journal cursor the frame speaks about
+  std::uint64_t chain = 0;    // chain value at that cursor
+  Bytes payload;
+
+  Bytes serialize() const;
+  // Strict parse: unknown type, short buffer, oversized or short payload
+  // length, and trailing garbage all reject. Never throws, never reads out
+  // of bounds — this is the fuzz suite's entry point.
+  static std::optional<ReplicationFrame> deserialize(ByteView data);
+};
+
+}  // namespace sl::replication

@@ -1,0 +1,284 @@
+#include "replication/group.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace sl::replication {
+
+ReplicaGroup::ReplicaGroup(GroupConfig config, storage::Journal* leader)
+    : config_(config), leader_(leader) {
+  ensure(leader_ != nullptr, "ReplicaGroup: leader journal required");
+  ensure(config_.replicas >= 3 && config_.replicas % 2 == 1,
+         "ReplicaGroup: replica count must be odd and >= 3 (2f+1)");
+  for (std::uint32_t i = 0; i < config_.replicas - 1; ++i) {
+    ReplicaConfig replica;
+    replica.master_key = config_.master_key;
+    replica.shard = config_.shard;
+    replica.id = i + 1;
+    replica.obs_shard = config_.obs_shard;
+    FollowerState state;
+    state.log = std::make_unique<ReplicaLog>(replica);
+    followers_.push_back(std::move(state));
+  }
+  const obs::Labels labels = {{"shard", config_.obs_shard}};
+  obs_appends_ = obs::get_counter("sl_replication_appends_total",
+                                  "kAppend frames shipped to followers",
+                                  labels);
+  obs_bytes_ = obs::get_counter("sl_replication_shipped_bytes_total",
+                                "Journal bytes shipped to followers", labels);
+  obs_acks_ = obs::get_counter("sl_replication_acks_total",
+                               "Verified follower acks received", labels);
+  obs_catchup_bytes_ =
+      obs::get_counter("sl_replication_catchup_bytes_total",
+                       "Bytes shipped by restart catch-up", labels);
+  obs_elections_ = obs::get_counter("sl_replication_elections_total",
+                                    "Leader elections run", labels);
+  obs_quorum_stalls_ =
+      obs::get_counter("sl_replication_quorum_stalls_total",
+                       "Commits stalled below follower quorum", labels);
+  obs_batch_bytes_ = obs::get_histogram(
+      "sl_replication_append_batch_bytes",
+      "Size of each shipped append delta in bytes", labels);
+}
+
+const ReplicaLog& ReplicaGroup::follower(std::size_t index) const {
+  ensure(index < followers_.size(), "ReplicaGroup: follower index");
+  return *followers_[index].log;
+}
+
+ReplicaLog& ReplicaGroup::follower_mutable(std::size_t index) {
+  ensure(index < followers_.size(), "ReplicaGroup: follower index");
+  return *followers_[index].log;
+}
+
+std::size_t ReplicaGroup::up_followers() const {
+  std::size_t up = 0;
+  for (const FollowerState& state : followers_) {
+    if (state.log->up()) up++;
+  }
+  return up;
+}
+
+Bytes ReplicaGroup::append_frame(std::uint32_t replica, ByteView delta) const {
+  ReplicationFrame frame;
+  frame.type = FrameType::kAppend;
+  frame.epoch = leader_->epoch();
+  frame.shard = config_.shard;
+  frame.replica = replica;
+  frame.seq = leader_->synced_seq();
+  frame.chain = leader_->chain();
+  frame.payload.assign(delta.begin(), delta.end());
+  return frame.serialize();
+}
+
+bool ReplicaGroup::ship(FollowerState& state, ByteView image) {
+  const std::uint64_t durable = image.size();
+  ensure(state.shipped_bytes <= durable,
+         "ReplicaGroup: shipped cursor past the durable image");
+  const ByteView delta = image.subspan(state.shipped_bytes);
+  const std::uint32_t id =
+      static_cast<std::uint32_t>(&state - followers_.data()) + 1;
+  const Bytes wire = append_frame(id, delta);
+  Bytes ack;
+  const DeliverVerdict verdict = state.log->deliver(
+      ByteView(wire.data(), wire.size()), &ack);
+  if (verdict != DeliverVerdict::kAccepted) return false;
+  const std::optional<ReplicationFrame> parsed =
+      ReplicationFrame::deserialize(ByteView(ack.data(), ack.size()));
+  // The ack must parse, come from this shard, and confirm the synced
+  // frontier — the leader only counts acks that prove full durability.
+  if (!parsed.has_value() || parsed->type != FrameType::kAck ||
+      parsed->shard != config_.shard ||
+      parsed->seq != leader_->synced_seq()) {
+    return false;
+  }
+  state.shipped_bytes = durable;
+  stats_.appends_shipped++;
+  stats_.bytes_shipped += delta.size();
+  stats_.acks++;
+  obs::inc(obs_appends_);
+  obs::inc(obs_bytes_, delta.size());
+  obs::inc(obs_acks_);
+  obs::observe(obs_batch_bytes_, static_cast<double>(delta.size()));
+  return true;
+}
+
+bool ReplicaGroup::replicate() {
+  // Ship only up to the sync barrier, never durable_bytes(): after a leader
+  // crash the fault model may have flushed never-acked pending writes into
+  // the durable image, and a follower must hold exactly the acked prefix.
+  const Bytes& image = leader_->device().contents();
+  const ByteView durable(image.data(), leader_->synced_bytes());
+  std::size_t acked = 0;
+  for (FollowerState& state : followers_) {
+    if (!state.log->up()) continue;
+    if (state.generation != generation_) continue;  // restart catches it up
+    if (ship(state, durable)) acked++;
+  }
+  if (acked < f()) {
+    stats_.quorum_stalls++;
+    obs::inc(obs_quorum_stalls_);
+    return false;
+  }
+  return true;
+}
+
+void ReplicaGroup::on_reset(std::uint64_t generation, ByteView snapshot,
+                            ByteView genesis_image) {
+  generation_ = generation;
+  reset_payload_.clear();
+  put_u64(reset_payload_, generation);
+  put_u32(reset_payload_, static_cast<std::uint32_t>(snapshot.size()));
+  reset_payload_.insert(reset_payload_.end(), snapshot.begin(),
+                        snapshot.end());
+  put_u32(reset_payload_, static_cast<std::uint32_t>(genesis_image.size()));
+  reset_payload_.insert(reset_payload_.end(), genesis_image.begin(),
+                        genesis_image.end());
+  stats_.resets++;
+  for (std::size_t i = 0; i < followers_.size(); ++i) {
+    FollowerState& state = followers_[i];
+    if (!state.log->up()) continue;
+    ReplicationFrame frame;
+    frame.type = FrameType::kReset;
+    frame.epoch = leader_->epoch();
+    frame.shard = config_.shard;
+    frame.replica = static_cast<std::uint32_t>(i) + 1;
+    frame.payload = reset_payload_;
+    const Bytes wire = frame.serialize();
+    if (state.log->deliver(ByteView(wire.data(), wire.size()), nullptr) ==
+        DeliverVerdict::kAccepted) {
+      state.generation = generation;
+      state.shipped_bytes = genesis_image.size();
+    }
+  }
+}
+
+void ReplicaGroup::fence(std::uint64_t epoch) {
+  for (std::size_t i = 0; i < followers_.size(); ++i) {
+    FollowerState& state = followers_[i];
+    if (!state.log->up()) continue;
+    ReplicationFrame frame;
+    frame.type = FrameType::kFence;
+    frame.epoch = epoch;
+    frame.shard = config_.shard;
+    frame.replica = static_cast<std::uint32_t>(i) + 1;
+    const Bytes wire = frame.serialize();
+    state.log->deliver(ByteView(wire.data(), wire.size()), nullptr);
+  }
+}
+
+void ReplicaGroup::crash_follower(std::size_t index) {
+  ensure(index < followers_.size(), "ReplicaGroup: follower index");
+  followers_[index].log->crash();
+}
+
+void ReplicaGroup::restart_follower(std::size_t index) {
+  ensure(index < followers_.size(), "ReplicaGroup: follower index");
+  FollowerState& state = followers_[index];
+  state.log->restart();
+  // Fence first: the follower may have missed a failover while down.
+  ReplicationFrame fence_frame;
+  fence_frame.type = FrameType::kFence;
+  fence_frame.epoch = leader_->epoch();
+  fence_frame.shard = config_.shard;
+  fence_frame.replica = static_cast<std::uint32_t>(index) + 1;
+  const Bytes fence_wire = fence_frame.serialize();
+  state.log->deliver(ByteView(fence_wire.data(), fence_wire.size()), nullptr);
+  // Replay a missed checkpoint truncation.
+  if (state.generation != generation_ && !reset_payload_.empty()) {
+    ReplicationFrame frame;
+    frame.type = FrameType::kReset;
+    frame.epoch = leader_->epoch();
+    frame.shard = config_.shard;
+    frame.replica = static_cast<std::uint32_t>(index) + 1;
+    frame.payload = reset_payload_;
+    const Bytes wire = frame.serialize();
+    if (state.log->deliver(ByteView(wire.data(), wire.size()), nullptr) ==
+        DeliverVerdict::kAccepted) {
+      state.generation = generation_;
+      // The genesis image length is the last u32-prefixed part.
+      state.shipped_bytes = state.log->log().size();
+    }
+  }
+  // Ship the missed byte delta (acked prefix only, as in replicate()).
+  const Bytes& image = leader_->device().contents();
+  const std::uint64_t before = state.shipped_bytes;
+  if (state.generation == generation_ &&
+      state.shipped_bytes < leader_->synced_bytes()) {
+    const ByteView durable(image.data(), leader_->synced_bytes());
+    if (ship(state, durable)) {
+      stats_.catchup_bytes += state.shipped_bytes - before;
+      obs::inc(obs_catchup_bytes_, state.shipped_bytes - before);
+    }
+  }
+}
+
+std::optional<ElectionResult> ReplicaGroup::elect() {
+  std::optional<ElectionResult> best;
+  for (std::size_t i = 0; i < followers_.size(); ++i) {
+    const FollowerState& state = followers_[i];
+    if (!state.log->up()) continue;
+    const Bytes wire = state.log->candidacy();
+    const std::optional<ReplicationFrame> frame =
+        ReplicationFrame::deserialize(ByteView(wire.data(), wire.size()));
+    if (!frame.has_value() || frame->type != FrameType::kElect ||
+        frame->shard != config_.shard) {
+      continue;
+    }
+    // Longest verified chain prefix wins; ties break to the lowest id, so
+    // the outcome is deterministic for the DST.
+    if (!best.has_value() || frame->seq > best->seq) {
+      best = ElectionResult{i, frame->seq, frame->chain, frame->epoch};
+    }
+  }
+  if (best.has_value()) {
+    stats_.elections++;
+    obs::inc(obs_elections_);
+  }
+  return best;
+}
+
+std::size_t ReplicaGroup::deliver_stale(ByteView wire) {
+  std::size_t accepted = 0;
+  for (FollowerState& state : followers_) {
+    if (!state.log->up()) continue;
+    const DeliverVerdict verdict = state.log->deliver(wire, nullptr);
+    if (verdict == DeliverVerdict::kAccepted) {
+      accepted++;
+      stats_.stale_accepts++;
+    } else if (verdict == DeliverVerdict::kStaleEpoch) {
+      stats_.stale_rejects++;
+    }
+  }
+  return accepted;
+}
+
+std::string ReplicaGroup::invariants() const {
+  if (stats_.stale_accepts != 0) {
+    return "a follower accepted a stale-epoch frame";
+  }
+  const Bytes& image = leader_->device().contents();
+  for (std::size_t i = 0; i < followers_.size(); ++i) {
+    const FollowerState& state = followers_[i];
+    const ReplicaLog& log = *state.log;
+    if (log.epoch() > leader_->epoch()) {
+      return "follower " + std::to_string(i + 1) +
+             " holds an epoch above the leader's";
+    }
+    // Durable state persists across follower crashes, so the prefix
+    // agreement must hold for down followers too — but only for followers
+    // on the leader's current generation (an old-generation log was fully
+    // superseded and will be replaced wholesale at restart).
+    if (state.generation != generation_) continue;
+    if (state.shipped_bytes > image.size() ||
+        log.log().size() != state.shipped_bytes ||
+        !std::equal(log.log().begin(), log.log().end(), image.begin())) {
+      return "follower " + std::to_string(i + 1) +
+             " log is not a prefix of the leader journal";
+    }
+  }
+  return "";
+}
+
+}  // namespace sl::replication

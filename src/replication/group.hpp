@@ -1,0 +1,139 @@
+// Leader-side coordinator of one shard's 2f+1 replica group.
+//
+// The leader's own journal is replica 0; the group owns the 2f follower
+// ReplicaLogs. replicate() ships the journal's *synced* byte delta (never
+// unsynced intents — followers hold exactly the acknowledged prefix, which
+// is what makes the failover digest check exact), wrapped in serialized
+// kAppend frames so the shipped path and the fuzzed path are the same code.
+// A renewal batch counts as committed only when the leader sync plus at
+// least f follower acks have landed — with f=1 that is 2 of 3 copies, the
+// quorum any later election must intersect.
+//
+// Election (docs/REPLICATION.md): among the up followers, the longest
+// verified chain prefix wins (highest verified seq; ties break to the lowest
+// replica id). Because only synced bytes are ever shipped, the winner's log
+// is exactly some acked prefix — and because a write quorum needs f follower
+// acks while fail_over() requires f+1 up voters, the winner's prefix
+// contains every acked record.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "obs/metrics.hpp"
+#include "replication/replica.hpp"
+#include "storage/journal.hpp"
+
+namespace sl::replication {
+
+struct GroupConfig {
+  std::uint32_t replicas = 3;  // 2f+1 including the leader; odd, >= 3
+  std::uint64_t master_key = 0;
+  std::uint32_t shard = 0;
+  std::string obs_shard = "0";
+};
+
+struct GroupStats {
+  std::uint64_t appends_shipped = 0;  // kAppend frames delivered
+  std::uint64_t bytes_shipped = 0;
+  std::uint64_t acks = 0;             // verified kAck frames received
+  std::uint64_t catchup_bytes = 0;    // shipped by restart catch-up
+  std::uint64_t stale_rejects = 0;    // follower rejections of stale frames
+  std::uint64_t stale_accepts = 0;    // must stay 0 — oracle input
+  std::uint64_t elections = 0;
+  std::uint64_t resets = 0;           // checkpoint truncations replicated
+  std::uint64_t quorum_stalls = 0;    // replicate() calls below quorum
+};
+
+struct ElectionResult {
+  std::size_t winner = 0;  // follower index, 0-based
+  std::uint64_t seq = 0;   // the winner's verified cursor
+  std::uint64_t chain = 0;
+  std::uint64_t epoch = 0;
+};
+
+class ReplicaGroup {
+ public:
+  // `leader` must outlive the group. Total replica count must be odd >= 3.
+  ReplicaGroup(GroupConfig config, storage::Journal* leader);
+
+  std::uint32_t f() const { return (config_.replicas - 1) / 2; }
+  std::uint32_t shard_id() const { return config_.shard; }
+  std::size_t followers() const { return followers_.size(); }
+  const ReplicaLog& follower(std::size_t index) const;
+  ReplicaLog& follower_mutable(std::size_t index);
+  const GroupStats& stats() const { return stats_; }
+  std::size_t up_followers() const;
+
+  // Enough up followers to commit: an append needs f follower acks.
+  bool quorum_available() const { return up_followers() >= f(); }
+  // Enough up voters to elect safely: an election quorum (f+1 followers)
+  // must intersect every write quorum (leader + f followers) even with the
+  // leader gone.
+  bool election_quorum_available() const { return up_followers() >= f() + 1; }
+
+  // Ships [shipped, durable) to every up follower and collects acks.
+  // Returns true when at least f followers acknowledged (an empty delta is
+  // trivially acknowledged by every up follower).
+  bool replicate();
+
+  // Replicates a checkpoint truncation: followers replace snapshot + log.
+  // `genesis_image` is the leader's device content right after reset().
+  void on_reset(std::uint64_t generation, ByteView snapshot,
+                ByteView genesis_image);
+
+  // Fences every up follower to `epoch` (a new leader's first act).
+  void fence(std::uint64_t epoch);
+
+  void crash_follower(std::size_t index);
+  // Brings the follower back and catches it up from the leader: fence,
+  // replay any missed reset, then the byte delta.
+  void restart_follower(std::size_t index);
+
+  // Longest-verified-chain election among the up followers (kElect frames
+  // on the wire). nullopt when no follower is up.
+  std::optional<ElectionResult> elect();
+
+  // Stale-leader resurrection: delivers `wire` (an append sealed at a
+  // deposed epoch) to every up follower. Returns how many *accepted* it —
+  // anything but zero is an oracle violation.
+  std::size_t deliver_stale(ByteView wire);
+
+  // Per-event oracle probe: "" when healthy, else a description of the
+  // first violated invariant (epoch monotonicity, log-prefix agreement
+  // with the leader, stale-accept count).
+  std::string invariants() const;
+
+ private:
+  struct FollowerState {
+    std::unique_ptr<ReplicaLog> log;
+    std::uint64_t shipped_bytes = 0;  // leader-image bytes delivered
+    std::uint64_t generation = 0;     // last reset generation delivered
+  };
+
+  Bytes append_frame(std::uint32_t replica, ByteView delta) const;
+  bool ship(FollowerState& state, ByteView image);
+
+  GroupConfig config_;
+  storage::Journal* leader_;
+  std::vector<FollowerState> followers_;
+  std::uint64_t generation_ = 0;
+  // Last replicated reset, kept to catch up followers that were down when
+  // it happened (a reset fully supersedes any older log, so only the most
+  // recent one is ever needed).
+  Bytes reset_payload_;
+  GroupStats stats_;
+  obs::Counter* obs_appends_ = nullptr;
+  obs::Counter* obs_bytes_ = nullptr;
+  obs::Counter* obs_acks_ = nullptr;
+  obs::Counter* obs_catchup_bytes_ = nullptr;
+  obs::Counter* obs_elections_ = nullptr;
+  obs::Counter* obs_quorum_stalls_ = nullptr;
+  obs::Histogram* obs_batch_bytes_ = nullptr;
+};
+
+}  // namespace sl::replication

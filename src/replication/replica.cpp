@@ -1,0 +1,185 @@
+#include "replication/replica.hpp"
+
+#include <algorithm>
+
+#include "storage/journal.hpp"
+
+namespace sl::replication {
+
+namespace {
+
+// kReset payload: u64 generation + u32 snapshot_len + snapshot +
+// u32 genesis_len + genesis (sealed journal frames).
+constexpr std::size_t kResetHeader = 8 + 4;
+constexpr std::size_t kMaxResetPart = 4u << 20;
+
+}  // namespace
+
+const char* deliver_verdict_name(DeliverVerdict verdict) {
+  switch (verdict) {
+    case DeliverVerdict::kAccepted: return "accepted";
+    case DeliverVerdict::kDown: return "down";
+    case DeliverVerdict::kMalformed: return "malformed";
+    case DeliverVerdict::kWrongShard: return "wrong-shard";
+    case DeliverVerdict::kStaleEpoch: return "stale-epoch";
+    case DeliverVerdict::kChainBreak: return "chain-break";
+  }
+  return "?";
+}
+
+ReplicaLog::ReplicaLog(ReplicaConfig config)
+    : config_(config),
+      verified_chain_(storage::journal_base_chain(config.master_key)) {
+  const obs::Labels labels = {{"shard", config_.obs_shard},
+                              {"replica", std::to_string(config_.id)}};
+  obs_accepts_ = obs::get_counter("sl_replication_replica_accepts_total",
+                                  "Chain-verified appends a replica accepted",
+                                  labels);
+  obs_accept_bytes_ =
+      obs::get_counter("sl_replication_replica_accept_bytes_total",
+                       "Sealed journal bytes a replica accepted", labels);
+  obs_stale_rejects_ = obs::get_counter(
+      "sl_replication_stale_rejects_total",
+      "Frames rejected for carrying a fenced-out epoch", labels);
+  obs_chain_rejects_ = obs::get_counter(
+      "sl_replication_chain_rejects_total",
+      "Frames rejected by hash-chain verification", labels);
+}
+
+DeliverVerdict ReplicaLog::deliver(ByteView wire, Bytes* ack) {
+  if (ack != nullptr) ack->clear();
+  if (!up_) return DeliverVerdict::kDown;
+  const std::optional<ReplicationFrame> frame =
+      ReplicationFrame::deserialize(wire);
+  if (!frame.has_value()) return DeliverVerdict::kMalformed;
+  if (frame->shard != config_.shard) return DeliverVerdict::kWrongShard;
+  DeliverVerdict verdict = DeliverVerdict::kMalformed;
+  switch (frame->type) {
+    case FrameType::kAppend:
+      verdict = handle_append(*frame);
+      break;
+    case FrameType::kFence:
+      verdict = handle_fence(*frame);
+      break;
+    case FrameType::kReset:
+      verdict = handle_reset(*frame);
+      break;
+    case FrameType::kAck:
+    case FrameType::kElect:
+      // Follower-to-leader frames; a replica never applies one.
+      return DeliverVerdict::kMalformed;
+  }
+  if (verdict == DeliverVerdict::kAccepted && ack != nullptr) {
+    *ack = make_ack();
+  }
+  return verdict;
+}
+
+DeliverVerdict ReplicaLog::handle_append(const ReplicationFrame& frame) {
+  if (frame.epoch < epoch_) {
+    stale_rejects_++;
+    obs::inc(obs_stale_rejects_);
+    return DeliverVerdict::kStaleEpoch;
+  }
+  const storage::ChainExtension ext = storage::verify_chain_extension(
+      config_.master_key, verified_chain_, verified_seq_, verified_epoch_,
+      ByteView(frame.payload.data(), frame.payload.size()));
+  if (!ext.ok) {
+    obs::inc(obs_chain_rejects_);
+    return DeliverVerdict::kChainBreak;
+  }
+  // Durable before the ack (the follower-side half of group commit).
+  log_.insert(log_.end(), frame.payload.begin(), frame.payload.end());
+  if (!ext.records.empty()) {
+    verified_seq_ = ext.end_seq;
+    verified_chain_ = ext.end_chain;
+    verified_epoch_ = ext.end_epoch;
+  }
+  epoch_ = std::max(epoch_, frame.epoch);
+  accepted_appends_++;
+  obs::inc(obs_accepts_);
+  obs::inc(obs_accept_bytes_, frame.payload.size());
+  return DeliverVerdict::kAccepted;
+}
+
+DeliverVerdict ReplicaLog::handle_fence(const ReplicationFrame& frame) {
+  if (frame.epoch < epoch_) {
+    stale_rejects_++;
+    obs::inc(obs_stale_rejects_);
+    return DeliverVerdict::kStaleEpoch;
+  }
+  epoch_ = frame.epoch;
+  return DeliverVerdict::kAccepted;
+}
+
+DeliverVerdict ReplicaLog::handle_reset(const ReplicationFrame& frame) {
+  if (frame.epoch < epoch_) {
+    stale_rejects_++;
+    obs::inc(obs_stale_rejects_);
+    return DeliverVerdict::kStaleEpoch;
+  }
+  const ByteView data(frame.payload.data(), frame.payload.size());
+  if (data.size() < kResetHeader) return DeliverVerdict::kMalformed;
+  std::size_t offset = 0;
+  const std::uint64_t generation = get_u64(data, offset);
+  offset += 8;
+  const std::uint32_t snapshot_len = get_u32(data, offset);
+  offset += 4;
+  if (snapshot_len > kMaxResetPart || snapshot_len > data.size() - offset) {
+    return DeliverVerdict::kMalformed;
+  }
+  const ByteView snapshot = data.subspan(offset, snapshot_len);
+  offset += snapshot_len;
+  if (data.size() - offset < 4) return DeliverVerdict::kMalformed;
+  const std::uint32_t genesis_len = get_u32(data, offset);
+  offset += 4;
+  if (genesis_len > kMaxResetPart || genesis_len != data.size() - offset) {
+    return DeliverVerdict::kMalformed;  // trailing garbage rejects
+  }
+  const ByteView genesis = data.subspan(offset, genesis_len);
+  // A truncation restarts the chain from its base but sequence numbering
+  // continues, so the genesis frame must be numbered past everything this
+  // replica has verified — a replayed pre-checkpoint reset cannot land.
+  const storage::ChainExtension ext = storage::verify_chain_extension(
+      config_.master_key, storage::journal_base_chain(config_.master_key),
+      verified_seq_, /*start_epoch=*/0, genesis);
+  if (!ext.ok || ext.records.empty()) {
+    obs::inc(obs_chain_rejects_);
+    return DeliverVerdict::kChainBreak;
+  }
+  if (generation != 0 && generation <= generation_) {
+    return DeliverVerdict::kMalformed;  // generations only move forward
+  }
+  generation_ = generation;
+  snapshot_.assign(snapshot.begin(), snapshot.end());
+  log_.assign(genesis.begin(), genesis.end());
+  verified_seq_ = ext.end_seq;
+  verified_chain_ = ext.end_chain;
+  verified_epoch_ = ext.end_epoch;
+  epoch_ = std::max(epoch_, frame.epoch);
+  return DeliverVerdict::kAccepted;
+}
+
+Bytes ReplicaLog::make_ack() const {
+  ReplicationFrame ack;
+  ack.type = FrameType::kAck;
+  ack.epoch = epoch_;
+  ack.shard = config_.shard;
+  ack.replica = config_.id;
+  ack.seq = verified_seq_;
+  ack.chain = verified_chain_;
+  return ack.serialize();
+}
+
+Bytes ReplicaLog::candidacy() const {
+  ReplicationFrame frame;
+  frame.type = FrameType::kElect;
+  frame.epoch = epoch_;
+  frame.shard = config_.shard;
+  frame.replica = config_.id;
+  frame.seq = verified_seq_;
+  frame.chain = verified_chain_;
+  return frame.serialize();
+}
+
+}  // namespace sl::replication

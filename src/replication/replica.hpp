@@ -1,0 +1,98 @@
+// One simulated follower replica of a shard's write-ahead journal.
+//
+// A ReplicaLog never trusts the leader: it holds the shard's journal master
+// key and re-verifies every shipped byte with verify_chain_extension()
+// before appending it to its durable log, so the only bytes a follower ever
+// acknowledges are bytes the sealed hash chain vouches for. Fencing is
+// checked first — an append or reset whose outer frame carries an epoch
+// below the follower's accepted term is rejected as stale before any chain
+// work happens. That pair of checks is the whole safety story: a deposed
+// leader cannot get a write acknowledged (epoch), and a forged or spliced
+// record cannot enter the log even at the right epoch (chain).
+//
+// The model is fail-stop with durable storage: crash() makes the replica
+// unreachable but loses nothing it acknowledged (every accepted append is
+// synced before the ack, mirroring the leader's group commit).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "obs/metrics.hpp"
+#include "replication/frame.hpp"
+
+namespace sl::replication {
+
+struct ReplicaConfig {
+  std::uint64_t master_key = 0;  // the shard journal's sealing key
+  std::uint32_t shard = 0;
+  std::uint32_t id = 1;  // follower index, 1..2f (the leader is replica 0)
+  std::string obs_shard = "0";
+};
+
+enum class DeliverVerdict : std::uint8_t {
+  kAccepted = 0,
+  kDown = 1,        // the replica is crashed; nothing delivered
+  kMalformed = 2,   // frame failed to parse or carried an impossible payload
+  kWrongShard = 3,  // addressed to another shard's log
+  kStaleEpoch = 4,  // fencing: sender's term is below the accepted term
+  kChainBreak = 5,  // payload is not a valid extension of the verified chain
+};
+
+const char* deliver_verdict_name(DeliverVerdict verdict);
+
+class ReplicaLog {
+ public:
+  explicit ReplicaLog(ReplicaConfig config);
+
+  // Wire entry point for kAppend / kFence / kReset. On kAccepted, `ack`
+  // (when non-null) receives the serialized kAck frame carrying this
+  // replica's new verified cursor; on any rejection it is left empty.
+  DeliverVerdict deliver(ByteView wire, Bytes* ack);
+
+  // Serialized kElect frame stating this replica's candidacy: its verified
+  // cursor and accepted epoch. The electorate picks the longest chain.
+  Bytes candidacy() const;
+
+  bool up() const { return up_; }
+  void crash() { up_ = false; }
+  void restart() { up_ = true; }
+
+  std::uint64_t epoch() const { return epoch_; }
+  std::uint64_t verified_seq() const { return verified_seq_; }
+  std::uint64_t verified_chain() const { return verified_chain_; }
+  std::uint64_t generation() const { return generation_; }
+  // Raw sealed journal frames since the last reset — exactly the bytes a
+  // failover installs into the promoted leader's device.
+  const Bytes& log() const { return log_; }
+  // Sealed checkpoint state snapshot backing `generation()` (empty for 0).
+  const Bytes& snapshot() const { return snapshot_; }
+
+  std::uint64_t accepted_appends() const { return accepted_appends_; }
+  std::uint64_t stale_rejects() const { return stale_rejects_; }
+
+ private:
+  DeliverVerdict handle_append(const ReplicationFrame& frame);
+  DeliverVerdict handle_fence(const ReplicationFrame& frame);
+  DeliverVerdict handle_reset(const ReplicationFrame& frame);
+  Bytes make_ack() const;
+
+  ReplicaConfig config_;
+  bool up_ = true;
+  std::uint64_t epoch_ = 0;       // highest fencing term accepted
+  std::uint64_t generation_ = 0;  // checkpoint generation of `snapshot_`
+  Bytes snapshot_;
+  Bytes log_;
+  std::uint64_t verified_seq_ = 0;
+  std::uint64_t verified_chain_ = 0;  // journal_base_chain until first append
+  std::uint64_t verified_epoch_ = 0;  // epoch of the last verified record
+  std::uint64_t accepted_appends_ = 0;
+  std::uint64_t stale_rejects_ = 0;
+  obs::Counter* obs_accepts_ = nullptr;
+  obs::Counter* obs_accept_bytes_ = nullptr;
+  obs::Counter* obs_stale_rejects_ = nullptr;
+  obs::Counter* obs_chain_rejects_ = nullptr;
+};
+
+}  // namespace sl::replication

@@ -74,10 +74,11 @@ net::LinkProfile link_profile(const NodeSpec& node, double reliability) {
 
 lease::ShardConfig shard_config(const ScenarioSpec& spec) {
   lease::ShardConfig config;
-  if (spec.server_journaling) {
+  if (spec.server_journaling || spec.replicas > 0) {
     config.durability.journaling = true;
     config.durability.faults = spec.storage_faults;
     config.durability.device_seed = splitmix64_key(0xd15c, spec.seed);
+    config.durability.replicas = spec.replicas;
   }
   return config;
 }
@@ -328,6 +329,10 @@ void SimulationEngine::execute(const ScenarioEvent& event,
     case EventKind::kServerCrash:
     case EventKind::kServerRestart:
     case EventKind::kServerCheckpoint:
+    case EventKind::kReplicaCrash:
+    case EventKind::kReplicaRestart:
+    case EventKind::kLeaderPartition:
+    case EventKind::kStaleLeaderAppend:
       break;  // dispatched to execute_server above; unreachable
   }
   stats_.events_executed++;
@@ -369,6 +374,14 @@ void SimulationEngine::execute_server(const ScenarioEvent& event,
       break;
     }
     case EventKind::kServerDrain: {
+      // A shard that is up but below replica quorum is skipped by
+      // drain_all(); count the stall here so the DST can see deferred
+      // commits (the shard-level counter only fires on direct drains).
+      std::uint64_t stalled = 0;
+      for (std::size_t s = 0; s < router.shard_count(); ++s) {
+        if (router.shard(s).up() && !router.shard(s).accepting()) stalled++;
+      }
+      stats_.quorum_stalls += stalled;
       const auto completions = router.drain_all();
       std::uint64_t granted = 0;
       for (const auto& completion : completions) {
@@ -378,6 +391,8 @@ void SimulationEngine::execute_server(const ScenarioEvent& event,
       }
       line += format(" -> completed=%zu granted=%llu", completions.size(),
                      static_cast<unsigned long long>(granted));
+      if (stalled > 0) line += format(" stalled=%llu",
+                                      static_cast<unsigned long long>(stalled));
       break;
     }
     case EventKind::kServerCrash: {
@@ -410,6 +425,66 @@ void SimulationEngine::execute_server(const ScenarioEvent& event,
       stats_.server_checkpoints++;
       line += format(" -> gen=%llu", static_cast<unsigned long long>(
                                          router.shard(shard).generation()));
+      break;
+    }
+    case EventKind::kReplicaCrash: {
+      lease::RemoteShard& owner = router.shard(shard);
+      if (!owner.replication_enabled()) return skip("no-replication");
+      const std::size_t replica =
+          event.index % owner.replica_group()->followers();
+      if (!owner.replica_group()->follower(replica).up()) {
+        return skip("replica-down");
+      }
+      owner.replica_crash(replica);
+      stats_.replica_crashes++;
+      line += format(" -> down up_followers=%zu",
+                     owner.replica_group()->up_followers());
+      break;
+    }
+    case EventKind::kReplicaRestart: {
+      lease::RemoteShard& owner = router.shard(shard);
+      if (!owner.replication_enabled()) return skip("no-replication");
+      const std::size_t replica =
+          event.index % owner.replica_group()->followers();
+      if (owner.replica_group()->follower(replica).up()) {
+        return skip("replica-up");
+      }
+      owner.replica_restart(replica);
+      stats_.replica_restarts++;
+      line += format(" -> up seq=%llu",
+                     static_cast<unsigned long long>(
+                         owner.replica_group()->follower(replica).verified_seq()));
+      break;
+    }
+    case EventKind::kLeaderPartition: {
+      lease::RemoteShard& owner = router.shard(shard);
+      if (!owner.replication_enabled()) return skip("no-replication");
+      if (!owner.up()) return skip("down");
+      if (!owner.replica_group()->election_quorum_available()) {
+        return skip("no-election-quorum");
+      }
+      const lease::FailoverReport report = owner.fail_over();
+      stats_.failovers++;
+      line += format(" -> elected=%zu seq=%llu epoch=%llu->%llu ok=%d",
+                     report.elected,
+                     static_cast<unsigned long long>(report.elected_seq),
+                     static_cast<unsigned long long>(report.old_epoch),
+                     static_cast<unsigned long long>(report.new_epoch),
+                     report.ok ? 1 : 0);
+      pending_failovers_.emplace_back(shard, report);
+      break;
+    }
+    case EventKind::kStaleLeaderAppend: {
+      lease::RemoteShard& owner = router.shard(shard);
+      if (!owner.replication_enabled()) return skip("no-replication");
+      const lease::StaleAppendReport report = owner.stale_append();
+      if (!report.attempted) return skip("no-stale-leader");
+      stats_.stale_appends++;
+      stats_.stale_appends_rejected += report.delivered - report.accepted;
+      line += format(" -> epoch=%llu delivered=%zu accepted=%zu",
+                     static_cast<unsigned long long>(report.stale_epoch),
+                     report.delivered, report.accepted);
+      pending_stale_appends_.emplace_back(shard, report);
       break;
     }
     default:
@@ -461,6 +536,36 @@ void SimulationEngine::evaluate_oracles(std::size_t event_index,
     }
   }
   pending_recoveries_.clear();
+
+  // Replication oracle: failover and stale-append reports (consume-once),
+  // plus a structural probe of every replica group after every event.
+  for (const auto& [shard, report] : pending_failovers_) {
+    stats_.oracle_checks++;
+    if (auto err = check_failover(report)) {
+      failures.push_back({kOracleReplication, format("shard %zu: ", shard) + *err,
+                          event_index});
+    }
+  }
+  pending_failovers_.clear();
+  for (const auto& [shard, report] : pending_stale_appends_) {
+    stats_.oracle_checks++;
+    if (auto err = check_stale_append(report)) {
+      failures.push_back({kOracleReplication, format("shard %zu: ", shard) + *err,
+                          event_index});
+    }
+  }
+  pending_stale_appends_.clear();
+  for (std::size_t s = 0; s < world_->router.shard_count(); ++s) {
+    const replication::ReplicaGroup* group =
+        world_->router.shard(s).replica_group();
+    if (group == nullptr) continue;
+    stats_.oracle_checks++;
+    const std::string violation = group->invariants();
+    if (!violation.empty()) {
+      failures.push_back({kOracleReplication, format("shard %zu: ", s) + violation,
+                          event_index});
+    }
+  }
 
   for (std::size_t i = 0; i < world_->nodes.size(); ++i) {
     Node& node = *world_->nodes[i];
@@ -523,6 +628,9 @@ SimulationResult SimulationEngine::run() {
   const lease::ShardStats shard_stats = world_->router.aggregate_shard_stats();
   stats_.deduped_renewals = shard_stats.deduped;
   stats_.shard_checkpoints = shard_stats.checkpoints;
+  // Adds direct-drain stalls (shard counter) to the drain_all() skips the
+  // drain events already tallied.
+  stats_.quorum_stalls += shard_stats.quorum_stalls;
   for (const auto& node : world_->nodes) {
     stats_.client_ecalls += node->runtime->transitions().ecalls;
     stats_.client_ocalls += node->runtime->transitions().ocalls;

@@ -47,6 +47,13 @@ struct SimulationStats {
   std::uint64_t recovery_intents_dropped = 0;
   std::uint64_t deduped_renewals = 0;      // answered from idempotency tables
   std::uint64_t shard_checkpoints = 0;     // incl. automatic + forced
+  // Replication events (kReplica* / kLeader* kinds).
+  std::uint64_t replica_crashes = 0;
+  std::uint64_t replica_restarts = 0;
+  std::uint64_t failovers = 0;             // leader partitions that elected
+  std::uint64_t stale_appends = 0;         // resurrection probes delivered
+  std::uint64_t stale_appends_rejected = 0;  // follower rejections of those
+  std::uint64_t quorum_stalls = 0;         // drains deferred below quorum
   std::uint64_t events_executed = 0;
   std::uint64_t events_skipped = 0;    // e.g. work scheduled on a down node
   // SGX transition tallies summed over every client node's runtime at the
@@ -105,6 +112,10 @@ class SimulationEngine {
   // Recovery reports produced since the last oracle pass; each is checked
   // (and consumed) by the recovery oracle. First element is the shard index.
   std::vector<std::pair<std::size_t, lease::RecoveryReport>> pending_recoveries_;
+  // Same consume-once protocol for the replication oracle's inputs.
+  std::vector<std::pair<std::size_t, lease::FailoverReport>> pending_failovers_;
+  std::vector<std::pair<std::size_t, lease::StaleAppendReport>>
+      pending_stale_appends_;
   // kServerLoad bookkeeping: synthetic router clients (ids 10000+license)
   // registered lazily, monotone tickets to match completions.
   std::vector<bool> synthetic_registered_;

@@ -103,4 +103,42 @@ std::optional<std::string> check_recovery(const lease::RecoveryReport& report) {
   return std::nullopt;
 }
 
+std::optional<std::string> check_failover(const lease::FailoverReport& report) {
+  if (!report.ok) {
+    return format("failover failed structurally: %s", report.detail.c_str());
+  }
+  if (report.lost_committed) {
+    return format("acknowledged renewal lost across failover: promoted "
+                  "replica %zu ended at seq %llu (%s)",
+                  report.elected,
+                  (unsigned long long)report.elected_seq,
+                  report.detail.c_str());
+  }
+  if (!report.digest_match) {
+    return format("promoted digest %016llx != committed digest %016llx "
+                  "(replica %zu, replayed=%llu)",
+                  (unsigned long long)report.recovered_digest,
+                  (unsigned long long)report.committed_digest, report.elected,
+                  (unsigned long long)report.records_replayed);
+  }
+  if (report.new_epoch <= report.old_epoch) {
+    return format("fencing epoch did not advance: %llu -> %llu",
+                  (unsigned long long)report.old_epoch,
+                  (unsigned long long)report.new_epoch);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_stale_append(
+    const lease::StaleAppendReport& report) {
+  if (!report.attempted) return std::nullopt;
+  if (report.accepted != 0) {
+    return format("stale leader (epoch %llu) got %zu/%zu followers to accept "
+                  "an append past its deposition",
+                  (unsigned long long)report.stale_epoch, report.accepted,
+                  report.delivered);
+  }
+  return std::nullopt;
+}
+
 }  // namespace sl::sim

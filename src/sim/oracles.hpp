@@ -35,6 +35,7 @@ inline constexpr const char* kOracleDoubleSpend = "double-spend";
 inline constexpr const char* kOracleTreeIntegrity = "tree-integrity";
 inline constexpr const char* kOracleMonotoneTime = "monotone-time";
 inline constexpr const char* kOracleRecovery = "recovery";
+inline constexpr const char* kOracleReplication = "replication";
 
 struct OracleFinding {
   std::string oracle;       // one of the kOracle* names
@@ -69,5 +70,16 @@ std::optional<std::string> check_monotone_time(const char* clock_name,
 // replayed record's post-digest and the pre-crash committed digest, and no
 // acknowledged (synced) record may be missing from the replayed prefix.
 std::optional<std::string> check_recovery(const lease::RecoveryReport& report);
+
+// Invariant 6 (replication, docs/REPLICATION.md): a failover must promote a
+// replica holding the complete acknowledged prefix (no acked renewal lost,
+// digest equal to the pre-failover committed digest) and must advance the
+// fencing epoch, so no lease decision can be granted twice across the change.
+std::optional<std::string> check_failover(const lease::FailoverReport& report);
+
+// Invariant 6, stale-leader side: a deposed leader's append — sealed under
+// its old epoch — must be rejected by every follower that receives it.
+std::optional<std::string> check_stale_append(
+    const lease::StaleAppendReport& report);
 
 }  // namespace sl::sim

@@ -24,6 +24,10 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kServerCrash: return "server-crash";
     case EventKind::kServerRestart: return "server-restart";
     case EventKind::kServerCheckpoint: return "server-checkpoint";
+    case EventKind::kReplicaCrash: return "replica-crash";
+    case EventKind::kReplicaRestart: return "replica-restart";
+    case EventKind::kLeaderPartition: return "leader-partition";
+    case EventKind::kStaleLeaderAppend: return "stale-leader-append";
   }
   return "?";
 }
@@ -65,7 +69,9 @@ ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorLimits& limits
   if (limits.max_shards > 1) {
     spec.shard_count = range(rng, limits.min_shards, limits.max_shards);
   }
-  spec.server_journaling = limits.server_fault_probability > 0.0;
+  spec.replicas = limits.replicas;
+  spec.server_journaling =
+      limits.server_fault_probability > 0.0 || limits.replicas > 0;
   spec.storage_faults = limits.storage;
 
   for (std::uint32_t i = 0; i < license_count; ++i) {
@@ -108,9 +114,76 @@ ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorLimits& limits
   const std::uint32_t event_count = range(rng, limits.min_events, limits.max_events);
   std::vector<bool> up(node_count, true);
   std::vector<bool> partitioned(node_count, false);
-  std::vector<bool> shard_up(std::max<std::uint32_t>(1, spec.shard_count), true);
+  const std::uint32_t shard_count = std::max<std::uint32_t>(1, spec.shard_count);
+  std::vector<bool> shard_up(shard_count, true);
+  // Follower liveness, flattened shard-major; failed_over gates stale
+  // resurrections on a deposed leader actually existing.
+  const std::uint32_t followers_per_shard =
+      limits.replicas > 0 ? limits.replicas - 1 : 0;
+  std::vector<bool> follower_up(shard_count * followers_per_shard, true);
+  std::vector<bool> failed_over(shard_count, false);
 
   while (spec.schedule.size() < event_count) {
+    if (limits.replica_fault_probability > 0.0 && followers_per_shard > 0 &&
+        rng.next_bool(limits.replica_fault_probability)) {
+      // Follower slot: crash 55 / restart 45. Inapplicable picks degrade to
+      // a drain (same well-formedness rule as the server branch below).
+      ScenarioEvent event;
+      event.kind = EventKind::kServerDrain;
+      std::uint32_t slot = 0;
+      if (rng.next_below(100) < 55) {
+        if (pick_state(rng, follower_up, true, slot)) {
+          event.kind = EventKind::kReplicaCrash;
+          event.node = slot / followers_per_shard;
+          event.index = slot % followers_per_shard;
+          follower_up[slot] = false;
+        }
+      } else {
+        if (pick_state(rng, follower_up, false, slot)) {
+          event.kind = EventKind::kReplicaRestart;
+          event.node = slot / followers_per_shard;
+          event.index = slot % followers_per_shard;
+          follower_up[slot] = true;
+        }
+      }
+      spec.schedule.push_back(event);
+      continue;
+    }
+
+    if (limits.leader_fault_probability > 0.0 && followers_per_shard > 0 &&
+        rng.next_bool(limits.leader_fault_probability)) {
+      // Leader slot: partition 60 / stale resurrection 40. A partition needs
+      // the shard up with its full follower set (an election quorum is
+      // guaranteed); a stale append needs a past failover on that shard.
+      ScenarioEvent event;
+      event.kind = EventKind::kServerDrain;
+      const bool want_stale = rng.next_below(100) >= 60;
+      std::vector<std::uint32_t> candidates;
+      for (std::uint32_t s = 0; s < shard_count; ++s) {
+        if (want_stale) {
+          if (failed_over[s]) candidates.push_back(s);
+          continue;
+        }
+        if (!shard_up[s]) continue;
+        bool quorum = true;
+        for (std::uint32_t r = 0; r < followers_per_shard; ++r) {
+          quorum = quorum && follower_up[s * followers_per_shard + r];
+        }
+        if (quorum) candidates.push_back(s);
+      }
+      if (!candidates.empty()) {
+        const std::uint32_t shard =
+            candidates[rng.next_below(candidates.size())];
+        event.kind = want_stale ? EventKind::kStaleLeaderAppend
+                                : EventKind::kLeaderPartition;
+        event.node = shard;
+        // A failover deposes and immediately re-promotes: the shard stays up.
+        if (!want_stale) failed_over[shard] = true;
+      }
+      spec.schedule.push_back(event);
+      continue;
+    }
+
     if (limits.server_fault_probability > 0.0 &&
         rng.next_bool(limits.server_fault_probability)) {
       // Server-side slot: load 30 / drain 20 / crash 20 / restart 15 /
@@ -237,7 +310,18 @@ ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorLimits& limits
     spec.schedule.push_back(event);
   }
 
-  if (limits.server_fault_probability > 0.0) {
+  // Every down follower returns at the end, so the closing drain runs with
+  // a full quorum and flushes anything a stall left queued.
+  for (std::uint32_t slot = 0; slot < follower_up.size(); ++slot) {
+    if (follower_up[slot]) continue;
+    ScenarioEvent restart;
+    restart.kind = EventKind::kReplicaRestart;
+    restart.node = slot / followers_per_shard;
+    restart.index = slot % followers_per_shard;
+    spec.schedule.push_back(restart);
+    follower_up[slot] = true;
+  }
+  if (limits.server_fault_probability > 0.0 || limits.replicas > 0) {
     // Every down shard recovers at the end (so each crash's recovery is
     // oracled), then a final drain flushes any queued synthetic renewals.
     for (std::uint32_t s = 0; s < shard_up.size(); ++s) {
@@ -285,8 +369,15 @@ std::string describe(const ScenarioEvent& event) {
     case EventKind::kServerCrash:
     case EventKind::kServerRestart:
     case EventKind::kServerCheckpoint:
+    case EventKind::kLeaderPartition:
+    case EventKind::kStaleLeaderAppend:
       std::snprintf(buffer, sizeof(buffer), "%s shard=%u",
                     event_kind_name(event.kind), event.node);
+      break;
+    case EventKind::kReplicaCrash:
+    case EventKind::kReplicaRestart:
+      std::snprintf(buffer, sizeof(buffer), "%s shard=%u replica=%u",
+                    event_kind_name(event.kind), event.node, event.index);
       break;
     default:
       std::snprintf(buffer, sizeof(buffer), "%s node=%u",
@@ -306,6 +397,11 @@ std::string describe(const ScenarioSpec& spec) {
   out += buffer;
   if (spec.shard_count > 1) {
     std::snprintf(buffer, sizeof(buffer), "  shards=%u\n", spec.shard_count);
+    out += buffer;
+  }
+  if (spec.replicas > 0) {
+    std::snprintf(buffer, sizeof(buffer), "  replicas=%u (f=%u)\n",
+                  spec.replicas, (spec.replicas - 1) / 2);
     out += buffer;
   }
   if (spec.server_journaling) {

@@ -39,6 +39,12 @@ enum class EventKind : std::uint8_t {
   kServerCrash,   // shard power loss: unsynced journal tail mangled
   kServerRestart, // shard recovery: checkpoint + journal replay, oracled
   kServerCheckpoint, // snapshot shard state and truncate its journal
+  // Replication faults (docs/REPLICATION.md). `node` carries the shard
+  // index; `index` the follower index for the replica kinds.
+  kReplicaCrash,     // one follower replica stops acking
+  kReplicaRestart,   // follower returns and is caught up from the leader
+  kLeaderPartition,  // leader cut from the quorum: depose, elect, promote
+  kStaleLeaderAppend, // deposed leader resurrects and probes the fence
 };
 
 const char* event_kind_name(EventKind kind);
@@ -76,6 +82,10 @@ struct ScenarioSpec {
   // Off by default so non-durability scenarios replay bit-for-bit as before.
   bool server_journaling = false;
   storage::FaultConfig storage_faults;
+  // Per-shard replica-group size (2f+1 including the leader; 0 = replication
+  // off). Nonzero implies journaling: followers mirror the journal's synced
+  // prefix and the kReplica*/kLeader* kinds exercise failover and fencing.
+  std::uint32_t replicas = 0;
   std::vector<NodeSpec> nodes;
   std::vector<LicenseSpec> licenses;
   std::vector<ScenarioEvent> schedule;
@@ -105,6 +115,15 @@ struct GeneratorLimits {
   // Shard-count range. Draws happen only when max_shards > 1 (same
   // stream-preservation rule as above).
   std::uint32_t min_shards = 1, max_shards = 1;
+  // Replica-group size copied into ScenarioSpec::replicas (0 = off; nonzero
+  // turns journaling on). All replication draws below are gated on their
+  // probabilities so default limits leave every seed's rng stream intact.
+  std::uint32_t replicas = 0;
+  // Probability that a slot crashes or restarts one follower replica.
+  double replica_fault_probability = 0.0;
+  // Probability that a slot partitions the leader (fail over to the longest
+  // verified follower) or resurrects a deposed leader against the fence.
+  double leader_fault_probability = 0.0;
   // Storage fault model copied into ScenarioSpec::storage_faults.
   storage::FaultConfig storage;
 };

@@ -11,8 +11,8 @@ namespace sl::storage {
 
 namespace {
 
-// Frame header: u32 cipher_len + u64 seq + u64 chain.
-constexpr std::size_t kFrameHeader = 4 + 8 + 8;
+// Frame header: u32 cipher_len + u64 seq + u64 epoch + u64 chain.
+constexpr std::size_t kFrameHeader = 4 + 8 + 8 + 8;
 // A sealed bundle is payload || SHA-256, so never shorter than the digest.
 constexpr std::size_t kMinCipher = crypto::kSha256DigestSize;
 // Sanity bound; a length prefix past this is corruption, not a record.
@@ -59,19 +59,112 @@ std::optional<Bytes> open_with_key(ByteView ciphertext, std::uint64_t key,
 
 // Keyed: without the master key an adversary cannot recompute chain values,
 // so frames can neither be spliced out of the middle (later chains would
-// need fixing up) nor appended with a forged seq jump.
+// need fixing up) nor appended with a forged seq jump or fencing epoch.
 std::uint64_t chain_step(std::uint64_t master, std::uint64_t prev,
-                         std::uint64_t seq, ByteView ciphertext) {
+                         std::uint64_t seq, std::uint64_t epoch,
+                         ByteView ciphertext) {
   Bytes buffer;
   put_u64(buffer, master);
   put_u64(buffer, prev);
   put_u64(buffer, seq);
+  put_u64(buffer, epoch);
   buffer.insert(buffer.end(), ciphertext.begin(), ciphertext.end());
   const crypto::Sha256Digest digest = crypto::Sha256::hash(buffer);
   return get_u64(ByteView(digest.data(), digest.size()), 0);
 }
 
+// Shared frame walker behind both replay() and verify_chain_extension():
+// scans concatenated frames from a known chain position, stopping at the
+// first byte that is not a valid extension. `expected_seq == 0` disables the
+// rollback check for the first frame (a replay from an empty cursor accepts
+// any starting seq; the chain still binds it).
+ChainExtension walk_frames(std::uint64_t master, std::uint64_t start_chain,
+                           std::uint64_t expected_seq, std::uint64_t epoch,
+                           ByteView view) {
+  ChainExtension result;
+  std::uint64_t chain = start_chain;
+  result.end_chain = chain;
+  result.end_epoch = epoch;
+  result.end_seq = expected_seq == 0 ? 0 : expected_seq - 1;
+  std::size_t offset = 0;
+
+  while (true) {
+    const std::size_t remaining = view.size() - offset;
+    if (remaining == 0) break;
+    if (remaining < kFrameHeader) {
+      result.stop_reason = "short-frame";
+      break;
+    }
+    const std::uint32_t len = get_u32(view, offset);
+    if (len < kMinCipher || len > kMaxCipher ||
+        len > remaining - kFrameHeader) {
+      result.stop_reason = "bad-length";
+      break;
+    }
+    const std::uint64_t seq = get_u64(view, offset + 4);
+    const std::uint64_t frame_epoch = get_u64(view, offset + 12);
+    const std::uint64_t chain_field = get_u64(view, offset + 20);
+    const ByteView ciphertext(view.data() + offset + kFrameHeader, len);
+    const std::uint64_t expect =
+        chain_step(master, chain, seq, frame_epoch, ciphertext);
+    if (expect != chain_field) {
+      // Also catches duplicated or reordered frames: the chain binds every
+      // frame to its predecessor's chain value and its own seq and epoch.
+      result.stop_reason = "chain-mismatch";
+      break;
+    }
+    if (expected_seq != 0 && seq < expected_seq) {
+      // Rollback: a frame numbered at or below its predecessor. Forward
+      // jumps are legitimate — append() consumes sequence numbers for
+      // frames a crash later destroys, and resume_from() never reuses them
+      // (a reused seq would repeat a seal key/nonce pair), so the writer
+      // resumes past the hole. The chain field binds the jump to the real
+      // predecessor, which a forger without the key cannot reproduce.
+      result.stop_reason = "seq-gap";
+      break;
+    }
+    if (frame_epoch < epoch) {
+      // A frame claiming an older fencing term than its predecessor: only a
+      // stale deposed leader (or a forger) produces one. Epoch bumps are
+      // legal — that is exactly what a failover seals into the stream.
+      result.stop_reason = "epoch-regression";
+      break;
+    }
+    auto payload =
+        open_with_key(ciphertext, record_key(master, seq), kJournalNonce ^ seq);
+    if (!payload.has_value()) {
+      result.stop_reason = "seal-invalid";
+      break;
+    }
+    result.records.push_back(JournalRecord{seq, frame_epoch, std::move(*payload)});
+    chain = expect;
+    epoch = frame_epoch;
+    expected_seq = seq + 1;
+    offset += kFrameHeader + len;
+    result.valid_bytes = offset;
+    result.end_chain = chain;
+    result.end_epoch = epoch;
+    result.end_seq = seq;
+  }
+
+  result.ok = result.stop_reason == "end" && result.valid_bytes == view.size();
+  return result;
+}
+
 }  // namespace
+
+ChainExtension verify_chain_extension(std::uint64_t master_key,
+                                      std::uint64_t start_chain,
+                                      std::uint64_t start_seq,
+                                      std::uint64_t start_epoch,
+                                      ByteView frames) {
+  return walk_frames(master_key, start_chain, start_seq + 1, start_epoch,
+                     frames);
+}
+
+std::uint64_t journal_base_chain(std::uint64_t master_key) {
+  return base_chain(master_key);
+}
 
 Journal::Journal(JournalConfig config)
     : config_(config),
@@ -96,7 +189,9 @@ Bytes Journal::seal_frame(std::uint64_t seq, ByteView payload) {
   Bytes frame;
   put_u32(frame, static_cast<std::uint32_t>(ciphertext.size()));
   put_u64(frame, seq);
-  put_u64(frame, chain_step(config_.master_key, chain_, seq, ciphertext));
+  put_u64(frame, epoch_);
+  put_u64(frame,
+          chain_step(config_.master_key, chain_, seq, epoch_, ciphertext));
   frame.insert(frame.end(), ciphertext.begin(), ciphertext.end());
   return frame;
 }
@@ -111,7 +206,7 @@ std::optional<std::uint64_t> Journal::append(ByteView payload) {
   obs::inc(obs_appends_);
   obs::inc(obs_append_bytes_, frame.size());
   // Commit the cursors only once the device took the frame.
-  chain_ = get_u64(frame, 12);
+  chain_ = get_u64(frame, 20);
   staged_seq_ = seq;
   next_seq_ = seq + 1;
   return seq;
@@ -120,10 +215,16 @@ std::optional<std::uint64_t> Journal::append(ByteView payload) {
 void Journal::sync() {
   device_.sync();
   synced_seq_ = staged_seq_;
+  synced_bytes_ = device_.durable_bytes();
   obs::inc(obs_syncs_);
 }
 
 void Journal::crash() { device_.crash(); }
+
+void Journal::set_epoch(std::uint64_t epoch) {
+  ensure(epoch >= epoch_, "Journal::set_epoch: fencing epoch may not regress");
+  epoch_ = epoch;
+}
 
 void Journal::reset(ByteView genesis_payload) {
   obs::inc(obs_truncations_);
@@ -137,60 +238,15 @@ void Journal::reset(ByteView genesis_payload) {
 ReplayResult Journal::replay() const {
   ReplayResult result;
   const Bytes& image = device_.contents();
-  const ByteView view(image.data(), image.size());
-  std::uint64_t chain = base_chain(config_.master_key);
-  std::uint64_t expected_seq = 0;
-  std::size_t offset = 0;
-  result.final_chain = chain;
-
-  while (true) {
-    const std::size_t remaining = image.size() - offset;
-    if (remaining == 0) break;
-    if (remaining < kFrameHeader) {
-      result.stop_reason = "short-frame";
-      break;
-    }
-    const std::uint32_t len = get_u32(view, offset);
-    if (len < kMinCipher || len > kMaxCipher ||
-        len > remaining - kFrameHeader) {
-      result.stop_reason = "bad-length";
-      break;
-    }
-    const std::uint64_t seq = get_u64(view, offset + 4);
-    const std::uint64_t chain_field = get_u64(view, offset + 12);
-    const ByteView ciphertext(image.data() + offset + kFrameHeader, len);
-    const std::uint64_t expect =
-        chain_step(config_.master_key, chain, seq, ciphertext);
-    if (expect != chain_field) {
-      // Also catches duplicated or reordered frames: the chain binds every
-      // frame to its predecessor's chain value and its own seq.
-      result.stop_reason = "chain-mismatch";
-      break;
-    }
-    if (expected_seq != 0 && seq < expected_seq) {
-      // Rollback: a frame numbered at or below its predecessor. Forward
-      // jumps are legitimate — append() consumes sequence numbers for
-      // frames a crash later destroys, and resume_from() never reuses them
-      // (a reused seq would repeat a seal key/nonce pair), so the writer
-      // resumes past the hole. The chain field binds the jump to the real
-      // predecessor, which a forger without the key cannot reproduce.
-      result.stop_reason = "seq-gap";
-      break;
-    }
-    auto payload = open_with_key(
-        ciphertext, record_key(config_.master_key, seq), kJournalNonce ^ seq);
-    if (!payload.has_value()) {
-      result.stop_reason = "seal-invalid";
-      break;
-    }
-    result.records.push_back(JournalRecord{seq, std::move(*payload)});
-    chain = expect;
-    expected_seq = seq + 1;
-    offset += kFrameHeader + len;
-    result.valid_bytes = offset;
-    result.final_chain = chain;
-  }
-
+  ChainExtension walk =
+      walk_frames(config_.master_key, base_chain(config_.master_key),
+                  /*expected_seq=*/0, /*epoch=*/0,
+                  ByteView(image.data(), image.size()));
+  result.records = std::move(walk.records);
+  result.valid_bytes = walk.valid_bytes;
+  result.final_chain = walk.end_chain;
+  result.final_epoch = walk.end_epoch;
+  result.stop_reason = std::move(walk.stop_reason);
   result.truncated_bytes = image.size() - result.valid_bytes;
   result.tail_truncated = result.truncated_bytes > 0;
   // Replay is a cold recovery path; a labeled registry lookup per verdict
@@ -203,7 +259,12 @@ ReplayResult Journal::replay() const {
 
 void Journal::resume_from(const ReplayResult& replay) {
   device_.truncate_to(replay.valid_bytes);
+  // The verified image is the new incarnation's acked frontier: everything
+  // in it (including former intents that survived the crash) is durable
+  // history the resumed writer builds on.
+  synced_bytes_ = replay.valid_bytes;
   chain_ = replay.final_chain;
+  epoch_ = std::max(epoch_, replay.final_epoch);
   if (!replay.records.empty()) {
     const std::uint64_t last = replay.records.back().seq;
     staged_seq_ = last;

@@ -1,17 +1,22 @@
 // Sealed, hash-chained write-ahead journal over a BlockDevice.
 //
 // Record framing (all little-endian):
-//     [u32 cipher_len][u64 seq][u64 chain][ciphertext]
+//     [u32 cipher_len][u64 seq][u64 epoch][u64 chain][ciphertext]
 // The ciphertext is the Section 5.5 Protect bundle — plaintext payload with
 // its SHA-256 appended, AES-128-CTR encrypted — under a per-record key
 // derived from the journal master key and the sequence number, so the
 // untrusted medium never sees ledger contents and any bit damage fails the
 // hash check on open (encrypt-then-detect). `chain` is the first 8 bytes of
-// SHA-256(master_key || prev_chain || seq || ciphertext): a torn tail, a
-// duplicated or replayed frame, or a reordered frame breaks the chain and
-// replay truncates at the first invalid record instead of trusting it.
-// Keying the chain means an adversary holding the image cannot splice a
+// SHA-256(master_key || prev_chain || seq || epoch || ciphertext): a torn
+// tail, a duplicated or replayed frame, or a reordered frame breaks the
+// chain and replay truncates at the first invalid record instead of trusting
+// it. Keying the chain means an adversary holding the image cannot splice a
 // middle frame out and recompute the successors' chain fields.
+//
+// `epoch` is the replication fencing term (docs/REPLICATION.md): a leader
+// change bumps it via set_epoch(), and because the chain covers it a deposed
+// leader cannot forge frames that claim a newer term. Within one image the
+// epoch may only stay or grow; a decrease stops replay ("epoch-regression").
 //
 // Sequence numbers increase monotonically across the journal's whole life,
 // surviving checkpoint truncation (reset() keeps the counter), so a stale
@@ -44,7 +49,8 @@ struct JournalConfig {
 
 struct JournalRecord {
   std::uint64_t seq = 0;
-  Bytes payload;  // decrypted, integrity-checked plaintext
+  std::uint64_t epoch = 0;  // fencing term sealed into the frame
+  Bytes payload;            // decrypted, integrity-checked plaintext
 };
 
 struct ReplayResult {
@@ -53,12 +59,43 @@ struct ReplayResult {
   std::uint64_t truncated_bytes = 0;  // bytes after the first invalid frame
   bool tail_truncated = false;        // truncated_bytes > 0
   std::uint64_t final_chain = 0;      // chain value after the last valid frame
+  std::uint64_t final_epoch = 0;      // epoch of the last valid frame
   // "end" for a clean parse; otherwise why the scan stopped: "short-frame",
-  // "bad-length", "seal-invalid", "chain-mismatch", or "seq-gap" (a frame
+  // "bad-length", "seal-invalid", "chain-mismatch", "seq-gap" (a frame
   // numbered at or below its predecessor; forward jumps are legal — they
-  // are seqs consumed by frames a crash destroyed, see resume_from()).
+  // are seqs consumed by frames a crash destroyed, see resume_from()), or
+  // "epoch-regression" (a frame claiming an older fencing term than its
+  // predecessor — only a forgery or stale-leader artifact produces one).
   std::string stop_reason = "end";
 };
+
+// Verdict of walking a batch of raw sealed frames as an extension of a known
+// chain position. This is the follower-side primitive of the replication
+// layer: a replica that trusts (start_seq, start_epoch, start_chain) can
+// verify that shipped frame bytes genuinely extend its log without being
+// able to forge frames itself (the chain is keyed by the journal master).
+struct ChainExtension {
+  bool ok = false;  // every byte of the view consumed as a valid frame
+  std::vector<JournalRecord> records;
+  std::uint64_t valid_bytes = 0;  // verified prefix of the view
+  std::uint64_t end_seq = 0;      // cursors after the last valid frame
+  std::uint64_t end_chain = 0;
+  std::uint64_t end_epoch = 0;
+  std::string stop_reason = "end";  // same vocabulary as ReplayResult
+};
+
+// Walks `frames` (concatenated sealed journal frames) from the given chain
+// position. Rejects anything a full replay would reject, plus any frame at
+// or below start_seq or below start_epoch. Pure function, no device I/O.
+ChainExtension verify_chain_extension(std::uint64_t master_key,
+                                      std::uint64_t start_chain,
+                                      std::uint64_t start_seq,
+                                      std::uint64_t start_epoch,
+                                      ByteView frames);
+
+// The chain value before the first record (what a brand-new follower starts
+// from). Exposed so replicas can verify a stream from genesis.
+std::uint64_t journal_base_chain(std::uint64_t master_key);
 
 class Journal {
  public:
@@ -89,8 +126,20 @@ class Journal {
   std::uint64_t next_seq() const { return next_seq_; }
   // Last sequence number covered by a completed sync (0 = none).
   std::uint64_t synced_seq() const { return synced_seq_; }
+  // Fencing term stamped into every subsequent frame. set_epoch() only moves
+  // forward — a leader can be fenced up, never down.
+  std::uint64_t epoch() const { return epoch_; }
+  void set_epoch(std::uint64_t epoch);
+  // Chain cursor after the last staged frame (what the next frame will be
+  // chained onto). Followers compare this against their verified cursor.
+  std::uint64_t chain() const { return chain_; }
   std::uint64_t durable_bytes() const { return device_.durable_bytes(); }
   std::uint64_t pending_bytes() const { return device_.pending_bytes(); }
+  // Byte frontier of the last completed sync barrier — the acked prefix.
+  // Distinct from durable_bytes() after a crash: the fault model may flush
+  // pending (never-acked) writes into the durable image, and replication
+  // must never ship bytes past what group commit acknowledged.
+  std::uint64_t synced_bytes() const { return synced_bytes_; }
   BlockDevice& device() { return device_; }
   const BlockDevice& device() const { return device_; }
 
@@ -102,7 +151,9 @@ class Journal {
   std::uint64_t next_seq_ = 1;
   std::uint64_t staged_seq_ = 0;  // last appended (possibly unsynced)
   std::uint64_t synced_seq_ = 0;
+  std::uint64_t synced_bytes_ = 0;
   std::uint64_t chain_ = 0;
+  std::uint64_t epoch_ = 0;
   // Metric handles, resolved once at construction (null when compiled out).
   obs::Counter* obs_appends_ = nullptr;
   obs::Counter* obs_append_bytes_ = nullptr;

@@ -1,0 +1,465 @@
+// Replica-group and failover contract (docs/REPLICATION.md): only synced
+// bytes ship, a commit needs f follower acks, fencing rejects a deposed
+// leader's appends, elections promote the longest verified chain, and a
+// spliced cross-replica chain can never enter a candidacy. The RemoteShard
+// half mirrors tests/lease/test_shard_recovery.cpp: an acked renewal
+// survives a leader change, and a request id is never double-granted across
+// an epoch bump.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "lease/shard_router.hpp"
+#include "lease/sl_local.hpp"
+#include "replication/group.hpp"
+#include "sgxsim/attestation.hpp"
+#include "storage/journal.hpp"
+
+namespace sl::replication {
+namespace {
+
+constexpr std::uint64_t kMasterKey = 0x6e1de7;
+
+storage::Journal make_leader(std::uint64_t device_seed = 1) {
+  storage::JournalConfig config;
+  config.master_key = kMasterKey;
+  config.device_seed = device_seed;
+  return storage::Journal(config);
+}
+
+GroupConfig group_config() {
+  GroupConfig config;
+  config.replicas = 3;
+  config.master_key = kMasterKey;
+  config.shard = 0;
+  return config;
+}
+
+TEST(ReplicaGroup, ReplicateShipsTheSyncedDeltaAndCollectsAcks) {
+  storage::Journal leader = make_leader();
+  ReplicaGroup group(group_config(), &leader);
+  ASSERT_EQ(group.followers(), 2u);
+  EXPECT_EQ(group.f(), 1u);
+
+  leader.append(to_bytes("record-one"));
+  leader.append(to_bytes("record-two"));
+  leader.sync();
+  ASSERT_TRUE(group.replicate());
+
+  const Bytes& image = leader.device().contents();
+  for (std::size_t i = 0; i < group.followers(); ++i) {
+    EXPECT_EQ(group.follower(i).log(), image) << "follower " << i;
+    EXPECT_EQ(group.follower(i).verified_seq(), leader.synced_seq());
+  }
+  EXPECT_GE(group.stats().acks, group.f());
+  EXPECT_EQ(group.stats().bytes_shipped, 2 * image.size());
+  EXPECT_EQ(group.invariants(), "");
+}
+
+TEST(ReplicaGroup, UnsyncedIntentsNeverShip) {
+  storage::Journal leader = make_leader();
+  ReplicaGroup group(group_config(), &leader);
+
+  leader.append(to_bytes("durable"));
+  leader.sync();
+  ASSERT_TRUE(group.replicate());
+  const std::uint64_t shipped = group.stats().bytes_shipped;
+
+  // An intent staged but not yet group-committed must not reach a follower:
+  // followers hold exactly the acknowledged prefix, which is what makes the
+  // failover digest comparison exact.
+  leader.append(to_bytes("in-flight-intent"));
+  ASSERT_TRUE(group.replicate());
+  EXPECT_EQ(group.stats().bytes_shipped, shipped);
+  EXPECT_EQ(group.follower(0).verified_seq(), 1u);
+  EXPECT_EQ(group.invariants(), "");
+}
+
+TEST(ReplicaGroup, QuorumLossStallsReplication) {
+  storage::Journal leader = make_leader();
+  ReplicaGroup group(group_config(), &leader);
+  group.crash_follower(0);
+  EXPECT_TRUE(group.quorum_available());  // 1 up >= f=1
+  EXPECT_FALSE(group.election_quorum_available());
+  group.crash_follower(1);
+  EXPECT_FALSE(group.quorum_available());
+
+  leader.append(to_bytes("cannot-commit"));
+  leader.sync();
+  EXPECT_FALSE(group.replicate());
+  EXPECT_EQ(group.stats().quorum_stalls, 1u);
+
+  // Restart catches the followers up and the same delta now commits.
+  group.restart_follower(0);
+  group.restart_follower(1);
+  EXPECT_TRUE(group.replicate());
+  EXPECT_EQ(group.follower(0).log(), leader.device().contents());
+  EXPECT_EQ(group.follower(1).log(), leader.device().contents());
+  EXPECT_EQ(group.invariants(), "");
+}
+
+TEST(ReplicaGroup, FencedFollowersRejectStaleEpochAppends) {
+  storage::Journal leader = make_leader();
+  ReplicaGroup group(group_config(), &leader);
+  leader.append(to_bytes("epoch-zero"));
+  leader.sync();
+  ASSERT_TRUE(group.replicate());
+
+  // A new term: the leader bumps its sealing epoch and fences the group.
+  leader.set_epoch(3);
+  group.fence(3);
+  EXPECT_EQ(group.follower(0).epoch(), 3u);
+
+  // The deposed leader's append still carries term 0. Fencing must reject
+  // it before any chain work happens.
+  storage::Journal stale = make_leader(/*device_seed=*/99);
+  stale.append(to_bytes("epoch-zero"));
+  stale.append(to_bytes("stale-write"));
+  stale.sync();
+  ReplicationFrame frame;
+  frame.type = FrameType::kAppend;
+  frame.epoch = 0;
+  frame.shard = 0;
+  frame.seq = stale.synced_seq();
+  frame.chain = stale.chain();
+  frame.payload = stale.device().contents();
+  EXPECT_EQ(group.deliver_stale(frame.serialize()), 0u);
+  EXPECT_EQ(group.follower(0).stale_rejects(), 1u);
+  EXPECT_EQ(group.follower(1).stale_rejects(), 1u);
+  EXPECT_EQ(group.stats().stale_accepts, 0u);
+  EXPECT_EQ(group.invariants(), "");
+}
+
+TEST(ReplicaGroup, ElectionPromotesTheLongestVerifiedChain) {
+  storage::Journal leader = make_leader();
+  ReplicaGroup group(group_config(), &leader);
+  leader.append(to_bytes("both-saw-this"));
+  leader.sync();
+  ASSERT_TRUE(group.replicate());
+
+  // Follower 1 misses the second commit, then comes back *without* the
+  // leader-driven catch-up (restart_follower would re-ship the delta): the
+  // two candidacies now genuinely diverge.
+  group.crash_follower(1);
+  leader.append(to_bytes("only-follower-0-saw-this"));
+  leader.sync();
+  ASSERT_TRUE(group.replicate());
+  group.follower_mutable(1).restart();
+  ASSERT_LT(group.follower(1).verified_seq(), group.follower(0).verified_seq());
+
+  const std::optional<ElectionResult> result = group.elect();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->winner, 0u);
+  EXPECT_EQ(result->seq, leader.synced_seq());
+  EXPECT_EQ(result->chain, leader.chain());
+  EXPECT_EQ(group.stats().elections, 1u);
+}
+
+TEST(ReplicaGroup, ElectionTiesBreakToTheLowestReplicaId) {
+  storage::Journal leader = make_leader();
+  ReplicaGroup group(group_config(), &leader);
+  leader.append(to_bytes("replicated-everywhere"));
+  leader.sync();
+  ASSERT_TRUE(group.replicate());
+
+  const std::optional<ElectionResult> result = group.elect();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->winner, 0u);
+  EXPECT_EQ(result->seq, group.follower(1).verified_seq());
+}
+
+TEST(ReplicaGroup, NoElectionWithoutAnUpFollower) {
+  storage::Journal leader = make_leader();
+  ReplicaGroup group(group_config(), &leader);
+  group.crash_follower(0);
+  group.crash_follower(1);
+  EXPECT_FALSE(group.elect().has_value());
+}
+
+// Satellite property test: a chain spliced across replicas — sealed frames
+// taken from a *forked* journal under the same master key — can never extend
+// a replica whose verified cursor sits past the fork point, so no candidacy
+// offered at election time ever contains a spliced record. This reuses the
+// double-crash fixture shape from the recovery suite: build a real history,
+// fork it mid-way, and try to graft the fork's tail onto the longest log.
+TEST(ReplicaGroup, SplicedForkChainsAreRejectedBeforeElection) {
+  Rng rng(0x59711ce);
+  for (int round = 0; round < 50; ++round) {
+    storage::Journal leader = make_leader(/*device_seed=*/round + 1);
+    ReplicaGroup group(group_config(), &leader);
+
+    // Real history: k records, all replicated and acked.
+    const std::size_t k = 2 + rng.next_below(5);
+    std::vector<Bytes> payloads;
+    for (std::size_t i = 0; i < k; ++i) {
+      payloads.push_back(rng.next_bytes(8 + rng.next_below(40)));
+      leader.append(payloads.back());
+    }
+    leader.sync();
+    ASSERT_TRUE(group.replicate());
+
+    // Forked history: identical up to record j (sealing is deterministic,
+    // so the shared prefix is byte-identical), divergent after it.
+    const std::size_t j = rng.next_below(k);
+    storage::Journal fork = make_leader(/*device_seed=*/1000 + round);
+    std::uint64_t shared_bytes = 0;
+    for (std::size_t i = 0; i < j; ++i) fork.append(payloads[i]);
+    fork.sync();
+    shared_bytes = fork.durable_bytes();
+    for (std::size_t i = j; i < k + 1; ++i) {
+      fork.append(rng.next_bytes(8 + rng.next_below(40)));
+    }
+    fork.sync();
+    const Bytes& fork_image = fork.device().contents();
+    ASSERT_GT(fork_image.size(), shared_bytes);
+
+    // Graft the fork's divergent tail onto follower 0, which verified the
+    // real chain through record k. Sequence numbers overlap and the chain
+    // values disagree, so verification must refuse the splice whole.
+    ReplicationFrame splice;
+    splice.type = FrameType::kAppend;
+    splice.epoch = leader.epoch();
+    splice.shard = 0;
+    splice.seq = fork.synced_seq();
+    splice.chain = fork.chain();
+    splice.payload.assign(fork_image.begin() + shared_bytes, fork_image.end());
+    Bytes ack;
+    const Bytes wire = splice.serialize();
+    EXPECT_EQ(group.follower_mutable(0).deliver(
+                  ByteView(wire.data(), wire.size()), &ack),
+              DeliverVerdict::kChainBreak)
+        << "round " << round << " k=" << k << " j=" << j;
+    EXPECT_TRUE(ack.empty());
+
+    // The candidacy the electorate sees is untouched: the election result
+    // is exactly the real acked history, never the fork.
+    const std::optional<ElectionResult> result = group.elect();
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->seq, leader.synced_seq()) << "round " << round;
+    EXPECT_EQ(result->chain, leader.chain()) << "round " << round;
+    EXPECT_EQ(group.follower(0).log(), leader.device().contents());
+    EXPECT_EQ(group.invariants(), "");
+  }
+}
+
+// --- RemoteShard failover integration ---------------------------------------
+
+using lease::FailoverReport;
+using lease::LicenseFile;
+using lease::PendingRenew;
+using lease::RemoteShard;
+using lease::RenewStatus;
+using lease::ShardConfig;
+using lease::StaleAppendReport;
+
+ShardConfig replicated_config(std::uint32_t replicas = 3) {
+  ShardConfig config;
+  config.durability.journaling = true;
+  config.durability.replicas = replicas;
+  return config;
+}
+
+struct FailoverFixture : public ::testing::Test {
+  sgx::AttestationService ias;
+  lease::LicenseAuthority vendor{0x7777};
+
+  LicenseFile issue(lease::LeaseId id, std::uint64_t total) {
+    return vendor.issue(id, "failover-" + std::to_string(id),
+                        lease::LeaseKind::kCountBased, total);
+  }
+
+  PendingRenew request(std::uint64_t ticket, lease::Slid slid,
+                       const LicenseFile& license, std::uint64_t consumed = 0,
+                       std::uint64_t request_id = 0) {
+    PendingRenew renew;
+    renew.ticket = ticket;
+    renew.slid = slid;
+    renew.license = license;
+    renew.consumed = consumed;
+    renew.request_id = request_id;
+    return renew;
+  }
+
+  RemoteShard make_shard(ShardConfig config = replicated_config()) {
+    return RemoteShard(vendor, ias, lease::SlLocal::expected_measurement(),
+                       config);
+  }
+};
+
+TEST_F(FailoverFixture, ReplicationRequiresJournaling) {
+  ShardConfig config;
+  config.durability.journaling = false;
+  config.durability.replicas = 3;
+  EXPECT_THROW(make_shard(config), InvalidArgument);
+}
+
+TEST_F(FailoverFixture, FailoverPromotesTheAckedPrefixExactly) {
+  RemoteShard shard = make_shard();
+  const LicenseFile license = issue(200, 10'000);
+  shard.provision(license);
+  const lease::Slid a = shard.admit_peer(1.0, 1.0);
+  const lease::Slid b = shard.admit_peer(0.9, 0.8);
+  ASSERT_TRUE(shard.enqueue(request(1, a, license)));
+  ASSERT_TRUE(shard.enqueue(request(2, b, license)));
+  ASSERT_EQ(shard.drain().size(), 2u);
+
+  const std::uint64_t committed = shard.committed_digest();
+  const lease::LeaseLedger before = *shard.remote().ledger(license.lease_id);
+  const std::uint64_t old_epoch = shard.epoch();
+
+  const FailoverReport report = shard.fail_over();
+  EXPECT_TRUE(report.ok) << report.detail;
+  EXPECT_TRUE(report.digest_match);
+  EXPECT_FALSE(report.lost_committed);
+  EXPECT_EQ(report.recovered_digest, committed);
+  EXPECT_GT(report.new_epoch, report.old_epoch);
+  EXPECT_EQ(report.old_epoch, old_epoch);
+  EXPECT_EQ(shard.epoch(), report.new_epoch);
+  EXPECT_EQ(*shard.remote().ledger(license.lease_id), before);
+
+  // The promoted leader keeps serving, and its group holds the invariants.
+  ASSERT_TRUE(shard.accepting());
+  ASSERT_TRUE(shard.enqueue(request(3, a, license)));
+  EXPECT_EQ(shard.drain().size(), 1u);
+  EXPECT_TRUE(shard.remote().ledger(license.lease_id)->balanced());
+  EXPECT_EQ(shard.replica_group()->invariants(), "");
+}
+
+TEST_F(FailoverFixture, RequestIdsNeverDoubleGrantAcrossAnEpochChange) {
+  RemoteShard shard = make_shard();
+  const LicenseFile license = issue(201, 8'000);
+  shard.provision(license);
+  const lease::Slid slid = shard.admit_peer(1.0, 1.0);
+
+  ASSERT_TRUE(shard.enqueue(request(1, slid, license, 0, /*request_id=*/77)));
+  const auto first = shard.drain();
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(first[0].status, RenewStatus::kGranted);
+  const std::uint64_t granted = first[0].granted;
+  const lease::LeaseLedger after_grant =
+      *shard.remote().ledger(license.lease_id);
+
+  ASSERT_TRUE(shard.fail_over().ok);
+
+  // The client saw a timeout and retries the same request id against the
+  // *new* leader. The promoted dedup table must answer from the replicated
+  // outcome — a second burn would be a double grant across the epoch change.
+  ASSERT_TRUE(shard.enqueue(request(2, slid, license, 0, /*request_id=*/77)));
+  const auto retry = shard.drain();
+  ASSERT_EQ(retry.size(), 1u);
+  EXPECT_EQ(retry[0].status, RenewStatus::kGranted);
+  EXPECT_EQ(retry[0].granted, granted);
+  EXPECT_EQ(shard.stats().deduped, 1u);
+  EXPECT_EQ(*shard.remote().ledger(license.lease_id), after_grant);
+}
+
+TEST_F(FailoverFixture, StaleLeaderResurrectionIsFencedOut) {
+  RemoteShard shard = make_shard();
+  const LicenseFile license = issue(202, 5'000);
+  shard.provision(license);
+  const lease::Slid slid = shard.admit_peer(1.0, 1.0);
+  ASSERT_TRUE(shard.enqueue(request(1, slid, license)));
+  ASSERT_EQ(shard.drain().size(), 1u);
+  ASSERT_TRUE(shard.fail_over().ok);
+
+  // The deposed leader wakes up, appends to its own stale image and offers
+  // the frame to the group. Every up follower must reject it: its term was
+  // fenced out the moment the new epoch was sealed.
+  const StaleAppendReport report = shard.stale_append();
+  EXPECT_TRUE(report.attempted);
+  EXPECT_EQ(report.delivered, 2u);
+  EXPECT_EQ(report.accepted, 0u);
+  EXPECT_LT(report.stale_epoch, shard.epoch());
+  EXPECT_EQ(shard.replica_group()->stats().stale_accepts, 0u);
+  EXPECT_EQ(shard.replica_group()->invariants(), "");
+}
+
+TEST_F(FailoverFixture, QuorumLossStallsDrainsUntilAReplicaReturns) {
+  RemoteShard shard = make_shard();
+  const LicenseFile license = issue(203, 5'000);
+  shard.provision(license);
+  const lease::Slid slid = shard.admit_peer(1.0, 1.0);
+  ASSERT_TRUE(shard.enqueue(request(1, slid, license)));
+
+  shard.replica_crash(0);
+  shard.replica_crash(1);
+  EXPECT_TRUE(shard.up());
+  EXPECT_FALSE(shard.accepting());
+  // Below quorum the shard must not acknowledge: the drain defers, the
+  // request stays queued, and the stall is counted.
+  EXPECT_TRUE(shard.drain().empty());
+  EXPECT_EQ(shard.stats().quorum_stalls, 1u);
+  EXPECT_EQ(shard.pending(), 1u);
+
+  shard.replica_restart(0);
+  EXPECT_TRUE(shard.accepting());
+  const auto outcomes = shard.drain();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, RenewStatus::kGranted);
+  // The restarted follower was caught up before the commit was acked.
+  EXPECT_EQ(shard.replica_group()->follower(0).log(),
+            shard.journal()->device().contents());
+}
+
+TEST_F(FailoverFixture, FailoverAfterACheckpointInstallsTheSnapshot) {
+  RemoteShard shard = make_shard();
+  const LicenseFile license = issue(204, 20'000);
+  shard.provision(license);
+  const lease::Slid slid = shard.admit_peer(1.0, 1.0);
+  for (std::uint64_t ticket = 1; ticket <= 4; ++ticket) {
+    ASSERT_TRUE(shard.enqueue(request(ticket, slid, license)));
+    ASSERT_EQ(shard.drain().size(), 1u);
+  }
+  shard.checkpoint();
+  ASSERT_GT(shard.generation(), 0u);
+  ASSERT_TRUE(shard.enqueue(request(5, slid, license)));
+  ASSERT_EQ(shard.drain().size(), 1u);
+  const lease::LeaseLedger before = *shard.remote().ledger(license.lease_id);
+  const std::uint64_t generation = shard.generation();
+
+  // The winner's candidacy spans snapshot + post-checkpoint delta; failover
+  // must install both to land on the committed digest.
+  const FailoverReport report = shard.fail_over();
+  EXPECT_TRUE(report.ok) << report.detail;
+  EXPECT_TRUE(report.digest_match);
+  EXPECT_EQ(shard.generation(), generation);
+  EXPECT_EQ(*shard.remote().ledger(license.lease_id), before);
+}
+
+TEST_F(FailoverFixture, DoubleFailoverCycleDoesNotFalselyReportLoss) {
+  // The PR 4 double-crash shape, lifted to leader changes: two depositions
+  // with committed work between them, each promoting an exact prefix and
+  // advancing the fence monotonically.
+  RemoteShard shard = make_shard();
+  const LicenseFile license = issue(205, 10'000);
+  shard.provision(license);
+  const lease::Slid slid = shard.admit_peer(1.0, 1.0);
+
+  std::uint64_t last_epoch = shard.epoch();
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    ASSERT_TRUE(shard.enqueue(
+        request(10 + cycle, slid, license, 0, /*request_id=*/30 + cycle)));
+    ASSERT_EQ(shard.drain().size(), 1u);
+    const std::uint64_t committed = shard.committed_digest();
+
+    const FailoverReport report = shard.fail_over();
+    ASSERT_TRUE(report.ok) << "cycle " << cycle << ": " << report.detail;
+    EXPECT_TRUE(report.digest_match) << "cycle " << cycle;
+    EXPECT_FALSE(report.lost_committed) << "cycle " << cycle;
+    EXPECT_EQ(report.recovered_digest, committed) << "cycle " << cycle;
+    EXPECT_GT(report.new_epoch, last_epoch) << "cycle " << cycle;
+    last_epoch = report.new_epoch;
+
+    // And the freshly fenced-out leader of *this* cycle stays out.
+    const StaleAppendReport stale = shard.stale_append();
+    EXPECT_TRUE(stale.attempted);
+    EXPECT_EQ(stale.accepted, 0u) << "cycle " << cycle;
+  }
+  EXPECT_TRUE(shard.remote().ledger(license.lease_id)->balanced());
+  EXPECT_EQ(shard.replica_group()->invariants(), "");
+}
+
+}  // namespace
+}  // namespace sl::replication

@@ -25,8 +25,9 @@ JournalConfig config_with(FaultConfig faults = {}, std::uint64_t seed = 1) {
 }
 
 // Frame layout constant mirrored from journal.cpp: u32 len + u64 seq +
-// u64 chain. A payload of size p seals to p + 32 ciphertext bytes.
-constexpr std::size_t kFrameHeader = 20;
+// u64 epoch + u64 chain. A payload of size p seals to p + 32 ciphertext
+// bytes.
+constexpr std::size_t kFrameHeader = 28;
 constexpr std::size_t kSealOverhead = 32;
 
 TEST(Journal, AppendSyncReplayRoundTrips) {
@@ -197,6 +198,7 @@ TEST(Journal, SplicedMiddleFrameIsRejectedEvenWithRecomputedChains) {
   struct Frame {
     std::uint32_t len = 0;
     std::uint64_t seq = 0;
+    std::uint64_t epoch = 0;
     Bytes ciphertext;
   };
   std::vector<Frame> frames;
@@ -206,6 +208,7 @@ TEST(Journal, SplicedMiddleFrameIsRejectedEvenWithRecomputedChains) {
     Frame frame;
     frame.len = get_u32(view, offset);
     frame.seq = get_u64(view, offset + 4);
+    frame.epoch = get_u64(view, offset + 12);
     frame.ciphertext.assign(image.begin() + offset + kFrameHeader,
                             image.begin() + offset + kFrameHeader + frame.len);
     frames.push_back(frame);
@@ -215,10 +218,11 @@ TEST(Journal, SplicedMiddleFrameIsRejectedEvenWithRecomputedChains) {
 
   // Splice: frames[0] ++ frames[2], with frames[2]'s chain recomputed
   // (unkeyed) against frames[0]'s chain field taken from the image.
-  const std::uint64_t chain_after_first = get_u64(view, 12);
+  const std::uint64_t chain_after_first = get_u64(view, 20);
   Bytes unkeyed;
   put_u64(unkeyed, chain_after_first);
   put_u64(unkeyed, frames[2].seq);
+  put_u64(unkeyed, frames[2].epoch);
   unkeyed.insert(unkeyed.end(), frames[2].ciphertext.begin(),
                  frames[2].ciphertext.end());
   const crypto::Sha256Digest digest = crypto::Sha256::hash(unkeyed);
@@ -229,6 +233,7 @@ TEST(Journal, SplicedMiddleFrameIsRejectedEvenWithRecomputedChains) {
                  image.begin() + kFrameHeader + frames[0].len);
   put_u32(doctored, frames[2].len);
   put_u64(doctored, frames[2].seq);
+  put_u64(doctored, frames[2].epoch);
   put_u64(doctored, forged_chain);
   doctored.insert(doctored.end(), frames[2].ciphertext.begin(),
                   frames[2].ciphertext.end());
@@ -255,20 +260,23 @@ TEST(Journal, RollbackSeqIsASeqGapStop) {
   const Bytes& image = journal.device().contents();
   const ByteView view(image.data(), image.size());
   const std::size_t first_frame = kFrameHeader + kSealOverhead + 2;
-  const std::uint64_t tip_chain = get_u64(view, first_frame + 12);
+  const std::uint64_t tip_chain = get_u64(view, first_frame + 20);
 
   const Bytes garbage_ct(kSealOverhead + 4, std::uint8_t{0xab});
   const std::uint64_t rollback_seq = 1;  // == the first frame's seq
+  const std::uint64_t epoch = 0;         // matches the journal's term
   Bytes keyed;
   put_u64(keyed, config.master_key);
   put_u64(keyed, tip_chain);
   put_u64(keyed, rollback_seq);
+  put_u64(keyed, epoch);
   keyed.insert(keyed.end(), garbage_ct.begin(), garbage_ct.end());
   const crypto::Sha256Digest digest = crypto::Sha256::hash(keyed);
 
   Bytes forged;
   put_u32(forged, static_cast<std::uint32_t>(garbage_ct.size()));
   put_u64(forged, rollback_seq);
+  put_u64(forged, epoch);
   put_u64(forged, get_u64(ByteView(digest.data(), digest.size()), 0));
   forged.insert(forged.end(), garbage_ct.begin(), garbage_ct.end());
   journal.device().append(forged);
@@ -277,6 +285,122 @@ TEST(Journal, RollbackSeqIsASeqGapStop) {
   const ReplayResult verdict = journal.replay();
   EXPECT_EQ(verdict.stop_reason, "seq-gap");
   EXPECT_EQ(verdict.records.size(), 2u);
+}
+
+TEST(Journal, EpochIsSealedIntoFramesAndSurvivesReplay) {
+  Journal journal(config_with());
+  journal.append(payload_of("term-0"));
+  journal.sync();
+  journal.set_epoch(3);  // a failover fences the log up to term 3
+  journal.append(payload_of("term-3"));
+  journal.sync();
+  const ReplayResult replay = journal.replay();
+  EXPECT_EQ(replay.stop_reason, "end");
+  ASSERT_EQ(replay.records.size(), 2u);
+  EXPECT_EQ(replay.records[0].epoch, 0u);
+  EXPECT_EQ(replay.records[1].epoch, 3u);
+  EXPECT_EQ(replay.final_epoch, 3u);
+
+  // A fresh journal over the same image resumes at the sealed term.
+  Journal successor(config_with());
+  successor.device().reset();
+  successor.device().append(ByteView(journal.device().contents().data(),
+                                     journal.device().contents().size()));
+  successor.device().sync();
+  const ReplayResult again = successor.replay();
+  successor.resume_from(again);
+  EXPECT_EQ(successor.epoch(), 3u);
+}
+
+TEST(Journal, EpochRegressionIsRejectedEvenWithValidChain) {
+  // A stale leader resurrected after a failover writes frames at its old
+  // term. It holds the master key, so its chain fields verify — only the
+  // epoch discipline can refuse the records.
+  JournalConfig config = config_with();
+  Journal journal(config);
+  journal.set_epoch(2);
+  journal.append(payload_of("fenced-1"));
+  journal.sync();
+  const Bytes& image = journal.device().contents();
+  const ByteView view(image.data(), image.size());
+  const std::size_t first_frame = kFrameHeader + kSealOverhead + 8;
+  ASSERT_EQ(image.size(), first_frame);
+  const std::uint64_t tip_chain = get_u64(view, 20);
+
+  const Bytes garbage_ct(kSealOverhead + 4, std::uint8_t{0x5a});
+  const std::uint64_t stale_seq = 2;    // a legal forward seq
+  const std::uint64_t stale_epoch = 1;  // but an older fencing term
+  Bytes keyed;
+  put_u64(keyed, config.master_key);
+  put_u64(keyed, tip_chain);
+  put_u64(keyed, stale_seq);
+  put_u64(keyed, stale_epoch);
+  keyed.insert(keyed.end(), garbage_ct.begin(), garbage_ct.end());
+  const crypto::Sha256Digest digest = crypto::Sha256::hash(keyed);
+
+  Bytes forged;
+  put_u32(forged, static_cast<std::uint32_t>(garbage_ct.size()));
+  put_u64(forged, stale_seq);
+  put_u64(forged, stale_epoch);
+  put_u64(forged, get_u64(ByteView(digest.data(), digest.size()), 0));
+  forged.insert(forged.end(), garbage_ct.begin(), garbage_ct.end());
+  journal.device().append(forged);
+  journal.device().sync();
+
+  const ReplayResult verdict = journal.replay();
+  EXPECT_EQ(verdict.stop_reason, "epoch-regression");
+  EXPECT_EQ(verdict.records.size(), 1u);
+}
+
+TEST(Journal, VerifyChainExtensionWalksShippedFrames) {
+  // The follower-side primitive: verify a byte delta shipped from the
+  // leader as a genuine extension of a known (seq, epoch, chain) cursor.
+  JournalConfig config = config_with();
+  Journal journal(config);
+  journal.append(payload_of("base-1"));
+  journal.append(payload_of("base-2"));
+  journal.sync();
+  const Bytes prefix = journal.device().contents();
+  journal.set_epoch(1);
+  journal.append(payload_of("delta-1"));
+  journal.append(payload_of("delta-2"));
+  journal.sync();
+  const Bytes& full = journal.device().contents();
+  const Bytes delta(full.begin() + prefix.size(), full.end());
+
+  const ChainExtension base = verify_chain_extension(
+      config.master_key, journal_base_chain(config.master_key), /*seq=*/0,
+      /*epoch=*/0, ByteView(prefix.data(), prefix.size()));
+  ASSERT_TRUE(base.ok);
+  EXPECT_EQ(base.records.size(), 2u);
+  EXPECT_EQ(base.end_seq, 2u);
+
+  const ChainExtension ext = verify_chain_extension(
+      config.master_key, base.end_chain, base.end_seq, base.end_epoch,
+      ByteView(delta.data(), delta.size()));
+  ASSERT_TRUE(ext.ok);
+  ASSERT_EQ(ext.records.size(), 2u);
+  EXPECT_EQ(ext.records[0].payload, payload_of("delta-1"));
+  EXPECT_EQ(ext.end_epoch, 1u);
+  EXPECT_EQ(ext.end_chain, journal.chain());
+
+  // The same delta replayed out of position (from genesis) must not verify:
+  // its first chain field binds to the prefix tip, not the base chain.
+  const ChainExtension replayed = verify_chain_extension(
+      config.master_key, journal_base_chain(config.master_key), /*seq=*/0,
+      /*epoch=*/0, ByteView(delta.data(), delta.size()));
+  EXPECT_FALSE(replayed.ok);
+  EXPECT_EQ(replayed.stop_reason, "chain-mismatch");
+  EXPECT_EQ(replayed.records.size(), 0u);
+
+  // One flipped ciphertext byte: the chain covers it, so the walk stops.
+  Bytes mangled = delta;
+  mangled[kFrameHeader + 3] ^= 0x40;
+  const ChainExtension damaged = verify_chain_extension(
+      config.master_key, base.end_chain, base.end_seq, base.end_epoch,
+      ByteView(mangled.data(), mangled.size()));
+  EXPECT_FALSE(damaged.ok);
+  EXPECT_EQ(damaged.stop_reason, "chain-mismatch");
 }
 
 TEST(Journal, ResetTruncatesToGenesisAndKeepsSeqMonotone) {
@@ -296,9 +420,9 @@ TEST(Journal, ResetTruncatesToGenesisAndKeepsSeqMonotone) {
 
 TEST(Journal, FullDeviceRefusesAppend) {
   JournalConfig config = config_with();
-  config.profile.capacity_bytes = 128;
+  config.profile.capacity_bytes = 144;
   Journal journal(config);
-  ASSERT_TRUE(journal.append(payload_of("fits")).has_value());  // 57 bytes
+  ASSERT_TRUE(journal.append(payload_of("fits")).has_value());  // 64 bytes
   ASSERT_TRUE(journal.append(payload_of("fits too")).has_value());
   EXPECT_FALSE(journal.append(payload_of("does not")).has_value());
   // Nothing staged by the failed append: the image replays cleanly.

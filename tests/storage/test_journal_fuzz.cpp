@@ -107,6 +107,7 @@ TEST(JournalFuzz, HugeLengthPrefixIsBoundedNotTrusted) {
   Bytes evil;
   put_u32(evil, 0xFFFFFFFFu);
   put_u64(evil, 1);   // seq
+  put_u64(evil, 0);   // epoch
   put_u64(evil, 0);   // chain
   evil.resize(evil.size() + 64, std::uint8_t{0x5a});
   install(journal, evil);
@@ -119,8 +120,9 @@ TEST(JournalFuzz, ZeroLengthFrameIsRejected) {
   Journal journal(fuzz_config(5));
   Bytes evil;
   put_u32(evil, 0);  // shorter than the minimum sealed bundle
-  put_u64(evil, 1);
-  put_u64(evil, 0);
+  put_u64(evil, 1);  // seq
+  put_u64(evil, 0);  // epoch
+  put_u64(evil, 0);  // chain
   install(journal, evil);
   EXPECT_EQ(journal.replay().stop_reason, "bad-length");
 }

@@ -457,6 +457,17 @@ void print_simulation(const sim::ScenarioSpec& spec,
                 (unsigned long long)stats.shard_checkpoints,
                 (unsigned long long)stats.synthetic_renewals);
   }
+  if (spec.replicas > 0) {
+    std::printf("replication: replica_crashes=%llu replica_restarts=%llu "
+                "failovers=%llu stale_appends=%llu(%llu rejected) "
+                "quorum_stalls=%llu\n",
+                (unsigned long long)stats.replica_crashes,
+                (unsigned long long)stats.replica_restarts,
+                (unsigned long long)stats.failovers,
+                (unsigned long long)stats.stale_appends,
+                (unsigned long long)stats.stale_appends_rejected,
+                (unsigned long long)stats.quorum_stalls);
+  }
   for (const auto& [lease, ledger] : result.ledgers) {
     std::printf("ledger lease=%u: provisioned=%llu pool=%llu outstanding=%llu "
                 "consumed=%llu forfeited=%llu revoked=%llu [%s]\n",
@@ -510,6 +521,8 @@ int cmd_simulate_dst(int argc, char** argv) {
   unsigned long long seed = 0;
   bool shrink = false, trace = false, tamper = false;
   bool crash_shards = false, storage_faults = false, recovery_check = false;
+  bool kill_leader = false, replication_check = false;
+  unsigned long long replicas = 0;
   bool have_seed = false;
   std::string trace_out;
   for (int i = 2; i < argc; ++i) {
@@ -531,6 +544,12 @@ int cmd_simulate_dst(int argc, char** argv) {
       storage_faults = true;
     } else if (flag == "--recovery-check") {
       recovery_check = true;
+    } else if (flag == "--replicas" && i + 1 < argc) {
+      replicas = std::strtoull(argv[++i], nullptr, 0);
+    } else if (flag == "--kill-leader") {
+      kill_leader = true;
+    } else if (flag == "--replication-check") {
+      replication_check = true;
     } else {
       std::fprintf(stderr, "unknown simulate option '%s'\n", flag.c_str());
       return 1;
@@ -542,6 +561,20 @@ int cmd_simulate_dst(int argc, char** argv) {
   }
   sim::GeneratorLimits limits;
   if (tamper) limits.tamper_probability = 0.1;
+  if ((kill_leader || replication_check) && replicas == 0) replicas = 3;
+  if (replicas != 0 && (replicas < 3 || replicas % 2 == 0)) {
+    std::fprintf(stderr, "simulate: --replicas must be odd and >= 3\n");
+    return 1;
+  }
+  if (replicas > 0) {
+    // Replicated shards: follower crash/restart slots, plus leader
+    // partitions and stale-leader resurrections when --kill-leader is set.
+    limits.replicas = static_cast<std::uint32_t>(replicas);
+    limits.replica_fault_probability = 0.15;
+    if (kill_leader || replication_check) {
+      limits.leader_fault_probability = 0.15;
+    }
+  }
   if (storage_faults || recovery_check) crash_shards = true;
   if (crash_shards) {
     // Server-side fault schedule: journaled shards, crash/recover events.
@@ -572,6 +605,20 @@ int cmd_simulate_dst(int argc, char** argv) {
     }
     std::printf("recovery-check: %llu restarts, all digests matched\n",
                 (unsigned long long)result.stats.server_restarts);
+  }
+  if (replication_check) {
+    for (const auto& failure : result.failures) {
+      if (failure.oracle == sim::kOracleReplication) {
+        std::fprintf(stderr,
+                     "replication-check: oracle violation at event %zu\n",
+                     failure.event_index);
+        return 3;
+      }
+    }
+    std::printf("replication-check: %llu failovers, %llu stale appends, "
+                "quorum held\n",
+                (unsigned long long)result.stats.failovers,
+                (unsigned long long)result.stats.stale_appends);
   }
   if (result.passed) return 0;
   if (shrink) {
@@ -628,6 +675,11 @@ int cmd_loadgen(int argc, char** argv) {
       config.batching = false;
     } else if (flag == "--journal") {
       config.journaling = true;
+    } else if (flag == "--replicas" && i + 1 < argc) {
+      config.replicas =
+          static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 0));
+    } else if (flag == "--kill-leader") {
+      config.kill_leader = true;
     } else if (flag == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (flag == "--trace-out" && i + 1 < argc) {
@@ -643,17 +695,24 @@ int cmd_loadgen(int argc, char** argv) {
     std::fprintf(stderr, "loadgen: --shards/--clients/--rounds must be >= 1\n");
     return 1;
   }
+  if (config.replicas != 0 &&
+      (config.replicas < 3 || config.replicas % 2 == 0)) {
+    std::fprintf(stderr, "loadgen: --replicas must be odd and >= 3\n");
+    return 1;
+  }
+  if (config.kill_leader && config.replicas == 0) config.replicas = 3;
   TraceOutScope spans(!trace_out.empty());
   const lease::LoadgenMetrics m = lease::run_loadgen(config);
   if (const int rc = spans.finish(trace_out); rc != 0) return rc;
   std::printf("loadgen: backend=%s shards=%zu clients=%zu licenses=%zu "
-              "rounds=%llu seed=%llu batching=%s journaling=%s\n",
+              "rounds=%llu seed=%llu batching=%s journaling=%s replicas=%u\n",
               core::backend_name(config.backend), config.shards,
               config.clients, config.licenses,
               (unsigned long long)config.rounds,
               (unsigned long long)config.seed,
               config.batching ? "on" : "off",
-              config.journaling ? "on" : "off");
+              config.journaling || config.replicas > 0 ? "on" : "off",
+              config.replicas);
   std::printf("  processed=%llu (granted=%llu denied=%llu) overloaded=%llu "
               "batches=%llu\n",
               (unsigned long long)m.processed, (unsigned long long)m.granted,
@@ -666,6 +725,11 @@ int cmd_loadgen(int argc, char** argv) {
     std::printf("  wall time %.6fs -> %.1f renewals/sec on %u hardware threads\n",
                 m.wall_seconds, m.wall_throughput,
                 std::thread::hardware_concurrency());
+  }
+  if (config.replicas > 0) {
+    std::printf("  replication: failovers=%llu quorum_stalls=%llu\n",
+                (unsigned long long)m.failovers,
+                (unsigned long long)m.quorum_stalls);
   }
   std::printf("  ledgers: %s   state digest: %016llx\n",
               m.ledgers_balanced ? "balanced" : "IMBALANCED",
@@ -832,6 +896,12 @@ void usage() {
       "                        (implies --crash-shards)\n"
       "    --recovery-check    exit 3 on any recovery-oracle violation\n"
       "                        (implies --crash-shards)\n"
+      "    --replicas <N>      replicate each shard's journal to N-1 followers\n"
+      "                        (odd, >= 3) with replica crash/restart events\n"
+      "    --kill-leader       add leader partitions (epoch-fenced failover)\n"
+      "                        and stale-leader resurrection probes\n"
+      "    --replication-check exit 3 on any replication-oracle violation\n"
+      "                        (implies --replicas 3 --kill-leader)\n"
       "    --trace-out <file>  record virtual-clock spans, write JSONL;\n"
       "                        bit-identical for a fixed seed\n"
       "    --shrink            on failure, ddmin-minimize the schedule\n"
@@ -850,6 +920,9 @@ void usage() {
       "    --no-batching       one tree commit per renewal\n"
       "    --journal           crash-consistent shards (sealed WAL + group\n"
       "                        commit + checkpoints)\n"
+      "    --replicas <N>      2f+1 replica group per shard (odd, >= 3;\n"
+      "                        implies --journal; acks need f follower syncs)\n"
+      "    --kill-leader       fail over every leader at the halfway round\n"
       "    --json <path>       write BENCH_remote.json-style output\n"
       "    --trace-out <file>  record virtual-clock spans, write JSONL\n"
       "    --fail-on-overload  exit 4 if any request was rejected\n"
