@@ -146,10 +146,38 @@ int main(int argc, char** argv) {
               replication_overhead, (unsigned long long)replicated.failovers,
               (unsigned long long)replicated.quorum_stalls);
 
+  // Lossy-wire cost (docs/REPLICATION.md): the same replicated workload on
+  // a wire with the journaled run's p50 renewal latency as its round-trip
+  // time, first lossless (reliability 1.0 — every commit pays the RTT but
+  // no frame is ever retransmitted) and then at 1% drop. Comparing the two
+  // isolates what the timeout/retransmission machinery costs on top of the
+  // latency itself: the acceptance gate is the lossy run within 1.5x of the
+  // latent lossless-wire baseline.
+  const double wire_rtt_millis = journaled.p50_micros / 1000.0;
+  lease::LoadgenConfig lossless_wire_cfg = replica_cfg;
+  lossless_wire_cfg.link_reliability = 1.0;
+  lossless_wire_cfg.link_rtt_millis = wire_rtt_millis;
+  const lease::LoadgenMetrics lossless_wire =
+      lease::run_loadgen(lossless_wire_cfg);
+  lease::LoadgenConfig lossy_wire_cfg = lossless_wire_cfg;
+  lossy_wire_cfg.link_reliability = 0.99;
+  const lease::LoadgenMetrics lossy_wire = lease::run_loadgen(lossy_wire_cfg);
+  const double lossy_overhead =
+      lossy_wire.throughput > 0.0
+          ? lossless_wire.throughput / lossy_wire.throughput
+          : 0.0;
+  std::printf("lossy wire at 4 shards (rtt=%.3fms, 1%% drop): %.1f vs %.1f "
+              "renewals/vsec (%.2fx overhead vs lossless wire), "
+              "%llu retransmits, %llu quorum stalls\n",
+              wire_rtt_millis, lossy_wire.throughput, lossless_wire.throughput,
+              lossy_overhead, (unsigned long long)lossy_wire.retransmits,
+              (unsigned long long)lossy_wire.quorum_stalls);
+
   // Registry accounting over the whole bench. The thread backend publishes
   // to the same per-shard counters, so its runs are part of the sum.
   std::uint64_t expected_processed =
-      unbatched.processed + journaled.processed + replicated.processed;
+      unbatched.processed + journaled.processed + replicated.processed +
+      lossless_wire.processed + lossy_wire.processed;
   for (const lease::LoadgenMetrics& m : runs) expected_processed += m.processed;
   for (const lease::LoadgenMetrics& m : thread_runs)
     expected_processed += m.processed;
@@ -200,6 +228,23 @@ int main(int argc, char** argv) {
   }
   if (!replicated.ledgers_balanced) {
     std::fprintf(stderr, "FAIL: ledger imbalance with replication\n");
+    ok = false;
+  }
+  if (lossy_overhead <= 0.0 || lossy_overhead > 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: lossy-wire overhead %.2fx vs the lossless wire "
+                 "exceeds the 1.5x budget\n",
+                 lossy_overhead);
+    ok = false;
+  }
+  if (lossy_wire.retransmits == 0) {
+    std::fprintf(stderr,
+                 "FAIL: lossy-wire run saw no retransmits — the 1%% drop "
+                 "profile did not engage\n");
+    ok = false;
+  }
+  if (!lossy_wire.ledgers_balanced || !lossless_wire.ledgers_balanced) {
+    std::fprintf(stderr, "FAIL: ledger imbalance on the latent wire\n");
     ok = false;
   }
   if (replicated.failovers != replicated.config.shards) {
@@ -296,12 +341,14 @@ int main(int argc, char** argv) {
     out << "    " << lease::loadgen_json(unbatched) << ",\n";
     out << "    " << lease::loadgen_json(journaled) << ",\n";
     out << "    " << lease::loadgen_json(replicated) << ",\n";
+    out << "    " << lease::loadgen_json(lossless_wire) << ",\n";
+    out << "    " << lease::loadgen_json(lossy_wire) << ",\n";
     for (std::size_t i = 0; i < thread_runs.size(); ++i) {
       out << "    " << lease::loadgen_json(thread_runs[i])
           << (i + 1 < thread_runs.size() ? ",\n" : "\n");
     }
     out << "  ],\n";
-    char tail[640];
+    char tail[960];
     std::snprintf(tail, sizeof(tail),
                   "  \"monotone_1_to_4\": %s,\n"
                   "  \"scaling_1_to_4\": %.3f,\n"
@@ -310,6 +357,10 @@ int main(int argc, char** argv) {
                   "  \"replication_overhead_4_shards\": %.3f,\n"
                   "  \"replication_within_2x\": %s,\n"
                   "  \"replication_failovers\": %llu,\n"
+                  "  \"lossy_wire_rtt_millis\": %.3f,\n"
+                  "  \"lossy_wire_overhead\": %.3f,\n"
+                  "  \"lossy_within_1_5x\": %s,\n"
+                  "  \"lossy_wire_retransmits\": %llu,\n"
                   "  \"hardware_threads\": %u,\n"
                   "  \"threads_digests_match\": %s,\n"
                   "  \"wall_monotone_1_to_8\": %s,\n"
@@ -325,6 +376,10 @@ int main(int argc, char** argv) {
                       ? "true"
                       : "false",
                   (unsigned long long)replicated.failovers,
+                  wire_rtt_millis, lossy_overhead,
+                  lossy_overhead > 0.0 && lossy_overhead <= 1.5 ? "true"
+                                                                : "false",
+                  (unsigned long long)lossy_wire.retransmits,
                   hw_threads, digests_match ? "true" : "false",
                   wall_monotone ? "true" : "false",
                   wall_gate_applies ? "true" : "false",

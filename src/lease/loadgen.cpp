@@ -62,6 +62,22 @@ LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
   shard_config.batching = config.batching;
   shard_config.durability.journaling = config.journaling || config.replicas > 0;
   shard_config.durability.replicas = config.replicas;
+  if (config.replicas > 0 &&
+      (config.link_reliability < 1.0 || config.link_rtt_millis > 0.0)) {
+    shard_config.durability.replica_link.reliability = config.link_reliability;
+    shard_config.durability.replica_link.rtt_millis = config.link_rtt_millis;
+    if (config.link_rtt_millis > 0.0) {
+      // Scale the retransmission schedule to the wire: the defaults assume
+      // the simulator's multi-millisecond WAN profile and would charge a
+      // sub-millisecond datacenter link a 20ms backoff per lost frame,
+      // drowning the throughput measurement in one fault-model constant.
+      replication::RetransmitPolicy& policy =
+          shard_config.durability.retransmit;
+      policy.ack_timeout_millis = 3.0 * config.link_rtt_millis;
+      policy.backoff_base_millis = 2.0 * config.link_rtt_millis;
+      policy.backoff_max_millis = 40.0 * config.link_rtt_millis;
+    }
+  }
   ShardRouter router(vendor, ias, SlLocal::expected_measurement(),
                      std::max<std::size_t>(1, config.shards), shard_config);
 
@@ -186,6 +202,11 @@ LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
   metrics.p99_micros = percentile(latencies, 0.99);
 #endif
   metrics.quorum_stalls = router.aggregate_shard_stats().quorum_stalls;
+  for (std::size_t s = 0; s < router.shard_count(); ++s) {
+    if (const auto* group = router.shard(s).replica_group()) {
+      metrics.retransmits += group->stats().retransmits;
+    }
+  }
   metrics.virtual_seconds = router.virtual_seconds();
   metrics.throughput = metrics.virtual_seconds > 0.0
                            ? static_cast<double>(metrics.processed) /
@@ -205,7 +226,7 @@ LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
 }
 
 std::string loadgen_json(const LoadgenMetrics& m) {
-  char buffer[1536];
+  char buffer[2048];
   std::snprintf(
       buffer, sizeof(buffer),
       "{\n"
@@ -219,6 +240,8 @@ std::string loadgen_json(const LoadgenMetrics& m) {
       "      \"journaling\": %s,\n"
       "      \"replicas\": %u,\n"
       "      \"kill_leader\": %s,\n"
+      "      \"link_reliability\": %.4f,\n"
+      "      \"link_rtt_millis\": %.3f,\n"
       "      \"submitted\": %llu,\n"
       "      \"overloaded\": %llu,\n"
       "      \"processed\": %llu,\n"
@@ -228,6 +251,7 @@ std::string loadgen_json(const LoadgenMetrics& m) {
       "      \"checkpoints\": %llu,\n"
       "      \"failovers\": %llu,\n"
       "      \"quorum_stalls\": %llu,\n"
+      "      \"retransmits\": %llu,\n"
       "      \"virtual_seconds\": %.6f,\n"
       "      \"throughput_renewals_per_vsec\": %.1f,\n"
       "      \"wall_seconds\": %.6f,\n"
@@ -244,6 +268,7 @@ std::string loadgen_json(const LoadgenMetrics& m) {
       m.config.batching ? "true" : "false",
       m.config.journaling || m.config.replicas > 0 ? "true" : "false",
       m.config.replicas, m.config.kill_leader ? "true" : "false",
+      m.config.link_reliability, m.config.link_rtt_millis,
       static_cast<unsigned long long>(m.submitted),
       static_cast<unsigned long long>(m.overloaded),
       static_cast<unsigned long long>(m.processed),
@@ -252,7 +277,8 @@ std::string loadgen_json(const LoadgenMetrics& m) {
       static_cast<unsigned long long>(m.batches),
       static_cast<unsigned long long>(m.checkpoints),
       static_cast<unsigned long long>(m.failovers),
-      static_cast<unsigned long long>(m.quorum_stalls), m.virtual_seconds,
+      static_cast<unsigned long long>(m.quorum_stalls),
+      static_cast<unsigned long long>(m.retransmits), m.virtual_seconds,
       m.throughput, m.wall_seconds, m.wall_throughput, m.p50_micros,
       m.p99_micros,
       m.ledgers_balanced ? "true" : "false",

@@ -51,6 +51,12 @@ struct LoadgenConfig {
   // replicas > 0): elect the longest verified follower, bump the epoch and
   // keep serving. Measures failover cost under load.
   bool kill_leader = false;
+  // Replication-wire quality (requires replicas > 0). Reliability < 1 or a
+  // nonzero RTT moves frame shipping onto the lossy SimLink path: drops are
+  // retried under the shard's RetransmitPolicy and every round trip charges
+  // virtual time, so throughput reflects the retransmission overhead.
+  double link_reliability = 1.0;
+  double link_rtt_millis = 0.0;
 };
 
 struct LoadgenMetrics {
@@ -64,6 +70,7 @@ struct LoadgenMetrics {
   std::uint64_t checkpoints = 0; // journal truncations (journaling runs)
   std::uint64_t failovers = 0;   // leader elections (--kill-leader runs)
   std::uint64_t quorum_stalls = 0;  // drains deferred below replica quorum
+  std::uint64_t retransmits = 0;    // frames re-sent on the lossy wire
   double virtual_seconds = 0.0;  // furthest shard clock
   double throughput = 0.0;       // processed / virtual_seconds
   // Wall-clock numbers; nonzero only on the threads backend (the

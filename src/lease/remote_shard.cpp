@@ -56,6 +56,7 @@ RemoteShard::RemoteShard(const LicenseAuthority& authority,
       tree_(std::make_unique<LeaseTree>(config.keygen_seed, store_,
                                         arenas_.get())),
       config_(config) {
+  bool genesis_replicated = false;
   const obs::Labels shard_label = {{"shard", config_.obs_shard}};
   obs_enqueued_ = obs::get_counter("sl_lease_renewals_enqueued_total",
                                    "Renewals accepted into the shard queue",
@@ -97,6 +98,14 @@ RemoteShard::RemoteShard(const LicenseAuthority& authority,
       "sl_lease_quorum_stalls_total",
       "Drains deferred because the replica quorum was unavailable",
       shard_label);
+  obs_parked_ = obs::get_counter(
+      "sl_lease_parked_outcomes_total",
+      "Outcomes withheld because their commit missed the replica quorum",
+      shard_label);
+  obs_parked_released_ = obs::get_counter(
+      "sl_lease_parked_released_total",
+      "Previously parked outcomes acknowledged after replication recovered",
+      shard_label);
   obs_failovers_ = obs::get_counter(
       "sl_lease_failovers_total",
       "Leader failovers (election + promoted replica install)", shard_label);
@@ -133,16 +142,27 @@ RemoteShard::RemoteShard(const LicenseAuthority& authority,
       group_config.master_key = config_.durability.master_key;
       group_config.shard = parse_shard_id(config_.obs_shard);
       group_config.obs_shard = config_.obs_shard;
+      group_config.link = config_.durability.replica_link;
+      group_config.link_seed = splitmix64_key(
+          group_config.shard, config_.durability.device_seed ^ 0x11f7ULL);
+      group_config.retransmit = config_.durability.retransmit;
       group_ = std::make_unique<replication::ReplicaGroup>(group_config,
                                                            journal_.get());
+      // Link latency, ack timeouts and backoff all burn this shard's
+      // virtual cycles, same as its storage and compute costs.
+      group_->attach_clock(&clock_);
       // Followers start from the genesis record, not from an empty log.
-      group_->replicate();
+      genesis_replicated = group_->replicate();
     }
   } else {
     require(config_.durability.replicas == 0,
             "ShardDurability: replication requires journaling");
   }
   committed_digest_ = state_digest();
+  if (group_ != nullptr && genesis_replicated) {
+    replicated_seq_ = journal_->synced_seq();
+    replicated_digest_ = committed_digest_;
+  }
 }
 
 SlRemoteStats RemoteShard::lifetime_remote_stats() const {
@@ -414,10 +434,14 @@ std::vector<RenewOutcome> RemoteShard::drain() {
   }
 
   // Group commit: one sync covers every batch record (and the intents that
-  // preceded them). Only after it may the outcomes be acknowledged.
-  if (journal_ && !groups.empty()) {
-    journal_commit();
-    maybe_checkpoint();
+  // preceded them). Only after it — and only once the commit reaches the
+  // replica quorum — may the outcomes be acknowledged. A drain with nothing
+  // new but parked outcomes still commits: that retries replication of the
+  // stalled prefix so a healed wire releases the backlog.
+  bool committed = true;
+  if (journal_ && (!groups.empty() || !parked_outcomes_.empty())) {
+    committed = journal_commit();
+    if (committed) maybe_checkpoint();
   }
   if (!groups.empty() && obs::TraceRecorder::global().enabled()) {
     obs::TraceRecorder::global().record(obs::TraceSpan{
@@ -428,6 +452,31 @@ std::vector<RenewOutcome> RemoteShard::drain() {
         {{"shard", config_.obs_shard},
          {"groups", std::to_string(groups.size())},
          {"outcomes", std::to_string(outcomes.size())}}});
+  }
+  if (!committed) {
+    // Graceful degradation: the commit is durable locally but fewer than f
+    // followers confirmed it. Nothing is acknowledged — the outcomes are
+    // parked until a later commit replicates, and the clients see a stall,
+    // not an ack that a failover could lose.
+    stats_.quorum_stalls++;
+    obs::inc(obs_quorum_stalls_);
+    stats_.parked += outcomes.size();
+    obs::inc(obs_parked_, outcomes.size());
+    for (RenewOutcome& outcome : outcomes) {
+      parked_outcomes_.push_back(std::move(outcome));
+    }
+    return {};
+  }
+  if (!parked_outcomes_.empty()) {
+    // The successful commit covered every previously stalled batch too
+    // (replication ships the whole synced prefix): release the backlog, in
+    // original completion order, ahead of this drain's outcomes.
+    stats_.parked_released += parked_outcomes_.size();
+    obs::inc(obs_parked_released_, parked_outcomes_.size());
+    outcomes.insert(outcomes.begin(),
+                    std::make_move_iterator(parked_outcomes_.begin()),
+                    std::make_move_iterator(parked_outcomes_.end()));
+    parked_outcomes_.clear();
   }
   return outcomes;
 }
@@ -444,15 +493,28 @@ void RemoteShard::journal_append(WalRecord record) {
   }
 }
 
-void RemoteShard::journal_commit() {
-  if (!journal_) return;
+bool RemoteShard::journal_commit() {
+  if (!journal_) return true;
   journal_->sync();
-  if (group_ != nullptr) group_->replicate();
   committed_digest_ = state_digest();
+  bool replicated = true;
+  if (group_ != nullptr) replicated = group_->replicate();
+  if (replicated) {
+    // The quorum-acked frontier catches up to the local one. While
+    // replicate() fails the markers deliberately trail: they are what a
+    // promotion is measured against.
+    replicated_seq_ = journal_->synced_seq();
+    replicated_digest_ = committed_digest_;
+  }
+  return replicated;
 }
 
 void RemoteShard::maybe_checkpoint() {
   if (journal_ == nullptr) return;
+  // Never truncate while degraded: the journal bytes past the quorum-acked
+  // frontier are exactly what replicate() still has to ship, and a reset
+  // would force every follower through the (heavier) snapshot path.
+  if (group_ != nullptr && replicated_seq_ != journal_->synced_seq()) return;
   if (journal_->durable_bytes() > config_.durability.checkpoint_every_bytes) {
     checkpoint();
   }
@@ -469,10 +531,17 @@ void RemoteShard::checkpoint() {
   genesis.generation = generation_;
   genesis.post_digest = state_digest();
   journal_->reset(genesis.serialize());
-  if (group_ != nullptr) {
-    group_->on_reset(generation_, snap, journal_->device().contents());
-  }
   committed_digest_ = state_digest();
+  if (group_ != nullptr) {
+    const std::size_t confirmed =
+        group_->on_reset(generation_, snap, journal_->device().contents());
+    if (confirmed >= group_->f()) {
+      // The truncation itself reached quorum; sequence numbering continues
+      // across resets, so the genesis cursor is the new acked frontier.
+      replicated_seq_ = journal_->synced_seq();
+      replicated_digest_ = committed_digest_;
+    }
+  }
   stats_.checkpoints++;
   obs::inc(obs_checkpoints_);
 }
@@ -485,18 +554,22 @@ void RemoteShard::crash() {
     checkpoints_->crash();
   }
   // In-flight requests die with the process; clients observe a timeout and
-  // must retry against the recovered shard (their request ids dedup).
+  // must retry against the recovered shard (their request ids dedup). Parked
+  // outcomes were never acknowledged, so dropping them loses no promise.
   queue_.clear();
   dedup_.clear();
+  parked_outcomes_.clear();
   up_ = false;
 }
 
-RecoveryReport RemoteShard::recover() {
+RecoveryReport RemoteShard::recover() { return recover_internal(false); }
+
+RecoveryReport RemoteShard::recover_internal(bool promotion) {
   require(!up_, "recover: shard is up");
   obs::inc(obs_recoveries_);
   const Cycles recover_start = clock_.cycles();
   RecoveryReport report;
-  report.committed_digest = committed_digest_;
+  report.committed_digest = promotion ? replicated_digest_ : committed_digest_;
   const auto finish = [&](RecoveryReport r) {
     if (obs::TraceRecorder::global().enabled()) {
       obs::TraceRecorder::global().record(obs::TraceSpan{
@@ -529,14 +602,19 @@ RecoveryReport RemoteShard::recover() {
     return finish(report);
   }
 
-  const std::uint64_t synced_seq = journal_->synced_seq();
+  // The loss floor: a local restart must recover everything it synced; a
+  // promotion must recover everything the *quorum* acknowledged — records
+  // synced during a replication stall were never acked to anyone and may
+  // legitimately be absent from the elected follower.
+  const std::uint64_t acked_floor =
+      promotion ? replicated_seq_ : journal_->synced_seq();
   const storage::ReplayResult replayed = journal_->replay();
   report.tail_truncated = replayed.tail_truncated;
   report.truncated_bytes = replayed.truncated_bytes;
   report.detail = replayed.stop_reason;
 
   if (replayed.records.empty()) {
-    report.lost_committed = synced_seq > 0;
+    report.lost_committed = acked_floor > 0;
     report.detail = "no valid journal records (" + replayed.stop_reason + ")";
     return finish(report);
   }
@@ -583,7 +661,7 @@ RecoveryReport RemoteShard::recover() {
   report.records_replayed = index;
   report.intents_dropped = trailing_intents;
   report.generation = generation_;
-  report.lost_committed = last_seq < synced_seq;
+  report.lost_committed = last_seq < acked_floor;
   if (!structural_ok) return finish(report);
 
   rebuild_tree();
@@ -592,12 +670,21 @@ RecoveryReport RemoteShard::recover() {
 
   const std::uint64_t digest = state_digest();
   report.recovered_digest = digest;
-  // Two equalities must hold: the rebuilt state matches the last replayed
-  // record's stamp, and — because every acknowledged mutation was synced and
-  // unsynced intents carry no state — it matches the pre-crash committed
-  // digest too.
-  report.digest_match =
-      digest == last_digest && digest == report.committed_digest;
+  if (promotion) {
+    // The elected follower must reproduce the quorum-acked state exactly —
+    // but it may legitimately hold *more* (an append whose ack was lost):
+    // then only the record's own stamp can vouch for the extra suffix.
+    report.digest_match =
+        digest == last_digest &&
+        (last_seq != replicated_seq_ || digest == replicated_digest_);
+  } else {
+    // Two equalities must hold: the rebuilt state matches the last replayed
+    // record's stamp, and — because every acknowledged mutation was synced
+    // and unsynced intents carry no state — it matches the pre-crash
+    // committed digest too.
+    report.digest_match =
+        digest == last_digest && digest == report.committed_digest;
+  }
   report.ok = true;
   committed_digest_ = digest;
   up_ = true;
@@ -607,7 +694,10 @@ RecoveryReport RemoteShard::recover() {
     // still in flight must be rejectable by the quorum.
     journal_->set_epoch(journal_->epoch() + 1);
     group_->fence(journal_->epoch());
-    group_->replicate();
+    if (group_->replicate()) {
+      replicated_seq_ = journal_->synced_seq();
+      replicated_digest_ = committed_digest_;
+    }
   }
   return finish(report);
 }
@@ -622,16 +712,37 @@ void RemoteShard::replica_restart(std::size_t index) {
   group_->restart_follower(index);
 }
 
+void RemoteShard::replica_link_fault(const net::LinkProfile& profile) {
+  require(group_ != nullptr, "replica_link_fault: replication disabled");
+  group_->set_link_profile(profile);
+}
+
+void RemoteShard::replica_link_heal() {
+  require(group_ != nullptr, "replica_link_heal: replication disabled");
+  group_->heal_links();
+}
+
 FailoverReport RemoteShard::fail_over() {
   require(group_ != nullptr, "fail_over: replication disabled");
   require(up_, "fail_over: leader is already down");
   FailoverReport report;
   report.old_epoch = journal_->epoch();
-  report.committed_digest = committed_digest_;
+  report.committed_digest = replicated_digest_;
   if (!group_->election_quorum_available()) {
     report.detail = "no election quorum (need f+1 up followers)";
     return report;
   }
+
+  // Elect BEFORE deposing: solicitation is read-only, so when the wire eats
+  // too many candidacies (fewer than f+1 within the retransmission budget)
+  // the failover is abandoned and the current leader keeps running — a
+  // failed election must degrade service, never consistency.
+  const std::optional<replication::ElectionResult> elected = group_->elect();
+  if (!elected.has_value()) {
+    report.detail = "election failed: fewer than f+1 candidacies reachable";
+    return report;
+  }
+  report.attempted = true;
   obs::inc(obs_failovers_);
 
   // Depose the leader. Its device image is kept so a later
@@ -640,10 +751,9 @@ FailoverReport RemoteShard::fail_over() {
   add_stats(carried_remote_stats_, remote_->stats());
   queue_.clear();
   dedup_.clear();
+  parked_outcomes_.clear();
   up_ = false;
 
-  const std::optional<replication::ElectionResult> elected = group_->elect();
-  ensure(elected.has_value(), "fail_over: quorum available but no candidates");
   report.elected = elected->winner;
   report.elected_seq = elected->seq;
   const replication::ReplicaLog& winner = group_->follower(elected->winner);
@@ -665,7 +775,7 @@ FailoverReport RemoteShard::fail_over() {
         ByteView(winner.snapshot().data(), winner.snapshot().size()));
   }
 
-  const RecoveryReport recovery = recover();
+  const RecoveryReport recovery = recover_internal(/*promotion=*/true);
   report.ok = recovery.ok;
   report.digest_match = recovery.digest_match;
   report.lost_committed = recovery.lost_committed;

@@ -64,6 +64,12 @@ struct ShardDurability {
   // WAL replication (docs/REPLICATION.md): total copies including this
   // shard, 2f+1 (0 = off, 3 = tolerate one failure). Requires journaling.
   std::uint32_t replicas = 0;
+  // Wire profile between the leader and its followers (both directions).
+  // The lossless default is bit-identical to direct delivery; a lossy
+  // profile exercises the ack-timeout/retransmission machinery.
+  net::LinkProfile replica_link = net::lossless_link();
+  // Ack timeout / bounded retransmission knobs for the replication wire.
+  replication::RetransmitPolicy retransmit = {};
 };
 
 struct ShardConfig {
@@ -128,6 +134,10 @@ struct ShardStats {
   std::uint64_t checkpoints = 0;
   std::uint64_t forced_checkpoints = 0;  // triggered by a full journal device
   std::uint64_t quorum_stalls = 0;  // drains deferred below replica quorum
+  // Outcomes withheld because their group commit could not reach the
+  // replica quorum (graceful degradation: locally durable, not yet acked).
+  std::uint64_t parked = 0;
+  std::uint64_t parked_released = 0;  // parked outcomes acked after a heal
   Cycles busy_cycles = 0;       // total server-side work charged
 };
 
@@ -157,6 +167,10 @@ struct RecoveryReport {
 // leader change, and new_epoch > old_epoch means every post-failover record
 // is fenced against the deposed leader.
 struct FailoverReport {
+  // False when the failover never deposed the leader: no election quorum,
+  // or the election itself failed (candidacies lost on a lossy wire). The
+  // leader stays up and the safety checks below are vacuous.
+  bool attempted = false;
   bool ok = false;
   bool digest_match = false;    // recovered digest == pre-failover committed
   bool lost_committed = false;  // elected prefix ended before the acked seq
@@ -261,6 +275,16 @@ class RemoteShard {
 
   void replica_crash(std::size_t index);
   void replica_restart(std::size_t index);
+  // Degrades (or restores) the wire to every follower. Faults only change
+  // how frames travel; a healed wire plus the retransmission machinery must
+  // converge back to a fully replicated group with no inconsistency.
+  void replica_link_fault(const net::LinkProfile& profile);
+  void replica_link_heal();
+  // The quorum-acked frontier: the highest journal seq known replicated to
+  // at least f followers (<= the local synced frontier while degraded).
+  std::uint64_t replicated_seq() const { return replicated_seq_; }
+  // Outcomes currently withheld awaiting a quorum-replicated commit.
+  std::size_t parked_pending() const { return parked_outcomes_.size(); }
   // Leader loss with failover: the live leader is deposed (its image saved
   // for a later stale_append() resurrection), the longest verified chain
   // among the up followers is elected and installed, the fencing epoch is
@@ -293,9 +317,17 @@ class RemoteShard {
   // Appends one record (post-digest stamped here). A full journal forces a
   // checkpoint instead: the snapshot captures the already-applied state.
   void journal_append(WalRecord record);
-  // Group-commit barrier + committed-digest bookkeeping.
-  void journal_commit();
+  // Group-commit barrier + committed-digest bookkeeping. Returns false when
+  // the sync landed locally but replication could not reach quorum — the
+  // caller must withhold acknowledgements for everything in the commit.
+  bool journal_commit();
   void maybe_checkpoint();
+  // Shared by recover() and the promotion path of fail_over(). A promotion
+  // measures loss against the *quorum-acked* frontier (replicated_seq_),
+  // not the deposed leader's local synced frontier: records synced locally
+  // during a quorum stall were never acknowledged to clients and may
+  // legitimately be missing from the elected follower.
+  RecoveryReport recover_internal(bool promotion);
   Bytes snapshot() const;
   bool restore_snapshot(ByteView data);
   bool apply_record(const WalRecord& record);
@@ -335,6 +367,15 @@ class RemoteShard {
   std::map<Slid, DedupEntry> dedup_;
   std::uint64_t generation_ = 0;
   std::uint64_t committed_digest_ = 0;
+  // Quorum-acked frontier: seq and digest of the last commit that f
+  // followers confirmed. Trails the local committed frontier while the
+  // group is degraded; it is the loss baseline a promotion is held to.
+  std::uint64_t replicated_seq_ = 0;
+  std::uint64_t replicated_digest_ = 0;
+  // Outcomes whose group commit is locally durable but not yet
+  // quorum-replicated. Released by the next successful commit; dropped on a
+  // crash or failover (clients time out and retry; request ids dedup).
+  std::vector<RenewOutcome> parked_outcomes_;
   bool up_ = true;
 
   // Metric handles, resolved once at construction with this shard's label
@@ -354,6 +395,8 @@ class RemoteShard {
   obs::Counter* obs_journaled_renewals_ = nullptr;
   obs::Counter* obs_recoveries_ = nullptr;
   obs::Counter* obs_quorum_stalls_ = nullptr;
+  obs::Counter* obs_parked_ = nullptr;
+  obs::Counter* obs_parked_released_ = nullptr;
   obs::Counter* obs_failovers_ = nullptr;
   obs::Histogram* obs_renew_latency_ = nullptr;
 };

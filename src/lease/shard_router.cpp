@@ -187,6 +187,8 @@ ShardStats ShardRouter::aggregate_shard_stats() const {
     total.checkpoints += s.checkpoints;
     total.forced_checkpoints += s.forced_checkpoints;
     total.quorum_stalls += s.quorum_stalls;
+    total.parked += s.parked;
+    total.parked_released += s.parked_released;
     total.busy_cycles += s.busy_cycles;
   }
   return total;

@@ -1,0 +1,79 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+namespace sl::net {
+
+Cycles SimLink::one_way_cycles() const {
+  return micros_to_cycles(profile_.rtt_millis * 1e3 / 2.0);
+}
+
+void SimLink::enqueue(ByteView message, Cycles now) {
+  InFlight entry;
+  entry.payload.assign(message.begin(), message.end());
+  entry.ready_at = now + one_way_cycles();
+  // A reorder slip delays this copy by up to reorder_window extra delivery
+  // quanta, letting a later send overtake it. The quantum is the one-way
+  // latency (or 1ms on a zero-latency link, so slips remain observable).
+  if (profile_.reorder_window > 0) {
+    const std::uint64_t slip = rng_.next_below(profile_.reorder_window + 1);
+    if (slip > 0) {
+      const Cycles quantum =
+          std::max<Cycles>(one_way_cycles(), micros_to_cycles(1e3));
+      entry.ready_at += slip * quantum;
+      stats_.reordered++;
+    }
+  }
+  entry.order = next_order_++;
+  queue_.push_back(std::move(entry));
+}
+
+void SimLink::send(ByteView message, Cycles now) {
+  stats_.sent++;
+  // Draw discipline: each knob consumes rng only when it is active, so a
+  // lossless profile leaves the stream untouched.
+  if (profile_.reliability < 1.0 && !rng_.next_bool(profile_.reliability)) {
+    stats_.dropped++;
+    return;
+  }
+  enqueue(message, now);
+  if (profile_.duplicate_prob > 0.0 && rng_.next_bool(profile_.duplicate_prob)) {
+    stats_.duplicated++;
+    enqueue(message, now);
+  }
+}
+
+std::vector<Bytes> SimLink::deliver(Cycles now) {
+  std::vector<Bytes> ready;
+  std::vector<InFlight> kept;
+  kept.reserve(queue_.size());
+  std::vector<InFlight> due;
+  for (InFlight& entry : queue_) {
+    if (entry.ready_at <= now) {
+      due.push_back(std::move(entry));
+    } else {
+      kept.push_back(std::move(entry));
+    }
+  }
+  queue_ = std::move(kept);
+  std::sort(due.begin(), due.end(), [](const InFlight& a, const InFlight& b) {
+    return a.ready_at != b.ready_at ? a.ready_at < b.ready_at
+                                    : a.order < b.order;
+  });
+  ready.reserve(due.size());
+  for (InFlight& entry : due) {
+    ready.push_back(std::move(entry.payload));
+    stats_.delivered++;
+  }
+  return ready;
+}
+
+Cycles SimLink::next_ready() const {
+  Cycles earliest = 0;
+  for (const InFlight& entry : queue_) {
+    if (earliest == 0 || entry.ready_at < earliest) earliest = entry.ready_at;
+  }
+  return earliest;
+}
+
+}  // namespace sl::net

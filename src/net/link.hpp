@@ -1,0 +1,79 @@
+// One direction of a point-to-point message pipe with seeded misbehavior.
+//
+// SimNetwork::round_trip models a client RPC as a single success/failure
+// draw; replication needs the message itself to survive (or not) so the
+// receiver can observe duplicates and reorderings. A SimLink owns a queue of
+// in-flight messages: send() stamps each with a delivery time derived from
+// the LinkProfile (half the rtt, plus a seeded reorder slip), may drop it
+// (1 - reliability) or enqueue it twice (duplicate_prob), and deliver()
+// returns every message whose time has come, ordered by (ready_at, send
+// order) so replay is deterministic.
+//
+// Rng draws are gated on the knobs being non-default: a lossless_link()
+// profile consumes zero draws and zero virtual time, which is what keeps
+// pre-PR replication traces bit-identical (tests/net/test_link.cpp pins
+// this).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/sim_clock.hpp"
+#include "net/network.hpp"
+
+namespace sl::net {
+
+struct SimLinkStats {
+  std::uint64_t sent = 0;        // send() calls
+  std::uint64_t dropped = 0;     // messages lost to (1 - reliability)
+  std::uint64_t duplicated = 0;  // extra copies enqueued
+  std::uint64_t reordered = 0;   // copies that drew a non-zero slip
+  std::uint64_t delivered = 0;   // messages handed out by deliver()
+};
+
+class SimLink {
+ public:
+  SimLink(LinkProfile profile, std::uint64_t seed)
+      : profile_(profile), rng_(seed) {}
+
+  void set_profile(const LinkProfile& profile) { profile_ = profile; }
+  const LinkProfile& profile() const { return profile_; }
+  const SimLinkStats& stats() const { return stats_; }
+  std::size_t in_flight() const { return queue_.size(); }
+
+  // Enqueues `message` (and possibly a duplicate) for delivery at or after
+  // `now` plus the one-way latency. A dropped message consumes its
+  // reliability draw but nothing else.
+  void send(ByteView message, Cycles now);
+
+  // Pops every message whose delivery time is <= `now`, in deterministic
+  // (ready_at, send order) order.
+  std::vector<Bytes> deliver(Cycles now);
+
+  // The earliest pending delivery time, or 0 when nothing is in flight —
+  // the leader's ack-wait loop advances its clock to this before polling.
+  Cycles next_ready() const;
+
+  // Drops everything still in flight (a restarted endpoint's socket).
+  void clear() { queue_.clear(); }
+
+ private:
+  struct InFlight {
+    Bytes payload;
+    Cycles ready_at = 0;
+    std::uint64_t order = 0;  // send sequence, the deterministic tie-break
+  };
+
+  void enqueue(ByteView message, Cycles now);
+  Cycles one_way_cycles() const;
+
+  LinkProfile profile_;
+  Rng rng_;
+  std::vector<InFlight> queue_;
+  std::uint64_t next_order_ = 0;
+  SimLinkStats stats_;
+};
+
+}  // namespace sl::net

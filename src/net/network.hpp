@@ -32,7 +32,25 @@ struct LinkProfile {
   double backoff_base_millis = 50.0;
   double backoff_factor = 2.0;
   double backoff_max_millis = 2'000.0;
+  // Message-level misbehavior, consumed only by SimLink (link.hpp) — the
+  // RPC-style round_trip() path below never reads these, and SimLink draws
+  // from its rng for them only when they are non-default, so every
+  // pre-existing reliability=1.0 trace replays bit-identically.
+  double duplicate_prob = 0.0;       // chance a sent message is delivered twice
+  std::uint32_t reorder_window = 0;  // max extra delivery slots a message slips
 };
+
+// The profile replication uses between co-located replicas by default: no
+// latency, no loss, no duplication, no reordering. A SimLink configured with
+// it consumes zero rng draws and charges zero cycles, so shipping frames
+// through it is observably identical to a direct method call.
+inline LinkProfile lossless_link() {
+  LinkProfile profile;
+  profile.rtt_millis = 0.0;
+  profile.reliability = 1.0;
+  profile.timeout_millis = 0.0;
+  return profile;
+}
 
 // Size of the per-link ring of recent attempt latencies.
 inline constexpr std::size_t kAttemptLatencyWindow = 64;

@@ -3,11 +3,15 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace sl::replication {
 
 ReplicaGroup::ReplicaGroup(GroupConfig config, storage::Journal* leader)
-    : config_(config), leader_(leader) {
+    : config_(config),
+      leader_(leader),
+      rng_(splitmix64_key(0xbac0ff, config.link_seed)),
+      clock_(&fallback_clock_) {
   ensure(leader_ != nullptr, "ReplicaGroup: leader journal required");
   ensure(config_.replicas >= 3 && config_.replicas % 2 == 1,
          "ReplicaGroup: replica count must be odd and >= 3 (2f+1)");
@@ -17,9 +21,11 @@ ReplicaGroup::ReplicaGroup(GroupConfig config, storage::Journal* leader)
     replica.shard = config_.shard;
     replica.id = i + 1;
     replica.obs_shard = config_.obs_shard;
-    FollowerState state;
-    state.log = std::make_unique<ReplicaLog>(replica);
-    followers_.push_back(std::move(state));
+    followers_.emplace_back(
+        std::make_unique<ReplicaLog>(replica),
+        net::SimLink(config_.link, splitmix64_key(2 * i, config_.link_seed)),
+        net::SimLink(config_.link,
+                     splitmix64_key(2 * i + 1, config_.link_seed)));
   }
   const obs::Labels labels = {{"shard", config_.obs_shard}};
   obs_appends_ = obs::get_counter("sl_replication_appends_total",
@@ -37,9 +43,32 @@ ReplicaGroup::ReplicaGroup(GroupConfig config, storage::Journal* leader)
   obs_quorum_stalls_ =
       obs::get_counter("sl_replication_quorum_stalls_total",
                        "Commits stalled below follower quorum", labels);
+  obs_retransmits_ =
+      obs::get_counter("sl_replication_retransmits_total",
+                       "Frames retransmitted after an ack timeout", labels);
+  obs_ack_timeouts_ =
+      obs::get_counter("sl_replication_ack_timeouts_total",
+                       "Ack waits that expired without the matching ack",
+                       labels);
+  obs_catchup_delta_ = obs::get_counter(
+      "sl_replication_catchup_mode_total",
+      "Follower catch-ups by mode (delta vs snapshot)",
+      {{"shard", config_.obs_shard}, {"mode", "delta"}});
+  obs_catchup_snapshot_ = obs::get_counter(
+      "sl_replication_catchup_mode_total",
+      "Follower catch-ups by mode (delta vs snapshot)",
+      {{"shard", config_.obs_shard}, {"mode", "snapshot"}});
+  obs_expelled_ =
+      obs::get_counter("sl_replication_expelled_total",
+                       "Followers expelled as unreachable at fencing time",
+                       labels);
   obs_batch_bytes_ = obs::get_histogram(
       "sl_replication_append_batch_bytes",
       "Size of each shipped append delta in bytes", labels);
+}
+
+void ReplicaGroup::attach_clock(SimClock* clock) {
+  clock_ = clock != nullptr ? clock : &fallback_clock_;
 }
 
 const ReplicaLog& ReplicaGroup::follower(std::size_t index) const {
@@ -60,6 +89,34 @@ std::size_t ReplicaGroup::up_followers() const {
   return up;
 }
 
+net::SimLinkStats ReplicaGroup::link_stats() const {
+  net::SimLinkStats total;
+  for (const FollowerState& state : followers_) {
+    for (const net::SimLink* link : {&state.down_link, &state.up_link}) {
+      total.sent += link->stats().sent;
+      total.dropped += link->stats().dropped;
+      total.duplicated += link->stats().duplicated;
+      total.reordered += link->stats().reordered;
+      total.delivered += link->stats().delivered;
+    }
+  }
+  return total;
+}
+
+void ReplicaGroup::set_link_profile(const net::LinkProfile& profile) {
+  for (FollowerState& state : followers_) {
+    state.down_link.set_profile(profile);
+    state.up_link.set_profile(profile);
+  }
+}
+
+void ReplicaGroup::set_follower_link_profile(std::size_t index,
+                                             const net::LinkProfile& profile) {
+  ensure(index < followers_.size(), "ReplicaGroup: follower index");
+  followers_[index].down_link.set_profile(profile);
+  followers_[index].up_link.set_profile(profile);
+}
+
 Bytes ReplicaGroup::append_frame(std::uint32_t replica, ByteView delta) const {
   ReplicationFrame frame;
   frame.type = FrameType::kAppend;
@@ -67,9 +124,104 @@ Bytes ReplicaGroup::append_frame(std::uint32_t replica, ByteView delta) const {
   frame.shard = config_.shard;
   frame.replica = replica;
   frame.seq = leader_->synced_seq();
-  frame.chain = leader_->chain();
+  frame.chain = leader_->synced_chain();
   frame.payload.assign(delta.begin(), delta.end());
   return frame.serialize();
+}
+
+bool ReplicaGroup::instant_lossless(const FollowerState& state) const {
+  const auto instant = [](const net::LinkProfile& profile) {
+    return profile.reliability >= 1.0 && profile.duplicate_prob <= 0.0 &&
+           profile.reorder_window == 0 && profile.rtt_millis <= 0.0;
+  };
+  return instant(state.down_link.profile()) &&
+         instant(state.up_link.profile());
+}
+
+std::optional<ReplicationFrame> ReplicaGroup::pump(FollowerState& state,
+                                                   const AckWait& want) {
+  // Follower side first: deliver every due leader->follower message and put
+  // any ack it produces on the return wire. Duplicated or reordered appends
+  // land here as-is; the replica's idempotent receive absorbs them.
+  for (const Bytes& message : state.down_link.deliver(clock_->cycles())) {
+    Bytes ack;
+    const DeliverVerdict verdict =
+        state.log->deliver(ByteView(message.data(), message.size()), &ack);
+    if (verdict == DeliverVerdict::kAccepted && !ack.empty()) {
+      state.up_link.send(ByteView(ack.data(), ack.size()), clock_->cycles());
+    }
+  }
+  std::optional<ReplicationFrame> matched;
+  for (const Bytes& message : state.up_link.deliver(clock_->cycles())) {
+    const std::optional<ReplicationFrame> frame =
+        ReplicationFrame::deserialize(ByteView(message.data(), message.size()));
+    if (!frame.has_value() || frame->shard != config_.shard) continue;
+    if (!matched.has_value() && want.match(*frame)) matched = frame;
+  }
+  return matched;
+}
+
+std::optional<ReplicationFrame> ReplicaGroup::await_ack(FollowerState& state,
+                                                        const AckWait& want) {
+  std::optional<ReplicationFrame> matched = pump(state, want);
+  if (matched.has_value()) return matched;
+  if (instant_lossless(state)) return std::nullopt;
+  const Cycles deadline =
+      clock_->cycles() +
+      micros_to_cycles(config_.retransmit.ack_timeout_millis * 1e3);
+  // Walk the in-flight delivery schedule instead of busy-polling: advance
+  // to the next ready message on either link, bounded by the ack timeout.
+  while (true) {
+    Cycles next = state.down_link.next_ready();
+    const Cycles up = state.up_link.next_ready();
+    if (up != 0 && (next == 0 || up < next)) next = up;
+    if (next == 0 || next > deadline) break;
+    if (next > clock_->cycles()) {
+      clock_->advance_cycles(next - clock_->cycles());
+    }
+    matched = pump(state, want);
+    if (matched.has_value()) return matched;
+  }
+  if (deadline > clock_->cycles()) {
+    clock_->advance_cycles(deadline - clock_->cycles());
+  }
+  matched = pump(state, want);
+  if (matched.has_value()) return matched;
+  stats_.ack_timeouts++;
+  obs::inc(obs_ack_timeouts_);
+  return std::nullopt;
+}
+
+std::optional<ReplicationFrame> ReplicaGroup::exchange(FollowerState& state,
+                                                       const Bytes& wire,
+                                                       const AckWait& want,
+                                                       bool to_follower) {
+  for (std::uint32_t attempt = 0;
+       attempt <= config_.retransmit.max_retransmits; ++attempt) {
+    if (attempt > 0) {
+      stats_.retransmits++;
+      obs::inc(obs_retransmits_);
+      // Exponential backoff with seeded jitter in [0.5, 1) — the net::
+      // round_trip idiom. Only the retransmission path draws, so a run
+      // that never loses a frame leaves the rng stream untouched.
+      double wait = config_.retransmit.backoff_base_millis;
+      for (std::uint32_t k = 1; k < attempt; ++k) {
+        wait *= config_.retransmit.backoff_factor;
+      }
+      wait = std::min(wait, config_.retransmit.backoff_max_millis);
+      wait *= 0.5 + 0.5 * rng_.next_double();
+      clock_->advance_millis(wait);
+    }
+    net::SimLink& outbound = to_follower ? state.down_link : state.up_link;
+    outbound.send(ByteView(wire.data(), wire.size()), clock_->cycles());
+    const std::optional<ReplicationFrame> matched = await_ack(state, want);
+    if (matched.has_value()) return matched;
+    // On a lossless instant wire a miss is a deterministic rejection (the
+    // same bytes would meet the same verdict), not a loss: fail fast, and
+    // keep healthy runs bit-identical to the old direct-call shipping.
+    if (instant_lossless(state)) return std::nullopt;
+  }
+  return std::nullopt;
 }
 
 bool ReplicaGroup::ship(FollowerState& state, ByteView image) {
@@ -80,17 +232,14 @@ bool ReplicaGroup::ship(FollowerState& state, ByteView image) {
   const std::uint32_t id =
       static_cast<std::uint32_t>(&state - followers_.data()) + 1;
   const Bytes wire = append_frame(id, delta);
-  Bytes ack;
-  const DeliverVerdict verdict = state.log->deliver(
-      ByteView(wire.data(), wire.size()), &ack);
-  if (verdict != DeliverVerdict::kAccepted) return false;
-  const std::optional<ReplicationFrame> parsed =
-      ReplicationFrame::deserialize(ByteView(ack.data(), ack.size()));
-  // The ack must parse, come from this shard, and confirm the synced
-  // frontier — the leader only counts acks that prove full durability.
-  if (!parsed.has_value() || parsed->type != FrameType::kAck ||
-      parsed->shard != config_.shard ||
-      parsed->seq != leader_->synced_seq()) {
+  // The ack must come from this shard and confirm the synced frontier —
+  // seq and chain both (the *synced* chain: a staged-but-unsynced intent
+  // must not poison the wait) — so a duplicated ack for an older cumulative
+  // delta can never stand in for proof of full durability.
+  AckWait want;
+  want.seq = leader_->synced_seq();
+  want.chain = leader_->synced_chain();
+  if (!exchange(state, wire, want, /*to_follower=*/true).has_value()) {
     return false;
   }
   state.shipped_bytes = durable;
@@ -104,18 +253,186 @@ bool ReplicaGroup::ship(FollowerState& state, ByteView image) {
   return true;
 }
 
+bool ReplicaGroup::install_reset(FollowerState& state, std::size_t index) {
+  if (reset_payload_.empty()) return false;
+  ReplicationFrame frame;
+  frame.type = FrameType::kReset;
+  frame.epoch = leader_->epoch();
+  frame.shard = config_.shard;
+  frame.replica = static_cast<std::uint32_t>(index) + 1;
+  frame.payload = reset_payload_;
+  const Bytes wire = frame.serialize();
+  // A confirming ack echoes the cursor the leader's journal held right
+  // after the reset (the genesis frame's seq and chain).
+  AckWait want;
+  want.seq = reset_seq_;
+  want.chain = reset_chain_;
+  if (!exchange(state, wire, want, /*to_follower=*/true).has_value()) {
+    return false;
+  }
+  state.generation = generation_;
+  state.shipped_bytes = reset_genesis_bytes_;
+  return true;
+}
+
+std::size_t ReplicaGroup::ship_all(const std::vector<FollowerState*>& targets,
+                                   ByteView durable) {
+  std::size_t acked = 0;
+  // Instant-lossless wires cost no virtual time and draw no rng, so serial
+  // shipping is already optimal there — and bit-identical to the pre-link
+  // direct-call code. Only targets with a real wire enter the overlapped
+  // collection loop below.
+  std::vector<FollowerState*> lossy;
+  for (FollowerState* state : targets) {
+    if (instant_lossless(*state)) {
+      if (ship(*state, durable)) acked++;
+    } else {
+      lossy.push_back(state);
+    }
+  }
+  if (lossy.empty()) return acked;
+  if (lossy.size() == 1) {
+    return acked + (ship(*lossy[0], durable) ? 1 : 0);
+  }
+
+  // Overlapped shipping: every delta goes on its wire before any ack is
+  // awaited, so the commit pays max(rtt) across the group, not sum(rtt).
+  // Each shipment keeps its own retransmission state; the loop advances the
+  // shared clock to the next interesting instant (delivery, backoff expiry
+  // or ack deadline) across all open shipments.
+  struct Shipment {
+    FollowerState* state = nullptr;
+    Bytes wire;
+    AckWait want;
+    std::size_t delta_bytes = 0;
+    std::uint32_t attempt = 0;
+    Cycles deadline = 0;
+    Cycles resend_at = 0;  // nonzero: backing off before a retransmission
+    bool open = true;
+    bool acked = false;
+  };
+  const Cycles timeout =
+      micros_to_cycles(config_.retransmit.ack_timeout_millis * 1e3);
+  std::vector<Shipment> shipments;
+  shipments.reserve(lossy.size());
+  for (FollowerState* state : lossy) {
+    Shipment shipment;
+    shipment.state = state;
+    ensure(state->shipped_bytes <= durable.size(),
+           "ReplicaGroup: shipped cursor past the durable image");
+    const ByteView delta = durable.subspan(state->shipped_bytes);
+    const std::uint32_t id =
+        static_cast<std::uint32_t>(state - followers_.data()) + 1;
+    shipment.wire = append_frame(id, delta);
+    shipment.delta_bytes = delta.size();
+    shipment.want.seq = leader_->synced_seq();
+    shipment.want.chain = leader_->synced_chain();
+    state->down_link.send(
+        ByteView(shipment.wire.data(), shipment.wire.size()),
+        clock_->cycles());
+    shipment.deadline = clock_->cycles() + timeout;
+    shipments.push_back(std::move(shipment));
+  }
+  std::size_t open = shipments.size();
+  while (open > 0) {
+    for (Shipment& shipment : shipments) {
+      if (!shipment.open) continue;
+      const Cycles now = clock_->cycles();
+      if (shipment.resend_at != 0) {
+        if (now < shipment.resend_at) continue;
+        shipment.state->down_link.send(
+            ByteView(shipment.wire.data(), shipment.wire.size()), now);
+        shipment.resend_at = 0;
+        shipment.deadline = now + timeout;
+      }
+      if (pump(*shipment.state, shipment.want).has_value()) {
+        shipment.open = false;
+        shipment.acked = true;
+        open--;
+        continue;
+      }
+      if (now >= shipment.deadline) {
+        stats_.ack_timeouts++;
+        obs::inc(obs_ack_timeouts_);
+        if (shipment.attempt >= config_.retransmit.max_retransmits) {
+          shipment.open = false;
+          open--;
+          continue;
+        }
+        shipment.attempt++;
+        stats_.retransmits++;
+        obs::inc(obs_retransmits_);
+        // Same backoff-with-jitter schedule as the serial exchange() path;
+        // only the wait happens concurrently with the other shipments.
+        double wait = config_.retransmit.backoff_base_millis;
+        for (std::uint32_t k = 1; k < shipment.attempt; ++k) {
+          wait *= config_.retransmit.backoff_factor;
+        }
+        wait = std::min(wait, config_.retransmit.backoff_max_millis);
+        wait *= 0.5 + 0.5 * rng_.next_double();
+        shipment.resend_at =
+            now + std::max<Cycles>(micros_to_cycles(wait * 1e3), 1);
+        shipment.deadline = shipment.resend_at + timeout;
+      }
+    }
+    if (open == 0) break;
+    // Advance to the earliest instant any open shipment can make progress:
+    // an in-flight delivery on either of its links, its backoff expiry, or
+    // its ack deadline. Everything in flight is strictly in the future
+    // after the pumps above, so the walk always advances.
+    Cycles next = 0;
+    const auto consider = [&next](Cycles candidate) {
+      if (candidate != 0 && (next == 0 || candidate < next)) next = candidate;
+    };
+    for (const Shipment& shipment : shipments) {
+      if (!shipment.open) continue;
+      consider(shipment.state->down_link.next_ready());
+      consider(shipment.state->up_link.next_ready());
+      consider(shipment.resend_at != 0 ? shipment.resend_at
+                                       : shipment.deadline);
+    }
+    if (next == 0) break;  // nothing can progress (all budgets exhausted)
+    if (next > clock_->cycles()) {
+      clock_->advance_cycles(next - clock_->cycles());
+    }
+  }
+  for (const Shipment& shipment : shipments) {
+    if (!shipment.acked) continue;
+    shipment.state->shipped_bytes = durable.size();
+    stats_.appends_shipped++;
+    stats_.bytes_shipped += shipment.delta_bytes;
+    stats_.acks++;
+    obs::inc(obs_appends_);
+    obs::inc(obs_bytes_, shipment.delta_bytes);
+    obs::inc(obs_acks_);
+    obs::observe(obs_batch_bytes_, static_cast<double>(shipment.delta_bytes));
+    acked++;
+  }
+  return acked;
+}
+
 bool ReplicaGroup::replicate() {
   // Ship only up to the sync barrier, never durable_bytes(): after a leader
   // crash the fault model may have flushed never-acked pending writes into
   // the durable image, and a follower must hold exactly the acked prefix.
   const Bytes& image = leader_->device().contents();
   const ByteView durable(image.data(), leader_->synced_bytes());
-  std::size_t acked = 0;
+  std::vector<FollowerState*> targets;
   for (FollowerState& state : followers_) {
     if (!state.log->up()) continue;
-    if (state.generation != generation_) continue;  // restart catches it up
-    if (ship(state, durable)) acked++;
+    if (state.generation != generation_) {
+      // The follower fell behind a checkpoint generation (its reset was
+      // lost on the wire, or never confirmed): snapshot-shipping catch-up
+      // instead of replaying a superseded chain's delta.
+      const std::size_t index =
+          static_cast<std::size_t>(&state - followers_.data());
+      if (!install_reset(state, index)) continue;
+      stats_.snapshot_catchups++;
+      obs::inc(obs_catchup_snapshot_);
+    }
+    targets.push_back(&state);
   }
+  const std::size_t acked = ship_all(targets, durable);
   if (acked < f()) {
     stats_.quorum_stalls++;
     obs::inc(obs_quorum_stalls_);
@@ -124,8 +441,8 @@ bool ReplicaGroup::replicate() {
   return true;
 }
 
-void ReplicaGroup::on_reset(std::uint64_t generation, ByteView snapshot,
-                            ByteView genesis_image) {
+std::size_t ReplicaGroup::on_reset(std::uint64_t generation, ByteView snapshot,
+                                   ByteView genesis_image) {
   generation_ = generation;
   reset_payload_.clear();
   put_u64(reset_payload_, generation);
@@ -135,23 +452,17 @@ void ReplicaGroup::on_reset(std::uint64_t generation, ByteView snapshot,
   put_u32(reset_payload_, static_cast<std::uint32_t>(genesis_image.size()));
   reset_payload_.insert(reset_payload_.end(), genesis_image.begin(),
                         genesis_image.end());
+  reset_seq_ = leader_->synced_seq();
+  reset_chain_ = leader_->synced_chain();
+  reset_genesis_bytes_ = genesis_image.size();
   stats_.resets++;
+  std::size_t confirmed = 0;
   for (std::size_t i = 0; i < followers_.size(); ++i) {
     FollowerState& state = followers_[i];
     if (!state.log->up()) continue;
-    ReplicationFrame frame;
-    frame.type = FrameType::kReset;
-    frame.epoch = leader_->epoch();
-    frame.shard = config_.shard;
-    frame.replica = static_cast<std::uint32_t>(i) + 1;
-    frame.payload = reset_payload_;
-    const Bytes wire = frame.serialize();
-    if (state.log->deliver(ByteView(wire.data(), wire.size()), nullptr) ==
-        DeliverVerdict::kAccepted) {
-      state.generation = generation;
-      state.shipped_bytes = genesis_image.size();
-    }
+    if (install_reset(state, i)) confirmed++;
   }
+  return confirmed;
 }
 
 void ReplicaGroup::fence(std::uint64_t epoch) {
@@ -164,7 +475,22 @@ void ReplicaGroup::fence(std::uint64_t epoch) {
     frame.shard = config_.shard;
     frame.replica = static_cast<std::uint32_t>(i) + 1;
     const Bytes wire = frame.serialize();
-    state.log->deliver(ByteView(wire.data(), wire.size()), nullptr);
+    AckWait want;
+    want.by_epoch = true;
+    want.epoch = epoch;
+    if (exchange(state, wire, want, /*to_follower=*/true).has_value()) {
+      continue;
+    }
+    // No ack within the budget. If the follower would have accepted the
+    // fence (its term is below the new epoch), silence means the wire, and
+    // an unfenced live replica is a hole in the stale-leader safety story —
+    // expel it; it rejoins through restart_follower(). A deterministic
+    // rejection (term already at or past the epoch) is not unreachability.
+    if (state.log->epoch() < epoch) {
+      state.log->crash();
+      stats_.expelled++;
+      obs::inc(obs_expelled_);
+    }
   }
 }
 
@@ -184,30 +510,38 @@ void ReplicaGroup::restart_follower(std::size_t index) {
   fence_frame.shard = config_.shard;
   fence_frame.replica = static_cast<std::uint32_t>(index) + 1;
   const Bytes fence_wire = fence_frame.serialize();
-  state.log->deliver(ByteView(fence_wire.data(), fence_wire.size()), nullptr);
-  // Replay a missed checkpoint truncation.
-  if (state.generation != generation_ && !reset_payload_.empty()) {
-    ReplicationFrame frame;
-    frame.type = FrameType::kReset;
-    frame.epoch = leader_->epoch();
-    frame.shard = config_.shard;
-    frame.replica = static_cast<std::uint32_t>(index) + 1;
-    frame.payload = reset_payload_;
-    const Bytes wire = frame.serialize();
-    if (state.log->deliver(ByteView(wire.data(), wire.size()), nullptr) ==
-        DeliverVerdict::kAccepted) {
-      state.generation = generation_;
-      // The genesis image length is the last u32-prefixed part.
-      state.shipped_bytes = state.log->log().size();
-    }
+  AckWait fence_want;
+  fence_want.by_epoch = true;
+  fence_want.epoch = leader_->epoch();
+  if (!exchange(state, fence_wire, fence_want, /*to_follower=*/true)
+           .has_value() &&
+      state.log->epoch() < leader_->epoch()) {
+    // Restart failed: the wire would not carry even the fence. Back down —
+    // an up-but-unfenced replica must not exist.
+    state.log->crash();
+    stats_.expelled++;
+    obs::inc(obs_expelled_);
+    return;
   }
-  // Ship the missed byte delta (acked prefix only, as in replicate()).
-  const Bytes& image = leader_->device().contents();
-  const std::uint64_t before = state.shipped_bytes;
+  // Explicit delta-vs-snapshot choice: a follower on an older checkpoint
+  // generation gets the cached reset payload (snapshot mode); one on the
+  // current generation gets the missed byte delta (delta mode).
+  if (state.generation != generation_ && !reset_payload_.empty()) {
+    if (!install_reset(state, index)) {
+      // Unreachable mid-catch-up; replicate() retries the snapshot path.
+      return;
+    }
+    stats_.snapshot_catchups++;
+    obs::inc(obs_catchup_snapshot_);
+  }
   if (state.generation == generation_ &&
       state.shipped_bytes < leader_->synced_bytes()) {
+    const Bytes& image = leader_->device().contents();
+    const std::uint64_t before = state.shipped_bytes;
     const ByteView durable(image.data(), leader_->synced_bytes());
     if (ship(state, durable)) {
+      stats_.delta_catchups++;
+      obs::inc(obs_catchup_delta_);
       stats_.catchup_bytes += state.shipped_bytes - before;
       obs::inc(obs_catchup_bytes_, state.shipped_bytes - before);
     }
@@ -216,26 +550,30 @@ void ReplicaGroup::restart_follower(std::size_t index) {
 
 std::optional<ElectionResult> ReplicaGroup::elect() {
   std::optional<ElectionResult> best;
+  std::size_t received = 0;
   for (std::size_t i = 0; i < followers_.size(); ++i) {
-    const FollowerState& state = followers_[i];
+    FollowerState& state = followers_[i];
     if (!state.log->up()) continue;
     const Bytes wire = state.log->candidacy();
+    AckWait want;
+    want.type = FrameType::kElect;
+    want.replica = static_cast<std::uint32_t>(i) + 1;
     const std::optional<ReplicationFrame> frame =
-        ReplicationFrame::deserialize(ByteView(wire.data(), wire.size()));
-    if (!frame.has_value() || frame->type != FrameType::kElect ||
-        frame->shard != config_.shard) {
-      continue;
-    }
+        exchange(state, wire, want, /*to_follower=*/false);
+    if (!frame.has_value()) continue;
+    received++;
     // Longest verified chain prefix wins; ties break to the lowest id, so
-    // the outcome is deterministic for the DST.
+    // the outcome is deterministic for the DST. Seq numbering survives
+    // checkpoint resets, so the comparison spans generations.
     if (!best.has_value() || frame->seq > best->seq) {
       best = ElectionResult{i, frame->seq, frame->chain, frame->epoch};
     }
   }
-  if (best.has_value()) {
-    stats_.elections++;
-    obs::inc(obs_elections_);
-  }
+  // Fewer than f+1 candidacies cannot be proven to intersect every write
+  // quorum — the election fails rather than guessing.
+  if (received < static_cast<std::size_t>(f()) + 1) return std::nullopt;
+  stats_.elections++;
+  obs::inc(obs_elections_);
   return best;
 }
 
@@ -269,11 +607,15 @@ std::string ReplicaGroup::invariants() const {
     // Durable state persists across follower crashes, so the prefix
     // agreement must hold for down followers too — but only for followers
     // on the leader's current generation (an old-generation log was fully
-    // superseded and will be replaced wholesale at restart).
+    // superseded and will be replaced wholesale at restart). Under a lossy
+    // wire the follower may hold more than the leader has *confirmed*
+    // (shipped_bytes) — an accepted append whose ack was lost — but never
+    // less, and always a byte prefix of the leader journal.
     if (state.generation != generation_) continue;
-    if (state.shipped_bytes > image.size() ||
-        log.log().size() != state.shipped_bytes ||
-        !std::equal(log.log().begin(), log.log().end(), image.begin())) {
+    const Bytes& follower_log = log.log();
+    if (follower_log.size() < state.shipped_bytes ||
+        follower_log.size() > image.size() ||
+        !std::equal(follower_log.begin(), follower_log.end(), image.begin())) {
       return "follower " + std::to_string(i + 1) +
              " log is not a prefix of the leader journal";
     }

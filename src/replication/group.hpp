@@ -9,12 +9,31 @@
 // least f follower acks have landed — with f=1 that is 2 of 3 copies, the
 // quorum any later election must intersect.
 //
-// Election (docs/REPLICATION.md): among the up followers, the longest
-// verified chain prefix wins (highest verified seq; ties break to the lowest
-// replica id). Because only synced bytes are ever shipped, the winner's log
-// is exactly some acked prefix — and because a write quorum needs f follower
-// acks while fail_over() requires f+1 up voters, the winner's prefix
-// contains every acked record.
+// Every frame — kAppend, kAck, kFence, kElect, kReset — traverses a pair of
+// net::SimLinks per follower (leader->follower and follower->leader), so a
+// LinkProfile can drop, delay, duplicate, and reorder it under seeded
+// control. The leader waits ack_timeout for the matching ack, then
+// retransmits with exponential backoff and seeded jitter, up to
+// max_retransmits times (the net:: backoff idiom, clocked in virtual
+// cycles). The default profile is lossless and instant: it consumes no rng
+// draws and no virtual time, and a rejection fails fast without retries, so
+// healthy traces are bit-identical to the old direct-call shipping.
+//
+// A follower the leader cannot fence within the retransmission budget is
+// expelled (crashed): a silent follower is indistinguishable from a slow
+// one, and an unfenced live replica would be a hole in the stale-leader
+// safety argument. A follower that missed a checkpoint reset is caught up
+// by snapshot shipping (the cached kReset payload) right from replicate();
+// same-generation stragglers get the byte delta. Election requires f+1
+// received candidacies so the winner's chain still intersects every write
+// quorum even when some candidacy frames are lost.
+//
+// Election (docs/REPLICATION.md): among the received candidacies, the
+// longest verified chain prefix wins (highest verified seq; ties break to
+// the lowest replica id). Sequence numbering continues across checkpoint
+// resets, so the comparison is meaningful even when followers sit on
+// different generations — a freshly reset follower's genesis seq is past
+// everything that preceded the checkpoint.
 #pragma once
 
 #include <cstdint>
@@ -24,21 +43,40 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/sim_clock.hpp"
+#include "net/link.hpp"
 #include "obs/metrics.hpp"
 #include "replication/replica.hpp"
 #include "storage/journal.hpp"
 
 namespace sl::replication {
 
+// Per-frame ack timeout and bounded retransmission (tentpole machinery).
+// All waits are virtual-cycle clocked; the jitter draw happens only on the
+// retransmission path, so a run that never loses a frame never touches the
+// rng stream.
+struct RetransmitPolicy {
+  double ack_timeout_millis = 40.0;   // wait for the matching ack
+  std::uint32_t max_retransmits = 8;  // attempts beyond the first send
+  double backoff_base_millis = 20.0;  // k-th retry waits base*factor^(k-1)
+  double backoff_factor = 2.0;
+  double backoff_max_millis = 400.0;  // ...capped here, jittered [0.5, 1)
+};
+
 struct GroupConfig {
   std::uint32_t replicas = 3;  // 2f+1 including the leader; odd, >= 3
   std::uint64_t master_key = 0;
   std::uint32_t shard = 0;
   std::string obs_shard = "0";
+  // Wire between the leader and every follower (both directions). The
+  // default is lossless/instant — bit-identical to direct delivery.
+  net::LinkProfile link = net::lossless_link();
+  std::uint64_t link_seed = 0x51e4d;
+  RetransmitPolicy retransmit;
 };
 
 struct GroupStats {
-  std::uint64_t appends_shipped = 0;  // kAppend frames delivered
+  std::uint64_t appends_shipped = 0;  // kAppend frames acknowledged
   std::uint64_t bytes_shipped = 0;
   std::uint64_t acks = 0;             // verified kAck frames received
   std::uint64_t catchup_bytes = 0;    // shipped by restart catch-up
@@ -47,6 +85,11 @@ struct GroupStats {
   std::uint64_t elections = 0;
   std::uint64_t resets = 0;           // checkpoint truncations replicated
   std::uint64_t quorum_stalls = 0;    // replicate() calls below quorum
+  std::uint64_t retransmits = 0;      // frames sent again after an ack timeout
+  std::uint64_t ack_timeouts = 0;     // waits that expired without the ack
+  std::uint64_t snapshot_catchups = 0;  // kReset catch-up installs confirmed
+  std::uint64_t delta_catchups = 0;     // byte-delta catch-ups confirmed
+  std::uint64_t expelled = 0;         // followers crashed for unreachability
 };
 
 struct ElectionResult {
@@ -61,6 +104,11 @@ class ReplicaGroup {
   // `leader` must outlive the group. Total replica count must be odd >= 3.
   ReplicaGroup(GroupConfig config, storage::Journal* leader);
 
+  // Clocks link latency, ack timeouts, and backoff waits against `clock`
+  // (the owning shard's virtual clock). Without attachment an internal
+  // clock is used, which only matters for lossy-profile unit tests.
+  void attach_clock(SimClock* clock);
+
   std::uint32_t f() const { return (config_.replicas - 1) / 2; }
   std::uint32_t shard_id() const { return config_.shard; }
   std::size_t followers() const { return followers_.size(); }
@@ -69,6 +117,16 @@ class ReplicaGroup {
   const GroupStats& stats() const { return stats_; }
   std::size_t up_followers() const;
 
+  // Aggregated wire stats across every link, both directions.
+  net::SimLinkStats link_stats() const;
+
+  // Degrades (or restores) the wire to every follower, both directions.
+  // In-flight messages keep the delivery schedule they were stamped with.
+  void set_link_profile(const net::LinkProfile& profile);
+  void set_follower_link_profile(std::size_t index,
+                                 const net::LinkProfile& profile);
+  void heal_links() { set_link_profile(net::lossless_link()); }
+
   // Enough up followers to commit: an append needs f follower acks.
   bool quorum_available() const { return up_followers() >= f(); }
   // Enough up voters to elect safely: an election quorum (f+1 followers)
@@ -76,26 +134,34 @@ class ReplicaGroup {
   // leader gone.
   bool election_quorum_available() const { return up_followers() >= f() + 1; }
 
-  // Ships [shipped, durable) to every up follower and collects acks.
-  // Returns true when at least f followers acknowledged (an empty delta is
-  // trivially acknowledged by every up follower).
+  // Ships [shipped, durable) to every up follower and collects acks,
+  // retransmitting within the timeout budget; a follower that missed a
+  // checkpoint reset is snapshot-caught-up first. Returns true when at
+  // least f followers acknowledged the synced frontier.
   bool replicate();
 
   // Replicates a checkpoint truncation: followers replace snapshot + log.
   // `genesis_image` is the leader's device content right after reset().
-  void on_reset(std::uint64_t generation, ByteView snapshot,
-                ByteView genesis_image);
+  // Returns how many followers confirmed the install; the rest are caught
+  // up by the snapshot path on a later replicate() or restart.
+  std::size_t on_reset(std::uint64_t generation, ByteView snapshot,
+                       ByteView genesis_image);
 
-  // Fences every up follower to `epoch` (a new leader's first act).
+  // Fences every up follower to `epoch` (a new leader's first act). A
+  // follower that cannot be fenced within the retransmission budget is
+  // expelled — it must rejoin through restart_follower().
   void fence(std::uint64_t epoch);
 
   void crash_follower(std::size_t index);
   // Brings the follower back and catches it up from the leader: fence,
-  // replay any missed reset, then the byte delta.
+  // then snapshot (missed reset) or byte delta, whichever its generation
+  // needs — the explicit delta-vs-snapshot choice behind the
+  // sl_replication_catchup_mode_total{mode} counter.
   void restart_follower(std::size_t index);
 
-  // Longest-verified-chain election among the up followers (kElect frames
-  // on the wire). nullopt when no follower is up.
+  // Longest-verified-chain election over kElect frames solicited across the
+  // links. nullopt when fewer than f+1 candidacies arrive within the
+  // retransmission budget — the caller must treat the election as failed.
   std::optional<ElectionResult> elect();
 
   // Stale-leader resurrection: delivers `wire` (an append sealed at a
@@ -111,21 +177,80 @@ class ReplicaGroup {
  private:
   struct FollowerState {
     std::unique_ptr<ReplicaLog> log;
-    std::uint64_t shipped_bytes = 0;  // leader-image bytes delivered
-    std::uint64_t generation = 0;     // last reset generation delivered
+    net::SimLink down_link;  // leader -> follower
+    net::SimLink up_link;    // follower -> leader
+    std::uint64_t shipped_bytes = 0;  // leader-image bytes *confirmed*
+    std::uint64_t generation = 0;     // last reset generation confirmed
+
+    FollowerState(std::unique_ptr<ReplicaLog> l, net::SimLink down,
+                  net::SimLink up)
+        : log(std::move(l)), down_link(std::move(down)),
+          up_link(std::move(up)) {}
+  };
+
+  // What the leader is waiting to see come back over the up link: a kAck
+  // confirming a cursor (seq+chain) or an epoch (fence), or — for
+  // elections — a kElect candidacy from a specific replica.
+  struct AckWait {
+    FrameType type = FrameType::kAck;
+    std::uint32_t replica = 0;  // 0 = any sender; set for kElect solicits
+    bool by_epoch = false;      // fence: match on epoch instead of cursor
+    std::uint64_t epoch = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t chain = 0;
+
+    bool match(const ReplicationFrame& frame) const {
+      if (frame.type != type) return false;
+      if (replica != 0 && frame.replica != replica) return false;
+      if (type == FrameType::kElect) return true;
+      return by_epoch ? frame.epoch == epoch
+                      : (frame.seq == seq && frame.chain == chain);
+    }
   };
 
   Bytes append_frame(std::uint32_t replica, ByteView delta) const;
+  bool instant_lossless(const FollowerState& state) const;
+  // Delivers every due message on both links (follower side first), queues
+  // the acks the follower produced, and returns the first frame on the up
+  // link matching `want`, if any arrived.
+  std::optional<ReplicationFrame> pump(FollowerState& state,
+                                       const AckWait& want);
+  // Advances virtual time along the in-flight delivery schedule until the
+  // matching frame arrives or ack_timeout expires.
+  std::optional<ReplicationFrame> await_ack(FollowerState& state,
+                                            const AckWait& want);
+  // send + await + bounded retransmission with backoff. The one place the
+  // timeout state machine lives. `to_follower` picks the outbound link
+  // (false for election solicits, which ride the follower->leader wire).
+  std::optional<ReplicationFrame> exchange(FollowerState& state,
+                                           const Bytes& wire,
+                                           const AckWait& want,
+                                           bool to_follower);
   bool ship(FollowerState& state, ByteView image);
+  // Overlapped commit shipping: sends every target's delta before waiting
+  // for any ack, so a commit pays max(rtt) across the group instead of
+  // sum(rtt). Instant-lossless targets take the serial ship() fast path
+  // (zero virtual time either way). Returns the number of acked targets.
+  std::size_t ship_all(const std::vector<FollowerState*>& targets,
+                       ByteView durable);
+  // Snapshot-shipping catch-up: re-sends the cached reset payload.
+  bool install_reset(FollowerState& state, std::size_t index);
 
   GroupConfig config_;
   storage::Journal* leader_;
+  Rng rng_;  // jitter stream; drawn only on the retransmission path
+  SimClock fallback_clock_;
+  SimClock* clock_ = nullptr;
   std::vector<FollowerState> followers_;
   std::uint64_t generation_ = 0;
-  // Last replicated reset, kept to catch up followers that were down when
-  // it happened (a reset fully supersedes any older log, so only the most
-  // recent one is ever needed).
+  // Last replicated reset, kept to catch up followers that were down (or
+  // unreachable) when it happened; a reset fully supersedes any older log,
+  // so only the most recent one is ever needed. The cursor the leader's
+  // journal held right after the reset is what a confirming ack must echo.
   Bytes reset_payload_;
+  std::uint64_t reset_seq_ = 0;
+  std::uint64_t reset_chain_ = 0;
+  std::uint64_t reset_genesis_bytes_ = 0;
   GroupStats stats_;
   obs::Counter* obs_appends_ = nullptr;
   obs::Counter* obs_bytes_ = nullptr;
@@ -133,6 +258,11 @@ class ReplicaGroup {
   obs::Counter* obs_catchup_bytes_ = nullptr;
   obs::Counter* obs_elections_ = nullptr;
   obs::Counter* obs_quorum_stalls_ = nullptr;
+  obs::Counter* obs_retransmits_ = nullptr;
+  obs::Counter* obs_ack_timeouts_ = nullptr;
+  obs::Counter* obs_catchup_delta_ = nullptr;
+  obs::Counter* obs_catchup_snapshot_ = nullptr;
+  obs::Counter* obs_expelled_ = nullptr;
   obs::Histogram* obs_batch_bytes_ = nullptr;
 };
 

@@ -13,6 +13,30 @@ namespace {
 constexpr std::size_t kResetHeader = 8 + 4;
 constexpr std::size_t kMaxResetPart = 4u << 20;
 
+// Sealed journal frame header: [u32 cipher_len][u64 seq][u64 epoch]
+// [u64 chain] — the seq is visible without the sealing key, which is what
+// lets a replica align an overlapping retransmission against its cursor.
+constexpr std::size_t kSealedFrameHeader = 4 + 8 + 8 + 8;
+
+// Returns the byte offset of the first record in `payload` numbered past
+// `verified_seq` (payload.size() when every record is already verified). A
+// record whose header or body runs past the payload stops the scan — the
+// chain verifier will reject the remainder.
+std::size_t skip_verified_prefix(ByteView payload, std::uint64_t verified_seq) {
+  std::size_t offset = 0;
+  while (offset + kSealedFrameHeader <= payload.size()) {
+    std::size_t cursor = offset;
+    const std::uint32_t cipher_len = get_u32(payload, cursor);
+    cursor += 4;
+    const std::uint64_t seq = get_u64(payload, cursor);
+    if (seq > verified_seq) break;
+    const std::size_t record = kSealedFrameHeader + cipher_len;
+    if (record > payload.size() - offset) break;
+    offset += record;
+  }
+  return offset;
+}
+
 }  // namespace
 
 const char* deliver_verdict_name(DeliverVerdict verdict) {
@@ -81,15 +105,32 @@ DeliverVerdict ReplicaLog::handle_append(const ReplicationFrame& frame) {
     obs::inc(obs_stale_rejects_);
     return DeliverVerdict::kStaleEpoch;
   }
+  // A retransmitted cumulative delta may restart at (or before) bytes this
+  // replica already verified and acknowledged — the ack was lost, not the
+  // data. Skip whole records up to the verified cursor using the plaintext
+  // seq in each sealed-frame header; only the suffix must chain. The skipped
+  // bytes are never appended, so even a forged prefix cannot enter the log:
+  // admission still rests entirely on the chain check from our own cursor.
+  const ByteView payload(frame.payload.data(), frame.payload.size());
+  const std::size_t resume = skip_verified_prefix(payload, verified_seq_);
+  const ByteView fresh = payload.subspan(resume);
+  if (!payload.empty() && fresh.empty()) {
+    // Pure duplicate: everything in the payload is already verified and
+    // durable. Re-ack the current cursor so the leader can advance.
+    epoch_ = std::max(epoch_, frame.epoch);
+    duplicate_accepts_++;
+    return DeliverVerdict::kAccepted;
+  }
   const storage::ChainExtension ext = storage::verify_chain_extension(
       config_.master_key, verified_chain_, verified_seq_, verified_epoch_,
-      ByteView(frame.payload.data(), frame.payload.size()));
+      fresh);
   if (!ext.ok) {
     obs::inc(obs_chain_rejects_);
     return DeliverVerdict::kChainBreak;
   }
+  if (resume > 0) duplicate_accepts_++;
   // Durable before the ack (the follower-side half of group commit).
-  log_.insert(log_.end(), frame.payload.begin(), frame.payload.end());
+  log_.insert(log_.end(), fresh.begin(), fresh.end());
   if (!ext.records.empty()) {
     verified_seq_ = ext.end_seq;
     verified_chain_ = ext.end_chain;
@@ -98,7 +139,7 @@ DeliverVerdict ReplicaLog::handle_append(const ReplicationFrame& frame) {
   epoch_ = std::max(epoch_, frame.epoch);
   accepted_appends_++;
   obs::inc(obs_accepts_);
-  obs::inc(obs_accept_bytes_, frame.payload.size());
+  obs::inc(obs_accept_bytes_, fresh.size());
   return DeliverVerdict::kAccepted;
 }
 
@@ -137,6 +178,14 @@ DeliverVerdict ReplicaLog::handle_reset(const ReplicationFrame& frame) {
     return DeliverVerdict::kMalformed;  // trailing garbage rejects
   }
   const ByteView genesis = data.subspan(offset, genesis_len);
+  // A duplicated or retransmitted reset of the generation already installed
+  // is absorbed as a no-op ack: the snapshot and genesis are chain-sealed,
+  // so an equal generation implies identical content.
+  if (generation != 0 && generation == generation_) {
+    epoch_ = std::max(epoch_, frame.epoch);
+    duplicate_accepts_++;
+    return DeliverVerdict::kAccepted;
+  }
   // A truncation restarts the chain from its base but sequence numbering
   // continues, so the genesis frame must be numbered past everything this
   // replica has verified — a replayed pre-checkpoint reset cannot land.
@@ -147,7 +196,7 @@ DeliverVerdict ReplicaLog::handle_reset(const ReplicationFrame& frame) {
     obs::inc(obs_chain_rejects_);
     return DeliverVerdict::kChainBreak;
   }
-  if (generation != 0 && generation <= generation_) {
+  if (generation != 0 && generation < generation_) {
     return DeliverVerdict::kMalformed;  // generations only move forward
   }
   generation_ = generation;

@@ -13,6 +13,14 @@
 // The model is fail-stop with durable storage: crash() makes the replica
 // unreachable but loses nothing it acknowledged (every accepted append is
 // synced before the ack, mirroring the leader's group commit).
+//
+// Receive is idempotent against a lossy wire (docs/REPLICATION.md): the
+// sealed-frame headers inside an append payload expose each record's seq in
+// plaintext, so a replica skips the prefix it has already verified and
+// chains only the suffix from its (seq, chain) cursor. A retransmission,
+// duplicate, or overlapping cumulative delta therefore re-acks the current
+// cursor instead of breaking the chain, and a duplicated kReset of the
+// installed generation is a no-op ack.
 #pragma once
 
 #include <cstdint>
@@ -71,6 +79,9 @@ class ReplicaLog {
 
   std::uint64_t accepted_appends() const { return accepted_appends_; }
   std::uint64_t stale_rejects() const { return stale_rejects_; }
+  // Appends/resets whose payload was already fully verified — the receive
+  // side's evidence that duplicates and retransmissions were absorbed.
+  std::uint64_t duplicate_accepts() const { return duplicate_accepts_; }
 
  private:
   DeliverVerdict handle_append(const ReplicationFrame& frame);
@@ -89,6 +100,7 @@ class ReplicaLog {
   std::uint64_t verified_epoch_ = 0;  // epoch of the last verified record
   std::uint64_t accepted_appends_ = 0;
   std::uint64_t stale_rejects_ = 0;
+  std::uint64_t duplicate_accepts_ = 0;
   obs::Counter* obs_accepts_ = nullptr;
   obs::Counter* obs_accept_bytes_ = nullptr;
   obs::Counter* obs_stale_rejects_ = nullptr;

@@ -333,6 +333,8 @@ void SimulationEngine::execute(const ScenarioEvent& event,
     case EventKind::kReplicaRestart:
     case EventKind::kLeaderPartition:
     case EventKind::kStaleLeaderAppend:
+    case EventKind::kReplicaLinkFault:
+    case EventKind::kReplicaLinkHeal:
       break;  // dispatched to execute_server above; unreachable
   }
   stats_.events_executed++;
@@ -464,6 +466,11 @@ void SimulationEngine::execute_server(const ScenarioEvent& event,
         return skip("no-election-quorum");
       }
       const lease::FailoverReport report = owner.fail_over();
+      if (!report.attempted) {
+        // A lossy wire ate too many candidacy frames: the election failed
+        // and the leader was never deposed — degraded service, not a fault.
+        return skip("election-failed");
+      }
       stats_.failovers++;
       line += format(" -> elected=%zu seq=%llu epoch=%llu->%llu ok=%d",
                      report.elected,
@@ -485,6 +492,29 @@ void SimulationEngine::execute_server(const ScenarioEvent& event,
                      static_cast<unsigned long long>(report.stale_epoch),
                      report.delivered, report.accepted);
       pending_stale_appends_.emplace_back(shard, report);
+      break;
+    }
+    case EventKind::kReplicaLinkFault: {
+      lease::RemoteShard& owner = router.shard(shard);
+      if (!owner.replication_enabled()) return skip("no-replication");
+      net::LinkProfile profile = net::lossless_link();
+      profile.rtt_millis = 5.0;  // nonzero so reordering has delivery slots
+      profile.reliability = event.value;
+      profile.duplicate_prob = static_cast<double>(event.index) / 100.0;
+      profile.reorder_window = static_cast<std::uint32_t>(event.amount);
+      owner.replica_link_fault(profile);
+      stats_.link_faults++;
+      line += format(" -> degraded rel=%.3f dup=%.2f reorder=%u",
+                     profile.reliability, profile.duplicate_prob,
+                     profile.reorder_window);
+      break;
+    }
+    case EventKind::kReplicaLinkHeal: {
+      lease::RemoteShard& owner = router.shard(shard);
+      if (!owner.replication_enabled()) return skip("no-replication");
+      owner.replica_link_heal();
+      stats_.link_heals++;
+      line += " -> healed";
       break;
     }
     default:
@@ -631,6 +661,17 @@ SimulationResult SimulationEngine::run() {
   // Adds direct-drain stalls (shard counter) to the drain_all() skips the
   // drain events already tallied.
   stats_.quorum_stalls += shard_stats.quorum_stalls;
+  stats_.parked_outcomes = shard_stats.parked;
+  for (std::size_t s = 0; s < world_->router.shard_count(); ++s) {
+    lease::RemoteShard& shard = world_->router.shard(s);
+    if (!shard.replication_enabled()) continue;
+    const replication::GroupStats& group = shard.replica_group()->stats();
+    stats_.retransmissions += group.retransmits;
+    stats_.ack_timeouts += group.ack_timeouts;
+    stats_.snapshot_catchups += group.snapshot_catchups;
+    stats_.delta_catchups += group.delta_catchups;
+    stats_.followers_expelled += group.expelled;
+  }
   for (const auto& node : world_->nodes) {
     stats_.client_ecalls += node->runtime->transitions().ecalls;
     stats_.client_ocalls += node->runtime->transitions().ocalls;

@@ -54,6 +54,16 @@ struct SimulationStats {
   std::uint64_t stale_appends = 0;         // resurrection probes delivered
   std::uint64_t stale_appends_rejected = 0;  // follower rejections of those
   std::uint64_t quorum_stalls = 0;         // drains deferred below quorum
+  // Lossy replication wire (kReplicaLinkFault/kReplicaLinkHeal) and the
+  // retransmission machinery it exercises, summed over every shard's group.
+  std::uint64_t link_faults = 0;
+  std::uint64_t link_heals = 0;
+  std::uint64_t retransmissions = 0;       // frames re-sent after an ack timeout
+  std::uint64_t ack_timeouts = 0;
+  std::uint64_t snapshot_catchups = 0;     // followers caught up by kReset
+  std::uint64_t delta_catchups = 0;        // followers caught up by byte delta
+  std::uint64_t followers_expelled = 0;    // crashed as unreachable at fencing
+  std::uint64_t parked_outcomes = 0;       // acks withheld during quorum stalls
   std::uint64_t events_executed = 0;
   std::uint64_t events_skipped = 0;    // e.g. work scheduled on a down node
   // SGX transition tallies summed over every client node's runtime at the

@@ -104,6 +104,9 @@ std::optional<std::string> check_recovery(const lease::RecoveryReport& report) {
 }
 
 std::optional<std::string> check_failover(const lease::FailoverReport& report) {
+  // An abandoned failover (no election quorum, or too many candidacies lost
+  // on a lossy wire) never deposed the leader — nothing to check.
+  if (!report.attempted) return std::nullopt;
   if (!report.ok) {
     return format("failover failed structurally: %s", report.detail.c_str());
   }

@@ -28,6 +28,8 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kReplicaRestart: return "replica-restart";
     case EventKind::kLeaderPartition: return "leader-partition";
     case EventKind::kStaleLeaderAppend: return "stale-leader-append";
+    case EventKind::kReplicaLinkFault: return "replica-link-fault";
+    case EventKind::kReplicaLinkHeal: return "replica-link-heal";
   }
   return "?";
 }
@@ -122,6 +124,7 @@ ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorLimits& limits
       limits.replicas > 0 ? limits.replicas - 1 : 0;
   std::vector<bool> follower_up(shard_count * followers_per_shard, true);
   std::vector<bool> failed_over(shard_count, false);
+  std::vector<bool> link_degraded(shard_count, false);
 
   while (spec.schedule.size() < event_count) {
     if (limits.replica_fault_probability > 0.0 && followers_per_shard > 0 &&
@@ -179,6 +182,34 @@ ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorLimits& limits
         event.node = shard;
         // A failover deposes and immediately re-promotes: the shard stays up.
         if (!want_stale) failed_over[shard] = true;
+      }
+      spec.schedule.push_back(event);
+      continue;
+    }
+
+    if (limits.link_fault_probability > 0.0 && followers_per_shard > 0 &&
+        rng.next_bool(limits.link_fault_probability)) {
+      // Wire slot: degrade 60 / heal 40. The fault profile is drawn here so
+      // the whole scenario — including how lossy the wire gets — replays
+      // from the one seed. Inapplicable picks degrade to a drain.
+      ScenarioEvent event;
+      event.kind = EventKind::kServerDrain;
+      std::uint32_t shard = 0;
+      if (rng.next_below(100) < 60) {
+        if (pick_state(rng, link_degraded, false, shard)) {
+          event.kind = EventKind::kReplicaLinkFault;
+          event.node = shard;
+          event.value = 0.5 + 0.45 * rng.next_double();  // delivery probability
+          event.index = static_cast<std::uint32_t>(rng.next_below(30));  // dup %
+          event.amount = rng.next_below(4);  // reorder window, in slots
+          link_degraded[shard] = true;
+        }
+      } else {
+        if (pick_state(rng, link_degraded, true, shard)) {
+          event.kind = EventKind::kReplicaLinkHeal;
+          event.node = shard;
+          link_degraded[shard] = false;
+        }
       }
       spec.schedule.push_back(event);
       continue;
@@ -310,6 +341,17 @@ ScenarioSpec generate_scenario(std::uint64_t seed, const GeneratorLimits& limits
     spec.schedule.push_back(event);
   }
 
+  // Heal every degraded wire first: the closing restarts and drain must run
+  // on a lossless link so a schedule never *ends* wedged behind retransmit
+  // budgets — recovery-after-heal is exactly what the oracles then check.
+  for (std::uint32_t s = 0; s < link_degraded.size(); ++s) {
+    if (!link_degraded[s]) continue;
+    ScenarioEvent heal;
+    heal.kind = EventKind::kReplicaLinkHeal;
+    heal.node = s;
+    spec.schedule.push_back(heal);
+    link_degraded[s] = false;
+  }
   // Every down follower returns at the end, so the closing drain runs with
   // a full quorum and flushes anything a stall left queued.
   for (std::uint32_t slot = 0; slot < follower_up.size(); ++slot) {
@@ -378,6 +420,16 @@ std::string describe(const ScenarioEvent& event) {
     case EventKind::kReplicaRestart:
       std::snprintf(buffer, sizeof(buffer), "%s shard=%u replica=%u",
                     event_kind_name(event.kind), event.node, event.index);
+      break;
+    case EventKind::kReplicaLinkFault:
+      std::snprintf(buffer, sizeof(buffer),
+                    "replica-link-fault shard=%u rel=%.3f dup%%=%u reorder=%llu",
+                    event.node, event.value, event.index,
+                    static_cast<unsigned long long>(event.amount));
+      break;
+    case EventKind::kReplicaLinkHeal:
+      std::snprintf(buffer, sizeof(buffer), "replica-link-heal shard=%u",
+                    event.node);
       break;
     default:
       std::snprintf(buffer, sizeof(buffer), "%s node=%u",

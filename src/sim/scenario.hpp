@@ -45,6 +45,13 @@ enum class EventKind : std::uint8_t {
   kReplicaRestart,   // follower returns and is caught up from the leader
   kLeaderPartition,  // leader cut from the quorum: depose, elect, promote
   kStaleLeaderAppend, // deposed leader resurrects and probes the fence
+  // Lossy replication wire: the leader<->follower links degrade to a
+  // profile built from the event fields (`value` = reliability, `index` =
+  // duplicate percent, `amount` = reorder window) until healed. Frames are
+  // retried under the shard's RetransmitPolicy, so these events cost
+  // virtual time and retransmissions, never consistency.
+  kReplicaLinkFault,
+  kReplicaLinkHeal,  // wire restored to lossless/instant
 };
 
 const char* event_kind_name(EventKind kind);
@@ -124,6 +131,11 @@ struct GeneratorLimits {
   // Probability that a slot partitions the leader (fail over to the longest
   // verified follower) or resurrects a deposed leader against the fence.
   double leader_fault_probability = 0.0;
+  // Probability that a slot degrades the replication wire (drop/delay/
+  // duplicate/reorder under seeded control) or heals it. Gated like every
+  // replication knob: zero consumes no rng draws. Schedules always heal the
+  // wire before the closing drain, so a run never *ends* degraded.
+  double link_fault_probability = 0.0;
   // Storage fault model copied into ScenarioSpec::storage_faults.
   storage::FaultConfig storage;
 };

@@ -169,7 +169,8 @@ std::uint64_t journal_base_chain(std::uint64_t master_key) {
 Journal::Journal(JournalConfig config)
     : config_(config),
       device_(config.profile, config.faults, config.device_seed),
-      chain_(base_chain(config.master_key)) {
+      chain_(base_chain(config.master_key)),
+      synced_chain_(chain_) {
   obs_appends_ = obs::get_counter("sl_storage_journal_appends_total",
                                   "Sealed frames staged in the journal");
   obs_append_bytes_ = obs::get_counter("sl_storage_journal_append_bytes_total",
@@ -216,6 +217,7 @@ void Journal::sync() {
   device_.sync();
   synced_seq_ = staged_seq_;
   synced_bytes_ = device_.durable_bytes();
+  synced_chain_ = chain_;
   obs::inc(obs_syncs_);
 }
 
@@ -264,6 +266,7 @@ void Journal::resume_from(const ReplayResult& replay) {
   // history the resumed writer builds on.
   synced_bytes_ = replay.valid_bytes;
   chain_ = replay.final_chain;
+  synced_chain_ = replay.final_chain;
   epoch_ = std::max(epoch_, replay.final_epoch);
   if (!replay.records.empty()) {
     const std::uint64_t last = replay.records.back().seq;

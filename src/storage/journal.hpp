@@ -133,6 +133,10 @@ class Journal {
   // Chain cursor after the last staged frame (what the next frame will be
   // chained onto). Followers compare this against their verified cursor.
   std::uint64_t chain() const { return chain_; }
+  // Chain cursor after the last *synced* frame — the acked prefix's chain.
+  // Replication matches follower acks against this, never the staged
+  // cursor, so an in-flight intent can't poison the ack wait.
+  std::uint64_t synced_chain() const { return synced_chain_; }
   std::uint64_t durable_bytes() const { return device_.durable_bytes(); }
   std::uint64_t pending_bytes() const { return device_.pending_bytes(); }
   // Byte frontier of the last completed sync barrier — the acked prefix.
@@ -153,6 +157,7 @@ class Journal {
   std::uint64_t synced_seq_ = 0;
   std::uint64_t synced_bytes_ = 0;
   std::uint64_t chain_ = 0;
+  std::uint64_t synced_chain_ = 0;
   std::uint64_t epoch_ = 0;
   // Metric handles, resolved once at construction (null when compiled out).
   obs::Counter* obs_appends_ = nullptr;

@@ -1,0 +1,197 @@
+// Retransmission fuzzer (docs/REPLICATION.md): every kAppend/kAck/kFence
+// frame between a leader and its followers traverses a SimLink that drops,
+// delays, duplicates and reorders under seeded control. The property under
+// test is the one failover leans on: no matter what the wire does, a
+// follower's log is always a byte prefix of the leader's acked journal
+// image — duplicated or reordered appends are absorbed by the verified
+// (seq, chain) cursor, lost frames are retried with backoff, and a healed
+// wire always converges the group back to byte equality.
+//
+// 200 random seeds drive random op schedules; a second suite replays a
+// checked-in set of regression seeds (past shrink targets and hand-picked
+// wire shapes) so a future change that breaks one exact interleaving fails
+// loudly by seed number.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "net/link.hpp"
+#include "replication/group.hpp"
+#include "storage/journal.hpp"
+
+namespace sl::replication {
+namespace {
+
+constexpr std::uint64_t kMasterKey = 0xf022e7;
+
+struct FuzzTotals {
+  std::uint64_t appends = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t ack_timeouts = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t expelled = 0;
+};
+
+// One fuzz round: a random lossy wire, a random schedule of appends,
+// follower crashes/restarts and fences, prefix-checked after every step,
+// then heal + catch-up + byte-equality at the end. Fills `out` with the
+// wire totals so the sweep can assert the machinery was genuinely
+// exercised. (void-returning so ASSERT_* can bail out of a bad round.)
+void run_fuzz(std::uint64_t seed, FuzzTotals* out) {
+  Rng rng(splitmix64_key(0xf0, seed));
+
+  storage::JournalConfig journal_config;
+  journal_config.master_key = kMasterKey;
+  journal_config.device_seed = seed + 1;
+  storage::Journal leader(journal_config);
+
+  GroupConfig config;
+  config.replicas = 3;
+  config.master_key = kMasterKey;
+  config.shard = 0;
+  config.link_seed = splitmix64_key(0x11, seed);
+  // A genuinely hostile wire: up to two thirds of the frames dropped, a
+  // third duplicated, slips of up to three delivery slots. The retransmit
+  // budget stays at its default (8 tries, exponential backoff), so an
+  // individual exchange can still fail — a stall or an expulsion at the
+  // fence, never an inconsistency.
+  config.link.rtt_millis = 1.0 + 9.0 * rng.next_double();
+  config.link.reliability = 0.35 + 0.6 * rng.next_double();
+  config.link.duplicate_prob = rng.next_double() * 0.34;
+  config.link.reorder_window = rng.next_below(4);
+  ReplicaGroup group(config, &leader);
+
+  std::uint64_t epoch = 0;
+  const std::size_t ops = 20 + rng.next_below(30);
+  for (std::size_t op = 0; op < ops; ++op) {
+    const std::uint64_t pick = rng.next_below(100);
+    if (pick < 60) {
+      // Acked work: append + sync + replicate. Under this wire the
+      // replicate may stall below quorum; the prefix property must hold
+      // either way.
+      leader.append(rng.next_bytes(8 + rng.next_below(56)));
+      leader.sync();
+      group.replicate();
+    } else if (pick < 72) {
+      group.crash_follower(rng.next_below(2));
+    } else if (pick < 86) {
+      group.restart_follower(rng.next_below(2));
+    } else {
+      // A new term: bump the sealing epoch and fence the group. A follower
+      // the wire swallows for the whole retransmit budget is expelled and
+      // must rejoin through restart_follower below.
+      leader.set_epoch(++epoch);
+      group.fence(epoch);
+    }
+    ASSERT_EQ(group.invariants(), "")
+        << "seed " << seed << " op " << op << " (pick " << pick << ")";
+    // The invariant string covers prefix-ness; pin the exact property here
+    // too so a weakened invariants() cannot silently pass the fuzzer.
+    const Bytes& image = leader.device().contents();
+    for (std::size_t i = 0; i < group.followers(); ++i) {
+      const Bytes& log = group.follower(i).log();
+      ASSERT_LE(log.size(), image.size()) << "seed " << seed << " op " << op;
+      ASSERT_TRUE(std::equal(log.begin(), log.end(), image.begin()))
+          << "seed " << seed << " op " << op << ": follower " << i
+          << " diverged from the acked journal";
+    }
+  }
+
+  // Heal the wire, bring everyone back, and the group must converge to
+  // byte equality — retransmission debt never outlives the lossy link.
+  group.heal_links();
+  for (std::size_t i = 0; i < group.followers(); ++i) {
+    group.restart_follower(i);
+  }
+  leader.append(to_bytes("converge"));
+  leader.sync();
+  EXPECT_TRUE(group.replicate()) << "seed " << seed;
+  for (std::size_t i = 0; i < group.followers(); ++i) {
+    EXPECT_EQ(group.follower(i).log(), leader.device().contents())
+        << "seed " << seed << " follower " << i;
+    EXPECT_EQ(group.follower(i).verified_seq(), leader.synced_seq())
+        << "seed " << seed << " follower " << i;
+  }
+  EXPECT_EQ(group.invariants(), "") << "seed " << seed;
+
+  const net::SimLinkStats wire = group.link_stats();
+  out->appends = group.stats().appends_shipped;
+  out->retransmits = group.stats().retransmits;
+  out->ack_timeouts = group.stats().ack_timeouts;
+  out->stalls = group.stats().quorum_stalls;
+  out->expelled = group.stats().expelled;
+  out->dropped = wire.dropped;
+  out->duplicated = wire.duplicated;
+  out->reordered = wire.reordered;
+}
+
+}  // namespace
+
+TEST(RetransmitFuzz, TwoHundredSeedsKeepFollowersPrefixesOfTheAckedJournal) {
+  FuzzTotals sum;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    FuzzTotals t;
+    run_fuzz(seed, &t);
+    sum.appends += t.appends;
+    sum.retransmits += t.retransmits;
+    sum.ack_timeouts += t.ack_timeouts;
+    sum.dropped += t.dropped;
+    sum.duplicated += t.duplicated;
+    sum.reordered += t.reordered;
+    sum.stalls += t.stalls;
+    sum.expelled += t.expelled;
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // The sweep must have exercised every wire misbehavior and every recovery
+  // lever, not sailed through on lucky draws.
+  EXPECT_GT(sum.appends, 1000u);
+  EXPECT_GT(sum.retransmits, 500u);
+  EXPECT_GT(sum.ack_timeouts, 500u);
+  EXPECT_GT(sum.dropped, 1000u);
+  EXPECT_GT(sum.duplicated, 500u);
+  EXPECT_GT(sum.reordered, 500u);
+  EXPECT_GT(sum.stalls, 0u);
+  EXPECT_GT(sum.expelled, 0u);
+}
+
+TEST(RetransmitFuzz, RegressionSeedsReplay) {
+  // Checked-in reproducers: seeds whose schedules hit the interesting
+  // corners at least once under the current generator — expulsion at a
+  // fence, a quorum stall mid-schedule, heavy duplication, deep reorder
+  // slips. Each is a one-integer reproducer; if a change breaks one, run
+  // `run_fuzz(seed)` under a debugger and the failing op index prints.
+  const std::uint64_t seeds[] = {3,   17,  29,  41,  58,  73,
+                                 99,  123, 151, 187, 0x5eed, 0xbadc0de};
+  for (const std::uint64_t seed : seeds) {
+    FuzzTotals totals;
+    run_fuzz(seed, &totals);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(RetransmitFuzz, LossyRunsAreDeterministicPerSeed) {
+  // Same seed, same wire, same schedule: every counter — including the
+  // retransmit and timeout tallies that hang off backoff jitter — must
+  // replay exactly. This is what makes the regression seeds above stable.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    FuzzTotals first, second;
+    run_fuzz(seed, &first);
+    run_fuzz(seed, &second);
+    EXPECT_EQ(first.appends, second.appends) << "seed " << seed;
+    EXPECT_EQ(first.retransmits, second.retransmits) << "seed " << seed;
+    EXPECT_EQ(first.ack_timeouts, second.ack_timeouts) << "seed " << seed;
+    EXPECT_EQ(first.dropped, second.dropped) << "seed " << seed;
+    EXPECT_EQ(first.duplicated, second.duplicated) << "seed " << seed;
+    EXPECT_EQ(first.reordered, second.reordered) << "seed " << seed;
+  }
+}
+
+}  // namespace sl::replication

@@ -32,6 +32,15 @@ GeneratorLimits replication_limits() {
   return limits;
 }
 
+GeneratorLimits lossy_limits() {
+  // Mirrors the CLI's --link-faults on top of the replication knobs: slots
+  // that degrade the leader<->follower wire to a seeded drop/delay/
+  // duplicate/reorder profile until healed.
+  GeneratorLimits limits = replication_limits();
+  limits.link_fault_probability = 0.2;
+  return limits;
+}
+
 }  // namespace
 
 TEST(ReplicationSweep, TwoHundredReplicatedFailoverScenariosSatisfyAllOracles) {
@@ -113,6 +122,97 @@ TEST(ReplicationSweep, ReplicationKnobsLeaveDefaultScenarioStreamUntouched) {
                 static_cast<int>(EventKind::kServerLoad))
           << "seed " << seed << " event " << i;
     }
+  }
+}
+
+TEST(ReplicationSweep, LossyWireSweepRetransmitsAndCatchesUpWithoutLoss) {
+  // The lossy-wire acceptance sweep: 200 schedules where the replication
+  // links additionally drop, delay, duplicate and reorder frames under
+  // seeded control. Every oracle must still pass — retransmission with
+  // backoff plus the idempotent (seq, chain) receive cursor make the wire
+  // faults cost virtual time, never consistency — and the machinery must be
+  // genuinely exercised: ack timeouts retried, followers pulled back up via
+  // snapshot shipping (kReset) after falling behind a checkpoint
+  // generation, and drain acks parked through quorum stalls.
+  const GeneratorLimits limits = lossy_limits();
+  std::uint64_t link_faults = 0, link_heals = 0;
+  std::uint64_t retransmissions = 0, ack_timeouts = 0;
+  std::uint64_t snapshot_catchups = 0, delta_catchups = 0;
+  std::uint64_t parked = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const ScenarioSpec spec = generate_scenario(seed, limits);
+    const SimulationResult result = run_scenario(spec);
+    ASSERT_TRUE(result.passed)
+        << "seed " << seed << " violated " << result.failures[0].oracle
+        << " at event " << result.failures[0].event_index << ": "
+        << result.failures[0].detail << "\n"
+        << describe(spec);
+    for (const auto& [lease, ledger] : result.ledgers) {
+      ASSERT_TRUE(ledger.balanced()) << "seed " << seed << " lease " << lease;
+    }
+    link_faults += result.stats.link_faults;
+    link_heals += result.stats.link_heals;
+    retransmissions += result.stats.retransmissions;
+    ack_timeouts += result.stats.ack_timeouts;
+    snapshot_catchups += result.stats.snapshot_catchups;
+    delta_catchups += result.stats.delta_catchups;
+    parked += result.stats.parked_outcomes;
+  }
+  // Schedules always heal what they degrade (a run never ends on a lossy
+  // wire), and the fault mix must actually reach the retransmission and
+  // catch-up paths, not just ride along with lossless groups.
+  EXPECT_GT(link_faults, 50u);
+  EXPECT_EQ(link_faults, link_heals);
+  EXPECT_GE(retransmissions, 50u);
+  EXPECT_GE(ack_timeouts, 50u);
+  EXPECT_GE(snapshot_catchups, 10u);
+  EXPECT_GT(delta_catchups, 0u);
+  // Quorum stalls under wire loss parked at least one drain's acks; the
+  // oracles passing above pins that none of those were lost or double-
+  // granted once the wire healed.
+  EXPECT_GT(parked, 0u);
+}
+
+TEST(ReplicationSweep, LossyWireRunsReplayBitIdentically) {
+  // Retransmission timing, backoff jitter and link-fault rng all hang off
+  // the scenario seed, so a lossy run must replay bit-for-bit too.
+  const GeneratorLimits limits = lossy_limits();
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const ScenarioSpec spec = generate_scenario(seed, limits);
+    const SimulationResult first = run_scenario(spec);
+    const SimulationResult second = run_scenario(spec);
+    ASSERT_EQ(first.trace_fingerprint, second.trace_fingerprint)
+        << "seed " << seed;
+    ASSERT_EQ(first.trace.size(), second.trace.size()) << "seed " << seed;
+  }
+}
+
+TEST(ReplicationSweep, Seed7TraceFingerprintsArePinnedAcrossTheLinkRefactor) {
+  // Bit-compat regression pin: these three fingerprints were captured
+  // before frame shipping moved onto SimNetwork-style links. The new knobs
+  // (duplicate_prob, reorder_window, RetransmitPolicy) consume zero rng
+  // draws at their defaults and lossless/instant links skip the clocked
+  // wait path entirely, so pre-existing traces must stay bit-identical.
+  // A mismatch here means a default-path rng draw, a virtual-clock charge
+  // or a trace line changed — all of which break every historical seed
+  // reproducer.
+  {
+    const ScenarioSpec spec = generate_scenario(7);
+    EXPECT_EQ(run_scenario(spec).trace_fingerprint, 0x37f0cd1a2dcac354ull)
+        << "plain seed-7 trace changed";
+  }
+  {
+    GeneratorLimits limits;  // the CLI's bare `--replicas 3` mapping
+    limits.replicas = 3;
+    limits.replica_fault_probability = 0.15;
+    const ScenarioSpec spec = generate_scenario(7, limits);
+    EXPECT_EQ(run_scenario(spec).trace_fingerprint, 0xedf1a5c609e51bbaull)
+        << "replicated seed-7 trace changed";
+  }
+  {
+    const ScenarioSpec spec = generate_scenario(7, replication_limits());
+    EXPECT_EQ(run_scenario(spec).trace_fingerprint, 0x8990a7970364ae07ull)
+        << "replicated+storage-fault seed-7 trace changed";
   }
 }
 

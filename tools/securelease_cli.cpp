@@ -467,6 +467,21 @@ void print_simulation(const sim::ScenarioSpec& spec,
                 (unsigned long long)stats.stale_appends,
                 (unsigned long long)stats.stale_appends_rejected,
                 (unsigned long long)stats.quorum_stalls);
+    if (stats.link_faults + stats.retransmissions + stats.ack_timeouts +
+            stats.snapshot_catchups + stats.followers_expelled >
+        0) {
+      std::printf("wire: link_faults=%llu(%llu healed) retransmits=%llu "
+                  "ack_timeouts=%llu catchups=%llu snapshot/%llu delta "
+                  "expelled=%llu parked=%llu\n",
+                  (unsigned long long)stats.link_faults,
+                  (unsigned long long)stats.link_heals,
+                  (unsigned long long)stats.retransmissions,
+                  (unsigned long long)stats.ack_timeouts,
+                  (unsigned long long)stats.snapshot_catchups,
+                  (unsigned long long)stats.delta_catchups,
+                  (unsigned long long)stats.followers_expelled,
+                  (unsigned long long)stats.parked_outcomes);
+    }
   }
   for (const auto& [lease, ledger] : result.ledgers) {
     std::printf("ledger lease=%u: provisioned=%llu pool=%llu outstanding=%llu "
@@ -521,7 +536,7 @@ int cmd_simulate_dst(int argc, char** argv) {
   unsigned long long seed = 0;
   bool shrink = false, trace = false, tamper = false;
   bool crash_shards = false, storage_faults = false, recovery_check = false;
-  bool kill_leader = false, replication_check = false;
+  bool kill_leader = false, replication_check = false, link_faults = false;
   unsigned long long replicas = 0;
   bool have_seed = false;
   std::string trace_out;
@@ -550,6 +565,8 @@ int cmd_simulate_dst(int argc, char** argv) {
       kill_leader = true;
     } else if (flag == "--replication-check") {
       replication_check = true;
+    } else if (flag == "--link-faults") {
+      link_faults = true;
     } else {
       std::fprintf(stderr, "unknown simulate option '%s'\n", flag.c_str());
       return 1;
@@ -561,7 +578,9 @@ int cmd_simulate_dst(int argc, char** argv) {
   }
   sim::GeneratorLimits limits;
   if (tamper) limits.tamper_probability = 0.1;
-  if ((kill_leader || replication_check) && replicas == 0) replicas = 3;
+  if ((kill_leader || replication_check || link_faults) && replicas == 0) {
+    replicas = 3;
+  }
   if (replicas != 0 && (replicas < 3 || replicas % 2 == 0)) {
     std::fprintf(stderr, "simulate: --replicas must be odd and >= 3\n");
     return 1;
@@ -573,6 +592,11 @@ int cmd_simulate_dst(int argc, char** argv) {
     limits.replica_fault_probability = 0.15;
     if (kill_leader || replication_check) {
       limits.leader_fault_probability = 0.15;
+    }
+    if (link_faults) {
+      // Lossy replication wire: drop/delay/duplicate/reorder slots on the
+      // leader<->follower links, healed before every schedule's final drain.
+      limits.link_fault_probability = 0.2;
     }
   }
   if (storage_faults || recovery_check) crash_shards = true;
@@ -680,6 +704,10 @@ int cmd_loadgen(int argc, char** argv) {
           static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 0));
     } else if (flag == "--kill-leader") {
       config.kill_leader = true;
+    } else if (flag == "--link-reliability" && i + 1 < argc) {
+      config.link_reliability = std::strtod(argv[++i], nullptr);
+    } else if (flag == "--link-rtt-ms" && i + 1 < argc) {
+      config.link_rtt_millis = std::strtod(argv[++i], nullptr);
     } else if (flag == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (flag == "--trace-out" && i + 1 < argc) {
@@ -701,6 +729,14 @@ int cmd_loadgen(int argc, char** argv) {
     return 1;
   }
   if (config.kill_leader && config.replicas == 0) config.replicas = 3;
+  if (config.link_reliability <= 0.0 || config.link_reliability > 1.0) {
+    std::fprintf(stderr, "loadgen: --link-reliability must be in (0, 1]\n");
+    return 1;
+  }
+  if ((config.link_reliability < 1.0 || config.link_rtt_millis > 0.0) &&
+      config.replicas == 0) {
+    config.replicas = 3;
+  }
   TraceOutScope spans(!trace_out.empty());
   const lease::LoadgenMetrics m = lease::run_loadgen(config);
   if (const int rc = spans.finish(trace_out); rc != 0) return rc;
@@ -727,9 +763,11 @@ int cmd_loadgen(int argc, char** argv) {
                 std::thread::hardware_concurrency());
   }
   if (config.replicas > 0) {
-    std::printf("  replication: failovers=%llu quorum_stalls=%llu\n",
+    std::printf("  replication: failovers=%llu quorum_stalls=%llu "
+                "retransmits=%llu\n",
                 (unsigned long long)m.failovers,
-                (unsigned long long)m.quorum_stalls);
+                (unsigned long long)m.quorum_stalls,
+                (unsigned long long)m.retransmits);
   }
   std::printf("  ledgers: %s   state digest: %016llx\n",
               m.ledgers_balanced ? "balanced" : "IMBALANCED",
@@ -902,6 +940,9 @@ void usage() {
       "                        and stale-leader resurrection probes\n"
       "    --replication-check exit 3 on any replication-oracle violation\n"
       "                        (implies --replicas 3 --kill-leader)\n"
+      "    --link-faults       degrade the replication wire (drop/delay/dup/\n"
+      "                        reorder) under seeded control; frames retry\n"
+      "                        with backoff (implies --replicas 3)\n"
       "    --trace-out <file>  record virtual-clock spans, write JSONL;\n"
       "                        bit-identical for a fixed seed\n"
       "    --shrink            on failure, ddmin-minimize the schedule\n"
@@ -923,6 +964,9 @@ void usage() {
       "    --replicas <N>      2f+1 replica group per shard (odd, >= 3;\n"
       "                        implies --journal; acks need f follower syncs)\n"
       "    --kill-leader       fail over every leader at the halfway round\n"
+      "    --link-reliability <r>  replication-wire delivery probability\n"
+      "                        (drops retried with backoff; implies --replicas 3)\n"
+      "    --link-rtt-ms <ms>  replication-wire round-trip time in millis\n"
       "    --json <path>       write BENCH_remote.json-style output\n"
       "    --trace-out <file>  record virtual-clock spans, write JSONL\n"
       "    --fail-on-overload  exit 4 if any request was rejected\n"
