@@ -33,6 +33,14 @@
 
 using namespace sl;
 
+namespace {
+// Single-shard renewals/vsec recorded in BENCH_remote.json before the
+// zero-copy framing + incremental-hash overhaul (docs/WIRE.md). The gate
+// below fails the bench if the overhaul's win ever erodes below 1.8x this.
+constexpr double kPreChangeSingleShardThroughput = 29000.0;
+constexpr double kWireSpeedupFloor = 1.8;
+}  // namespace
+
 int main(int argc, char** argv) {
   std::printf("=== sharded SL-Remote load scaling ===\n\n");
 
@@ -313,6 +321,49 @@ int main(int argc, char** argv) {
     std::printf("wall scaling 1 -> 8 shards: %.2fx\n",
                 thread_runs[3].wall_throughput / thread_runs[0].wall_throughput);
   }
+  // Wire-path regression gate (docs/WIRE.md). Two halves:
+  //  * speed: single-shard throughput must hold >= 1.8x the recorded
+  //    pre-overhaul baseline (the overhaul landed at ~2.4x);
+  //  * safety: every run's incremental state digest must equal the
+  //    from-scratch rehash oracle — a divergence means the incremental
+  //    tree served a stale cached leaf, which no speedup excuses.
+  const double wire_floor =
+      kWireSpeedupFloor * kPreChangeSingleShardThroughput;
+  if (runs[0].throughput < wire_floor) {
+    std::fprintf(stderr,
+                 "FAIL: single-shard throughput %.1f renewals/vsec below the "
+                 "wire gate floor %.1f (%.1fx of the %.1f pre-change "
+                 "baseline)\n",
+                 runs[0].throughput, wire_floor, kWireSpeedupFloor,
+                 kPreChangeSingleShardThroughput);
+    ok = false;
+  } else {
+    std::printf("wire gate: single shard %.1f renewals/vsec = %.2fx the "
+                "pre-change baseline (floor %.1fx)\n",
+                runs[0].throughput,
+                runs[0].throughput / kPreChangeSingleShardThroughput,
+                kWireSpeedupFloor);
+  }
+  std::vector<const lease::LoadgenMetrics*> all_runs;
+  for (const lease::LoadgenMetrics& m : runs) all_runs.push_back(&m);
+  for (const lease::LoadgenMetrics& m : thread_runs) all_runs.push_back(&m);
+  all_runs.push_back(&unbatched);
+  all_runs.push_back(&journaled);
+  all_runs.push_back(&replicated);
+  all_runs.push_back(&lossless_wire);
+  all_runs.push_back(&lossy_wire);
+  for (const lease::LoadgenMetrics* m : all_runs) {
+    if (m->state_digest != m->state_digest_full) {
+      std::fprintf(stderr,
+                   "FAIL: incremental digest %016llx != full-rehash oracle "
+                   "%016llx (%s backend, %zu shards)\n",
+                   (unsigned long long)m->state_digest,
+                   (unsigned long long)m->state_digest_full,
+                   core::backend_name(m->config.backend), m->config.shards);
+      ok = false;
+    }
+  }
+
   const bool monotone = runs[0].throughput < runs[1].throughput &&
                         runs[1].throughput < runs[2].throughput;
   if (!monotone) {

@@ -28,12 +28,20 @@ class InternalError : public Error {
   explicit InternalError(const std::string& what) : Error(what) {}
 };
 
-// Throws InvalidArgument when `cond` is false.
+// Throws InvalidArgument when `cond` is false. The const char* overload is
+// what literal call sites bind to; it materializes the std::string only on
+// the throwing path, so hot-path checks never touch the heap.
+inline void require(bool cond, const char* what) {
+  if (!cond) throw InvalidArgument(what);
+}
 inline void require(bool cond, const std::string& what) {
   if (!cond) throw InvalidArgument(what);
 }
 
 // Throws InternalError when `cond` is false.
+inline void ensure(bool cond, const char* what) {
+  if (!cond) throw InternalError(what);
+}
 inline void ensure(bool cond, const std::string& what) {
   if (!cond) throw InternalError(what);
 }

@@ -1,0 +1,118 @@
+#include "common/wire_cursor.hpp"
+
+namespace sl {
+
+namespace {
+
+// A 64-bit value needs at most ten ULEB128 groups; the tenth may carry only
+// the single remaining bit.
+constexpr std::size_t kMaxVarintBytes = 10;
+
+}  // namespace
+
+bool WireCursor::read_u8(std::uint8_t& out) {
+  if (remaining() < 1) return false;
+  out = data_[offset_];
+  offset_ += 1;
+  return true;
+}
+
+bool WireCursor::read_u16(std::uint16_t& out) {
+  if (remaining() < 2) return false;
+  out = static_cast<std::uint16_t>(data_[offset_]) |
+        static_cast<std::uint16_t>(data_[offset_ + 1]) << 8;
+  offset_ += 2;
+  return true;
+}
+
+bool WireCursor::read_u32(std::uint32_t& out) {
+  if (remaining() < 4) return false;
+  out = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    out |= static_cast<std::uint32_t>(data_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 4;
+  return true;
+}
+
+bool WireCursor::read_u64(std::uint64_t& out) {
+  if (remaining() < 8) return false;
+  out = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    out |= static_cast<std::uint64_t>(data_[offset_ + i]) << (8 * i);
+  }
+  offset_ += 8;
+  return true;
+}
+
+bool WireCursor::read_varint(std::uint64_t& out) {
+  std::uint64_t value = 0;
+  std::size_t used = 0;
+  for (; used < kMaxVarintBytes; ++used) {
+    if (offset_ + used >= data_.size()) return false;  // truncated
+    const std::uint8_t byte = data_[offset_ + used];
+    const std::uint64_t group = byte & 0x7f;
+    const unsigned shift = static_cast<unsigned>(7 * used);
+    // The tenth group may carry only bit 63.
+    if (used == kMaxVarintBytes - 1 && group > 1) return false;
+    value |= group << shift;
+    if ((byte & 0x80) == 0) {
+      // Canonical-only: a multi-byte encoding whose final group is zero
+      // encodes the same value in fewer bytes — reject the redundancy.
+      if (used > 0 && group == 0) return false;
+      out = value;
+      offset_ += used + 1;
+      return true;
+    }
+  }
+  return false;  // unterminated / >64-bit
+}
+
+bool WireCursor::read_bytes(std::size_t n, ByteView& out) {
+  if (remaining() < n) return false;
+  out = data_.subspan(offset_, n);
+  offset_ += n;
+  return true;
+}
+
+bool WireCursor::skip(std::size_t n) {
+  if (remaining() < n) return false;
+  offset_ += n;
+  return true;
+}
+
+void WireWriter::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void WireWriter::u32(std::uint32_t v) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::u64(std::uint64_t v) {
+  for (std::size_t i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void WireWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    out_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    n++;
+  }
+  return n;
+}
+
+}  // namespace sl

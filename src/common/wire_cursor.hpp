@@ -1,0 +1,72 @@
+// Bounded-cursor zero-copy wire reader/writer (docs/WIRE.md).
+//
+// Every consensus- and durability-critical parser (WAL records, replication
+// frames, licenses, RPC messages) reads through a WireCursor: a borrowed
+// span-style view with strict bounds checks and no intermediate copies. The
+// idiom follows the i2pd LeaseSet parsers — a length is never trusted before
+// the bytes it promises are proven present.
+//
+// Contract (the wire fuzz suite pins it):
+//  * Readers are transactional: on failure they return false and the cursor
+//    DOES NOT MOVE — a rejected field can be retried or reported with the
+//    offset of the violation, and a failed sub-parse never half-consumes.
+//  * read_bytes()/rest() return views borrowing the underlying buffer; the
+//    buffer must outlive them. Nothing is copied.
+//  * Varints are ULEB128, canonical-only: the decoder rejects redundant
+//    encodings (a non-final group of zero value) and anything that does not
+//    fit 64 bits, so serialize(deserialize(x)) == x holds byte-for-byte.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sl {
+
+class WireCursor {
+ public:
+  explicit WireCursor(ByteView data) : data_(data) {}
+
+  std::size_t offset() const { return offset_; }
+  std::size_t remaining() const { return data_.size() - offset_; }
+  bool done() const { return offset_ == data_.size(); }
+
+  bool read_u8(std::uint8_t& out);
+  bool read_u16(std::uint16_t& out);  // little-endian
+  bool read_u32(std::uint32_t& out);  // little-endian
+  bool read_u64(std::uint64_t& out);  // little-endian
+  // Canonical ULEB128; rejects redundant encodings and 64-bit overflow.
+  bool read_varint(std::uint64_t& out);
+  // Borrowed view of the next `n` bytes; no copy.
+  bool read_bytes(std::size_t n, ByteView& out);
+  bool skip(std::size_t n);
+  // Borrowed view of the unread tail; the cursor does not move.
+  ByteView rest() const { return data_.subspan(offset_); }
+
+ private:
+  ByteView data_;
+  std::size_t offset_ = 0;
+};
+
+// Appends into a caller-supplied buffer so hot paths can reuse capacity
+// (scratch buffers amortize to zero allocations in steady state).
+class WireWriter {
+ public:
+  explicit WireWriter(Bytes& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void varint(std::uint64_t v);  // minimal ULEB128
+  void bytes(ByteView data) { out_.insert(out_.end(), data.begin(), data.end()); }
+  std::size_t written() const { return out_.size(); }
+
+ private:
+  Bytes& out_;
+};
+
+// Size of varint(v) in bytes (1..10); handy for framing decisions.
+std::size_t varint_size(std::uint64_t v);
+
+}  // namespace sl

@@ -165,9 +165,14 @@ AesBlock Aes128::decrypt_block(const AesBlock& in) const {
 }
 
 Bytes aes128_ctr(const AesKey& key, std::uint64_t nonce, ByteView data) {
+  Bytes out(data.begin(), data.end());
+  aes128_ctr_xor(key, nonce, std::span<std::uint8_t>(out));
+  return out;
+}
+
+void aes128_ctr_xor(const AesKey& key, std::uint64_t nonce,
+                    std::span<std::uint8_t> data) {
   const Aes128 cipher(key);
-  Bytes out;
-  out.reserve(data.size());
   AesBlock counter{};
   for (int i = 0; i < 8; ++i) counter[i] = static_cast<std::uint8_t>(nonce >> (8 * i));
   std::uint64_t block_index = 0;
@@ -179,12 +184,11 @@ Bytes aes128_ctr(const AesKey& key, std::uint64_t nonce, ByteView data) {
     const AesBlock keystream = cipher.encrypt_block(counter);
     const std::size_t take = std::min(data.size() - offset, kAesBlockSize);
     for (std::size_t i = 0; i < take; ++i) {
-      out.push_back(data[offset + i] ^ keystream[i]);
+      data[offset + i] ^= keystream[i];
     }
     offset += take;
     ++block_index;
   }
-  return out;
 }
 
 AesKey expand_lease_key(std::uint64_t key64) {

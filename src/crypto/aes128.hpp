@@ -36,6 +36,11 @@ class Aes128 {
 // both directions). The nonce seeds the counter block.
 Bytes aes128_ctr(const AesKey& key, std::uint64_t nonce, ByteView data);
 
+// In-place CTR transform over a caller-owned buffer — the hot seal path
+// reuses one scratch buffer instead of allocating per commit.
+void aes128_ctr_xor(const AesKey& key, std::uint64_t nonce,
+                    std::span<std::uint8_t> data);
+
 // Builds a full 128-bit AES key from a 64-bit lease key. The paper stores a
 // 64-bit per-node key in the parent entry (Section 5.2.1); we stretch it to
 // 128 bits with a fixed domain-separation pad so the cipher still gets a

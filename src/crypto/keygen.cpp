@@ -9,13 +9,25 @@ KeyGenerator::KeyGenerator(std::uint64_t seed) {
   put_u64(state_, seed);
 }
 
+Sha256Digest KeyGenerator::next_block() {
+  // state_ is the 8-byte seed laid down by the constructor; the hash input
+  // (state || counter, both little-endian) fits a stack buffer, so drawing
+  // a block never allocates. Byte-identical to hashing `state_` with the
+  // counter appended via put_u64.
+  std::array<std::uint8_t, 16> input;
+  std::copy(state_.begin(), state_.end(), input.begin());
+  const std::uint64_t c = counter_++;
+  for (int i = 0; i < 8; ++i) {
+    input[state_.size() + i] = static_cast<std::uint8_t>(c >> (8 * i));
+  }
+  return Sha256::hash(ByteView(input.data(), state_.size() + 8));
+}
+
 Bytes KeyGenerator::next_bytes(std::size_t n) {
   Bytes out;
   out.reserve(n);
   while (out.size() < n) {
-    Bytes input = state_;
-    put_u64(input, counter_++);
-    const Sha256Digest digest = Sha256::hash(input);
+    const Sha256Digest digest = next_block();
     const std::size_t take = std::min(n - out.size(), digest.size());
     out.insert(out.end(), digest.begin(), digest.begin() + take);
   }
@@ -23,14 +35,14 @@ Bytes KeyGenerator::next_bytes(std::size_t n) {
 }
 
 std::uint64_t KeyGenerator::next_key64() {
-  const Bytes b = next_bytes(8);
-  return get_u64(b, 0);
+  const Sha256Digest digest = next_block();
+  return get_u64(ByteView(digest.data(), digest.size()), 0);
 }
 
 AesKey KeyGenerator::next_aes_key() {
-  const Bytes b = next_bytes(kAesKeySize);
+  const Sha256Digest digest = next_block();
   AesKey key{};
-  std::copy(b.begin(), b.end(), key.begin());
+  std::copy(digest.begin(), digest.begin() + kAesKeySize, key.begin());
   return key;
 }
 

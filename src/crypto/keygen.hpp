@@ -10,6 +10,7 @@
 
 #include "common/bytes.hpp"
 #include "crypto/aes128.hpp"
+#include "crypto/sha256.hpp"
 
 namespace sl::crypto {
 
@@ -28,6 +29,10 @@ class KeyGenerator {
   Bytes next_bytes(std::size_t n);
 
  private:
+  // One DRBG block: SHA-256(state || counter++). Stack-only — next_key64
+  // sits on the per-leaf seal path, which must not touch the heap.
+  Sha256Digest next_block();
+
   Bytes state_;
   std::uint64_t counter_ = 0;
 };

@@ -12,15 +12,21 @@ constexpr std::uint64_t kSealNonce = 0x534c5f5345414c00ULL;
 }  // namespace
 
 SealedPayload protect(ByteView data, KeyGenerator& keygen) {
-  const Sha256Digest digest = Sha256::hash(data);
-
-  Bytes bundle(data.begin(), data.end());
-  bundle.insert(bundle.end(), digest.begin(), digest.end());
-
   SealedPayload sealed;
-  sealed.key = keygen.next_key64();
-  sealed.ciphertext = aes128_ctr(expand_lease_key(sealed.key), kSealNonce, bundle);
+  sealed.key = protect_into(data, keygen, sealed.ciphertext);
   return sealed;
+}
+
+std::uint64_t protect_into(ByteView data, KeyGenerator& keygen,
+                           Bytes& ciphertext) {
+  const Sha256Digest digest = Sha256::hash(data);
+  ciphertext.clear();
+  ciphertext.insert(ciphertext.end(), data.begin(), data.end());
+  ciphertext.insert(ciphertext.end(), digest.begin(), digest.end());
+  const std::uint64_t key = keygen.next_key64();
+  aes128_ctr_xor(expand_lease_key(key), kSealNonce,
+                 std::span<std::uint8_t>(ciphertext));
+  return key;
 }
 
 std::optional<Bytes> validate(ByteView ciphertext, std::uint64_t key) {

@@ -23,6 +23,12 @@ struct SealedPayload {
 // Algorithm 2: returns <ciphertext, key>; `keygen` supplies RandomKeyGen().
 SealedPayload protect(ByteView data, KeyGenerator& keygen);
 
+// Scratch-buffer variant: seals into `ciphertext` (cleared, capacity reused)
+// and returns the fresh key — the incremental commit path re-seals a dirty
+// leaf without allocating. Identical bytes to protect().
+std::uint64_t protect_into(ByteView data, KeyGenerator& keygen,
+                           Bytes& ciphertext);
+
 // Algorithm 3: returns the plaintext, or nullopt when the hash check fails
 // (tampering or replay with a stale key).
 std::optional<Bytes> validate(ByteView ciphertext, std::uint64_t key);

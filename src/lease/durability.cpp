@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "common/wire_cursor.hpp"
+
 namespace sl::lease {
 
 namespace {
@@ -13,12 +15,36 @@ constexpr std::size_t kMaxEscrowEntries = 65'536;
 constexpr std::size_t kRenewEntryBytes = 8 + 8 + 8 + 1 + 8 + 8 + 8;
 constexpr std::size_t kEscrowEntryBytes = 4 + 8;
 
-void put_double(Bytes& out, double value) {
-  put_u64(out, std::bit_cast<std::uint64_t>(value));
+void put_double(WireWriter& writer, double value) {
+  writer.u64(std::bit_cast<std::uint64_t>(value));
 }
 
-bool fits(ByteView data, std::size_t offset, std::size_t need) {
-  return offset <= data.size() && data.size() - offset >= need;
+bool read_double(WireCursor& cursor, double& out) {
+  std::uint64_t bits = 0;
+  if (!cursor.read_u64(bits)) return false;
+  out = std::bit_cast<double>(bits);
+  return true;
+}
+
+// One renewal entry of a v2 batched record: varint scalars (small in
+// practice), raw IEEE-754 bits for the telemetry doubles (replay must be
+// exact, and a double's bit pattern does not varint-compress).
+void put_entry_v2(WireWriter& writer, const WalRenewEntry& entry) {
+  writer.varint(entry.slid);
+  writer.varint(entry.request_id);
+  writer.varint(entry.consumed);
+  writer.u8(entry.status);
+  writer.varint(entry.granted);
+  put_double(writer, entry.health);
+  put_double(writer, entry.network);
+}
+
+bool read_entry_v2(WireCursor& cursor, WalRenewEntry& entry) {
+  return cursor.read_varint(entry.slid) &&
+         cursor.read_varint(entry.request_id) &&
+         cursor.read_varint(entry.consumed) && cursor.read_u8(entry.status) &&
+         cursor.read_varint(entry.granted) &&
+         read_double(cursor, entry.health) && read_double(cursor, entry.network);
 }
 
 }  // namespace
@@ -38,128 +64,166 @@ const char* wal_record_type_name(WalRecordType type) {
 
 Bytes WalRecord::serialize() const {
   Bytes out;
-  out.push_back(static_cast<std::uint8_t>(type));
-  put_u64(out, post_digest);
-  switch (type) {
-    case WalRecordType::kGenesis:
-      put_u64(out, generation);
-      break;
-    case WalRecordType::kProvision:
-      put_u32(out, lease);
-      put_u32(out, static_cast<std::uint32_t>(license.size()));
-      out.insert(out.end(), license.begin(), license.end());
-      break;
-    case WalRecordType::kRenewBatch:
-      put_u32(out, lease);
-      put_u32(out, static_cast<std::uint32_t>(entries.size()));
-      for (const WalRenewEntry& entry : entries) {
-        put_u64(out, entry.slid);
-        put_u64(out, entry.request_id);
-        put_u64(out, entry.consumed);
-        out.push_back(entry.status);
-        put_u64(out, entry.granted);
-        put_double(out, entry.health);
-        put_double(out, entry.network);
-      }
-      break;
-    case WalRecordType::kRevoke:
-      put_u32(out, lease);
-      break;
-    case WalRecordType::kAdmission:
-      out.push_back(static_cast<std::uint8_t>(admission));
-      put_u64(out, slid);
-      put_double(out, health);
-      put_double(out, network);
-      break;
-    case WalRecordType::kEscrow:
-      put_u64(out, slid);
-      put_u64(out, root_key);
-      put_u32(out, static_cast<std::uint32_t>(unused.size()));
-      // detlint:allow(unordered-iteration) sorted vector field (see
-      // durability.hpp); name-collides with the map in sl_local.cpp
-      for (const auto& [unused_lease, count] : unused) {
-        put_u32(out, unused_lease);
-        put_u64(out, count);
-      }
-      break;
-    case WalRecordType::kIntent:
-      put_u32(out, lease);
-      put_u64(out, ticket);
-      put_u64(out, slid);
-      put_u64(out, request_id);
-      put_u64(out, consumed);
-      break;
-  }
+  serialize_into(out);
   return out;
 }
 
+void WalRecord::serialize_into(Bytes& out) const {
+  out.clear();
+  WireWriter writer(out);
+  // v2 batched framing is emitted exactly when groups are present; every
+  // other record keeps its v1 byte layout so old tools and journals agree.
+  const bool batched = type == WalRecordType::kRenewBatch && !groups.empty();
+  writer.u8(batched ? (kWalBatchedFlag | static_cast<std::uint8_t>(type))
+                    : static_cast<std::uint8_t>(type));
+  writer.u64(post_digest);
+  switch (type) {
+    case WalRecordType::kGenesis:
+      writer.u64(generation);
+      break;
+    case WalRecordType::kProvision:
+      writer.u32(lease);
+      writer.u32(static_cast<std::uint32_t>(license.size()));
+      writer.bytes(license);
+      break;
+    case WalRecordType::kRenewBatch:
+      if (batched) {
+        writer.varint(groups.size());
+        for (const WalRenewGroup& group : groups) {
+          writer.varint(group.lease);
+          writer.varint(group.entries.size());
+          for (const WalRenewEntry& entry : group.entries) {
+            put_entry_v2(writer, entry);
+          }
+        }
+        break;
+      }
+      writer.u32(lease);
+      writer.u32(static_cast<std::uint32_t>(entries.size()));
+      for (const WalRenewEntry& entry : entries) {
+        writer.u64(entry.slid);
+        writer.u64(entry.request_id);
+        writer.u64(entry.consumed);
+        writer.u8(entry.status);
+        writer.u64(entry.granted);
+        put_double(writer, entry.health);
+        put_double(writer, entry.network);
+      }
+      break;
+    case WalRecordType::kRevoke:
+      writer.u32(lease);
+      break;
+    case WalRecordType::kAdmission:
+      writer.u8(static_cast<std::uint8_t>(admission));
+      writer.u64(slid);
+      put_double(writer, health);
+      put_double(writer, network);
+      break;
+    case WalRecordType::kEscrow:
+      writer.u64(slid);
+      writer.u64(root_key);
+      writer.u32(static_cast<std::uint32_t>(unused.size()));
+      // detlint:allow(unordered-iteration) sorted vector field (see
+      // durability.hpp); name-collides with the map in sl_local.cpp
+      for (const auto& [unused_lease, count] : unused) {
+        writer.u32(unused_lease);
+        writer.u64(count);
+      }
+      break;
+    case WalRecordType::kIntent:
+      writer.u32(lease);
+      writer.u64(ticket);
+      writer.u64(slid);
+      writer.u64(request_id);
+      writer.u64(consumed);
+      break;
+  }
+}
+
 std::optional<WalRecord> WalRecord::deserialize(ByteView data) {
-  if (!fits(data, 0, 1 + 8)) return std::nullopt;
+  WireCursor cursor(data);
   WalRecord record;
-  const std::uint8_t raw_type = data[0];
-  if (raw_type > static_cast<std::uint8_t>(WalRecordType::kIntent)) {
+  std::uint8_t raw_type = 0;
+  if (!cursor.read_u8(raw_type) || !cursor.read_u64(record.post_digest)) {
     return std::nullopt;
   }
-  record.type = static_cast<WalRecordType>(raw_type);
-  record.post_digest = get_u64(data, 1);
-  std::size_t offset = 9;
-
-  const auto read_u32 = [&](std::uint32_t& out) {
-    if (!fits(data, offset, 4)) return false;
-    out = get_u32(data, offset);
-    offset += 4;
-    return true;
-  };
-  const auto read_u64 = [&](std::uint64_t& out) {
-    if (!fits(data, offset, 8)) return false;
-    out = get_u64(data, offset);
-    offset += 8;
-    return true;
-  };
-  const auto read_u8 = [&](std::uint8_t& out) {
-    if (!fits(data, offset, 1)) return false;
-    out = data[offset];
-    offset += 1;
-    return true;
-  };
-  const auto read_double = [&](double& out) {
-    std::uint64_t bits = 0;
-    if (!read_u64(bits)) return false;
-    out = std::bit_cast<double>(bits);
-    return true;
-  };
+  const bool batched = (raw_type & kWalBatchedFlag) != 0;
+  const std::uint8_t base_type = raw_type & ~kWalBatchedFlag;
+  if (base_type > static_cast<std::uint8_t>(WalRecordType::kIntent)) {
+    return std::nullopt;
+  }
+  record.type = static_cast<WalRecordType>(base_type);
+  // The flag exists only for the batched renewal encoding.
+  if (batched && record.type != WalRecordType::kRenewBatch) return std::nullopt;
 
   switch (record.type) {
     case WalRecordType::kGenesis:
-      if (!read_u64(record.generation)) return std::nullopt;
+      if (!cursor.read_u64(record.generation)) return std::nullopt;
       break;
     case WalRecordType::kProvision: {
       std::uint32_t len = 0;
-      if (!read_u32(record.lease) || !read_u32(len)) return std::nullopt;
-      if (len > kMaxLicenseBytes || !fits(data, offset, len)) {
+      if (!cursor.read_u32(record.lease) || !cursor.read_u32(len)) {
         return std::nullopt;
       }
-      record.license.assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
-                            data.begin() +
-                                static_cast<std::ptrdiff_t>(offset + len));
-      offset += len;
+      if (len > kMaxLicenseBytes) return std::nullopt;
+      ByteView blob;
+      if (!cursor.read_bytes(len, blob)) return std::nullopt;
+      record.license.assign(blob.begin(), blob.end());
       break;
     }
     case WalRecordType::kRenewBatch: {
+      if (batched) {
+        // v2: [varint group_count]{[varint lease][varint count]{entry...}}.
+        // Counts bound the *total* entries; a nested length that lies about
+        // its group runs out of bytes and rejects with no partial state.
+        std::uint64_t group_count = 0;
+        if (!cursor.read_varint(group_count)) return std::nullopt;
+        if (group_count == 0 || group_count > kMaxBatchEntries) {
+          return std::nullopt;
+        }
+        std::size_t total_entries = 0;
+        record.groups.reserve(static_cast<std::size_t>(group_count));
+        for (std::uint64_t g = 0; g < group_count; ++g) {
+          WalRenewGroup group;
+          std::uint64_t lease = 0;
+          std::uint64_t entry_count = 0;
+          if (!cursor.read_varint(lease) || lease > 0xffffffffULL ||
+              !cursor.read_varint(entry_count)) {
+            return std::nullopt;
+          }
+          total_entries += static_cast<std::size_t>(entry_count);
+          if (entry_count > kMaxBatchEntries ||
+              total_entries > kMaxBatchEntries) {
+            return std::nullopt;
+          }
+          group.lease = static_cast<LeaseId>(lease);
+          group.entries.reserve(static_cast<std::size_t>(entry_count));
+          for (std::uint64_t i = 0; i < entry_count; ++i) {
+            WalRenewEntry entry;
+            if (!read_entry_v2(cursor, entry)) return std::nullopt;
+            group.entries.push_back(entry);
+          }
+          record.groups.push_back(std::move(group));
+        }
+        break;
+      }
       std::uint32_t count = 0;
-      if (!read_u32(record.lease) || !read_u32(count)) return std::nullopt;
+      if (!cursor.read_u32(record.lease) || !cursor.read_u32(count)) {
+        return std::nullopt;
+      }
       if (count > kMaxBatchEntries ||
-          !fits(data, offset, static_cast<std::size_t>(count) *
-                                  kRenewEntryBytes)) {
+          cursor.remaining() <
+              static_cast<std::size_t>(count) * kRenewEntryBytes) {
         return std::nullopt;
       }
       record.entries.reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) {
         WalRenewEntry entry;
-        if (!read_u64(entry.slid) || !read_u64(entry.request_id) ||
-            !read_u64(entry.consumed) || !read_u8(entry.status) ||
-            !read_u64(entry.granted) || !read_double(entry.health) ||
-            !read_double(entry.network)) {
+        if (!cursor.read_u64(entry.slid) || !cursor.read_u64(entry.request_id) ||
+            !cursor.read_u64(entry.consumed) || !cursor.read_u8(entry.status) ||
+            !cursor.read_u64(entry.granted) ||
+            !read_double(cursor, entry.health) ||
+            !read_double(cursor, entry.network)) {
           return std::nullopt;
         }
         record.entries.push_back(entry);
@@ -167,50 +231,52 @@ std::optional<WalRecord> WalRecord::deserialize(ByteView data) {
       break;
     }
     case WalRecordType::kRevoke:
-      if (!read_u32(record.lease)) return std::nullopt;
+      if (!cursor.read_u32(record.lease)) return std::nullopt;
       break;
     case WalRecordType::kAdmission: {
       std::uint8_t kind = 0;
-      if (!read_u8(kind) ||
+      if (!cursor.read_u8(kind) ||
           kind > static_cast<std::uint8_t>(WalAdmissionKind::kGracefulReinit)) {
         return std::nullopt;
       }
       record.admission = static_cast<WalAdmissionKind>(kind);
-      if (!read_u64(record.slid) || !read_double(record.health) ||
-          !read_double(record.network)) {
+      if (!cursor.read_u64(record.slid) || !read_double(cursor, record.health) ||
+          !read_double(cursor, record.network)) {
         return std::nullopt;
       }
       break;
     }
     case WalRecordType::kEscrow: {
       std::uint32_t count = 0;
-      if (!read_u64(record.slid) || !read_u64(record.root_key) ||
-          !read_u32(count)) {
+      if (!cursor.read_u64(record.slid) || !cursor.read_u64(record.root_key) ||
+          !cursor.read_u32(count)) {
         return std::nullopt;
       }
       if (count > kMaxEscrowEntries ||
-          !fits(data, offset, static_cast<std::size_t>(count) *
-                                  kEscrowEntryBytes)) {
+          cursor.remaining() <
+              static_cast<std::size_t>(count) * kEscrowEntryBytes) {
         return std::nullopt;
       }
       record.unused.reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) {
         std::uint32_t unused_lease = 0;
         std::uint64_t amount = 0;
-        if (!read_u32(unused_lease) || !read_u64(amount)) return std::nullopt;
+        if (!cursor.read_u32(unused_lease) || !cursor.read_u64(amount)) {
+          return std::nullopt;
+        }
         record.unused.emplace_back(unused_lease, amount);
       }
       break;
     }
     case WalRecordType::kIntent:
-      if (!read_u32(record.lease) || !read_u64(record.ticket) ||
-          !read_u64(record.slid) || !read_u64(record.request_id) ||
-          !read_u64(record.consumed)) {
+      if (!cursor.read_u32(record.lease) || !cursor.read_u64(record.ticket) ||
+          !cursor.read_u64(record.slid) || !cursor.read_u64(record.request_id) ||
+          !cursor.read_u64(record.consumed)) {
         return std::nullopt;
       }
       break;
   }
-  if (offset != data.size()) return std::nullopt;  // trailing garbage
+  if (!cursor.done()) return std::nullopt;  // trailing garbage
   return record;
 }
 

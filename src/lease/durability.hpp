@@ -43,6 +43,11 @@ enum class WalRecordType : std::uint8_t {
   kIntent = 6,
 };
 
+// Type-byte flag marking the v2 (varint, multi-group) encoding of a record.
+// v1 type bytes are 0..6, so a flagged byte is unambiguous; old journals
+// carry only unflagged bytes and keep replaying (docs/WIRE.md).
+inline constexpr std::uint8_t kWalBatchedFlag = 0x80;
+
 const char* wal_record_type_name(WalRecordType type);
 
 enum class WalAdmissionKind : std::uint8_t {
@@ -64,6 +69,17 @@ struct WalRenewEntry {
   bool operator==(const WalRenewEntry&) const = default;
 };
 
+// One coalesced license group inside a v2 batched renewal record. A v2
+// kRenewBatch carries the whole drain — every group the batcher formed —
+// in one frame, so the journal pays one seal + chain step per drain
+// instead of one per group.
+struct WalRenewGroup {
+  LeaseId lease = 0;
+  std::vector<WalRenewEntry> entries;
+
+  bool operator==(const WalRenewGroup&) const = default;
+};
+
 struct WalRecord {
   WalRecordType type = WalRecordType::kGenesis;
   // Shard state digest after applying this record; replay verifies it.
@@ -76,6 +92,10 @@ struct WalRecord {
   LeaseId lease = 0;
   Bytes license;
   std::vector<WalRenewEntry> entries;
+  // v2 batched kRenewBatch: one group per coalesced license, whole drain in
+  // one record. serialize() emits the v2 varint framing exactly when this is
+  // non-empty; a v1 parse leaves it empty (lease/entries carry the group).
+  std::vector<WalRenewGroup> groups;
 
   // kAdmission / kEscrow
   WalAdmissionKind admission = WalAdmissionKind::kFirst;
@@ -92,6 +112,9 @@ struct WalRecord {
   std::uint64_t consumed = 0;
 
   Bytes serialize() const;
+  // Scratch-buffer variant for the hot path: clears `out` and serializes
+  // into it, reusing its capacity (zero allocations in steady state).
+  void serialize_into(Bytes& out) const;
   static std::optional<WalRecord> deserialize(ByteView data);
 };
 

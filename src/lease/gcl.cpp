@@ -72,14 +72,23 @@ std::uint64_t Gcl::try_consume(std::uint64_t n) {
 }
 
 Bytes Gcl::serialize() const {
-  Bytes out;
-  out.reserve(kSerializedSize);
-  put_u32(out, static_cast<std::uint32_t>(kind_));
-  put_u64(out, count_);
-  // Interval and watermark quantized to milliseconds.
-  put_u32(out, static_cast<std::uint32_t>(interval_seconds_ * 1e3));
-  put_u64(out, static_cast<std::uint64_t>(last_measurement_seconds_ * 1e3));
+  Bytes out(kSerializedSize);
+  serialize_to(out.data());
   return out;
+}
+
+void Gcl::serialize_to(std::uint8_t* out) const {
+  const auto w32 = [&](std::size_t off, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  const auto w64 = [&](std::size_t off, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) out[off + i] = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  w32(0, static_cast<std::uint32_t>(kind_));
+  w64(4, count_);
+  // Interval and watermark quantized to milliseconds.
+  w32(12, static_cast<std::uint32_t>(interval_seconds_ * 1e3));
+  w64(16, static_cast<std::uint64_t>(last_measurement_seconds_ * 1e3));
 }
 
 std::optional<Gcl> Gcl::deserialize(ByteView data) {

@@ -64,6 +64,9 @@ class Gcl {
 
   // Fixed-size (24-byte) serialization embedded in the lease payload.
   Bytes serialize() const;
+  // Writes kSerializedSize bytes at `out` — the per-renewal record update
+  // serializes into the record's own buffer without allocating.
+  void serialize_to(std::uint8_t* out) const;
   static std::optional<Gcl> deserialize(ByteView data);
   static constexpr std::size_t kSerializedSize = 24;
 

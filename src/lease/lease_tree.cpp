@@ -19,9 +19,9 @@ Gcl LeaseRecord::gcl() const {
 }
 
 void LeaseRecord::set_gcl(const Gcl& gcl) {
-  const Bytes serialized = gcl.serialize();
-  ensure(serialized.size() <= data.size(), "LeaseRecord: GCL too large");
-  std::copy(serialized.begin(), serialized.end(), data.begin());
+  static_assert(Gcl::kSerializedSize <= kLeaseDataBytes,
+                "LeaseRecord: GCL too large");
+  gcl.serialize_to(data.data());
   recompute_hash();
 }
 
@@ -46,12 +46,24 @@ void LeaseRecord::spin_unlock() { lock.store(0, std::memory_order_release); }
 
 std::uint64_t UntrustedStore::put(Bytes ciphertext) {
   const std::uint64_t handle = next_handle_++;
+  total_bytes_ += ciphertext.size();
   blobs_.emplace(handle, std::move(ciphertext));
   return handle;
 }
 
 void UntrustedStore::overwrite(std::uint64_t handle, Bytes ciphertext) {
-  blobs_[handle] = std::move(ciphertext);
+  Bytes& slot = blobs_[handle];
+  total_bytes_ -= slot.size();
+  total_bytes_ += ciphertext.size();
+  slot = std::move(ciphertext);
+}
+
+void UntrustedStore::update(std::uint64_t handle, ByteView ciphertext) {
+  auto it = blobs_.find(handle);
+  ensure(it != blobs_.end(), "UntrustedStore::update: unknown handle");
+  total_bytes_ -= it->second.size();
+  total_bytes_ += ciphertext.size();
+  it->second.assign(ciphertext.begin(), ciphertext.end());
 }
 
 std::optional<Bytes> UntrustedStore::get(std::uint64_t handle) const {
@@ -60,7 +72,12 @@ std::optional<Bytes> UntrustedStore::get(std::uint64_t handle) const {
   return it->second;
 }
 
-void UntrustedStore::erase(std::uint64_t handle) { blobs_.erase(handle); }
+void UntrustedStore::erase(std::uint64_t handle) {
+  auto it = blobs_.find(handle);
+  if (it == blobs_.end()) return;
+  total_bytes_ -= it->second.size();
+  blobs_.erase(it);
+}
 
 std::vector<std::uint64_t> UntrustedStore::handles() const {
   std::vector<std::uint64_t> out;
@@ -68,12 +85,6 @@ std::vector<std::uint64_t> UntrustedStore::handles() const {
   for (const auto& [handle, blob] : blobs_) out.push_back(handle);
   std::sort(out.begin(), out.end());
   return out;
-}
-
-std::uint64_t UntrustedStore::bytes() const {
-  std::uint64_t total = 0;
-  for (const auto& [handle, blob] : blobs_) total += blob.size();
-  return total;
 }
 
 // --- LeaseTree -----------------------------------------------------------------
@@ -174,7 +185,8 @@ void LeaseTree::insert(LeaseId id, const Gcl& gcl) {
   Node* parent = descend(id, /*create=*/true, kTreeLevels - 1);
   ensure(parent != nullptr, "LeaseTree::insert: descend failed");
   Entry& entry = parent->entries[index_at(id, kTreeLevels - 1)];
-  if (entry.committed && !restore_entry(entry, kTreeLevels)) {
+  if (entry.leaf == nullptr && entry.committed &&
+      !restore_entry(entry, kTreeLevels)) {
     // Unrecoverable leaf (tampered while offloaded); replace it outright.
     entry.committed = false;
     entry.handle = 0;
@@ -185,6 +197,7 @@ void LeaseTree::insert(LeaseId id, const Gcl& gcl) {
     lease_count_++;
   }
   entry.leaf->set_gcl(gcl);
+  if (cache_commits_) mark_dirty(id);
   stats_.inserts++;
   enforce_budget();
 }
@@ -194,8 +207,10 @@ LeaseRecord* LeaseTree::find(LeaseId id) {
   Node* parent = descend(id, /*create=*/false, kTreeLevels - 1);
   if (parent == nullptr) return nullptr;
   Entry& entry = parent->entries[index_at(id, kTreeLevels - 1)];
-  if (entry.committed && !restore_entry(entry, kTreeLevels)) return nullptr;
-  if (entry.leaf == nullptr) return nullptr;
+  // Cache-mode fast path: a committed leaf may still be resident.
+  if (entry.leaf == nullptr) {
+    if (!entry.committed || !restore_entry(entry, kTreeLevels)) return nullptr;
+  }
   stats_.hits++;
   // NOTE: the budget is deliberately NOT enforced here — the caller holds a
   // raw pointer into the leaf until it releases the lock, so eviction only
@@ -207,27 +222,51 @@ bool LeaseTree::erase(LeaseId id) {
   Node* parent = descend(id, /*create=*/false, kTreeLevels - 1);
   if (parent == nullptr) return false;
   Entry& entry = parent->entries[index_at(id, kTreeLevels - 1)];
+  // Cache mode: the entry may be committed AND resident; drop both halves.
+  bool removed = false;
   if (entry.committed) {
     store_.erase(entry.handle);
     entry.committed = false;
     entry.handle = 0;
-    parent->live_entries--;
-    return true;
+    entry.key = 0;
+    removed = true;
   }
-  if (entry.leaf == nullptr) return false;
-  free_leaf(entry.leaf);
-  entry.leaf = nullptr;
-  parent->live_entries--;
-  lease_count_--;
-  return true;
+  if (entry.leaf != nullptr) {
+    free_leaf(entry.leaf);
+    entry.leaf = nullptr;
+    lease_count_--;
+    removed = true;
+  }
+  if (removed) {
+    entry.dirty = false;
+    parent->live_entries--;
+  }
+  return removed;
+}
+
+void LeaseTree::mark_dirty(LeaseId id) {
+  Node* node = root_;
+  for (int level = 0; level < kTreeLevels - 1; ++level) {
+    node->dirty = true;
+    Entry& entry = node->entries[index_at(id, level)];
+    if (entry.child == nullptr) return;
+    node = entry.child;
+  }
+  node->dirty = true;
+  node->entries[index_at(id, kTreeLevels - 1)].dirty = true;
 }
 
 Bytes LeaseTree::serialize_leaf(const LeaseRecord& leaf) const {
   Bytes out;
+  serialize_leaf_into(leaf, out);
+  return out;
+}
+
+void LeaseTree::serialize_leaf_into(const LeaseRecord& leaf, Bytes& out) const {
+  out.clear();
   out.reserve(8 + leaf.data.size());
   put_u64(out, leaf.hash);
   out.insert(out.end(), leaf.data.begin(), leaf.data.end());
-  return out;
 }
 
 Bytes LeaseTree::serialize_node(const Node& node) const {
@@ -320,8 +359,47 @@ bool LeaseTree::restore_entry(Entry& entry, int level) {
   return true;
 }
 
-void LeaseTree::commit_entry(Entry& entry, int level) {
-  if (entry.committed || entry.empty()) return;
+void LeaseTree::commit_entry(Entry& entry, int level, bool evict) {
+  if (entry.empty()) return;
+
+  if (cache_commits_ && level == kTreeLevels && entry.leaf != nullptr) {
+    if (entry.committed && !entry.dirty) {
+      // Write-through cache hit: the store image is already current, so a
+      // commit is free unless the caller wants the EPC copy gone.
+      if (evict) {
+        free_leaf(entry.leaf);
+        entry.leaf = nullptr;
+        lease_count_--;
+      } else {
+        stats_.clean_skips++;
+      }
+      return;
+    }
+    // Dirty (or never sealed): re-seal under a fresh key. The scratch
+    // buffers and the update-in-place store slot make the steady-state
+    // re-seal allocation-free.
+    entry.leaf->spin_lock();
+    serialize_leaf_into(*entry.leaf, leaf_scratch_);
+    entry.leaf->spin_unlock();
+    entry.key = crypto::protect_into(leaf_scratch_, keygen_, seal_scratch_);
+    if (entry.committed) {
+      store_.update(entry.handle, seal_scratch_);
+    } else {
+      entry.handle = store_.put(Bytes(seal_scratch_.begin(), seal_scratch_.end()));
+      entry.committed = true;
+    }
+    entry.dirty = false;
+    if (evict) {
+      free_leaf(entry.leaf);
+      entry.leaf = nullptr;
+      lease_count_--;
+    }
+    stats_.commits++;
+    obs::inc(obs_commits_);
+    return;
+  }
+
+  if (entry.committed) return;
 
   Bytes plaintext;
   if (level == kTreeLevels) {
@@ -335,9 +413,10 @@ void LeaseTree::commit_entry(Entry& entry, int level) {
     lease_count_--;
   } else {
     ensure(entry.child != nullptr, "commit_entry: no child");
-    // Children must be committed first so their keys live in this node.
+    // Children must be committed first so their keys live in this node;
+    // the node itself is freed, so its children always evict.
     for (std::size_t i = 0; i < kTreeFanout; ++i) {
-      commit_entry(entry.child->entries[i], level + 1);
+      commit_entry(entry.child->entries[i], level + 1, /*evict=*/true);
     }
     plaintext = serialize_node(*entry.child);
     free_node(entry.child);
@@ -350,6 +429,7 @@ void LeaseTree::commit_entry(Entry& entry, int level) {
   entry.key = sealed.key;
   entry.handle = store_.put(std::move(sealed.ciphertext));
   entry.committed = true;
+  entry.dirty = false;
   stats_.commits++;
   obs::inc(obs_commits_);
 }
@@ -358,13 +438,32 @@ bool LeaseTree::commit_lease(LeaseId id) {
   Node* parent = descend(id, /*create=*/false, kTreeLevels - 1);
   if (parent == nullptr) return false;
   Entry& entry = parent->entries[index_at(id, kTreeLevels - 1)];
-  if (entry.committed) return true;
-  if (entry.leaf == nullptr) return false;
-  commit_entry(entry, kTreeLevels);
+  if (entry.leaf == nullptr) return entry.committed;
+  commit_entry(entry, kTreeLevels, /*evict=*/!cache_commits_);
   return true;
 }
 
+void LeaseTree::commit_dirty(Entry& entry, int level) {
+  if (level == kTreeLevels) {
+    if (entry.leaf != nullptr && (entry.dirty || !entry.committed)) {
+      commit_entry(entry, level, /*evict=*/false);
+    }
+    return;
+  }
+  if (entry.child == nullptr || !entry.child->dirty) return;
+  for (Entry& e : entry.child->entries) commit_dirty(e, level + 1);
+  entry.child->dirty = false;
+}
+
 void LeaseTree::commit_all_cold() {
+  if (cache_commits_) {
+    // Incremental commit: walk only dirty paths (node dirty bits
+    // short-circuit clean subtrees) and keep residents in the EPC.
+    if (!root_->dirty) return;
+    for (Entry& entry : root_->entries) commit_dirty(entry, 1);
+    root_->dirty = false;
+    return;
+  }
   // Commit every subtree hanging off the root; the root stays resident as
   // the in-EPC root of trust.
   for (Entry& entry : root_->entries) {
@@ -373,7 +472,11 @@ void LeaseTree::commit_all_cold() {
 }
 
 std::uint64_t LeaseTree::shutdown() {
-  commit_all_cold();
+  // Shutdown always offloads: the root image requires every child sealed,
+  // so cache-mode residents are evicted here regardless of dirtiness.
+  for (Entry& entry : root_->entries) {
+    commit_entry(entry, 1, /*evict=*/true);
+  }
   const Bytes image = serialize_node(*root_);
   crypto::SealedPayload sealed = crypto::protect(image, keygen_);
   root_handle_ = store_.put(std::move(sealed.ciphertext));

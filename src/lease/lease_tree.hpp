@@ -57,10 +57,13 @@ class UntrustedStore {
  public:
   std::uint64_t put(Bytes ciphertext);
   void overwrite(std::uint64_t handle, Bytes ciphertext);
+  // Replaces the blob behind a live handle, reusing its capacity — the
+  // incremental commit path rewrites the same slot every re-seal.
+  void update(std::uint64_t handle, ByteView ciphertext);
   std::optional<Bytes> get(std::uint64_t handle) const;
   void erase(std::uint64_t handle);
   std::size_t size() const { return blobs_.size(); }
-  std::uint64_t bytes() const;
+  std::uint64_t bytes() const { return total_bytes_; }
   // Live handles in ascending order (deterministic pick for tampering
   // hooks, independent of hash-map iteration order).
   std::vector<std::uint64_t> handles() const;
@@ -68,6 +71,7 @@ class UntrustedStore {
  private:
   std::unordered_map<std::uint64_t, Bytes> blobs_;
   std::uint64_t next_handle_ = 1;
+  std::uint64_t total_bytes_ = 0;  // sum of blob sizes, kept current by mutators
 };
 
 struct LeaseTreeStats {
@@ -75,6 +79,7 @@ struct LeaseTreeStats {
   std::uint64_t hits = 0;
   std::uint64_t inserts = 0;
   std::uint64_t commits = 0;       // leases/nodes sealed + offloaded
+  std::uint64_t clean_skips = 0;   // cache-mode commits skipped: image current
   std::uint64_t restores = 0;      // decrypt + validate on demand
   std::uint64_t validation_failures = 0;
 };
@@ -114,8 +119,21 @@ class LeaseTree {
   bool commit_lease(LeaseId id);
 
   // Commits every cold lease + interior node except the root; used to keep
-  // the EPC footprint flat (Table 6).
+  // the EPC footprint flat (Table 6). In cache mode this becomes an
+  // incremental pass: only dirty paths re-seal and residents stay in the
+  // EPC (clean subtrees are skipped via the per-node dirty bit).
   void commit_all_cold();
+
+  // Write-through commit cache (incremental hashing): committed leaves stay
+  // resident in the EPC and re-seal only when dirty; committing a clean
+  // cached leaf is a no-op. Off by default (legacy evict-on-commit).
+  void set_cache_commits(bool on) { cache_commits_ = on; }
+  bool cache_commits() const { return cache_commits_; }
+
+  // Marks the path to `id` dirty. insert() does this implicitly; callers
+  // that mutate a record obtained from find() must call it themselves so
+  // the next incremental commit re-seals the leaf.
+  void mark_dirty(LeaseId id);
 
   // Budget-driven eviction: when set (> 0), the tree keeps its resident
   // footprint at or below `bytes` by committing the least-recently-used
@@ -153,11 +171,16 @@ class LeaseTree {
     LeaseRecord* leaf = nullptr; // resident lease (level 3)
     std::uint64_t handle = 0;    // untrusted-store handle when committed
     bool committed = false;
+    // Cache mode only: the resident copy diverged from the store image.
+    // A leaf entry may be committed AND resident (write-through cache);
+    // legacy mode keeps the two states mutually exclusive.
+    bool dirty = false;
     bool empty() const { return child == nullptr && leaf == nullptr && !committed; }
   };
   struct Node {
     std::array<Entry, kTreeFanout> entries{};
     std::uint16_t live_entries = 0;
+    bool dirty = false;             // subtree holds dirty entries (cache mode)
     std::uint64_t last_access = 0;  // recency tick for budget eviction
   };
 
@@ -168,10 +191,12 @@ class LeaseTree {
   void free_leaf(LeaseRecord* leaf);
   Node* descend(LeaseId id, bool create, int levels);
   bool restore_entry(Entry& entry, int level);
-  void commit_entry(Entry& entry, int level);
+  void commit_entry(Entry& entry, int level, bool evict = true);
+  void commit_dirty(Entry& entry, int level);
   Bytes serialize_node(const Node& node) const;
   static bool deserialize_node(ByteView data, Node& node);
   Bytes serialize_leaf(const LeaseRecord& leaf) const;
+  void serialize_leaf_into(const LeaseRecord& leaf, Bytes& out) const;
   void free_subtree(Node* node, int level);
   std::uint64_t count_resident(const Node* node, int level) const;
   void enforce_budget();
@@ -189,6 +214,11 @@ class LeaseTree {
   std::uint64_t root_handle_ = 0;
   std::uint64_t resident_budget_ = 0;
   std::uint64_t access_tick_ = 0;
+  bool cache_commits_ = false;
+  // Seal scratch buffers: the steady-state dirty-leaf re-seal reuses their
+  // capacity instead of allocating per commit.
+  Bytes leaf_scratch_;
+  Bytes seal_scratch_;
   LeaseTreeStats stats_;
   // Metric handles, resolved once at construction (null when compiled out).
   obs::Counter* obs_commits_ = nullptr;

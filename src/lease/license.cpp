@@ -1,19 +1,26 @@
 #include "lease/license.hpp"
 
+#include "common/wire_cursor.hpp"
 #include "crypto/hmac.hpp"
 
 namespace sl::lease {
 
 Bytes LicenseFile::signed_payload() const {
   Bytes payload;
-  put_u32(payload, lease_id);
-  put_u32(payload, static_cast<std::uint32_t>(product.size()));
-  const Bytes name = to_bytes(product);
-  payload.insert(payload.end(), name.begin(), name.end());
-  put_u32(payload, static_cast<std::uint32_t>(kind));
-  put_u64(payload, total_count);
-  put_u64(payload, static_cast<std::uint64_t>(interval_seconds * 1e3));
+  signed_payload_into(payload);
   return payload;
+}
+
+void LicenseFile::signed_payload_into(Bytes& payload) const {
+  payload.clear();
+  WireWriter writer(payload);
+  writer.u32(lease_id);
+  writer.u32(static_cast<std::uint32_t>(product.size()));
+  writer.bytes(ByteView(reinterpret_cast<const std::uint8_t*>(product.data()),
+                        product.size()));
+  writer.u32(static_cast<std::uint32_t>(kind));
+  writer.u64(total_count);
+  writer.u64(static_cast<std::uint64_t>(interval_seconds * 1e3));
 }
 
 Bytes LicenseFile::serialize() const {
@@ -23,26 +30,34 @@ Bytes LicenseFile::serialize() const {
 }
 
 std::optional<LicenseFile> LicenseFile::deserialize(ByteView data) {
-  if (data.size() < 4 + 4) return std::nullopt;
+  // The cursor widens the name length before proving the bytes present, so
+  // a crafted length near 2^32 cannot wrap a 32-bit sum and defeat the
+  // bound check. NOTE: trailing bytes after the signature are deliberately
+  // tolerated — license files travel inside containers that may pad them,
+  // and the historical accept-set is pinned by the wire fuzz suite.
+  WireCursor cursor(data);
   LicenseFile file;
-  file.lease_id = get_u32(data, 0);
-  const std::uint32_t name_len = get_u32(data, 4);
-  const std::size_t fixed_tail = 4 + 8 + 8 + crypto::kSha256DigestSize;
-  // Widen name_len before summing: a crafted length near 2^32 would wrap the
-  // 32-bit sum, defeat the bound check, and drive assign() out of bounds.
-  const std::size_t name_size = name_len;
-  if (data.size() < 8 + name_size + fixed_tail) return std::nullopt;
-  file.product.assign(reinterpret_cast<const char*>(data.data()) + 8, name_size);
-  std::size_t off = 8 + name_size;
-  const std::uint32_t kind = get_u32(data, off);
-  if (kind > static_cast<std::uint32_t>(LeaseKind::kCountBased)) return std::nullopt;
+  std::uint32_t name_len = 0;
+  if (!cursor.read_u32(file.lease_id) || !cursor.read_u32(name_len)) {
+    return std::nullopt;
+  }
+  ByteView name;
+  if (!cursor.read_bytes(name_len, name)) return std::nullopt;
+  std::uint32_t kind = 0;
+  std::uint64_t interval_millis = 0;
+  ByteView signature;
+  if (!cursor.read_u32(kind) || !cursor.read_u64(file.total_count) ||
+      !cursor.read_u64(interval_millis) ||
+      !cursor.read_bytes(crypto::kSha256DigestSize, signature)) {
+    return std::nullopt;
+  }
+  if (kind > static_cast<std::uint32_t>(LeaseKind::kCountBased)) {
+    return std::nullopt;
+  }
+  file.product.assign(reinterpret_cast<const char*>(name.data()), name.size());
   file.kind = static_cast<LeaseKind>(kind);
-  file.total_count = get_u64(data, off + 4);
-  file.interval_seconds = static_cast<double>(get_u64(data, off + 12)) / 1e3;
-  off += 20;
-  std::copy(data.begin() + static_cast<std::ptrdiff_t>(off),
-            data.begin() + static_cast<std::ptrdiff_t>(off + crypto::kSha256DigestSize),
-            file.signature.begin());
+  file.interval_seconds = static_cast<double>(interval_millis) / 1e3;
+  std::copy(signature.begin(), signature.end(), file.signature.begin());
   return file;
 }
 
@@ -65,6 +80,12 @@ LicenseFile LicenseAuthority::issue(LeaseId lease_id, std::string product,
 
 bool LicenseAuthority::validate(const LicenseFile& license) const {
   return crypto::hmac_verify(vendor_key_, license.signed_payload(), license.signature);
+}
+
+bool LicenseAuthority::validate_with_scratch(const LicenseFile& license,
+                                             Bytes& scratch) const {
+  license.signed_payload_into(scratch);
+  return crypto::hmac_verify(vendor_key_, scratch, license.signature);
 }
 
 }  // namespace sl::lease

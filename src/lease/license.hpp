@@ -27,6 +27,9 @@ struct LicenseFile {
   crypto::Sha256Digest signature{};  // vendor HMAC over the fields above
 
   Bytes signed_payload() const;
+  // Scratch-buffer variant: clears `payload` and serializes into it, reusing
+  // its capacity — the renewal hot path validates without allocating.
+  void signed_payload_into(Bytes& payload) const;
   Bytes serialize() const;  // payload + signature
   static std::optional<LicenseFile> deserialize(ByteView data);
 };
@@ -40,6 +43,9 @@ class LicenseAuthority {
                     std::uint64_t total_count, double interval_seconds = 86'400.0) const;
 
   bool validate(const LicenseFile& license) const;
+  // Hot-path variant: serializes the signed payload into `scratch` (capacity
+  // reused across calls) instead of allocating a fresh buffer per check.
+  bool validate_with_scratch(const LicenseFile& license, Bytes& scratch) const;
 
  private:
   Bytes vendor_key_;

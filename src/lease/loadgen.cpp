@@ -222,6 +222,7 @@ LoadgenMetrics run_loadgen(const LoadgenConfig& config) {
     if (!ledger.balanced()) metrics.ledgers_balanced = false;
   }
   metrics.state_digest = router.state_digest();
+  metrics.state_digest_full = router.state_digest_full();
   return metrics;
 }
 
@@ -259,7 +260,8 @@ std::string loadgen_json(const LoadgenMetrics& m) {
       "      \"p50_micros\": %.1f,\n"
       "      \"p99_micros\": %.1f,\n"
       "      \"ledgers_balanced\": %s,\n"
-      "      \"state_digest\": \"%016llx\"\n"
+      "      \"state_digest\": \"%016llx\",\n"
+      "      \"state_digest_full\": \"%016llx\"\n"
       "    }",
       core::backend_name(m.config.backend), m.config.shards,
       m.config.clients, m.config.licenses,
@@ -282,7 +284,8 @@ std::string loadgen_json(const LoadgenMetrics& m) {
       m.throughput, m.wall_seconds, m.wall_throughput, m.p50_micros,
       m.p99_micros,
       m.ledgers_balanced ? "true" : "false",
-      static_cast<unsigned long long>(m.state_digest));
+      static_cast<unsigned long long>(m.state_digest),
+      static_cast<unsigned long long>(m.state_digest_full));
   return buffer;
 }
 

@@ -81,6 +81,9 @@ struct LoadgenMetrics {
   double p99_micros = 0.0;
   bool ledgers_balanced = false; // conservation across every shard
   std::uint64_t state_digest = 0;
+  // From-scratch rehash oracle over the same shards; must equal
+  // state_digest or the incremental tree served a stale cached leaf.
+  std::uint64_t state_digest_full = 0;
 };
 
 // Runs the closed loop to completion. Deterministic for a fixed config.

@@ -57,6 +57,11 @@ RemoteShard::RemoteShard(const LicenseAuthority& authority,
                                         arenas_.get())),
       config_(config) {
   bool genesis_replicated = false;
+  // Batched framing pairs with the incremental tree: committed leaves stay
+  // cached in the EPC and only dirty paths re-seal. Legacy framing keeps
+  // the evict-on-commit tree for the differential baselines.
+  if (!config_.legacy_framing) tree_->set_cache_commits(true);
+  queue_slots_.resize(config_.queue_capacity);
   const obs::Labels shard_label = {{"shard", config_.obs_shard}};
   obs_enqueued_ = obs::get_counter("sl_lease_renewals_enqueued_total",
                                    "Renewals accepted into the shard queue",
@@ -273,7 +278,7 @@ bool RemoteShard::enqueue(PendingRenew request) {
     obs::inc(obs_down_rejections_);
     return false;
   }
-  if (queue_.size() >= config_.queue_capacity) {
+  if (queue_len_ >= config_.queue_capacity) {
     stats_.overloads++;
     obs::inc(obs_overloads_);
     return false;
@@ -290,7 +295,9 @@ bool RemoteShard::enqueue(PendingRenew request) {
     record.consumed = request.consumed;
     journal_append(std::move(record));
   }
-  queue_.push_back(std::move(request));
+  queue_slots_[(queue_head_ + queue_len_) % queue_slots_.size()] =
+      std::move(request);
+  queue_len_++;
   stats_.enqueued++;
   obs::inc(obs_enqueued_);
   return true;
@@ -310,11 +317,21 @@ void RemoteShard::sync_lease_record(LeaseId lease) {
     tree_->insert(lease, pool_gcl);
   } else {
     record->set_gcl(pool_gcl);
+    // In-place mutation bypasses insert(): tell the incremental tree this
+    // leaf's cached image is stale.
+    tree_->mark_dirty(lease);
   }
   commit_lease_record(lease);
 }
 
 std::vector<RenewOutcome> RemoteShard::drain() {
+  std::vector<RenewOutcome> outcomes;
+  drain_into(outcomes);
+  return outcomes;
+}
+
+void RemoteShard::drain_into(std::vector<RenewOutcome>& outcomes) {
+  outcomes.clear();
   require(up_, "drain: shard is down");
   if (group_ != nullptr && !group_->quorum_available()) {
     // Too few replicas to make a renewal durable: defer rather than ack
@@ -322,108 +339,131 @@ std::vector<RenewOutcome> RemoteShard::drain() {
     // accepting() so this is a defense-in-depth backstop, not the normal path.
     stats_.quorum_stalls++;
     obs::inc(obs_quorum_stalls_);
-    return {};
+    return;
   }
   const Cycles drain_start = clock_.cycles();
-  std::vector<RenewOutcome> outcomes;
-  outcomes.reserve(queue_.size());
+  const std::size_t count = queue_len_;
+  outcomes.reserve(count);
+
+  // Decomposed cost model: with batched framing one frame carries a whole
+  // group (one parse per group, leaf-only incremental commit); with legacy
+  // framing every message is its own frame and every group pays the full
+  // encrypt-and-hash sweep — reproducing the pre-batching totals exactly.
+  const Cycles message_cost =
+      config_.cycles_per_renewal +
+      (config_.legacy_framing ? config_.cycles_per_frame_parse : 0);
+  const Cycles group_cost =
+      config_.legacy_framing
+          ? config_.cycles_per_commit
+          : config_.cycles_per_frame_parse + config_.cycles_per_leaf_commit;
+
+  const auto slot_at = [&](std::size_t i) -> PendingRenew& {
+    return queue_slots_[(queue_head_ + i) % queue_slots_.size()];
+  };
 
   // Group FIFO: within a license requests keep submission order, so the
   // Algorithm 1 decisions are exactly those of serial processing; across
   // licenses groups run in first-appearance order (decisions for different
-  // licenses are independent, so cross-license order cannot matter).
-  std::vector<std::pair<LeaseId, std::vector<PendingRenew>>> groups;
-  while (!queue_.empty()) {
-    PendingRenew request = std::move(queue_.front());
-    queue_.pop_front();
-    const LeaseId lease = request.license.lease_id;
-    if (config_.batching) {
-      bool placed = false;
-      for (auto& [group_lease, members] : groups) {
-        if (group_lease == lease) {
-          members.push_back(std::move(request));
-          placed = true;
-          break;
-        }
+  // licenses are independent, so cross-license order cannot matter). The
+  // requests are processed in place in the ring — no per-drain copies.
+  std::vector<LeaseId>& group_leases = group_leases_;
+  group_leases.clear();
+  if (config_.batching) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const LeaseId lease = slot_at(i).license.lease_id;
+      if (std::find(group_leases.begin(), group_leases.end(), lease) ==
+          group_leases.end()) {
+        group_leases.push_back(lease);
       }
-      if (!placed) groups.emplace_back(lease, std::vector<PendingRenew>{std::move(request)});
-    } else {
-      groups.emplace_back(lease, std::vector<PendingRenew>{std::move(request)});
     }
   }
 
-  for (auto& [lease, members] : groups) {
-    const std::size_t first_outcome = outcomes.size();
-    std::vector<WalRenewEntry> batch_entries;
-    for (PendingRenew& request : members) {
-      // Idempotency: a retry of an already-committed request returns the
-      // recorded outcome — the pool must not be burned twice.
-      if (request.request_id != 0) {
-        auto hit = dedup_.find(request.slid);
-        if (hit != dedup_.end() && hit->second.request_id == request.request_id) {
-          RenewOutcome replayed;
-          replayed.ticket = request.ticket;
-          replayed.status = hit->second.status;
-          replayed.granted = hit->second.granted;
-          stats_.deduped++;
-          obs::inc(obs_deduped_);
-          outcomes.push_back(replayed);
-          continue;
-        }
-      }
-      if (request.consumed > 0) {
-        remote_->report_consumed(request.slid, lease, request.consumed);
-      }
-      const SlRemote::RenewResult result = remote_->renew(
-          request.slid, request.license, request.health, request.network);
-      clock_.advance_cycles(config_.cycles_per_renewal);
-      stats_.busy_cycles += config_.cycles_per_renewal;
-      stats_.processed++;
-      obs::inc(obs_busy_cycles_, config_.cycles_per_renewal);
-      obs::inc(obs_processed_);
-      RenewOutcome outcome;
-      outcome.ticket = request.ticket;
-      outcome.status = result.ok ? RenewStatus::kGranted : RenewStatus::kDenied;
-      outcome.granted = result.granted;
-      (result.ok ? stats_.granted : stats_.denied)++;
-      obs::inc(result.ok ? obs_granted_ : obs_denied_);
-      if (request.request_id != 0) {
-        dedup_[request.slid] =
-            DedupEntry{request.request_id, outcome.status, outcome.granted};
-      }
-      if (journal_) {
-        WalRenewEntry entry;
-        entry.slid = request.slid;
-        entry.request_id = request.request_id;
-        entry.consumed = request.consumed;
-        entry.status = static_cast<std::uint8_t>(outcome.status);
-        entry.granted = outcome.granted;
-        entry.health = request.health;
-        entry.network = request.network;
-        batch_entries.push_back(entry);
-      }
-      outcomes.push_back(outcome);
-    }
+  // Batched framing accumulates every group of this drain into ONE WAL
+  // record (journaling path: allocations here are off the renewal hot path).
+  std::vector<WalRenewGroup> wal_groups;
+  std::vector<WalRenewEntry> batch_entries;
+  std::size_t groups_processed = 0;
 
-    // One encrypt-and-hash commit for the whole group — the amortization the
-    // batcher buys. The record content depends only on the post-group pool,
-    // so K coalesced renewals and K serial renewals produce the same record
-    // (and the same integrity hash); only the commit count differs.
+  const auto process_request = [&](PendingRenew& request, LeaseId lease) {
+    // Idempotency: a retry of an already-committed request returns the
+    // recorded outcome — the pool must not be burned twice.
+    if (request.request_id != 0) {
+      auto hit = dedup_.find(request.slid);
+      if (hit != dedup_.end() && hit->second.request_id == request.request_id) {
+        RenewOutcome replayed;
+        replayed.ticket = request.ticket;
+        replayed.status = hit->second.status;
+        replayed.granted = hit->second.granted;
+        stats_.deduped++;
+        obs::inc(obs_deduped_);
+        outcomes.push_back(replayed);
+        return;
+      }
+    }
+    if (request.consumed > 0) {
+      remote_->report_consumed(request.slid, lease, request.consumed);
+    }
+    const SlRemote::RenewResult result = remote_->renew(
+        request.slid, request.license, request.health, request.network);
+    clock_.advance_cycles(message_cost);
+    stats_.busy_cycles += message_cost;
+    stats_.processed++;
+    obs::inc(obs_busy_cycles_, message_cost);
+    obs::inc(obs_processed_);
+    RenewOutcome outcome;
+    outcome.ticket = request.ticket;
+    outcome.status = result.ok ? RenewStatus::kGranted : RenewStatus::kDenied;
+    outcome.granted = result.granted;
+    (result.ok ? stats_.granted : stats_.denied)++;
+    obs::inc(result.ok ? obs_granted_ : obs_denied_);
+    if (request.request_id != 0) {
+      dedup_[request.slid] =
+          DedupEntry{request.request_id, outcome.status, outcome.granted};
+    }
+    if (journal_) {
+      WalRenewEntry entry;
+      entry.slid = request.slid;
+      entry.request_id = request.request_id;
+      entry.consumed = request.consumed;
+      entry.status = static_cast<std::uint8_t>(outcome.status);
+      entry.granted = outcome.granted;
+      entry.health = request.health;
+      entry.network = request.network;
+      batch_entries.push_back(entry);
+    }
+    outcomes.push_back(outcome);
+  };
+
+  const auto finish_group = [&](LeaseId lease, std::size_t first_outcome) {
+    // One commit for the whole group — the amortization the batcher buys.
+    // The record content depends only on the post-group pool, so K coalesced
+    // renewals and K serial renewals produce the same record (and the same
+    // integrity hash); only the commit count differs.
     sync_lease_record(lease);
-    clock_.advance_cycles(config_.cycles_per_commit);
-    stats_.busy_cycles += config_.cycles_per_commit;
+    clock_.advance_cycles(group_cost);
+    stats_.busy_cycles += group_cost;
     stats_.batches++;
-    obs::inc(obs_busy_cycles_, config_.cycles_per_commit);
+    obs::inc(obs_busy_cycles_, group_cost);
     obs::inc(obs_batches_);
 
     if (journal_ && !batch_entries.empty()) {
       obs::inc(obs_journaled_renewals_, batch_entries.size());
-      WalRecord record;
-      record.type = WalRecordType::kRenewBatch;
-      record.lease = lease;
-      record.entries = std::move(batch_entries);
-      journal_append(std::move(record));
+      if (config_.legacy_framing) {
+        // Legacy framing: one WAL record per group, as before the batched
+        // format existed.
+        WalRecord record;
+        record.type = WalRecordType::kRenewBatch;
+        record.lease = lease;
+        record.entries = std::move(batch_entries);
+        journal_append(std::move(record));
+      } else {
+        WalRenewGroup group;
+        group.lease = lease;
+        group.entries = std::move(batch_entries);
+        wal_groups.push_back(std::move(group));
+      }
     }
+    batch_entries.clear();
 
     const Cycles completed = clock_.cycles();
     for (std::size_t i = first_outcome; i < outcomes.size(); ++i) {
@@ -431,6 +471,39 @@ std::vector<RenewOutcome> RemoteShard::drain() {
       outcomes[i].latency = completed - drain_start;
       obs::observe(obs_renew_latency_, outcomes[i].latency);
     }
+    groups_processed++;
+  };
+
+  if (config_.batching) {
+    for (const LeaseId lease : group_leases) {
+      const std::size_t first_outcome = outcomes.size();
+      for (std::size_t i = 0; i < count; ++i) {
+        PendingRenew& request = slot_at(i);
+        if (request.license.lease_id != lease) continue;
+        process_request(request, lease);
+      }
+      finish_group(lease, first_outcome);
+    }
+  } else {
+    for (std::size_t i = 0; i < count; ++i) {
+      PendingRenew& request = slot_at(i);
+      const std::size_t first_outcome = outcomes.size();
+      process_request(request, request.license.lease_id);
+      finish_group(request.license.lease_id, first_outcome);
+    }
+  }
+  queue_head_ = 0;
+  queue_len_ = 0;
+
+  if (journal_ && !wal_groups.empty()) {
+    // Batched framing (WAL v2): one record carries every group of the
+    // drain, so recovery replays the whole drain from one frame parse. Its
+    // post-digest is the drain-end digest — the same final stamp the legacy
+    // per-group records converge to.
+    WalRecord record;
+    record.type = WalRecordType::kRenewBatch;
+    record.groups = std::move(wal_groups);
+    journal_append(std::move(record));
   }
 
   // Group commit: one sync covers every batch record (and the intents that
@@ -439,18 +512,18 @@ std::vector<RenewOutcome> RemoteShard::drain() {
   // new but parked outcomes still commits: that retries replication of the
   // stalled prefix so a healed wire releases the backlog.
   bool committed = true;
-  if (journal_ && (!groups.empty() || !parked_outcomes_.empty())) {
+  if (journal_ && (count > 0 || !parked_outcomes_.empty())) {
     committed = journal_commit();
     if (committed) maybe_checkpoint();
   }
-  if (!groups.empty() && obs::TraceRecorder::global().enabled()) {
+  if (groups_processed > 0 && obs::TraceRecorder::global().enabled()) {
     obs::TraceRecorder::global().record(obs::TraceSpan{
         "lease.drain",
         "lease",
         drain_start,
         clock_.cycles(),
         {{"shard", config_.obs_shard},
-         {"groups", std::to_string(groups.size())},
+         {"groups", std::to_string(groups_processed)},
          {"outcomes", std::to_string(outcomes.size())}}});
   }
   if (!committed) {
@@ -465,7 +538,8 @@ std::vector<RenewOutcome> RemoteShard::drain() {
     for (RenewOutcome& outcome : outcomes) {
       parked_outcomes_.push_back(std::move(outcome));
     }
-    return {};
+    outcomes.clear();
+    return;
   }
   if (!parked_outcomes_.empty()) {
     // The successful commit covered every previously stalled batch too
@@ -478,13 +552,13 @@ std::vector<RenewOutcome> RemoteShard::drain() {
                     std::make_move_iterator(parked_outcomes_.end()));
     parked_outcomes_.clear();
   }
-  return outcomes;
 }
 
 void RemoteShard::journal_append(WalRecord record) {
   if (!journal_) return;
   record.post_digest = state_digest();
-  if (!journal_->append(record.serialize()).has_value()) {
+  record.serialize_into(wal_scratch_);
+  if (!journal_->append(wal_scratch_).has_value()) {
     // Full device. The snapshot captures everything applied so far —
     // including this record's effect — so dropping the record is safe.
     checkpoint();
@@ -556,7 +630,8 @@ void RemoteShard::crash() {
   // In-flight requests die with the process; clients observe a timeout and
   // must retry against the recovered shard (their request ids dedup). Parked
   // outcomes were never acknowledged, so dropping them loses no promise.
-  queue_.clear();
+  queue_head_ = 0;
+  queue_len_ = 0;
   dedup_.clear();
   parked_outcomes_.clear();
   up_ = false;
@@ -749,7 +824,8 @@ FailoverReport RemoteShard::fail_over() {
   // stale_append() can resurrect it and probe the fence.
   stale_leader_ = StaleLeader{journal_->epoch(), journal_->device().contents()};
   add_stats(carried_remote_stats_, remote_->stats());
-  queue_.clear();
+  queue_head_ = 0;
+  queue_len_ = 0;
   dedup_.clear();
   parked_outcomes_.clear();
   up_ = false;
@@ -846,17 +922,29 @@ bool RemoteShard::apply_record(const WalRecord& record) {
         remote_->provision(*license);
         return true;
       }
-      case WalRecordType::kRenewBatch:
-        for (const WalRenewEntry& entry : record.entries) {
-          remote_->apply_renewal(entry.slid, record.lease, entry.consumed,
-                                 entry.granted, entry.health, entry.network);
-          if (entry.request_id != 0) {
-            dedup_[entry.slid] =
-                DedupEntry{entry.request_id,
-                           static_cast<RenewStatus>(entry.status), entry.granted};
+      case WalRecordType::kRenewBatch: {
+        const auto apply_entries = [&](LeaseId lease,
+                                       const std::vector<WalRenewEntry>& entries) {
+          for (const WalRenewEntry& entry : entries) {
+            remote_->apply_renewal(entry.slid, lease, entry.consumed,
+                                   entry.granted, entry.health, entry.network);
+            if (entry.request_id != 0) {
+              dedup_[entry.slid] =
+                  DedupEntry{entry.request_id,
+                             static_cast<RenewStatus>(entry.status), entry.granted};
+            }
           }
+        };
+        if (!record.groups.empty()) {
+          // Batched framing (WAL v2): one record, many license groups.
+          for (const WalRenewGroup& group : record.groups) {
+            apply_entries(group.lease, group.entries);
+          }
+        } else {
+          apply_entries(record.lease, record.entries);
         }
         return true;
+      }
       case WalRecordType::kRevoke:
         remote_->revoke(record.lease);
         return true;
@@ -899,6 +987,9 @@ void RemoteShard::rebuild_tree() {
   tree_ = std::make_unique<LeaseTree>(
       splitmix64_key(generation_ ^ 0x7ee5, config_.keygen_seed) | 1, store_,
       arenas_.get());
+  if (!config_.legacy_framing) tree_->set_cache_commits(true);
+  // Full-commit fallback: the rebuilt tree starts with no cached images, so
+  // every lease below re-seals from scratch regardless of dirty bits.
   // Record content is a pure function of the recovered pool, and the 64-bit
   // integrity hash is a pure function of record content — so the rebuilt
   // tree digests identically to the pre-crash tree.
@@ -962,9 +1053,11 @@ bool RemoteShard::restore_snapshot(ByteView data) {
 
 std::uint64_t RemoteShard::state_digest() {
   std::uint64_t digest = 0x5ea1d;
-  for (const LeaseId lease : remote_->provisioned_leases()) {
+  Bytes& buffer = digest_scratch_;
+  remote_->provisioned_leases_into(lease_scratch_);
+  for (const LeaseId lease : lease_scratch_) {
     const auto ledger = remote_->ledger(lease);
-    Bytes buffer;
+    buffer.clear();
     put_u32(buffer, lease);
     put_u64(buffer, ledger->provisioned);
     put_u64(buffer, ledger->pool);
@@ -974,6 +1067,30 @@ std::uint64_t RemoteShard::state_digest() {
     put_u64(buffer, ledger->revoked);
     LeaseRecord* record = tree_->find(lease);
     put_u64(buffer, record != nullptr ? record->hash : 0);
+    digest = crypto::murmur3_64(buffer, digest);
+  }
+  return digest;
+}
+
+std::uint64_t RemoteShard::state_digest_full() const {
+  // From-scratch oracle: rebuild every record image from the ledger pool —
+  // same construction sync_lease_record() uses — instead of trusting the
+  // live tree, then chain the identical digest formula. If the incremental
+  // tree ever serves a stale cached leaf, the two digests diverge.
+  std::uint64_t digest = 0x5ea1d;
+  for (const LeaseId lease : remote_->provisioned_leases()) {
+    const auto ledger = remote_->ledger(lease);
+    LeaseRecord record;
+    record.set_gcl(Gcl(LeaseKind::kCountBased, ledger->pool));
+    Bytes buffer;
+    put_u32(buffer, lease);
+    put_u64(buffer, ledger->provisioned);
+    put_u64(buffer, ledger->pool);
+    put_u64(buffer, ledger->outstanding);
+    put_u64(buffer, ledger->consumed);
+    put_u64(buffer, ledger->forfeited);
+    put_u64(buffer, ledger->revoked);
+    put_u64(buffer, record.hash);
     digest = crypto::murmur3_64(buffer, digest);
   }
   return digest;

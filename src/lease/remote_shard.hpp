@@ -32,7 +32,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -78,10 +77,20 @@ struct ShardConfig {
   // Coalesce same-license renewals into one tree commit per drain().
   bool batching = true;
   // Virtual-cycle cost model for server-side work, charged to the shard
-  // clock: per-renewal validation + Algorithm 1 + ledger update, and the
-  // per-commit encrypt-and-hash of the durable lease record (Section 5.5).
-  Cycles cycles_per_renewal = 40'000;
+  // clock (decomposed in docs/WIRE.md): per-renewal validation + Algorithm 1
+  // + ledger update; per-frame parse (one frame per coalesced group with
+  // batched framing, one per message with legacy framing); and the commit —
+  // a leaf-only incremental re-seal with batched framing, the full
+  // encrypt-and-hash sweep of Section 5.5 with legacy framing.
+  Cycles cycles_per_renewal = 32'000;
+  Cycles cycles_per_frame_parse = 8'000;
+  Cycles cycles_per_leaf_commit = 12'000;
   Cycles cycles_per_commit = 120'000;
+  // Pre-batching wire + commit behavior: one frame per message (40k cycles
+  // total), one full tree commit per group (120k cycles), one WAL record
+  // per group, evict-on-commit tree. The differential gates run both modes
+  // and require bit-identical state digests.
+  bool legacy_framing = false;
   // RA latency the wrapped SlRemote charges clients at init (Section 5.1).
   double ra_latency_seconds = 3.5;
   // Seeds the shard's server-side tree key generator.
@@ -204,7 +213,7 @@ class RemoteShard {
   const SimClock& clock() const { return clock_; }
   const ShardConfig& config() const { return config_; }
   const ShardStats& stats() const { return stats_; }
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return queue_len_; }
   bool up() const { return up_; }
   // Up AND able to commit: with replication on, a shard below follower
   // quorum must not acknowledge work, so callers treat it as unreachable.
@@ -248,6 +257,10 @@ class RemoteShard {
   // whole drain syncs once (group commit) before outcomes are returned —
   // an acknowledged outcome is always durable.
   std::vector<RenewOutcome> drain();
+  // Same, but outcomes land in `out` (cleared first, capacity reused). With
+  // journaling off, the steady-state enqueue+drain_into path performs no
+  // heap allocation (asserted by tests/lease/test_zero_alloc.cpp).
+  void drain_into(std::vector<RenewOutcome>& out);
 
   // --- Durability ------------------------------------------------------------
   // Snapshots the full shard state into the checkpoint store and truncates
@@ -301,6 +314,11 @@ class RemoteShard {
   // lease order. Equal digests mean equal grant history and equal durable
   // tree content — the batching-equivalence check.
   std::uint64_t state_digest();
+  // From-scratch oracle for the incremental tree: rebuilds every record
+  // image from the ledger pools instead of reading the live tree, then
+  // chains the same formula. Divergence from state_digest() means the
+  // incremental commit path missed an update (stale cached leaf).
+  std::uint64_t state_digest_full() const;
 
  private:
   struct DedupEntry {
@@ -345,7 +363,17 @@ class RemoteShard {
   std::unique_ptr<LeaseTree> tree_;
   SimClock clock_;
   ShardConfig config_;
-  std::deque<PendingRenew> queue_;
+  // Bounded renewal queue as a fixed ring: the slots are constructed once
+  // at queue_capacity and move-assigned in place, so steady-state enqueue
+  // reuses their storage instead of allocating deque blocks.
+  std::vector<PendingRenew> queue_slots_;
+  std::size_t queue_head_ = 0;
+  std::size_t queue_len_ = 0;
+  // drain()/journal scratch, capacity reused across drains.
+  std::vector<LeaseId> group_leases_;
+  Bytes wal_scratch_;     // serialized WAL record for journal appends
+  Bytes digest_scratch_;  // per-lease buffer inside state_digest()
+  std::vector<LeaseId> lease_scratch_;  // sorted lease ids for state_digest()
   ShardStats stats_;
   SlRemoteStats carried_remote_stats_;
 

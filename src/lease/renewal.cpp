@@ -67,9 +67,12 @@ RenewalDecision renew_lease(std::uint64_t total_gcl,
       std::min<std::uint64_t>(total_gcl, static_cast<std::uint64_t>(std::floor(g_i)));
   decision.beta_used = beta;
 
-  std::vector<NodeState> projected = nodes;
-  projected[requester].outstanding += decision.granted;
-  decision.expected_loss = expected_loss(projected);
+  // ExpLoss is linear in outstanding, so projecting this grant onto the
+  // requester is a scalar adjustment — no copy of the node view (this sits
+  // on the zero-alloc renewal hot path).
+  decision.expected_loss =
+      expected_loss(nodes) +
+      static_cast<double>(decision.granted) * (1.0 - me.health);
   return decision;
 }
 

@@ -212,6 +212,16 @@ std::uint64_t ShardRouter::state_digest() {
   return digest;
 }
 
+std::uint64_t ShardRouter::state_digest_full() const {
+  std::uint64_t digest = kRouteSeed;
+  for (const auto& shard : shards_) {
+    Bytes buffer;
+    put_u64(buffer, shard->state_digest_full());
+    digest = crypto::murmur3_64(buffer, digest);
+  }
+  return digest;
+}
+
 // --- ShardGateway -----------------------------------------------------------
 
 ShardGateway::ShardGateway(ShardRouter& router, ShardRouter::CustomerId customer,

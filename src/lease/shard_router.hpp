@@ -95,8 +95,12 @@ class ShardRouter {
   ShardStats aggregate_shard_stats() const;
   // Furthest shard clock — the virtual wall time of the parallel service.
   double virtual_seconds() const;
-  // Chained per-shard state digests (ascending shard index).
+  // Chained per-shard state digests (ascending shard index). The _full
+  // variant chains each shard's from-scratch rehash oracle instead of the
+  // incremental tree — bench gates compare the two to catch a stale cached
+  // leaf leaking into the fast path.
   std::uint64_t state_digest();
+  std::uint64_t state_digest_full() const;
 
  private:
   struct ClientState {

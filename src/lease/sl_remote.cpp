@@ -137,7 +137,7 @@ SlRemote::RenewResult SlRemote::renew(Slid slid, const LicenseFile& license,
     stats_.renewals_denied++;
     return result;
   }
-  if (!authority_.validate(license)) {
+  if (!authority_.validate_with_scratch(license, license_payload_)) {
     // Invalid license information: no further executions for this file
     // (Section 4.4, step 3) — a likely breach attempt.
     stats_.renewals_denied++;
@@ -154,10 +154,13 @@ SlRemote::RenewResult SlRemote::renew(Slid slid, const LicenseFile& license,
   local->second.network = network;
 
   // Build the concurrent-requesters view for Algorithm 1: every node that
-  // currently holds (or is asking for) this lease.
-  std::vector<NodeState> nodes;
+  // currently holds (or is asking for) this lease. The scratch vectors keep
+  // their capacity across calls.
+  std::vector<NodeState>& nodes = renew_nodes_;
+  nodes.clear();
   std::size_t requester_index = 0;
-  std::vector<Slid> slids;
+  std::vector<Slid>& slids = renew_slids_;
+  slids.clear();
   for (const auto& [other_slid, outstanding] : pool.outstanding) {
     slids.push_back(other_slid);
   }
@@ -381,11 +384,16 @@ std::optional<LeaseLedger> SlRemote::ledger(LeaseId lease) const {
 
 std::vector<LeaseId> SlRemote::provisioned_leases() const {
   std::vector<LeaseId> leases;
-  leases.reserve(pools_.size());
-  // detlint:allow(unordered-iteration) keys are collected then sorted below
-  for (const auto& [lease, pool] : pools_) leases.push_back(lease);
-  std::sort(leases.begin(), leases.end());
+  provisioned_leases_into(leases);
   return leases;
+}
+
+void SlRemote::provisioned_leases_into(std::vector<LeaseId>& out) const {
+  out.clear();
+  out.reserve(pools_.size());
+  // detlint:allow(unordered-iteration) keys are collected then sorted below
+  for (const auto& [lease, pool] : pools_) out.push_back(lease);
+  std::sort(out.begin(), out.end());
 }
 
 }  // namespace sl::lease

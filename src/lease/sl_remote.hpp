@@ -147,8 +147,10 @@ class SlRemote {
   // Conservation ledger for one lease; nullopt when never provisioned.
   std::optional<LeaseLedger> ledger(LeaseId lease) const;
   // Every lease id ever provisioned, ascending (deterministic iteration for
-  // traces and oracles regardless of hash-map order).
+  // traces and oracles regardless of hash-map order). The _into variant
+  // reuses the caller's capacity for per-drain digest paths.
   std::vector<LeaseId> provisioned_leases() const;
+  void provisioned_leases_into(std::vector<LeaseId>& out) const;
 
  private:
   struct LeasePool {
@@ -182,6 +184,12 @@ class SlRemote {
   std::unordered_map<Slid, LocalRecord> locals_;
   Slid next_slid_ = 1;
   SlRemoteStats stats_;
+  // renew() scratch: the Algorithm 1 requester view and the license MAC
+  // payload reuse these buffers so the steady-state renewal path does not
+  // touch the heap.
+  std::vector<NodeState> renew_nodes_;
+  std::vector<Slid> renew_slids_;
+  Bytes license_payload_;
 };
 
 }  // namespace sl::lease

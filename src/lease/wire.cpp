@@ -4,75 +4,78 @@
 #include <utility>
 #include <vector>
 
+#include "common/wire_cursor.hpp"
+
 namespace sl::lease::wire {
 
 namespace {
 
-void put_digest(Bytes& out, const crypto::Sha256Digest& digest) {
-  out.insert(out.end(), digest.begin(), digest.end());
+void put_digest(WireWriter& out, const crypto::Sha256Digest& digest) {
+  out.bytes(ByteView(digest.data(), digest.size()));
 }
 
-bool get_digest(ByteView in, std::size_t& offset, crypto::Sha256Digest& digest) {
-  if (offset + digest.size() > in.size()) return false;
-  std::copy(in.begin() + static_cast<std::ptrdiff_t>(offset),
-            in.begin() + static_cast<std::ptrdiff_t>(offset + digest.size()),
-            digest.begin());
-  offset += digest.size();
+bool get_digest(WireCursor& cursor, crypto::Sha256Digest& digest) {
+  ByteView view;
+  if (!cursor.read_bytes(digest.size(), view)) return false;
+  std::copy(view.begin(), view.end(), digest.begin());
   return true;
 }
 
-void put_blob(Bytes& out, ByteView blob) {
-  put_u32(out, static_cast<std::uint32_t>(blob.size()));
-  out.insert(out.end(), blob.begin(), blob.end());
+void put_blob(WireWriter& out, ByteView blob) {
+  out.u32(static_cast<std::uint32_t>(blob.size()));
+  out.bytes(blob);
 }
 
-std::optional<Bytes> get_blob(ByteView in, std::size_t& offset) {
-  if (offset + 4 > in.size()) return std::nullopt;
-  const std::uint32_t size = get_u32(in, offset);
-  offset += 4;
-  if (offset + size > in.size()) return std::nullopt;
-  Bytes blob(in.begin() + static_cast<std::ptrdiff_t>(offset),
-             in.begin() + static_cast<std::ptrdiff_t>(offset + size));
-  offset += size;
-  return blob;
+// Borrowed view of a u32-length-prefixed blob; no copy.
+bool get_blob_view(WireCursor& cursor, ByteView& out) {
+  std::uint32_t size = 0;
+  return cursor.read_u32(size) && cursor.read_bytes(size, out);
 }
 
 // Doubles travel as fixed-point micros, rounded to nearest: truncation made
 // serialize(deserialize(x)) drift by one micro when value*1e6 reconstructed
 // just below the original integer.
-void put_fraction(Bytes& out, double value) {
-  put_u64(out, static_cast<std::uint64_t>(value * 1e6 + 0.5));
+void put_fraction(WireWriter& out, double value) {
+  out.u64(static_cast<std::uint64_t>(value * 1e6 + 0.5));
 }
 
-double get_fraction(ByteView in, std::size_t& offset) {
-  const double value = static_cast<double>(get_u64(in, offset)) / 1e6;
-  offset += 8;
-  return value;
+bool get_fraction(WireCursor& cursor, double& out) {
+  std::uint64_t micros = 0;
+  if (!cursor.read_u64(micros)) return false;
+  out = static_cast<double>(micros) / 1e6;
+  return true;
+}
+
+std::optional<sgx::Quote> read_quote(WireCursor& cursor) {
+  sgx::Quote quote;
+  if (!get_digest(cursor, quote.report.mrenclave)) return std::nullopt;
+  ByteView report_data;
+  if (!get_blob_view(cursor, report_data)) return std::nullopt;
+  quote.report.report_data.assign(report_data.begin(), report_data.end());
+  if (!get_digest(cursor, quote.report.mac)) return std::nullopt;
+  if (!cursor.read_u64(quote.platform_id)) return std::nullopt;
+  if (!get_digest(cursor, quote.signature)) return std::nullopt;
+  return quote;
 }
 
 }  // namespace
 
 Bytes serialize_quote(const sgx::Quote& quote) {
   Bytes out;
-  put_digest(out, quote.report.mrenclave);
-  put_blob(out, quote.report.report_data);
-  put_digest(out, quote.report.mac);
-  put_u64(out, quote.platform_id);
-  put_digest(out, quote.signature);
+  WireWriter writer(out);
+  put_digest(writer, quote.report.mrenclave);
+  put_blob(writer, quote.report.report_data);
+  put_digest(writer, quote.report.mac);
+  writer.u64(quote.platform_id);
+  put_digest(writer, quote.signature);
   return out;
 }
 
 std::optional<sgx::Quote> deserialize_quote(ByteView data, std::size_t& offset) {
-  sgx::Quote quote;
-  if (!get_digest(data, offset, quote.report.mrenclave)) return std::nullopt;
-  auto report_data = get_blob(data, offset);
-  if (!report_data.has_value()) return std::nullopt;
-  quote.report.report_data = std::move(*report_data);
-  if (!get_digest(data, offset, quote.report.mac)) return std::nullopt;
-  if (offset + 8 > data.size()) return std::nullopt;
-  quote.platform_id = get_u64(data, offset);
-  offset += 8;
-  if (!get_digest(data, offset, quote.signature)) return std::nullopt;
+  if (offset > data.size()) return std::nullopt;
+  WireCursor cursor(data.subspan(offset));
+  std::optional<sgx::Quote> quote = read_quote(cursor);
+  if (quote.has_value()) offset += cursor.offset();
   return quote;
 }
 
@@ -80,18 +83,18 @@ std::optional<sgx::Quote> deserialize_quote(ByteView data, std::size_t& offset) 
 
 Bytes InitRequest::serialize() const {
   Bytes out;
-  put_u64(out, claimed_slid);
+  WireWriter writer(out);
+  writer.u64(claimed_slid);
   const Bytes quote_bytes = serialize_quote(quote);
-  out.insert(out.end(), quote_bytes.begin(), quote_bytes.end());
+  writer.bytes(quote_bytes);
   return out;
 }
 
 std::optional<InitRequest> InitRequest::deserialize(ByteView data) {
-  if (data.size() < 8) return std::nullopt;
+  WireCursor cursor(data);
   InitRequest request;
-  request.claimed_slid = get_u64(data, 0);
-  std::size_t offset = 8;
-  auto quote = deserialize_quote(data, offset);
+  if (!cursor.read_u64(request.claimed_slid)) return std::nullopt;
+  auto quote = read_quote(cursor);
   if (!quote.has_value()) return std::nullopt;
   request.quote = std::move(*quote);
   return request;
@@ -99,20 +102,26 @@ std::optional<InitRequest> InitRequest::deserialize(ByteView data) {
 
 Bytes InitResponse::serialize() const {
   Bytes out;
-  put_u32(out, ok ? 1 : 0);
-  put_u64(out, slid);
-  put_u64(out, old_backup_key);
-  put_u32(out, restore_allowed ? 1 : 0);
+  WireWriter writer(out);
+  writer.u32(ok ? 1 : 0);
+  writer.u64(slid);
+  writer.u64(old_backup_key);
+  writer.u32(restore_allowed ? 1 : 0);
   return out;
 }
 
 std::optional<InitResponse> InitResponse::deserialize(ByteView data) {
-  if (data.size() < 24) return std::nullopt;
+  WireCursor cursor(data);
   InitResponse response;
-  response.ok = get_u32(data, 0) != 0;
-  response.slid = get_u64(data, 4);
-  response.old_backup_key = get_u64(data, 12);
-  response.restore_allowed = get_u32(data, 20) != 0;
+  std::uint32_t ok_flag = 0;
+  std::uint32_t restore_flag = 0;
+  if (!cursor.read_u32(ok_flag) || !cursor.read_u64(response.slid) ||
+      !cursor.read_u64(response.old_backup_key) ||
+      !cursor.read_u32(restore_flag)) {
+    return std::nullopt;
+  }
+  response.ok = ok_flag != 0;
+  response.restore_allowed = restore_flag != 0;
   return response;
 }
 
@@ -120,54 +129,61 @@ std::optional<InitResponse> InitResponse::deserialize(ByteView data) {
 
 Bytes RenewRequest::serialize() const {
   Bytes out;
-  put_u64(out, slid);
-  put_blob(out, license.serialize());
-  put_fraction(out, health);
-  put_fraction(out, network);
-  put_u64(out, consumed);
-  put_u64(out, request_id);
+  WireWriter writer(out);
+  writer.u64(slid);
+  put_blob(writer, license.serialize());
+  put_fraction(writer, health);
+  put_fraction(writer, network);
+  writer.u64(consumed);
+  writer.u64(request_id);
   return out;
 }
 
 std::optional<RenewRequest> RenewRequest::deserialize(ByteView data) {
-  if (data.size() < 8) return std::nullopt;
+  WireCursor cursor(data);
   RenewRequest request;
-  request.slid = get_u64(data, 0);
-  std::size_t offset = 8;
-  auto license_blob = get_blob(data, offset);
-  if (!license_blob.has_value()) return std::nullopt;
-  auto license = LicenseFile::deserialize(*license_blob);
+  if (!cursor.read_u64(request.slid)) return std::nullopt;
+  ByteView license_view;
+  if (!get_blob_view(cursor, license_view)) return std::nullopt;
+  // Parse the license straight out of the borrowed view — no intermediate
+  // copy of the blob.
+  auto license = LicenseFile::deserialize(license_view);
   if (!license.has_value()) return std::nullopt;
   request.license = std::move(*license);
-  if (offset + 24 > data.size()) return std::nullopt;
-  request.health = get_fraction(data, offset);
-  request.network = get_fraction(data, offset);
-  request.consumed = get_u64(data, offset);
-  offset += 8;
+  if (!get_fraction(cursor, request.health) ||
+      !get_fraction(cursor, request.network) ||
+      !cursor.read_u64(request.consumed)) {
+    return std::nullopt;
+  }
   // Optional trailing idempotency id (old-format frames end here). Anything
   // other than exactly zero or eight trailing bytes is garbage.
-  if (data.size() - offset == 8) {
-    request.request_id = get_u64(data, offset);
-    offset += 8;
+  if (cursor.remaining() == 8) {
+    if (!cursor.read_u64(request.request_id)) return std::nullopt;
   }
-  if (offset != data.size()) return std::nullopt;
+  if (!cursor.done()) return std::nullopt;
   return request;
 }
 
 Bytes RenewResponse::serialize() const {
   Bytes out;
-  put_u32(out, ok ? 1 : 0);
-  put_u64(out, granted);
-  put_u32(out, overloaded ? 1 : 0);
+  WireWriter writer(out);
+  writer.u32(ok ? 1 : 0);
+  writer.u64(granted);
+  writer.u32(overloaded ? 1 : 0);
   return out;
 }
 
 std::optional<RenewResponse> RenewResponse::deserialize(ByteView data) {
-  if (data.size() < 16) return std::nullopt;
+  WireCursor cursor(data);
   RenewResponse response;
-  response.ok = get_u32(data, 0) != 0;
-  response.granted = get_u64(data, 4);
-  response.overloaded = get_u32(data, 12) != 0;
+  std::uint32_t ok_flag = 0;
+  std::uint32_t overloaded_flag = 0;
+  if (!cursor.read_u32(ok_flag) || !cursor.read_u64(response.granted) ||
+      !cursor.read_u32(overloaded_flag)) {
+    return std::nullopt;
+  }
+  response.ok = ok_flag != 0;
+  response.overloaded = overloaded_flag != 0;
   return response;
 }
 
@@ -175,33 +191,40 @@ std::optional<RenewResponse> RenewResponse::deserialize(ByteView data) {
 
 Bytes ShutdownRequest::serialize() const {
   Bytes out;
-  put_u64(out, slid);
-  put_u64(out, root_key);
-  put_u32(out, static_cast<std::uint32_t>(unused.size()));
+  WireWriter writer(out);
+  writer.u64(slid);
+  writer.u64(root_key);
+  writer.u32(static_cast<std::uint32_t>(unused.size()));
   // Deterministic encoding: hash-map iteration order varies with insertion
   // history, so sort by lease id — equal messages serialize identically.
   std::vector<std::pair<LeaseId, std::uint64_t>> entries(unused.begin(),
                                                          unused.end());
   std::sort(entries.begin(), entries.end());
   for (const auto& [lease, count] : entries) {
-    put_u32(out, lease);
-    put_u64(out, count);
+    writer.u32(lease);
+    writer.u64(count);
   }
   return out;
 }
 
 std::optional<ShutdownRequest> ShutdownRequest::deserialize(ByteView data) {
-  if (data.size() < 20) return std::nullopt;
+  WireCursor cursor(data);
   ShutdownRequest request;
-  request.slid = get_u64(data, 0);
-  request.root_key = get_u64(data, 8);
-  const std::uint32_t count = get_u32(data, 16);
-  std::size_t offset = 20;
-  if (data.size() < offset + static_cast<std::size_t>(count) * 12) return std::nullopt;
+  std::uint32_t count = 0;
+  if (!cursor.read_u64(request.slid) || !cursor.read_u64(request.root_key) ||
+      !cursor.read_u32(count)) {
+    return std::nullopt;
+  }
+  if (cursor.remaining() < static_cast<std::size_t>(count) * 12) {
+    return std::nullopt;
+  }
   for (std::uint32_t i = 0; i < count; ++i) {
-    const LeaseId lease = get_u32(data, offset);
-    request.unused[lease] = get_u64(data, offset + 4);
-    offset += 12;
+    std::uint32_t lease = 0;
+    std::uint64_t credits = 0;
+    if (!cursor.read_u32(lease) || !cursor.read_u64(credits)) {
+      return std::nullopt;
+    }
+    request.unused[lease] = credits;
   }
   return request;
 }

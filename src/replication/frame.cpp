@@ -1,5 +1,7 @@
 #include "replication/frame.hpp"
 
+#include "common/wire_cursor.hpp"
+
 namespace sl::replication {
 
 namespace {
@@ -25,44 +27,40 @@ const char* frame_type_name(FrameType type) {
 
 Bytes ReplicationFrame::serialize() const {
   Bytes out;
-  out.push_back(static_cast<std::uint8_t>(type));
-  put_u64(out, epoch);
-  put_u32(out, shard);
-  put_u32(out, replica);
-  put_u64(out, seq);
-  put_u64(out, chain);
-  put_u32(out, static_cast<std::uint32_t>(payload.size()));
-  out.insert(out.end(), payload.begin(), payload.end());
+  out.reserve(kFrameHeader + payload.size());
+  WireWriter writer(out);
+  writer.u8(static_cast<std::uint8_t>(type));
+  writer.u64(epoch);
+  writer.u32(shard);
+  writer.u32(replica);
+  writer.u64(seq);
+  writer.u64(chain);
+  writer.u32(static_cast<std::uint32_t>(payload.size()));
+  writer.bytes(payload);
   return out;
 }
 
 std::optional<ReplicationFrame> ReplicationFrame::deserialize(ByteView data) {
-  if (data.size() < kFrameHeader) return std::nullopt;
-  std::size_t offset = 0;
+  WireCursor cursor(data);
   ReplicationFrame frame;
-  const std::uint8_t type = data[offset];
-  offset += 1;
+  std::uint8_t type = 0;
+  std::uint32_t payload_len = 0;
+  if (!cursor.read_u8(type) || !cursor.read_u64(frame.epoch) ||
+      !cursor.read_u32(frame.shard) || !cursor.read_u32(frame.replica) ||
+      !cursor.read_u64(frame.seq) || !cursor.read_u64(frame.chain) ||
+      !cursor.read_u32(payload_len)) {
+    return std::nullopt;
+  }
   if (type < static_cast<std::uint8_t>(FrameType::kAppend) ||
       type > static_cast<std::uint8_t>(FrameType::kReset)) {
     return std::nullopt;
   }
   frame.type = static_cast<FrameType>(type);
-  frame.epoch = get_u64(data, offset);
-  offset += 8;
-  frame.shard = get_u32(data, offset);
-  offset += 4;
-  frame.replica = get_u32(data, offset);
-  offset += 4;
-  frame.seq = get_u64(data, offset);
-  offset += 8;
-  frame.chain = get_u64(data, offset);
-  offset += 8;
-  const std::uint32_t payload_len = get_u32(data, offset);
-  offset += 4;
   if (payload_len > kMaxPayload) return std::nullopt;
-  if (payload_len != data.size() - offset) return std::nullopt;  // no garbage
-  frame.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
-                       data.end());
+  ByteView payload_view;
+  if (!cursor.read_bytes(payload_len, payload_view)) return std::nullopt;
+  if (!cursor.done()) return std::nullopt;  // trailing garbage
+  frame.payload.assign(payload_view.begin(), payload_view.end());
   return frame;
 }
 

@@ -40,6 +40,8 @@ struct Workload {
   std::uint64_t seed = 1;
   std::size_t queue_capacity = 128;
   bool batching = true;
+  // Pre-batched-framing wire + evict-on-commit tree (docs/WIRE.md).
+  bool legacy_framing = false;
 };
 
 // Everything observable about one run, flattened for field-by-field
@@ -60,6 +62,7 @@ RunResult run_workload(core::Backend backend, const Workload& w) {
   ShardConfig shard_config;
   shard_config.queue_capacity = w.queue_capacity;
   shard_config.batching = w.batching;
+  shard_config.legacy_framing = w.legacy_framing;
   ShardRouter router(vendor, ias, SlLocal::expected_measurement(), w.shards,
                      shard_config);
   auto scheduler = core::make_scheduler(backend, router);
@@ -170,6 +173,53 @@ TEST(BackendDifferential, SingleShardDegenerateCase) {
   w.seed = 23;
   expect_identical(run_workload(core::Backend::kDeterministic, w),
                    run_workload(core::Backend::kThreads, w), w.seed);
+}
+
+TEST(BackendDifferential, LegacyFramingAgreesAcrossBackends) {
+  // The legacy wire/commit mode is still a supported configuration and must
+  // hold the same backend-equivalence bar as the batched default.
+  Workload w;
+  w.legacy_framing = true;
+  w.seed = 31;
+  expect_identical(run_workload(core::Backend::kDeterministic, w),
+                   run_workload(core::Backend::kThreads, w), w.seed);
+}
+
+TEST(BackendDifferential, BatchedAndLegacyFramingDigestsMatch) {
+  // Cross-framing equivalence on BOTH backends: batched framing changes the
+  // wire layout, the journal record shape and the commit cadence, but never
+  // the decisions — state digests, ledgers and the grant stream must be
+  // bit-identical to legacy framing. Clocks legitimately differ (that gap
+  // is the whole optimization), so this comparison excludes them.
+  for (const core::Backend backend :
+       {core::Backend::kDeterministic, core::Backend::kThreads}) {
+    Workload batched;
+    batched.seed = 47;
+    Workload legacy = batched;
+    legacy.legacy_framing = true;
+    const RunResult b = run_workload(backend, batched);
+    const RunResult l = run_workload(backend, legacy);
+
+    ASSERT_FALSE(b.completions.empty());
+    ASSERT_EQ(b.completions.size(), l.completions.size());
+    for (std::size_t i = 0; i < b.completions.size(); ++i) {
+      ASSERT_EQ(b.completions[i].shard, l.completions[i].shard) << i;
+      ASSERT_EQ(b.completions[i].outcome.ticket,
+                l.completions[i].outcome.ticket) << i;
+      ASSERT_EQ(b.completions[i].outcome.status,
+                l.completions[i].outcome.status) << i;
+      ASSERT_EQ(b.completions[i].outcome.granted,
+                l.completions[i].outcome.granted) << i;
+    }
+    ASSERT_EQ(b.shard_digests, l.shard_digests);
+    ASSERT_EQ(b.chained_digest, l.chained_digest);
+    ASSERT_EQ(b.granted_total, l.granted_total);
+    ASSERT_EQ(b.ledgers, l.ledgers);
+    // And the batched run must actually be cheaper in virtual time.
+    for (std::size_t s = 0; s < b.shard_clocks.size(); ++s) {
+      EXPECT_LT(b.shard_clocks[s], l.shard_clocks[s]) << "shard " << s;
+    }
+  }
 }
 
 TEST(BackendDifferential, RenewNowTargetedEpochsMatch) {

@@ -1,0 +1,149 @@
+// Steady-state allocation gate for the renewal hot path (docs/WIRE.md).
+//
+// This binary overrides global operator new/delete with a counting hook.
+// After a warmup that grows every scratch buffer (ring slots, WAL scratch,
+// license payload scratch, Algorithm 1 requester vectors, tree seal
+// buffers) to its steady-state capacity, a measured window of enqueue +
+// drain_into + state_digest must perform ZERO heap allocations — the
+// regression this pins is any per-message Bytes/vector born inside the
+// renewal loop. Journaling is off: the WAL path's record vectors are
+// explicitly out of scope (the journal seals into fresh Bytes by design).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "lease/remote_shard.hpp"
+#include "lease/sl_local.hpp"
+#include "sgxsim/attestation.hpp"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocations{0};
+
+void count_allocation() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+// Counting passthroughs. Sized/aligned variants forward here; malloc/free
+// keep the hook reentrancy-safe (no allocation inside the hook itself).
+// GCC cannot see that the replacement operator new is malloc-backed and
+// flags the free() calls below as mismatched; they are not.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t size) {
+  count_allocation();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  count_allocation();
+  const std::size_t alignment = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(alignment, (size + alignment - 1) /
+                                                  alignment * alignment)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+#pragma GCC diagnostic pop
+
+namespace sl::lease {
+namespace {
+
+struct ZeroAllocHarness {
+  sgx::AttestationService ias;
+  LicenseAuthority vendor{0x2a110c};
+  RemoteShard shard;
+  std::vector<LicenseFile> licenses;
+  std::vector<Slid> slids;
+  std::vector<RenewOutcome> outcomes;
+  std::uint64_t next_ticket = 1;
+
+  explicit ZeroAllocHarness(ShardConfig config = {})
+      : shard(vendor, ias, SlLocal::expected_measurement(), config) {
+    // Short product names stay within the small-string buffer — a license
+    // copy into a queue slot must not touch the heap.
+    for (LeaseId id : {1u, 2u, 3u}) {
+      licenses.push_back(
+          vendor.issue(id, "za", LeaseKind::kCountBased, 1'000'000));
+      shard.provision(licenses.back());
+    }
+    for (int i = 0; i < 4; ++i) slids.push_back(shard.admit_peer(1.0, 1.0));
+  }
+
+  void round() {
+    for (std::size_t i = 0; i < 8; ++i) {
+      PendingRenew request;
+      request.ticket = next_ticket++;
+      request.slid = slids[i % slids.size()];
+      request.license = licenses[i % licenses.size()];
+      request.consumed = i % 3;
+      ASSERT_TRUE(shard.enqueue(std::move(request)));
+    }
+    shard.drain_into(outcomes);
+    ASSERT_EQ(outcomes.size(), 8u);
+    (void)shard.state_digest();
+  }
+};
+
+TEST(ZeroAlloc, SteadyStateRenewalPathDoesNotAllocate) {
+  ZeroAllocHarness harness;  // journaling off, batched framing (default)
+  // Warmup: every scratch buffer reaches steady-state capacity, every
+  // lease's leaf is resident in the commit cache, every SLID has its
+  // telemetry record.
+  for (int i = 0; i < 20; ++i) harness.round();
+
+  g_allocations.store(0);
+  g_counting.store(true);
+  for (int i = 0; i < 50; ++i) harness.round();
+  g_counting.store(false);
+
+  EXPECT_EQ(g_allocations.load(), 0u)
+      << "renewal steady state touched the heap";
+}
+
+TEST(ZeroAlloc, CountingHookObservesAllocations) {
+  // Control: the hook itself must be live, or the zero above is vacuous.
+  g_allocations.store(0);
+  g_counting.store(true);
+  {
+    std::vector<int>* v = new std::vector<int>(100);
+    delete v;
+  }
+  g_counting.store(false);
+  EXPECT_GE(g_allocations.load(), 1u);
+}
+
+TEST(ZeroAlloc, OutcomeVectorCapacityIsReusedAcrossDrains) {
+  ZeroAllocHarness harness;
+  for (int i = 0; i < 5; ++i) harness.round();
+  const std::size_t capacity = harness.outcomes.capacity();
+  for (int i = 0; i < 5; ++i) harness.round();
+  EXPECT_EQ(harness.outcomes.capacity(), capacity);
+}
+
+}  // namespace
+}  // namespace sl::lease

@@ -9,6 +9,8 @@
 #include <algorithm>
 
 #include "common/rng.hpp"
+#include "common/wire_cursor.hpp"
+#include "lease/durability.hpp"
 #include "replication/frame.hpp"
 #include "replication/replica.hpp"
 #include "storage/journal.hpp"
@@ -208,6 +210,174 @@ TEST(ReplicationFrameFuzz, AckAndElectAreNotFollowerInputs) {
     EXPECT_EQ(replica.deliver(ByteView(wire.data(), wire.size()), &ack),
               DeliverVerdict::kMalformed);
   }
+}
+
+// --- v2 batched WAL payloads over the replication wire -----------------------
+//
+// Replication ships sealed journal bytes content-agnostically, so the v2
+// varint-framed renewal records (docs/WIRE.md) must flow through unchanged
+// — and the WAL parser itself faces the same hostile channel as the frame
+// parser, so it gets the same fuzz treatment here.
+
+lease::WalRecord sample_batched_record(Rng& rng) {
+  lease::WalRecord record;
+  record.type = lease::WalRecordType::kRenewBatch;
+  record.post_digest = rng.next_u64();
+  const std::uint64_t group_count = 1 + rng.next_below(4);
+  for (std::uint64_t g = 0; g < group_count; ++g) {
+    lease::WalRenewGroup group;
+    group.lease = static_cast<lease::LeaseId>(rng.next_u32());
+    const std::uint64_t entry_count = rng.next_below(5);
+    for (std::uint64_t i = 0; i < entry_count; ++i) {
+      lease::WalRenewEntry entry;
+      entry.slid = rng.next_below(1'000'000);
+      entry.request_id = rng.next_below(3) == 0 ? 0 : rng.next_u64();
+      entry.consumed = rng.next_below(100);
+      entry.status = static_cast<std::uint8_t>(rng.next_below(2));
+      entry.granted = entry.status == 0 ? rng.next_below(10'000) : 0;
+      entry.health = rng.next_double();
+      entry.network = rng.next_double();
+      group.entries.push_back(entry);
+    }
+    record.groups.push_back(std::move(group));
+  }
+  return record;
+}
+
+TEST(ReplicationFrameFuzz, BatchedWalPayloadsReplicateVerbatim) {
+  // A journal carrying v2 batched records replicates bit-for-bit: the
+  // follower's verified log equals the leader's sealed image.
+  storage::JournalConfig journal_config;
+  journal_config.master_key = 0x5ea1ed;
+  storage::Journal journal(journal_config);
+  Rng rng(0xba7c4ed);
+  for (int i = 0; i < 5; ++i) {
+    const Bytes payload = sample_batched_record(rng).serialize();
+    ASSERT_TRUE(journal.append(ByteView(payload)).has_value());
+  }
+  journal.sync();
+  const Bytes image = journal.device().contents();
+
+  ReplicaLog replica = fuzz_replica();
+  const Bytes wire = valid_append(journal, ByteView(image.data(), image.size()));
+  Bytes ack;
+  ASSERT_EQ(replica.deliver(ByteView(wire.data(), wire.size()), &ack),
+            DeliverVerdict::kAccepted);
+  ASSERT_EQ(replica.log().size(), image.size());
+  EXPECT_TRUE(std::equal(replica.log().begin(), replica.log().end(),
+                         image.begin()));
+}
+
+TEST(ReplicationFrameFuzz, WalV2RoundTripIsByteIdentical) {
+  Rng rng(0x2a1b);
+  for (int round = 0; round < kRounds; ++round) {
+    const lease::WalRecord record = sample_batched_record(rng);
+    const Bytes wire = record.serialize();
+    const auto parsed = lease::WalRecord::deserialize(wire);
+    ASSERT_TRUE(parsed.has_value()) << "round " << round;
+    EXPECT_EQ(parsed->groups, record.groups) << "round " << round;
+    EXPECT_EQ(parsed->post_digest, record.post_digest);
+    EXPECT_EQ(parsed->serialize(), wire) << "round " << round;
+  }
+}
+
+TEST(ReplicationFrameFuzz, WalV2TruncationAtEveryByteRejects) {
+  Rng rng(0x2a1c);
+  const Bytes wire = sample_batched_record(rng).serialize();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        lease::WalRecord::deserialize(ByteView(wire.data(), len)).has_value())
+        << "prefix " << len;
+  }
+}
+
+TEST(ReplicationFrameFuzz, WalV2BitFlipsParseCanonicallyOrNotAtAll) {
+  Rng rng(0x2a1d);
+  for (int round = 0; round < kRounds; ++round) {
+    Bytes wire = sample_batched_record(rng).serialize();
+    wire[rng.next_below(wire.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.next_below(8));
+    const auto parsed = lease::WalRecord::deserialize(wire);
+    if (parsed.has_value()) {
+      EXPECT_EQ(parsed->serialize(), wire) << "round " << round;
+    }
+  }
+}
+
+TEST(ReplicationFrameFuzz, WalV2NestedCountLiesAreRejected) {
+  Rng rng(0x2a1e);
+  const lease::WalRecord record = sample_batched_record(rng);
+  const Bytes wire = record.serialize();
+
+  // The group count claims one more group than the bytes carry.
+  {
+    Bytes lying;
+    WireWriter w(lying);
+    w.u8(lease::kWalBatchedFlag |
+         static_cast<std::uint8_t>(lease::WalRecordType::kRenewBatch));
+    w.u64(record.post_digest);
+    w.varint(record.groups.size() + 1);
+    // Re-emit the genuine group bodies (skip the original header+count).
+    const std::size_t header = 1 + 8 + varint_size(record.groups.size());
+    w.bytes(ByteView(wire.data() + header, wire.size() - header));
+    EXPECT_FALSE(lease::WalRecord::deserialize(lying).has_value());
+  }
+  // Zero groups can never be a batched record (v1 carries the empty case).
+  {
+    Bytes empty;
+    WireWriter w(empty);
+    w.u8(lease::kWalBatchedFlag |
+         static_cast<std::uint8_t>(lease::WalRecordType::kRenewBatch));
+    w.u64(0);
+    w.varint(0);
+    EXPECT_FALSE(lease::WalRecord::deserialize(empty).has_value());
+  }
+  // An entry count far past the hard bound rejects before any read.
+  {
+    Bytes oversized;
+    WireWriter w(oversized);
+    w.u8(lease::kWalBatchedFlag |
+         static_cast<std::uint8_t>(lease::WalRecordType::kRenewBatch));
+    w.u64(0);
+    w.varint(1);
+    w.varint(7);            // lease
+    w.varint(1'000'000'000);  // entries: over kMaxBatchEntries
+    EXPECT_FALSE(lease::WalRecord::deserialize(oversized).has_value());
+  }
+  // The batched flag on a non-renewal type byte is malformed.
+  {
+    Bytes flagged = wire;
+    flagged[0] = lease::kWalBatchedFlag |
+                 static_cast<std::uint8_t>(lease::WalRecordType::kRevoke);
+    EXPECT_FALSE(lease::WalRecord::deserialize(flagged).has_value());
+  }
+}
+
+TEST(ReplicationFrameFuzz, WalV1RenewBatchStillParses) {
+  // A legacy single-group record (groups empty, lease/entries populated)
+  // keeps its v1 byte layout and round-trips — old journals must replay
+  // under the new parser forever.
+  lease::WalRecord record;
+  record.type = lease::WalRecordType::kRenewBatch;
+  record.post_digest = 0x12345678;
+  record.lease = 42;
+  lease::WalRenewEntry entry;
+  entry.slid = 7;
+  entry.consumed = 3;
+  entry.status = 0;
+  entry.granted = 500;
+  record.entries.push_back(entry);
+
+  const Bytes wire = record.serialize();
+  EXPECT_EQ(wire[0], static_cast<std::uint8_t>(
+                         lease::WalRecordType::kRenewBatch));  // unflagged
+  const auto parsed = lease::WalRecord::deserialize(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->groups.empty());
+  EXPECT_EQ(parsed->lease, 42u);
+  ASSERT_EQ(parsed->entries.size(), 1u);
+  EXPECT_EQ(parsed->entries[0], entry);
+  EXPECT_EQ(parsed->serialize(), wire);
 }
 
 TEST(ReplicationFrameFuzz, WrongShardAddressingIsRejected) {
